@@ -1,0 +1,117 @@
+//! B1 — native-thread microbenchmarks of the ABA-detecting registers:
+//! Algorithm 1 (wait-free linearizable), Algorithm 2 (lock-free strongly
+//! linearizable), the atomic RMW-cell register, and a plain register
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sl_core::aba::{
+    AbaHandle, AbaRegister, AtomicAbaRegister, AwAbaRegister, SlAbaRegister,
+};
+use sl_mem::{Mem, NativeMem, Register};
+use sl_spec::ProcId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn bench_uncontended(c: &mut Criterion) {
+    let mem = NativeMem::new();
+    let mut group = c.benchmark_group("aba_uncontended");
+
+    let aw = AwAbaRegister::<u64, _>::new(&mem, 4);
+    let mut aw_w = aw.handle(ProcId(0));
+    let mut aw_r = aw.handle(ProcId(1));
+    group.bench_function("aw_dwrite", |b| {
+        b.iter(|| aw_w.dwrite(std::hint::black_box(1)))
+    });
+    group.bench_function("aw_dread", |b| b.iter(|| aw_r.dread()));
+
+    let sl = SlAbaRegister::<u64, _>::new(&mem, 4);
+    let mut sl_w = sl.handle(ProcId(0));
+    let mut sl_r = sl.handle(ProcId(1));
+    group.bench_function("sl_dwrite", |b| {
+        b.iter(|| sl_w.dwrite(std::hint::black_box(1)))
+    });
+    group.bench_function("sl_dread", |b| b.iter(|| sl_r.dread()));
+
+    let at = AtomicAbaRegister::<u64, _>::new(&mem, "R");
+    let mut at_w = at.handle(ProcId(0));
+    let mut at_r = at.handle(ProcId(1));
+    group.bench_function("atomic_dwrite", |b| {
+        b.iter(|| at_w.dwrite(std::hint::black_box(1)))
+    });
+    group.bench_function("atomic_dread", |b| b.iter(|| at_r.dread()));
+
+    let plain = mem.alloc("plain", 0u64);
+    group.bench_function("plain_register_write", |b| {
+        b.iter(|| plain.write(std::hint::black_box(1)))
+    });
+    group.bench_function("plain_register_read", |b| b.iter(|| plain.read()));
+
+    group.finish();
+}
+
+fn bench_contended_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aba_dread_under_writer");
+    group.sample_size(20);
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("sl_dread", n), &n, |b, &n| {
+            let mem = NativeMem::new();
+            let reg = SlAbaRegister::<u64, _>::new(&mem, n);
+            let stop = Arc::new(AtomicBool::new(false));
+            let writers: Vec<_> = (0..n - 1)
+                .map(|w| {
+                    let reg = reg.clone();
+                    let stop = stop.clone();
+                    std::thread::spawn(move || {
+                        let mut h = reg.handle(ProcId(w));
+                        let mut i = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            h.dwrite(i);
+                            i += 1;
+                        }
+                    })
+                })
+                .collect();
+            let mut r = reg.handle(ProcId(n - 1));
+            b.iter(|| r.dread());
+            stop.store(true, Ordering::Relaxed);
+            for w in writers {
+                w.join().unwrap();
+            }
+        });
+        group.bench_with_input(BenchmarkId::new("aw_dread", n), &n, |b, &n| {
+            let mem = NativeMem::new();
+            let reg = AwAbaRegister::<u64, _>::new(&mem, n);
+            let stop = Arc::new(AtomicBool::new(false));
+            let writers: Vec<_> = (0..n - 1)
+                .map(|w| {
+                    let reg = reg.clone();
+                    let stop = stop.clone();
+                    std::thread::spawn(move || {
+                        let mut h = reg.handle(ProcId(w));
+                        let mut i = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            h.dwrite(i);
+                            i += 1;
+                        }
+                    })
+                })
+                .collect();
+            let mut r = reg.handle(ProcId(n - 1));
+            b.iter(|| r.dread());
+            stop.store(true, Ordering::Relaxed);
+            for w in writers {
+                w.join().unwrap();
+            }
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_uncontended, bench_contended_reads
+}
+criterion_main!(benches);

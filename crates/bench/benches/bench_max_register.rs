@@ -1,0 +1,69 @@
+//! B3 — max-register microbenchmarks: the Aspnes–Attiya–Censor trie
+//! (strongly linearizable, bounded), the unary unbounded max-register,
+//! and the snapshot-derived max-register of §4.5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sl_core::{BoundedMaxRegister, SlSnapshot, SnapshotMaxRegister, UnaryMaxRegister};
+use sl_mem::NativeMem;
+use sl_spec::ProcId;
+
+fn bench_max_registers(c: &mut Criterion) {
+    let mem = NativeMem::new();
+    let mut group = c.benchmark_group("max_register");
+
+    for capacity in [64u64, 1024, 65_536] {
+        let m = BoundedMaxRegister::new(&mem, capacity);
+        m.max_write(capacity / 2);
+        group.bench_with_input(
+            BenchmarkId::new("aac_trie_max_read", capacity),
+            &capacity,
+            |b, _| b.iter(|| m.max_read()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("aac_trie_max_write", capacity),
+            &capacity,
+            |b, &cap| {
+                let mut v = 0;
+                b.iter(|| {
+                    v = (v + 1) % cap;
+                    m.max_write(v)
+                })
+            },
+        );
+    }
+
+    let unary: UnaryMaxRegister<u64, _> = UnaryMaxRegister::new(&mem, "u");
+    unary.max_write(512, 512);
+    group.bench_function("unary_max_read_512", |b| b.iter(|| unary.max_read()));
+    group.bench_function("unary_max_write", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 1) % 1024;
+            unary.max_write(v, v)
+        })
+    });
+
+    let snap = SlSnapshot::with_double_collect(&mem, 4);
+    let derived = SnapshotMaxRegister::new(snap);
+    let mut h = derived.handle(ProcId(0));
+    h.max_write(100);
+    group.bench_function("snapshot_derived_max_read", |b| b.iter(|| h.max_read()));
+    group.bench_function("snapshot_derived_max_write", |b| {
+        let mut v = 100u64;
+        b.iter(|| {
+            v += 1;
+            h.max_write(v)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_max_registers
+}
+criterion_main!(benches);

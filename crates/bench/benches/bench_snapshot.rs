@@ -1,0 +1,73 @@
+//! B2 — native-thread microbenchmarks of the snapshots: the paper's
+//! strongly linearizable snapshot (both substrates, both `R`
+//! configurations) against the merely linearizable substrates and the
+//! unbounded §4.1 construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sl_core::{SlSnapshot, SnapshotHandle, SnapshotObject, VersionedSlSnapshot};
+use sl_mem::NativeMem;
+use sl_snapshot::{AfekSnapshot, DoubleCollectSnapshot, LinSnapshot};
+use sl_spec::ProcId;
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_uncontended");
+    for n in [2usize, 4, 8] {
+        let mem = NativeMem::new();
+        let dc = DoubleCollectSnapshot::<u64, _>::new(&mem, n);
+        dc.update(ProcId(0), 1);
+        group.bench_with_input(BenchmarkId::new("double_collect_scan", n), &n, |b, _| {
+            b.iter(|| dc.scan(ProcId(1)))
+        });
+
+        let afek = AfekSnapshot::<u64, _>::new(&mem, n);
+        afek.update(ProcId(0), 1);
+        group.bench_with_input(BenchmarkId::new("afek_scan", n), &n, |b, _| {
+            b.iter(|| afek.scan(ProcId(1)))
+        });
+
+        let sl = SlSnapshot::with_double_collect(&mem, n);
+        let mut h = sl.handle(ProcId(0));
+        h.update(1u64);
+        group.bench_with_input(BenchmarkId::new("sl_scan_dc_substrate", n), &n, |b, _| {
+            b.iter(|| h.scan())
+        });
+        let mut hu = sl.handle(ProcId(1));
+        group.bench_with_input(BenchmarkId::new("sl_update_dc_substrate", n), &n, |b, _| {
+            b.iter(|| hu.update(2u64))
+        });
+
+        let sla = SlSnapshot::with_afek(&mem, n);
+        let mut ha = sla.handle(ProcId(0));
+        ha.update(1u64);
+        group.bench_with_input(BenchmarkId::new("sl_scan_afek_substrate", n), &n, |b, _| {
+            b.iter(|| ha.scan())
+        });
+
+        let slr = SlSnapshot::with_atomic_r(&mem, n);
+        let mut hr = slr.handle(ProcId(0));
+        hr.update(1u64);
+        group.bench_with_input(BenchmarkId::new("sl_scan_atomic_r", n), &n, |b, _| {
+            b.iter(|| hr.scan())
+        });
+
+        let versioned: VersionedSlSnapshot<u64, _> = VersionedSlSnapshot::new(&mem, n);
+        let mut hv = versioned.handle(ProcId(0));
+        hv.update(1);
+        group.bench_with_input(BenchmarkId::new("versioned_scan", n), &n, |b, _| {
+            b.iter(|| hv.scan())
+        });
+        group.bench_with_input(BenchmarkId::new("versioned_update", n), &n, |b, _| {
+            b.iter(|| hv.update(2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_sequential
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Experiment E5 — Theorem 1 liveness: Algorithm 2 is lock-free but its
+//! `DRead` is not wait-free.
+//!
+//! An adversary interleaves a writer's complete `DWrite`s between the
+//! reader's collect reads: the single `DRead` never terminates, but the
+//! system keeps completing `DWrite`s — global progress (lock-freedom)
+//! with individual starvation (no wait-freedom).
+
+use sl_bench::print_table;
+use sl_core::aba::{AbaHandle, AbaRegister, SlAbaRegister};
+use sl_sim::{FnScheduler, Program, SchedView, SimWorld};
+use sl_spec::ProcId;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn starvation_run(budget: u64) -> (bool, u64) {
+    let world = SimWorld::new(2);
+    let mem = world.mem();
+    let reg = SlAbaRegister::<u64, _>::new(&mem, 2);
+    let read_done = Arc::new(AtomicBool::new(false));
+    let writes_done = Arc::new(AtomicU64::new(0));
+
+    let mut w = reg.handle(ProcId(0));
+    let wd = writes_done.clone();
+    let writer: Program = Box::new(move |_| {
+        for i in 0..u64::MAX {
+            w.dwrite(i);
+            wd.store(i + 1, Ordering::SeqCst);
+        }
+    });
+    let mut r = reg.handle(ProcId(1));
+    let rd = read_done.clone();
+    let reader: Program = Box::new(move |_| {
+        let _ = r.dread();
+        rd.store(true, Ordering::SeqCst);
+    });
+
+    // Adversary: reader, reader, writer, writer — a complete DWrite lands
+    // inside every iteration of the reader's repeat-until loop, so the
+    // loop guard never holds.
+    let mut round = 0usize;
+    let mut sched = FnScheduler(move |view: &SchedView<'_>| {
+        round += 1;
+        if view.runnable.contains(&0) && (round % 4 == 3 || round.is_multiple_of(4)) {
+            0
+        } else {
+            *view
+                .runnable
+                .iter()
+                .find(|&&p| p == 1)
+                .unwrap_or(&view.runnable[0])
+        }
+    });
+    let _ = world.run(vec![writer, reader], &mut sched, budget);
+    (
+        read_done.load(Ordering::SeqCst),
+        writes_done.load(Ordering::SeqCst),
+    )
+}
+
+fn main() {
+    println!("# E5 — Theorem 1 liveness: lock-free, not wait-free\n");
+    let mut rows = Vec::new();
+    for budget in [1_000u64, 5_000, 20_000, 100_000] {
+        let (read_done, writes) = starvation_run(budget);
+        rows.push(vec![
+            budget.to_string(),
+            read_done.to_string(),
+            writes.to_string(),
+        ]);
+    }
+    print_table(
+        &["step budget", "DRead completed", "DWrites completed"],
+        &rows,
+    );
+    println!(
+        "\nPaper expectation: the DRead never completes under this adversary \
+         (not wait-free), while completed DWrites grow linearly with the \
+         budget (lock-free: someone always makes progress)."
+    );
+}

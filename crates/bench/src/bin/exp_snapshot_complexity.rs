@@ -1,0 +1,170 @@
+//! Experiment E7/E8/E9 — Theorem 32: base-object operation counts of
+//! the strongly linearizable snapshot (Algorithm 4).
+//!
+//! (a) each `SLupdate` performs ≤ 1 `S.update`, 1 `S.scan`, 1 `R.DWrite`;
+//! (b) total base-object invocations during `SLscan`s are `O(s + n³·u)`;
+//! (c) an uncontended `SLscan` performs O(1) base-object operations.
+
+use sl_bench::print_table;
+use sl_core::{ScanStats, SlSnapshot};
+use sl_sim::{Program, SeededRandom, SimWorld};
+use sl_spec::ProcId;
+use std::sync::Arc;
+
+/// Runs `n` processes, each alternating `updates_each` SLupdates and
+/// `scans_each` SLscans under a seeded random schedule; returns
+/// (worst per-update stats, total scan base-ops, u, s).
+fn run(n: usize, updates_each: u64, scans_each: u64, seed: u64) -> (ScanStats, u64, u64, u64) {
+    let world = SimWorld::new(n);
+    let mem = world.mem();
+    let snap = SlSnapshot::with_double_collect(&mem, n);
+    let update_stats: Arc<std::sync::Mutex<Vec<ScanStats>>> = Arc::default();
+    let scan_ops: Arc<std::sync::Mutex<Vec<ScanStats>>> = Arc::default();
+    let mut programs: Vec<Program> = Vec::new();
+    for pid in 0..n {
+        let mut h = snap.handle(ProcId(pid));
+        let us = update_stats.clone();
+        let ss = scan_ops.clone();
+        programs.push(Box::new(move |ctx| {
+            for i in 0..updates_each.max(scans_each) {
+                if i < updates_each {
+                    ctx.pause();
+                    h.update(pid as u64 * 1000 + i);
+                    us.lock().unwrap().push(h.last_stats());
+                }
+                if i < scans_each {
+                    ctx.pause();
+                    let _ = h.scan();
+                    ss.lock().unwrap().push(h.last_stats());
+                }
+            }
+        }));
+    }
+    let mut sched = SeededRandom::new(seed);
+    let outcome = world.run(programs, &mut sched, 50_000_000);
+    assert!(outcome.completed, "run starved (n={n}, seed={seed})");
+
+    let us = update_stats.lock().unwrap();
+    let mut worst_update = ScanStats::default();
+    for st in us.iter() {
+        worst_update.s_updates = worst_update.s_updates.max(st.s_updates);
+        worst_update.s_scans = worst_update.s_scans.max(st.s_scans);
+        worst_update.r_dwrites = worst_update.r_dwrites.max(st.r_dwrites);
+        worst_update.r_dreads = worst_update.r_dreads.max(st.r_dreads);
+    }
+    let total_scan_ops: u64 = scan_ops.lock().unwrap().iter().map(|s| s.total()).sum();
+    let u = n as u64 * updates_each;
+    let s = n as u64 * scans_each;
+    (worst_update, total_scan_ops, u, s)
+}
+
+fn main() {
+    println!("# E7/E8 — Theorem 32: SLupdate/SLscan base-object operation counts\n");
+    println!("bound(s, u, n) = c·(s + n³·u) with c = 4 base ops per loop iteration\n");
+    let mut rows = Vec::new();
+    for (n, updates_each, scans_each) in [
+        (2usize, 5u64, 5u64),
+        (2, 20, 5),
+        (3, 10, 5),
+        (3, 5, 10),
+        (4, 5, 5),
+        (4, 10, 2),
+    ] {
+        let trials = 3;
+        let mut worst_ratio = 0.0f64;
+        let mut avg_scan_ops = 0u64;
+        let mut worst_update = ScanStats::default();
+        let (mut u, mut s) = (0, 0);
+        for seed in 0..trials {
+            let (wu, scan_ops, u_, s_) = run(n, updates_each, scans_each, seed);
+            u = u_;
+            s = s_;
+            worst_update.s_updates = worst_update.s_updates.max(wu.s_updates);
+            worst_update.s_scans = worst_update.s_scans.max(wu.s_scans);
+            worst_update.r_dwrites = worst_update.r_dwrites.max(wu.r_dwrites);
+            avg_scan_ops += scan_ops;
+            let bound = 4 * (s + (n as u64).pow(3) * u);
+            worst_ratio = worst_ratio.max(scan_ops as f64 / bound as f64);
+        }
+        avg_scan_ops /= trials;
+        rows.push(vec![
+            n.to_string(),
+            u.to_string(),
+            s.to_string(),
+            format!(
+                "{}/{}/{}",
+                worst_update.s_updates, worst_update.s_scans, worst_update.r_dwrites
+            ),
+            avg_scan_ops.to_string(),
+            (4 * (s + (n as u64).pow(3) * u)).to_string(),
+            format!("{worst_ratio:.4}"),
+        ]);
+    }
+    print_table(
+        &[
+            "n",
+            "u (SLupdates)",
+            "s (SLscans)",
+            "worst SLupdate S.upd/S.scan/R.DW",
+            "avg total SLscan base ops",
+            "bound",
+            "worst measured/bound",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper expectation: every SLupdate does exactly 1/1/1 base operations \
+         (Theorem 32(a)); the SLscan totals stay far below the O(s + n³u) \
+         bound and the ratio shrinks as n grows (the bound is loose)."
+    );
+
+    // E9: the contention-free fast path.
+    println!("\n# E9 — §4.3/§4.5: uncontended SLscan fast path\n");
+    let world = SimWorld::new(2);
+    let mem = world.mem();
+    let snap = SlSnapshot::with_double_collect(&mem, 2);
+    let stats = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut h0 = snap.handle(ProcId(0));
+    let mut h1 = snap.handle(ProcId(1));
+    let st = stats.clone();
+    let programs: Vec<Program> = vec![
+        Box::new(move |_| {
+            for i in 0..5u64 {
+                h0.update(i);
+            }
+        }),
+        Box::new(move |_| {
+            for _ in 0..5 {
+                let _ = h1.scan();
+                st.lock().unwrap().push(h1.last_stats());
+            }
+        }),
+    ];
+    // Writer runs to completion first: the scanner is uncontended.
+    let mut sched = sl_sim::Scripted::new(vec![0; 200]);
+    let outcome = world.run(programs, &mut sched, 100_000);
+    assert!(outcome.completed);
+    let stats = stats.lock().unwrap();
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            vec![
+                (i + 1).to_string(),
+                s.iterations.to_string(),
+                s.s_scans.to_string(),
+                s.r_dreads.to_string(),
+                s.r_dwrites.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["scan #", "loop iterations", "S.scans", "R.DReads", "R.DWrites"],
+        &rows,
+    );
+    println!(
+        "\nPaper expectation: after the first scan absorbs the pending \
+         change notice, each uncontended SLscan does 1 loop iteration = \
+         1 S.scan + 2 R.DReads, constant base-object work."
+    );
+}

@@ -1,0 +1,102 @@
+//! Experiment E12 — §4.1 vs Theorem 2: space of the Denysyuk–Woelfel
+//! unbounded versioned-object construction vs the paper's bounded
+//! Algorithm 3.
+//!
+//! Both objects are exercised with an increasing number of updates; we
+//! count base registers. The versioned construction's max-register grows
+//! linearly with the version number (one register per version), while
+//! Algorithm 3 allocates a fixed `O(n)` set of registers up front.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use sl_bench::print_table;
+use sl_core::{BoundedSlSnapshot, SlSnapshot, SnapshotHandle, SnapshotObject, VersionedSlSnapshot};
+use sl_mem::{Mem, NativeMem, Value};
+use sl_spec::ProcId;
+
+/// A `Mem` wrapper that counts register allocations.
+#[derive(Clone)]
+struct CountingMem {
+    inner: NativeMem,
+    count: Arc<AtomicUsize>,
+}
+
+impl CountingMem {
+    fn new() -> Self {
+        CountingMem {
+            inner: NativeMem::new(),
+            count: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    fn allocated(&self) -> usize {
+        self.count.load(Ordering::SeqCst)
+    }
+}
+
+impl Mem for CountingMem {
+    type Reg<T: Value> = <NativeMem as Mem>::Reg<T>;
+    type Cell<T: Value> = <NativeMem as Mem>::Cell<T>;
+
+    fn alloc<T: Value>(&self, name: &str, init: T) -> Self::Reg<T> {
+        self.count.fetch_add(1, Ordering::SeqCst);
+        self.inner.alloc(name, init)
+    }
+
+    fn alloc_cell<T: Value>(&self, name: &str, init: T) -> Self::Cell<T> {
+        self.count.fetch_add(1, Ordering::SeqCst);
+        self.inner.alloc_cell(name, init)
+    }
+}
+
+fn main() {
+    println!("# E12 — space: §4.1 unbounded construction vs bounded Algorithm 3\n");
+    let n = 3;
+    let mut rows = Vec::new();
+    for updates in [0u64, 10, 50, 100, 500, 1000] {
+        // Unbounded versioned construction.
+        let mem_v = CountingMem::new();
+        let versioned: VersionedSlSnapshot<u64, _> = VersionedSlSnapshot::new(&mem_v, n);
+        let mut vh = versioned.handle(ProcId(0));
+        // Algorithm 4 (double-collect substrate + Algorithm 2 R).
+        let mem_b = CountingMem::new();
+        let bounded = SlSnapshot::with_double_collect(&mem_b, n);
+        let mut bh = bounded.handle(ProcId(0));
+        // Fully bounded Algorithm 3 (handshake substrate, no counters).
+        let mem_f = CountingMem::new();
+        let fully = BoundedSlSnapshot::fully_bounded(&mem_f, n);
+        let mut fh = fully.handle(ProcId(0));
+        for i in 0..updates {
+            vh.update(i);
+            bh.update(i);
+            fh.update(i);
+        }
+        let _ = vh.scan();
+        let _ = bh.scan();
+        let _ = fh.scan();
+        rows.push(vec![
+            updates.to_string(),
+            mem_v.allocated().to_string(),
+            mem_b.allocated().to_string(),
+            mem_f.allocated().to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "updates",
+            "versioned (§4.1) registers",
+            "Algorithm 4 registers",
+            "Algorithm 3 fully-bounded registers",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper expectation: the §4.1 construction allocates ~1 register per \
+         update (its version max-register is unbounded), while Algorithms 3/4 \
+         stay at a constant register count — the improvement of Theorem 2. \
+         (The fully bounded column also has bounded register *contents*: the \
+         handshake substrate uses no counters; Algorithm 4's per-component \
+         sequence numbers exist only for the §4.4 accounting.)"
+    );
+}

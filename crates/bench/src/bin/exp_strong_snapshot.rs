@@ -1,0 +1,101 @@
+//! Experiment E6 — Theorem 25 via bounded exhaustive model checking.
+//!
+//! Exhaustively (or budget-bounded) explores the schedules of small
+//! Algorithm-3 workloads and model-checks strong linearizability over
+//! the prefix tree of recorded transcripts, in two configurations:
+//! atomic `R` (the paper's Algorithm 3 as stated) and the composed
+//! register-only `R` (Algorithm 2, by composability — Theorem 2).
+
+use sl_bench::print_table;
+use sl_check::{check_strongly_linearizable, HistoryTree, TreeStep};
+use sl_core::{SlSnapshot, SnapshotHandle, SnapshotObject};
+use sl_sim::{explore, EventLog, Program, Scripted, SimWorld};
+use sl_spec::types::SnapshotSpec;
+use sl_spec::{ProcId, SnapshotOp, SnapshotResp};
+
+type Spec = SnapshotSpec<u64>;
+
+fn workload<O: SnapshotObject<u64>>(
+    obj: &O,
+    log: &EventLog<Spec>,
+    updaters: usize,
+    scanners: usize,
+) -> Vec<Program> {
+    let mut programs: Vec<Program> = Vec::new();
+    for pid in 0..(updaters + scanners) {
+        let mut h = obj.handle(ProcId(pid));
+        let log = log.clone();
+        let is_updater = pid < updaters;
+        programs.push(Box::new(move |ctx| {
+            ctx.pause();
+            if is_updater {
+                let id = log.invoke(ctx.proc_id(), SnapshotOp::Update(pid as u64 + 1));
+                h.update(pid as u64 + 1);
+                log.respond(id, SnapshotResp::Ack);
+            } else {
+                let id = log.invoke(ctx.proc_id(), SnapshotOp::Scan);
+                let v = h.scan();
+                log.respond(id, SnapshotResp::View(v));
+            }
+        }));
+    }
+    programs
+}
+
+fn check_config(
+    label: &str,
+    composed_r: bool,
+    updaters: usize,
+    scanners: usize,
+    max_runs: usize,
+) -> Vec<String> {
+    let n = updaters + scanners;
+    let mut transcripts: Vec<Vec<TreeStep<Spec>>> = Vec::new();
+    let explored = explore(
+        |script| {
+            let world = SimWorld::new(n);
+            let mem = world.mem();
+            let log: EventLog<Spec> = EventLog::new(&world);
+            let programs = if composed_r {
+                let snap = SlSnapshot::with_double_collect(&mem, n);
+                workload(&snap, &log, updaters, scanners)
+            } else {
+                let snap = SlSnapshot::with_atomic_r(&mem, n);
+                workload(&snap, &log, updaters, scanners)
+            };
+            let mut sched = Scripted::new(script.to_vec());
+            let outcome = world.run(programs, &mut sched, 2_000);
+            transcripts.push(log.transcript(&outcome));
+            outcome
+        },
+        max_runs,
+        |_, _| {},
+    );
+    let tree = HistoryTree::from_transcripts(&transcripts);
+    let report = check_strongly_linearizable(&Spec::new(n), &tree);
+    vec![
+        label.to_string(),
+        explored.runs.to_string(),
+        explored.exhausted.to_string(),
+        report.holds.to_string(),
+        report.states_explored.to_string(),
+    ]
+}
+
+fn main() {
+    println!("# E6 — Theorem 25: bounded exhaustive strong-linearizability checks\n");
+    let rows = vec![
+        check_config("atomic R: 1 SLupdate + 1 SLscan", false, 1, 1, 20_000),
+        check_config("atomic R: 2 SLupdates + 1 SLscan", false, 2, 1, 6_000),
+        check_config("composed R (Thm 2): 1 SLupdate + 1 SLscan", true, 1, 1, 6_000),
+    ];
+    print_table(
+        &["configuration", "schedules", "exhausted", "strongly linearizable", "checker states"],
+        &rows,
+    );
+    println!(
+        "\nPaper expectation: every configuration holds (Theorem 25; composed \
+         configuration also exercises the composability argument of §4.3). \
+         Non-exhausted rows are budget-bounded prefix checks."
+    );
+}

@@ -1,0 +1,112 @@
+//! The Observation-4 transcript family, reusable across experiments.
+
+use sl_check::TreeStep;
+use sl_core::aba::{AbaHandle, AbaRegister};
+use sl_sim::{EventLog, Program, RunOutcome, Scripted, SimWorld};
+use sl_spec::types::AbaSpec;
+use sl_spec::{AbaOp, AbaResp, History, ProcId};
+
+/// Specification instance used by the family (2 processes, `u64` values).
+pub type FamilySpec = AbaSpec<u64>;
+
+/// The writer's process id in the family.
+pub const WRITER: usize = 0;
+/// The reader's process id in the family.
+pub const READER: usize = 1;
+
+/// Result of running the family under one schedule.
+///
+/// The reader tails of both scripts are generous (24 entries) so that
+/// implementations whose `DRead` retries (Algorithm 2) still complete
+/// both reads before the writer's remaining `DWrite`s resume.
+pub struct FamilyRun {
+    /// The raw run outcome.
+    pub outcome: RunOutcome,
+    /// The full transcript (events + internal steps).
+    pub transcript: Vec<TreeStep<FamilySpec>>,
+    /// The high-level history.
+    pub history: History<FamilySpec>,
+}
+
+/// The two schedules of the Observation 4 proof (writer = 5 `DWrite`s of
+/// the same value, reader = 2 `DRead`s; each operation is preceded by a
+/// scheduled pause):
+///
+/// * `T1 = S ∘ dw3 dw4 dw5 ∘ (dr1 lines 17–18) ∘ dr2`
+/// * `T2 = S ∘ (dr1 lines 17–18) ∘ dr2`
+///
+/// with `S = dw1 ∘ (dr1 through line 16) ∘ dw2`.
+pub fn obs4_scripts() -> (Vec<usize>, Vec<usize>) {
+    let s = vec![
+        WRITER, WRITER, WRITER, READER, READER, READER, WRITER, WRITER, WRITER,
+    ];
+    let mut t1 = s.clone();
+    t1.extend([WRITER; 9]);
+    t1.extend([READER; 24]);
+    let mut t2 = s;
+    t2.extend([READER; 24]);
+    (t1, t2)
+}
+
+/// Runs the family workload over the given ABA-register implementation
+/// under `script`.
+pub fn run_obs4_family<R, F>(make: F, script: &[usize]) -> FamilyRun
+where
+    R: AbaRegister<u64>,
+    F: Fn(&sl_sim::SimMem, usize) -> R,
+{
+    let world = SimWorld::new(2);
+    let mem = world.mem();
+    let reg = make(&mem, 2);
+    let log: EventLog<FamilySpec> = EventLog::new(&world);
+
+    let mut w = reg.handle(ProcId(WRITER));
+    let wlog = log.clone();
+    let writer: Program = Box::new(move |ctx| {
+        for _ in 0..5 {
+            ctx.pause();
+            let id = wlog.invoke(ctx.proc_id(), AbaOp::DWrite(7));
+            w.dwrite(7);
+            wlog.respond(id, AbaResp::Ack);
+        }
+    });
+
+    let mut r = reg.handle(ProcId(READER));
+    let rlog = log.clone();
+    let reader: Program = Box::new(move |ctx| {
+        for _ in 0..2 {
+            ctx.pause();
+            let id = rlog.invoke(ctx.proc_id(), AbaOp::DRead);
+            let (v, a) = r.dread();
+            rlog.respond(id, AbaResp::Value(v, a));
+        }
+    });
+
+    let mut sched = Scripted::new(script.to_vec());
+    let outcome = world.run(vec![writer, reader], &mut sched, 10_000);
+    assert!(outcome.completed, "family run must complete");
+    let transcript = log.transcript(&outcome);
+    let history = log.history();
+    FamilyRun {
+        outcome,
+        transcript,
+        history,
+    }
+}
+
+/// The reader's final `DRead` (dr2) record from a family run.
+pub fn dr2_response(history: &History<FamilySpec>) -> AbaResp<u64> {
+    history
+        .records()
+        .into_iter().rfind(|r| r.proc == ProcId(READER))
+        .and_then(|r| r.response.map(|(_, resp)| resp))
+        .expect("dr2 must complete")
+}
+
+/// The flag component of dr2's response.
+pub fn dr2_flag(history: &History<FamilySpec>) -> bool {
+    match dr2_response(history) {
+        AbaResp::Value(_, flag) => flag,
+        AbaResp::Ack => unreachable!("dr2 is a DRead"),
+    }
+}

@@ -1,0 +1,74 @@
+//! Per-operation step accounting from simulator traces.
+
+use std::collections::HashMap;
+
+use sl_sim::{AccessKind, RunOutcome, TraceItem};
+use sl_spec::{EventKind, History, OpId, SeqSpec};
+
+/// Counts, for every complete operation, the shared-memory steps its
+/// process took between the operation's invocation and response
+/// (excluding scheduled pauses) — the quantity the paper's
+/// step-complexity theorems bound.
+pub fn steps_per_op<S: SeqSpec>(outcome: &RunOutcome, history: &History<S>) -> HashMap<OpId, u64> {
+    let events = history.events();
+    let mut current: HashMap<usize, OpId> = HashMap::new();
+    let mut counts: HashMap<OpId, u64> = HashMap::new();
+    for item in &outcome.trace {
+        match item {
+            TraceItem::Hi(i) => {
+                let e = &events[*i];
+                match &e.kind {
+                    EventKind::Invoke(_) => {
+                        current.insert(e.proc.index(), e.op);
+                        counts.insert(e.op, 0);
+                    }
+                    EventKind::Respond(_) => {
+                        current.remove(&e.proc.index());
+                    }
+                }
+            }
+            TraceItem::Step(s) => {
+                if s.kind == AccessKind::Local {
+                    continue;
+                }
+                if let Some(op) = current.get(&s.proc) {
+                    *counts.get_mut(op).expect("op registered at invoke") += 1;
+                }
+            }
+        }
+    }
+    // Drop operations that never completed: their counts are partial.
+    let complete: std::collections::HashSet<OpId> =
+        history.complete_ops().into_iter().collect();
+    counts.retain(|op, _| complete.contains(op));
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_mem::{Mem, Register};
+    use sl_sim::{EventLog, Program, RoundRobin, SimWorld};
+    use sl_spec::types::RegisterSpec;
+    use sl_spec::{RegisterOp, RegisterResp};
+
+    #[test]
+    fn counts_steps_between_inv_and_rsp() {
+        let world = SimWorld::new(1);
+        let mem = world.mem();
+        let reg = mem.alloc("X", 0u64);
+        let log: EventLog<RegisterSpec<u64>> = EventLog::new(&world);
+        let l = log.clone();
+        let programs: Vec<Program> = vec![Box::new(move |ctx| {
+            ctx.pause();
+            let id = l.invoke(ctx.proc_id(), RegisterOp::Write(1));
+            reg.write(1);
+            reg.write(2); // two shared steps inside one "operation"
+            l.respond(id, RegisterResp::Ack);
+        })];
+        let outcome = world.run(programs, &mut RoundRobin::new(), 100);
+        let counts = steps_per_op(&outcome, &log.history());
+        assert_eq!(counts.len(), 1);
+        assert_eq!(*counts.values().next().unwrap(), 2, "pause not counted");
+    }
+}

@@ -1,0 +1,43 @@
+//! Linearizability and strong-linearizability checkers.
+//!
+//! Two decision procedures over the formal model of `sl-spec`:
+//!
+//! * [`check_linearizable`] decides whether a single history is
+//!   linearizable with respect to a sequential specification, using an
+//!   exhaustive search in the style of Wing & Gong with memoisation.
+//! * [`check_strongly_linearizable`] decides whether a *prefix tree* of
+//!   histories (a set of transcripts closed under the branching choices of
+//!   an adversary) admits a **strong linearization function** — a
+//!   prefix-preserving assignment of linearizations to tree nodes, as
+//!   defined by Golab, Higham & Woelfel and used throughout Ovens &
+//!   Woelfel (PODC 2019).
+//!
+//! The distinction matters: every individual transcript of the
+//! Aghazadeh–Woelfel ABA-detecting register (paper Algorithm 1) is
+//! linearizable, yet the 3-transcript family `{S, T1, T2}` constructed in
+//! the paper's Observation 4 has no strong linearization function. The
+//! tests of this crate reproduce exactly that separation.
+//!
+//! # Example
+//!
+//! ```
+//! use sl_check::check_linearizable;
+//! use sl_spec::types::RegisterSpec;
+//! use sl_spec::{History, ProcId, RegisterOp, RegisterResp};
+//!
+//! let spec = RegisterSpec::<u64>::new();
+//! let mut h = History::new();
+//! let w = h.invoke(ProcId(0), RegisterOp::Write(1));
+//! let r = h.invoke(ProcId(1), RegisterOp::Read);
+//! h.respond(r, RegisterResp::Value(Some(1))); // read overlaps the write
+//! h.respond(w, RegisterResp::Ack);
+//! assert!(check_linearizable(&spec, &h).is_some());
+//! ```
+
+mod lin;
+mod strong;
+mod tree;
+
+pub use lin::{check_linearizable, LinStep};
+pub use strong::{check_strongly_linearizable, StrongLinReport};
+pub use tree::{HistoryTree, TreeStep};

@@ -1,0 +1,293 @@
+//! Linearizability checker for single histories (Wing–Gong style search).
+
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use sl_spec::{OpId, OpRecord, ProcId, SeqSpec};
+
+/// One step of a witness linearization: the operation, its invoking
+/// process, its invocation description, and the response it takes in the
+/// sequential order.
+pub struct LinStep<S: SeqSpec> {
+    /// Operation identifier.
+    pub id: OpId,
+    /// Invoking process.
+    pub proc: ProcId,
+    /// Invocation description.
+    pub op: S::Op,
+    /// Response in the witness order (equals the recorded response for
+    /// completed operations).
+    pub resp: S::Resp,
+}
+
+impl<S: SeqSpec> std::fmt::Debug for LinStep<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{} {:?} -> {:?}", self.id, self.proc, self.op, self.resp)
+    }
+}
+
+/// Decides whether `history` is linearizable with respect to `spec`.
+///
+/// Returns a witness linearization (a valid sequential ordering of all
+/// completed operations, possibly including some pending operations) if
+/// one exists, `None` otherwise.
+///
+/// The search explores orderings that extend the happens-before relation
+/// of the history, memoising visited `(linearized-set, state)` pairs.
+/// Complexity is exponential in the number of concurrent operations in
+/// the worst case; intended for histories up to a few hundred
+/// operations with bounded concurrency.
+///
+/// # Panics
+///
+/// Panics if the history is not well-formed.
+pub fn check_linearizable<S: SeqSpec>(
+    spec: &S,
+    history: &sl_spec::History<S>,
+) -> Option<Vec<LinStep<S>>> {
+    assert!(history.is_well_formed(), "history must be well-formed");
+    let records = history.records();
+    let searcher = Searcher {
+        spec,
+        records: &records,
+        visited: HashSet::new(),
+    };
+    searcher.run()
+}
+
+struct Searcher<'a, S: SeqSpec> {
+    spec: &'a S,
+    records: &'a [OpRecord<S>],
+    visited: HashSet<(Vec<u64>, u64)>,
+}
+
+fn bitset_contains(bits: &[u64], i: usize) -> bool {
+    bits[i / 64] & (1 << (i % 64)) != 0
+}
+
+fn bitset_insert(bits: &mut [u64], i: usize) {
+    bits[i / 64] |= 1 << (i % 64);
+}
+
+fn hash_state<T: Hash>(state: &T) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    state.hash(&mut h);
+    h.finish()
+}
+
+impl<'a, S: SeqSpec> Searcher<'a, S> {
+    fn run(mut self) -> Option<Vec<LinStep<S>>> {
+        let blocks = self.records.len().div_ceil(64).max(1);
+        let mut chosen = vec![0u64; blocks];
+        let mut order = Vec::new();
+        let state = self.spec.initial();
+        if self.dfs(&mut chosen, &mut order, state) {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// True when every completed operation has been linearized.
+    fn all_complete_linearized(&self, chosen: &[u64]) -> bool {
+        self.records
+            .iter()
+            .enumerate()
+            .all(|(i, r)| !r.is_complete() || bitset_contains(chosen, i))
+    }
+
+    /// An operation may be linearized next iff every operation whose
+    /// response precedes its invocation has already been linearized.
+    fn enabled(&self, i: usize, chosen: &[u64]) -> bool {
+        if bitset_contains(chosen, i) {
+            return false;
+        }
+        let inv_i = self.records[i].inv_index;
+        self.records.iter().enumerate().all(|(j, r)| {
+            j == i
+                || bitset_contains(chosen, j)
+                || !matches!(&r.response, Some((ri, _)) if *ri < inv_i)
+        })
+    }
+
+    fn dfs(&mut self, chosen: &mut [u64], order: &mut Vec<LinStep<S>>, state: S::State) -> bool {
+        if self.all_complete_linearized(chosen) {
+            return true;
+        }
+        if !self.visited.insert((chosen.to_vec(), hash_state(&state))) {
+            return false;
+        }
+        for i in 0..self.records.len() {
+            if !self.enabled(i, chosen) {
+                continue;
+            }
+            let rec = &self.records[i];
+            let (next_state, resp) = self.spec.apply(&state, rec.proc, &rec.op);
+            if let Some((_, actual)) = &rec.response {
+                if *actual != resp {
+                    continue;
+                }
+            }
+            let mut next_chosen = chosen.to_vec();
+            bitset_insert(&mut next_chosen, i);
+            order.push(LinStep {
+                id: rec.id,
+                proc: rec.proc,
+                op: rec.op.clone(),
+                resp,
+            });
+            if self.dfs(&mut next_chosen, order, next_state) {
+                return true;
+            }
+            order.pop();
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_spec::types::{CounterSpec, RegisterSpec, SnapshotSpec};
+    use sl_spec::{CounterOp, CounterResp, History, RegisterOp, RegisterResp, SnapshotOp, SnapshotResp};
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let spec = CounterSpec;
+        let h: History<CounterSpec> = History::new();
+        assert!(check_linearizable(&spec, &h).is_some());
+    }
+
+    #[test]
+    fn sequential_valid_history_is_linearizable() {
+        let spec = CounterSpec;
+        let mut h = History::new();
+        let a = h.invoke(ProcId(0), CounterOp::Inc);
+        h.respond(a, CounterResp::Ack);
+        let b = h.invoke(ProcId(0), CounterOp::Read);
+        h.respond(b, CounterResp::Value(1));
+        let w = check_linearizable(&spec, &h).expect("linearizable");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].id, a);
+        assert_eq!(w[1].id, b);
+    }
+
+    #[test]
+    fn sequential_invalid_history_is_not_linearizable() {
+        let spec = CounterSpec;
+        let mut h = History::new();
+        let a = h.invoke(ProcId(0), CounterOp::Inc);
+        h.respond(a, CounterResp::Ack);
+        let b = h.invoke(ProcId(0), CounterOp::Read);
+        h.respond(b, CounterResp::Value(7));
+        assert!(check_linearizable(&spec, &h).is_none());
+    }
+
+    #[test]
+    fn overlapping_read_may_see_either_value() {
+        let spec = RegisterSpec::<u64>::new();
+        for seen in [None, Some(1)] {
+            let mut h = History::new();
+            let w = h.invoke(ProcId(0), RegisterOp::Write(1));
+            let r = h.invoke(ProcId(1), RegisterOp::Read);
+            h.respond(r, RegisterResp::Value(seen));
+            h.respond(w, RegisterResp::Ack);
+            assert!(
+                check_linearizable(&spec, &h).is_some(),
+                "read overlapping write may return {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_read_after_write_completes_is_rejected() {
+        let spec = RegisterSpec::<u64>::new();
+        let mut h = History::new();
+        let w = h.invoke(ProcId(0), RegisterOp::Write(1));
+        h.respond(w, RegisterResp::Ack);
+        let r = h.invoke(ProcId(1), RegisterOp::Read);
+        h.respond(r, RegisterResp::Value(None));
+        assert!(check_linearizable(&spec, &h).is_none());
+    }
+
+    #[test]
+    fn new_old_inversion_is_rejected() {
+        // r1 returns the new value, then a later (non-overlapping) r2
+        // returns the old value: classic non-linearizable pattern.
+        let spec = RegisterSpec::<u64>::new();
+        let mut h = History::new();
+        let w = h.invoke(ProcId(0), RegisterOp::Write(1));
+        let r1 = h.invoke(ProcId(1), RegisterOp::Read);
+        h.respond(r1, RegisterResp::Value(Some(1)));
+        let r2 = h.invoke(ProcId(1), RegisterOp::Read);
+        h.respond(r2, RegisterResp::Value(None));
+        h.respond(w, RegisterResp::Ack);
+        assert!(check_linearizable(&spec, &h).is_none());
+    }
+
+    #[test]
+    fn pending_op_may_be_included_to_justify_read() {
+        // A write is invoked but never responds; a concurrent read sees
+        // its value. The linearization must include the pending write.
+        let spec = RegisterSpec::<u64>::new();
+        let mut h = History::new();
+        let _w = h.invoke(ProcId(0), RegisterOp::Write(9));
+        let r = h.invoke(ProcId(1), RegisterOp::Read);
+        h.respond(r, RegisterResp::Value(Some(9)));
+        let w = check_linearizable(&spec, &h).expect("linearizable with pending write");
+        assert_eq!(w.len(), 2, "pending write must appear in the witness");
+    }
+
+    #[test]
+    fn pending_op_may_be_dropped() {
+        let spec = RegisterSpec::<u64>::new();
+        let mut h = History::new();
+        let _w = h.invoke(ProcId(0), RegisterOp::Write(9));
+        let r = h.invoke(ProcId(1), RegisterOp::Read);
+        h.respond(r, RegisterResp::Value(None));
+        assert!(check_linearizable(&spec, &h).is_some());
+    }
+
+    #[test]
+    fn snapshot_scan_must_be_consistent() {
+        // p0 updates to 1 and completes; a later scan must include it.
+        let spec = SnapshotSpec::<u64>::new(2);
+        let mut h = History::new();
+        let u = h.invoke(ProcId(0), SnapshotOp::Update(1));
+        h.respond(u, SnapshotResp::Ack);
+        let s = h.invoke(ProcId(1), SnapshotOp::Scan);
+        h.respond(s, SnapshotResp::View(vec![None, None]));
+        assert!(check_linearizable(&spec, &h).is_none());
+
+        let mut h2 = History::new();
+        let u = h2.invoke(ProcId(0), SnapshotOp::Update(1));
+        h2.respond(u, SnapshotResp::Ack);
+        let s = h2.invoke(ProcId(1), SnapshotOp::Scan);
+        h2.respond(s, SnapshotResp::View(vec![Some(1), None]));
+        assert!(check_linearizable(&spec, &h2).is_some());
+    }
+
+    #[test]
+    fn concurrent_increments_with_reads() {
+        let spec = CounterSpec;
+        let mut h = History::new();
+        let i1 = h.invoke(ProcId(0), CounterOp::Inc);
+        let i2 = h.invoke(ProcId(1), CounterOp::Inc);
+        let r = h.invoke(ProcId(2), CounterOp::Read);
+        h.respond(r, CounterResp::Value(1));
+        h.respond(i1, CounterResp::Ack);
+        h.respond(i2, CounterResp::Ack);
+        assert!(check_linearizable(&spec, &h).is_some());
+    }
+
+    #[test]
+    fn read_cannot_exceed_invoked_increments() {
+        let spec = CounterSpec;
+        let mut h = History::new();
+        let i1 = h.invoke(ProcId(0), CounterOp::Inc);
+        let r = h.invoke(ProcId(2), CounterOp::Read);
+        h.respond(r, CounterResp::Value(2));
+        h.respond(i1, CounterResp::Ack);
+        assert!(check_linearizable(&spec, &h).is_none());
+    }
+}

@@ -1,0 +1,470 @@
+//! Strong linearizability checker over prefix trees of histories.
+//!
+//! A *strong linearization function* `f` (Golab, Higham & Woelfel; paper
+//! §2) assigns to every transcript in a prefix-closed set a linearization
+//! of its interpreted history such that whenever `S` is a prefix of `T`,
+//! `f(S)` is a prefix of `f(T)`. Operationally: once an operation has
+//! been placed in the linearization order, its position never changes —
+//! no operation can be retroactively inserted before it.
+//!
+//! [`check_strongly_linearizable`] searches for such an `f` over a
+//! [`HistoryTree`]. The search walks the tree maintaining, per node, the
+//! committed linearization prefix; between events it may *append*
+//! operations (choose their linearization points), and the choice made at
+//! a node is shared by all of that node's descendants — exactly the
+//! prefix-preservation obligation. Appends chosen when entering different
+//! children are independent, because prefix preservation constrains only
+//! transcripts along the same path.
+
+use std::collections::HashMap;
+
+use sl_spec::{EventKind, OpId, ProcId, SeqSpec};
+
+use crate::tree::TreeStep;
+use crate::HistoryTree;
+
+/// Result of a strong-linearizability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StrongLinReport {
+    /// Whether a strong linearization function exists for the tree.
+    pub holds: bool,
+    /// Number of search states visited (diagnostic).
+    pub states_explored: u64,
+    /// When the check fails: the deepest transcript-prefix path at which
+    /// every choice of linearization was refuted, as a human-readable
+    /// step list. Empty when the check holds.
+    pub deepest_conflict: Vec<String>,
+}
+
+struct OpInfo<S: SeqSpec> {
+    proc: ProcId,
+    desc: S::Op,
+    inv_time: u64,
+    rsp_time: Option<u64>,
+}
+
+impl<S: SeqSpec> Clone for OpInfo<S> {
+    fn clone(&self) -> Self {
+        OpInfo {
+            proc: self.proc,
+            desc: self.desc.clone(),
+            inv_time: self.inv_time,
+            rsp_time: self.rsp_time,
+        }
+    }
+}
+
+struct Env<S: SeqSpec> {
+    time: u64,
+    ops: HashMap<OpId, OpInfo<S>>,
+    lin: Vec<OpId>,
+    state: S::State,
+    /// Response committed for each linearized operation; checked against
+    /// the actual response when (if) the operation completes.
+    committed: HashMap<OpId, S::Resp>,
+}
+
+impl<S: SeqSpec> Clone for Env<S> {
+    fn clone(&self) -> Self {
+        Env {
+            time: self.time,
+            ops: self.ops.clone(),
+            lin: self.lin.clone(),
+            state: self.state.clone(),
+            committed: self.committed.clone(),
+        }
+    }
+}
+
+impl<S: SeqSpec> Env<S> {
+    fn is_linearized(&self, id: OpId) -> bool {
+        self.lin.contains(&id)
+    }
+
+    /// Operations invoked but not yet linearized, in invocation order.
+    fn appendable(&self) -> Vec<OpId> {
+        let mut ids: Vec<(u64, OpId)> = self
+            .ops
+            .iter()
+            .filter(|(id, _)| !self.is_linearized(**id))
+            .map(|(id, info)| (info.inv_time, *id))
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Whether `id` may be appended to the linearization now: every
+    /// operation whose response already precedes `id`'s invocation must
+    /// already be linearized (happens-before preservation).
+    fn append_respects_order(&self, id: OpId) -> bool {
+        let inv = self.ops[&id].inv_time;
+        self.ops.iter().all(|(other, info)| {
+            *other == id
+                || self.is_linearized(*other)
+                || !matches!(info.rsp_time, Some(r) if r < inv)
+        })
+    }
+
+    /// Appends `id` to the linearization, committing its response.
+    /// Returns `false` if the committed response contradicts an actual
+    /// response that was already observed.
+    fn append(&mut self, spec: &S, id: OpId, actual: Option<&S::Resp>) -> bool {
+        let info = &self.ops[&id];
+        let (next, resp) = spec.apply(&self.state, info.proc, &info.desc);
+        if let Some(actual) = actual {
+            if *actual != resp {
+                return false;
+            }
+        }
+        self.state = next;
+        self.committed.insert(id, resp);
+        self.lin.push(id);
+        true
+    }
+}
+
+struct Search<'a, S: SeqSpec> {
+    spec: &'a S,
+    states: u64,
+    /// Current root-to-node path (pretty-printed steps), for diagnostics.
+    path: Vec<String>,
+    /// Deepest path at which a refutation occurred.
+    deepest_conflict: Vec<String>,
+    _marker: std::marker::PhantomData<&'a S>,
+}
+
+/// Decides whether the transcript set represented by `tree` admits a
+/// strong linearization function with respect to `spec`.
+///
+/// Every root-to-node path of the tree is treated as a transcript prefix
+/// reachable by the adversary. The checker is exhaustive: it returns
+/// `holds == true` iff an assignment of linearizations to tree nodes
+/// exists that is prefix-preserving along every path and valid for the
+/// specification at every node.
+///
+/// Worst-case cost is exponential in the number of concurrently pending
+/// operations and tree size; intended for the small adversarial families
+/// and bounded exhaustive explorations used in the paper's arguments.
+pub fn check_strongly_linearizable<S: SeqSpec>(spec: &S, tree: &HistoryTree<S>) -> StrongLinReport {
+    let mut search = Search {
+        spec,
+        states: 0,
+        path: Vec::new(),
+        deepest_conflict: Vec::new(),
+        _marker: std::marker::PhantomData,
+    };
+    let env = Env {
+        time: 0,
+        ops: HashMap::new(),
+        lin: Vec::new(),
+        state: spec.initial(),
+        committed: HashMap::new(),
+    };
+    let holds = search.explore(tree, &env);
+    StrongLinReport {
+        holds,
+        states_explored: search.states,
+        deepest_conflict: if holds {
+            Vec::new()
+        } else {
+            search.deepest_conflict
+        },
+    }
+}
+
+impl<'a, S: SeqSpec> Search<'a, S> {
+    /// All children of `node` must be satisfiable given the committed
+    /// linearization in `env` (choices already made are shared: they are
+    /// `f` of the current prefix).
+    fn explore(&mut self, node: &HistoryTree<S>, env: &Env<S>) -> bool {
+        self.states += 1;
+        for (step, child) in node.children() {
+            self.path.push(format!("{step:?}"));
+            let mut env2 = env.clone();
+            env2.time += 1;
+            let event = match step {
+                TreeStep::Event(e) => e,
+                TreeStep::Internal(..) => {
+                    // Internal base-object step: no history event, but a
+                    // legal place for linearization points.
+                    let ok = self.extend_and_descend(child, env2, None);
+                    if !ok {
+                        self.note_conflict();
+                        self.path.pop();
+                        return false;
+                    }
+                    self.path.pop();
+                    continue;
+                }
+            };
+            let ok = match &event.kind {
+                EventKind::Invoke(desc) => {
+                    env2.ops.insert(
+                        event.op,
+                        OpInfo {
+                            proc: event.proc,
+                            desc: desc.clone(),
+                            inv_time: env2.time,
+                            rsp_time: None,
+                        },
+                    );
+                    self.extend_and_descend(child, env2, None)
+                }
+                EventKind::Respond(resp) => {
+                    if let Some(info) = env2.ops.get_mut(&event.op) {
+                        info.rsp_time = Some(env2.time);
+                    } else {
+                        return false; // malformed: response without invocation
+                    }
+                    if env2.is_linearized(event.op) {
+                        // Response must match the response committed when
+                        // the operation was linearized.
+                        if env2.committed.get(&event.op) == Some(resp) {
+                            self.extend_and_descend(child, env2, None)
+                        } else {
+                            false
+                        }
+                    } else {
+                        // The operation must be linearized at this step:
+                        // try every append sequence containing it.
+                        self.extend_and_descend(child, env2, Some((event.op, resp.clone())))
+                    }
+                }
+            };
+            if !ok {
+                self.note_conflict();
+                self.path.pop();
+                return false;
+            }
+            self.path.pop();
+        }
+        true
+    }
+
+    fn note_conflict(&mut self) {
+        if self.path.len() > self.deepest_conflict.len() {
+            self.deepest_conflict = self.path.clone();
+        }
+    }
+
+    /// Enumerates sequences of operations to append to the linearization
+    /// (the choices of `f` at this prefix), then recurses into `child`.
+    ///
+    /// If `must_include` is set, the sequence must linearize that
+    /// operation (whose response event was just processed) with exactly
+    /// the given actual response.
+    fn extend_and_descend(
+        &mut self,
+        child: &HistoryTree<S>,
+        env: Env<S>,
+        must_include: Option<(OpId, S::Resp)>,
+    ) -> bool {
+        self.states += 1;
+        // Base case: stop appending. Only allowed once the obligation is
+        // discharged.
+        if must_include.is_none() && self.explore(child, &env) {
+            return true;
+        }
+        for id in env.appendable() {
+            if !env.append_respects_order(id) {
+                continue;
+            }
+            let actual = match &must_include {
+                Some((need, resp)) if *need == id => Some(resp),
+                _ => None,
+            };
+            let mut env2 = env.clone();
+            if !env2.append(self.spec, id, actual) {
+                continue;
+            }
+            let remaining = match &must_include {
+                Some((need, _)) if *need == id => None,
+                other => other.clone(),
+            };
+            if self.extend_and_descend(child, env2, remaining) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_linearizable;
+    use sl_spec::types::{AbaSpec, CounterSpec, RegisterSpec};
+    use sl_spec::{AbaOp, AbaResp, CounterOp, CounterResp, History, RegisterOp, RegisterResp};
+
+    #[test]
+    fn empty_tree_is_strongly_linearizable() {
+        let spec = CounterSpec;
+        let tree: HistoryTree<CounterSpec> = HistoryTree::new();
+        assert!(check_strongly_linearizable(&spec, &tree).holds);
+    }
+
+    #[test]
+    fn single_valid_chain_is_strongly_linearizable() {
+        let spec = CounterSpec;
+        let mut h = History::new();
+        let a = h.invoke(ProcId(0), CounterOp::Inc);
+        h.respond(a, CounterResp::Ack);
+        let b = h.invoke(ProcId(1), CounterOp::Read);
+        h.respond(b, CounterResp::Value(1));
+        let tree = HistoryTree::from_histories(&[h]);
+        assert!(check_strongly_linearizable(&spec, &tree).holds);
+    }
+
+    #[test]
+    fn invalid_chain_is_rejected() {
+        let spec = CounterSpec;
+        let mut h = History::new();
+        let a = h.invoke(ProcId(0), CounterOp::Inc);
+        h.respond(a, CounterResp::Ack);
+        let b = h.invoke(ProcId(1), CounterOp::Read);
+        h.respond(b, CounterResp::Value(3));
+        let tree = HistoryTree::from_histories(&[h]);
+        assert!(!check_strongly_linearizable(&spec, &tree).holds);
+    }
+
+    #[test]
+    fn branching_reads_of_pending_inc_are_fine() {
+        // Prefix: inc pending, read pending. One branch sees 0, the other
+        // sees 1. f(prefix) = [] works: commitments happen at the
+        // response events, which are on different branches.
+        let spec = CounterSpec;
+        let mut base = History::<CounterSpec>::new();
+        let a = base.invoke(ProcId(0), CounterOp::Inc);
+        let b = base.invoke(ProcId(1), CounterOp::Read);
+
+        let mut h0 = base.clone();
+        h0.respond(b, CounterResp::Value(0));
+        h0.respond(a, CounterResp::Ack);
+
+        let mut h1 = base.clone();
+        h1.respond(b, CounterResp::Value(1));
+        h1.respond(a, CounterResp::Ack);
+
+        let tree = HistoryTree::from_histories(&[h0, h1]);
+        assert_eq!(tree.leaf_count(), 2);
+        assert!(check_strongly_linearizable(&spec, &tree).holds);
+    }
+
+    /// The synthetic analogue of the paper's Observation 4 family
+    /// `{S, T1, T2}`: each maximal history is linearizable, but the set
+    /// admits no strong linearization function.
+    ///
+    /// Prefix `S`: `dw1` (DWrite 5) completes; reader invokes `dr1`
+    /// (pending); `dw2` (DWrite 5) completes.
+    ///
+    /// `T1 = S ∘ dw3 ∘ rsp(dr1)=(5,F) ∘ dr2 → (5, False)`:
+    /// forces `dr1` to linearize *after* `dw3` — so `dr1 ∉ f(S)`.
+    ///
+    /// `T2 = S ∘ rsp(dr1)=(5,F) ∘ dr2 → (5, True)`:
+    /// forces `dr1` to linearize *before* `dw2` — so `dr1 ∈ f(S)`.
+    ///
+    /// Contradiction: no single choice of `f(S)` satisfies both.
+    #[test]
+    fn observation4_style_family_is_not_strongly_linearizable() {
+        let spec = AbaSpec::<u64>::new(2);
+        let writer = ProcId(0);
+        let reader = ProcId(1);
+
+        let mut base = History::<AbaSpec<u64>>::new();
+        let dw1 = base.invoke(writer, AbaOp::DWrite(5));
+        base.respond(dw1, AbaResp::Ack);
+        let dr1 = base.invoke(reader, AbaOp::DRead);
+        let dw2 = base.invoke(writer, AbaOp::DWrite(5));
+        base.respond(dw2, AbaResp::Ack);
+
+        // T1: another write dw3, then dr1 responds, then dr2 sees no
+        // intervening write (flag False) — dr1 must linearize after dw3.
+        let mut t1 = base.clone();
+        let dw3 = t1.invoke(writer, AbaOp::DWrite(5));
+        t1.respond(dw3, AbaResp::Ack);
+        t1.respond(dr1, AbaResp::Value(Some(5), true));
+        let dr2a = t1.invoke(reader, AbaOp::DRead);
+        t1.respond(dr2a, AbaResp::Value(Some(5), false));
+
+        // T2: dr1 responds, then dr2 reports an intervening write (flag
+        // True) — dr1 must linearize before dw2.
+        let mut t2 = base.clone();
+        t2.respond(dr1, AbaResp::Value(Some(5), true));
+        let dr2b = t2.invoke(reader, AbaOp::DRead);
+        t2.respond(dr2b, AbaResp::Value(Some(5), true));
+
+        assert!(
+            check_linearizable(&spec, &t1).is_some(),
+            "T1 alone is linearizable"
+        );
+        assert!(
+            check_linearizable(&spec, &t2).is_some(),
+            "T2 alone is linearizable"
+        );
+
+        let tree = HistoryTree::from_histories(&[t1, t2]);
+        assert_eq!(tree.leaf_count(), 2);
+        let report = check_strongly_linearizable(&spec, &tree);
+        assert!(
+            !report.holds,
+            "the Observation-4 family must not be strongly linearizable"
+        );
+    }
+
+    #[test]
+    fn consistent_branching_family_is_strongly_linearizable() {
+        // Same prefix as the Observation-4 family, but both branches are
+        // compatible with the commitment dr1 ∉ f(S).
+        let spec = AbaSpec::<u64>::new(2);
+        let writer = ProcId(0);
+        let reader = ProcId(1);
+
+        let mut base = History::<AbaSpec<u64>>::new();
+        let dw1 = base.invoke(writer, AbaOp::DWrite(5));
+        base.respond(dw1, AbaResp::Ack);
+        let dr1 = base.invoke(reader, AbaOp::DRead);
+        let dw2 = base.invoke(writer, AbaOp::DWrite(5));
+        base.respond(dw2, AbaResp::Ack);
+
+        let mut t1 = base.clone();
+        let dw3 = t1.invoke(writer, AbaOp::DWrite(5));
+        t1.respond(dw3, AbaResp::Ack);
+        t1.respond(dr1, AbaResp::Value(Some(5), true));
+        let dr2a = t1.invoke(reader, AbaOp::DRead);
+        t1.respond(dr2a, AbaResp::Value(Some(5), false));
+
+        let mut t2 = base.clone();
+        t2.respond(dr1, AbaResp::Value(Some(5), true));
+        let dr2b = t2.invoke(reader, AbaOp::DRead);
+        t2.respond(dr2b, AbaResp::Value(Some(5), false));
+
+        let tree = HistoryTree::from_histories(&[t1, t2]);
+        assert!(check_strongly_linearizable(&spec, &tree).holds);
+    }
+
+    #[test]
+    fn register_chain_with_pending_write_holds() {
+        let spec = RegisterSpec::<u64>::new();
+        let mut h = History::new();
+        let _w = h.invoke(ProcId(0), RegisterOp::Write(9));
+        let r = h.invoke(ProcId(1), RegisterOp::Read);
+        h.respond(r, RegisterResp::Value(Some(9)));
+        let tree = HistoryTree::from_histories(&[h]);
+        assert!(check_strongly_linearizable(&spec, &tree).holds);
+    }
+
+    #[test]
+    fn strong_implies_linearizable_on_each_leaf() {
+        // Sanity: when the strong check holds, every maximal history is
+        // linearizable on its own.
+        let spec = CounterSpec;
+        let mut h = History::new();
+        let a = h.invoke(ProcId(0), CounterOp::Inc);
+        let b = h.invoke(ProcId(1), CounterOp::Read);
+        h.respond(b, CounterResp::Value(1));
+        h.respond(a, CounterResp::Ack);
+        let tree = HistoryTree::from_histories(&[h.clone()]);
+        assert!(check_strongly_linearizable(&spec, &tree).holds);
+        assert!(check_linearizable(&spec, &h).is_some());
+    }
+}

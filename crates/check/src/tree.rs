@@ -1,0 +1,258 @@
+//! Prefix trees of transcripts.
+//!
+//! A [`HistoryTree`] represents a set of transcripts closed under common
+//! prefixes: each root-to-node path is a transcript prefix, and branching
+//! models the scheduling choices available to an adversary. Strong
+//! linearizability quantifies over such sets (the paper's `close(T)`),
+//! so the strong-linearizability checker takes a tree, not a single
+//! history.
+//!
+//! Edges are labelled with [`TreeStep`]s: either a high-level
+//! invocation/response event, or an *internal* base-object step. Internal
+//! steps matter because a strong linearization function may place
+//! linearization points at internal steps (e.g. Algorithm 2 of the paper
+//! linearizes a `DRead` at its final internal read of `X`), and because
+//! two transcripts that share a high-level history prefix may still
+//! diverge at an internal step — where the function is allowed to commit
+//! differently per branch.
+
+use sl_spec::{Event, History, ProcId, SeqSpec};
+
+/// One step of a transcript: a high-level event or an internal
+/// base-object step.
+pub enum TreeStep<S: SeqSpec> {
+    /// A high-level invocation or response event.
+    Event(Event<S>),
+    /// An internal step, identified by the process taking it and a label
+    /// describing the step completely (object, operation, value). Two
+    /// internal steps with equal process and label are the same step for
+    /// prefix-sharing purposes.
+    Internal(ProcId, String),
+}
+
+impl<S: SeqSpec> Clone for TreeStep<S> {
+    fn clone(&self) -> Self {
+        match self {
+            TreeStep::Event(e) => TreeStep::Event(e.clone()),
+            TreeStep::Internal(p, l) => TreeStep::Internal(*p, l.clone()),
+        }
+    }
+}
+
+impl<S: SeqSpec> PartialEq for TreeStep<S> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (TreeStep::Event(a), TreeStep::Event(b)) => a == b,
+            (TreeStep::Internal(p, l), TreeStep::Internal(q, m)) => p == q && l == m,
+            _ => false,
+        }
+    }
+}
+
+impl<S: SeqSpec> Eq for TreeStep<S> {}
+
+impl<S: SeqSpec> std::fmt::Debug for TreeStep<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeStep::Event(e) => write!(f, "{e:?}"),
+            TreeStep::Internal(p, l) => write!(f, "{p}·{l}"),
+        }
+    }
+}
+
+/// A node of a prefix tree of transcripts.
+///
+/// The root represents the empty transcript. Each edge is labelled with
+/// one [`TreeStep`]; a path from the root spells out a transcript.
+pub struct HistoryTree<S: SeqSpec> {
+    children: Vec<(TreeStep<S>, HistoryTree<S>)>,
+}
+
+impl<S: SeqSpec> Default for HistoryTree<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: SeqSpec> std::fmt::Debug for HistoryTree<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistoryTree")
+            .field("leaves", &self.leaf_count())
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+impl<S: SeqSpec> HistoryTree<S> {
+    /// Creates a tree containing only the empty transcript.
+    pub fn new() -> Self {
+        HistoryTree {
+            children: Vec::new(),
+        }
+    }
+
+    /// Builds a prefix tree from a set of histories (high-level events
+    /// only) by merging common prefixes.
+    ///
+    /// Events are merged when equal, so operation identifiers must be
+    /// assigned consistently across the histories: the "same" operation
+    /// appearing in two branches must carry the same [`sl_spec::OpId`].
+    pub fn from_histories(histories: &[History<S>]) -> Self {
+        let mut root = HistoryTree::new();
+        for h in histories {
+            let steps: Vec<TreeStep<S>> =
+                h.events().iter().cloned().map(TreeStep::Event).collect();
+            root.insert_path(&steps);
+        }
+        root
+    }
+
+    /// Builds a prefix tree from full transcripts (high-level events
+    /// interleaved with internal steps).
+    pub fn from_transcripts(transcripts: &[Vec<TreeStep<S>>]) -> Self {
+        let mut root = HistoryTree::new();
+        for t in transcripts {
+            root.insert_path(t);
+        }
+        root
+    }
+
+    /// Inserts one step sequence, sharing existing prefixes.
+    pub fn insert_path(&mut self, steps: &[TreeStep<S>]) {
+        let mut node = self;
+        for s in steps {
+            let pos = node.children.iter().position(|(st, _)| st == s);
+            let idx = match pos {
+                Some(i) => i,
+                None => {
+                    node.children.push((s.clone(), HistoryTree::new()));
+                    node.children.len() - 1
+                }
+            };
+            node = &mut node.children[idx].1;
+        }
+    }
+
+    /// Child edges of this node.
+    pub fn children(&self) -> &[(TreeStep<S>, HistoryTree<S>)] {
+        &self.children
+    }
+
+    /// Whether this node is a leaf (a maximal transcript in the set).
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Number of leaves (maximal transcripts).
+    pub fn leaf_count(&self) -> usize {
+        if self.is_leaf() {
+            1
+        } else {
+            self.children.iter().map(|(_, c)| c.leaf_count()).sum()
+        }
+    }
+
+    /// Length of the longest transcript in the set.
+    pub fn depth(&self) -> usize {
+        self.children
+            .iter()
+            .map(|(_, c)| 1 + c.depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total number of nodes (including the root).
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(|(_, c)| c.node_count())
+            .sum::<usize>()
+    }
+
+    /// All maximal transcripts (root-to-leaf paths) of the tree.
+    pub fn transcripts(&self) -> Vec<Vec<TreeStep<S>>> {
+        let mut out = Vec::new();
+        let mut path = Vec::new();
+        self.collect(&mut path, &mut out);
+        out
+    }
+
+    fn collect(&self, path: &mut Vec<TreeStep<S>>, out: &mut Vec<Vec<TreeStep<S>>>) {
+        if self.is_leaf() {
+            out.push(path.clone());
+            return;
+        }
+        for (e, c) in &self.children {
+            path.push(e.clone());
+            c.collect(path, out);
+            path.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_spec::types::CounterSpec;
+    use sl_spec::{CounterOp, CounterResp, History, ProcId};
+
+    fn h_with(two_events: bool) -> History<CounterSpec> {
+        let mut h = History::new();
+        let a = h.invoke(ProcId(0), CounterOp::Inc);
+        if two_events {
+            h.respond(a, CounterResp::Ack);
+        }
+        h
+    }
+
+    #[test]
+    fn merging_shares_prefixes() {
+        let h1 = h_with(false);
+        let h2 = h_with(true);
+        let tree = HistoryTree::from_histories(&[h1, h2]);
+        // h1 is a prefix of h2: single chain of two nodes below the root.
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.depth(), 2);
+        assert_eq!(tree.node_count(), 3);
+    }
+
+    #[test]
+    fn diverging_histories_branch() {
+        let mut h1 = History::<CounterSpec>::new();
+        let a = h1.invoke(ProcId(0), CounterOp::Inc);
+        h1.respond(a, CounterResp::Ack);
+
+        let mut h2 = History::<CounterSpec>::new();
+        let b = h2.invoke(ProcId(0), CounterOp::Read);
+        h2.respond(b, CounterResp::Value(0));
+
+        let tree = HistoryTree::from_histories(&[h1, h2]);
+        assert_eq!(tree.leaf_count(), 2);
+        assert_eq!(tree.depth(), 2);
+    }
+
+    #[test]
+    fn transcripts_roundtrip() {
+        let h2 = h_with(true);
+        let tree = HistoryTree::from_histories(std::slice::from_ref(&h2));
+        let paths = tree.transcripts();
+        assert_eq!(paths.len(), 1);
+        let expected: Vec<TreeStep<CounterSpec>> =
+            h2.events().iter().cloned().map(TreeStep::Event).collect();
+        assert_eq!(paths[0], expected);
+    }
+
+    #[test]
+    fn internal_steps_merge_by_label() {
+        let mk = |suffix: &str| -> Vec<TreeStep<CounterSpec>> {
+            vec![
+                TreeStep::Internal(ProcId(0), "X.write(1)".into()),
+                TreeStep::Internal(ProcId(1), suffix.into()),
+            ]
+        };
+        let tree = HistoryTree::from_transcripts(&[mk("X.read->1"), mk("X.read->2")]);
+        assert_eq!(tree.node_count(), 4, "first step shared, second diverges");
+        assert_eq!(tree.leaf_count(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for the checkers.
+
+use proptest::prelude::*;
+use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree};
+use sl_spec::types::{CounterSpec, RegisterSpec};
+use sl_spec::{validate_sequential, CounterOp, History, ProcId, RegisterOp, RegisterResp};
+
+/// Generates a well-formed register history by simulating an atomic
+/// register under a random interleaving of per-process programs: such a
+/// history is linearizable by construction.
+fn atomic_register_history(
+    ops_per_proc: Vec<Vec<RegisterOp<u64>>>,
+    schedule: Vec<u8>,
+) -> History<RegisterSpec<u64>> {
+    let n = ops_per_proc.len();
+    let mut h: History<RegisterSpec<u64>> = History::new();
+    let mut state: Option<u64> = None;
+    let mut next_op = vec![0usize; n];
+    // Each scheduled step runs one whole operation atomically (invoke,
+    // effect, respond) for the chosen process — trivially linearizable.
+    for s in schedule {
+        let p = (s as usize) % n;
+        let i = next_op[p];
+        if i >= ops_per_proc[p].len() {
+            continue;
+        }
+        next_op[p] += 1;
+        let op = ops_per_proc[p][i];
+        let id = h.invoke(ProcId(p), op);
+        match op {
+            RegisterOp::Write(x) => {
+                state = Some(x);
+                h.respond(id, RegisterResp::Ack);
+            }
+            RegisterOp::Read => h.respond(id, RegisterResp::Value(state)),
+        }
+    }
+    h
+}
+
+fn register_op() -> impl Strategy<Value = RegisterOp<u64>> {
+    prop_oneof![
+        (0u64..5).prop_map(RegisterOp::Write),
+        Just(RegisterOp::Read),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequentially consistent-by-construction histories are accepted.
+    #[test]
+    fn atomic_histories_are_linearizable(
+        ops in proptest::collection::vec(proptest::collection::vec(register_op(), 0..5), 1..4),
+        schedule in proptest::collection::vec(any::<u8>(), 0..20),
+    ) {
+        let h = atomic_register_history(ops, schedule);
+        prop_assert!(h.is_well_formed());
+        prop_assert!(check_linearizable(&RegisterSpec::<u64>::new(), &h).is_some());
+    }
+
+    /// A linearization witness returned by the checker is itself a valid
+    /// sequential history containing every completed operation.
+    #[test]
+    fn witness_is_valid_and_complete(
+        ops in proptest::collection::vec(proptest::collection::vec(register_op(), 0..4), 1..4),
+        schedule in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let spec = RegisterSpec::<u64>::new();
+        let h = atomic_register_history(ops, schedule);
+        let witness = check_linearizable(&spec, &h).expect("linearizable");
+        let steps: Vec<_> = witness
+            .iter()
+            .map(|w| (w.proc, w.op, w.resp))
+            .collect();
+        prop_assert!(validate_sequential(&spec, &steps).is_ok());
+        let completed = h.complete_ops().len();
+        prop_assert!(witness.len() >= completed);
+    }
+
+    /// Single-chain strong linearizability coincides with plain
+    /// linearizability (branching is required to separate them).
+    #[test]
+    fn chains_strong_iff_linearizable(
+        ops in proptest::collection::vec(proptest::collection::vec(register_op(), 0..4), 1..3),
+        schedule in proptest::collection::vec(any::<u8>(), 0..12),
+        corrupt in any::<bool>(),
+    ) {
+        let spec = RegisterSpec::<u64>::new();
+        let mut h = atomic_register_history(ops, schedule);
+        if corrupt && !h.is_empty() {
+            // Mutate one read response to a junk value; this may or may
+            // not break linearizability — the two checkers must agree
+            // either way.
+            let mut h2: History<RegisterSpec<u64>> = History::new();
+            for (i, e) in h.events().iter().enumerate() {
+                match &e.kind {
+                    sl_spec::EventKind::Invoke(op) => h2.invoke_with_id(e.op, e.proc, *op),
+                    sl_spec::EventKind::Respond(r) => {
+                        let r = if i == h.len() - 1 {
+                            match r {
+                                RegisterResp::Value(_) => RegisterResp::Value(Some(999)),
+                                other => *other,
+                            }
+                        } else {
+                            *r
+                        };
+                        h2.respond(e.op, r);
+                    }
+                }
+            }
+            h = h2;
+        }
+        let lin = check_linearizable(&spec, &h).is_some();
+        let tree = HistoryTree::from_histories(std::slice::from_ref(&h));
+        let strong = check_strongly_linearizable(&spec, &tree).holds;
+        prop_assert_eq!(lin, strong, "chain: strong <=> linearizable");
+    }
+
+    /// Adding events to a history never turns a non-linearizable prefix
+    /// linearizable (monotonicity of rejection on prefixes).
+    #[test]
+    fn prefixes_of_linearizable_histories_are_linearizable(
+        ops in proptest::collection::vec(proptest::collection::vec(register_op(), 0..4), 1..3),
+        schedule in proptest::collection::vec(any::<u8>(), 0..12),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let spec = RegisterSpec::<u64>::new();
+        let h = atomic_register_history(ops, schedule);
+        let k = cut.index(h.len() + 1);
+        let prefix = h.prefix(k);
+        prop_assert!(check_linearizable(&spec, &prefix).is_some());
+    }
+}
+
+/// Deterministic regression: counters with wrong totals are rejected.
+#[test]
+fn counter_wrong_total_rejected() {
+    let spec = CounterSpec;
+    let mut h = History::new();
+    let a = h.invoke(ProcId(0), CounterOp::Inc);
+    h.respond(a, sl_spec::CounterResp::Ack);
+    let b = h.invoke(ProcId(1), CounterOp::Read);
+    h.respond(b, sl_spec::CounterResp::Value(5));
+    assert!(check_linearizable(&spec, &h).is_none());
+    let tree = HistoryTree::from_histories(&[h]);
+    assert!(!check_strongly_linearizable(&spec, &tree).holds);
+}

@@ -1,0 +1,118 @@
+//! An atomic ABA-detecting register over a read-modify-write cell.
+//!
+//! Every operation takes effect in exactly one shared-memory step, so the
+//! object is trivially strongly linearizable — it *is* the atomic base
+//! object `R` that Algorithm 3 assumes, before the composability argument
+//! of §4.3 replaces it with the register-only Algorithm 2. Having both
+//! lets the test suite model-check Algorithm 3's own strong
+//! linearizability in isolation (with far fewer steps per operation) and
+//! then re-run everything with the composed register.
+
+use sl_mem::{Mem, Register, RmwCell, Value};
+use sl_spec::ProcId;
+
+use super::{AbaHandle, AbaRegister};
+
+/// Shared cell contents: the stored value and a write counter.
+type Cell<V> = (Option<V>, u64);
+
+/// An atomic ABA-detecting register (one step per operation).
+pub struct AtomicAbaRegister<V: Value, M: Mem> {
+    cell: M::Cell<Cell<V>>,
+}
+
+impl<V: Value, M: Mem> Clone for AtomicAbaRegister<V, M> {
+    fn clone(&self) -> Self {
+        AtomicAbaRegister {
+            cell: self.cell.clone(),
+        }
+    }
+}
+
+impl<V: Value, M: Mem> std::fmt::Debug for AtomicAbaRegister<V, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AtomicAbaRegister")
+    }
+}
+
+impl<V: Value, M: Mem> AtomicAbaRegister<V, M> {
+    /// Creates the register (one RMW cell from `mem`).
+    pub fn new(mem: &M, name: &str) -> Self {
+        AtomicAbaRegister {
+            cell: mem.alloc_cell(name, (None, 0)),
+        }
+    }
+}
+
+impl<V: Value, M: Mem> AbaRegister<V> for AtomicAbaRegister<V, M> {
+    type Handle = AtomicAbaHandle<V, M>;
+
+    fn handle(&self, p: ProcId) -> Self::Handle {
+        AtomicAbaHandle {
+            cell: self.cell.clone(),
+            p,
+            last_seen: 0,
+        }
+    }
+}
+
+/// Process-local handle of [`AtomicAbaRegister`].
+pub struct AtomicAbaHandle<V: Value, M: Mem> {
+    cell: M::Cell<Cell<V>>,
+    p: ProcId,
+    /// Write count observed at this process's previous `DRead` (0 before
+    /// the first — initialization is the reference point).
+    last_seen: u64,
+}
+
+impl<V: Value, M: Mem> AbaHandle<V> for AtomicAbaHandle<V, M> {
+    fn dwrite(&mut self, value: V) {
+        self.cell.update(|(_, count)| (Some(value.clone()), count + 1));
+    }
+
+    fn dread(&mut self) -> (Option<V>, bool) {
+        let (value, count) = self.cell.read();
+        let flag = count > self.last_seen;
+        self.last_seen = count;
+        (value, flag)
+    }
+
+    fn proc(&self) -> ProcId {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_mem::NativeMem;
+
+    fn reg() -> AtomicAbaRegister<u64, NativeMem> {
+        AtomicAbaRegister::new(&NativeMem::new(), "R")
+    }
+
+    #[test]
+    fn matches_sequential_specification() {
+        let r = reg();
+        let mut w = r.handle(ProcId(0));
+        let mut h = r.handle(ProcId(1));
+        assert_eq!(h.dread(), (None, false));
+        w.dwrite(5);
+        assert_eq!(h.dread(), (Some(5), true));
+        assert_eq!(h.dread(), (Some(5), false));
+        w.dwrite(5);
+        assert_eq!(h.dread(), (Some(5), true), "ABA detected");
+    }
+
+    #[test]
+    fn writes_count_across_writers() {
+        let r = reg();
+        let mut w0 = r.handle(ProcId(0));
+        let mut w1 = r.handle(ProcId(1));
+        let mut h = r.handle(ProcId(2));
+        w0.dwrite(1);
+        w1.dwrite(2);
+        assert_eq!(h.dread(), (Some(2), true));
+        assert_eq!(h.dread(), (Some(2), false));
+    }
+}

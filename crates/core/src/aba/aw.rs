@@ -1,0 +1,175 @@
+//! Algorithm 1: the Aghazadeh–Woelfel wait-free linearizable
+//! ABA-detecting register.
+//!
+//! Wait-free and linearizable, but — as the paper's Observation 4 proves
+//! and the `sl-bench` experiment `exp_obs4` demonstrates executably —
+//! **not strongly linearizable**: whether a `DRead` takes effect at its
+//! first or second read of `X` depends on writes that happen *after*
+//! those reads, so a strong adversary can retroactively order a `DRead`
+//! in front of `DWrite`s that already took effect.
+
+use sl_mem::{Mem, Register, Value};
+use sl_spec::ProcId;
+
+use super::shared::{tag, value_of, AbaShared, WriterLocal};
+use super::{AbaHandle, AbaRegister};
+
+/// The Aghazadeh–Woelfel ABA-detecting register (paper Algorithm 1).
+///
+/// Uses the shared data register `X` and announcement array `A[0..n-1]`;
+/// each `DRead` performs exactly four shared-memory steps, each `DWrite`
+/// exactly two — wait-freedom.
+pub struct AwAbaRegister<V: Value, M: Mem> {
+    shared: AbaShared<V, M>,
+}
+
+impl<V: Value, M: Mem> Clone for AwAbaRegister<V, M> {
+    fn clone(&self) -> Self {
+        AwAbaRegister {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<V: Value, M: Mem> std::fmt::Debug for AwAbaRegister<V, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AwAbaRegister(n={})", self.shared.n)
+    }
+}
+
+impl<V: Value, M: Mem> AwAbaRegister<V, M> {
+    /// Creates the register for an `n`-process system, allocating `O(n)`
+    /// base registers from `mem`.
+    pub fn new(mem: &M, n: usize) -> Self {
+        AwAbaRegister {
+            shared: AbaShared::new(mem, n, "aw"),
+        }
+    }
+}
+
+impl<V: Value, M: Mem> AbaRegister<V> for AwAbaRegister<V, M> {
+    type Handle = AwAbaHandle<V, M>;
+
+    fn handle(&self, p: ProcId) -> Self::Handle {
+        assert!(p.index() < self.shared.n, "process id out of range");
+        AwAbaHandle {
+            shared: self.shared.clone(),
+            p,
+            writer: WriterLocal::new(self.shared.n),
+            b: false,
+        }
+    }
+}
+
+/// Process-local handle of [`AwAbaRegister`].
+pub struct AwAbaHandle<V: Value, M: Mem> {
+    shared: AbaShared<V, M>,
+    p: ProcId,
+    writer: WriterLocal,
+    /// Algorithm 1's local flag `b`: delegates detection of writes that
+    /// raced a previous `DRead` to the next `DRead` by this process.
+    b: bool,
+}
+
+impl<V: Value, M: Mem> AbaHandle<V> for AwAbaHandle<V, M> {
+    /// Lines 1–2 of Algorithm 1.
+    fn dwrite(&mut self, value: V) {
+        self.writer.dwrite(&self.shared, self.p, value);
+    }
+
+    /// Lines 15–31 of Algorithm 1.
+    fn dread(&mut self) -> (Option<V>, bool) {
+        let q = self.p.index();
+        let xv = self.shared.x.read(); // line 15
+        let announced = self.shared.a[q].read(); // line 16
+        self.shared.a[q].write(tag(&xv)); // line 17
+        let xv2 = self.shared.x.read(); // line 18
+        let ret = if tag(&xv) == announced {
+            (value_of(&xv), self.b) // line 20
+        } else {
+            (value_of(&xv), true) // line 23
+        };
+        self.b = xv != xv2; // lines 25–30
+        ret
+    }
+
+    fn proc(&self) -> ProcId {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_mem::NativeMem;
+
+    fn reg(n: usize) -> AwAbaRegister<u64, NativeMem> {
+        AwAbaRegister::new(&NativeMem::new(), n)
+    }
+
+    #[test]
+    fn initial_read_is_bottom_false() {
+        let r = reg(2);
+        let mut h = r.handle(ProcId(1));
+        assert_eq!(h.dread(), (None, false));
+    }
+
+    #[test]
+    fn read_after_write_reports_change() {
+        let r = reg(2);
+        let mut w = r.handle(ProcId(0));
+        let mut h = r.handle(ProcId(1));
+        w.dwrite(5);
+        assert_eq!(h.dread(), (Some(5), true));
+        assert_eq!(h.dread(), (Some(5), false), "no new write since last read");
+    }
+
+    #[test]
+    fn aba_write_of_same_value_is_detected() {
+        let r = reg(2);
+        let mut w = r.handle(ProcId(0));
+        let mut h = r.handle(ProcId(1));
+        w.dwrite(5);
+        assert_eq!(h.dread(), (Some(5), true));
+        w.dwrite(5); // same value again — plain register readers would miss this
+        assert_eq!(h.dread(), (Some(5), true));
+    }
+
+    #[test]
+    fn flags_independent_across_processes() {
+        let r = reg(3);
+        let mut w = r.handle(ProcId(0));
+        let mut h1 = r.handle(ProcId(1));
+        let mut h2 = r.handle(ProcId(2));
+        w.dwrite(1);
+        assert_eq!(h1.dread(), (Some(1), true));
+        assert_eq!(h2.dread(), (Some(1), true));
+        assert_eq!(h1.dread(), (Some(1), false));
+        w.dwrite(2);
+        assert_eq!(h2.dread(), (Some(2), true));
+        assert_eq!(h1.dread(), (Some(2), true));
+    }
+
+    #[test]
+    fn writer_can_read_its_own_writes() {
+        let r = reg(2);
+        let mut w = r.handle(ProcId(0));
+        w.dwrite(3);
+        assert_eq!(w.dread(), (Some(3), true));
+        assert_eq!(w.dread(), (Some(3), false));
+        w.dwrite(4);
+        assert_eq!(w.dread(), (Some(4), true));
+    }
+
+    #[test]
+    fn many_writes_never_exhaust_sequence_numbers() {
+        let r = reg(2);
+        let mut w = r.handle(ProcId(0));
+        let mut h = r.handle(ProcId(1));
+        for i in 0..1000 {
+            w.dwrite(i);
+            let (v, _) = h.dread();
+            assert_eq!(v, Some(i));
+        }
+    }
+}

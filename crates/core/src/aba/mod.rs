@@ -1,0 +1,61 @@
+//! ABA-detecting registers (Section 3 of the paper).
+//!
+//! An ABA-detecting register stores a value and, on each `DRead`, also
+//! reports whether any `DWrite` occurred since the reading process's
+//! previous `DRead`. Three implementations:
+//!
+//! * [`AwAbaRegister`] — Algorithm 1: the Aghazadeh–Woelfel wait-free
+//!   linearizable implementation, which the paper's Observation 4 proves
+//!   is **not** strongly linearizable.
+//! * [`SlAbaRegister`] — Algorithm 2: the paper's lock-free **strongly
+//!   linearizable** implementation (Theorem 1).
+//! * [`AtomicAbaRegister`] — an atomic (single-step-per-operation)
+//!   implementation over an `RmwCell`, modelling the atomic base object
+//!   `R` of Algorithm 3 before it is replaced by `SlAbaRegister` via
+//!   composability.
+//!
+//! Registers are accessed through per-process [`AbaHandle`]s, which own
+//! the process-local state (the writer's `usedQ`/`na`/`c` bookkeeping of
+//! Algorithm 1's `GetSeq`, and Algorithm 1's delegation flag `b`).
+
+mod atomic;
+mod aw;
+mod packed;
+mod shared;
+mod sl;
+
+pub use atomic::{AtomicAbaHandle, AtomicAbaRegister};
+pub use aw::{AwAbaHandle, AwAbaRegister};
+pub use packed::{PackedSlAbaHandle, PackedSlAbaRegister};
+pub use sl::{SlAbaHandle, SlAbaRegister};
+
+use sl_mem::Value;
+use sl_spec::ProcId;
+
+/// An ABA-detecting register object.
+///
+/// Per-process access goes through handles (see [`AbaRegister::handle`]),
+/// which own the process-local state the algorithms require.
+pub trait AbaRegister<V: Value>: Clone + Send + Sync + 'static {
+    /// The per-process handle type.
+    type Handle: AbaHandle<V>;
+
+    /// Creates process `p`'s handle. Each process must use its own
+    /// handle, and at most one handle per process may be in use.
+    fn handle(&self, p: ProcId) -> Self::Handle;
+}
+
+/// Per-process operations on an ABA-detecting register.
+pub trait AbaHandle<V: Value>: Send {
+    /// `DWrite(x)`: stores `x`.
+    fn dwrite(&mut self, value: V);
+
+    /// `DRead()`: returns the stored value (`None` = initial `⊥`) and a
+    /// flag that is `true` iff some `DWrite` occurred since this
+    /// process's previous `DRead` (or since initialization for the first
+    /// `DRead`).
+    fn dread(&mut self) -> (Option<V>, bool);
+
+    /// The process this handle belongs to.
+    fn proc(&self) -> ProcId;
+}

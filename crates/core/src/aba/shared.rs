@@ -1,0 +1,184 @@
+//! Shared register layout and the `GetSeq`/`DWrite` machinery common to
+//! Algorithms 1 and 2 (their `DWrite` methods are identical).
+
+use std::collections::{HashMap, VecDeque};
+
+use sl_mem::{Mem, Register, Value};
+use sl_spec::ProcId;
+
+/// Contents of the register `X`: `⊥` or `(value, writer, sequence)`.
+pub(crate) type XVal<V> = Option<(V, usize, u64)>;
+
+/// Contents of an announcement entry `A[q]`: `⊥` or a `(writer,
+/// sequence)` pair copied from `X`.
+pub(crate) type AVal = Option<(usize, u64)>;
+
+/// The `(writer, sequence)` tag of an `X` value.
+pub(crate) fn tag<V: Clone>(x: &XVal<V>) -> AVal {
+    x.as_ref().map(|(_, p, s)| (*p, *s))
+}
+
+/// The value component of an `X` value.
+pub(crate) fn value_of<V: Clone>(x: &XVal<V>) -> Option<V> {
+    x.as_ref().map(|(v, _, _)| v.clone())
+}
+
+/// The shared registers of Algorithms 1 and 2: the data register `X =
+/// (⊥,⊥,⊥)` and the announcement array `A[0..n-1]`, `O(n)` registers of
+/// size `O(log n + log |D|)` as in Theorems 1 and 2.
+pub(crate) struct AbaShared<V: Value, M: Mem> {
+    pub(crate) x: M::Reg<XVal<V>>,
+    pub(crate) a: Vec<M::Reg<AVal>>,
+    pub(crate) n: usize,
+}
+
+impl<V: Value, M: Mem> Clone for AbaShared<V, M> {
+    fn clone(&self) -> Self {
+        AbaShared {
+            x: self.x.clone(),
+            a: self.a.clone(),
+            n: self.n,
+        }
+    }
+}
+
+impl<V: Value, M: Mem> AbaShared<V, M> {
+    pub(crate) fn new(mem: &M, n: usize, prefix: &str) -> Self {
+        assert!(n > 0, "need at least one process");
+        AbaShared {
+            x: mem.alloc(&format!("{prefix}.X"), None),
+            a: (0..n)
+                .map(|q| mem.alloc(&format!("{prefix}.A[{q}]"), None))
+                .collect(),
+            n,
+        }
+    }
+}
+
+/// Process-local state of the sequence-number recycler (`GetSeq`,
+/// Algorithm 1 lines 3–14): the queue of the writer's last `n+1` chosen
+/// sequence numbers, the not-available set `na`, and the round-robin
+/// announcement index `c`.
+#[derive(Clone, Debug)]
+pub(crate) struct WriterLocal {
+    used_q: VecDeque<Option<u64>>,
+    na: HashMap<usize, u64>,
+    c: usize,
+    n: usize,
+}
+
+impl WriterLocal {
+    pub(crate) fn new(n: usize) -> Self {
+        WriterLocal {
+            used_q: std::iter::repeat_n(None, n + 1).collect(),
+            na: HashMap::new(),
+            c: 0,
+            n,
+        }
+    }
+
+    /// `GetSeq_p()`: chooses a sequence number from `{0, …, 2n+1}` that
+    /// is neither announced as recently observed nor among the writer's
+    /// last `n+1` choices. Performs exactly one shared-memory step (the
+    /// read of `A[c]`).
+    pub(crate) fn get_seq<V: Value, M: Mem>(
+        &mut self,
+        shared: &AbaShared<V, M>,
+        p: ProcId,
+    ) -> u64 {
+        let announced = shared.a[self.c].read();
+        match announced {
+            Some((r, sr)) if r == p.index() => {
+                self.na.insert(self.c, sr);
+            }
+            _ => {
+                self.na.remove(&self.c);
+            }
+        }
+        self.c = (self.c + 1) % self.n;
+        let banned = |s: u64| {
+            self.na.values().any(|&v| v == s) || self.used_q.contains(&Some(s))
+        };
+        let s = (0..=2 * self.n as u64 + 1)
+            .find(|&s| !banned(s))
+            .expect("sequence domain {0..2n+1} always has a free number");
+        self.used_q.push_back(Some(s));
+        self.used_q.pop_front();
+        s
+    }
+
+    /// `DWrite_p(x)` (Algorithm 1 lines 1–2, shared by Algorithm 2): one
+    /// `GetSeq` step plus one write of `X` — two shared-memory steps in
+    /// total, as counted by Theorem 14(a).
+    pub(crate) fn dwrite<V: Value, M: Mem>(
+        &mut self,
+        shared: &AbaShared<V, M>,
+        p: ProcId,
+        value: V,
+    ) {
+        let s = self.get_seq(shared, p);
+        shared.x.write(Some((value, p.index(), s)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_mem::NativeMem;
+
+    #[test]
+    fn solo_writer_cycles_through_sequence_numbers() {
+        let mem = NativeMem::new();
+        let shared: AbaShared<u64, _> = AbaShared::new(&mem, 2, "t");
+        let mut local = WriterLocal::new(2);
+        // n = 2: domain {0..5}, usedQ holds 3 entries; with no
+        // announcements the writer picks 0,1,2,3,0,1,2,3,…
+        let picks: Vec<u64> = (0..8)
+            .map(|_| local.get_seq(&shared, ProcId(0)))
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn announced_sequence_numbers_are_avoided() {
+        let mem = NativeMem::new();
+        let shared: AbaShared<u64, _> = AbaShared::new(&mem, 2, "t");
+        // Process 1 announces that it observed p0's sequence number 0.
+        shared.a[0].write(Some((0, 0)));
+        shared.a[1].write(Some((0, 0)));
+        let mut local = WriterLocal::new(2);
+        let picks: Vec<u64> = (0..6)
+            .map(|_| local.get_seq(&shared, ProcId(0)))
+            .collect();
+        assert!(
+            picks.iter().all(|&s| s != 0),
+            "sequence 0 is announced in every A entry and must never be chosen: {picks:?}"
+        );
+    }
+
+    #[test]
+    fn consecutive_writes_never_reuse_a_sequence_number() {
+        // Statement (1) in the proof of Observation 4.
+        let mem = NativeMem::new();
+        let shared: AbaShared<u64, _> = AbaShared::new(&mem, 3, "t");
+        let mut local = WriterLocal::new(3);
+        let mut prev = None;
+        for _ in 0..50 {
+            let s = local.get_seq(&shared, ProcId(0));
+            assert_ne!(Some(s), prev, "consecutive DWrites must differ in seq");
+            prev = Some(s);
+        }
+    }
+
+    #[test]
+    fn dwrite_stores_value_writer_and_seq() {
+        let mem = NativeMem::new();
+        let shared: AbaShared<u64, _> = AbaShared::new(&mem, 2, "t");
+        let mut local = WriterLocal::new(2);
+        local.dwrite(&shared, ProcId(1), 77);
+        let x = shared.x.read();
+        assert_eq!(x, Some((77, 1, 0)));
+        assert_eq!(tag(&x), Some((1, 0)));
+        assert_eq!(value_of(&x), Some(77));
+    }
+}

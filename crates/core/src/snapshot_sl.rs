@@ -1,0 +1,441 @@
+//! Algorithms 3/4: the bounded-space lock-free strongly linearizable
+//! snapshot (Theorem 2).
+
+use std::marker::PhantomData;
+
+use sl_mem::{Mem, Value};
+use sl_snapshot::{AfekSnapshot, DoubleCollectSnapshot, LinSnapshot};
+use sl_spec::ProcId;
+
+use crate::aba::{AbaHandle, AbaRegister, AtomicAbaRegister, SlAbaRegister};
+
+/// A snapshot component as stored in the substrate `S`: the value plus
+/// the writer's per-process sequence number (Algorithm 4's accounting
+/// augmentation, §4.4).
+pub type SeqValue<V> = (V, u64);
+
+/// A view of the substrate: one `Option<SeqValue>` per component. This is
+/// the value type stored in the ABA-detecting register `R`.
+pub type View<V> = Vec<Option<SeqValue<V>>>;
+
+/// A single-writer snapshot object accessed through per-process handles.
+pub trait SnapshotObject<V: Value>: Clone + Send + Sync + 'static {
+    /// The per-process handle type.
+    type Handle: SnapshotHandle<V>;
+
+    /// Creates process `p`'s handle (at most one in use per process).
+    fn handle(&self, p: ProcId) -> Self::Handle;
+
+    /// Number of components.
+    fn components(&self) -> usize;
+}
+
+/// Per-process operations on a single-writer snapshot.
+pub trait SnapshotHandle<V: Value>: Send {
+    /// Sets this process's component to `value`.
+    fn update(&mut self, value: V);
+
+    /// Returns a consistent view of all components (`None` = `⊥`).
+    fn scan(&mut self) -> Vec<Option<V>>;
+
+    /// The process this handle belongs to.
+    fn proc(&self) -> ProcId;
+}
+
+/// Base-object operation counts of the most recent `SLscan`/`SLupdate`
+/// (for the Theorem 32 experiments).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Main-loop iterations (lines 59–66).
+    pub iterations: u64,
+    /// `S.scan()` invocations.
+    pub s_scans: u64,
+    /// `S.update()` invocations.
+    pub s_updates: u64,
+    /// `R.DRead()` invocations.
+    pub r_dreads: u64,
+    /// `R.DWrite()` invocations.
+    pub r_dwrites: u64,
+}
+
+impl ScanStats {
+    /// Total base-object invocations on `S` and `R`.
+    pub fn total(&self) -> u64 {
+        self.s_scans + self.s_updates + self.r_dreads + self.r_dwrites
+    }
+}
+
+/// The paper's strongly linearizable snapshot (Algorithms 3/4,
+/// Theorem 2).
+///
+/// Parametric in the linearizable snapshot substrate `S` (§4.3: "any
+/// lock-free or wait-free linearizable implementation") and in the
+/// ABA-detecting register `R` — an [`AtomicAbaRegister`], or the paper's
+/// own [`SlAbaRegister`] by the composability of strong linearizability.
+///
+/// `SLupdate` writes the substrate, scans it, and publishes the scanned
+/// view to `R`. `SLscan` repeats `R.DRead` / `S.scan` / `R.DRead` until
+/// all three agree *and* `R` reports no interference, helping pending
+/// updates by republishing fresher views it observes along the way. Both
+/// the snapshot contents and `R` are `O(n)` registers of size
+/// `O(log n + log |D|)` — bounded space, unlike the versioned-object
+/// construction of §4.1 ([`crate::VersionedSlSnapshot`]).
+pub struct SlSnapshot<V, S, R>
+where
+    V: Value,
+    S: LinSnapshot<SeqValue<V>>,
+    R: AbaRegister<View<V>>,
+{
+    s: S,
+    r: R,
+    n: usize,
+    _marker: PhantomData<fn() -> V>,
+}
+
+impl<V, S, R> Clone for SlSnapshot<V, S, R>
+where
+    V: Value,
+    S: LinSnapshot<SeqValue<V>>,
+    R: AbaRegister<View<V>>,
+{
+    fn clone(&self) -> Self {
+        SlSnapshot {
+            s: self.s.clone(),
+            r: self.r.clone(),
+            n: self.n,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<V, S, R> std::fmt::Debug for SlSnapshot<V, S, R>
+where
+    V: Value,
+    S: LinSnapshot<SeqValue<V>>,
+    R: AbaRegister<View<V>>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SlSnapshot(n={})", self.n)
+    }
+}
+
+/// `SlSnapshot` over the lock-free double-collect substrate and the
+/// composed Algorithm-2 register — the all-registers configuration of
+/// Theorem 2.
+pub type DcSlSnapshot<V, M> =
+    SlSnapshot<V, DoubleCollectSnapshot<SeqValue<V>, M>, SlAbaRegister<View<V>, M>>;
+
+impl<V: Value, M: Mem> DcSlSnapshot<V, M> {
+    /// Builds the Theorem 2 configuration: double-collect substrate `S`
+    /// and Algorithm-2 ABA-detecting register `R`, all from registers of
+    /// `mem`.
+    pub fn with_double_collect(mem: &M, n: usize) -> Self {
+        SlSnapshot::new(
+            DoubleCollectSnapshot::new(mem, n),
+            SlAbaRegister::new(mem, n),
+            n,
+        )
+    }
+}
+
+impl<V: Value, M: Mem>
+    SlSnapshot<V, AfekSnapshot<SeqValue<V>, M>, SlAbaRegister<View<V>, M>>
+{
+    /// Builds the wait-free-substrate configuration: Afek et al. helping
+    /// snapshot for `S`, Algorithm-2 register for `R`.
+    pub fn with_afek(mem: &M, n: usize) -> Self {
+        SlSnapshot::new(AfekSnapshot::new(mem, n), SlAbaRegister::new(mem, n), n)
+    }
+}
+
+impl<V: Value, M: Mem>
+    SlSnapshot<V, DoubleCollectSnapshot<SeqValue<V>, M>, AtomicAbaRegister<View<V>, M>>
+{
+    /// Builds the paper's pre-composition configuration of Algorithm 3:
+    /// an **atomic** ABA-detecting register `R` (one step per operation)
+    /// over the double-collect substrate. Useful for isolating
+    /// Algorithm 3 in model checking.
+    pub fn with_atomic_r(mem: &M, n: usize) -> Self {
+        SlSnapshot::new(
+            DoubleCollectSnapshot::new(mem, n),
+            AtomicAbaRegister::new(mem, "R"),
+            n,
+        )
+    }
+}
+
+impl<V, S, R> SlSnapshot<V, S, R>
+where
+    V: Value,
+    S: LinSnapshot<SeqValue<V>>,
+    R: AbaRegister<View<V>>,
+{
+    /// Assembles the snapshot from an explicit substrate and
+    /// ABA-detecting register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` does not have exactly `n` components.
+    pub fn new(s: S, r: R, n: usize) -> Self {
+        assert_eq!(s.components(), n, "substrate must have n components");
+        SlSnapshot {
+            s,
+            r,
+            n,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of components.
+    pub fn components(&self) -> usize {
+        self.n
+    }
+
+    /// Creates process `p`'s handle.
+    pub fn handle(&self, p: ProcId) -> SlSnapshotHandle<V, S, R> {
+        assert!(p.index() < self.n, "process id out of range");
+        SlSnapshotHandle {
+            p,
+            s: self.s.clone(),
+            r: self.r.handle(p),
+            n: self.n,
+            seq: 0,
+            last_stats: ScanStats::default(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<V, S, R> SnapshotObject<V> for SlSnapshot<V, S, R>
+where
+    V: Value,
+    S: LinSnapshot<SeqValue<V>>,
+    R: AbaRegister<View<V>>,
+{
+    type Handle = SlSnapshotHandle<V, S, R>;
+
+    fn handle(&self, p: ProcId) -> Self::Handle {
+        SlSnapshot::handle(self, p)
+    }
+
+    fn components(&self) -> usize {
+        self.n
+    }
+}
+
+/// Process-local handle of [`SlSnapshot`].
+pub struct SlSnapshotHandle<V, S, R>
+where
+    V: Value,
+    S: LinSnapshot<SeqValue<V>>,
+    R: AbaRegister<View<V>>,
+{
+    p: ProcId,
+    s: S,
+    r: R::Handle,
+    n: usize,
+    /// Algorithm 4's per-process sequence counter (line 55).
+    seq: u64,
+    last_stats: ScanStats,
+    _marker: PhantomData<fn() -> V>,
+}
+
+/// Compares two views on their value components only — the paper's
+/// `vals(·)` (§4.4): sequence numbers are accounting, not content.
+fn vals_eq<V: PartialEq, A, B>(a: &[Option<(V, A)>], b: &[Option<(V, B)>]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| match (x, y) {
+                (None, None) => true,
+                (Some((v, _)), Some((w, _))) => v == w,
+                _ => false,
+            })
+}
+
+impl<V, S, R> SlSnapshotHandle<V, S, R>
+where
+    V: Value,
+    S: LinSnapshot<SeqValue<V>>,
+    R: AbaRegister<View<V>>,
+{
+    /// Base-object operation counts of the most recent operation.
+    pub fn last_stats(&self) -> ScanStats {
+        self.last_stats
+    }
+
+    fn initial_view(&self) -> View<V> {
+        vec![None; self.n]
+    }
+
+    /// `SLupdate_p(x)` (Algorithm 4 lines 55–58): one `S.update`, one
+    /// `S.scan`, one `R.DWrite` — Theorem 32(a).
+    pub fn update(&mut self, value: V) {
+        self.seq += 1; // line 55
+        self.s.update(self.p, (value, self.seq)); // line 56
+        let view = self.s.scan(self.p); // line 57
+        self.r.dwrite(view); // line 58
+        self.last_stats = ScanStats {
+            iterations: 0,
+            s_scans: 1,
+            s_updates: 1,
+            r_dreads: 0,
+            r_dwrites: 1,
+        };
+    }
+
+    /// `SLscan_p()` (Algorithm 4 lines 59–67): repeats until `R`, `S`,
+    /// and `R` again agree on values and `R` saw no interference;
+    /// republishes fresher views to help pending updates. Linearizes at
+    /// its final `R.DRead` (R-1).
+    pub fn scan(&mut self) -> Vec<Option<V>> {
+        let mut stats = ScanStats::default();
+        loop {
+            stats.iterations += 1;
+            let (s1_raw, _c1) = self.r.dread(); // line 60
+            stats.r_dreads += 1;
+            let s1 = s1_raw.unwrap_or_else(|| self.initial_view());
+            let l = self.s.scan(self.p); // line 61
+            stats.s_scans += 1;
+            let (s2_raw, c2) = self.r.dread(); // line 62
+            stats.r_dreads += 1;
+            let s2 = s2_raw.unwrap_or_else(|| self.initial_view());
+            if !(vals_eq(&s1, &l) && vals_eq(&l, &s2)) {
+                self.r.dwrite(l); // line 64: help pending updates
+                stats.r_dwrites += 1;
+                continue;
+            }
+            if !c2 {
+                // line 66–67
+                self.last_stats = stats;
+                return s2.into_iter().map(|e| e.map(|(v, _)| v)).collect();
+            }
+        }
+    }
+}
+
+impl<V, S, R> SnapshotHandle<V> for SlSnapshotHandle<V, S, R>
+where
+    V: Value,
+    S: LinSnapshot<SeqValue<V>>,
+    R: AbaRegister<View<V>>,
+{
+    fn update(&mut self, value: V) {
+        SlSnapshotHandle::update(self, value);
+    }
+
+    fn scan(&mut self) -> Vec<Option<V>> {
+        SlSnapshotHandle::scan(self)
+    }
+
+    fn proc(&self) -> ProcId {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_mem::NativeMem;
+
+    #[test]
+    fn sequential_updates_and_scans() {
+        let mem = NativeMem::new();
+        let snap = SlSnapshot::with_double_collect(&mem, 3);
+        let mut h0 = snap.handle(ProcId(0));
+        let mut h2 = snap.handle(ProcId(2));
+        assert_eq!(h0.scan(), vec![None, None, None]);
+        h0.update(1u64);
+        h2.update(3);
+        assert_eq!(h0.scan(), vec![Some(1), None, Some(3)]);
+        h0.update(7);
+        assert_eq!(h2.scan(), vec![Some(7), None, Some(3)]);
+    }
+
+    #[test]
+    fn update_stats_match_theorem_32a() {
+        let mem = NativeMem::new();
+        let snap = SlSnapshot::with_double_collect(&mem, 2);
+        let mut h = snap.handle(ProcId(0));
+        h.update(9u64);
+        let st = h.last_stats();
+        assert_eq!(st.s_updates, 1);
+        assert_eq!(st.s_scans, 1);
+        assert_eq!(st.r_dwrites, 1);
+        assert_eq!(st.r_dreads, 0);
+    }
+
+    #[test]
+    fn uncontended_scan_takes_one_iteration() {
+        let mem = NativeMem::new();
+        let snap = SlSnapshot::with_double_collect(&mem, 2);
+        let mut w = snap.handle(ProcId(0));
+        let mut h = snap.handle(ProcId(1));
+        w.update(5u64);
+        let _ = h.scan();
+        // The first scan may need an extra iteration because its first
+        // DRead reports the recent write (c2); afterwards one suffices.
+        let _ = h.scan();
+        assert_eq!(h.last_stats().iterations, 1);
+        assert_eq!(h.last_stats().s_scans, 1);
+    }
+
+    #[test]
+    fn atomic_r_configuration_behaves_identically() {
+        let mem = NativeMem::new();
+        let snap = SlSnapshot::with_atomic_r(&mem, 2);
+        let mut h0 = snap.handle(ProcId(0));
+        let mut h1 = snap.handle(ProcId(1));
+        h0.update(1u64);
+        h1.update(2);
+        assert_eq!(h0.scan(), vec![Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn afek_substrate_configuration_behaves_identically() {
+        let mem = NativeMem::new();
+        let snap = SlSnapshot::with_afek(&mem, 2);
+        let mut h0 = snap.handle(ProcId(0));
+        let mut h1 = snap.handle(ProcId(1));
+        h0.update(1u64);
+        h1.update(2);
+        assert_eq!(h1.scan(), vec![Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn repeated_same_value_updates_are_distinguished_by_seq() {
+        // Algorithm 4's per-process sequence numbers make same-value
+        // rewrites visible to the accounting (the scan still returns the
+        // plain values).
+        let mem = NativeMem::new();
+        let snap = SlSnapshot::with_double_collect(&mem, 2);
+        let mut h = snap.handle(ProcId(0));
+        h.update(5u64);
+        h.update(5);
+        let mut r = snap.handle(ProcId(1));
+        assert_eq!(r.scan(), vec![Some(5), None]);
+    }
+
+    #[test]
+    fn native_threads_concurrent_updates_scans() {
+        let mem = NativeMem::new();
+        let snap = SlSnapshot::with_double_collect(&mem, 4);
+        crossbeam::scope(|sc| {
+            for p in 0..4usize {
+                let snap = snap.clone();
+                sc.spawn(move |_| {
+                    let mut h = snap.handle(ProcId(p));
+                    for i in 0..100u64 {
+                        h.update(i);
+                        let view = h.scan();
+                        assert_eq!(view[p], Some(i), "own component must be current");
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let mut h = snap.handle(ProcId(0));
+        let final_view = h.scan();
+        assert_eq!(&final_view[1..], &[Some(99), Some(99), Some(99)]);
+    }
+}

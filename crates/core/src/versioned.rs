@@ -1,0 +1,162 @@
+//! The Denysyuk–Woelfel unbounded versioned-object construction (§4.1).
+
+use sl_mem::{Mem, Value};
+use sl_snapshot::{DoubleCollectSnapshot, LinSnapshot, VersionedSnapshot};
+use sl_spec::ProcId;
+
+use crate::max_register::UnaryMaxRegister;
+use crate::snapshot_sl::{SnapshotHandle, SnapshotObject};
+
+/// The strongly linearizable *unbounded-space* snapshot of Denysyuk &
+/// Woelfel (paper §4.1) — the baseline that Theorem 2 improves on.
+///
+/// A versioned snapshot `S` (here the double-collect snapshot, whose
+/// version is the sum of per-component sequence numbers) is combined with
+/// an augmented max-register `R` storing `(version, view)` pairs:
+///
+/// * `update(x)`: `S.update(x)`, then `(view, v) = S.scan_versioned()`,
+///   then `R.maxWrite(v, view)`;
+/// * `scan()`: return the view stored by `R.maxRead()`.
+///
+/// An update linearizes as soon as a `maxWrite` with version `≥ v`
+/// linearizes; a scan linearizes at its `maxRead` — prefix-preserving
+/// because the max-register is strongly linearizable. The cost is space:
+/// the version number grows with every update, and the max-register
+/// footprint with it ([`VersionedSlSnapshot::space_cells`], experiment
+/// `exp_space`).
+pub struct VersionedSlSnapshot<V: Value, M: Mem> {
+    s: DoubleCollectSnapshot<V, M>,
+    r: UnaryMaxRegister<Vec<Option<V>>, M>,
+    n: usize,
+}
+
+impl<V: Value, M: Mem> Clone for VersionedSlSnapshot<V, M> {
+    fn clone(&self) -> Self {
+        VersionedSlSnapshot {
+            s: self.s.clone(),
+            r: self.r.clone(),
+            n: self.n,
+        }
+    }
+}
+
+impl<V: Value, M: Mem> std::fmt::Debug for VersionedSlSnapshot<V, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "VersionedSlSnapshot(n={}, cells={})",
+            self.n,
+            self.r.allocated_cells()
+        )
+    }
+}
+
+impl<V: Value, M: Mem> VersionedSlSnapshot<V, M> {
+    /// Creates the construction for `n` processes.
+    pub fn new(mem: &M, n: usize) -> Self {
+        VersionedSlSnapshot {
+            s: DoubleCollectSnapshot::new(mem, n),
+            r: UnaryMaxRegister::new(mem, "dw.R"),
+            n,
+        }
+    }
+
+    /// Registers allocated by the version max-register so far — grows
+    /// without bound as updates accumulate (the §4.1 space cost).
+    pub fn space_cells(&self) -> usize {
+        self.r.allocated_cells()
+    }
+}
+
+impl<V: Value, M: Mem> SnapshotObject<V> for VersionedSlSnapshot<V, M> {
+    type Handle = VersionedHandle<V, M>;
+
+    fn handle(&self, p: ProcId) -> Self::Handle {
+        assert!(p.index() < self.n, "process id out of range");
+        VersionedHandle {
+            outer: self.clone(),
+            p,
+        }
+    }
+
+    fn components(&self) -> usize {
+        self.n
+    }
+}
+
+/// Process-local handle of [`VersionedSlSnapshot`].
+pub struct VersionedHandle<V: Value, M: Mem> {
+    outer: VersionedSlSnapshot<V, M>,
+    p: ProcId,
+}
+
+impl<V: Value, M: Mem> SnapshotHandle<V> for VersionedHandle<V, M> {
+    fn update(&mut self, value: V) {
+        self.outer.s.update(self.p, value);
+        let (view, version) = self.outer.s.scan_versioned(self.p);
+        self.outer.r.max_write(version, view);
+    }
+
+    fn scan(&mut self) -> Vec<Option<V>> {
+        let (_, view) = self.outer.r.max_read();
+        view.unwrap_or_else(|| vec![None; self.outer.n])
+    }
+
+    fn proc(&self) -> ProcId {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_mem::NativeMem;
+
+    #[test]
+    fn sequential_behaviour_matches_snapshot_spec() {
+        let mem = NativeMem::new();
+        let snap: VersionedSlSnapshot<u64, _> = VersionedSlSnapshot::new(&mem, 2);
+        let mut h0 = snap.handle(ProcId(0));
+        let mut h1 = snap.handle(ProcId(1));
+        assert_eq!(h0.scan(), vec![None, None]);
+        h0.update(4);
+        assert_eq!(h1.scan(), vec![Some(4), None]);
+        h1.update(5);
+        assert_eq!(h0.scan(), vec![Some(4), Some(5)]);
+    }
+
+    #[test]
+    fn space_grows_without_bound() {
+        let mem = NativeMem::new();
+        let snap: VersionedSlSnapshot<u64, _> = VersionedSlSnapshot::new(&mem, 1);
+        let mut h = snap.handle(ProcId(0));
+        for i in 0..50 {
+            h.update(i);
+        }
+        assert!(
+            snap.space_cells() > 50,
+            "the §4.1 construction allocates ever more registers: {}",
+            snap.space_cells()
+        );
+    }
+
+    #[test]
+    fn concurrent_native_usage() {
+        let mem = NativeMem::new();
+        let snap: VersionedSlSnapshot<u64, _> = VersionedSlSnapshot::new(&mem, 3);
+        crossbeam::scope(|sc| {
+            for p in 0..3usize {
+                let snap = snap.clone();
+                sc.spawn(move |_| {
+                    let mut h = snap.handle(ProcId(p));
+                    for i in 0..50u64 {
+                        h.update(i);
+                        let v = h.scan();
+                        assert_eq!(v[p], Some(i));
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+}

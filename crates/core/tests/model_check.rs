@@ -1,0 +1,492 @@
+//! Bounded exhaustive model checking of the paper's algorithms
+//! (Theorems 12 and 25) plus linearization-point validation at scale
+//! (the `pt` functions Q-1/Q-2 of §3.2).
+
+use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree};
+use sl_core::aba::{AbaHandle, AbaRegister, SlAbaRegister};
+use sl_core::SlSnapshot;
+use sl_sim::{explore, AccessKind, EventLog, Program, RunOutcome, Scripted, SeededRandom, SimWorld, TraceItem};
+use sl_spec::types::{AbaSpec, SnapshotSpec};
+use sl_spec::{validate_sequential, AbaOp, AbaResp, EventKind, History, ProcId, SnapshotOp, SnapshotResp};
+
+type ASpec = AbaSpec<u64>;
+type SSpec = SnapshotSpec<u64>;
+
+/// Exhaustively explores all schedules of a 2-process Algorithm-2
+/// workload (one DWrite, one DRead) and model-checks strong
+/// linearizability over the full prefix tree of transcripts.
+#[test]
+fn sl_aba_exhaustive_one_write_one_read() {
+    let mut transcripts = Vec::new();
+    let explored = explore(
+        |script| {
+            let world = SimWorld::new(2);
+            let mem = world.mem();
+            let reg = SlAbaRegister::<u64, _>::new(&mem, 2);
+            let log: EventLog<ASpec> = EventLog::new(&world);
+            let mut w = reg.handle(ProcId(0));
+            let wl = log.clone();
+            let mut r = reg.handle(ProcId(1));
+            let rl = log.clone();
+            let programs: Vec<Program> = vec![
+                Box::new(move |ctx| {
+                    ctx.pause();
+                    let id = wl.invoke(ctx.proc_id(), AbaOp::DWrite(9));
+                    w.dwrite(9);
+                    wl.respond(id, AbaResp::Ack);
+                }),
+                Box::new(move |ctx| {
+                    ctx.pause();
+                    let id = rl.invoke(ctx.proc_id(), AbaOp::DRead);
+                    let (v, a) = r.dread();
+                    rl.respond(id, AbaResp::Value(v, a));
+                }),
+            ];
+            let mut sched = Scripted::new(script.to_vec());
+            let outcome = world.run(programs, &mut sched, 200);
+            transcripts.push(log.transcript(&outcome));
+            outcome
+        },
+        20_000,
+        |_, _| {},
+    );
+    assert!(explored.exhausted, "schedule space must be fully explored");
+    assert!(explored.runs > 10, "expected many interleavings, got {}", explored.runs);
+
+    let tree = HistoryTree::from_transcripts(&transcripts);
+    let report = check_strongly_linearizable(&ASpec::new(2), &tree);
+    assert!(
+        report.holds,
+        "Theorem 12 (bounded check): Algorithm 2 strongly linearizable over {} schedules",
+        explored.runs
+    );
+}
+
+/// Exhaustively explores Algorithm 3 (atomic `R` configuration, one
+/// `SLupdate` + one `SLscan`) up to a run budget and model-checks strong
+/// linearizability of the explored prefix tree.
+#[test]
+fn sl_snapshot_atomic_r_exhaustive_one_update_one_scan() {
+    let mut transcripts = Vec::new();
+    let explored = explore(
+        |script| {
+            let world = SimWorld::new(2);
+            let mem = world.mem();
+            let snap = SlSnapshot::with_atomic_r(&mem, 2);
+            let log: EventLog<SSpec> = EventLog::new(&world);
+            let mut u = snap.handle(ProcId(0));
+            let ul = log.clone();
+            let mut s = snap.handle(ProcId(1));
+            let sl = log.clone();
+            let programs: Vec<Program> = vec![
+                Box::new(move |ctx| {
+                    ctx.pause();
+                    let id = ul.invoke(ctx.proc_id(), SnapshotOp::Update(5));
+                    u.update(5);
+                    ul.respond(id, SnapshotResp::Ack);
+                }),
+                Box::new(move |ctx| {
+                    ctx.pause();
+                    let id = sl.invoke(ctx.proc_id(), SnapshotOp::Scan);
+                    let v = s.scan();
+                    sl.respond(id, SnapshotResp::View(v));
+                }),
+            ];
+            let mut sched = Scripted::new(script.to_vec());
+            let outcome = world.run(programs, &mut sched, 500);
+            transcripts.push(log.transcript(&outcome));
+            outcome
+        },
+        4_000,
+        |_, _| {},
+    );
+    assert!(explored.runs >= 1_000 || explored.exhausted);
+
+    let tree = HistoryTree::from_transcripts(&transcripts);
+    let report = check_strongly_linearizable(&SSpec::new(2), &tree);
+    assert!(
+        report.holds,
+        "Theorem 25 (bounded check): Algorithm 3 strongly linearizable over {} schedules \
+         (exhausted: {})",
+        explored.runs,
+        explored.exhausted
+    );
+}
+
+/// Random-schedule linearizability of the full Theorem-2 configuration
+/// (double-collect substrate + composed Algorithm-2 register).
+#[test]
+fn sl_snapshot_composed_linearizable_under_random_schedules() {
+    for seed in 0..15u64 {
+        let n = 3;
+        let world = SimWorld::new(n);
+        let mem = world.mem();
+        let snap = SlSnapshot::with_double_collect(&mem, n);
+        let log: EventLog<SSpec> = EventLog::new(&world);
+        let mut programs: Vec<Program> = Vec::new();
+        for pid in 0..n {
+            let mut h = snap.handle(ProcId(pid));
+            let log = log.clone();
+            programs.push(Box::new(move |ctx| {
+                for i in 0..2u64 {
+                    let value = pid as u64 * 10 + i;
+                    let id = log.invoke(ctx.proc_id(), SnapshotOp::Update(value));
+                    h.update(value);
+                    log.respond(id, SnapshotResp::Ack);
+                    let id = log.invoke(ctx.proc_id(), SnapshotOp::Scan);
+                    let v = h.scan();
+                    log.respond(id, SnapshotResp::View(v));
+                }
+            }));
+        }
+        let mut sched = SeededRandom::new(seed);
+        let outcome = world.run(programs, &mut sched, 2_000_000);
+        assert!(outcome.completed, "seed {seed}: scans starved (lock-freedom violated?)");
+        let h = log.history();
+        assert!(
+            check_linearizable(&SSpec::new(n), &h).is_some(),
+            "seed {seed}: SL snapshot produced a non-linearizable history"
+        );
+    }
+}
+
+/// Extracts the linearization points of Algorithm 2 from a run's trace
+/// (Q-1: a `DRead` linearizes at its final read of `X`; Q-2: a `DWrite`
+/// at its write of `X`) and returns the complete operations in
+/// linearization order.
+#[allow(clippy::type_complexity)]
+fn algorithm2_linearization(
+    outcome: &RunOutcome,
+    history: &History<ASpec>,
+) -> Vec<(ProcId, AbaOp<u64>, AbaResp<u64>)> {
+    let events = history.events();
+    // Current operation per process, and per-op linearization point.
+    let mut current: Vec<Option<usize>> = vec![None; 8];
+    let mut pts: Vec<(usize, usize)> = Vec::new(); // (pt index, op event index)
+    let mut op_x_access: std::collections::HashMap<usize, usize> = Default::default();
+    for (idx, item) in outcome.trace.iter().enumerate() {
+        match item {
+            TraceItem::Hi(i) => {
+                let e = &events[*i];
+                match &e.kind {
+                    EventKind::Invoke(_) => current[e.proc.index()] = Some(*i),
+                    EventKind::Respond(_) => {
+                        let inv = current[e.proc.index()].take().expect("response w/o inv");
+                        if let Some(pt) = op_x_access.remove(&inv) {
+                            pts.push((pt, inv));
+                        }
+                    }
+                }
+            }
+            TraceItem::Step(s) => {
+                if s.kind == AccessKind::Local || !s.reg.ends_with(".X") {
+                    continue;
+                }
+                if let Some(inv) = current[s.proc] {
+                    let e = &events[inv];
+                    let is_write_op = matches!(&e.kind, EventKind::Invoke(AbaOp::DWrite(_)));
+                    match (is_write_op, s.kind) {
+                        // DWrite linearizes at its (only) write of X.
+                        (true, AccessKind::Write) => {
+                            op_x_access.insert(inv, idx);
+                        }
+                        // DRead linearizes at its *final* read of X.
+                        (false, AccessKind::Read) => {
+                            op_x_access.insert(inv, idx);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    pts.sort_unstable();
+    pts.into_iter()
+        .map(|(_, inv)| {
+            let e = &events[inv];
+            let op = match &e.kind {
+                EventKind::Invoke(op) => *op,
+                EventKind::Respond(_) => unreachable!(),
+            };
+            let resp = history
+                .records()
+                .into_iter()
+                .find(|r| r.id == e.op)
+                .and_then(|r| r.response.map(|(_, resp)| resp))
+                .expect("complete op");
+            (e.proc, op, resp)
+        })
+        .collect()
+}
+
+/// Large random runs of Algorithm 2: the sequential history induced by
+/// the paper's linearization points (Q-1/Q-2) must be valid — a scalable
+/// validation of Theorem 10 that avoids the exponential checker.
+#[test]
+fn sl_aba_linpoint_order_is_valid_at_scale() {
+    for seed in 0..10u64 {
+        let n = 4;
+        let world = SimWorld::new(n);
+        let mem = world.mem();
+        let reg = SlAbaRegister::<u64, _>::new(&mem, n);
+        let log: EventLog<ASpec> = EventLog::new(&world);
+        let mut programs: Vec<Program> = Vec::new();
+        for pid in 0..n {
+            let mut h = reg.handle(ProcId(pid));
+            let log = log.clone();
+            programs.push(Box::new(move |ctx| {
+                for i in 0..10u64 {
+                    ctx.pause();
+                    if pid % 2 == 0 {
+                        let id = log.invoke(ctx.proc_id(), AbaOp::DWrite(pid as u64 * 100 + i));
+                        h.dwrite(pid as u64 * 100 + i);
+                        log.respond(id, AbaResp::Ack);
+                    } else {
+                        let id = log.invoke(ctx.proc_id(), AbaOp::DRead);
+                        let (v, a) = h.dread();
+                        log.respond(id, AbaResp::Value(v, a));
+                    }
+                }
+            }));
+        }
+        let mut sched = SeededRandom::new(seed);
+        let outcome = world.run(programs, &mut sched, 1_000_000);
+        assert!(outcome.completed, "seed {seed}: reads starved");
+        let h = log.history();
+        let order = algorithm2_linearization(&outcome, &h);
+        assert_eq!(
+            order.len(),
+            h.complete_ops().len(),
+            "every complete operation has a linearization point"
+        );
+        validate_sequential(&ASpec::new(n), &order).unwrap_or_else(|(i, expected)| {
+            panic!(
+                "seed {seed}: linearization-point order invalid at step {i}: \
+                 got {:?}, spec expects {expected:?}",
+                order[i]
+            )
+        });
+    }
+}
+
+/// The Algorithm-2 DRead loop terminates in one iteration without
+/// contention (the §3 contention-free fast path).
+#[test]
+fn sl_aba_reads_are_fast_without_contention() {
+    let world = SimWorld::new(2);
+    let mem = world.mem();
+    let reg = SlAbaRegister::<u64, _>::new(&mem, 2);
+    let mut w = reg.handle(ProcId(0));
+    let mut r = reg.handle(ProcId(1));
+    let iters = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let iters2 = iters.clone();
+    let programs: Vec<Program> = vec![
+        Box::new(move |_| {
+            for i in 0..5 {
+                w.dwrite(i);
+            }
+        }),
+        Box::new(move |_| {
+            for _ in 0..5 {
+                let _ = r.dread();
+                iters2.lock().unwrap().push(r.last_iterations());
+            }
+        }),
+    ];
+    // Writer runs fully before the reader: zero contention.
+    let mut sched = Scripted::new(vec![0; 100]);
+    let outcome = world.run(programs, &mut sched, 10_000);
+    assert!(outcome.completed);
+    let iters = iters.lock().unwrap().clone();
+    // The first read refreshes the stale announcement (2 iterations);
+    // every later uncontended read needs exactly one — O(1) steps in the
+    // absence of contention, as stated after Theorem 1.
+    assert_eq!(
+        iters,
+        vec![2, 1, 1, 1, 1],
+        "uncontended DReads take O(1) loop iterations"
+    );
+}
+
+/// The fully bounded Theorem-2 configuration (Algorithm 3 proper over
+/// the handshake substrate and the composed Algorithm-2 register):
+/// linearizable under random schedules.
+#[test]
+fn fully_bounded_sl_snapshot_linearizable_under_random_schedules() {
+    use sl_core::BoundedSlSnapshot;
+    for seed in 0..10u64 {
+        let n = 3;
+        let world = SimWorld::new(n);
+        let mem = world.mem();
+        let snap = BoundedSlSnapshot::fully_bounded(&mem, n);
+        let log: EventLog<SSpec> = EventLog::new(&world);
+        let mut programs: Vec<Program> = Vec::new();
+        for pid in 0..n {
+            let mut h = snap.handle(ProcId(pid));
+            let log = log.clone();
+            programs.push(Box::new(move |ctx| {
+                for i in 0..2u64 {
+                    let value = pid as u64 * 10 + i;
+                    let id = log.invoke(ctx.proc_id(), SnapshotOp::Update(value));
+                    h.update(value);
+                    log.respond(id, SnapshotResp::Ack);
+                    let id = log.invoke(ctx.proc_id(), SnapshotOp::Scan);
+                    let v = h.scan();
+                    log.respond(id, SnapshotResp::View(v));
+                }
+            }));
+        }
+        let mut sched = SeededRandom::new(seed);
+        let outcome = world.run(programs, &mut sched, 5_000_000);
+        assert!(outcome.completed, "seed {seed}: starved");
+        assert!(
+            check_linearizable(&SSpec::new(n), &log.history()).is_some(),
+            "seed {seed}: fully bounded SL snapshot produced a non-linearizable history"
+        );
+    }
+}
+
+/// Budget-bounded exhaustive strong-linearizability check of the fully
+/// bounded configuration (one SLupdate + one SLscan).
+#[test]
+fn fully_bounded_sl_snapshot_strong_bounded_check() {
+    use sl_core::BoundedSlSnapshot;
+    let mut transcripts = Vec::new();
+    let explored = explore(
+        |script| {
+            let world = SimWorld::new(2);
+            let mem = world.mem();
+            let snap = BoundedSlSnapshot::fully_bounded(&mem, 2);
+            let log: EventLog<SSpec> = EventLog::new(&world);
+            let mut u = snap.handle(ProcId(0));
+            let ul = log.clone();
+            let mut s = snap.handle(ProcId(1));
+            let sl = log.clone();
+            let programs: Vec<Program> = vec![
+                Box::new(move |ctx| {
+                    ctx.pause();
+                    let id = ul.invoke(ctx.proc_id(), SnapshotOp::Update(5));
+                    u.update(5);
+                    ul.respond(id, SnapshotResp::Ack);
+                }),
+                Box::new(move |ctx| {
+                    ctx.pause();
+                    let id = sl.invoke(ctx.proc_id(), SnapshotOp::Scan);
+                    let v = s.scan();
+                    sl.respond(id, SnapshotResp::View(v));
+                }),
+            ];
+            let mut sched = Scripted::new(script.to_vec());
+            let outcome = world.run(programs, &mut sched, 2_000);
+            transcripts.push(log.transcript(&outcome));
+            outcome
+        },
+        2_000,
+        |_, _| {},
+    );
+    let tree = HistoryTree::from_transcripts(&transcripts);
+    let report = check_strongly_linearizable(&SSpec::new(2), &tree);
+    assert!(
+        report.holds,
+        "fully bounded configuration over {} schedules (exhausted: {})",
+        explored.runs,
+        explored.exhausted
+    );
+}
+
+/// §6 of the paper: universal constructions from CAS-style objects are
+/// strongly linearizable — exhaustively checked for a queue (a type
+/// that provably has NO strongly linearizable implementation from
+/// registers alone, by Attiya, Castañeda & Hendler).
+#[test]
+fn cas_universal_queue_strongly_linearizable_exhaustive() {
+    use sl_core::CasUniversal;
+    use sl_spec::types::QueueSpec;
+    use sl_spec::{QueueOp, QueueResp};
+
+    let mut transcripts = Vec::new();
+    let explored = explore(
+        |script| {
+            let world = SimWorld::new(2);
+            let mem = world.mem();
+            let q = CasUniversal::new(&mem, QueueSpec);
+            let log: EventLog<QueueSpec> = EventLog::new(&world);
+            let q0 = q.clone();
+            let l0 = log.clone();
+            let q1 = q.clone();
+            let l1 = log.clone();
+            let programs: Vec<Program> = vec![
+                Box::new(move |ctx| {
+                    ctx.pause();
+                    let id = l0.invoke(ctx.proc_id(), QueueOp::Enqueue(7));
+                    let resp = q0.execute(ctx.proc_id(), &QueueOp::Enqueue(7));
+                    assert_eq!(resp, QueueResp::Ack);
+                    l0.respond(id, resp);
+                }),
+                Box::new(move |ctx| {
+                    ctx.pause();
+                    let id = l1.invoke(ctx.proc_id(), QueueOp::Dequeue);
+                    let resp = q1.execute(ctx.proc_id(), &QueueOp::Dequeue);
+                    l1.respond(id, resp);
+                }),
+            ];
+            let mut sched = Scripted::new(script.to_vec());
+            let outcome = world.run(programs, &mut sched, 200);
+            transcripts.push(log.transcript(&outcome));
+            outcome
+        },
+        20_000,
+        |_, _| {},
+    );
+    assert!(explored.exhausted);
+
+    let tree = HistoryTree::from_transcripts(&transcripts);
+    let report = check_strongly_linearizable(&QueueSpec, &tree);
+    assert!(
+        report.holds,
+        "§6: CAS universal queue strongly linearizable over {} schedules",
+        explored.runs
+    );
+}
+
+/// Random-schedule linearizability of the CAS universal queue under
+/// heavier workloads.
+#[test]
+fn cas_universal_queue_linearizable_random_schedules() {
+    use sl_core::CasUniversal;
+    use sl_spec::types::QueueSpec;
+    use sl_spec::QueueOp;
+
+    for seed in 0..10u64 {
+        let n = 3;
+        let world = SimWorld::new(n);
+        let mem = world.mem();
+        let q = CasUniversal::new(&mem, QueueSpec);
+        let log: EventLog<QueueSpec> = EventLog::new(&world);
+        let mut programs: Vec<Program> = Vec::new();
+        for pid in 0..n {
+            let q = q.clone();
+            let log = log.clone();
+            programs.push(Box::new(move |ctx| {
+                for i in 0..3u64 {
+                    ctx.pause();
+                    let op = if (pid + i as usize).is_multiple_of(2) {
+                        QueueOp::Enqueue(pid as u64 * 10 + i)
+                    } else {
+                        QueueOp::Dequeue
+                    };
+                    let id = log.invoke(ctx.proc_id(), op);
+                    let resp = q.execute(ctx.proc_id(), &op);
+                    log.respond(id, resp);
+                }
+            }));
+        }
+        let mut sched = SeededRandom::new(seed);
+        let outcome = world.run(programs, &mut sched, 100_000);
+        assert!(outcome.completed, "seed {seed}: starved (CAS livelock?)");
+        assert!(
+            check_linearizable(&QueueSpec, &log.history()).is_some(),
+            "seed {seed}: CAS universal queue non-linearizable"
+        );
+    }
+}

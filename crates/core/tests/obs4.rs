@@ -1,0 +1,177 @@
+//! Executable reproduction of the paper's Observation 4.
+//!
+//! The proof of Observation 4 constructs three transcripts of
+//! Algorithm 1 (the Aghazadeh–Woelfel linearizable ABA-detecting
+//! register):
+//!
+//! ```text
+//! S  = dw1 ∘ (dr1 to end of line 16) ∘ dw2
+//! T1 = S ∘ dw3 ∘ dw4 ∘ dw5 ∘ (dr1 from line 17) ∘ dr2
+//! T2 = S ∘ (dr1 from line 17) ∘ dr2
+//! ```
+//!
+//! where a solo writer's sequence numbers cycle `0,1,2,3,0,…` (so `dw1`
+//! and `dw5` both use sequence number 0, and `dw2` uses a different
+//! one). Each transcript is linearizable on its own, but the set has no
+//! strong linearization function: `T1` forces `dr1 ∉ f(S)` while `T2`
+//! forces `dr1 ∈ f(S)`.
+//!
+//! This test *runs* Algorithm 1 under the two scripted schedules,
+//! records real transcripts, and feeds the merged prefix tree to the
+//! strong-linearizability checker — and runs the identical family
+//! against the paper's Algorithm 2, which passes.
+
+use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree, TreeStep};
+use sl_core::aba::{AbaHandle, AbaRegister, AwAbaRegister, SlAbaRegister};
+use sl_sim::{EventLog, Program, RunOutcome, Scripted, SimWorld};
+use sl_spec::types::AbaSpec;
+use sl_spec::{AbaOp, AbaResp, ProcId};
+
+type Spec = AbaSpec<u64>;
+
+const WRITER: usize = 0;
+const READER: usize = 1;
+
+/// Runs the Observation-4 workload (writer: 5 `DWrite(7)`s; reader: 2
+/// `DRead`s) under the given schedule script.
+fn run_family<R, F>(make: F, script: &[usize]) -> (RunOutcome, Vec<TreeStep<Spec>>)
+where
+    R: AbaRegister<u64>,
+    F: Fn(&sl_sim::SimMem, usize) -> R,
+{
+    let world = SimWorld::new(2);
+    let mem = world.mem();
+    let reg = make(&mem, 2);
+    let log: EventLog<Spec> = EventLog::new(&world);
+
+    // Each operation is preceded by a scheduled pause: a process invokes
+    // its next operation only when the adversary schedules it (see
+    // `ProcCtx::pause`). One DWrite = pause + 2 shared steps; one DRead
+    // of Algorithm 1 = pause + 4 shared steps.
+    let mut w = reg.handle(ProcId(WRITER));
+    let wlog = log.clone();
+    let writer: Program = Box::new(move |ctx| {
+        for _ in 0..5 {
+            ctx.pause();
+            let id = wlog.invoke(ctx.proc_id(), AbaOp::DWrite(7));
+            w.dwrite(7);
+            wlog.respond(id, AbaResp::Ack);
+        }
+    });
+
+    let mut r = reg.handle(ProcId(READER));
+    let rlog = log.clone();
+    let reader: Program = Box::new(move |ctx| {
+        for _ in 0..2 {
+            ctx.pause();
+            let id = rlog.invoke(ctx.proc_id(), AbaOp::DRead);
+            let (v, a) = r.dread();
+            rlog.respond(id, AbaResp::Value(v, a));
+        }
+    });
+
+    let mut sched = Scripted::new(script.to_vec());
+    let outcome = world.run(vec![writer, reader], &mut sched, 10_000);
+    assert!(outcome.completed);
+    let transcript = log.transcript(&outcome);
+    (outcome, transcript)
+}
+
+/// The two schedules of the proof. Writer steps are `0`, reader steps
+/// `1`. A `DWrite` is pause + 2 shared steps (= 3 scheduled steps); a
+/// `DRead` is pause + 4 shared steps (X.read, A.read, A.write, X.read).
+fn scripts() -> (Vec<usize>, Vec<usize>) {
+    // S: dw1 (3 writer steps), dr1 through line 16 (pause + X.read +
+    //    A.read = 3 reader steps), dw2 (3 writer steps).
+    let s = vec![
+        WRITER, WRITER, WRITER, READER, READER, READER, WRITER, WRITER, WRITER,
+    ];
+    // T1: S, then dw3 dw4 dw5 (9 writer steps), dr1 lines 17-18
+    //     (2 reader steps), dr2 (5 reader steps).
+    let mut t1 = s.clone();
+    t1.extend([WRITER; 9]);
+    t1.extend([READER; 7]);
+    // T2: S, then dr1 lines 17-18 and dr2 (7 reader steps); the writer's
+    //     remaining DWrites run only after the script (Scripted falls
+    //     back), so — exactly as in the paper's T2 — dw3 is not even
+    //     invoked while dr1 and dr2 execute.
+    let mut t2 = s;
+    t2.extend([READER; 7]);
+    (t1, t2)
+}
+
+fn history_of(transcript: &[TreeStep<Spec>]) -> sl_spec::History<Spec> {
+    let mut h = sl_spec::History::new();
+    for step in transcript {
+        if let TreeStep::Event(e) = step {
+            match &e.kind {
+                sl_spec::EventKind::Invoke(op) => h.invoke_with_id(e.op, e.proc, *op),
+                sl_spec::EventKind::Respond(r) => h.respond(e.op, *r),
+            }
+        }
+    }
+    h
+}
+
+#[test]
+fn algorithm1_observation4_family_has_no_strong_linearization() {
+    let (t1s, t2s) = scripts();
+    let (_, tr1) = run_family(AwAbaRegister::<u64, _>::new, &t1s);
+    let (_, tr2) = run_family(AwAbaRegister::<u64, _>::new, &t2s);
+
+    // The branch point must occur where the proof says: within the
+    // common prefix S both runs agree.
+    let h1 = history_of(&tr1);
+    let h2 = history_of(&tr2);
+
+    // Sanity: dr2 returns (7, false) in T1 and (7, true) in T2 — the
+    // two contradictory commitments of the proof. (dr2 is the reader's
+    // last operation; the writer may have trailing DWrites after it.)
+    let dr2_of = |h: &sl_spec::History<Spec>| {
+        h.records()
+            .into_iter().rfind(|r| r.proc == ProcId(READER))
+            .unwrap()
+    };
+    assert_eq!(
+        dr2_of(&h1).response.as_ref().unwrap().1,
+        AbaResp::Value(Some(7), false),
+        "T1's dr2 must report no intervening write"
+    );
+    assert_eq!(
+        dr2_of(&h2).response.as_ref().unwrap().1,
+        AbaResp::Value(Some(7), true),
+        "T2's dr2 must report an intervening write"
+    );
+
+    // Each transcript alone is linearizable…
+    let spec = Spec::new(2);
+    assert!(check_linearizable(&spec, &h1).is_some(), "T1 linearizable");
+    assert!(check_linearizable(&spec, &h2).is_some(), "T2 linearizable");
+
+    // …but the prefix-closed set is not strongly linearizable.
+    let tree = HistoryTree::from_transcripts(&[tr1, tr2]);
+    assert!(tree.leaf_count() >= 2, "the schedules must diverge");
+    let report = check_strongly_linearizable(&spec, &tree);
+    assert!(
+        !report.holds,
+        "Observation 4: Algorithm 1 admits no strong linearization function"
+    );
+}
+
+#[test]
+fn algorithm2_passes_the_observation4_family() {
+    let (t1s, t2s) = scripts();
+    let (_, tr1) = run_family(SlAbaRegister::<u64, _>::new, &t1s);
+    let (_, tr2) = run_family(SlAbaRegister::<u64, _>::new, &t2s);
+
+    let spec = Spec::new(2);
+    assert!(check_linearizable(&spec, &history_of(&tr1)).is_some());
+    assert!(check_linearizable(&spec, &history_of(&tr2)).is_some());
+
+    let tree = HistoryTree::from_transcripts(&[tr1, tr2]);
+    let report = check_strongly_linearizable(&spec, &tree);
+    assert!(
+        report.holds,
+        "Theorem 12: Algorithm 2 is strongly linearizable on the same family"
+    );
+}

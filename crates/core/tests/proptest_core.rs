@@ -1,0 +1,144 @@
+//! Property tests for the core algorithms.
+
+use proptest::prelude::*;
+use sl_check::check_linearizable;
+use sl_core::aba::{AbaHandle, AbaRegister, PackedSlAbaRegister, SlAbaRegister};
+use sl_core::{BoundedMaxRegister, SlCounter, SlSnapshot, SnapshotMaxRegister, UnaryMaxRegister};
+use sl_mem::NativeMem;
+use sl_sim::{EventLog, Program, SeededRandom, SimWorld};
+use sl_spec::types::AbaSpec;
+use sl_spec::{AbaOp, AbaResp, ProcId};
+
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    Write(u32),
+    Read,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![(0u32..9).prop_map(Step::Write), Just(Step::Read)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The packed AtomicU64 register and the generic Algorithm 2 agree
+    /// on arbitrary single-threaded interleavings of two handles.
+    #[test]
+    fn packed_matches_generic_on_arbitrary_programs(
+        steps in proptest::collection::vec((any::<bool>(), step()), 0..60),
+    ) {
+        let packed = PackedSlAbaRegister::new(2);
+        let generic = SlAbaRegister::<u32, _>::new(&NativeMem::new(), 2);
+        let mut ph = [packed.handle(ProcId(0)), packed.handle(ProcId(1))];
+        let mut gh = [generic.handle(ProcId(0)), generic.handle(ProcId(1))];
+        for (second, s) in steps {
+            let i = second as usize;
+            match s {
+                Step::Write(v) => {
+                    ph[i].dwrite(v);
+                    gh[i].dwrite(v);
+                }
+                Step::Read => {
+                    prop_assert_eq!(ph[i].dread(), gh[i].dread());
+                }
+            }
+        }
+    }
+
+    /// Algorithm 2 histories under arbitrary random schedules are
+    /// linearizable.
+    #[test]
+    fn sl_aba_linearizable_any_seed(seed in any::<u64>()) {
+        let n = 3;
+        let world = SimWorld::new(n);
+        let mem = world.mem();
+        let reg = SlAbaRegister::<u64, _>::new(&mem, n);
+        let log: EventLog<AbaSpec<u64>> = EventLog::new(&world);
+        let mut programs: Vec<Program> = Vec::new();
+        for pid in 0..n {
+            let mut h = reg.handle(ProcId(pid));
+            let log = log.clone();
+            programs.push(Box::new(move |ctx| {
+                for i in 0..2u64 {
+                    ctx.pause();
+                    if pid == 0 {
+                        let id = log.invoke(ctx.proc_id(), AbaOp::DWrite(i));
+                        h.dwrite(i);
+                        log.respond(id, AbaResp::Ack);
+                    } else {
+                        let id = log.invoke(ctx.proc_id(), AbaOp::DRead);
+                        let (v, a) = h.dread();
+                        log.respond(id, AbaResp::Value(v, a));
+                    }
+                }
+            }));
+        }
+        let mut sched = SeededRandom::new(seed);
+        let outcome = world.run(programs, &mut sched, 500_000);
+        prop_assert!(outcome.completed);
+        prop_assert!(check_linearizable(&AbaSpec::new(n), &log.history()).is_some());
+    }
+
+    /// The bounded AAC max-register equals a reference maximum under
+    /// arbitrary write sequences.
+    #[test]
+    fn bounded_max_register_tracks_reference(
+        writes in proptest::collection::vec(0u64..1000, 0..50),
+    ) {
+        let m = BoundedMaxRegister::new(&NativeMem::new(), 1000);
+        let mut reference = 0;
+        for w in writes {
+            m.max_write(w);
+            reference = reference.max(w);
+            prop_assert_eq!(m.max_read(), reference);
+        }
+    }
+
+    /// The unary unbounded max-register tracks the maximum and its
+    /// payload, and allocates exactly max+1 cells.
+    #[test]
+    fn unary_max_register_tracks_reference(
+        writes in proptest::collection::vec(0u64..200, 1..40),
+    ) {
+        let m: UnaryMaxRegister<u64, _> = UnaryMaxRegister::new(&NativeMem::new(), "m");
+        let mut reference = None::<u64>;
+        for w in &writes {
+            m.max_write(*w, *w * 2);
+            reference = Some(reference.map_or(*w, |r| r.max(*w)));
+        }
+        let (v, payload) = m.max_read();
+        prop_assert_eq!(Some(v), reference);
+        prop_assert_eq!(payload, reference.map(|r| r * 2));
+        prop_assert_eq!(m.allocated_cells() as u64, reference.unwrap() + 1);
+    }
+
+    /// Derived counter: single-threaded reads always equal the number of
+    /// increments, interleaved across handles arbitrarily.
+    #[test]
+    fn derived_counter_counts(choices in proptest::collection::vec(0usize..3, 0..40)) {
+        let mem = NativeMem::new();
+        let counter = SlCounter::new(SlSnapshot::with_double_collect(&mem, 3));
+        let mut handles: Vec<_> = (0..3).map(|p| counter.handle(ProcId(p))).collect();
+        for (done, c) in choices.into_iter().enumerate() {
+            handles[c].inc();
+            prop_assert_eq!(handles[(c + 1) % 3].read(), done as u64 + 1);
+        }
+    }
+
+    /// Derived max-register: equals the reference max across handles.
+    #[test]
+    fn derived_max_register_tracks_reference(
+        writes in proptest::collection::vec((0usize..3, 0u64..100), 0..40),
+    ) {
+        let mem = NativeMem::new();
+        let maxreg = SnapshotMaxRegister::new(SlSnapshot::with_double_collect(&mem, 3));
+        let mut handles: Vec<_> = (0..3).map(|p| maxreg.handle(ProcId(p))).collect();
+        let mut reference = 0;
+        for (p, v) in writes {
+            handles[p].max_write(v);
+            reference = reference.max(v);
+            prop_assert_eq!(handles[(p + 1) % 3].max_read(), reference);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared-memory abstraction for register-based algorithms.
+//!
+//! The paper's algorithms are expressed over atomic multi-reader
+//! multi-writer registers. This crate defines the [`Mem`] and
+//! [`Register`] traits those algorithms are written against, so a single
+//! implementation runs on two interchangeable backends:
+//!
+//! * [`NativeMem`] — real threads; each register is a lock-protected
+//!   cell (reads and writes are individually atomic, which is the only
+//!   property the paper assumes of base registers). Used by the Criterion
+//!   benchmarks and multi-threaded stress tests.
+//! * `SimMem` (in the `sl-sim` crate) — a deterministic cooperative
+//!   simulator in which an adversary schedules every register access.
+//!   Used by the model-checking and complexity experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use sl_mem::{Mem, NativeMem, Register};
+//!
+//! let mem = NativeMem::new();
+//! let reg = mem.alloc("X", 0u64);
+//! reg.write(7);
+//! assert_eq!(reg.read(), 7);
+//! ```
+
+mod native;
+mod traits;
+
+pub use native::{NativeMem, NativeRegister};
+pub use traits::{Mem, Register, RmwCell, Value};

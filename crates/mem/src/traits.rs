@@ -1,0 +1,87 @@
+//! The `Mem` / `Register` traits and the `Value` bound.
+
+use std::fmt::Debug;
+
+/// Values storable in a shared register.
+///
+/// Blanket-implemented for every type with the required bounds; never
+/// implement it manually.
+pub trait Value: Clone + Send + Sync + Debug + PartialEq + 'static {}
+
+impl<T: Clone + Send + Sync + Debug + PartialEq + 'static> Value for T {}
+
+/// A shared atomic register storing a value of type `T`.
+///
+/// Handles are cheaply cloneable and may be shared across threads; every
+/// `read` and `write` is an individually atomic (linearizable) access —
+/// the base-object model of the paper.
+pub trait Register<T: Value>: Clone + Send + Sync + 'static {
+    /// Atomically reads the stored value.
+    fn read(&self) -> T;
+
+    /// Atomically replaces the stored value.
+    fn write(&self, value: T);
+}
+
+/// A cell additionally supporting atomic read-modify-write.
+///
+/// This models a *stronger base object* than a read/write register — in
+/// the paper's terms, an atomic object whose whole operation takes effect
+/// in one step (used, e.g., to realise an *atomic* ABA-detecting register
+/// for Algorithm 3 before it is replaced by the register-only Algorithm 2
+/// via composability, and available for CAS/LL-SC style extensions
+/// discussed in the paper's §6).
+pub trait RmwCell<T: Value>: Register<T> {
+    /// Atomically replaces the stored value with `f(current)` in one
+    /// indivisible step, returning the previous value.
+    fn update(&self, f: impl FnOnce(&T) -> T) -> T;
+}
+
+/// A shared-memory backend: an allocator of atomic registers.
+///
+/// Algorithms take an `M: Mem` parameter and allocate their base
+/// registers through it, which makes them runnable both on real threads
+/// ([`crate::NativeMem`]) and under the deterministic simulator
+/// (`sl_sim::SimMem`).
+pub trait Mem: Clone + Send + Sync + 'static {
+    /// The register type this backend allocates.
+    type Reg<T: Value>: Register<T>;
+
+    /// The read-modify-write cell type this backend allocates.
+    type Cell<T: Value>: RmwCell<T>;
+
+    /// Allocates a fresh register holding `init`.
+    ///
+    /// The `name` is used for tracing and debugging only; it need not be
+    /// unique, though unique names make simulator traces much easier to
+    /// read.
+    fn alloc<T: Value>(&self, name: &str, init: T) -> Self::Reg<T>;
+
+    /// Allocates a fresh read-modify-write cell holding `init`.
+    ///
+    /// Use sparingly: registers are the paper's base-object model; cells
+    /// model explicitly *atomic* compound objects.
+    fn alloc_cell<T: Value>(&self, name: &str, init: T) -> Self::Cell<T>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn value_blanket_impl_covers_common_types() {
+        fn takes_value<T: Value>() {}
+        takes_value::<u64>();
+        takes_value::<(u32, usize, u8)>();
+        takes_value::<Option<Vec<u64>>>();
+        takes_value::<String>();
+    }
+
+    #[test]
+    fn native_register_is_send_sync() {
+        assert_send_sync::<crate::NativeRegister<u64>>();
+        assert_send_sync::<crate::NativeMem>();
+    }
+}

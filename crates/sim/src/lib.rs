@@ -1,0 +1,57 @@
+//! Deterministic shared-memory simulator.
+//!
+//! The paper's model is an asynchronous shared-memory system in which an
+//! adversary — possibly a *strong* adversary with complete knowledge of
+//! the configuration — decides which process takes the next atomic step.
+//! This crate is that model, executable:
+//!
+//! * [`SimWorld`] runs one OS thread per simulated process, but admits
+//!   exactly one shared-memory step at a time, chosen by a [`Scheduler`].
+//!   Runs are fully deterministic given the scheduler's decisions.
+//! * [`SimMem`] implements the `sl_mem::Mem` trait, so any algorithm
+//!   written against `Mem` runs under the simulator unchanged.
+//! * [`EventLog`] records the high-level invocation/response events of a
+//!   run, interleaved with the internal register steps, producing the
+//!   transcripts consumed by the `sl-check` checkers.
+//! * [`explore`] systematically enumerates scheduling choices to build
+//!   bounded prefix trees of transcripts — the input for strong
+//!   linearizability model checking.
+//!
+//! # Example
+//!
+//! ```
+//! use sl_mem::{Mem, Register};
+//! use sl_sim::{RoundRobin, SimWorld};
+//!
+//! let world = SimWorld::new(2);
+//! let mem = world.mem();
+//! let reg = mem.alloc("X", 0u64);
+//! let r0 = reg.clone();
+//! let r1 = reg.clone();
+//! let outcome = world.run(
+//!     vec![
+//!         Box::new(move |_ctx| r0.write(1)),
+//!         Box::new(move |_ctx| {
+//!             let _ = r1.read();
+//!         }),
+//!     ],
+//!     &mut RoundRobin::new(),
+//!     1_000,
+//! );
+//! assert!(outcome.completed);
+//! assert_eq!(outcome.total_steps(), 2);
+//! ```
+
+mod explore;
+mod log;
+mod mem;
+mod sched;
+mod world;
+
+pub use explore::{explore, ExploreOutcome};
+pub use log::EventLog;
+pub use mem::{SimMem, SimRegister};
+pub use sched::{FnScheduler, RoundRobin, Scheduler, Scripted, SeededRandom};
+pub use world::{
+    AccessKind, Decision, ProcCtx, Program, RunOutcome, SchedView, SimWorld, StepRecord, TraceItem,
+};

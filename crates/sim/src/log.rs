@@ -1,0 +1,97 @@
+//! Typed recording of high-level events, interleaved with register steps.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sl_check::TreeStep;
+use sl_spec::{Event, History, OpId, ProcId, SeqSpec};
+
+use crate::world::{RunOutcome, SimWorld, TraceItem};
+
+struct LogInner<S: SeqSpec> {
+    history: History<S>,
+}
+
+/// Records the high-level operations of a simulated run.
+///
+/// Programs call [`invoke`]/[`respond`] around each operation on the
+/// object under test. The log assigns operation identifiers, builds the
+/// typed [`History`], and marks each event's position in the world's
+/// trace so that the full transcript (events interleaved with internal
+/// register steps) can be reconstructed with [`transcript`].
+///
+/// Ordering is deterministic: the simulator runs at most one process at
+/// a time, so event markers and register steps are totally ordered.
+///
+/// [`invoke`]: EventLog::invoke
+/// [`respond`]: EventLog::respond
+/// [`transcript`]: EventLog::transcript
+pub struct EventLog<S: SeqSpec> {
+    world: SimWorld,
+    inner: Arc<Mutex<LogInner<S>>>,
+}
+
+impl<S: SeqSpec> Clone for EventLog<S> {
+    fn clone(&self) -> Self {
+        EventLog {
+            world: self.world.clone(),
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S: SeqSpec> std::fmt::Debug for EventLog<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EventLog({} events)", self.inner.lock().history.len())
+    }
+}
+
+impl<S: SeqSpec> EventLog<S> {
+    /// Creates an event log attached to `world`.
+    pub fn new(world: &SimWorld) -> Self {
+        EventLog {
+            world: world.clone(),
+            inner: Arc::new(Mutex::new(LogInner {
+                history: History::new(),
+            })),
+        }
+    }
+
+    /// Records an invocation event and returns its operation identifier.
+    pub fn invoke(&self, proc: ProcId, op: S::Op) -> OpId {
+        let mut inner = self.inner.lock();
+        let id = inner.history.invoke(proc, op);
+        let index = inner.history.len() - 1;
+        self.world.push_hi_marker(index);
+        id
+    }
+
+    /// Records the response event matching `id`.
+    pub fn respond(&self, id: OpId, resp: S::Resp) {
+        let mut inner = self.inner.lock();
+        inner.history.respond(id, resp);
+        let index = inner.history.len() - 1;
+        self.world.push_hi_marker(index);
+    }
+
+    /// The recorded history (high-level events only).
+    pub fn history(&self) -> History<S> {
+        self.inner.lock().history.clone()
+    }
+
+    /// Reconstructs the full transcript of a run: high-level events and
+    /// internal register steps, in execution order, in the form consumed
+    /// by `sl_check::HistoryTree::from_transcripts`.
+    pub fn transcript(&self, outcome: &RunOutcome) -> Vec<TreeStep<S>> {
+        let inner = self.inner.lock();
+        let events: Vec<Event<S>> = inner.history.events().to_vec();
+        outcome
+            .trace
+            .iter()
+            .map(|item| match item {
+                TraceItem::Step(s) => TreeStep::Internal(ProcId(s.proc), s.label()),
+                TraceItem::Hi(i) => TreeStep::Event(events[*i].clone()),
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,116 @@
+//! The simulator's `Mem` backend.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sl_mem::{Mem, Register, RmwCell, Value};
+
+use crate::world::{AccessKind, SimWorld};
+
+/// Register allocator of a [`SimWorld`].
+///
+/// Registers must be allocated before the run starts (typically while
+/// wiring up the algorithm under test); accesses are only legal from
+/// within simulated process programs.
+#[derive(Clone)]
+pub struct SimMem {
+    pub(crate) world: SimWorld,
+}
+
+impl std::fmt::Debug for SimMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimMem({:?})", self.world)
+    }
+}
+
+impl Mem for SimMem {
+    type Reg<T: Value> = SimRegister<T>;
+    type Cell<T: Value> = SimRegister<T>;
+
+    fn alloc<T: Value>(&self, name: &str, init: T) -> Self::Reg<T> {
+        SimRegister {
+            world: self.world.clone(),
+            name: Arc::new(name.to_string()),
+            cell: Arc::new(Mutex::new(init)),
+        }
+    }
+
+    fn alloc_cell<T: Value>(&self, name: &str, init: T) -> Self::Cell<T> {
+        self.alloc(name, init)
+    }
+}
+
+/// A simulated register.
+///
+/// Each `read`/`write` is one scheduler-controlled shared-memory step:
+/// the calling process parks until the scheduler grants it the step, the
+/// access executes atomically, and a [`crate::StepRecord`] is appended to
+/// the run's trace.
+pub struct SimRegister<T> {
+    world: SimWorld,
+    name: Arc<String>,
+    cell: Arc<Mutex<T>>,
+}
+
+impl<T> Clone for SimRegister<T> {
+    fn clone(&self) -> Self {
+        SimRegister {
+            world: self.world.clone(),
+            name: Arc::clone(&self.name),
+            cell: Arc::clone(&self.cell),
+        }
+    }
+}
+
+impl<T: Value> std::fmt::Debug for SimRegister<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimRegister({})", self.name)
+    }
+}
+
+impl<T: Value> SimRegister<T> {
+    /// Reads the register **without** consuming a scheduler step.
+    ///
+    /// Only for use by schedulers (the strong adversary inspects the
+    /// configuration between steps, when all processes are quiescent) and
+    /// by test assertions after a run. Never call this from a simulated
+    /// process program: it would hide a shared-memory access from the
+    /// step accounting.
+    pub fn peek(&self) -> T {
+        self.cell.lock().clone()
+    }
+}
+
+impl<T: Value> Register<T> for SimRegister<T> {
+    fn read(&self) -> T {
+        let cell = Arc::clone(&self.cell);
+        self.world.step(&self.name, AccessKind::Read, move || {
+            let v = cell.lock().clone();
+            let label = format!("{v:?}");
+            (v, label)
+        })
+    }
+
+    fn write(&self, value: T) {
+        let cell = Arc::clone(&self.cell);
+        let label = format!("{value:?}");
+        self.world.step(&self.name, AccessKind::Write, move || {
+            *cell.lock() = value;
+            ((), label)
+        });
+    }
+}
+
+impl<T: Value> RmwCell<T> for SimRegister<T> {
+    fn update(&self, f: impl FnOnce(&T) -> T) -> T {
+        let cell = Arc::clone(&self.cell);
+        self.world.step(&self.name, AccessKind::Rmw, move || {
+            let mut guard = cell.lock();
+            let old = guard.clone();
+            let new = f(&old);
+            let label = format!("{old:?}->{new:?}");
+            *guard = new;
+            (old, label)
+        })
+    }
+}

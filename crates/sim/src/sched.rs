@@ -1,0 +1,191 @@
+//! Schedulers: deterministic, random, scripted, and adaptive adversaries.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::world::SchedView;
+
+/// Chooses which process takes the next shared-memory step.
+///
+/// The scheduler is consulted when every process is quiescent, with a
+/// [`SchedView`] of the full configuration — this is the paper's *strong
+/// adaptive adversary* interface. Closures capturing register handles
+/// (via [`crate::SimRegister::peek`]) can base decisions on shared state.
+pub trait Scheduler {
+    /// Picks one process from `view.runnable`.
+    fn pick(&mut self, view: &SchedView<'_>) -> usize;
+}
+
+/// Cycles through processes in index order.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    last: Option<usize>,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler.
+    pub fn new() -> Self {
+        RoundRobin { last: None }
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn pick(&mut self, view: &SchedView<'_>) -> usize {
+        let chosen = match self.last {
+            None => view.runnable[0],
+            Some(last) => *view
+                .runnable
+                .iter()
+                .find(|&&p| p > last)
+                .unwrap_or(&view.runnable[0]),
+        };
+        self.last = Some(chosen);
+        chosen
+    }
+}
+
+/// Uniformly random choices from a seeded generator; runs are
+/// reproducible given the seed.
+#[derive(Clone, Debug)]
+pub struct SeededRandom {
+    rng: ChaCha8Rng,
+}
+
+impl SeededRandom {
+    /// Creates a random scheduler from a seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRandom {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for SeededRandom {
+    fn pick(&mut self, view: &SchedView<'_>) -> usize {
+        view.runnable[self.rng.gen_range(0..view.runnable.len())]
+    }
+}
+
+/// Follows an explicit script of process ids, then falls back to the
+/// lowest-id runnable process.
+///
+/// If a scripted process is not runnable at its decision point (e.g. it
+/// already finished), the entry is skipped. This scheduler is how the
+/// paper's hand-constructed adversarial transcripts (Observation 4) and
+/// the exhaustive explorer's replay prefixes are expressed.
+#[derive(Clone, Debug)]
+pub struct Scripted {
+    script: Vec<usize>,
+    pos: usize,
+}
+
+impl Scripted {
+    /// Creates a scripted scheduler.
+    pub fn new(script: Vec<usize>) -> Self {
+        Scripted { script, pos: 0 }
+    }
+
+    /// How many script entries have been consumed.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Scheduler for Scripted {
+    fn pick(&mut self, view: &SchedView<'_>) -> usize {
+        while self.pos < self.script.len() {
+            let want = self.script[self.pos];
+            self.pos += 1;
+            if view.runnable.contains(&want) {
+                return want;
+            }
+        }
+        view.runnable[0]
+    }
+}
+
+/// Wraps a closure as a scheduler — the ergonomic form for one-off
+/// adaptive adversaries.
+pub struct FnScheduler<F>(pub F);
+
+impl<F: FnMut(&SchedView<'_>) -> usize> Scheduler for FnScheduler<F> {
+    fn pick(&mut self, view: &SchedView<'_>) -> usize {
+        (self.0)(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{SchedView, TraceItem};
+
+    fn view<'a>(runnable: &'a [usize], trace: &'a [TraceItem], steps: &'a [u64]) -> SchedView<'a> {
+        SchedView {
+            runnable,
+            trace,
+            steps_per_proc: steps,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::new();
+        let steps = [0, 0, 0];
+        let trace = [];
+        assert_eq!(rr.pick(&view(&[0, 1, 2], &trace, &steps)), 0);
+        assert_eq!(rr.pick(&view(&[0, 1, 2], &trace, &steps)), 1);
+        assert_eq!(rr.pick(&view(&[0, 1, 2], &trace, &steps)), 2);
+        assert_eq!(rr.pick(&view(&[0, 1, 2], &trace, &steps)), 0);
+    }
+
+    #[test]
+    fn round_robin_skips_unrunnable() {
+        let mut rr = RoundRobin::new();
+        let steps = [0, 0, 0];
+        let trace = [];
+        assert_eq!(rr.pick(&view(&[0, 2], &trace, &steps)), 0);
+        assert_eq!(rr.pick(&view(&[0, 2], &trace, &steps)), 2);
+        assert_eq!(rr.pick(&view(&[0, 2], &trace, &steps)), 0);
+    }
+
+    #[test]
+    fn scripted_follows_script_then_falls_back() {
+        let mut s = Scripted::new(vec![1, 1, 0]);
+        let steps = [0, 0];
+        let trace = [];
+        assert_eq!(s.pick(&view(&[0, 1], &trace, &steps)), 1);
+        assert_eq!(s.pick(&view(&[0, 1], &trace, &steps)), 1);
+        assert_eq!(s.pick(&view(&[0, 1], &trace, &steps)), 0);
+        assert_eq!(s.pick(&view(&[0, 1], &trace, &steps)), 0, "fallback: lowest id");
+    }
+
+    #[test]
+    fn scripted_skips_unrunnable_entries() {
+        let mut s = Scripted::new(vec![1, 0]);
+        let steps = [0, 0];
+        let trace = [];
+        assert_eq!(s.pick(&view(&[0], &trace, &steps)), 0, "skip dead p1");
+    }
+
+    #[test]
+    fn seeded_random_is_reproducible() {
+        let steps = [0, 0, 0];
+        let trace = [];
+        let picks = |seed| {
+            let mut s = SeededRandom::new(seed);
+            (0..10)
+                .map(|_| s.pick(&view(&[0, 1, 2], &trace, &steps)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(picks(42), picks(42));
+    }
+
+    #[test]
+    fn fn_scheduler_delegates() {
+        let mut s = FnScheduler(|v: &SchedView<'_>| *v.runnable.last().unwrap());
+        let steps = [0, 0];
+        let trace = [];
+        assert_eq!(s.pick(&view(&[0, 1], &trace, &steps)), 1);
+    }
+}

@@ -1,0 +1,471 @@
+//! The simulated world: coordinator, step protocol, and trace recording.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::mem::SimMem;
+use crate::sched::Scheduler;
+
+/// Kind of a register access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// A register read.
+    Read,
+    /// A register write.
+    Write,
+    /// An atomic read-modify-write (only on `RmwCell`s, which model
+    /// stronger base objects than plain registers).
+    Rmw,
+    /// A scheduled no-op ([`ProcCtx::pause`]): the process consumes a
+    /// scheduling decision without touching shared memory. Used to model
+    /// that a process invokes its next high-level operation only when
+    /// the adversary schedules it.
+    Local,
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+            AccessKind::Rmw => write!(f, "rmw"),
+            AccessKind::Local => write!(f, "local"),
+        }
+    }
+}
+
+/// Record of one shared-memory step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StepRecord {
+    /// Process that took the step.
+    pub proc: usize,
+    /// Name of the accessed register.
+    pub reg: String,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Debug rendering of the value read or written. Together with `reg`
+    /// and `kind` this identifies the step completely, which is what the
+    /// transcript-tree merging in `sl-check` relies on.
+    pub value: String,
+}
+
+impl StepRecord {
+    /// A stable label describing the step (register, kind, value).
+    pub fn label(&self) -> String {
+        format!("{}.{}({})", self.reg, self.kind, self.value)
+    }
+}
+
+/// One entry of a run's trace: an internal register step or a marker for
+/// the `i`-th high-level event recorded in the run's [`crate::EventLog`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceItem {
+    /// An internal register step.
+    Step(StepRecord),
+    /// The `i`-th high-level event of the event log.
+    Hi(usize),
+}
+
+/// One scheduling decision: the set of processes that were ready to take
+/// a step and the one the scheduler chose.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Decision {
+    /// Processes that could have been scheduled.
+    pub runnable: Vec<usize>,
+    /// The process that was scheduled.
+    pub chosen: usize,
+}
+
+/// Read-only view handed to a [`Scheduler`] at each decision point.
+///
+/// A *strong adversary* in the paper's sense: by the time the scheduler
+/// is consulted, every process is quiescent, so the view (plus any
+/// register handles the scheduler captured at setup) reflects the entire
+/// configuration, including the effects of all previous steps.
+pub struct SchedView<'a> {
+    /// Processes ready to take a step, in ascending order.
+    pub runnable: &'a [usize],
+    /// The full trace so far.
+    pub trace: &'a [TraceItem],
+    /// Steps taken so far by each process.
+    pub steps_per_proc: &'a [u64],
+}
+
+impl<'a> SchedView<'a> {
+    /// The most recent register step, if any.
+    pub fn last_step(&self) -> Option<&StepRecord> {
+        self.trace.iter().rev().find_map(|t| match t {
+            TraceItem::Step(s) => Some(s),
+            TraceItem::Hi(_) => None,
+        })
+    }
+
+    /// Total number of register steps taken so far.
+    pub fn total_steps(&self) -> u64 {
+        self.steps_per_proc.iter().sum()
+    }
+}
+
+/// Result of a completed (or aborted) run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// `true` if every process ran to completion; `false` if the step
+    /// budget was exhausted first.
+    pub completed: bool,
+    /// Steps taken by each process.
+    pub steps_per_proc: Vec<u64>,
+    /// Interleaved trace of register steps and high-level event markers.
+    pub trace: Vec<TraceItem>,
+    /// The scheduling decisions taken, in order.
+    pub decisions: Vec<Decision>,
+}
+
+impl RunOutcome {
+    /// Total number of steps, including scheduled no-op pauses.
+    pub fn total_steps(&self) -> u64 {
+        self.steps_per_proc.iter().sum()
+    }
+
+    /// The steps of the trace, in order (including pauses).
+    pub fn steps(&self) -> impl Iterator<Item = &StepRecord> {
+        self.trace.iter().filter_map(|t| match t {
+            TraceItem::Step(s) => Some(s),
+            TraceItem::Hi(_) => None,
+        })
+    }
+
+    /// Number of *shared-memory* steps taken by process `p` (excludes
+    /// scheduled pauses) — the quantity the paper's step-complexity
+    /// theorems count.
+    pub fn shared_steps_of(&self, p: usize) -> u64 {
+        self.steps()
+            .filter(|s| s.proc == p && s.kind != AccessKind::Local)
+            .count() as u64
+    }
+
+    /// Total number of shared-memory steps (excludes scheduled pauses).
+    pub fn shared_steps(&self) -> u64 {
+        self.steps()
+            .filter(|s| s.kind != AccessKind::Local)
+            .count() as u64
+    }
+}
+
+/// A simulated process body.
+pub type Program = Box<dyn FnOnce(ProcCtx) + Send + 'static>;
+
+/// Handle passed to each simulated process.
+#[derive(Clone)]
+pub struct ProcCtx {
+    pub(crate) world: SimWorld,
+    pub(crate) pid: usize,
+}
+
+impl ProcCtx {
+    /// The identifier of this process.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// The world this process runs in.
+    pub fn world(&self) -> &SimWorld {
+        &self.world
+    }
+
+    /// Takes one scheduled no-op step.
+    ///
+    /// Call this before invoking a high-level operation to faithfully
+    /// model the paper's asynchronous system: a process performs its
+    /// next invocation only when the adversary schedules it. Without the
+    /// pause, a process would invoke its next operation "for free" in
+    /// the local computation following its previous response, putting
+    /// invocation events into transcript prefixes the adversary never
+    /// scheduled it into — which changes which operations are pending in
+    /// a prefix and therefore matters to strong-linearizability analysis
+    /// (it is exactly the difference between the paper's `T2` having or
+    /// not having `dw_{j+1}` pending during `dr2`).
+    pub fn pause(&self) {
+        self.world
+            .step("(local)", AccessKind::Local, || ((), String::new()));
+    }
+
+    /// The identifier as an `sl_spec::ProcId`.
+    pub fn proc_id(&self) -> sl_spec::ProcId {
+        sl_spec::ProcId(self.pid)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Phase {
+    /// Executing local computation (or not yet started).
+    Running,
+    /// Blocked at a sync point, ready to take a shared-memory step.
+    Waiting,
+    /// Program finished.
+    Done,
+}
+
+pub(crate) struct WorldState {
+    pub(crate) phase: Vec<Phase>,
+    pub(crate) granted: Option<usize>,
+    pub(crate) aborted: bool,
+    pub(crate) trace: Vec<TraceItem>,
+    pub(crate) steps_per_proc: Vec<u64>,
+    decisions: Vec<Decision>,
+    started: bool,
+}
+
+pub(crate) struct WorldInner {
+    pub(crate) state: Mutex<WorldState>,
+    /// Signalled when a grant is issued or the run is aborted.
+    pub(crate) proc_cv: Condvar,
+    /// Signalled when a process changes phase.
+    pub(crate) coord_cv: Condvar,
+}
+
+/// Panic payload used to unwind simulated processes when a run is
+/// aborted (step budget exhausted).
+pub(crate) struct SimAbort;
+
+static HOOK_INSTALLED: std::sync::Once = std::sync::Once::new();
+static IN_SIM_ABORT: AtomicBool = AtomicBool::new(false);
+
+fn install_quiet_abort_hook() {
+    HOOK_INSTALLED.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if IN_SIM_ABORT.load(Ordering::SeqCst)
+                && info.payload().downcast_ref::<SimAbort>().is_some()
+            {
+                return; // expected control-flow unwind; stay quiet
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// A deterministic simulated shared-memory system with `n` processes.
+///
+/// Construction allocates the world; [`SimWorld::mem`] hands out the
+/// [`SimMem`] backend used to allocate registers *before* the run; and
+/// [`SimWorld::run`] executes one run to completion (or until the step
+/// budget is exhausted). A world is single-shot: it can run at most once.
+#[derive(Clone)]
+pub struct SimWorld {
+    pub(crate) inner: Arc<WorldInner>,
+    n: usize,
+}
+
+impl std::fmt::Debug for SimWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimWorld(n={})", self.n)
+    }
+}
+
+thread_local! {
+    pub(crate) static CURRENT_PROC: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+impl SimWorld {
+    /// Creates a world with `n` simulated processes.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        install_quiet_abort_hook();
+        SimWorld {
+            inner: Arc::new(WorldInner {
+                state: Mutex::new(WorldState {
+                    phase: vec![Phase::Running; n],
+                    granted: None,
+                    aborted: false,
+                    trace: Vec::new(),
+                    steps_per_proc: vec![0; n],
+                    decisions: Vec::new(),
+                    started: false,
+                }),
+                proc_cv: Condvar::new(),
+                coord_cv: Condvar::new(),
+            }),
+            n,
+        }
+    }
+
+    /// Number of simulated processes.
+    pub fn processes(&self) -> usize {
+        self.n
+    }
+
+    /// The register allocator of this world.
+    pub fn mem(&self) -> SimMem {
+        SimMem { world: self.clone() }
+    }
+
+    /// Runs `programs` (one per process) under `scheduler`, admitting at
+    /// most `max_steps` shared-memory steps in total.
+    ///
+    /// Returns when every program finished, or — if the budget runs out —
+    /// after force-unwinding all still-running programs (in which case
+    /// `completed` is `false`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != n`, if the world has already run, or
+    /// if a simulated program itself panics with an unexpected payload.
+    pub fn run(
+        &self,
+        programs: Vec<Program>,
+        scheduler: &mut dyn Scheduler,
+        max_steps: u64,
+    ) -> RunOutcome {
+        assert_eq!(programs.len(), self.n, "one program per process");
+        {
+            let mut st = self.inner.state.lock();
+            assert!(!st.started, "a SimWorld can run only once");
+            st.started = true;
+        }
+
+        let handles: Vec<_> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(pid, program)| {
+                let world = self.clone();
+                std::thread::Builder::new()
+                    .name(format!("sim-p{pid}"))
+                    .spawn(move || {
+                        CURRENT_PROC.with(|c| c.set(Some(pid)));
+                        let ctx = ProcCtx {
+                            world: world.clone(),
+                            pid,
+                        };
+                        let result = panic::catch_unwind(AssertUnwindSafe(|| program(ctx)));
+                        {
+                            let mut st = world.inner.state.lock();
+                            st.phase[pid] = Phase::Done;
+                            world.inner.coord_cv.notify_all();
+                        }
+                        if let Err(payload) = result {
+                            if payload.downcast_ref::<SimAbort>().is_none() {
+                                panic::resume_unwind(payload);
+                            }
+                        }
+                    })
+                    .expect("spawn simulated process")
+            })
+            .collect();
+
+        self.coordinate(scheduler, max_steps);
+
+        for h in handles {
+            h.join().expect("simulated process panicked");
+        }
+
+        let mut st = self.inner.state.lock();
+        RunOutcome {
+            completed: !st.aborted,
+            steps_per_proc: st.steps_per_proc.clone(),
+            trace: std::mem::take(&mut st.trace),
+            decisions: std::mem::take(&mut st.decisions),
+        }
+    }
+
+    fn coordinate(&self, scheduler: &mut dyn Scheduler, max_steps: u64) {
+        loop {
+            let mut st = self.inner.state.lock();
+            // Wait until every process is quiescent (waiting or done).
+            while st.phase.contains(&Phase::Running) {
+                self.inner.coord_cv.wait(&mut st);
+            }
+            let runnable: Vec<usize> = st
+                .phase
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| **p == Phase::Waiting)
+                .map(|(i, _)| i)
+                .collect();
+            if runnable.is_empty() {
+                return; // everyone done
+            }
+            let total: u64 = st.steps_per_proc.iter().sum();
+            if total >= max_steps {
+                st.aborted = true;
+                IN_SIM_ABORT.store(true, Ordering::SeqCst);
+                self.inner.proc_cv.notify_all();
+                while st.phase.iter().any(|p| *p != Phase::Done) {
+                    self.inner.coord_cv.wait(&mut st);
+                }
+                return;
+            }
+            let view = SchedView {
+                runnable: &runnable,
+                trace: &st.trace,
+                steps_per_proc: &st.steps_per_proc,
+            };
+            let chosen = scheduler.pick(&view);
+            assert!(
+                runnable.contains(&chosen),
+                "scheduler chose non-runnable process {chosen} (runnable: {runnable:?})"
+            );
+            st.decisions.push(Decision {
+                runnable,
+                chosen,
+            });
+            st.granted = Some(chosen);
+            self.inner.proc_cv.notify_all();
+            // Wait until the chosen process consumes the grant; without
+            // this the coordinator could observe the world still quiescent
+            // and issue a second grant for the same step.
+            while st.granted.is_some() {
+                self.inner.coord_cv.wait(&mut st);
+            }
+        }
+    }
+
+    /// Executes one shared-memory step on behalf of the calling simulated
+    /// process: parks until the scheduler grants the step, performs
+    /// `access` atomically, and records the resulting [`StepRecord`].
+    pub(crate) fn step<R>(
+        &self,
+        reg_name: &str,
+        kind: AccessKind,
+        access: impl FnOnce() -> (R, String),
+    ) -> R {
+        let pid = CURRENT_PROC.with(|c| c.get()).unwrap_or_else(|| {
+            panic!("simulated register accessed outside a SimWorld::run program")
+        });
+        let mut st = self.inner.state.lock();
+        st.phase[pid] = Phase::Waiting;
+        self.inner.coord_cv.notify_all();
+        loop {
+            if st.aborted {
+                drop(st);
+                panic::panic_any(SimAbort);
+            }
+            if st.granted == Some(pid) {
+                break;
+            }
+            self.inner.proc_cv.wait(&mut st);
+        }
+        st.granted = None;
+        st.phase[pid] = Phase::Running;
+        st.steps_per_proc[pid] += 1;
+        self.inner.coord_cv.notify_all();
+        let (result, value) = access();
+        st.trace.push(TraceItem::Step(StepRecord {
+            proc: pid,
+            reg: reg_name.to_string(),
+            kind,
+            value,
+        }));
+        result
+    }
+
+    /// Records a high-level event marker in the trace; used by
+    /// [`crate::EventLog`].
+    pub(crate) fn push_hi_marker(&self, index: usize) {
+        let mut st = self.inner.state.lock();
+        st.trace.push(TraceItem::Hi(index));
+    }
+}

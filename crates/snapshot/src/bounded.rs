@@ -1,0 +1,210 @@
+//! Bounded-space wait-free helping snapshot (Afek et al. 1993, §4:
+//! handshake bits instead of unbounded sequence numbers).
+//!
+//! The unbounded [`crate::AfekSnapshot`] detects movement by comparing
+//! sequence numbers. This variant replaces them with the classic
+//! *handshake* mechanism: for every (scanner `s`, updater `u`) pair
+//! there are two shared bits — `h1[s][u]` written by the scanner and
+//! `h2[u][s]` written by the updater — plus a toggle bit in each data
+//! register. A scanner copies `h2` into `h1` before its double collect;
+//! an updater flips `h2` (to differ from `h1`) before writing. If after
+//! a double collect every handshake still matches and no toggle moved,
+//! no update intervened; otherwise the scanner marks the mover and, on a
+//! second observed move, borrows the mover's embedded view.
+//!
+//! All registers hold bounded state for a fixed `n` (no counters), so
+//! composing this substrate into Algorithm 3 yields the paper's
+//! headline: a strongly linearizable snapshot from **bounded** space
+//! (Theorem 2).
+
+use sl_mem::{Mem, Register, Value};
+use sl_spec::ProcId;
+
+use crate::LinSnapshot;
+
+/// A data register of the bounded snapshot: the value, the movement
+/// toggle, and the writer's embedded view.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct BoundedComponent<V> {
+    value: Option<V>,
+    toggle: bool,
+    view: Vec<Option<V>>,
+}
+
+/// The bounded wait-free single-writer snapshot with handshakes.
+pub struct BoundedAfekSnapshot<V: Value, M: Mem> {
+    regs: Vec<M::Reg<BoundedComponent<V>>>,
+    /// `h1[s][u]`: written by scanner `s`, read by updater `u`.
+    h1: Vec<Vec<M::Reg<bool>>>,
+    /// `h2[u][s]`: written by updater `u`, read by scanner `s`.
+    h2: Vec<Vec<M::Reg<bool>>>,
+}
+
+impl<V: Value, M: Mem> Clone for BoundedAfekSnapshot<V, M> {
+    fn clone(&self) -> Self {
+        BoundedAfekSnapshot {
+            regs: self.regs.clone(),
+            h1: self.h1.clone(),
+            h2: self.h2.clone(),
+        }
+    }
+}
+
+impl<V: Value, M: Mem> std::fmt::Debug for BoundedAfekSnapshot<V, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BoundedAfekSnapshot(n={})", self.regs.len())
+    }
+}
+
+impl<V: Value, M: Mem> BoundedAfekSnapshot<V, M> {
+    /// Creates an `n`-component snapshot: `n` data registers plus
+    /// `2n²` handshake bits, all of bounded size.
+    pub fn new(mem: &M, n: usize) -> Self {
+        BoundedAfekSnapshot {
+            regs: (0..n)
+                .map(|i| {
+                    mem.alloc(
+                        &format!("S.b[{i}]"),
+                        BoundedComponent {
+                            value: None,
+                            toggle: false,
+                            view: vec![None; n],
+                        },
+                    )
+                })
+                .collect(),
+            h1: (0..n)
+                .map(|s| {
+                    (0..n)
+                        .map(|u| mem.alloc(&format!("S.h1[{s}][{u}]"), false))
+                        .collect()
+                })
+                .collect(),
+            h2: (0..n)
+                .map(|u| {
+                    (0..n)
+                        .map(|s| mem.alloc(&format!("S.h2[{u}][{s}]"), false))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    fn collect(&self) -> Vec<BoundedComponent<V>> {
+        self.regs.iter().map(|r| r.read()).collect()
+    }
+
+    /// The scan body, executed by process `s` (scanners and the
+    /// embedded scans of updaters alike).
+    fn scan_as(&self, s: usize) -> Vec<Option<V>> {
+        let n = self.regs.len();
+        let mut moved = vec![false; n];
+        loop {
+            // Handshake: adopt each updater's current h2 bit.
+            let mut shaken = Vec::with_capacity(n);
+            for u in 0..n {
+                let bit = self.h2[u][s].read();
+                self.h1[s][u].write(bit);
+                shaken.push(bit);
+            }
+            let a = self.collect();
+            let b = self.collect();
+            let mut clean = true;
+            for u in 0..n {
+                let handshake_moved = self.h2[u][s].read() != shaken[u];
+                let toggled = a[u].toggle != b[u].toggle;
+                if handshake_moved || toggled {
+                    clean = false;
+                    if moved[u] {
+                        // Second observed move of u: its embedded view
+                        // was collected entirely within our interval.
+                        return b[u].view.clone();
+                    }
+                    moved[u] = true;
+                }
+            }
+            if clean {
+                return b.into_iter().map(|c| c.value).collect();
+            }
+        }
+    }
+}
+
+impl<V: Value, M: Mem> LinSnapshot<V> for BoundedAfekSnapshot<V, M> {
+    fn update(&self, p: ProcId, value: V) {
+        let u = p.index();
+        let n = self.regs.len();
+        // Embedded scan first (its view is published with the write).
+        let view = self.scan_as(u);
+        // Flip every handshake to differ from the scanners' bits.
+        for s in 0..n {
+            let bit = self.h1[s][u].read();
+            self.h2[u][s].write(!bit);
+        }
+        let current = self.regs[u].read();
+        self.regs[u].write(BoundedComponent {
+            value: Some(value),
+            toggle: !current.toggle,
+            view,
+        });
+    }
+
+    fn scan(&self, p: ProcId) -> Vec<Option<V>> {
+        self.scan_as(p.index())
+    }
+
+    fn components(&self) -> usize {
+        self.regs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_mem::NativeMem;
+
+    fn snap(n: usize) -> BoundedAfekSnapshot<u64, NativeMem> {
+        BoundedAfekSnapshot::new(&NativeMem::new(), n)
+    }
+
+    #[test]
+    fn initial_scan_is_bottom() {
+        assert_eq!(snap(3).scan(ProcId(0)), vec![None, None, None]);
+    }
+
+    #[test]
+    fn update_then_scan() {
+        let s = snap(2);
+        s.update(ProcId(0), 4);
+        assert_eq!(s.scan(ProcId(1)), vec![Some(4), None]);
+        s.update(ProcId(1), 5);
+        assert_eq!(s.scan(ProcId(0)), vec![Some(4), Some(5)]);
+    }
+
+    #[test]
+    fn repeated_updates_with_same_value_advance_toggle() {
+        let s = snap(2);
+        s.update(ProcId(0), 9);
+        s.update(ProcId(0), 9);
+        assert_eq!(s.scan(ProcId(1)), vec![Some(9), None]);
+    }
+
+    #[test]
+    fn concurrent_native_updates_and_scans_are_regular() {
+        let s = snap(4);
+        crossbeam::scope(|sc| {
+            for p in 0..4usize {
+                let s = s.clone();
+                sc.spawn(move |_| {
+                    for i in 0..100u64 {
+                        s.update(ProcId(p), i);
+                        let view = s.scan(ProcId(p));
+                        assert_eq!(view[p], Some(i), "own component must be current");
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(s.scan(ProcId(0)), vec![Some(99); 4]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Linearizable single-writer snapshot substrates.
+//!
+//! The paper's strongly linearizable snapshot (Algorithm 3/4) is built
+//! over *any* linearizable lock-free or wait-free snapshot object `S`
+//! (§4.3). This crate provides two such substrates, both implemented from
+//! atomic registers via the `sl_mem::Mem` abstraction:
+//!
+//! * [`DoubleCollectSnapshot`] — the classic lock-free clean
+//!   double-collect snapshot of Afek, Attiya, Dolev, Gafni, Merritt &
+//!   Shavit (JACM 1993, §3). A scan retries until two consecutive
+//!   collects are identical; updates are wait-free (one read, one write).
+//! * [`AfekSnapshot`] — the wait-free single-writer snapshot of the same
+//!   paper (§4): updaters embed a full scan in each update, and a scanner
+//!   that sees the same process move twice borrows that embedded view.
+//!
+//! Both are **linearizable but not strongly linearizable** (Golab, Higham
+//! & Woelfel 2011 showed this for the Afek et al. algorithm; Denysyuk &
+//! Woelfel 2015 showed no wait-free strongly linearizable snapshot exists
+//! at all), which is precisely why the paper's Algorithm 3 is interesting.
+//!
+//! Sequence numbers are unbounded `u64`s, matching the accounting variant
+//! (Algorithm 4) the paper uses for its own complexity analysis; the
+//! bounded-space Attiya–Rachman substrate the paper cites is
+//! interchangeable here because Algorithm 3 is parametric in `S`.
+//!
+//! # Example
+//!
+//! ```
+//! use sl_mem::NativeMem;
+//! use sl_snapshot::{DoubleCollectSnapshot, LinSnapshot};
+//! use sl_spec::ProcId;
+//!
+//! let snap = DoubleCollectSnapshot::<u64, _>::new(&NativeMem::new(), 3);
+//! snap.update(ProcId(1), 42);
+//! assert_eq!(snap.scan(ProcId(0)), vec![None, Some(42), None]);
+//! ```
+
+mod afek;
+mod bounded;
+mod double_collect;
+mod traits;
+
+pub use afek::AfekSnapshot;
+pub use bounded::BoundedAfekSnapshot;
+pub use double_collect::DoubleCollectSnapshot;
+pub use traits::{LinSnapshot, VersionedSnapshot};

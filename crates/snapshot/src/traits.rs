@@ -1,0 +1,41 @@
+//! Traits shared by the snapshot substrates.
+
+use sl_mem::Value;
+use sl_spec::ProcId;
+
+/// A linearizable single-writer snapshot object.
+///
+/// The object stores one component per process, each initially `⊥`
+/// (`None`). Component `p` may be written only by process `p`: callers
+/// must pass their own identifier to [`update`] — the single-writer
+/// discipline of the paper's model is the caller's responsibility (the
+/// handle types in `sl-core` enforce it statically).
+///
+/// Implementations must be linearizable; they need not be strongly
+/// linearizable (that is what `sl_core::SlSnapshot` adds on top).
+///
+/// [`update`]: LinSnapshot::update
+pub trait LinSnapshot<V: Value>: Clone + Send + Sync + 'static {
+    /// Sets the invoking process's component to `value`.
+    fn update(&self, p: ProcId, value: V);
+
+    /// Returns a consistent view of all components, on behalf of
+    /// process `p` (some implementations keep per-process helping
+    /// state, e.g. handshake bits).
+    fn scan(&self, p: ProcId) -> Vec<Option<V>>;
+
+    /// Number of components.
+    fn components(&self) -> usize;
+}
+
+/// A snapshot whose views carry a version number that strictly increases
+/// with every update (the paper's *versioned object*, §4.1).
+///
+/// The version of a view is the sum of the per-component sequence
+/// numbers, exactly as the paper constructs it from the double-collect
+/// algorithm.
+pub trait VersionedSnapshot<V: Value>: LinSnapshot<V> {
+    /// Returns a consistent view together with its version number, on
+    /// behalf of process `p`.
+    fn scan_versioned(&self, p: ProcId) -> (Vec<Option<V>>, u64);
+}

@@ -1,0 +1,213 @@
+//! Simulator-backed linearizability checking of the snapshot substrates.
+//!
+//! Every history produced under random adversarial schedules must be
+//! linearizable with respect to the sequential snapshot specification.
+//! (Strong linearizability does NOT hold for these substrates — that is
+//! established by the experiments in `sl-bench` and the tests in
+//! `sl-core` — but plain linearizability must.)
+
+use sl_check::check_linearizable;
+use sl_sim::{EventLog, Program, SeededRandom, SimWorld};
+use sl_snapshot::{AfekSnapshot, DoubleCollectSnapshot, LinSnapshot};
+use sl_spec::types::SnapshotSpec;
+use sl_spec::{ProcId, SnapshotOp, SnapshotResp};
+
+type Spec = SnapshotSpec<u64>;
+
+fn check_substrate<S, F>(make: F, label: &str)
+where
+    S: LinSnapshot<u64>,
+    F: Fn(&sl_sim::SimMem, usize) -> S,
+{
+    for seed in 0..25u64 {
+        let n = 3;
+        let world = SimWorld::new(n);
+        let mem = world.mem();
+        let snap = make(&mem, n);
+        let log: EventLog<Spec> = EventLog::new(&world);
+
+        let mut programs: Vec<Program> = Vec::new();
+        for pid in 0..n {
+            let snap = snap.clone();
+            let log = log.clone();
+            programs.push(Box::new(move |ctx| {
+                let p = ctx.proc_id();
+                for i in 0..2u64 {
+                    let value = (pid as u64) * 10 + i;
+                    let id = log.invoke(p, SnapshotOp::Update(value));
+                    snap.update(p, value);
+                    log.respond(id, SnapshotResp::Ack);
+
+                    let id = log.invoke(p, SnapshotOp::Scan);
+                    let view = snap.scan(p);
+                    log.respond(id, SnapshotResp::View(view));
+                }
+            }));
+        }
+
+        let mut sched = SeededRandom::new(seed);
+        let outcome = world.run(programs, &mut sched, 1_000_000);
+        assert!(outcome.completed, "{label}: run exhausted budget (seed {seed})");
+        let h = log.history();
+        assert!(h.is_well_formed());
+        assert!(
+            check_linearizable(&Spec::new(n), &h).is_some(),
+            "{label}: non-linearizable history under seed {seed}:\n{h:?}"
+        );
+    }
+}
+
+#[test]
+fn double_collect_is_linearizable_under_random_schedules() {
+    check_substrate(
+        DoubleCollectSnapshot::<u64, _>::new,
+        "double-collect",
+    );
+}
+
+#[test]
+fn afek_helping_is_linearizable_under_random_schedules() {
+    check_substrate(AfekSnapshot::<u64, _>::new, "afek");
+}
+
+/// Lock-freedom vs wait-freedom: under an adversary that always favours
+/// the updater, a double-collect scan starves (the run hits its budget
+/// with the scan pending), while the Afek scan completes by borrowing.
+#[test]
+fn adversary_starves_double_collect_scan_but_not_afek() {
+    use sl_sim::FnScheduler;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    // Double-collect: writer (p0) steps whenever the scanner is mid-scan.
+    let world = SimWorld::new(2);
+    let mem = world.mem();
+    let snap = DoubleCollectSnapshot::<u64, _>::new(&mem, 2);
+    let scan_done = Arc::new(AtomicBool::new(false));
+    let s0 = snap.clone();
+    let s1 = snap.clone();
+    let done = scan_done.clone();
+    // Pattern: scanner, scanner, writer, writer. The scanner's collect
+    // reads registers 0 then 1, so the writer's complete update (read own
+    // register, write own register) lands between every two consecutive
+    // scanner reads of register 0 — every double collect stays dirty.
+    let mut round = 0usize;
+    let mut sched = FnScheduler(move |view: &sl_sim::SchedView<'_>| {
+        round += 1;
+        if view.runnable.contains(&0) && (round % 4 == 3 || round.is_multiple_of(4)) {
+            0
+        } else {
+            *view.runnable.iter().find(|&&p| p == 1).unwrap_or(&view.runnable[0])
+        }
+    });
+    let outcome = world.run(
+        vec![
+            Box::new(move |_| {
+                for i in 0..10_000u64 {
+                    s0.update(ProcId(0), i);
+                }
+            }),
+            Box::new(move |_| {
+                let _ = s1.scan(ProcId(1));
+                done.store(true, Ordering::SeqCst);
+            }),
+        ],
+        &mut sched,
+        5_000,
+    );
+    assert!(!outcome.completed, "budget must run out");
+    assert!(
+        !scan_done.load(Ordering::SeqCst),
+        "double-collect scan should starve under this adversary"
+    );
+
+    // Afek: same adversary shape; the scan must finish (wait-free).
+    let world = SimWorld::new(2);
+    let mem = world.mem();
+    let snap = AfekSnapshot::<u64, _>::new(&mem, 2);
+    let scan_done = Arc::new(AtomicBool::new(false));
+    let s0 = snap.clone();
+    let s1 = snap.clone();
+    let done = scan_done.clone();
+    let mut round = 0usize;
+    let mut sched = FnScheduler(move |view: &sl_sim::SchedView<'_>| {
+        round += 1;
+        if view.runnable.contains(&0) && (round % 4 == 3 || round.is_multiple_of(4)) {
+            0
+        } else {
+            *view.runnable.iter().find(|&&p| p == 1).unwrap_or(&view.runnable[0])
+        }
+    });
+    let _ = world.run(
+        vec![
+            Box::new(move |_| {
+                for i in 0..10_000u64 {
+                    s0.update(ProcId(0), i);
+                }
+            }),
+            Box::new(move |_| {
+                let _ = s1.scan(ProcId(1));
+                done.store(true, Ordering::SeqCst);
+            }),
+        ],
+        &mut sched,
+        5_000,
+    );
+    assert!(
+        scan_done.load(Ordering::SeqCst),
+        "Afek scan must complete despite continuous updates (wait-freedom)"
+    );
+}
+
+#[test]
+fn bounded_handshake_is_linearizable_under_random_schedules() {
+    check_substrate(
+        sl_snapshot::BoundedAfekSnapshot::<u64, _>::new,
+        "bounded-handshake",
+    );
+}
+
+/// The bounded handshake scan is wait-free: it completes under the same
+/// adversary that starves the double-collect scan.
+#[test]
+fn bounded_handshake_scan_is_wait_free_under_adversary() {
+    use sl_sim::FnScheduler;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let world = SimWorld::new(2);
+    let mem = world.mem();
+    let snap = sl_snapshot::BoundedAfekSnapshot::<u64, _>::new(&mem, 2);
+    let scan_done = Arc::new(AtomicBool::new(false));
+    let s0 = snap.clone();
+    let s1 = snap.clone();
+    let done = scan_done.clone();
+    let mut round = 0usize;
+    let mut sched = FnScheduler(move |view: &sl_sim::SchedView<'_>| {
+        round += 1;
+        if view.runnable.contains(&0) && (round % 4 == 3 || round.is_multiple_of(4)) {
+            0
+        } else {
+            *view.runnable.iter().find(|&&p| p == 1).unwrap_or(&view.runnable[0])
+        }
+    });
+    let _ = world.run(
+        vec![
+            Box::new(move |_| {
+                for i in 0..10_000u64 {
+                    s0.update(ProcId(0), i);
+                }
+            }),
+            Box::new(move |_| {
+                let _ = s1.scan(ProcId(1));
+                done.store(true, Ordering::SeqCst);
+            }),
+        ],
+        &mut sched,
+        20_000,
+    );
+    assert!(
+        scan_done.load(Ordering::SeqCst),
+        "bounded handshake scan must complete despite continuous updates"
+    );
+}

@@ -1,0 +1,451 @@
+//! Histories: sequences of high-level invocation and response events.
+//!
+//! A [`History`] is the paper's *interpreted history* `Γ(T)` of a
+//! transcript `T`: the sequence of high-level invocation and response
+//! events, with low-level (base-object) steps projected away. Histories
+//! are the input to the linearizability and strong-linearizability
+//! checkers in the `sl-check` crate.
+
+use std::fmt;
+
+use crate::{OpId, ProcId, SeqSpec};
+
+/// The payload of an event: an invocation description or a response.
+pub enum EventKind<S: SeqSpec> {
+    /// An invocation event carrying the invocation description.
+    Invoke(S::Op),
+    /// A response event carrying the returned value.
+    Respond(S::Resp),
+}
+
+impl<S: SeqSpec> Clone for EventKind<S> {
+    fn clone(&self) -> Self {
+        match self {
+            EventKind::Invoke(op) => EventKind::Invoke(op.clone()),
+            EventKind::Respond(r) => EventKind::Respond(r.clone()),
+        }
+    }
+}
+
+impl<S: SeqSpec> PartialEq for EventKind<S> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (EventKind::Invoke(a), EventKind::Invoke(b)) => a == b,
+            (EventKind::Respond(a), EventKind::Respond(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl<S: SeqSpec> Eq for EventKind<S> {}
+
+impl<S: SeqSpec> fmt::Debug for EventKind<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Invoke(op) => write!(f, "inv({op:?})"),
+            EventKind::Respond(r) => write!(f, "rsp({r:?})"),
+        }
+    }
+}
+
+/// A single event of a history.
+pub struct Event<S: SeqSpec> {
+    /// Identifier linking an invocation with its matching response.
+    pub op: OpId,
+    /// The process performing the event.
+    pub proc: ProcId,
+    /// Invocation or response payload.
+    pub kind: EventKind<S>,
+}
+
+impl<S: SeqSpec> Clone for Event<S> {
+    fn clone(&self) -> Self {
+        Event {
+            op: self.op,
+            proc: self.proc,
+            kind: self.kind.clone(),
+        }
+    }
+}
+
+impl<S: SeqSpec> PartialEq for Event<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.op == other.op && self.proc == other.proc && self.kind == other.kind
+    }
+}
+
+impl<S: SeqSpec> Eq for Event<S> {}
+
+impl<S: SeqSpec> fmt::Debug for Event<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}:{:?}", self.op, self.proc, self.kind)
+    }
+}
+
+/// A per-operation view of a history: invocation description, response
+/// (if the operation completed), and the event positions.
+pub struct OpRecord<S: SeqSpec> {
+    /// Operation identifier.
+    pub id: OpId,
+    /// Invoking process.
+    pub proc: ProcId,
+    /// Invocation description.
+    pub op: S::Op,
+    /// Index of the invocation event in the history.
+    pub inv_index: usize,
+    /// Response and its event index, or `None` if the operation is pending.
+    pub response: Option<(usize, S::Resp)>,
+}
+
+impl<S: SeqSpec> OpRecord<S> {
+    /// Whether the operation completed (has a response event).
+    pub fn is_complete(&self) -> bool {
+        self.response.is_some()
+    }
+}
+
+impl<S: SeqSpec> Clone for OpRecord<S> {
+    fn clone(&self) -> Self {
+        OpRecord {
+            id: self.id,
+            proc: self.proc,
+            op: self.op.clone(),
+            inv_index: self.inv_index,
+            response: self.response.clone(),
+        }
+    }
+}
+
+impl<S: SeqSpec> fmt::Debug for OpRecord<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{} {:?} inv@{} resp:{:?}",
+            self.id, self.proc, self.op, self.inv_index, self.response
+        )
+    }
+}
+
+/// A history: a well-formed sequence of invocation and response events.
+///
+/// # Example
+///
+/// ```
+/// use sl_spec::types::CounterSpec;
+/// use sl_spec::{CounterOp, CounterResp, History, OpId, ProcId};
+///
+/// let mut h: History<CounterSpec> = History::new();
+/// let a = h.invoke(ProcId(0), CounterOp::Inc);
+/// let b = h.invoke(ProcId(1), CounterOp::Read); // concurrent with a
+/// h.respond(a, CounterResp::Ack);
+/// h.respond(b, CounterResp::Value(1));
+/// assert!(h.is_well_formed());
+/// assert!(!h.happens_before(a, b)); // they overlap
+/// ```
+pub struct History<S: SeqSpec> {
+    events: Vec<Event<S>>,
+    next_op: u64,
+}
+
+impl<S: SeqSpec> Default for History<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: SeqSpec> Clone for History<S> {
+    fn clone(&self) -> Self {
+        History {
+            events: self.events.clone(),
+            next_op: self.next_op,
+        }
+    }
+}
+
+impl<S: SeqSpec> fmt::Debug for History<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.events.iter()).finish()
+    }
+}
+
+impl<S: SeqSpec> History<S> {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History {
+            events: Vec::new(),
+            next_op: 0,
+        }
+    }
+
+    /// Appends an invocation event with a fresh operation identifier and
+    /// returns that identifier.
+    pub fn invoke(&mut self, proc: ProcId, op: S::Op) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        self.events.push(Event {
+            op: id,
+            proc,
+            kind: EventKind::Invoke(op),
+        });
+        id
+    }
+
+    /// Appends an invocation event with a caller-chosen identifier.
+    ///
+    /// Useful when replaying externally recorded transcripts. The caller
+    /// must keep identifiers unique.
+    pub fn invoke_with_id(&mut self, id: OpId, proc: ProcId, op: S::Op) {
+        self.next_op = self.next_op.max(id.0 + 1);
+        self.events.push(Event {
+            op: id,
+            proc,
+            kind: EventKind::Invoke(op),
+        });
+    }
+
+    /// Appends the response event matching an earlier invocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` has no pending invocation in this history.
+    pub fn respond(&mut self, id: OpId, resp: S::Resp) {
+        let proc = self
+            .events
+            .iter()
+            .find_map(|e| match e.kind {
+                EventKind::Invoke(_) if e.op == id => Some(e.proc),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("respond: no invocation with id {id}"));
+        self.events.push(Event {
+            op: id,
+            proc,
+            kind: EventKind::Respond(resp),
+        });
+    }
+
+    /// The events of the history, in order.
+    pub fn events(&self) -> &[Event<S>] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the history has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The prefix consisting of the first `k` events.
+    pub fn prefix(&self, k: usize) -> History<S> {
+        History {
+            events: self.events[..k.min(self.events.len())].to_vec(),
+            next_op: self.next_op,
+        }
+    }
+
+    /// Per-operation records, ordered by invocation position.
+    pub fn records(&self) -> Vec<OpRecord<S>> {
+        let mut records: Vec<OpRecord<S>> = Vec::new();
+        for (i, e) in self.events.iter().enumerate() {
+            match &e.kind {
+                EventKind::Invoke(op) => records.push(OpRecord {
+                    id: e.op,
+                    proc: e.proc,
+                    op: op.clone(),
+                    inv_index: i,
+                    response: None,
+                }),
+                EventKind::Respond(r) => {
+                    if let Some(rec) = records.iter_mut().find(|rec| rec.id == e.op) {
+                        rec.response = Some((i, r.clone()));
+                    }
+                }
+            }
+        }
+        records
+    }
+
+    /// Identifiers of operations that completed.
+    pub fn complete_ops(&self) -> Vec<OpId> {
+        self.records()
+            .into_iter()
+            .filter(|r| r.is_complete())
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Identifiers of operations that are pending (invoked, no response).
+    pub fn pending_ops(&self) -> Vec<OpId> {
+        self.records()
+            .into_iter()
+            .filter(|r| !r.is_complete())
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// The happens-before relation: `a → b` iff `a`'s response precedes
+    /// `b`'s invocation.
+    pub fn happens_before(&self, a: OpId, b: OpId) -> bool {
+        let mut resp_a = None;
+        let mut inv_b = None;
+        for (i, e) in self.events.iter().enumerate() {
+            match e.kind {
+                EventKind::Respond(_) if e.op == a => resp_a = Some(i),
+                EventKind::Invoke(_) if e.op == b => inv_b = Some(i),
+                _ => {}
+            }
+        }
+        matches!((resp_a, inv_b), (Some(r), Some(i)) if r < i)
+    }
+
+    /// Whether the history is well-formed: processes perform operations
+    /// sequentially (at most one pending operation per process), every
+    /// response matches an earlier invocation by the same operation
+    /// identifier, and identifiers are not reused.
+    pub fn is_well_formed(&self) -> bool {
+        use std::collections::{HashMap, HashSet};
+        let mut pending: HashMap<ProcId, OpId> = HashMap::new();
+        let mut seen: HashSet<OpId> = HashSet::new();
+        for e in &self.events {
+            match e.kind {
+                EventKind::Invoke(_) => {
+                    if pending.contains_key(&e.proc) || !seen.insert(e.op) {
+                        return false;
+                    }
+                    pending.insert(e.proc, e.op);
+                }
+                EventKind::Respond(_) => match pending.get(&e.proc) {
+                    Some(&id) if id == e.op => {
+                        pending.remove(&e.proc);
+                    }
+                    _ => return false,
+                },
+            }
+        }
+        true
+    }
+
+    /// Projects the history onto a single process (the paper's `T|p`).
+    pub fn project(&self, proc: ProcId) -> History<S> {
+        History {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.proc == proc)
+                .cloned()
+                .collect(),
+            next_op: self.next_op,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{CounterOp, CounterResp, CounterSpec};
+
+    type H = History<CounterSpec>;
+
+    #[test]
+    fn empty_history_is_well_formed() {
+        let h = H::new();
+        assert!(h.is_well_formed());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn sequential_ops_are_well_formed_and_ordered() {
+        let mut h = H::new();
+        let a = h.invoke(ProcId(0), CounterOp::Inc);
+        h.respond(a, CounterResp::Ack);
+        let b = h.invoke(ProcId(0), CounterOp::Read);
+        h.respond(b, CounterResp::Value(1));
+        assert!(h.is_well_formed());
+        assert!(h.happens_before(a, b));
+        assert!(!h.happens_before(b, a));
+        assert_eq!(h.complete_ops(), vec![a, b]);
+    }
+
+    #[test]
+    fn overlapping_ops_are_concurrent() {
+        let mut h = H::new();
+        let a = h.invoke(ProcId(0), CounterOp::Inc);
+        let b = h.invoke(ProcId(1), CounterOp::Read);
+        h.respond(a, CounterResp::Ack);
+        h.respond(b, CounterResp::Value(1));
+        assert!(h.is_well_formed());
+        assert!(!h.happens_before(a, b));
+        assert!(!h.happens_before(b, a));
+    }
+
+    #[test]
+    fn two_pending_per_process_is_ill_formed() {
+        let mut h = H::new();
+        h.invoke(ProcId(0), CounterOp::Inc);
+        h.invoke(ProcId(0), CounterOp::Read);
+        assert!(!h.is_well_formed());
+    }
+
+    #[test]
+    fn response_without_invocation_is_ill_formed() {
+        let mut h = H::new();
+        let a = h.invoke(ProcId(0), CounterOp::Inc);
+        h.respond(a, CounterResp::Ack);
+        // Manually push a stray response event.
+        h.events.push(Event {
+            op: OpId(99),
+            proc: ProcId(0),
+            kind: EventKind::Respond(CounterResp::Ack),
+        });
+        assert!(!h.is_well_formed());
+    }
+
+    #[test]
+    fn pending_ops_reported() {
+        let mut h = H::new();
+        let a = h.invoke(ProcId(0), CounterOp::Inc);
+        let b = h.invoke(ProcId(1), CounterOp::Read);
+        h.respond(a, CounterResp::Ack);
+        assert_eq!(h.pending_ops(), vec![b]);
+        assert_eq!(h.complete_ops(), vec![a]);
+    }
+
+    #[test]
+    fn prefix_truncates_events() {
+        let mut h = H::new();
+        let a = h.invoke(ProcId(0), CounterOp::Inc);
+        h.respond(a, CounterResp::Ack);
+        let p = h.prefix(1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.pending_ops(), vec![a]);
+    }
+
+    #[test]
+    fn project_keeps_only_one_process() {
+        let mut h = H::new();
+        let a = h.invoke(ProcId(0), CounterOp::Inc);
+        let b = h.invoke(ProcId(1), CounterOp::Read);
+        h.respond(a, CounterResp::Ack);
+        h.respond(b, CounterResp::Value(1));
+        let hp = h.project(ProcId(1));
+        assert_eq!(hp.len(), 2);
+        assert!(hp.is_well_formed());
+        assert_eq!(hp.complete_ops(), vec![b]);
+    }
+
+    #[test]
+    fn records_capture_positions() {
+        let mut h = H::new();
+        let a = h.invoke(ProcId(0), CounterOp::Inc);
+        h.respond(a, CounterResp::Ack);
+        let recs = h.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].inv_index, 0);
+        assert_eq!(recs[0].response.as_ref().unwrap().0, 1);
+        assert!(recs[0].is_complete());
+    }
+}

@@ -1,0 +1,94 @@
+//! Process and operation identifiers.
+
+use std::fmt;
+
+/// Identifier of a process in an `n`-process system.
+///
+/// Processes have unique identifiers in `{0, …, n-1}` (the paper numbers
+/// them `1 … n`; we use zero-based indices so that a `ProcId` can index
+/// arrays directly).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProcId(pub usize);
+
+impl ProcId {
+    /// The zero-based index of this process.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// All process identifiers of an `n`-process system, in order.
+    pub fn all(n: usize) -> impl Iterator<Item = ProcId> {
+        (0..n).map(ProcId)
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcId {
+    fn from(value: usize) -> Self {
+        ProcId(value)
+    }
+}
+
+/// Identifier of a high-level operation in a transcript.
+///
+/// An invocation event and its matching response event carry the same
+/// `OpId` (the paper's `id` component of invocation/response events).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OpId(pub u64);
+
+impl OpId {
+    /// The raw numeric identifier.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_id_ordering_and_display() {
+        assert!(ProcId(0) < ProcId(1));
+        assert_eq!(format!("{}", ProcId(3)), "p3");
+        assert_eq!(format!("{:?}", ProcId(3)), "p3");
+        assert_eq!(ProcId::from(5).index(), 5);
+    }
+
+    #[test]
+    fn proc_id_all_enumerates() {
+        let ids: Vec<_> = ProcId::all(3).collect();
+        assert_eq!(ids, vec![ProcId(0), ProcId(1), ProcId(2)]);
+    }
+
+    #[test]
+    fn op_id_display() {
+        assert_eq!(format!("{}", OpId(7)), "op7");
+        assert_eq!(OpId(9).raw(), 9);
+    }
+}

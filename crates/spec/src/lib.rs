@@ -1,0 +1,41 @@
+//! Sequential specifications, histories, and transcripts.
+//!
+//! This crate implements the formal model of Section 2 of Ovens & Woelfel,
+//! *Strongly Linearizable Implementations of Snapshots and Other Types*
+//! (PODC 2019): types as state machines `T = (S, s0, O, R, δ)`,
+//! invocation/response events, well-formed transcripts, happens-before
+//! order, and interpreted histories.
+//!
+//! The central trait is [`SeqSpec`], a deterministic sequential
+//! specification. Concrete specifications for every object used in the
+//! paper live in [`types`]: multi-reader multi-writer registers,
+//! ABA-detecting registers, single-writer snapshots, counters,
+//! max-registers, and grow-only sets.
+//!
+//! # Example
+//!
+//! ```
+//! use sl_spec::types::CounterSpec;
+//! use sl_spec::{CounterOp, SeqSpec, ProcId};
+//!
+//! let spec = CounterSpec;
+//! let s0 = spec.initial();
+//! let (s1, _) = spec.apply(&s0, ProcId(0), &CounterOp::Inc);
+//! let (_, resp) = spec.apply(&s1, ProcId(1), &CounterOp::Read);
+//! assert_eq!(resp, sl_spec::CounterResp::Value(1));
+//! ```
+
+mod history;
+mod ids;
+mod spec;
+pub mod types;
+
+pub use history::{Event, EventKind, History, OpRecord};
+pub use ids::{OpId, ProcId};
+pub use spec::{validate_sequential, SeqSpec};
+pub use types::{
+    AbaOp, AbaResp, AbaSpec, CounterOp, CounterResp, CounterSpec, GrowSetOp, GrowSetResp,
+    GrowSetSpec, MaxRegisterOp, MaxRegisterResp, MaxRegisterSpec, QueueOp, QueueResp,
+    QueueSpec, RegisterOp, RegisterResp, RegisterSpec, SnapshotOp, SnapshotResp, SnapshotSpec,
+    StackOp, StackResp, StackSpec,
+};

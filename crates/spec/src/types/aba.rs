@@ -1,0 +1,189 @@
+//! ABA-detecting register specification (Section 3 of the paper).
+
+use crate::{ProcId, SeqSpec};
+
+/// Invocation descriptions of an ABA-detecting register over values `V`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AbaOp<V> {
+    /// `DWrite(x)`: store `x`.
+    DWrite(V),
+    /// `DRead()`: return the stored value and the modification flag.
+    DRead,
+}
+
+/// Responses of an ABA-detecting register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AbaResp<V> {
+    /// Acknowledgement of a `DWrite`.
+    Ack,
+    /// `DRead` result: the stored value (`None` is the initial `⊥`) and a
+    /// flag that is `true` iff some `DWrite` occurred since the invoking
+    /// process's previous `DRead` (or since initialization, if this is
+    /// the process's first `DRead`).
+    Value(Option<V>, bool),
+}
+
+/// Sequential state of an ABA-detecting register.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AbaState<V> {
+    /// The stored value; `None` is the initial `⊥`.
+    pub value: Option<V>,
+    /// Total number of `DWrite` operations applied so far.
+    pub writes: u64,
+    /// For each process, the value of `writes` at that process's last
+    /// `DRead` (0 if the process never performed one — the reference
+    /// point for a first read is initialization).
+    pub last_read: Vec<u64>,
+}
+
+/// Sequential specification of an ABA-detecting register (Aghazadeh &
+/// Woelfel; paper §3).
+///
+/// The register stores a single value `R` from domain `D ∪ {⊥}`. A
+/// `DWrite(x)` sets `R = x`. A `DRead` by process `q` returns `(R, a)`
+/// where `a` is `true` iff some `DWrite` was performed since `q`'s
+/// previous `DRead` — with the initial state as the reference point for
+/// `q`'s first `DRead`. (This matches the behaviour of the Aghazadeh–
+/// Woelfel implementation, paper Algorithm 1, whose announcement array is
+/// initialized to `⊥`: a first read that observes any write reports
+/// `true`.)
+///
+/// # Example
+///
+/// ```
+/// use sl_spec::{AbaOp, AbaResp, ProcId, SeqSpec};
+/// use sl_spec::types::AbaSpec;
+///
+/// let spec = AbaSpec::<u64>::new(2);
+/// let s = spec.initial();
+/// let (s, _) = spec.apply(&s, ProcId(1), &AbaOp::DRead); // nothing written: flag false
+/// let (s, _) = spec.apply(&s, ProcId(0), &AbaOp::DWrite(7));
+/// let (_, r) = spec.apply(&s, ProcId(1), &AbaOp::DRead);
+/// assert_eq!(r, AbaResp::Value(Some(7), true)); // a write intervened
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbaSpec<V> {
+    n: usize,
+    _marker: std::marker::PhantomData<V>,
+}
+
+impl<V> AbaSpec<V> {
+    /// Creates the specification for an `n`-process system.
+    pub fn new(n: usize) -> Self {
+        AbaSpec {
+            n,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of processes.
+    pub fn processes(&self) -> usize {
+        self.n
+    }
+}
+
+impl<V> SeqSpec for AbaSpec<V>
+where
+    V: Clone + Copy + Eq + std::hash::Hash + std::fmt::Debug,
+{
+    type State = AbaState<V>;
+    type Op = AbaOp<V>;
+    type Resp = AbaResp<V>;
+
+    fn initial(&self) -> Self::State {
+        AbaState {
+            value: None,
+            writes: 0,
+            last_read: vec![0; self.n],
+        }
+    }
+
+    fn apply(&self, state: &Self::State, proc: ProcId, op: &Self::Op) -> (Self::State, Self::Resp) {
+        match op {
+            AbaOp::DWrite(x) => {
+                let mut next = state.clone();
+                next.value = Some(*x);
+                next.writes += 1;
+                (next, AbaResp::Ack)
+            }
+            AbaOp::DRead => {
+                let flag = state.writes > state.last_read[proc.index()];
+                let mut next = state.clone();
+                next.last_read[proc.index()] = state.writes;
+                (next, AbaResp::Value(state.value, flag))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> AbaSpec<u64> {
+        AbaSpec::new(3)
+    }
+
+    #[test]
+    fn initial_dread_flag_is_false() {
+        let s = spec().initial();
+        let (_, r) = spec().apply(&s, ProcId(1), &AbaOp::DRead);
+        assert_eq!(r, AbaResp::Value(None, false));
+    }
+
+    #[test]
+    fn first_dread_after_a_write_reports_true() {
+        let s = spec().initial();
+        let (s, _) = spec().apply(&s, ProcId(0), &AbaOp::DWrite(1));
+        let (_, r) = spec().apply(&s, ProcId(1), &AbaOp::DRead);
+        assert_eq!(r, AbaResp::Value(Some(1), true));
+    }
+
+    #[test]
+    fn flag_set_when_write_intervenes_between_reads() {
+        let s = spec().initial();
+        let (s, _) = spec().apply(&s, ProcId(1), &AbaOp::DRead);
+        let (s, _) = spec().apply(&s, ProcId(0), &AbaOp::DWrite(5));
+        let (_, r) = spec().apply(&s, ProcId(1), &AbaOp::DRead);
+        assert_eq!(r, AbaResp::Value(Some(5), true));
+    }
+
+    #[test]
+    fn flag_clear_when_no_write_between_reads() {
+        let s = spec().initial();
+        let (s, _) = spec().apply(&s, ProcId(0), &AbaOp::DWrite(5));
+        let (s, _) = spec().apply(&s, ProcId(1), &AbaOp::DRead);
+        let (_, r) = spec().apply(&s, ProcId(1), &AbaOp::DRead);
+        assert_eq!(r, AbaResp::Value(Some(5), false));
+    }
+
+    #[test]
+    fn aba_pattern_is_detected() {
+        // Write 5, read, write 6, write 5 again, read: same value but the
+        // flag must be true — this is exactly the ABA scenario the type
+        // exists to detect.
+        let s = spec().initial();
+        let (s, _) = spec().apply(&s, ProcId(0), &AbaOp::DWrite(5));
+        let (s, r1) = spec().apply(&s, ProcId(1), &AbaOp::DRead);
+        assert_eq!(r1, AbaResp::Value(Some(5), true), "first read after a write");
+        let (s, _) = spec().apply(&s, ProcId(0), &AbaOp::DWrite(6));
+        let (s, _) = spec().apply(&s, ProcId(0), &AbaOp::DWrite(5));
+        let (_, r2) = spec().apply(&s, ProcId(1), &AbaOp::DRead);
+        assert_eq!(r2, AbaResp::Value(Some(5), true));
+    }
+
+    #[test]
+    fn flags_are_tracked_per_process() {
+        let s = spec().initial();
+        let (s, _) = spec().apply(&s, ProcId(1), &AbaOp::DRead);
+        let (s, _) = spec().apply(&s, ProcId(2), &AbaOp::DRead);
+        let (s, _) = spec().apply(&s, ProcId(0), &AbaOp::DWrite(9));
+        let (s, r1) = spec().apply(&s, ProcId(1), &AbaOp::DRead);
+        assert_eq!(r1, AbaResp::Value(Some(9), true));
+        // p2 still has a pending change notification; p1 already consumed its own.
+        let (s, r2) = spec().apply(&s, ProcId(1), &AbaOp::DRead);
+        assert_eq!(r2, AbaResp::Value(Some(9), false));
+        let (_, r3) = spec().apply(&s, ProcId(2), &AbaOp::DRead);
+        assert_eq!(r3, AbaResp::Value(Some(9), true));
+    }
+}

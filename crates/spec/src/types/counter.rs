@@ -1,0 +1,71 @@
+//! Counter specification (an example *simple type*, paper §1 and §5).
+
+use crate::{ProcId, SeqSpec};
+
+/// Invocation descriptions of a counter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CounterOp {
+    /// `inc()`: increment the count.
+    Inc,
+    /// `read()`: return the count.
+    Read,
+}
+
+/// Responses of a counter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CounterResp {
+    /// Acknowledgement of an `inc`.
+    Ack,
+    /// Value returned by a `read`.
+    Value(u64),
+}
+
+/// Sequential specification of a counter.
+///
+/// A counter stores a non-negative integer, initially 0. `Inc` adds one,
+/// `Read` returns the current count. The counter is a *simple type* in
+/// the sense of Aspnes & Herlihy (paper Definition 33): `Inc` commutes
+/// with `Inc`, `Read` commutes with `Read`, and `Inc` overwrites `Read`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSpec;
+
+impl SeqSpec for CounterSpec {
+    type State = u64;
+    type Op = CounterOp;
+    type Resp = CounterResp;
+
+    fn initial(&self) -> Self::State {
+        0
+    }
+
+    fn apply(&self, state: &Self::State, _proc: ProcId, op: &Self::Op) -> (Self::State, Self::Resp) {
+        match op {
+            CounterOp::Inc => (state + 1, CounterResp::Ack),
+            CounterOp::Read => (*state, CounterResp::Value(*state)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_increments() {
+        let spec = CounterSpec;
+        let mut s = spec.initial();
+        for _ in 0..5 {
+            s = spec.apply(&s, ProcId(0), &CounterOp::Inc).0;
+        }
+        let (_, r) = spec.apply(&s, ProcId(1), &CounterOp::Read);
+        assert_eq!(r, CounterResp::Value(5));
+    }
+
+    #[test]
+    fn read_does_not_change_state() {
+        let spec = CounterSpec;
+        let (s, _) = spec.apply(&spec.initial(), ProcId(0), &CounterOp::Inc);
+        let (s2, _) = spec.apply(&s, ProcId(0), &CounterOp::Read);
+        assert_eq!(s, s2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Grow-only set specification (an example simple type for §5).
+
+use std::collections::BTreeSet;
+
+use crate::{ProcId, SeqSpec};
+
+/// Invocation descriptions of a grow-only set over `u64` elements.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GrowSetOp {
+    /// `insert(x)`: add `x` to the set.
+    Insert(u64),
+    /// `contains(x)`: test membership of `x`.
+    Contains(u64),
+}
+
+/// Responses of a grow-only set.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GrowSetResp {
+    /// Acknowledgement of an `insert`.
+    Ack,
+    /// Result of a `contains` query.
+    Member(bool),
+}
+
+/// Sequential state of a grow-only set.
+pub type GrowSetState = BTreeSet<u64>;
+
+/// Sequential specification of a grow-only (insert-only) set.
+///
+/// Elements can be inserted but never removed. The set is a simple type:
+/// `Insert(x)` commutes with `Insert(y)`, `Contains` queries commute with
+/// each other, `Insert(x)` overwrites `Contains(x)`, and `Insert(x)`
+/// commutes with `Contains(y)` for `x ≠ y`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GrowSetSpec;
+
+impl SeqSpec for GrowSetSpec {
+    type State = GrowSetState;
+    type Op = GrowSetOp;
+    type Resp = GrowSetResp;
+
+    fn initial(&self) -> Self::State {
+        BTreeSet::new()
+    }
+
+    fn apply(&self, state: &Self::State, _proc: ProcId, op: &Self::Op) -> (Self::State, Self::Resp) {
+        match op {
+            GrowSetOp::Insert(x) => {
+                let mut next = state.clone();
+                next.insert(*x);
+                (next, GrowSetResp::Ack)
+            }
+            GrowSetOp::Contains(x) => (state.clone(), GrowSetResp::Member(state.contains(x))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_contains() {
+        let spec = GrowSetSpec;
+        let (s, _) = spec.apply(&spec.initial(), ProcId(0), &GrowSetOp::Insert(4));
+        let (_, r) = spec.apply(&s, ProcId(1), &GrowSetOp::Contains(4));
+        assert_eq!(r, GrowSetResp::Member(true));
+    }
+
+    #[test]
+    fn absent_element_not_contained() {
+        let spec = GrowSetSpec;
+        let (_, r) = spec.apply(&spec.initial(), ProcId(0), &GrowSetOp::Contains(4));
+        assert_eq!(r, GrowSetResp::Member(false));
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let spec = GrowSetSpec;
+        let (s1, _) = spec.apply(&spec.initial(), ProcId(0), &GrowSetOp::Insert(4));
+        let (s2, _) = spec.apply(&s1, ProcId(1), &GrowSetOp::Insert(4));
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Max-register specification (paper §4.1).
+
+use crate::{ProcId, SeqSpec};
+
+/// Invocation descriptions of a max-register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MaxRegisterOp {
+    /// `maxWrite(x)`: raise the stored maximum to `x` if `x` is larger.
+    MaxWrite(u64),
+    /// `maxRead()`: return the largest value written so far.
+    MaxRead,
+}
+
+/// Responses of a max-register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MaxRegisterResp {
+    /// Acknowledgement of a `maxWrite`.
+    Ack,
+    /// Value returned by a `maxRead` (0 if nothing was written).
+    Value(u64),
+}
+
+/// Sequential specification of a max-register.
+///
+/// A max-register stores the maximum of all values written so far
+/// (initially 0). `MaxWrite(x)` replaces the stored value `m` with
+/// `max(m, x)`; `MaxRead` returns `m`. Max-registers are simple types:
+/// `MaxWrite`s commute, `MaxRead`s commute, and `MaxWrite` overwrites
+/// `MaxRead`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaxRegisterSpec;
+
+impl SeqSpec for MaxRegisterSpec {
+    type State = u64;
+    type Op = MaxRegisterOp;
+    type Resp = MaxRegisterResp;
+
+    fn initial(&self) -> Self::State {
+        0
+    }
+
+    fn apply(&self, state: &Self::State, _proc: ProcId, op: &Self::Op) -> (Self::State, Self::Resp) {
+        match op {
+            MaxRegisterOp::MaxWrite(x) => ((*state).max(*x), MaxRegisterResp::Ack),
+            MaxRegisterOp::MaxRead => (*state, MaxRegisterResp::Value(*state)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_maximum() {
+        let spec = MaxRegisterSpec;
+        let (s, _) = spec.apply(&spec.initial(), ProcId(0), &MaxRegisterOp::MaxWrite(5));
+        let (s, _) = spec.apply(&s, ProcId(1), &MaxRegisterOp::MaxWrite(3));
+        let (_, r) = spec.apply(&s, ProcId(0), &MaxRegisterOp::MaxRead);
+        assert_eq!(r, MaxRegisterResp::Value(5));
+    }
+
+    #[test]
+    fn larger_write_raises_maximum() {
+        let spec = MaxRegisterSpec;
+        let (s, _) = spec.apply(&spec.initial(), ProcId(0), &MaxRegisterOp::MaxWrite(5));
+        let (s, _) = spec.apply(&s, ProcId(1), &MaxRegisterOp::MaxWrite(9));
+        let (_, r) = spec.apply(&s, ProcId(0), &MaxRegisterOp::MaxRead);
+        assert_eq!(r, MaxRegisterResp::Value(9));
+    }
+}

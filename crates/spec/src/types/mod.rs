@@ -1,0 +1,26 @@
+//! Concrete sequential specifications for the object types used in the paper.
+//!
+//! | Type | Paper reference | Specification |
+//! |------|-----------------|---------------|
+//! | MRMW register | §2 base objects | [`RegisterSpec`] |
+//! | ABA-detecting register | §3, Aghazadeh & Woelfel | [`AbaSpec`] |
+//! | Single-writer snapshot | §4 | [`SnapshotSpec`] |
+//! | Counter | §1, §4.5 | [`CounterSpec`] |
+//! | Max-register | §4.1 | [`MaxRegisterSpec`] |
+//! | Grow-only set | §5 (example simple type) | [`GrowSetSpec`] |
+
+mod aba;
+mod counter;
+mod grow_set;
+mod max_register;
+mod queue;
+mod register;
+mod snapshot;
+
+pub use aba::{AbaOp, AbaResp, AbaSpec, AbaState};
+pub use counter::{CounterOp, CounterResp, CounterSpec};
+pub use grow_set::{GrowSetOp, GrowSetResp, GrowSetSpec, GrowSetState};
+pub use max_register::{MaxRegisterOp, MaxRegisterResp, MaxRegisterSpec};
+pub use queue::{QueueOp, QueueResp, QueueSpec, StackOp, StackResp, StackSpec};
+pub use register::{RegisterOp, RegisterResp, RegisterSpec};
+pub use snapshot::{SnapshotOp, SnapshotResp, SnapshotSpec, SnapshotState};

@@ -1,0 +1,136 @@
+//! FIFO queue and LIFO stack specifications.
+//!
+//! Queues and stacks are **not** simple types (enqueues neither commute
+//! nor overwrite), and the paper's §6 recalls that any wait-free
+//! strongly linearizable `n`-process queue or stack solves `n`-consensus
+//! — so they cannot be built from registers alone. They exist here as
+//! the target types for the CAS-based universal construction
+//! (`sl_core::CasUniversal`), which the paper's §6 observes is strongly
+//! linearizable.
+
+use std::collections::VecDeque;
+
+use crate::{ProcId, SeqSpec};
+
+/// Invocation descriptions of a FIFO queue over `u64` elements.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum QueueOp {
+    /// Append an element at the tail.
+    Enqueue(u64),
+    /// Remove and return the head element.
+    Dequeue,
+}
+
+/// Responses of a FIFO queue.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum QueueResp {
+    /// Acknowledgement of an enqueue.
+    Ack,
+    /// The dequeued element, or `None` if the queue was empty.
+    Element(Option<u64>),
+}
+
+/// Sequential specification of a FIFO queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueSpec;
+
+impl SeqSpec for QueueSpec {
+    type State = VecDeque<u64>;
+    type Op = QueueOp;
+    type Resp = QueueResp;
+
+    fn initial(&self) -> Self::State {
+        VecDeque::new()
+    }
+
+    fn apply(&self, state: &Self::State, _proc: ProcId, op: &Self::Op) -> (Self::State, Self::Resp) {
+        let mut next = state.clone();
+        match op {
+            QueueOp::Enqueue(x) => {
+                next.push_back(*x);
+                (next, QueueResp::Ack)
+            }
+            QueueOp::Dequeue => {
+                let head = next.pop_front();
+                (next, QueueResp::Element(head))
+            }
+        }
+    }
+}
+
+/// Invocation descriptions of a LIFO stack over `u64` elements.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StackOp {
+    /// Push an element.
+    Push(u64),
+    /// Pop the most recently pushed element.
+    Pop,
+}
+
+/// Responses of a LIFO stack.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StackResp {
+    /// Acknowledgement of a push.
+    Ack,
+    /// The popped element, or `None` if the stack was empty.
+    Element(Option<u64>),
+}
+
+/// Sequential specification of a LIFO stack.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StackSpec;
+
+impl SeqSpec for StackSpec {
+    type State = Vec<u64>;
+    type Op = StackOp;
+    type Resp = StackResp;
+
+    fn initial(&self) -> Self::State {
+        Vec::new()
+    }
+
+    fn apply(&self, state: &Self::State, _proc: ProcId, op: &Self::Op) -> (Self::State, Self::Resp) {
+        let mut next = state.clone();
+        match op {
+            StackOp::Push(x) => {
+                next.push(*x);
+                (next, StackResp::Ack)
+            }
+            StackOp::Pop => {
+                let top = next.pop();
+                (next, StackResp::Element(top))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_is_fifo() {
+        let spec = QueueSpec;
+        let (s, _) = spec.apply(&spec.initial(), ProcId(0), &QueueOp::Enqueue(1));
+        let (s, _) = spec.apply(&s, ProcId(1), &QueueOp::Enqueue(2));
+        let (s, r1) = spec.apply(&s, ProcId(0), &QueueOp::Dequeue);
+        let (s, r2) = spec.apply(&s, ProcId(1), &QueueOp::Dequeue);
+        let (_, r3) = spec.apply(&s, ProcId(0), &QueueOp::Dequeue);
+        assert_eq!(r1, QueueResp::Element(Some(1)));
+        assert_eq!(r2, QueueResp::Element(Some(2)));
+        assert_eq!(r3, QueueResp::Element(None));
+    }
+
+    #[test]
+    fn stack_is_lifo() {
+        let spec = StackSpec;
+        let (s, _) = spec.apply(&spec.initial(), ProcId(0), &StackOp::Push(1));
+        let (s, _) = spec.apply(&s, ProcId(1), &StackOp::Push(2));
+        let (s, r1) = spec.apply(&s, ProcId(0), &StackOp::Pop);
+        let (s, r2) = spec.apply(&s, ProcId(1), &StackOp::Pop);
+        let (_, r3) = spec.apply(&s, ProcId(0), &StackOp::Pop);
+        assert_eq!(r1, StackResp::Element(Some(2)));
+        assert_eq!(r2, StackResp::Element(Some(1)));
+        assert_eq!(r3, StackResp::Element(None));
+    }
+}

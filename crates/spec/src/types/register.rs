@@ -1,0 +1,103 @@
+//! Multi-reader multi-writer atomic register specification.
+
+use crate::{ProcId, SeqSpec};
+
+/// Invocation descriptions of an MRMW register over values `V`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegisterOp<V> {
+    /// `Write(x)`: store `x`.
+    Write(V),
+    /// `Read()`: return the stored value.
+    Read,
+}
+
+/// Responses of an MRMW register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegisterResp<V> {
+    /// Acknowledgement of a `Write`.
+    Ack,
+    /// Value returned by a `Read`; `None` is the initial value `⊥`.
+    Value(Option<V>),
+}
+
+/// Sequential specification of a multi-reader multi-writer register.
+///
+/// The state is the last value written, initially `⊥` (modelled as
+/// `None`). `Write(x)` replaces the state with `x`; `Read` returns it.
+///
+/// # Example
+///
+/// ```
+/// use sl_spec::{ProcId, RegisterOp, RegisterResp, SeqSpec};
+/// use sl_spec::types::RegisterSpec;
+///
+/// let spec = RegisterSpec::<u64>::new();
+/// let s0 = spec.initial();
+/// let (s1, _) = spec.apply(&s0, ProcId(0), &RegisterOp::Write(5));
+/// let (_, r) = spec.apply(&s1, ProcId(1), &RegisterOp::Read);
+/// assert_eq!(r, RegisterResp::Value(Some(5)));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegisterSpec<V> {
+    _marker: std::marker::PhantomData<V>,
+}
+
+impl<V> RegisterSpec<V> {
+    /// Creates the register specification.
+    pub fn new() -> Self {
+        RegisterSpec {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<V> SeqSpec for RegisterSpec<V>
+where
+    V: Clone + Copy + Eq + std::hash::Hash + std::fmt::Debug,
+{
+    type State = Option<V>;
+    type Op = RegisterOp<V>;
+    type Resp = RegisterResp<V>;
+
+    fn initial(&self) -> Self::State {
+        None
+    }
+
+    fn apply(&self, state: &Self::State, _proc: ProcId, op: &Self::Op) -> (Self::State, Self::Resp) {
+        match op {
+            RegisterOp::Write(x) => (Some(*x), RegisterResp::Ack),
+            RegisterOp::Read => (*state, RegisterResp::Value(*state)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_read_returns_bottom() {
+        let spec = RegisterSpec::<u32>::new();
+        let (_, r) = spec.apply(&spec.initial(), ProcId(0), &RegisterOp::Read);
+        assert_eq!(r, RegisterResp::Value(None));
+    }
+
+    #[test]
+    fn write_then_read() {
+        let spec = RegisterSpec::<u32>::new();
+        let (s, r) = spec.apply(&spec.initial(), ProcId(0), &RegisterOp::Write(42));
+        assert_eq!(r, RegisterResp::Ack);
+        let (s2, r) = spec.apply(&s, ProcId(1), &RegisterOp::Read);
+        assert_eq!(r, RegisterResp::Value(Some(42)));
+        assert_eq!(s, s2, "read must not change the state");
+    }
+
+    #[test]
+    fn overwrite_is_last_writer_wins() {
+        let spec = RegisterSpec::<u32>::new();
+        let (s, _) = spec.apply(&spec.initial(), ProcId(0), &RegisterOp::Write(1));
+        let (s, _) = spec.apply(&s, ProcId(1), &RegisterOp::Write(2));
+        let (_, r) = spec.apply(&s, ProcId(0), &RegisterOp::Read);
+        assert_eq!(r, RegisterResp::Value(Some(2)));
+    }
+}

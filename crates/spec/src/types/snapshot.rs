@@ -1,0 +1,126 @@
+//! Single-writer snapshot specification (Section 4 of the paper).
+
+use crate::{ProcId, SeqSpec};
+
+/// Invocation descriptions of a single-writer snapshot over values `V`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SnapshotOp<V> {
+    /// `update_p(x)`: set the invoking process's component to `x`.
+    Update(V),
+    /// `scan()`: return the whole vector.
+    Scan,
+}
+
+/// Responses of a single-writer snapshot.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SnapshotResp<V> {
+    /// Acknowledgement of an `update`.
+    Ack,
+    /// Vector returned by a `scan`; `None` entries are the initial `⊥`.
+    View(Vec<Option<V>>),
+}
+
+/// Sequential state of a snapshot: the stored vector.
+pub type SnapshotState<V> = Vec<Option<V>>;
+
+/// Sequential specification of a single-writer snapshot object.
+///
+/// The object stores an `n`-component vector `X ∈ (D ∪ {⊥})^n`, initially
+/// `(⊥, …, ⊥)`. Component `p` is writable only by process `p`:
+/// `update_p(x)` sets `X[p] = x`, and `scan()` returns the entire vector.
+/// Per the paper (§4), once a component holds a value `x ≠ ⊥` it can never
+/// return to `⊥`; this is enforced structurally because `Update` carries a
+/// `V`, not an `Option<V>`.
+///
+/// # Example
+///
+/// ```
+/// use sl_spec::{ProcId, SeqSpec, SnapshotOp, SnapshotResp};
+/// use sl_spec::types::SnapshotSpec;
+///
+/// let spec = SnapshotSpec::<u64>::new(2);
+/// let s = spec.initial();
+/// let (s, _) = spec.apply(&s, ProcId(0), &SnapshotOp::Update(3));
+/// let (_, r) = spec.apply(&s, ProcId(1), &SnapshotOp::Scan);
+/// assert_eq!(r, SnapshotResp::View(vec![Some(3), None]));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotSpec<V> {
+    n: usize,
+    _marker: std::marker::PhantomData<V>,
+}
+
+impl<V> SnapshotSpec<V> {
+    /// Creates the specification for an `n`-component snapshot.
+    pub fn new(n: usize) -> Self {
+        SnapshotSpec {
+            n,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of components (equivalently, processes).
+    pub fn components(&self) -> usize {
+        self.n
+    }
+}
+
+impl<V> SeqSpec for SnapshotSpec<V>
+where
+    V: Clone + Eq + std::hash::Hash + std::fmt::Debug,
+{
+    type State = SnapshotState<V>;
+    type Op = SnapshotOp<V>;
+    type Resp = SnapshotResp<V>;
+
+    fn initial(&self) -> Self::State {
+        vec![None; self.n]
+    }
+
+    fn apply(&self, state: &Self::State, proc: ProcId, op: &Self::Op) -> (Self::State, Self::Resp) {
+        match op {
+            SnapshotOp::Update(x) => {
+                let mut next = state.clone();
+                next[proc.index()] = Some(x.clone());
+                (next, SnapshotResp::Ack)
+            }
+            SnapshotOp::Scan => (state.clone(), SnapshotResp::View(state.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_scan_is_all_bottom() {
+        let spec = SnapshotSpec::<u32>::new(3);
+        let (_, r) = spec.apply(&spec.initial(), ProcId(0), &SnapshotOp::Scan);
+        assert_eq!(r, SnapshotResp::View(vec![None, None, None]));
+    }
+
+    #[test]
+    fn update_writes_own_component_only() {
+        let spec = SnapshotSpec::<u32>::new(3);
+        let (s, _) = spec.apply(&spec.initial(), ProcId(1), &SnapshotOp::Update(7));
+        assert_eq!(s, vec![None, Some(7), None]);
+    }
+
+    #[test]
+    fn later_update_overwrites_own_component() {
+        let spec = SnapshotSpec::<u32>::new(2);
+        let (s, _) = spec.apply(&spec.initial(), ProcId(0), &SnapshotOp::Update(1));
+        let (s, _) = spec.apply(&s, ProcId(0), &SnapshotOp::Update(2));
+        let (_, r) = spec.apply(&s, ProcId(1), &SnapshotOp::Scan);
+        assert_eq!(r, SnapshotResp::View(vec![Some(2), None]));
+    }
+
+    #[test]
+    fn scan_does_not_modify_state() {
+        let spec = SnapshotSpec::<u32>::new(2);
+        let (s, _) = spec.apply(&spec.initial(), ProcId(0), &SnapshotOp::Update(1));
+        let (s2, _) = spec.apply(&s, ProcId(1), &SnapshotOp::Scan);
+        assert_eq!(s, s2);
+    }
+}

@@ -1,0 +1,285 @@
+//! Precedence graphs and linearization graphs (paper §5 / Algorithm 6).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use sl_spec::ProcId;
+
+use crate::object::{NodeRef, Uid};
+use crate::simple::{dominates, SimpleType};
+
+/// The precedence graph extracted from a `root.scan()` view
+/// (Algorithm 6's `nodegraph`/`precgraph`).
+///
+/// Vertices are operation nodes; there is an edge `u → v` when `v`'s
+/// `preceding` array references `u` — so a directed path `u ⇝ v` exists
+/// iff `u` happened before `v` (paper Observations 36/38, Lemma 41).
+pub struct PrecGraph<T: SimpleType> {
+    nodes: BTreeMap<Uid, NodeRef<T>>,
+    /// Adjacency: edges `from → {to}`.
+    edges: BTreeMap<Uid, BTreeSet<Uid>>,
+}
+
+impl<T: SimpleType> std::fmt::Debug for PrecGraph<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PrecGraph({} nodes)", self.nodes.len())
+    }
+}
+
+impl<T: SimpleType> PrecGraph<T> {
+    /// Algorithm 6, `nodegraph(view)`: breadth-first search backwards
+    /// through `preceding` references, collecting every reachable node
+    /// and every precedence edge.
+    pub fn from_view(view: &[Option<NodeRef<T>>]) -> Self {
+        let mut nodes: BTreeMap<Uid, NodeRef<T>> = BTreeMap::new();
+        let mut edges: BTreeMap<Uid, BTreeSet<Uid>> = BTreeMap::new();
+        let mut queue: VecDeque<NodeRef<T>> = VecDeque::new();
+        for entry in view.iter().flatten() {
+            if nodes.insert(entry.uid(), entry.clone()).is_none() {
+                queue.push_back(entry.clone());
+            }
+        }
+        while let Some(node) = queue.pop_front() {
+            for pred in node.preceding().iter().flatten() {
+                edges
+                    .entry(pred.uid())
+                    .or_default()
+                    .insert(node.uid());
+                if nodes.insert(pred.uid(), pred.clone()).is_none() {
+                    queue.push_back(pred.clone());
+                }
+            }
+        }
+        PrecGraph { nodes, edges }
+    }
+
+    /// Number of operation nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with the given identifier, if present.
+    pub fn node(&self, uid: Uid) -> Option<&NodeRef<T>> {
+        self.nodes.get(&uid)
+    }
+
+    /// Whether there is a directed path of length ≥ 1 from `from` to
+    /// `to` — i.e. `from` precedes `to`.
+    pub fn precedes(&self, from: Uid, to: Uid) -> bool {
+        reachable(&self.edges, from, to)
+    }
+
+    /// A canonical topological order of the nodes (Kahn's algorithm,
+    /// tie-broken by node identifier for determinism).
+    pub fn topo_order(&self) -> Vec<NodeRef<T>> {
+        topo(&self.nodes, &self.edges)
+    }
+
+    /// Builds the linearization graph (Algorithm 5's `lingraph`):
+    /// starting from a canonical topological order `op_1 … op_k`,
+    /// considers all pairs `(i, j)`, `i < j`, in lexicographic order and
+    /// adds a dominance edge from the dominated operation to the
+    /// dominating one whenever that does not close a cycle.
+    pub fn lingraph(&self, ty: &T) -> LinGraph<T> {
+        let order = self.topo_order();
+        let mut edges = self.edges.clone();
+        for i in 0..order.len() {
+            for j in (i + 1)..order.len() {
+                let (a, b) = (&order[i], &order[j]);
+                let a_id = a.uid();
+                let b_id = b.uid();
+                if dominates(ty, a.invocation(), ProcId(a_id.0), b.invocation(), ProcId(b_id.0))
+                    && !reachable(&edges, a_id, b_id)
+                {
+                    // a dominates b: edge from dominated (b) to dominating (a).
+                    edges.entry(b_id).or_default().insert(a_id);
+                } else if dominates(
+                    ty,
+                    b.invocation(),
+                    ProcId(b_id.0),
+                    a.invocation(),
+                    ProcId(a_id.0),
+                ) && !reachable(&edges, b_id, a_id)
+                {
+                    edges.entry(a_id).or_default().insert(b_id);
+                }
+            }
+        }
+        LinGraph {
+            nodes: self.nodes.clone(),
+            edges,
+        }
+    }
+}
+
+/// A linearization graph: the precedence graph plus dominance edges.
+pub struct LinGraph<T: SimpleType> {
+    nodes: BTreeMap<Uid, NodeRef<T>>,
+    edges: BTreeMap<Uid, BTreeSet<Uid>>,
+}
+
+impl<T: SimpleType> std::fmt::Debug for LinGraph<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LinGraph({} nodes)", self.nodes.len())
+    }
+}
+
+impl<T: SimpleType> LinGraph<T> {
+    /// A canonical topological sort — the sequential history `H` of
+    /// Algorithm 5 line 83.
+    pub fn topo_sort(&self) -> Vec<NodeRef<T>> {
+        topo(&self.nodes, &self.edges)
+    }
+}
+
+fn reachable(edges: &BTreeMap<Uid, BTreeSet<Uid>>, from: Uid, to: Uid) -> bool {
+    if from == to {
+        return false;
+    }
+    let mut seen: BTreeSet<Uid> = BTreeSet::new();
+    let mut stack = vec![from];
+    while let Some(u) = stack.pop() {
+        if let Some(next) = edges.get(&u) {
+            for &v in next {
+                if v == to {
+                    return true;
+                }
+                if seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    false
+}
+
+fn topo<T: SimpleType>(
+    nodes: &BTreeMap<Uid, NodeRef<T>>,
+    edges: &BTreeMap<Uid, BTreeSet<Uid>>,
+) -> Vec<NodeRef<T>> {
+    let mut indegree: BTreeMap<Uid, usize> = nodes.keys().map(|&u| (u, 0)).collect();
+    for (from, tos) in edges {
+        for to in tos {
+            if nodes.contains_key(from) {
+                if let Some(d) = indegree.get_mut(to) {
+                    *d += 1;
+                }
+            }
+        }
+    }
+    // Min-heap on Uid for a canonical order.
+    let mut ready: BTreeSet<Uid> = indegree
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&u, _)| u)
+        .collect();
+    let mut out = Vec::with_capacity(nodes.len());
+    while let Some(&u) = ready.iter().next() {
+        ready.remove(&u);
+        out.push(nodes[&u].clone());
+        if let Some(tos) = edges.get(&u) {
+            for to in tos {
+                if let Some(d) = indegree.get_mut(to) {
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.insert(*to);
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(out.len(), nodes.len(), "linearization graph must be acyclic");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{CounterType, RegOp, RegisterType};
+    use crate::CounterOp;
+    use sl_spec::CounterResp;
+
+    fn node<T: SimpleType>(
+        p: usize,
+        k: u64,
+        op: T::Op,
+        resp: T::Resp,
+        preceding: Vec<Option<NodeRef<T>>>,
+    ) -> NodeRef<T> {
+        NodeRef::new((p, k), op, resp, preceding)
+    }
+
+    #[test]
+    fn empty_view_gives_empty_graph() {
+        let g: PrecGraph<CounterType> = PrecGraph::from_view(&[None, None]);
+        assert!(g.is_empty());
+        assert!(g.topo_order().is_empty());
+    }
+
+    #[test]
+    fn chain_of_nodes_is_ordered() {
+        let a = node::<CounterType>(0, 1, CounterOp::Inc, CounterResp::Ack, vec![None, None]);
+        let b = node::<CounterType>(
+            0,
+            2,
+            CounterOp::Inc,
+            CounterResp::Ack,
+            vec![Some(a.clone()), None],
+        );
+        let g = PrecGraph::from_view(&[Some(b.clone()), None]);
+        assert_eq!(g.len(), 2);
+        assert!(g.precedes(a.uid(), b.uid()));
+        assert!(!g.precedes(b.uid(), a.uid()));
+        let order = g.topo_order();
+        assert_eq!(order[0].uid(), a.uid());
+        assert_eq!(order[1].uid(), b.uid());
+    }
+
+    #[test]
+    fn concurrent_nodes_are_unordered() {
+        let a = node::<CounterType>(0, 1, CounterOp::Inc, CounterResp::Ack, vec![None, None]);
+        let b = node::<CounterType>(1, 1, CounterOp::Inc, CounterResp::Ack, vec![None, None]);
+        let g = PrecGraph::from_view(&[Some(a.clone()), Some(b.clone())]);
+        assert!(!g.precedes(a.uid(), b.uid()));
+        assert!(!g.precedes(b.uid(), a.uid()));
+    }
+
+    #[test]
+    fn dominance_edges_order_concurrent_writes_by_process() {
+        use crate::types::RegResp;
+        // Two concurrent writes: the higher process id dominates, so the
+        // lingraph places the lower process's write first.
+        let a = node::<RegisterType>(0, 1, RegOp::Write(1), RegResp::Ack, vec![None, None]);
+        let b = node::<RegisterType>(1, 1, RegOp::Write(2), RegResp::Ack, vec![None, None]);
+        let g = PrecGraph::from_view(&[Some(a.clone()), Some(b.clone())]);
+        let lin = g.lingraph(&RegisterType);
+        let order = lin.topo_sort();
+        assert_eq!(order[0].uid(), a.uid(), "dominated write first");
+        assert_eq!(order[1].uid(), b.uid(), "dominating write last");
+    }
+
+    #[test]
+    fn dominance_edge_does_not_close_cycle() {
+        use crate::types::RegResp;
+        // p1's write precedes p0's write in real time; even though p1 > p0
+        // would dominate, the precedence edge wins (adding the dominance
+        // edge would close a cycle).
+        let b = node::<RegisterType>(1, 1, RegOp::Write(2), RegResp::Ack, vec![None, None]);
+        let a = node::<RegisterType>(
+            0,
+            1,
+            RegOp::Write(1),
+            RegResp::Ack,
+            vec![None, Some(b.clone())],
+        );
+        let g = PrecGraph::from_view(&[Some(a.clone()), Some(b.clone())]);
+        let lin = g.lingraph(&RegisterType);
+        let order = lin.topo_sort();
+        assert_eq!(order[0].uid(), b.uid());
+        assert_eq!(order[1].uid(), a.uid());
+    }
+}

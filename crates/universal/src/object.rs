@@ -1,0 +1,322 @@
+//! The shared object of Algorithm 5: nodes, the `root` snapshot, and
+//! the `execute` method.
+
+use std::sync::Arc;
+
+use sl_core::{SnapshotHandle, SnapshotObject};
+use sl_spec::ProcId;
+
+use crate::graph::PrecGraph;
+use crate::simple::SimpleType;
+
+/// Node identifier: `(process, per-process operation index)`.
+///
+/// Deterministic across runs with the same schedule, which the
+/// simulator's transcript-tree merging relies on.
+pub type Uid = (usize, u64);
+
+struct NodeData<T: SimpleType> {
+    uid: Uid,
+    invocation: T::Op,
+    response: T::Resp,
+    preceding: Vec<Option<NodeRef<T>>>,
+}
+
+/// A reference to an immutable operation node (Algorithm 5's `node`
+/// struct): the invocation description, the response computed for it,
+/// and the `preceding` array of node references captured from the
+/// `root.scan()` view.
+///
+/// Nodes are compared by identifier — within one execution, node
+/// identifiers uniquely determine node contents.
+pub struct NodeRef<T: SimpleType>(Arc<NodeData<T>>);
+
+impl<T: SimpleType> Clone for NodeRef<T> {
+    fn clone(&self) -> Self {
+        NodeRef(Arc::clone(&self.0))
+    }
+}
+
+impl<T: SimpleType> PartialEq for NodeRef<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.uid == other.0.uid
+    }
+}
+
+impl<T: SimpleType> Eq for NodeRef<T> {}
+
+impl<T: SimpleType> std::fmt::Debug for NodeRef<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The label must identify the node *content* (for transcript
+        // prefix merging), not just its id: include invocation, response
+        // and the ids of predecessors.
+        let preds: Vec<Option<Uid>> = self
+            .0
+            .preceding
+            .iter()
+            .map(|o| o.as_ref().map(|n| n.0.uid))
+            .collect();
+        write!(
+            f,
+            "N{:?}{{{:?}->{:?}, pre{:?}}}",
+            self.0.uid, self.0.invocation, self.0.response, preds
+        )
+    }
+}
+
+impl<T: SimpleType> NodeRef<T> {
+    /// Creates a node (Algorithm 5 lines 84–90).
+    pub fn new(
+        uid: Uid,
+        invocation: T::Op,
+        response: T::Resp,
+        preceding: Vec<Option<NodeRef<T>>>,
+    ) -> Self {
+        NodeRef(Arc::new(NodeData {
+            uid,
+            invocation,
+            response,
+            preceding,
+        }))
+    }
+
+    /// The node identifier.
+    pub fn uid(&self) -> Uid {
+        self.0.uid
+    }
+
+    /// The invocation description stored in the node.
+    pub fn invocation(&self) -> &T::Op {
+        &self.0.invocation
+    }
+
+    /// The response stored in the node.
+    pub fn response(&self) -> &T::Resp {
+        &self.0.response
+    }
+
+    /// The `preceding` array: the most recent node of each process at
+    /// the time this node's operation scanned `root`.
+    pub fn preceding(&self) -> &[Option<NodeRef<T>>] {
+        &self.0.preceding
+    }
+}
+
+/// A universal implementation of a simple type `T` over a snapshot
+/// object (Algorithm 5).
+///
+/// With an atomic (or linearizable) `root`, the construction is
+/// wait-free linearizable (Aspnes–Herlihy); with a strongly linearizable
+/// `root` — e.g. `sl_core::SlSnapshot` — it is strongly linearizable
+/// (Theorems 54 and 3).
+pub struct Universal<T, O>
+where
+    T: SimpleType,
+    O: SnapshotObject<NodeRef<T>>,
+{
+    ty: T,
+    root: O,
+    n: usize,
+}
+
+impl<T, O> Clone for Universal<T, O>
+where
+    T: SimpleType,
+    O: SnapshotObject<NodeRef<T>>,
+{
+    fn clone(&self) -> Self {
+        Universal {
+            ty: self.ty.clone(),
+            root: self.root.clone(),
+            n: self.n,
+        }
+    }
+}
+
+impl<T, O> std::fmt::Debug for Universal<T, O>
+where
+    T: SimpleType,
+    O: SnapshotObject<NodeRef<T>>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Universal(n={})", self.n)
+    }
+}
+
+impl<T, O> Universal<T, O>
+where
+    T: SimpleType,
+    O: SnapshotObject<NodeRef<T>>,
+{
+    /// Creates the object over an `n`-component `root` snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` does not have exactly `n` components.
+    pub fn new(ty: T, root: O, n: usize) -> Self {
+        assert_eq!(root.components(), n, "root must have n components");
+        Universal { ty, root, n }
+    }
+
+    /// Creates process `p`'s handle.
+    pub fn handle(&self, p: ProcId) -> UniversalHandle<T, O> {
+        assert!(p.index() < self.n, "process id out of range");
+        UniversalHandle {
+            ty: self.ty.clone(),
+            root: self.root.handle(p),
+            p,
+            count: 0,
+        }
+    }
+}
+
+/// Process-local handle of [`Universal`].
+pub struct UniversalHandle<T, O>
+where
+    T: SimpleType,
+    O: SnapshotObject<NodeRef<T>>,
+{
+    ty: T,
+    root: O::Handle,
+    p: ProcId,
+    count: u64,
+}
+
+impl<T, O> UniversalHandle<T, O>
+where
+    T: SimpleType,
+    O: SnapshotObject<NodeRef<T>>,
+{
+    /// `execute(invoke)` (Algorithm 5 lines 81–92): scan `root`, extract
+    /// the precedence graph, topologically sort its linearization graph,
+    /// compute the response of `invoke` against that history, and
+    /// publish a new node.
+    pub fn execute(&mut self, invoke: T::Op) -> T::Resp {
+        let view = self.root.scan(); // line 81
+        let graph = PrecGraph::from_view(&view); // line 82
+        let history = graph.lingraph(&self.ty).topo_sort(); // line 83
+        let mut state = self.ty.initial();
+        for node in &history {
+            state = self.ty.apply(&state, node.invocation()).0;
+        }
+        let (_, response) = self.ty.apply(&state, &invoke); // line 87
+        self.count += 1;
+        let node = NodeRef::new((self.p.index(), self.count), invoke, response.clone(), view);
+        self.root.update(node); // line 91
+        response // line 92
+    }
+
+    /// The process this handle belongs to.
+    pub fn proc(&self) -> ProcId {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{CounterType, GrowSetType, MaxRegisterType, RegOp, RegisterType};
+    use crate::CounterOp;
+    use sl_core::AtomicSnapshot;
+    use sl_mem::NativeMem;
+    use sl_spec::{CounterResp, GrowSetOp, GrowSetResp, MaxRegisterOp, MaxRegisterResp};
+
+    fn counter(n: usize) -> Universal<CounterType, AtomicSnapshot<NodeRef<CounterType>, NativeMem>> {
+        let mem = NativeMem::new();
+        Universal::new(CounterType, AtomicSnapshot::new(&mem, n), n)
+    }
+
+    #[test]
+    fn sequential_counter_behaviour() {
+        let c = counter(2);
+        let mut h0 = c.handle(ProcId(0));
+        let mut h1 = c.handle(ProcId(1));
+        assert_eq!(h0.execute(CounterOp::Read), CounterResp::Value(0));
+        h0.execute(CounterOp::Inc);
+        h1.execute(CounterOp::Inc);
+        assert_eq!(h1.execute(CounterOp::Read), CounterResp::Value(2));
+        assert_eq!(h0.execute(CounterOp::Read), CounterResp::Value(2));
+    }
+
+    #[test]
+    fn sequential_register_behaviour() {
+        use crate::types::RegResp;
+        let mem = NativeMem::new();
+        let r = Universal::new(RegisterType, AtomicSnapshot::new(&mem, 2), 2);
+        let mut h0 = r.handle(ProcId(0));
+        let mut h1 = r.handle(ProcId(1));
+        assert_eq!(h0.execute(RegOp::Read), RegResp::Value(None));
+        h0.execute(RegOp::Write(7));
+        assert_eq!(h1.execute(RegOp::Read), RegResp::Value(Some(7)));
+        h1.execute(RegOp::Write(8));
+        assert_eq!(h0.execute(RegOp::Read), RegResp::Value(Some(8)));
+    }
+
+    #[test]
+    fn sequential_max_register_behaviour() {
+        let mem = NativeMem::new();
+        let m = Universal::new(MaxRegisterType, AtomicSnapshot::new(&mem, 2), 2);
+        let mut h0 = m.handle(ProcId(0));
+        let mut h1 = m.handle(ProcId(1));
+        h0.execute(MaxRegisterOp::MaxWrite(5));
+        h1.execute(MaxRegisterOp::MaxWrite(3));
+        assert_eq!(
+            h0.execute(MaxRegisterOp::MaxRead),
+            MaxRegisterResp::Value(5)
+        );
+    }
+
+    #[test]
+    fn sequential_grow_set_behaviour() {
+        let mem = NativeMem::new();
+        let s = Universal::new(GrowSetType, AtomicSnapshot::new(&mem, 2), 2);
+        let mut h0 = s.handle(ProcId(0));
+        let mut h1 = s.handle(ProcId(1));
+        assert_eq!(
+            h0.execute(GrowSetOp::Contains(1)),
+            GrowSetResp::Member(false)
+        );
+        h0.execute(GrowSetOp::Insert(1));
+        h1.execute(GrowSetOp::Insert(2));
+        assert_eq!(
+            h1.execute(GrowSetOp::Contains(1)),
+            GrowSetResp::Member(true)
+        );
+        assert_eq!(
+            h0.execute(GrowSetOp::Contains(2)),
+            GrowSetResp::Member(true)
+        );
+    }
+
+    #[test]
+    fn native_threads_counter_totals() {
+        let c = counter(4);
+        crossbeam::scope(|s| {
+            for p in 0..4usize {
+                let c = c.clone();
+                s.spawn(move |_| {
+                    let mut h = c.handle(ProcId(p));
+                    for _ in 0..25 {
+                        h.execute(CounterOp::Inc);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let mut h = c.handle(ProcId(0));
+        assert_eq!(h.execute(CounterOp::Read), CounterResp::Value(100));
+    }
+
+    #[test]
+    fn nodes_grow_without_reclamation() {
+        // §5.3: each execute creates one node; the precedence graph the
+        // next operation sees contains every earlier operation.
+        let c = counter(1);
+        let mut h = c.handle(ProcId(0));
+        for _ in 0..10 {
+            h.execute(CounterOp::Inc);
+        }
+        assert_eq!(h.execute(CounterOp::Read), CounterResp::Value(10));
+        assert_eq!(h.count, 11, "one node per operation, never reclaimed");
+    }
+}

@@ -1,0 +1,180 @@
+//! Simple types (paper Definition 33) and dominance (Definition 34).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use sl_spec::{ProcId, SeqSpec};
+
+/// A *simple type*: a deterministic sequential type in which every pair
+/// of invocation descriptions either commutes or one overwrites the
+/// other (paper Definition 33).
+///
+/// The [`commutes`]/[`overwrites`] predicates are declarations by the
+/// implementor; the [`semantic`] module provides checkers that validate
+/// them against the transition function (used by this crate's property
+/// tests), since an incorrect declaration silently breaks the universal
+/// construction.
+///
+/// [`commutes`]: SimpleType::commutes
+/// [`overwrites`]: SimpleType::overwrites
+pub trait SimpleType: Clone + Send + Sync + 'static {
+    /// States of the type.
+    type State: Clone + Eq + Hash + Debug + Send + Sync;
+    /// Invocation descriptions.
+    type Op: Clone + Eq + Hash + Debug + Send + Sync;
+    /// Responses.
+    type Resp: Clone + Eq + Hash + Debug + Send + Sync;
+
+    /// The initial state `s0`.
+    fn initial(&self) -> Self::State;
+
+    /// The transition function `δ(s, op) = (s', resp)`; must be total.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Resp);
+
+    /// Whether `a` and `b` commute: applying them in either order yields
+    /// equivalent configurations and identical responses.
+    fn commutes(&self, a: &Self::Op, b: &Self::Op) -> bool;
+
+    /// Whether `a` overwrites `b`: applying `b` then `a` yields a
+    /// configuration equivalent to applying `a` alone.
+    fn overwrites(&self, a: &Self::Op, b: &Self::Op) -> bool;
+}
+
+/// Dominance between invocation events (paper Definition 34): `(op2,
+/// p2)` dominates `(op1, p1)` iff `op2` overwrites `op1` but not
+/// vice-versa, or they overwrite each other and `p2 > p1`.
+pub fn dominates<T: SimpleType>(
+    ty: &T,
+    op2: &T::Op,
+    p2: ProcId,
+    op1: &T::Op,
+    p1: ProcId,
+) -> bool {
+    let o21 = ty.overwrites(op2, op1);
+    let o12 = ty.overwrites(op1, op2);
+    o21 && (!o12 || p2 > p1)
+}
+
+/// Adapts a [`SimpleType`] into a (process-insensitive) [`SeqSpec`], so
+/// the histories of a universal object can be fed to the `sl-check`
+/// linearizability and strong-linearizability checkers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimpleSpec<T>(pub T);
+
+impl<T: SimpleType> SeqSpec for SimpleSpec<T> {
+    type State = T::State;
+    type Op = T::Op;
+    type Resp = T::Resp;
+
+    fn initial(&self) -> Self::State {
+        self.0.initial()
+    }
+
+    fn apply(&self, state: &Self::State, _proc: ProcId, op: &Self::Op) -> (Self::State, Self::Resp) {
+        self.0.apply(state, op)
+    }
+}
+
+/// Semantic validation of commutativity/overwriting declarations.
+///
+/// Because the types here are deterministic with total transition
+/// functions, the paper's history-based definitions reduce to state
+/// equalities, checked pointwise on given states.
+pub mod semantic {
+    use super::SimpleType;
+
+    /// Whether `a` and `b` semantically commute *at state `s`*: both
+    /// orders give the same final state, and each operation's response
+    /// is independent of the order.
+    pub fn commute_at<T: SimpleType>(ty: &T, s: &T::State, a: &T::Op, b: &T::Op) -> bool {
+        let (s_a, resp_a1) = ty.apply(s, a);
+        let (s_ab, resp_b2) = ty.apply(&s_a, b);
+        let (s_b, resp_b1) = ty.apply(s, b);
+        let (s_ba, resp_a2) = ty.apply(&s_b, a);
+        s_ab == s_ba && resp_a1 == resp_a2 && resp_b1 == resp_b2
+    }
+
+    /// Whether `a` semantically overwrites `b` *at state `s`*: applying
+    /// `b` then `a` ends in the same state as applying `a` alone, with
+    /// `a`'s response unaffected.
+    pub fn overwrite_at<T: SimpleType>(ty: &T, s: &T::State, a: &T::Op, b: &T::Op) -> bool {
+        let (s_b, _) = ty.apply(s, b);
+        let (s_ba, resp_a1) = ty.apply(&s_b, a);
+        let (s_a, resp_a2) = ty.apply(s, a);
+        s_ba == s_a && resp_a1 == resp_a2
+    }
+
+    /// Checks Definition 33 on a sample: for every pair of the given
+    /// operations, at every given state, either the pair commutes or one
+    /// overwrites the other, *consistently with the type's declared
+    /// predicates*. Returns the first violation found.
+    pub fn check_simple_on<T: SimpleType>(
+        ty: &T,
+        states: &[T::State],
+        ops: &[T::Op],
+    ) -> Result<(), String> {
+        for a in ops {
+            for b in ops {
+                let declared_commute = ty.commutes(a, b);
+                let declared_a_over_b = ty.overwrites(a, b);
+                let declared_b_over_a = ty.overwrites(b, a);
+                if !(declared_commute || declared_a_over_b || declared_b_over_a) {
+                    return Err(format!(
+                        "pair ({a:?}, {b:?}) neither commutes nor overwrites — not simple"
+                    ));
+                }
+                for s in states {
+                    if declared_commute && !commute_at(ty, s, a, b) {
+                        return Err(format!(
+                            "declared commuting pair ({a:?}, {b:?}) fails at state {s:?}"
+                        ));
+                    }
+                    if declared_a_over_b && !overwrite_at(ty, s, a, b) {
+                        return Err(format!(
+                            "declared overwrite {a:?} over {b:?} fails at state {s:?}"
+                        ));
+                    }
+                    if declared_b_over_a && !overwrite_at(ty, s, b, a) {
+                        return Err(format!(
+                            "declared overwrite {b:?} over {a:?} fails at state {s:?}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{CounterType, RegisterType};
+    use crate::CounterOp;
+
+    #[test]
+    fn dominance_prefers_strict_overwriter() {
+        let ty = CounterType;
+        // Inc overwrites Read but not vice versa: Inc dominates Read
+        // regardless of process ids.
+        assert!(dominates(&ty, &CounterOp::Inc, ProcId(0), &CounterOp::Read, ProcId(1)));
+        assert!(!dominates(&ty, &CounterOp::Read, ProcId(1), &CounterOp::Inc, ProcId(0)));
+    }
+
+    #[test]
+    fn mutual_overwrite_breaks_ties_by_process() {
+        use crate::types::RegOp;
+        let ty = RegisterType;
+        let w1 = RegOp::Write(1);
+        let w2 = RegOp::Write(2);
+        assert!(dominates(&ty, &w1, ProcId(2), &w2, ProcId(1)));
+        assert!(!dominates(&ty, &w1, ProcId(1), &w2, ProcId(2)));
+    }
+
+    #[test]
+    fn commuting_ops_never_dominate() {
+        let ty = CounterType;
+        assert!(!dominates(&ty, &CounterOp::Inc, ProcId(1), &CounterOp::Inc, ProcId(0)));
+        assert!(!dominates(&ty, &CounterOp::Inc, ProcId(0), &CounterOp::Inc, ProcId(1)));
+    }
+}

@@ -1,0 +1,232 @@
+//! Example simple types for the universal construction.
+//!
+//! Each type declares its commute/overwrite structure (validated
+//! semantically by the property tests in `tests/simplicity.rs`):
+//!
+//! | Type | Commutes | Overwrites |
+//! |------|----------|------------|
+//! | [`CounterType`] | `Inc`/`Inc`, `Read`/`Read` | `Inc` ⊐ `Read` |
+//! | [`RegisterType`] | `Read`/`Read` | `Write` ⊐ `Write` (mutual), `Write` ⊐ `Read` |
+//! | [`MaxRegisterType`] | `MaxWrite`/`MaxWrite`, `MaxRead`/`MaxRead` | `MaxWrite(x)` ⊐ `MaxWrite(y)` iff `x ≥ y`, `MaxWrite` ⊐ `MaxRead` |
+//! | [`GrowSetType`] | `Insert`/`Insert`, `Contains`/`Contains`, `Insert(x)`/`Contains(y)` for `x ≠ y` | `Insert` ⊐ `Contains`, `Insert(x)` ⊐ `Insert(x)` |
+
+use std::collections::BTreeSet;
+
+pub use sl_spec::{CounterOp, CounterResp, GrowSetOp, GrowSetResp, MaxRegisterOp, MaxRegisterResp};
+
+use crate::SimpleType;
+
+/// A counter with `Inc` and `Read` (paper §1: one of the motivating
+/// simple types).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterType;
+
+impl SimpleType for CounterType {
+    type State = u64;
+    type Op = CounterOp;
+    type Resp = CounterResp;
+
+    fn initial(&self) -> Self::State {
+        0
+    }
+
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Resp) {
+        match op {
+            CounterOp::Inc => (state + 1, CounterResp::Ack),
+            CounterOp::Read => (*state, CounterResp::Value(*state)),
+        }
+    }
+
+    fn commutes(&self, a: &Self::Op, b: &Self::Op) -> bool {
+        matches!(
+            (a, b),
+            (CounterOp::Inc, CounterOp::Inc) | (CounterOp::Read, CounterOp::Read)
+        )
+    }
+
+    fn overwrites(&self, a: &Self::Op, b: &Self::Op) -> bool {
+        matches!((a, b), (CounterOp::Inc, CounterOp::Read))
+    }
+}
+
+/// Invocation descriptions of the MRMW register simple type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegOp {
+    /// Store a value.
+    Write(u64),
+    /// Return the stored value.
+    Read,
+}
+
+/// Responses of the MRMW register simple type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegResp {
+    /// Acknowledgement of a write.
+    Ack,
+    /// The stored value (`None` = initial `⊥`).
+    Value(Option<u64>),
+}
+
+/// A multi-writer register: writes mutually overwrite (ties broken by
+/// process id via dominance), and every write overwrites every read.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegisterType;
+
+impl SimpleType for RegisterType {
+    type State = Option<u64>;
+    type Op = RegOp;
+    type Resp = RegResp;
+
+    fn initial(&self) -> Self::State {
+        None
+    }
+
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Resp) {
+        match op {
+            RegOp::Write(x) => (Some(*x), RegResp::Ack),
+            RegOp::Read => (*state, RegResp::Value(*state)),
+        }
+    }
+
+    fn commutes(&self, a: &Self::Op, b: &Self::Op) -> bool {
+        matches!((a, b), (RegOp::Read, RegOp::Read))
+    }
+
+    fn overwrites(&self, a: &Self::Op, b: &Self::Op) -> bool {
+        matches!(
+            (a, b),
+            (RegOp::Write(_), RegOp::Write(_)) | (RegOp::Write(_), RegOp::Read)
+        )
+    }
+}
+
+/// A max-register: `MaxWrite(x)` overwrites `MaxWrite(y)` iff `x ≥ y`
+/// (the larger value wins regardless of order), and all pairs of equal
+/// invocations commute.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaxRegisterType;
+
+impl SimpleType for MaxRegisterType {
+    type State = u64;
+    type Op = MaxRegisterOp;
+    type Resp = MaxRegisterResp;
+
+    fn initial(&self) -> Self::State {
+        0
+    }
+
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Resp) {
+        match op {
+            MaxRegisterOp::MaxWrite(x) => ((*state).max(*x), MaxRegisterResp::Ack),
+            MaxRegisterOp::MaxRead => (*state, MaxRegisterResp::Value(*state)),
+        }
+    }
+
+    fn commutes(&self, a: &Self::Op, b: &Self::Op) -> bool {
+        matches!(
+            (a, b),
+            (MaxRegisterOp::MaxWrite(_), MaxRegisterOp::MaxWrite(_))
+                | (MaxRegisterOp::MaxRead, MaxRegisterOp::MaxRead)
+        )
+    }
+
+    fn overwrites(&self, a: &Self::Op, b: &Self::Op) -> bool {
+        match (a, b) {
+            (MaxRegisterOp::MaxWrite(x), MaxRegisterOp::MaxWrite(y)) => x >= y,
+            (MaxRegisterOp::MaxWrite(_), MaxRegisterOp::MaxRead) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A grow-only set: inserts commute, an insert overwrites a membership
+/// query, and inserting the same element twice is idempotent (mutual
+/// overwrite).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GrowSetType;
+
+impl SimpleType for GrowSetType {
+    type State = BTreeSet<u64>;
+    type Op = GrowSetOp;
+    type Resp = GrowSetResp;
+
+    fn initial(&self) -> Self::State {
+        BTreeSet::new()
+    }
+
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Resp) {
+        match op {
+            GrowSetOp::Insert(x) => {
+                let mut next = state.clone();
+                next.insert(*x);
+                (next, GrowSetResp::Ack)
+            }
+            GrowSetOp::Contains(x) => (state.clone(), GrowSetResp::Member(state.contains(x))),
+        }
+    }
+
+    fn commutes(&self, a: &Self::Op, b: &Self::Op) -> bool {
+        match (a, b) {
+            (GrowSetOp::Insert(_), GrowSetOp::Insert(_)) => true,
+            (GrowSetOp::Contains(_), GrowSetOp::Contains(_)) => true,
+            (GrowSetOp::Insert(x), GrowSetOp::Contains(y))
+            | (GrowSetOp::Contains(y), GrowSetOp::Insert(x)) => x != y,
+        }
+    }
+
+    fn overwrites(&self, a: &Self::Op, b: &Self::Op) -> bool {
+        match (a, b) {
+            (GrowSetOp::Insert(x), GrowSetOp::Insert(y)) => x == y,
+            (GrowSetOp::Insert(_), GrowSetOp::Contains(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantic::check_simple_on;
+
+    #[test]
+    fn counter_declarations_are_semantically_valid() {
+        let states = [0u64, 1, 5];
+        let ops = [CounterOp::Inc, CounterOp::Read];
+        check_simple_on(&CounterType, &states, &ops).unwrap();
+    }
+
+    #[test]
+    fn register_declarations_are_semantically_valid() {
+        let states = [None, Some(1), Some(2)];
+        let ops = [RegOp::Write(1), RegOp::Write(2), RegOp::Read];
+        check_simple_on(&RegisterType, &states, &ops).unwrap();
+    }
+
+    #[test]
+    fn max_register_declarations_are_semantically_valid() {
+        let states = [0u64, 1, 3, 10];
+        let ops = [
+            MaxRegisterOp::MaxWrite(0),
+            MaxRegisterOp::MaxWrite(2),
+            MaxRegisterOp::MaxWrite(7),
+            MaxRegisterOp::MaxRead,
+        ];
+        check_simple_on(&MaxRegisterType, &states, &ops).unwrap();
+    }
+
+    #[test]
+    fn grow_set_declarations_are_semantically_valid() {
+        let states = [
+            BTreeSet::new(),
+            BTreeSet::from([1]),
+            BTreeSet::from([1, 2]),
+        ];
+        let ops = [
+            GrowSetOp::Insert(1),
+            GrowSetOp::Insert(2),
+            GrowSetOp::Contains(1),
+            GrowSetOp::Contains(2),
+        ];
+        check_simple_on(&GrowSetType, &states, &ops).unwrap();
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the simple-type declarations and the universal
+//! construction.
+
+use proptest::prelude::*;
+use sl_core::AtomicSnapshot;
+use sl_mem::NativeMem;
+use sl_spec::{CounterOp, GrowSetOp, MaxRegisterOp, ProcId, SeqSpec};
+use sl_universal::semantic::{check_simple_on, commute_at, overwrite_at};
+use sl_universal::types::{CounterType, GrowSetType, MaxRegisterType, RegOp, RegisterType};
+use sl_universal::{dominates, NodeRef, SimpleSpec, Universal};
+
+fn max_op() -> impl Strategy<Value = MaxRegisterOp> {
+    prop_oneof![
+        (0u64..20).prop_map(MaxRegisterOp::MaxWrite),
+        Just(MaxRegisterOp::MaxRead),
+    ]
+}
+
+fn set_op() -> impl Strategy<Value = GrowSetOp> {
+    prop_oneof![
+        (0u64..5).prop_map(GrowSetOp::Insert),
+        (0u64..5).prop_map(GrowSetOp::Contains),
+    ]
+}
+
+fn reg_op() -> impl Strategy<Value = RegOp> {
+    prop_oneof![(0u64..5).prop_map(RegOp::Write), Just(RegOp::Read)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every pair of max-register operations, at arbitrary reachable
+    /// states, satisfies the declared commute/overwrite structure.
+    #[test]
+    fn max_register_simplicity(
+        states in proptest::collection::vec(0u64..30, 1..6),
+        ops in proptest::collection::vec(max_op(), 1..6),
+    ) {
+        prop_assert!(check_simple_on(&MaxRegisterType, &states, &ops).is_ok());
+    }
+
+    /// Same for the grow-only set, over arbitrary reachable states.
+    #[test]
+    fn grow_set_simplicity(
+        contents in proptest::collection::vec(
+            proptest::collection::btree_set(0u64..5, 0..4), 1..4),
+        ops in proptest::collection::vec(set_op(), 1..6),
+    ) {
+        prop_assert!(check_simple_on(&GrowSetType, &contents, &ops).is_ok());
+    }
+
+    /// Same for the register.
+    #[test]
+    fn register_simplicity(
+        states in proptest::collection::vec(proptest::option::of(0u64..5), 1..5),
+        ops in proptest::collection::vec(reg_op(), 1..6),
+    ) {
+        prop_assert!(check_simple_on(&RegisterType, &states, &ops).is_ok());
+    }
+
+    /// Definition 33 dichotomy, semantically: for every pair of
+    /// operations of a simple type, at every state, either the pair
+    /// semantically commutes or one semantically overwrites the other.
+    #[test]
+    fn semantic_dichotomy_holds(
+        s in 0u64..20,
+        a in max_op(),
+        b in max_op(),
+    ) {
+        let ty = MaxRegisterType;
+        prop_assert!(
+            commute_at(&ty, &s, &a, &b)
+                || overwrite_at(&ty, &s, &a, &b)
+                || overwrite_at(&ty, &s, &b, &a)
+        );
+    }
+
+    /// Dominance is asymmetric (part of being a strict partial order).
+    #[test]
+    fn dominance_is_asymmetric(
+        a in reg_op(),
+        b in reg_op(),
+        pa in 0usize..4,
+        pb in 0usize..4,
+    ) {
+        prop_assume!(pa != pb);
+        let ty = RegisterType;
+        let d_ab = dominates(&ty, &a, ProcId(pa), &b, ProcId(pb));
+        let d_ba = dominates(&ty, &b, ProcId(pb), &a, ProcId(pa));
+        prop_assert!(!(d_ab && d_ba), "dominance must be asymmetric");
+    }
+
+    /// Single-threaded universal objects behave exactly like their
+    /// sequential specification, for arbitrary operation sequences.
+    #[test]
+    fn universal_counter_refines_spec(
+        ops in proptest::collection::vec(
+            prop_oneof![Just(CounterOp::Inc), Just(CounterOp::Read)], 0..20),
+    ) {
+        let mem = NativeMem::new();
+        let root: AtomicSnapshot<NodeRef<CounterType>, _> = AtomicSnapshot::new(&mem, 1);
+        let obj = Universal::new(CounterType, root, 1);
+        let mut h = obj.handle(ProcId(0));
+        let spec = SimpleSpec(CounterType);
+        let mut state = SeqSpec::initial(&spec);
+        for op in ops {
+            let got = h.execute(op);
+            let (next, expected) = SeqSpec::apply(&spec, &state, ProcId(0), &op);
+            state = next;
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// Same refinement for the grow-only set.
+    #[test]
+    fn universal_grow_set_refines_spec(
+        ops in proptest::collection::vec(set_op(), 0..16),
+    ) {
+        let mem = NativeMem::new();
+        let root: AtomicSnapshot<NodeRef<GrowSetType>, _> = AtomicSnapshot::new(&mem, 1);
+        let obj = Universal::new(GrowSetType, root, 1);
+        let mut h = obj.handle(ProcId(0));
+        let spec = SimpleSpec(GrowSetType);
+        let mut state = SeqSpec::initial(&spec);
+        for op in ops {
+            let got = h.execute(op);
+            let (next, expected) = SeqSpec::apply(&spec, &state, ProcId(0), &op);
+            state = next;
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! **strongly-linearizable** — a full reproduction of Ovens & Woelfel,
+//! *Strongly Linearizable Implementations of Snapshots and Other Types*
+//! (PODC 2019), as a production-quality Rust workspace.
+//!
+//! Linearizability is not enough for randomized algorithms under a
+//! strong adaptive adversary: a scheduler that sees every coin flip can
+//! retroactively re-order operations of a merely linearizable object and
+//! bias the outcome distribution. *Strong linearizability* forbids this:
+//! once an operation is placed in the linearization order, its position
+//! never changes. This workspace implements the paper's algorithms and
+//! all their substrates, plus the machinery to *check* both correctness
+//! conditions mechanically:
+//!
+//! * [`core`](mod@core) — the paper's contributions: the lock-free
+//!   strongly linearizable ABA-detecting register (Algorithm 2,
+//!   Theorem 1), the bounded-space strongly linearizable snapshot
+//!   (Algorithms 3/4, Theorem 2), strongly linearizable max-registers,
+//!   counters, and the unbounded §4.1 baseline.
+//! * [`universal`] — the Aspnes–Herlihy universal construction for
+//!   simple types, strongly linearizable over a strongly linearizable
+//!   snapshot (Theorems 54 and 3).
+//! * [`snapshot`] — linearizable (not strongly linearizable) snapshot
+//!   substrates: lock-free double collect and the wait-free Afek et al.
+//!   helping snapshot.
+//! * [`mem`] / [`sim`] — the shared-memory model: write an algorithm
+//!   once against `mem::Mem`, run it on real threads or under the
+//!   deterministic adversarial simulator.
+//! * [`spec`] / [`check`] — sequential specifications, histories, and
+//!   the linearizability / strong-linearizability checkers (the latter
+//!   searches for a prefix-preserving linearization function over a
+//!   tree of transcripts).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use strongly_linearizable::prelude::*;
+//!
+//! let mem = NativeMem::new();
+//! // The paper's bounded-space strongly linearizable snapshot
+//! // (double-collect substrate + Algorithm 2 ABA-detecting register).
+//! let snap = SlSnapshot::with_double_collect(&mem, 3);
+//! let mut alice = snap.handle(ProcId(0));
+//! let mut bob = snap.handle(ProcId(1));
+//! alice.update(10u64);
+//! bob.update(20u64);
+//! assert_eq!(alice.scan(), vec![Some(10), Some(20), None]);
+//! ```
+//!
+//! See `examples/` for runnable scenarios (ABA detection, adversary
+//! bias, universal construction, model checking) and the `sl-bench`
+//! crate for the experiment binaries that regenerate `EXPERIMENTS.md`.
+
+pub use sl_check as check;
+pub use sl_core as core;
+pub use sl_mem as mem;
+pub use sl_sim as sim;
+pub use sl_snapshot as snapshot;
+pub use sl_spec as spec;
+pub use sl_universal as universal;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree};
+    pub use sl_core::aba::{AbaHandle, AbaRegister, AwAbaRegister, SlAbaRegister};
+    pub use sl_core::{
+        BoundedMaxRegister, SlCounter, SlSnapshot, SnapshotHandle, SnapshotMaxRegister,
+        SnapshotObject,
+    };
+    pub use sl_mem::{Mem, NativeMem, Register};
+    pub use sl_sim::{EventLog, Scheduler, SeededRandom, SimWorld};
+    pub use sl_snapshot::{AfekSnapshot, DoubleCollectSnapshot, LinSnapshot};
+    pub use sl_spec::{History, ProcId, SeqSpec};
+    pub use sl_universal::{SimpleType, Universal};
+}

