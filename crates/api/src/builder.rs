@@ -1,0 +1,436 @@
+//! The fluent [`ObjectBuilder`]: one entry point for every object
+//! family, substrate, and backend in the workspace.
+//!
+//! A builder is created *on* a backend (`NativeMem` for real threads,
+//! `sl_sim::SimMem` for the deterministic adversarial simulator — any
+//! `M: Mem`), sized with [`processes`](ObjectBuilder::processes), moved
+//! between substrates with [`double_collect`](ObjectBuilder::double_collect)
+//! / [`afek`](ObjectBuilder::afek) /
+//! [`bounded_handshake`](ObjectBuilder::bounded_handshake) /
+//! [`versioned`](ObjectBuilder::versioned) /
+//! [`atomic_r`](ObjectBuilder::atomic_r), and finished with an object
+//! family method. The substrate is part of the builder's *type*, so the
+//! built object's guarantee level is known at compile time:
+//!
+//! ```
+//! use sl_api::{ObjectBuilder, SharedObject, SnapshotOps, Strong};
+//! use sl_mem::NativeMem;
+//! use sl_spec::ProcId;
+//!
+//! let mem = NativeMem::new();
+//! // Theorem 2: strongly linearizable snapshot, bounded §4.3 substrate.
+//! let snap = ObjectBuilder::on(&mem)
+//!     .processes(3)
+//!     .bounded_handshake()
+//!     .snapshot::<u64>();
+//! let mut h = snap.handle(ProcId(0));
+//! h.update(7);
+//! assert_eq!(h.scan(), vec![Some(7), None, None]);
+//!
+//! fn requires_strong<O: SharedObject<NativeMem, Guarantee = Strong>>(_: &O) {}
+//! requires_strong(&snap); // compiles: Theorem 2
+//! ```
+//!
+//! | Builder call | Paper item |
+//! |---|---|
+//! | `.aba_register()` | Algorithm 2 (Theorem 1) |
+//! | `.lin_aba_register()` | Algorithm 1 (Observation 4: `Lin`!) |
+//! | `.double_collect().snapshot()` | Algorithms 3/4 over §3-substrate (Theorem 2) |
+//! | `.bounded_handshake().snapshot()` | fully bounded Theorem 2 headline |
+//! | `.versioned().snapshot()` | §4.1 Denysyuk–Woelfel construction |
+//! | `.counter()` / `.max_register()` | §4.5 derived objects |
+//! | `.universal(ty)` | §5 universal construction (Theorems 54/3) |
+
+use std::marker::PhantomData;
+
+use sl_core::aba::{AtomicAbaRegister, AwAbaRegister, SlAbaRegister};
+use sl_core::{
+    AtomicSnapshot, BoundedMaxRegister, BoundedSlSnapshot, DcSlSnapshot, SlCounter, SlSnapshot,
+    SnapshotMaxRegister, VersionedSlSnapshot,
+};
+use sl_mem::{Mem, Value};
+use sl_snapshot::{AfekSnapshot, BoundedAfekSnapshot, DoubleCollectSnapshot};
+use sl_universal::{NodeRef, SimpleType, Universal};
+
+use crate::impls::{AfekSlSnapshot, AtomicRSlSnapshot, FullyBoundedSlSnapshot};
+use crate::lin::LinSnap;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::DoubleCollect {}
+    impl Sealed for super::Afek {}
+    impl Sealed for super::BoundedHandshake {}
+    impl Sealed for super::Versioned {}
+    impl Sealed for super::AtomicR {}
+}
+
+/// A substrate selection for the snapshot-based object families.
+/// Sealed; the five selections mirror the paper's configurations.
+pub trait Substrate: sealed::Sealed + Copy + Default + Send + Sync + 'static {
+    /// Human-readable name, for tables and traces.
+    const NAME: &'static str;
+}
+
+/// Lock-free clean double collect (Afek et al. §3) under Algorithms 3/4
+/// — the all-registers Theorem 2 configuration. The default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DoubleCollect;
+
+impl Substrate for DoubleCollect {
+    const NAME: &'static str = "double-collect";
+}
+
+/// Wait-free helping snapshot (Afek et al. §4) under Algorithms 3/4.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Afek;
+
+impl Substrate for Afek {
+    const NAME: &'static str = "afek";
+}
+
+/// The bounded §4.3 configuration: handshake-based wait-free substrate
+/// (no counters) under Algorithm 3 — the paper's headline bounded-space
+/// artifact.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BoundedHandshake;
+
+impl Substrate for BoundedHandshake {
+    const NAME: &'static str = "bounded-handshake";
+}
+
+/// The §4.1 Denysyuk–Woelfel versioned-object construction — strongly
+/// linearizable with *unbounded* space, the baseline Theorem 2 improves
+/// on. Scans through this substrate carry versions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Versioned;
+
+impl Substrate for Versioned {
+    const NAME: &'static str = "versioned";
+}
+
+/// Algorithm 3 as stated: double-collect substrate with an **atomic**
+/// ABA-detecting register `R`, before §4.3 composability replaces it
+/// with Algorithm 2. Useful for isolating Algorithm 3 in model checking.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AtomicR;
+
+impl Substrate for AtomicR {
+    const NAME: &'static str = "double-collect+atomic-R";
+}
+
+/// Fluent builder for every object family; see the module docs.
+#[derive(Clone, Debug)]
+pub struct ObjectBuilder<M: Mem, S: Substrate = DoubleCollect> {
+    mem: M,
+    n: usize,
+    _substrate: PhantomData<S>,
+}
+
+impl<M: Mem> ObjectBuilder<M, DoubleCollect> {
+    /// Starts building on backend `mem` with the default double-collect
+    /// substrate. Call [`processes`](ObjectBuilder::processes) before a
+    /// family method.
+    pub fn on(mem: &M) -> Self {
+        ObjectBuilder {
+            mem: mem.clone(),
+            n: 0,
+            _substrate: PhantomData,
+        }
+    }
+}
+
+impl<M: Mem, S: Substrate> ObjectBuilder<M, S> {
+    /// Sets the number of processes the object serves.
+    pub fn processes(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        self.n = n;
+        self
+    }
+
+    fn n(&self) -> usize {
+        assert!(
+            self.n > 0,
+            "ObjectBuilder: call .processes(n) before building an object"
+        );
+        self.n
+    }
+
+    /// Switches to an explicitly named substrate.
+    pub fn substrate<S2: Substrate>(self) -> ObjectBuilder<M, S2> {
+        ObjectBuilder {
+            mem: self.mem,
+            n: self.n,
+            _substrate: PhantomData,
+        }
+    }
+
+    /// Selects the lock-free double-collect substrate (the default).
+    pub fn double_collect(self) -> ObjectBuilder<M, DoubleCollect> {
+        self.substrate()
+    }
+
+    /// Selects the wait-free Afek et al. helping substrate.
+    pub fn afek(self) -> ObjectBuilder<M, Afek> {
+        self.substrate()
+    }
+
+    /// Selects the bounded §4.3 handshake substrate.
+    pub fn bounded_handshake(self) -> ObjectBuilder<M, BoundedHandshake> {
+        self.substrate()
+    }
+
+    /// Selects the §4.1 versioned-object construction.
+    pub fn versioned(self) -> ObjectBuilder<M, Versioned> {
+        self.substrate()
+    }
+
+    /// Selects Algorithm 3 with an atomic `R` (model-checking aid).
+    pub fn atomic_r(self) -> ObjectBuilder<M, AtomicR> {
+        self.substrate()
+    }
+
+    // -- substrate-independent families ------------------------------
+
+    /// Algorithm 2: the lock-free **strongly linearizable**
+    /// ABA-detecting register (Theorem 1).
+    pub fn aba_register<V: Value>(&self) -> SlAbaRegister<V, M> {
+        SlAbaRegister::new(&self.mem, self.n())
+    }
+
+    /// Algorithm 1: the wait-free but merely **linearizable**
+    /// ABA-detecting register (Observation 4). Its type carries
+    /// [`Lin`](crate::Lin), so strong-only harnesses reject it at
+    /// compile time.
+    pub fn lin_aba_register<V: Value>(&self) -> AwAbaRegister<V, M> {
+        AwAbaRegister::new(&self.mem, self.n())
+    }
+
+    /// An atomic (one step per operation) ABA-detecting register — the
+    /// base object `R` of Algorithm 3 as stated.
+    pub fn atomic_aba_register<V: Value>(&self) -> AtomicAbaRegister<V, M> {
+        AtomicAbaRegister::new(&self.mem, "R")
+    }
+
+    /// An atomic snapshot (one step per operation): the model object of
+    /// the Aspnes–Herlihy construction's `root` and of Algorithm 4's
+    /// atomic `S`.
+    pub fn atomic_snapshot<V: Value>(&self) -> AtomicSnapshot<V, M> {
+        AtomicSnapshot::new(&self.mem, self.n())
+    }
+
+    /// The Aspnes–Attiya–Censor bounded trie max-register over values
+    /// `[0, capacity)` — wait-free and linearizable, **not** strongly
+    /// linearizable (the type says [`Lin`](crate::Lin); the model
+    /// checker exhibits the violation). For a strongly linearizable
+    /// max-register use [`max_register`](Self::max_register).
+    pub fn trie_max_register(&self, capacity: u64) -> BoundedMaxRegister<M> {
+        BoundedMaxRegister::new(&self.mem, capacity)
+    }
+}
+
+macro_rules! snapshot_families {
+    ($marker:ty, $snapshot:ident, $build:expr) => {
+        impl<M: Mem> ObjectBuilder<M, $marker> {
+            /// The strongly linearizable snapshot of this substrate
+            /// configuration.
+            pub fn snapshot<V: Value>(&self) -> $snapshot<V, M> {
+                let build: fn(&M, usize) -> $snapshot<V, M> = $build;
+                build(&self.mem, self.n())
+            }
+
+            /// §4.5: a strongly linearizable counter derived from this
+            /// configuration's snapshot (one snapshot operation per
+            /// counter operation).
+            pub fn counter(&self) -> SlCounter<$snapshot<u64, M>> {
+                SlCounter::new(self.snapshot())
+            }
+
+            /// §4.5: a strongly linearizable max-register derived from
+            /// this configuration's snapshot.
+            pub fn max_register(&self) -> SnapshotMaxRegister<$snapshot<u64, M>> {
+                SnapshotMaxRegister::new(self.snapshot())
+            }
+
+            /// §5: the universal construction for simple type `ty` over
+            /// this configuration's snapshot (Theorems 54/3).
+            pub fn universal<T: SimpleType>(
+                &self,
+                ty: T,
+            ) -> Universal<T, $snapshot<NodeRef<T>, M>> {
+                let n = self.n();
+                Universal::new(ty, self.snapshot(), n)
+            }
+        }
+    };
+}
+
+snapshot_families!(DoubleCollect, DcSlSnapshot, |mem, n| {
+    SlSnapshot::new(
+        DoubleCollectSnapshot::new(mem, n),
+        SlAbaRegister::new(mem, n),
+        n,
+    )
+});
+snapshot_families!(Afek, AfekSlSnapshot, |mem, n| {
+    SlSnapshot::new(AfekSnapshot::new(mem, n), SlAbaRegister::new(mem, n), n)
+});
+snapshot_families!(AtomicR, AtomicRSlSnapshot, |mem, n| {
+    SlSnapshot::new(
+        DoubleCollectSnapshot::new(mem, n),
+        AtomicAbaRegister::new(mem, "R"),
+        n,
+    )
+});
+snapshot_families!(BoundedHandshake, FullyBoundedSlSnapshot, |mem, n| {
+    BoundedSlSnapshot::new(
+        BoundedAfekSnapshot::new(mem, n),
+        SlAbaRegister::new(mem, n),
+        n,
+    )
+});
+snapshot_families!(Versioned, VersionedSlSnapshot, |mem, n| {
+    VersionedSlSnapshot::new(mem, n)
+});
+
+macro_rules! lin_snapshot_family {
+    ($marker:ty, $substrate:ident, $build:expr) => {
+        impl<M: Mem> ObjectBuilder<M, $marker> {
+            /// The raw linearizable substrate of this configuration as
+            /// a first-class object, with guarantee
+            /// [`Lin`](crate::Lin) — *not* strongly linearizable.
+            pub fn lin_snapshot<V: Value>(&self) -> LinSnap<V, $substrate<V, M>> {
+                let build: fn(&M, usize) -> $substrate<V, M> = $build;
+                LinSnap::new(build(&self.mem, self.n()))
+            }
+        }
+    };
+}
+
+lin_snapshot_family!(DoubleCollect, DoubleCollectSnapshot, |mem, n| {
+    DoubleCollectSnapshot::new(mem, n)
+});
+lin_snapshot_family!(Afek, AfekSnapshot, |mem, n| AfekSnapshot::new(mem, n));
+lin_snapshot_family!(BoundedHandshake, BoundedAfekSnapshot, |mem, n| {
+    BoundedAfekSnapshot::new(mem, n)
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{
+        AbaOps, CounterOps, MaxRegisterOps, SharedObject, SnapshotOps, UniversalOps,
+        VersionedSnapshotOps,
+    };
+    use crate::{Lin, Strong};
+    use sl_mem::NativeMem;
+    use sl_spec::{CounterOp, CounterResp, ProcId};
+    use sl_universal::types::CounterType;
+
+    fn requires_strong<M: Mem, O: SharedObject<M, Guarantee = Strong>>(_: &O) {}
+    fn requires_lin<M: Mem, O: SharedObject<M, Guarantee = Lin>>(_: &O) {}
+
+    #[test]
+    fn every_substrate_builds_a_strong_snapshot() {
+        let mem = NativeMem::new();
+        let b = ObjectBuilder::on(&mem).processes(2);
+        requires_strong(&b.clone().double_collect().snapshot::<u64>());
+        requires_strong(&b.clone().afek().snapshot::<u64>());
+        requires_strong(&b.clone().bounded_handshake().snapshot::<u64>());
+        requires_strong(&b.clone().versioned().snapshot::<u64>());
+        requires_strong(&b.clone().atomic_r().snapshot::<u64>());
+    }
+
+    #[test]
+    fn lin_objects_carry_lin_in_their_type() {
+        let mem = NativeMem::new();
+        let b = ObjectBuilder::on(&mem).processes(2);
+        requires_lin(&b.lin_snapshot::<u64>());
+        requires_lin(&b.clone().afek().lin_snapshot::<u64>());
+        requires_lin(&b.clone().bounded_handshake().lin_snapshot::<u64>());
+        requires_lin(&b.lin_aba_register::<u64>());
+        requires_lin(&b.trie_max_register(64));
+    }
+
+    #[test]
+    fn guarantee_propagates_through_derived_objects() {
+        let mem = NativeMem::new();
+        let b = ObjectBuilder::on(&mem).processes(2);
+        requires_strong(&b.counter());
+        requires_strong(&b.max_register());
+        requires_strong(&b.universal(CounterType));
+        requires_strong(&b.aba_register::<u64>());
+        requires_strong(&b.atomic_aba_register::<u64>());
+        requires_strong(&b.atomic_snapshot::<u64>());
+    }
+
+    #[test]
+    fn built_objects_operate_through_the_unified_handles() {
+        let mem = NativeMem::new();
+        let b = ObjectBuilder::on(&mem).processes(2);
+
+        let snap = b.snapshot::<u64>();
+        let mut s0 = snap.handle(ProcId(0));
+        s0.update(5);
+        assert_eq!(s0.scan(), vec![Some(5), None]);
+
+        // Calls go through the unified ops traits explicitly, proving
+        // the trait surface (inherent methods would otherwise shadow).
+        let counter = b.counter();
+        let mut c0 = SharedObject::<NativeMem>::handle(&counter, ProcId(0));
+        CounterOps::inc(&mut c0);
+        CounterOps::inc(&mut c0);
+        assert_eq!(CounterOps::read(&mut c0), 2);
+
+        let maxreg = b.max_register();
+        let mut m1 = SharedObject::<NativeMem>::handle(&maxreg, ProcId(1));
+        MaxRegisterOps::max_write(&mut m1, 9);
+        assert_eq!(MaxRegisterOps::max_read(&mut m1), 9);
+
+        let aba = b.aba_register::<u64>();
+        let mut w = aba.handle(ProcId(0));
+        let mut r = aba.handle(ProcId(1));
+        AbaOps::dwrite(&mut w, 3);
+        assert_eq!(AbaOps::dread(&mut r), (Some(3), true));
+
+        let uni = b.universal(CounterType);
+        let mut u0 = SharedObject::<NativeMem>::handle(&uni, ProcId(0));
+        UniversalOps::execute(&mut u0, CounterOp::Inc);
+        assert_eq!(
+            UniversalOps::execute(&mut u0, CounterOp::Read),
+            CounterResp::Value(1)
+        );
+    }
+
+    #[test]
+    fn versioned_substrate_scans_carry_versions() {
+        let mem = NativeMem::new();
+        let snap = ObjectBuilder::on(&mem)
+            .processes(2)
+            .versioned()
+            .snapshot::<u64>();
+        let mut h = SharedObject::<NativeMem>::handle(&snap, ProcId(0));
+        h.update(4);
+        let view = h.scan_versioned();
+        assert_eq!(view.get(0), Some(&4));
+        assert!(view.version().is_some(), "§4.1 views are versioned");
+    }
+
+    #[test]
+    #[should_panic(expected = "call .processes(n)")]
+    fn forgetting_processes_is_caught() {
+        let mem = NativeMem::new();
+        let _ = ObjectBuilder::on(&mem).snapshot::<u64>();
+    }
+
+    #[test]
+    fn builder_works_under_the_simulator_backend() {
+        // Construction only: operating SimMem registers requires a
+        // running SimWorld (exercised by the builder matrix test).
+        let world = sl_sim::SimWorld::new(2);
+        let mem = world.mem();
+        let b = ObjectBuilder::on(&mem).processes(2);
+        let _snap = b.snapshot::<u64>();
+        let _aba = b.aba_register::<u64>();
+        let _counter = b.clone().bounded_handshake().counter();
+    }
+}

@@ -1,0 +1,93 @@
+//! Type-level consistency guarantees.
+//!
+//! The paper's central distinction — linearizable versus **strongly**
+//! linearizable — is a property of an implementation, not of a single
+//! execution, and confusing the two is exactly the failure mode of §1:
+//! a strong adaptive adversary can bias a randomized algorithm running
+//! over a merely linearizable object, while it cannot over a strongly
+//! linearizable one. This module lifts the distinction into the type
+//! system: every [`SharedObject`](crate::SharedObject) declares its
+//! guarantee as an associated type, so code that is only sound against
+//! strong linearizability (adversary-bias experiments, composition
+//! arguments that rely on prefix preservation) can demand
+//! `Guarantee = Strong` — and feeding it a merely linearizable object
+//! fails at **compile time**.
+//!
+//! ```compile_fail
+//! use sl_api::{ObjectBuilder, SharedObject, Strong};
+//! use sl_mem::{Mem, NativeMem};
+//!
+//! fn adversary_experiment<M: Mem, O: SharedObject<M, Guarantee = Strong>>(_o: &O) {}
+//!
+//! let mem = NativeMem::new();
+//! // Algorithm 1 is linearizable but NOT strongly linearizable
+//! // (Observation 4) — the experiment must not accept it.
+//! let lin = ObjectBuilder::on(&mem).processes(2).lin_aba_register::<u64>();
+//! adversary_experiment(&lin); // ERROR: expected `Strong`, found `Lin`
+//! ```
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::Lin {}
+    impl Sealed for super::Strong {}
+}
+
+/// A consistency guarantee level. Sealed: exactly [`Lin`] and [`Strong`]
+/// implement it (the paper has no useful level in between for this
+/// object family).
+pub trait Guarantee: sealed::Sealed + Copy + Default + Send + Sync + 'static {
+    /// Human-readable name, for tables and traces.
+    const NAME: &'static str;
+
+    /// Whether the guarantee is strong linearizability.
+    const IS_STRONG: bool;
+}
+
+/// Linearizable (Herlihy & Wing): every history has a legal
+/// linearization, but a strong adversary may still retroactively choose
+/// *which* one — the paper's Observation 4 exploits exactly that.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Lin;
+
+impl Guarantee for Lin {
+    const NAME: &'static str = "linearizable";
+    const IS_STRONG: bool = false;
+}
+
+/// Strongly linearizable (Golab, Higham & Woelfel): there is a
+/// prefix-preserving linearization function — once an operation is
+/// placed in the linearization order, its position never changes.
+/// Closed under composition, which is what lets the paper stack
+/// Algorithm 2 under Algorithm 3 under the universal construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Strong;
+
+impl Guarantee for Strong {
+    const NAME: &'static str = "strongly linearizable";
+    const IS_STRONG: bool = true;
+}
+
+/// Marker implemented by [`Strong`] only. Prefer bounding on it
+/// (`O::Guarantee: StrongGuarantee`) when a function merely *requires*
+/// strong linearizability, and on `Guarantee = Strong` when it must
+/// also name the type.
+pub trait StrongGuarantee: Guarantee {}
+
+impl StrongGuarantee for Strong {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_strong<G: Guarantee>() -> bool {
+        G::IS_STRONG
+    }
+
+    #[test]
+    fn names_and_flags() {
+        assert_eq!(Lin::NAME, "linearizable");
+        assert_eq!(Strong::NAME, "strongly linearizable");
+        assert!(!is_strong::<Lin>());
+        assert!(is_strong::<Strong>());
+    }
+}

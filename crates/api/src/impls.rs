@@ -1,0 +1,387 @@
+//! [`SharedObject`] and operation-trait implementations for every
+//! concrete object in the workspace — the migration of `sl-core`,
+//! `sl-snapshot` (via [`crate::LinSnap`]) and `sl-universal` onto the
+//! unified API.
+//!
+//! Guarantee assignments are theorem references:
+//!
+//! | Object | Guarantee | Why |
+//! |--------|-----------|-----|
+//! | `SlSnapshot` (all substrate/`R` configs) | [`Strong`] | Theorem 2 (Algorithms 3/4) |
+//! | `BoundedSlSnapshot` | [`Strong`] | Theorem 2, fully bounded configuration |
+//! | `VersionedSlSnapshot` | [`Strong`] | §4.1 (Denysyuk–Woelfel) |
+//! | `AtomicSnapshot` | [`Strong`] | one step per operation (atomic) |
+//! | `SlAbaRegister` / `PackedSlAbaRegister` | [`Strong`] | Theorem 1 (Algorithm 2) |
+//! | `AtomicAbaRegister` | [`Strong`] | atomic base object of Algorithm 3 |
+//! | `AwAbaRegister` | [`Lin`] | **Observation 4**: Algorithm 1 is not strongly linearizable |
+//! | `BoundedMaxRegister` | [`Lin`] | checker-discovered: AAC trie reads admit retroactive ordering |
+//! | `SlCounter<O>` / `SnapshotMaxRegister<O>` | `O::Guarantee` | §4.5: one snapshot op per operation (composability) |
+//! | `Universal<T, O>` | `O::Guarantee` | Theorem 54: the construction preserves strong linearizability |
+
+use sl_core::aba::{
+    AbaHandle as CoreAbaHandle, AbaRegister as CoreAbaRegister, AtomicAbaHandle, AtomicAbaRegister,
+    AwAbaHandle, AwAbaRegister, PackedSlAbaHandle, PackedSlAbaRegister, SlAbaHandle, SlAbaRegister,
+};
+use sl_core::{
+    AtomicSnapshot, AtomicSnapshotHandle, BoundedMaxRegister, BoundedMaxRegisterHandle,
+    BoundedSlSnapshot, BoundedSlSnapshotHandle, CounterHandle, MaxRegisterHandle, SeqValue,
+    SeqView, SlCounter, SlSnapshot, SlSnapshotHandle, SnapshotHandle as CoreSnapshotHandle,
+    SnapshotMaxRegister, SnapshotObject as CoreSnapshotObject, VersionedHandle,
+    VersionedSlSnapshot,
+};
+use sl_mem::{Mem, NativeMem, Value};
+use sl_snapshot::{AfekSnapshot, BoundedAfekSnapshot, DoubleCollectSnapshot};
+use sl_spec::ProcId;
+use sl_universal::{NodeRef, SimpleType, Universal, UniversalHandle};
+
+use crate::guarantee::{Lin, Strong};
+use crate::object::{
+    AbaOps, CounterOps, MaxRegisterOps, ObjectHandle, SharedObject, SnapshotOps, UniversalOps,
+    VersionedSnapshotOps,
+};
+use crate::view::View;
+
+/// `SlSnapshot` over the Afek et al. helping substrate (Theorem 2 with a
+/// wait-free `S`).
+pub type AfekSlSnapshot<V, M> =
+    SlSnapshot<V, AfekSnapshot<SeqValue<V>, M>, SlAbaRegister<SeqView<V>, M>>;
+
+/// `SlSnapshot` in the paper's pre-composition configuration: an atomic
+/// ABA-detecting register `R` over the double-collect substrate
+/// (Algorithm 3 as stated, before §4.3 composability).
+pub type AtomicRSlSnapshot<V, M> =
+    SlSnapshot<V, DoubleCollectSnapshot<SeqValue<V>, M>, AtomicAbaRegister<SeqView<V>, M>>;
+
+/// The fully bounded Theorem 2 configuration: handshake substrate plus
+/// Algorithm-2 register — every base register holds bounded state.
+pub type FullyBoundedSlSnapshot<V, M> =
+    BoundedSlSnapshot<V, BoundedAfekSnapshot<V, M>, SlAbaRegister<Vec<Option<V>>, M>>;
+
+// ---------------------------------------------------------------------
+// Strongly linearizable snapshots (Algorithms 3/4 and models thereof).
+// ---------------------------------------------------------------------
+
+macro_rules! strong_snapshot_object {
+    ($obj:ty, $handle:ty) => {
+        impl<V: Value, M: Mem> SharedObject<M> for $obj {
+            type Guarantee = Strong;
+            type Handle = $handle;
+
+            fn handle(&self, p: ProcId) -> Self::Handle {
+                CoreSnapshotObject::handle(self, p)
+            }
+
+            fn processes(&self) -> Option<usize> {
+                Some(CoreSnapshotObject::components(self))
+            }
+        }
+    };
+}
+
+strong_snapshot_object!(
+    sl_core::DcSlSnapshot<V, M>,
+    SlSnapshotHandle<V, DoubleCollectSnapshot<SeqValue<V>, M>, SlAbaRegister<SeqView<V>, M>>
+);
+strong_snapshot_object!(
+    AfekSlSnapshot<V, M>,
+    SlSnapshotHandle<V, AfekSnapshot<SeqValue<V>, M>, SlAbaRegister<SeqView<V>, M>>
+);
+strong_snapshot_object!(
+    AtomicRSlSnapshot<V, M>,
+    SlSnapshotHandle<V, DoubleCollectSnapshot<SeqValue<V>, M>, AtomicAbaRegister<SeqView<V>, M>>
+);
+strong_snapshot_object!(
+    FullyBoundedSlSnapshot<V, M>,
+    BoundedSlSnapshotHandle<V, BoundedAfekSnapshot<V, M>, SlAbaRegister<Vec<Option<V>>, M>>
+);
+strong_snapshot_object!(VersionedSlSnapshot<V, M>, VersionedHandle<V, M>);
+strong_snapshot_object!(AtomicSnapshot<V, M>, AtomicSnapshotHandle<V, M>);
+
+/// `ObjectHandle` + `SnapshotOps` for every handle type implementing the
+/// `sl-core` snapshot-handle SPI.
+macro_rules! snapshot_handle_ops {
+    ($handle:ty ; $($generics:tt)*) => {
+        impl<$($generics)*> ObjectHandle for $handle {
+            fn proc(&self) -> ProcId {
+                CoreSnapshotHandle::proc(self)
+            }
+        }
+
+        impl<$($generics)*> SnapshotOps<V> for $handle {
+            fn update(&mut self, value: V) {
+                CoreSnapshotHandle::update(self, value);
+            }
+
+            fn scan(&mut self) -> View<V> {
+                View::new(CoreSnapshotHandle::scan(self))
+            }
+        }
+    };
+}
+
+snapshot_handle_ops!(
+    SlSnapshotHandle<V, S, R> ;
+    V: Value,
+    S: sl_snapshot::SnapshotSubstrate<SeqValue<V>>,
+    R: CoreAbaRegister<SeqView<V>>
+);
+snapshot_handle_ops!(
+    BoundedSlSnapshotHandle<V, S, R> ;
+    V: Value,
+    S: sl_snapshot::SnapshotSubstrate<V>,
+    R: CoreAbaRegister<Vec<Option<V>>>
+);
+snapshot_handle_ops!(VersionedHandle<V, M> ; V: Value, M: Mem);
+snapshot_handle_ops!(AtomicSnapshotHandle<V, M> ; V: Value, M: Mem);
+
+impl<V: Value, M: Mem> VersionedSnapshotOps<V> for VersionedHandle<V, M> {
+    fn scan_versioned(&mut self) -> View<V> {
+        let (components, version) = VersionedHandle::scan_with_version(self);
+        View::versioned(components, version)
+    }
+}
+
+// ---------------------------------------------------------------------
+// ABA-detecting registers (paper §3).
+// ---------------------------------------------------------------------
+
+// Theorem 1 (Algorithm 2): strongly linearizable.
+impl<V: Value, M: Mem> SharedObject<M> for SlAbaRegister<V, M> {
+    type Guarantee = Strong;
+    type Handle = SlAbaHandle<V, M>;
+
+    fn handle(&self, p: ProcId) -> Self::Handle {
+        CoreAbaRegister::handle(self, p)
+    }
+
+    fn processes(&self) -> Option<usize> {
+        Some(SlAbaRegister::processes(self))
+    }
+}
+
+// Observation 4 (Algorithm 1): linearizable only.
+impl<V: Value, M: Mem> SharedObject<M> for AwAbaRegister<V, M> {
+    type Guarantee = Lin;
+    type Handle = AwAbaHandle<V, M>;
+
+    fn handle(&self, p: ProcId) -> Self::Handle {
+        CoreAbaRegister::handle(self, p)
+    }
+
+    fn processes(&self) -> Option<usize> {
+        Some(AwAbaRegister::processes(self))
+    }
+}
+
+// Atomic base object: one step per operation; any number of processes.
+impl<V: Value, M: Mem> SharedObject<M> for AtomicAbaRegister<V, M> {
+    type Guarantee = Strong;
+    type Handle = AtomicAbaHandle<V, M>;
+
+    fn handle(&self, p: ProcId) -> Self::Handle {
+        CoreAbaRegister::handle(self, p)
+    }
+
+    fn processes(&self) -> Option<usize> {
+        // The atomic register is a single cell with per-process read
+        // cursors; it is not sized to a process count.
+        None
+    }
+}
+
+macro_rules! aba_handle_ops {
+    ($handle:ty, $value:ty ; $($generics:tt)*) => {
+        impl<$($generics)*> ObjectHandle for $handle {
+            fn proc(&self) -> ProcId {
+                CoreAbaHandle::proc(self)
+            }
+        }
+
+        impl<$($generics)*> AbaOps<$value> for $handle {
+            fn dwrite(&mut self, value: $value) {
+                CoreAbaHandle::dwrite(self, value);
+            }
+
+            fn dread(&mut self) -> (Option<$value>, bool) {
+                CoreAbaHandle::dread(self)
+            }
+        }
+    };
+}
+
+aba_handle_ops!(SlAbaHandle<V, M>, V ; V: Value, M: Mem);
+aba_handle_ops!(AwAbaHandle<V, M>, V ; V: Value, M: Mem);
+aba_handle_ops!(AtomicAbaHandle<V, M>, V ; V: Value, M: Mem);
+
+/// The packed-word Algorithm 2 is native-only by construction (it
+/// bypasses the `Mem` abstraction with raw `AtomicU64`s), so it is a
+/// `SharedObject` over [`NativeMem`] exclusively — trying to build it
+/// over `SimMem` is a type error rather than a silently unsimulated
+/// object.
+impl SharedObject<NativeMem> for PackedSlAbaRegister {
+    type Guarantee = Strong;
+    type Handle = PackedSlAbaHandle;
+
+    fn handle(&self, p: ProcId) -> Self::Handle {
+        CoreAbaRegister::handle(self, p)
+    }
+
+    fn processes(&self) -> Option<usize> {
+        Some(PackedSlAbaRegister::processes(self))
+    }
+}
+
+impl ObjectHandle for PackedSlAbaHandle {
+    fn proc(&self) -> ProcId {
+        CoreAbaHandle::proc(self)
+    }
+}
+
+impl AbaOps<u32> for PackedSlAbaHandle {
+    fn dwrite(&mut self, value: u32) {
+        CoreAbaHandle::dwrite(self, value);
+    }
+
+    fn dread(&mut self) -> (Option<u32>, bool) {
+        CoreAbaHandle::dread(self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// §4.5 derived objects: guarantee propagates from the snapshot they are
+// built over (each operation performs one snapshot operation, so the
+// derivation preserves strong linearizability by composability).
+// ---------------------------------------------------------------------
+
+impl<M: Mem, O> SharedObject<M> for SlCounter<O>
+where
+    O: SharedObject<M> + CoreSnapshotObject<u64>,
+{
+    type Guarantee = O::Guarantee;
+    type Handle = CounterHandle<O>;
+
+    fn handle(&self, p: ProcId) -> Self::Handle {
+        SlCounter::handle(self, p)
+    }
+
+    fn processes(&self) -> Option<usize> {
+        SharedObject::processes(self.snapshot())
+    }
+}
+
+impl<O: CoreSnapshotObject<u64>> ObjectHandle for CounterHandle<O> {
+    fn proc(&self) -> ProcId {
+        CounterHandle::proc(self)
+    }
+}
+
+impl<O: CoreSnapshotObject<u64>> CounterOps for CounterHandle<O> {
+    fn inc(&mut self) {
+        CounterHandle::inc(self);
+    }
+
+    fn read(&mut self) -> u64 {
+        CounterHandle::read(self)
+    }
+}
+
+impl<M: Mem, O> SharedObject<M> for SnapshotMaxRegister<O>
+where
+    O: SharedObject<M> + CoreSnapshotObject<u64>,
+{
+    type Guarantee = O::Guarantee;
+    type Handle = MaxRegisterHandle<O>;
+
+    fn handle(&self, p: ProcId) -> Self::Handle {
+        SnapshotMaxRegister::handle(self, p)
+    }
+
+    fn processes(&self) -> Option<usize> {
+        SharedObject::processes(self.snapshot())
+    }
+}
+
+impl<O: CoreSnapshotObject<u64>> ObjectHandle for MaxRegisterHandle<O> {
+    fn proc(&self) -> ProcId {
+        MaxRegisterHandle::proc(self)
+    }
+}
+
+impl<O: CoreSnapshotObject<u64>> MaxRegisterOps for MaxRegisterHandle<O> {
+    fn max_write(&mut self, v: u64) {
+        MaxRegisterHandle::max_write(self, v);
+    }
+
+    fn max_read(&mut self) -> u64 {
+        MaxRegisterHandle::max_read(self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// §4.1 bounded max-register (AAC trie): linearizable only — the model
+// checker exhibits Observation-4-style violations for its reads.
+// ---------------------------------------------------------------------
+
+impl<M: Mem> SharedObject<M> for BoundedMaxRegister<M> {
+    type Guarantee = Lin;
+    type Handle = BoundedMaxRegisterHandle<M>;
+
+    fn handle(&self, p: ProcId) -> Self::Handle {
+        BoundedMaxRegister::handle(self, p)
+    }
+
+    fn processes(&self) -> Option<usize> {
+        // The trie is multi-writer: any number of processes may use it.
+        None
+    }
+}
+
+impl<M: Mem> ObjectHandle for BoundedMaxRegisterHandle<M> {
+    fn proc(&self) -> ProcId {
+        BoundedMaxRegisterHandle::proc(self)
+    }
+}
+
+impl<M: Mem> MaxRegisterOps for BoundedMaxRegisterHandle<M> {
+    fn max_write(&mut self, v: u64) {
+        BoundedMaxRegisterHandle::max_write(self, v);
+    }
+
+    fn max_read(&mut self) -> u64 {
+        BoundedMaxRegisterHandle::max_read(self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Universal construction (§5): Theorem 54 — the construction preserves
+// the root snapshot's guarantee.
+// ---------------------------------------------------------------------
+
+impl<M: Mem, T, O> SharedObject<M> for Universal<T, O>
+where
+    T: SimpleType,
+    O: SharedObject<M> + CoreSnapshotObject<NodeRef<T>>,
+{
+    type Guarantee = O::Guarantee;
+    type Handle = UniversalHandle<T, O>;
+
+    fn handle(&self, p: ProcId) -> Self::Handle {
+        Universal::handle(self, p)
+    }
+
+    fn processes(&self) -> Option<usize> {
+        SharedObject::processes(self.root())
+    }
+}
+
+impl<T: SimpleType, O: CoreSnapshotObject<NodeRef<T>>> ObjectHandle for UniversalHandle<T, O> {
+    fn proc(&self) -> ProcId {
+        UniversalHandle::proc(self)
+    }
+}
+
+impl<T: SimpleType, O: CoreSnapshotObject<NodeRef<T>>> UniversalOps<T> for UniversalHandle<T, O> {
+    fn execute(&mut self, op: T::Op) -> T::Resp {
+        UniversalHandle::execute(self, op)
+    }
+}

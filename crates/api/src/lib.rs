@@ -1,0 +1,72 @@
+//! **sl-api** — the unified object API of the workspace.
+//!
+//! Three things, designed together:
+//!
+//! 1. **Typed guarantee levels.** Every object declares [`Lin`] or
+//!    [`Strong`] as an associated type of [`SharedObject`], so the
+//!    paper's central distinction — linearizable versus *strongly*
+//!    linearizable — is visible to the compiler. A harness that is only
+//!    sound against a strong adversary bounds on
+//!    `Guarantee = Strong`, and handing it Algorithm 1 (linearizable
+//!    only, Observation 4) is a compile error, not a silent bias.
+//!
+//! 2. **One handle model.** Every object — snapshot substrates,
+//!    ABA-detecting registers, Algorithms 3/4, §4.5 derived objects,
+//!    the §5 universal construction — is operated through per-process
+//!    handles ([`SharedObject::handle`]) with family-specific operation
+//!    traits ([`SnapshotOps`], [`AbaOps`], [`CounterOps`],
+//!    [`MaxRegisterOps`], [`UniversalOps`]). At most one live handle
+//!    per process per object, enforced by a debug-mode
+//!    duplicate-handle panic. Scans return a typed [`View`] that
+//!    carries the version where the substrate provides one (§4.1).
+//!
+//! 3. **One builder.** [`ObjectBuilder`] selects the object family,
+//!    the substrate (double-collect, Afek, bounded §4.3, versioned
+//!    §4.1, atomic-`R`), and the backend (`NativeMem`, `SimMem`, any
+//!    `Mem`) fluently; the substrate lives in the builder's type, so
+//!    the built object's guarantee is static.
+//!
+//! ```
+//! use sl_api::{AbaOps, ObjectBuilder, SharedObject, Strong};
+//! use sl_mem::{Mem, NativeMem};
+//! use sl_spec::ProcId;
+//!
+//! // A randomized algorithm that is only correct against a strong
+//! // adaptive adversary demands strong linearizability *in its type*.
+//! fn coin_flip_consensus<M, O>(reg: &O)
+//! where
+//!     M: Mem,
+//!     O: SharedObject<M, Guarantee = Strong>,
+//!     O::Handle: AbaOps<u64>,
+//! {
+//!     let mut h = reg.handle(ProcId(0));
+//!     h.dwrite(1);
+//!     assert_eq!(h.dread().0, Some(1));
+//! }
+//!
+//! let mem = NativeMem::new();
+//! let builder = ObjectBuilder::on(&mem).processes(2);
+//! coin_flip_consensus(&builder.aba_register::<u64>()); // Algorithm 2: ok
+//! // coin_flip_consensus(&builder.lin_aba_register::<u64>());
+//! // ^ Algorithm 1: compile error — `Lin` is not `Strong`.
+//! ```
+
+mod builder;
+mod guarantee;
+pub mod harness;
+mod impls;
+mod lin;
+mod object;
+mod view;
+
+pub use builder::{
+    Afek, AtomicR, BoundedHandshake, DoubleCollect, ObjectBuilder, Substrate, Versioned,
+};
+pub use guarantee::{Guarantee, Lin, Strong, StrongGuarantee};
+pub use impls::{AfekSlSnapshot, AtomicRSlSnapshot, FullyBoundedSlSnapshot};
+pub use lin::{LinSnap, LinSnapHandle};
+pub use object::{
+    AbaOps, CounterOps, MaxRegisterOps, ObjectHandle, SharedObject, SnapshotOps, UniversalOps,
+    VersionedSnapshotOps,
+};
+pub use view::View;

@@ -1,0 +1,176 @@
+//! Handle-model adapter for the linearizable snapshot substrates.
+//!
+//! The substrates in `sl-snapshot` implement the internal
+//! [`SnapshotSubstrate`] SPI, whose operations take the acting process
+//! explicitly. [`LinSnap`] wraps a substrate as a first-class
+//! [`SharedObject`] with guarantee [`Lin`]: per-process handles, the
+//! duplicate-handle guard, and typed [`View`]s — so consumer code never
+//! touches the `scan(&self, p)` shape, and the type system records that
+//! these objects are *not* strongly linearizable.
+
+use std::marker::PhantomData;
+
+use sl_mem::{HandleGuard, HandleLease, Mem, Value};
+use sl_snapshot::{
+    AfekSnapshot, BoundedAfekSnapshot, DoubleCollectSnapshot, SnapshotSubstrate, VersionedSubstrate,
+};
+use sl_spec::ProcId;
+
+use crate::guarantee::Lin;
+use crate::object::{ObjectHandle, SharedObject, SnapshotOps, VersionedSnapshotOps};
+use crate::view::View;
+
+/// A linearizable snapshot substrate exposed through the unified handle
+/// model, with guarantee [`Lin`].
+pub struct LinSnap<V: Value, S: SnapshotSubstrate<V>> {
+    raw: S,
+    n: usize,
+    guard: HandleGuard,
+    _marker: PhantomData<fn() -> V>,
+}
+
+impl<V: Value, S: SnapshotSubstrate<V>> LinSnap<V, S> {
+    /// Wraps a substrate.
+    pub fn new(raw: S) -> Self {
+        let n = raw.components();
+        LinSnap {
+            raw,
+            n,
+            guard: HandleGuard::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The wrapped substrate (escape hatch for composing into
+    /// Algorithm 3 manually).
+    pub fn substrate(&self) -> &S {
+        &self.raw
+    }
+
+    /// Number of components.
+    pub fn components(&self) -> usize {
+        self.n
+    }
+
+    /// Creates process `p`'s handle.
+    pub fn handle(&self, p: ProcId) -> LinSnapHandle<V, S> {
+        assert!(p.index() < self.n, "process id out of range");
+        LinSnapHandle {
+            raw: self.raw.clone(),
+            p,
+            _lease: self.guard.acquire(p),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<V: Value, S: SnapshotSubstrate<V>> Clone for LinSnap<V, S> {
+    fn clone(&self) -> Self {
+        LinSnap {
+            raw: self.raw.clone(),
+            n: self.n,
+            guard: self.guard.clone(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<V: Value, S: SnapshotSubstrate<V>> std::fmt::Debug for LinSnap<V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LinSnap(n={})", self.n)
+    }
+}
+
+/// Process-local handle of [`LinSnap`].
+pub struct LinSnapHandle<V: Value, S: SnapshotSubstrate<V>> {
+    raw: S,
+    p: ProcId,
+    _lease: HandleLease,
+    _marker: PhantomData<fn() -> V>,
+}
+
+impl<V: Value, S: SnapshotSubstrate<V>> ObjectHandle for LinSnapHandle<V, S> {
+    fn proc(&self) -> ProcId {
+        self.p
+    }
+}
+
+impl<V: Value, S: SnapshotSubstrate<V>> SnapshotOps<V> for LinSnapHandle<V, S> {
+    fn update(&mut self, value: V) {
+        self.raw.update(self.p, value);
+    }
+
+    fn scan(&mut self) -> View<V> {
+        View::new(self.raw.scan(self.p))
+    }
+}
+
+impl<V: Value, S: VersionedSubstrate<V>> VersionedSnapshotOps<V> for LinSnapHandle<V, S> {
+    fn scan_versioned(&mut self) -> View<V> {
+        let (components, version) = self.raw.scan_versioned(self.p);
+        View::versioned(components, version)
+    }
+}
+
+macro_rules! lin_shared_object {
+    ($substrate:ident) => {
+        impl<V: Value, M: Mem> SharedObject<M> for LinSnap<V, $substrate<V, M>> {
+            type Guarantee = Lin;
+            type Handle = LinSnapHandle<V, $substrate<V, M>>;
+
+            fn handle(&self, p: ProcId) -> Self::Handle {
+                LinSnap::handle(self, p)
+            }
+
+            fn processes(&self) -> Option<usize> {
+                Some(self.n)
+            }
+        }
+    };
+}
+
+lin_shared_object!(DoubleCollectSnapshot);
+lin_shared_object!(AfekSnapshot);
+lin_shared_object!(BoundedAfekSnapshot);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_mem::NativeMem;
+
+    #[test]
+    fn wrapped_double_collect_scans_through_handles() {
+        let mem = NativeMem::new();
+        let snap: LinSnap<u64, _> = LinSnap::new(DoubleCollectSnapshot::new(&mem, 3));
+        let mut h0 = snap.handle(ProcId(0));
+        let mut h2 = snap.handle(ProcId(2));
+        h0.update(7);
+        let view = h2.scan();
+        assert_eq!(view, vec![Some(7), None, None]);
+        assert_eq!(view.version(), None);
+    }
+
+    #[test]
+    fn versioned_scan_reports_increasing_versions() {
+        let mem = NativeMem::new();
+        let snap: LinSnap<u64, _> = LinSnap::new(DoubleCollectSnapshot::new(&mem, 2));
+        let mut h = snap.handle(ProcId(0));
+        h.update(1);
+        let v1 = h.scan_versioned().version().expect("versioned substrate");
+        h.update(2);
+        let v2 = h.scan_versioned().version().expect("versioned substrate");
+        assert!(v2 > v1, "versions strictly increase: {v1} -> {v2}");
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "guard panics only in debug builds")]
+    fn duplicate_handles_are_rejected() {
+        let mem = NativeMem::new();
+        let snap: LinSnap<u64, _> = LinSnap::new(AfekSnapshot::new(&mem, 2));
+        let _h = snap.handle(ProcId(0));
+        let dup = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _dup = snap.handle(ProcId(0));
+        }));
+        assert!(dup.is_err());
+    }
+}

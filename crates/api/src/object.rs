@@ -1,0 +1,137 @@
+//! The unified object trait family: one handle model for every object
+//! in the workspace.
+//!
+//! Before this crate, each layer had its own access style:
+//! `sl_snapshot` substrates took a `ProcId` on every call, `sl_core`
+//! had per-family handle traits, and `sl_universal` had a third scheme.
+//! [`SharedObject`] unifies them: every object is created over a
+//! backend `M: Mem`, declares its [`Guarantee`] level in its type, and
+//! is operated through per-process handles obtained with
+//! [`handle`](SharedObject::handle) (at most one live handle per
+//! process — enforced by a debug-mode duplicate-handle panic).
+//!
+//! What a handle can *do* is expressed by the per-family operation
+//! traits ([`SnapshotOps`], [`AbaOps`], [`CounterOps`],
+//! [`MaxRegisterOps`], [`UniversalOps`]), so generic harnesses bound on
+//! exactly the capabilities they use:
+//!
+//! ```
+//! use sl_api::{ObjectHandle, SharedObject, SnapshotOps, Strong};
+//! use sl_mem::{Mem, Value};
+//!
+//! /// Runs on any strongly linearizable snapshot, over any backend.
+//! fn exercise<V, M, O>(obj: &O, value: V)
+//! where
+//!     V: Value,
+//!     M: Mem,
+//!     O: SharedObject<M, Guarantee = Strong>,
+//!     O::Handle: SnapshotOps<V>,
+//! {
+//!     let mut h = obj.handle(sl_spec::ProcId(0));
+//!     h.update(value);
+//!     assert!(h.scan().get(0).is_some());
+//! }
+//! ```
+
+use sl_mem::{Mem, Value};
+use sl_spec::ProcId;
+use sl_universal::SimpleType;
+
+use crate::guarantee::Guarantee;
+use crate::view::View;
+
+/// A shared object over backend `M`, accessed through per-process
+/// handles and carrying its consistency guarantee in its type.
+///
+/// `M` is a type parameter (not an associated type) so one generic
+/// function can range over the same object family on different
+/// backends — the builder matrix tests instantiate every family over
+/// both `NativeMem` and `SimMem` through the same bounds.
+pub trait SharedObject<M: Mem>: Clone + Send + Sync + 'static {
+    /// The guarantee this implementation provides: [`crate::Lin`] or
+    /// [`crate::Strong`]. This is a *theorem reference*, not a runtime
+    /// property — e.g. `AwAbaRegister` (Algorithm 1) declares `Lin`
+    /// because of the paper's Observation 4, while `SlAbaRegister`
+    /// (Algorithm 2) declares `Strong` by Theorem 1.
+    type Guarantee: Guarantee;
+
+    /// The per-process handle type.
+    type Handle: ObjectHandle;
+
+    /// Creates process `p`'s handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range and, in debug builds, if a live
+    /// handle for `p` already exists on this object (single-writer
+    /// discipline).
+    fn handle(&self, p: ProcId) -> Self::Handle;
+
+    /// Number of processes the object was created for, or `None` for
+    /// objects that are not sized to a process count (the single-cell
+    /// atomic ABA register and the multi-writer trie max-register
+    /// accept handles for any process id). Never iterate `0..n` on an
+    /// unwrapped default; use the count you built the object with.
+    fn processes(&self) -> Option<usize>;
+}
+
+/// Operations common to every per-process handle.
+pub trait ObjectHandle: Send {
+    /// The process this handle belongs to.
+    fn proc(&self) -> ProcId;
+}
+
+/// Single-writer snapshot operations (Algorithms 3/4, their substrates,
+/// and the atomic model object).
+pub trait SnapshotOps<V: Value>: ObjectHandle {
+    /// Sets this process's component to `value`.
+    fn update(&mut self, value: V);
+
+    /// Returns a consistent view of all components.
+    fn scan(&mut self) -> View<V>;
+}
+
+/// Snapshot operations whose views carry a strictly increasing version
+/// (the §4.1 versioned object). Every view returned by
+/// [`scan_versioned`](VersionedSnapshotOps::scan_versioned) has
+/// `version() == Some(_)`.
+pub trait VersionedSnapshotOps<V: Value>: SnapshotOps<V> {
+    /// Returns a consistent view together with its version.
+    fn scan_versioned(&mut self) -> View<V>;
+}
+
+/// ABA-detecting register operations (paper §3).
+pub trait AbaOps<V: Value>: ObjectHandle {
+    /// `DWrite(x)`: stores `x`.
+    fn dwrite(&mut self, value: V);
+
+    /// `DRead()`: the stored value (`None` = initial `⊥`) and a flag
+    /// that is `true` iff some `DWrite` occurred since this process's
+    /// previous `DRead`.
+    fn dread(&mut self) -> (Option<V>, bool);
+}
+
+/// Counter operations (§4.5 derived object).
+pub trait CounterOps: ObjectHandle {
+    /// Increments the counter.
+    fn inc(&mut self);
+
+    /// Reads the counter.
+    fn read(&mut self) -> u64;
+}
+
+/// Max-register operations (§4.1 and §4.5).
+pub trait MaxRegisterOps: ObjectHandle {
+    /// Raises the stored maximum to `v`.
+    fn max_write(&mut self, v: u64);
+
+    /// The largest value written so far (0 if none).
+    fn max_read(&mut self) -> u64;
+}
+
+/// Universal-construction operations: execute any invocation of a
+/// simple type `T` (paper §5).
+pub trait UniversalOps<T: SimpleType>: ObjectHandle {
+    /// Executes `op` and returns its response.
+    fn execute(&mut self, op: T::Op) -> T::Resp;
+}

@@ -1,0 +1,151 @@
+//! The typed result of a snapshot scan.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A consistent view of a snapshot object's components, as returned by
+/// [`SnapshotOps::scan`](crate::SnapshotOps::scan).
+///
+/// This replaces the old `Vec<Option<V>>` return shape: a view is a
+/// first-class value that additionally carries its **version** where the
+/// substrate provides one (the paper's §4.1 versioned object: a number
+/// that strictly increases with every update). For substrates without
+/// versions, [`version`](View::version) is `None` — the type records
+/// which capabilities a configuration actually has instead of silently
+/// widening every result to the weakest shape.
+#[derive(Clone, PartialEq, Eq)]
+pub struct View<V> {
+    components: Vec<Option<V>>,
+    version: Option<u64>,
+}
+
+impl<V> View<V> {
+    /// A view without version information.
+    pub fn new(components: Vec<Option<V>>) -> Self {
+        View {
+            components,
+            version: None,
+        }
+    }
+
+    /// A view carrying the version reported by a §4.1 versioned
+    /// substrate.
+    pub fn versioned(components: Vec<Option<V>>, version: u64) -> Self {
+        View {
+            components,
+            version: Some(version),
+        }
+    }
+
+    /// The component of process `p` (`None` = `⊥`, never written).
+    pub fn get(&self, p: usize) -> Option<&V> {
+        self.components.get(p).and_then(|c| c.as_ref())
+    }
+
+    /// The version of this view, if the substrate is versioned (§4.1).
+    pub fn version(&self) -> Option<u64> {
+        self.version
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the view has no components (a 0-process object; does not
+    /// mean "all ⊥").
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The components as a slice.
+    pub fn components(&self) -> &[Option<V>] {
+        &self.components
+    }
+
+    /// Consumes the view into the raw component vector (compatibility
+    /// with code that still wants the old shape).
+    pub fn into_vec(self) -> Vec<Option<V>> {
+        self.components
+    }
+
+    /// Iterates over the components.
+    pub fn iter(&self) -> std::slice::Iter<'_, Option<V>> {
+        self.components.iter()
+    }
+}
+
+impl<V> Index<usize> for View<V> {
+    type Output = Option<V>;
+
+    fn index(&self, p: usize) -> &Option<V> {
+        &self.components[p]
+    }
+}
+
+impl<V> IntoIterator for View<V> {
+    type Item = Option<V>;
+    type IntoIter = std::vec::IntoIter<Option<V>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.components.into_iter()
+    }
+}
+
+impl<'a, V> IntoIterator for &'a View<V> {
+    type Item = &'a Option<V>;
+    type IntoIter = std::slice::Iter<'a, Option<V>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.components.iter()
+    }
+}
+
+/// Views compare equal to plain component vectors, so existing
+/// assertions keep reading naturally.
+impl<V: PartialEq> PartialEq<Vec<Option<V>>> for View<V> {
+    fn eq(&self, other: &Vec<Option<V>>) -> bool {
+        &self.components == other
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for View<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.version {
+            Some(v) => write!(f, "View(v{}, {:?})", v, self.components),
+            None => write!(f, "View({:?})", self.components),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unversioned_view_roundtrip() {
+        let v = View::new(vec![Some(1u64), None]);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(0), Some(&1));
+        assert_eq!(v.get(1), None);
+        assert_eq!(v.version(), None);
+        assert_eq!(v[0], Some(1));
+        assert_eq!(v, vec![Some(1), None]);
+        assert_eq!(v.into_vec(), vec![Some(1), None]);
+    }
+
+    #[test]
+    fn versioned_view_carries_version() {
+        let v = View::versioned(vec![Some(5u64)], 7);
+        assert_eq!(v.version(), Some(7));
+        assert_eq!(format!("{v:?}"), "View(v7, [Some(5)])");
+    }
+
+    #[test]
+    fn iteration_matches_components() {
+        let v = View::new(vec![None, Some(2u32)]);
+        assert_eq!(v.iter().flatten().count(), 1);
+        assert_eq!((&v).into_iter().count(), 2);
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), vec![None, Some(2)]);
+    }
+}

@@ -1,0 +1,416 @@
+//! The builder matrix: every object family constructed through
+//! [`ObjectBuilder`] over **both** backends (`NativeMem` and `SimMem`),
+//! across every substrate, driving a short seeded-random history and
+//! round-tripping it through the `sl-check` decision procedures.
+//!
+//! Native objects run their workload directly through the harness
+//! entry points; simulator objects run it inside a `SimWorld` under a
+//! seeded random adversary, with the history recorded by `EventLog`.
+//! Either way, the object's actual responses must be linearizable with
+//! respect to the family's sequential specification.
+
+use sl_api::harness::{
+    self, roundtrip_counter, roundtrip_max_register, roundtrip_snapshot, CounterStep, MaxStep,
+    SnapStep,
+};
+use sl_api::{
+    AbaOps, CounterOps, MaxRegisterOps, ObjectBuilder, SharedObject, SnapshotOps, UniversalOps,
+};
+use sl_check::check_linearizable;
+use sl_mem::{NativeMem, SmallRng};
+use sl_sim::{EventLog, Program, SeededRandom, SimMem, SimWorld};
+use sl_spec::types::{AbaSpec, CounterSpec, MaxRegisterSpec, SnapshotSpec};
+use sl_spec::{
+    AbaOp, AbaResp, CounterOp, CounterResp, MaxRegisterOp, MaxRegisterResp, ProcId, SnapshotOp,
+    SnapshotResp,
+};
+use sl_universal::types::CounterType;
+use sl_universal::SimpleSpec;
+
+const N: usize = 2;
+const OPS_PER_PROC: usize = 2;
+const SIM_STEP_BUDGET: u64 = 1_000_000;
+
+fn random_snapshot_script(rng: &mut SmallRng, n: usize, len: usize) -> Vec<SnapStep<u64>> {
+    (0..len)
+        .map(|_| {
+            let p = ProcId(rng.gen_range(n));
+            if rng.gen_bool(0.5) {
+                SnapStep::Update(p, rng.gen_range(100) as u64)
+            } else {
+                SnapStep::Scan(p)
+            }
+        })
+        .collect()
+}
+
+fn random_counter_script(rng: &mut SmallRng, n: usize, len: usize) -> Vec<CounterStep> {
+    (0..len)
+        .map(|_| {
+            let p = ProcId(rng.gen_range(n));
+            if rng.gen_bool(0.5) {
+                CounterStep::Inc(p)
+            } else {
+                CounterStep::Read(p)
+            }
+        })
+        .collect()
+}
+
+fn random_max_script(rng: &mut SmallRng, n: usize, len: usize) -> Vec<MaxStep> {
+    (0..len)
+        .map(|_| {
+            let p = ProcId(rng.gen_range(n));
+            if rng.gen_bool(0.5) {
+                MaxStep::Write(p, rng.gen_range(50) as u64)
+            } else {
+                MaxStep::Read(p)
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Native backend: drive through the harness entry points.
+// ---------------------------------------------------------------------
+
+#[test]
+fn native_snapshots_all_substrates_roundtrip() {
+    let mem = NativeMem::new();
+    let mut rng = SmallRng::new(0x5EED_0001);
+    let b = ObjectBuilder::on(&mem).processes(N);
+    for round in 0..8 {
+        let script = random_snapshot_script(&mut rng, N, 8);
+        assert!(
+            roundtrip_snapshot::<u64, _, _>(&b.clone().double_collect().snapshot(), N, &script),
+            "double-collect round {round}"
+        );
+        assert!(
+            roundtrip_snapshot::<u64, _, _>(&b.clone().afek().snapshot(), N, &script),
+            "afek round {round}"
+        );
+        assert!(
+            roundtrip_snapshot::<u64, _, _>(&b.clone().bounded_handshake().snapshot(), N, &script),
+            "bounded round {round}"
+        );
+        assert!(
+            roundtrip_snapshot::<u64, _, _>(&b.clone().versioned().snapshot(), N, &script),
+            "versioned round {round}"
+        );
+        assert!(
+            roundtrip_snapshot::<u64, _, _>(&b.clone().atomic_r().snapshot(), N, &script),
+            "atomic-R round {round}"
+        );
+        // Lin substrates through the same unified handle model.
+        assert!(
+            roundtrip_snapshot::<u64, _, _>(&b.clone().lin_snapshot(), N, &script),
+            "lin double-collect round {round}"
+        );
+        assert!(
+            roundtrip_snapshot::<u64, _, _>(&b.clone().afek().lin_snapshot(), N, &script),
+            "lin afek round {round}"
+        );
+        assert!(
+            roundtrip_snapshot::<u64, _, _>(
+                &b.clone().bounded_handshake().lin_snapshot(),
+                N,
+                &script
+            ),
+            "lin bounded round {round}"
+        );
+    }
+}
+
+#[test]
+fn native_derived_objects_roundtrip() {
+    let mem = NativeMem::new();
+    let mut rng = SmallRng::new(0x5EED_0002);
+    let b = ObjectBuilder::on(&mem).processes(N);
+    for round in 0..8 {
+        let counters = random_counter_script(&mut rng, N, 10);
+        assert!(
+            roundtrip_counter(&b.clone().counter(), N, &counters),
+            "dc counter round {round}"
+        );
+        assert!(
+            roundtrip_counter(&b.clone().versioned().counter(), N, &counters),
+            "versioned counter round {round}"
+        );
+        let maxes = random_max_script(&mut rng, N, 10);
+        assert!(
+            roundtrip_max_register(&b.clone().max_register(), N, &maxes),
+            "dc max round {round}"
+        );
+        assert!(
+            roundtrip_max_register(&b.clone().bounded_handshake().max_register(), N, &maxes),
+            "bounded max round {round}"
+        );
+        assert!(
+            roundtrip_max_register(&b.trie_max_register(64), N, &maxes),
+            "trie max round {round}"
+        );
+    }
+}
+
+#[test]
+fn native_aba_and_universal_roundtrip() {
+    let mem = NativeMem::new();
+    let mut rng = SmallRng::new(0x5EED_0003);
+    let b = ObjectBuilder::on(&mem).processes(N);
+    for _round in 0..8 {
+        // ABA register: writer + reader, recorded against AbaSpec.
+        let aba = b.aba_register::<u64>();
+        let mut w = aba.handle(ProcId(0));
+        let mut r = aba.handle(ProcId(1));
+        let mut h = sl_spec::History::<AbaSpec<u64>>::new();
+        for _ in 0..OPS_PER_PROC {
+            let v = rng.gen_range(10) as u64;
+            let id = h.invoke(ProcId(0), AbaOp::DWrite(v));
+            AbaOps::dwrite(&mut w, v);
+            h.respond(id, AbaResp::Ack);
+            let id = h.invoke(ProcId(1), AbaOp::DRead);
+            let (val, flag) = AbaOps::dread(&mut r);
+            h.respond(id, AbaResp::Value(val, flag));
+        }
+        assert!(harness::linearizable(&AbaSpec::<u64>::new(N), &h));
+
+        // Universal counter over each substrate family.
+        let uni = b.universal(CounterType);
+        let mut u0 = SharedObject::<NativeMem>::handle(&uni, ProcId(0));
+        let mut u1 = SharedObject::<NativeMem>::handle(&uni, ProcId(1));
+        let mut total = 0u64;
+        for _ in 0..OPS_PER_PROC {
+            if rng.gen_bool(0.5) {
+                UniversalOps::execute(&mut u0, CounterOp::Inc);
+                total += 1;
+            }
+            assert_eq!(
+                UniversalOps::execute(&mut u1, CounterOp::Read),
+                CounterResp::Value(total)
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulator backend: the same families inside a SimWorld under a
+// seeded random strong adversary.
+// ---------------------------------------------------------------------
+
+fn sim_snapshot_in<O>(world: &SimWorld, obj: &O, seed: u64) -> bool
+where
+    O: SharedObject<SimMem>,
+    O::Handle: SnapshotOps<u64> + 'static,
+{
+    let log: EventLog<SnapshotSpec<u64>> = EventLog::new(world);
+    let mut programs: Vec<Program> = Vec::new();
+    for pid in 0..N {
+        let mut h = obj.handle(ProcId(pid));
+        let log = log.clone();
+        programs.push(Box::new(move |ctx| {
+            for i in 0..OPS_PER_PROC as u64 {
+                ctx.pause();
+                if (pid + i as usize).is_multiple_of(2) {
+                    let id = log.invoke(ctx.proc_id(), SnapshotOp::Update(pid as u64 * 10 + i));
+                    h.update(pid as u64 * 10 + i);
+                    log.respond(id, SnapshotResp::Ack);
+                } else {
+                    let id = log.invoke(ctx.proc_id(), SnapshotOp::Scan);
+                    let view = h.scan();
+                    log.respond(id, SnapshotResp::View(view.into_vec()));
+                }
+            }
+        }));
+    }
+    let mut sched = SeededRandom::new(seed);
+    let outcome = world.run(programs, &mut sched, SIM_STEP_BUDGET);
+    assert!(outcome.completed, "sim run exhausted its step budget");
+    check_linearizable(&SnapshotSpec::<u64>::new(N), &log.history()).is_some()
+}
+
+fn sim_counter_in<O>(world: &SimWorld, obj: &O, seed: u64) -> bool
+where
+    O: SharedObject<SimMem>,
+    O::Handle: CounterOps + 'static,
+{
+    let log: EventLog<CounterSpec> = EventLog::new(world);
+    let mut programs: Vec<Program> = Vec::new();
+    for pid in 0..N {
+        let mut h = obj.handle(ProcId(pid));
+        let log = log.clone();
+        programs.push(Box::new(move |ctx| {
+            for i in 0..OPS_PER_PROC as u64 {
+                ctx.pause();
+                if (pid + i as usize).is_multiple_of(2) {
+                    let id = log.invoke(ctx.proc_id(), CounterOp::Inc);
+                    h.inc();
+                    log.respond(id, CounterResp::Ack);
+                } else {
+                    let id = log.invoke(ctx.proc_id(), CounterOp::Read);
+                    let v = h.read();
+                    log.respond(id, CounterResp::Value(v));
+                }
+            }
+        }));
+    }
+    let mut sched = SeededRandom::new(seed);
+    let outcome = world.run(programs, &mut sched, SIM_STEP_BUDGET);
+    assert!(outcome.completed, "sim run exhausted its step budget");
+    check_linearizable(&CounterSpec, &log.history()).is_some()
+}
+
+fn sim_max_in<O>(world: &SimWorld, obj: &O, seed: u64) -> bool
+where
+    O: SharedObject<SimMem>,
+    O::Handle: MaxRegisterOps + 'static,
+{
+    let log: EventLog<MaxRegisterSpec> = EventLog::new(world);
+    let mut programs: Vec<Program> = Vec::new();
+    for pid in 0..N {
+        let mut h = obj.handle(ProcId(pid));
+        let log = log.clone();
+        programs.push(Box::new(move |ctx| {
+            for i in 0..OPS_PER_PROC as u64 {
+                ctx.pause();
+                if (pid + i as usize).is_multiple_of(2) {
+                    let v = pid as u64 * 7 + i + 1;
+                    let id = log.invoke(ctx.proc_id(), MaxRegisterOp::MaxWrite(v));
+                    h.max_write(v);
+                    log.respond(id, MaxRegisterResp::Ack);
+                } else {
+                    let id = log.invoke(ctx.proc_id(), MaxRegisterOp::MaxRead);
+                    let v = h.max_read();
+                    log.respond(id, MaxRegisterResp::Value(v));
+                }
+            }
+        }));
+    }
+    let mut sched = SeededRandom::new(seed);
+    let outcome = world.run(programs, &mut sched, SIM_STEP_BUDGET);
+    assert!(outcome.completed, "sim run exhausted its step budget");
+    check_linearizable(&MaxRegisterSpec, &log.history()).is_some()
+}
+
+fn sim_aba_in<O>(world: &SimWorld, obj: &O, seed: u64) -> bool
+where
+    O: SharedObject<SimMem>,
+    O::Handle: AbaOps<u64> + 'static,
+{
+    let log: EventLog<AbaSpec<u64>> = EventLog::new(world);
+    let mut programs: Vec<Program> = Vec::new();
+    for pid in 0..N {
+        let mut h = obj.handle(ProcId(pid));
+        let log = log.clone();
+        programs.push(Box::new(move |ctx| {
+            for i in 0..OPS_PER_PROC as u64 {
+                ctx.pause();
+                if pid == 0 {
+                    let id = log.invoke(ctx.proc_id(), AbaOp::DWrite(i));
+                    h.dwrite(i);
+                    log.respond(id, AbaResp::Ack);
+                } else {
+                    let id = log.invoke(ctx.proc_id(), AbaOp::DRead);
+                    let (v, flag) = h.dread();
+                    log.respond(id, AbaResp::Value(v, flag));
+                }
+            }
+        }));
+    }
+    let mut sched = SeededRandom::new(seed);
+    let outcome = world.run(programs, &mut sched, SIM_STEP_BUDGET);
+    assert!(outcome.completed, "sim run exhausted its step budget");
+    check_linearizable(&AbaSpec::<u64>::new(N), &log.history()).is_some()
+}
+
+fn sim_universal_in<O>(world: &SimWorld, obj: &O, seed: u64) -> bool
+where
+    O: SharedObject<SimMem>,
+    O::Handle: UniversalOps<CounterType> + 'static,
+{
+    let log: EventLog<SimpleSpec<CounterType>> = EventLog::new(world);
+    let mut programs: Vec<Program> = Vec::new();
+    for pid in 0..N {
+        let mut h = obj.handle(ProcId(pid));
+        let log = log.clone();
+        programs.push(Box::new(move |ctx| {
+            for i in 0..OPS_PER_PROC as u64 {
+                ctx.pause();
+                let op = if (pid + i as usize).is_multiple_of(2) {
+                    CounterOp::Inc
+                } else {
+                    CounterOp::Read
+                };
+                let id = log.invoke(ctx.proc_id(), op);
+                let resp = h.execute(op);
+                log.respond(id, resp);
+            }
+        }));
+    }
+    let mut sched = SeededRandom::new(seed);
+    let outcome = world.run(programs, &mut sched, SIM_STEP_BUDGET);
+    assert!(outcome.completed, "sim run exhausted its step budget");
+    check_linearizable(&SimpleSpec(CounterType), &log.history()).is_some()
+}
+
+/// A fresh world + builder for each sim case (a `SimWorld` is
+/// single-shot).
+fn sim_builder() -> (SimWorld, ObjectBuilder<SimMem>) {
+    let world = SimWorld::new(N);
+    let mem = world.mem();
+    let builder = ObjectBuilder::on(&mem).processes(N);
+    (world, builder)
+}
+
+#[test]
+fn sim_snapshots_all_substrates_roundtrip() {
+    let mut rng = SmallRng::new(0x5EED_1001);
+    for _ in 0..3 {
+        let seed = rng.next_u64();
+        let (world, b) = sim_builder();
+        assert!(sim_snapshot_in(&world, &b.snapshot::<u64>(), seed));
+        let (world, b) = sim_builder();
+        assert!(sim_snapshot_in(&world, &b.afek().snapshot::<u64>(), seed));
+        let (world, b) = sim_builder();
+        assert!(sim_snapshot_in(
+            &world,
+            &b.bounded_handshake().snapshot::<u64>(),
+            seed
+        ));
+        let (world, b) = sim_builder();
+        assert!(sim_snapshot_in(
+            &world,
+            &b.versioned().snapshot::<u64>(),
+            seed
+        ));
+        let (world, b) = sim_builder();
+        assert!(sim_snapshot_in(
+            &world,
+            &b.atomic_r().snapshot::<u64>(),
+            seed
+        ));
+        let (world, b) = sim_builder();
+        assert!(sim_snapshot_in(&world, &b.lin_snapshot::<u64>(), seed));
+    }
+}
+
+#[test]
+fn sim_derived_aba_and_universal_roundtrip() {
+    let mut rng = SmallRng::new(0x5EED_1002);
+    for _ in 0..3 {
+        let seed = rng.next_u64();
+        let (world, b) = sim_builder();
+        assert!(sim_counter_in(&world, &b.counter(), seed));
+        let (world, b) = sim_builder();
+        assert!(sim_max_in(&world, &b.max_register(), seed));
+        let (world, b) = sim_builder();
+        assert!(sim_max_in(&world, &b.trie_max_register(64), seed));
+        let (world, b) = sim_builder();
+        assert!(sim_aba_in(&world, &b.aba_register::<u64>(), seed));
+        let (world, b) = sim_builder();
+        assert!(sim_aba_in(&world, &b.lin_aba_register::<u64>(), seed));
+        let (world, b) = sim_builder();
+        assert!(sim_aba_in(&world, &b.atomic_aba_register::<u64>(), seed));
+        let (world, b) = sim_builder();
+        assert!(sim_universal_in(&world, &b.universal(CounterType), seed));
+    }
+}

@@ -1,61 +1,80 @@
 //! B1 — native-thread microbenchmarks of the ABA-detecting registers:
 //! Algorithm 1 (wait-free linearizable), Algorithm 2 (lock-free strongly
-//! linearizable), the atomic RMW-cell register, and a plain register
-//! baseline.
+//! linearizable), the atomic RMW-cell register, the packed-word
+//! Algorithm 2, and a plain register baseline — all built through the
+//! unified `ObjectBuilder`.
+//!
+//! Run with: `cargo bench -p sl-bench --bench bench_aba`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sl_core::aba::{
-    AbaHandle, AbaRegister, AtomicAbaRegister, AwAbaRegister, SlAbaRegister,
-};
+use sl_api::{AbaOps, ObjectBuilder};
+use sl_bench::bench;
+use sl_core::aba::PackedSlAbaRegister;
 use sl_mem::{Mem, NativeMem, Register};
 use sl_spec::ProcId;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-fn bench_uncontended(c: &mut Criterion) {
+fn uncontended() {
     let mem = NativeMem::new();
-    let mut group = c.benchmark_group("aba_uncontended");
+    let b = ObjectBuilder::on(&mem).processes(4);
 
-    let aw = AwAbaRegister::<u64, _>::new(&mem, 4);
+    let aw = b.lin_aba_register::<u64>();
     let mut aw_w = aw.handle(ProcId(0));
     let mut aw_r = aw.handle(ProcId(1));
-    group.bench_function("aw_dwrite", |b| {
-        b.iter(|| aw_w.dwrite(std::hint::black_box(1)))
+    bench("aba_uncontended", "aw_dwrite", || {
+        aw_w.dwrite(std::hint::black_box(1))
     });
-    group.bench_function("aw_dread", |b| b.iter(|| aw_r.dread()));
+    bench("aba_uncontended", "aw_dread", || {
+        let _ = aw_r.dread();
+    });
 
-    let sl = SlAbaRegister::<u64, _>::new(&mem, 4);
+    let sl = b.aba_register::<u64>();
     let mut sl_w = sl.handle(ProcId(0));
     let mut sl_r = sl.handle(ProcId(1));
-    group.bench_function("sl_dwrite", |b| {
-        b.iter(|| sl_w.dwrite(std::hint::black_box(1)))
+    bench("aba_uncontended", "sl_dwrite", || {
+        sl_w.dwrite(std::hint::black_box(1))
     });
-    group.bench_function("sl_dread", |b| b.iter(|| sl_r.dread()));
+    bench("aba_uncontended", "sl_dread", || {
+        let _ = sl_r.dread();
+    });
 
-    let at = AtomicAbaRegister::<u64, _>::new(&mem, "R");
+    let at = b.atomic_aba_register::<u64>();
     let mut at_w = at.handle(ProcId(0));
     let mut at_r = at.handle(ProcId(1));
-    group.bench_function("atomic_dwrite", |b| {
-        b.iter(|| at_w.dwrite(std::hint::black_box(1)))
+    bench("aba_uncontended", "atomic_dwrite", || {
+        at_w.dwrite(std::hint::black_box(1))
     });
-    group.bench_function("atomic_dread", |b| b.iter(|| at_r.dread()));
+    bench("aba_uncontended", "atomic_dread", || {
+        let _ = at_r.dread();
+    });
+
+    // The packed production form (native-only by type).
+    let packed = PackedSlAbaRegister::new(4);
+    let mut p_w = packed.handle(ProcId(0));
+    let mut p_r = packed.handle(ProcId(1));
+    bench("aba_uncontended", "packed_dwrite", || {
+        p_w.dwrite(std::hint::black_box(1))
+    });
+    bench("aba_uncontended", "packed_dread", || {
+        let _ = p_r.dread();
+    });
 
     let plain = mem.alloc("plain", 0u64);
-    group.bench_function("plain_register_write", |b| {
-        b.iter(|| plain.write(std::hint::black_box(1)))
+    bench("aba_uncontended", "plain_register_write", || {
+        plain.write(std::hint::black_box(1))
     });
-    group.bench_function("plain_register_read", |b| b.iter(|| plain.read()));
-
-    group.finish();
+    bench("aba_uncontended", "plain_register_read", || {
+        let _ = plain.read();
+    });
 }
 
-fn bench_contended_reads(c: &mut Criterion) {
-    let mut group = c.benchmark_group("aba_dread_under_writer");
-    group.sample_size(20);
+fn contended_reads() {
     for n in [2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("sl_dread", n), &n, |b, &n| {
-            let mem = NativeMem::new();
-            let reg = SlAbaRegister::<u64, _>::new(&mem, n);
+        let mem = NativeMem::new();
+        let b = ObjectBuilder::on(&mem).processes(n);
+        // Algorithm 2 under n-1 continuous writers.
+        {
+            let reg = b.aba_register::<u64>();
             let stop = Arc::new(AtomicBool::new(false));
             let writers: Vec<_> = (0..n - 1)
                 .map(|w| {
@@ -72,15 +91,17 @@ fn bench_contended_reads(c: &mut Criterion) {
                 })
                 .collect();
             let mut r = reg.handle(ProcId(n - 1));
-            b.iter(|| r.dread());
+            bench("aba_dread_under_writer", &format!("sl_dread/{n}"), || {
+                let _ = r.dread();
+            });
             stop.store(true, Ordering::Relaxed);
             for w in writers {
                 w.join().unwrap();
             }
-        });
-        group.bench_with_input(BenchmarkId::new("aw_dread", n), &n, |b, &n| {
-            let mem = NativeMem::new();
-            let reg = AwAbaRegister::<u64, _>::new(&mem, n);
+        }
+        // Algorithm 1 under the same load.
+        {
+            let reg = b.lin_aba_register::<u64>();
             let stop = Arc::new(AtomicBool::new(false));
             let writers: Vec<_> = (0..n - 1)
                 .map(|w| {
@@ -97,21 +118,18 @@ fn bench_contended_reads(c: &mut Criterion) {
                 })
                 .collect();
             let mut r = reg.handle(ProcId(n - 1));
-            b.iter(|| r.dread());
+            bench("aba_dread_under_writer", &format!("aw_dread/{n}"), || {
+                let _ = r.dread();
+            });
             stop.store(true, Ordering::Relaxed);
             for w in writers {
                 w.join().unwrap();
             }
-        });
+        }
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800));
-    targets = bench_uncontended, bench_contended_reads
+fn main() {
+    uncontended();
+    contended_reads();
 }
-criterion_main!(benches);

@@ -1,69 +1,62 @@
 //! B3 — max-register microbenchmarks: the Aspnes–Attiya–Censor trie
-//! (strongly linearizable, bounded), the unary unbounded max-register,
-//! and the snapshot-derived max-register of §4.5.
+//! (linearizable, bounded), the unary unbounded max-register, and the
+//! snapshot-derived strongly linearizable max-register of §4.5.
+//!
+//! Run with: `cargo bench -p sl-bench --bench bench_max_register`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sl_core::{BoundedMaxRegister, SlSnapshot, SnapshotMaxRegister, UnaryMaxRegister};
+use sl_api::{ObjectBuilder, SharedObject};
+use sl_bench::bench;
+use sl_core::UnaryMaxRegister;
 use sl_mem::NativeMem;
 use sl_spec::ProcId;
 
-fn bench_max_registers(c: &mut Criterion) {
+fn main() {
     let mem = NativeMem::new();
-    let mut group = c.benchmark_group("max_register");
+    let builder = ObjectBuilder::on(&mem).processes(4);
 
     for capacity in [64u64, 1024, 65_536] {
-        let m = BoundedMaxRegister::new(&mem, capacity);
-        m.max_write(capacity / 2);
-        group.bench_with_input(
-            BenchmarkId::new("aac_trie_max_read", capacity),
-            &capacity,
-            |b, _| b.iter(|| m.max_read()),
+        let m = builder.trie_max_register(capacity);
+        let mut h = SharedObject::<NativeMem>::handle(&m, ProcId(0));
+        h.max_write(capacity / 2);
+        bench(
+            "max_register",
+            &format!("aac_trie_max_read/{capacity}"),
+            || {
+                let _ = h.max_read();
+            },
         );
-        group.bench_with_input(
-            BenchmarkId::new("aac_trie_max_write", capacity),
-            &capacity,
-            |b, &cap| {
-                let mut v = 0;
-                b.iter(|| {
-                    v = (v + 1) % cap;
-                    m.max_write(v)
-                })
+        let mut v = 0;
+        bench(
+            "max_register",
+            &format!("aac_trie_max_write/{capacity}"),
+            || {
+                v = (v + 1) % capacity;
+                h.max_write(v)
             },
         );
     }
 
     let unary: UnaryMaxRegister<u64, _> = UnaryMaxRegister::new(&mem, "u");
     unary.max_write(512, 512);
-    group.bench_function("unary_max_read_512", |b| b.iter(|| unary.max_read()));
-    group.bench_function("unary_max_write", |b| {
-        let mut v = 0u64;
-        b.iter(|| {
-            v = (v + 1) % 1024;
-            unary.max_write(v, v)
-        })
+    bench("max_register", "unary_max_read_512", || {
+        let _ = unary.max_read();
+    });
+    let mut v = 0u64;
+    bench("max_register", "unary_max_write", || {
+        v = (v + 1) % 1024;
+        unary.max_write(v, v)
     });
 
-    let snap = SlSnapshot::with_double_collect(&mem, 4);
-    let derived = SnapshotMaxRegister::new(snap);
+    // §4.5: strongly linearizable, derived from the Theorem 2 snapshot.
+    let derived = builder.max_register();
     let mut h = derived.handle(ProcId(0));
     h.max_write(100);
-    group.bench_function("snapshot_derived_max_read", |b| b.iter(|| h.max_read()));
-    group.bench_function("snapshot_derived_max_write", |b| {
-        let mut v = 100u64;
-        b.iter(|| {
-            v += 1;
-            h.max_write(v)
-        })
+    bench("max_register", "snapshot_derived_max_read", || {
+        let _ = h.max_read();
     });
-
-    group.finish();
+    let mut v = 100u64;
+    bench("max_register", "snapshot_derived_max_write", || {
+        v += 1;
+        h.max_write(v)
+    });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800));
-    targets = bench_max_registers
-}
-criterion_main!(benches);

@@ -1,73 +1,107 @@
 //! B2 — native-thread microbenchmarks of the snapshots: the paper's
-//! strongly linearizable snapshot (both substrates, both `R`
-//! configurations) against the merely linearizable substrates and the
+//! strongly linearizable snapshot (every substrate configuration of the
+//! builder) against the merely linearizable substrates and the
 //! unbounded §4.1 construction.
+//!
+//! Run with: `cargo bench -p sl-bench --bench bench_snapshot`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sl_core::{SlSnapshot, SnapshotHandle, SnapshotObject, VersionedSlSnapshot};
+use sl_api::{ObjectBuilder, SharedObject, SnapshotOps};
+use sl_bench::bench;
 use sl_mem::NativeMem;
-use sl_snapshot::{AfekSnapshot, DoubleCollectSnapshot, LinSnapshot};
 use sl_spec::ProcId;
 
-fn bench_sequential(c: &mut Criterion) {
-    let mut group = c.benchmark_group("snapshot_uncontended");
+fn main() {
     for n in [2usize, 4, 8] {
         let mem = NativeMem::new();
-        let dc = DoubleCollectSnapshot::<u64, _>::new(&mem, n);
-        dc.update(ProcId(0), 1);
-        group.bench_with_input(BenchmarkId::new("double_collect_scan", n), &n, |b, _| {
-            b.iter(|| dc.scan(ProcId(1)))
+        let b = ObjectBuilder::on(&mem).processes(n);
+
+        // Linearizable substrates, through the unified handle model.
+        let dc = b.lin_snapshot::<u64>();
+        let mut dc_w = dc.handle(ProcId(0));
+        let mut dc_r = dc.handle(ProcId(1));
+        dc_w.update(1);
+        bench(
+            "snapshot_uncontended",
+            &format!("double_collect_scan/{n}"),
+            || {
+                let _ = dc_r.scan();
+            },
+        );
+
+        let afek = b.clone().afek().lin_snapshot::<u64>();
+        let mut af_w = afek.handle(ProcId(0));
+        let mut af_r = afek.handle(ProcId(1));
+        af_w.update(1);
+        bench("snapshot_uncontended", &format!("afek_scan/{n}"), || {
+            let _ = af_r.scan();
         });
 
-        let afek = AfekSnapshot::<u64, _>::new(&mem, n);
-        afek.update(ProcId(0), 1);
-        group.bench_with_input(BenchmarkId::new("afek_scan", n), &n, |b, _| {
-            b.iter(|| afek.scan(ProcId(1)))
-        });
-
-        let sl = SlSnapshot::with_double_collect(&mem, n);
+        // Theorem 2 configurations.
+        let sl = b.snapshot::<u64>();
         let mut h = sl.handle(ProcId(0));
-        h.update(1u64);
-        group.bench_with_input(BenchmarkId::new("sl_scan_dc_substrate", n), &n, |b, _| {
-            b.iter(|| h.scan())
-        });
         let mut hu = sl.handle(ProcId(1));
-        group.bench_with_input(BenchmarkId::new("sl_update_dc_substrate", n), &n, |b, _| {
-            b.iter(|| hu.update(2u64))
-        });
+        h.update(1u64);
+        bench(
+            "snapshot_uncontended",
+            &format!("sl_scan_dc_substrate/{n}"),
+            || {
+                let _ = h.scan();
+            },
+        );
+        bench(
+            "snapshot_uncontended",
+            &format!("sl_update_dc_substrate/{n}"),
+            || hu.update(2u64),
+        );
 
-        let sla = SlSnapshot::with_afek(&mem, n);
+        let sla = b.clone().afek().snapshot::<u64>();
         let mut ha = sla.handle(ProcId(0));
         ha.update(1u64);
-        group.bench_with_input(BenchmarkId::new("sl_scan_afek_substrate", n), &n, |b, _| {
-            b.iter(|| ha.scan())
-        });
+        bench(
+            "snapshot_uncontended",
+            &format!("sl_scan_afek_substrate/{n}"),
+            || {
+                let _ = ha.scan();
+            },
+        );
 
-        let slr = SlSnapshot::with_atomic_r(&mem, n);
+        let slb = b.clone().bounded_handshake().snapshot::<u64>();
+        let mut hb = slb.handle(ProcId(0));
+        hb.update(1u64);
+        bench(
+            "snapshot_uncontended",
+            &format!("sl_scan_bounded_substrate/{n}"),
+            || {
+                let _ = hb.scan();
+            },
+        );
+
+        let slr = b.clone().atomic_r().snapshot::<u64>();
         let mut hr = slr.handle(ProcId(0));
         hr.update(1u64);
-        group.bench_with_input(BenchmarkId::new("sl_scan_atomic_r", n), &n, |b, _| {
-            b.iter(|| hr.scan())
-        });
+        bench(
+            "snapshot_uncontended",
+            &format!("sl_scan_atomic_r/{n}"),
+            || {
+                let _ = hr.scan();
+            },
+        );
 
-        let versioned: VersionedSlSnapshot<u64, _> = VersionedSlSnapshot::new(&mem, n);
-        let mut hv = versioned.handle(ProcId(0));
+        // §4.1 versioned construction.
+        let versioned = b.clone().versioned().snapshot::<u64>();
+        let mut hv = SharedObject::<NativeMem>::handle(&versioned, ProcId(0));
         hv.update(1);
-        group.bench_with_input(BenchmarkId::new("versioned_scan", n), &n, |b, _| {
-            b.iter(|| hv.scan())
-        });
-        group.bench_with_input(BenchmarkId::new("versioned_update", n), &n, |b, _| {
-            b.iter(|| hv.update(2))
-        });
+        bench(
+            "snapshot_uncontended",
+            &format!("versioned_scan/{n}"),
+            || {
+                let _ = hv.scan();
+            },
+        );
+        bench(
+            "snapshot_uncontended",
+            &format!("versioned_update/{n}"),
+            || hv.update(2),
+        );
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800));
-    targets = bench_sequential
-}
-criterion_main!(benches);

@@ -2,41 +2,33 @@
 //! the shared precedence graph grows (§5.3: the construction is
 //! wait-free but not bounded wait-free — per-operation cost increases
 //! with history size).
+//!
+//! Run with: `cargo bench -p sl-bench --bench bench_universal`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sl_api::ObjectBuilder;
+use sl_bench::bench;
 use sl_core::AtomicSnapshot;
 use sl_mem::NativeMem;
 use sl_spec::{CounterOp, ProcId};
 use sl_universal::types::CounterType;
 use sl_universal::{NodeRef, Universal};
 
-fn bench_execute_growth(c: &mut Criterion) {
-    let mut group = c.benchmark_group("universal_execute");
-    group.sample_size(20);
+fn main() {
     for preload in [0u64, 50, 200] {
-        group.bench_with_input(
-            BenchmarkId::new("counter_inc_after", preload),
-            &preload,
-            |b, &preload| {
-                let mem = NativeMem::new();
-                let root: AtomicSnapshot<NodeRef<CounterType>, _> = AtomicSnapshot::new(&mem, 2);
-                let obj = Universal::new(CounterType, root, 2);
-                let mut h = obj.handle(ProcId(0));
-                for _ in 0..preload {
-                    h.execute(CounterOp::Inc);
-                }
-                b.iter(|| h.execute(CounterOp::Inc));
+        let mem = NativeMem::new();
+        let root: AtomicSnapshot<NodeRef<CounterType>, _> =
+            ObjectBuilder::on(&mem).processes(2).atomic_snapshot();
+        let obj = Universal::new(CounterType, root, 2);
+        let mut h = obj.handle(ProcId(0));
+        for _ in 0..preload {
+            h.execute(CounterOp::Inc);
+        }
+        bench(
+            "universal_execute",
+            &format!("counter_inc_after/{preload}"),
+            || {
+                let _ = h.execute(CounterOp::Inc);
             },
         );
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800));
-    targets = bench_execute_growth
-}
-criterion_main!(benches);

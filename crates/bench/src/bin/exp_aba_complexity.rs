@@ -4,8 +4,8 @@
 //! (b) over a run with `w` DWrites and `r` DReads, the total number of
 //!     steps devoted to DReads is `O(min(r, n)·w + r)`.
 
+use sl_api::{AbaOps, ObjectBuilder};
 use sl_bench::{print_table, steps_per_op};
-use sl_core::aba::{AbaHandle, AbaRegister, SlAbaRegister};
 use sl_sim::{EventLog, Program, SeededRandom, SimWorld};
 use sl_spec::types::AbaSpec;
 use sl_spec::{AbaOp, AbaResp, EventKind, ProcId};
@@ -13,11 +13,17 @@ use sl_spec::{AbaOp, AbaResp, EventKind, ProcId};
 /// Runs `writers` writer processes × `w_each` DWrites against
 /// `readers` reader processes × `r_each` DReads under a random schedule;
 /// returns (max DWrite steps, total DRead steps, r, w).
-fn run(n_writers: usize, w_each: u64, n_readers: usize, r_each: u64, seed: u64) -> (u64, u64, u64, u64) {
+fn run(
+    n_writers: usize,
+    w_each: u64,
+    n_readers: usize,
+    r_each: u64,
+    seed: u64,
+) -> (u64, u64, u64, u64) {
     let n = n_writers + n_readers;
     let world = SimWorld::new(n);
     let mem = world.mem();
-    let reg = SlAbaRegister::<u64, _>::new(&mem, n);
+    let reg = ObjectBuilder::on(&mem).processes(n).aba_register::<u64>();
     let log: EventLog<AbaSpec<u64>> = EventLog::new(&world);
     let mut programs: Vec<Program> = Vec::new();
     for pid in 0..n {
@@ -62,7 +68,9 @@ fn run(n_writers: usize, w_each: u64, n_readers: usize, r_each: u64, seed: u64) 
 
 fn main() {
     println!("# E3/E4 — Theorem 14: Algorithm 2 step complexity\n");
-    println!("bound(r, w, n) = min(r, n)·w + r  (Theorem 14(b), constant factor ≈ 4 steps/iteration)\n");
+    println!(
+        "bound(r, w, n) = min(r, n)·w + r  (Theorem 14(b), constant factor ≈ 4 steps/iteration)\n"
+    );
     let mut rows = Vec::new();
     for (n_writers, w_each, n_readers, r_each) in [
         (1usize, 20u64, 1usize, 20u64),

@@ -17,16 +17,19 @@
 //! decides where `dr1` linearizes after seeing the coin. The paper's
 //! Algorithm 2 restores the atomic behaviour.
 
-use rand::{Rng, SeedableRng};
 use sl_bench::obs4::{dr2_flag, FamilySpec};
 use sl_bench::{obs4_scripts, print_table, run_obs4_family};
-use sl_core::aba::{AtomicAbaRegister, AwAbaRegister, SlAbaRegister};
+use sl_mem::SmallRng;
 use sl_spec::types::AbaSpec;
 
-fn flags<R, F>(make: F) -> (bool, bool)
+use sl_api::{AbaOps, ObjectBuilder, SharedObject};
+use sl_sim::SimMem;
+
+fn flags<O, F>(make: F) -> (bool, bool)
 where
-    R: sl_core::aba::AbaRegister<u64>,
-    F: Fn(&sl_sim::SimMem, usize) -> R + Copy,
+    O: SharedObject<SimMem>,
+    O::Handle: AbaOps<u64> + 'static,
+    F: Fn(&ObjectBuilder<SimMem>) -> O + Copy,
 {
     let (t1, t2) = obs4_scripts();
     let f1 = dr2_flag(&run_obs4_family(make, &t1).history);
@@ -38,9 +41,9 @@ fn main() {
     println!("# E11 — strong-adversary bias on the Observation-4 gadget\n");
     let _spec: FamilySpec = AbaSpec::new(2);
 
-    let aw = flags(AwAbaRegister::<u64, _>::new);
-    let sl = flags(SlAbaRegister::<u64, _>::new);
-    let at = flags(|mem: &sl_sim::SimMem, _n| AtomicAbaRegister::<u64, _>::new(mem, "R"));
+    let aw = flags(|b| b.lin_aba_register::<u64>());
+    let sl = flags(|b| b.aba_register::<u64>());
+    let at = flags(|b| b.atomic_aba_register::<u64>());
 
     let rows = vec![
         row("Algorithm 1 (linearizable)", aw),
@@ -67,7 +70,7 @@ fn main() {
     // dr2.flag == (c == 1) — i.e. it aims flag=false on heads (via T1)
     // and flag=true on tails (via T2).
     println!("## Coin game (10 000 trials per implementation)\n");
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2019);
+    let mut rng = SmallRng::new(2019);
     let trials = 10_000u32;
     let coins: Vec<bool> = (0..trials).map(|_| rng.gen_bool(0.5)).collect();
     let mut rows = Vec::new();

@@ -6,8 +6,8 @@
 //! system keeps completing `DWrite`s — global progress (lock-freedom)
 //! with individual starvation (no wait-freedom).
 
+use sl_api::{AbaOps, ObjectBuilder};
 use sl_bench::print_table;
-use sl_core::aba::{AbaHandle, AbaRegister, SlAbaRegister};
 use sl_sim::{FnScheduler, Program, SchedView, SimWorld};
 use sl_spec::ProcId;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -16,7 +16,7 @@ use std::sync::Arc;
 fn starvation_run(budget: u64) -> (bool, u64) {
     let world = SimWorld::new(2);
     let mem = world.mem();
-    let reg = SlAbaRegister::<u64, _>::new(&mem, 2);
+    let reg = ObjectBuilder::on(&mem).processes(2).aba_register::<u64>();
     let read_done = Arc::new(AtomicBool::new(false));
     let writes_done = Arc::new(AtomicU64::new(0));
 

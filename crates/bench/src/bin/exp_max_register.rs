@@ -11,9 +11,10 @@
 //! own §4.5 construction — a max-register derived from the strongly
 //! linearizable snapshot — passes the identical workload.
 
+use sl_api::ObjectBuilder;
 use sl_bench::print_table;
 use sl_check::{check_strongly_linearizable, HistoryTree, TreeStep};
-use sl_core::{BoundedMaxRegister, SlSnapshot, SnapshotMaxRegister};
+use sl_core::BoundedMaxRegister;
 use sl_sim::{explore, EventLog, Program, Scripted, SimWorld};
 use sl_spec::types::MaxRegisterSpec;
 use sl_spec::{MaxRegisterOp, MaxRegisterResp, ProcId};
@@ -59,7 +60,10 @@ fn run_workload(which: Impl, max_runs: usize) -> (usize, bool, bool) {
                     }));
                 }
                 Impl::SnapshotDerived => {
-                    let maxreg = SnapshotMaxRegister::new(SlSnapshot::with_atomic_r(&mem, 3));
+                    let maxreg = ObjectBuilder::on(&mem)
+                        .processes(3)
+                        .atomic_r()
+                        .max_register();
                     for (pid, value) in [(0usize, 1u64), (1, 3)] {
                         let mut h = maxreg.handle(ProcId(pid));
                         let log = log.clone();
@@ -98,7 +102,11 @@ fn main() {
     println!("Workload: MaxWrite(1) ∥ MaxWrite(3) ∥ MaxRead, all schedules.\n");
     let mut rows = Vec::new();
     for (name, which, budget) in [
-        ("AAC trie, top-down read (linearizable)", Impl::AacTopDown, 30_000),
+        (
+            "AAC trie, top-down read (linearizable)",
+            Impl::AacTopDown,
+            30_000,
+        ),
         (
             "AAC trie, clean double-collect read",
             Impl::AacDoubleCollect,
@@ -119,7 +127,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["implementation", "schedules", "exhausted", "strongly linearizable"],
+        &[
+            "implementation",
+            "schedules",
+            "exhausted",
+            "strongly linearizable",
+        ],
         &rows,
     );
     println!(

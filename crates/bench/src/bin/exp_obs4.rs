@@ -5,10 +5,9 @@
 //! transcript for plain linearizability, and the merged prefix tree for
 //! strong linearizability.
 
-use sl_bench::{obs4_scripts, print_table, run_obs4_family};
 use sl_bench::obs4::{dr2_response, FamilySpec};
+use sl_bench::{obs4_scripts, print_table, run_obs4_family};
 use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree};
-use sl_core::aba::{AwAbaRegister, SlAbaRegister};
 use sl_spec::types::AbaSpec;
 
 fn main() {
@@ -22,15 +21,15 @@ fn main() {
         (
             "Algorithm 1 (AW, linearizable)",
             (
-                run_obs4_family(AwAbaRegister::<u64, _>::new, &t1s),
-                run_obs4_family(AwAbaRegister::<u64, _>::new, &t2s),
+                run_obs4_family(|b| b.lin_aba_register::<u64>(), &t1s),
+                run_obs4_family(|b| b.lin_aba_register::<u64>(), &t2s),
             ),
         ),
         (
             "Algorithm 2 (strongly linearizable)",
             (
-                run_obs4_family(SlAbaRegister::<u64, _>::new, &t1s),
-                run_obs4_family(SlAbaRegister::<u64, _>::new, &t2s),
+                run_obs4_family(|b| b.aba_register::<u64>(), &t1s),
+                run_obs4_family(|b| b.aba_register::<u64>(), &t2s),
             ),
         ),
     ] {

@@ -5,8 +5,9 @@
 //! (b) total base-object invocations during `SLscan`s are `O(s + n³·u)`;
 //! (c) an uncontended `SLscan` performs O(1) base-object operations.
 
+use sl_api::ObjectBuilder;
 use sl_bench::print_table;
-use sl_core::{ScanStats, SlSnapshot};
+use sl_core::ScanStats;
 use sl_sim::{Program, SeededRandom, SimWorld};
 use sl_spec::ProcId;
 use std::sync::Arc;
@@ -17,7 +18,7 @@ use std::sync::Arc;
 fn run(n: usize, updates_each: u64, scans_each: u64, seed: u64) -> (ScanStats, u64, u64, u64) {
     let world = SimWorld::new(n);
     let mem = world.mem();
-    let snap = SlSnapshot::with_double_collect(&mem, n);
+    let snap = ObjectBuilder::on(&mem).processes(n).snapshot::<u64>();
     let update_stats: Arc<std::sync::Mutex<Vec<ScanStats>>> = Arc::default();
     let scan_ops: Arc<std::sync::Mutex<Vec<ScanStats>>> = Arc::default();
     let mut programs: Vec<Program> = Vec::new();
@@ -122,7 +123,7 @@ fn main() {
     println!("\n# E9 — §4.3/§4.5: uncontended SLscan fast path\n");
     let world = SimWorld::new(2);
     let mem = world.mem();
-    let snap = SlSnapshot::with_double_collect(&mem, 2);
+    let snap = ObjectBuilder::on(&mem).processes(2).snapshot::<u64>();
     let stats = Arc::new(std::sync::Mutex::new(Vec::new()));
     let mut h0 = snap.handle(ProcId(0));
     let mut h1 = snap.handle(ProcId(1));
@@ -159,7 +160,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["scan #", "loop iterations", "S.scans", "R.DReads", "R.DWrites"],
+        &[
+            "scan #",
+            "loop iterations",
+            "S.scans",
+            "R.DReads",
+            "R.DWrites",
+        ],
         &rows,
     );
     println!(

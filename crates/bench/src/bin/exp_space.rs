@@ -10,8 +10,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use sl_api::{ObjectBuilder, SharedObject, SnapshotOps};
 use sl_bench::print_table;
-use sl_core::{BoundedSlSnapshot, SlSnapshot, SnapshotHandle, SnapshotObject, VersionedSlSnapshot};
 use sl_mem::{Mem, NativeMem, Value};
 use sl_spec::ProcId;
 
@@ -55,17 +55,25 @@ fn main() {
     let n = 3;
     let mut rows = Vec::new();
     for updates in [0u64, 10, 50, 100, 500, 1000] {
-        // Unbounded versioned construction.
+        // The builder is generic over the backend, so the register-
+        // counting instrumentation backend plugs in like any other.
+        // Unbounded versioned construction (§4.1).
         let mem_v = CountingMem::new();
-        let versioned: VersionedSlSnapshot<u64, _> = VersionedSlSnapshot::new(&mem_v, n);
+        let versioned = ObjectBuilder::on(&mem_v)
+            .processes(n)
+            .versioned()
+            .snapshot::<u64>();
         let mut vh = versioned.handle(ProcId(0));
         // Algorithm 4 (double-collect substrate + Algorithm 2 R).
         let mem_b = CountingMem::new();
-        let bounded = SlSnapshot::with_double_collect(&mem_b, n);
+        let bounded = ObjectBuilder::on(&mem_b).processes(n).snapshot::<u64>();
         let mut bh = bounded.handle(ProcId(0));
         // Fully bounded Algorithm 3 (handshake substrate, no counters).
         let mem_f = CountingMem::new();
-        let fully = BoundedSlSnapshot::fully_bounded(&mem_f, n);
+        let fully = ObjectBuilder::on(&mem_f)
+            .processes(n)
+            .bounded_handshake()
+            .snapshot::<u64>();
         let mut fh = fully.handle(ProcId(0));
         for i in 0..updates {
             vh.update(i);

@@ -6,21 +6,20 @@
 //! atomic `R` (the paper's Algorithm 3 as stated) and the composed
 //! register-only `R` (Algorithm 2, by composability — Theorem 2).
 
+use sl_api::{ObjectBuilder, SharedObject, SnapshotOps};
 use sl_bench::print_table;
 use sl_check::{check_strongly_linearizable, HistoryTree, TreeStep};
-use sl_core::{SlSnapshot, SnapshotHandle, SnapshotObject};
-use sl_sim::{explore, EventLog, Program, Scripted, SimWorld};
+use sl_sim::{explore, EventLog, Program, Scripted, SimMem, SimWorld};
 use sl_spec::types::SnapshotSpec;
 use sl_spec::{ProcId, SnapshotOp, SnapshotResp};
 
 type Spec = SnapshotSpec<u64>;
 
-fn workload<O: SnapshotObject<u64>>(
-    obj: &O,
-    log: &EventLog<Spec>,
-    updaters: usize,
-    scanners: usize,
-) -> Vec<Program> {
+fn workload<O>(obj: &O, log: &EventLog<Spec>, updaters: usize, scanners: usize) -> Vec<Program>
+where
+    O: SharedObject<SimMem>,
+    O::Handle: SnapshotOps<u64> + 'static,
+{
     let mut programs: Vec<Program> = Vec::new();
     for pid in 0..(updaters + scanners) {
         let mut h = obj.handle(ProcId(pid));
@@ -35,7 +34,7 @@ fn workload<O: SnapshotObject<u64>>(
             } else {
                 let id = log.invoke(ctx.proc_id(), SnapshotOp::Scan);
                 let v = h.scan();
-                log.respond(id, SnapshotResp::View(v));
+                log.respond(id, SnapshotResp::View(v.into_vec()));
             }
         }));
     }
@@ -56,11 +55,12 @@ fn check_config(
             let world = SimWorld::new(n);
             let mem = world.mem();
             let log: EventLog<Spec> = EventLog::new(&world);
+            let builder = ObjectBuilder::on(&mem).processes(n);
             let programs = if composed_r {
-                let snap = SlSnapshot::with_double_collect(&mem, n);
+                let snap = builder.snapshot::<u64>();
                 workload(&snap, &log, updaters, scanners)
             } else {
-                let snap = SlSnapshot::with_atomic_r(&mem, n);
+                let snap = builder.atomic_r().snapshot::<u64>();
                 workload(&snap, &log, updaters, scanners)
             };
             let mut sched = Scripted::new(script.to_vec());
@@ -87,10 +87,22 @@ fn main() {
     let rows = vec![
         check_config("atomic R: 1 SLupdate + 1 SLscan", false, 1, 1, 20_000),
         check_config("atomic R: 2 SLupdates + 1 SLscan", false, 2, 1, 6_000),
-        check_config("composed R (Thm 2): 1 SLupdate + 1 SLscan", true, 1, 1, 6_000),
+        check_config(
+            "composed R (Thm 2): 1 SLupdate + 1 SLscan",
+            true,
+            1,
+            1,
+            6_000,
+        ),
     ];
     print_table(
-        &["configuration", "schedules", "exhausted", "strongly linearizable", "checker states"],
+        &[
+            "configuration",
+            "schedules",
+            "exhausted",
+            "strongly linearizable",
+            "checker states",
+        ],
         &rows,
     );
     println!(

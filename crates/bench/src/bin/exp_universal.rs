@@ -6,9 +6,10 @@
 //! 2-process workload over (a) an atomic root (Theorem 54) and (b) the
 //! paper's strongly linearizable snapshot as root (Theorem 3).
 
+use sl_api::ObjectBuilder;
 use sl_bench::print_table;
 use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree};
-use sl_core::{AtomicSnapshot, SlSnapshot, SnapshotObject};
+use sl_core::SnapshotObject;
 use sl_sim::{explore, EventLog, Program, Scripted, SeededRandom, SimWorld};
 use sl_spec::{CounterOp, GrowSetOp, MaxRegisterOp, ProcId};
 use sl_universal::types::{CounterType, GrowSetType, MaxRegisterType, RegOp, RegisterType};
@@ -21,7 +22,9 @@ fn lin_random<T: SimpleType>(ty: T, ops: Vec<Vec<T::Op>>, seeds: u64) -> u64 {
     for seed in 0..seeds {
         let world = SimWorld::new(n);
         let mem = world.mem();
-        let root: AtomicSnapshot<NodeRef<T>, _> = AtomicSnapshot::new(&mem, n);
+        let root = ObjectBuilder::on(&mem)
+            .processes(n)
+            .atomic_snapshot::<NodeRef<T>>();
         let obj = Universal::new(ty.clone(), root, n);
         let log: EventLog<SimpleSpec<T>> = EventLog::new(&world);
         let mut programs: Vec<Program> = Vec::new();
@@ -65,12 +68,12 @@ fn strong_bounded<T: SimpleType>(
             let world = SimWorld::new(2);
             let mem = world.mem();
             let log: EventLog<SimpleSpec<T>> = EventLog::new(&world);
+            let builder = ObjectBuilder::on(&mem).processes(2);
             let programs: Vec<Program> = if sl_root {
-                let root: SlSnapshot<NodeRef<T>, _, _> = SlSnapshot::with_double_collect(&mem, 2);
-                let obj = Universal::new(ty.clone(), root, 2);
+                let obj = builder.universal(ty.clone());
                 mk_programs(&obj, &log, op0.clone(), op1.clone())
             } else {
-                let root: AtomicSnapshot<NodeRef<T>, _> = AtomicSnapshot::new(&mem, 2);
+                let root = builder.atomic_snapshot::<NodeRef<T>>();
                 let obj = Universal::new(ty.clone(), root, 2);
                 mk_programs(&obj, &log, op0.clone(), op1.clone())
             };
@@ -143,7 +146,11 @@ fn main() {
         ],
         10,
     );
-    rows.push(vec!["max-register".into(), checked.to_string(), "ok".into()]);
+    rows.push(vec![
+        "max-register".into(),
+        checked.to_string(),
+        "ok".into(),
+    ]);
     let checked = lin_random(
         GrowSetType,
         vec![
@@ -162,8 +169,13 @@ fn main() {
         ("counter, atomic root (Thm 54)", false, 20_000),
         ("counter, SL-snapshot root (Thm 3)", true, 4_000),
     ] {
-        let (runs, exhausted, holds) =
-            strong_bounded(CounterType, CounterOp::Inc, CounterOp::Read, sl_root, max_runs);
+        let (runs, exhausted, holds) = strong_bounded(
+            CounterType,
+            CounterOp::Inc,
+            CounterOp::Read,
+            sl_root,
+            max_runs,
+        );
         rows.push(vec![
             label.to_string(),
             runs.to_string(),
@@ -182,7 +194,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["configuration", "schedules", "exhausted", "strongly linearizable"],
+        &[
+            "configuration",
+            "schedules",
+            "exhausted",
+            "strongly linearizable",
+        ],
         &rows,
     );
     println!(

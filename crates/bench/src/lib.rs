@@ -18,8 +18,10 @@
 
 pub mod obs4;
 pub mod table;
+pub mod timing;
 pub mod trace;
 
 pub use obs4::{obs4_scripts, run_obs4_family, FamilyRun};
 pub use table::print_table;
+pub use timing::{bench, time_ns_per_op};
 pub use trace::steps_per_op;

@@ -1,8 +1,8 @@
 //! The Observation-4 transcript family, reusable across experiments.
 
+use sl_api::{AbaOps, ObjectBuilder, SharedObject};
 use sl_check::TreeStep;
-use sl_core::aba::{AbaHandle, AbaRegister};
-use sl_sim::{EventLog, Program, RunOutcome, Scripted, SimWorld};
+use sl_sim::{EventLog, Program, RunOutcome, Scripted, SimMem, SimWorld};
 use sl_spec::types::AbaSpec;
 use sl_spec::{AbaOp, AbaResp, History, ProcId};
 
@@ -49,15 +49,19 @@ pub fn obs4_scripts() -> (Vec<usize>, Vec<usize>) {
 }
 
 /// Runs the family workload over the given ABA-register implementation
-/// under `script`.
-pub fn run_obs4_family<R, F>(make: F, script: &[usize]) -> FamilyRun
+/// under `script`. The register is built through the unified
+/// [`ObjectBuilder`] and driven through [`AbaOps`] handles, so any
+/// `SharedObject` ABA register — Algorithm 1, Algorithm 2, atomic —
+/// plugs in uniformly.
+pub fn run_obs4_family<O, F>(make: F, script: &[usize]) -> FamilyRun
 where
-    R: AbaRegister<u64>,
-    F: Fn(&sl_sim::SimMem, usize) -> R,
+    O: SharedObject<SimMem>,
+    O::Handle: AbaOps<u64> + 'static,
+    F: Fn(&ObjectBuilder<SimMem>) -> O,
 {
     let world = SimWorld::new(2);
     let mem = world.mem();
-    let reg = make(&mem, 2);
+    let reg = make(&ObjectBuilder::on(&mem).processes(2));
     let log: EventLog<FamilySpec> = EventLog::new(&world);
 
     let mut w = reg.handle(ProcId(WRITER));
@@ -98,7 +102,8 @@ where
 pub fn dr2_response(history: &History<FamilySpec>) -> AbaResp<u64> {
     history
         .records()
-        .into_iter().rfind(|r| r.proc == ProcId(READER))
+        .into_iter()
+        .rfind(|r| r.proc == ProcId(READER))
         .and_then(|r| r.response.map(|(_, resp)| resp))
         .expect("dr2 must complete")
 }

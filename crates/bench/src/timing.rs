@@ -1,0 +1,51 @@
+//! Minimal dependency-free micro-benchmark harness for the `[[bench]]`
+//! targets (`harness = false`): warm-up, calibrated iteration count,
+//! and a one-line ns/op report.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` repeatedly for roughly `measure` after a `warmup`, and
+/// returns the mean nanoseconds per call.
+pub fn time_ns_per_op(warmup: Duration, measure: Duration, mut f: impl FnMut()) -> f64 {
+    // Warm-up and calibration: find an iteration count that takes a
+    // meaningful fraction of the budget.
+    let mut batch: u64 = 1;
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warmup {
+        for _ in 0..batch {
+            f();
+        }
+        if warm_start.elapsed() < warmup / 4 {
+            batch = batch.saturating_mul(2);
+        }
+    }
+    let mut iters: u64 = 0;
+    let start = Instant::now();
+    while start.elapsed() < measure {
+        for _ in 0..batch {
+            f();
+        }
+        iters += batch;
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Times `f` with default budgets and prints a `name: X ns/op` line.
+pub fn bench(group: &str, name: &str, f: impl FnMut()) {
+    let ns = time_ns_per_op(Duration::from_millis(100), Duration::from_millis(300), f);
+    println!("{group}/{name}: {ns:>12.1} ns/op");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_returns_a_positive_duration() {
+        let mut x = 0u64;
+        let ns = time_ns_per_op(Duration::from_millis(5), Duration::from_millis(10), || {
+            x = x.wrapping_add(1)
+        });
+        assert!(ns > 0.0);
+    }
+}

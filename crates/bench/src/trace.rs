@@ -38,8 +38,7 @@ pub fn steps_per_op<S: SeqSpec>(outcome: &RunOutcome, history: &History<S>) -> H
         }
     }
     // Drop operations that never completed: their counts are partial.
-    let complete: std::collections::HashSet<OpId> =
-        history.complete_ops().into_iter().collect();
+    let complete: std::collections::HashSet<OpId> = history.complete_ops().into_iter().collect();
     counts.retain(|op, _| complete.contains(op));
     counts
 }

@@ -22,7 +22,11 @@ pub struct LinStep<S: SeqSpec> {
 
 impl<S: SeqSpec> std::fmt::Debug for LinStep<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}@{} {:?} -> {:?}", self.id, self.proc, self.op, self.resp)
+        write!(
+            f,
+            "{}@{} {:?} -> {:?}",
+            self.id, self.proc, self.op, self.resp
+        )
     }
 }
 
@@ -149,7 +153,9 @@ impl<'a, S: SeqSpec> Searcher<'a, S> {
 mod tests {
     use super::*;
     use sl_spec::types::{CounterSpec, RegisterSpec, SnapshotSpec};
-    use sl_spec::{CounterOp, CounterResp, History, RegisterOp, RegisterResp, SnapshotOp, SnapshotResp};
+    use sl_spec::{
+        CounterOp, CounterResp, History, RegisterOp, RegisterResp, SnapshotOp, SnapshotResp,
+    };
 
     #[test]
     fn empty_history_is_linearizable() {

@@ -100,8 +100,7 @@ impl<S: SeqSpec> HistoryTree<S> {
     pub fn from_histories(histories: &[History<S>]) -> Self {
         let mut root = HistoryTree::new();
         for h in histories {
-            let steps: Vec<TreeStep<S>> =
-                h.events().iter().cloned().map(TreeStep::Event).collect();
+            let steps: Vec<TreeStep<S>> = h.events().iter().cloned().map(TreeStep::Event).collect();
             root.insert_path(&steps);
         }
         root

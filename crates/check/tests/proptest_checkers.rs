@@ -1,7 +1,9 @@
-//! Property tests for the checkers.
+//! Property tests for the checkers, driven by the workspace's
+//! deterministic [`SmallRng`] (no external property-testing dependency;
+//! every case is reproducible from the printed seed).
 
-use proptest::prelude::*;
 use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree};
+use sl_mem::SmallRng;
 use sl_spec::types::{CounterSpec, RegisterSpec};
 use sl_spec::{validate_sequential, CounterOp, History, ProcId, RegisterOp, RegisterResp};
 
@@ -38,57 +40,76 @@ fn atomic_register_history(
     h
 }
 
-fn register_op() -> impl Strategy<Value = RegisterOp<u64>> {
-    prop_oneof![
-        (0u64..5).prop_map(RegisterOp::Write),
-        Just(RegisterOp::Read),
-    ]
+fn random_op(rng: &mut SmallRng) -> RegisterOp<u64> {
+    if rng.gen_bool(0.5) {
+        RegisterOp::Write(rng.gen_range(5) as u64)
+    } else {
+        RegisterOp::Read
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_workload(
+    rng: &mut SmallRng,
+    max_procs: usize,
+    max_ops: usize,
+    max_sched: usize,
+) -> (Vec<Vec<RegisterOp<u64>>>, Vec<u8>) {
+    let n = 1 + rng.gen_range(max_procs);
+    let ops = (0..n)
+        .map(|_| {
+            (0..rng.gen_range(max_ops + 1))
+                .map(|_| random_op(rng))
+                .collect()
+        })
+        .collect();
+    let schedule = (0..rng.gen_range(max_sched + 1))
+        .map(|_| rng.gen_range(256) as u8)
+        .collect();
+    (ops, schedule)
+}
 
-    /// Sequentially consistent-by-construction histories are accepted.
-    #[test]
-    fn atomic_histories_are_linearizable(
-        ops in proptest::collection::vec(proptest::collection::vec(register_op(), 0..5), 1..4),
-        schedule in proptest::collection::vec(any::<u8>(), 0..20),
-    ) {
+/// Sequentially consistent-by-construction histories are accepted.
+#[test]
+fn atomic_histories_are_linearizable() {
+    let mut rng = SmallRng::new(0xC4EC);
+    for case in 0..64 {
+        let (ops, schedule) = random_workload(&mut rng, 3, 5, 20);
         let h = atomic_register_history(ops, schedule);
-        prop_assert!(h.is_well_formed());
-        prop_assert!(check_linearizable(&RegisterSpec::<u64>::new(), &h).is_some());
+        assert!(h.is_well_formed(), "case {case}");
+        assert!(
+            check_linearizable(&RegisterSpec::<u64>::new(), &h).is_some(),
+            "case {case}"
+        );
     }
+}
 
-    /// A linearization witness returned by the checker is itself a valid
-    /// sequential history containing every completed operation.
-    #[test]
-    fn witness_is_valid_and_complete(
-        ops in proptest::collection::vec(proptest::collection::vec(register_op(), 0..4), 1..4),
-        schedule in proptest::collection::vec(any::<u8>(), 0..16),
-    ) {
-        let spec = RegisterSpec::<u64>::new();
+/// A linearization witness returned by the checker is itself a valid
+/// sequential history containing every completed operation.
+#[test]
+fn witness_is_valid_and_complete() {
+    let spec = RegisterSpec::<u64>::new();
+    let mut rng = SmallRng::new(0x817E);
+    for case in 0..64 {
+        let (ops, schedule) = random_workload(&mut rng, 3, 4, 16);
         let h = atomic_register_history(ops, schedule);
         let witness = check_linearizable(&spec, &h).expect("linearizable");
-        let steps: Vec<_> = witness
-            .iter()
-            .map(|w| (w.proc, w.op, w.resp))
-            .collect();
-        prop_assert!(validate_sequential(&spec, &steps).is_ok());
+        let steps: Vec<_> = witness.iter().map(|w| (w.proc, w.op, w.resp)).collect();
+        assert!(validate_sequential(&spec, &steps).is_ok(), "case {case}");
         let completed = h.complete_ops().len();
-        prop_assert!(witness.len() >= completed);
+        assert!(witness.len() >= completed, "case {case}");
     }
+}
 
-    /// Single-chain strong linearizability coincides with plain
-    /// linearizability (branching is required to separate them).
-    #[test]
-    fn chains_strong_iff_linearizable(
-        ops in proptest::collection::vec(proptest::collection::vec(register_op(), 0..4), 1..3),
-        schedule in proptest::collection::vec(any::<u8>(), 0..12),
-        corrupt in any::<bool>(),
-    ) {
-        let spec = RegisterSpec::<u64>::new();
+/// Single-chain strong linearizability coincides with plain
+/// linearizability (branching is required to separate them).
+#[test]
+fn chains_strong_iff_linearizable() {
+    let spec = RegisterSpec::<u64>::new();
+    let mut rng = SmallRng::new(0x57A0);
+    for case in 0..64 {
+        let (ops, schedule) = random_workload(&mut rng, 2, 4, 12);
         let mut h = atomic_register_history(ops, schedule);
-        if corrupt && !h.is_empty() {
+        if rng.gen_bool(0.5) && !h.is_empty() {
             // Mutate one read response to a junk value; this may or may
             // not break linearizability — the two checkers must agree
             // either way.
@@ -114,22 +135,24 @@ proptest! {
         let lin = check_linearizable(&spec, &h).is_some();
         let tree = HistoryTree::from_histories(std::slice::from_ref(&h));
         let strong = check_strongly_linearizable(&spec, &tree).holds;
-        prop_assert_eq!(lin, strong, "chain: strong <=> linearizable");
+        assert_eq!(lin, strong, "case {case}: chain strong <=> linearizable");
     }
+}
 
-    /// Adding events to a history never turns a non-linearizable prefix
-    /// linearizable (monotonicity of rejection on prefixes).
-    #[test]
-    fn prefixes_of_linearizable_histories_are_linearizable(
-        ops in proptest::collection::vec(proptest::collection::vec(register_op(), 0..4), 1..3),
-        schedule in proptest::collection::vec(any::<u8>(), 0..12),
-        cut in any::<prop::sample::Index>(),
-    ) {
-        let spec = RegisterSpec::<u64>::new();
+/// Prefixes of linearizable histories stay linearizable.
+#[test]
+fn prefixes_of_linearizable_histories_are_linearizable() {
+    let spec = RegisterSpec::<u64>::new();
+    let mut rng = SmallRng::new(0x90EF);
+    for case in 0..64 {
+        let (ops, schedule) = random_workload(&mut rng, 2, 4, 12);
         let h = atomic_register_history(ops, schedule);
-        let k = cut.index(h.len() + 1);
+        let k = rng.gen_range(h.len() + 1);
         let prefix = h.prefix(k);
-        prop_assert!(check_linearizable(&spec, &prefix).is_some());
+        assert!(
+            check_linearizable(&spec, &prefix).is_some(),
+            "case {case}, cut {k}"
+        );
     }
 }
 

@@ -8,7 +8,7 @@
 //! linearizability in isolation (with far fewer steps per operation) and
 //! then re-run everything with the composed register.
 
-use sl_mem::{Mem, Register, RmwCell, Value};
+use sl_mem::{HandleGuard, HandleLease, Mem, Register, RmwCell, Value};
 use sl_spec::ProcId;
 
 use super::{AbaHandle, AbaRegister};
@@ -19,12 +19,14 @@ type Cell<V> = (Option<V>, u64);
 /// An atomic ABA-detecting register (one step per operation).
 pub struct AtomicAbaRegister<V: Value, M: Mem> {
     cell: M::Cell<Cell<V>>,
+    guard: HandleGuard,
 }
 
 impl<V: Value, M: Mem> Clone for AtomicAbaRegister<V, M> {
     fn clone(&self) -> Self {
         AtomicAbaRegister {
             cell: self.cell.clone(),
+            guard: self.guard.clone(),
         }
     }
 }
@@ -40,6 +42,19 @@ impl<V: Value, M: Mem> AtomicAbaRegister<V, M> {
     pub fn new(mem: &M, name: &str) -> Self {
         AtomicAbaRegister {
             cell: mem.alloc_cell(name, (None, 0)),
+            guard: HandleGuard::new(),
+        }
+    }
+}
+
+impl<V: Value, M: Mem> AtomicAbaRegister<V, M> {
+    /// Creates process `p`'s handle.
+    pub fn handle(&self, p: ProcId) -> AtomicAbaHandle<V, M> {
+        AtomicAbaHandle {
+            cell: self.cell.clone(),
+            p,
+            last_seen: 0,
+            _lease: self.guard.acquire(p),
         }
     }
 }
@@ -48,11 +63,7 @@ impl<V: Value, M: Mem> AbaRegister<V> for AtomicAbaRegister<V, M> {
     type Handle = AtomicAbaHandle<V, M>;
 
     fn handle(&self, p: ProcId) -> Self::Handle {
-        AtomicAbaHandle {
-            cell: self.cell.clone(),
-            p,
-            last_seen: 0,
-        }
+        AtomicAbaRegister::handle(self, p)
     }
 }
 
@@ -63,11 +74,13 @@ pub struct AtomicAbaHandle<V: Value, M: Mem> {
     /// Write count observed at this process's previous `DRead` (0 before
     /// the first — initialization is the reference point).
     last_seen: u64,
+    _lease: HandleLease,
 }
 
 impl<V: Value, M: Mem> AbaHandle<V> for AtomicAbaHandle<V, M> {
     fn dwrite(&mut self, value: V) {
-        self.cell.update(|(_, count)| (Some(value.clone()), count + 1));
+        self.cell
+            .update(|(_, count)| (Some(value.clone()), count + 1));
     }
 
     fn dread(&mut self) -> (Option<V>, bool) {

@@ -8,7 +8,7 @@
 //! those reads, so a strong adversary can retroactively order a `DRead`
 //! in front of `DWrite`s that already took effect.
 
-use sl_mem::{Mem, Register, Value};
+use sl_mem::{HandleGuard, HandleLease, Mem, Register, Value};
 use sl_spec::ProcId;
 
 use super::shared::{tag, value_of, AbaShared, WriterLocal};
@@ -21,12 +21,14 @@ use super::{AbaHandle, AbaRegister};
 /// exactly two — wait-freedom.
 pub struct AwAbaRegister<V: Value, M: Mem> {
     shared: AbaShared<V, M>,
+    guard: HandleGuard,
 }
 
 impl<V: Value, M: Mem> Clone for AwAbaRegister<V, M> {
     fn clone(&self) -> Self {
         AwAbaRegister {
             shared: self.shared.clone(),
+            guard: self.guard.clone(),
         }
     }
 }
@@ -43,6 +45,26 @@ impl<V: Value, M: Mem> AwAbaRegister<V, M> {
     pub fn new(mem: &M, n: usize) -> Self {
         AwAbaRegister {
             shared: AbaShared::new(mem, n, "aw"),
+            guard: HandleGuard::new(),
+        }
+    }
+
+    /// Number of processes the register was created for.
+    pub fn processes(&self) -> usize {
+        self.shared.n
+    }
+}
+
+impl<V: Value, M: Mem> AwAbaRegister<V, M> {
+    /// Creates process `p`'s handle.
+    pub fn handle(&self, p: ProcId) -> AwAbaHandle<V, M> {
+        assert!(p.index() < self.shared.n, "process id out of range");
+        AwAbaHandle {
+            shared: self.shared.clone(),
+            p,
+            writer: WriterLocal::new(self.shared.n),
+            b: false,
+            _lease: self.guard.acquire(p),
         }
     }
 }
@@ -51,13 +73,7 @@ impl<V: Value, M: Mem> AbaRegister<V> for AwAbaRegister<V, M> {
     type Handle = AwAbaHandle<V, M>;
 
     fn handle(&self, p: ProcId) -> Self::Handle {
-        assert!(p.index() < self.shared.n, "process id out of range");
-        AwAbaHandle {
-            shared: self.shared.clone(),
-            p,
-            writer: WriterLocal::new(self.shared.n),
-            b: false,
-        }
+        AwAbaRegister::handle(self, p)
     }
 }
 
@@ -69,6 +85,7 @@ pub struct AwAbaHandle<V: Value, M: Mem> {
     /// Algorithm 1's local flag `b`: delegates detection of writes that
     /// raced a previous `DRead` to the next `DRead` by this process.
     b: bool,
+    _lease: HandleLease,
 }
 
 impl<V: Value, M: Mem> AbaHandle<V> for AwAbaHandle<V, M> {

@@ -17,6 +17,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use sl_mem::{HandleGuard, HandleLease};
 use sl_spec::ProcId;
 
 use super::{AbaHandle, AbaRegister};
@@ -49,7 +50,9 @@ fn pack_a(tag: Option<(usize, u64)>) -> u64 {
     match tag {
         None => 0,
         Some((pid, seq)) => {
-            (1 << TAG_SHIFT) | ((pid as u64 & PID_MASK) << PID_SHIFT) | ((seq & SEQ_MASK) << SEQ_SHIFT)
+            (1 << TAG_SHIFT)
+                | ((pid as u64 & PID_MASK) << PID_SHIFT)
+                | ((seq & SEQ_MASK) << SEQ_SHIFT)
         }
     }
 }
@@ -77,12 +80,14 @@ struct Shared {
 /// as verified by the differential tests in this module.
 pub struct PackedSlAbaRegister {
     shared: Arc<Shared>,
+    guard: HandleGuard,
 }
 
 impl Clone for PackedSlAbaRegister {
     fn clone(&self) -> Self {
         PackedSlAbaRegister {
             shared: Arc::clone(&self.shared),
+            guard: self.guard.clone(),
         }
     }
 }
@@ -110,6 +115,27 @@ impl PackedSlAbaRegister {
                 a: (0..n).map(|_| AtomicU64::new(0)).collect(),
                 n,
             }),
+            guard: HandleGuard::new(),
+        }
+    }
+
+    /// Number of processes the register was created for.
+    pub fn processes(&self) -> usize {
+        self.shared.n
+    }
+}
+
+impl PackedSlAbaRegister {
+    /// Creates process `p`'s handle.
+    pub fn handle(&self, p: ProcId) -> PackedSlAbaHandle {
+        assert!(p.index() < self.shared.n, "process id out of range");
+        PackedSlAbaHandle {
+            shared: Arc::clone(&self.shared),
+            p,
+            used_q: std::collections::VecDeque::from(vec![None; self.shared.n + 1]),
+            na: std::collections::HashMap::new(),
+            c: 0,
+            _lease: self.guard.acquire(p),
         }
     }
 }
@@ -118,14 +144,7 @@ impl AbaRegister<u32> for PackedSlAbaRegister {
     type Handle = PackedSlAbaHandle;
 
     fn handle(&self, p: ProcId) -> Self::Handle {
-        assert!(p.index() < self.shared.n, "process id out of range");
-        PackedSlAbaHandle {
-            shared: Arc::clone(&self.shared),
-            p,
-            used_q: std::collections::VecDeque::from(vec![None; self.shared.n + 1]),
-            na: std::collections::HashMap::new(),
-            c: 0,
-        }
+        PackedSlAbaRegister::handle(self, p)
     }
 }
 
@@ -136,6 +155,7 @@ pub struct PackedSlAbaHandle {
     used_q: std::collections::VecDeque<Option<u64>>,
     na: std::collections::HashMap<usize, u64>,
     c: usize,
+    _lease: HandleLease,
 }
 
 impl PackedSlAbaHandle {
@@ -152,8 +172,7 @@ impl PackedSlAbaHandle {
             }
         }
         self.c = (self.c + 1) % n;
-        let banned =
-            |s: u64| self.na.values().any(|&v| v == s) || self.used_q.contains(&Some(s));
+        let banned = |s: u64| self.na.values().any(|&v| v == s) || self.used_q.contains(&Some(s));
         let s = (0..=2 * n as u64 + 1)
             .find(|&s| !banned(s))
             .expect("sequence domain always has a free number");
@@ -205,7 +224,10 @@ mod tests {
         assert_eq!(unpack_x(0), None);
         assert_eq!(unpack_a(pack_a(Some((9, 2)))), Some((9, 2)));
         assert_eq!(unpack_a(pack_a(None)), None);
-        assert_eq!(unpack_x(pack_x(u32::MAX, 0x7FFF, 0xFFFF)), Some((u32::MAX, 0x7FFF, 0xFFFF)));
+        assert_eq!(
+            unpack_x(pack_x(u32::MAX, 0x7FFF, 0xFFFF)),
+            Some((u32::MAX, 0x7FFF, 0xFFFF))
+        );
     }
 
     #[test]
@@ -253,10 +275,10 @@ mod tests {
     #[test]
     fn concurrent_threads_smoke() {
         let r = PackedSlAbaRegister::new(4);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for p in 0..4usize {
                 let r = r.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut h = r.handle(ProcId(p));
                     if p == 0 {
                         for i in 0..10_000u32 {
@@ -272,8 +294,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
     }
 
     #[test]

@@ -81,11 +81,7 @@ impl WriterLocal {
     /// is neither announced as recently observed nor among the writer's
     /// last `n+1` choices. Performs exactly one shared-memory step (the
     /// read of `A[c]`).
-    pub(crate) fn get_seq<V: Value, M: Mem>(
-        &mut self,
-        shared: &AbaShared<V, M>,
-        p: ProcId,
-    ) -> u64 {
+    pub(crate) fn get_seq<V: Value, M: Mem>(&mut self, shared: &AbaShared<V, M>, p: ProcId) -> u64 {
         let announced = shared.a[self.c].read();
         match announced {
             Some((r, sr)) if r == p.index() => {
@@ -96,9 +92,7 @@ impl WriterLocal {
             }
         }
         self.c = (self.c + 1) % self.n;
-        let banned = |s: u64| {
-            self.na.values().any(|&v| v == s) || self.used_q.contains(&Some(s))
-        };
+        let banned = |s: u64| self.na.values().any(|&v| v == s) || self.used_q.contains(&Some(s));
         let s = (0..=2 * self.n as u64 + 1)
             .find(|&s| !banned(s))
             .expect("sequence domain {0..2n+1} always has a free number");
@@ -133,9 +127,7 @@ mod tests {
         let mut local = WriterLocal::new(2);
         // n = 2: domain {0..5}, usedQ holds 3 entries; with no
         // announcements the writer picks 0,1,2,3,0,1,2,3,…
-        let picks: Vec<u64> = (0..8)
-            .map(|_| local.get_seq(&shared, ProcId(0)))
-            .collect();
+        let picks: Vec<u64> = (0..8).map(|_| local.get_seq(&shared, ProcId(0))).collect();
         assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
     }
 
@@ -147,9 +139,7 @@ mod tests {
         shared.a[0].write(Some((0, 0)));
         shared.a[1].write(Some((0, 0)));
         let mut local = WriterLocal::new(2);
-        let picks: Vec<u64> = (0..6)
-            .map(|_| local.get_seq(&shared, ProcId(0)))
-            .collect();
+        let picks: Vec<u64> = (0..6).map(|_| local.get_seq(&shared, ProcId(0))).collect();
         assert!(
             picks.iter().all(|&s| s != 0),
             "sequence 0 is announced in every A entry and must never be chosen: {picks:?}"

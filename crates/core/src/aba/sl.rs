@@ -1,7 +1,7 @@
 //! Algorithm 2: the paper's lock-free strongly linearizable
 //! ABA-detecting register (Theorem 1).
 
-use sl_mem::{Mem, Register, Value};
+use sl_mem::{HandleGuard, HandleLease, Mem, Register, Value};
 use sl_spec::ProcId;
 
 use super::shared::{tag, value_of, AbaShared, WriterLocal};
@@ -21,12 +21,14 @@ use super::{AbaHandle, AbaRegister};
 /// complexity `O(n)` (Theorem 14).
 pub struct SlAbaRegister<V: Value, M: Mem> {
     shared: AbaShared<V, M>,
+    guard: HandleGuard,
 }
 
 impl<V: Value, M: Mem> Clone for SlAbaRegister<V, M> {
     fn clone(&self) -> Self {
         SlAbaRegister {
             shared: self.shared.clone(),
+            guard: self.guard.clone(),
         }
     }
 }
@@ -44,6 +46,26 @@ impl<V: Value, M: Mem> SlAbaRegister<V, M> {
     pub fn new(mem: &M, n: usize) -> Self {
         SlAbaRegister {
             shared: AbaShared::new(mem, n, "slaba"),
+            guard: HandleGuard::new(),
+        }
+    }
+
+    /// Number of processes the register was created for.
+    pub fn processes(&self) -> usize {
+        self.shared.n
+    }
+}
+
+impl<V: Value, M: Mem> SlAbaRegister<V, M> {
+    /// Creates process `p`'s handle.
+    pub fn handle(&self, p: ProcId) -> SlAbaHandle<V, M> {
+        assert!(p.index() < self.shared.n, "process id out of range");
+        SlAbaHandle {
+            shared: self.shared.clone(),
+            p,
+            writer: WriterLocal::new(self.shared.n),
+            last_iterations: 0,
+            _lease: self.guard.acquire(p),
         }
     }
 }
@@ -52,13 +74,7 @@ impl<V: Value, M: Mem> AbaRegister<V> for SlAbaRegister<V, M> {
     type Handle = SlAbaHandle<V, M>;
 
     fn handle(&self, p: ProcId) -> Self::Handle {
-        assert!(p.index() < self.shared.n, "process id out of range");
-        SlAbaHandle {
-            shared: self.shared.clone(),
-            p,
-            writer: WriterLocal::new(self.shared.n),
-            last_iterations: 0,
-        }
+        SlAbaRegister::handle(self, p)
     }
 }
 
@@ -68,6 +84,7 @@ pub struct SlAbaHandle<V: Value, M: Mem> {
     p: ProcId,
     writer: WriterLocal,
     last_iterations: u64,
+    _lease: HandleLease,
 }
 
 impl<V: Value, M: Mem> SlAbaHandle<V, M> {
@@ -125,7 +142,11 @@ mod tests {
         let r = reg(2);
         let mut h = r.handle(ProcId(1));
         assert_eq!(h.dread(), (None, false));
-        assert_eq!(h.last_iterations(), 1, "uncontended read needs one iteration");
+        assert_eq!(
+            h.last_iterations(),
+            1,
+            "uncontended read needs one iteration"
+        );
     }
 
     #[test]
@@ -152,10 +173,10 @@ mod tests {
     #[test]
     fn interleaved_readers_and_writer_native_threads() {
         let r = reg(4);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for p in 0..4usize {
                 let r = r.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut h = r.handle(ProcId(p));
                     if p == 0 {
                         for i in 0..500u64 {
@@ -175,8 +196,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! strong linearizability from its substrates before composing in the
 //! register-only implementations.
 
-use sl_mem::{Mem, Register, RmwCell, Value};
+use sl_mem::{HandleGuard, HandleLease, Mem, Register, RmwCell, Value};
 use sl_spec::ProcId;
 
 use crate::snapshot_sl::{SnapshotHandle, SnapshotObject};
@@ -16,6 +16,7 @@ use crate::snapshot_sl::{SnapshotHandle, SnapshotObject};
 pub struct AtomicSnapshot<V: Value, M: Mem> {
     cell: M::Cell<Vec<Option<V>>>,
     n: usize,
+    guard: HandleGuard,
 }
 
 impl<V: Value, M: Mem> Clone for AtomicSnapshot<V, M> {
@@ -23,6 +24,7 @@ impl<V: Value, M: Mem> Clone for AtomicSnapshot<V, M> {
         AtomicSnapshot {
             cell: self.cell.clone(),
             n: self.n,
+            guard: self.guard.clone(),
         }
     }
 }
@@ -39,6 +41,7 @@ impl<V: Value, M: Mem> AtomicSnapshot<V, M> {
         AtomicSnapshot {
             cell: mem.alloc_cell("atomic_snap", vec![None; n]),
             n,
+            guard: HandleGuard::new(),
         }
     }
 }
@@ -51,6 +54,7 @@ impl<V: Value, M: Mem> SnapshotObject<V> for AtomicSnapshot<V, M> {
         AtomicSnapshotHandle {
             cell: self.cell.clone(),
             p,
+            _lease: self.guard.acquire(p),
         }
     }
 
@@ -63,6 +67,7 @@ impl<V: Value, M: Mem> SnapshotObject<V> for AtomicSnapshot<V, M> {
 pub struct AtomicSnapshotHandle<V: Value, M: Mem> {
     cell: M::Cell<Vec<Option<V>>>,
     p: ProcId,
+    _lease: HandleLease,
 }
 
 impl<V: Value, M: Mem> SnapshotHandle<V> for AtomicSnapshotHandle<V, M> {

@@ -155,17 +155,16 @@ mod tests {
     fn concurrent_enqueues_all_land() {
         let mem = NativeMem::new();
         let q = CasUniversal::new(&mem, QueueSpec);
-        crossbeam::scope(|sc| {
+        std::thread::scope(|sc| {
             for p in 0..4usize {
                 let q = q.clone();
-                sc.spawn(move |_| {
+                sc.spawn(move || {
                     for i in 0..100u64 {
                         q.execute(ProcId(p), &QueueOp::Enqueue(p as u64 * 1000 + i));
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(q.peek_state().len(), 400);
         // Per-producer FIFO order is preserved.
         let mut last_per_producer = [None::<u64>; 4];

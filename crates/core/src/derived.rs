@@ -48,6 +48,11 @@ impl<O: SnapshotObject<u64>> SlCounter<O> {
             local: 0,
         }
     }
+
+    /// The snapshot object the counter is derived from.
+    pub fn snapshot(&self) -> &O {
+        &self.snap
+    }
 }
 
 /// Process-local handle of [`SlCounter`].
@@ -108,6 +113,11 @@ impl<O: SnapshotObject<u64>> SnapshotMaxRegister<O> {
             local: 0,
         }
     }
+
+    /// The snapshot object the max-register is derived from.
+    pub fn snapshot(&self) -> &O {
+        &self.snap
+    }
 }
 
 /// Process-local handle of [`SnapshotMaxRegister`].
@@ -162,18 +172,17 @@ mod tests {
     fn counter_concurrent_increments() {
         let mem = NativeMem::new();
         let counter = SlCounter::new(SlSnapshot::with_double_collect(&mem, 4));
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for p in 0..4usize {
                 let counter = counter.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut h = counter.handle(ProcId(p));
                     for _ in 0..50 {
                         h.inc();
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let mut h = counter.handle(ProcId(0));
         assert_eq!(h.read(), 200);
     }

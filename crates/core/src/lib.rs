@@ -53,10 +53,12 @@ pub use aba::{
 pub use atomic_snapshot::{AtomicSnapshot, AtomicSnapshotHandle};
 pub use cas_universal::CasUniversal;
 pub use derived::{CounterHandle, MaxRegisterHandle, SlCounter, SnapshotMaxRegister};
-pub use max_register::{BoundedMaxRegister, UnaryMaxRegister};
+pub use max_register::{BoundedMaxRegister, BoundedMaxRegisterHandle, UnaryMaxRegister};
+#[allow(deprecated)]
+pub use snapshot_sl::View;
 pub use snapshot_sl::{
-    DcSlSnapshot, ScanStats, SeqValue, SlSnapshot, SlSnapshotHandle, SnapshotHandle,
-    SnapshotObject, View,
+    DcSlSnapshot, ScanStats, SeqValue, SeqView, SlSnapshot, SlSnapshotHandle, SnapshotHandle,
+    SnapshotObject,
 };
 pub use snapshot_sl3::{BoundedSlSnapshot, BoundedSlSnapshotHandle};
-pub use versioned::VersionedSlSnapshot;
+pub use versioned::{VersionedHandle, VersionedSlSnapshot};

@@ -19,10 +19,9 @@
 //!   value ever written — the unbounded-space cost that the paper's
 //!   Theorem 2 eliminates.
 
-use std::sync::Arc;
-
-use parking_lot::RwLock;
-use sl_mem::{Mem, Register, Value};
+use sl_mem::{HandleGuard, HandleLease, Mem, Register, Value};
+use sl_spec::ProcId;
+use std::sync::{Arc, RwLock};
 
 /// The growable array of payload registers backing a
 /// [`UnaryMaxRegister`].
@@ -41,6 +40,7 @@ type CellArray<P, M> = Arc<RwLock<Vec<<M as Mem>::Reg<Option<P>>>>>;
 pub struct BoundedMaxRegister<M: Mem> {
     root: Node<M>,
     capacity: u64,
+    guard: HandleGuard,
 }
 
 enum Node<M: Mem> {
@@ -77,6 +77,7 @@ impl<M: Mem> Clone for BoundedMaxRegister<M> {
         BoundedMaxRegister {
             root: self.root.clone(),
             capacity: self.capacity,
+            guard: self.guard.clone(),
         }
     }
 }
@@ -122,7 +123,13 @@ impl<M: Mem> Node<M> {
 
     /// Reads every switch in a fixed depth-first order into `out`.
     fn collect(&self, out: &mut Vec<bool>) {
-        if let Node::Inner { switch, left, right, .. } = self {
+        if let Node::Inner {
+            switch,
+            left,
+            right,
+            ..
+        } = self
+        {
             out.push(switch.read());
             left.collect(out);
             right.collect(out);
@@ -189,6 +196,7 @@ impl<M: Mem> BoundedMaxRegister<M> {
         BoundedMaxRegister {
             root: Node::build(mem, capacity, ""),
             capacity,
+            guard: HandleGuard::new(),
         }
     }
 
@@ -247,6 +255,48 @@ impl<M: Mem> BoundedMaxRegister<M> {
     pub fn max_read_top_down(&self) -> u64 {
         self.root.read_top_down()
     }
+
+    /// Creates process `p`'s handle — the unified `sl-api` access path.
+    ///
+    /// The direct `max_write`/`max_read` methods remain as the low-level
+    /// interface (the trie is multi-writer, so they are safe to share),
+    /// but handle-based access keeps this object uniform with the rest
+    /// of the workspace and participates in the duplicate-handle guard.
+    pub fn handle(&self, p: ProcId) -> BoundedMaxRegisterHandle<M> {
+        BoundedMaxRegisterHandle {
+            reg: BoundedMaxRegister {
+                root: self.root.clone(),
+                capacity: self.capacity,
+                guard: self.guard.clone(),
+            },
+            p,
+            _lease: self.guard.acquire(p),
+        }
+    }
+}
+
+/// Process-local handle of [`BoundedMaxRegister`].
+pub struct BoundedMaxRegisterHandle<M: Mem> {
+    reg: BoundedMaxRegister<M>,
+    p: ProcId,
+    _lease: HandleLease,
+}
+
+impl<M: Mem> BoundedMaxRegisterHandle<M> {
+    /// `maxWrite(v)`: raises the stored maximum to `v`.
+    pub fn max_write(&mut self, v: u64) {
+        self.reg.max_write(v);
+    }
+
+    /// `maxRead()`: the largest value written so far (0 if none).
+    pub fn max_read(&mut self) -> u64 {
+        self.reg.max_read()
+    }
+
+    /// The process this handle belongs to.
+    pub fn proc(&self) -> ProcId {
+        self.p
+    }
 }
 
 /// A lock-free unbounded max-register with payloads — the *augmented*
@@ -281,7 +331,11 @@ impl<P: Value, M: Mem> Clone for UnaryMaxRegister<P, M> {
 
 impl<P: Value, M: Mem> std::fmt::Debug for UnaryMaxRegister<P, M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "UnaryMaxRegister({} cells)", self.cells.read().len())
+        write!(
+            f,
+            "UnaryMaxRegister({} cells)",
+            self.cells.read().unwrap().len()
+        )
     }
 }
 
@@ -296,7 +350,7 @@ impl<P: Value, M: Mem> UnaryMaxRegister<P, M> {
     }
 
     fn ensure(&self, len: usize) {
-        let mut cells = self.cells.write();
+        let mut cells = self.cells.write().unwrap();
         while cells.len() < len {
             let i = cells.len();
             cells.push(self.mem.alloc(&format!("{}[{i}]", self.name), None));
@@ -307,7 +361,7 @@ impl<P: Value, M: Mem> UnaryMaxRegister<P, M> {
     /// was reached. One shared-memory step.
     pub fn max_write(&self, v: u64, payload: P) {
         self.ensure(v as usize + 1);
-        let reg = self.cells.read()[v as usize].clone();
+        let reg = self.cells.read().unwrap()[v as usize].clone();
         reg.write(Some(payload));
     }
 
@@ -330,7 +384,7 @@ impl<P: Value, M: Mem> UnaryMaxRegister<P, M> {
     pub fn max_read(&self) -> (u64, Option<P>) {
         let mut previous: Option<Vec<Option<P>>> = None;
         loop {
-            let regs: Vec<M::Reg<Option<P>>> = self.cells.read().clone();
+            let regs: Vec<M::Reg<Option<P>>> = self.cells.read().unwrap().clone();
             let collected: Vec<Option<P>> = regs.iter().map(|r| r.read()).collect();
             if let Some(prev) = &previous {
                 if *prev == collected {
@@ -358,7 +412,7 @@ impl<P: Value, M: Mem> UnaryMaxRegister<P, M> {
     /// Number of base registers allocated so far — the space-growth
     /// metric of experiment `exp_space`.
     pub fn allocated_cells(&self) -> usize {
-        self.cells.read().len()
+        self.cells.read().unwrap().len()
     }
 }
 
@@ -413,17 +467,16 @@ mod tests {
     #[test]
     fn bounded_concurrent_writers() {
         let m = BoundedMaxRegister::new(&NativeMem::new(), 1024);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let m = m.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for v in 0..256 {
                         m.max_write(t * 256 + v);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(m.max_read(), 1023);
     }
 
@@ -450,6 +503,10 @@ mod tests {
         for v in 1..=100 {
             m.max_write(v, v);
         }
-        assert_eq!(m.allocated_cells(), 101, "one register per value: unbounded space");
+        assert_eq!(
+            m.allocated_cells(),
+            101,
+            "one register per value: unbounded space"
+        );
     }
 }

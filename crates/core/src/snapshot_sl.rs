@@ -3,8 +3,8 @@
 
 use std::marker::PhantomData;
 
-use sl_mem::{Mem, Value};
-use sl_snapshot::{AfekSnapshot, DoubleCollectSnapshot, LinSnapshot};
+use sl_mem::{HandleGuard, HandleLease, Mem, Value};
+use sl_snapshot::{AfekSnapshot, DoubleCollectSnapshot, SnapshotSubstrate};
 use sl_spec::ProcId;
 
 use crate::aba::{AbaHandle, AbaRegister, AtomicAbaRegister, SlAbaRegister};
@@ -14,9 +14,20 @@ use crate::aba::{AbaHandle, AbaRegister, AtomicAbaRegister, SlAbaRegister};
 /// augmentation, §4.4).
 pub type SeqValue<V> = (V, u64);
 
-/// A view of the substrate: one `Option<SeqValue>` per component. This is
-/// the value type stored in the ABA-detecting register `R`.
-pub type View<V> = Vec<Option<SeqValue<V>>>;
+/// A raw view of the substrate: one `Option<SeqValue>` per component.
+/// This is the value type stored in the ABA-detecting register `R` —
+/// internal plumbing, not the typed `sl_api::View` that consumer scans
+/// return.
+pub type SeqView<V> = Vec<Option<SeqValue<V>>>;
+
+/// Deprecated name of [`SeqView`], kept as a shim for one release: the
+/// name `View` now belongs to the typed consumer-facing view of
+/// `sl-api`, which carries the version where the substrate provides one.
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to `SeqView`; consumer scans return `sl_api::View`"
+)]
+pub type View<V> = SeqView<V>;
 
 /// A single-writer snapshot object accessed through per-process handles.
 pub trait SnapshotObject<V: Value>: Clone + Send + Sync + 'static {
@@ -83,26 +94,28 @@ impl ScanStats {
 pub struct SlSnapshot<V, S, R>
 where
     V: Value,
-    S: LinSnapshot<SeqValue<V>>,
-    R: AbaRegister<View<V>>,
+    S: SnapshotSubstrate<SeqValue<V>>,
+    R: AbaRegister<SeqView<V>>,
 {
     s: S,
     r: R,
     n: usize,
+    guard: HandleGuard,
     _marker: PhantomData<fn() -> V>,
 }
 
 impl<V, S, R> Clone for SlSnapshot<V, S, R>
 where
     V: Value,
-    S: LinSnapshot<SeqValue<V>>,
-    R: AbaRegister<View<V>>,
+    S: SnapshotSubstrate<SeqValue<V>>,
+    R: AbaRegister<SeqView<V>>,
 {
     fn clone(&self) -> Self {
         SlSnapshot {
             s: self.s.clone(),
             r: self.r.clone(),
             n: self.n,
+            guard: self.guard.clone(),
             _marker: PhantomData,
         }
     }
@@ -111,8 +124,8 @@ where
 impl<V, S, R> std::fmt::Debug for SlSnapshot<V, S, R>
 where
     V: Value,
-    S: LinSnapshot<SeqValue<V>>,
-    R: AbaRegister<View<V>>,
+    S: SnapshotSubstrate<SeqValue<V>>,
+    R: AbaRegister<SeqView<V>>,
 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "SlSnapshot(n={})", self.n)
@@ -123,7 +136,7 @@ where
 /// composed Algorithm-2 register — the all-registers configuration of
 /// Theorem 2.
 pub type DcSlSnapshot<V, M> =
-    SlSnapshot<V, DoubleCollectSnapshot<SeqValue<V>, M>, SlAbaRegister<View<V>, M>>;
+    SlSnapshot<V, DoubleCollectSnapshot<SeqValue<V>, M>, SlAbaRegister<SeqView<V>, M>>;
 
 impl<V: Value, M: Mem> DcSlSnapshot<V, M> {
     /// Builds the Theorem 2 configuration: double-collect substrate `S`
@@ -138,9 +151,7 @@ impl<V: Value, M: Mem> DcSlSnapshot<V, M> {
     }
 }
 
-impl<V: Value, M: Mem>
-    SlSnapshot<V, AfekSnapshot<SeqValue<V>, M>, SlAbaRegister<View<V>, M>>
-{
+impl<V: Value, M: Mem> SlSnapshot<V, AfekSnapshot<SeqValue<V>, M>, SlAbaRegister<SeqView<V>, M>> {
     /// Builds the wait-free-substrate configuration: Afek et al. helping
     /// snapshot for `S`, Algorithm-2 register for `R`.
     pub fn with_afek(mem: &M, n: usize) -> Self {
@@ -149,7 +160,7 @@ impl<V: Value, M: Mem>
 }
 
 impl<V: Value, M: Mem>
-    SlSnapshot<V, DoubleCollectSnapshot<SeqValue<V>, M>, AtomicAbaRegister<View<V>, M>>
+    SlSnapshot<V, DoubleCollectSnapshot<SeqValue<V>, M>, AtomicAbaRegister<SeqView<V>, M>>
 {
     /// Builds the paper's pre-composition configuration of Algorithm 3:
     /// an **atomic** ABA-detecting register `R` (one step per operation)
@@ -167,8 +178,8 @@ impl<V: Value, M: Mem>
 impl<V, S, R> SlSnapshot<V, S, R>
 where
     V: Value,
-    S: LinSnapshot<SeqValue<V>>,
-    R: AbaRegister<View<V>>,
+    S: SnapshotSubstrate<SeqValue<V>>,
+    R: AbaRegister<SeqView<V>>,
 {
     /// Assembles the snapshot from an explicit substrate and
     /// ABA-detecting register.
@@ -182,6 +193,7 @@ where
             s,
             r,
             n,
+            guard: HandleGuard::new(),
             _marker: PhantomData,
         }
     }
@@ -201,6 +213,7 @@ where
             n: self.n,
             seq: 0,
             last_stats: ScanStats::default(),
+            _lease: self.guard.acquire(p),
             _marker: PhantomData,
         }
     }
@@ -209,8 +222,8 @@ where
 impl<V, S, R> SnapshotObject<V> for SlSnapshot<V, S, R>
 where
     V: Value,
-    S: LinSnapshot<SeqValue<V>>,
-    R: AbaRegister<View<V>>,
+    S: SnapshotSubstrate<SeqValue<V>>,
+    R: AbaRegister<SeqView<V>>,
 {
     type Handle = SlSnapshotHandle<V, S, R>;
 
@@ -227,8 +240,8 @@ where
 pub struct SlSnapshotHandle<V, S, R>
 where
     V: Value,
-    S: LinSnapshot<SeqValue<V>>,
-    R: AbaRegister<View<V>>,
+    S: SnapshotSubstrate<SeqValue<V>>,
+    R: AbaRegister<SeqView<V>>,
 {
     p: ProcId,
     s: S,
@@ -237,6 +250,7 @@ where
     /// Algorithm 4's per-process sequence counter (line 55).
     seq: u64,
     last_stats: ScanStats,
+    _lease: HandleLease,
     _marker: PhantomData<fn() -> V>,
 }
 
@@ -244,27 +258,25 @@ where
 /// `vals(·)` (§4.4): sequence numbers are accounting, not content.
 fn vals_eq<V: PartialEq, A, B>(a: &[Option<(V, A)>], b: &[Option<(V, B)>]) -> bool {
     a.len() == b.len()
-        && a.iter()
-            .zip(b)
-            .all(|(x, y)| match (x, y) {
-                (None, None) => true,
-                (Some((v, _)), Some((w, _))) => v == w,
-                _ => false,
-            })
+        && a.iter().zip(b).all(|(x, y)| match (x, y) {
+            (None, None) => true,
+            (Some((v, _)), Some((w, _))) => v == w,
+            _ => false,
+        })
 }
 
 impl<V, S, R> SlSnapshotHandle<V, S, R>
 where
     V: Value,
-    S: LinSnapshot<SeqValue<V>>,
-    R: AbaRegister<View<V>>,
+    S: SnapshotSubstrate<SeqValue<V>>,
+    R: AbaRegister<SeqView<V>>,
 {
     /// Base-object operation counts of the most recent operation.
     pub fn last_stats(&self) -> ScanStats {
         self.last_stats
     }
 
-    fn initial_view(&self) -> View<V> {
+    fn initial_view(&self) -> SeqView<V> {
         vec![None; self.n]
     }
 
@@ -317,8 +329,8 @@ where
 impl<V, S, R> SnapshotHandle<V> for SlSnapshotHandle<V, S, R>
 where
     V: Value,
-    S: LinSnapshot<SeqValue<V>>,
-    R: AbaRegister<View<V>>,
+    S: SnapshotSubstrate<SeqValue<V>>,
+    R: AbaRegister<SeqView<V>>,
 {
     fn update(&mut self, value: V) {
         SlSnapshotHandle::update(self, value);
@@ -420,10 +432,10 @@ mod tests {
     fn native_threads_concurrent_updates_scans() {
         let mem = NativeMem::new();
         let snap = SlSnapshot::with_double_collect(&mem, 4);
-        crossbeam::scope(|sc| {
+        std::thread::scope(|sc| {
             for p in 0..4usize {
                 let snap = snap.clone();
-                sc.spawn(move |_| {
+                sc.spawn(move || {
                     let mut h = snap.handle(ProcId(p));
                     for i in 0..100u64 {
                         h.update(i);
@@ -432,8 +444,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let mut h = snap.handle(ProcId(0));
         let final_view = h.scan();
         assert_eq!(&final_view[1..], &[Some(99), Some(99), Some(99)]);

@@ -14,8 +14,8 @@
 
 use std::marker::PhantomData;
 
-use sl_mem::{Mem, Value};
-use sl_snapshot::{BoundedAfekSnapshot, LinSnapshot};
+use sl_mem::{HandleGuard, HandleLease, Mem, Value};
+use sl_snapshot::{BoundedAfekSnapshot, SnapshotSubstrate};
 use sl_spec::ProcId;
 
 use crate::aba::{AbaHandle, AbaRegister, SlAbaRegister};
@@ -26,19 +26,20 @@ use crate::snapshot_sl::{ScanStats, SnapshotHandle, SnapshotObject};
 pub struct BoundedSlSnapshot<V, S, R>
 where
     V: Value,
-    S: LinSnapshot<V>,
+    S: SnapshotSubstrate<V>,
     R: AbaRegister<Vec<Option<V>>>,
 {
     s: S,
     r: R,
     n: usize,
+    guard: HandleGuard,
     _marker: PhantomData<fn() -> V>,
 }
 
 impl<V, S, R> Clone for BoundedSlSnapshot<V, S, R>
 where
     V: Value,
-    S: LinSnapshot<V>,
+    S: SnapshotSubstrate<V>,
     R: AbaRegister<Vec<Option<V>>>,
 {
     fn clone(&self) -> Self {
@@ -46,6 +47,7 @@ where
             s: self.s.clone(),
             r: self.r.clone(),
             n: self.n,
+            guard: self.guard.clone(),
             _marker: PhantomData,
         }
     }
@@ -54,7 +56,7 @@ where
 impl<V, S, R> std::fmt::Debug for BoundedSlSnapshot<V, S, R>
 where
     V: Value,
-    S: LinSnapshot<V>,
+    S: SnapshotSubstrate<V>,
     R: AbaRegister<Vec<Option<V>>>,
 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -70,14 +72,18 @@ impl<V: Value, M: Mem>
     /// ABA-detecting register (bounded sequence-number recycling) —
     /// every base register holds bounded state for fixed `n`.
     pub fn fully_bounded(mem: &M, n: usize) -> Self {
-        BoundedSlSnapshot::new(BoundedAfekSnapshot::new(mem, n), SlAbaRegister::new(mem, n), n)
+        BoundedSlSnapshot::new(
+            BoundedAfekSnapshot::new(mem, n),
+            SlAbaRegister::new(mem, n),
+            n,
+        )
     }
 }
 
 impl<V, S, R> BoundedSlSnapshot<V, S, R>
 where
     V: Value,
-    S: LinSnapshot<V>,
+    S: SnapshotSubstrate<V>,
     R: AbaRegister<Vec<Option<V>>>,
 {
     /// Assembles Algorithm 3 from an explicit substrate and register.
@@ -91,6 +97,7 @@ where
             s,
             r,
             n,
+            guard: HandleGuard::new(),
             _marker: PhantomData,
         }
     }
@@ -109,6 +116,7 @@ where
             r: self.r.handle(p),
             n: self.n,
             last_stats: ScanStats::default(),
+            _lease: self.guard.acquire(p),
             _marker: PhantomData,
         }
     }
@@ -117,7 +125,7 @@ where
 impl<V, S, R> SnapshotObject<V> for BoundedSlSnapshot<V, S, R>
 where
     V: Value,
-    S: LinSnapshot<V>,
+    S: SnapshotSubstrate<V>,
     R: AbaRegister<Vec<Option<V>>>,
 {
     type Handle = BoundedSlSnapshotHandle<V, S, R>;
@@ -135,7 +143,7 @@ where
 pub struct BoundedSlSnapshotHandle<V, S, R>
 where
     V: Value,
-    S: LinSnapshot<V>,
+    S: SnapshotSubstrate<V>,
     R: AbaRegister<Vec<Option<V>>>,
 {
     p: ProcId,
@@ -143,13 +151,14 @@ where
     r: R::Handle,
     n: usize,
     last_stats: ScanStats,
+    _lease: HandleLease,
     _marker: PhantomData<fn() -> V>,
 }
 
 impl<V, S, R> BoundedSlSnapshotHandle<V, S, R>
 where
     V: Value,
-    S: LinSnapshot<V>,
+    S: SnapshotSubstrate<V>,
     R: AbaRegister<Vec<Option<V>>>,
 {
     /// Base-object operation counts of the most recent operation.
@@ -205,7 +214,7 @@ where
 impl<V, S, R> SnapshotHandle<V> for BoundedSlSnapshotHandle<V, S, R>
 where
     V: Value,
-    S: LinSnapshot<V>,
+    S: SnapshotSubstrate<V>,
     R: AbaRegister<Vec<Option<V>>>,
 {
     fn update(&mut self, value: V) {
@@ -254,10 +263,10 @@ mod tests {
     fn native_threads_concurrent_updates_scans() {
         let mem = NativeMem::new();
         let snap = BoundedSlSnapshot::fully_bounded(&mem, 4);
-        crossbeam::scope(|sc| {
+        std::thread::scope(|sc| {
             for p in 0..4usize {
                 let snap = snap.clone();
-                sc.spawn(move |_| {
+                sc.spawn(move || {
                     let mut h = snap.handle(ProcId(p));
                     for i in 0..50u64 {
                         h.update(i);
@@ -266,8 +275,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let mut h = snap.handle(ProcId(0));
         assert_eq!(&h.scan()[1..], &[Some(49), Some(49), Some(49)]);
     }

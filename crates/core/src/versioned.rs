@@ -1,7 +1,7 @@
 //! The Denysyuk–Woelfel unbounded versioned-object construction (§4.1).
 
-use sl_mem::{Mem, Value};
-use sl_snapshot::{DoubleCollectSnapshot, LinSnapshot, VersionedSnapshot};
+use sl_mem::{HandleGuard, HandleLease, Mem, Value};
+use sl_snapshot::{DoubleCollectSnapshot, SnapshotSubstrate, VersionedSubstrate};
 use sl_spec::ProcId;
 
 use crate::max_register::UnaryMaxRegister;
@@ -28,6 +28,7 @@ pub struct VersionedSlSnapshot<V: Value, M: Mem> {
     s: DoubleCollectSnapshot<V, M>,
     r: UnaryMaxRegister<Vec<Option<V>>, M>,
     n: usize,
+    guard: HandleGuard,
 }
 
 impl<V: Value, M: Mem> Clone for VersionedSlSnapshot<V, M> {
@@ -36,6 +37,7 @@ impl<V: Value, M: Mem> Clone for VersionedSlSnapshot<V, M> {
             s: self.s.clone(),
             r: self.r.clone(),
             n: self.n,
+            guard: self.guard.clone(),
         }
     }
 }
@@ -58,6 +60,7 @@ impl<V: Value, M: Mem> VersionedSlSnapshot<V, M> {
             s: DoubleCollectSnapshot::new(mem, n),
             r: UnaryMaxRegister::new(mem, "dw.R"),
             n,
+            guard: HandleGuard::new(),
         }
     }
 
@@ -74,6 +77,7 @@ impl<V: Value, M: Mem> SnapshotObject<V> for VersionedSlSnapshot<V, M> {
     fn handle(&self, p: ProcId) -> Self::Handle {
         assert!(p.index() < self.n, "process id out of range");
         VersionedHandle {
+            _lease: self.guard.acquire(p),
             outer: self.clone(),
             p,
         }
@@ -88,6 +92,18 @@ impl<V: Value, M: Mem> SnapshotObject<V> for VersionedSlSnapshot<V, M> {
 pub struct VersionedHandle<V: Value, M: Mem> {
     outer: VersionedSlSnapshot<V, M>,
     p: ProcId,
+    _lease: HandleLease,
+}
+
+impl<V: Value, M: Mem> VersionedHandle<V, M> {
+    /// `scan()` together with the version of the returned view — the
+    /// defining capability of the §4.1 versioned object. The version is
+    /// the one stored by the max-register `R`, which strictly increases
+    /// with every update.
+    pub fn scan_with_version(&mut self) -> (Vec<Option<V>>, u64) {
+        let (version, view) = self.outer.r.max_read();
+        (view.unwrap_or_else(|| vec![None; self.outer.n]), version)
+    }
 }
 
 impl<V: Value, M: Mem> SnapshotHandle<V> for VersionedHandle<V, M> {
@@ -144,10 +160,10 @@ mod tests {
     fn concurrent_native_usage() {
         let mem = NativeMem::new();
         let snap: VersionedSlSnapshot<u64, _> = VersionedSlSnapshot::new(&mem, 3);
-        crossbeam::scope(|sc| {
+        std::thread::scope(|sc| {
             for p in 0..3usize {
                 let snap = snap.clone();
-                sc.spawn(move |_| {
+                sc.spawn(move || {
                     let mut h = snap.handle(ProcId(p));
                     for i in 0..50u64 {
                         h.update(i);
@@ -156,7 +172,6 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
     }
 }

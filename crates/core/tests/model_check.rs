@@ -3,11 +3,15 @@
 //! (the `pt` functions Q-1/Q-2 of §3.2).
 
 use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree};
-use sl_core::aba::{AbaHandle, AbaRegister, SlAbaRegister};
+use sl_core::aba::{AbaHandle, SlAbaRegister};
 use sl_core::SlSnapshot;
-use sl_sim::{explore, AccessKind, EventLog, Program, RunOutcome, Scripted, SeededRandom, SimWorld, TraceItem};
+use sl_sim::{
+    explore, AccessKind, EventLog, Program, RunOutcome, Scripted, SeededRandom, SimWorld, TraceItem,
+};
 use sl_spec::types::{AbaSpec, SnapshotSpec};
-use sl_spec::{validate_sequential, AbaOp, AbaResp, EventKind, History, ProcId, SnapshotOp, SnapshotResp};
+use sl_spec::{
+    validate_sequential, AbaOp, AbaResp, EventKind, History, ProcId, SnapshotOp, SnapshotResp,
+};
 
 type ASpec = AbaSpec<u64>;
 type SSpec = SnapshotSpec<u64>;
@@ -51,7 +55,11 @@ fn sl_aba_exhaustive_one_write_one_read() {
         |_, _| {},
     );
     assert!(explored.exhausted, "schedule space must be fully explored");
-    assert!(explored.runs > 10, "expected many interleavings, got {}", explored.runs);
+    assert!(
+        explored.runs > 10,
+        "expected many interleavings, got {}",
+        explored.runs
+    );
 
     let tree = HistoryTree::from_transcripts(&transcripts);
     let report = check_strongly_linearizable(&ASpec::new(2), &tree);
@@ -108,8 +116,7 @@ fn sl_snapshot_atomic_r_exhaustive_one_update_one_scan() {
         report.holds,
         "Theorem 25 (bounded check): Algorithm 3 strongly linearizable over {} schedules \
          (exhausted: {})",
-        explored.runs,
-        explored.exhausted
+        explored.runs, explored.exhausted
     );
 }
 
@@ -141,7 +148,10 @@ fn sl_snapshot_composed_linearizable_under_random_schedules() {
         }
         let mut sched = SeededRandom::new(seed);
         let outcome = world.run(programs, &mut sched, 2_000_000);
-        assert!(outcome.completed, "seed {seed}: scans starved (lock-freedom violated?)");
+        assert!(
+            outcome.completed,
+            "seed {seed}: scans starved (lock-freedom violated?)"
+        );
         let h = log.history();
         assert!(
             check_linearizable(&SSpec::new(n), &h).is_some(),
@@ -389,8 +399,7 @@ fn fully_bounded_sl_snapshot_strong_bounded_check() {
     assert!(
         report.holds,
         "fully bounded configuration over {} schedules (exhausted: {})",
-        explored.runs,
-        explored.exhausted
+        explored.runs, explored.exhausted
     );
 }
 

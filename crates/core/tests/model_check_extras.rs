@@ -9,7 +9,9 @@
 //! (model-checked positively below).
 
 use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree};
-use sl_core::{BoundedMaxRegister, SnapshotHandle, SnapshotObject, UnaryMaxRegister, VersionedSlSnapshot};
+use sl_core::{
+    BoundedMaxRegister, SnapshotHandle, SnapshotObject, UnaryMaxRegister, VersionedSlSnapshot,
+};
 use sl_sim::{explore, EventLog, Program, Scripted, SeededRandom, SimWorld};
 use sl_spec::types::{MaxRegisterSpec, SnapshotSpec};
 use sl_spec::{MaxRegisterOp, MaxRegisterResp, ProcId, SnapshotOp, SnapshotResp};
@@ -79,7 +81,10 @@ fn double_collect_max_register_read_is_not_strongly_linearizable() {
     let transcripts = two_writer_transcripts(ReadVariant::DoubleCollect);
     let tree = HistoryTree::from_transcripts(&transcripts);
     let report = check_strongly_linearizable(&MaxRegisterSpec, &tree);
-    assert!(!report.holds, "late determination defeats the double collect");
+    assert!(
+        !report.holds,
+        "late determination defeats the double collect"
+    );
 }
 
 /// The paper's §4.5 strongly linearizable max-register (derived from
@@ -127,8 +132,7 @@ fn snapshot_derived_max_register_strong_bounded_check() {
     assert!(
         report.holds,
         "§4.5 snapshot-derived max-register over {} schedules (exhausted: {})",
-        explored.runs,
-        explored.exhausted
+        explored.runs, explored.exhausted
     );
 }
 
@@ -239,8 +243,7 @@ fn versioned_construction_strongly_linearizable_bounded() {
     assert!(
         report.holds,
         "DW §4.1 construction over {} schedules (exhausted: {})",
-        explored.runs,
-        explored.exhausted
+        explored.runs, explored.exhausted
     );
 }
 

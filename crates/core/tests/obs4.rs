@@ -129,7 +129,8 @@ fn algorithm1_observation4_family_has_no_strong_linearization() {
     // last operation; the writer may have trailing DWrites after it.)
     let dr2_of = |h: &sl_spec::History<Spec>| {
         h.records()
-            .into_iter().rfind(|r| r.proc == ProcId(READER))
+            .into_iter()
+            .rfind(|r| r.proc == ProcId(READER))
             .unwrap()
     };
     assert_eq!(

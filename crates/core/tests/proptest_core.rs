@@ -1,10 +1,10 @@
-//! Property tests for the core algorithms.
+//! Property tests for the core algorithms, driven by the workspace's
+//! deterministic [`SmallRng`].
 
-use proptest::prelude::*;
 use sl_check::check_linearizable;
-use sl_core::aba::{AbaHandle, AbaRegister, PackedSlAbaRegister, SlAbaRegister};
+use sl_core::aba::{AbaHandle, PackedSlAbaRegister, SlAbaRegister};
 use sl_core::{BoundedMaxRegister, SlCounter, SlSnapshot, SnapshotMaxRegister, UnaryMaxRegister};
-use sl_mem::NativeMem;
+use sl_mem::{NativeMem, SmallRng};
 use sl_sim::{EventLog, Program, SeededRandom, SimWorld};
 use sl_spec::types::AbaSpec;
 use sl_spec::{AbaOp, AbaResp, ProcId};
@@ -15,41 +15,46 @@ enum Step {
     Read,
 }
 
-fn step() -> impl Strategy<Value = Step> {
-    prop_oneof![(0u32..9).prop_map(Step::Write), Just(Step::Read)]
+fn random_step(rng: &mut SmallRng) -> Step {
+    if rng.gen_bool(0.5) {
+        Step::Write(rng.gen_range(9) as u32)
+    } else {
+        Step::Read
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The packed AtomicU64 register and the generic Algorithm 2 agree
-    /// on arbitrary single-threaded interleavings of two handles.
-    #[test]
-    fn packed_matches_generic_on_arbitrary_programs(
-        steps in proptest::collection::vec((any::<bool>(), step()), 0..60),
-    ) {
+/// The packed AtomicU64 register and the generic Algorithm 2 agree on
+/// arbitrary single-threaded interleavings of two handles.
+#[test]
+fn packed_matches_generic_on_arbitrary_programs() {
+    let mut rng = SmallRng::new(0xABA2);
+    for case in 0..48 {
         let packed = PackedSlAbaRegister::new(2);
         let generic = SlAbaRegister::<u32, _>::new(&NativeMem::new(), 2);
         let mut ph = [packed.handle(ProcId(0)), packed.handle(ProcId(1))];
         let mut gh = [generic.handle(ProcId(0)), generic.handle(ProcId(1))];
-        for (second, s) in steps {
-            let i = second as usize;
-            match s {
+        for _ in 0..rng.gen_range(61) {
+            let i = rng.gen_range(2);
+            match random_step(&mut rng) {
                 Step::Write(v) => {
                     ph[i].dwrite(v);
                     gh[i].dwrite(v);
                 }
                 Step::Read => {
-                    prop_assert_eq!(ph[i].dread(), gh[i].dread());
+                    assert_eq!(ph[i].dread(), gh[i].dread(), "case {case}");
                 }
             }
         }
     }
+}
 
-    /// Algorithm 2 histories under arbitrary random schedules are
-    /// linearizable.
-    #[test]
-    fn sl_aba_linearizable_any_seed(seed in any::<u64>()) {
+/// Algorithm 2 histories under arbitrary random schedules are
+/// linearizable.
+#[test]
+fn sl_aba_linearizable_any_seed() {
+    let mut rng = SmallRng::new(0xABA3);
+    for _case in 0..12 {
+        let seed = rng.next_u64();
         let n = 3;
         let world = SimWorld::new(n);
         let mem = world.mem();
@@ -76,69 +81,83 @@ proptest! {
         }
         let mut sched = SeededRandom::new(seed);
         let outcome = world.run(programs, &mut sched, 500_000);
-        prop_assert!(outcome.completed);
-        prop_assert!(check_linearizable(&AbaSpec::new(n), &log.history()).is_some());
+        assert!(outcome.completed, "seed {seed}");
+        assert!(
+            check_linearizable(&AbaSpec::new(n), &log.history()).is_some(),
+            "seed {seed}"
+        );
     }
+}
 
-    /// The bounded AAC max-register equals a reference maximum under
-    /// arbitrary write sequences.
-    #[test]
-    fn bounded_max_register_tracks_reference(
-        writes in proptest::collection::vec(0u64..1000, 0..50),
-    ) {
+/// The bounded AAC max-register equals a reference maximum under
+/// arbitrary write sequences.
+#[test]
+fn bounded_max_register_tracks_reference() {
+    let mut rng = SmallRng::new(0x3A40);
+    for case in 0..48 {
         let m = BoundedMaxRegister::new(&NativeMem::new(), 1000);
         let mut reference = 0;
-        for w in writes {
+        for _ in 0..rng.gen_range(51) {
+            let w = rng.gen_range(1000) as u64;
             m.max_write(w);
             reference = reference.max(w);
-            prop_assert_eq!(m.max_read(), reference);
+            assert_eq!(m.max_read(), reference, "case {case}");
         }
     }
+}
 
-    /// The unary unbounded max-register tracks the maximum and its
-    /// payload, and allocates exactly max+1 cells.
-    #[test]
-    fn unary_max_register_tracks_reference(
-        writes in proptest::collection::vec(0u64..200, 1..40),
-    ) {
+/// The unary unbounded max-register tracks the maximum and its payload,
+/// and allocates exactly max+1 cells.
+#[test]
+fn unary_max_register_tracks_reference() {
+    let mut rng = SmallRng::new(0x3A41);
+    for case in 0..48 {
         let m: UnaryMaxRegister<u64, _> = UnaryMaxRegister::new(&NativeMem::new(), "m");
         let mut reference = None::<u64>;
-        for w in &writes {
-            m.max_write(*w, *w * 2);
-            reference = Some(reference.map_or(*w, |r| r.max(*w)));
+        for _ in 0..1 + rng.gen_range(39) {
+            let w = rng.gen_range(200) as u64;
+            m.max_write(w, w * 2);
+            reference = Some(reference.map_or(w, |r| r.max(w)));
         }
         let (v, payload) = m.max_read();
-        prop_assert_eq!(Some(v), reference);
-        prop_assert_eq!(payload, reference.map(|r| r * 2));
-        prop_assert_eq!(m.allocated_cells() as u64, reference.unwrap() + 1);
+        assert_eq!(Some(v), reference, "case {case}");
+        assert_eq!(payload, reference.map(|r| r * 2), "case {case}");
+        assert_eq!(m.allocated_cells() as u64, reference.unwrap() + 1);
     }
+}
 
-    /// Derived counter: single-threaded reads always equal the number of
-    /// increments, interleaved across handles arbitrarily.
-    #[test]
-    fn derived_counter_counts(choices in proptest::collection::vec(0usize..3, 0..40)) {
+/// Derived counter: single-threaded reads always equal the number of
+/// increments, interleaved across handles arbitrarily.
+#[test]
+fn derived_counter_counts() {
+    let mut rng = SmallRng::new(0xC0DE);
+    for case in 0..24 {
         let mem = NativeMem::new();
         let counter = SlCounter::new(SlSnapshot::with_double_collect(&mem, 3));
         let mut handles: Vec<_> = (0..3).map(|p| counter.handle(ProcId(p))).collect();
-        for (done, c) in choices.into_iter().enumerate() {
+        for done in 0..rng.gen_range(41) {
+            let c = rng.gen_range(3);
             handles[c].inc();
-            prop_assert_eq!(handles[(c + 1) % 3].read(), done as u64 + 1);
+            assert_eq!(handles[(c + 1) % 3].read(), done as u64 + 1, "case {case}");
         }
     }
+}
 
-    /// Derived max-register: equals the reference max across handles.
-    #[test]
-    fn derived_max_register_tracks_reference(
-        writes in proptest::collection::vec((0usize..3, 0u64..100), 0..40),
-    ) {
+/// Derived max-register: equals the reference max across handles.
+#[test]
+fn derived_max_register_tracks_reference() {
+    let mut rng = SmallRng::new(0xC0DF);
+    for case in 0..24 {
         let mem = NativeMem::new();
         let maxreg = SnapshotMaxRegister::new(SlSnapshot::with_double_collect(&mem, 3));
         let mut handles: Vec<_> = (0..3).map(|p| maxreg.handle(ProcId(p))).collect();
         let mut reference = 0;
-        for (p, v) in writes {
+        for _ in 0..rng.gen_range(41) {
+            let p = rng.gen_range(3);
+            let v = rng.gen_range(100) as u64;
             handles[p].max_write(v);
             reference = reference.max(v);
-            prop_assert_eq!(handles[(p + 1) % 3].max_read(), reference);
+            assert_eq!(handles[(p + 1) % 3].max_read(), reference, "case {case}");
         }
     }
 }

@@ -1,0 +1,151 @@
+//! Single-writer discipline enforcement: the duplicate-handle guard.
+//!
+//! Every object in this workspace is accessed through per-process
+//! handles, and the paper's model requires that at most one handle per
+//! process be in use on any one object (component `p` is single-writer,
+//! and the process-local helping state must not be split across two
+//! handles). The docs used to leave that discipline to the caller;
+//! [`HandleGuard`] now enforces it: constructing a second live handle
+//! for the same [`ProcId`] on one object is a **debug-mode panic**. In
+//! release builds the guard compiles to the same tracking without the
+//! panic, so production code pays one mutex op per handle construction
+//! (never per operation).
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+use sl_spec::ProcId;
+
+/// Shared per-object registry of live handles.
+///
+/// Cloning the guard (as object types do in their `Clone` impls) shares
+/// the registry, so clones of one object still detect duplicates.
+#[derive(Clone, Debug, Default)]
+pub struct HandleGuard {
+    live: Arc<Mutex<HashSet<usize>>>,
+}
+
+impl HandleGuard {
+    /// Creates an empty guard.
+    pub fn new() -> Self {
+        HandleGuard::default()
+    }
+
+    /// Registers a live handle for process `p`, returning the lease that
+    /// keeps the registration until dropped.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if a live handle for `p` already exists
+    /// on this object (single-writer discipline violation).
+    pub fn acquire(&self, p: ProcId) -> HandleLease {
+        let fresh = self.live.lock().unwrap().insert(p.index());
+        if cfg!(debug_assertions) {
+            assert!(
+                fresh,
+                "duplicate handle: a live handle for {p} already exists on this object \
+                 (single-writer discipline; drop the previous handle first)"
+            );
+        }
+        // In release builds a duplicate acquire is tolerated, but its
+        // lease must not deregister the original holder's slot when it
+        // drops — only the lease that actually inserted owns the slot.
+        HandleLease {
+            live: Arc::clone(&self.live),
+            p,
+            registered: fresh,
+        }
+    }
+
+    /// Number of currently live handles on this object.
+    pub fn live_handles(&self) -> usize {
+        self.live.lock().unwrap().len()
+    }
+}
+
+/// The registration of one live handle; releases the process slot when
+/// dropped, so handles may be re-created after the previous one is gone.
+#[derive(Debug)]
+pub struct HandleLease {
+    live: Arc<Mutex<HashSet<usize>>>,
+    p: ProcId,
+    /// Whether this lease actually registered the slot (false for a
+    /// tolerated release-build duplicate).
+    registered: bool,
+}
+
+impl HandleLease {
+    /// The process this lease registers.
+    pub fn proc(&self) -> ProcId {
+        self.p
+    }
+}
+
+impl Drop for HandleLease {
+    fn drop(&mut self) {
+        if self.registered {
+            self.live.lock().unwrap().remove(&self.p.index());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_processes_coexist() {
+        let g = HandleGuard::new();
+        let _a = g.acquire(ProcId(0));
+        let _b = g.acquire(ProcId(1));
+        assert_eq!(g.live_handles(), 2);
+    }
+
+    #[test]
+    fn drop_releases_the_slot() {
+        let g = HandleGuard::new();
+        let a = g.acquire(ProcId(0));
+        drop(a);
+        let _again = g.acquire(ProcId(0));
+        assert_eq!(g.live_handles(), 1);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "guard panics only in debug builds")]
+    fn duplicate_is_a_debug_panic() {
+        let g = HandleGuard::new();
+        let a = g.acquire(ProcId(3));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _b = g.acquire(ProcId(3));
+        }));
+        assert!(result.is_err(), "second live handle for p3 must panic");
+        // The failed acquire must not disturb the original registration.
+        assert_eq!(g.live_handles(), 1);
+        drop(a);
+        assert_eq!(g.live_handles(), 0, "original lease still owns the slot");
+        let _again = g.acquire(ProcId(3));
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "exercises the release-build duplicate path"
+    )]
+    fn release_duplicate_lease_does_not_deregister_the_original() {
+        let g = HandleGuard::new();
+        let a = g.acquire(ProcId(0));
+        let b = g.acquire(ProcId(0)); // tolerated without debug_assertions
+        drop(b);
+        assert_eq!(g.live_handles(), 1, "original registration must survive");
+        drop(a);
+        assert_eq!(g.live_handles(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let g = HandleGuard::new();
+        let g2 = g.clone();
+        let _a = g.acquire(ProcId(0));
+        assert_eq!(g2.live_handles(), 1);
+    }
+}

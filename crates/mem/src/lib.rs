@@ -24,8 +24,12 @@
 //! assert_eq!(reg.read(), 7);
 //! ```
 
+mod guard;
 mod native;
+pub mod rng;
 mod traits;
 
+pub use guard::{HandleGuard, HandleLease};
 pub use native::{NativeMem, NativeRegister};
+pub use rng::SmallRng;
 pub use traits::{Mem, Register, RmwCell, Value};

@@ -1,8 +1,6 @@
 //! Real-thread backend: lock-protected register cells.
 
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock};
 
 use crate::{Mem, Register, RmwCell, Value};
 
@@ -56,23 +54,23 @@ impl<T> Clone for NativeRegister<T> {
 
 impl<T: Value> std::fmt::Debug for NativeRegister<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "NativeRegister({:?})", *self.cell.read())
+        write!(f, "NativeRegister({:?})", *self.cell.read().unwrap())
     }
 }
 
 impl<T: Value> Register<T> for NativeRegister<T> {
     fn read(&self) -> T {
-        self.cell.read().clone()
+        self.cell.read().unwrap().clone()
     }
 
     fn write(&self, value: T) {
-        *self.cell.write() = value;
+        *self.cell.write().unwrap() = value;
     }
 }
 
 impl<T: Value> RmwCell<T> for NativeRegister<T> {
     fn update(&self, f: impl FnOnce(&T) -> T) -> T {
-        let mut guard = self.cell.write();
+        let mut guard = self.cell.write().unwrap();
         let old = guard.clone();
         *guard = f(&old);
         old
@@ -105,18 +103,17 @@ mod tests {
     fn concurrent_access_is_safe() {
         let mem = NativeMem::new();
         let r = mem.alloc("r", 0u64);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4 {
                 let r = r.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..1000 {
                         r.write(t * 1000 + i);
                         let _ = r.read();
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let last = r.read();
         assert!(last < 4000);
     }

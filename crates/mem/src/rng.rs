@@ -1,0 +1,97 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workspace deliberately has no external dependencies, so the
+//! seeded randomness needed by the adversarial schedulers, the
+//! randomized experiments, and the property tests comes from this
+//! SplitMix64 generator (Steele, Lea & Flood 2014). It is *not*
+//! cryptographic — determinism and reproducibility given the seed are
+//! the only requirements here.
+
+/// A seeded SplitMix64 pseudo-random number generator.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn gen_range(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Multiply-shift reduction; bias is negligible for the small
+        // bounds used by schedulers and tests.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// A fair coin flip with probability `p` of `true`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    /// A uniformly chosen element of `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        &slice[self.gen_range(slice.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_given_seed() {
+        let mut a = SmallRng::new(42);
+        let mut b = SmallRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = SmallRng::new(1);
+        let mut b = SmallRng::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SmallRng::new(7);
+        for bound in 1..20 {
+            for _ in 0..50 {
+                assert!(r.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut r = SmallRng::new(9);
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+}

@@ -99,14 +99,10 @@ mod tests {
     #[test]
     fn explores_all_interleavings_of_two_single_step_programs() {
         let mut finals = Vec::new();
-        let outcome = explore(
-            run_two_writers,
-            100,
-            |_script, run| {
-                let last = run.steps().last().unwrap().value.clone();
-                finals.push(last);
-            },
-        );
+        let outcome = explore(run_two_writers, 100, |_script, run| {
+            let last = run.steps().last().unwrap().value.clone();
+            finals.push(last);
+        });
         assert!(outcome.exhausted);
         assert_eq!(outcome.runs, 2);
         finals.sort();
@@ -132,9 +128,7 @@ mod tests {
             let programs: Vec<crate::Program> = handles
                 .into_iter()
                 .enumerate()
-                .map(|(i, r)| {
-                    Box::new(move |_| r.write(i as u64)) as crate::Program
-                })
+                .map(|(i, r)| Box::new(move |_| r.write(i as u64)) as crate::Program)
                 .collect();
             world.run(programs, &mut sched, 100)
         };

@@ -1,10 +1,8 @@
 //! Typed recording of high-level events, interleaved with register steps.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
 use sl_check::TreeStep;
 use sl_spec::{Event, History, OpId, ProcId, SeqSpec};
+use std::sync::{Arc, Mutex};
 
 use crate::world::{RunOutcome, SimWorld, TraceItem};
 
@@ -42,7 +40,11 @@ impl<S: SeqSpec> Clone for EventLog<S> {
 
 impl<S: SeqSpec> std::fmt::Debug for EventLog<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "EventLog({} events)", self.inner.lock().history.len())
+        write!(
+            f,
+            "EventLog({} events)",
+            self.inner.lock().unwrap().history.len()
+        )
     }
 }
 
@@ -59,7 +61,7 @@ impl<S: SeqSpec> EventLog<S> {
 
     /// Records an invocation event and returns its operation identifier.
     pub fn invoke(&self, proc: ProcId, op: S::Op) -> OpId {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let id = inner.history.invoke(proc, op);
         let index = inner.history.len() - 1;
         self.world.push_hi_marker(index);
@@ -68,7 +70,7 @@ impl<S: SeqSpec> EventLog<S> {
 
     /// Records the response event matching `id`.
     pub fn respond(&self, id: OpId, resp: S::Resp) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         inner.history.respond(id, resp);
         let index = inner.history.len() - 1;
         self.world.push_hi_marker(index);
@@ -76,14 +78,14 @@ impl<S: SeqSpec> EventLog<S> {
 
     /// The recorded history (high-level events only).
     pub fn history(&self) -> History<S> {
-        self.inner.lock().history.clone()
+        self.inner.lock().unwrap().history.clone()
     }
 
     /// Reconstructs the full transcript of a run: high-level events and
     /// internal register steps, in execution order, in the form consumed
     /// by `sl_check::HistoryTree::from_transcripts`.
     pub fn transcript(&self, outcome: &RunOutcome) -> Vec<TreeStep<S>> {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         let events: Vec<Event<S>> = inner.history.events().to_vec();
         outcome
             .trace

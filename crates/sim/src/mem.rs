@@ -1,9 +1,7 @@
 //! The simulator's `Mem` backend.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
 use sl_mem::{Mem, Register, RmwCell, Value};
+use std::sync::{Arc, Mutex};
 
 use crate::world::{AccessKind, SimWorld};
 
@@ -77,7 +75,7 @@ impl<T: Value> SimRegister<T> {
     /// process program: it would hide a shared-memory access from the
     /// step accounting.
     pub fn peek(&self) -> T {
-        self.cell.lock().clone()
+        self.cell.lock().unwrap().clone()
     }
 }
 
@@ -85,7 +83,7 @@ impl<T: Value> Register<T> for SimRegister<T> {
     fn read(&self) -> T {
         let cell = Arc::clone(&self.cell);
         self.world.step(&self.name, AccessKind::Read, move || {
-            let v = cell.lock().clone();
+            let v = cell.lock().unwrap().clone();
             let label = format!("{v:?}");
             (v, label)
         })
@@ -95,7 +93,7 @@ impl<T: Value> Register<T> for SimRegister<T> {
         let cell = Arc::clone(&self.cell);
         let label = format!("{value:?}");
         self.world.step(&self.name, AccessKind::Write, move || {
-            *cell.lock() = value;
+            *cell.lock().unwrap() = value;
             ((), label)
         });
     }
@@ -105,7 +103,7 @@ impl<T: Value> RmwCell<T> for SimRegister<T> {
     fn update(&self, f: impl FnOnce(&T) -> T) -> T {
         let cell = Arc::clone(&self.cell);
         self.world.step(&self.name, AccessKind::Rmw, move || {
-            let mut guard = cell.lock();
+            let mut guard = cell.lock().unwrap();
             let old = guard.clone();
             let new = f(&old);
             let label = format!("{old:?}->{new:?}");

@@ -1,8 +1,6 @@
 //! Schedulers: deterministic, random, scripted, and adaptive adversaries.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use sl_mem::SmallRng;
 
 use crate::world::SchedView;
 
@@ -49,21 +47,21 @@ impl Scheduler for RoundRobin {
 /// reproducible given the seed.
 #[derive(Clone, Debug)]
 pub struct SeededRandom {
-    rng: ChaCha8Rng,
+    rng: SmallRng,
 }
 
 impl SeededRandom {
     /// Creates a random scheduler from a seed.
     pub fn new(seed: u64) -> Self {
         SeededRandom {
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            rng: SmallRng::new(seed),
         }
     }
 }
 
 impl Scheduler for SeededRandom {
     fn pick(&mut self, view: &SchedView<'_>) -> usize {
-        view.runnable[self.rng.gen_range(0..view.runnable.len())]
+        *self.rng.choose(view.runnable)
     }
 }
 
@@ -157,7 +155,11 @@ mod tests {
         assert_eq!(s.pick(&view(&[0, 1], &trace, &steps)), 1);
         assert_eq!(s.pick(&view(&[0, 1], &trace, &steps)), 1);
         assert_eq!(s.pick(&view(&[0, 1], &trace, &steps)), 0);
-        assert_eq!(s.pick(&view(&[0, 1], &trace, &steps)), 0, "fallback: lowest id");
+        assert_eq!(
+            s.pick(&view(&[0, 1], &trace, &steps)),
+            0,
+            "fallback: lowest id"
+        );
     }
 
     #[test]

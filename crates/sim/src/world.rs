@@ -2,9 +2,7 @@
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::mem::SimMem;
 use crate::sched::Scheduler;
@@ -148,9 +146,7 @@ impl RunOutcome {
 
     /// Total number of shared-memory steps (excludes scheduled pauses).
     pub fn shared_steps(&self) -> u64 {
-        self.steps()
-            .filter(|s| s.kind != AccessKind::Local)
-            .count() as u64
+        self.steps().filter(|s| s.kind != AccessKind::Local).count() as u64
     }
 }
 
@@ -300,7 +296,9 @@ impl SimWorld {
 
     /// The register allocator of this world.
     pub fn mem(&self) -> SimMem {
-        SimMem { world: self.clone() }
+        SimMem {
+            world: self.clone(),
+        }
     }
 
     /// Runs `programs` (one per process) under `scheduler`, admitting at
@@ -322,7 +320,7 @@ impl SimWorld {
     ) -> RunOutcome {
         assert_eq!(programs.len(), self.n, "one program per process");
         {
-            let mut st = self.inner.state.lock();
+            let mut st = self.inner.state.lock().unwrap();
             assert!(!st.started, "a SimWorld can run only once");
             st.started = true;
         }
@@ -342,7 +340,7 @@ impl SimWorld {
                         };
                         let result = panic::catch_unwind(AssertUnwindSafe(|| program(ctx)));
                         {
-                            let mut st = world.inner.state.lock();
+                            let mut st = world.inner.state.lock().unwrap();
                             st.phase[pid] = Phase::Done;
                             world.inner.coord_cv.notify_all();
                         }
@@ -362,7 +360,7 @@ impl SimWorld {
             h.join().expect("simulated process panicked");
         }
 
-        let mut st = self.inner.state.lock();
+        let mut st = self.inner.state.lock().unwrap();
         RunOutcome {
             completed: !st.aborted,
             steps_per_proc: st.steps_per_proc.clone(),
@@ -373,10 +371,10 @@ impl SimWorld {
 
     fn coordinate(&self, scheduler: &mut dyn Scheduler, max_steps: u64) {
         loop {
-            let mut st = self.inner.state.lock();
+            let mut st = self.inner.state.lock().unwrap();
             // Wait until every process is quiescent (waiting or done).
             while st.phase.contains(&Phase::Running) {
-                self.inner.coord_cv.wait(&mut st);
+                st = self.inner.coord_cv.wait(st).unwrap();
             }
             let runnable: Vec<usize> = st
                 .phase
@@ -394,7 +392,7 @@ impl SimWorld {
                 IN_SIM_ABORT.store(true, Ordering::SeqCst);
                 self.inner.proc_cv.notify_all();
                 while st.phase.iter().any(|p| *p != Phase::Done) {
-                    self.inner.coord_cv.wait(&mut st);
+                    st = self.inner.coord_cv.wait(st).unwrap();
                 }
                 return;
             }
@@ -408,17 +406,14 @@ impl SimWorld {
                 runnable.contains(&chosen),
                 "scheduler chose non-runnable process {chosen} (runnable: {runnable:?})"
             );
-            st.decisions.push(Decision {
-                runnable,
-                chosen,
-            });
+            st.decisions.push(Decision { runnable, chosen });
             st.granted = Some(chosen);
             self.inner.proc_cv.notify_all();
             // Wait until the chosen process consumes the grant; without
             // this the coordinator could observe the world still quiescent
             // and issue a second grant for the same step.
             while st.granted.is_some() {
-                self.inner.coord_cv.wait(&mut st);
+                st = self.inner.coord_cv.wait(st).unwrap();
             }
         }
     }
@@ -435,7 +430,7 @@ impl SimWorld {
         let pid = CURRENT_PROC.with(|c| c.get()).unwrap_or_else(|| {
             panic!("simulated register accessed outside a SimWorld::run program")
         });
-        let mut st = self.inner.state.lock();
+        let mut st = self.inner.state.lock().unwrap();
         st.phase[pid] = Phase::Waiting;
         self.inner.coord_cv.notify_all();
         loop {
@@ -446,7 +441,7 @@ impl SimWorld {
             if st.granted == Some(pid) {
                 break;
             }
-            self.inner.proc_cv.wait(&mut st);
+            st = self.inner.proc_cv.wait(st).unwrap();
         }
         st.granted = None;
         st.phase[pid] = Phase::Running;
@@ -465,7 +460,7 @@ impl SimWorld {
     /// Records a high-level event marker in the trace; used by
     /// [`crate::EventLog`].
     pub(crate) fn push_hi_marker(&self, index: usize) {
-        let mut st = self.inner.state.lock();
+        let mut st = self.inner.state.lock().unwrap();
         st.trace.push(TraceItem::Hi(index));
     }
 }

@@ -67,9 +67,7 @@ fn runs_are_deterministic_given_the_seed() {
 
 #[test]
 fn different_seeds_can_differ() {
-    let traces: Vec<_> = (0..10)
-        .map(|s| run_register_workload(s).0.trace)
-        .collect();
+    let traces: Vec<_> = (0..10).map(|s| run_register_workload(s).0.trace).collect();
     assert!(
         traces.iter().any(|t| *t != traces[0]),
         "ten seeds all produced identical interleavings — scheduler not random?"
@@ -216,7 +214,11 @@ fn pauses_consume_decisions_but_not_shared_steps() {
     ];
     let outcome = world.run(programs, &mut RoundRobin::new(), 100);
     assert!(outcome.completed);
-    assert_eq!(outcome.total_steps(), 4, "3 pauses + 1 write, all scheduled");
+    assert_eq!(
+        outcome.total_steps(),
+        4,
+        "3 pauses + 1 write, all scheduled"
+    );
     assert_eq!(outcome.shared_steps(), 1, "only the write touches memory");
     assert_eq!(outcome.shared_steps_of(0), 1);
     assert_eq!(outcome.shared_steps_of(1), 0);
@@ -238,7 +240,10 @@ fn rmw_cells_take_one_step() {
     assert!(outcome.completed);
     assert_eq!(outcome.shared_steps(), 2, "one rmw + one read");
     let kinds: Vec<_> = outcome.steps().map(|s| s.kind).collect();
-    assert_eq!(kinds, vec![sl_sim::AccessKind::Rmw, sl_sim::AccessKind::Read]);
+    assert_eq!(
+        kinds,
+        vec![sl_sim::AccessKind::Rmw, sl_sim::AccessKind::Read]
+    );
 }
 
 #[test]
@@ -276,5 +281,8 @@ fn adaptive_scheduler_sees_register_contents_via_peek() {
     let outcome = world.run(programs, &mut sched, 1000);
     assert!(outcome.completed);
     let v = *seen.lock().unwrap();
-    assert_eq!(v, 3, "the adaptive adversary released the reader exactly at 3");
+    assert_eq!(
+        v, 3,
+        "the adaptive adversary released the reader exactly at 3"
+    );
 }

@@ -3,7 +3,7 @@
 use sl_mem::{Mem, Register, Value};
 use sl_spec::ProcId;
 
-use crate::LinSnapshot;
+use crate::SnapshotSubstrate;
 
 /// A component of the helping snapshot: value, sequence number, and the
 /// *embedded view* the writer scanned just before writing.
@@ -93,7 +93,7 @@ impl<V: Value, M: Mem> AfekSnapshot<V, M> {
     }
 }
 
-impl<V: Value, M: Mem> LinSnapshot<V> for AfekSnapshot<V, M> {
+impl<V: Value, M: Mem> SnapshotSubstrate<V> for AfekSnapshot<V, M> {
     fn update(&self, p: ProcId, value: V) {
         let view = self.scan_inner();
         let reg = &self.regs[p.index()];
@@ -147,10 +147,10 @@ mod tests {
     #[test]
     fn concurrent_native_updates_and_scans_are_regular() {
         let s = snap(4);
-        crossbeam::scope(|sc| {
+        std::thread::scope(|sc| {
             for p in 0..4usize {
                 let s = s.clone();
-                sc.spawn(move |_| {
+                sc.spawn(move || {
                     for i in 0..100u64 {
                         s.update(ProcId(p), i);
                         let view = s.scan(ProcId(0));
@@ -158,8 +158,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(s.scan(ProcId(0)), vec![Some(99); 4]);
     }
 }

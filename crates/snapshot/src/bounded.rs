@@ -7,10 +7,15 @@
 //! there are two shared bits — `h1[s][u]` written by the scanner and
 //! `h2[u][s]` written by the updater — plus a toggle bit in each data
 //! register. A scanner copies `h2` into `h1` before its double collect;
-//! an updater flips `h2` (to differ from `h1`) before writing. If after
-//! a double collect every handshake still matches and no toggle moved,
-//! no update intervened; otherwise the scanner marks the mover and, on a
-//! second observed move, borrows the mover's embedded view.
+//! an updater flips `h2` (to differ from `h1`) before its embedded scan
+//! and write. If after a double collect every handshake still matches
+//! and no toggle moved, no update intervened; otherwise the scanner
+//! accumulates movement evidence per updater and borrows the mover's
+//! embedded view once the evidence proves that view was collected
+//! inside the scan — either two observed register writes, or two
+//! observed handshake flips in distinct iterations (see
+//! [`BoundedAfekSnapshot`]'s scan for the case analysis; mixing one of
+//! each is not sound in general).
 //!
 //! All registers hold bounded state for a fixed `n` (no counters), so
 //! composing this substrate into Algorithm 3 yields the paper's
@@ -20,7 +25,7 @@
 use sl_mem::{Mem, Register, Value};
 use sl_spec::ProcId;
 
-use crate::LinSnapshot;
+use crate::SnapshotSubstrate;
 
 /// A data register of the bounded snapshot: the value, the movement
 /// toggle, and the writer's embedded view.
@@ -96,9 +101,35 @@ impl<V: Value, M: Mem> BoundedAfekSnapshot<V, M> {
 
     /// The scan body, executed by process `s` (scanners and the
     /// embedded scans of updaters alike).
+    ///
+    /// Borrowing an updater's embedded view is only sound when that
+    /// view was collected inside this scan's interval, and the two
+    /// kinds of movement evidence justify it differently:
+    ///
+    /// * **Two observed writes** (register-state changes between reads
+    ///   this scan performed): the update that produced the currently
+    ///   stored view started after the first observed write, so its
+    ///   embedded view lies inside our interval — return the stored
+    ///   view.
+    /// * **Two observed handshake flips in distinct iterations**: only
+    ///   one flip per update targets this scanner, so two flips are
+    ///   two distinct updates that both *started* (flipped) inside our
+    ///   interval; the first of them completed before the second
+    ///   flipped. Its write may land after our `b` collect, so we take
+    ///   a *fresh* read of the register — the view stored there was
+    ///   collected after the first in-interval flip.
+    ///
+    /// Counting a single flip plus a single write is **not** sound in
+    /// either order (the write may belong to an update whose embedded
+    /// scan predates us), and counting flip-or-toggle without this
+    /// case analysis is the seed's linearizability bug. Every movement
+    /// observation advances one of the two counters, so a scan
+    /// finishes after `O(n)` iterations — wait-freedom is preserved.
     fn scan_as(&self, s: usize) -> Vec<Option<V>> {
         let n = self.regs.len();
-        let mut moved = vec![false; n];
+        let mut writes_seen = vec![0u32; n];
+        let mut flips_seen = vec![0u32; n];
+        let mut last_seen: Vec<Option<BoundedComponent<V>>> = vec![None; n];
         loop {
             // Handshake: adopt each updater's current h2 bit.
             let mut shaken = Vec::with_capacity(n);
@@ -115,13 +146,34 @@ impl<V: Value, M: Mem> BoundedAfekSnapshot<V, M> {
                 let toggled = a[u].toggle != b[u].toggle;
                 if handshake_moved || toggled {
                     clean = false;
-                    if moved[u] {
-                        // Second observed move of u: its embedded view
-                        // was collected entirely within our interval.
+                }
+                if handshake_moved {
+                    flips_seen[u] += 1;
+                    if flips_seen[u] >= 2 {
+                        // Two in-interval updates by u: the first has
+                        // completed, so a fresh read returns a view
+                        // collected inside our interval (the stale `b`
+                        // collect may predate that write).
+                        return self.regs[u].read().view;
+                    }
+                }
+                // Each state change between reads of u's register taken
+                // inside this scan witnesses at least one write inside
+                // this scan.
+                let mut observed = 0;
+                if last_seen[u].as_ref().is_some_and(|prev| *prev != a[u]) {
+                    observed += 1;
+                }
+                if a[u] != b[u] {
+                    observed += 1;
+                }
+                if observed > 0 {
+                    writes_seen[u] += observed;
+                    if writes_seen[u] >= 2 {
                         return b[u].view.clone();
                     }
-                    moved[u] = true;
                 }
+                last_seen[u] = Some(b[u].clone());
             }
             if clean {
                 return b.into_iter().map(|c| c.value).collect();
@@ -130,17 +182,24 @@ impl<V: Value, M: Mem> BoundedAfekSnapshot<V, M> {
     }
 }
 
-impl<V: Value, M: Mem> LinSnapshot<V> for BoundedAfekSnapshot<V, M> {
+impl<V: Value, M: Mem> SnapshotSubstrate<V> for BoundedAfekSnapshot<V, M> {
     fn update(&self, p: ProcId, value: V) {
         let u = p.index();
         let n = self.regs.len();
-        // Embedded scan first (its view is published with the write).
-        let view = self.scan_as(u);
-        // Flip every handshake to differ from the scanners' bits.
+        // Flip every handshake to differ from the scanners' bits —
+        // *before* the embedded scan. A scanner that later borrows this
+        // update's view does so only after observing this process move
+        // twice, and the first observable step of an update is the flip;
+        // scanning after flipping therefore puts the embedded view
+        // inside the borrower's interval. (Scanning first is a genuine
+        // linearizability bug: the borrowed view may predate the
+        // borrower's invocation and miss its completed updates.)
         for s in 0..n {
             let bit = self.h1[s][u].read();
             self.h2[u][s].write(!bit);
         }
+        // Embedded scan (its view is published with the write).
+        let view = self.scan_as(u);
         let current = self.regs[u].read();
         self.regs[u].write(BoundedComponent {
             value: Some(value),
@@ -192,10 +251,10 @@ mod tests {
     #[test]
     fn concurrent_native_updates_and_scans_are_regular() {
         let s = snap(4);
-        crossbeam::scope(|sc| {
+        std::thread::scope(|sc| {
             for p in 0..4usize {
                 let s = s.clone();
-                sc.spawn(move |_| {
+                sc.spawn(move || {
                     for i in 0..100u64 {
                         s.update(ProcId(p), i);
                         let view = s.scan(ProcId(p));
@@ -203,8 +262,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(s.scan(ProcId(0)), vec![Some(99); 4]);
     }
 }

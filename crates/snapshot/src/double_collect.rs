@@ -3,7 +3,7 @@
 use sl_mem::{Mem, Register, Value};
 use sl_spec::ProcId;
 
-use crate::{LinSnapshot, VersionedSnapshot};
+use crate::{SnapshotSubstrate, VersionedSubstrate};
 
 /// One snapshot component: the stored value and its sequence number.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -65,7 +65,7 @@ impl<V: Value, M: Mem> DoubleCollectSnapshot<V, M> {
     }
 }
 
-impl<V: Value, M: Mem> LinSnapshot<V> for DoubleCollectSnapshot<V, M> {
+impl<V: Value, M: Mem> SnapshotSubstrate<V> for DoubleCollectSnapshot<V, M> {
     fn update(&self, p: ProcId, value: V) {
         let reg = &self.regs[p.index()];
         let current = reg.read();
@@ -84,7 +84,7 @@ impl<V: Value, M: Mem> LinSnapshot<V> for DoubleCollectSnapshot<V, M> {
     }
 }
 
-impl<V: Value, M: Mem> VersionedSnapshot<V> for DoubleCollectSnapshot<V, M> {
+impl<V: Value, M: Mem> VersionedSubstrate<V> for DoubleCollectSnapshot<V, M> {
     fn scan_versioned(&self, _p: ProcId) -> (Vec<Option<V>>, u64) {
         let mut a = self.collect();
         loop {
@@ -131,7 +131,10 @@ mod tests {
         s.update(ProcId(0), 3);
         let (_, v2) = s.scan_versioned(ProcId(0));
         assert!(v0 < v1 && v1 < v2);
-        assert_eq!(v2, 3, "version is the sum of per-component sequence numbers");
+        assert_eq!(
+            v2, 3,
+            "version is the sum of per-component sequence numbers"
+        );
     }
 
     #[test]
@@ -145,10 +148,10 @@ mod tests {
     #[test]
     fn concurrent_native_updates_and_scans_are_regular() {
         let s = snap(4);
-        crossbeam::scope(|sc| {
+        std::thread::scope(|sc| {
             for p in 0..4usize {
                 let s = s.clone();
-                sc.spawn(move |_| {
+                sc.spawn(move || {
                     for i in 0..200u64 {
                         s.update(ProcId(p), i);
                         let view = s.scan(ProcId(0));
@@ -157,8 +160,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let view = s.scan(ProcId(0));
         assert_eq!(view, vec![Some(199); 4]);
     }

@@ -27,7 +27,7 @@
 //!
 //! ```
 //! use sl_mem::NativeMem;
-//! use sl_snapshot::{DoubleCollectSnapshot, LinSnapshot};
+//! use sl_snapshot::{DoubleCollectSnapshot, SnapshotSubstrate};
 //! use sl_spec::ProcId;
 //!
 //! let snap = DoubleCollectSnapshot::<u64, _>::new(&NativeMem::new(), 3);
@@ -43,4 +43,6 @@ mod traits;
 pub use afek::AfekSnapshot;
 pub use bounded::BoundedAfekSnapshot;
 pub use double_collect::DoubleCollectSnapshot;
+#[allow(deprecated)]
 pub use traits::{LinSnapshot, VersionedSnapshot};
+pub use traits::{SnapshotSubstrate, VersionedSubstrate};

@@ -1,21 +1,31 @@
 //! Traits shared by the snapshot substrates.
+//!
+//! These are the *substrate SPI*: the interface Algorithm 3/4 requires
+//! of the linearizable snapshot `S` it is built over (§4.3: "any
+//! lock-free or wait-free linearizable implementation"). Because a
+//! substrate is wired inside another algorithm, its operations take the
+//! acting process explicitly — consumer code should never call this
+//! shape directly; it goes through the per-process handles of the
+//! `sl-api` `SharedObject` family instead (the `ObjectBuilder` wraps
+//! substrates for direct use).
 
 use sl_mem::Value;
 use sl_spec::ProcId;
 
-/// A linearizable single-writer snapshot object.
+/// A linearizable single-writer snapshot substrate.
 ///
 /// The object stores one component per process, each initially `⊥`
 /// (`None`). Component `p` may be written only by process `p`: callers
-/// must pass their own identifier to [`update`] — the single-writer
-/// discipline of the paper's model is the caller's responsibility (the
-/// handle types in `sl-core` enforce it statically).
+/// must pass their own identifier to [`update`] — within the substrate
+/// SPI the single-writer discipline is the embedding algorithm's
+/// responsibility (the handle types of `sl-api` enforce it, with a
+/// debug-mode duplicate-handle guard).
 ///
 /// Implementations must be linearizable; they need not be strongly
 /// linearizable (that is what `sl_core::SlSnapshot` adds on top).
 ///
-/// [`update`]: LinSnapshot::update
-pub trait LinSnapshot<V: Value>: Clone + Send + Sync + 'static {
+/// [`update`]: SnapshotSubstrate::update
+pub trait SnapshotSubstrate<V: Value>: Clone + Send + Sync + 'static {
     /// Sets the invoking process's component to `value`.
     fn update(&self, p: ProcId, value: V);
 
@@ -28,14 +38,40 @@ pub trait LinSnapshot<V: Value>: Clone + Send + Sync + 'static {
     fn components(&self) -> usize;
 }
 
-/// A snapshot whose views carry a version number that strictly increases
-/// with every update (the paper's *versioned object*, §4.1).
+/// A substrate whose views carry a version number that strictly
+/// increases with every update (the paper's *versioned object*, §4.1).
 ///
 /// The version of a view is the sum of the per-component sequence
 /// numbers, exactly as the paper constructs it from the double-collect
 /// algorithm.
-pub trait VersionedSnapshot<V: Value>: LinSnapshot<V> {
+pub trait VersionedSubstrate<V: Value>: SnapshotSubstrate<V> {
     /// Returns a consistent view together with its version number, on
     /// behalf of process `p`.
     fn scan_versioned(&self, p: ProcId) -> (Vec<Option<V>>, u64);
 }
+
+/// Deprecated name of [`SnapshotSubstrate`], kept as a shim for one
+/// release.
+///
+/// The `scan(&self, p)` shape this trait exposed as *the* consumer API
+/// is what the unified `sl-api` handle model replaces: consumer code
+/// now obtains a per-process handle (duplicate-handle-guarded) and
+/// calls `scan(&mut self)` on it, receiving a typed `View`.
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to `SnapshotSubstrate`; consumer code should go through \
+            `sl_api::ObjectBuilder` / `sl_api::SharedObject` handles instead \
+            of the `scan(&self, p)` shape"
+)]
+pub trait LinSnapshot<V: Value>: SnapshotSubstrate<V> {}
+
+#[allow(deprecated)]
+impl<V: Value, T: SnapshotSubstrate<V>> LinSnapshot<V> for T {}
+
+/// Deprecated name of [`VersionedSubstrate`], kept as a shim for one
+/// release.
+#[deprecated(since = "0.2.0", note = "renamed to `VersionedSubstrate`")]
+pub trait VersionedSnapshot<V: Value>: VersionedSubstrate<V> {}
+
+#[allow(deprecated)]
+impl<V: Value, T: VersionedSubstrate<V>> VersionedSnapshot<V> for T {}

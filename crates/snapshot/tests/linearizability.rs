@@ -8,7 +8,7 @@
 
 use sl_check::check_linearizable;
 use sl_sim::{EventLog, Program, SeededRandom, SimWorld};
-use sl_snapshot::{AfekSnapshot, DoubleCollectSnapshot, LinSnapshot};
+use sl_snapshot::{AfekSnapshot, DoubleCollectSnapshot, SnapshotSubstrate};
 use sl_spec::types::SnapshotSpec;
 use sl_spec::{ProcId, SnapshotOp, SnapshotResp};
 
@@ -16,7 +16,7 @@ type Spec = SnapshotSpec<u64>;
 
 fn check_substrate<S, F>(make: F, label: &str)
 where
-    S: LinSnapshot<u64>,
+    S: SnapshotSubstrate<u64>,
     F: Fn(&sl_sim::SimMem, usize) -> S,
 {
     for seed in 0..25u64 {
@@ -47,7 +47,10 @@ where
 
         let mut sched = SeededRandom::new(seed);
         let outcome = world.run(programs, &mut sched, 1_000_000);
-        assert!(outcome.completed, "{label}: run exhausted budget (seed {seed})");
+        assert!(
+            outcome.completed,
+            "{label}: run exhausted budget (seed {seed})"
+        );
         let h = log.history();
         assert!(h.is_well_formed());
         assert!(
@@ -59,10 +62,7 @@ where
 
 #[test]
 fn double_collect_is_linearizable_under_random_schedules() {
-    check_substrate(
-        DoubleCollectSnapshot::<u64, _>::new,
-        "double-collect",
-    );
+    check_substrate(DoubleCollectSnapshot::<u64, _>::new, "double-collect");
 }
 
 #[test]
@@ -97,7 +97,11 @@ fn adversary_starves_double_collect_scan_but_not_afek() {
         if view.runnable.contains(&0) && (round % 4 == 3 || round.is_multiple_of(4)) {
             0
         } else {
-            *view.runnable.iter().find(|&&p| p == 1).unwrap_or(&view.runnable[0])
+            *view
+                .runnable
+                .iter()
+                .find(|&&p| p == 1)
+                .unwrap_or(&view.runnable[0])
         }
     });
     let outcome = world.run(
@@ -135,7 +139,11 @@ fn adversary_starves_double_collect_scan_but_not_afek() {
         if view.runnable.contains(&0) && (round % 4 == 3 || round.is_multiple_of(4)) {
             0
         } else {
-            *view.runnable.iter().find(|&&p| p == 1).unwrap_or(&view.runnable[0])
+            *view
+                .runnable
+                .iter()
+                .find(|&&p| p == 1)
+                .unwrap_or(&view.runnable[0])
         }
     });
     let _ = world.run(
@@ -188,7 +196,11 @@ fn bounded_handshake_scan_is_wait_free_under_adversary() {
         if view.runnable.contains(&0) && (round % 4 == 3 || round.is_multiple_of(4)) {
             0
         } else {
-            *view.runnable.iter().find(|&&p| p == 1).unwrap_or(&view.runnable[0])
+            *view
+                .runnable
+                .iter()
+                .find(|&&p| p == 1)
+                .unwrap_or(&view.runnable[0])
         }
     });
     let _ = world.run(
@@ -210,4 +222,69 @@ fn bounded_handshake_scan_is_wait_free_under_adversary() {
         scan_done.load(Ordering::SeqCst),
         "bounded handshake scan must complete despite continuous updates"
     );
+}
+
+/// Regression for the bounded substrate's borrow rule, both directions.
+///
+/// An adversary completes exactly two same-value updates by p0 between
+/// every single step of p1's scan: every pair of register reads the
+/// scanner takes sees identical state (the toggle is restored and the
+/// value and embedded view never change), so the scan gets no *write*
+/// evidence — but the handshake bit is re-flipped after every adopt,
+/// keeping the scan dirty. A borrow rule based on write evidence alone
+/// livelocks here (the scan starves while updates complete under it);
+/// the two-flips-in-distinct-iterations rule terminates, and the
+/// borrowed view must still be correct.
+#[test]
+fn bounded_handshake_scan_terminates_under_state_restoring_adversary() {
+    use sl_sim::FnScheduler;
+    use sl_snapshot::BoundedAfekSnapshot;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    let world = SimWorld::new(2);
+    let mem = world.mem();
+    let snap = BoundedAfekSnapshot::<u64, _>::new(&mem, 2);
+    let done = Arc::new(AtomicBool::new(false));
+    let result: Arc<Mutex<Option<Vec<Option<u64>>>>> = Arc::new(Mutex::new(None));
+
+    let s0 = snap.clone();
+    let d0 = done.clone();
+    let updater: Program = Box::new(move |_| {
+        while !d0.load(Ordering::SeqCst) {
+            s0.update(ProcId(0), 7);
+        }
+    });
+    let s1 = snap.clone();
+    let d1 = done.clone();
+    let r1 = result.clone();
+    let scanner: Program = Box::new(move |_| {
+        let view = s1.scan(ProcId(1));
+        *r1.lock().unwrap() = Some(view);
+        d1.store(true, Ordering::SeqCst);
+    });
+
+    // One update of the 2-process bounded snapshot takes exactly 16
+    // shared steps (4 handshake flips, a 10-step clean embedded scan,
+    // and a read+write of the own register), so 32 updater steps per
+    // scanner step are exactly two complete updates — state-restoring.
+    let mut step = 0u64;
+    let mut sched = FnScheduler(move |view: &sl_sim::SchedView<'_>| {
+        step += 1;
+        if step.is_multiple_of(33) && view.runnable.contains(&1) {
+            1
+        } else if view.runnable.contains(&0) {
+            0
+        } else {
+            1
+        }
+    });
+    let outcome = world.run(vec![updater, scanner], &mut sched, 50_000);
+    assert!(
+        outcome.completed,
+        "scan must terminate under the state-restoring adversary \
+         (write-evidence-only borrowing livelocks here)"
+    );
+    let view = result.lock().unwrap().clone().expect("scan completed");
+    assert_eq!(view, vec![Some(7), None], "borrowed view must be correct");
 }

@@ -8,7 +8,6 @@ use std::fmt;
 /// them `1 … n`; we use zero-based indices so that a `ProcId` can index
 /// arrays directly).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProcId(pub usize);
 
 impl ProcId {
@@ -46,7 +45,6 @@ impl From<usize> for ProcId {
 /// An invocation event and its matching response event carry the same
 /// `OpId` (the paper's `id` component of invocation/response events).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OpId(pub u64);
 
 impl OpId {

@@ -35,7 +35,7 @@ pub use ids::{OpId, ProcId};
 pub use spec::{validate_sequential, SeqSpec};
 pub use types::{
     AbaOp, AbaResp, AbaSpec, CounterOp, CounterResp, CounterSpec, GrowSetOp, GrowSetResp,
-    GrowSetSpec, MaxRegisterOp, MaxRegisterResp, MaxRegisterSpec, QueueOp, QueueResp,
-    QueueSpec, RegisterOp, RegisterResp, RegisterSpec, SnapshotOp, SnapshotResp, SnapshotSpec,
-    StackOp, StackResp, StackSpec,
+    GrowSetSpec, MaxRegisterOp, MaxRegisterResp, MaxRegisterSpec, QueueOp, QueueResp, QueueSpec,
+    RegisterOp, RegisterResp, RegisterSpec, SnapshotOp, SnapshotResp, SnapshotSpec, StackOp,
+    StackResp, StackSpec,
 };

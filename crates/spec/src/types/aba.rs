@@ -165,7 +165,11 @@ mod tests {
         let s = spec().initial();
         let (s, _) = spec().apply(&s, ProcId(0), &AbaOp::DWrite(5));
         let (s, r1) = spec().apply(&s, ProcId(1), &AbaOp::DRead);
-        assert_eq!(r1, AbaResp::Value(Some(5), true), "first read after a write");
+        assert_eq!(
+            r1,
+            AbaResp::Value(Some(5), true),
+            "first read after a write"
+        );
         let (s, _) = spec().apply(&s, ProcId(0), &AbaOp::DWrite(6));
         let (s, _) = spec().apply(&s, ProcId(0), &AbaOp::DWrite(5));
         let (_, r2) = spec().apply(&s, ProcId(1), &AbaOp::DRead);

@@ -38,7 +38,12 @@ impl SeqSpec for CounterSpec {
         0
     }
 
-    fn apply(&self, state: &Self::State, _proc: ProcId, op: &Self::Op) -> (Self::State, Self::Resp) {
+    fn apply(
+        &self,
+        state: &Self::State,
+        _proc: ProcId,
+        op: &Self::Op,
+    ) -> (Self::State, Self::Resp) {
         match op {
             CounterOp::Inc => (state + 1, CounterResp::Ack),
             CounterOp::Read => (*state, CounterResp::Value(*state)),

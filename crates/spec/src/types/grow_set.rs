@@ -43,7 +43,12 @@ impl SeqSpec for GrowSetSpec {
         BTreeSet::new()
     }
 
-    fn apply(&self, state: &Self::State, _proc: ProcId, op: &Self::Op) -> (Self::State, Self::Resp) {
+    fn apply(
+        &self,
+        state: &Self::State,
+        _proc: ProcId,
+        op: &Self::Op,
+    ) -> (Self::State, Self::Resp) {
         match op {
             GrowSetOp::Insert(x) => {
                 let mut next = state.clone();

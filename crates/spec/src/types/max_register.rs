@@ -39,7 +39,12 @@ impl SeqSpec for MaxRegisterSpec {
         0
     }
 
-    fn apply(&self, state: &Self::State, _proc: ProcId, op: &Self::Op) -> (Self::State, Self::Resp) {
+    fn apply(
+        &self,
+        state: &Self::State,
+        _proc: ProcId,
+        op: &Self::Op,
+    ) -> (Self::State, Self::Resp) {
         match op {
             MaxRegisterOp::MaxWrite(x) => ((*state).max(*x), MaxRegisterResp::Ack),
             MaxRegisterOp::MaxRead => (*state, MaxRegisterResp::Value(*state)),

@@ -43,7 +43,12 @@ impl SeqSpec for QueueSpec {
         VecDeque::new()
     }
 
-    fn apply(&self, state: &Self::State, _proc: ProcId, op: &Self::Op) -> (Self::State, Self::Resp) {
+    fn apply(
+        &self,
+        state: &Self::State,
+        _proc: ProcId,
+        op: &Self::Op,
+    ) -> (Self::State, Self::Resp) {
         let mut next = state.clone();
         match op {
             QueueOp::Enqueue(x) => {
@@ -89,7 +94,12 @@ impl SeqSpec for StackSpec {
         Vec::new()
     }
 
-    fn apply(&self, state: &Self::State, _proc: ProcId, op: &Self::Op) -> (Self::State, Self::Resp) {
+    fn apply(
+        &self,
+        state: &Self::State,
+        _proc: ProcId,
+        op: &Self::Op,
+    ) -> (Self::State, Self::Resp) {
         let mut next = state.clone();
         match op {
             StackOp::Push(x) => {

@@ -63,7 +63,12 @@ where
         None
     }
 
-    fn apply(&self, state: &Self::State, _proc: ProcId, op: &Self::Op) -> (Self::State, Self::Resp) {
+    fn apply(
+        &self,
+        state: &Self::State,
+        _proc: ProcId,
+        op: &Self::Op,
+    ) -> (Self::State, Self::Resp) {
         match op {
             RegisterOp::Write(x) => (Some(*x), RegisterResp::Ack),
             RegisterOp::Read => (*state, RegisterResp::Value(*state)),

@@ -40,10 +40,7 @@ impl<T: SimpleType> PrecGraph<T> {
         }
         while let Some(node) = queue.pop_front() {
             for pred in node.preceding().iter().flatten() {
-                edges
-                    .entry(pred.uid())
-                    .or_default()
-                    .insert(node.uid());
+                edges.entry(pred.uid()).or_default().insert(node.uid());
                 if nodes.insert(pred.uid(), pred.clone()).is_none() {
                     queue.push_back(pred.clone());
                 }
@@ -92,8 +89,13 @@ impl<T: SimpleType> PrecGraph<T> {
                 let (a, b) = (&order[i], &order[j]);
                 let a_id = a.uid();
                 let b_id = b.uid();
-                if dominates(ty, a.invocation(), ProcId(a_id.0), b.invocation(), ProcId(b_id.0))
-                    && !reachable(&edges, a_id, b_id)
+                if dominates(
+                    ty,
+                    a.invocation(),
+                    ProcId(a_id.0),
+                    b.invocation(),
+                    ProcId(b_id.0),
+                ) && !reachable(&edges, a_id, b_id)
                 {
                     // a dominates b: edge from dominated (b) to dominating (a).
                     edges.entry(b_id).or_default().insert(a_id);
@@ -192,7 +194,11 @@ fn topo<T: SimpleType>(
             }
         }
     }
-    assert_eq!(out.len(), nodes.len(), "linearization graph must be acyclic");
+    assert_eq!(
+        out.len(),
+        nodes.len(),
+        "linearization graph must be acyclic"
+    );
     out
 }
 

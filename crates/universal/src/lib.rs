@@ -42,6 +42,4 @@ pub mod types;
 pub use graph::{LinGraph, PrecGraph};
 pub use object::{NodeRef, Universal, UniversalHandle};
 pub use simple::{dominates, semantic, SimpleSpec, SimpleType};
-pub use types::{
-    CounterOp, CounterResp, CounterType, GrowSetType, MaxRegisterType, RegisterType,
-};
+pub use types::{CounterOp, CounterResp, CounterType, GrowSetType, MaxRegisterType, RegisterType};

@@ -158,6 +158,11 @@ where
         Universal { ty, root, n }
     }
 
+    /// The `root` snapshot object of the construction.
+    pub fn root(&self) -> &O {
+        &self.root
+    }
+
     /// Creates process `p`'s handle.
     pub fn handle(&self, p: ProcId) -> UniversalHandle<T, O> {
         assert!(p.index() < self.n, "process id out of range");
@@ -221,7 +226,9 @@ mod tests {
     use sl_mem::NativeMem;
     use sl_spec::{CounterResp, GrowSetOp, GrowSetResp, MaxRegisterOp, MaxRegisterResp};
 
-    fn counter(n: usize) -> Universal<CounterType, AtomicSnapshot<NodeRef<CounterType>, NativeMem>> {
+    fn counter(
+        n: usize,
+    ) -> Universal<CounterType, AtomicSnapshot<NodeRef<CounterType>, NativeMem>> {
         let mem = NativeMem::new();
         Universal::new(CounterType, AtomicSnapshot::new(&mem, n), n)
     }
@@ -291,18 +298,17 @@ mod tests {
     #[test]
     fn native_threads_counter_totals() {
         let c = counter(4);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for p in 0..4usize {
                 let c = c.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut h = c.handle(ProcId(p));
                     for _ in 0..25 {
                         h.execute(CounterOp::Inc);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let mut h = c.handle(ProcId(0));
         assert_eq!(h.execute(CounterOp::Read), CounterResp::Value(100));
     }

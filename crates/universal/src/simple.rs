@@ -43,13 +43,7 @@ pub trait SimpleType: Clone + Send + Sync + 'static {
 /// Dominance between invocation events (paper Definition 34): `(op2,
 /// p2)` dominates `(op1, p1)` iff `op2` overwrites `op1` but not
 /// vice-versa, or they overwrite each other and `p2 > p1`.
-pub fn dominates<T: SimpleType>(
-    ty: &T,
-    op2: &T::Op,
-    p2: ProcId,
-    op1: &T::Op,
-    p1: ProcId,
-) -> bool {
+pub fn dominates<T: SimpleType>(ty: &T, op2: &T::Op, p2: ProcId, op1: &T::Op, p1: ProcId) -> bool {
     let o21 = ty.overwrites(op2, op1);
     let o12 = ty.overwrites(op1, op2);
     o21 && (!o12 || p2 > p1)
@@ -70,7 +64,12 @@ impl<T: SimpleType> SeqSpec for SimpleSpec<T> {
         self.0.initial()
     }
 
-    fn apply(&self, state: &Self::State, _proc: ProcId, op: &Self::Op) -> (Self::State, Self::Resp) {
+    fn apply(
+        &self,
+        state: &Self::State,
+        _proc: ProcId,
+        op: &Self::Op,
+    ) -> (Self::State, Self::Resp) {
         self.0.apply(state, op)
     }
 }
@@ -157,8 +156,20 @@ mod tests {
         let ty = CounterType;
         // Inc overwrites Read but not vice versa: Inc dominates Read
         // regardless of process ids.
-        assert!(dominates(&ty, &CounterOp::Inc, ProcId(0), &CounterOp::Read, ProcId(1)));
-        assert!(!dominates(&ty, &CounterOp::Read, ProcId(1), &CounterOp::Inc, ProcId(0)));
+        assert!(dominates(
+            &ty,
+            &CounterOp::Inc,
+            ProcId(0),
+            &CounterOp::Read,
+            ProcId(1)
+        ));
+        assert!(!dominates(
+            &ty,
+            &CounterOp::Read,
+            ProcId(1),
+            &CounterOp::Inc,
+            ProcId(0)
+        ));
     }
 
     #[test]
@@ -174,7 +185,19 @@ mod tests {
     #[test]
     fn commuting_ops_never_dominate() {
         let ty = CounterType;
-        assert!(!dominates(&ty, &CounterOp::Inc, ProcId(1), &CounterOp::Inc, ProcId(0)));
-        assert!(!dominates(&ty, &CounterOp::Inc, ProcId(0), &CounterOp::Inc, ProcId(1)));
+        assert!(!dominates(
+            &ty,
+            &CounterOp::Inc,
+            ProcId(1),
+            &CounterOp::Inc,
+            ProcId(0)
+        ));
+        assert!(!dominates(
+            &ty,
+            &CounterOp::Inc,
+            ProcId(0),
+            &CounterOp::Inc,
+            ProcId(1)
+        ));
     }
 }

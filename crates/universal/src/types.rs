@@ -216,11 +216,7 @@ mod tests {
 
     #[test]
     fn grow_set_declarations_are_semantically_valid() {
-        let states = [
-            BTreeSet::new(),
-            BTreeSet::from([1]),
-            BTreeSet::from([1, 2]),
-        ];
+        let states = [BTreeSet::new(), BTreeSet::from([1]), BTreeSet::from([1, 2])];
         let ops = [
             GrowSetOp::Insert(1),
             GrowSetOp::Insert(2),

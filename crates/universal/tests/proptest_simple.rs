@@ -1,133 +1,179 @@
 //! Property tests for the simple-type declarations and the universal
-//! construction.
+//! construction, driven by the workspace's deterministic [`SmallRng`].
 
-use proptest::prelude::*;
 use sl_core::AtomicSnapshot;
-use sl_mem::NativeMem;
+use sl_mem::{NativeMem, SmallRng};
 use sl_spec::{CounterOp, GrowSetOp, MaxRegisterOp, ProcId, SeqSpec};
 use sl_universal::semantic::{check_simple_on, commute_at, overwrite_at};
 use sl_universal::types::{CounterType, GrowSetType, MaxRegisterType, RegOp, RegisterType};
 use sl_universal::{dominates, NodeRef, SimpleSpec, Universal};
 
-fn max_op() -> impl Strategy<Value = MaxRegisterOp> {
-    prop_oneof![
-        (0u64..20).prop_map(MaxRegisterOp::MaxWrite),
-        Just(MaxRegisterOp::MaxRead),
-    ]
+fn max_op(rng: &mut SmallRng) -> MaxRegisterOp {
+    if rng.gen_bool(0.5) {
+        MaxRegisterOp::MaxWrite(rng.gen_range(20) as u64)
+    } else {
+        MaxRegisterOp::MaxRead
+    }
 }
 
-fn set_op() -> impl Strategy<Value = GrowSetOp> {
-    prop_oneof![
-        (0u64..5).prop_map(GrowSetOp::Insert),
-        (0u64..5).prop_map(GrowSetOp::Contains),
-    ]
+fn set_op(rng: &mut SmallRng) -> GrowSetOp {
+    if rng.gen_bool(0.5) {
+        GrowSetOp::Insert(rng.gen_range(5) as u64)
+    } else {
+        GrowSetOp::Contains(rng.gen_range(5) as u64)
+    }
 }
 
-fn reg_op() -> impl Strategy<Value = RegOp> {
-    prop_oneof![(0u64..5).prop_map(RegOp::Write), Just(RegOp::Read)]
+fn reg_op(rng: &mut SmallRng) -> RegOp {
+    if rng.gen_bool(0.5) {
+        RegOp::Write(rng.gen_range(5) as u64)
+    } else {
+        RegOp::Read
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn vec_of<T>(rng: &mut SmallRng, min: usize, max: usize, f: impl Fn(&mut SmallRng) -> T) -> Vec<T> {
+    let len = min + rng.gen_range(max - min + 1);
+    (0..len).map(|_| f(rng)).collect()
+}
 
-    /// Every pair of max-register operations, at arbitrary reachable
-    /// states, satisfies the declared commute/overwrite structure.
-    #[test]
-    fn max_register_simplicity(
-        states in proptest::collection::vec(0u64..30, 1..6),
-        ops in proptest::collection::vec(max_op(), 1..6),
-    ) {
-        prop_assert!(check_simple_on(&MaxRegisterType, &states, &ops).is_ok());
-    }
-
-    /// Same for the grow-only set, over arbitrary reachable states.
-    #[test]
-    fn grow_set_simplicity(
-        contents in proptest::collection::vec(
-            proptest::collection::btree_set(0u64..5, 0..4), 1..4),
-        ops in proptest::collection::vec(set_op(), 1..6),
-    ) {
-        prop_assert!(check_simple_on(&GrowSetType, &contents, &ops).is_ok());
-    }
-
-    /// Same for the register.
-    #[test]
-    fn register_simplicity(
-        states in proptest::collection::vec(proptest::option::of(0u64..5), 1..5),
-        ops in proptest::collection::vec(reg_op(), 1..6),
-    ) {
-        prop_assert!(check_simple_on(&RegisterType, &states, &ops).is_ok());
-    }
-
-    /// Definition 33 dichotomy, semantically: for every pair of
-    /// operations of a simple type, at every state, either the pair
-    /// semantically commutes or one semantically overwrites the other.
-    #[test]
-    fn semantic_dichotomy_holds(
-        s in 0u64..20,
-        a in max_op(),
-        b in max_op(),
-    ) {
-        let ty = MaxRegisterType;
-        prop_assert!(
-            commute_at(&ty, &s, &a, &b)
-                || overwrite_at(&ty, &s, &a, &b)
-                || overwrite_at(&ty, &s, &b, &a)
+/// Every pair of max-register operations, at arbitrary reachable states,
+/// satisfies the declared commute/overwrite structure.
+#[test]
+fn max_register_simplicity() {
+    let mut rng = SmallRng::new(0x51D1);
+    for case in 0..64 {
+        let states = vec_of(&mut rng, 1, 5, |r| r.gen_range(30) as u64);
+        let ops = vec_of(&mut rng, 1, 5, max_op);
+        assert!(
+            check_simple_on(&MaxRegisterType, &states, &ops).is_ok(),
+            "case {case}"
         );
     }
+}
 
-    /// Dominance is asymmetric (part of being a strict partial order).
-    #[test]
-    fn dominance_is_asymmetric(
-        a in reg_op(),
-        b in reg_op(),
-        pa in 0usize..4,
-        pb in 0usize..4,
-    ) {
-        prop_assume!(pa != pb);
+/// Same for the grow-only set, over arbitrary reachable states.
+#[test]
+fn grow_set_simplicity() {
+    let mut rng = SmallRng::new(0x51D2);
+    for case in 0..64 {
+        let contents = vec_of(&mut rng, 1, 3, |r| {
+            let mut set = std::collections::BTreeSet::new();
+            for _ in 0..r.gen_range(4) {
+                set.insert(r.gen_range(5) as u64);
+            }
+            set
+        });
+        let ops = vec_of(&mut rng, 1, 5, set_op);
+        assert!(
+            check_simple_on(&GrowSetType, &contents, &ops).is_ok(),
+            "case {case}"
+        );
+    }
+}
+
+/// Same for the register.
+#[test]
+fn register_simplicity() {
+    let mut rng = SmallRng::new(0x51D3);
+    for case in 0..64 {
+        let states = vec_of(&mut rng, 1, 4, |r| {
+            if r.gen_bool(0.5) {
+                Some(r.gen_range(5) as u64)
+            } else {
+                None
+            }
+        });
+        let ops = vec_of(&mut rng, 1, 5, reg_op);
+        assert!(
+            check_simple_on(&RegisterType, &states, &ops).is_ok(),
+            "case {case}"
+        );
+    }
+}
+
+/// Definition 33 dichotomy, semantically: for every pair of operations
+/// of a simple type, at every state, either the pair semantically
+/// commutes or one semantically overwrites the other.
+#[test]
+fn semantic_dichotomy_holds() {
+    let mut rng = SmallRng::new(0x51D4);
+    for case in 0..64 {
+        let s = rng.gen_range(20) as u64;
+        let a = max_op(&mut rng);
+        let b = max_op(&mut rng);
+        let ty = MaxRegisterType;
+        assert!(
+            commute_at(&ty, &s, &a, &b)
+                || overwrite_at(&ty, &s, &a, &b)
+                || overwrite_at(&ty, &s, &b, &a),
+            "case {case}: {a:?} {b:?} at {s}"
+        );
+    }
+}
+
+/// Dominance is asymmetric (part of being a strict partial order).
+#[test]
+fn dominance_is_asymmetric() {
+    let mut rng = SmallRng::new(0x51D5);
+    for case in 0..64 {
+        let a = reg_op(&mut rng);
+        let b = reg_op(&mut rng);
+        let pa = rng.gen_range(4);
+        let pb = rng.gen_range(4);
+        if pa == pb {
+            continue;
+        }
         let ty = RegisterType;
         let d_ab = dominates(&ty, &a, ProcId(pa), &b, ProcId(pb));
         let d_ba = dominates(&ty, &b, ProcId(pb), &a, ProcId(pa));
-        prop_assert!(!(d_ab && d_ba), "dominance must be asymmetric");
+        assert!(!(d_ab && d_ba), "case {case}: dominance must be asymmetric");
     }
+}
 
-    /// Single-threaded universal objects behave exactly like their
-    /// sequential specification, for arbitrary operation sequences.
-    #[test]
-    fn universal_counter_refines_spec(
-        ops in proptest::collection::vec(
-            prop_oneof![Just(CounterOp::Inc), Just(CounterOp::Read)], 0..20),
-    ) {
+/// Single-threaded universal objects behave exactly like their
+/// sequential specification, for arbitrary operation sequences.
+#[test]
+fn universal_counter_refines_spec() {
+    let mut rng = SmallRng::new(0x51D6);
+    for case in 0..16 {
         let mem = NativeMem::new();
         let root: AtomicSnapshot<NodeRef<CounterType>, _> = AtomicSnapshot::new(&mem, 1);
         let obj = Universal::new(CounterType, root, 1);
         let mut h = obj.handle(ProcId(0));
         let spec = SimpleSpec(CounterType);
         let mut state = SeqSpec::initial(&spec);
-        for op in ops {
+        for _ in 0..rng.gen_range(21) {
+            let op = if rng.gen_bool(0.5) {
+                CounterOp::Inc
+            } else {
+                CounterOp::Read
+            };
             let got = h.execute(op);
             let (next, expected) = SeqSpec::apply(&spec, &state, ProcId(0), &op);
             state = next;
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected, "case {case}");
         }
     }
+}
 
-    /// Same refinement for the grow-only set.
-    #[test]
-    fn universal_grow_set_refines_spec(
-        ops in proptest::collection::vec(set_op(), 0..16),
-    ) {
+/// Same refinement for the grow-only set.
+#[test]
+fn universal_grow_set_refines_spec() {
+    let mut rng = SmallRng::new(0x51D7);
+    for case in 0..16 {
         let mem = NativeMem::new();
         let root: AtomicSnapshot<NodeRef<GrowSetType>, _> = AtomicSnapshot::new(&mem, 1);
         let obj = Universal::new(GrowSetType, root, 1);
         let mut h = obj.handle(ProcId(0));
         let spec = SimpleSpec(GrowSetType);
         let mut state = SeqSpec::initial(&spec);
-        for op in ops {
+        for _ in 0..rng.gen_range(17) {
+            let op = set_op(&mut rng);
             let got = h.execute(op);
             let (next, expected) = SeqSpec::apply(&spec, &state, ProcId(0), &op);
             state = next;
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected, "case {case}");
         }
     }
 }

@@ -23,38 +23,45 @@ fn main() {
     assert_eq!(before, after);
 
     // The paper's strongly linearizable ABA-detecting register
-    // (Algorithm 2) catches it.
-    let reg = SlAbaRegister::<u64, _>::new(&mem, 2);
-    let mut writer = reg.handle(ProcId(0));
-    let mut reader = reg.handle(ProcId(1));
+    // (Algorithm 2) catches it. Its guarantee is in its type: the
+    // builder also offers `.lin_aba_register()` (Algorithm 1), whose
+    // `Lin` type records that a strong adversary can fool it.
+    let reg = ObjectBuilder::on(&mem).processes(2).aba_register::<u64>();
+    {
+        let mut writer = reg.handle(ProcId(0));
+        let mut reader = reg.handle(ProcId(1));
 
-    writer.dwrite(5);
-    let (value, _) = reader.dread();
-    println!("ABA-detecting register: read {value:?}");
+        writer.dwrite(5);
+        let (value, _) = reader.dread();
+        println!("ABA-detecting register: read {value:?}");
 
-    writer.dwrite(9); // A -> B
-    writer.dwrite(5); // B -> A
-    let (value, changed) = reader.dread();
-    println!("ABA-detecting register: read {value:?}, changed={changed}");
-    assert_eq!(value, Some(5), "same value as before…");
-    assert!(changed, "…but the modification is detected");
+        writer.dwrite(9); // A -> B
+        writer.dwrite(5); // B -> A
+        let (value, changed) = reader.dread();
+        println!("ABA-detecting register: read {value:?}, changed={changed}");
+        assert_eq!(value, Some(5), "same value as before…");
+        assert!(changed, "…but the modification is detected");
 
-    // Quiescence: another read reports no change.
-    let (_, changed) = reader.dread();
-    assert!(!changed);
-    println!("subsequent read: changed={changed}");
+        // Quiescence: another read reports no change.
+        let (_, changed) = reader.dread();
+        assert!(!changed);
+        println!("subsequent read: changed={changed}");
+        // Handles drop here, releasing their process slots — at most one
+        // live handle per process per object (debug-enforced).
+    }
 
     // Under the hood the register is lock-free: a continuously writing
     // process can starve a reader, but some operation always completes.
     // The DWrite itself is wait-free: exactly two register accesses.
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let reg2 = reg.clone();
-        scope.spawn(move |_| {
+        scope.spawn(move || {
             let mut w = reg2.handle(ProcId(0));
             for i in 0..10_000u64 {
                 w.dwrite(i);
             }
         });
+        let mut reader = reg.handle(ProcId(1));
         let mut flagged = 0;
         for _ in 0..1_000 {
             let (_, changed) = reader.dread();
@@ -63,6 +70,5 @@ fn main() {
             }
         }
         println!("reads observing concurrent writes: {flagged}/1000");
-    })
-    .expect("threads");
+    });
 }

@@ -1,5 +1,6 @@
 //! Why strong linearizability matters: a strong adversary versus a
-//! merely linearizable object.
+//! merely linearizable object — and why the type system now refuses to
+//! let the two be confused.
 //!
 //! This example replays the paper's Observation 4 inside the
 //! deterministic simulator. A writer performs five `DWrite`s of the same
@@ -15,24 +16,36 @@
 //! effect point would already be fixed at the branch. The paper's
 //! strongly linearizable Algorithm 2 restores the atomic behaviour.
 //!
+//! The two registers are built through the same `ObjectBuilder`, but
+//! with different *types*: `.aba_register()` has guarantee `Strong`,
+//! `.lin_aba_register()` has `Lin`. An experiment whose soundness
+//! requires strong linearizability (like the `only_sound_for_strong`
+//! assertion below) takes `Guarantee = Strong` and cannot be handed
+//! Algorithm 1 by accident.
+//!
 //! Run with: `cargo run --example adversary_bias`
 
 use strongly_linearizable::check::{check_strongly_linearizable, HistoryTree, TreeStep};
-use strongly_linearizable::core::aba::{AbaHandle, AbaRegister, AwAbaRegister, SlAbaRegister};
-use strongly_linearizable::sim::{EventLog, Program, Scripted, SimWorld};
+use strongly_linearizable::prelude::*;
+use strongly_linearizable::sim::{Program, Scripted, SimMem};
 use strongly_linearizable::spec::types::AbaSpec;
-use strongly_linearizable::spec::{AbaOp, AbaResp, ProcId};
+use strongly_linearizable::spec::{AbaOp, AbaResp};
 
 type Spec = AbaSpec<u64>;
 
-fn run_branch<R, F>(make: F, script: &[usize]) -> (Vec<TreeStep<Spec>>, AbaResp<u64>)
+/// Runs the Observation-4 family on any ABA register built over the
+/// simulator backend, via the unified handle model.
+fn run_branch<O>(
+    make: impl Fn(&ObjectBuilder<SimMem>) -> O,
+    script: &[usize],
+) -> (Vec<TreeStep<Spec>>, AbaResp<u64>)
 where
-    R: AbaRegister<u64>,
-    F: Fn(&strongly_linearizable::sim::SimMem, usize) -> R,
+    O: SharedObject<SimMem>,
+    O::Handle: AbaOps<u64> + 'static,
 {
     let world = SimWorld::new(2);
     let mem = world.mem();
-    let reg = make(&mem, 2);
+    let reg = make(&ObjectBuilder::on(&mem).processes(2));
     let log: EventLog<Spec> = EventLog::new(&world);
 
     let mut w = reg.handle(ProcId(0));
@@ -61,11 +74,17 @@ where
     let dr2 = history
         .records()
         .into_iter()
-        .filter(|rec| rec.proc == ProcId(1))
-        .next_back()
+        .rfind(|rec| rec.proc == ProcId(1))
         .and_then(|rec| rec.response.map(|(_, resp)| resp))
         .expect("dr2 completed");
     (log.transcript(&outcome), dr2)
+}
+
+/// A claim that is only sound against strongly linearizable objects —
+/// the bound makes handing it Algorithm 1 a *compile error*.
+fn only_sound_for_strong<O: SharedObject<SimMem, Guarantee = Strong>>(_reg: &O) {
+    // (The body would run a randomized protocol relying on
+    // prefix-preserving linearization points.)
 }
 
 fn main() {
@@ -77,16 +96,21 @@ fn main() {
     let mut t2 = prefix;
     t2.extend([1; 24]);
 
-    for (name, strongly) in [("Algorithm 1 (linearizable only)", false), ("Algorithm 2 (strongly linearizable)", true)] {
+    for strongly in [false, true] {
+        let name = if strongly {
+            "Algorithm 2 (strongly linearizable)"
+        } else {
+            "Algorithm 1 (linearizable only)"
+        };
         let ((tr1, dr2_t1), (tr2, dr2_t2)) = if strongly {
             (
-                run_branch(SlAbaRegister::<u64, _>::new, &t1),
-                run_branch(SlAbaRegister::<u64, _>::new, &t2),
+                run_branch(|b| b.aba_register::<u64>(), &t1),
+                run_branch(|b| b.aba_register::<u64>(), &t2),
             )
         } else {
             (
-                run_branch(AwAbaRegister::<u64, _>::new, &t1),
-                run_branch(AwAbaRegister::<u64, _>::new, &t2),
+                run_branch(|b| b.lin_aba_register::<u64>(), &t1),
+                run_branch(|b| b.lin_aba_register::<u64>(), &t2),
             )
         };
         println!("{name}:");
@@ -94,11 +118,24 @@ fn main() {
         println!("  branch T2 (reads run solo):   dr2 = {dr2_t2:?}");
         let tree = HistoryTree::from_transcripts(&[tr1, tr2]);
         let verdict = check_strongly_linearizable(&Spec::new(2), &tree);
-        println!("  strong linearization function exists: {}\n", verdict.holds);
+        println!(
+            "  strong linearization function exists: {}\n",
+            verdict.holds
+        );
     }
+
+    // And the compile-time side of the story:
+    let world = SimWorld::new(2);
+    let builder = ObjectBuilder::on(&world.mem()).processes(2);
+    only_sound_for_strong(&builder.aba_register::<u64>()); // Theorem 1: ok
+                                                           // only_sound_for_strong(&builder.lin_aba_register::<u64>());
+                                                           // ^ does not compile: `Lin` is not `Strong` (Observation 4, as a type error)
+
     println!(
         "Algorithm 1 hands the adversary the (false, true) pair — impossible \
          against an atomic register — and accordingly fails the strong-\
-         linearizability check. Algorithm 2 passes."
+         linearizability check. Algorithm 2 passes. The builder gives the \
+         two different types, so strong-only experiments reject Algorithm 1 \
+         at compile time."
     );
 }

@@ -9,10 +9,10 @@
 //! Run with: `cargo run --release --example model_check`
 
 use strongly_linearizable::check::{check_strongly_linearizable, HistoryTree};
-use strongly_linearizable::core::aba::{AbaHandle, AbaRegister, SlAbaRegister};
-use strongly_linearizable::sim::{explore, EventLog, Program, Scripted, SimWorld};
+use strongly_linearizable::prelude::*;
+use strongly_linearizable::sim::{explore, Program, Scripted};
 use strongly_linearizable::spec::types::AbaSpec;
-use strongly_linearizable::spec::{AbaOp, AbaResp, ProcId};
+use strongly_linearizable::spec::{AbaOp, AbaResp};
 
 type Spec = AbaSpec<u64>;
 
@@ -20,14 +20,15 @@ fn main() {
     let mut transcripts = Vec::new();
 
     // One writer (a single DWrite) and one reader (a single DRead) on
-    // the paper's Algorithm 2. Every run is deterministic given the
+    // the paper's Algorithm 2, built through the unified builder over
+    // the simulator backend. Every run is deterministic given the
     // scheduler's decision sequence, so `explore` enumerates the entire
     // schedule space by branching at each decision.
     let explored = explore(
         |script| {
             let world = SimWorld::new(2);
             let mem = world.mem();
-            let reg = SlAbaRegister::<u64, _>::new(&mem, 2);
+            let reg = ObjectBuilder::on(&mem).processes(2).aba_register::<u64>();
             let log: EventLog<Spec> = EventLog::new(&world);
             let mut w = reg.handle(ProcId(0));
             let wl = log.clone();

@@ -1,27 +1,34 @@
 //! Quickstart: the paper's strongly linearizable snapshot on real
-//! threads.
+//! threads, through the unified `ObjectBuilder` API.
 //!
 //! Four threads concurrently update their own component and scan the
 //! whole vector. Every scan is a consistent cut, and — unlike the plain
 //! double-collect or Afek et al. snapshots — the object is *strongly*
 //! linearizable: a scheduler can never retroactively reorder operations
-//! that already took effect.
+//! that already took effect. That property is part of the object's
+//! type: `requires_strong` below would reject `.lin_snapshot()` at
+//! compile time.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use strongly_linearizable::prelude::*;
+
+/// Only strongly linearizable objects may enter; Observation-4-style
+/// objects (guarantee `Lin`) are compile errors here.
+fn requires_strong<M: Mem, O: SharedObject<M, Guarantee = Strong>>(_: &O) {}
 
 fn main() {
     let mem = NativeMem::new();
     let n = 4;
     // Theorem 2 configuration: lock-free double-collect substrate plus
     // the Algorithm-2 ABA-detecting register, all from plain registers.
-    let snapshot = SlSnapshot::with_double_collect(&mem, n);
+    let snapshot = ObjectBuilder::on(&mem).processes(n).snapshot::<u64>();
+    requires_strong(&snapshot);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for p in 0..n {
             let snapshot = snapshot.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut handle = snapshot.handle(ProcId(p));
                 for round in 0..5u64 {
                     handle.update(round * 10 + p as u64);
@@ -32,28 +39,39 @@ fn main() {
                 }
             });
         }
-    })
-    .expect("threads");
+    });
 
     let mut reader = snapshot.handle(ProcId(0));
     println!("final state: {:?}", reader.scan());
 
     // Derived objects (paper §4.5): a strongly linearizable counter from
-    // the same snapshot machinery.
-    let counter = SlCounter::new(SlSnapshot::with_double_collect(&mem, n));
-    crossbeam::scope(|scope| {
+    // the same snapshot machinery — and the guarantee propagates through
+    // the derivation (composability), so this, too, is `Strong`.
+    let counter = ObjectBuilder::on(&mem).processes(n).counter();
+    requires_strong(&counter);
+    std::thread::scope(|scope| {
         for p in 0..n {
             let counter = counter.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut h = counter.handle(ProcId(p));
                 for _ in 0..100 {
                     h.inc();
                 }
             });
         }
-    })
-    .expect("threads");
+    });
     let total = counter.handle(ProcId(0)).read();
     println!("counter after 4 × 100 increments: {total}");
     assert_eq!(total, 400);
+
+    // The §4.3 headline — bounded space end to end — is one substrate
+    // selection away; nothing else about the code changes.
+    let bounded = ObjectBuilder::on(&mem)
+        .processes(n)
+        .bounded_handshake()
+        .snapshot::<u64>();
+    requires_strong(&bounded);
+    let mut h = bounded.handle(ProcId(1));
+    h.update(7);
+    println!("bounded-substrate snapshot: {:?}", h.scan());
 }

@@ -1,29 +1,29 @@
 //! Any simple type from registers: the Aspnes–Herlihy universal
-//! construction (paper §5, Theorem 3).
+//! construction (paper §5, Theorem 3), through the unified builder.
 //!
 //! A *simple type* is one where every pair of operations either commutes
 //! or one overwrites the other. This example builds four of them —
 //! counter, register, max-register, grow-only set — over the paper's
 //! strongly linearizable snapshot, giving lock-free strongly
-//! linearizable implementations of each from plain registers.
+//! linearizable implementations of each from plain registers. The
+//! guarantee propagates: `Universal<T, O>` is as strong as its root `O`
+//! (Theorem 54), and the builder's snapshot root is `Strong`.
 //!
 //! Run with: `cargo run --example universal_types`
 
-use strongly_linearizable::core::SlSnapshot;
-use strongly_linearizable::mem::NativeMem;
-use strongly_linearizable::spec::{CounterOp, GrowSetOp, MaxRegisterOp, ProcId};
+use strongly_linearizable::prelude::*;
+use strongly_linearizable::spec::{CounterOp, GrowSetOp, MaxRegisterOp};
 use strongly_linearizable::universal::types::{
     CounterType, GrowSetType, MaxRegisterType, RegOp, RegisterType,
 };
-use strongly_linearizable::universal::Universal;
 
 fn main() {
     let mem = NativeMem::new();
-    let n = 3;
+    let builder = ObjectBuilder::on(&mem).processes(3);
 
     // Theorem 3 stack: simple type ← universal construction ← strongly
     // linearizable snapshot ← ABA-detecting register ← registers.
-    let counter = Universal::new(CounterType, SlSnapshot::with_double_collect(&mem, n), n);
+    let counter = builder.universal(CounterType);
     let mut c0 = counter.handle(ProcId(0));
     let mut c1 = counter.handle(ProcId(1));
     c0.execute(CounterOp::Inc);
@@ -31,20 +31,23 @@ fn main() {
     c0.execute(CounterOp::Inc);
     println!("counter reads {:?}", c1.execute(CounterOp::Read));
 
-    let register = Universal::new(RegisterType, SlSnapshot::with_double_collect(&mem, n), n);
+    let register = builder.universal(RegisterType);
     let mut r0 = register.handle(ProcId(0));
     let mut r2 = register.handle(ProcId(2));
     r0.execute(RegOp::Write(42));
     println!("register reads {:?}", r2.execute(RegOp::Read));
 
-    let maxreg = Universal::new(MaxRegisterType, SlSnapshot::with_double_collect(&mem, n), n);
+    let maxreg = builder.universal(MaxRegisterType);
     let mut m0 = maxreg.handle(ProcId(0));
     let mut m1 = maxreg.handle(ProcId(1));
     m0.execute(MaxRegisterOp::MaxWrite(17));
     m1.execute(MaxRegisterOp::MaxWrite(9));
-    println!("max-register reads {:?}", m0.execute(MaxRegisterOp::MaxRead));
+    println!(
+        "max-register reads {:?}",
+        m0.execute(MaxRegisterOp::MaxRead)
+    );
 
-    let set = Universal::new(GrowSetType, SlSnapshot::with_double_collect(&mem, n), n);
+    let set = builder.universal(GrowSetType);
     let mut s0 = set.handle(ProcId(0));
     let mut s1 = set.handle(ProcId(1));
     s0.execute(GrowSetOp::Insert(3));
@@ -56,19 +59,18 @@ fn main() {
     );
 
     // Concurrent usage on real threads.
-    let shared = Universal::new(CounterType, SlSnapshot::with_double_collect(&mem, 4), 4);
-    crossbeam::scope(|scope| {
+    let shared = ObjectBuilder::on(&mem).processes(4).universal(CounterType);
+    std::thread::scope(|scope| {
         for p in 0..4 {
             let shared = shared.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut h = shared.handle(ProcId(p));
                 for _ in 0..25 {
                     h.execute(CounterOp::Inc);
                 }
             });
         }
-    })
-    .expect("threads");
+    });
     let total = shared.handle(ProcId(0)).execute(CounterOp::Read);
     println!("shared counter after 4 × 25 concurrent increments: {total:?}");
 }

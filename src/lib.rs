@@ -1,6 +1,7 @@
 //! **strongly-linearizable** — a full reproduction of Ovens & Woelfel,
 //! *Strongly Linearizable Implementations of Snapshots and Other Types*
-//! (PODC 2019), as a production-quality Rust workspace.
+//! (PODC 2019), as a production-quality Rust workspace with one unified
+//! object API.
 //!
 //! Linearizability is not enough for randomized algorithms under a
 //! strong adaptive adversary: a scheduler that sees every coin flip can
@@ -9,28 +10,20 @@
 //! once an operation is placed in the linearization order, its position
 //! never changes. This workspace implements the paper's algorithms and
 //! all their substrates, plus the machinery to *check* both correctness
-//! conditions mechanically:
+//! conditions mechanically — and, since the `sl-api` redesign, the
+//! distinction is **part of every object's type**: objects declare
+//! [`Lin`](prelude::Lin) or [`Strong`](prelude::Strong), and code that
+//! requires strong linearizability rejects merely linearizable objects
+//! at compile time.
 //!
-//! * [`core`](mod@core) — the paper's contributions: the lock-free
-//!   strongly linearizable ABA-detecting register (Algorithm 2,
-//!   Theorem 1), the bounded-space strongly linearizable snapshot
-//!   (Algorithms 3/4, Theorem 2), strongly linearizable max-registers,
-//!   counters, and the unbounded §4.1 baseline.
-//! * [`universal`] — the Aspnes–Herlihy universal construction for
-//!   simple types, strongly linearizable over a strongly linearizable
-//!   snapshot (Theorems 54 and 3).
-//! * [`snapshot`] — linearizable (not strongly linearizable) snapshot
-//!   substrates: lock-free double collect and the wait-free Afek et al.
-//!   helping snapshot.
-//! * [`mem`] / [`sim`] — the shared-memory model: write an algorithm
-//!   once against `mem::Mem`, run it on real threads or under the
-//!   deterministic adversarial simulator.
-//! * [`spec`] / [`check`] — sequential specifications, histories, and
-//!   the linearizability / strong-linearizability checkers (the latter
-//!   searches for a prefix-preserving linearization function over a
-//!   tree of transcripts).
+//! # The unified API
 //!
-//! # Quickstart
+//! Everything is built through one fluent [`ObjectBuilder`](prelude::ObjectBuilder)
+//! and operated through per-process handles (at most one live handle
+//! per process — a debug-mode duplicate-handle panic enforces the
+//! single-writer discipline the docs used to leave to the caller).
+//! Scans return a typed [`View`](prelude::View) carrying the version
+//! where the substrate provides one.
 //!
 //! ```
 //! use strongly_linearizable::prelude::*;
@@ -38,18 +31,55 @@
 //! let mem = NativeMem::new();
 //! // The paper's bounded-space strongly linearizable snapshot
 //! // (double-collect substrate + Algorithm 2 ABA-detecting register).
-//! let snap = SlSnapshot::with_double_collect(&mem, 3);
+//! let snap = ObjectBuilder::on(&mem).processes(3).snapshot::<u64>();
 //! let mut alice = snap.handle(ProcId(0));
 //! let mut bob = snap.handle(ProcId(1));
-//! alice.update(10u64);
-//! bob.update(20u64);
+//! alice.update(10);
+//! bob.update(20);
 //! assert_eq!(alice.scan(), vec![Some(10), Some(20), None]);
+//!
+//! // The guarantee is in the type: this compiles because Theorem 2
+//! // says so, and would not for `.lin_snapshot()` (Observation 4 era).
+//! fn strong_only<O: SharedObject<NativeMem, Guarantee = Strong>>(_: &O) {}
+//! strong_only(&snap);
 //! ```
+//!
+//! # Paper map
+//!
+//! | Paper item | Builder invocation |
+//! |---|---|
+//! | Algorithm 1 (Aghazadeh–Woelfel ABA register; Observation 4: **not** strongly linearizable) | `.lin_aba_register::<V>()` → guarantee `Lin` |
+//! | Algorithm 2 (strongly linearizable ABA register; Theorem 1) | `.aba_register::<V>()` → guarantee `Strong` |
+//! | Algorithms 3/4 over double collect (Theorem 2) | `.double_collect().snapshot::<V>()` (default substrate) |
+//! | Algorithm 3 with atomic `R` (pre-composition) | `.atomic_r().snapshot::<V>()` |
+//! | Algorithms 3/4 over the wait-free Afek substrate | `.afek().snapshot::<V>()` |
+//! | §4.3 fully bounded configuration (headline) | `.bounded_handshake().snapshot::<V>()` |
+//! | §4.1 Denysyuk–Woelfel versioned construction | `.versioned().snapshot::<V>()` (scans carry versions) |
+//! | §4.1 Aspnes–Attiya–Censor trie max-register | `.trie_max_register(capacity)` → guarantee `Lin` |
+//! | §4.5 derived counter / max-register | `.counter()` / `.max_register()` |
+//! | §5 universal construction (Theorems 54/3) | `.universal(ty)` for any [`SimpleType`](universal::SimpleType) |
+//!
+//! # Layers
+//!
+//! * [`api`] — the unified object API: [`SharedObject`](prelude::SharedObject),
+//!   typed guarantees, the builder, and harness entry points.
+//! * [`core`](mod@core) — the paper's contributions (Algorithms 1–4,
+//!   §4.1, §4.5).
+//! * [`universal`] — the Aspnes–Herlihy universal construction (§5).
+//! * [`snapshot`] — linearizable snapshot substrates (internal SPI:
+//!   substrates take the acting process explicitly; consumer code goes
+//!   through handles).
+//! * [`mem`] / [`sim`] — the shared-memory model: write an algorithm
+//!   once against `mem::Mem`, run it on real threads or under the
+//!   deterministic adversarial simulator.
+//! * [`spec`] / [`check`] — sequential specifications, histories, and
+//!   the linearizability / strong-linearizability checkers.
 //!
 //! See `examples/` for runnable scenarios (ABA detection, adversary
 //! bias, universal construction, model checking) and the `sl-bench`
 //! crate for the experiment binaries that regenerate `EXPERIMENTS.md`.
 
+pub use sl_api as api;
 pub use sl_check as check;
 pub use sl_core as core;
 pub use sl_mem as mem;
@@ -59,16 +89,24 @@ pub use sl_spec as spec;
 pub use sl_universal as universal;
 
 /// The most commonly used items, for glob import.
+///
+/// The unified `sl-api` surface (builder, traits, guarantee markers)
+/// plus the concrete types, backends, simulator, and checkers. Old
+/// pre-`sl-api` entry points remain importable from their crates behind
+/// `#[deprecated]` shims for one release (`sl_snapshot::LinSnapshot`,
+/// `sl_core::View`).
 pub mod prelude {
-    pub use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree};
-    pub use sl_core::aba::{AbaHandle, AbaRegister, AwAbaRegister, SlAbaRegister};
-    pub use sl_core::{
-        BoundedMaxRegister, SlCounter, SlSnapshot, SnapshotHandle, SnapshotMaxRegister,
-        SnapshotObject,
+    pub use sl_api::{
+        AbaOps, Afek, AtomicR, BoundedHandshake, CounterOps, DoubleCollect, Guarantee, Lin,
+        LinSnap, MaxRegisterOps, ObjectBuilder, ObjectHandle, SharedObject, SnapshotOps, Strong,
+        StrongGuarantee, Substrate, UniversalOps, Versioned, VersionedSnapshotOps, View,
     };
-    pub use sl_mem::{Mem, NativeMem, Register};
+    pub use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree};
+    pub use sl_core::aba::{AwAbaRegister, SlAbaRegister};
+    pub use sl_core::{BoundedMaxRegister, SlCounter, SlSnapshot, SnapshotMaxRegister};
+    pub use sl_mem::{Mem, NativeMem, Register, SmallRng};
     pub use sl_sim::{EventLog, Scheduler, SeededRandom, SimWorld};
-    pub use sl_snapshot::{AfekSnapshot, DoubleCollectSnapshot, LinSnapshot};
+    pub use sl_snapshot::{AfekSnapshot, DoubleCollectSnapshot, SnapshotSubstrate};
     pub use sl_spec::{History, ProcId, SeqSpec};
     pub use sl_universal::{SimpleType, Universal};
 }

@@ -1,31 +1,27 @@
 //! Cross-crate integration tests exercising the full public API through
-//! the umbrella crate, the way a downstream user would.
+//! the umbrella crate, the way a downstream user would — everything
+//! goes through the unified `sl-api` surface.
 
 use strongly_linearizable::check::{check_linearizable, check_strongly_linearizable, HistoryTree};
-use strongly_linearizable::core::aba::{AbaHandle, AbaRegister, AwAbaRegister, SlAbaRegister};
-use strongly_linearizable::core::{
-    BoundedMaxRegister, SlCounter, SlSnapshot, SnapshotHandle, SnapshotMaxRegister,
-    SnapshotObject, VersionedSlSnapshot,
-};
-use strongly_linearizable::mem::NativeMem;
 use strongly_linearizable::prelude::*;
-use strongly_linearizable::sim::{EventLog, Program, SeededRandom, SimWorld};
+use strongly_linearizable::sim::{Program, Scripted, SimMem};
 use strongly_linearizable::spec::types::SnapshotSpec;
 use strongly_linearizable::spec::{CounterOp, CounterResp, SnapshotOp, SnapshotResp};
 use strongly_linearizable::universal::types::CounterType;
-use strongly_linearizable::universal::{SimpleSpec, Universal};
+use strongly_linearizable::universal::SimpleSpec;
 
 #[test]
 fn full_stack_native_smoke() {
     let mem = NativeMem::new();
     let n = 4;
+    let builder = ObjectBuilder::on(&mem).processes(n);
 
     // Theorem 2 object.
-    let snap = SlSnapshot::with_double_collect(&mem, n);
-    crossbeam::scope(|s| {
+    let snap = builder.snapshot::<u64>();
+    std::thread::scope(|s| {
         for p in 0..n {
             let snap = snap.clone();
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut h = snap.handle(ProcId(p));
                 for i in 0..50u64 {
                     h.update(i);
@@ -33,17 +29,16 @@ fn full_stack_native_smoke() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
 
-    // §4.5 derived objects.
-    let counter = SlCounter::new(SlSnapshot::with_double_collect(&mem, n));
-    let maxreg = SnapshotMaxRegister::new(SlSnapshot::with_double_collect(&mem, n));
-    crossbeam::scope(|s| {
+    // §4.5 derived objects; the guarantee propagates (composability).
+    let counter = builder.counter();
+    let maxreg = builder.max_register();
+    std::thread::scope(|s| {
         for p in 0..n {
             let counter = counter.clone();
             let maxreg = maxreg.clone();
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut c = counter.handle(ProcId(p));
                 let mut m = maxreg.handle(ProcId(p));
                 for i in 0..50 {
@@ -52,22 +47,44 @@ fn full_stack_native_smoke() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     assert_eq!(counter.handle(ProcId(0)).read(), 200);
     assert_eq!(maxreg.handle(ProcId(0)).max_read(), 349);
 
-    // §4.1 baseline behaves identically (but grows).
-    let versioned: VersionedSlSnapshot<u64, _> = VersionedSlSnapshot::new(&mem, 2);
-    let mut vh = versioned.handle(ProcId(0));
+    // §4.1 baseline behaves identically (but grows), and its scans
+    // carry versions.
+    let versioned = ObjectBuilder::on(&mem)
+        .processes(2)
+        .versioned()
+        .snapshot::<u64>();
+    let mut vh = SharedObject::<NativeMem>::handle(&versioned, ProcId(0));
     vh.update(1);
-    assert_eq!(vh.scan(), vec![Some(1), None]);
+    let view = vh.scan_versioned();
+    assert_eq!(view, vec![Some(1), None]);
+    assert!(view.version().is_some(), "§4.1 views are versioned");
     assert!(versioned.space_cells() > 0);
 
-    // §4.1 bounded max-register.
-    let bm = BoundedMaxRegister::new(&mem, 256);
-    bm.max_write(200);
-    assert_eq!(bm.max_read(), 200);
+    // §4.1 bounded trie max-register — linearizable only, and its type
+    // says so.
+    fn lin_only<O: SharedObject<NativeMem, Guarantee = Lin>>(_: &O) {}
+    let bm = builder.trie_max_register(256);
+    lin_only(&bm);
+    let mut bmh = SharedObject::<NativeMem>::handle(&bm, ProcId(0));
+    bmh.max_write(200);
+    assert_eq!(bmh.max_read(), 200);
+}
+
+#[test]
+fn guarantee_markers_gate_strong_only_code() {
+    fn strong_only<M: Mem, O: SharedObject<M, Guarantee = Strong>>(_: &O) {}
+    let mem = NativeMem::new();
+    let b = ObjectBuilder::on(&mem).processes(2);
+    strong_only(&b.snapshot::<u64>());
+    strong_only(&b.aba_register::<u64>());
+    strong_only(&b.counter());
+    strong_only(&b.universal(CounterType));
+    // And the negative direction is a compile error, verified by the
+    // `compile_fail` doctest on `sl_api::Guarantee`'s module.
 }
 
 #[test]
@@ -77,7 +94,7 @@ fn simulated_histories_check_out_end_to_end() {
     let n = 3;
     let world = SimWorld::new(n);
     let mem = world.mem();
-    let snap = SlSnapshot::with_double_collect(&mem, n);
+    let snap = ObjectBuilder::on(&mem).processes(n).snapshot::<u64>();
     let log: EventLog<SnapshotSpec<u64>> = EventLog::new(&world);
     let mut programs: Vec<Program> = Vec::new();
     for pid in 0..n {
@@ -88,8 +105,10 @@ fn simulated_histories_check_out_end_to_end() {
             h.update(pid as u64);
             log.respond(id, SnapshotResp::Ack);
             let id = log.invoke(ctx.proc_id(), SnapshotOp::Scan);
-            let v = h.scan();
-            log.respond(id, SnapshotResp::View(v));
+            // (Inherent `scan` returns the raw vector; the unified
+            // `SnapshotOps::scan` returns a typed `View`.)
+            let v = SnapshotOps::scan(&mut h);
+            log.respond(id, SnapshotResp::View(v.into_vec()));
         }));
     }
     let mut sched = SeededRandom::new(99);
@@ -102,20 +121,24 @@ fn simulated_histories_check_out_end_to_end() {
 fn observation4_separation_via_umbrella() {
     // The headline result, via the public API: Algorithm 1 and
     // Algorithm 2 run the same adversarial family; only Algorithm 2
-    // admits a strong linearization function.
-    use strongly_linearizable::sim::Scripted;
+    // admits a strong linearization function. The two are built by the
+    // same builder but carry different guarantee types.
     use strongly_linearizable::spec::types::AbaSpec;
     use strongly_linearizable::spec::{AbaOp, AbaResp};
 
     type Spec = AbaSpec<u64>;
 
-    fn family<R: AbaRegister<u64>>(
-        make: impl Fn(&strongly_linearizable::sim::SimMem, usize) -> R,
+    fn family<O>(
+        make: impl Fn(&ObjectBuilder<SimMem>) -> O,
         script: &[usize],
-    ) -> Vec<strongly_linearizable::check::TreeStep<Spec>> {
+    ) -> Vec<strongly_linearizable::check::TreeStep<Spec>>
+    where
+        O: SharedObject<SimMem>,
+        O::Handle: AbaOps<u64> + 'static,
+    {
         let world = SimWorld::new(2);
         let mem = world.mem();
-        let reg = make(&mem, 2);
+        let reg = make(&ObjectBuilder::on(&mem).processes(2));
         let log: EventLog<Spec> = EventLog::new(&world);
         let mut w = reg.handle(ProcId(0));
         let wl = log.clone();
@@ -153,14 +176,14 @@ fn observation4_separation_via_umbrella() {
 
     let spec = Spec::new(2);
     let aw_tree = HistoryTree::from_transcripts(&[
-        family(AwAbaRegister::<u64, _>::new, &t1),
-        family(AwAbaRegister::<u64, _>::new, &t2),
+        family(|b| b.lin_aba_register::<u64>(), &t1),
+        family(|b| b.lin_aba_register::<u64>(), &t2),
     ]);
     assert!(!check_strongly_linearizable(&spec, &aw_tree).holds);
 
     let sl_tree = HistoryTree::from_transcripts(&[
-        family(SlAbaRegister::<u64, _>::new, &t1),
-        family(SlAbaRegister::<u64, _>::new, &t2),
+        family(|b| b.aba_register::<u64>(), &t1),
+        family(|b| b.aba_register::<u64>(), &t2),
     ]);
     assert!(check_strongly_linearizable(&spec, &sl_tree).holds);
 }
@@ -168,7 +191,7 @@ fn observation4_separation_via_umbrella() {
 #[test]
 fn universal_counter_over_theorem2_snapshot() {
     let mem = NativeMem::new();
-    let counter = Universal::new(CounterType, SlSnapshot::with_double_collect(&mem, 2), 2);
+    let counter = ObjectBuilder::on(&mem).processes(2).universal(CounterType);
     let mut h0 = counter.handle(ProcId(0));
     let mut h1 = counter.handle(ProcId(1));
     h0.execute(CounterOp::Inc);
@@ -177,4 +200,35 @@ fn universal_counter_over_theorem2_snapshot() {
 
     // And its histories check against the simple-type spec.
     let _spec = SimpleSpec(CounterType);
+}
+
+#[test]
+#[cfg_attr(not(debug_assertions), ignore = "guard panics only in debug builds")]
+fn duplicate_handle_guard_fires_through_the_umbrella() {
+    let mem = NativeMem::new();
+    let snap = ObjectBuilder::on(&mem).processes(2).snapshot::<u64>();
+    let _h = snap.handle(ProcId(0));
+    let dup = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _dup = snap.handle(ProcId(0));
+    }));
+    assert!(dup.is_err(), "second live handle for p0 must panic");
+}
+
+/// Satellite check: the deprecated pre-`sl-api` entry points still work
+/// for one release (thin shims).
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_still_function() {
+    use strongly_linearizable::snapshot::{DoubleCollectSnapshot, LinSnapshot};
+
+    let mem = NativeMem::new();
+    // Old trait name, old `scan(&self, p)` shape — deprecated shim.
+    fn old_style<S: LinSnapshot<u64>>(snap: &S) {
+        snap.update(ProcId(0), 9);
+        assert_eq!(snap.scan(ProcId(1)), vec![Some(9), None]);
+    }
+    old_style(&DoubleCollectSnapshot::<u64, _>::new(&mem, 2));
+
+    // Old `View` alias in sl-core.
+    let _old_view: strongly_linearizable::core::View<u64> = vec![None, Some((1, 1))];
 }
