@@ -52,11 +52,13 @@
 //! ```
 
 mod builder;
+pub mod fuzz;
 mod guarantee;
 pub mod harness;
 mod impls;
 mod lin;
 mod object;
+pub mod sim;
 mod view;
 
 pub use builder::{

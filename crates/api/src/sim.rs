@@ -1,0 +1,343 @@
+//! Model checking any built object under the schedule explorer.
+//!
+//! The builder constructs objects; this module runs them. Give
+//! [`explore_object`] a factory (a closure building the object on a
+//! fresh `SimMem` — typically an [`crate::ObjectBuilder`] chain), a
+//! per-process workload of sequential-spec operations, and an
+//! [`SimExplore`] budget; it enumerates adversary schedules on the step
+//! VM with sleep-set pruning, streams every transcript into an
+//! incremental prefix tree, and hands back an [`ExploredObject`] ready
+//! for `sl_check`'s deciders:
+//!
+//! ```
+//! use sl_api::sim::{explore_object, SimExplore};
+//! use sl_api::ObjectBuilder;
+//! use sl_spec::types::AbaSpec;
+//! use sl_spec::AbaOp;
+//!
+//! // Theorem 12, bounded: Algorithm 2 is strongly linearizable over
+//! // every schedule of one DWrite and one DRead.
+//! let explored = explore_object::<AbaSpec<u64>, _, _>(
+//!     |mem| ObjectBuilder::on(mem).processes(2).aba_register::<u64>(),
+//!     &[vec![AbaOp::DWrite(9)], vec![AbaOp::DRead]],
+//!     &SimExplore::default(),
+//! );
+//! assert!(explored.outcome.exhausted);
+//! assert!(explored.check_strong(&AbaSpec::<u64>::new(2)).holds);
+//! ```
+
+use std::sync::Arc;
+
+use sl_check::{
+    check_linearizable, check_strongly_linearizable, HistoryTree, StrongLinReport, TreeBuilder,
+    TreeStep,
+};
+use sl_mem::Value;
+use sl_sim::{
+    EventLog, ExploreOutcome, Explorer, ProcCtx, Program, RunConfig, RunOutcome, Scheduler, SimMem,
+    SimWorld,
+};
+use sl_spec::types::{AbaSpec, CounterSpec, MaxRegisterSpec, SnapshotSpec};
+use sl_spec::{
+    AbaOp, AbaResp, CounterOp, CounterResp, History, MaxRegisterOp, MaxRegisterResp, ProcId,
+    SeqSpec, SnapshotOp, SnapshotResp,
+};
+
+use crate::object::{AbaOps, CounterOps, MaxRegisterOps, ObjectHandle, SharedObject, SnapshotOps};
+
+/// Drives a handle with operations of a sequential specification —
+/// the bridge between the spec-level workloads the checker understands
+/// and the per-family operation traits handles implement.
+///
+/// Blanket-implemented for every family's handles; objects whose
+/// operations do not map onto a spec this way (e.g. the universal
+/// construction, whose op type belongs to its `SimpleType`) can use
+/// the `*_with` harness entry points with an explicit apply closure.
+pub trait DriveOps<S: SeqSpec>: ObjectHandle {
+    /// Executes `op` on the object and returns its response.
+    fn drive(&mut self, op: &S::Op) -> S::Resp;
+}
+
+impl<V, H> DriveOps<SnapshotSpec<V>> for H
+where
+    V: Value + Eq + std::hash::Hash,
+    H: SnapshotOps<V>,
+{
+    fn drive(&mut self, op: &SnapshotOp<V>) -> SnapshotResp<V> {
+        match op {
+            SnapshotOp::Update(v) => {
+                self.update(v.clone());
+                SnapshotResp::Ack
+            }
+            SnapshotOp::Scan => SnapshotResp::View(self.scan().into_vec()),
+        }
+    }
+}
+
+impl<H: CounterOps> DriveOps<CounterSpec> for H {
+    fn drive(&mut self, op: &CounterOp) -> CounterResp {
+        match op {
+            CounterOp::Inc => {
+                self.inc();
+                CounterResp::Ack
+            }
+            CounterOp::Read => CounterResp::Value(self.read()),
+        }
+    }
+}
+
+impl<H: MaxRegisterOps> DriveOps<MaxRegisterSpec> for H {
+    fn drive(&mut self, op: &MaxRegisterOp) -> MaxRegisterResp {
+        match op {
+            MaxRegisterOp::MaxWrite(v) => {
+                self.max_write(*v);
+                MaxRegisterResp::Ack
+            }
+            MaxRegisterOp::MaxRead => MaxRegisterResp::Value(self.max_read()),
+        }
+    }
+}
+
+impl<V, H> DriveOps<AbaSpec<V>> for H
+where
+    V: Value + Copy + Eq + std::hash::Hash,
+    H: AbaOps<V>,
+{
+    fn drive(&mut self, op: &AbaOp<V>) -> AbaResp<V> {
+        match op {
+            AbaOp::DWrite(v) => {
+                self.dwrite(*v);
+                AbaResp::Ack
+            }
+            AbaOp::DRead => {
+                let (v, flag) = self.dread();
+                AbaResp::Value(v, flag)
+            }
+        }
+    }
+}
+
+/// Budgets and knobs of one object exploration.
+#[derive(Clone, Debug)]
+pub struct SimExplore {
+    /// Stop after this many executed schedules.
+    pub max_runs: usize,
+    /// Sleep-set pruning of commuting register accesses.
+    pub prune: bool,
+    /// Worker threads replaying schedules in parallel.
+    pub workers: usize,
+    /// Per-run shared-memory step budget.
+    pub step_budget: u64,
+    /// Initial decision prefix: explore only schedules extending it.
+    pub stem: Vec<usize>,
+}
+
+impl Default for SimExplore {
+    fn default() -> Self {
+        SimExplore {
+            max_runs: 200_000,
+            prune: true,
+            workers: 1,
+            step_budget: 10_000,
+            stem: Vec::new(),
+        }
+    }
+}
+
+/// The result of exploring one object: the merged prefix tree of every
+/// transcript plus the exploration statistics.
+pub struct ExploredObject<S: SeqSpec> {
+    /// Prefix tree over all explored transcripts — the set strong
+    /// linearizability quantifies over.
+    pub tree: HistoryTree<S>,
+    /// Runs, exhaustion, pruning statistics.
+    pub outcome: ExploreOutcome,
+}
+
+impl<S: SeqSpec> ExploredObject<S> {
+    /// Decides strong linearizability of the explored transcript tree.
+    pub fn check_strong(&self, spec: &S) -> StrongLinReport {
+        check_strongly_linearizable(spec, &self.tree)
+    }
+
+    /// Checks plain linearizability of every maximal transcript,
+    /// returning the first failing history if any.
+    pub fn first_non_linearizable(&self, spec: &S) -> Option<History<S>> {
+        for transcript in self.tree.transcripts() {
+            let h = history_of_transcript::<S>(&transcript);
+            if check_linearizable(spec, &h).is_none() {
+                return Some(h);
+            }
+        }
+        None
+    }
+}
+
+/// Extracts the high-level history from a transcript.
+pub fn history_of_transcript<S: SeqSpec>(transcript: &[TreeStep<S>]) -> History<S> {
+    let mut h = History::new();
+    for step in transcript {
+        if let TreeStep::Event(e) = step {
+            match &e.kind {
+                sl_spec::EventKind::Invoke(op) => h.invoke_with_id(e.op, e.proc, op.clone()),
+                sl_spec::EventKind::Respond(r) => h.respond(e.op, r.clone()),
+            }
+        }
+    }
+    h
+}
+
+/// One simulated run of an object workload under a given scheduler.
+pub struct SimRun<S: SeqSpec> {
+    /// The raw run outcome (trace, decisions, step counts).
+    pub outcome: RunOutcome,
+    /// The recorded high-level history.
+    pub history: History<S>,
+    /// The full transcript (events + internal steps).
+    pub transcript: Vec<TreeStep<S>>,
+    /// Human-readable transcript with allocation sites.
+    pub pretty: Vec<String>,
+}
+
+fn programs_for<S, O, A>(
+    obj: &O,
+    log: &EventLog<S>,
+    workload: &[Vec<S::Op>],
+    apply: &Arc<A>,
+) -> Vec<Program>
+where
+    S: SeqSpec + 'static,
+    S::Op: Send + Sync,
+    S::Resp: Send + Sync,
+    S::State: Send + Sync,
+    O: SharedObject<SimMem>,
+    A: Fn(&mut O::Handle, &S::Op) -> S::Resp + Send + Sync + 'static,
+{
+    workload
+        .iter()
+        .enumerate()
+        .map(|(pid, ops)| {
+            let mut handle = obj.handle(ProcId(pid));
+            let log = log.clone();
+            let ops = ops.clone();
+            let apply = Arc::clone(apply);
+            Box::new(move |ctx: ProcCtx| {
+                for op in &ops {
+                    // The adversary schedules the invocation itself.
+                    ctx.pause();
+                    let id = log.invoke(ctx.proc_id(), op.clone());
+                    let resp = apply(&mut handle, op);
+                    log.respond(id, resp);
+                }
+            }) as Program
+        })
+        .collect()
+}
+
+/// Runs one schedule of `workload` against a freshly built object,
+/// recording everything (used by the fuzzer; exploration uses
+/// [`explore_object`]). The object is built by `factory` on the fresh
+/// world's memory; `apply` maps spec operations onto the handle.
+pub fn run_object_schedule_with<S, O, F, A>(
+    factory: &F,
+    workload: &[Vec<S::Op>],
+    apply: &Arc<A>,
+    scheduler: &mut dyn Scheduler,
+    step_budget: u64,
+) -> SimRun<S>
+where
+    S: SeqSpec + 'static,
+    S::Op: Send + Sync,
+    S::Resp: Send + Sync,
+    S::State: Send + Sync,
+    O: SharedObject<SimMem>,
+    F: Fn(&SimMem) -> O,
+    A: Fn(&mut O::Handle, &S::Op) -> S::Resp + Send + Sync + 'static,
+{
+    let world = SimWorld::new(workload.len());
+    let mem = world.mem();
+    let obj = factory(&mem);
+    let log: EventLog<S> = EventLog::new(&world);
+    let programs = programs_for(&obj, &log, workload, apply);
+    let outcome = world.run(programs, scheduler, step_budget);
+    let history = log.history();
+    let transcript = log.transcript(&outcome);
+    let pretty = log.pretty_transcript(&outcome);
+    SimRun {
+        outcome,
+        history,
+        transcript,
+        pretty,
+    }
+}
+
+/// [`explore_object`] with an explicit apply closure, for objects whose
+/// operations don't map onto a spec via [`DriveOps`] (e.g. the §5
+/// universal construction).
+pub fn explore_object_with<S, O, F, A>(
+    factory: F,
+    workload: &[Vec<S::Op>],
+    apply: A,
+    cfg: &SimExplore,
+) -> ExploredObject<S>
+where
+    S: SeqSpec + 'static,
+    S::Op: Send + Sync,
+    S::Resp: Send + Sync,
+    S::State: Send + Sync,
+    O: SharedObject<SimMem>,
+    F: Fn(&SimMem) -> O + Sync,
+    A: Fn(&mut O::Handle, &S::Op) -> S::Resp + Send + Sync + 'static,
+{
+    let n = workload.len();
+    assert!(n > 0, "workload must cover at least one process");
+    let apply = Arc::new(apply);
+    let builder: TreeBuilder<S> = TreeBuilder::new();
+    let explorer = Explorer {
+        max_runs: cfg.max_runs,
+        prune: cfg.prune,
+        workers: cfg.workers,
+        stem: cfg.stem.clone(),
+    };
+    let outcome = explorer.explore(|driver| {
+        let world = SimWorld::new(n);
+        let mem = world.mem();
+        let obj = factory(&mem);
+        let log: EventLog<S> = EventLog::new(&world);
+        let programs = programs_for(&obj, &log, workload, &apply);
+        // The driver tracks its own decision script; skip decision
+        // recording in the run itself (hot path).
+        let out = world.run_with(programs, driver, cfg.step_budget, RunConfig::traced());
+        builder.ingest(&log.transcript(&out));
+        out
+    });
+    ExploredObject {
+        tree: builder.finish(),
+        outcome,
+    }
+}
+
+/// Explores every adversary schedule of `workload` (within the
+/// budgets) against the object built by `factory`, streaming the
+/// transcripts into a prefix tree. See the module docs for an example.
+pub fn explore_object<S, O, F>(
+    factory: F,
+    workload: &[Vec<S::Op>],
+    cfg: &SimExplore,
+) -> ExploredObject<S>
+where
+    S: SeqSpec + 'static,
+    S::Op: Send + Sync,
+    S::Resp: Send + Sync,
+    S::State: Send + Sync,
+    O: SharedObject<SimMem>,
+    O::Handle: DriveOps<S>,
+    F: Fn(&SimMem) -> O + Sync,
+{
+    explore_object_with(
+        factory,
+        workload,
+        |h: &mut O::Handle, op: &S::Op| h.drive(op),
+        cfg,
+    )
+}

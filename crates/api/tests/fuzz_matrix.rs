@@ -1,0 +1,391 @@
+//! The schedule fuzzer over the full builder matrix: every object
+//! family × substrate × backend gets seeded-random workloads and
+//! adversary schedules, with histories round-tripped through the
+//! linearizability checker and — for `Strong`-marked objects — schedule
+//! trees through the strong checker. A deliberately broken object at
+//! the end proves the fuzzer finds violations and the shrinker
+//! minimises them.
+//!
+//! Budgets here are tier-1-sized; the `sim-deep` CI job rescales via
+//! `SL_FUZZ_*` environment variables (see `FuzzConfig::from_env`).
+
+use sl_api::fuzz::{fuzz_native_family, fuzz_sim_family, FailureKind, FuzzConfig};
+use sl_api::sim::DriveOps;
+use sl_api::{ObjectBuilder, ObjectHandle, SharedObject, SnapshotOps};
+use sl_mem::{Mem, NativeMem, Register, SmallRng};
+use sl_spec::types::{AbaSpec, CounterSpec, MaxRegisterSpec, SnapshotSpec};
+use sl_spec::{AbaOp, CounterOp, CounterResp, MaxRegisterOp, ProcId, SnapshotOp};
+
+fn cfg() -> FuzzConfig {
+    let mut cfg = FuzzConfig::from_env();
+    // Tier-1 budget unless the environment rescales.
+    if std::env::var("SL_FUZZ_WORKLOADS").is_err() {
+        cfg.workloads = 4;
+    }
+    if std::env::var("SL_FUZZ_SCHEDULES").is_err() {
+        cfg.schedules_per_workload = 3;
+    }
+    cfg
+}
+
+fn gen_snapshot_op(rng: &mut SmallRng, p: ProcId) -> SnapshotOp<u64> {
+    if rng.gen_bool(0.5) {
+        SnapshotOp::Update(p.index() as u64 * 100 + rng.gen_range(10) as u64)
+    } else {
+        SnapshotOp::Scan
+    }
+}
+
+fn gen_counter_op(rng: &mut SmallRng, _p: ProcId) -> CounterOp {
+    if rng.gen_bool(0.5) {
+        CounterOp::Inc
+    } else {
+        CounterOp::Read
+    }
+}
+
+fn gen_max_op(rng: &mut SmallRng, _p: ProcId) -> MaxRegisterOp {
+    if rng.gen_bool(0.5) {
+        MaxRegisterOp::MaxWrite(rng.gen_range(4) as u64)
+    } else {
+        MaxRegisterOp::MaxRead
+    }
+}
+
+fn gen_aba_op(rng: &mut SmallRng, p: ProcId) -> AbaOp<u64> {
+    if rng.gen_bool(0.5) {
+        AbaOp::DWrite(p.index() as u64 * 10 + rng.gen_range(4) as u64)
+    } else {
+        AbaOp::DRead
+    }
+}
+
+/// One macro arm per substrate so the substrate stays in the builder's
+/// type (that is the point of the typestate builder).
+macro_rules! fuzz_snapshot_substrates {
+    ($($name:ident => $select:ident),* $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg = cfg();
+                let n = cfg.procs;
+                fuzz_sim_family(
+                    concat!("snapshot/", stringify!($select), "/sim"),
+                    true,
+                    |mem: &sl_sim::SimMem| {
+                        ObjectBuilder::on(mem).processes(n).$select().snapshot::<u64>()
+                    },
+                    |h, op| h.drive(op),
+                    gen_snapshot_op,
+                    &SnapshotSpec::<u64>::new(n),
+                    &cfg,
+                )
+                .assert_clean();
+                fuzz_sim_family(
+                    concat!("counter/", stringify!($select), "/sim"),
+                    true,
+                    |mem: &sl_sim::SimMem| {
+                        ObjectBuilder::on(mem).processes(n).$select().counter()
+                    },
+                    |h, op| h.drive(op),
+                    gen_counter_op,
+                    &CounterSpec,
+                    &cfg,
+                )
+                .assert_clean();
+                fuzz_sim_family(
+                    concat!("max_register/", stringify!($select), "/sim"),
+                    true,
+                    |mem: &sl_sim::SimMem| {
+                        ObjectBuilder::on(mem).processes(n).$select().max_register()
+                    },
+                    |h, op| h.drive(op),
+                    gen_max_op,
+                    &MaxRegisterSpec,
+                    &cfg,
+                )
+                .assert_clean();
+                // Native backend: random sequential interleavings.
+                fuzz_native_family(
+                    concat!("snapshot/", stringify!($select), "/native"),
+                    |mem: &NativeMem| {
+                        ObjectBuilder::on(mem).processes(n).$select().snapshot::<u64>()
+                    },
+                    |h, op| h.drive(op),
+                    gen_snapshot_op,
+                    &SnapshotSpec::<u64>::new(n),
+                    &cfg,
+                )
+                .assert_clean();
+            }
+        )*
+    };
+}
+
+fuzz_snapshot_substrates! {
+    fuzz_double_collect_substrate => double_collect,
+    fuzz_afek_substrate => afek,
+    fuzz_bounded_handshake_substrate => bounded_handshake,
+    fuzz_versioned_substrate => versioned,
+    fuzz_atomic_r_substrate => atomic_r,
+}
+
+#[test]
+fn fuzz_aba_registers_both_algorithms() {
+    let cfg = cfg();
+    let n = cfg.procs;
+    // Algorithm 2 (Theorem 1): strong — schedule trees included.
+    fuzz_sim_family(
+        "aba/algorithm2/sim",
+        true,
+        |mem: &sl_sim::SimMem| ObjectBuilder::on(mem).processes(n).aba_register::<u64>(),
+        |h, op| h.drive(op),
+        gen_aba_op,
+        &AbaSpec::<u64>::new(n),
+        &cfg,
+    )
+    .assert_clean();
+    // Algorithm 1 (Observation 4): guarantee marker is Lin, so only
+    // per-history linearizability is asserted — exactly what the type
+    // system encodes (its schedule trees would legitimately fail the
+    // strong checker).
+    fuzz_sim_family(
+        "aba/algorithm1/sim",
+        false,
+        |mem: &sl_sim::SimMem| {
+            ObjectBuilder::on(mem)
+                .processes(n)
+                .lin_aba_register::<u64>()
+        },
+        |h, op| h.drive(op),
+        gen_aba_op,
+        &AbaSpec::<u64>::new(n),
+        &cfg,
+    )
+    .assert_clean();
+    fuzz_native_family(
+        "aba/algorithm2/native",
+        |mem: &NativeMem| ObjectBuilder::on(mem).processes(n).aba_register::<u64>(),
+        |h, op| h.drive(op),
+        gen_aba_op,
+        &AbaSpec::<u64>::new(n),
+        &cfg,
+    )
+    .assert_clean();
+}
+
+#[test]
+fn fuzz_lin_substrates_and_trie() {
+    let cfg = cfg();
+    let n = cfg.procs;
+    fuzz_sim_family(
+        "lin_snapshot/double_collect/sim",
+        false,
+        |mem: &sl_sim::SimMem| ObjectBuilder::on(mem).processes(n).lin_snapshot::<u64>(),
+        |h, op| h.drive(op),
+        gen_snapshot_op,
+        &SnapshotSpec::<u64>::new(n),
+        &cfg,
+    )
+    .assert_clean();
+    fuzz_sim_family(
+        "trie_max_register/sim",
+        false,
+        |mem: &sl_sim::SimMem| ObjectBuilder::on(mem).processes(n).trie_max_register(4),
+        |h, op| h.drive(op),
+        gen_max_op,
+        &MaxRegisterSpec,
+        &cfg,
+    )
+    .assert_clean();
+    fuzz_sim_family(
+        "atomic_snapshot/sim",
+        true,
+        |mem: &sl_sim::SimMem| ObjectBuilder::on(mem).processes(n).atomic_snapshot::<u64>(),
+        |h, op| h.drive(op),
+        gen_snapshot_op,
+        &SnapshotSpec::<u64>::new(n),
+        &cfg,
+    )
+    .assert_clean();
+}
+
+#[test]
+fn fuzz_universal_construction() {
+    use sl_api::UniversalOps;
+    use sl_universal::types::CounterType;
+    let cfg = cfg();
+    let n = cfg.procs;
+    // The universal construction's ops belong to its SimpleType, so it
+    // goes through the explicit-apply entry point.
+    fuzz_sim_family(
+        "universal/counter/sim",
+        true,
+        |mem: &sl_sim::SimMem| ObjectBuilder::on(mem).processes(n).universal(CounterType),
+        |h, op: &CounterOp| -> CounterResp { UniversalOps::execute(h, *op) },
+        gen_counter_op,
+        &CounterSpec,
+        &cfg,
+    )
+    .assert_clean();
+}
+
+// --- the planted bug ---------------------------------------------------
+
+/// A deliberately broken snapshot: `scan` never reports component 0
+/// unless process 0 is the scanner. Used to prove the fuzzer finds
+/// violations and the shrinker minimises them.
+#[derive(Clone)]
+struct BrokenSnapshot<M: Mem> {
+    regs: Vec<M::Reg<Option<u64>>>,
+}
+
+struct BrokenHandle<M: Mem> {
+    p: ProcId,
+    regs: Vec<M::Reg<Option<u64>>>,
+}
+
+impl<M: Mem> BrokenSnapshot<M> {
+    fn new(mem: &M, n: usize) -> Self {
+        BrokenSnapshot {
+            regs: (0..n)
+                .map(|i| mem.alloc(&format!("B.reg[{i}]"), None))
+                .collect(),
+        }
+    }
+}
+
+impl<M: Mem> SharedObject<M> for BrokenSnapshot<M> {
+    type Guarantee = sl_api::Lin;
+    type Handle = BrokenHandle<M>;
+    fn handle(&self, p: ProcId) -> BrokenHandle<M> {
+        BrokenHandle {
+            p,
+            regs: self.regs.clone(),
+        }
+    }
+    fn processes(&self) -> Option<usize> {
+        Some(self.regs.len())
+    }
+}
+
+impl<M: Mem> ObjectHandle for BrokenHandle<M> {
+    fn proc(&self) -> ProcId {
+        self.p
+    }
+}
+
+impl<M: Mem> SnapshotOps<u64> for BrokenHandle<M> {
+    fn update(&mut self, value: u64) {
+        self.regs[self.p.index()].write(Some(value));
+    }
+    fn scan(&mut self) -> sl_api::View<u64> {
+        let components = self
+            .regs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                if i == 0 && self.p.index() != 0 {
+                    None // the bug: p0's component is dropped
+                } else {
+                    r.read()
+                }
+            })
+            .collect();
+        sl_api::View::new(components)
+    }
+}
+
+#[test]
+fn fuzzer_finds_and_shrinks_planted_bug() {
+    let cfg = FuzzConfig {
+        workloads: 32,
+        procs: 2,
+        ops_per_proc: 3,
+        ..FuzzConfig::default()
+    };
+    let report = fuzz_sim_family(
+        "broken_snapshot/sim",
+        false,
+        |mem: &sl_sim::SimMem| BrokenSnapshot::new(mem, 2),
+        |h, op| h.drive(op),
+        |rng, p| {
+            if p.index() == 0 || rng.gen_bool(0.3) {
+                SnapshotOp::Update(p.index() as u64 + 1)
+            } else {
+                SnapshotOp::Scan
+            }
+        },
+        &SnapshotSpec::<u64>::new(2),
+        &cfg,
+    );
+    let failure = report
+        .failure
+        .clone()
+        .expect("the planted bug must be found");
+    assert_eq!(failure.kind, FailureKind::Linearizability);
+    // The minimal counterexample is one completed update by p0 plus one
+    // scan by p1: the shrinker must get down to exactly two operations.
+    let shrunk_ops: usize = failure.workload.iter().map(Vec::len).sum();
+    assert_eq!(
+        shrunk_ops,
+        2,
+        "locally minimal counterexample: {}",
+        report.render()
+    );
+    assert!(
+        failure.ops_shrink.0 > failure.ops_shrink.1,
+        "shrinker must have removed operations"
+    );
+    // The rendered trace points into this test file (allocation sites).
+    assert!(
+        failure.trace.iter().any(|l| l.contains("fuzz_matrix.rs")),
+        "trace lines carry allocation sites: {:#?}",
+        failure.trace
+    );
+}
+
+/// Guarantee-marker sanity: Algorithm 1 is `Lin` in the type system,
+/// and the schedule-tree check the fuzzer would run for `Strong`
+/// objects does reject it on the right family (the Observation 4
+/// separation, found by fuzzing rather than construction) — kept as a
+/// deep-mode test because it needs enough random schedules to hit the
+/// family.
+#[test]
+#[ignore = "deep: run with --ignored (sim-deep CI job)"]
+fn fuzzing_algorithm1_as_strong_finds_observation4() {
+    let mut cfg = FuzzConfig::from_env();
+    cfg.workloads = 200;
+    cfg.schedules_per_workload = 8;
+    cfg.ops_per_proc = 4;
+    let report = fuzz_sim_family(
+        "aba/algorithm1-as-strong/sim",
+        true, // deliberately run the strong checker on a Lin object
+        |mem: &sl_sim::SimMem| {
+            ObjectBuilder::on(mem)
+                .processes(2)
+                .lin_aba_register::<u64>()
+        },
+        |h, op| h.drive(op),
+        |rng, p| {
+            if p.index() == 0 {
+                AbaOp::DWrite(7)
+            } else if rng.gen_bool(0.8) {
+                AbaOp::DRead
+            } else {
+                AbaOp::DWrite(9)
+            }
+        },
+        &AbaSpec::<u64>::new(2),
+        &cfg,
+    );
+    if let Some(f) = &report.failure {
+        assert_eq!(f.kind, FailureKind::StrongLinearizability);
+        assert!(
+            f.schedules.len() >= 2,
+            "a strong violation needs a branching family"
+        );
+    }
+    // Not finding it within budget is acceptable (random schedules);
+    // the obs4 explorer test finds it deterministically.
+}

@@ -15,6 +15,7 @@
 //! | `exp_universal` | Theorems 54/3: universal construction checks |
 //! | `exp_adversary_bias` | §1 motivation: a strong adversary makes Algorithm 1's ABA flag lie; it cannot with Algorithm 2 |
 //! | `exp_space` | §4.1 vs §4.3: unbounded versioned construction vs bounded Algorithm 3 space |
+//! | `exp_sim_throughput` | Step-VM steps/sec vs the legacy thread-handoff engine, per recording configuration |
 
 pub mod obs4;
 pub mod table;

@@ -40,4 +40,4 @@ mod tree;
 
 pub use lin::{check_linearizable, LinStep};
 pub use strong::{check_strongly_linearizable, StrongLinReport};
-pub use tree::{HistoryTree, TreeStep};
+pub use tree::{HistoryTree, TreeBuilder, TreeStep};

@@ -190,6 +190,52 @@ impl<S: SeqSpec> HistoryTree<S> {
     }
 }
 
+/// A concurrency-safe incremental builder of [`HistoryTree`]s.
+///
+/// The explorer's workers replay schedules in parallel and stream each
+/// transcript in with [`TreeBuilder::ingest`] the moment the run
+/// finishes, instead of materialising every run and merging at the end.
+/// Internally a mutex around the growing tree: insertion is a prefix
+/// walk, orders of magnitude cheaper than the replay that produced the
+/// transcript, so contention is negligible.
+pub struct TreeBuilder<S: SeqSpec> {
+    tree: std::sync::Mutex<HistoryTree<S>>,
+    ingested: std::sync::atomic::AtomicUsize,
+}
+
+impl<S: SeqSpec> Default for TreeBuilder<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: SeqSpec> TreeBuilder<S> {
+    /// Creates a builder holding the empty tree.
+    pub fn new() -> Self {
+        TreeBuilder {
+            tree: std::sync::Mutex::new(HistoryTree::new()),
+            ingested: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Merges one transcript into the tree.
+    pub fn ingest(&self, steps: &[TreeStep<S>]) {
+        self.tree.lock().unwrap().insert_path(steps);
+        self.ingested
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Number of transcripts ingested so far.
+    pub fn ingested(&self) -> usize {
+        self.ingested.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Consumes the builder, returning the merged tree.
+    pub fn finish(self) -> HistoryTree<S> {
+        self.tree.into_inner().unwrap()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +286,45 @@ mod tests {
         let expected: Vec<TreeStep<CounterSpec>> =
             h2.events().iter().cloned().map(TreeStep::Event).collect();
         assert_eq!(paths[0], expected);
+    }
+
+    #[test]
+    fn tree_builder_streams_transcripts_incrementally() {
+        let mk = |steps: &[&str]| -> Vec<TreeStep<CounterSpec>> {
+            steps
+                .iter()
+                .map(|s| TreeStep::Internal(ProcId(0), (*s).into()))
+                .collect()
+        };
+        let builder: TreeBuilder<CounterSpec> = TreeBuilder::new();
+        builder.ingest(&mk(&["a", "b"]));
+        builder.ingest(&mk(&["a", "c"]));
+        builder.ingest(&mk(&["a", "b"])); // duplicate: merges away
+        assert_eq!(builder.ingested(), 3);
+        let tree = builder.finish();
+        assert_eq!(tree.leaf_count(), 2);
+        assert_eq!(tree.node_count(), 4);
+    }
+
+    #[test]
+    fn tree_builder_is_shareable_across_threads() {
+        let builder: TreeBuilder<CounterSpec> = TreeBuilder::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let builder = &builder;
+                scope.spawn(move || {
+                    for i in 0..8 {
+                        builder.ingest(&[
+                            TreeStep::Internal(ProcId(t), format!("t{t}")),
+                            TreeStep::Internal(ProcId(t), format!("i{i}")),
+                        ]);
+                    }
+                });
+            }
+        });
+        assert_eq!(builder.ingested(), 32);
+        let tree = builder.finish();
+        assert_eq!(tree.leaf_count(), 32);
     }
 
     #[test]

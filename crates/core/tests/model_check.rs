@@ -2,11 +2,12 @@
 //! (Theorems 12 and 25) plus linearization-point validation at scale
 //! (the `pt` functions Q-1/Q-2 of §3.2).
 
-use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree};
+use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree, TreeBuilder};
 use sl_core::aba::{AbaHandle, SlAbaRegister};
 use sl_core::SlSnapshot;
 use sl_sim::{
-    explore, AccessKind, EventLog, Program, RunOutcome, Scripted, SeededRandom, SimWorld, TraceItem,
+    AccessKind, EventLog, Explorer, Program, RunConfig, RunOutcome, ScheduleDriver, Scripted,
+    SeededRandom, SimWorld, TraceItem,
 };
 use sl_spec::types::{AbaSpec, SnapshotSpec};
 use sl_spec::{
@@ -16,52 +17,69 @@ use sl_spec::{
 type ASpec = AbaSpec<u64>;
 type SSpec = SnapshotSpec<u64>;
 
-/// Exhaustively explores all schedules of a 2-process Algorithm-2
-/// workload (one DWrite, one DRead) and model-checks strong
-/// linearizability over the full prefix tree of transcripts.
-#[test]
-fn sl_aba_exhaustive_one_write_one_read() {
-    let mut transcripts = Vec::new();
-    let explored = explore(
-        |script| {
-            let world = SimWorld::new(2);
-            let mem = world.mem();
-            let reg = SlAbaRegister::<u64, _>::new(&mem, 2);
-            let log: EventLog<ASpec> = EventLog::new(&world);
-            let mut w = reg.handle(ProcId(0));
-            let wl = log.clone();
-            let mut r = reg.handle(ProcId(1));
-            let rl = log.clone();
-            let programs: Vec<Program> = vec![
-                Box::new(move |ctx| {
+/// Runs a 2-process Algorithm-2 workload (`writes` DWrites vs `reads`
+/// DReads) under the sleep-set explorer, streaming transcripts into a
+/// prefix tree.
+fn explore_sl_aba(
+    writes: u64,
+    reads: u64,
+    explorer: &Explorer,
+) -> (sl_sim::ExploreOutcome, HistoryTree<ASpec>) {
+    let builder: TreeBuilder<ASpec> = TreeBuilder::new();
+    let explored = explorer.explore(|driver: &mut ScheduleDriver| {
+        let world = SimWorld::new(2);
+        let mem = world.mem();
+        let reg = SlAbaRegister::<u64, _>::new(&mem, 2);
+        let log: EventLog<ASpec> = EventLog::new(&world);
+        let mut w = reg.handle(ProcId(0));
+        let wl = log.clone();
+        let mut r = reg.handle(ProcId(1));
+        let rl = log.clone();
+        let programs: Vec<Program> = vec![
+            Box::new(move |ctx| {
+                for i in 0..writes {
                     ctx.pause();
-                    let id = wl.invoke(ctx.proc_id(), AbaOp::DWrite(9));
-                    w.dwrite(9);
+                    let id = wl.invoke(ctx.proc_id(), AbaOp::DWrite(9 + i));
+                    w.dwrite(9 + i);
                     wl.respond(id, AbaResp::Ack);
-                }),
-                Box::new(move |ctx| {
+                }
+            }),
+            Box::new(move |ctx| {
+                for _ in 0..reads {
                     ctx.pause();
                     let id = rl.invoke(ctx.proc_id(), AbaOp::DRead);
                     let (v, a) = r.dread();
                     rl.respond(id, AbaResp::Value(v, a));
-                }),
-            ];
-            let mut sched = Scripted::new(script.to_vec());
-            let outcome = world.run(programs, &mut sched, 200);
-            transcripts.push(log.transcript(&outcome));
-            outcome
-        },
-        20_000,
-        |_, _| {},
-    );
+                }
+            }),
+        ];
+        let outcome = world.run_with(programs, driver, 1_000, RunConfig::traced());
+        builder.ingest(&log.transcript(&outcome));
+        outcome
+    });
+    (explored, builder.finish())
+}
+
+/// Exhaustively explores all schedules of a 2-process Algorithm-2
+/// workload — **two** DWrites against **two** DReads, twice the depth
+/// the thread-handoff engine could afford — and model-checks strong
+/// linearizability over the full prefix tree of transcripts.
+#[test]
+fn sl_aba_exhaustive_two_writes_two_reads() {
+    let explorer = Explorer {
+        max_runs: 500_000,
+        prune: true,
+        workers: 2,
+        stem: vec![],
+    };
+    let (explored, tree) = explore_sl_aba(2, 2, &explorer);
     assert!(explored.exhausted, "schedule space must be fully explored");
     assert!(
-        explored.runs > 10,
+        explored.runs > 1_000,
         "expected many interleavings, got {}",
         explored.runs
     );
-
-    let tree = HistoryTree::from_transcripts(&transcripts);
+    assert!(explored.pruned > 0, "announce-array steps must prune");
     let report = check_strongly_linearizable(&ASpec::new(2), &tree);
     assert!(
         report.holds,
@@ -70,53 +88,101 @@ fn sl_aba_exhaustive_one_write_one_read() {
     );
 }
 
-/// Exhaustively explores Algorithm 3 (atomic `R` configuration, one
-/// `SLupdate` + one `SLscan`) up to a run budget and model-checks strong
+/// Deep-mode exhaustive check (the `sim-deep` CI job runs `--ignored`
+/// in release mode): three DWrites against two DReads, a schedule
+/// space far beyond what the thread-handoff engine could touch.
+#[test]
+#[ignore = "deep: run with --ignored (sim-deep CI job)"]
+fn sl_aba_exhaustive_three_writes_two_reads_deep() {
+    let explorer = Explorer {
+        max_runs: 5_000_000,
+        prune: true,
+        workers: 2,
+        stem: vec![],
+    };
+    let (explored, tree) = explore_sl_aba(3, 2, &explorer);
+    assert!(explored.exhausted, "explored {} schedules", explored.runs);
+    let report = check_strongly_linearizable(&ASpec::new(2), &tree);
+    assert!(
+        report.holds,
+        "Theorem 12 (deep bounded check) over {} schedules ({} pruned)",
+        explored.runs, explored.pruned
+    );
+}
+
+/// Pruning soundness cross-check at the previous depth: the pruned and
+/// unpruned explorations give the same strong-linearizability verdict
+/// (and the pruned tree is a subtree of the unpruned one).
+#[test]
+fn sl_aba_pruned_and_unpruned_verdicts_agree() {
+    let pruned = Explorer {
+        prune: true,
+        ..Explorer::default()
+    };
+    let unpruned = Explorer {
+        prune: false,
+        ..Explorer::default()
+    };
+    let (po, ptree) = explore_sl_aba(1, 1, &pruned);
+    let (uo, utree) = explore_sl_aba(1, 1, &unpruned);
+    assert!(po.exhausted && uo.exhausted);
+    assert!(po.runs <= uo.runs);
+    assert!(ptree.node_count() <= utree.node_count());
+    let pv = check_strongly_linearizable(&ASpec::new(2), &ptree).holds;
+    let uv = check_strongly_linearizable(&ASpec::new(2), &utree).holds;
+    assert_eq!(pv, uv, "sleep-set pruning must not change the verdict");
+    assert!(pv, "Theorem 12 at the original depth");
+}
+
+/// Explores Algorithm 3 (atomic `R` configuration, one `SLupdate` +
+/// one `SLscan`) on the sleep-set explorer at **4×** the run budget the
+/// thread-handoff engine could afford, and model-checks strong
 /// linearizability of the explored prefix tree.
 #[test]
 fn sl_snapshot_atomic_r_exhaustive_one_update_one_scan() {
-    let mut transcripts = Vec::new();
-    let explored = explore(
-        |script| {
-            let world = SimWorld::new(2);
-            let mem = world.mem();
-            let snap = SlSnapshot::with_atomic_r(&mem, 2);
-            let log: EventLog<SSpec> = EventLog::new(&world);
-            let mut u = snap.handle(ProcId(0));
-            let ul = log.clone();
-            let mut s = snap.handle(ProcId(1));
-            let sl = log.clone();
-            let programs: Vec<Program> = vec![
-                Box::new(move |ctx| {
-                    ctx.pause();
-                    let id = ul.invoke(ctx.proc_id(), SnapshotOp::Update(5));
-                    u.update(5);
-                    ul.respond(id, SnapshotResp::Ack);
-                }),
-                Box::new(move |ctx| {
-                    ctx.pause();
-                    let id = sl.invoke(ctx.proc_id(), SnapshotOp::Scan);
-                    let v = s.scan();
-                    sl.respond(id, SnapshotResp::View(v));
-                }),
-            ];
-            let mut sched = Scripted::new(script.to_vec());
-            let outcome = world.run(programs, &mut sched, 500);
-            transcripts.push(log.transcript(&outcome));
-            outcome
-        },
-        4_000,
-        |_, _| {},
-    );
-    assert!(explored.runs >= 1_000 || explored.exhausted);
+    let builder: TreeBuilder<SSpec> = TreeBuilder::new();
+    let explorer = Explorer {
+        max_runs: 16_000,
+        prune: true,
+        workers: 2,
+        stem: vec![],
+    };
+    let explored = explorer.explore(|driver: &mut ScheduleDriver| {
+        let world = SimWorld::new(2);
+        let mem = world.mem();
+        let snap = SlSnapshot::with_atomic_r(&mem, 2);
+        let log: EventLog<SSpec> = EventLog::new(&world);
+        let mut u = snap.handle(ProcId(0));
+        let ul = log.clone();
+        let mut s = snap.handle(ProcId(1));
+        let sl = log.clone();
+        let programs: Vec<Program> = vec![
+            Box::new(move |ctx| {
+                ctx.pause();
+                let id = ul.invoke(ctx.proc_id(), SnapshotOp::Update(5));
+                u.update(5);
+                ul.respond(id, SnapshotResp::Ack);
+            }),
+            Box::new(move |ctx| {
+                ctx.pause();
+                let id = sl.invoke(ctx.proc_id(), SnapshotOp::Scan);
+                let v = s.scan();
+                sl.respond(id, SnapshotResp::View(v));
+            }),
+        ];
+        let outcome = world.run_with(programs, driver, 500, RunConfig::traced());
+        builder.ingest(&log.transcript(&outcome));
+        outcome
+    });
+    assert!(explored.runs >= 4_000 || explored.exhausted);
 
-    let tree = HistoryTree::from_transcripts(&transcripts);
+    let tree = builder.finish();
     let report = check_strongly_linearizable(&SSpec::new(2), &tree);
     assert!(
         report.holds,
         "Theorem 25 (bounded check): Algorithm 3 strongly linearizable over {} schedules \
-         (exhausted: {})",
-        explored.runs, explored.exhausted
+         (exhausted: {}, pruned: {})",
+        explored.runs, explored.exhausted, explored.pruned
     );
 }
 
@@ -361,40 +427,41 @@ fn fully_bounded_sl_snapshot_linearizable_under_random_schedules() {
 #[test]
 fn fully_bounded_sl_snapshot_strong_bounded_check() {
     use sl_core::BoundedSlSnapshot;
-    let mut transcripts = Vec::new();
-    let explored = explore(
-        |script| {
-            let world = SimWorld::new(2);
-            let mem = world.mem();
-            let snap = BoundedSlSnapshot::fully_bounded(&mem, 2);
-            let log: EventLog<SSpec> = EventLog::new(&world);
-            let mut u = snap.handle(ProcId(0));
-            let ul = log.clone();
-            let mut s = snap.handle(ProcId(1));
-            let sl = log.clone();
-            let programs: Vec<Program> = vec![
-                Box::new(move |ctx| {
-                    ctx.pause();
-                    let id = ul.invoke(ctx.proc_id(), SnapshotOp::Update(5));
-                    u.update(5);
-                    ul.respond(id, SnapshotResp::Ack);
-                }),
-                Box::new(move |ctx| {
-                    ctx.pause();
-                    let id = sl.invoke(ctx.proc_id(), SnapshotOp::Scan);
-                    let v = s.scan();
-                    sl.respond(id, SnapshotResp::View(v));
-                }),
-            ];
-            let mut sched = Scripted::new(script.to_vec());
-            let outcome = world.run(programs, &mut sched, 2_000);
-            transcripts.push(log.transcript(&outcome));
-            outcome
-        },
-        2_000,
-        |_, _| {},
-    );
-    let tree = HistoryTree::from_transcripts(&transcripts);
+    let builder: TreeBuilder<SSpec> = TreeBuilder::new();
+    let explorer = Explorer {
+        max_runs: 8_000, // 4x the budget the thread-handoff engine managed
+        prune: true,
+        workers: 2,
+        stem: vec![],
+    };
+    let explored = explorer.explore(|driver: &mut ScheduleDriver| {
+        let world = SimWorld::new(2);
+        let mem = world.mem();
+        let snap = BoundedSlSnapshot::fully_bounded(&mem, 2);
+        let log: EventLog<SSpec> = EventLog::new(&world);
+        let mut u = snap.handle(ProcId(0));
+        let ul = log.clone();
+        let mut s = snap.handle(ProcId(1));
+        let sl = log.clone();
+        let programs: Vec<Program> = vec![
+            Box::new(move |ctx| {
+                ctx.pause();
+                let id = ul.invoke(ctx.proc_id(), SnapshotOp::Update(5));
+                u.update(5);
+                ul.respond(id, SnapshotResp::Ack);
+            }),
+            Box::new(move |ctx| {
+                ctx.pause();
+                let id = sl.invoke(ctx.proc_id(), SnapshotOp::Scan);
+                let v = s.scan();
+                sl.respond(id, SnapshotResp::View(v));
+            }),
+        ];
+        let outcome = world.run_with(programs, driver, 2_000, RunConfig::traced());
+        builder.ingest(&log.transcript(&outcome));
+        outcome
+    });
+    let tree = builder.finish();
     let report = check_strongly_linearizable(&SSpec::new(2), &tree);
     assert!(
         report.holds,
@@ -411,45 +478,51 @@ fn fully_bounded_sl_snapshot_strong_bounded_check() {
 fn cas_universal_queue_strongly_linearizable_exhaustive() {
     use sl_core::CasUniversal;
     use sl_spec::types::QueueSpec;
-    use sl_spec::{QueueOp, QueueResp};
+    use sl_spec::QueueOp;
 
-    let mut transcripts = Vec::new();
-    let explored = explore(
-        |script| {
-            let world = SimWorld::new(2);
-            let mem = world.mem();
-            let q = CasUniversal::new(&mem, QueueSpec);
-            let log: EventLog<QueueSpec> = EventLog::new(&world);
-            let q0 = q.clone();
-            let l0 = log.clone();
-            let q1 = q.clone();
-            let l1 = log.clone();
-            let programs: Vec<Program> = vec![
-                Box::new(move |ctx| {
+    // Two enqueues against two dequeues — twice the depth of the
+    // 1-op-per-process check the thread-handoff engine could afford.
+    let builder: TreeBuilder<QueueSpec> = TreeBuilder::new();
+    let explorer = Explorer {
+        max_runs: 500_000,
+        prune: true,
+        workers: 2,
+        stem: vec![],
+    };
+    let explored = explorer.explore(|driver: &mut ScheduleDriver| {
+        let world = SimWorld::new(2);
+        let mem = world.mem();
+        let q = CasUniversal::new(&mem, QueueSpec);
+        let log: EventLog<QueueSpec> = EventLog::new(&world);
+        let q0 = q.clone();
+        let l0 = log.clone();
+        let q1 = q.clone();
+        let l1 = log.clone();
+        let programs: Vec<Program> = vec![
+            Box::new(move |ctx| {
+                for value in [7, 8] {
                     ctx.pause();
-                    let id = l0.invoke(ctx.proc_id(), QueueOp::Enqueue(7));
-                    let resp = q0.execute(ctx.proc_id(), &QueueOp::Enqueue(7));
-                    assert_eq!(resp, QueueResp::Ack);
+                    let id = l0.invoke(ctx.proc_id(), QueueOp::Enqueue(value));
+                    let resp = q0.execute(ctx.proc_id(), &QueueOp::Enqueue(value));
                     l0.respond(id, resp);
-                }),
-                Box::new(move |ctx| {
+                }
+            }),
+            Box::new(move |ctx| {
+                for _ in 0..2 {
                     ctx.pause();
                     let id = l1.invoke(ctx.proc_id(), QueueOp::Dequeue);
                     let resp = q1.execute(ctx.proc_id(), &QueueOp::Dequeue);
                     l1.respond(id, resp);
-                }),
-            ];
-            let mut sched = Scripted::new(script.to_vec());
-            let outcome = world.run(programs, &mut sched, 200);
-            transcripts.push(log.transcript(&outcome));
-            outcome
-        },
-        20_000,
-        |_, _| {},
-    );
+                }
+            }),
+        ];
+        let outcome = world.run_with(programs, driver, 1_000, RunConfig::traced());
+        builder.ingest(&log.transcript(&outcome));
+        outcome
+    });
     assert!(explored.exhausted);
 
-    let tree = HistoryTree::from_transcripts(&transcripts);
+    let tree = builder.finish();
     let report = check_strongly_linearizable(&QueueSpec, &tree);
     assert!(
         report.holds,

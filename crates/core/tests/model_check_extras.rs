@@ -8,11 +8,15 @@
 //! max-register derived from the strongly linearizable snapshot
 //! (model-checked positively below).
 
+use sl_check::TreeBuilder;
 use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree};
 use sl_core::{
     BoundedMaxRegister, SnapshotHandle, SnapshotObject, UnaryMaxRegister, VersionedSlSnapshot,
 };
-use sl_sim::{explore, EventLog, Program, Scripted, SeededRandom, SimWorld};
+use sl_sim::{
+    explore, EventLog, Explorer, Program, RunConfig, ScheduleDriver, Scripted, SeededRandom,
+    SimWorld,
+};
 use sl_spec::types::{MaxRegisterSpec, SnapshotSpec};
 use sl_spec::{MaxRegisterOp, MaxRegisterResp, ProcId, SnapshotOp, SnapshotResp};
 
@@ -89,50 +93,53 @@ fn double_collect_max_register_read_is_not_strongly_linearizable() {
 
 /// The paper's §4.5 strongly linearizable max-register (derived from
 /// the strongly linearizable snapshot): budget-bounded exhaustive
-/// check of the exact workload on which the naive reads fail.
+/// check of the exact workload on which the naive reads fail — at 4×
+/// the schedule budget the thread-handoff engine could afford, with
+/// sleep-set pruning making those schedules count.
 #[test]
 fn snapshot_derived_max_register_strong_bounded_check() {
     use sl_core::{SlSnapshot, SnapshotMaxRegister};
-    let mut transcripts = Vec::new();
-    let explored = explore(
-        |script| {
-            let world = SimWorld::new(3);
-            let mem = world.mem();
-            let maxreg = SnapshotMaxRegister::new(SlSnapshot::with_atomic_r(&mem, 3));
-            let log: EventLog<MaxRegisterSpec> = EventLog::new(&world);
-            let mut programs: Vec<Program> = Vec::new();
-            for (pid, value) in [(0usize, 1u64), (1, 3)] {
-                let mut h = maxreg.handle(ProcId(pid));
-                let log = log.clone();
-                programs.push(Box::new(move |ctx| {
-                    ctx.pause();
-                    let id = log.invoke(ctx.proc_id(), MaxRegisterOp::MaxWrite(value));
-                    h.max_write(value);
-                    log.respond(id, MaxRegisterResp::Ack);
-                }));
-            }
-            let mut h = maxreg.handle(ProcId(2));
-            let l2 = log.clone();
+    let builder: TreeBuilder<MaxRegisterSpec> = TreeBuilder::new();
+    let explorer = Explorer {
+        max_runs: 12_000,
+        prune: true,
+        workers: 2,
+        stem: vec![],
+    };
+    let explored = explorer.explore(|driver: &mut ScheduleDriver| {
+        let world = SimWorld::new(3);
+        let mem = world.mem();
+        let maxreg = SnapshotMaxRegister::new(SlSnapshot::with_atomic_r(&mem, 3));
+        let log: EventLog<MaxRegisterSpec> = EventLog::new(&world);
+        let mut programs: Vec<Program> = Vec::new();
+        for (pid, value) in [(0usize, 1u64), (1, 3)] {
+            let mut h = maxreg.handle(ProcId(pid));
+            let log = log.clone();
             programs.push(Box::new(move |ctx| {
                 ctx.pause();
-                let id = l2.invoke(ctx.proc_id(), MaxRegisterOp::MaxRead);
-                let v = h.max_read();
-                l2.respond(id, MaxRegisterResp::Value(v));
+                let id = log.invoke(ctx.proc_id(), MaxRegisterOp::MaxWrite(value));
+                h.max_write(value);
+                log.respond(id, MaxRegisterResp::Ack);
             }));
-            let mut sched = Scripted::new(script.to_vec());
-            let outcome = world.run(programs, &mut sched, 2_000);
-            transcripts.push(log.transcript(&outcome));
-            outcome
-        },
-        3_000,
-        |_, _| {},
-    );
-    let tree = HistoryTree::from_transcripts(&transcripts);
+        }
+        let mut h = maxreg.handle(ProcId(2));
+        let l2 = log.clone();
+        programs.push(Box::new(move |ctx| {
+            ctx.pause();
+            let id = l2.invoke(ctx.proc_id(), MaxRegisterOp::MaxRead);
+            let v = h.max_read();
+            l2.respond(id, MaxRegisterResp::Value(v));
+        }));
+        let outcome = world.run_with(programs, driver, 2_000, RunConfig::traced());
+        builder.ingest(&log.transcript(&outcome));
+        outcome
+    });
+    let tree = builder.finish();
     let report = check_strongly_linearizable(&MaxRegisterSpec, &tree);
     assert!(
         report.holds,
-        "§4.5 snapshot-derived max-register over {} schedules (exhausted: {})",
-        explored.runs, explored.exhausted
+        "§4.5 snapshot-derived max-register over {} schedules (exhausted: {}, pruned: {})",
+        explored.runs, explored.exhausted, explored.pruned
     );
 }
 
@@ -205,45 +212,46 @@ fn unary_max_register_linearizable_exhaustive() {
 /// max-register's multi-writer weakness).
 #[test]
 fn versioned_construction_strongly_linearizable_bounded() {
-    let mut transcripts = Vec::new();
-    let explored = explore(
-        |script| {
-            let world = SimWorld::new(2);
-            let mem = world.mem();
-            let snap: VersionedSlSnapshot<u64, _> = VersionedSlSnapshot::new(&mem, 2);
-            let log: EventLog<SnapshotSpec<u64>> = EventLog::new(&world);
-            let mut u = snap.handle(ProcId(0));
-            let ul = log.clone();
-            let mut s = snap.handle(ProcId(1));
-            let sl = log.clone();
-            let programs: Vec<Program> = vec![
-                Box::new(move |ctx| {
-                    ctx.pause();
-                    let id = ul.invoke(ctx.proc_id(), SnapshotOp::Update(5));
-                    u.update(5);
-                    ul.respond(id, SnapshotResp::Ack);
-                }),
-                Box::new(move |ctx| {
-                    ctx.pause();
-                    let id = sl.invoke(ctx.proc_id(), SnapshotOp::Scan);
-                    let v = s.scan();
-                    sl.respond(id, SnapshotResp::View(v));
-                }),
-            ];
-            let mut sched = Scripted::new(script.to_vec());
-            let outcome = world.run(programs, &mut sched, 500);
-            transcripts.push(log.transcript(&outcome));
-            outcome
-        },
-        5_000,
-        |_, _| {},
-    );
-    let tree = HistoryTree::from_transcripts(&transcripts);
+    let builder: TreeBuilder<SnapshotSpec<u64>> = TreeBuilder::new();
+    let explorer = Explorer {
+        max_runs: 20_000, // 4x the thread-handoff budget
+        prune: true,
+        workers: 2,
+        stem: vec![],
+    };
+    let explored = explorer.explore(|driver: &mut ScheduleDriver| {
+        let world = SimWorld::new(2);
+        let mem = world.mem();
+        let snap: VersionedSlSnapshot<u64, _> = VersionedSlSnapshot::new(&mem, 2);
+        let log: EventLog<SnapshotSpec<u64>> = EventLog::new(&world);
+        let mut u = snap.handle(ProcId(0));
+        let ul = log.clone();
+        let mut s = snap.handle(ProcId(1));
+        let sl = log.clone();
+        let programs: Vec<Program> = vec![
+            Box::new(move |ctx| {
+                ctx.pause();
+                let id = ul.invoke(ctx.proc_id(), SnapshotOp::Update(5));
+                u.update(5);
+                ul.respond(id, SnapshotResp::Ack);
+            }),
+            Box::new(move |ctx| {
+                ctx.pause();
+                let id = sl.invoke(ctx.proc_id(), SnapshotOp::Scan);
+                let v = s.scan();
+                sl.respond(id, SnapshotResp::View(v));
+            }),
+        ];
+        let outcome = world.run_with(programs, driver, 500, RunConfig::traced());
+        builder.ingest(&log.transcript(&outcome));
+        outcome
+    });
+    let tree = builder.finish();
     let report = check_strongly_linearizable(&SnapshotSpec::<u64>::new(2), &tree);
     assert!(
         report.holds,
-        "DW §4.1 construction over {} schedules (exhausted: {})",
-        explored.runs, explored.exhausted
+        "DW §4.1 construction over {} schedules (exhausted: {}, pruned: {})",
+        explored.runs, explored.exhausted, explored.pruned
     );
 }
 

@@ -21,11 +21,13 @@
 //! strong-linearizability checker — and runs the identical family
 //! against the paper's Algorithm 2, which passes.
 
-use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree, TreeStep};
+use sl_check::{
+    check_linearizable, check_strongly_linearizable, HistoryTree, TreeBuilder, TreeStep,
+};
 use sl_core::aba::{AbaHandle, AbaRegister, AwAbaRegister, SlAbaRegister};
-use sl_sim::{EventLog, Program, RunOutcome, Scripted, SimWorld};
+use sl_sim::{EventLog, Explorer, Program, RunConfig, RunOutcome, Scripted, SimWorld};
 use sl_spec::types::AbaSpec;
-use sl_spec::{AbaOp, AbaResp, ProcId};
+use sl_spec::{AbaOp, AbaResp, EventKind, ProcId};
 
 type Spec = AbaSpec<u64>;
 
@@ -156,6 +158,99 @@ fn algorithm1_observation4_family_has_no_strong_linearization() {
     assert!(
         !report.holds,
         "Observation 4: Algorithm 1 admits no strong linearization function"
+    );
+}
+
+/// The explorer *finds* the Observation-4 family automatically.
+///
+/// Instead of hand-scripting `T1` and `T2`, give the depth-first
+/// explorer the common prefix `S` as a stem and let it enumerate every
+/// schedule extending it (with sleep-set pruning). The resulting
+/// transcript tree must fail the strong-linearizability check, and the
+/// tree must contain the proof's two contradictory witnesses: a branch
+/// whose `dr2` reports *no* intervening write (`T1`-like: `dr1`
+/// linearizes late) and a branch whose `dr2` reports one (`T2`-like:
+/// `dr1` linearizes early).
+#[test]
+fn explorer_discovers_the_observation4_family() {
+    let (s_prefix, _) = {
+        let (t1, _) = scripts();
+        (t1[..9].to_vec(), ())
+    };
+    let builder: TreeBuilder<Spec> = TreeBuilder::new();
+    let explorer = Explorer {
+        max_runs: 60_000,
+        prune: true,
+        workers: 2,
+        stem: s_prefix,
+    };
+    let explored = explorer.explore(|driver| {
+        let world = SimWorld::new(2);
+        let mem = world.mem();
+        let reg = AwAbaRegister::<u64, _>::new(&mem, 2);
+        let log: EventLog<Spec> = EventLog::new(&world);
+        let mut w = reg.handle(ProcId(WRITER));
+        let wlog = log.clone();
+        let writer: Program = Box::new(move |ctx| {
+            for _ in 0..5 {
+                ctx.pause();
+                let id = wlog.invoke(ctx.proc_id(), AbaOp::DWrite(7));
+                w.dwrite(7);
+                wlog.respond(id, AbaResp::Ack);
+            }
+        });
+        let mut r = reg.handle(ProcId(READER));
+        let rlog = log.clone();
+        let reader: Program = Box::new(move |ctx| {
+            for _ in 0..2 {
+                ctx.pause();
+                let id = rlog.invoke(ctx.proc_id(), AbaOp::DRead);
+                let (v, a) = r.dread();
+                rlog.respond(id, AbaResp::Value(v, a));
+            }
+        });
+        let outcome = world.run_with(vec![writer, reader], driver, 10_000, RunConfig::traced());
+        builder.ingest(&log.transcript(&outcome));
+        outcome
+    });
+    assert!(
+        explored.exhausted,
+        "the extension space of S must be exhausted ({} runs)",
+        explored.runs
+    );
+    assert!(explored.pruned > 0, "commuting A/X accesses must prune");
+
+    let tree = builder.finish();
+    // The discovered tree contains both contradictory witnesses: some
+    // transcript's dr2 responds (7, false) and some other's (7, true).
+    let mut saw_t1_witness = false;
+    let mut saw_t2_witness = false;
+    for transcript in tree.transcripts() {
+        let dr2 = transcript
+            .iter()
+            .filter_map(|s| match s {
+                TreeStep::Event(e) if e.proc == ProcId(READER) => match &e.kind {
+                    EventKind::Respond(r) => Some(*r),
+                    EventKind::Invoke(_) => None,
+                },
+                _ => None,
+            })
+            .nth(1);
+        match dr2 {
+            Some(AbaResp::Value(Some(7), false)) => saw_t1_witness = true,
+            Some(AbaResp::Value(Some(7), true)) => saw_t2_witness = true,
+            _ => {}
+        }
+    }
+    assert!(saw_t1_witness, "a T1-like branch (no intervening write)");
+    assert!(saw_t2_witness, "a T2-like branch (intervening write seen)");
+
+    let report = check_strongly_linearizable(&Spec::new(2), &tree);
+    assert!(
+        !report.holds,
+        "the explorer must find the Observation-4 violation automatically \
+         ({} runs, {} pruned)",
+        explored.runs, explored.pruned
     );
 }
 

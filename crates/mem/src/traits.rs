@@ -54,13 +54,16 @@ pub trait Mem: Clone + Send + Sync + 'static {
     ///
     /// The `name` is used for tracing and debugging only; it need not be
     /// unique, though unique names make simulator traces much easier to
-    /// read.
+    /// read. The method is `#[track_caller]` so tracing backends (the
+    /// simulator) can record the allocation site alongside the name.
+    #[track_caller]
     fn alloc<T: Value>(&self, name: &str, init: T) -> Self::Reg<T>;
 
     /// Allocates a fresh read-modify-write cell holding `init`.
     ///
     /// Use sparingly: registers are the paper's base-object model; cells
     /// model explicitly *atomic* compound objects.
+    #[track_caller]
     fn alloc_cell<T: Value>(&self, name: &str, init: T) -> Self::Cell<T>;
 }
 

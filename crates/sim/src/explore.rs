@@ -1,18 +1,56 @@
 //! Bounded exhaustive exploration of scheduling choices.
 //!
-//! Systematically enumerates schedules of a deterministic simulated
-//! system: run once, then for every decision point branch into each
-//! unchosen runnable process, replaying the decision prefix via a
-//! [`crate::Scripted`] scheduler. Because runs are deterministic, a
-//! decision prefix uniquely determines a run, so each schedule is
-//! visited exactly once.
+//! Two generations of explorer live here:
 //!
-//! The transcripts of all explored runs, merged into a
-//! `sl_check::HistoryTree`, form exactly the prefix-closed transcript
-//! set over which strong linearizability quantifies (bounded by the
-//! step budget and the run budget).
+//! * [`explore`] — the original script-replay enumerator, kept for
+//!   compatibility. It re-derives branch points from
+//!   `RunOutcome::decisions` after each run and prunes nothing.
+//! * [`Explorer`] — the stateless depth-first explorer built for the
+//!   step VM. The caller's runner executes a fresh world per schedule
+//!   under a [`ScheduleDriver`] (an adversarial [`Scheduler`] handed to
+//!   `SimWorld::run`); the driver replays the frame's decision prefix,
+//!   extends it depth-first, records sibling branches, and — the new
+//!   part — maintains **sleep sets** over the VM's declared
+//!   [`PendingAccess`]es so that schedules differing only in the order
+//!   of commuting steps (accesses by different processes to different
+//!   registers) are explored once, not twice. Frames are distributed
+//!   over a work-stealing pool of worker threads; each worker replays
+//!   schedules independently (runs are deterministic, so a decision
+//!   prefix is a complete state description) and streams transcripts
+//!   straight into a shared sink such as `sl_check::TreeBuilder`.
+//!
+//! # Why sleep-set pruning is sound here
+//!
+//! Strong linearizability quantifies over the *tree* of transcripts, so
+//! pruning schedules changes the checked object. Two guarantees keep
+//! the verdict intact:
+//!
+//! 1. Only steps with [`PendingAccess::independent`] are commuted:
+//!    different processes, different registers, neither a `Local`
+//!    (pause) step. Swapping two such steps changes neither the memory
+//!    state, nor either step's record, nor any process's continuation —
+//!    and because invocation/response events ride on `Local` steps,
+//!    which are never commuted, the *history* along both orders is
+//!    identical event-for-event.
+//! 2. A pruned schedule therefore differs from some explored schedule
+//!    only by reordering adjacent independent internal steps. A strong
+//!    linearization function for the explored tree extends to the
+//!    pruned branches by assigning each reordered prefix the
+//!    linearization of its explored permutation image: the history at
+//!    corresponding nodes is equal, and prefix preservation transfers
+//!    because commitments forced at response events are untouched.
+//!
+//! The pruning is still **conservative** (same-register reads are
+//! treated as conflicting, pauses conflict with everything), and
+//! [`Explorer::prune`] can be turned off to cross-check — the fuzz and
+//! model-check suites do exactly that on small configurations.
 
-use crate::world::RunOutcome;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::sched::{Scheduler, STOP_RUN};
+use crate::world::{RunOutcome, SchedView};
 
 /// Statistics of an exploration.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,9 +60,17 @@ pub struct ExploreOutcome {
     /// `true` if the schedule space was exhausted within the run budget;
     /// `false` if exploration stopped at `max_runs` with schedules left.
     pub exhausted: bool,
+    /// Number of branch candidates skipped by sleep-set pruning (0 when
+    /// pruning is off or the legacy [`explore`] entry point is used).
+    pub pruned: u64,
+    /// Number of replays abandoned mid-run because every enabled
+    /// process was sleeping — continuations that sleep-set theory
+    /// proves are covered by some explored schedule.
+    pub cut_runs: usize,
 }
 
-/// Explores the schedule space of a deterministic simulated system.
+/// Explores the schedule space of a deterministic simulated system
+/// (legacy script-replay interface).
 ///
 /// `run_with_script` must build a **fresh** world (same programs, same
 /// initial state) and run it under a [`crate::Scripted`] scheduler
@@ -33,6 +79,7 @@ pub struct ExploreOutcome {
 ///
 /// Exploration is depth-first and stops after `max_runs` runs; the
 /// returned [`ExploreOutcome`] says whether the space was exhausted.
+/// No pruning is performed; prefer [`Explorer`] for new code.
 pub fn explore<F, V>(mut run_with_script: F, max_runs: usize, mut visit: V) -> ExploreOutcome
 where
     F: FnMut(&[usize]) -> RunOutcome,
@@ -45,6 +92,8 @@ where
             return ExploreOutcome {
                 runs,
                 exhausted: false,
+                pruned: 0,
+                cut_runs: 0,
             };
         }
         let outcome = run_with_script(&script);
@@ -68,6 +117,364 @@ where
     ExploreOutcome {
         runs,
         exhausted: true,
+        pruned: 0,
+        cut_runs: 0,
+    }
+}
+
+/// One unexplored node of the schedule tree: the decision prefix that
+/// reaches it and the sleep set holding there.
+#[derive(Clone, Debug)]
+struct Frame {
+    script: Vec<usize>,
+    sleep: u64,
+}
+
+/// The adversarial scheduler driving one replay of the depth-first
+/// explorer: replays the frame's decision prefix, then extends the
+/// schedule (lowest eligible process first), recording every eligible
+/// sibling as a new frame with its sleep set.
+///
+/// Handed to the caller's runner, which passes it to `SimWorld::run` as
+/// the scheduler of a fresh world.
+pub struct ScheduleDriver {
+    prefix: Vec<usize>,
+    /// Sleep set holding at the first decision past the prefix.
+    sleep_after_prefix: u64,
+    /// Decisions taken so far in this run.
+    chosen: Vec<usize>,
+    /// Current sleep set (evolves after the prefix).
+    z: u64,
+    branches: Vec<Frame>,
+    prune: bool,
+    pruned: u64,
+    cut: bool,
+}
+
+impl ScheduleDriver {
+    fn new(frame: Frame, prune: bool) -> ScheduleDriver {
+        ScheduleDriver {
+            sleep_after_prefix: frame.sleep,
+            z: frame.sleep,
+            chosen: Vec::with_capacity(frame.script.len() + 16),
+            prefix: frame.script,
+            branches: Vec::new(),
+            prune,
+            pruned: 0,
+            cut: false,
+        }
+    }
+
+    /// The decision script of the run so far (the full schedule once
+    /// the run finishes).
+    pub fn script(&self) -> &[usize] {
+        &self.chosen
+    }
+
+    /// How many decisions were replayed from the frame prefix.
+    pub fn replayed(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// Whether this replay was abandoned because every enabled process
+    /// was sleeping (the run's continuations are covered elsewhere).
+    /// Cut runs still produce genuine transcript *prefixes*; ingesting
+    /// them is sound but optional.
+    pub fn was_cut(&self) -> bool {
+        self.cut
+    }
+
+    /// Filters `set`, keeping only processes whose pending access is
+    /// independent of `of`'s pending access (both looked up in `view`).
+    fn filter_independent(&self, set: u64, of: usize, view: &SchedView<'_>) -> u64 {
+        if set == 0 {
+            return 0;
+        }
+        let of_pending = view.pending_of(of);
+        let mut kept = 0u64;
+        for (i, &p) in view.runnable.iter().enumerate() {
+            if set & (1 << p) != 0 {
+                let indep = match (of_pending, view.pending.get(i)) {
+                    (Some(a), Some(b)) => a.independent(b),
+                    // Unknown pending (legacy engine): assume conflict.
+                    _ => false,
+                };
+                if indep {
+                    kept |= 1 << p;
+                }
+            }
+        }
+        kept
+    }
+}
+
+impl Scheduler for ScheduleDriver {
+    fn pick(&mut self, view: &SchedView<'_>) -> usize {
+        let i = self.chosen.len();
+        if i < self.prefix.len() {
+            // Replay: runs are deterministic, so the prefix choice must
+            // still be runnable.
+            let want = self.prefix[i];
+            assert!(
+                view.runnable.contains(&want),
+                "explorer replay diverged: {want} not runnable at decision {i} \
+                 (runnable: {:?})",
+                view.runnable
+            );
+            self.chosen.push(want);
+            if i + 1 == self.prefix.len() {
+                self.z = self.sleep_after_prefix;
+            }
+            return want;
+        }
+        // Hard limit, not a debug assertion: `1 << p` would silently
+        // alias sleep bits for p >= 64 in release builds, making the
+        // pruning unsound — a verification tool must fail loudly.
+        assert!(
+            view.runnable.iter().all(|&p| p < 64),
+            "sleep sets support at most 64 processes"
+        );
+        // Candidates: runnable processes not in the sleep set.
+        let mut first: Option<usize> = None;
+        let mut candidates = 0u64;
+        for &p in view.runnable {
+            if !self.prune || self.z & (1 << p) == 0 {
+                candidates |= 1 << p;
+                if first.is_none() {
+                    first = Some(p);
+                }
+            }
+        }
+        let Some(chosen) = first else {
+            // Every enabled process is sleeping: any continuation from
+            // here only reorders commuting steps of schedules explored
+            // elsewhere. Abandon the run.
+            self.cut = true;
+            self.pruned += view.runnable.len() as u64;
+            return STOP_RUN;
+        };
+        self.pruned += (view.runnable.len() as u64) - (candidates.count_ones() as u64);
+        // Record sibling branches. Sibling `alt` sleeps on the chosen
+        // process and on every candidate listed before it: exactly one
+        // representative interleaving of each commuting pair survives.
+        let mut acc = self.z | (1 << chosen);
+        for &alt in view.runnable {
+            if alt == chosen || candidates & (1 << alt) == 0 {
+                continue;
+            }
+            let sleep = if self.prune {
+                self.filter_independent(acc, alt, view)
+            } else {
+                0
+            };
+            let mut script = self.chosen.clone();
+            script.push(alt);
+            self.branches.push(Frame { script, sleep });
+            acc |= 1 << alt;
+        }
+        // Descend along `chosen`: sleeping processes stay asleep only
+        // while the executed steps commute with their pending access.
+        if self.prune {
+            self.z = self.filter_independent(self.z, chosen, view);
+        }
+        self.chosen.push(chosen);
+        chosen
+    }
+}
+
+/// The stateless depth-first schedule explorer with sleep-set pruning
+/// and a work-stealing parallel frontier. See the module docs.
+#[derive(Clone, Debug)]
+pub struct Explorer {
+    /// Stop after this many runs (the space may not be exhausted).
+    pub max_runs: usize,
+    /// Skip schedules that differ from an explored one only by the
+    /// order of commuting register accesses.
+    pub prune: bool,
+    /// Worker threads replaying schedules. `1` explores sequentially on
+    /// the calling thread.
+    pub workers: usize,
+    /// Initial decision prefix: exploration covers exactly the
+    /// schedules extending this stem (empty = the full space).
+    pub stem: Vec<usize>,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            max_runs: 1_000_000,
+            prune: true,
+            workers: 1,
+            stem: Vec::new(),
+        }
+    }
+}
+
+impl Explorer {
+    /// An explorer with the given run budget and defaults otherwise.
+    pub fn with_max_runs(max_runs: usize) -> Explorer {
+        Explorer {
+            max_runs,
+            ..Explorer::default()
+        }
+    }
+
+    /// Explores the schedule space of the deterministic system embodied
+    /// by `runner`.
+    ///
+    /// `runner` must build a fresh world (same programs, same initial
+    /// state each time) and run it with the given [`ScheduleDriver`] as
+    /// its scheduler — typically also streaming the run's transcript
+    /// into a shared sink before returning the outcome. It is invoked
+    /// once per explored schedule, possibly from several threads.
+    pub fn explore<F>(&self, runner: F) -> ExploreOutcome
+    where
+        F: Fn(&mut ScheduleDriver) -> RunOutcome + Sync,
+    {
+        let root = Frame {
+            script: self.stem.clone(),
+            sleep: 0,
+        };
+        if self.workers <= 1 {
+            return self.explore_sequential(root, &runner);
+        }
+        self.explore_parallel(root, &runner)
+    }
+
+    fn explore_sequential<F>(&self, root: Frame, runner: &F) -> ExploreOutcome
+    where
+        F: Fn(&mut ScheduleDriver) -> RunOutcome + Sync,
+    {
+        let mut stack = vec![root];
+        let mut runs = 0usize;
+        let mut cut_runs = 0usize;
+        let mut pruned = 0u64;
+        while let Some(frame) = stack.pop() {
+            if runs + cut_runs >= self.max_runs {
+                return ExploreOutcome {
+                    runs,
+                    exhausted: false,
+                    pruned,
+                    cut_runs,
+                };
+            }
+            let mut driver = ScheduleDriver::new(frame, self.prune);
+            let _ = runner(&mut driver);
+            if driver.cut {
+                cut_runs += 1;
+            } else {
+                runs += 1;
+            }
+            pruned += driver.pruned;
+            stack.append(&mut driver.branches);
+        }
+        ExploreOutcome {
+            runs,
+            exhausted: true,
+            pruned,
+            cut_runs,
+        }
+    }
+
+    fn explore_parallel<F>(&self, root: Frame, runner: &F) -> ExploreOutcome
+    where
+        F: Fn(&mut ScheduleDriver) -> RunOutcome + Sync,
+    {
+        let workers = self.workers;
+        let deques: Vec<Mutex<VecDeque<Frame>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        deques[0].lock().unwrap().push_back(root);
+        let runs = AtomicUsize::new(0);
+        let cut_runs = AtomicUsize::new(0);
+        let pruned = AtomicU64::new(0);
+        let active = AtomicUsize::new(0);
+        let capped = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let deques = &deques;
+                let runs = &runs;
+                let cut_runs = &cut_runs;
+                let pruned = &pruned;
+                let active = &active;
+                let capped = &capped;
+                let max_runs = self.max_runs;
+                let prune = self.prune;
+                scope.spawn(move || {
+                    /// Decrements `active` when dropped, so the count
+                    /// stays correct on every exit path — including a
+                    /// panic inside the runner (a simulated program or
+                    /// a runner assertion failing), which would
+                    /// otherwise leave peers spinning on `active != 0`
+                    /// forever.
+                    struct ActiveGuard<'a>(&'a AtomicUsize);
+                    impl Drop for ActiveGuard<'_> {
+                        fn drop(&mut self) {
+                            self.0.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    loop {
+                        // `active` is raised *before* looking for work:
+                        // a frame is never out of a deque while its
+                        // holder is invisible to the termination check.
+                        active.fetch_add(1, Ordering::SeqCst);
+                        // Own deque first (LIFO: depth-first locally),
+                        // then steal oldest frames from siblings
+                        // (FIFO: breadth-first stealing splits the tree
+                        // near the root, the classic work-stealing
+                        // shape).
+                        let frame = {
+                            let own = deques[me].lock().unwrap().pop_back();
+                            own.or_else(|| {
+                                (0..workers)
+                                    .filter(|v| *v != me)
+                                    .find_map(|v| deques[v].lock().unwrap().pop_front())
+                            })
+                        };
+                        let Some(frame) = frame else {
+                            active.fetch_sub(1, Ordering::SeqCst);
+                            if active.load(Ordering::SeqCst) == 0 {
+                                // No frames anywhere and nobody holding
+                                // one who could produce more: done.
+                                let empty =
+                                    (0..workers).all(|v| deques[v].lock().unwrap().is_empty());
+                                if empty && active.load(Ordering::SeqCst) == 0 {
+                                    return;
+                                }
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        };
+                        // The guard owns the decrement from here on —
+                        // every exit path, including a runner panic.
+                        let _guard = ActiveGuard(active);
+                        if runs.load(Ordering::SeqCst) + cut_runs.load(Ordering::SeqCst) >= max_runs
+                        {
+                            capped.store(true, Ordering::SeqCst);
+                            return;
+                        }
+                        let mut driver = ScheduleDriver::new(frame, prune);
+                        let _ = runner(&mut driver);
+                        if driver.cut {
+                            cut_runs.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                        }
+                        pruned.fetch_add(driver.pruned, Ordering::Relaxed);
+                        if !driver.branches.is_empty() {
+                            let mut own = deques[me].lock().unwrap();
+                            own.extend(driver.branches.drain(..));
+                        }
+                    }
+                });
+            }
+        });
+        let capped = capped.load(Ordering::SeqCst);
+        ExploreOutcome {
+            runs: runs.load(Ordering::SeqCst),
+            exhausted: !capped,
+            pruned: pruned.load(Ordering::SeqCst),
+            cut_runs: cut_runs.load(Ordering::SeqCst),
+        }
     }
 }
 
@@ -135,5 +542,128 @@ mod tests {
         let outcome = explore(run, 1000, |_, _| {});
         assert!(outcome.exhausted);
         assert_eq!(outcome.runs, 6);
+    }
+
+    /// Driver-based runner over `n` writers to `distinct` registers.
+    fn writers_runner(
+        n: usize,
+        distinct: bool,
+    ) -> impl Fn(&mut ScheduleDriver) -> RunOutcome + Sync {
+        move |driver: &mut ScheduleDriver| {
+            let world = SimWorld::new(n);
+            let mem = world.mem();
+            let shared = mem.alloc("X", 0u64);
+            let programs: Vec<crate::Program> = (0..n)
+                .map(|i| {
+                    let r = if distinct {
+                        mem.alloc(&format!("R{i}"), 0u64)
+                    } else {
+                        shared.clone()
+                    };
+                    Box::new(move |_| r.write(i as u64)) as crate::Program
+                })
+                .collect();
+            world.run(programs, driver, 100)
+        }
+    }
+
+    #[test]
+    fn driver_explorer_matches_legacy_count_without_pruning() {
+        let explorer = Explorer {
+            prune: false,
+            ..Explorer::default()
+        };
+        let outcome = explorer.explore(writers_runner(3, false));
+        assert!(outcome.exhausted);
+        assert_eq!(outcome.runs, 6);
+        assert_eq!(outcome.pruned, 0);
+    }
+
+    #[test]
+    fn pruning_collapses_commuting_writers_to_one_schedule() {
+        // Three writers to three *distinct* registers: all 6
+        // interleavings are equivalent, so sleep sets leave one.
+        let explorer = Explorer::default();
+        let outcome = explorer.explore(writers_runner(3, true));
+        assert!(outcome.exhausted);
+        assert_eq!(outcome.runs, 1, "all interleavings commute");
+        assert!(outcome.pruned > 0);
+    }
+
+    #[test]
+    fn pruning_keeps_all_conflicting_interleavings() {
+        // Same register: nothing commutes, the full 6 remain.
+        let explorer = Explorer::default();
+        let outcome = explorer.explore(writers_runner(3, false));
+        assert!(outcome.exhausted);
+        assert_eq!(outcome.runs, 6);
+        assert_eq!(outcome.pruned, 0);
+    }
+
+    #[test]
+    fn parallel_exploration_visits_the_same_schedules() {
+        use std::collections::BTreeSet;
+        let runner = writers_runner(3, false);
+        let seq_scripts = Mutex::new(BTreeSet::new());
+        let explorer = Explorer {
+            prune: false,
+            ..Explorer::default()
+        };
+        let out = explorer.explore(|d| {
+            let o = runner(d);
+            seq_scripts.lock().unwrap().insert(o.script());
+            o
+        });
+        assert!(out.exhausted);
+        let par_scripts = Mutex::new(BTreeSet::new());
+        let explorer = Explorer {
+            prune: false,
+            workers: 3,
+            ..Explorer::default()
+        };
+        let out = explorer.explore(|d| {
+            let o = runner(d);
+            par_scripts.lock().unwrap().insert(o.script());
+            o
+        });
+        assert!(out.exhausted);
+        assert_eq!(out.runs, 6);
+        assert_eq!(
+            seq_scripts.into_inner().unwrap(),
+            par_scripts.into_inner().unwrap()
+        );
+    }
+
+    #[test]
+    fn stem_restricts_exploration_to_extensions() {
+        // Stem forces p2 first; the rest is the 2-writer space.
+        let explorer = Explorer {
+            prune: false,
+            stem: vec![2],
+            ..Explorer::default()
+        };
+        let scripts = Mutex::new(Vec::new());
+        let out = explorer.explore(|d| {
+            let o = writers_runner(3, false)(d);
+            scripts.lock().unwrap().push(o.script());
+            o
+        });
+        assert!(out.exhausted);
+        assert_eq!(out.runs, 2);
+        for s in scripts.into_inner().unwrap() {
+            assert_eq!(s[0], 2, "every schedule extends the stem");
+        }
+    }
+
+    #[test]
+    fn run_budget_reports_not_exhausted() {
+        let explorer = Explorer {
+            prune: false,
+            max_runs: 3,
+            ..Explorer::default()
+        };
+        let outcome = explorer.explore(writers_runner(3, false));
+        assert_eq!(outcome.runs, 3);
+        assert!(!outcome.exhausted);
     }
 }

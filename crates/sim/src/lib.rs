@@ -1,21 +1,44 @@
-//! Deterministic shared-memory simulator.
+//! Deterministic shared-memory simulator: a coroutine-stepped VM with a
+//! pruned, parallel schedule explorer.
 //!
 //! The paper's model is an asynchronous shared-memory system in which an
 //! adversary — possibly a *strong* adversary with complete knowledge of
 //! the configuration — decides which process takes the next atomic step.
 //! This crate is that model, executable:
 //!
-//! * [`SimWorld`] runs one OS thread per simulated process, but admits
-//!   exactly one shared-memory step at a time, chosen by a [`Scheduler`].
-//!   Runs are fully deterministic given the scheduler's decisions.
+//! * [`SimWorld`] executes simulated processes as **fibers** (stackful
+//!   coroutines) inside a single-threaded step VM. A process runs until
+//!   its next shared-memory access, *declares* that access (a
+//!   [`PendingAccess`]), and parks; the [`Scheduler`] — consulted with
+//!   the full configuration, the paper's strong adaptive adversary —
+//!   grants one process its step. One step is two userspace context
+//!   switches, not an OS thread handoff: the `exp_sim_throughput`
+//!   experiment measures 20–80× the legacy engine's steps/sec depending
+//!   on recording configuration (see [`RunConfig`]). Runs are fully
+//!   deterministic given the scheduler's decisions.
 //! * [`SimMem`] implements the `sl_mem::Mem` trait, so any algorithm
-//!   written against `Mem` runs under the simulator unchanged.
+//!   written against `Mem` runs under the simulator unchanged. Every
+//!   allocation records a dense [`RegId`] and its `alloc` call site, so
+//!   traces point back into the algorithm under test.
 //! * [`EventLog`] records the high-level invocation/response events of a
 //!   run, interleaved with the internal register steps, producing the
-//!   transcripts consumed by the `sl-check` checkers.
-//! * [`explore`] systematically enumerates scheduling choices to build
-//!   bounded prefix trees of transcripts — the input for strong
-//!   linearizability model checking.
+//!   transcripts consumed by the `sl-check` checkers (and, via
+//!   [`EventLog::pretty_transcript`], human-readable counterexamples).
+//! * [`Explorer`] enumerates adversary schedules depth-first and
+//!   stateless (a decision prefix is replayed to reconstruct any node —
+//!   cheap, because replays run on the VM), with **sleep-set pruning**
+//!   over declared pending accesses (schedules that differ only in the
+//!   order of commuting register accesses are explored once) and a
+//!   work-stealing pool of worker threads, streaming each transcript
+//!   into `sl_check::TreeBuilder` as it is produced. The prefix trees it
+//!   builds are the input for strong-linearizability model checking.
+//!   The script-replay [`explore`] function remains for compatibility.
+//!
+//! The original thread-per-process engine is still available behind
+//! [`SimWorld::run_threaded`] for one release; an equivalence test pins
+//! both engines to byte-identical traces, and `sl-api` builds the
+//! schedule fuzzer and the object model-checking harness on top of this
+//! crate.
 //!
 //! # Example
 //!
@@ -43,15 +66,18 @@
 //! ```
 
 mod explore;
+mod fiber;
 mod log;
 mod mem;
 mod sched;
+mod vm;
 mod world;
 
-pub use explore::{explore, ExploreOutcome};
+pub use explore::{explore, ExploreOutcome, Explorer, ScheduleDriver};
 pub use log::EventLog;
 pub use mem::{SimMem, SimRegister};
-pub use sched::{FnScheduler, RoundRobin, Scheduler, Scripted, SeededRandom};
+pub use sched::{FnScheduler, RoundRobin, Scheduler, Scripted, SeededRandom, STOP_RUN};
 pub use world::{
-    AccessKind, Decision, ProcCtx, Program, RunOutcome, SchedView, SimWorld, StepRecord, TraceItem,
+    AccessKind, Decision, PendingAccess, ProcCtx, Program, RegId, RunConfig, RunOutcome, SchedView,
+    SimWorld, StepRecord, TraceItem,
 };

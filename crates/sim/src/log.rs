@@ -4,7 +4,7 @@ use sl_check::TreeStep;
 use sl_spec::{Event, History, OpId, ProcId, SeqSpec};
 use std::sync::{Arc, Mutex};
 
-use crate::world::{RunOutcome, SimWorld, TraceItem};
+use crate::world::{AccessKind, RunOutcome, SimWorld, TraceItem};
 
 struct LogInner<S: SeqSpec> {
     history: History<S>,
@@ -93,6 +93,39 @@ impl<S: SeqSpec> EventLog<S> {
             .map(|item| match item {
                 TraceItem::Step(s) => TreeStep::Internal(ProcId(s.proc), s.label()),
                 TraceItem::Hi(i) => TreeStep::Event(events[*i].clone()),
+            })
+            .collect()
+    }
+
+    /// Renders the full transcript for humans, one line per trace item:
+    /// high-level events as `p0 -> Invoke(..)` / `p0 <- Respond(..)`,
+    /// register steps with the register's **allocation site** (the
+    /// `Mem::alloc` call site recorded by `SimMem`), and pauses without
+    /// one. This is the format shrunk fuzz counterexamples print:
+    ///
+    /// ```text
+    /// p0 -> DWrite(7)
+    /// p0 X.write(7) @ crates/core/src/aba.rs:207
+    /// p0 <- Ack
+    /// ```
+    pub fn pretty_transcript(&self, outcome: &RunOutcome) -> Vec<String> {
+        let inner = self.inner.lock().unwrap();
+        let events = inner.history.events();
+        outcome
+            .trace
+            .iter()
+            .map(|item| match item {
+                TraceItem::Step(s) if s.kind == AccessKind::Local => {
+                    format!("p{} (pause)", s.proc)
+                }
+                TraceItem::Step(s) => s.detailed(),
+                TraceItem::Hi(i) => {
+                    let e = &events[*i];
+                    match &e.kind {
+                        sl_spec::EventKind::Invoke(op) => format!("{} -> {op:?}", e.proc),
+                        sl_spec::EventKind::Respond(r) => format!("{} <- {r:?}", e.proc),
+                    }
+                }
             })
             .collect()
     }

@@ -1,15 +1,19 @@
 //! The simulator's `Mem` backend.
 
 use sl_mem::{Mem, Register, RmwCell, Value};
+use std::panic::Location;
 use std::sync::{Arc, Mutex};
 
-use crate::world::{AccessKind, SimWorld};
+use crate::world::{AccessKind, RegId, SimWorld};
 
 /// Register allocator of a [`SimWorld`].
 ///
 /// Registers must be allocated before the run starts (typically while
 /// wiring up the algorithm under test); accesses are only legal from
-/// within simulated process programs.
+/// within simulated process programs. Every allocation is recorded in
+/// the world's registry with a dense [`RegId`] and the allocation call
+/// site, so step records can be traced back to the algorithm line that
+/// created the register.
 #[derive(Clone)]
 pub struct SimMem {
     pub(crate) world: SimWorld,
@@ -25,16 +29,30 @@ impl Mem for SimMem {
     type Reg<T: Value> = SimRegister<T>;
     type Cell<T: Value> = SimRegister<T>;
 
+    #[track_caller]
     fn alloc<T: Value>(&self, name: &str, init: T) -> Self::Reg<T> {
+        let site = Location::caller();
+        let (id, name) = self.world.register(name, site);
         SimRegister {
             world: self.world.clone(),
-            name: Arc::new(name.to_string()),
+            id,
+            name,
+            site,
             cell: Arc::new(Mutex::new(init)),
         }
     }
 
+    #[track_caller]
     fn alloc_cell<T: Value>(&self, name: &str, init: T) -> Self::Cell<T> {
-        self.alloc(name, init)
+        let site = Location::caller();
+        let (id, name) = self.world.register(name, site);
+        SimRegister {
+            world: self.world.clone(),
+            id,
+            name,
+            site,
+            cell: Arc::new(Mutex::new(init)),
+        }
     }
 }
 
@@ -46,7 +64,9 @@ impl Mem for SimMem {
 /// the run's trace.
 pub struct SimRegister<T> {
     world: SimWorld,
-    name: Arc<String>,
+    id: RegId,
+    name: Arc<str>,
+    site: &'static Location<'static>,
     cell: Arc<Mutex<T>>,
 }
 
@@ -54,7 +74,9 @@ impl<T> Clone for SimRegister<T> {
     fn clone(&self) -> Self {
         SimRegister {
             world: self.world.clone(),
+            id: self.id,
             name: Arc::clone(&self.name),
+            site: self.site,
             cell: Arc::clone(&self.cell),
         }
     }
@@ -62,7 +84,7 @@ impl<T> Clone for SimRegister<T> {
 
 impl<T: Value> std::fmt::Debug for SimRegister<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SimRegister({})", self.name)
+        write!(f, "SimRegister({}#{})", self.name, self.id.0)
     }
 }
 
@@ -77,38 +99,78 @@ impl<T: Value> SimRegister<T> {
     pub fn peek(&self) -> T {
         self.cell.lock().unwrap().clone()
     }
+
+    /// The dense identity this register was allocated under.
+    pub fn reg_id(&self) -> RegId {
+        self.id
+    }
+
+    /// The source location of the allocation (`Mem::alloc` call site).
+    pub fn site(&self) -> &'static Location<'static> {
+        self.site
+    }
 }
 
 impl<T: Value> Register<T> for SimRegister<T> {
     fn read(&self) -> T {
         let cell = Arc::clone(&self.cell);
-        self.world.step(&self.name, AccessKind::Read, move || {
-            let v = cell.lock().unwrap().clone();
-            let label = format!("{v:?}");
-            (v, label)
-        })
+        self.world.step(
+            self.id,
+            &self.name,
+            self.site,
+            AccessKind::Read,
+            move |label_wanted| {
+                let v = cell.lock().unwrap().clone();
+                let label = if label_wanted {
+                    format!("{v:?}")
+                } else {
+                    String::new()
+                };
+                (v, label)
+            },
+        )
     }
 
     fn write(&self, value: T) {
         let cell = Arc::clone(&self.cell);
-        let label = format!("{value:?}");
-        self.world.step(&self.name, AccessKind::Write, move || {
-            *cell.lock().unwrap() = value;
-            ((), label)
-        });
+        self.world.step(
+            self.id,
+            &self.name,
+            self.site,
+            AccessKind::Write,
+            move |label_wanted| {
+                let label = if label_wanted {
+                    format!("{value:?}")
+                } else {
+                    String::new()
+                };
+                *cell.lock().unwrap() = value;
+                ((), label)
+            },
+        );
     }
 }
 
 impl<T: Value> RmwCell<T> for SimRegister<T> {
     fn update(&self, f: impl FnOnce(&T) -> T) -> T {
         let cell = Arc::clone(&self.cell);
-        self.world.step(&self.name, AccessKind::Rmw, move || {
-            let mut guard = cell.lock().unwrap();
-            let old = guard.clone();
-            let new = f(&old);
-            let label = format!("{old:?}->{new:?}");
-            *guard = new;
-            (old, label)
-        })
+        self.world.step(
+            self.id,
+            &self.name,
+            self.site,
+            AccessKind::Rmw,
+            move |label_wanted| {
+                let mut guard = cell.lock().unwrap();
+                let old = guard.clone();
+                let new = f(&old);
+                let label = if label_wanted {
+                    format!("{old:?}->{new:?}")
+                } else {
+                    String::new()
+                };
+                *guard = new;
+                (old, label)
+            },
+        )
     }
 }

@@ -4,6 +4,13 @@ use sl_mem::SmallRng;
 
 use crate::world::SchedView;
 
+/// Sentinel a [`Scheduler`] may return from [`Scheduler::pick`] to
+/// abandon the run: the engine aborts exactly as if the step budget
+/// were exhausted (suspended processes unwind, `completed` is `false`).
+/// The explorer uses this to cut continuations that sleep-set pruning
+/// proves redundant; depth-bounded searches can use it too.
+pub const STOP_RUN: usize = usize::MAX;
+
 /// Chooses which process takes the next shared-memory step.
 ///
 /// The scheduler is consulted when every process is quiescent, with a
@@ -11,7 +18,8 @@ use crate::world::SchedView;
 /// adaptive adversary* interface. Closures capturing register handles
 /// (via [`crate::SimRegister::peek`]) can base decisions on shared state.
 pub trait Scheduler {
-    /// Picks one process from `view.runnable`.
+    /// Picks one process from `view.runnable`, or returns [`STOP_RUN`]
+    /// to abandon the run.
     fn pick(&mut self, view: &SchedView<'_>) -> usize;
 }
 
@@ -123,6 +131,7 @@ mod tests {
             runnable,
             trace,
             steps_per_proc: steps,
+            pending: &[],
         }
     }
 

@@ -1,0 +1,337 @@
+//! The single-threaded step VM.
+//!
+//! Simulated processes run as stackful fibers ([`crate::fiber`]); the
+//! VM resumes exactly one of them per scheduling decision. A fiber runs
+//! until its next shared-memory access, where it *declares* the access
+//! (a [`PendingAccess`]) and parks; the VM then consults the
+//! [`Scheduler`] with the full configuration — including what every
+//! runnable process is about to do — grants one process its step, and
+//! resumes that fiber, which performs the access atomically, records
+//! the [`crate::StepRecord`], and continues to its next access or to
+//! completion.
+//!
+//! Compared to the legacy thread-handoff engine this turns one
+//! simulated step from two OS context switches plus condvar broadcasts
+//! into two userspace fiber switches — the difference measured by the
+//! `exp_sim_throughput` experiment, and the reason bounded exhaustive
+//! exploration can afford orders of magnitude more schedules.
+//!
+//! # Safety model
+//!
+//! While a fiber runs, the VM loop is suspended (and vice versa), so
+//! access to [`VmCore`] is mutually exclusive by construction; both
+//! sides reach it through the same raw pointer published in
+//! `WorldInner::active_vm`. With the portable parked-thread fiber
+//! implementation the fiber runs on another OS thread, and the
+//! channel rendezvous in `fiber::resume`/`fiber_yield` provides the
+//! happens-before edges for those accesses.
+
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::fiber::Fiber;
+use crate::sched::Scheduler;
+use crate::world::{
+    AccessKind, Decision, PendingAccess, ProcCtx, Program, RegId, RunConfig, RunOutcome, SchedView,
+    SimAbort, SimWorld, StepRecord, TraceItem, IN_SIM_ABORT,
+};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    Running,
+    Waiting,
+    Done,
+}
+
+/// Mutable state of one VM run, shared between the VM loop and the
+/// fibers via a raw pointer (see the module docs for the safety model).
+pub(crate) struct VmCore {
+    /// The process whose fiber is currently (about to be) running.
+    current: usize,
+    state: Vec<ProcState>,
+    /// Declared next access per process; meaningful while `Waiting`.
+    pending: Vec<PendingAccess>,
+    aborted: bool,
+    trace: Vec<TraceItem>,
+    steps_per_proc: Vec<u64>,
+    decisions: Vec<Decision>,
+    total_steps: u64,
+    config: RunConfig,
+}
+
+impl VmCore {
+    fn new(n: usize, config: RunConfig) -> VmCore {
+        VmCore {
+            current: 0,
+            state: vec![ProcState::Running; n],
+            pending: vec![
+                PendingAccess {
+                    reg: RegId::LOCAL,
+                    kind: AccessKind::Local,
+                };
+                n
+            ],
+            aborted: false,
+            trace: Vec::new(),
+            steps_per_proc: vec![0; n],
+            decisions: Vec::new(),
+            total_steps: 0,
+            config,
+        }
+    }
+}
+
+/// One shared-memory step taken from inside a fiber: declare the
+/// access, park until granted, then perform it and record the step.
+///
+/// # Safety
+///
+/// Must be called from a fiber resumed by the VM that owns `vm` (this
+/// is guaranteed by the dispatch in `SimWorld::step`, which only takes
+/// this path while `active_vm` points at a live `VmCore`).
+pub(crate) unsafe fn vm_step<R>(
+    vm: *mut VmCore,
+    reg_id: RegId,
+    name: &Arc<str>,
+    site: &'static Location<'static>,
+    kind: AccessKind,
+    access: impl FnOnce(bool) -> (R, String),
+) -> R {
+    // Scoped references: never held across a context switch, so the VM
+    // loop and this fiber alternate exclusive access.
+    let pid = {
+        let core = &mut *vm;
+        let pid = core.current;
+        core.pending[pid] = PendingAccess { reg: reg_id, kind };
+        core.state[pid] = ProcState::Waiting;
+        pid
+    };
+    crate::fiber::fiber_yield();
+    if (*vm).aborted {
+        std::panic::panic_any(SimAbort);
+    }
+    let record = (*vm).config.record_trace;
+    let (result, value) = access(record);
+    if record {
+        let core = &mut *vm;
+        core.trace.push(TraceItem::Step(StepRecord {
+            proc: pid,
+            reg: Arc::clone(name),
+            kind,
+            value,
+            reg_id,
+            site,
+        }));
+    }
+    result
+}
+
+/// Appends a high-level event marker; called (via `SimWorld`) from
+/// inside a running fiber.
+///
+/// # Safety
+///
+/// Same contract as [`vm_step`].
+pub(crate) unsafe fn vm_push_hi(vm: *mut VmCore, index: usize) {
+    let core = &mut *vm;
+    if core.config.record_trace {
+        core.trace.push(TraceItem::Hi(index));
+    }
+}
+
+/// Unwinds every still-suspended fiber (the budget-abort / sibling
+/// panic protocol): sets the abort flag and resumes each waiting fiber
+/// so its parked `vm_step` re-raises as a `SimAbort` unwind, caught at
+/// the fiber entry.
+unsafe fn abort_all(vm: *mut VmCore, fibers: &mut [Fiber]) {
+    (*vm).aborted = true;
+    IN_SIM_ABORT.store(true, Ordering::SeqCst);
+    let mut secondary: Option<Box<dyn std::any::Any + Send>> = None;
+    for (pid, fiber) in fibers.iter_mut().enumerate() {
+        let waiting = {
+            let core = &mut *vm;
+            if core.state[pid] == ProcState::Waiting {
+                core.current = pid;
+                true
+            } else {
+                false
+            }
+        };
+        if waiting {
+            fiber.resume();
+            debug_assert!(fiber.is_done(), "aborted fiber must unwind to completion");
+            {
+                let core = &mut *vm;
+                core.state[pid] = ProcState::Done;
+            }
+            if let Some(payload) = fiber.take_panic() {
+                if payload.downcast_ref::<SimAbort>().is_none() && secondary.is_none() {
+                    // A Drop impl panicked for real during the unwind;
+                    // finish collapsing the world, then re-raise.
+                    secondary = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = secondary {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Executes one run on the step VM. This is what [`SimWorld::run`]
+/// does; see its documentation for the contract.
+pub(crate) fn run_vm(
+    world: &SimWorld,
+    programs: Vec<Program>,
+    scheduler: &mut dyn Scheduler,
+    max_steps: u64,
+    config: RunConfig,
+) -> RunOutcome {
+    let n = world.processes();
+    assert_eq!(programs.len(), n, "one program per process");
+    {
+        let mut st = world.inner.state.lock().unwrap();
+        assert!(!st.started, "a SimWorld can run only once");
+        st.started = true;
+    }
+
+    let mut vm = Box::new(VmCore::new(n, config));
+    let vm_ptr: *mut VmCore = &mut *vm;
+    world.inner.active_vm.store(vm_ptr, Ordering::SeqCst);
+    // Clear the published pointer even if we unwind (propagating a
+    // simulated program's genuine panic).
+    struct ClearVm<'a>(&'a SimWorld);
+    impl Drop for ClearVm<'_> {
+        fn drop(&mut self) {
+            self.0
+                .inner
+                .active_vm
+                .store(std::ptr::null_mut(), Ordering::SeqCst);
+        }
+    }
+    let _clear = ClearVm(world);
+
+    let mut fibers: Vec<Fiber> = programs
+        .into_iter()
+        .enumerate()
+        .map(|(pid, program)| {
+            let world = world.clone();
+            Fiber::spawn(
+                pid,
+                Box::new(move || {
+                    let ctx = ProcCtx { world, pid };
+                    program(ctx);
+                }),
+            )
+        })
+        .collect();
+
+    unsafe {
+        // First activation: run every process to its first declared
+        // access (or to completion), in pid order.
+        for (pid, fiber) in fibers.iter_mut().enumerate() {
+            (*vm_ptr).current = pid;
+            fiber.resume();
+            if fiber.is_done() {
+                {
+                    let core = &mut *vm_ptr;
+                    core.state[pid] = ProcState::Done;
+                }
+                if let Some(payload) = fiber.take_panic() {
+                    if payload.downcast_ref::<SimAbort>().is_none() {
+                        abort_all(vm_ptr, &mut fibers);
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+
+        let mut runnable: Vec<usize> = Vec::with_capacity(n);
+        let mut pending: Vec<PendingAccess> = Vec::with_capacity(n);
+        let completed = loop {
+            // Decision phase: exclusive access to the core between
+            // fiber activations (no reference held across a resume).
+            // Scheduler panics (a buggy adversary, the non-runnable
+            // assertion below, or the explorer's replay-divergence
+            // assertion) must unwind the suspended fibers before
+            // propagating: dropping a parked fiber would leak its
+            // stack's destructors (and aborts in debug builds).
+            let picked: Result<usize, Box<dyn std::any::Any + Send>> = {
+                let core = &mut *vm_ptr;
+                runnable.clear();
+                pending.clear();
+                for p in 0..n {
+                    if core.state[p] == ProcState::Waiting {
+                        runnable.push(p);
+                        pending.push(core.pending[p]);
+                    }
+                }
+                if runnable.is_empty() {
+                    break true; // everyone done
+                }
+                if core.total_steps >= max_steps {
+                    Ok(crate::sched::STOP_RUN) // budget exhausted
+                } else {
+                    let view = SchedView {
+                        runnable: &runnable,
+                        trace: &core.trace,
+                        steps_per_proc: &core.steps_per_proc,
+                        pending: &pending,
+                    };
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scheduler.pick(&view)))
+                }
+            };
+            let chosen = match picked {
+                Ok(chosen) => chosen,
+                Err(payload) => {
+                    abort_all(vm_ptr, &mut fibers);
+                    std::panic::resume_unwind(payload);
+                }
+            };
+            if chosen == crate::sched::STOP_RUN {
+                abort_all(vm_ptr, &mut fibers);
+                break false;
+            }
+            if !runnable.contains(&chosen) {
+                abort_all(vm_ptr, &mut fibers);
+                panic!("scheduler chose non-runnable process {chosen} (runnable: {runnable:?})");
+            }
+            {
+                let core = &mut *vm_ptr;
+                if core.config.record_decisions {
+                    core.decisions.push(Decision {
+                        runnable: runnable.clone(),
+                        chosen,
+                        pending: pending.clone(),
+                    });
+                }
+                core.state[chosen] = ProcState::Running;
+                core.steps_per_proc[chosen] += 1;
+                core.total_steps += 1;
+                core.current = chosen;
+            }
+            fibers[chosen].resume();
+            if fibers[chosen].is_done() {
+                {
+                    let core = &mut *vm_ptr;
+                    core.state[chosen] = ProcState::Done;
+                }
+                if let Some(payload) = fibers[chosen].take_panic() {
+                    if payload.downcast_ref::<SimAbort>().is_none() {
+                        abort_all(vm_ptr, &mut fibers);
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        };
+
+        let core = &mut *vm_ptr;
+        RunOutcome {
+            completed,
+            steps_per_proc: core.steps_per_proc.clone(),
+            trace: std::mem::take(&mut core.trace),
+            decisions: std::mem::take(&mut core.decisions),
+        }
+    }
+}

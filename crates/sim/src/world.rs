@@ -1,11 +1,21 @@
-//! The simulated world: coordinator, step protocol, and trace recording.
+//! The simulated world: front end of the step VM, trace recording, and
+//! the legacy thread-handoff engine.
+//!
+//! [`SimWorld::run`] executes simulated processes as **fibers** inside a
+//! single-threaded step VM (see [`crate::vm`]): one shared-memory step
+//! is a userspace context switch, not an OS thread handoff. The
+//! original thread-per-process engine is preserved behind
+//! [`SimWorld::run_threaded`] for one release — it is the baseline the
+//! `exp_sim_throughput` experiment measures against, and an equivalence
+//! test pins both engines to byte-identical traces.
 
-use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{self, Location};
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::mem::SimMem;
 use crate::sched::Scheduler;
+use crate::vm::VmCore;
 
 /// Kind of a register access.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -35,25 +45,94 @@ impl std::fmt::Display for AccessKind {
     }
 }
 
+/// Identity of a simulated register, assigned densely at allocation
+/// time (the first register a world allocates is `RegId(0)`, and so
+/// on). Allocation order is deterministic for a deterministic setup, so
+/// ids are stable across the replays of an exploration — which is what
+/// lets the explorer decide whether two pending accesses commute.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RegId(pub u32);
+
+impl RegId {
+    /// The pseudo-register of scheduled no-op steps ([`ProcCtx::pause`]).
+    pub const LOCAL: RegId = RegId(u32::MAX);
+}
+
+/// The shared-memory access a quiescent process will perform when next
+/// scheduled: its register and access kind, declared *before* the step
+/// executes.
+///
+/// This is what the step VM knows (and the legacy threaded engine does
+/// not): a fiber announces its access when it parks, so schedulers and
+/// the exploring adversary can see, for every runnable process, what
+/// that process is about to do. Sleep-set pruning is built on this.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PendingAccess {
+    /// The register about to be accessed ([`RegId::LOCAL`] for pauses).
+    pub reg: RegId,
+    /// The kind of access.
+    pub kind: AccessKind,
+}
+
+impl PendingAccess {
+    /// Whether this is a scheduled no-op (a [`ProcCtx::pause`]).
+    pub fn is_local(&self) -> bool {
+        self.reg == RegId::LOCAL || self.kind == AccessKind::Local
+    }
+
+    /// Whether two pending accesses of *different* processes commute:
+    /// executing them in either order yields the same memory state, the
+    /// same two step records, and the same continuations.
+    ///
+    /// Conservative: accesses to the same register never commute (even
+    /// two reads), and `Local` steps never commute with anything —
+    /// pauses carry invocation/response placement, which
+    /// strong-linearizability analysis is sensitive to.
+    pub fn independent(&self, other: &PendingAccess) -> bool {
+        !self.is_local() && !other.is_local() && self.reg != other.reg
+    }
+}
+
 /// Record of one shared-memory step.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct StepRecord {
     /// Process that took the step.
     pub proc: usize,
     /// Name of the accessed register.
-    pub reg: String,
+    pub reg: Arc<str>,
     /// Read or write.
     pub kind: AccessKind,
     /// Debug rendering of the value read or written. Together with `reg`
     /// and `kind` this identifies the step completely, which is what the
     /// transcript-tree merging in `sl-check` relies on.
     pub value: String,
+    /// Dense identity of the accessed register ([`RegId::LOCAL`] for
+    /// pauses) — what the explorer keys commutativity on.
+    pub reg_id: RegId,
+    /// Source location of the register's allocation
+    /// (`SimMem::alloc` call site), so counterexample traces can point
+    /// back into the algorithm under test.
+    pub site: &'static Location<'static>,
 }
 
 impl StepRecord {
     /// A stable label describing the step (register, kind, value).
     pub fn label(&self) -> String {
         format!("{}.{}({})", self.reg, self.kind, self.value)
+    }
+
+    /// A human-readable one-line rendering including the register's
+    /// allocation site — the format shrunk fuzz counterexamples print.
+    pub fn detailed(&self) -> String {
+        format!(
+            "p{} {}.{}({}) @ {}:{}",
+            self.proc,
+            self.reg,
+            self.kind,
+            self.value,
+            self.site.file(),
+            self.site.line()
+        )
     }
 }
 
@@ -75,6 +154,10 @@ pub struct Decision {
     pub runnable: Vec<usize>,
     /// The process that was scheduled.
     pub chosen: usize,
+    /// The access each runnable process was about to perform, aligned
+    /// with `runnable`. Empty under the legacy threaded engine, which
+    /// cannot see pending accesses.
+    pub pending: Vec<PendingAccess>,
 }
 
 /// Read-only view handed to a [`Scheduler`] at each decision point.
@@ -90,6 +173,9 @@ pub struct SchedView<'a> {
     pub trace: &'a [TraceItem],
     /// Steps taken so far by each process.
     pub steps_per_proc: &'a [u64],
+    /// The access each runnable process is about to perform, aligned
+    /// with `runnable`. Empty under the legacy threaded engine.
+    pub pending: &'a [PendingAccess],
 }
 
 impl<'a> SchedView<'a> {
@@ -104,6 +190,67 @@ impl<'a> SchedView<'a> {
     /// Total number of register steps taken so far.
     pub fn total_steps(&self) -> u64 {
         self.steps_per_proc.iter().sum()
+    }
+
+    /// The pending access of runnable process `p`, when known.
+    pub fn pending_of(&self, p: usize) -> Option<PendingAccess> {
+        self.runnable
+            .iter()
+            .position(|&q| q == p)
+            .and_then(|i| self.pending.get(i).copied())
+    }
+}
+
+/// What a run records while it executes.
+///
+/// Everything defaults to **on** ([`SimWorld::run`] records the full
+/// trace and every decision, like the engine always did). Turning
+/// recording off removes per-step allocations from the VM's hot path:
+/// the explorer runs with `record_decisions: false` (its schedule
+/// driver tracks the decision script itself), and pure throughput
+/// measurement uses [`RunConfig::counted`]. With `record_trace: false`
+/// value labels are never even rendered — the register access closure
+/// is told not to produce them.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Record the interleaved step/event trace (and render value
+    /// labels). Without it `RunOutcome::trace` is empty.
+    pub record_trace: bool,
+    /// Record a [`Decision`] per scheduling choice. Without it
+    /// `RunOutcome::decisions` is empty.
+    pub record_decisions: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            record_trace: true,
+            record_decisions: true,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Records everything (the [`SimWorld::run`] default).
+    pub fn full() -> Self {
+        RunConfig::default()
+    }
+
+    /// Records the trace but not the decisions — what the explorer's
+    /// replays use.
+    pub fn traced() -> Self {
+        RunConfig {
+            record_trace: true,
+            record_decisions: false,
+        }
+    }
+
+    /// Records nothing but step counts — engine-overhead measurement.
+    pub fn counted() -> Self {
+        RunConfig {
+            record_trace: false,
+            record_decisions: false,
+        }
     }
 }
 
@@ -148,6 +295,13 @@ impl RunOutcome {
     pub fn shared_steps(&self) -> u64 {
         self.steps().filter(|s| s.kind != AccessKind::Local).count() as u64
     }
+
+    /// The schedule of this run as a decision script (the chosen process
+    /// at every decision point) — replaying it through a
+    /// [`crate::Scripted`] scheduler reproduces the run exactly.
+    pub fn script(&self) -> Vec<usize> {
+        self.decisions.iter().map(|d| d.chosen).collect()
+    }
 }
 
 /// A simulated process body.
@@ -183,9 +337,16 @@ impl ProcCtx {
     /// a prefix and therefore matters to strong-linearizability analysis
     /// (it is exactly the difference between the paper's `T2` having or
     /// not having `dw_{j+1}` pending during `dr2`).
+    #[track_caller]
     pub fn pause(&self) {
-        self.world
-            .step("(local)", AccessKind::Local, || ((), String::new()));
+        let name = Arc::clone(&self.world.inner.local_name);
+        self.world.step(
+            RegId::LOCAL,
+            &name,
+            Location::caller(),
+            AccessKind::Local,
+            |_| ((), String::new()),
+        );
     }
 
     /// The identifier as an `sl_spec::ProcId`.
@@ -211,15 +372,35 @@ pub(crate) struct WorldState {
     pub(crate) trace: Vec<TraceItem>,
     pub(crate) steps_per_proc: Vec<u64>,
     decisions: Vec<Decision>,
-    started: bool,
+    pub(crate) started: bool,
+    /// Recording configuration of the active threaded run.
+    pub(crate) config: RunConfig,
+}
+
+/// Metadata recorded for every allocated register.
+pub(crate) struct RegMeta {
+    pub(crate) name: Arc<str>,
+    #[allow(dead_code)]
+    pub(crate) site: &'static Location<'static>,
 }
 
 pub(crate) struct WorldInner {
     pub(crate) state: Mutex<WorldState>,
-    /// Signalled when a grant is issued or the run is aborted.
+    /// Signalled when a grant is issued or the run is aborted (legacy
+    /// threaded engine only).
     pub(crate) proc_cv: Condvar,
-    /// Signalled when a process changes phase.
+    /// Signalled when a process changes phase (legacy threaded engine
+    /// only).
     pub(crate) coord_cv: Condvar,
+    /// Registry of allocated registers, in allocation order.
+    pub(crate) registry: Mutex<Vec<RegMeta>>,
+    /// The step VM currently running this world, when one is (null
+    /// otherwise). Register accesses dispatch on this: non-null means
+    /// "suspend the calling fiber", null means the legacy thread
+    /// handoff (or a panic, outside any run).
+    pub(crate) active_vm: AtomicPtr<VmCore>,
+    /// Shared name of the pseudo-register recorded for pause steps.
+    pub(crate) local_name: Arc<str>,
 }
 
 /// Panic payload used to unwind simulated processes when a run is
@@ -227,7 +408,7 @@ pub(crate) struct WorldInner {
 pub(crate) struct SimAbort;
 
 static HOOK_INSTALLED: std::sync::Once = std::sync::Once::new();
-static IN_SIM_ABORT: AtomicBool = AtomicBool::new(false);
+pub(crate) static IN_SIM_ABORT: AtomicBool = AtomicBool::new(false);
 
 fn install_quiet_abort_hook() {
     HOOK_INSTALLED.call_once(|| {
@@ -248,7 +429,8 @@ fn install_quiet_abort_hook() {
 /// Construction allocates the world; [`SimWorld::mem`] hands out the
 /// [`SimMem`] backend used to allocate registers *before* the run; and
 /// [`SimWorld::run`] executes one run to completion (or until the step
-/// budget is exhausted). A world is single-shot: it can run at most once.
+/// budget is exhausted) on the step VM. A world is single-shot: it can
+/// run at most once.
 #[derive(Clone)]
 pub struct SimWorld {
     pub(crate) inner: Arc<WorldInner>,
@@ -281,9 +463,13 @@ impl SimWorld {
                     steps_per_proc: vec![0; n],
                     decisions: Vec::new(),
                     started: false,
+                    config: RunConfig::full(),
                 }),
                 proc_cv: Condvar::new(),
                 coord_cv: Condvar::new(),
+                registry: Mutex::new(Vec::new()),
+                active_vm: AtomicPtr::new(std::ptr::null_mut()),
+                local_name: Arc::from("(local)"),
             }),
             n,
         }
@@ -301,12 +487,46 @@ impl SimWorld {
         }
     }
 
+    /// Number of registers allocated so far.
+    pub fn register_count(&self) -> usize {
+        self.inner.registry.lock().unwrap().len()
+    }
+
+    /// The name a register was allocated under.
+    pub fn register_name(&self, id: RegId) -> Option<Arc<str>> {
+        self.inner
+            .registry
+            .lock()
+            .unwrap()
+            .get(id.0 as usize)
+            .map(|m| Arc::clone(&m.name))
+    }
+
+    /// Records a register allocation; called by [`SimMem`].
+    pub(crate) fn register(
+        &self,
+        name: &str,
+        site: &'static Location<'static>,
+    ) -> (RegId, Arc<str>) {
+        let mut registry = self.inner.registry.lock().unwrap();
+        let id = RegId(u32::try_from(registry.len()).expect("too many registers"));
+        let name: Arc<str> = Arc::from(name);
+        registry.push(RegMeta {
+            name: Arc::clone(&name),
+            site,
+        });
+        (id, name)
+    }
+
     /// Runs `programs` (one per process) under `scheduler`, admitting at
     /// most `max_steps` shared-memory steps in total.
     ///
-    /// Returns when every program finished, or — if the budget runs out —
-    /// after force-unwinding all still-running programs (in which case
-    /// `completed` is `false`).
+    /// Processes execute as fibers inside the single-threaded step VM:
+    /// every step is a userspace context switch, so runs (and the
+    /// explorer's replays) are orders of magnitude faster than the
+    /// legacy thread-handoff engine. Returns when every program
+    /// finished, or — if the budget runs out — after force-unwinding all
+    /// still-suspended programs (in which case `completed` is `false`).
     ///
     /// # Panics
     ///
@@ -318,11 +538,56 @@ impl SimWorld {
         scheduler: &mut dyn Scheduler,
         max_steps: u64,
     ) -> RunOutcome {
+        crate::vm::run_vm(self, programs, scheduler, max_steps, RunConfig::full())
+    }
+
+    /// Like [`SimWorld::run`], but with explicit control over what the
+    /// run records (see [`RunConfig`]).
+    pub fn run_with(
+        &self,
+        programs: Vec<Program>,
+        scheduler: &mut dyn Scheduler,
+        max_steps: u64,
+        config: RunConfig,
+    ) -> RunOutcome {
+        crate::vm::run_vm(self, programs, scheduler, max_steps, config)
+    }
+
+    /// Runs on the **legacy thread-handoff engine**: one OS thread per
+    /// simulated process, one global handoff per step.
+    ///
+    /// Deprecated in spirit; kept for one release as the measured
+    /// baseline of `exp_sim_throughput` and the reference of the
+    /// engine-equivalence test. Produces the same traces as
+    /// [`SimWorld::run`] for any schedule in which all high-level
+    /// events happen inside scheduled regions (i.e. programs `pause`
+    /// before their first invocation); `Decision::pending` is left
+    /// empty because this engine cannot observe pending accesses.
+    pub fn run_threaded(
+        &self,
+        programs: Vec<Program>,
+        scheduler: &mut dyn Scheduler,
+        max_steps: u64,
+    ) -> RunOutcome {
+        self.run_threaded_with(programs, scheduler, max_steps, RunConfig::full())
+    }
+
+    /// [`SimWorld::run_threaded`] with explicit recording control, so
+    /// throughput experiments compare the two engines under identical
+    /// recording configurations.
+    pub fn run_threaded_with(
+        &self,
+        programs: Vec<Program>,
+        scheduler: &mut dyn Scheduler,
+        max_steps: u64,
+        config: RunConfig,
+    ) -> RunOutcome {
         assert_eq!(programs.len(), self.n, "one program per process");
         {
             let mut st = self.inner.state.lock().unwrap();
             assert!(!st.started, "a SimWorld can run only once");
             st.started = true;
+            st.config = config;
         }
 
         let handles: Vec<_> = programs
@@ -338,7 +603,7 @@ impl SimWorld {
                             world: world.clone(),
                             pid,
                         };
-                        let result = panic::catch_unwind(AssertUnwindSafe(|| program(ctx)));
+                        let result = panic::catch_unwind(panic::AssertUnwindSafe(|| program(ctx)));
                         {
                             let mut st = world.inner.state.lock().unwrap();
                             st.phase[pid] = Phase::Done;
@@ -400,13 +665,29 @@ impl SimWorld {
                 runnable: &runnable,
                 trace: &st.trace,
                 steps_per_proc: &st.steps_per_proc,
+                pending: &[],
             };
             let chosen = scheduler.pick(&view);
+            if chosen == crate::sched::STOP_RUN {
+                st.aborted = true;
+                IN_SIM_ABORT.store(true, Ordering::SeqCst);
+                self.inner.proc_cv.notify_all();
+                while st.phase.iter().any(|p| *p != Phase::Done) {
+                    st = self.inner.coord_cv.wait(st).unwrap();
+                }
+                return;
+            }
             assert!(
                 runnable.contains(&chosen),
                 "scheduler chose non-runnable process {chosen} (runnable: {runnable:?})"
             );
-            st.decisions.push(Decision { runnable, chosen });
+            if st.config.record_decisions {
+                st.decisions.push(Decision {
+                    runnable,
+                    chosen,
+                    pending: Vec::new(),
+                });
+            }
             st.granted = Some(chosen);
             self.inner.proc_cv.notify_all();
             // Wait until the chosen process consumes the grant; without
@@ -419,14 +700,26 @@ impl SimWorld {
     }
 
     /// Executes one shared-memory step on behalf of the calling simulated
-    /// process: parks until the scheduler grants the step, performs
+    /// process: suspends until the scheduler grants the step, performs
     /// `access` atomically, and records the resulting [`StepRecord`].
+    ///
+    /// Dispatches on the engine running this world: inside a step-VM run
+    /// the calling fiber parks with a declared [`PendingAccess`]; under
+    /// the legacy threaded engine the calling OS thread blocks on the
+    /// per-step handoff.
     pub(crate) fn step<R>(
         &self,
-        reg_name: &str,
+        reg_id: RegId,
+        name: &Arc<str>,
+        site: &'static Location<'static>,
         kind: AccessKind,
-        access: impl FnOnce() -> (R, String),
+        access: impl FnOnce(bool) -> (R, String),
     ) -> R {
+        let vm = self.inner.active_vm.load(Ordering::Relaxed);
+        if !vm.is_null() {
+            // Step-VM path: park this fiber until granted.
+            return unsafe { crate::vm::vm_step(vm, reg_id, name, site, kind, access) };
+        }
         let pid = CURRENT_PROC.with(|c| c.get()).unwrap_or_else(|| {
             panic!("simulated register accessed outside a SimWorld::run program")
         });
@@ -447,20 +740,34 @@ impl SimWorld {
         st.phase[pid] = Phase::Running;
         st.steps_per_proc[pid] += 1;
         self.inner.coord_cv.notify_all();
-        let (result, value) = access();
-        st.trace.push(TraceItem::Step(StepRecord {
-            proc: pid,
-            reg: reg_name.to_string(),
-            kind,
-            value,
-        }));
+        let record = st.config.record_trace;
+        let (result, value) = access(record);
+        if record {
+            st.trace.push(TraceItem::Step(StepRecord {
+                proc: pid,
+                reg: Arc::clone(name),
+                kind,
+                value,
+                reg_id,
+                site,
+            }));
+        }
         result
     }
 
     /// Records a high-level event marker in the trace; used by
     /// [`crate::EventLog`].
     pub(crate) fn push_hi_marker(&self, index: usize) {
+        let vm = self.inner.active_vm.load(Ordering::Relaxed);
+        if !vm.is_null() {
+            // Called from inside a fiber of the running VM; the fiber
+            // has exclusive access to the VM state while it runs.
+            unsafe { crate::vm::vm_push_hi(vm, index) };
+            return;
+        }
         let mut st = self.inner.state.lock().unwrap();
-        st.trace.push(TraceItem::Hi(index));
+        if st.config.record_trace {
+            st.trace.push(TraceItem::Hi(index));
+        }
     }
 }

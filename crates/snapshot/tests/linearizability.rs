@@ -224,6 +224,70 @@ fn bounded_handshake_scan_is_wait_free_under_adversary() {
     );
 }
 
+/// The borrow-rule regression, ported to the schedule explorer: not
+/// just the one hand-crafted state-restoring schedule, but its whole
+/// neighbourhood. The stem replays the original adversary (two
+/// complete same-value updates between consecutive scanner steps, the
+/// pattern that starves write-evidence-only borrowing); the explorer
+/// then branches over every continuation within budget. Every explored
+/// schedule must complete, and every borrowed view must be correct.
+#[test]
+fn explorer_covers_state_restoring_adversary_neighbourhood() {
+    use sl_sim::{Explorer, RunConfig, ScheduleDriver};
+    use sl_snapshot::BoundedAfekSnapshot;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    // The original adversary: 32 updater steps (= two complete updates
+    // of the 2-process bounded snapshot) per scanner step.
+    let stem: Vec<usize> = (1..=66u64)
+        .map(|i| usize::from(i.is_multiple_of(33)))
+        .collect();
+    let checked = AtomicUsize::new(0);
+    let explorer = Explorer {
+        max_runs: 4_000,
+        prune: true,
+        workers: 2,
+        stem,
+    };
+    let explored = explorer.explore(|driver: &mut ScheduleDriver| {
+        let world = SimWorld::new(2);
+        let mem = world.mem();
+        let snap = BoundedAfekSnapshot::<u64, _>::new(&mem, 2);
+        let result: Arc<Mutex<Option<Vec<Option<u64>>>>> = Arc::new(Mutex::new(None));
+        let s0 = snap.clone();
+        let updater: Program = Box::new(move |_| {
+            for _ in 0..6 {
+                s0.update(ProcId(0), 7);
+            }
+        });
+        let s1 = snap.clone();
+        let r1 = result.clone();
+        let scanner: Program = Box::new(move |_| {
+            let view = s1.scan(ProcId(1));
+            *r1.lock().unwrap() = Some(view);
+        });
+        let outcome = world.run_with(vec![updater, scanner], driver, 50_000, RunConfig::traced());
+        if !driver.was_cut() {
+            assert!(
+                outcome.completed,
+                "scan starved on schedule {:?} (borrow rule regressed?)",
+                driver.script()
+            );
+            let view = result.lock().unwrap().clone().expect("scan completed");
+            assert_eq!(view, vec![Some(7), None], "borrowed view must be correct");
+            checked.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    });
+    assert!(
+        checked.load(Ordering::Relaxed) >= 1_000,
+        "expected a substantial neighbourhood, checked {} schedules ({} cut)",
+        checked.load(Ordering::Relaxed),
+        explored.cut_runs
+    );
+}
+
 /// Regression for the bounded substrate's borrow rule, both directions.
 ///
 /// An adversary completes exactly two same-value updates by p0 between

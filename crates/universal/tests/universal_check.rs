@@ -1,9 +1,10 @@
 //! Checker-backed validation of the universal construction
 //! (paper Theorems 54 and 3).
 
-use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree};
+use sl_check::TreeBuilder;
+use sl_check::{check_linearizable, check_strongly_linearizable};
 use sl_core::{AtomicSnapshot, SlSnapshot};
-use sl_sim::{explore, EventLog, Program, Scripted, SeededRandom, SimWorld};
+use sl_sim::{EventLog, Explorer, Program, RunConfig, ScheduleDriver, SeededRandom, SimWorld};
 use sl_spec::{CounterOp, ProcId};
 use sl_universal::types::{CounterType, GrowSetType, MaxRegisterType, RegOp, RegisterType};
 use sl_universal::{NodeRef, SimpleSpec, SimpleType, Universal};
@@ -110,46 +111,53 @@ fn universal_grow_set_linearizable_random_schedules() {
 
 /// Theorem 54 (bounded check): the Aspnes–Herlihy construction over an
 /// **atomic** root is strongly linearizable. Exhaustively explores a
-/// 2-process counter workload (one Inc, one Read) and model-checks the
-/// full prefix tree of transcripts.
+/// 2-process counter workload on the sleep-set explorer — **two**
+/// operations per process, double the depth the thread-handoff engine
+/// could afford — and model-checks the full prefix tree.
 #[test]
 fn universal_counter_atomic_root_strongly_linearizable_exhaustive() {
-    let mut transcripts = Vec::new();
-    let explored = explore(
-        |script| {
-            let world = SimWorld::new(2);
-            let mem = world.mem();
-            let root: AtomicSnapshot<NodeRef<CounterType>, _> = AtomicSnapshot::new(&mem, 2);
-            let obj = Universal::new(CounterType, root, 2);
-            let log: EventLog<SimpleSpec<CounterType>> = EventLog::new(&world);
-            let mut programs: Vec<Program> = Vec::new();
-            for (pid, op) in [(0, CounterOp::Inc), (1, CounterOp::Read)] {
-                let mut h = obj.handle(ProcId(pid));
-                let log = log.clone();
-                programs.push(Box::new(move |ctx| {
+    let builder: TreeBuilder<SimpleSpec<CounterType>> = TreeBuilder::new();
+    let explorer = Explorer {
+        max_runs: 500_000,
+        prune: true,
+        workers: 2,
+        stem: vec![],
+    };
+    let explored = explorer.explore(|driver: &mut ScheduleDriver| {
+        let world = SimWorld::new(2);
+        let mem = world.mem();
+        let root: AtomicSnapshot<NodeRef<CounterType>, _> = AtomicSnapshot::new(&mem, 2);
+        let obj = Universal::new(CounterType, root, 2);
+        let log: EventLog<SimpleSpec<CounterType>> = EventLog::new(&world);
+        let mut programs: Vec<Program> = Vec::new();
+        for (pid, ops) in [
+            (0, [CounterOp::Inc, CounterOp::Read]),
+            (1, [CounterOp::Read, CounterOp::Inc]),
+        ] {
+            let mut h = obj.handle(ProcId(pid));
+            let log = log.clone();
+            programs.push(Box::new(move |ctx| {
+                for op in ops {
                     ctx.pause();
                     let id = log.invoke(ctx.proc_id(), op);
                     let resp = h.execute(op);
                     log.respond(id, resp);
-                }));
-            }
-            let mut sched = Scripted::new(script.to_vec());
-            let outcome = world.run(programs, &mut sched, 500);
-            transcripts.push(log.transcript(&outcome));
-            outcome
-        },
-        10_000,
-        |_, _| {},
-    );
+                }
+            }));
+        }
+        let outcome = world.run_with(programs, driver, 1_000, RunConfig::traced());
+        builder.ingest(&log.transcript(&outcome));
+        outcome
+    });
     assert!(explored.exhausted, "schedule space must be fully explored");
 
-    let tree = HistoryTree::from_transcripts(&transcripts);
+    let tree = builder.finish();
     let report = check_strongly_linearizable(&SimpleSpec(CounterType), &tree);
     assert!(
         report.holds,
         "Theorem 54 (bounded check): universal construction strongly linearizable \
-         over {} schedules",
-        explored.runs
+         over {} schedules ({} pruned)",
+        explored.runs, explored.pruned
     );
 }
 

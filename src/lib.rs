@@ -75,6 +75,58 @@
 //! * [`spec`] / [`check`] — sequential specifications, histories, and
 //!   the linearizability / strong-linearizability checkers.
 //!
+//! # How to model-check a new object
+//!
+//! Any object built by the builder (or any hand-rolled
+//! [`SharedObject`](prelude::SharedObject)) can be model-checked end to
+//! end in a few lines. The `sl-api` harness runs it on the simulator's
+//! coroutine-stepped VM, enumerates adversary schedules with sleep-set
+//! pruning, and streams every transcript into the prefix tree that
+//! strong linearizability quantifies over:
+//!
+//! ```
+//! use strongly_linearizable::api::sim::{explore_object, SimExplore};
+//! use strongly_linearizable::prelude::*;
+//! use strongly_linearizable::spec::types::SnapshotSpec;
+//! use strongly_linearizable::spec::SnapshotOp;
+//!
+//! // 1. A factory building the object on a fresh simulated memory.
+//! //    (Swap in any substrate or your own object here.)
+//! let factory = |mem: &strongly_linearizable::sim::SimMem| {
+//!     ObjectBuilder::on(mem).processes(2).atomic_snapshot::<u64>()
+//! };
+//! // 2. A per-process workload of sequential-spec operations.
+//! let workload = [vec![SnapshotOp::Update(5)], vec![SnapshotOp::Scan]];
+//! // 3. Explore every schedule (bounded) and decide.
+//! let explored = explore_object::<SnapshotSpec<u64>, _, _>(
+//!     factory,
+//!     &workload,
+//!     &SimExplore::default(),
+//! );
+//! assert!(explored.outcome.exhausted);
+//! assert!(explored.check_strong(&SnapshotSpec::<u64>::new(2)).holds);
+//! ```
+//!
+//! Three escalation levels, cheapest first:
+//!
+//! 1. **Fuzz** (`api::fuzz`): seeded-random workloads × random
+//!    adversary schedules, histories through `check_linearizable`, and
+//!    — for `Strong`-typed objects — schedule trees through the strong
+//!    checker. Failures are shrunk to a locally-minimal operation +
+//!    schedule sequence and printed with allocation-site labels.
+//! 2. **Explore** (`api::sim::explore_object`, above): bounded
+//!    *exhaustive* enumeration with pruning; `SimExplore::stem` focuses
+//!    the search on extensions of a known-adversarial prefix, and
+//!    `workers` parallelises replays across threads.
+//! 3. **Hand-crafted adversaries** (`sim::FnScheduler`,
+//!    `sim::Scripted`): reproduce a specific family, as the
+//!    Observation-4 tests do. New: schedulers see each runnable
+//!    process's *declared next access* (`sim::SchedView::pending`).
+//!
+//! For operations outside the builder families, implement
+//! `api::sim::DriveOps` for your handle (or pass an explicit apply
+//! closure to `explore_object_with` / the fuzz entry points).
+//!
 //! See `examples/` for runnable scenarios (ABA detection, adversary
 //! bias, universal construction, model checking) and the `sl-bench`
 //! crate for the experiment binaries that regenerate `EXPERIMENTS.md`.
