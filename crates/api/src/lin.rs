@@ -163,7 +163,7 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(not(debug_assertions), ignore = "guard panics only in debug builds")]
+    #[cfg(debug_assertions)] // the guard panics only in debug builds
     fn duplicate_handles_are_rejected() {
         let mem = NativeMem::new();
         let snap: LinSnap<u64, _> = LinSnap::new(AfekSnapshot::new(&mem, 2));

@@ -5,7 +5,7 @@
 //! fresh `SimMem` — typically an [`crate::ObjectBuilder`] chain), a
 //! per-process workload of sequential-spec operations, and an
 //! [`SimExplore`] budget; it enumerates adversary schedules on the step
-//! VM with sleep-set pruning, streams every transcript into an
+//! VM with source-set DPOR pruning, streams every transcript into an
 //! incremental prefix tree, and hands back an [`ExploredObject`] ready
 //! for `sl_check`'s deciders:
 //!
@@ -34,8 +34,8 @@ use sl_check::{
 };
 use sl_mem::Value;
 use sl_sim::{
-    EventLog, ExploreOutcome, Explorer, ProcCtx, Program, RunConfig, RunOutcome, Scheduler, SimMem,
-    SimWorld,
+    EventLog, ExploreOutcome, Explorer, ProcCtx, Program, PruneMode, RunConfig, RunOutcome,
+    Scheduler, SimMem, SimWorld,
 };
 use sl_spec::types::{AbaSpec, CounterSpec, MaxRegisterSpec, SnapshotSpec};
 use sl_spec::{
@@ -122,9 +122,10 @@ where
 pub struct SimExplore {
     /// Stop after this many executed schedules.
     pub max_runs: usize,
-    /// Sleep-set pruning of commuting register accesses.
-    pub prune: bool,
-    /// Worker threads replaying schedules in parallel.
+    /// Partial-order reduction level (default: source-set DPOR).
+    pub mode: PruneMode,
+    /// Worker threads replaying schedules in parallel (frame modes
+    /// only; source-set DPOR is sequential).
     pub workers: usize,
     /// Per-run shared-memory step budget.
     pub step_budget: u64,
@@ -136,7 +137,7 @@ impl Default for SimExplore {
     fn default() -> Self {
         SimExplore {
             max_runs: 200_000,
-            prune: true,
+            mode: PruneMode::default(),
             workers: 1,
             step_budget: 10_000,
             stem: Vec::new(),
@@ -295,7 +296,7 @@ where
     let builder: TreeBuilder<S> = TreeBuilder::new();
     let explorer = Explorer {
         max_runs: cfg.max_runs,
-        prune: cfg.prune,
+        mode: cfg.mode,
         workers: cfg.workers,
         stem: cfg.stem.clone(),
     };

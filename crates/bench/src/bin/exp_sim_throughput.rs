@@ -1,27 +1,40 @@
-//! Step-VM throughput versus the legacy thread-handoff engine.
+//! Step-VM throughput, explorer schedule counts, and checker time.
 //!
-//! The tentpole claim behind the coroutine-stepped VM: one simulated
-//! shared-memory step should cost a userspace fiber switch, not two OS
-//! context switches plus condvar broadcasts. This experiment measures
-//! steps/second of both engines on an identical 2-process register
-//! workload, under each recording configuration (both engines honour
-//! the same `RunConfig`, so every comparison is apples to apples):
+//! The original experiment measured the coroutine-stepped VM against
+//! the legacy thread-handoff engine; that engine has been retired, so
+//! the VM numbers now stand alone and the experiment instead captures
+//! the two quantities that bound exhaustive model-checking depth:
 //!
-//! * `full`    — trace + decisions recorded (the `SimWorld::run`
-//!   default, what plain checker runs use);
-//! * `traced`  — trace only (what the explorer's replays use; the
-//!   schedule driver tracks decisions itself);
-//! * `counted` — step counts only (pure engine overhead).
+//! * **schedules replayed** per explorer mode (unpruned, sleep sets,
+//!   source-set DPOR) on pinned Algorithm-2 workloads — the win of
+//!   partial-order reduction; and
+//! * **checker time** of the strong-linearizability decision over the
+//!   explored prefix tree, memoised vs unmemoised — the win of
+//!   hash-consed subtree memoisation.
 //!
-//! It also reports replay throughput on explorer-shaped short runs
-//! (fresh world per schedule), the quantity that bounds how many
-//! schedules bounded exhaustive model checking can afford.
+//! `--json PATH` writes the summary as JSON (the artifact the sim-deep
+//! CI job uploads). `--baseline PATH` compares against a recorded
+//! baseline and exits non-zero if the pruned explorer now replays
+//! *more* schedules than recorded for any pinned workload — a
+//! partial-order-reduction regression gate.
 
 use std::time::Instant;
 
 use sl_bench::print_table;
+use sl_check::{
+    check_strongly_linearizable_dag, check_strongly_linearizable_unmemoised, DagBuilder,
+    HistoryTree, TreeBuilder, TreeDag,
+};
+use sl_core::aba::{AbaHandle, SlAbaRegister};
 use sl_mem::{Mem, Register};
-use sl_sim::{Program, RoundRobin, RunConfig, SimWorld};
+use sl_sim::{
+    EventLog, ExploreOutcome, Explorer, Program, PruneMode, RoundRobin, RunConfig, ScheduleDriver,
+    SimWorld,
+};
+use sl_spec::types::AbaSpec;
+use sl_spec::{AbaOp, AbaResp, ProcId};
+
+type ASpec = AbaSpec<u64>;
 
 fn workload(world: &SimWorld, steps_per_proc: u64) -> Vec<Program> {
     let mem = world.mem();
@@ -41,18 +54,14 @@ fn workload(world: &SimWorld, steps_per_proc: u64) -> Vec<Program> {
 
 /// Steps/second over `reps` fresh worlds of `steps_per_proc` steps per
 /// process each.
-fn measure(threaded: bool, cfg: RunConfig, steps_per_proc: u64, reps: u32) -> f64 {
+fn measure(cfg: RunConfig, steps_per_proc: u64, reps: u32) -> f64 {
     let start = Instant::now();
     let mut total = 0u64;
     for _ in 0..reps {
         let world = SimWorld::new(2);
         let programs = workload(&world, steps_per_proc);
         let mut sched = RoundRobin::new();
-        let out = if threaded {
-            world.run_threaded_with(programs, &mut sched, u64::MAX, cfg)
-        } else {
-            world.run_with(programs, &mut sched, u64::MAX, cfg)
-        };
+        let out = world.run_with(programs, &mut sched, u64::MAX, cfg);
         total += out.total_steps();
     }
     total as f64 / start.elapsed().as_secs_f64()
@@ -66,53 +75,329 @@ fn human(rate: f64) -> String {
     }
 }
 
-fn main() {
-    println!("# exp_sim_throughput — step VM vs thread-handoff engine");
+/// Pinned workload: 2-process Algorithm 2, `writes` DWrites vs `reads`
+/// DReads — the family the model-check suite exhausts. The DPOR run
+/// streams transcripts into both builders (the DAG is what deep checks
+/// consume; the materialised tree feeds the unmemoised checker
+/// oracle); the other modes only count schedules.
+type BuiltSets = Option<(TreeDag<ASpec>, HistoryTree<ASpec>)>;
+
+fn explore_sl_aba(
+    writes: u64,
+    reads: u64,
+    mode: PruneMode,
+    max_runs: usize,
+) -> (ExploreOutcome, BuiltSets, f64) {
+    let ingest = mode == PruneMode::SourceDpor;
+    let dag_builder: DagBuilder<ASpec> = DagBuilder::new();
+    let tree_builder: TreeBuilder<ASpec> = TreeBuilder::new();
+    let explorer = Explorer {
+        max_runs,
+        mode,
+        workers: 1,
+        stem: vec![],
+    };
+    let start = Instant::now();
+    let explored = explorer.explore(|driver: &mut ScheduleDriver| {
+        let world = SimWorld::new(2);
+        let mem = world.mem();
+        let reg = SlAbaRegister::<u64, _>::new(&mem, 2);
+        let log: EventLog<ASpec> = EventLog::new(&world);
+        let mut w = reg.handle(ProcId(0));
+        let wl = log.clone();
+        let mut r = reg.handle(ProcId(1));
+        let rl = log.clone();
+        let programs: Vec<Program> = vec![
+            Box::new(move |ctx| {
+                for i in 0..writes {
+                    ctx.pause();
+                    let id = wl.invoke(ctx.proc_id(), AbaOp::DWrite(9 + i));
+                    w.dwrite(9 + i);
+                    wl.respond(id, AbaResp::Ack);
+                }
+            }),
+            Box::new(move |ctx| {
+                for _ in 0..reads {
+                    ctx.pause();
+                    let id = rl.invoke(ctx.proc_id(), AbaOp::DRead);
+                    let (v, a) = r.dread();
+                    rl.respond(id, AbaResp::Value(v, a));
+                }
+            }),
+        ];
+        let outcome = world.run_with(programs, driver, 1_000, RunConfig::traced());
+        if ingest {
+            let transcript = log.transcript(&outcome);
+            dag_builder.ingest(&transcript);
+            tree_builder.ingest(&transcript);
+        }
+        outcome
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let built = ingest.then(|| (dag_builder.finish(), tree_builder.finish()));
+    (explored, built, elapsed)
+}
+
+struct WorkloadSummary {
+    name: &'static str,
+    unpruned_replayed: usize,
+    unpruned_exhausted: bool,
+    sleepset_replayed: usize,
+    dpor_replayed: usize,
+    dpor_runs: usize,
+    reduction_vs_unpruned: f64,
+    checker_memo_ms: f64,
+    checker_unmemo_ms: f64,
+    checker_speedup: f64,
+    memo_hits: u64,
+    states_memo: u64,
+    states_unmemo: u64,
+}
+
+fn run_pinned_workload(name: &'static str, writes: u64, reads: u64) -> WorkloadSummary {
     println!();
-    println!("## Long runs (20k steps/proc; per-run setup amortised)");
+    println!("## Pinned workload `{name}` (Algorithm 2: {writes} DWrites vs {reads} DReads)");
+    let budget = 4_000_000;
     let mut rows = Vec::new();
+    let (un, _, un_t) = explore_sl_aba(writes, reads, PruneMode::Unpruned, budget);
+    let (ss, _, ss_t) = explore_sl_aba(writes, reads, PruneMode::SleepSet, budget);
+    let (dp, built, dp_t) = explore_sl_aba(writes, reads, PruneMode::SourceDpor, budget);
+    let (dag, tree) = built.expect("DPOR run builds the transcript sets");
+    assert!(
+        ss.exhausted && dp.exhausted,
+        "pruned explorations of the pinned workloads must exhaust"
+    );
+    for (mode, out, secs) in [
+        ("unpruned", &un, un_t),
+        ("sleep sets", &ss, ss_t),
+        ("source DPOR", &dp, dp_t),
+    ] {
+        rows.push(vec![
+            mode.to_string(),
+            out.schedules_replayed().to_string(),
+            out.runs.to_string(),
+            out.cut_runs.to_string(),
+            if out.exhausted { "yes" } else { "capped" }.to_string(),
+            format!("{:.2}s", secs),
+        ]);
+    }
+    print_table(
+        &["mode", "replayed", "runs", "cut", "exhausted", "time"],
+        &rows,
+    );
+    let reduction = un.schedules_replayed() as f64 / dp.schedules_replayed() as f64;
+    println!(
+        "(source DPOR replays {:.1}x fewer schedules than unpruned{})",
+        reduction,
+        if un.exhausted {
+            String::new()
+        } else {
+            " — a floor: the unpruned run hit its budget".to_string()
+        }
+    );
+
+    println!(
+        "(transcript DAG: {} unique shapes for a {}-node prefix tree)",
+        dag.unique_nodes(),
+        tree.node_count()
+    );
+    let spec = ASpec::new(2);
+    let start = Instant::now();
+    let memo = check_strongly_linearizable_dag(&spec, &dag);
+    let memo_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let plain = check_strongly_linearizable_unmemoised(&spec, &tree);
+    let unmemo_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        memo.holds, plain.holds,
+        "memoisation must not change the verdict"
+    );
+    assert!(
+        memo.holds,
+        "Algorithm 2 is strongly linearizable (Theorem 12)"
+    );
+    println!();
+    print_table(
+        &["checker", "states", "memo hits", "time"],
+        &[
+            vec![
+                "memoised".into(),
+                memo.states_explored.to_string(),
+                memo.memo_hits.to_string(),
+                format!("{memo_ms:.1}ms"),
+            ],
+            vec![
+                "unmemoised".into(),
+                plain.states_explored.to_string(),
+                "-".into(),
+                format!("{unmemo_ms:.1}ms"),
+            ],
+        ],
+    );
+    println!("(memoisation: {:.1}x faster)", unmemo_ms / memo_ms);
+
+    WorkloadSummary {
+        name,
+        unpruned_replayed: un.schedules_replayed(),
+        unpruned_exhausted: un.exhausted,
+        sleepset_replayed: ss.schedules_replayed(),
+        dpor_replayed: dp.schedules_replayed(),
+        dpor_runs: dp.runs,
+        reduction_vs_unpruned: reduction,
+        checker_memo_ms: memo_ms,
+        checker_unmemo_ms: unmemo_ms,
+        checker_speedup: unmemo_ms / memo_ms,
+        memo_hits: memo.memo_hits,
+        states_memo: memo.states_explored,
+        states_unmemo: plain.states_explored,
+    }
+}
+
+fn to_json(throughput: &[(String, f64)], workloads: &[WorkloadSummary]) -> String {
+    let mut out = String::from("{\n  \"vm_steps_per_sec\": {");
+    for (i, (name, rate)) in throughput.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{name}\": {rate:.0}"));
+    }
+    out.push_str("\n  },\n  \"workloads\": [");
+    for (i, w) in workloads.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\n      \"name\": \"{}\",\n      \"unpruned_replayed\": {},\n      \
+             \"unpruned_exhausted\": {},\n      \"sleepset_replayed\": {},\n      \
+             \"dpor_replayed\": {},\n      \"dpor_runs\": {},\n      \
+             \"reduction_vs_unpruned\": {:.2},\n      \"checker_memo_ms\": {:.2},\n      \
+             \"checker_unmemo_ms\": {:.2},\n      \"checker_speedup\": {:.2},\n      \
+             \"memo_hits\": {},\n      \"states_memo\": {},\n      \"states_unmemo\": {}\n    }}",
+            w.name,
+            w.unpruned_replayed,
+            w.unpruned_exhausted,
+            w.sleepset_replayed,
+            w.dpor_replayed,
+            w.dpor_runs,
+            w.reduction_vs_unpruned,
+            w.checker_memo_ms,
+            w.checker_unmemo_ms,
+            w.checker_speedup,
+            w.memo_hits,
+            w.states_memo,
+            w.states_unmemo
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Extracts `(workload name, dpor_replayed)` pairs from a summary
+/// JSON, matching each `"name"` to the next `"dpor_replayed"` (the
+/// emitter writes them in that order within each workload object), so
+/// the baseline gate compares workloads by name, not by position.
+/// Hand-rolled: the workspace has no JSON dependency, and the format
+/// is our own.
+fn extract_dpor_replayed(json: &str) -> Vec<(String, usize)> {
+    let name_key = "\"name\": \"";
+    let count_key = "\"dpor_replayed\":";
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(name_key) {
+        rest = &rest[pos + name_key.len()..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        let Some(pos) = rest.find(count_key) else {
+            break;
+        };
+        rest = &rest[pos + count_key.len()..];
+        let digits: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if let Ok(n) = digits.parse() {
+            out.push((name, n));
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = args.next(),
+            "--baseline" => baseline_path = args.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("# exp_sim_throughput — step VM, explorer modes, checker memoisation");
+    println!();
+    println!("## VM throughput (20k steps/proc; per-run setup amortised)");
+    let mut rows = Vec::new();
+    let mut throughput = Vec::new();
     for (name, cfg) in [
         ("full", RunConfig::full()),
         ("traced", RunConfig::traced()),
         ("counted", RunConfig::counted()),
     ] {
         // Warm-up pass stabilises allocator and stack-pool state.
-        let _ = measure(false, cfg, 20_000, 2);
-        let vm = measure(false, cfg, 20_000, 40);
-        let th = measure(true, cfg, 20_000, 4);
-        rows.push(vec![
-            name.to_string(),
-            format!("{} steps/s", human(vm)),
-            format!("{} steps/s", human(th)),
-            format!("{:.1}x", vm / th),
-        ]);
+        let _ = measure(cfg, 20_000, 2);
+        let vm = measure(cfg, 20_000, 40);
+        rows.push(vec![name.to_string(), format!("{} steps/s", human(vm))]);
+        throughput.push((name.to_string(), vm));
     }
-    print_table(
-        &["recording", "step VM", "thread handoff", "speedup"],
-        &rows,
-    );
+    print_table(&["recording", "step VM"], &rows);
 
-    println!();
-    println!("## Explorer-shaped replays (fresh world per 24-step schedule)");
-    let mut rows = Vec::new();
-    for (name, cfg) in [("full", RunConfig::full()), ("traced", RunConfig::traced())] {
-        let _ = measure(false, cfg, 12, 200);
-        let vm = measure(false, cfg, 12, 20_000);
-        let th = measure(true, cfg, 12, 1_500);
-        rows.push(vec![
-            name.to_string(),
-            format!("{} steps/s", human(vm)),
-            format!("{} steps/s", human(th)),
-            format!("{:.1}x", vm / th),
-        ]);
+    let workloads = vec![
+        run_pinned_workload("aba_1w1r", 1, 1),
+        run_pinned_workload("aba_2w2r", 2, 2),
+    ];
+
+    let json = to_json(&throughput, &workloads);
+    if let Some(path) = &json_path {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!();
+        println!("(summary written to {path})");
     }
-    print_table(
-        &["recording", "step VM", "thread handoff", "speedup"],
-        &rows,
-    );
-    println!();
-    println!(
-        "(1 replay = fresh world + fiber spawn + 24 recorded steps; the VM \
-         reuses pooled fiber stacks, the legacy engine spawns OS threads.)"
-    );
+
+    if let Some(path) = &baseline_path {
+        let baseline =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let recorded = extract_dpor_replayed(&baseline);
+        let mut regressed = false;
+        for w in &workloads {
+            let Some((_, rec)) = recorded.iter().find(|(name, _)| name == w.name) else {
+                eprintln!(
+                    "REGRESSION GATE: workload {} missing from baseline {path}",
+                    w.name
+                );
+                regressed = true;
+                continue;
+            };
+            if w.dpor_replayed > *rec {
+                eprintln!(
+                    "REGRESSION: workload {} replays {} schedules, baseline {} — \
+                     partial-order reduction got weaker",
+                    w.name, w.dpor_replayed, rec
+                );
+                regressed = true;
+            } else {
+                println!(
+                    "baseline ok: {} replays {} <= recorded {}",
+                    w.name, w.dpor_replayed, rec
+                );
+            }
+        }
+        if regressed {
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,0 +1,330 @@
+//! Hash-consed transcript DAGs: prefix trees with shared subtrees.
+//!
+//! A [`HistoryTree`] materialises every node of the prefix tree; for
+//! bounded exhaustive exploration of 3-process workloads that is the
+//! binding constraint — hundreds of millions of nodes, tens of
+//! gigabytes — even though the tree is massively self-similar (the
+//! suffix left after different interleavings of the same remaining
+//! steps is often *identical*).
+//!
+//! A [`TreeDag`] stores the same prefix-closed transcript set as a
+//! directed acyclic graph: structurally equal subtrees are interned
+//! once, and a node's identity *is* its shape — which is also exactly
+//! the subtree key the memoised strong-linearizability checker wants,
+//! so checking a `TreeDag` skips the hash-consing pass entirely.
+//!
+//! [`DagBuilder`] builds the DAG *incrementally* from transcripts
+//! arriving in depth-first order (what the sequential source-DPOR
+//! explorer produces): it keeps only the current root-to-leaf spine
+//! unfinalised, and interns every subtree the moment exploration leaves
+//! it — the classic sorted-input DAFSA construction. Peak memory is the
+//! number of *unique* subtree shapes plus one spine, not the number of
+//! tree nodes.
+//!
+//! [`HistoryTree`]: crate::HistoryTree
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use sl_spec::SeqSpec;
+
+use crate::tree::TreeStep;
+use crate::HistoryTree;
+
+/// Identifier of an interned DAG node. Two nodes share an id iff their
+/// subtrees are equal edge-for-edge — the id is a *shape*.
+pub type NodeId = u32;
+
+/// One interned node: its child edges (label + child id), in canonical
+/// order. Empty children = leaf.
+pub(crate) struct DagNode<S: SeqSpec> {
+    pub(crate) children: Vec<(TreeStep<S>, NodeId)>,
+}
+
+/// A prefix-closed transcript set as a hash-consed DAG. Build one with
+/// [`DagBuilder`] (streaming) or [`TreeDag::from_tree`] (from a
+/// materialised [`HistoryTree`]).
+pub struct TreeDag<S: SeqSpec> {
+    pub(crate) nodes: Vec<DagNode<S>>,
+    pub(crate) root: NodeId,
+    transcripts_ingested: usize,
+}
+
+impl<S: SeqSpec> TreeDag<S> {
+    /// Number of *unique* subtree shapes (the DAG's size). The
+    /// equivalent prefix tree may have exponentially more nodes.
+    pub fn unique_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of transcripts ingested while building (duplicates
+    /// included).
+    pub fn transcripts_ingested(&self) -> usize {
+        self.transcripts_ingested
+    }
+
+    pub(crate) fn children(&self, id: NodeId) -> &[(TreeStep<S>, NodeId)] {
+        &self.nodes[id as usize].children
+    }
+
+    /// Number of nodes of the represented prefix *tree* (counting
+    /// shared shapes once per occurrence, root included). Computed by
+    /// one bottom-up pass; saturates at `u64::MAX`.
+    pub fn tree_node_count(&self) -> u64 {
+        // Children always precede parents in `nodes` (interning is
+        // bottom-up), so one forward pass suffices.
+        let mut sizes: Vec<u64> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let mut total: u64 = 1;
+            for (_, child) in &node.children {
+                total = total.saturating_add(sizes[*child as usize]);
+            }
+            sizes.push(total);
+        }
+        sizes[self.root as usize]
+    }
+
+    /// Converts a materialised prefix tree into its hash-consed DAG.
+    pub fn from_tree(tree: &HistoryTree<S>) -> TreeDag<S> {
+        let mut inner = DagInner::new();
+        let root = intern_tree(tree, &mut inner);
+        TreeDag {
+            nodes: inner.nodes,
+            root,
+            transcripts_ingested: tree.leaf_count(),
+        }
+    }
+}
+
+fn intern_tree<S: SeqSpec>(tree: &HistoryTree<S>, inner: &mut DagInner<S>) -> NodeId {
+    let children: Vec<(TreeStep<S>, NodeId)> = tree
+        .children()
+        .iter()
+        .map(|(step, child)| (step.clone(), intern_tree(child, inner)))
+        .collect();
+    inner.intern(children)
+}
+
+/// A stable 64-bit hash used only to order children canonically; the
+/// interning map compares full keys, so a hash tie can only cost
+/// sharing, never correctness.
+fn edge_order_hash<S: SeqSpec>(step: &TreeStep<S>, child: NodeId) -> u64 {
+    let mut h = DefaultHasher::new();
+    step.hash(&mut h);
+    child.hash(&mut h);
+    h.finish()
+}
+
+struct DagInner<S: SeqSpec> {
+    registry: HashMap<Vec<(TreeStep<S>, NodeId)>, NodeId>,
+    nodes: Vec<DagNode<S>>,
+}
+
+impl<S: SeqSpec> DagInner<S> {
+    fn new() -> Self {
+        DagInner {
+            registry: HashMap::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, mut children: Vec<(TreeStep<S>, NodeId)>) -> NodeId {
+        children.sort_by_key(|(step, child)| edge_order_hash(step, *child));
+        if let Some(&id) = self.registry.get(&children) {
+            return id;
+        }
+        let id = NodeId::try_from(self.nodes.len()).expect("too many unique subtree shapes");
+        self.registry.insert(children.clone(), id);
+        self.nodes.push(DagNode { children });
+        id
+    }
+}
+
+/// One unfinalised node on the builder's spine: the edge that leads
+/// into it and the already-finalised children below it.
+struct SpineEntry<S: SeqSpec> {
+    step_in: TreeStep<S>,
+    children: Vec<(TreeStep<S>, NodeId)>,
+}
+
+struct BuilderInner<S: SeqSpec> {
+    dag: DagInner<S>,
+    /// Root's finalised children.
+    root_children: Vec<(TreeStep<S>, NodeId)>,
+    /// Unfinalised path of the most recent transcript.
+    spine: Vec<SpineEntry<S>>,
+    prev: Vec<TreeStep<S>>,
+    ingested: usize,
+}
+
+impl<S: SeqSpec> BuilderInner<S> {
+    /// Finalises spine entries deeper than `keep`, interning each and
+    /// attaching it to its parent.
+    fn finalize_below(&mut self, keep: usize) {
+        while self.spine.len() > keep {
+            let entry = self.spine.pop().unwrap();
+            let id = self.dag.intern(entry.children);
+            let parent = match self.spine.last_mut() {
+                Some(p) => &mut p.children,
+                None => &mut self.root_children,
+            };
+            // Hard assert, not a debug assertion: an out-of-order
+            // ingest would silently corrupt the checked transcript set
+            // in release builds — a verification tool must fail loudly.
+            // (Parent child lists are branching-factor sized, so the
+            // scan is cheap.)
+            assert!(
+                parent.iter().all(|(s, _)| *s != entry.step_in),
+                "transcripts must arrive in depth-first order (prefix revisited)"
+            );
+            parent.push((entry.step_in, id));
+        }
+    }
+}
+
+/// Streaming hash-consing builder over depth-first-ordered transcripts.
+///
+/// The sequential source-DPOR explorer emits transcripts in exactly
+/// this order (depth-first backtracking: consecutive transcripts share
+/// a prefix, and a left subtree is never revisited once exploration
+/// moves right). Feeding transcripts in any other order panics (in all
+/// build profiles) — use [`crate::TreeBuilder`] for unordered (e.g.
+/// parallel-frame) streams.
+pub struct DagBuilder<S: SeqSpec> {
+    inner: Mutex<BuilderInner<S>>,
+}
+
+impl<S: SeqSpec> Default for DagBuilder<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: SeqSpec> DagBuilder<S> {
+    /// Creates a builder holding the empty transcript set.
+    pub fn new() -> Self {
+        DagBuilder {
+            inner: Mutex::new(BuilderInner {
+                dag: DagInner::new(),
+                root_children: Vec::new(),
+                spine: Vec::new(),
+                prev: Vec::new(),
+                ingested: 0,
+            }),
+        }
+    }
+
+    /// Merges one transcript (depth-first order relative to previous
+    /// ingests; duplicates and prefixes of the previous transcript are
+    /// no-ops).
+    pub fn ingest(&self, steps: &[TreeStep<S>]) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.ingested += 1;
+        let common = inner
+            .prev
+            .iter()
+            .zip(steps)
+            .take_while(|(a, b)| a == b)
+            .count();
+        if common == steps.len() {
+            return; // duplicate or prefix of the previous transcript
+        }
+        inner.finalize_below(common);
+        for step in &steps[common..] {
+            inner.spine.push(SpineEntry {
+                step_in: step.clone(),
+                children: Vec::new(),
+            });
+        }
+        inner.prev = steps.to_vec();
+    }
+
+    /// Number of transcripts ingested so far.
+    pub fn ingested(&self) -> usize {
+        self.inner.lock().unwrap().ingested
+    }
+
+    /// Consumes the builder, returning the finished DAG.
+    pub fn finish(self) -> TreeDag<S> {
+        let mut inner = self.inner.into_inner().unwrap();
+        inner.finalize_below(0);
+        let root_children = std::mem::take(&mut inner.root_children);
+        let root = inner.dag.intern(root_children);
+        TreeDag {
+            nodes: inner.dag.nodes,
+            root,
+            transcripts_ingested: inner.ingested,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeStep;
+    use sl_spec::types::CounterSpec;
+    use sl_spec::ProcId;
+
+    fn mk(steps: &[&str]) -> Vec<TreeStep<CounterSpec>> {
+        steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| TreeStep::internal(ProcId(i % 2), s))
+            .collect()
+    }
+
+    #[test]
+    fn dag_matches_tree_on_dfs_ordered_input() {
+        // Depth-first ordered transcript set with shared suffixes.
+        let transcripts = vec![
+            mk(&["a", "b", "x", "y"]),
+            mk(&["a", "c", "x", "y"]),
+            mk(&["d", "b", "x", "y"]),
+            mk(&["d", "c", "x", "y"]),
+        ];
+        let builder: DagBuilder<CounterSpec> = DagBuilder::new();
+        for t in &transcripts {
+            builder.ingest(t);
+        }
+        let dag = builder.finish();
+        let tree = HistoryTree::from_transcripts(&transcripts);
+        assert_eq!(dag.tree_node_count(), tree.node_count() as u64);
+        // The two branches under `a` and under `d` are isomorphic, and
+        // the `x→y` chains are shared: far fewer unique shapes than
+        // tree nodes.
+        assert!(
+            dag.unique_nodes() < tree.node_count(),
+            "{} unique shapes vs {} tree nodes",
+            dag.unique_nodes(),
+            tree.node_count()
+        );
+        // Conversion from the materialised tree yields the same DAG
+        // size (same structural interning).
+        let converted = TreeDag::from_tree(&tree);
+        assert_eq!(converted.unique_nodes(), dag.unique_nodes());
+        assert_eq!(converted.tree_node_count(), dag.tree_node_count());
+    }
+
+    #[test]
+    fn duplicates_and_prefixes_are_noops() {
+        let builder: DagBuilder<CounterSpec> = DagBuilder::new();
+        builder.ingest(&mk(&["a", "b"]));
+        builder.ingest(&mk(&["a", "b"])); // duplicate
+        builder.ingest(&mk(&["a"])); // prefix
+        builder.ingest(&mk(&["a", "c"]));
+        assert_eq!(builder.ingested(), 4);
+        let dag = builder.finish();
+        let tree = HistoryTree::from_transcripts(&[mk(&["a", "b"]), mk(&["a", "c"])]);
+        assert_eq!(dag.tree_node_count(), tree.node_count() as u64);
+    }
+
+    #[test]
+    fn empty_builder_yields_the_empty_set() {
+        let builder: DagBuilder<CounterSpec> = DagBuilder::new();
+        let dag = builder.finish();
+        assert_eq!(dag.unique_nodes(), 1, "just the root");
+        assert_eq!(dag.tree_node_count(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Interned step labels.
+//!
+//! Transcript trees contain millions of edges but only a handful of
+//! *distinct* internal-step labels (register × access kind × value).
+//! Before interning, every edge owned its own heap `String`; now an
+//! internal edge carries a [`Symbol`] — a `Copy` id resolving to the
+//! label text — so tree edges, memo keys, and conflict paths are plain
+//! integers.
+//!
+//! The interner is process-wide rather than per-tree: transcripts are
+//! produced by the simulator's `EventLog` *before* any tree exists, and
+//! the explorer's workers stream steps from many threads into one
+//! shared `TreeBuilder`, so a single shared table avoids threading an
+//! interner handle through every producer. Each distinct label is
+//! stored exactly once for the lifetime of the process (strictly less
+//! memory than the per-edge `String`s it replaces; the label universe
+//! is bounded by the workload under test).
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned step label: a `Copy` id standing for the label string.
+///
+/// Two symbols are equal iff their labels are equal, so trees and memo
+/// tables compare edges by integer comparison.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    by_label: HashMap<&'static str, u32>,
+    labels: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            by_label: HashMap::new(),
+            labels: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `label`, returning its symbol. Idempotent.
+    pub fn intern(label: &str) -> Symbol {
+        {
+            let int = interner().read().unwrap();
+            if let Some(&id) = int.by_label.get(label) {
+                return Symbol(id);
+            }
+        }
+        let mut int = interner().write().unwrap();
+        if let Some(&id) = int.by_label.get(label) {
+            return Symbol(id);
+        }
+        // Leaked once per *distinct* label, for the process lifetime —
+        // the backing storage of every edge that carries this symbol.
+        let label: &'static str = Box::leak(label.to_owned().into_boxed_str());
+        let id = u32::try_from(int.labels.len()).expect("too many distinct step labels");
+        int.labels.push(label);
+        int.by_label.insert(label, id);
+        Symbol(id)
+    }
+
+    /// The label this symbol stands for.
+    pub fn as_str(self) -> &'static str {
+        interner().read().unwrap().labels[self.0 as usize]
+    }
+}
+
+impl std::fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_equality_is_by_label() {
+        let a = Symbol::intern("X.write(1)");
+        let b = Symbol::intern("X.write(1)");
+        let c = Symbol::intern("X.write(2)");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "X.write(1)");
+        assert_eq!(format!("{a:?}"), "X.write(1)");
+    }
+
+    #[test]
+    fn symbols_are_copy_and_usable_across_threads() {
+        let a = Symbol::intern("shared");
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let b = Symbol::intern("shared");
+                    let c = Symbol::intern(&format!("t{i}"));
+                    assert_eq!(a, b);
+                    assert_eq!(c.as_str(), format!("t{i}"));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

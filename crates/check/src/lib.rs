@@ -18,6 +18,17 @@
 //! the paper's Observation 4 has no strong linearization function. The
 //! tests of this crate reproduce exactly that separation.
 //!
+//! Transcript sets come in two representations: the materialised
+//! [`HistoryTree`] (simple, any insertion order) and the hash-consed
+//! [`TreeDag`] (structurally interned subtrees; built incrementally by
+//! [`DagBuilder`] from depth-first exploration streams). Step labels
+//! are interned [`Symbol`]s, so edges are `Copy` ids. The strong
+//! checker memoises on exact `(subtree shape, linearization residue)`
+//! keys — see [`check_strongly_linearizable_dag`] for the
+//! deep-exploration entry point and
+//! [`check_strongly_linearizable_unmemoised`] for the differential
+//! oracle.
+//!
 //! # Example
 //!
 //! ```
@@ -34,10 +45,17 @@
 //! assert!(check_linearizable(&spec, &h).is_some());
 //! ```
 
+mod dag;
+mod intern;
 mod lin;
 mod strong;
 mod tree;
 
+pub use dag::{DagBuilder, NodeId, TreeDag};
+pub use intern::Symbol;
 pub use lin::{check_linearizable, LinStep};
-pub use strong::{check_strongly_linearizable, StrongLinReport};
+pub use strong::{
+    check_strongly_linearizable, check_strongly_linearizable_dag,
+    check_strongly_linearizable_unmemoised, StrongLinReport,
+};
 pub use tree::{HistoryTree, TreeBuilder, TreeStep};

@@ -15,11 +15,41 @@
 //! prefix-preservation obligation. Appends chosen when entering different
 //! children are independent, because prefix preservation constrains only
 //! transcripts along the same path.
+//!
+//! # Memoisation
+//!
+//! The verdict at a tree node depends on exactly two things: the
+//! *subtree* below the node, and the *residue* of the search state — the
+//! specification state reached by the committed linearization, plus the
+//! open (invoked, unresponded) operations with their linearization
+//! status and committed responses. Completed operations are inert, and
+//! invocation times only affect enumeration order, never the verdict.
+//!
+//! The checker therefore runs over the hash-consed [`TreeDag`] (a
+//! [`HistoryTree`] is converted on entry; deep explorations build the
+//! DAG directly with [`crate::DagBuilder`]), where a node's identity
+//! *is* its subtree shape, and memoises search results under the exact
+//! key `(shape id, residue)`. This collapses the two sources of
+//! combinatorial re-work the exploration trees exhibit:
+//!
+//! * different append orderings converging to the same `(node, residue)`
+//!   state are decided once, and
+//! * *isomorphic subtrees* — distinct nodes left behind by different
+//!   interleavings of the same remaining steps, which the symmetric
+//!   process fan-out produces in huge numbers — share a shape id and are
+//!   decided once per residue.
+//!
+//! Keys are compared by full equality (not hash), so memoisation is
+//! exact; [`check_strongly_linearizable_unmemoised`] exists to
+//! cross-check, and the differential tests in this crate assert both
+//! agree on verdict and conflict depth.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use sl_spec::{EventKind, OpId, ProcId, SeqSpec};
 
+use crate::dag::{NodeId, TreeDag};
 use crate::tree::TreeStep;
 use crate::HistoryTree;
 
@@ -30,10 +60,20 @@ pub struct StrongLinReport {
     pub holds: bool,
     /// Number of search states visited (diagnostic).
     pub states_explored: u64,
-    /// When the check fails: the deepest transcript-prefix path at which
-    /// every choice of linearization was refuted, as a human-readable
-    /// step list. Empty when the check holds.
+    /// Number of search states answered from the memo table (0 when the
+    /// check ran unmemoised).
+    pub memo_hits: u64,
+    /// Depth (in tree steps) of the deepest refuted transcript prefix;
+    /// 0 when the check holds. Memoised and unmemoised runs agree on
+    /// this value.
+    pub conflict_depth: usize,
+    /// When the check fails: the first conflict found at the maximum
+    /// depth, as a human-readable step list. When the deepest conflict
+    /// lies inside a memoised subtree the path ends with a marker line
+    /// instead of the re-derived steps. Empty when the check holds.
     pub deepest_conflict: Vec<String>,
+    /// The step whose subtree was refuted at the deepest conflict.
+    pub rejected: Option<String>,
 }
 
 struct OpInfo<S: SeqSpec> {
@@ -121,16 +161,139 @@ impl<S: SeqSpec> Env<S> {
         self.lin.push(id);
         true
     }
+
+    /// The memo residue of this search state: the reached specification
+    /// state plus every *open* (invoked, unresponded) operation with its
+    /// committed response when already linearized. Everything the
+    /// exploration of the remaining subtree can depend on — completed
+    /// operations are inert. Open operations are listed in invocation
+    /// order (the absolute times do not enter the key, their order
+    /// does): the search enumerates append sequences in that order, so
+    /// keying on it makes memoised and unmemoised runs agree not just on
+    /// the verdict but on the conflict depth.
+    fn residue(&self) -> Residue<S> {
+        let mut open: Vec<(u64, OpenOp<S>)> = self
+            .ops
+            .iter()
+            .filter(|(_, info)| info.rsp_time.is_none())
+            .map(|(id, info)| {
+                (
+                    info.inv_time,
+                    (
+                        *id,
+                        info.proc,
+                        info.desc.clone(),
+                        self.committed
+                            .get(id)
+                            .cloned()
+                            .filter(|_| self.is_linearized(*id)),
+                    ),
+                )
+            })
+            .collect();
+        open.sort_unstable_by_key(|(inv, _)| *inv);
+        Residue {
+            state: self.state.clone(),
+            open: open.into_iter().map(|(_, entry)| entry).collect(),
+        }
+    }
 }
 
-struct Search<'a, S: SeqSpec> {
+/// One open operation in a [`Residue`]: id, invoking process,
+/// description, and — when already linearized — the committed response.
+type OpenOp<S> = (
+    OpId,
+    ProcId,
+    <S as SeqSpec>::Op,
+    Option<<S as SeqSpec>::Resp>,
+);
+
+/// The environment-dependent half of a memo key. Manual `Hash`/`Eq`
+/// because derives would demand `S: Hash`/`S: Eq` on the spec itself.
+struct Residue<S: SeqSpec> {
+    state: S::State,
+    open: Vec<OpenOp<S>>,
+}
+
+impl<S: SeqSpec> PartialEq for Residue<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.state == other.state && self.open == other.open
+    }
+}
+impl<S: SeqSpec> Eq for Residue<S> {}
+impl<S: SeqSpec> Hash for Residue<S> {
+    fn hash<H: Hasher>(&self, h: &mut H) {
+        self.state.hash(h);
+        self.open.hash(h);
+    }
+}
+
+struct MemoKey<S: SeqSpec> {
+    shape: NodeId,
+    residue: Residue<S>,
+}
+
+impl<S: SeqSpec> PartialEq for MemoKey<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.residue == other.residue
+    }
+}
+impl<S: SeqSpec> Eq for MemoKey<S> {}
+impl<S: SeqSpec> Hash for MemoKey<S> {
+    fn hash<H: Hasher>(&self, h: &mut H) {
+        self.shape.hash(h);
+        self.residue.hash(h);
+    }
+}
+
+/// A memoised verdict: the result of exploring one `(shape, residue)`
+/// state, plus the deepest refutation observed *inside* that
+/// exploration (relative to the node), so memo hits reconstruct the
+/// same conflict depth an unmemoised search would report.
+#[derive(Clone)]
+struct MemoEntry {
+    ok: bool,
+    conflict: Option<(u32, String)>,
+}
+
+/// Deepest refutation observed while exploring one subtree: absolute
+/// depth plus the rendering of the rejected step. `None` when the
+/// subtree exploration never refuted anything (not even transiently).
+type SubConflict = Option<(usize, String)>;
+
+struct Sub {
+    ok: bool,
+    conflict: SubConflict,
+}
+
+/// Keep the deepest conflict; on equal depth keep the first one found.
+fn merge(into: &mut SubConflict, other: &SubConflict) {
+    if let Some((depth, rejected)) = other {
+        if into.as_ref().is_none_or(|(d, _)| depth > d) {
+            *into = Some((*depth, rejected.clone()));
+        }
+    }
+}
+
+struct Best<'t, S: SeqSpec> {
+    depth: usize,
+    path: Vec<&'t TreeStep<S>>,
+    rejected: String,
+    /// `true` when the conflict lies inside a memoised subtree: `path`
+    /// stops at the memo boundary.
+    truncated: bool,
+}
+
+struct Search<'a, 't, S: SeqSpec> {
     spec: &'a S,
+    dag: &'t TreeDag<S>,
     states: u64,
-    /// Current root-to-node path (pretty-printed steps), for diagnostics.
-    path: Vec<String>,
-    /// Deepest path at which a refutation occurred.
-    deepest_conflict: Vec<String>,
-    _marker: std::marker::PhantomData<&'a S>,
+    memo_hits: u64,
+    /// Memo table; `None` runs unmemoised.
+    memo: Option<HashMap<MemoKey<S>, MemoEntry>>,
+    /// Current root-to-node path (borrowed steps — no per-step clones).
+    path: Vec<&'t TreeStep<S>>,
+    best: Option<Best<'t, S>>,
 }
 
 /// Decides whether the transcript set represented by `tree` admits a
@@ -143,15 +306,42 @@ struct Search<'a, S: SeqSpec> {
 /// specification at every node.
 ///
 /// Worst-case cost is exponential in the number of concurrently pending
-/// operations and tree size; intended for the small adversarial families
-/// and bounded exhaustive explorations used in the paper's arguments.
+/// operations, but isomorphic subtrees and converging linearization
+/// choices are decided once via the exact memo table (see the module
+/// docs), which is what makes bounded exhaustive exploration trees of
+/// 3-process workloads checkable.
 pub fn check_strongly_linearizable<S: SeqSpec>(spec: &S, tree: &HistoryTree<S>) -> StrongLinReport {
+    check(spec, &TreeDag::from_tree(tree), true)
+}
+
+/// [`check_strongly_linearizable`] without the memo table — exponential
+/// re-exploration of isomorphic states, exactly as the original search.
+/// Kept as the oracle for differential testing: both entry points agree
+/// on the verdict and on [`StrongLinReport::conflict_depth`].
+pub fn check_strongly_linearizable_unmemoised<S: SeqSpec>(
+    spec: &S,
+    tree: &HistoryTree<S>,
+) -> StrongLinReport {
+    check(spec, &TreeDag::from_tree(tree), false)
+}
+
+/// [`check_strongly_linearizable`] over a hash-consed [`TreeDag`] —
+/// the entry point for deep explorations, which stream transcripts
+/// straight into a [`crate::DagBuilder`] and never materialise the
+/// prefix tree.
+pub fn check_strongly_linearizable_dag<S: SeqSpec>(spec: &S, dag: &TreeDag<S>) -> StrongLinReport {
+    check(spec, dag, true)
+}
+
+fn check<S: SeqSpec>(spec: &S, dag: &TreeDag<S>, memo: bool) -> StrongLinReport {
     let mut search = Search {
         spec,
+        dag,
         states: 0,
+        memo_hits: 0,
+        memo: memo.then(HashMap::new),
         path: Vec::new(),
-        deepest_conflict: Vec::new(),
-        _marker: std::marker::PhantomData,
+        best: None,
     };
     let env = Env {
         time: 0,
@@ -160,91 +350,155 @@ pub fn check_strongly_linearizable<S: SeqSpec>(spec: &S, tree: &HistoryTree<S>) 
         state: spec.initial(),
         committed: HashMap::new(),
     };
-    let holds = search.explore(tree, &env);
+    let sub = search.explore(dag.root, &env);
+    let (conflict_depth, deepest_conflict, rejected) = if sub.ok {
+        (0, Vec::new(), None)
+    } else {
+        match search.best {
+            Some(best) => {
+                let mut path: Vec<String> = best.path.iter().map(|s| format!("{s:?}")).collect();
+                if best.truncated {
+                    path.push(format!(
+                        "⋯ (conflict at depth {} inside a memoised subtree)",
+                        best.depth
+                    ));
+                }
+                (best.depth, path, Some(best.rejected))
+            }
+            None => (0, Vec::new(), None),
+        }
+    };
     StrongLinReport {
-        holds,
+        holds: sub.ok,
         states_explored: search.states,
-        deepest_conflict: if holds {
-            Vec::new()
-        } else {
-            search.deepest_conflict
-        },
+        memo_hits: search.memo_hits,
+        conflict_depth,
+        deepest_conflict,
+        rejected,
     }
 }
 
-impl<'a, S: SeqSpec> Search<'a, S> {
+impl<'t, S: SeqSpec> Search<'_, 't, S> {
+    /// Records a conflict candidate in the global report. `truncated`
+    /// marks conflicts reconstructed from a memo entry, whose path below
+    /// the current node is not re-derived.
+    fn note_best(&mut self, depth: usize, rejected: &str, truncated: bool) {
+        if self.best.as_ref().is_none_or(|b| depth > b.depth) {
+            self.best = Some(Best {
+                depth,
+                path: self.path.clone(),
+                rejected: rejected.to_owned(),
+                truncated,
+            });
+        }
+    }
+
     /// All children of `node` must be satisfiable given the committed
     /// linearization in `env` (choices already made are shared: they are
     /// `f` of the current prefix).
-    fn explore(&mut self, node: &HistoryTree<S>, env: &Env<S>) -> bool {
+    fn explore(&mut self, node: NodeId, env: &Env<S>) -> Sub {
         self.states += 1;
-        for (step, child) in node.children() {
-            self.path.push(format!("{step:?}"));
+        let key = self.memo.is_some().then(|| MemoKey {
+            shape: node,
+            residue: env.residue(),
+        });
+        if let (Some(memo), Some(key)) = (&self.memo, &key) {
+            if let Some(entry) = memo.get(key) {
+                self.memo_hits += 1;
+                let entry = entry.clone();
+                let conflict = entry
+                    .conflict
+                    .map(|(rel, rejected)| (self.path.len() + rel as usize, rejected));
+                if let Some((depth, rejected)) = &conflict {
+                    self.note_best(*depth, rejected, true);
+                }
+                return Sub {
+                    ok: entry.ok,
+                    conflict,
+                };
+            }
+        }
+        let depth = self.path.len();
+        let mut conflict: SubConflict = None;
+        let mut ok = true;
+        for (step, child) in self.dag.children(node) {
+            let child = *child;
+            self.path.push(step);
             let mut env2 = env.clone();
             env2.time += 1;
-            let event = match step {
-                TreeStep::Event(e) => e,
+            let sub = match step {
                 TreeStep::Internal(..) => {
                     // Internal base-object step: no history event, but a
                     // legal place for linearization points.
-                    let ok = self.extend_and_descend(child, env2, None);
-                    if !ok {
-                        self.note_conflict();
-                        self.path.pop();
-                        return false;
-                    }
-                    self.path.pop();
-                    continue;
-                }
-            };
-            let ok = match &event.kind {
-                EventKind::Invoke(desc) => {
-                    env2.ops.insert(
-                        event.op,
-                        OpInfo {
-                            proc: event.proc,
-                            desc: desc.clone(),
-                            inv_time: env2.time,
-                            rsp_time: None,
-                        },
-                    );
                     self.extend_and_descend(child, env2, None)
                 }
-                EventKind::Respond(resp) => {
-                    if let Some(info) = env2.ops.get_mut(&event.op) {
-                        info.rsp_time = Some(env2.time);
-                    } else {
-                        return false; // malformed: response without invocation
+                TreeStep::Event(event) => match &event.kind {
+                    EventKind::Invoke(desc) => {
+                        env2.ops.insert(
+                            event.op,
+                            OpInfo {
+                                proc: event.proc,
+                                desc: desc.clone(),
+                                inv_time: env2.time,
+                                rsp_time: None,
+                            },
+                        );
+                        self.extend_and_descend(child, env2, None)
                     }
-                    if env2.is_linearized(event.op) {
-                        // Response must match the response committed when
-                        // the operation was linearized.
-                        if env2.committed.get(&event.op) == Some(resp) {
-                            self.extend_and_descend(child, env2, None)
+                    EventKind::Respond(resp) => {
+                        if let Some(info) = env2.ops.get_mut(&event.op) {
+                            info.rsp_time = Some(env2.time);
+                            if env2.is_linearized(event.op) {
+                                // Response must match the response committed
+                                // when the operation was linearized.
+                                if env2.committed.get(&event.op) == Some(resp) {
+                                    self.extend_and_descend(child, env2, None)
+                                } else {
+                                    Sub {
+                                        ok: false,
+                                        conflict: None,
+                                    }
+                                }
+                            } else {
+                                // The operation must be linearized at this
+                                // step: try every append sequence containing
+                                // it.
+                                self.extend_and_descend(child, env2, Some((event.op, resp.clone())))
+                            }
                         } else {
-                            false
+                            // Malformed: response without invocation.
+                            Sub {
+                                ok: false,
+                                conflict: None,
+                            }
                         }
-                    } else {
-                        // The operation must be linearized at this step:
-                        // try every append sequence containing it.
-                        self.extend_and_descend(child, env2, Some((event.op, resp.clone())))
                     }
-                }
+                },
             };
-            if !ok {
-                self.note_conflict();
+            merge(&mut conflict, &sub.conflict);
+            if !sub.ok {
+                let edge = (self.path.len(), format!("{step:?}"));
+                merge(&mut conflict, &Some(edge.clone()));
+                self.note_best(edge.0, &edge.1, false);
                 self.path.pop();
-                return false;
+                ok = false;
+                break;
             }
             self.path.pop();
         }
-        true
-    }
-
-    fn note_conflict(&mut self) {
-        if self.path.len() > self.deepest_conflict.len() {
-            self.deepest_conflict = self.path.clone();
+        if let Some(key) = key {
+            let entry = MemoEntry {
+                ok,
+                conflict: conflict.as_ref().map(|(abs, rejected)| {
+                    (
+                        u32::try_from(abs - depth).expect("conflict depth"),
+                        rejected.clone(),
+                    )
+                }),
+            };
+            self.memo.as_mut().unwrap().insert(key, entry);
         }
+        Sub { ok, conflict }
     }
 
     /// Enumerates sequences of operations to append to the linearization
@@ -255,15 +509,20 @@ impl<'a, S: SeqSpec> Search<'a, S> {
     /// the given actual response.
     fn extend_and_descend(
         &mut self,
-        child: &HistoryTree<S>,
+        child: NodeId,
         env: Env<S>,
         must_include: Option<(OpId, S::Resp)>,
-    ) -> bool {
+    ) -> Sub {
         self.states += 1;
+        let mut conflict: SubConflict = None;
         // Base case: stop appending. Only allowed once the obligation is
         // discharged.
-        if must_include.is_none() && self.explore(child, &env) {
-            return true;
+        if must_include.is_none() {
+            let sub = self.explore(child, &env);
+            merge(&mut conflict, &sub.conflict);
+            if sub.ok {
+                return Sub { ok: true, conflict };
+            }
         }
         for id in env.appendable() {
             if !env.append_respects_order(id) {
@@ -281,11 +540,16 @@ impl<'a, S: SeqSpec> Search<'a, S> {
                 Some((need, _)) if *need == id => None,
                 other => other.clone(),
             };
-            if self.extend_and_descend(child, env2, remaining) {
-                return true;
+            let sub = self.extend_and_descend(child, env2, remaining);
+            merge(&mut conflict, &sub.conflict);
+            if sub.ok {
+                return Sub { ok: true, conflict };
             }
         }
-        false
+        Sub {
+            ok: false,
+            conflict,
+        }
     }
 }
 
@@ -294,7 +558,9 @@ mod tests {
     use super::*;
     use crate::check_linearizable;
     use sl_spec::types::{AbaSpec, CounterSpec, RegisterSpec};
-    use sl_spec::{AbaOp, AbaResp, CounterOp, CounterResp, History, RegisterOp, RegisterResp};
+    use sl_spec::{
+        AbaOp, AbaResp, CounterOp, CounterResp, Event, History, RegisterOp, RegisterResp,
+    };
 
     #[test]
     fn empty_tree_is_strongly_linearizable() {
@@ -316,7 +582,7 @@ mod tests {
     }
 
     #[test]
-    fn invalid_chain_is_rejected() {
+    fn invalid_chain_is_rejected_with_conflict_report() {
         let spec = CounterSpec;
         let mut h = History::new();
         let a = h.invoke(ProcId(0), CounterOp::Inc);
@@ -324,7 +590,15 @@ mod tests {
         let b = h.invoke(ProcId(1), CounterOp::Read);
         h.respond(b, CounterResp::Value(3));
         let tree = HistoryTree::from_histories(&[h]);
-        assert!(!check_strongly_linearizable(&spec, &tree).holds);
+        let report = check_strongly_linearizable(&spec, &tree);
+        assert!(!report.holds);
+        assert!(report.conflict_depth > 0);
+        assert!(!report.deepest_conflict.is_empty());
+        let rejected = report.rejected.expect("rejected step reported");
+        assert!(
+            rejected.contains("Value(3)"),
+            "the rejected step names the impossible response: {rejected}"
+        );
     }
 
     #[test]
@@ -466,5 +740,158 @@ mod tests {
         let tree = HistoryTree::from_histories(&[h.clone()]);
         assert!(check_strongly_linearizable(&spec, &tree).holds);
         assert!(check_linearizable(&spec, &h).is_some());
+    }
+
+    #[test]
+    fn isomorphic_fanout_is_answered_from_the_memo() {
+        // Many branches that diverge on an internal step and then replay
+        // the same suffix: the suffix subtrees are isomorphic, so all
+        // but one must be memo hits.
+        let spec = CounterSpec;
+        let mk = |branch: usize| -> Vec<TreeStep<CounterSpec>> {
+            let mut t = vec![TreeStep::internal(
+                ProcId(0),
+                &format!("R{branch}.write(1)"),
+            )];
+            t.push(TreeStep::Event(Event {
+                op: OpId(0),
+                proc: ProcId(0),
+                kind: EventKind::Invoke(CounterOp::Inc),
+            }));
+            t.push(TreeStep::Event(Event {
+                op: OpId(0),
+                proc: ProcId(0),
+                kind: EventKind::Respond(CounterResp::Ack),
+            }));
+            t
+        };
+        let transcripts: Vec<_> = (0..8).map(mk).collect();
+        let tree = HistoryTree::from_transcripts(&transcripts);
+        let memoised = check_strongly_linearizable(&spec, &tree);
+        let plain = check_strongly_linearizable_unmemoised(&spec, &tree);
+        assert!(memoised.holds && plain.holds);
+        assert!(
+            memoised.memo_hits >= 7,
+            "7 of the 8 isomorphic suffixes must be memo hits, got {}",
+            memoised.memo_hits
+        );
+        assert!(
+            memoised.states_explored < plain.states_explored,
+            "memoisation must visit fewer states"
+        );
+    }
+
+    /// Deterministic xorshift for the differential tests (no external
+    /// PRNG dependencies in this crate).
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    /// Builds a random prefix tree: fixed per-process counter programs,
+    /// several random interleavings sharing operation identifiers, with
+    /// random internal steps mixed in and *random* read responses — so
+    /// roughly half the generated trees are genuinely not (strongly)
+    /// linearizable.
+    fn random_tree(seed: u64) -> HistoryTree<CounterSpec> {
+        let mut rng = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let procs = 2 + (xorshift(&mut rng) % 2) as usize; // 2..=3
+        let ops_per_proc = 1 + (xorshift(&mut rng) % 2) as usize; // 1..=2
+        let interleavings = 2 + (xorshift(&mut rng) % 3) as usize; // 2..=4
+        let mut transcripts = Vec::new();
+        for _ in 0..interleavings {
+            let mut t: Vec<TreeStep<CounterSpec>> = Vec::new();
+            // Per-process progress: ops invoked, ops responded.
+            let mut invoked = vec![0usize; procs];
+            let mut responded = vec![0usize; procs];
+            loop {
+                let live: Vec<usize> = (0..procs)
+                    .filter(|&p| responded[p] < ops_per_proc)
+                    .collect();
+                let Some(&p) = live.get((xorshift(&mut rng) as usize) % live.len().max(1)) else {
+                    break;
+                };
+                let op_index = if invoked[p] > responded[p] {
+                    // Respond (or take an internal step first).
+                    if xorshift(&mut rng).is_multiple_of(3) {
+                        t.push(TreeStep::internal(
+                            ProcId(p),
+                            &format!("X.read({})", xorshift(&mut rng) % 2),
+                        ));
+                        continue;
+                    }
+                    let i = responded[p];
+                    responded[p] += 1;
+                    let id = OpId((p * 16 + i) as u64);
+                    let resp = if p.is_multiple_of(2) && i.is_multiple_of(2) {
+                        CounterResp::Ack
+                    } else {
+                        CounterResp::Value(xorshift(&mut rng) % 3)
+                    };
+                    t.push(TreeStep::Event(Event {
+                        op: id,
+                        proc: ProcId(p),
+                        kind: EventKind::Respond(resp),
+                    }));
+                    continue;
+                } else {
+                    let i = invoked[p];
+                    invoked[p] += 1;
+                    i
+                };
+                let id = OpId((p * 16 + op_index) as u64);
+                let op = if p.is_multiple_of(2) && op_index.is_multiple_of(2) {
+                    CounterOp::Inc
+                } else {
+                    CounterOp::Read
+                };
+                t.push(TreeStep::Event(Event {
+                    op: id,
+                    proc: ProcId(p),
+                    kind: EventKind::Invoke(op),
+                }));
+            }
+            transcripts.push(t);
+        }
+        HistoryTree::from_transcripts(&transcripts)
+    }
+
+    /// The memo table is an optimisation, not a semantics change: on
+    /// randomized trees the memoised and unmemoised searches agree on
+    /// the verdict and — on failure — on the conflict depth.
+    #[test]
+    fn memoised_and_unmemoised_agree_on_random_trees() {
+        let spec = CounterSpec;
+        let mut holds = 0;
+        let mut fails = 0;
+        for seed in 0..120u64 {
+            let tree = random_tree(seed);
+            let memoised = check_strongly_linearizable(&spec, &tree);
+            let plain = check_strongly_linearizable_unmemoised(&spec, &tree);
+            assert_eq!(
+                memoised.holds, plain.holds,
+                "seed {seed}: verdicts diverge (memo {} vs plain {})",
+                memoised.holds, plain.holds
+            );
+            assert_eq!(
+                memoised.conflict_depth, plain.conflict_depth,
+                "seed {seed}: conflict depths diverge"
+            );
+            assert_eq!(plain.memo_hits, 0, "unmemoised runs report no hits");
+            if memoised.holds {
+                holds += 1;
+            } else {
+                fails += 1;
+                assert!(memoised.rejected.is_some() && plain.rejected.is_some());
+            }
+        }
+        assert!(
+            holds > 10 && fails > 10,
+            "the generator must produce both verdicts (holds {holds}, fails {fails})"
+        );
     }
 }

@@ -18,23 +18,34 @@
 
 use sl_spec::{Event, History, ProcId, SeqSpec};
 
+use crate::intern::Symbol;
+
 /// One step of a transcript: a high-level event or an internal
 /// base-object step.
 pub enum TreeStep<S: SeqSpec> {
     /// A high-level invocation or response event.
     Event(Event<S>),
-    /// An internal step, identified by the process taking it and a label
-    /// describing the step completely (object, operation, value). Two
-    /// internal steps with equal process and label are the same step for
-    /// prefix-sharing purposes.
-    Internal(ProcId, String),
+    /// An internal step, identified by the process taking it and an
+    /// interned label ([`Symbol`]) describing the step completely
+    /// (object, operation, value). Two internal steps with equal process
+    /// and symbol are the same step for prefix-sharing purposes; the
+    /// symbol is a `Copy` id, so internal edges carry no heap
+    /// allocation.
+    Internal(ProcId, Symbol),
+}
+
+impl<S: SeqSpec> TreeStep<S> {
+    /// An internal step with the given label (interned on the spot).
+    pub fn internal(proc: ProcId, label: &str) -> Self {
+        TreeStep::Internal(proc, Symbol::intern(label))
+    }
 }
 
 impl<S: SeqSpec> Clone for TreeStep<S> {
     fn clone(&self) -> Self {
         match self {
             TreeStep::Event(e) => TreeStep::Event(e.clone()),
-            TreeStep::Internal(p, l) => TreeStep::Internal(*p, l.clone()),
+            TreeStep::Internal(p, l) => TreeStep::Internal(*p, *l),
         }
     }
 }
@@ -51,11 +62,40 @@ impl<S: SeqSpec> PartialEq for TreeStep<S> {
 
 impl<S: SeqSpec> Eq for TreeStep<S> {}
 
+/// Manual impl (a derive would demand `S: Hash` on the spec itself).
+/// Agrees with `PartialEq`: equal steps hash equally.
+impl<S: SeqSpec> std::hash::Hash for TreeStep<S> {
+    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
+        match self {
+            TreeStep::Internal(p, sym) => {
+                0u8.hash(h);
+                p.hash(h);
+                sym.hash(h);
+            }
+            TreeStep::Event(e) => {
+                1u8.hash(h);
+                e.op.hash(h);
+                e.proc.hash(h);
+                match &e.kind {
+                    sl_spec::EventKind::Invoke(op) => {
+                        0u8.hash(h);
+                        op.hash(h);
+                    }
+                    sl_spec::EventKind::Respond(r) => {
+                        1u8.hash(h);
+                        r.hash(h);
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl<S: SeqSpec> std::fmt::Debug for TreeStep<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TreeStep::Event(e) => write!(f, "{e:?}"),
-            TreeStep::Internal(p, l) => write!(f, "{p}·{l}"),
+            TreeStep::Internal(p, l) => write!(f, "{p}·{}", l.as_str()),
         }
     }
 }
@@ -293,7 +333,7 @@ mod tests {
         let mk = |steps: &[&str]| -> Vec<TreeStep<CounterSpec>> {
             steps
                 .iter()
-                .map(|s| TreeStep::Internal(ProcId(0), (*s).into()))
+                .map(|s| TreeStep::internal(ProcId(0), s))
                 .collect()
         };
         let builder: TreeBuilder<CounterSpec> = TreeBuilder::new();
@@ -315,8 +355,8 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..8 {
                         builder.ingest(&[
-                            TreeStep::Internal(ProcId(t), format!("t{t}")),
-                            TreeStep::Internal(ProcId(t), format!("i{i}")),
+                            TreeStep::internal(ProcId(t), &format!("t{t}")),
+                            TreeStep::internal(ProcId(t), &format!("i{i}")),
                         ]);
                     }
                 });
@@ -331,8 +371,8 @@ mod tests {
     fn internal_steps_merge_by_label() {
         let mk = |suffix: &str| -> Vec<TreeStep<CounterSpec>> {
             vec![
-                TreeStep::Internal(ProcId(0), "X.write(1)".into()),
-                TreeStep::Internal(ProcId(1), suffix.into()),
+                TreeStep::internal(ProcId(0), "X.write(1)"),
+                TreeStep::internal(ProcId(1), suffix),
             ]
         };
         let tree = HistoryTree::from_transcripts(&[mk("X.read->1"), mk("X.read->2")]);

@@ -54,8 +54,6 @@ pub use atomic_snapshot::{AtomicSnapshot, AtomicSnapshotHandle};
 pub use cas_universal::CasUniversal;
 pub use derived::{CounterHandle, MaxRegisterHandle, SlCounter, SnapshotMaxRegister};
 pub use max_register::{BoundedMaxRegister, BoundedMaxRegisterHandle, UnaryMaxRegister};
-#[allow(deprecated)]
-pub use snapshot_sl::View;
 pub use snapshot_sl::{
     DcSlSnapshot, ScanStats, SeqValue, SeqView, SlSnapshot, SlSnapshotHandle, SnapshotHandle,
     SnapshotObject,

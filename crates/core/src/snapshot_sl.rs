@@ -20,15 +20,6 @@ pub type SeqValue<V> = (V, u64);
 /// return.
 pub type SeqView<V> = Vec<Option<SeqValue<V>>>;
 
-/// Deprecated name of [`SeqView`], kept as a shim for one release: the
-/// name `View` now belongs to the typed consumer-facing view of
-/// `sl-api`, which carries the version where the substrate provides one.
-#[deprecated(
-    since = "0.2.0",
-    note = "renamed to `SeqView`; consumer scans return `sl_api::View`"
-)]
-pub type View<V> = SeqView<V>;
-
 /// A single-writer snapshot object accessed through per-process handles.
 pub trait SnapshotObject<V: Value>: Clone + Send + Sync + 'static {
     /// The per-process handle type.

@@ -2,12 +2,15 @@
 //! (Theorems 12 and 25) plus linearization-point validation at scale
 //! (the `pt` functions Q-1/Q-2 of §3.2).
 
-use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree, TreeBuilder};
+use sl_check::{
+    check_linearizable, check_strongly_linearizable, check_strongly_linearizable_dag,
+    check_strongly_linearizable_unmemoised, DagBuilder, HistoryTree, TreeBuilder, TreeDag,
+};
 use sl_core::aba::{AbaHandle, SlAbaRegister};
 use sl_core::SlSnapshot;
 use sl_sim::{
-    AccessKind, EventLog, Explorer, Program, RunConfig, RunOutcome, ScheduleDriver, Scripted,
-    SeededRandom, SimWorld, TraceItem,
+    AccessKind, EventLog, Explorer, Program, PruneMode, RunConfig, RunOutcome, ScheduleDriver,
+    Scripted, SeededRandom, SimWorld, TraceItem,
 };
 use sl_spec::types::{AbaSpec, SnapshotSpec};
 use sl_spec::{
@@ -17,10 +20,69 @@ use sl_spec::{
 type ASpec = AbaSpec<u64>;
 type SSpec = SnapshotSpec<u64>;
 
-/// Runs a 2-process Algorithm-2 workload (`writes` DWrites vs `reads`
-/// DReads) under the sleep-set explorer, streaming transcripts into a
-/// prefix tree.
-fn explore_sl_aba(
+/// Programs for an n-process Algorithm-2 workload: one process per
+/// entry of `writers` (performing that many DWrites) and of `readers`
+/// (performing that many DReads).
+fn aba_programs(
+    world: &SimWorld,
+    writers: &[u64],
+    readers: &[u64],
+) -> (Vec<Program>, EventLog<ASpec>) {
+    let n = writers.len() + readers.len();
+    let mem = world.mem();
+    let reg = SlAbaRegister::<u64, _>::new(&mem, n);
+    let log: EventLog<ASpec> = EventLog::new(world);
+    let mut programs: Vec<Program> = Vec::new();
+    for (i, &ops) in writers.iter().enumerate() {
+        let mut h = reg.handle(ProcId(i));
+        let l = log.clone();
+        programs.push(Box::new(move |ctx| {
+            for i in 0..ops {
+                ctx.pause();
+                let id = l.invoke(ctx.proc_id(), AbaOp::DWrite(9 + i));
+                h.dwrite(9 + i);
+                l.respond(id, AbaResp::Ack);
+            }
+        }));
+    }
+    for (i, &ops) in readers.iter().enumerate() {
+        let mut h = reg.handle(ProcId(writers.len() + i));
+        let l = log.clone();
+        programs.push(Box::new(move |ctx| {
+            for _ in 0..ops {
+                ctx.pause();
+                let id = l.invoke(ctx.proc_id(), AbaOp::DRead);
+                let (v, a) = h.dread();
+                l.respond(id, AbaResp::Value(v, a));
+            }
+        }));
+    }
+    (programs, log)
+}
+
+/// Explores an Algorithm-2 workload, streaming transcripts into a
+/// hash-consed [`TreeDag`] (valid for the depth-first sequential
+/// explorer modes; parallel frame exploration needs [`TreeBuilder`]).
+fn explore_sl_aba_dag(
+    writers: &[u64],
+    readers: &[u64],
+    explorer: &Explorer,
+) -> (sl_sim::ExploreOutcome, TreeDag<ASpec>) {
+    let n = writers.len() + readers.len();
+    let builder: DagBuilder<ASpec> = DagBuilder::new();
+    let explored = explorer.explore(|driver: &mut ScheduleDriver| {
+        let world = SimWorld::new(n);
+        let (programs, log) = aba_programs(&world, writers, readers);
+        let outcome = world.run_with(programs, driver, 2_000, RunConfig::traced());
+        builder.ingest(&log.transcript(&outcome));
+        outcome
+    });
+    (explored, builder.finish())
+}
+
+/// [`explore_sl_aba_dag`] over the materialised prefix tree — for the
+/// cross-mode equivalence tests, which need unordered ingestion.
+fn explore_sl_aba_tree(
     writes: u64,
     reads: u64,
     explorer: &Explorer,
@@ -28,32 +90,8 @@ fn explore_sl_aba(
     let builder: TreeBuilder<ASpec> = TreeBuilder::new();
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
         let world = SimWorld::new(2);
-        let mem = world.mem();
-        let reg = SlAbaRegister::<u64, _>::new(&mem, 2);
-        let log: EventLog<ASpec> = EventLog::new(&world);
-        let mut w = reg.handle(ProcId(0));
-        let wl = log.clone();
-        let mut r = reg.handle(ProcId(1));
-        let rl = log.clone();
-        let programs: Vec<Program> = vec![
-            Box::new(move |ctx| {
-                for i in 0..writes {
-                    ctx.pause();
-                    let id = wl.invoke(ctx.proc_id(), AbaOp::DWrite(9 + i));
-                    w.dwrite(9 + i);
-                    wl.respond(id, AbaResp::Ack);
-                }
-            }),
-            Box::new(move |ctx| {
-                for _ in 0..reads {
-                    ctx.pause();
-                    let id = rl.invoke(ctx.proc_id(), AbaOp::DRead);
-                    let (v, a) = r.dread();
-                    rl.respond(id, AbaResp::Value(v, a));
-                }
-            }),
-        ];
-        let outcome = world.run_with(programs, driver, 1_000, RunConfig::traced());
+        let (programs, log) = aba_programs(&world, &[writes], &[reads]);
+        let outcome = world.run_with(programs, driver, 2_000, RunConfig::traced());
         builder.ingest(&log.transcript(&outcome));
         outcome
     });
@@ -61,18 +99,18 @@ fn explore_sl_aba(
 }
 
 /// Exhaustively explores all schedules of a 2-process Algorithm-2
-/// workload — **two** DWrites against **two** DReads, twice the depth
-/// the thread-handoff engine could afford — and model-checks strong
-/// linearizability over the full prefix tree of transcripts.
+/// workload — **two** DWrites against **two** DReads — under source-set
+/// DPOR, and model-checks strong linearizability over the hash-consed
+/// DAG of transcripts with the memoised checker.
 #[test]
 fn sl_aba_exhaustive_two_writes_two_reads() {
     let explorer = Explorer {
         max_runs: 500_000,
-        prune: true,
-        workers: 2,
+        mode: PruneMode::SourceDpor,
+        workers: 1,
         stem: vec![],
     };
-    let (explored, tree) = explore_sl_aba(2, 2, &explorer);
+    let (explored, dag) = explore_sl_aba_dag(&[2], &[2], &explorer);
     assert!(explored.exhausted, "schedule space must be fully explored");
     assert!(
         explored.runs > 1_000,
@@ -80,29 +118,31 @@ fn sl_aba_exhaustive_two_writes_two_reads() {
         explored.runs
     );
     assert!(explored.pruned > 0, "announce-array steps must prune");
-    let report = check_strongly_linearizable(&ASpec::new(2), &tree);
+    let report = check_strongly_linearizable_dag(&ASpec::new(2), &dag);
     assert!(
         report.holds,
         "Theorem 12 (bounded check): Algorithm 2 strongly linearizable over {} schedules",
         explored.runs
     );
+    assert!(report.memo_hits > 0, "isomorphic subtrees must be memoised");
 }
 
 /// Deep-mode exhaustive check (the `sim-deep` CI job runs `--ignored`
-/// in release mode): three DWrites against two DReads, a schedule
-/// space far beyond what the thread-handoff engine could touch.
+/// in release mode): three DWrites against two DReads on 2 processes —
+/// ~240k schedules after DPOR, a 3.2M-node prefix tree compressed to
+/// ~1.4k unique DAG shapes.
 #[test]
 #[ignore = "deep: run with --ignored (sim-deep CI job)"]
 fn sl_aba_exhaustive_three_writes_two_reads_deep() {
     let explorer = Explorer {
         max_runs: 5_000_000,
-        prune: true,
-        workers: 2,
+        mode: PruneMode::SourceDpor,
+        workers: 1,
         stem: vec![],
     };
-    let (explored, tree) = explore_sl_aba(3, 2, &explorer);
+    let (explored, dag) = explore_sl_aba_dag(&[3], &[2], &explorer);
     assert!(explored.exhausted, "explored {} schedules", explored.runs);
-    let report = check_strongly_linearizable(&ASpec::new(2), &tree);
+    let report = check_strongly_linearizable_dag(&ASpec::new(2), &dag);
     assert!(
         report.holds,
         "Theorem 12 (deep bounded check) over {} schedules ({} pruned)",
@@ -110,41 +150,140 @@ fn sl_aba_exhaustive_three_writes_two_reads_deep() {
     );
 }
 
-/// Pruning soundness cross-check at the previous depth: the pruned and
-/// unpruned explorations give the same strong-linearizability verdict
-/// (and the pruned tree is a subtree of the unpruned one).
+/// The headline depth this PR unlocks: **3 processes × 2 operations
+/// per process** of the Algorithm-2 family (three writers, 2 DWrites
+/// each), exhausted and strong-lin checked. ~2.75M schedules after
+/// DPOR; the ~17M-node prefix tree is never materialised — the DAG
+/// holds ~7k unique shapes and the memoised check takes milliseconds.
 #[test]
-fn sl_aba_pruned_and_unpruned_verdicts_agree() {
-    let pruned = Explorer {
-        prune: true,
+#[ignore = "deep: run with --ignored (sim-deep CI job)"]
+fn sl_aba_exhaustive_three_processes_two_ops_each_deep() {
+    let explorer = Explorer {
+        max_runs: 10_000_000,
+        mode: PruneMode::SourceDpor,
+        workers: 1,
+        stem: vec![],
+    };
+    let (explored, dag) = explore_sl_aba_dag(&[2, 2, 2], &[], &explorer);
+    assert!(
+        explored.exhausted,
+        "3×2 schedule space must be fully explored ({} schedules)",
+        explored.runs
+    );
+    assert!(explored.runs > 1_000_000, "got {} schedules", explored.runs);
+    let report = check_strongly_linearizable_dag(&ASpec::new(3), &dag);
+    assert!(
+        report.holds,
+        "Theorem 12 (3 procs × 2 ops): over {} schedules, {} unique shapes",
+        explored.runs,
+        dag.unique_nodes()
+    );
+}
+
+/// Mixed-role 3-process deep check: two writers (2 and 1 DWrites)
+/// racing one reader. Mixed 3-process spaces grow much faster than the
+/// all-writer family — two writers at 2 ops each plus a reader already
+/// exceeds the release budget (it does not exhaust within millions of
+/// DPOR traces), so this pins the deepest mixed configuration that
+/// exhausts comfortably.
+#[test]
+#[ignore = "deep: run with --ignored (sim-deep CI job)"]
+fn sl_aba_three_process_mixed_deep() {
+    let explorer = Explorer {
+        max_runs: 5_000_000,
+        mode: PruneMode::SourceDpor,
+        workers: 1,
+        stem: vec![],
+    };
+    let (explored, dag) = explore_sl_aba_dag(&[2, 1], &[1], &explorer);
+    assert!(explored.exhausted, "explored {} schedules", explored.runs);
+    let report = check_strongly_linearizable_dag(&ASpec::new(3), &dag);
+    assert!(
+        report.holds,
+        "Theorem 12 (mixed 3-process check) over {} schedules",
+        explored.runs
+    );
+}
+
+/// Pruning soundness cross-check: unpruned, sleep-set, and source-DPOR
+/// explorations give the same strong-linearizability verdict, and the
+/// memoised and unmemoised checkers agree on each tree.
+#[test]
+fn all_explorer_modes_and_checkers_agree() {
+    for (writes, reads) in [(1, 1), (2, 1)] {
+        let explore_with = |mode: PruneMode| {
+            let explorer = Explorer {
+                mode,
+                ..Explorer::default()
+            };
+            explore_sl_aba_tree(writes, reads, &explorer)
+        };
+        let (uo, utree) = explore_with(PruneMode::Unpruned);
+        let (so, stree) = explore_with(PruneMode::SleepSet);
+        let (po, ptree) = explore_with(PruneMode::SourceDpor);
+        assert!(uo.exhausted && so.exhausted && po.exhausted);
+        assert!(po.runs <= uo.runs && so.runs <= uo.runs);
+        assert!(ptree.node_count() <= utree.node_count());
+        let spec = ASpec::new(2);
+        let uv = check_strongly_linearizable(&spec, &utree);
+        let sv = check_strongly_linearizable(&spec, &stree);
+        let pv = check_strongly_linearizable(&spec, &ptree);
+        assert_eq!(uv.holds, sv.holds, "sleep sets changed the verdict");
+        assert_eq!(uv.holds, pv.holds, "source DPOR changed the verdict");
+        assert!(uv.holds, "Theorem 12 at {writes}w{reads}r");
+        // Memoised and unmemoised checks agree per tree.
+        let plain = check_strongly_linearizable_unmemoised(&spec, &ptree);
+        assert_eq!(pv.holds, plain.holds);
+        assert_eq!(pv.conflict_depth, plain.conflict_depth);
+    }
+}
+
+/// The streaming DAG builder and the materialised tree agree: same
+/// structure (node counts) and same verdict on a real DPOR exploration.
+#[test]
+fn dag_builder_matches_materialised_tree() {
+    let tree_builder: TreeBuilder<ASpec> = TreeBuilder::new();
+    let dag_builder: DagBuilder<ASpec> = DagBuilder::new();
+    let explorer = Explorer {
+        mode: PruneMode::SourceDpor,
         ..Explorer::default()
     };
-    let unpruned = Explorer {
-        prune: false,
-        ..Explorer::default()
-    };
-    let (po, ptree) = explore_sl_aba(1, 1, &pruned);
-    let (uo, utree) = explore_sl_aba(1, 1, &unpruned);
-    assert!(po.exhausted && uo.exhausted);
-    assert!(po.runs <= uo.runs);
-    assert!(ptree.node_count() <= utree.node_count());
-    let pv = check_strongly_linearizable(&ASpec::new(2), &ptree).holds;
-    let uv = check_strongly_linearizable(&ASpec::new(2), &utree).holds;
-    assert_eq!(pv, uv, "sleep-set pruning must not change the verdict");
-    assert!(pv, "Theorem 12 at the original depth");
+    let explored = explorer.explore(|driver: &mut ScheduleDriver| {
+        let world = SimWorld::new(2);
+        let (programs, log) = aba_programs(&world, &[2], &[1]);
+        let outcome = world.run_with(programs, driver, 2_000, RunConfig::traced());
+        let transcript = log.transcript(&outcome);
+        tree_builder.ingest(&transcript);
+        dag_builder.ingest(&transcript);
+        outcome
+    });
+    assert!(explored.exhausted);
+    let tree = tree_builder.finish();
+    let dag = dag_builder.finish();
+    assert_eq!(dag.tree_node_count(), tree.node_count() as u64);
+    let converted = TreeDag::from_tree(&tree);
+    assert_eq!(converted.unique_nodes(), dag.unique_nodes());
+    assert!(
+        dag.unique_nodes() < tree.node_count(),
+        "hash-consing must share isomorphic subtrees"
+    );
+    let spec = ASpec::new(2);
+    assert_eq!(
+        check_strongly_linearizable_dag(&spec, &dag).holds,
+        check_strongly_linearizable(&spec, &tree).holds
+    );
 }
 
 /// Explores Algorithm 3 (atomic `R` configuration, one `SLupdate` +
-/// one `SLscan`) on the sleep-set explorer at **4×** the run budget the
-/// thread-handoff engine could afford, and model-checks strong
+/// one `SLscan`) on the source-DPOR explorer and model-checks strong
 /// linearizability of the explored prefix tree.
 #[test]
 fn sl_snapshot_atomic_r_exhaustive_one_update_one_scan() {
     let builder: TreeBuilder<SSpec> = TreeBuilder::new();
     let explorer = Explorer {
         max_runs: 16_000,
-        prune: true,
-        workers: 2,
+        mode: PruneMode::SourceDpor,
+        workers: 1,
         stem: vec![],
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
@@ -429,9 +568,9 @@ fn fully_bounded_sl_snapshot_strong_bounded_check() {
     use sl_core::BoundedSlSnapshot;
     let builder: TreeBuilder<SSpec> = TreeBuilder::new();
     let explorer = Explorer {
-        max_runs: 8_000, // 4x the budget the thread-handoff engine managed
-        prune: true,
-        workers: 2,
+        max_runs: 8_000,
+        mode: PruneMode::SourceDpor,
+        workers: 1,
         stem: vec![],
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
@@ -480,13 +619,12 @@ fn cas_universal_queue_strongly_linearizable_exhaustive() {
     use sl_spec::types::QueueSpec;
     use sl_spec::QueueOp;
 
-    // Two enqueues against two dequeues — twice the depth of the
-    // 1-op-per-process check the thread-handoff engine could afford.
+    // Two enqueues against two dequeues.
     let builder: TreeBuilder<QueueSpec> = TreeBuilder::new();
     let explorer = Explorer {
         max_runs: 500_000,
-        prune: true,
-        workers: 2,
+        mode: PruneMode::SourceDpor,
+        workers: 1,
         stem: vec![],
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {

@@ -14,8 +14,8 @@ use sl_core::{
     BoundedMaxRegister, SnapshotHandle, SnapshotObject, UnaryMaxRegister, VersionedSlSnapshot,
 };
 use sl_sim::{
-    explore, EventLog, Explorer, Program, RunConfig, ScheduleDriver, Scripted, SeededRandom,
-    SimWorld,
+    explore, EventLog, Explorer, Program, PruneMode, RunConfig, ScheduleDriver, Scripted,
+    SeededRandom, SimWorld,
 };
 use sl_spec::types::{MaxRegisterSpec, SnapshotSpec};
 use sl_spec::{MaxRegisterOp, MaxRegisterResp, ProcId, SnapshotOp, SnapshotResp};
@@ -93,17 +93,17 @@ fn double_collect_max_register_read_is_not_strongly_linearizable() {
 
 /// The paper's §4.5 strongly linearizable max-register (derived from
 /// the strongly linearizable snapshot): budget-bounded exhaustive
-/// check of the exact workload on which the naive reads fail — at 4×
-/// the schedule budget the thread-handoff engine could afford, with
-/// sleep-set pruning making those schedules count.
+/// check of the exact workload on which the naive reads fail — under
+/// source-set DPOR, so every replay in the budget is a distinct
+/// Mazurkiewicz trace.
 #[test]
 fn snapshot_derived_max_register_strong_bounded_check() {
     use sl_core::{SlSnapshot, SnapshotMaxRegister};
     let builder: TreeBuilder<MaxRegisterSpec> = TreeBuilder::new();
     let explorer = Explorer {
         max_runs: 12_000,
-        prune: true,
-        workers: 2,
+        mode: PruneMode::SourceDpor,
+        workers: 1,
         stem: vec![],
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
@@ -214,9 +214,9 @@ fn unary_max_register_linearizable_exhaustive() {
 fn versioned_construction_strongly_linearizable_bounded() {
     let builder: TreeBuilder<SnapshotSpec<u64>> = TreeBuilder::new();
     let explorer = Explorer {
-        max_runs: 20_000, // 4x the thread-handoff budget
-        prune: true,
-        workers: 2,
+        max_runs: 20_000,
+        mode: PruneMode::SourceDpor,
+        workers: 1,
         stem: vec![],
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {

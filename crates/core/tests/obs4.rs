@@ -25,7 +25,7 @@ use sl_check::{
     check_linearizable, check_strongly_linearizable, HistoryTree, TreeBuilder, TreeStep,
 };
 use sl_core::aba::{AbaHandle, AbaRegister, AwAbaRegister, SlAbaRegister};
-use sl_sim::{EventLog, Explorer, Program, RunConfig, RunOutcome, Scripted, SimWorld};
+use sl_sim::{EventLog, Explorer, Program, PruneMode, RunConfig, RunOutcome, Scripted, SimWorld};
 use sl_spec::types::AbaSpec;
 use sl_spec::{AbaOp, AbaResp, EventKind, ProcId};
 
@@ -165,7 +165,7 @@ fn algorithm1_observation4_family_has_no_strong_linearization() {
 ///
 /// Instead of hand-scripting `T1` and `T2`, give the depth-first
 /// explorer the common prefix `S` as a stem and let it enumerate every
-/// schedule extending it (with sleep-set pruning). The resulting
+/// schedule extending it (with source-DPOR pruning). The resulting
 /// transcript tree must fail the strong-linearizability check, and the
 /// tree must contain the proof's two contradictory witnesses: a branch
 /// whose `dr2` reports *no* intervening write (`T1`-like: `dr1`
@@ -180,8 +180,8 @@ fn explorer_discovers_the_observation4_family() {
     let builder: TreeBuilder<Spec> = TreeBuilder::new();
     let explorer = Explorer {
         max_runs: 60_000,
-        prune: true,
-        workers: 2,
+        mode: PruneMode::SourceDpor,
+        workers: 1,
         stem: s_prefix,
     };
     let explored = explorer.explore(|driver| {

@@ -111,7 +111,7 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(not(debug_assertions), ignore = "guard panics only in debug builds")]
+    #[cfg(debug_assertions)] // the guard panics only in debug builds
     fn duplicate_is_a_debug_panic() {
         let g = HandleGuard::new();
         let a = g.acquire(ProcId(3));

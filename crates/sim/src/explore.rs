@@ -8,22 +8,32 @@
 //! * [`Explorer`] — the stateless depth-first explorer built for the
 //!   step VM. The caller's runner executes a fresh world per schedule
 //!   under a [`ScheduleDriver`] (an adversarial [`Scheduler`] handed to
-//!   `SimWorld::run`); the driver replays the frame's decision prefix,
-//!   extends it depth-first, records sibling branches, and — the new
-//!   part — maintains **sleep sets** over the VM's declared
-//!   [`PendingAccess`]es so that schedules differing only in the order
-//!   of commuting steps (accesses by different processes to different
-//!   registers) are explored once, not twice. Frames are distributed
-//!   over a work-stealing pool of worker threads; each worker replays
-//!   schedules independently (runs are deterministic, so a decision
-//!   prefix is a complete state description) and streams transcripts
-//!   straight into a shared sink such as `sl_check::TreeBuilder`.
+//!   `SimWorld::run`); the driver replays a decision prefix, extends it
+//!   depth-first, and prunes per the configured [`PruneMode`]:
 //!
-//! # Why sleep-set pruning is sound here
+//!   - [`PruneMode::Unpruned`] branches on every enabled process at
+//!     every decision — the full schedule tree.
+//!   - [`PruneMode::SleepSet`] additionally maintains **sleep sets**
+//!     over the VM's declared [`PendingAccess`]es, so schedules
+//!     differing only in the order of commuting steps (accesses by
+//!     different processes to different registers) are explored once.
+//!     Branches are still recorded for every non-sleeping sibling, and
+//!     frames are distributed over a work-stealing pool of workers.
+//!   - [`PruneMode::SourceDpor`] (the default) runs **source-set
+//!     dynamic partial-order reduction** (the wakeup-free variant of
+//!     Abdulla–Aronis–Jonsson–Sagonas SDPOR) on top of the same sleep
+//!     sets: instead of eagerly branching on every sibling, the
+//!     explorer detects *races* in each executed schedule with vector
+//!     clocks over the declared accesses, and backtracks only where a
+//!     reversal is actually demanded. Schedules that sleep sets would
+//!     replay just to cut are mostly never scheduled at all.
+//!
+//! # Why the pruning is sound here
 //!
 //! Strong linearizability quantifies over the *tree* of transcripts, so
 //! pruning schedules changes the checked object. Two guarantees keep
-//! the verdict intact:
+//! the verdict intact, for sleep sets and source sets alike (both prune
+//! exactly reorderings of *independent* steps):
 //!
 //! 1. Only steps with [`PendingAccess::independent`] are commuted:
 //!    different processes, different registers, neither a `Local`
@@ -40,17 +50,26 @@
 //!    corresponding nodes is equal, and prefix preservation transfers
 //!    because commitments forced at response events are untouched.
 //!
-//! The pruning is still **conservative** (same-register reads are
-//! treated as conflicting, pauses conflict with everything), and
-//! [`Explorer::prune`] can be turned off to cross-check — the fuzz and
-//! model-check suites do exactly that on small configurations.
+//! Source-set DPOR additionally relies on the completeness theorem of
+//! SDPOR: every Mazurkiewicz trace of the schedule space is reachable
+//! from the explored set by the recorded race reversals, so for every
+//! pruned schedule some explored schedule is equivalent to it under
+//! the (conservative) independence relation above. The dependence
+//! relation used for race detection is *exactly*
+//! `!PendingAccess::independent` — same-register accesses always
+//! conflict (even two reads), and `Local` steps conflict with
+//! everything — so the argument above covers it verbatim.
+//!
+//! All of this is **conservative**, and the pruned-vs-unpruned (and
+//! DPOR-vs-sleep-set) verdict-equivalence tests in the model-check and
+//! fuzz suites cross-check it on small configurations.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::sched::{Scheduler, STOP_RUN};
-use crate::world::{RunOutcome, SchedView};
+use crate::world::{PendingAccess, RunOutcome, SchedView};
 
 /// Statistics of an exploration.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -60,13 +79,21 @@ pub struct ExploreOutcome {
     /// `true` if the schedule space was exhausted within the run budget;
     /// `false` if exploration stopped at `max_runs` with schedules left.
     pub exhausted: bool,
-    /// Number of branch candidates skipped by sleep-set pruning (0 when
-    /// pruning is off or the legacy [`explore`] entry point is used).
+    /// Number of branch candidates skipped by pruning (0 when pruning
+    /// is off or the legacy [`explore`] entry point is used).
     pub pruned: u64,
     /// Number of replays abandoned mid-run because every enabled
     /// process was sleeping — continuations that sleep-set theory
     /// proves are covered by some explored schedule.
     pub cut_runs: usize,
+}
+
+impl ExploreOutcome {
+    /// Total schedules replayed: completed runs plus cut replays — the
+    /// quantity that bounds exploration wall-clock.
+    pub fn schedules_replayed(&self) -> usize {
+        self.runs + self.cut_runs
+    }
 }
 
 /// Explores the schedule space of a deterministic simulated system
@@ -122,6 +149,23 @@ where
     }
 }
 
+/// How the [`Explorer`] prunes the schedule tree. See the module docs
+/// for the three levels and the soundness argument.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PruneMode {
+    /// Branch on every enabled process at every decision.
+    Unpruned,
+    /// Sleep sets over declared pending accesses; parallel frontier.
+    SleepSet,
+    /// Source-set DPOR (wakeup-free) + sleep sets: backtrack only at
+    /// detected races. Sequential (the backtrack sets of ancestors
+    /// mutate as descendants run); typically replays far fewer
+    /// schedules than [`PruneMode::SleepSet`], which more than pays for
+    /// the lost parallelism.
+    #[default]
+    SourceDpor,
+}
+
 /// One unexplored node of the schedule tree: the decision prefix that
 /// reaches it and the sleep set holding there.
 #[derive(Clone, Debug)]
@@ -130,10 +174,33 @@ struct Frame {
     sleep: u64,
 }
 
+/// One decision observed by a DPOR-mode driver: the configuration at
+/// the decision point (the chosen process is in the driver's script).
+struct Observed {
+    runnable: Vec<usize>,
+    pending: Vec<PendingAccess>,
+    /// Sleep set in force at this decision (meaningful for fresh
+    /// decisions; replayed decisions re-use the spine's bookkeeping).
+    sleep: u64,
+}
+
+enum DriverMode {
+    /// Record every eligible sibling as a frame (Unpruned / SleepSet).
+    Frames { prune: bool, branches: Vec<Frame> },
+    /// Record the observed configuration of each decision from
+    /// `record_from` onwards for post-run race detection (SourceDpor).
+    Dpor {
+        record_from: usize,
+        observed: Vec<Observed>,
+    },
+}
+
 /// The adversarial scheduler driving one replay of the depth-first
 /// explorer: replays the frame's decision prefix, then extends the
-/// schedule (lowest eligible process first), recording every eligible
-/// sibling as a new frame with its sleep set.
+/// schedule (lowest eligible process first). In frame mode it records
+/// every eligible sibling as a new frame with its sleep set; in DPOR
+/// mode it records each decision's configuration so the explorer can
+/// detect races afterwards.
 ///
 /// Handed to the caller's runner, which passes it to `SimWorld::run` as
 /// the scheduler of a fresh world.
@@ -145,21 +212,68 @@ pub struct ScheduleDriver {
     chosen: Vec<usize>,
     /// Current sleep set (evolves after the prefix).
     z: u64,
-    branches: Vec<Frame>,
-    prune: bool,
+    mode: DriverMode,
     pruned: u64,
     cut: bool,
 }
 
+/// Keeps the bits of `set` whose process's pending access (looked up in
+/// `runnable`/`pending`) is independent of `of`.
+fn filter_independent(
+    set: u64,
+    of: PendingAccess,
+    runnable: &[usize],
+    pending: &[PendingAccess],
+) -> u64 {
+    if set == 0 {
+        return 0;
+    }
+    let mut kept = 0u64;
+    for (i, &p) in runnable.iter().enumerate() {
+        if set & (1 << p) != 0 {
+            let indep = match pending.get(i) {
+                Some(b) => of.independent(b),
+                // Unknown pending: assume conflict.
+                None => false,
+            };
+            if indep {
+                kept |= 1 << p;
+            }
+        }
+    }
+    kept
+}
+
 impl ScheduleDriver {
-    fn new(frame: Frame, prune: bool) -> ScheduleDriver {
+    fn frames(frame: Frame, prune: bool) -> ScheduleDriver {
         ScheduleDriver {
             sleep_after_prefix: frame.sleep,
             z: frame.sleep,
             chosen: Vec::with_capacity(frame.script.len() + 16),
             prefix: frame.script,
-            branches: Vec::new(),
-            prune,
+            mode: DriverMode::Frames {
+                prune,
+                branches: Vec::new(),
+            },
+            pruned: 0,
+            cut: false,
+        }
+    }
+
+    /// `record_from`: first decision index whose configuration the
+    /// explorer still needs (everything below already has a spine
+    /// node) — replayed decisions before it are not recorded, which
+    /// keeps the replay hot path allocation-free.
+    fn dpor(prefix: Vec<usize>, sleep_after_prefix: u64, record_from: usize) -> ScheduleDriver {
+        ScheduleDriver {
+            sleep_after_prefix,
+            z: sleep_after_prefix,
+            chosen: Vec::with_capacity(prefix.len() + 16),
+            prefix,
+            mode: DriverMode::Dpor {
+                record_from,
+                observed: Vec::new(),
+            },
             pruned: 0,
             cut: false,
         }
@@ -183,29 +297,6 @@ impl ScheduleDriver {
     pub fn was_cut(&self) -> bool {
         self.cut
     }
-
-    /// Filters `set`, keeping only processes whose pending access is
-    /// independent of `of`'s pending access (both looked up in `view`).
-    fn filter_independent(&self, set: u64, of: usize, view: &SchedView<'_>) -> u64 {
-        if set == 0 {
-            return 0;
-        }
-        let of_pending = view.pending_of(of);
-        let mut kept = 0u64;
-        for (i, &p) in view.runnable.iter().enumerate() {
-            if set & (1 << p) != 0 {
-                let indep = match (of_pending, view.pending.get(i)) {
-                    (Some(a), Some(b)) => a.independent(b),
-                    // Unknown pending (legacy engine): assume conflict.
-                    _ => false,
-                };
-                if indep {
-                    kept |= 1 << p;
-                }
-            }
-        }
-        kept
-    }
 }
 
 impl Scheduler for ScheduleDriver {
@@ -221,6 +312,19 @@ impl Scheduler for ScheduleDriver {
                  (runnable: {:?})",
                 view.runnable
             );
+            if let DriverMode::Dpor {
+                record_from,
+                observed,
+            } = &mut self.mode
+            {
+                if i >= *record_from {
+                    observed.push(Observed {
+                        runnable: view.runnable.to_vec(),
+                        pending: view.pending.to_vec(),
+                        sleep: self.z,
+                    });
+                }
+            }
             self.chosen.push(want);
             if i + 1 == self.prefix.len() {
                 self.z = self.sleep_after_prefix;
@@ -234,11 +338,12 @@ impl Scheduler for ScheduleDriver {
             view.runnable.iter().all(|&p| p < 64),
             "sleep sets support at most 64 processes"
         );
+        let prune = !matches!(self.mode, DriverMode::Frames { prune: false, .. });
         // Candidates: runnable processes not in the sleep set.
         let mut first: Option<usize> = None;
         let mut candidates = 0u64;
         for &p in view.runnable {
-            if !self.prune || self.z & (1 << p) == 0 {
+            if !prune || self.z & (1 << p) == 0 {
                 candidates |= 1 << p;
                 if first.is_none() {
                     first = Some(p);
@@ -254,45 +359,65 @@ impl Scheduler for ScheduleDriver {
             return STOP_RUN;
         };
         self.pruned += (view.runnable.len() as u64) - (candidates.count_ones() as u64);
-        // Record sibling branches. Sibling `alt` sleeps on the chosen
-        // process and on every candidate listed before it: exactly one
-        // representative interleaving of each commuting pair survives.
-        let mut acc = self.z | (1 << chosen);
-        for &alt in view.runnable {
-            if alt == chosen || candidates & (1 << alt) == 0 {
-                continue;
+        match &mut self.mode {
+            DriverMode::Frames { prune, branches } => {
+                // Record sibling branches. Sibling `alt` sleeps on the
+                // chosen process and on every candidate listed before
+                // it: exactly one representative interleaving of each
+                // commuting pair survives.
+                let mut acc = self.z | (1 << chosen);
+                for &alt in view.runnable {
+                    if alt == chosen || candidates & (1 << alt) == 0 {
+                        continue;
+                    }
+                    let sleep = if *prune {
+                        // Unknown pending: the conservative LOCAL access
+                        // conflicts with everything.
+                        let of = view.pending_of(alt).unwrap_or(PendingAccess::LOCAL);
+                        filter_independent(acc, of, view.runnable, view.pending)
+                    } else {
+                        0
+                    };
+                    let mut script = self.chosen.clone();
+                    script.push(alt);
+                    branches.push(Frame { script, sleep });
+                    acc |= 1 << alt;
+                }
             }
-            let sleep = if self.prune {
-                self.filter_independent(acc, alt, view)
-            } else {
-                0
-            };
-            let mut script = self.chosen.clone();
-            script.push(alt);
-            self.branches.push(Frame { script, sleep });
-            acc |= 1 << alt;
+            DriverMode::Dpor { observed, .. } => {
+                observed.push(Observed {
+                    runnable: view.runnable.to_vec(),
+                    pending: view.pending.to_vec(),
+                    sleep: self.z,
+                });
+            }
         }
         // Descend along `chosen`: sleeping processes stay asleep only
         // while the executed steps commute with their pending access.
-        if self.prune {
-            self.z = self.filter_independent(self.z, chosen, view);
+        if prune {
+            if let Some(of) = view.pending_of(chosen) {
+                self.z = filter_independent(self.z, of, view.runnable, view.pending);
+            } else {
+                self.z = 0;
+            }
         }
         self.chosen.push(chosen);
         chosen
     }
 }
 
-/// The stateless depth-first schedule explorer with sleep-set pruning
-/// and a work-stealing parallel frontier. See the module docs.
+/// The stateless depth-first schedule explorer with partial-order
+/// reduction. See the module docs.
 #[derive(Clone, Debug)]
 pub struct Explorer {
-    /// Stop after this many runs (the space may not be exhausted).
+    /// Stop after this many replays (completed + cut; the space may not
+    /// be exhausted).
     pub max_runs: usize,
-    /// Skip schedules that differ from an explored one only by the
-    /// order of commuting register accesses.
-    pub prune: bool,
-    /// Worker threads replaying schedules. `1` explores sequentially on
-    /// the calling thread.
+    /// Partial-order reduction level (default: source-set DPOR).
+    pub mode: PruneMode,
+    /// Worker threads replaying schedules (frame modes only — source
+    /// DPOR is sequential by construction). `1` explores sequentially
+    /// on the calling thread.
     pub workers: usize,
     /// Initial decision prefix: exploration covers exactly the
     /// schedules extending this stem (empty = the full space).
@@ -303,7 +428,7 @@ impl Default for Explorer {
     fn default() -> Self {
         Explorer {
             max_runs: 1_000_000,
-            prune: true,
+            mode: PruneMode::default(),
             workers: 1,
             stem: Vec::new(),
         }
@@ -326,22 +451,40 @@ impl Explorer {
     /// state each time) and run it with the given [`ScheduleDriver`] as
     /// its scheduler — typically also streaming the run's transcript
     /// into a shared sink before returning the outcome. It is invoked
-    /// once per explored schedule, possibly from several threads.
+    /// once per explored schedule, possibly from several threads (frame
+    /// modes with `workers > 1`).
     pub fn explore<F>(&self, runner: F) -> ExploreOutcome
     where
         F: Fn(&mut ScheduleDriver) -> RunOutcome + Sync,
     {
-        let root = Frame {
-            script: self.stem.clone(),
-            sleep: 0,
-        };
-        if self.workers <= 1 {
-            return self.explore_sequential(root, &runner);
+        match self.mode {
+            PruneMode::SourceDpor => {
+                // Source DPOR is sequential by construction (ancestor
+                // backtrack sets mutate while descendants run); a
+                // parallel-worker request would be silently ignored.
+                debug_assert!(
+                    self.workers <= 1,
+                    "PruneMode::SourceDpor explores sequentially; workers = {} has no effect                      (use PruneMode::SleepSet for a parallel frontier)",
+                    self.workers
+                );
+                self.explore_dpor(&runner)
+            }
+            PruneMode::Unpruned | PruneMode::SleepSet => {
+                let root = Frame {
+                    script: self.stem.clone(),
+                    sleep: 0,
+                };
+                let prune = self.mode == PruneMode::SleepSet;
+                if self.workers <= 1 {
+                    self.explore_sequential(root, prune, &runner)
+                } else {
+                    self.explore_parallel(root, prune, &runner)
+                }
+            }
         }
-        self.explore_parallel(root, &runner)
     }
 
-    fn explore_sequential<F>(&self, root: Frame, runner: &F) -> ExploreOutcome
+    fn explore_sequential<F>(&self, root: Frame, prune: bool, runner: &F) -> ExploreOutcome
     where
         F: Fn(&mut ScheduleDriver) -> RunOutcome + Sync,
     {
@@ -358,7 +501,7 @@ impl Explorer {
                     cut_runs,
                 };
             }
-            let mut driver = ScheduleDriver::new(frame, self.prune);
+            let mut driver = ScheduleDriver::frames(frame, prune);
             let _ = runner(&mut driver);
             if driver.cut {
                 cut_runs += 1;
@@ -366,7 +509,9 @@ impl Explorer {
                 runs += 1;
             }
             pruned += driver.pruned;
-            stack.append(&mut driver.branches);
+            if let DriverMode::Frames { branches, .. } = &mut driver.mode {
+                stack.append(branches);
+            }
         }
         ExploreOutcome {
             runs,
@@ -376,7 +521,7 @@ impl Explorer {
         }
     }
 
-    fn explore_parallel<F>(&self, root: Frame, runner: &F) -> ExploreOutcome
+    fn explore_parallel<F>(&self, root: Frame, prune: bool, runner: &F) -> ExploreOutcome
     where
         F: Fn(&mut ScheduleDriver) -> RunOutcome + Sync,
     {
@@ -398,7 +543,6 @@ impl Explorer {
                 let active = &active;
                 let capped = &capped;
                 let max_runs = self.max_runs;
-                let prune = self.prune;
                 scope.spawn(move || {
                     /// Decrements `active` when dropped, so the count
                     /// stays correct on every exit path — including a
@@ -452,7 +596,7 @@ impl Explorer {
                             capped.store(true, Ordering::SeqCst);
                             return;
                         }
-                        let mut driver = ScheduleDriver::new(frame, prune);
+                        let mut driver = ScheduleDriver::frames(frame, prune);
                         let _ = runner(&mut driver);
                         if driver.cut {
                             cut_runs.fetch_add(1, Ordering::SeqCst);
@@ -460,9 +604,11 @@ impl Explorer {
                             runs.fetch_add(1, Ordering::SeqCst);
                         }
                         pruned.fetch_add(driver.pruned, Ordering::Relaxed);
-                        if !driver.branches.is_empty() {
-                            let mut own = deques[me].lock().unwrap();
-                            own.extend(driver.branches.drain(..));
+                        if let DriverMode::Frames { branches, .. } = &mut driver.mode {
+                            if !branches.is_empty() {
+                                let mut own = deques[me].lock().unwrap();
+                                own.extend(branches.drain(..));
+                            }
                         }
                     }
                 });
@@ -474,6 +620,289 @@ impl Explorer {
             exhausted: !capped,
             pruned: pruned.load(Ordering::SeqCst),
             cut_runs: cut_runs.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// One decision point on the DPOR spine: the configuration, the child
+/// currently being explored, the children already retired, and the
+/// backtrack (source) set grown by race detection in descendant runs.
+struct SpineNode {
+    runnable: Vec<usize>,
+    pending: Vec<PendingAccess>,
+    /// Sleep set on entry plus retired children — the SDPOR `Sleep`
+    /// after each explored child is added.
+    sleep_now: u64,
+    /// Children whose subtrees are fully explored.
+    done: u64,
+    /// Source set: children demanded by detected races (grows while
+    /// descendants run). Always contains the first explored child.
+    backtrack: Vec<usize>,
+    /// Child currently being explored.
+    chosen: usize,
+    /// The declared access `chosen` executes from here — the step of
+    /// the execution word used for race detection.
+    access: PendingAccess,
+}
+
+impl SpineNode {
+    fn pending_of(&self, p: usize) -> PendingAccess {
+        let i = self
+            .runnable
+            .iter()
+            .position(|&q| q == p)
+            .expect("backtrack candidate must be enabled");
+        self.pending[i]
+    }
+}
+
+/// `a ≤ b` pointwise: the step with clock `a` happens-before the step
+/// with clock `b`.
+fn clock_leq(a: &[u32], b: &[u32]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+impl Explorer {
+    /// Source-set DPOR exploration (sequential): run a schedule, detect
+    /// races against the executed word with vector clocks, extend the
+    /// backtrack sets of the racing decision points, and replay the
+    /// deepest pending reversal until no decision point has unexplored
+    /// backtrack candidates.
+    fn explore_dpor<F>(&self, runner: &F) -> ExploreOutcome
+    where
+        F: Fn(&mut ScheduleDriver) -> RunOutcome + Sync,
+    {
+        let stem_len = self.stem.len();
+        let mut spine: Vec<SpineNode> = Vec::new();
+        let mut runs = 0usize;
+        let mut cut_runs = 0usize;
+        let mut pruned = 0u64;
+        let mut next: Option<(Vec<usize>, u64)> = Some((self.stem.clone(), 0));
+        // Vector clocks of the current spine, cached across replays.
+        let mut clocks: Vec<Vec<u32>> = Vec::new();
+        let mut first_run = true;
+        while let Some((prefix, sleep_after_prefix)) = next.take() {
+            if runs + cut_runs >= self.max_runs {
+                return ExploreOutcome {
+                    runs,
+                    exhausted: false,
+                    pruned,
+                    cut_runs,
+                };
+            }
+            let prefix_len = prefix.len();
+            // Decisions below the spine tip already have nodes (on the
+            // first run the spine is empty, so even the replayed stem
+            // decisions are recorded and get nodes — never backtracked
+            // into); the driver skips recording anything below.
+            let mut driver = ScheduleDriver::dpor(prefix, sleep_after_prefix, spine.len());
+            let _ = runner(&mut driver);
+            if driver.cut {
+                cut_runs += 1;
+            } else {
+                runs += 1;
+            }
+            pruned += driver.pruned;
+            let DriverMode::Dpor { observed, .. } = driver.mode else {
+                unreachable!("DPOR explorer uses DPOR drivers");
+            };
+            // Extend the spine with this run's recorded decisions
+            // (observed[0] is the decision at the current spine tip).
+            for obs in observed {
+                let chosen = driver.chosen[spine.len()];
+                let access = obs
+                    .pending
+                    .get(
+                        obs.runnable
+                            .iter()
+                            .position(|&p| p == chosen)
+                            .unwrap_or(usize::MAX),
+                    )
+                    .copied()
+                    .unwrap_or(PendingAccess::LOCAL);
+                spine.push(SpineNode {
+                    runnable: obs.runnable,
+                    pending: obs.pending,
+                    sleep_now: obs.sleep,
+                    done: 0,
+                    backtrack: vec![chosen],
+                    chosen,
+                    access,
+                });
+            }
+            // Race detection: only pairs whose later step is new this
+            // run (pairs entirely inside the replayed prefix were
+            // handled when that prefix first ran).
+            let first_new = if first_run {
+                0
+            } else {
+                prefix_len.saturating_sub(1)
+            };
+            first_run = false;
+            add_race_reversals(&mut spine, &mut clocks, first_new, stem_len);
+            // Backtrack: retire finished children bottom-up until a
+            // decision point with an unexplored backtrack candidate is
+            // found, then descend into it.
+            loop {
+                if spine.len() <= stem_len {
+                    return ExploreOutcome {
+                        runs,
+                        exhausted: true,
+                        pruned,
+                        cut_runs,
+                    };
+                }
+                let d = spine.len() - 1;
+                {
+                    let node = &mut spine[d];
+                    node.done |= 1 << node.chosen;
+                    node.sleep_now |= 1 << node.chosen;
+                }
+                let candidate = {
+                    let node = &spine[d];
+                    node.backtrack
+                        .iter()
+                        .copied()
+                        .find(|&q| node.done & (1 << q) == 0 && node.sleep_now & (1 << q) == 0)
+                };
+                if let Some(q) = candidate {
+                    let (access, sleep_child) = {
+                        let node = &spine[d];
+                        let access = node.pending_of(q);
+                        (
+                            access,
+                            filter_independent(
+                                node.sleep_now,
+                                access,
+                                &node.runnable,
+                                &node.pending,
+                            ),
+                        )
+                    };
+                    let node = &mut spine[d];
+                    node.chosen = q;
+                    node.access = access;
+                    let prefix: Vec<usize> = spine.iter().map(|n| n.chosen).collect();
+                    next = Some((prefix, sleep_child));
+                    break;
+                }
+                let node = &spine[d];
+                pruned += (node.runnable.len() as u64) - u64::from(node.done.count_ones());
+                spine.pop();
+            }
+        }
+        unreachable!("the DPOR loop exits via its returns")
+    }
+}
+
+/// Detects races in the executed word `spine` and extends the
+/// backtrack (source) sets of the racing decision points.
+///
+/// Happens-before is computed with vector clocks over the dependence
+/// relation `!PendingAccess::independent` (program order + conflicting
+/// accesses). A pair `(j, k)` races when the steps are dependent, by
+/// different processes, and `j` does not happen-before `k` through any
+/// intermediate step — i.e. the two could have been adjacent. For each
+/// race, the wakeup-free source-set rule applies: if no *weak initial*
+/// of the reversing continuation is already in `backtrack(j)`, the
+/// process of the first reversing step is added.
+fn add_race_reversals(
+    spine: &mut [SpineNode],
+    clocks: &mut Vec<Vec<u32>>,
+    first_new: usize,
+    stem_len: usize,
+) {
+    let len = spine.len();
+    if len == 0 {
+        clocks.clear();
+        return;
+    }
+    let nprocs = spine
+        .iter()
+        .flat_map(|n| n.runnable.iter().copied())
+        .max()
+        .unwrap_or(0)
+        + 1;
+    // Clocks of the replayed prefix are cached across runs (the prefix
+    // steps are identical replay to replay); recompute only from the
+    // first decision that changed. The width check guards the first
+    // runs, before the process universe is fully observed.
+    let mut start = first_new.min(clocks.len());
+    if clocks[..start].iter().any(|c| c.len() != nprocs) {
+        start = 0;
+    }
+    clocks.truncate(start);
+    let mut proc_clock: Vec<Vec<u32>> = vec![vec![0u32; nprocs]; nprocs];
+    {
+        // Rebuild each process's last-step clock from the cached
+        // prefix: backward scan, one clone per process.
+        let mut filled = vec![false; nprocs];
+        for i in (0..start).rev() {
+            let p = spine[i].chosen;
+            if !filled[p] {
+                filled[p] = true;
+                proc_clock[p] = clocks[i].clone();
+                if filled.iter().all(|&f| f) {
+                    break;
+                }
+            }
+        }
+    }
+    // (decision index j, process to add if no initial is present yet,
+    //  weak initials of the reversing continuation)
+    let mut additions: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+    for k in start..len {
+        let (p, a) = (spine[k].chosen, spine[k].access);
+        let mut base = proc_clock[p].clone();
+        let mut races: Vec<usize> = Vec::new();
+        for j in (0..k).rev() {
+            let (q, b) = (spine[j].chosen, spine[j].access);
+            if a.independent(&b) {
+                continue;
+            }
+            if !clock_leq(&clocks[j], &base) {
+                // Not yet happens-before `k` through closer steps: this
+                // is an immediate race (when by another process).
+                if q != p && k >= first_new && j >= stem_len {
+                    races.push(j);
+                }
+                for (x, y) in base.iter_mut().zip(&clocks[j]) {
+                    *x = (*x).max(*y);
+                }
+            }
+        }
+        base[p] += 1;
+        clocks.push(base);
+        proc_clock[p] = clocks[k].clone();
+        for &j in &races {
+            // The reversing continuation: every step between `j` and
+            // `k` not happens-after `j`, then `k`'s process.
+            let v: Vec<usize> = (j + 1..k)
+                .filter(|&m| !clock_leq(&clocks[j], &clocks[m]))
+                .chain([k])
+                .collect();
+            // Weak initials: processes whose first step in `v` is not
+            // happens-after any earlier step of `v`.
+            let mut seen: Vec<usize> = Vec::new();
+            let mut initials: Vec<usize> = Vec::new();
+            for (mi, &m) in v.iter().enumerate() {
+                let pm = spine[m].chosen;
+                if seen.contains(&pm) {
+                    continue;
+                }
+                seen.push(pm);
+                if v[..mi].iter().all(|&l| !clock_leq(&clocks[l], &clocks[m])) {
+                    initials.push(pm);
+                }
+            }
+            additions.push((j, spine[v[0]].chosen, initials));
+        }
+    }
+    for (j, first_proc, initials) in additions {
+        let node = &mut spine[j];
+        if !initials.iter().any(|p| node.backtrack.contains(p)) {
+            debug_assert!(initials.contains(&first_proc));
+            node.backtrack.push(first_proc);
         }
     }
 }
@@ -544,7 +973,8 @@ mod tests {
         assert_eq!(outcome.runs, 6);
     }
 
-    /// Driver-based runner over `n` writers to `distinct` registers.
+    /// Driver-based runner over `n` writers to one shared or `n`
+    /// distinct registers.
     fn writers_runner(
         n: usize,
         distinct: bool,
@@ -570,7 +1000,7 @@ mod tests {
     #[test]
     fn driver_explorer_matches_legacy_count_without_pruning() {
         let explorer = Explorer {
-            prune: false,
+            mode: PruneMode::Unpruned,
             ..Explorer::default()
         };
         let outcome = explorer.explore(writers_runner(3, false));
@@ -580,10 +1010,13 @@ mod tests {
     }
 
     #[test]
-    fn pruning_collapses_commuting_writers_to_one_schedule() {
+    fn sleep_sets_collapse_commuting_writers_to_one_schedule() {
         // Three writers to three *distinct* registers: all 6
         // interleavings are equivalent, so sleep sets leave one.
-        let explorer = Explorer::default();
+        let explorer = Explorer {
+            mode: PruneMode::SleepSet,
+            ..Explorer::default()
+        };
         let outcome = explorer.explore(writers_runner(3, true));
         assert!(outcome.exhausted);
         assert_eq!(outcome.runs, 1, "all interleavings commute");
@@ -591,13 +1024,59 @@ mod tests {
     }
 
     #[test]
-    fn pruning_keeps_all_conflicting_interleavings() {
-        // Same register: nothing commutes, the full 6 remain.
+    fn dpor_collapses_commuting_writers_to_one_schedule() {
         let explorer = Explorer::default();
-        let outcome = explorer.explore(writers_runner(3, false));
+        assert_eq!(explorer.mode, PruneMode::SourceDpor);
+        let outcome = explorer.explore(writers_runner(3, true));
         assert!(outcome.exhausted);
-        assert_eq!(outcome.runs, 6);
-        assert_eq!(outcome.pruned, 0);
+        assert_eq!(outcome.runs, 1, "no races ⇒ a single schedule");
+        assert_eq!(outcome.cut_runs, 0, "DPOR does not even replay-and-cut");
+        assert!(outcome.pruned > 0, "unexplored enabled children counted");
+    }
+
+    #[test]
+    fn pruning_keeps_all_conflicting_interleavings() {
+        // Same register: nothing commutes, all 6 traces remain, in
+        // every mode.
+        for mode in [
+            PruneMode::Unpruned,
+            PruneMode::SleepSet,
+            PruneMode::SourceDpor,
+        ] {
+            let explorer = Explorer {
+                mode,
+                ..Explorer::default()
+            };
+            let outcome = explorer.explore(writers_runner(3, false));
+            assert!(outcome.exhausted, "{mode:?}");
+            assert_eq!(outcome.runs, 6, "{mode:?} must keep all 6 traces");
+        }
+    }
+
+    /// Mixed workload: two same-register writers (a real race) plus one
+    /// independent writer. 3! = 6 interleavings, but only the order of
+    /// the two racing writers matters ⇒ 2 Mazurkiewicz traces. DPOR
+    /// must explore exactly one schedule per trace.
+    #[test]
+    fn dpor_explores_one_schedule_per_trace() {
+        let runner = move |driver: &mut ScheduleDriver| {
+            let world = SimWorld::new(3);
+            let mem = world.mem();
+            let shared = mem.alloc("X", 0u64);
+            let lone = mem.alloc("Y", 0u64);
+            let s0 = shared.clone();
+            let s1 = shared;
+            let programs: Vec<crate::Program> = vec![
+                Box::new(move |_| s0.write(1)),
+                Box::new(move |_| s1.write(2)),
+                Box::new(move |_| lone.write(3)),
+            ];
+            world.run(programs, driver, 100)
+        };
+        let explorer = Explorer::default();
+        let outcome = explorer.explore(runner);
+        assert!(outcome.exhausted);
+        assert_eq!(outcome.runs, 2, "one schedule per Mazurkiewicz trace");
     }
 
     #[test]
@@ -606,7 +1085,7 @@ mod tests {
         let runner = writers_runner(3, false);
         let seq_scripts = Mutex::new(BTreeSet::new());
         let explorer = Explorer {
-            prune: false,
+            mode: PruneMode::Unpruned,
             ..Explorer::default()
         };
         let out = explorer.explore(|d| {
@@ -617,7 +1096,7 @@ mod tests {
         assert!(out.exhausted);
         let par_scripts = Mutex::new(BTreeSet::new());
         let explorer = Explorer {
-            prune: false,
+            mode: PruneMode::Unpruned,
             workers: 3,
             ..Explorer::default()
         };
@@ -634,36 +1113,70 @@ mod tests {
         );
     }
 
+    /// Every mode visits the same set of final memory states (the
+    /// verdict-relevant abstraction of the schedule space) on a racy
+    /// workload.
+    #[test]
+    fn all_modes_cover_the_same_final_states() {
+        use std::collections::BTreeSet;
+        let finals_for = |mode: PruneMode| {
+            let finals = Mutex::new(BTreeSet::new());
+            let explorer = Explorer {
+                mode,
+                ..Explorer::default()
+            };
+            let runner = writers_runner(3, false);
+            let out = explorer.explore(|d| {
+                let o = runner(d);
+                if !d.was_cut() {
+                    let last = o.steps().last().unwrap().value.clone();
+                    finals.lock().unwrap().insert(last);
+                }
+                o
+            });
+            assert!(out.exhausted, "{mode:?}");
+            finals.into_inner().unwrap()
+        };
+        let unpruned = finals_for(PruneMode::Unpruned);
+        assert_eq!(unpruned.len(), 3, "last write can be any of the three");
+        assert_eq!(finals_for(PruneMode::SleepSet), unpruned);
+        assert_eq!(finals_for(PruneMode::SourceDpor), unpruned);
+    }
+
     #[test]
     fn stem_restricts_exploration_to_extensions() {
         // Stem forces p2 first; the rest is the 2-writer space.
-        let explorer = Explorer {
-            prune: false,
-            stem: vec![2],
-            ..Explorer::default()
-        };
-        let scripts = Mutex::new(Vec::new());
-        let out = explorer.explore(|d| {
-            let o = writers_runner(3, false)(d);
-            scripts.lock().unwrap().push(o.script());
-            o
-        });
-        assert!(out.exhausted);
-        assert_eq!(out.runs, 2);
-        for s in scripts.into_inner().unwrap() {
-            assert_eq!(s[0], 2, "every schedule extends the stem");
+        for mode in [PruneMode::Unpruned, PruneMode::SourceDpor] {
+            let explorer = Explorer {
+                mode,
+                stem: vec![2],
+                ..Explorer::default()
+            };
+            let scripts = Mutex::new(Vec::new());
+            let out = explorer.explore(|d| {
+                let o = writers_runner(3, false)(d);
+                scripts.lock().unwrap().push(o.script());
+                o
+            });
+            assert!(out.exhausted, "{mode:?}");
+            assert_eq!(out.runs, 2, "{mode:?}");
+            for s in scripts.into_inner().unwrap() {
+                assert_eq!(s[0], 2, "every schedule extends the stem ({mode:?})");
+            }
         }
     }
 
     #[test]
     fn run_budget_reports_not_exhausted() {
-        let explorer = Explorer {
-            prune: false,
-            max_runs: 3,
-            ..Explorer::default()
-        };
-        let outcome = explorer.explore(writers_runner(3, false));
-        assert_eq!(outcome.runs, 3);
-        assert!(!outcome.exhausted);
+        for mode in [PruneMode::Unpruned, PruneMode::SourceDpor] {
+            let explorer = Explorer {
+                mode,
+                max_runs: 3,
+                ..Explorer::default()
+            };
+            let outcome = explorer.explore(writers_runner(3, false));
+            assert_eq!(outcome.schedules_replayed(), 3, "{mode:?}");
+            assert!(!outcome.exhausted, "{mode:?}");
+        }
     }
 }

@@ -11,7 +11,7 @@
 //!   SysV context switch that saves the six callee-saved registers and
 //!   the stack pointer. One simulated step costs two such switches —
 //!   tens of nanoseconds — which is what makes the VM's ≥50× throughput
-//!   target over the thread-handoff engine possible.
+//!   target over the retired thread-handoff engine possible.
 //! * **`parked-thread` fibers** (every other target, Miri, or the
 //!   `portable-fibers` feature): each fiber is a real thread that
 //!   rendezvouses with the VM over channels. Semantically identical,

@@ -12,10 +12,10 @@
 //!   [`PendingAccess`]), and parks; the [`Scheduler`] — consulted with
 //!   the full configuration, the paper's strong adaptive adversary —
 //!   grants one process its step. One step is two userspace context
-//!   switches, not an OS thread handoff: the `exp_sim_throughput`
-//!   experiment measures 20–80× the legacy engine's steps/sec depending
-//!   on recording configuration (see [`RunConfig`]). Runs are fully
-//!   deterministic given the scheduler's decisions.
+//!   switches, not an OS thread handoff (3–13M steps/s depending on
+//!   the recording configuration, see [`RunConfig`] and the
+//!   `exp_sim_throughput` experiment). Runs are fully deterministic
+//!   given the scheduler's decisions.
 //! * [`SimMem`] implements the `sl_mem::Mem` trait, so any algorithm
 //!   written against `Mem` runs under the simulator unchanged. Every
 //!   allocation records a dense [`RegId`] and its `alloc` call site, so
@@ -26,19 +26,24 @@
 //!   [`EventLog::pretty_transcript`], human-readable counterexamples).
 //! * [`Explorer`] enumerates adversary schedules depth-first and
 //!   stateless (a decision prefix is replayed to reconstruct any node —
-//!   cheap, because replays run on the VM), with **sleep-set pruning**
-//!   over declared pending accesses (schedules that differ only in the
-//!   order of commuting register accesses are explored once) and a
-//!   work-stealing pool of worker threads, streaming each transcript
-//!   into `sl_check::TreeBuilder` as it is produced. The prefix trees it
-//!   builds are the input for strong-linearizability model checking.
-//!   The script-replay [`explore`] function remains for compatibility.
+//!   cheap, because replays run on the VM), streaming each transcript
+//!   into `sl_check::TreeBuilder` as it is produced. Pruning is
+//!   selected by [`PruneMode`]: **sleep sets** over declared pending
+//!   accesses (schedules that differ only in the order of commuting
+//!   register accesses are explored once; work-stealing worker pool),
+//!   or — the default — **source-set DPOR** (wakeup-free
+//!   Abdulla–Aronis–Jonsson–Sagonas), which detects races in each
+//!   executed schedule with vector clocks and backtracks only where a
+//!   reversal is demanded, typically replaying several times fewer
+//!   schedules than sleep sets alone. The prefix trees it builds are
+//!   the input for strong-linearizability model checking. The
+//!   script-replay [`explore`] function remains for compatibility.
 //!
-//! The original thread-per-process engine is still available behind
-//! [`SimWorld::run_threaded`] for one release; an equivalence test pins
-//! both engines to byte-identical traces, and `sl-api` builds the
-//! schedule fuzzer and the object model-checking harness on top of this
-//! crate.
+//! The original thread-per-process engine has been retired; the
+//! portable-fibers parity run (`--features portable-fibers`) is the
+//! compatibility gate for the fiber implementations. `sl-api` builds
+//! the schedule fuzzer and the object model-checking harness on top of
+//! this crate.
 //!
 //! # Example
 //!
@@ -73,7 +78,7 @@ mod sched;
 mod vm;
 mod world;
 
-pub use explore::{explore, ExploreOutcome, Explorer, ScheduleDriver};
+pub use explore::{explore, ExploreOutcome, Explorer, PruneMode, ScheduleDriver};
 pub use log::EventLog;
 pub use mem::{SimMem, SimRegister};
 pub use sched::{FnScheduler, RoundRobin, Scheduler, Scripted, SeededRandom, STOP_RUN};

@@ -91,7 +91,7 @@ impl<S: SeqSpec> EventLog<S> {
             .trace
             .iter()
             .map(|item| match item {
-                TraceItem::Step(s) => TreeStep::Internal(ProcId(s.proc), s.label()),
+                TraceItem::Step(s) => TreeStep::internal(ProcId(s.proc), &s.label()),
                 TraceItem::Hi(i) => TreeStep::Event(events[*i].clone()),
             })
             .collect()

@@ -10,9 +10,9 @@
 //! the [`crate::StepRecord`], and continues to its next access or to
 //! completion.
 //!
-//! Compared to the legacy thread-handoff engine this turns one
+//! Compared to the retired thread-handoff engine this turns one
 //! simulated step from two OS context switches plus condvar broadcasts
-//! into two userspace fiber switches — the difference measured by the
+//! into two userspace fiber switches — measured by the
 //! `exp_sim_throughput` experiment, and the reason bounded exhaustive
 //! exploration can afford orders of magnitude more schedules.
 //!

@@ -1,17 +1,16 @@
-//! The simulated world: front end of the step VM, trace recording, and
-//! the legacy thread-handoff engine.
+//! The simulated world: front end of the step VM and trace recording.
 //!
 //! [`SimWorld::run`] executes simulated processes as **fibers** inside a
 //! single-threaded step VM (see [`crate::vm`]): one shared-memory step
 //! is a userspace context switch, not an OS thread handoff. The
-//! original thread-per-process engine is preserved behind
-//! [`SimWorld::run_threaded`] for one release — it is the baseline the
-//! `exp_sim_throughput` experiment measures against, and an equivalence
-//! test pins both engines to byte-identical traces.
+//! original thread-per-process engine (kept for one release as the
+//! `exp_sim_throughput` baseline) has been retired; the portable-fibers
+//! parity suite (`--features portable-fibers`) is the compatibility
+//! gate for the fiber implementations.
 
 use std::panic::{self, Location};
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 
 use crate::mem::SimMem;
 use crate::sched::Scheduler;
@@ -75,6 +74,14 @@ pub struct PendingAccess {
 }
 
 impl PendingAccess {
+    /// The pending access of a scheduled no-op — also the conservative
+    /// stand-in when a process's pending access is unknown (it
+    /// conflicts with everything, so nothing is wrongly commuted).
+    pub const LOCAL: PendingAccess = PendingAccess {
+        reg: RegId::LOCAL,
+        kind: AccessKind::Local,
+    };
+
     /// Whether this is a scheduled no-op (a [`ProcCtx::pause`]).
     pub fn is_local(&self) -> bool {
         self.reg == RegId::LOCAL || self.kind == AccessKind::Local
@@ -155,8 +162,7 @@ pub struct Decision {
     /// The process that was scheduled.
     pub chosen: usize,
     /// The access each runnable process was about to perform, aligned
-    /// with `runnable`. Empty under the legacy threaded engine, which
-    /// cannot see pending accesses.
+    /// with `runnable`.
     pub pending: Vec<PendingAccess>,
 }
 
@@ -174,7 +180,7 @@ pub struct SchedView<'a> {
     /// Steps taken so far by each process.
     pub steps_per_proc: &'a [u64],
     /// The access each runnable process is about to perform, aligned
-    /// with `runnable`. Empty under the legacy threaded engine.
+    /// with `runnable`.
     pub pending: &'a [PendingAccess],
 }
 
@@ -355,26 +361,9 @@ impl ProcCtx {
     }
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub(crate) enum Phase {
-    /// Executing local computation (or not yet started).
-    Running,
-    /// Blocked at a sync point, ready to take a shared-memory step.
-    Waiting,
-    /// Program finished.
-    Done,
-}
-
 pub(crate) struct WorldState {
-    pub(crate) phase: Vec<Phase>,
-    pub(crate) granted: Option<usize>,
-    pub(crate) aborted: bool,
-    pub(crate) trace: Vec<TraceItem>,
-    pub(crate) steps_per_proc: Vec<u64>,
-    decisions: Vec<Decision>,
+    /// A world is single-shot; set by the first (only) run.
     pub(crate) started: bool,
-    /// Recording configuration of the active threaded run.
-    pub(crate) config: RunConfig,
 }
 
 /// Metadata recorded for every allocated register.
@@ -386,18 +375,12 @@ pub(crate) struct RegMeta {
 
 pub(crate) struct WorldInner {
     pub(crate) state: Mutex<WorldState>,
-    /// Signalled when a grant is issued or the run is aborted (legacy
-    /// threaded engine only).
-    pub(crate) proc_cv: Condvar,
-    /// Signalled when a process changes phase (legacy threaded engine
-    /// only).
-    pub(crate) coord_cv: Condvar,
     /// Registry of allocated registers, in allocation order.
     pub(crate) registry: Mutex<Vec<RegMeta>>,
     /// The step VM currently running this world, when one is (null
     /// otherwise). Register accesses dispatch on this: non-null means
-    /// "suspend the calling fiber", null means the legacy thread
-    /// handoff (or a panic, outside any run).
+    /// "suspend the calling fiber", null means no run is active — a
+    /// register access then is a caller bug and panics.
     pub(crate) active_vm: AtomicPtr<VmCore>,
     /// Shared name of the pseudo-register recorded for pause steps.
     pub(crate) local_name: Arc<str>,
@@ -443,11 +426,6 @@ impl std::fmt::Debug for SimWorld {
     }
 }
 
-thread_local! {
-    pub(crate) static CURRENT_PROC: std::cell::Cell<Option<usize>> =
-        const { std::cell::Cell::new(None) };
-}
-
 impl SimWorld {
     /// Creates a world with `n` simulated processes.
     pub fn new(n: usize) -> Self {
@@ -455,18 +433,7 @@ impl SimWorld {
         install_quiet_abort_hook();
         SimWorld {
             inner: Arc::new(WorldInner {
-                state: Mutex::new(WorldState {
-                    phase: vec![Phase::Running; n],
-                    granted: None,
-                    aborted: false,
-                    trace: Vec::new(),
-                    steps_per_proc: vec![0; n],
-                    decisions: Vec::new(),
-                    started: false,
-                    config: RunConfig::full(),
-                }),
-                proc_cv: Condvar::new(),
-                coord_cv: Condvar::new(),
+                state: Mutex::new(WorldState { started: false }),
                 registry: Mutex::new(Vec::new()),
                 active_vm: AtomicPtr::new(std::ptr::null_mut()),
                 local_name: Arc::from("(local)"),
@@ -522,9 +489,8 @@ impl SimWorld {
     /// most `max_steps` shared-memory steps in total.
     ///
     /// Processes execute as fibers inside the single-threaded step VM:
-    /// every step is a userspace context switch, so runs (and the
-    /// explorer's replays) are orders of magnitude faster than the
-    /// legacy thread-handoff engine. Returns when every program
+    /// every step is a userspace context switch, which is what makes
+    /// the explorer's replays cheap. Returns when every program
     /// finished, or — if the budget runs out — after force-unwinding all
     /// still-suspended programs (in which case `completed` is `false`).
     ///
@@ -553,160 +519,10 @@ impl SimWorld {
         crate::vm::run_vm(self, programs, scheduler, max_steps, config)
     }
 
-    /// Runs on the **legacy thread-handoff engine**: one OS thread per
-    /// simulated process, one global handoff per step.
-    ///
-    /// Deprecated in spirit; kept for one release as the measured
-    /// baseline of `exp_sim_throughput` and the reference of the
-    /// engine-equivalence test. Produces the same traces as
-    /// [`SimWorld::run`] for any schedule in which all high-level
-    /// events happen inside scheduled regions (i.e. programs `pause`
-    /// before their first invocation); `Decision::pending` is left
-    /// empty because this engine cannot observe pending accesses.
-    pub fn run_threaded(
-        &self,
-        programs: Vec<Program>,
-        scheduler: &mut dyn Scheduler,
-        max_steps: u64,
-    ) -> RunOutcome {
-        self.run_threaded_with(programs, scheduler, max_steps, RunConfig::full())
-    }
-
-    /// [`SimWorld::run_threaded`] with explicit recording control, so
-    /// throughput experiments compare the two engines under identical
-    /// recording configurations.
-    pub fn run_threaded_with(
-        &self,
-        programs: Vec<Program>,
-        scheduler: &mut dyn Scheduler,
-        max_steps: u64,
-        config: RunConfig,
-    ) -> RunOutcome {
-        assert_eq!(programs.len(), self.n, "one program per process");
-        {
-            let mut st = self.inner.state.lock().unwrap();
-            assert!(!st.started, "a SimWorld can run only once");
-            st.started = true;
-            st.config = config;
-        }
-
-        let handles: Vec<_> = programs
-            .into_iter()
-            .enumerate()
-            .map(|(pid, program)| {
-                let world = self.clone();
-                std::thread::Builder::new()
-                    .name(format!("sim-p{pid}"))
-                    .spawn(move || {
-                        CURRENT_PROC.with(|c| c.set(Some(pid)));
-                        let ctx = ProcCtx {
-                            world: world.clone(),
-                            pid,
-                        };
-                        let result = panic::catch_unwind(panic::AssertUnwindSafe(|| program(ctx)));
-                        {
-                            let mut st = world.inner.state.lock().unwrap();
-                            st.phase[pid] = Phase::Done;
-                            world.inner.coord_cv.notify_all();
-                        }
-                        if let Err(payload) = result {
-                            if payload.downcast_ref::<SimAbort>().is_none() {
-                                panic::resume_unwind(payload);
-                            }
-                        }
-                    })
-                    .expect("spawn simulated process")
-            })
-            .collect();
-
-        self.coordinate(scheduler, max_steps);
-
-        for h in handles {
-            h.join().expect("simulated process panicked");
-        }
-
-        let mut st = self.inner.state.lock().unwrap();
-        RunOutcome {
-            completed: !st.aborted,
-            steps_per_proc: st.steps_per_proc.clone(),
-            trace: std::mem::take(&mut st.trace),
-            decisions: std::mem::take(&mut st.decisions),
-        }
-    }
-
-    fn coordinate(&self, scheduler: &mut dyn Scheduler, max_steps: u64) {
-        loop {
-            let mut st = self.inner.state.lock().unwrap();
-            // Wait until every process is quiescent (waiting or done).
-            while st.phase.contains(&Phase::Running) {
-                st = self.inner.coord_cv.wait(st).unwrap();
-            }
-            let runnable: Vec<usize> = st
-                .phase
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| **p == Phase::Waiting)
-                .map(|(i, _)| i)
-                .collect();
-            if runnable.is_empty() {
-                return; // everyone done
-            }
-            let total: u64 = st.steps_per_proc.iter().sum();
-            if total >= max_steps {
-                st.aborted = true;
-                IN_SIM_ABORT.store(true, Ordering::SeqCst);
-                self.inner.proc_cv.notify_all();
-                while st.phase.iter().any(|p| *p != Phase::Done) {
-                    st = self.inner.coord_cv.wait(st).unwrap();
-                }
-                return;
-            }
-            let view = SchedView {
-                runnable: &runnable,
-                trace: &st.trace,
-                steps_per_proc: &st.steps_per_proc,
-                pending: &[],
-            };
-            let chosen = scheduler.pick(&view);
-            if chosen == crate::sched::STOP_RUN {
-                st.aborted = true;
-                IN_SIM_ABORT.store(true, Ordering::SeqCst);
-                self.inner.proc_cv.notify_all();
-                while st.phase.iter().any(|p| *p != Phase::Done) {
-                    st = self.inner.coord_cv.wait(st).unwrap();
-                }
-                return;
-            }
-            assert!(
-                runnable.contains(&chosen),
-                "scheduler chose non-runnable process {chosen} (runnable: {runnable:?})"
-            );
-            if st.config.record_decisions {
-                st.decisions.push(Decision {
-                    runnable,
-                    chosen,
-                    pending: Vec::new(),
-                });
-            }
-            st.granted = Some(chosen);
-            self.inner.proc_cv.notify_all();
-            // Wait until the chosen process consumes the grant; without
-            // this the coordinator could observe the world still quiescent
-            // and issue a second grant for the same step.
-            while st.granted.is_some() {
-                st = self.inner.coord_cv.wait(st).unwrap();
-            }
-        }
-    }
-
     /// Executes one shared-memory step on behalf of the calling simulated
-    /// process: suspends until the scheduler grants the step, performs
+    /// process: parks the calling fiber with its declared
+    /// [`PendingAccess`] until the scheduler grants the step, performs
     /// `access` atomically, and records the resulting [`StepRecord`].
-    ///
-    /// Dispatches on the engine running this world: inside a step-VM run
-    /// the calling fiber parks with a declared [`PendingAccess`]; under
-    /// the legacy threaded engine the calling OS thread blocks on the
-    /// per-step handoff.
     pub(crate) fn step<R>(
         &self,
         reg_id: RegId,
@@ -716,58 +532,23 @@ impl SimWorld {
         access: impl FnOnce(bool) -> (R, String),
     ) -> R {
         let vm = self.inner.active_vm.load(Ordering::Relaxed);
-        if !vm.is_null() {
-            // Step-VM path: park this fiber until granted.
-            return unsafe { crate::vm::vm_step(vm, reg_id, name, site, kind, access) };
-        }
-        let pid = CURRENT_PROC.with(|c| c.get()).unwrap_or_else(|| {
-            panic!("simulated register accessed outside a SimWorld::run program")
-        });
-        let mut st = self.inner.state.lock().unwrap();
-        st.phase[pid] = Phase::Waiting;
-        self.inner.coord_cv.notify_all();
-        loop {
-            if st.aborted {
-                drop(st);
-                panic::panic_any(SimAbort);
-            }
-            if st.granted == Some(pid) {
-                break;
-            }
-            st = self.inner.proc_cv.wait(st).unwrap();
-        }
-        st.granted = None;
-        st.phase[pid] = Phase::Running;
-        st.steps_per_proc[pid] += 1;
-        self.inner.coord_cv.notify_all();
-        let record = st.config.record_trace;
-        let (result, value) = access(record);
-        if record {
-            st.trace.push(TraceItem::Step(StepRecord {
-                proc: pid,
-                reg: Arc::clone(name),
-                kind,
-                value,
-                reg_id,
-                site,
-            }));
-        }
-        result
+        assert!(
+            !vm.is_null(),
+            "simulated register accessed outside a SimWorld::run program"
+        );
+        unsafe { crate::vm::vm_step(vm, reg_id, name, site, kind, access) }
     }
 
     /// Records a high-level event marker in the trace; used by
     /// [`crate::EventLog`].
     pub(crate) fn push_hi_marker(&self, index: usize) {
         let vm = self.inner.active_vm.load(Ordering::Relaxed);
-        if !vm.is_null() {
-            // Called from inside a fiber of the running VM; the fiber
-            // has exclusive access to the VM state while it runs.
-            unsafe { crate::vm::vm_push_hi(vm, index) };
-            return;
-        }
-        let mut st = self.inner.state.lock().unwrap();
-        if st.config.record_trace {
-            st.trace.push(TraceItem::Hi(index));
-        }
+        assert!(
+            !vm.is_null(),
+            "high-level event recorded outside a SimWorld::run program"
+        );
+        // Called from inside a fiber of the running VM; the fiber has
+        // exclusive access to the VM state while it runs.
+        unsafe { crate::vm::vm_push_hi(vm, index) };
     }
 }

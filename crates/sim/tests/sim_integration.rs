@@ -286,3 +286,52 @@ fn adaptive_scheduler_sees_register_contents_via_peek() {
         "the adaptive adversary released the reader exactly at 3"
     );
 }
+
+/// The human-readable trace format is pinned: register steps carry the
+/// `Mem::alloc` call site (this file), pauses render without a site,
+/// and events render with arrows. (Moved here from the retired
+/// engine-equivalence suite; the fiber VM is the only engine now, and
+/// the portable-fibers parity run is the compatibility gate.)
+#[test]
+fn pretty_trace_format_carries_allocation_sites() {
+    use sl_sim::{AccessKind, RoundRobin};
+
+    let world = SimWorld::new(1);
+    let mem = world.mem();
+    let reg = mem.alloc("X", 0u64); // allocation site recorded here
+    let log: EventLog<Spec> = EventLog::new(&world);
+    let r = reg.clone();
+    let l = log.clone();
+    let programs: Vec<Program> = vec![Box::new(move |ctx| {
+        ctx.pause();
+        let id = l.invoke(ctx.proc_id(), RegisterOp::Write(5));
+        r.write(5);
+        l.respond(id, RegisterResp::Ack);
+    })];
+    let mut sched = RoundRobin::new();
+    let outcome = world.run(programs, &mut sched, 100);
+    assert!(outcome.completed);
+    let pretty = log.pretty_transcript(&outcome);
+    assert_eq!(
+        pretty.len(),
+        4,
+        "pause, invoke, write, respond: {pretty:#?}"
+    );
+    assert_eq!(pretty[0], "p0 (pause)");
+    assert_eq!(pretty[1], "p0 -> Write(5)");
+    assert!(
+        pretty[2].starts_with("p0 X.write(5) @ ") && pretty[2].contains("sim_integration.rs"),
+        "step line must carry the allocation site: {}",
+        pretty[2]
+    );
+    assert_eq!(pretty[3], "p0 <- Ack");
+
+    // The StepRecord itself exposes the structured pieces.
+    let step = outcome
+        .steps()
+        .find(|s| s.kind == AccessKind::Write)
+        .unwrap();
+    assert_eq!(&*step.reg, "X");
+    assert!(step.site.file().ends_with("sim_integration.rs"));
+    assert_eq!(step.label(), "X.write(5)");
+}

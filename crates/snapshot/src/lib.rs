@@ -43,6 +43,4 @@ mod traits;
 pub use afek::AfekSnapshot;
 pub use bounded::BoundedAfekSnapshot;
 pub use double_collect::DoubleCollectSnapshot;
-#[allow(deprecated)]
-pub use traits::{LinSnapshot, VersionedSnapshot};
 pub use traits::{SnapshotSubstrate, VersionedSubstrate};

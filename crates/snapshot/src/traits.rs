@@ -49,29 +49,3 @@ pub trait VersionedSubstrate<V: Value>: SnapshotSubstrate<V> {
     /// behalf of process `p`.
     fn scan_versioned(&self, p: ProcId) -> (Vec<Option<V>>, u64);
 }
-
-/// Deprecated name of [`SnapshotSubstrate`], kept as a shim for one
-/// release.
-///
-/// The `scan(&self, p)` shape this trait exposed as *the* consumer API
-/// is what the unified `sl-api` handle model replaces: consumer code
-/// now obtains a per-process handle (duplicate-handle-guarded) and
-/// calls `scan(&mut self)` on it, receiving a typed `View`.
-#[deprecated(
-    since = "0.2.0",
-    note = "renamed to `SnapshotSubstrate`; consumer code should go through \
-            `sl_api::ObjectBuilder` / `sl_api::SharedObject` handles instead \
-            of the `scan(&self, p)` shape"
-)]
-pub trait LinSnapshot<V: Value>: SnapshotSubstrate<V> {}
-
-#[allow(deprecated)]
-impl<V: Value, T: SnapshotSubstrate<V>> LinSnapshot<V> for T {}
-
-/// Deprecated name of [`VersionedSubstrate`], kept as a shim for one
-/// release.
-#[deprecated(since = "0.2.0", note = "renamed to `VersionedSubstrate`")]
-pub trait VersionedSnapshot<V: Value>: VersionedSubstrate<V> {}
-
-#[allow(deprecated)]
-impl<V: Value, T: VersionedSubstrate<V>> VersionedSnapshot<V> for T {}

@@ -233,7 +233,7 @@ fn bounded_handshake_scan_is_wait_free_under_adversary() {
 /// schedule must complete, and every borrowed view must be correct.
 #[test]
 fn explorer_covers_state_restoring_adversary_neighbourhood() {
-    use sl_sim::{Explorer, RunConfig, ScheduleDriver};
+    use sl_sim::{Explorer, PruneMode, RunConfig, ScheduleDriver};
     use sl_snapshot::BoundedAfekSnapshot;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Mutex};
@@ -246,8 +246,8 @@ fn explorer_covers_state_restoring_adversary_neighbourhood() {
     let checked = AtomicUsize::new(0);
     let explorer = Explorer {
         max_runs: 4_000,
-        prune: true,
-        workers: 2,
+        mode: PruneMode::SourceDpor,
+        workers: 1,
         stem,
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
@@ -351,4 +351,65 @@ fn bounded_handshake_scan_terminates_under_state_restoring_adversary() {
     );
     let view = result.lock().unwrap().clone().expect("scan completed");
     assert_eq!(view, vec![Some(7), None], "borrowed view must be correct");
+}
+
+/// Deep re-tier (sim-deep CI job) of the state-restoring-adversary
+/// neighbourhood: a 6× larger schedule budget around the same stem,
+/// every completed schedule's borrowed view validated. Source-set DPOR
+/// means every replay in the budget is a distinct trace (no
+/// sleep-blocked cut replays wasting it).
+#[test]
+#[ignore = "deep: run with --ignored (sim-deep CI job)"]
+fn explorer_covers_state_restoring_adversary_neighbourhood_deep() {
+    use sl_sim::{Explorer, PruneMode, RunConfig, ScheduleDriver};
+    use sl_snapshot::BoundedAfekSnapshot;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    let stem: Vec<usize> = (1..=66u64)
+        .map(|i| usize::from(i.is_multiple_of(33)))
+        .collect();
+    let checked = AtomicUsize::new(0);
+    let explorer = Explorer {
+        max_runs: 24_000,
+        mode: PruneMode::SourceDpor,
+        workers: 1,
+        stem,
+    };
+    let explored = explorer.explore(|driver: &mut ScheduleDriver| {
+        let world = SimWorld::new(2);
+        let mem = world.mem();
+        let snap = BoundedAfekSnapshot::<u64, _>::new(&mem, 2);
+        let result: Arc<Mutex<Option<Vec<Option<u64>>>>> = Arc::new(Mutex::new(None));
+        let s0 = snap.clone();
+        let updater: Program = Box::new(move |_| {
+            for _ in 0..6 {
+                s0.update(ProcId(0), 7);
+            }
+        });
+        let s1 = snap.clone();
+        let r1 = result.clone();
+        let scanner: Program = Box::new(move |_| {
+            let view = s1.scan(ProcId(1));
+            *r1.lock().unwrap() = Some(view);
+        });
+        let outcome = world.run_with(vec![updater, scanner], driver, 50_000, RunConfig::traced());
+        if !driver.was_cut() {
+            assert!(
+                outcome.completed,
+                "scan starved on schedule {:?} (borrow rule regressed?)",
+                driver.script()
+            );
+            let view = result.lock().unwrap().clone().expect("scan completed");
+            assert_eq!(view, vec![Some(7), None], "borrowed view must be correct");
+            checked.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    });
+    assert!(
+        checked.load(Ordering::Relaxed) >= 20_000,
+        "expected a deep neighbourhood, checked {} schedules ({} cut)",
+        checked.load(Ordering::Relaxed),
+        explored.cut_runs
+    );
 }

@@ -4,7 +4,9 @@
 use sl_check::TreeBuilder;
 use sl_check::{check_linearizable, check_strongly_linearizable};
 use sl_core::{AtomicSnapshot, SlSnapshot};
-use sl_sim::{EventLog, Explorer, Program, RunConfig, ScheduleDriver, SeededRandom, SimWorld};
+use sl_sim::{
+    EventLog, Explorer, Program, PruneMode, RunConfig, ScheduleDriver, SeededRandom, SimWorld,
+};
 use sl_spec::{CounterOp, ProcId};
 use sl_universal::types::{CounterType, GrowSetType, MaxRegisterType, RegOp, RegisterType};
 use sl_universal::{NodeRef, SimpleSpec, SimpleType, Universal};
@@ -111,16 +113,16 @@ fn universal_grow_set_linearizable_random_schedules() {
 
 /// Theorem 54 (bounded check): the Aspnes–Herlihy construction over an
 /// **atomic** root is strongly linearizable. Exhaustively explores a
-/// 2-process counter workload on the sleep-set explorer — **two**
-/// operations per process, double the depth the thread-handoff engine
-/// could afford — and model-checks the full prefix tree.
+/// 2-process counter workload — two operations per process — on the
+/// source-DPOR explorer and model-checks the full prefix tree with the
+/// memoised checker.
 #[test]
 fn universal_counter_atomic_root_strongly_linearizable_exhaustive() {
     let builder: TreeBuilder<SimpleSpec<CounterType>> = TreeBuilder::new();
     let explorer = Explorer {
         max_runs: 500_000,
-        prune: true,
-        workers: 2,
+        mode: PruneMode::SourceDpor,
+        workers: 1,
         stem: vec![],
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
@@ -197,4 +199,56 @@ fn universal_counter_over_sl_snapshot_linearizable() {
             "seed {seed}: non-linearizable history over SL snapshot root"
         );
     }
+}
+
+/// Deep re-tier (sim-deep CI job): the Theorem-54 counter check at
+/// **three** operations per process, streamed into the hash-consed
+/// transcript DAG and decided by the memoised checker — a depth the
+/// materialised-tree pipeline could not reach.
+#[test]
+#[ignore = "deep: run with --ignored (sim-deep CI job)"]
+fn universal_counter_atomic_root_three_ops_deep() {
+    use sl_check::{check_strongly_linearizable_dag, DagBuilder};
+    let builder: DagBuilder<SimpleSpec<CounterType>> = DagBuilder::new();
+    let explorer = Explorer {
+        max_runs: 10_000_000,
+        mode: PruneMode::SourceDpor,
+        workers: 1,
+        stem: vec![],
+    };
+    let explored = explorer.explore(|driver: &mut ScheduleDriver| {
+        let world = SimWorld::new(2);
+        let mem = world.mem();
+        let root: AtomicSnapshot<NodeRef<CounterType>, _> = AtomicSnapshot::new(&mem, 2);
+        let obj = Universal::new(CounterType, root, 2);
+        let log: EventLog<SimpleSpec<CounterType>> = EventLog::new(&world);
+        let mut programs: Vec<Program> = Vec::new();
+        for (pid, ops) in [
+            (0, [CounterOp::Inc, CounterOp::Read, CounterOp::Inc]),
+            (1, [CounterOp::Read, CounterOp::Inc, CounterOp::Read]),
+        ] {
+            let mut h = obj.handle(ProcId(pid));
+            let log = log.clone();
+            programs.push(Box::new(move |ctx| {
+                for op in ops {
+                    ctx.pause();
+                    let id = log.invoke(ctx.proc_id(), op);
+                    let resp = h.execute(op);
+                    log.respond(id, resp);
+                }
+            }));
+        }
+        let outcome = world.run_with(programs, driver, 3_000, RunConfig::traced());
+        builder.ingest(&log.transcript(&outcome));
+        outcome
+    });
+    assert!(explored.exhausted, "explored {} schedules", explored.runs);
+    let dag = builder.finish();
+    let report = check_strongly_linearizable_dag(&SimpleSpec(CounterType), &dag);
+    assert!(
+        report.holds,
+        "Theorem 54 (deep): universal counter over {} schedules, {} unique shapes",
+        explored.runs,
+        dag.unique_nodes()
+    );
 }

@@ -80,9 +80,11 @@
 //! Any object built by the builder (or any hand-rolled
 //! [`SharedObject`](prelude::SharedObject)) can be model-checked end to
 //! end in a few lines. The `sl-api` harness runs it on the simulator's
-//! coroutine-stepped VM, enumerates adversary schedules with sleep-set
-//! pruning, and streams every transcript into the prefix tree that
-//! strong linearizability quantifies over:
+//! coroutine-stepped VM, enumerates adversary schedules with
+//! source-set DPOR (race-directed partial-order reduction over the
+//! declared pending accesses; sleep-set and unpruned modes remain
+//! available via `sim::PruneMode`), and streams every transcript into
+//! the prefix tree that strong linearizability quantifies over:
 //!
 //! ```
 //! use strongly_linearizable::api::sim::{explore_object, SimExplore};
@@ -127,6 +129,30 @@
 //! `api::sim::DriveOps` for your handle (or pass an explicit apply
 //! closure to `explore_object_with` / the fuzz entry points).
 //!
+//! ## Depth budgets
+//!
+//! What exhausts where, after the DPOR + memoised-checker + transcript-
+//! DAG work (Algorithm-2 family; schedule counts are exact — the
+//! explorer is deterministic):
+//!
+//! | Workload | Schedules (DPOR) | Tier |
+//! |---|---|---|
+//! | 2 procs: 1 DWrite vs 1 DRead | 17 | tier-1 (ms) |
+//! | 3 procs: 2 writers + 1 reader, 1 op each | 2,746 | tier-1 (ms) |
+//! | 2 procs: 2 DWrites vs 2 DReads | 7,228 | tier-1 (seconds, debug) |
+//! | 3 procs mixed: writers 2+1 ops, reader 1 op | 204,257 | sim-deep (~10 s release) |
+//! | 2 procs: 3 DWrites vs 2 DReads | 240,239 | sim-deep (~15 s release) |
+//! | 3 procs: 2 ops per process (writers) | 2,752,674 | sim-deep (~1–2 min release) |
+//! | 3 procs: 2 ops per process, mixed roles | ≫ millions | beyond budget today |
+//!
+//! Deep explorations stream transcripts into `check::DagBuilder` (a
+//! hash-consed DAG: the 3-procs-×-2-ops prefix tree would hold ~17M
+//! nodes; its DAG holds ~7k unique shapes in a few hundred MB of
+//! explorer state) and decide with
+//! `check::check_strongly_linearizable_dag`, whose exact
+//! `(subtree shape, linearization residue)` memo table turns the
+//! exponential search into milliseconds at these depths.
+//!
 //! See `examples/` for runnable scenarios (ABA detection, adversary
 //! bias, universal construction, model checking) and the `sl-bench`
 //! crate for the experiment binaries that regenerate `EXPERIMENTS.md`.
@@ -143,10 +169,10 @@ pub use sl_universal as universal;
 /// The most commonly used items, for glob import.
 ///
 /// The unified `sl-api` surface (builder, traits, guarantee markers)
-/// plus the concrete types, backends, simulator, and checkers. Old
-/// pre-`sl-api` entry points remain importable from their crates behind
-/// `#[deprecated]` shims for one release (`sl_snapshot::LinSnapshot`,
-/// `sl_core::View`).
+/// plus the concrete types, backends, simulator, and checkers. The
+/// pre-`sl-api` rename shims (`sl_snapshot::LinSnapshot`,
+/// `sl_core::View`) have been removed after their one-release grace
+/// period; use `SnapshotSubstrate` / `SeqView`.
 pub mod prelude {
     pub use sl_api::{
         AbaOps, Afek, AtomicR, BoundedHandshake, CounterOps, DoubleCollect, Guarantee, Lin,

@@ -203,7 +203,7 @@ fn universal_counter_over_theorem2_snapshot() {
 }
 
 #[test]
-#[cfg_attr(not(debug_assertions), ignore = "guard panics only in debug builds")]
+#[cfg(debug_assertions)] // the guard panics only in debug builds
 fn duplicate_handle_guard_fires_through_the_umbrella() {
     let mem = NativeMem::new();
     let snap = ObjectBuilder::on(&mem).processes(2).snapshot::<u64>();
@@ -214,21 +214,19 @@ fn duplicate_handle_guard_fires_through_the_umbrella() {
     assert!(dup.is_err(), "second live handle for p0 must panic");
 }
 
-/// Satellite check: the deprecated pre-`sl-api` entry points still work
-/// for one release (thin shims).
+/// The rename shims of the `sl-api` transition are gone: substrate
+/// code uses the current names (`SnapshotSubstrate`, `SeqView`)
+/// directly, and consumer code goes through `sl_api` handles.
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_still_function() {
-    use strongly_linearizable::snapshot::{DoubleCollectSnapshot, LinSnapshot};
+fn renamed_entry_points_are_canonical() {
+    use strongly_linearizable::snapshot::{DoubleCollectSnapshot, SnapshotSubstrate};
 
     let mem = NativeMem::new();
-    // Old trait name, old `scan(&self, p)` shape — deprecated shim.
-    fn old_style<S: LinSnapshot<u64>>(snap: &S) {
+    fn substrate_style<S: SnapshotSubstrate<u64>>(snap: &S) {
         snap.update(ProcId(0), 9);
         assert_eq!(snap.scan(ProcId(1)), vec![Some(9), None]);
     }
-    old_style(&DoubleCollectSnapshot::<u64, _>::new(&mem, 2));
+    substrate_style(&DoubleCollectSnapshot::<u64, _>::new(&mem, 2));
 
-    // Old `View` alias in sl-core.
-    let _old_view: strongly_linearizable::core::View<u64> = vec![None, Some((1, 1))];
+    let _view: strongly_linearizable::core::SeqView<u64> = vec![None, Some((1, 1))];
 }
