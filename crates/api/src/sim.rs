@@ -26,16 +26,16 @@
 //! assert!(explored.check_strong(&AbaSpec::<u64>::new(2)).holds);
 //! ```
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use sl_check::{
-    check_linearizable, check_strongly_linearizable, HistoryTree, StrongLinReport, TreeBuilder,
-    TreeStep,
+    check_linearizable, check_strongly_linearizable, check_strongly_linearizable_dag, DagShards,
+    HistoryTree, StrongLinReport, TreeBuilder, TreeDag, TreeStep,
 };
 use sl_mem::Value;
 use sl_sim::{
-    EventLog, ExploreOutcome, Explorer, ProcCtx, Program, PruneMode, RunConfig, RunOutcome,
-    Scheduler, SimMem, SimWorld,
+    EventLog, ExploreOutcome, Explorer, ProcCtx, Program, PruneMode, ReplayCtx, ReplayPool,
+    RunOutcome, Scheduler, Sharded, SimMem, SimWorld,
 };
 use sl_spec::types::{AbaSpec, CounterSpec, MaxRegisterSpec, SnapshotSpec};
 use sl_spec::{
@@ -124,8 +124,10 @@ pub struct SimExplore {
     pub max_runs: usize,
     /// Partial-order reduction level (default: source-set DPOR).
     pub mode: PruneMode,
-    /// Worker threads replaying schedules in parallel (frame modes
-    /// only; source-set DPOR is sequential).
+    /// Worker threads replaying schedules in parallel. Source-set DPOR
+    /// partitions the schedule tree into delegated subtrees and is
+    /// deterministic at any count; defaults to the `SL_EXPLORE_THREADS`
+    /// environment variable (`0` = one per CPU, unset = 1).
     pub workers: usize,
     /// Per-run shared-memory step budget.
     pub step_budget: u64,
@@ -138,7 +140,7 @@ impl Default for SimExplore {
         SimExplore {
             max_runs: 200_000,
             mode: PruneMode::default(),
-            workers: 1,
+            workers: sl_sim::env_workers(),
             step_budget: 10_000,
             stem: Vec::new(),
         }
@@ -272,6 +274,58 @@ where
     }
 }
 
+/// One worker's warm replay state: a world (registers, the object under
+/// test, the event log) built once and reset between schedules —
+/// [`ReplayPool`] owns the reset/replay/recycle ordering; this wrapper
+/// adds the object and the workload application. Replays re-execute the
+/// workload's programs (cheap closures over the same handles) on warm
+/// fiber stacks and recycled trace buffers instead of building a fresh
+/// world per schedule — the world-reuse half of the exploration
+/// throughput work (the other half is parallel source-DPOR).
+struct PooledWorld<S: SeqSpec, O> {
+    pool: ReplayPool<S>,
+    obj: O,
+}
+
+impl<S, O> PooledWorld<S, O>
+where
+    S: SeqSpec + 'static,
+    S::Op: Send + Sync,
+    S::Resp: Send + Sync,
+    S::State: Send + Sync,
+    O: SharedObject<SimMem>,
+{
+    fn new<F: Fn(&SimMem) -> O>(factory: &F, n: usize) -> Self {
+        let world = SimWorld::new(n);
+        let obj = factory(&world.mem());
+        PooledWorld {
+            pool: ReplayPool::new(world),
+            obj,
+        }
+    }
+
+    /// Runs one schedule; afterwards `self.pool.transcript()` holds the
+    /// run's transcript.
+    fn replay<A>(
+        &mut self,
+        workload: &[Vec<S::Op>],
+        apply: &Arc<A>,
+        scheduler: &mut dyn Scheduler,
+        step_budget: u64,
+    ) where
+        A: Fn(&mut O::Handle, &S::Op) -> S::Resp + Send + Sync + 'static,
+    {
+        let obj = &self.obj;
+        self.pool.replay(
+            |log| programs_for(obj, log, workload, apply),
+            scheduler,
+            step_budget,
+        );
+    }
+}
+
+impl<S: SeqSpec, O> ReplayCtx for PooledWorld<S, O> {}
+
 /// [`explore_object`] with an explicit apply closure, for objects whose
 /// operations don't map onto a spec via [`DriveOps`] (e.g. the §5
 /// universal construction).
@@ -300,22 +354,121 @@ where
         workers: cfg.workers,
         stem: cfg.stem.clone(),
     };
-    let outcome = explorer.explore(|driver| {
-        let world = SimWorld::new(n);
-        let mem = world.mem();
-        let obj = factory(&mem);
-        let log: EventLog<S> = EventLog::new(&world);
-        let programs = programs_for(&obj, &log, workload, &apply);
-        // The driver tracks its own decision script; skip decision
-        // recording in the run itself (hot path).
-        let out = world.run_with(programs, driver, cfg.step_budget, RunConfig::traced());
-        builder.ingest(&log.transcript(&out));
-        out
-    });
+    let outcome = explorer.explore_with(
+        || PooledWorld::new(&factory, n),
+        |pool: &mut PooledWorld<S, O>, driver| {
+            pool.replay(workload, &apply, driver, cfg.step_budget);
+            // The materialised tree accepts any ingestion order, so one
+            // shared builder serves every worker.
+            builder.ingest(pool.pool.transcript());
+        },
+    );
     ExploredObject {
         tree: builder.finish(),
         outcome,
     }
+}
+
+/// The result of a DAG-streamed exploration: the hash-consed transcript
+/// set (what deep checks feed the memoised strong-lin checker) plus the
+/// exploration statistics.
+pub struct ExploredDag<S: SeqSpec> {
+    /// Hash-consed DAG over all explored transcripts.
+    pub dag: TreeDag<S>,
+    /// Runs, exhaustion, pruning statistics.
+    pub outcome: ExploreOutcome,
+}
+
+impl<S: SeqSpec> ExploredDag<S> {
+    /// Decides strong linearizability of the explored transcript set
+    /// with the memoised DAG checker.
+    pub fn check_strong(&self, spec: &S) -> StrongLinReport {
+        check_strongly_linearizable_dag(spec, &self.dag)
+    }
+}
+
+/// [`explore_object_dag`] with an explicit apply closure.
+///
+/// Under source-set DPOR the transcripts stream straight into
+/// hash-consed per-subtree [`DagBuilder`] shards (the prefix tree is
+/// never materialised — this is the deep-exploration entry point);
+/// under the frame modes, whose ingestion order is not depth-first, the
+/// materialised tree is built first and converted.
+pub fn explore_object_dag_with<S, O, F, A>(
+    factory: F,
+    workload: &[Vec<S::Op>],
+    apply: A,
+    cfg: &SimExplore,
+) -> ExploredDag<S>
+where
+    S: SeqSpec + 'static,
+    S::Op: Send + Sync,
+    S::Resp: Send + Sync,
+    S::State: Send + Sync,
+    O: SharedObject<SimMem>,
+    F: Fn(&SimMem) -> O + Sync,
+    A: Fn(&mut O::Handle, &S::Op) -> S::Resp + Send + Sync + 'static,
+{
+    if cfg.mode != PruneMode::SourceDpor {
+        let explored = explore_object_with(factory, workload, apply, cfg);
+        return ExploredDag {
+            dag: TreeDag::from_tree(&explored.tree),
+            outcome: explored.outcome,
+        };
+    }
+    let n = workload.len();
+    assert!(n > 0, "workload must cover at least one process");
+    let apply = Arc::new(apply);
+    let sink: Mutex<Vec<TreeDag<S>>> = Mutex::new(Vec::new());
+    let explorer = Explorer {
+        max_runs: cfg.max_runs,
+        mode: cfg.mode,
+        workers: cfg.workers,
+        stem: cfg.stem.clone(),
+    };
+    // Each subtree the explorer hands a worker streams its DFS-ordered
+    // transcripts into its own shard; [`TreeDag::merge`] unions the
+    // finished shards after exploration.
+    let outcome = explorer.explore_with(
+        || Sharded {
+            inner: PooledWorld::new(&factory, n),
+            shards: DagShards::new(&sink),
+        },
+        |ctx: &mut Sharded<'_, S, PooledWorld<S, O>>, driver| {
+            ctx.inner.replay(workload, &apply, driver, cfg.step_budget);
+            ctx.shards.ingest(ctx.inner.pool.transcript());
+        },
+    );
+    ExploredDag {
+        dag: TreeDag::merge(sink.into_inner().unwrap()),
+        outcome,
+    }
+}
+
+/// Explores every adversary schedule of `workload` (within the budgets)
+/// against the object built by `factory`, streaming transcripts into a
+/// hash-consed [`TreeDag`] — the entry point for deep exhaustive
+/// checks, where the materialised prefix tree would not fit in memory.
+pub fn explore_object_dag<S, O, F>(
+    factory: F,
+    workload: &[Vec<S::Op>],
+    cfg: &SimExplore,
+) -> ExploredDag<S>
+where
+    S: SeqSpec + 'static,
+    S::Op: Send + Sync,
+    S::Resp: Send + Sync,
+    S::State: Send + Sync,
+    O: SharedObject<SimMem>,
+    O::Handle: DriveOps<S>,
+    F: Fn(&SimMem) -> O + Sync,
+{
+    explore_object_dag_with(
+        factory,
+        workload,
+        |h: &mut O::Handle, op: &S::Op| h.drive(op),
+        cfg,
+    )
 }
 
 /// Explores every adversary schedule of `workload` (within the

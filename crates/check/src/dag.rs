@@ -44,10 +44,17 @@ pub(crate) struct DagNode<S: SeqSpec> {
 }
 
 /// A prefix-closed transcript set as a hash-consed DAG. Build one with
-/// [`DagBuilder`] (streaming) or [`TreeDag::from_tree`] (from a
-/// materialised [`HistoryTree`]).
+/// [`DagBuilder`] (streaming), [`TreeDag::from_tree`] (from a
+/// materialised [`HistoryTree`]), or [`TreeDag::merge`] (union of
+/// per-subtree shards from a parallel exploration).
 pub struct TreeDag<S: SeqSpec> {
     pub(crate) nodes: Vec<DagNode<S>>,
+    /// Structural hash per node, aligned with `nodes`: a recursive
+    /// content hash over (step, child hash) edges in canonical order —
+    /// *independent* of node numbering and insertion order, so two
+    /// dags representing the same transcript set report the same
+    /// hashes however they were built or merged.
+    pub(crate) hashes: Vec<u64>,
     pub(crate) root: NodeId,
     transcripts_ingested: usize,
 }
@@ -57,6 +64,13 @@ impl<S: SeqSpec> TreeDag<S> {
     /// equivalent prefix tree may have exponentially more nodes.
     pub fn unique_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Content hash of the whole transcript set: equal for any two dags
+    /// holding the same set, regardless of build or merge order. The
+    /// parallel-vs-sequential differential suites assert on this.
+    pub fn structural_hash(&self) -> u64 {
+        self.hashes[self.root as usize]
     }
 
     /// Number of transcripts ingested while building (duplicates
@@ -92,9 +106,117 @@ impl<S: SeqSpec> TreeDag<S> {
         let root = intern_tree(tree, &mut inner);
         TreeDag {
             nodes: inner.nodes,
+            hashes: inner.hashes,
             root,
             transcripts_ingested: tree.leaf_count(),
         }
+    }
+
+    /// Unions a set of prefix-closed transcript shards into one DAG —
+    /// the join step of parallel exploration, where each delegated
+    /// subtree streamed its (prefix-including) transcripts into its own
+    /// [`DagBuilder`]. Structurally interned: shared prefixes and
+    /// isomorphic subtrees across shards collapse, and because node
+    /// identity is content-based, the result is identical to what one
+    /// sequential builder over the whole transcript set produces
+    /// (same unique shapes, same [`TreeDag::structural_hash`]).
+    pub fn merge(shards: Vec<TreeDag<S>>) -> TreeDag<S> {
+        // Balanced round-robin reduction: each shard's content passes
+        // through O(log n) unions, instead of the accumulator-fold's
+        // O(n × final size) when thousands of subtree shards arrive.
+        let mut queue: std::collections::VecDeque<TreeDag<S>> = shards.into();
+        loop {
+            match (queue.pop_front(), queue.pop_front()) {
+                (None, _) => return DagBuilder::new().finish(),
+                (Some(done), None) => return done,
+                (Some(a), Some(b)) => queue.push_back(union2(a, b)),
+            }
+        }
+    }
+}
+
+/// Unions two DAGs: deep-merge along shared edge labels, straight
+/// (memoised) copy of single-sided subtrees, everything re-interned
+/// into one fresh node store.
+fn union2<S: SeqSpec>(a: TreeDag<S>, b: TreeDag<S>) -> TreeDag<S> {
+    struct Merger<'d, S: SeqSpec> {
+        a: &'d TreeDag<S>,
+        b: &'d TreeDag<S>,
+        inner: DagInner<S>,
+        copy_a: Vec<Option<NodeId>>,
+        copy_b: Vec<Option<NodeId>>,
+        both: HashMap<(NodeId, NodeId), NodeId>,
+    }
+
+    impl<S: SeqSpec> Merger<'_, S> {
+        fn copy(&mut self, from_a: bool, id: NodeId) -> NodeId {
+            let memo = if from_a { &self.copy_a } else { &self.copy_b };
+            if let Some(out) = memo[id as usize] {
+                return out;
+            }
+            let src = if from_a { self.a } else { self.b };
+            let children: Vec<(TreeStep<S>, NodeId)> = src
+                .children(id)
+                .to_vec()
+                .into_iter()
+                .map(|(step, child)| (step, self.copy(from_a, child)))
+                .collect();
+            let out = self.inner.intern(children);
+            let memo = if from_a {
+                &mut self.copy_a
+            } else {
+                &mut self.copy_b
+            };
+            memo[id as usize] = Some(out);
+            out
+        }
+
+        fn union(&mut self, ai: NodeId, bi: NodeId) -> NodeId {
+            if let Some(&out) = self.both.get(&(ai, bi)) {
+                return out;
+            }
+            let bkids = self.b.children(bi).to_vec();
+            let mut b_used = vec![false; bkids.len()];
+            let mut children: Vec<(TreeStep<S>, NodeId)> = Vec::new();
+            for (step, ac) in self.a.children(ai).to_vec() {
+                match bkids.iter().position(|(bs, _)| *bs == step) {
+                    Some(pos) => {
+                        b_used[pos] = true;
+                        let merged = self.union(ac, bkids[pos].1);
+                        children.push((step, merged));
+                    }
+                    None => {
+                        let copied = self.copy(true, ac);
+                        children.push((step, copied));
+                    }
+                }
+            }
+            for (pos, (step, bc)) in bkids.into_iter().enumerate() {
+                if !b_used[pos] {
+                    let copied = self.copy(false, bc);
+                    children.push((step, copied));
+                }
+            }
+            let out = self.inner.intern(children);
+            self.both.insert((ai, bi), out);
+            out
+        }
+    }
+
+    let mut m = Merger {
+        a: &a,
+        b: &b,
+        inner: DagInner::new(),
+        copy_a: vec![None; a.nodes.len()],
+        copy_b: vec![None; b.nodes.len()],
+        both: HashMap::new(),
+    };
+    let root = m.union(a.root, b.root);
+    TreeDag {
+        nodes: m.inner.nodes,
+        hashes: m.inner.hashes,
+        root,
+        transcripts_ingested: a.transcripts_ingested + b.transcripts_ingested,
     }
 }
 
@@ -107,19 +229,39 @@ fn intern_tree<S: SeqSpec>(tree: &HistoryTree<S>, inner: &mut DagInner<S>) -> No
     inner.intern(children)
 }
 
-/// A stable 64-bit hash used only to order children canonically; the
-/// interning map compares full keys, so a hash tie can only cost
-/// sharing, never correctness.
-fn edge_order_hash<S: SeqSpec>(step: &TreeStep<S>, child: NodeId) -> u64 {
+/// A stable 128-bit key ordering children canonically by **content**
+/// (the step label and the child's structural hash, never its node
+/// number), so the canonical order — and hence every structural hash —
+/// is identical across build strategies and merge orders. Two salted
+/// 64-bit hashes make an order-changing collision astronomically
+/// unlikely; the interning map still compares full keys, so a
+/// collision could only cost sharing, never correctness.
+fn edge_sort_key<S: SeqSpec>(step: &TreeStep<S>, child_hash: u64) -> (u64, u64) {
+    let salted = |salt: u64| {
+        let mut h = DefaultHasher::new();
+        salt.hash(&mut h);
+        step.hash(&mut h);
+        child_hash.hash(&mut h);
+        h.finish()
+    };
+    (salted(0x9e3779b97f4a7c15), salted(0x517cc1b727220a95))
+}
+
+/// Structural hash of a node from its canonically ordered child edges.
+fn node_hash<S: SeqSpec>(children: &[(TreeStep<S>, NodeId)], hashes: &[u64]) -> u64 {
     let mut h = DefaultHasher::new();
-    step.hash(&mut h);
-    child.hash(&mut h);
+    children.len().hash(&mut h);
+    for (step, child) in children {
+        step.hash(&mut h);
+        hashes[*child as usize].hash(&mut h);
+    }
     h.finish()
 }
 
 struct DagInner<S: SeqSpec> {
     registry: HashMap<Vec<(TreeStep<S>, NodeId)>, NodeId>,
     nodes: Vec<DagNode<S>>,
+    hashes: Vec<u64>,
 }
 
 impl<S: SeqSpec> DagInner<S> {
@@ -127,18 +269,64 @@ impl<S: SeqSpec> DagInner<S> {
         DagInner {
             registry: HashMap::new(),
             nodes: Vec::new(),
+            hashes: Vec::new(),
         }
     }
 
     fn intern(&mut self, mut children: Vec<(TreeStep<S>, NodeId)>) -> NodeId {
-        children.sort_by_key(|(step, child)| edge_order_hash(step, *child));
+        children.sort_by_key(|(step, child)| edge_sort_key(step, self.hashes[*child as usize]));
         if let Some(&id) = self.registry.get(&children) {
             return id;
         }
         let id = NodeId::try_from(self.nodes.len()).expect("too many unique subtree shapes");
         self.registry.insert(children.clone(), id);
+        self.hashes.push(node_hash(&children, &self.hashes));
         self.nodes.push(DagNode { children });
         id
+    }
+}
+
+/// The per-worker shard stack of a parallel depth-first exploration:
+/// one [`DagBuilder`] per open subtree (they nest when a worker helps
+/// elsewhere while blocked on a join), finished shards collected in a
+/// shared sink for a final [`TreeDag::merge`].
+///
+/// This is the canonical implementation of the explorer's
+/// `subtree_begin`/`subtree_end` contract — harness contexts hold one
+/// `DagShards` and forward the two hooks, keeping the bracketing logic
+/// in one place.
+pub struct DagShards<'s, S: SeqSpec> {
+    open: Vec<DagBuilder<S>>,
+    sink: &'s Mutex<Vec<TreeDag<S>>>,
+}
+
+impl<'s, S: SeqSpec> DagShards<'s, S> {
+    /// A shard stack feeding `sink`.
+    pub fn new(sink: &'s Mutex<Vec<TreeDag<S>>>) -> Self {
+        DagShards {
+            open: Vec::new(),
+            sink,
+        }
+    }
+
+    /// Opens a fresh shard (call from `ReplayCtx::subtree_begin`).
+    pub fn begin(&mut self) {
+        self.open.push(DagBuilder::new());
+    }
+
+    /// Finishes the current shard into the sink (call from
+    /// `ReplayCtx::subtree_end`).
+    pub fn end(&mut self) {
+        let shard = self.open.pop().expect("balanced subtree hooks");
+        self.sink.lock().unwrap().push(shard.finish());
+    }
+
+    /// Streams one transcript into the current subtree's shard.
+    pub fn ingest(&self, steps: &[TreeStep<S>]) {
+        self.open
+            .last()
+            .expect("ingest inside a subtree")
+            .ingest(steps);
     }
 }
 
@@ -238,7 +426,8 @@ impl<S: SeqSpec> DagBuilder<S> {
                 children: Vec::new(),
             });
         }
-        inner.prev = steps.to_vec();
+        inner.prev.truncate(common);
+        inner.prev.extend_from_slice(&steps[common..]);
     }
 
     /// Number of transcripts ingested so far.
@@ -254,6 +443,7 @@ impl<S: SeqSpec> DagBuilder<S> {
         let root = inner.dag.intern(root_children);
         TreeDag {
             nodes: inner.dag.nodes,
+            hashes: inner.dag.hashes,
             root,
             transcripts_ingested: inner.ingested,
         }
@@ -326,5 +516,111 @@ mod tests {
         let dag = builder.finish();
         assert_eq!(dag.unique_nodes(), 1, "just the root");
         assert_eq!(dag.tree_node_count(), 1);
+    }
+
+    /// The full DFS-ordered transcript set, partitioned into shards at
+    /// arbitrary split points (each shard DFS-ordered and carrying the
+    /// shared prefixes, as parallel subtree exploration produces), must
+    /// merge back to the sequential builder's DAG: same unique shapes,
+    /// same tree size, same structural hash.
+    #[test]
+    fn sharded_merge_matches_the_sequential_builder() {
+        let transcripts = vec![
+            mk(&["a", "b", "x", "y"]),
+            mk(&["a", "c", "x", "y"]),
+            mk(&["a", "c", "z"]),
+            mk(&["d", "b", "x", "y"]),
+            mk(&["d", "c", "x", "y"]),
+            mk(&["e"]),
+        ];
+        let sequential = {
+            let b: DagBuilder<CounterSpec> = DagBuilder::new();
+            for t in &transcripts {
+                b.ingest(t);
+            }
+            b.finish()
+        };
+        // Every way of cutting the DFS stream into two contiguous
+        // shards (plus a duplicated boundary transcript, as overlapping
+        // subtree prefixes produce).
+        for cut in 1..transcripts.len() {
+            let shard = |range: &[Vec<TreeStep<CounterSpec>>]| {
+                let b: DagBuilder<CounterSpec> = DagBuilder::new();
+                for t in range {
+                    b.ingest(t);
+                }
+                b.finish()
+            };
+            let merged =
+                TreeDag::merge(vec![shard(&transcripts[..cut]), shard(&transcripts[cut..])]);
+            assert_eq!(
+                merged.unique_nodes(),
+                sequential.unique_nodes(),
+                "cut {cut}"
+            );
+            assert_eq!(
+                merged.tree_node_count(),
+                sequential.tree_node_count(),
+                "cut {cut}"
+            );
+            assert_eq!(
+                merged.structural_hash(),
+                sequential.structural_hash(),
+                "cut {cut}"
+            );
+        }
+        // Merge order must not matter either.
+        let s1 = {
+            let b: DagBuilder<CounterSpec> = DagBuilder::new();
+            for t in &transcripts[..3] {
+                b.ingest(t);
+            }
+            b.finish()
+        };
+        let s2 = {
+            let b: DagBuilder<CounterSpec> = DagBuilder::new();
+            for t in &transcripts[3..] {
+                b.ingest(t);
+            }
+            b.finish()
+        };
+        let ab = TreeDag::merge(vec![s1, s2]);
+        let s1 = {
+            let b: DagBuilder<CounterSpec> = DagBuilder::new();
+            for t in &transcripts[..3] {
+                b.ingest(t);
+            }
+            b.finish()
+        };
+        let s2 = {
+            let b: DagBuilder<CounterSpec> = DagBuilder::new();
+            for t in &transcripts[3..] {
+                b.ingest(t);
+            }
+            b.finish()
+        };
+        let ba = TreeDag::merge(vec![s2, s1]);
+        assert_eq!(ab.structural_hash(), ba.structural_hash());
+        assert_eq!(ab.structural_hash(), sequential.structural_hash());
+    }
+
+    #[test]
+    fn structural_hash_is_content_not_insertion_order() {
+        // Same set, opposite ingestion orders (both DFS-valid).
+        let forward = vec![mk(&["a", "b"]), mk(&["a", "c"]), mk(&["d"])];
+        let backward = vec![mk(&["d"]), mk(&["a", "c"]), mk(&["a", "b"])];
+        let build = |ts: &[Vec<TreeStep<CounterSpec>>]| {
+            let b: DagBuilder<CounterSpec> = DagBuilder::new();
+            for t in ts {
+                b.ingest(t);
+            }
+            b.finish()
+        };
+        let f = build(&forward);
+        let g = build(&backward);
+        assert_eq!(f.structural_hash(), g.structural_hash());
+        // And a genuinely different set hashes differently.
+        let h = build(&[mk(&["a", "b"]), mk(&["d"])]);
+        assert_ne!(f.structural_hash(), h.structural_hash());
     }
 }

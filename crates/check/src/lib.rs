@@ -51,7 +51,7 @@ mod lin;
 mod strong;
 mod tree;
 
-pub use dag::{DagBuilder, NodeId, TreeDag};
+pub use dag::{DagBuilder, DagShards, NodeId, TreeDag};
 pub use intern::Symbol;
 pub use lin::{check_linearizable, LinStep};
 pub use strong::{

@@ -2,15 +2,19 @@
 //! (Theorems 12 and 25) plus linearization-point validation at scale
 //! (the `pt` functions Q-1/Q-2 of §3.2).
 
+use std::sync::Mutex;
+
 use sl_check::{
     check_linearizable, check_strongly_linearizable, check_strongly_linearizable_dag,
-    check_strongly_linearizable_unmemoised, DagBuilder, HistoryTree, TreeBuilder, TreeDag,
+    check_strongly_linearizable_unmemoised, DagBuilder, DagShards, HistoryTree, TreeBuilder,
+    TreeDag,
 };
 use sl_core::aba::{AbaHandle, SlAbaRegister};
 use sl_core::SlSnapshot;
+use sl_mem::SmallRng;
 use sl_sim::{
-    AccessKind, EventLog, Explorer, Program, PruneMode, RunConfig, RunOutcome, ScheduleDriver,
-    Scripted, SeededRandom, SimWorld, TraceItem,
+    AccessKind, EventLog, Explorer, Program, PruneMode, ReplayCtx, ReplayPool, RunConfig,
+    RunOutcome, ScheduleDriver, Scripted, SeededRandom, Sharded, SimWorld, TraceItem,
 };
 use sl_spec::types::{AbaSpec, SnapshotSpec};
 use sl_spec::{
@@ -20,18 +24,17 @@ use sl_spec::{
 type ASpec = AbaSpec<u64>;
 type SSpec = SnapshotSpec<u64>;
 
-/// Programs for an n-process Algorithm-2 workload: one process per
-/// entry of `writers` (performing that many DWrites) and of `readers`
-/// (performing that many DReads).
+/// Programs for an n-process Algorithm-2 workload over a (possibly
+/// reused) register and log: one process per entry of `writers`
+/// (performing that many DWrites) and of `readers` (performing that
+/// many DReads). Handles are rebuilt per call — process-local state
+/// must not survive a world reset.
 fn aba_programs(
-    world: &SimWorld,
+    reg: &SlAbaRegister<u64, sl_sim::SimMem>,
+    log: &EventLog<ASpec>,
     writers: &[u64],
     readers: &[u64],
-) -> (Vec<Program>, EventLog<ASpec>) {
-    let n = writers.len() + readers.len();
-    let mem = world.mem();
-    let reg = SlAbaRegister::<u64, _>::new(&mem, n);
-    let log: EventLog<ASpec> = EventLog::new(world);
+) -> Vec<Program> {
     let mut programs: Vec<Program> = Vec::new();
     for (i, &ops) in writers.iter().enumerate() {
         let mut h = reg.handle(ProcId(i));
@@ -57,44 +60,81 @@ fn aba_programs(
             }
         }));
     }
-    (programs, log)
+    programs
 }
 
-/// Explores an Algorithm-2 workload, streaming transcripts into a
-/// hash-consed [`TreeDag`] (valid for the depth-first sequential
-/// explorer modes; parallel frame exploration needs [`TreeBuilder`]).
+/// One worker's warm replay state for the Algorithm-2 explorations:
+/// world, register, and log built once; `ReplayPool` handles the
+/// reset/replay/recycle ordering between schedules.
+struct AbaPool {
+    pool: ReplayPool<ASpec>,
+    reg: SlAbaRegister<u64, sl_sim::SimMem>,
+}
+
+impl AbaPool {
+    fn new(n: usize) -> AbaPool {
+        let world = SimWorld::new(n);
+        let reg = SlAbaRegister::<u64, _>::new(&world.mem(), n);
+        AbaPool {
+            pool: ReplayPool::new(world),
+            reg,
+        }
+    }
+
+    /// Replays one schedule; `self.pool.transcript()` holds it after.
+    fn replay(&mut self, writers: &[u64], readers: &[u64], driver: &mut ScheduleDriver) {
+        let reg = &self.reg;
+        self.pool.replay(
+            |log| aba_programs(reg, log, writers, readers),
+            driver,
+            2_000,
+        );
+    }
+}
+
+impl ReplayCtx for AbaPool {}
+
+/// Explores an Algorithm-2 workload on pooled worlds, streaming
+/// transcripts into per-subtree hash-consed shards merged to one
+/// [`TreeDag`] — valid at any worker count (each shard is DFS-ordered;
+/// the merge is structural).
 fn explore_sl_aba_dag(
     writers: &[u64],
     readers: &[u64],
     explorer: &Explorer,
 ) -> (sl_sim::ExploreOutcome, TreeDag<ASpec>) {
     let n = writers.len() + readers.len();
-    let builder: DagBuilder<ASpec> = DagBuilder::new();
-    let explored = explorer.explore(|driver: &mut ScheduleDriver| {
-        let world = SimWorld::new(n);
-        let (programs, log) = aba_programs(&world, writers, readers);
-        let outcome = world.run_with(programs, driver, 2_000, RunConfig::traced());
-        builder.ingest(&log.transcript(&outcome));
-        outcome
-    });
-    (explored, builder.finish())
+    let sink: Mutex<Vec<TreeDag<ASpec>>> = Mutex::new(Vec::new());
+    let explored = explorer.explore_with(
+        || Sharded {
+            inner: AbaPool::new(n),
+            shards: DagShards::new(&sink),
+        },
+        |ctx: &mut Sharded<'_, ASpec, AbaPool>, driver| {
+            ctx.inner.replay(writers, readers, driver);
+            ctx.shards.ingest(ctx.inner.pool.transcript());
+        },
+    );
+    (explored, TreeDag::merge(sink.into_inner().unwrap()))
 }
 
 /// [`explore_sl_aba_dag`] over the materialised prefix tree — for the
-/// cross-mode equivalence tests, which need unordered ingestion.
+/// cross-mode equivalence tests, which need unordered ingestion (frame
+/// modes ingest out of depth-first order).
 fn explore_sl_aba_tree(
-    writes: u64,
-    reads: u64,
+    writers: &[u64],
+    readers: &[u64],
     explorer: &Explorer,
 ) -> (sl_sim::ExploreOutcome, HistoryTree<ASpec>) {
+    let n = writers.len() + readers.len();
     let builder: TreeBuilder<ASpec> = TreeBuilder::new();
-    let explored = explorer.explore(|driver: &mut ScheduleDriver| {
-        let world = SimWorld::new(2);
-        let (programs, log) = aba_programs(&world, &[writes], &[reads]);
-        let outcome = world.run_with(programs, driver, 2_000, RunConfig::traced());
-        builder.ingest(&log.transcript(&outcome));
-        outcome
-    });
+    let explored = explorer.explore_with(
+        || AbaPool::new(n),
+        |pool: &mut AbaPool, driver| {
+            pool.replay(writers, readers, driver);
+            builder.ingest(pool.pool.transcript());
+        },
+    );
     (explored, builder.finish())
 }
 
@@ -137,7 +177,7 @@ fn sl_aba_exhaustive_three_writes_two_reads_deep() {
     let explorer = Explorer {
         max_runs: 5_000_000,
         mode: PruneMode::SourceDpor,
-        workers: 1,
+        workers: sl_sim::env_workers(),
         stem: vec![],
     };
     let (explored, dag) = explore_sl_aba_dag(&[3], &[2], &explorer);
@@ -161,7 +201,7 @@ fn sl_aba_exhaustive_three_processes_two_ops_each_deep() {
     let explorer = Explorer {
         max_runs: 10_000_000,
         mode: PruneMode::SourceDpor,
-        workers: 1,
+        workers: sl_sim::env_workers(),
         stem: vec![],
     };
     let (explored, dag) = explore_sl_aba_dag(&[2, 2, 2], &[], &explorer);
@@ -192,7 +232,7 @@ fn sl_aba_three_process_mixed_deep() {
     let explorer = Explorer {
         max_runs: 5_000_000,
         mode: PruneMode::SourceDpor,
-        workers: 1,
+        workers: sl_sim::env_workers(),
         stem: vec![],
     };
     let (explored, dag) = explore_sl_aba_dag(&[2, 1], &[1], &explorer);
@@ -216,7 +256,7 @@ fn all_explorer_modes_and_checkers_agree() {
                 mode,
                 ..Explorer::default()
             };
-            explore_sl_aba_tree(writes, reads, &explorer)
+            explore_sl_aba_tree(&[writes], &[reads], &explorer)
         };
         let (uo, utree) = explore_with(PruneMode::Unpruned);
         let (so, stree) = explore_with(PruneMode::SleepSet);
@@ -238,6 +278,94 @@ fn all_explorer_modes_and_checkers_agree() {
     }
 }
 
+/// Randomized differential check of the parallel explorer (the
+/// determinism contract of the partitioned source-DPOR rebuild):
+/// random Algorithm-2 workloads explored under every prune mode at
+/// 1, 2, 4, and 8 workers must agree on the verdict, on every replay
+/// count (runs, cuts, pruned), and on the structural hash of the
+/// merged transcript DAG.
+#[test]
+fn randomized_differential_modes_and_workers() {
+    let mut rng = SmallRng::new(0x51_d9_0c);
+    for round in 0..3 {
+        // Small random workload: 1-3 processes, <= 3 ops total (the
+        // unpruned mode explores the full factorial tree, so totals
+        // stay tier-1 sized).
+        let mut writers: Vec<u64> = (0..(1 + rng.next_u64() % 2))
+            .map(|_| 1 + rng.next_u64() % 2)
+            .collect();
+        let mut readers: Vec<u64> = (0..(rng.next_u64() % 2)).map(|_| 1).collect();
+        while writers.iter().sum::<u64>() + readers.iter().sum::<u64>() > 3 {
+            if readers.pop().is_none() {
+                writers.pop();
+            }
+        }
+        let n = writers.len() + readers.len();
+        let spec = ASpec::new(n);
+        let mut verdicts = Vec::new();
+        for mode in [
+            PruneMode::SourceDpor,
+            PruneMode::SleepSet,
+            PruneMode::Unpruned,
+        ] {
+            // The partitioned parallel engine only serves source DPOR;
+            // the frame modes' (older) parallel frontier gets a lighter
+            // sweep.
+            let worker_counts: &[usize] = if mode == PruneMode::SourceDpor {
+                &[1, 2, 4, 8]
+            } else {
+                &[1, 4]
+            };
+            let mut reference: Option<(sl_sim::ExploreOutcome, u64, bool)> = None;
+            for &workers in worker_counts {
+                let explorer = Explorer {
+                    max_runs: 1_000_000,
+                    mode,
+                    workers,
+                    stem: vec![],
+                };
+                // The DAG path shards per subtree in DPOR mode and
+                // falls back to the materialised tree for frame modes;
+                // either way the structural hash is content-based.
+                let (out, hash, verdict) = if mode == PruneMode::SourceDpor {
+                    let (out, dag) = explore_sl_aba_dag(&writers, &readers, &explorer);
+                    let verdict = check_strongly_linearizable_dag(&spec, &dag).holds;
+                    (out, dag.structural_hash(), verdict)
+                } else {
+                    let (out, tree) = explore_sl_aba_tree(&writers, &readers, &explorer);
+                    let verdict = check_strongly_linearizable(&spec, &tree).holds;
+                    (out, TreeDag::from_tree(&tree).structural_hash(), verdict)
+                };
+                assert!(out.exhausted, "round {round} {mode:?} at {workers} workers");
+                match &reference {
+                    None => reference = Some((out, hash, verdict)),
+                    Some((ref_out, ref_hash, ref_verdict)) => {
+                        assert_eq!(
+                            ref_out, &out,
+                            "round {round} {mode:?}: replay counts diverged at {workers} workers \
+                             (workload {writers:?}w {readers:?}r)"
+                        );
+                        assert_eq!(
+                            ref_hash, &hash,
+                            "round {round} {mode:?}: DAG structure diverged at {workers} workers"
+                        );
+                        assert_eq!(ref_verdict, &verdict, "round {round} {mode:?}");
+                    }
+                }
+            }
+            verdicts.push(reference.unwrap().2);
+        }
+        assert!(
+            verdicts.windows(2).all(|w| w[0] == w[1]),
+            "round {round}: prune modes disagree on the verdict ({verdicts:?})"
+        );
+        assert!(
+            verdicts[0],
+            "Theorem 12 on workload {writers:?}w {readers:?}r"
+        );
+    }
+}
+
 /// The streaming DAG builder and the materialised tree agree: same
 /// structure (node counts) and same verdict on a real DPOR exploration.
 #[test]
@@ -250,7 +378,10 @@ fn dag_builder_matches_materialised_tree() {
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
         let world = SimWorld::new(2);
-        let (programs, log) = aba_programs(&world, &[2], &[1]);
+        let mem = world.mem();
+        let reg = SlAbaRegister::<u64, _>::new(&mem, 2);
+        let log: EventLog<ASpec> = EventLog::new(&world);
+        let programs = aba_programs(&reg, &log, &[2], &[1]);
         let outcome = world.run_with(programs, driver, 2_000, RunConfig::traced());
         let transcript = log.transcript(&outcome);
         tree_builder.ingest(&transcript);

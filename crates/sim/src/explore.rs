@@ -6,8 +6,8 @@
 //!   compatibility. It re-derives branch points from
 //!   `RunOutcome::decisions` after each run and prunes nothing.
 //! * [`Explorer`] — the stateless depth-first explorer built for the
-//!   step VM. The caller's runner executes a fresh world per schedule
-//!   under a [`ScheduleDriver`] (an adversarial [`Scheduler`] handed to
+//!   step VM. The caller's runner executes a world per schedule under a
+//!   [`ScheduleDriver`] (an adversarial [`Scheduler`] handed to
 //!   `SimWorld::run`); the driver replays a decision prefix, extends it
 //!   depth-first, and prunes per the configured [`PruneMode`]:
 //!
@@ -27,6 +27,40 @@
 //!     clocks over the declared accesses, and backtracks only where a
 //!     reversal is actually demanded. Schedules that sleep sets would
 //!     replay just to cut are mostly never scheduled at all.
+//!
+//! # Parallel source-set DPOR
+//!
+//! Source DPOR's backtrack sets mutate while descendants run, which
+//! pinned exploration to a sequential spine until this revision. The
+//! explorer now parallelises it with **per-subtree ownership**: when a
+//! decision node holds several unexplored backtrack candidates, the
+//! owning worker keeps the first as its own continuation and publishes
+//! the rest as frozen [`SubtreeTask`]s — decision prefix, the declared
+//! access of every prefix step, the prefix's vector clocks, and the
+//! sleep set at the subtree root — onto a work-stealing deque. A task
+//! explores its subtree with the ordinary sequential algorithm (its
+//! backtrack sets are worker-local); race reversals that point *above*
+//! the subtree root cannot be applied locally, so they are recorded as
+//! **escapes** (decision depth, demanded process, weak initials) in
+//! detection order and merged by the owner when it joins the task —
+//! exactly where the sequential algorithm would have applied them,
+//! because the owner joins delegated siblings right after retiring its
+//! own child and before scanning the node for new candidates. The
+//! sleep set handed to each delegated sibling is accumulated in the
+//! same publish order the sequential candidate scan would have used.
+//!
+//! The result is *bit-identical* to the sequential explorer at any
+//! worker count (schedule set, replay and cut counts, pruned totals),
+//! provided the exploration exhausts within its run budget: when the
+//! budget caps exploration mid-space, which schedules fit under the cap
+//! depends on worker timing. The differential suites assert the
+//! equality at 1/2/4/8 workers.
+//!
+//! Transcript consumers that need the depth-first ingestion order
+//! (`sl_check::DagBuilder`) implement [`ReplayCtx`]: the explorer
+//! brackets every task with `subtree_begin`/`subtree_end`, so a context
+//! can keep one DFS-ordered shard per subtree and hash-cons-merge the
+//! shards afterwards.
 //!
 //! # Why the pruning is sound here
 //!
@@ -58,15 +92,19 @@
 //! relation used for race detection is *exactly*
 //! `!PendingAccess::independent` — same-register accesses always
 //! conflict (even two reads), and `Local` steps conflict with
-//! everything — so the argument above covers it verbatim.
+//! everything — so the argument above covers it verbatim. The parallel
+//! partitioning does not touch this argument: it changes *who* runs a
+//! subtree and *when* a backtrack demand is written into its node, not
+//! which demands are raised or which candidates are explored.
 //!
 //! All of this is **conservative**, and the pruned-vs-unpruned (and
-//! DPOR-vs-sleep-set) verdict-equivalence tests in the model-check and
-//! fuzz suites cross-check it on small configurations.
+//! DPOR-vs-sleep-set, and parallel-vs-sequential) verdict-equivalence
+//! tests in the model-check and fuzz suites cross-check it on small
+//! configurations.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::sched::{Scheduler, STOP_RUN};
 use crate::world::{PendingAccess, RunOutcome, SchedView};
@@ -93,6 +131,22 @@ impl ExploreOutcome {
     /// quantity that bounds exploration wall-clock.
     pub fn schedules_replayed(&self) -> usize {
         self.runs + self.cut_runs
+    }
+}
+
+/// The worker count requested via the `SL_EXPLORE_THREADS` environment
+/// variable: unset or unparsable means `1` (sequential), `0` means "one
+/// per available CPU", any other number is taken literally.
+pub fn env_workers() -> usize {
+    match std::env::var("SL_EXPLORE_THREADS") {
+        Err(_) => 1,
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(0) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Ok(n) => n,
+            Err(_) => 1,
+        },
     }
 }
 
@@ -158,13 +212,36 @@ pub enum PruneMode {
     /// Sleep sets over declared pending accesses; parallel frontier.
     SleepSet,
     /// Source-set DPOR (wakeup-free) + sleep sets: backtrack only at
-    /// detected races. Sequential (the backtrack sets of ancestors
-    /// mutate as descendants run); typically replays far fewer
-    /// schedules than [`PruneMode::SleepSet`], which more than pays for
-    /// the lost parallelism.
+    /// detected races. Parallelised by per-subtree ownership (see the
+    /// module docs); typically replays far fewer schedules than
+    /// [`PruneMode::SleepSet`].
     #[default]
     SourceDpor,
 }
+
+/// Per-worker replay state owned by the caller of
+/// [`Explorer::explore_with`]: one value is built per worker thread and
+/// handed to every runner invocation on that thread — the natural home
+/// for a reusable [`crate::SimWorld`], scratch buffers, and transcript
+/// sinks.
+///
+/// The two hooks bracket **subtrees** in source-DPOR mode: every
+/// delegated [`SubtreeTask`] a worker executes (and the root
+/// exploration itself) is wrapped in `subtree_begin`/`subtree_end`, and
+/// the replays in between stream that subtree's transcripts in
+/// depth-first order — exactly the contract `sl_check::DagBuilder`
+/// needs, so a context can keep a stack of DFS-ordered shards (tasks
+/// nest when a worker helps with another task while waiting at a join)
+/// and merge them afterwards. Frame modes call the hooks once per
+/// worker.
+pub trait ReplayCtx {
+    /// A new subtree's replays start after this call.
+    fn subtree_begin(&mut self) {}
+    /// The current subtree is fully explored.
+    fn subtree_end(&mut self) {}
+}
+
+impl ReplayCtx for () {}
 
 /// One unexplored node of the schedule tree: the decision prefix that
 /// reaches it and the sleep set holding there.
@@ -203,7 +280,7 @@ enum DriverMode {
 /// detect races afterwards.
 ///
 /// Handed to the caller's runner, which passes it to `SimWorld::run` as
-/// the scheduler of a fresh world.
+/// the scheduler of a (fresh or reset) world.
 pub struct ScheduleDriver {
     prefix: Vec<usize>,
     /// Sleep set holding at the first decision past the prefix.
@@ -415,9 +492,9 @@ pub struct Explorer {
     pub max_runs: usize,
     /// Partial-order reduction level (default: source-set DPOR).
     pub mode: PruneMode,
-    /// Worker threads replaying schedules (frame modes only — source
-    /// DPOR is sequential by construction). `1` explores sequentially
-    /// on the calling thread.
+    /// Worker threads replaying schedules. `1` explores sequentially on
+    /// the calling thread; source-set DPOR partitions the schedule tree
+    /// into delegated subtrees (deterministic result at any count).
     pub workers: usize,
     /// Initial decision prefix: exploration covers exactly the
     /// schedules extending this stem (empty = the full space).
@@ -445,30 +522,39 @@ impl Explorer {
     }
 
     /// Explores the schedule space of the deterministic system embodied
-    /// by `runner`.
-    ///
-    /// `runner` must build a fresh world (same programs, same initial
-    /// state each time) and run it with the given [`ScheduleDriver`] as
-    /// its scheduler — typically also streaming the run's transcript
-    /// into a shared sink before returning the outcome. It is invoked
-    /// once per explored schedule, possibly from several threads (frame
-    /// modes with `workers > 1`).
+    /// by `runner`, with no per-worker state. See [`Explorer::explore_with`].
     pub fn explore<F>(&self, runner: F) -> ExploreOutcome
     where
         F: Fn(&mut ScheduleDriver) -> RunOutcome + Sync,
     {
+        self.explore_with(
+            || (),
+            |_, driver| {
+                let _ = runner(driver);
+            },
+        )
+    }
+
+    /// Explores the schedule space of the deterministic system embodied
+    /// by `runner`, threading caller-owned per-worker state through
+    /// every replay.
+    ///
+    /// `new_ctx` is invoked once on each worker thread (including the
+    /// calling thread) to build that worker's [`ReplayCtx`]. `runner`
+    /// must execute one schedule of the system — same programs, same
+    /// initial state every time, on a fresh world or a
+    /// [`crate::SimWorld::reset`] one kept in the context — with the
+    /// given [`ScheduleDriver`] as its scheduler, typically also
+    /// streaming the run's transcript into a sink before returning. It
+    /// is invoked once per explored schedule.
+    pub fn explore_with<C, NF, F>(&self, new_ctx: NF, runner: F) -> ExploreOutcome
+    where
+        C: ReplayCtx,
+        NF: Fn() -> C + Sync,
+        F: Fn(&mut C, &mut ScheduleDriver) + Sync,
+    {
         match self.mode {
-            PruneMode::SourceDpor => {
-                // Source DPOR is sequential by construction (ancestor
-                // backtrack sets mutate while descendants run); a
-                // parallel-worker request would be silently ignored.
-                debug_assert!(
-                    self.workers <= 1,
-                    "PruneMode::SourceDpor explores sequentially; workers = {} has no effect                      (use PruneMode::SleepSet for a parallel frontier)",
-                    self.workers
-                );
-                self.explore_dpor(&runner)
-            }
+            PruneMode::SourceDpor => self.explore_dpor(&new_ctx, &runner),
             PruneMode::Unpruned | PruneMode::SleepSet => {
                 let root = Frame {
                     script: self.stem.clone(),
@@ -476,33 +562,40 @@ impl Explorer {
                 };
                 let prune = self.mode == PruneMode::SleepSet;
                 if self.workers <= 1 {
-                    self.explore_sequential(root, prune, &runner)
+                    self.explore_sequential(root, prune, &new_ctx, &runner)
                 } else {
-                    self.explore_parallel(root, prune, &runner)
+                    self.explore_parallel(root, prune, &new_ctx, &runner)
                 }
             }
         }
     }
 
-    fn explore_sequential<F>(&self, root: Frame, prune: bool, runner: &F) -> ExploreOutcome
+    fn explore_sequential<C, NF, F>(
+        &self,
+        root: Frame,
+        prune: bool,
+        new_ctx: &NF,
+        runner: &F,
+    ) -> ExploreOutcome
     where
-        F: Fn(&mut ScheduleDriver) -> RunOutcome + Sync,
+        C: ReplayCtx,
+        NF: Fn() -> C + Sync,
+        F: Fn(&mut C, &mut ScheduleDriver) + Sync,
     {
+        let mut ctx = new_ctx();
+        ctx.subtree_begin();
         let mut stack = vec![root];
         let mut runs = 0usize;
         let mut cut_runs = 0usize;
         let mut pruned = 0u64;
+        let mut exhausted = true;
         while let Some(frame) = stack.pop() {
             if runs + cut_runs >= self.max_runs {
-                return ExploreOutcome {
-                    runs,
-                    exhausted: false,
-                    pruned,
-                    cut_runs,
-                };
+                exhausted = false;
+                break;
             }
             let mut driver = ScheduleDriver::frames(frame, prune);
-            let _ = runner(&mut driver);
+            runner(&mut ctx, &mut driver);
             if driver.cut {
                 cut_runs += 1;
             } else {
@@ -513,17 +606,26 @@ impl Explorer {
                 stack.append(branches);
             }
         }
+        ctx.subtree_end();
         ExploreOutcome {
             runs,
-            exhausted: true,
+            exhausted,
             pruned,
             cut_runs,
         }
     }
 
-    fn explore_parallel<F>(&self, root: Frame, prune: bool, runner: &F) -> ExploreOutcome
+    fn explore_parallel<C, NF, F>(
+        &self,
+        root: Frame,
+        prune: bool,
+        new_ctx: &NF,
+        runner: &F,
+    ) -> ExploreOutcome
     where
-        F: Fn(&mut ScheduleDriver) -> RunOutcome + Sync,
+        C: ReplayCtx,
+        NF: Fn() -> C + Sync,
+        F: Fn(&mut C, &mut ScheduleDriver) + Sync,
     {
         let workers = self.workers;
         let deques: Vec<Mutex<VecDeque<Frame>>> =
@@ -556,6 +658,8 @@ impl Explorer {
                             self.0.fetch_sub(1, Ordering::SeqCst);
                         }
                     }
+                    let mut ctx = new_ctx();
+                    ctx.subtree_begin();
                     loop {
                         // `active` is raised *before* looking for work:
                         // a frame is never out of a deque while its
@@ -582,7 +686,7 @@ impl Explorer {
                                 let empty =
                                     (0..workers).all(|v| deques[v].lock().unwrap().is_empty());
                                 if empty && active.load(Ordering::SeqCst) == 0 {
-                                    return;
+                                    break;
                                 }
                             }
                             std::thread::yield_now();
@@ -594,10 +698,10 @@ impl Explorer {
                         if runs.load(Ordering::SeqCst) + cut_runs.load(Ordering::SeqCst) >= max_runs
                         {
                             capped.store(true, Ordering::SeqCst);
-                            return;
+                            break;
                         }
                         let mut driver = ScheduleDriver::frames(frame, prune);
-                        let _ = runner(&mut driver);
+                        runner(&mut ctx, &mut driver);
                         if driver.cut {
                             cut_runs.fetch_add(1, Ordering::SeqCst);
                         } else {
@@ -611,6 +715,7 @@ impl Explorer {
                             }
                         }
                     }
+                    ctx.subtree_end();
                 });
             }
         });
@@ -624,16 +729,26 @@ impl Explorer {
     }
 }
 
-/// One decision point on the DPOR spine: the configuration, the child
+// ---------------------------------------------------------------------
+// Source-set DPOR: the task engine shared by the sequential and the
+// partitioned parallel explorer.
+// ---------------------------------------------------------------------
+
+/// One decision point on a DPOR spine: the configuration, the child
 /// currently being explored, the children already retired, and the
 /// backtrack (source) set grown by race detection in descendant runs.
+///
+/// *Ghost* nodes (empty `runnable`) stand in for the frozen prefix of a
+/// delegated subtree: race detection needs their `chosen`/`access`, but
+/// they are never backtracked into — demands against them escape to the
+/// subtree's owner instead.
 struct SpineNode {
     runnable: Vec<usize>,
     pending: Vec<PendingAccess>,
     /// Sleep set on entry plus retired children — the SDPOR `Sleep`
     /// after each explored child is added.
     sleep_now: u64,
-    /// Children whose subtrees are fully explored.
+    /// Children whose subtrees are fully explored or delegated.
     done: u64,
     /// Source set: children demanded by detected races (grows while
     /// descendants run). Always contains the first explored child.
@@ -643,9 +758,26 @@ struct SpineNode {
     /// The declared access `chosen` executes from here — the step of
     /// the execution word used for race detection.
     access: PendingAccess,
+    /// Siblings published as frozen subtree tasks, in publish order —
+    /// joined (results and escapes merged) when the owner next retires
+    /// a child of this node.
+    delegated: Vec<(usize, Arc<TaskSlot>)>,
 }
 
 impl SpineNode {
+    fn ghost(chosen: usize, access: PendingAccess) -> SpineNode {
+        SpineNode {
+            runnable: Vec::new(),
+            pending: Vec::new(),
+            sleep_now: 0,
+            done: 0,
+            backtrack: Vec::new(),
+            chosen,
+            access,
+            delegated: Vec::new(),
+        }
+    }
+
     fn pending_of(&self, p: usize) -> PendingAccess {
         let i = self
             .runnable
@@ -662,136 +794,626 @@ fn clock_leq(a: &[u32], b: &[u32]) -> bool {
     a.iter().zip(b).all(|(x, y)| x <= y)
 }
 
-impl Explorer {
-    /// Source-set DPOR exploration (sequential): run a schedule, detect
-    /// races against the executed word with vector clocks, extend the
-    /// backtrack sets of the racing decision points, and replay the
-    /// deepest pending reversal until no decision point has unexplored
-    /// backtrack candidates.
-    fn explore_dpor<F>(&self, runner: &F) -> ExploreOutcome
-    where
-        F: Fn(&mut ScheduleDriver) -> RunOutcome + Sync,
-    {
-        let stem_len = self.stem.len();
-        let mut spine: Vec<SpineNode> = Vec::new();
-        let mut runs = 0usize;
-        let mut cut_runs = 0usize;
-        let mut pruned = 0u64;
-        let mut next: Option<(Vec<usize>, u64)> = Some((self.stem.clone(), 0));
-        // Vector clocks of the current spine, cached across replays.
-        let mut clocks: Vec<Vec<u32>> = Vec::new();
-        let mut first_run = true;
-        while let Some((prefix, sleep_after_prefix)) = next.take() {
-            if runs + cut_runs >= self.max_runs {
-                return ExploreOutcome {
-                    runs,
-                    exhausted: false,
-                    pruned,
-                    cut_runs,
-                };
-            }
-            let prefix_len = prefix.len();
-            // Decisions below the spine tip already have nodes (on the
-            // first run the spine is empty, so even the replayed stem
-            // decisions are recorded and get nodes — never backtracked
-            // into); the driver skips recording anything below.
-            let mut driver = ScheduleDriver::dpor(prefix, sleep_after_prefix, spine.len());
-            let _ = runner(&mut driver);
-            if driver.cut {
-                cut_runs += 1;
-            } else {
-                runs += 1;
-            }
-            pruned += driver.pruned;
-            let DriverMode::Dpor { observed, .. } = driver.mode else {
-                unreachable!("DPOR explorer uses DPOR drivers");
-            };
-            // Extend the spine with this run's recorded decisions
-            // (observed[0] is the decision at the current spine tip).
-            for obs in observed {
-                let chosen = driver.chosen[spine.len()];
-                let access = obs
-                    .pending
-                    .get(
-                        obs.runnable
-                            .iter()
-                            .position(|&p| p == chosen)
-                            .unwrap_or(usize::MAX),
-                    )
-                    .copied()
-                    .unwrap_or(PendingAccess::LOCAL);
-                spine.push(SpineNode {
-                    runnable: obs.runnable,
-                    pending: obs.pending,
-                    sleep_now: obs.sleep,
-                    done: 0,
-                    backtrack: vec![chosen],
-                    chosen,
-                    access,
-                });
-            }
-            // Race detection: only pairs whose later step is new this
-            // run (pairs entirely inside the replayed prefix were
-            // handled when that prefix first ran).
-            let first_new = if first_run {
-                0
-            } else {
-                prefix_len.saturating_sub(1)
-            };
-            first_run = false;
-            add_race_reversals(&mut spine, &mut clocks, first_new, stem_len);
-            // Backtrack: retire finished children bottom-up until a
-            // decision point with an unexplored backtrack candidate is
-            // found, then descend into it.
+/// A frozen unexplored subtree of the source-DPOR schedule tree,
+/// publishable onto the work-stealing deque: everything a worker needs
+/// to explore the subtree without touching the owner's spine.
+struct SubtreeTask {
+    /// Full decision prefix from the schedule-tree root; the last entry
+    /// is the backtrack candidate this task reverses into.
+    prefix: Vec<usize>,
+    /// Declared access of each prefix step (the task's ghost spine for
+    /// race detection). Empty for the root task, whose stem accesses
+    /// are observed on the first replay instead.
+    accesses: Vec<PendingAccess>,
+    /// Vector clocks of prefix steps `0..prefix.len()-1`, cloned from
+    /// the owner's cache (the last prefix step's clock is computed by
+    /// the task's own first race-detection pass).
+    clocks: Vec<Vec<u32>>,
+    /// Sleep set at the subtree root.
+    sleep: u64,
+    /// Backtrack floor: decision indices below this belong to the
+    /// parent (ghosts); demands against them escape.
+    floor: usize,
+}
+
+/// A backtrack demand raised inside a subtree against a decision node
+/// above its floor, carried to the owner and merged at the join.
+struct Escape {
+    /// Global decision index of the demanding race's earlier step.
+    depth: usize,
+    /// Process of the first reversing step (added if no initial is
+    /// present).
+    first_proc: usize,
+    /// Weak initials of the reversing continuation.
+    initials: Vec<usize>,
+}
+
+/// Exploration totals and escapes of one finished subtree.
+#[derive(Default)]
+struct TaskOutput {
+    runs: usize,
+    cut_runs: usize,
+    pruned: u64,
+    capped: bool,
+    escapes: Vec<Escape>,
+}
+
+const TASK_QUEUED: u8 = 0;
+const TASK_RUNNING: u8 = 1;
+const TASK_DONE: u8 = 2;
+
+/// A published subtree task: claimable exactly once, completed with its
+/// [`TaskOutput`]. Deques may hold stale handles to already-claimed
+/// slots; `claim` arbitrates.
+struct TaskSlot {
+    state: AtomicU8,
+    task: Mutex<Option<SubtreeTask>>,
+    output: Mutex<Option<TaskOutput>>,
+}
+
+impl TaskSlot {
+    fn new(task: SubtreeTask) -> TaskSlot {
+        TaskSlot {
+            state: AtomicU8::new(TASK_QUEUED),
+            task: Mutex::new(Some(task)),
+            output: Mutex::new(None),
+        }
+    }
+
+    /// Takes the task for execution; `None` if someone else already has.
+    fn claim(&self) -> Option<SubtreeTask> {
+        if self
+            .state
+            .compare_exchange(
+                TASK_QUEUED,
+                TASK_RUNNING,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            Some(self.task.lock().unwrap().take().expect("claimed task"))
+        } else {
+            None
+        }
+    }
+
+    fn complete(&self, out: TaskOutput) {
+        *self.output.lock().unwrap() = Some(out);
+        self.state.store(TASK_DONE, Ordering::SeqCst);
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.load(Ordering::SeqCst) == TASK_DONE
+    }
+}
+
+/// State shared by every worker of one source-DPOR exploration.
+struct DporShared<'a, NF, F> {
+    new_ctx: &'a NF,
+    runner: &'a F,
+    max_runs: usize,
+    /// Length of the user-supplied stem: demands below it are dropped
+    /// (the stem is never backtracked into).
+    hard_stem: usize,
+    /// Per-worker deques of published subtree tasks.
+    deques: Vec<Mutex<VecDeque<Arc<TaskSlot>>>>,
+    /// Published-but-unclaimed task count — the split heuristic keeps
+    /// this shallow instead of shattering the tree near its leaves.
+    queued: AtomicUsize,
+    /// Global replay reservation counter (runs + cuts).
+    replays: AtomicUsize,
+    /// Root exploration finished (or aborted): workers exit.
+    shutdown: AtomicBool,
+    /// First panic payload raised by any worker's runner.
+    poison: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    poisoned: AtomicBool,
+}
+
+/// Waiting at a join, a worker helps with other queued tasks; the
+/// recursion this nests is bounded to keep stack usage predictable.
+const MAX_HELP_DEPTH: usize = 32;
+
+impl<'a, NF, F> DporShared<'a, NF, F> {
+    fn record_poison(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.poison.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        self.poisoned.store(true, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Pops a claimable task: own deque LIFO first (depth-first
+    /// locally), then FIFO-steal from siblings (splits near the root).
+    fn steal_task(&self, me: usize) -> Option<(Arc<TaskSlot>, SubtreeTask)> {
+        let order = std::iter::once(me).chain((0..self.deques.len()).filter(move |v| *v != me));
+        for (i, v) in order.enumerate() {
             loop {
-                if spine.len() <= stem_len {
-                    return ExploreOutcome {
-                        runs,
-                        exhausted: true,
-                        pruned,
-                        cut_runs,
-                    };
-                }
-                let d = spine.len() - 1;
-                {
-                    let node = &mut spine[d];
-                    node.done |= 1 << node.chosen;
-                    node.sleep_now |= 1 << node.chosen;
-                }
-                let candidate = {
-                    let node = &spine[d];
-                    node.backtrack
-                        .iter()
-                        .copied()
-                        .find(|&q| node.done & (1 << q) == 0 && node.sleep_now & (1 << q) == 0)
+                let slot = {
+                    let mut dq = self.deques[v].lock().unwrap();
+                    if i == 0 {
+                        dq.pop_back()
+                    } else {
+                        dq.pop_front()
+                    }
                 };
-                if let Some(q) = candidate {
-                    let (access, sleep_child) = {
-                        let node = &spine[d];
-                        let access = node.pending_of(q);
-                        (
-                            access,
-                            filter_independent(
-                                node.sleep_now,
-                                access,
-                                &node.runnable,
-                                &node.pending,
-                            ),
-                        )
-                    };
-                    let node = &mut spine[d];
-                    node.chosen = q;
-                    node.access = access;
-                    let prefix: Vec<usize> = spine.iter().map(|n| n.chosen).collect();
-                    next = Some((prefix, sleep_child));
-                    break;
+                let Some(slot) = slot else { break };
+                if let Some(task) = slot.claim() {
+                    self.queued.fetch_sub(1, Ordering::Relaxed);
+                    return Some((slot, task));
                 }
-                let node = &spine[d];
-                pruned += (node.runnable.len() as u64) - u64::from(node.done.count_ones());
-                spine.pop();
+                // Stale handle (claimed back at a join): drop and keep
+                // draining this deque.
             }
         }
-        unreachable!("the DPOR loop exits via its returns")
+        None
+    }
+}
+
+impl Explorer {
+    /// Source-set DPOR exploration: sequential on the calling thread
+    /// for `workers <= 1`, partitioned across a work-stealing pool
+    /// otherwise. Identical results either way (see the module docs).
+    fn explore_dpor<C, NF, F>(&self, new_ctx: &NF, runner: &F) -> ExploreOutcome
+    where
+        C: ReplayCtx,
+        NF: Fn() -> C + Sync,
+        F: Fn(&mut C, &mut ScheduleDriver) + Sync,
+    {
+        let workers = self.workers.max(1);
+        let shared = DporShared {
+            new_ctx,
+            runner,
+            max_runs: self.max_runs,
+            hard_stem: self.stem.len(),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            replays: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            poison: Mutex::new(None),
+            poisoned: AtomicBool::new(false),
+        };
+        let root = SubtreeTask {
+            prefix: self.stem.clone(),
+            accesses: Vec::new(),
+            clocks: Vec::new(),
+            sleep: 0,
+            floor: self.stem.len(),
+        };
+        let root_out = if workers <= 1 {
+            let mut ctx = new_ctx();
+            ctx.subtree_begin();
+            let out = run_task(&shared, 0, 0, &mut ctx, root);
+            ctx.subtree_end();
+            out
+        } else {
+            let mut root_out = None;
+            std::thread::scope(|scope| {
+                for me in 1..workers {
+                    let shared = &shared;
+                    scope.spawn(move || worker_loop(shared, me));
+                }
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut ctx = (shared.new_ctx)();
+                    ctx.subtree_begin();
+                    let out = run_task(&shared, 0, 0, &mut ctx, root);
+                    ctx.subtree_end();
+                    out
+                }));
+                match result {
+                    Ok(out) => root_out = Some(out),
+                    Err(payload) => shared.record_poison(payload),
+                }
+                shared.shutdown.store(true, Ordering::SeqCst);
+            });
+            if let Some(payload) = shared.poison.lock().unwrap().take() {
+                std::panic::resume_unwind(payload);
+            }
+            root_out.expect("root exploration completed without a panic")
+        };
+        ExploreOutcome {
+            runs: root_out.runs,
+            exhausted: !root_out.capped,
+            pruned: root_out.pruned,
+            cut_runs: root_out.cut_runs,
+        }
+    }
+}
+
+/// Body of a spawned DPOR worker: steal and execute subtree tasks until
+/// the root exploration shuts the pool down.
+fn worker_loop<C, NF, F>(shared: &DporShared<'_, NF, F>, me: usize)
+where
+    C: ReplayCtx,
+    NF: Fn() -> C + Sync,
+    F: Fn(&mut C, &mut ScheduleDriver) + Sync,
+{
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut ctx = (shared.new_ctx)();
+        let mut idle = 0u32;
+        while !shared.shutdown.load(Ordering::SeqCst) {
+            match shared.steal_task(me) {
+                Some((slot, task)) => {
+                    idle = 0;
+                    execute_task(shared, me, 0, &mut ctx, task, &slot);
+                }
+                None => backoff(&mut idle),
+            }
+        }
+    }));
+    if let Err(payload) = result {
+        shared.record_poison(payload);
+    }
+}
+
+/// Runs one claimed task inside its `subtree_begin`/`subtree_end`
+/// bracket and publishes the result on its slot.
+fn execute_task<C, NF, F>(
+    shared: &DporShared<'_, NF, F>,
+    me: usize,
+    help_depth: usize,
+    ctx: &mut C,
+    task: SubtreeTask,
+    slot: &TaskSlot,
+) where
+    C: ReplayCtx,
+    NF: Fn() -> C + Sync,
+    F: Fn(&mut C, &mut ScheduleDriver) + Sync,
+{
+    ctx.subtree_begin();
+    let out = run_task(shared, me, help_depth, ctx, task);
+    ctx.subtree_end();
+    slot.complete(out);
+}
+
+/// Blocks until `slot` is done, claiming it back (and running it on
+/// this thread) if no thief took it, or helping with other queued tasks
+/// while a thief finishes.
+fn join_slot<C, NF, F>(
+    shared: &DporShared<'_, NF, F>,
+    me: usize,
+    help_depth: usize,
+    ctx: &mut C,
+    slot: &Arc<TaskSlot>,
+) -> TaskOutput
+where
+    C: ReplayCtx,
+    NF: Fn() -> C + Sync,
+    F: Fn(&mut C, &mut ScheduleDriver) + Sync,
+{
+    if let Some(task) = slot.claim() {
+        shared.queued.fetch_sub(1, Ordering::Relaxed);
+        // Never stolen: run it right here, exactly where the sequential
+        // explorer would have.
+        ctx.subtree_begin();
+        let out = run_task(shared, me, help_depth, ctx, task);
+        ctx.subtree_end();
+        slot.state.store(TASK_DONE, Ordering::SeqCst);
+        return out;
+    }
+    let mut idle = 0u32;
+    loop {
+        if slot.is_done() {
+            return slot
+                .output
+                .lock()
+                .unwrap()
+                .take()
+                .expect("done task has an output");
+        }
+        if shared.poisoned.load(Ordering::SeqCst) {
+            panic!("source-DPOR exploration aborted: a worker's runner panicked");
+        }
+        // The thief is still working: make progress on other tasks
+        // instead of spinning (bounded nesting keeps the stack sane).
+        if help_depth < MAX_HELP_DEPTH {
+            if let Some((other, task)) = shared.steal_task(me) {
+                idle = 0;
+                execute_task(shared, me, help_depth + 1, ctx, task, &other);
+                continue;
+            }
+        }
+        backoff(&mut idle);
+    }
+}
+
+/// Idle wait: yield a few times, then sleep briefly — keeps oversubscribed
+/// pools (more workers than cores) from starving the productive thread.
+fn backoff(idle: &mut u32) {
+    *idle += 1;
+    if *idle < 64 {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    }
+}
+
+/// Explores one subtree to exhaustion (or budget cap): the sequential
+/// wakeup-free source-set DPOR loop of PR 3, generalised with a ghost
+/// prefix, escaping race demands, and sibling delegation.
+fn run_task<C, NF, F>(
+    shared: &DporShared<'_, NF, F>,
+    me: usize,
+    help_depth: usize,
+    ctx: &mut C,
+    task: SubtreeTask,
+) -> TaskOutput
+where
+    C: ReplayCtx,
+    NF: Fn() -> C + Sync,
+    F: Fn(&mut C, &mut ScheduleDriver) + Sync,
+{
+    let floor = task.floor;
+    let mut out = TaskOutput::default();
+    let mut spine: Vec<SpineNode> = task
+        .prefix
+        .iter()
+        .zip(&task.accesses)
+        .map(|(&chosen, &access)| SpineNode::ghost(chosen, access))
+        .collect();
+    let mut clocks = task.clocks;
+    let mut next: Option<(Vec<usize>, u64)> = Some((task.prefix, task.sleep));
+    // First race-detection window: for a delegated subtree the last
+    // prefix step (the reversal itself) is new and must be analysed;
+    // for the root task this is 0, as in the sequential explorer.
+    let mut first_run = true;
+    let first_window = spine.len().saturating_sub(1);
+    while let Some((prefix, sleep_after_prefix)) = next.take() {
+        // Abort promptly when any worker's runner panicked: tasks are
+        // deliberately coarse, so waiting for the subtree to finish
+        // could mean millions of further replays before the panic
+        // surfaces. The output is discarded on poison anyway.
+        if shared.poisoned.load(Ordering::SeqCst) {
+            panic!("source-DPOR exploration aborted: a worker's runner panicked");
+        }
+        // Reserve a replay against the global budget.
+        if shared.replays.fetch_add(1, Ordering::SeqCst) >= shared.max_runs {
+            shared.replays.fetch_sub(1, Ordering::SeqCst);
+            out.capped = true;
+            drain_delegated(shared, me, help_depth, ctx, &mut spine, floor, &mut out);
+            return out;
+        }
+        let replay_prefix_len = prefix.len();
+        let mut driver = ScheduleDriver::dpor(prefix, sleep_after_prefix, spine.len());
+        (shared.runner)(ctx, &mut driver);
+        if driver.cut {
+            out.cut_runs += 1;
+        } else {
+            out.runs += 1;
+        }
+        out.pruned += driver.pruned;
+        let DriverMode::Dpor { observed, .. } = driver.mode else {
+            unreachable!("DPOR explorer uses DPOR drivers");
+        };
+        // Extend the spine with this run's recorded decisions
+        // (observed[0] is the decision at the current spine tip).
+        for obs in observed {
+            let chosen = driver.chosen[spine.len()];
+            let access = obs
+                .pending
+                .get(
+                    obs.runnable
+                        .iter()
+                        .position(|&p| p == chosen)
+                        .unwrap_or(usize::MAX),
+                )
+                .copied()
+                .unwrap_or(PendingAccess::LOCAL);
+            spine.push(SpineNode {
+                runnable: obs.runnable,
+                pending: obs.pending,
+                sleep_now: obs.sleep,
+                done: 0,
+                backtrack: vec![chosen],
+                chosen,
+                access,
+                delegated: Vec::new(),
+            });
+        }
+        // Race detection: only pairs whose later step is new this run
+        // (pairs entirely inside the replayed prefix were handled when
+        // that prefix first ran).
+        let first_new = if first_run {
+            first_window
+        } else {
+            replay_prefix_len.saturating_sub(1)
+        };
+        first_run = false;
+        add_race_reversals(
+            &mut spine,
+            &mut clocks,
+            first_new,
+            floor,
+            shared.hard_stem,
+            &mut out.escapes,
+        );
+        // Backtrack: retire finished children bottom-up until a
+        // decision point with an unexplored backtrack candidate is
+        // found, then descend into it.
+        loop {
+            if spine.len() <= floor {
+                return out;
+            }
+            let d = spine.len() - 1;
+            {
+                let node = &mut spine[d];
+                node.done |= 1 << node.chosen;
+                node.sleep_now |= 1 << node.chosen;
+            }
+            // Join delegated siblings before scanning for further
+            // candidates: their escapes merge exactly where the
+            // sequential explorer would have applied them.
+            join_delegated(shared, me, help_depth, ctx, &mut spine, d, floor, &mut out);
+            let candidate = {
+                let node = &spine[d];
+                node.backtrack
+                    .iter()
+                    .copied()
+                    .find(|&q| node.done & (1 << q) == 0 && node.sleep_now & (1 << q) == 0)
+            };
+            if let Some(q) = candidate {
+                let (access, sleep_child) = {
+                    let node = &spine[d];
+                    let access = node.pending_of(q);
+                    (
+                        access,
+                        filter_independent(node.sleep_now, access, &node.runnable, &node.pending),
+                    )
+                };
+                publish_extras(shared, me, &mut spine, d, q, &clocks);
+                let node = &mut spine[d];
+                node.chosen = q;
+                node.access = access;
+                let prefix: Vec<usize> = spine.iter().map(|n| n.chosen).collect();
+                next = Some((prefix, sleep_child));
+                break;
+            }
+            let node = &spine[d];
+            out.pruned += (node.runnable.len() as u64) - u64::from(node.done.count_ones());
+            debug_assert!(node.delegated.is_empty(), "popping a node with open joins");
+            spine.pop();
+        }
+    }
+    unreachable!("the DPOR task loop exits via its returns")
+}
+
+/// Publishes every further eligible backtrack candidate of `spine[d]`
+/// (beyond the owner's own continuation `q`) as a frozen subtree task,
+/// accumulating the sleep set in the same order the sequential
+/// candidate scan would have — delegated or not, each candidate is
+/// explored with identical inputs.
+fn publish_extras<NF, F>(
+    shared: &DporShared<'_, NF, F>,
+    me: usize,
+    spine: &mut [SpineNode],
+    d: usize,
+    q: usize,
+    clocks: &[Vec<u32>],
+) {
+    if shared.deques.len() <= 1 {
+        return; // sequential exploration: candidates stay on the spine
+    }
+    // Starvation-driven splitting: publish only while the backlog is
+    // short of one task per worker. Most backtrack visits are
+    // leaf-adjacent, and publishing there would shatter the tree into
+    // thousands of tiny tasks — all prefix-replay and shard overhead,
+    // no parallelism gain.
+    let backlog_cap = shared.deques.len();
+    let mut sleep_acc = spine[d].sleep_now | (1 << q);
+    let mut done_acc = spine[d].done | (1 << q);
+    let mut published: Vec<(usize, Arc<TaskSlot>)> = Vec::new();
+    for i in 0..spine[d].backtrack.len() {
+        if shared.queued.load(Ordering::Relaxed) >= backlog_cap {
+            break;
+        }
+        let e = spine[d].backtrack[i];
+        if done_acc & (1 << e) != 0 || sleep_acc & (1 << e) != 0 {
+            // Explored, delegated, or permanently sleep-blocked (sleep
+            // sets only grow, so a blocked candidate stays blocked).
+            continue;
+        }
+        let access_e = spine[d].pending_of(e);
+        let sleep_e =
+            filter_independent(sleep_acc, access_e, &spine[d].runnable, &spine[d].pending);
+        let mut prefix: Vec<usize> = spine[..d].iter().map(|n| n.chosen).collect();
+        prefix.push(e);
+        let mut accesses: Vec<PendingAccess> = spine[..d].iter().map(|n| n.access).collect();
+        accesses.push(access_e);
+        debug_assert!(clocks.len() >= d, "prefix clocks cached up to the tip");
+        let task = SubtreeTask {
+            floor: prefix.len(),
+            prefix,
+            accesses,
+            clocks: clocks[..d].to_vec(),
+            sleep: sleep_e,
+        };
+        let slot = Arc::new(TaskSlot::new(task));
+        shared.deques[me]
+            .lock()
+            .unwrap()
+            .push_back(Arc::clone(&slot));
+        shared.queued.fetch_add(1, Ordering::Relaxed);
+        published.push((e, slot));
+        spine[d].done |= 1 << e;
+        done_acc |= 1 << e;
+        sleep_acc |= 1 << e;
+    }
+    spine[d].delegated.extend(published);
+}
+
+/// Joins every delegated sibling of `spine[d]` in publish order,
+/// merging counters and escapes: demands at or above this task's floor
+/// apply to the live spine, deeper-escaping demands bubble up.
+#[allow(clippy::too_many_arguments)]
+fn join_delegated<C, NF, F>(
+    shared: &DporShared<'_, NF, F>,
+    me: usize,
+    help_depth: usize,
+    ctx: &mut C,
+    spine: &mut [SpineNode],
+    d: usize,
+    floor: usize,
+    out: &mut TaskOutput,
+) where
+    C: ReplayCtx,
+    NF: Fn() -> C + Sync,
+    F: Fn(&mut C, &mut ScheduleDriver) + Sync,
+{
+    if spine[d].delegated.is_empty() {
+        return;
+    }
+    let delegated = std::mem::take(&mut spine[d].delegated);
+    for (proc, slot) in delegated {
+        let res = join_slot(shared, me, help_depth, ctx, &slot);
+        out.runs += res.runs;
+        out.cut_runs += res.cut_runs;
+        out.pruned += res.pruned;
+        out.capped |= res.capped;
+        for esc in res.escapes {
+            if esc.depth >= floor {
+                apply_escape(&mut spine[esc.depth], esc);
+            } else {
+                out.escapes.push(esc);
+            }
+        }
+        let node = &mut spine[d];
+        node.done |= 1 << proc;
+        node.sleep_now |= 1 << proc;
+    }
+}
+
+/// On a budget cap the task unwinds early; its delegated subtrees still
+/// need joining (their workers observe the cap and finish quickly) so
+/// the totals stay consistent and no slot is orphaned.
+fn drain_delegated<C, NF, F>(
+    shared: &DporShared<'_, NF, F>,
+    me: usize,
+    help_depth: usize,
+    ctx: &mut C,
+    spine: &mut [SpineNode],
+    floor: usize,
+    out: &mut TaskOutput,
+) where
+    C: ReplayCtx,
+    NF: Fn() -> C + Sync,
+    F: Fn(&mut C, &mut ScheduleDriver) + Sync,
+{
+    for d in (0..spine.len()).rev() {
+        if spine[d].delegated.is_empty() {
+            continue;
+        }
+        join_delegated(shared, me, help_depth, ctx, spine, d, floor, out);
+    }
+}
+
+/// Applies one escaped backtrack demand to its decision node: the
+/// wakeup-free source-set rule, identical to the in-task application in
+/// [`add_race_reversals`].
+fn apply_escape(node: &mut SpineNode, esc: Escape) {
+    if !esc.initials.iter().any(|p| node.backtrack.contains(p)) {
+        debug_assert!(esc.initials.contains(&esc.first_proc));
+        node.backtrack.push(esc.first_proc);
     }
 }
 
@@ -806,20 +1428,30 @@ impl Explorer {
 /// race, the wakeup-free source-set rule applies: if no *weak initial*
 /// of the reversing continuation is already in `backtrack(j)`, the
 /// process of the first reversing step is added.
+///
+/// Demands at depths below `apply_floor` cannot be applied here (those
+/// nodes are ghosts owned by a parent task): they are recorded in
+/// `escapes` in detection order, except below `hard_stem` (the
+/// user-supplied stem, which is never backtracked into at all).
 fn add_race_reversals(
     spine: &mut [SpineNode],
     clocks: &mut Vec<Vec<u32>>,
     first_new: usize,
-    stem_len: usize,
+    apply_floor: usize,
+    hard_stem: usize,
+    escapes: &mut Vec<Escape>,
 ) {
     let len = spine.len();
     if len == 0 {
         clocks.clear();
         return;
     }
+    // Ghost nodes have empty `runnable`; their `chosen` still bounds
+    // the process universe.
     let nprocs = spine
         .iter()
         .flat_map(|n| n.runnable.iter().copied())
+        .chain(spine.iter().map(|n| n.chosen))
         .max()
         .unwrap_or(0)
         + 1;
@@ -863,7 +1495,7 @@ fn add_race_reversals(
             if !clock_leq(&clocks[j], &base) {
                 // Not yet happens-before `k` through closer steps: this
                 // is an immediate race (when by another process).
-                if q != p && k >= first_new && j >= stem_len {
+                if q != p && k >= first_new && j >= hard_stem {
                     races.push(j);
                 }
                 for (x, y) in base.iter_mut().zip(&clocks[j]) {
@@ -899,10 +1531,21 @@ fn add_race_reversals(
         }
     }
     for (j, first_proc, initials) in additions {
-        let node = &mut spine[j];
-        if !initials.iter().any(|p| node.backtrack.contains(p)) {
-            debug_assert!(initials.contains(&first_proc));
-            node.backtrack.push(first_proc);
+        if j >= apply_floor {
+            apply_escape(
+                &mut spine[j],
+                Escape {
+                    depth: j,
+                    first_proc,
+                    initials,
+                },
+            );
+        } else {
+            escapes.push(Escape {
+                depth: j,
+                first_proc,
+                initials,
+            });
         }
     }
 }
@@ -994,6 +1637,29 @@ mod tests {
                 })
                 .collect();
             world.run(programs, driver, 100)
+        }
+    }
+
+    /// A bushier racy workload for the parallel differential tests:
+    /// `n` processes, each writing the shared register and its own.
+    fn mixed_runner(n: usize) -> impl Fn(&mut ScheduleDriver) -> RunOutcome + Sync {
+        move |driver: &mut ScheduleDriver| {
+            let world = SimWorld::new(n);
+            let mem = world.mem();
+            let shared = mem.alloc("X", 0u64);
+            let programs: Vec<crate::Program> = (0..n)
+                .map(|i| {
+                    let s = shared.clone();
+                    let own = mem.alloc(&format!("R{i}"), 0u64);
+                    Box::new(move |_| {
+                        s.write(i as u64);
+                        own.write(1);
+                        let v = s.read();
+                        own.write(v);
+                    }) as crate::Program
+                })
+                .collect();
+            world.run(programs, driver, 1_000)
         }
     }
 
@@ -1113,6 +1779,71 @@ mod tests {
         );
     }
 
+    /// The headline determinism guarantee of the partitioned DPOR
+    /// explorer: at any worker count, runs, cut replays, pruned totals,
+    /// and the set of explored schedules are bit-identical to the
+    /// sequential exploration.
+    #[test]
+    fn parallel_dpor_is_bit_identical_to_sequential() {
+        use std::collections::BTreeSet;
+        for n in [3, 4] {
+            let explore_at = |workers: usize| {
+                let runner = mixed_runner(n);
+                let scripts = Mutex::new(BTreeSet::new());
+                let explorer = Explorer {
+                    mode: PruneMode::SourceDpor,
+                    workers,
+                    ..Explorer::default()
+                };
+                let out = explorer.explore(|d| {
+                    let o = runner(d);
+                    if !d.was_cut() {
+                        scripts.lock().unwrap().insert(o.script());
+                    }
+                    o
+                });
+                assert!(out.exhausted, "{n} procs at {workers} workers");
+                (out, scripts.into_inner().unwrap())
+            };
+            let (seq, seq_scripts) = explore_at(1);
+            for workers in [2, 4, 8] {
+                let (par, par_scripts) = explore_at(workers);
+                assert_eq!(seq, par, "{n} procs: outcome diverged at {workers} workers");
+                assert_eq!(
+                    seq_scripts, par_scripts,
+                    "{n} procs: schedule set diverged at {workers} workers"
+                );
+            }
+        }
+    }
+
+    /// Parallel DPOR with a stem: same restriction, same counts.
+    #[test]
+    fn parallel_dpor_respects_the_stem() {
+        let explore_at = |workers: usize| {
+            let explorer = Explorer {
+                mode: PruneMode::SourceDpor,
+                workers,
+                stem: vec![2],
+                ..Explorer::default()
+            };
+            let runner = mixed_runner(3);
+            let scripts = Mutex::new(Vec::new());
+            let out = explorer.explore(|d| {
+                let o = runner(d);
+                scripts.lock().unwrap().push(o.script());
+                o
+            });
+            for s in scripts.into_inner().unwrap() {
+                assert_eq!(s[0], 2, "every schedule extends the stem");
+            }
+            out
+        };
+        let seq = explore_at(1);
+        assert!(seq.exhausted);
+        assert_eq!(seq, explore_at(4));
+    }
+
     /// Every mode visits the same set of final memory states (the
     /// verdict-relevant abstraction of the schedule space) on a racy
     /// workload.
@@ -1177,6 +1908,60 @@ mod tests {
             let outcome = explorer.explore(writers_runner(3, false));
             assert_eq!(outcome.schedules_replayed(), 3, "{mode:?}");
             assert!(!outcome.exhausted, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn env_workers_parses_the_env_contract() {
+        // Not set in the test environment by default.
+        if std::env::var("SL_EXPLORE_THREADS").is_err() {
+            assert_eq!(env_workers(), 1);
+        }
+    }
+
+    /// The subtree hooks bracket the root exploration sequentially and
+    /// every delegated task in parallel mode (counts balance).
+    #[test]
+    fn replay_ctx_subtree_hooks_balance() {
+        struct Hooked<'a> {
+            begun: &'a AtomicUsize,
+            ended: &'a AtomicUsize,
+            open: usize,
+        }
+        impl ReplayCtx for Hooked<'_> {
+            fn subtree_begin(&mut self) {
+                self.begun.fetch_add(1, Ordering::SeqCst);
+                self.open += 1;
+            }
+            fn subtree_end(&mut self) {
+                assert!(self.open > 0, "end without begin");
+                self.open -= 1;
+                self.ended.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        for workers in [1, 4] {
+            let begun = AtomicUsize::new(0);
+            let ended = AtomicUsize::new(0);
+            let runner = mixed_runner(3);
+            let explorer = Explorer {
+                mode: PruneMode::SourceDpor,
+                workers,
+                ..Explorer::default()
+            };
+            let out = explorer.explore_with(
+                || Hooked {
+                    begun: &begun,
+                    ended: &ended,
+                    open: 0,
+                },
+                |_, d| {
+                    runner(d);
+                },
+            );
+            assert!(out.exhausted);
+            let b = begun.load(Ordering::SeqCst);
+            assert_eq!(b, ended.load(Ordering::SeqCst), "{workers} workers");
+            assert!(b >= 1);
         }
     }
 }

@@ -27,16 +27,24 @@
 //! * [`Explorer`] enumerates adversary schedules depth-first and
 //!   stateless (a decision prefix is replayed to reconstruct any node —
 //!   cheap, because replays run on the VM), streaming each transcript
-//!   into `sl_check::TreeBuilder` as it is produced. Pruning is
-//!   selected by [`PruneMode`]: **sleep sets** over declared pending
-//!   accesses (schedules that differ only in the order of commuting
-//!   register accesses are explored once; work-stealing worker pool),
-//!   or — the default — **source-set DPOR** (wakeup-free
+//!   into `sl_check`'s builders as it is produced. Pruning is selected
+//!   by [`PruneMode`]: **sleep sets** over declared pending accesses
+//!   (schedules that differ only in the order of commuting register
+//!   accesses are explored once; work-stealing worker pool), or — the
+//!   default — **source-set DPOR** (wakeup-free
 //!   Abdulla–Aronis–Jonsson–Sagonas), which detects races in each
 //!   executed schedule with vector clocks and backtracks only where a
 //!   reversal is demanded, typically replaying several times fewer
-//!   schedules than sleep sets alone. The prefix trees it builds are
-//!   the input for strong-linearizability model checking. The
+//!   schedules than sleep sets alone. Source DPOR **parallelises by
+//!   per-subtree ownership** (`Explorer::workers`, or
+//!   [`env_workers`]): sibling backtrack candidates are delegated as
+//!   frozen subtree tasks onto a work-stealing deque, escaping race
+//!   demands merge at the joins, and the result — schedule set,
+//!   counts, merged transcript DAG — is bit-identical to sequential
+//!   exploration at any worker count. Replays run on warm worlds:
+//!   [`SimWorld::reset`] restores registers to their `alloc`-time
+//!   values (keeping names, ids, and allocation sites), and trace
+//!   buffers, VM cores, and fiber stacks are recycled. The
 //!   script-replay [`explore`] function remains for compatibility.
 //!
 //! The original thread-per-process engine has been retired; the
@@ -74,13 +82,17 @@ mod explore;
 mod fiber;
 mod log;
 mod mem;
+mod pool;
 mod sched;
 mod vm;
 mod world;
 
-pub use explore::{explore, ExploreOutcome, Explorer, PruneMode, ScheduleDriver};
+pub use explore::{
+    env_workers, explore, ExploreOutcome, Explorer, PruneMode, ReplayCtx, ScheduleDriver,
+};
 pub use log::EventLog;
 pub use mem::{SimMem, SimRegister};
+pub use pool::{ReplayPool, Sharded};
 pub use sched::{FnScheduler, RoundRobin, Scheduler, Scripted, SeededRandom, STOP_RUN};
 pub use world::{
     AccessKind, Decision, PendingAccess, ProcCtx, Program, RegId, RunConfig, RunOutcome, SchedView,

@@ -81,20 +81,38 @@ impl<S: SeqSpec> EventLog<S> {
         self.inner.lock().unwrap().history.clone()
     }
 
+    /// Clears the recorded history so the log can serve another run of
+    /// the same (reset) world — the event-side counterpart of
+    /// [`crate::SimWorld::reset`].
+    pub fn reset(&self) {
+        self.inner.lock().unwrap().history.clear();
+    }
+
     /// Reconstructs the full transcript of a run: high-level events and
     /// internal register steps, in execution order, in the form consumed
     /// by `sl_check::HistoryTree::from_transcripts`.
     pub fn transcript(&self, outcome: &RunOutcome) -> Vec<TreeStep<S>> {
+        let mut steps = Vec::with_capacity(outcome.trace.len());
+        self.transcript_into(outcome, &mut steps);
+        steps
+    }
+
+    /// [`EventLog::transcript`] into a caller-owned buffer (cleared
+    /// first): the explorer's replay loop reuses one buffer across
+    /// thousands of schedules instead of allocating per run.
+    pub fn transcript_into(&self, outcome: &RunOutcome, steps: &mut Vec<TreeStep<S>>) {
+        steps.clear();
+        steps.reserve(outcome.trace.len());
         let inner = self.inner.lock().unwrap();
-        let events: Vec<Event<S>> = inner.history.events().to_vec();
-        outcome
-            .trace
-            .iter()
-            .map(|item| match item {
-                TraceItem::Step(s) => TreeStep::internal(ProcId(s.proc), &s.label()),
-                TraceItem::Hi(i) => TreeStep::Event(events[*i].clone()),
-            })
-            .collect()
+        let events: &[Event<S>] = inner.history.events();
+        let mut label = String::new();
+        steps.extend(outcome.trace.iter().map(|item| match item {
+            TraceItem::Step(s) => {
+                s.write_label(&mut label);
+                TreeStep::internal(ProcId(s.proc), &label)
+            }
+            TraceItem::Hi(i) => TreeStep::Event(events[*i].clone()),
+        }));
     }
 
     /// Renders the full transcript for humans, one line per trace item:

@@ -25,34 +25,48 @@ impl std::fmt::Debug for SimMem {
     }
 }
 
+impl SimMem {
+    #[track_caller]
+    fn alloc_impl<T: Value>(&self, name: &str, init: T) -> SimRegister<T> {
+        let site = Location::caller();
+        let cell = Arc::new(Mutex::new(init.clone()));
+        // The reset closure re-seeds the cell with the alloc-time
+        // initial value; the allocation-site table itself survives a
+        // reset (see `SimWorld::reset`).
+        let reset_cell = Arc::clone(&cell);
+        let reset = Box::new(move || *reset_cell.lock().unwrap() = init.clone());
+        let (id, name) = self.world.register(name, site, reset);
+        SimRegister {
+            world: self.world.clone(),
+            id,
+            name,
+            site,
+            cell,
+        }
+    }
+
+    /// Restores every allocated register to its `alloc`-time initial
+    /// value, keeping names, dense [`RegId`]s, and allocation sites.
+    /// [`SimWorld::reset`] calls this (and additionally clears the
+    /// run latch and discards in-run allocations); use `SimMem::reset`
+    /// directly to re-seed memory between hand-driven runs.
+    pub fn reset(&self) {
+        self.world.reset_registers(None);
+    }
+}
+
 impl Mem for SimMem {
     type Reg<T: Value> = SimRegister<T>;
     type Cell<T: Value> = SimRegister<T>;
 
     #[track_caller]
     fn alloc<T: Value>(&self, name: &str, init: T) -> Self::Reg<T> {
-        let site = Location::caller();
-        let (id, name) = self.world.register(name, site);
-        SimRegister {
-            world: self.world.clone(),
-            id,
-            name,
-            site,
-            cell: Arc::new(Mutex::new(init)),
-        }
+        self.alloc_impl(name, init)
     }
 
     #[track_caller]
     fn alloc_cell<T: Value>(&self, name: &str, init: T) -> Self::Cell<T> {
-        let site = Location::caller();
-        let (id, name) = self.world.register(name, site);
-        SimRegister {
-            world: self.world.clone(),
-            id,
-            name,
-            site,
-            cell: Arc::new(Mutex::new(init)),
-        }
+        self.alloc_impl(name, init)
     }
 }
 
@@ -113,14 +127,15 @@ impl<T: Value> SimRegister<T> {
 
 impl<T: Value> Register<T> for SimRegister<T> {
     fn read(&self) -> T {
-        let cell = Arc::clone(&self.cell);
+        // The access closure borrows `self.cell` — no per-step Arc
+        // traffic on the replay hot path.
         self.world.step(
             self.id,
             &self.name,
             self.site,
             AccessKind::Read,
-            move |label_wanted| {
-                let v = cell.lock().unwrap().clone();
+            |label_wanted| {
+                let v = self.cell.lock().unwrap().clone();
                 let label = if label_wanted {
                     format!("{v:?}")
                 } else {
@@ -132,19 +147,18 @@ impl<T: Value> Register<T> for SimRegister<T> {
     }
 
     fn write(&self, value: T) {
-        let cell = Arc::clone(&self.cell);
         self.world.step(
             self.id,
             &self.name,
             self.site,
             AccessKind::Write,
-            move |label_wanted| {
+            |label_wanted| {
                 let label = if label_wanted {
                     format!("{value:?}")
                 } else {
                     String::new()
                 };
-                *cell.lock().unwrap() = value;
+                *self.cell.lock().unwrap() = value;
                 ((), label)
             },
         );
@@ -153,14 +167,13 @@ impl<T: Value> Register<T> for SimRegister<T> {
 
 impl<T: Value> RmwCell<T> for SimRegister<T> {
     fn update(&self, f: impl FnOnce(&T) -> T) -> T {
-        let cell = Arc::clone(&self.cell);
         self.world.step(
             self.id,
             &self.name,
             self.site,
             AccessKind::Rmw,
-            move |label_wanted| {
-                let mut guard = cell.lock().unwrap();
+            |label_wanted| {
+                let mut guard = self.cell.lock().unwrap();
                 let old = guard.clone();
                 let new = f(&old);
                 let label = if label_wanted {

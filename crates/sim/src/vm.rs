@@ -80,6 +80,41 @@ impl VmCore {
             config,
         }
     }
+
+    /// Re-initialises a recycled core for a fresh run, keeping buffer
+    /// capacity.
+    fn reinit(&mut self, n: usize, config: RunConfig) {
+        self.current = 0;
+        self.state.clear();
+        self.state.resize(n, ProcState::Running);
+        self.pending.clear();
+        self.pending.resize(
+            n,
+            PendingAccess {
+                reg: RegId::LOCAL,
+                kind: AccessKind::Local,
+            },
+        );
+        self.aborted = false;
+        self.trace.clear();
+        self.steps_per_proc.clear();
+        self.steps_per_proc.resize(n, 0);
+        self.decisions.clear();
+        self.total_steps = 0;
+        self.config = config;
+    }
+}
+
+/// Recycled per-world run state: the boxed [`VmCore`] of the previous
+/// run plus trace/decision buffers handed back via
+/// [`crate::SimWorld::recycle`]. Replays on a reset world take their
+/// allocations from here instead of the allocator — one of the two
+/// levers (with fiber-stack pooling) that make a warm replay cheap.
+#[derive(Default)]
+pub(crate) struct SpareVm {
+    pub(crate) core: Option<Box<VmCore>>,
+    pub(crate) trace: Vec<TraceItem>,
+    pub(crate) decisions: Vec<Decision>,
 }
 
 /// One shared-memory step taken from inside a fiber: declare the
@@ -192,11 +227,37 @@ pub(crate) fn run_vm(
     assert_eq!(programs.len(), n, "one program per process");
     {
         let mut st = world.inner.state.lock().unwrap();
-        assert!(!st.started, "a SimWorld can run only once");
+        assert!(
+            !st.started,
+            "a SimWorld runs once per reset (see SimWorld::reset)"
+        );
         st.started = true;
+        if st.reg_floor.is_none() {
+            // Registers allocated from here on belong to the run and
+            // are discarded by a reset.
+            st.reg_floor = Some(world.register_count());
+        }
     }
 
-    let mut vm = Box::new(VmCore::new(n, config));
+    // Reuse the previous run's core and buffers when the world was
+    // reset; build fresh ones otherwise.
+    let mut vm = {
+        let mut spare = world.inner.spare.lock().unwrap();
+        let mut core = match spare.core.take() {
+            Some(mut core) => {
+                core.reinit(n, config);
+                core
+            }
+            None => Box::new(VmCore::new(n, config)),
+        };
+        if core.trace.capacity() == 0 {
+            core.trace = std::mem::take(&mut spare.trace);
+        }
+        if core.decisions.capacity() == 0 {
+            core.decisions = std::mem::take(&mut spare.decisions);
+        }
+        core
+    };
     let vm_ptr: *mut VmCore = &mut *vm;
     world.inner.active_vm.store(vm_ptr, Ordering::SeqCst);
     // Clear the published pointer even if we unwind (propagating a
@@ -326,12 +387,20 @@ pub(crate) fn run_vm(
             }
         };
 
-        let core = &mut *vm_ptr;
-        RunOutcome {
-            completed,
-            steps_per_proc: core.steps_per_proc.clone(),
-            trace: std::mem::take(&mut core.trace),
-            decisions: std::mem::take(&mut core.decisions),
-        }
+        let outcome = {
+            let core = &mut *vm_ptr;
+            RunOutcome {
+                completed,
+                steps_per_proc: core.steps_per_proc.clone(),
+                trace: std::mem::take(&mut core.trace),
+                decisions: std::mem::take(&mut core.decisions),
+            }
+        };
+        // Unpublish the core before stashing it for the next run on a
+        // reset world (fibers are all done; the guard's later clear is
+        // a no-op).
+        drop(_clear);
+        world.inner.spare.lock().unwrap().core = Some(vm);
+        outcome
     }
 }

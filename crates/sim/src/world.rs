@@ -125,7 +125,18 @@ pub struct StepRecord {
 impl StepRecord {
     /// A stable label describing the step (register, kind, value).
     pub fn label(&self) -> String {
-        format!("{}.{}({})", self.reg, self.kind, self.value)
+        let mut buf = String::with_capacity(self.reg.len() + self.value.len() + 8);
+        self.write_label(&mut buf);
+        buf
+    }
+
+    /// Writes [`StepRecord::label`] into `buf` (cleared first) —
+    /// transcript conversion reuses one buffer across a run's steps
+    /// instead of allocating a `String` per step.
+    pub fn write_label(&self, buf: &mut String) {
+        use std::fmt::Write;
+        buf.clear();
+        let _ = write!(buf, "{}.{}({})", self.reg, self.kind, self.value);
     }
 
     /// A human-readable one-line rendering including the register's
@@ -362,8 +373,14 @@ impl ProcCtx {
 }
 
 pub(crate) struct WorldState {
-    /// A world is single-shot; set by the first (only) run.
+    /// Set while a run is executing or after one completed; cleared by
+    /// [`SimWorld::reset`], which makes the world runnable again.
     pub(crate) started: bool,
+    /// Number of registers allocated before the first run (the
+    /// allocation-site table a reset preserves); registers allocated
+    /// *during* a run are discarded by the reset so replayed setups
+    /// re-derive identical dense [`RegId`]s.
+    pub(crate) reg_floor: Option<usize>,
 }
 
 /// Metadata recorded for every allocated register.
@@ -371,6 +388,8 @@ pub(crate) struct RegMeta {
     pub(crate) name: Arc<str>,
     #[allow(dead_code)]
     pub(crate) site: &'static Location<'static>,
+    /// Restores the register's cell to its `alloc`-time initial value.
+    pub(crate) reset: Box<dyn Fn() + Send + Sync>,
 }
 
 pub(crate) struct WorldInner {
@@ -384,6 +403,9 @@ pub(crate) struct WorldInner {
     pub(crate) active_vm: AtomicPtr<VmCore>,
     /// Shared name of the pseudo-register recorded for pause steps.
     pub(crate) local_name: Arc<str>,
+    /// Recycled VM core and trace buffers: a replay on a reset world
+    /// re-executes on warm allocations instead of fresh ones.
+    pub(crate) spare: Mutex<crate::vm::SpareVm>,
 }
 
 /// Panic payload used to unwind simulated processes when a run is
@@ -433,12 +455,62 @@ impl SimWorld {
         install_quiet_abort_hook();
         SimWorld {
             inner: Arc::new(WorldInner {
-                state: Mutex::new(WorldState { started: false }),
+                state: Mutex::new(WorldState {
+                    started: false,
+                    reg_floor: None,
+                }),
                 registry: Mutex::new(Vec::new()),
                 active_vm: AtomicPtr::new(std::ptr::null_mut()),
                 local_name: Arc::from("(local)"),
+                spare: Mutex::new(crate::vm::SpareVm::default()),
             }),
             n,
+        }
+    }
+
+    /// Makes a finished world runnable again, byte-identically to a
+    /// freshly built one: every register allocated *before* the first
+    /// run is restored to its `alloc`-time initial value (names, dense
+    /// [`RegId`]s, and allocation sites are kept — that table is what a
+    /// replayed setup must agree with), registers allocated *during* a
+    /// run are dropped from the registry so a replayed program
+    /// re-allocates them under the same ids, and the single-shot run
+    /// latch is cleared.
+    ///
+    /// Together with rebuilding the per-process programs (closures over
+    /// the same handles), this is what lets the explorer replay
+    /// thousands of schedules per second on one warm world instead of
+    /// building a fresh `SimWorld` — with fresh registers, object, and
+    /// buffers — per schedule. The object under test must keep all its
+    /// *mutable* state in `Mem` registers (true of every shared-memory
+    /// algorithm in this workspace; process-local state belongs in
+    /// handles, which are rebuilt per replay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a run is executing.
+    pub fn reset(&self) {
+        assert!(
+            self.inner.active_vm.load(Ordering::SeqCst).is_null(),
+            "cannot reset a running world"
+        );
+        let mut st = self.inner.state.lock().unwrap();
+        st.started = false;
+        let floor = st.reg_floor;
+        drop(st);
+        self.reset_registers(floor);
+    }
+
+    /// Restores register values (and truncates in-run allocations to
+    /// `floor`, when one was recorded). Shared by [`SimWorld::reset`]
+    /// and [`SimMem::reset`].
+    pub(crate) fn reset_registers(&self, floor: Option<usize>) {
+        let mut registry = self.inner.registry.lock().unwrap();
+        if let Some(floor) = floor {
+            registry.truncate(floor);
+        }
+        for meta in registry.iter() {
+            (meta.reset)();
         }
     }
 
@@ -469,11 +541,14 @@ impl SimWorld {
             .map(|m| Arc::clone(&m.name))
     }
 
-    /// Records a register allocation; called by [`SimMem`].
+    /// Records a register allocation; called by [`SimMem`]. `reset`
+    /// restores the register's cell to its initial value on
+    /// [`SimWorld::reset`].
     pub(crate) fn register(
         &self,
         name: &str,
         site: &'static Location<'static>,
+        reset: Box<dyn Fn() + Send + Sync>,
     ) -> (RegId, Arc<str>) {
         let mut registry = self.inner.registry.lock().unwrap();
         let id = RegId(u32::try_from(registry.len()).expect("too many registers"));
@@ -481,8 +556,30 @@ impl SimWorld {
         registry.push(RegMeta {
             name: Arc::clone(&name),
             site,
+            reset,
         });
         (id, name)
+    }
+
+    /// Returns a finished run's trace and decision buffers to the
+    /// world's spare pool, so the next run on this (reset) world reuses
+    /// their capacity instead of allocating fresh ones. Purely an
+    /// optimisation — dropping the outcome instead is always correct.
+    pub fn recycle(&self, outcome: RunOutcome) {
+        let RunOutcome {
+            mut trace,
+            mut decisions,
+            ..
+        } = outcome;
+        trace.clear();
+        decisions.clear();
+        let mut spare = self.inner.spare.lock().unwrap();
+        if spare.trace.capacity() < trace.capacity() {
+            spare.trace = trace;
+        }
+        if spare.decisions.capacity() < decisions.capacity() {
+            spare.decisions = decisions;
+        }
     }
 
     /// Runs `programs` (one per process) under `scheduler`, admitting at

@@ -177,6 +177,103 @@ fn atomic_register_is_strongly_linearizable_under_exhaustive_exploration() {
     assert!(report.holds, "an atomic register is strongly linearizable");
 }
 
+/// World reuse: a reset world must replay a schedule **byte-identically**
+/// to a freshly built one — same step records (register names, dense
+/// ids, values, allocation sites), same transcript, same pretty
+/// rendering (the format pinned by
+/// `pretty_trace_format_carries_allocation_sites`). This is the
+/// contract the pooled explorer relies on.
+#[test]
+fn reset_world_replays_byte_identical_transcripts() {
+    let build = || {
+        let world = SimWorld::new(2);
+        let mem = world.mem();
+        let reg = mem.alloc("X", None::<u64>);
+        let log: EventLog<Spec> = EventLog::new(&world);
+        (world, reg, log)
+    };
+    let programs = |reg: &sl_sim::SimRegister<Option<u64>>, log: &EventLog<Spec>| -> Vec<Program> {
+        let r0 = reg.clone();
+        let r1 = reg.clone();
+        let l0 = log.clone();
+        let l1 = log.clone();
+        vec![
+            Box::new(move |ctx| {
+                ctx.pause();
+                let id = l0.invoke(ctx.proc_id(), RegisterOp::Write(7));
+                r0.write(Some(7));
+                l0.respond(id, RegisterResp::Ack);
+            }),
+            Box::new(move |ctx| {
+                ctx.pause();
+                let id = l1.invoke(ctx.proc_id(), RegisterOp::Read);
+                let v = r1.read();
+                l1.respond(id, RegisterResp::Value(v));
+            }),
+        ]
+    };
+    let script = vec![0usize, 1, 0, 1, 0, 1, 0, 1];
+
+    // Fresh world, one run: the reference.
+    let (fresh_world, fresh_reg, fresh_log) = build();
+    let mut sched = Scripted::new(script.clone());
+    let reference = fresh_world.run(programs(&fresh_reg, &fresh_log), &mut sched, 100);
+    assert!(reference.completed);
+
+    // Reused world: run a *different* schedule first (dirtying memory
+    // and history), then reset and replay the reference schedule.
+    let (world, reg, log) = build();
+    let mut other = Scripted::new(vec![1, 1, 0, 0, 1, 0, 0, 1]);
+    let dirty = world.run(programs(&reg, &log), &mut other, 100);
+    assert!(dirty.completed);
+    assert_ne!(dirty.trace, reference.trace, "the dirtying run differs");
+    world.reset();
+    log.reset();
+    assert_eq!(reg.peek(), None, "reset restores the initial value");
+    let mut sched = Scripted::new(script);
+    let replay = world.run(programs(&reg, &log), &mut sched, 100);
+    assert_eq!(replay.trace, reference.trace, "byte-identical step records");
+    assert_eq!(
+        log.transcript(&replay),
+        fresh_log.transcript(&reference),
+        "byte-identical transcripts"
+    );
+    assert_eq!(
+        log.pretty_transcript(&replay),
+        fresh_log.pretty_transcript(&reference),
+        "byte-identical pretty rendering (allocation sites preserved)"
+    );
+}
+
+/// Registers allocated *during* a run are discarded by the reset, so a
+/// replayed setup re-derives identical dense ids.
+#[test]
+fn reset_discards_in_run_allocations() {
+    let world = SimWorld::new(1);
+    let mem = world.mem();
+    let reg = mem.alloc("X", 0u64);
+    assert_eq!(world.register_count(), 1);
+    let run = |world: &SimWorld, reg: &sl_sim::SimRegister<u64>, mem: &sl_sim::SimMem| {
+        let r = reg.clone();
+        let m = mem.clone();
+        world.run(
+            vec![Box::new(move |_| {
+                let lazy = m.alloc("lazy", 1u64);
+                r.write(lazy.read());
+            })],
+            &mut RoundRobin::new(),
+            100,
+        )
+    };
+    let first = run(&world, &reg, &mem);
+    assert!(first.completed);
+    assert_eq!(world.register_count(), 2, "in-run allocation recorded");
+    world.reset();
+    assert_eq!(world.register_count(), 1, "in-run allocation discarded");
+    let second = run(&world, &reg, &mem);
+    assert_eq!(first.trace, second.trace, "same dense ids on replay");
+}
+
 #[test]
 fn proc_ctx_reports_identity() {
     let world = SimWorld::new(3);

@@ -177,6 +177,15 @@ impl<S: SeqSpec> History<S> {
         }
     }
 
+    /// Removes every event and resets identifier assignment, keeping
+    /// the event buffer's capacity — for harnesses that record
+    /// thousands of short histories back to back (one per replayed
+    /// schedule).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.next_op = 0;
+    }
+
     /// Appends an invocation event with a fresh operation identifier and
     /// returns that identifier.
     pub fn invoke(&mut self, proc: ProcId, op: S::Op) -> OpId {

@@ -129,20 +129,46 @@
 //! `api::sim::DriveOps` for your handle (or pass an explicit apply
 //! closure to `explore_object_with` / the fuzz entry points).
 //!
+//! ## Parallel exploration
+//!
+//! Source-set DPOR now runs **partitioned across worker threads**: when
+//! a decision node holds several unexplored backtrack candidates, the
+//! owning worker keeps one and publishes the rest as frozen subtree
+//! tasks onto a work-stealing deque; race reversals that point above a
+//! delegated subtree's root are carried back and merged at the join, in
+//! exactly the order the sequential algorithm would have applied them.
+//! The guarantee is **determinism**: at any worker count the explorer
+//! visits the identical schedule set, reports identical replay/cut/
+//! pruned counts, and — via per-subtree `check::DagBuilder` shards
+//! hash-cons-merged with `check::TreeDag::merge` — produces a
+//! structurally identical transcript DAG (asserted by randomized
+//! differential tests at 1/2/4/8 workers, and by a CI baseline gate).
+//!
+//! Set `SimExplore::workers` (or the `SL_EXPLORE_THREADS` environment
+//! variable: `0` = one per CPU) to parallelise; replays also reuse one
+//! warm `sim::SimWorld` per worker (`SimWorld::reset` restores every
+//! register to its `alloc`-time value between schedules) instead of
+//! building a fresh world per schedule. The object under test must keep
+//! its mutable state in `mem::Mem` registers — true of every
+//! shared-memory algorithm; per-process state lives in handles, which
+//! are rebuilt per replay.
+//!
 //! ## Depth budgets
 //!
-//! What exhausts where, after the DPOR + memoised-checker + transcript-
-//! DAG work (Algorithm-2 family; schedule counts are exact — the
-//! explorer is deterministic):
+//! What exhausts where, after the parallel-DPOR + world-reuse work
+//! (Algorithm-2 family; schedule counts are exact — the explorer is
+//! deterministic at any worker count; wall-clocks measured at 1 worker
+//! on the reference container, so multi-core runners divide the deep
+//! rows further):
 //!
 //! | Workload | Schedules (DPOR) | Tier |
 //! |---|---|---|
 //! | 2 procs: 1 DWrite vs 1 DRead | 17 | tier-1 (ms) |
 //! | 3 procs: 2 writers + 1 reader, 1 op each | 2,746 | tier-1 (ms) |
-//! | 2 procs: 2 DWrites vs 2 DReads | 7,228 | tier-1 (seconds, debug) |
-//! | 3 procs mixed: writers 2+1 ops, reader 1 op | 204,257 | sim-deep (~10 s release) |
-//! | 2 procs: 3 DWrites vs 2 DReads | 240,239 | sim-deep (~15 s release) |
-//! | 3 procs: 2 ops per process (writers) | 2,752,674 | sim-deep (~1–2 min release) |
+//! | 2 procs: 2 DWrites vs 2 DReads | 7,228 | tier-1 (<1 s debug, was ~5 s) |
+//! | 3 procs mixed: writers 2+1 ops, reader 1 op | 204,257 | sim-deep (~4 s release, was ~10 s) |
+//! | 2 procs: 3 DWrites vs 2 DReads | 240,239 | sim-deep (~6 s release, was ~15 s) |
+//! | 3 procs: 2 ops per process (writers) | 2,752,674 | sim-deep (~37 s release at 1 worker, was ~1–2 min; under 30 s at ≥2 workers) |
 //! | 3 procs: 2 ops per process, mixed roles | ≫ millions | beyond budget today |
 //!
 //! Deep explorations stream transcripts into `check::DagBuilder` (a
