@@ -5,9 +5,9 @@
 //! fresh `SimMem` — typically an [`crate::ObjectBuilder`] chain), a
 //! per-process workload of sequential-spec operations, and an
 //! [`SimExplore`] budget; it enumerates adversary schedules on the step
-//! VM with source-set DPOR pruning, streams every transcript into an
-//! incremental prefix tree, and hands back an [`ExploredObject`] ready
-//! for `sl_check`'s deciders:
+//! VM with value-aware source-set DPOR pruning, streams every
+//! transcript into an incremental prefix tree, and hands back an
+//! [`ExploredObject`] ready for `sl_check`'s deciders:
 //!
 //! ```
 //! use sl_api::sim::{explore_object, SimExplore};
@@ -122,7 +122,8 @@ where
 pub struct SimExplore {
     /// Stop after this many executed schedules.
     pub max_runs: usize,
-    /// Partial-order reduction level (default: source-set DPOR).
+    /// Partial-order reduction level (default: value-aware source-set
+    /// DPOR, [`PruneMode::ValueDpor`]).
     pub mode: PruneMode,
     /// Worker threads replaying schedules in parallel. Source-set DPOR
     /// partitions the schedule tree into delegated subtrees and is

@@ -17,11 +17,13 @@
 //! | `exp_space` | §4.1 vs §4.3: unbounded versioned construction vs bounded Algorithm 3 space |
 //! | `exp_sim_throughput` | Step-VM steps/sec vs the legacy thread-handoff engine, per recording configuration |
 
+pub mod baseline;
 pub mod obs4;
 pub mod table;
 pub mod timing;
 pub mod trace;
 
+pub use baseline::{Baseline, Gate};
 pub use obs4::{obs4_scripts, run_obs4_family, FamilyRun};
 pub use table::print_table;
 pub use timing::{bench, time_ns_per_op};

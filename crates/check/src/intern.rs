@@ -1,22 +1,37 @@
-//! Interned step labels.
+//! Interned step identities: labels, values, registers, and the packed
+//! [`StepCode`] transcript unit.
 //!
 //! Transcript trees contain millions of edges but only a handful of
-//! *distinct* internal-step labels (register × access kind × value).
-//! Before interning, every edge owned its own heap `String`; now an
-//! internal edge carries a [`Symbol`] — a `Copy` id resolving to the
-//! label text — so tree edges, memo keys, and conflict paths are plain
-//! integers.
+//! *distinct* internal-step identities (register × access kind ×
+//! value). Two generations of representation live here:
 //!
-//! The interner is process-wide rather than per-tree: transcripts are
-//! produced by the simulator's `EventLog` *before* any tree exists, and
-//! the explorer's workers stream steps from many threads into one
-//! shared `TreeBuilder`, so a single shared table avoids threading an
-//! interner handle through every producer. Each distinct label is
-//! stored exactly once for the lifetime of the process (strictly less
-//! memory than the per-edge `String`s it replaces; the label universe
-//! is bounded by the workload under test).
+//! * [`Symbol`] — an interned label *string*. Still the representation
+//!   for hand-written transcripts (tests, worked examples), and the
+//!   storage every decoded label ends up in.
+//! * [`StepCode`] — the canonical transcript unit of the simulator
+//!   pipeline: one `u64` packing the process id, the step kind, the
+//!   interned register identity ([`RegSym`]: allocation name + site),
+//!   and the interned value identity ([`ValueId`]). A traced step is
+//!   encoded without rendering anything — the VM interns the *value*
+//!   (a typed hash-map probe, no `Debug` formatting), packs, and the
+//!   code flows unconverted through the explorer into the transcript
+//!   DAG and the strong-linearizability checker, which compare steps
+//!   by integer equality. Label *text* is produced only on the report
+//!   and pretty paths, by [`StepCode::write_label`] — a lazy decoder.
+//!
+//! All interners are process-wide: transcripts are produced by many
+//! explorer workers and compared across worlds, so identity must be
+//! global. Each distinct label/value/register is stored exactly once
+//! for the lifetime of the process (the universe is bounded by the
+//! workload under test). Ids are assigned in first-intern order —
+//! nondeterministic across thread interleavings, but *consistent*
+//! within a process: equal keys always map to equal ids, which is the
+//! only property transcript merging and structural hashing rely on.
 
+use std::any::{Any, TypeId};
 use std::collections::HashMap;
+use std::fmt::{Debug, Write as _};
+use std::hash::Hash;
 use std::sync::{OnceLock, RwLock};
 
 /// An interned step label: a `Copy` id standing for the label string.
@@ -81,6 +96,357 @@ impl std::fmt::Display for Symbol {
     }
 }
 
+// ---------------------------------------------------------------------
+// Value interning
+// ---------------------------------------------------------------------
+
+/// An interned register value: a `Copy` id standing for one distinct
+/// value (of any `Eq + Hash + Debug` type). Interning is a typed
+/// hash-map probe on the value itself — no `Debug` rendering happens
+/// until someone asks for the label via [`ValueId::render_into`].
+///
+/// Two ids are equal iff they were interned from equal values *of the
+/// same type*. [`ValueId::NONE`] is the absent value (pause steps,
+/// untraced runs); it renders as the empty string.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ValueId(u32);
+
+impl ValueId {
+    /// The absent value: pause steps and untraced runs. Renders as "".
+    pub const NONE: ValueId = ValueId(0);
+
+    /// Whether this is the absent value.
+    pub fn is_none(self) -> bool {
+        self == ValueId::NONE
+    }
+
+    /// The raw id (diagnostics only).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Object-safe rendering of a stored value; implemented for every
+/// internable type via `Debug`.
+trait DynValue: Send + Sync {
+    fn render_dyn(&self, buf: &mut String);
+}
+
+impl<T: Debug + Send + Sync> DynValue for T {
+    fn render_dyn(&self, buf: &mut String) {
+        let _ = write!(buf, "{self:?}");
+    }
+}
+
+struct ValueInterner {
+    /// Per-type probe tables: `TypeId -> HashMap<T, u32>`.
+    maps: HashMap<TypeId, Box<dyn Any + Send + Sync>>,
+    /// `entries[id - 1]` renders the value with id `id` (id 0 is
+    /// [`ValueId::NONE`] and has no entry).
+    entries: Vec<Box<dyn DynValue>>,
+}
+
+fn value_interner() -> &'static RwLock<ValueInterner> {
+    static VALUES: OnceLock<RwLock<ValueInterner>> = OnceLock::new();
+    VALUES.get_or_init(|| {
+        RwLock::new(ValueInterner {
+            maps: HashMap::new(),
+            entries: Vec::new(),
+        })
+    })
+}
+
+impl ValueId {
+    /// Interns `value`, returning its id. Idempotent; the hot path is
+    /// one shared-lock typed hash-map probe.
+    pub fn of<T>(value: &T) -> ValueId
+    where
+        T: Clone + Eq + Hash + Debug + Send + Sync + 'static,
+    {
+        let type_id = TypeId::of::<T>();
+        {
+            let int = value_interner().read().unwrap();
+            if let Some(map) = int.maps.get(&type_id) {
+                let map = map.downcast_ref::<HashMap<T, u32>>().expect("typed map");
+                if let Some(&id) = map.get(value) {
+                    return ValueId(id);
+                }
+            }
+        }
+        let mut guard = value_interner().write().unwrap();
+        let ValueInterner { maps, entries } = &mut *guard;
+        let next = u32::try_from(entries.len() + 1).expect("too many distinct traced values");
+        let map = maps
+            .entry(type_id)
+            .or_insert_with(|| Box::new(HashMap::<T, u32>::new()))
+            .downcast_mut::<HashMap<T, u32>>()
+            .expect("typed map");
+        if let Some(&id) = map.get(value) {
+            return ValueId(id);
+        }
+        map.insert(value.clone(), next);
+        entries.push(Box::new(value.clone()));
+        ValueId(next)
+    }
+
+    /// Appends this value's `Debug` rendering to `buf` (the lazy half
+    /// of the zero-format pipeline). [`ValueId::NONE`] appends nothing.
+    pub fn render_into(self, buf: &mut String) {
+        if self == ValueId::NONE {
+            return;
+        }
+        let int = value_interner().read().unwrap();
+        int.entries[self.0 as usize - 1].render_dyn(buf);
+    }
+
+    /// This value's `Debug` rendering as a fresh string.
+    pub fn render(self) -> String {
+        let mut buf = String::new();
+        self.render_into(&mut buf);
+        buf
+    }
+}
+
+// ---------------------------------------------------------------------
+// Register interning
+// ---------------------------------------------------------------------
+
+/// An interned register identity: allocation name plus allocation site
+/// (file, line, column). Registers allocated under the same name at the
+/// same site — across worlds, workers, and replays — share one
+/// `RegSym`, which is what makes [`StepCode`]s comparable across the
+/// per-worker worlds of a parallel exploration.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RegSym(u32);
+
+struct RegEntry {
+    name: &'static str,
+    file: &'static str,
+    line: u32,
+}
+
+struct RegInterner {
+    by_key: HashMap<(String, &'static str, u32, u32), u32>,
+    entries: Vec<RegEntry>,
+}
+
+fn reg_interner() -> &'static RwLock<RegInterner> {
+    static REGS: OnceLock<RwLock<RegInterner>> = OnceLock::new();
+    REGS.get_or_init(|| {
+        RwLock::new(RegInterner {
+            by_key: HashMap::new(),
+            entries: vec![RegEntry {
+                // Entry 0: the pseudo-register of pause steps.
+                name: "(local)",
+                file: "",
+                line: 0,
+            }],
+        })
+    })
+}
+
+impl RegSym {
+    /// The pseudo-register recorded for scheduled no-op (pause) steps.
+    pub const LOCAL: RegSym = RegSym(0);
+
+    /// Interns a register identity. Idempotent; called once per
+    /// register *allocation* (the setup path), never per step.
+    pub fn intern(name: &str, file: &'static str, line: u32, column: u32) -> RegSym {
+        let key = (name.to_owned(), file, line, column);
+        {
+            let int = reg_interner().read().unwrap();
+            if let Some(&id) = int.by_key.get(&key) {
+                return RegSym(id);
+            }
+        }
+        let mut int = reg_interner().write().unwrap();
+        if let Some(&id) = int.by_key.get(&key) {
+            return RegSym(id);
+        }
+        let name: &'static str = Box::leak(key.0.clone().into_boxed_str());
+        let id = u32::try_from(int.entries.len()).expect("too many distinct registers");
+        int.entries.push(RegEntry { name, file, line });
+        int.by_key.insert(key, id);
+        RegSym(id)
+    }
+
+    /// The register's allocation name.
+    pub fn name(self) -> &'static str {
+        reg_interner().read().unwrap().entries[self.0 as usize].name
+    }
+
+    /// The register's allocation site as `(file, line)`.
+    pub fn site(self) -> (&'static str, u32) {
+        let int = reg_interner().read().unwrap();
+        let e = &int.entries[self.0 as usize];
+        (e.file, e.line)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The packed step code
+// ---------------------------------------------------------------------
+
+/// Kind of an internal step, as carried by a [`StepCode`]. Mirrors the
+/// simulator's access kinds (defined here because `sl-check` sits below
+/// `sl-sim` in the dependency graph).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StepKind {
+    /// A register read.
+    Read,
+    /// A register write.
+    Write,
+    /// An atomic read-modify-write.
+    Rmw,
+    /// A scheduled no-op (pause).
+    Local,
+}
+
+impl StepKind {
+    /// The lowercase name used in decoded labels (`X.write(5)`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StepKind::Read => "read",
+            StepKind::Write => "write",
+            StepKind::Rmw => "rmw",
+            StepKind::Local => "local",
+        }
+    }
+
+    fn from_bits(bits: u64) -> StepKind {
+        match bits {
+            0 => StepKind::Read,
+            1 => StepKind::Write,
+            2 => StepKind::Rmw,
+            _ => StepKind::Local,
+        }
+    }
+}
+
+const TAG_SYMBOL: u64 = 1 << 63;
+const PROC_SHIFT: u64 = 56;
+const PROC_MAX: u64 = 0x7f;
+const KIND_SHIFT: u64 = 54;
+const REG_SHIFT: u64 = 32;
+const REG_MAX: u64 = (1 << 22) - 1;
+
+/// The canonical transcript unit: one `u64` identifying an internal
+/// step completely. Two layouts share the type, distinguished by the
+/// top bit:
+///
+/// * **Packed** (the simulator pipeline): process id (7 bits), step
+///   kind (2 bits), [`RegSym`] (22 bits), [`ValueId`] (32 bits). Built
+///   by the VM's trace recording with zero rendering.
+/// * **Symbolic** (hand-written transcripts): an interned [`Symbol`]
+///   label. Built by [`crate::TreeStep::internal`].
+///
+/// Equality is integer equality; equal codes decode to byte-identical
+/// labels (pinned by test). Codes of different layouts never compare
+/// equal — a transcript set mixes them only if its producer does.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StepCode(u64);
+
+impl StepCode {
+    /// Packs a simulator step. Panics if the process id or register
+    /// symbol exceed their fields (the VM enforces ≤ 64 processes
+    /// already; 4M distinct registers is far beyond any workload).
+    pub fn pack(proc: usize, kind: StepKind, reg: RegSym, value: ValueId) -> StepCode {
+        let proc = proc as u64;
+        assert!(proc <= PROC_MAX, "step codes support at most 128 processes");
+        let reg = reg.0 as u64;
+        assert!(reg <= REG_MAX, "too many distinct registers to pack");
+        StepCode(
+            (proc << PROC_SHIFT)
+                | ((kind as u64) << KIND_SHIFT)
+                | (reg << REG_SHIFT)
+                | value.0 as u64,
+        )
+    }
+
+    /// Wraps an interned label as a symbolic code.
+    pub fn symbol(sym: Symbol) -> StepCode {
+        StepCode(TAG_SYMBOL | sym.0 as u64)
+    }
+
+    /// Interns `label` and wraps it (the hand-written-transcript path).
+    pub fn of_label(label: &str) -> StepCode {
+        StepCode::symbol(Symbol::intern(label))
+    }
+
+    /// Whether this is a packed simulator step (vs a symbolic label).
+    pub fn is_packed(self) -> bool {
+        self.0 & TAG_SYMBOL == 0
+    }
+
+    /// The packed process id; `None` for symbolic codes.
+    pub fn proc(self) -> Option<usize> {
+        self.is_packed()
+            .then_some(((self.0 >> PROC_SHIFT) & PROC_MAX) as usize)
+    }
+
+    /// The packed step kind; `None` for symbolic codes.
+    pub fn kind(self) -> Option<StepKind> {
+        self.is_packed()
+            .then(|| StepKind::from_bits((self.0 >> KIND_SHIFT) & 0x3))
+    }
+
+    /// The packed register identity; `None` for symbolic codes.
+    pub fn reg(self) -> Option<RegSym> {
+        self.is_packed()
+            .then_some(RegSym(((self.0 >> REG_SHIFT) & REG_MAX) as u32))
+    }
+
+    /// The packed value identity; `None` for symbolic codes.
+    pub fn value(self) -> Option<ValueId> {
+        self.is_packed().then_some(ValueId(self.0 as u32))
+    }
+
+    /// The raw code (diagnostics only).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Appends the step's label to `buf`: `reg.kind(value)` for packed
+    /// codes (identical to the string the retired eager pipeline
+    /// produced), the interned label for symbolic ones. This is the
+    /// *only* place packed steps are ever rendered — reports and pretty
+    /// transcripts call it; the checking pipeline never does.
+    pub fn write_label(self, buf: &mut String) {
+        if let (Some(kind), Some(reg), Some(value)) = (self.kind(), self.reg(), self.value()) {
+            buf.push_str(reg.name());
+            buf.push('.');
+            buf.push_str(kind.as_str());
+            buf.push('(');
+            value.render_into(buf);
+            buf.push(')');
+        } else {
+            buf.push_str(Symbol(self.0 as u32).as_str());
+        }
+    }
+
+    /// The step's label as a fresh string (prefer
+    /// [`StepCode::write_label`] on hot report paths).
+    pub fn label(self) -> String {
+        let mut buf = String::new();
+        self.write_label(&mut buf);
+        buf
+    }
+}
+
+impl std::fmt::Debug for StepCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut buf = String::new();
+        self.write_label(&mut buf);
+        write!(f, "{buf}")
+    }
+}
+
+impl std::fmt::Display for StepCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self, f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +478,95 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn value_ids_roundtrip_through_debug_rendering() {
+        let a = ValueId::of(&7u64);
+        let b = ValueId::of(&7u64);
+        let c = ValueId::of(&8u64);
+        assert_eq!(a, b, "equal values intern to equal ids");
+        assert_ne!(a, c);
+        assert_eq!(a.render(), "7");
+        assert_eq!(c.render(), "8");
+        // Distinct types never collide, even with equal renderings.
+        let s = ValueId::of(&"7".to_string());
+        assert_ne!(a, s);
+        assert_eq!(s.render(), "\"7\"");
+        // Structured values render exactly as their Debug impl.
+        let v = ValueId::of(&Some((1u32, false)));
+        assert_eq!(v.render(), "Some((1, false))");
+        assert_eq!(ValueId::NONE.render(), "");
+    }
+
+    #[test]
+    fn value_interning_is_deterministic_across_threads() {
+        // Many threads race to intern the same values: every thread
+        // must observe the same id per value (a wrong double-insert
+        // would hand out two ids for one value).
+        let ids: Vec<Vec<ValueId>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        (0..64u64)
+                            .map(|v| ValueId::of(&(v % 16, "race")))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for other in &ids[1..] {
+            assert_eq!(&ids[0], other, "interning diverged across threads");
+        }
+        for (v, id) in ids[0].iter().enumerate() {
+            assert_eq!(id.render(), format!("({}, \"race\")", v as u64 % 16));
+        }
+    }
+
+    #[test]
+    fn reg_syms_dedupe_by_name_and_site() {
+        let a = RegSym::intern("X", "foo.rs", 10, 5);
+        let b = RegSym::intern("X", "foo.rs", 10, 5);
+        let c = RegSym::intern("X", "foo.rs", 11, 5);
+        let d = RegSym::intern("Y", "foo.rs", 10, 5);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "same name, different site: distinct registers");
+        assert_ne!(a, d);
+        assert_eq!(a.name(), "X");
+        assert_eq!(a.site(), ("foo.rs", 10));
+        assert_eq!(RegSym::LOCAL.name(), "(local)");
+    }
+
+    /// The pin the zero-format pipeline rests on: equal `StepCode`s
+    /// decode to byte-identical labels, and the packed decoding matches
+    /// the label format of the retired eager pipeline exactly.
+    #[test]
+    fn equal_step_codes_decode_to_byte_identical_labels() {
+        let reg = RegSym::intern("X", "pin.rs", 1, 1);
+        let v = ValueId::of(&5u64);
+        let a = StepCode::pack(0, StepKind::Write, reg, v);
+        let b = StepCode::pack(0, StepKind::Write, reg, v);
+        assert_eq!(a, b);
+        assert_eq!(a.label(), b.label());
+        assert_eq!(a.label(), "X.write(5)", "the eager pipeline's format");
+        assert_eq!(a.proc(), Some(0));
+        assert_eq!(a.kind(), Some(StepKind::Write));
+        assert_eq!(a.reg(), Some(reg));
+        assert_eq!(a.value(), Some(v));
+        // Round-trip through every field of the packing.
+        let deep = StepCode::pack(63, StepKind::Rmw, reg, ValueId::of(&(u64::MAX, i32::MIN)));
+        assert_eq!(deep.proc(), Some(63));
+        assert_eq!(deep.kind(), Some(StepKind::Rmw));
+        // Pause steps render like the eager pipeline did (empty value).
+        let pause = StepCode::pack(1, StepKind::Local, RegSym::LOCAL, ValueId::NONE);
+        assert_eq!(pause.label(), "(local).local()");
+        // Symbolic codes round-trip their label and never equal packed
+        // codes.
+        let sym = StepCode::of_label("X.write(5)");
+        assert_eq!(sym.label(), "X.write(5)");
+        assert!(!sym.is_packed());
+        assert_ne!(sym, a, "layouts are distinct identities");
+        assert_eq!(sym, StepCode::of_label("X.write(5)"));
     }
 }

@@ -21,13 +21,15 @@
 //! Transcript sets come in two representations: the materialised
 //! [`HistoryTree`] (simple, any insertion order) and the hash-consed
 //! [`TreeDag`] (structurally interned subtrees; built incrementally by
-//! [`DagBuilder`] from depth-first exploration streams). Step labels
-//! are interned [`Symbol`]s, so edges are `Copy` ids. The strong
-//! checker memoises on exact `(subtree shape, linearization residue)`
-//! keys — see [`check_strongly_linearizable_dag`] for the
-//! deep-exploration entry point and
-//! [`check_strongly_linearizable_unmemoised`] for the differential
-//! oracle.
+//! [`DagBuilder`] from depth-first exploration streams). Internal steps
+//! are packed [`StepCode`]s — one `Copy` `u64` of interned ids
+//! (register [`RegSym`], value [`ValueId`]) that is never rendered to
+//! text except on report paths; hand-written transcripts use interned
+//! [`Symbol`] labels through the same type. The strong checker memoises
+//! on exact `(subtree shape, linearization residue)` keys — see
+//! [`check_strongly_linearizable_dag`] for the deep-exploration entry
+//! point and [`check_strongly_linearizable_unmemoised`] for the
+//! differential oracle.
 //!
 //! # Example
 //!
@@ -52,7 +54,7 @@ mod strong;
 mod tree;
 
 pub use dag::{DagBuilder, DagShards, NodeId, TreeDag};
-pub use intern::Symbol;
+pub use intern::{RegSym, StepCode, StepKind, Symbol, ValueId};
 pub use lin::{check_linearizable, LinStep};
 pub use strong::{
     check_strongly_linearizable, check_strongly_linearizable_dag,

@@ -18,26 +18,28 @@
 
 use sl_spec::{Event, History, ProcId, SeqSpec};
 
-use crate::intern::Symbol;
+use crate::intern::StepCode;
 
 /// One step of a transcript: a high-level event or an internal
 /// base-object step.
 pub enum TreeStep<S: SeqSpec> {
     /// A high-level invocation or response event.
     Event(Event<S>),
-    /// An internal step, identified by the process taking it and an
-    /// interned label ([`Symbol`]) describing the step completely
-    /// (object, operation, value). Two internal steps with equal process
-    /// and symbol are the same step for prefix-sharing purposes; the
-    /// symbol is a `Copy` id, so internal edges carry no heap
-    /// allocation.
-    Internal(ProcId, Symbol),
+    /// An internal step, identified by the process taking it and a
+    /// packed [`StepCode`] describing the step completely (register,
+    /// kind, value — all interned ids). Two internal steps with equal
+    /// process and code are the same step for prefix-sharing purposes;
+    /// the code is one `Copy` `u64`, so internal edges carry no heap
+    /// allocation and are never rendered unless a report asks.
+    Internal(ProcId, StepCode),
 }
 
 impl<S: SeqSpec> TreeStep<S> {
-    /// An internal step with the given label (interned on the spot).
+    /// An internal step with the given label (interned on the spot) —
+    /// the hand-written-transcript path; the simulator packs
+    /// [`StepCode`]s directly.
     pub fn internal(proc: ProcId, label: &str) -> Self {
-        TreeStep::Internal(proc, Symbol::intern(label))
+        TreeStep::Internal(proc, StepCode::of_label(label))
     }
 }
 
@@ -95,7 +97,7 @@ impl<S: SeqSpec> std::fmt::Debug for TreeStep<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TreeStep::Event(e) => write!(f, "{e:?}"),
-            TreeStep::Internal(p, l) => write!(f, "{p}·{}", l.as_str()),
+            TreeStep::Internal(p, l) => write!(f, "{p}·{l:?}"),
         }
     }
 }

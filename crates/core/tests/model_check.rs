@@ -245,9 +245,10 @@ fn sl_aba_three_process_mixed_deep() {
     );
 }
 
-/// Pruning soundness cross-check: unpruned, sleep-set, and source-DPOR
-/// explorations give the same strong-linearizability verdict, and the
-/// memoised and unmemoised checkers agree on each tree.
+/// Pruning soundness cross-check: unpruned, sleep-set, source-DPOR,
+/// and value-DPOR explorations give the same strong-linearizability
+/// verdict (and conflict depth), and the memoised and unmemoised
+/// checkers agree on each tree.
 #[test]
 fn all_explorer_modes_and_checkers_agree() {
     for (writes, reads) in [(1, 1), (2, 1)] {
@@ -261,21 +262,89 @@ fn all_explorer_modes_and_checkers_agree() {
         let (uo, utree) = explore_with(PruneMode::Unpruned);
         let (so, stree) = explore_with(PruneMode::SleepSet);
         let (po, ptree) = explore_with(PruneMode::SourceDpor);
-        assert!(uo.exhausted && so.exhausted && po.exhausted);
+        let (vo, vtree) = explore_with(PruneMode::ValueDpor);
+        assert!(uo.exhausted && so.exhausted && po.exhausted && vo.exhausted);
         assert!(po.runs <= uo.runs && so.runs <= uo.runs);
+        assert!(
+            vo.schedules_replayed() <= po.schedules_replayed(),
+            "value-aware DPOR must never replay more than syntactic DPOR"
+        );
         assert!(ptree.node_count() <= utree.node_count());
         let spec = ASpec::new(2);
         let uv = check_strongly_linearizable(&spec, &utree);
         let sv = check_strongly_linearizable(&spec, &stree);
         let pv = check_strongly_linearizable(&spec, &ptree);
+        let vv = check_strongly_linearizable(&spec, &vtree);
         assert_eq!(uv.holds, sv.holds, "sleep sets changed the verdict");
         assert_eq!(uv.holds, pv.holds, "source DPOR changed the verdict");
+        assert_eq!(uv.holds, vv.holds, "value-aware DPOR changed the verdict");
+        assert_eq!(
+            pv.conflict_depth, vv.conflict_depth,
+            "value-aware DPOR changed the conflict depth"
+        );
         assert!(uv.holds, "Theorem 12 at {writes}w{reads}r");
         // Memoised and unmemoised checks agree per tree.
         let plain = check_strongly_linearizable_unmemoised(&spec, &ptree);
         assert_eq!(pv.holds, plain.holds);
         assert_eq!(pv.conflict_depth, plain.conflict_depth);
     }
+}
+
+/// The headline of the value-aware independence relation: on the
+/// pinned mixed-role 3-process workload (two writers + one reader),
+/// value DPOR replays strictly fewer schedules than syntactic source
+/// DPOR, with verdicts and conflict depths equal across both modes and
+/// replay counts plus DAG structural hashes equal across worker counts
+/// 1/2/4/8 within each mode.
+#[test]
+fn value_dpor_reduces_mixed_role_schedules() {
+    let writers = [1u64, 1];
+    let readers = [1u64];
+    let spec = ASpec::new(3);
+    let mut per_mode = Vec::new();
+    for mode in [PruneMode::SourceDpor, PruneMode::ValueDpor] {
+        let mut reference: Option<(sl_sim::ExploreOutcome, u64)> = None;
+        for workers in [1usize, 2, 4, 8] {
+            let explorer = Explorer {
+                max_runs: 1_000_000,
+                mode,
+                workers,
+                stem: vec![],
+            };
+            let (out, dag) = explore_sl_aba_dag(&writers, &readers, &explorer);
+            assert!(out.exhausted, "{mode:?} at {workers} workers");
+            let hash = dag.structural_hash();
+            match &reference {
+                None => {
+                    let report = check_strongly_linearizable_dag(&spec, &dag);
+                    per_mode.push((mode, out.clone(), report));
+                    reference = Some((out, hash));
+                }
+                Some((ref_out, ref_hash)) => {
+                    assert_eq!(
+                        ref_out, &out,
+                        "{mode:?}: counts diverged at {workers} workers"
+                    );
+                    assert_eq!(
+                        ref_hash, &hash,
+                        "{mode:?}: DAG structure diverged at {workers} workers"
+                    );
+                }
+            }
+        }
+    }
+    let (_, ref source_out, ref source_report) = per_mode[0];
+    let (_, ref value_out, ref value_report) = per_mode[1];
+    assert!(
+        value_out.schedules_replayed() < source_out.schedules_replayed(),
+        "value-aware independence must prune mixed-role schedules \
+         (source {} vs value {})",
+        source_out.schedules_replayed(),
+        value_out.schedules_replayed()
+    );
+    assert_eq!(source_report.holds, value_report.holds);
+    assert_eq!(source_report.conflict_depth, value_report.conflict_depth);
+    assert!(source_report.holds, "Theorem 12 on the mixed-role workload");
 }
 
 /// Randomized differential check of the parallel explorer (the
@@ -304,18 +373,16 @@ fn randomized_differential_modes_and_workers() {
         let spec = ASpec::new(n);
         let mut verdicts = Vec::new();
         for mode in [
+            PruneMode::ValueDpor,
             PruneMode::SourceDpor,
             PruneMode::SleepSet,
             PruneMode::Unpruned,
         ] {
-            // The partitioned parallel engine only serves source DPOR;
-            // the frame modes' (older) parallel frontier gets a lighter
-            // sweep.
-            let worker_counts: &[usize] = if mode == PruneMode::SourceDpor {
-                &[1, 2, 4, 8]
-            } else {
-                &[1, 4]
-            };
+            // The partitioned parallel engine only serves the DPOR
+            // modes; the frame modes' (older) parallel frontier gets a
+            // lighter sweep.
+            let dpor = matches!(mode, PruneMode::SourceDpor | PruneMode::ValueDpor);
+            let worker_counts: &[usize] = if dpor { &[1, 2, 4, 8] } else { &[1, 4] };
             let mut reference: Option<(sl_sim::ExploreOutcome, u64, bool)> = None;
             for &workers in worker_counts {
                 let explorer = Explorer {
@@ -327,7 +394,7 @@ fn randomized_differential_modes_and_workers() {
                 // The DAG path shards per subtree in DPOR mode and
                 // falls back to the materialised tree for frame modes;
                 // either way the structural hash is content-based.
-                let (out, hash, verdict) = if mode == PruneMode::SourceDpor {
+                let (out, hash, verdict) = if dpor {
                     let (out, dag) = explore_sl_aba_dag(&writers, &readers, &explorer);
                     let verdict = check_strongly_linearizable_dag(&spec, &dag).holds;
                     (out, dag.structural_hash(), verdict)
@@ -525,7 +592,7 @@ fn algorithm2_linearization(
                 }
             }
             TraceItem::Step(s) => {
-                if s.kind == AccessKind::Local || !s.reg.ends_with(".X") {
+                if s.kind == AccessKind::Local || !s.reg_name().ends_with(".X") {
                     continue;
                 }
                 if let Some(inv) = current[s.proc] {

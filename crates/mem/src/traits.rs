@@ -1,14 +1,17 @@
 //! The `Mem` / `Register` traits and the `Value` bound.
 
 use std::fmt::Debug;
+use std::hash::Hash;
 
 /// Values storable in a shared register.
 ///
 /// Blanket-implemented for every type with the required bounds; never
-/// implement it manually.
-pub trait Value: Clone + Send + Sync + Debug + PartialEq + 'static {}
+/// implement it manually. `Eq + Hash` is what lets tracing backends
+/// (the simulator) intern values by identity instead of rendering a
+/// debug string per traced step.
+pub trait Value: Clone + Send + Sync + Debug + Eq + Hash + 'static {}
 
-impl<T: Clone + Send + Sync + Debug + PartialEq + 'static> Value for T {}
+impl<T: Clone + Send + Sync + Debug + Eq + Hash + 'static> Value for T {}
 
 /// A shared atomic register storing a value of type `T`.
 ///

@@ -19,14 +19,23 @@
 //!     different processes to different registers) are explored once.
 //!     Branches are still recorded for every non-sleeping sibling, and
 //!     frames are distributed over a work-stealing pool of workers.
-//!   - [`PruneMode::SourceDpor`] (the default) runs **source-set
-//!     dynamic partial-order reduction** (the wakeup-free variant of
+//!   - [`PruneMode::SourceDpor`] runs **source-set dynamic
+//!     partial-order reduction** (the wakeup-free variant of
 //!     Abdulla–Aronis–Jonsson–Sagonas SDPOR) on top of the same sleep
 //!     sets: instead of eagerly branching on every sibling, the
 //!     explorer detects *races* in each executed schedule with vector
 //!     clocks over the declared accesses, and backtracks only where a
 //!     reversal is actually demanded. Schedules that sleep sets would
 //!     replay just to cut are mostly never scheduled at all.
+//!   - [`PruneMode::ValueDpor`] (the default) is source-set DPOR with a
+//!     **value-aware** independence relation for race detection: two
+//!     same-register steps additionally commute when they are a
+//!     read/read pair, or a write/write pair storing the *same*
+//!     (interned) value — provided no high-level event marker rode on
+//!     either step's activation. The execution metadata (value id +
+//!     event flag) is observed post-hoc from the recorded trace, so
+//!     only *race detection* is refined; sleep-set filtering keeps the
+//!     conservative syntactic relation (see the soundness section).
 //!
 //! # Parallel source-set DPOR
 //!
@@ -88,14 +97,50 @@
 //! SDPOR: every Mazurkiewicz trace of the schedule space is reachable
 //! from the explored set by the recorded race reversals, so for every
 //! pruned schedule some explored schedule is equivalent to it under
-//! the (conservative) independence relation above. The dependence
-//! relation used for race detection is *exactly*
-//! `!PendingAccess::independent` — same-register accesses always
-//! conflict (even two reads), and `Local` steps conflict with
-//! everything — so the argument above covers it verbatim. The parallel
-//! partitioning does not touch this argument: it changes *who* runs a
-//! subtree and *when* a backtrack demand is written into its node, not
-//! which demands are raised or which candidates are explored.
+//! the (conservative) independence relation above. In
+//! [`PruneMode::SourceDpor`] the dependence relation used for race
+//! detection is *exactly* `!PendingAccess::independent` —
+//! same-register accesses always conflict (even two reads), and
+//! `Local` steps conflict with everything — so the argument above
+//! covers it verbatim. The parallel partitioning does not touch this
+//! argument: it changes *who* runs a subtree and *when* a backtrack
+//! demand is written into its node, not which demands are raised or
+//! which candidates are explored.
+//!
+//! # Why the value-aware refinement is sound
+//!
+//! [`PruneMode::ValueDpor`] refines the independence relation used for
+//! **race detection only**: two executed same-register steps of
+//! different processes additionally commute when they are (a) both
+//! reads, or (b) both writes of the same interned value — and in either
+//! case no invocation/response marker rode on either step's activation
+//! (observed from the recorded trace; unknown metadata is treated as
+//! conflicting). Swapping two adjacent such steps changes nothing
+//! observable: memory is identical after both orders (reads don't
+//! write; same-value writes leave the same value, and the intermediate
+//! state between two same-value writes is that value either way), each
+//! step's record — process, register, kind, value — is unchanged, each
+//! process's continuation is unchanged (a read returns the same value
+//! in both orders), and because neither step carries an event marker,
+//! the interleaving of high-level events with all *other* steps is
+//! untouched. So guarantee (1) above holds for the refined relation,
+//! and guarantee (2) transfers verbatim: a pruned schedule differs
+//! from an explored one only by such swaps, and the strong
+//! linearization function extends along the permutation image exactly
+//! as before.
+//!
+//! Sleep-set filtering deliberately keeps the conservative syntactic
+//! relation (pending accesses are *future* steps — their values and
+//! event markers are unknowable at filter time). Mixing a coarser
+//! relation into sleep sets is sound: sleeping processes wake *more*
+//! often, so sleep sets only ever under-prune relative to the refined
+//! relation, and every subtree a sleep set cuts is covered under the
+//! syntactic relation, hence a fortiori under the refined one. Race
+//! detection and the vector clocks it builds on use the refined
+//! relation consistently with each other, which is what SDPOR's
+//! completeness theorem needs. The pruned-vs-unpruned and
+//! DPOR-vs-value-DPOR verdict-equivalence suites cross-check all of
+//! this on small configurations.
 //!
 //! All of this is **conservative**, and the pruned-vs-unpruned (and
 //! DPOR-vs-sleep-set, and parallel-vs-sequential) verdict-equivalence
@@ -106,8 +151,10 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use sl_check::ValueId;
+
 use crate::sched::{Scheduler, STOP_RUN};
-use crate::world::{PendingAccess, RunOutcome, SchedView};
+use crate::world::{AccessKind, PendingAccess, RunOutcome, SchedView, TraceItem};
 
 /// Statistics of an exploration.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -204,19 +251,27 @@ where
 }
 
 /// How the [`Explorer`] prunes the schedule tree. See the module docs
-/// for the three levels and the soundness argument.
+/// for the four levels and the soundness arguments.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum PruneMode {
     /// Branch on every enabled process at every decision.
     Unpruned,
     /// Sleep sets over declared pending accesses; parallel frontier.
     SleepSet,
-    /// Source-set DPOR (wakeup-free) + sleep sets: backtrack only at
-    /// detected races. Parallelised by per-subtree ownership (see the
-    /// module docs); typically replays far fewer schedules than
+    /// Source-set DPOR (wakeup-free) + sleep sets over the syntactic
+    /// independence relation: backtrack only at detected races.
+    /// Parallelised by per-subtree ownership (see the module docs);
+    /// typically replays far fewer schedules than
     /// [`PruneMode::SleepSet`].
-    #[default]
     SourceDpor,
+    /// Source-set DPOR with **value-aware** race detection (the
+    /// default): same-register read/read pairs and same-value
+    /// write/write pairs additionally commute when no high-level event
+    /// marker rode on either step. Replays strictly no more schedules
+    /// than [`PruneMode::SourceDpor`], and markedly fewer on
+    /// mixed-role (reader-heavy) workloads.
+    #[default]
+    ValueDpor,
 }
 
 /// Per-worker replay state owned by the caller of
@@ -261,14 +316,39 @@ struct Observed {
     sleep: u64,
 }
 
+/// What the execution of one granted step revealed, observed post-hoc
+/// from the recorded trace: the interned value the step read/wrote and
+/// whether a high-level event marker rode on the step's activation.
+/// `(NONE, true)` is the conservative unknown (untraced runs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct ExecMeta {
+    pub(crate) value: ValueId,
+    pub(crate) hi: bool,
+}
+
+impl ExecMeta {
+    const UNKNOWN: ExecMeta = ExecMeta {
+        value: ValueId::NONE,
+        hi: true,
+    };
+}
+
 enum DriverMode {
     /// Record every eligible sibling as a frame (Unpruned / SleepSet).
     Frames { prune: bool, branches: Vec<Frame> },
     /// Record the observed configuration of each decision from
-    /// `record_from` onwards for post-run race detection (SourceDpor).
+    /// `record_from` onwards for post-run race detection (the DPOR
+    /// modes), plus per-decision execution metadata for value-aware
+    /// race detection.
     Dpor {
         record_from: usize,
         observed: Vec<Observed>,
+        /// Execution metadata per decision, aligned with `chosen`;
+        /// decision `i` is finalised at decision `i + 1` (or at
+        /// [`Scheduler::run_end`]), when its step is in the trace.
+        exec: Vec<ExecMeta>,
+        /// Trace items consumed by exec finalisation so far.
+        trace_seen: usize,
     },
 }
 
@@ -350,10 +430,44 @@ impl ScheduleDriver {
             mode: DriverMode::Dpor {
                 record_from,
                 observed: Vec::new(),
+                exec: Vec::new(),
+                trace_seen: 0,
             },
             pruned: 0,
             cut: false,
         }
+    }
+
+    /// Finalises the execution metadata of the previous decision from
+    /// the trace items recorded since it was granted: the step's value
+    /// id, and whether event markers followed it in the same
+    /// activation. No-op outside DPOR mode.
+    fn observe_exec(&mut self, trace: &[TraceItem]) {
+        let DriverMode::Dpor {
+            exec, trace_seen, ..
+        } = &mut self.mode
+        else {
+            return;
+        };
+        let window = &trace[(*trace_seen).min(trace.len())..];
+        *trace_seen = trace.len();
+        if exec.len() >= self.chosen.len() {
+            return; // nothing pending (first decision, or already done)
+        }
+        let mut meta = ExecMeta::UNKNOWN;
+        let mut seen_step = false;
+        for item in window {
+            match item {
+                TraceItem::Step(s) => {
+                    seen_step = true;
+                    meta.value = s.value();
+                    meta.hi = false;
+                }
+                TraceItem::Hi(_) if seen_step => meta.hi = true,
+                TraceItem::Hi(_) => {}
+            }
+        }
+        exec.push(meta);
     }
 
     /// The decision script of the run so far (the full schedule once
@@ -378,6 +492,7 @@ impl ScheduleDriver {
 
 impl Scheduler for ScheduleDriver {
     fn pick(&mut self, view: &SchedView<'_>) -> usize {
+        self.observe_exec(view.trace);
         let i = self.chosen.len();
         if i < self.prefix.len() {
             // Replay: runs are deterministic, so the prefix choice must
@@ -392,6 +507,7 @@ impl Scheduler for ScheduleDriver {
             if let DriverMode::Dpor {
                 record_from,
                 observed,
+                ..
             } = &mut self.mode
             {
                 if i >= *record_from {
@@ -481,6 +597,12 @@ impl Scheduler for ScheduleDriver {
         self.chosen.push(chosen);
         chosen
     }
+
+    fn run_end(&mut self, trace: &[TraceItem]) {
+        // The final decision's step (and any trailing event markers)
+        // entered the trace after the last `pick`: finalise it here.
+        self.observe_exec(trace);
+    }
 }
 
 /// The stateless depth-first schedule explorer with partial-order
@@ -490,7 +612,8 @@ pub struct Explorer {
     /// Stop after this many replays (completed + cut; the space may not
     /// be exhausted).
     pub max_runs: usize,
-    /// Partial-order reduction level (default: source-set DPOR).
+    /// Partial-order reduction level (default: value-aware source-set
+    /// DPOR).
     pub mode: PruneMode,
     /// Worker threads replaying schedules. `1` explores sequentially on
     /// the calling thread; source-set DPOR partitions the schedule tree
@@ -554,7 +677,7 @@ impl Explorer {
         F: Fn(&mut C, &mut ScheduleDriver) + Sync,
     {
         match self.mode {
-            PruneMode::SourceDpor => self.explore_dpor(&new_ctx, &runner),
+            PruneMode::SourceDpor | PruneMode::ValueDpor => self.explore_dpor(&new_ctx, &runner),
             PruneMode::Unpruned | PruneMode::SleepSet => {
                 let root = Frame {
                     script: self.stem.clone(),
@@ -755,9 +878,12 @@ struct SpineNode {
     backtrack: Vec<usize>,
     /// Child currently being explored.
     chosen: usize,
-    /// The declared access `chosen` executes from here — the step of
-    /// the execution word used for race detection.
-    access: PendingAccess,
+    /// The step `chosen` executes from here — declared access plus
+    /// execution metadata — the step of the execution word used for
+    /// race detection. The metadata half is overwritten from the
+    /// driver's execution record after every replay (deterministic:
+    /// replayed prefixes re-derive identical metadata).
+    meta: StepMeta,
     /// Siblings published as frozen subtree tasks, in publish order —
     /// joined (results and escapes merged) when the owner next retires
     /// a child of this node.
@@ -765,7 +891,7 @@ struct SpineNode {
 }
 
 impl SpineNode {
-    fn ghost(chosen: usize, access: PendingAccess) -> SpineNode {
+    fn ghost(chosen: usize, meta: StepMeta) -> SpineNode {
         SpineNode {
             runnable: Vec::new(),
             pending: Vec::new(),
@@ -773,7 +899,7 @@ impl SpineNode {
             done: 0,
             backtrack: Vec::new(),
             chosen,
-            access,
+            meta,
             delegated: Vec::new(),
         }
     }
@@ -785,6 +911,47 @@ impl SpineNode {
             .position(|&q| q == p)
             .expect("backtrack candidate must be enabled");
         self.pending[i]
+    }
+}
+
+/// One step of the executed word as race detection sees it: the
+/// declared [`PendingAccess`] plus the post-hoc [`ExecMeta`].
+#[derive(Clone, Copy, Debug)]
+struct StepMeta {
+    access: PendingAccess,
+    exec: ExecMeta,
+}
+
+impl StepMeta {
+    /// A step whose execution metadata is not (yet) known — treated as
+    /// conflicting by the value-aware refinement.
+    fn unknown(access: PendingAccess) -> StepMeta {
+        StepMeta {
+            access,
+            exec: ExecMeta::UNKNOWN,
+        }
+    }
+}
+
+/// Whether two executed steps of *different* processes commute, under
+/// the mode's independence relation. The syntactic half delegates to
+/// [`PendingAccess::independent`]; `value_aware` adds same-register
+/// read/read and same-value write/write commutation when no high-level
+/// event marker rode on either step (see the module-level soundness
+/// argument).
+fn step_independent(a: &StepMeta, b: &StepMeta, value_aware: bool) -> bool {
+    if a.access.independent(&b.access) {
+        return true;
+    }
+    if !value_aware || a.access.is_local() || b.access.is_local() || a.exec.hi || b.exec.hi {
+        return false;
+    }
+    match (a.access.kind, b.access.kind) {
+        (AccessKind::Read, AccessKind::Read) => true,
+        (AccessKind::Write, AccessKind::Write) => {
+            !a.exec.value.is_none() && a.exec.value == b.exec.value
+        }
+        _ => false,
     }
 }
 
@@ -801,10 +968,10 @@ struct SubtreeTask {
     /// Full decision prefix from the schedule-tree root; the last entry
     /// is the backtrack candidate this task reverses into.
     prefix: Vec<usize>,
-    /// Declared access of each prefix step (the task's ghost spine for
+    /// Step metadata of each prefix step (the task's ghost spine for
     /// race detection). Empty for the root task, whose stem accesses
     /// are observed on the first replay instead.
-    accesses: Vec<PendingAccess>,
+    accesses: Vec<StepMeta>,
     /// Vector clocks of prefix steps `0..prefix.len()-1`, cloned from
     /// the owner's cache (the last prefix step's clock is computed by
     /// the task's own first race-detection pass).
@@ -893,6 +1060,9 @@ struct DporShared<'a, NF, F> {
     new_ctx: &'a NF,
     runner: &'a F,
     max_runs: usize,
+    /// Race detection uses the value-aware independence relation
+    /// ([`PruneMode::ValueDpor`]).
+    value_aware: bool,
     /// Length of the user-supplied stem: demands below it are dropped
     /// (the stem is never backtracked into).
     hard_stem: usize,
@@ -966,6 +1136,7 @@ impl Explorer {
             new_ctx,
             runner,
             max_runs: self.max_runs,
+            value_aware: self.mode == PruneMode::ValueDpor,
             hard_stem: self.stem.len(),
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             queued: AtomicUsize::new(0),
@@ -1150,7 +1321,7 @@ where
         .prefix
         .iter()
         .zip(&task.accesses)
-        .map(|(&chosen, &access)| SpineNode::ghost(chosen, access))
+        .map(|(&chosen, &meta)| SpineNode::ghost(chosen, meta))
         .collect();
     let mut clocks = task.clocks;
     let mut next: Option<(Vec<usize>, u64)> = Some((task.prefix, task.sleep));
@@ -1183,7 +1354,7 @@ where
             out.runs += 1;
         }
         out.pruned += driver.pruned;
-        let DriverMode::Dpor { observed, .. } = driver.mode else {
+        let DriverMode::Dpor { observed, exec, .. } = driver.mode else {
             unreachable!("DPOR explorer uses DPOR drivers");
         };
         // Extend the spine with this run's recorded decisions
@@ -1207,9 +1378,17 @@ where
                 done: 0,
                 backtrack: vec![chosen],
                 chosen,
-                access,
+                meta: StepMeta::unknown(access),
                 delegated: Vec::new(),
             });
+        }
+        // Refresh execution metadata from this run's record before
+        // detecting races: replays are deterministic, so replayed
+        // prefix steps re-derive identical metadata; the backtracked
+        // child and the fresh extension get their first real values
+        // here (until now they carried the conservative unknown).
+        for (node, em) in spine.iter_mut().zip(&exec) {
+            node.meta.exec = *em;
         }
         // Race detection: only pairs whose later step is new this run
         // (pairs entirely inside the replayed prefix were handled when
@@ -1226,6 +1405,7 @@ where
             first_new,
             floor,
             shared.hard_stem,
+            shared.value_aware,
             &mut out.escapes,
         );
         // Backtrack: retire finished children bottom-up until a
@@ -1264,7 +1444,7 @@ where
                 publish_extras(shared, me, &mut spine, d, q, &clocks);
                 let node = &mut spine[d];
                 node.chosen = q;
-                node.access = access;
+                node.meta = StepMeta::unknown(access);
                 let prefix: Vec<usize> = spine.iter().map(|n| n.chosen).collect();
                 next = Some((prefix, sleep_child));
                 break;
@@ -1318,8 +1498,10 @@ fn publish_extras<NF, F>(
             filter_independent(sleep_acc, access_e, &spine[d].runnable, &spine[d].pending);
         let mut prefix: Vec<usize> = spine[..d].iter().map(|n| n.chosen).collect();
         prefix.push(e);
-        let mut accesses: Vec<PendingAccess> = spine[..d].iter().map(|n| n.access).collect();
-        accesses.push(access_e);
+        let mut accesses: Vec<StepMeta> = spine[..d].iter().map(|n| n.meta).collect();
+        // The candidate's own step has not executed in this ordering
+        // yet; the task's first replay fills its execution metadata in.
+        accesses.push(StepMeta::unknown(access_e));
         debug_assert!(clocks.len() >= d, "prefix clocks cached up to the tip");
         let task = SubtreeTask {
             floor: prefix.len(),
@@ -1433,12 +1615,19 @@ fn apply_escape(node: &mut SpineNode, esc: Escape) {
 /// nodes are ghosts owned by a parent task): they are recorded in
 /// `escapes` in detection order, except below `hard_stem` (the
 /// user-supplied stem, which is never backtracked into at all).
+///
+/// `value_aware` selects the independence relation for both the vector
+/// clocks and the race test (they must agree): syntactic
+/// ([`PendingAccess::independent`]) or value-aware
+/// ([`step_independent`]).
+#[allow(clippy::too_many_arguments)]
 fn add_race_reversals(
     spine: &mut [SpineNode],
     clocks: &mut Vec<Vec<u32>>,
     first_new: usize,
     apply_floor: usize,
     hard_stem: usize,
+    value_aware: bool,
     escapes: &mut Vec<Escape>,
 ) {
     let len = spine.len();
@@ -1484,12 +1673,12 @@ fn add_race_reversals(
     //  weak initials of the reversing continuation)
     let mut additions: Vec<(usize, usize, Vec<usize>)> = Vec::new();
     for k in start..len {
-        let (p, a) = (spine[k].chosen, spine[k].access);
+        let (p, a) = (spine[k].chosen, spine[k].meta);
         let mut base = proc_clock[p].clone();
         let mut races: Vec<usize> = Vec::new();
         for j in (0..k).rev() {
-            let (q, b) = (spine[j].chosen, spine[j].access);
-            if a.independent(&b) {
+            let (q, b) = (spine[j].chosen, spine[j].meta);
+            if step_independent(&a, &b, value_aware) {
                 continue;
             }
             if !clock_leq(&clocks[j], &base) {
@@ -1579,7 +1768,7 @@ mod tests {
     fn explores_all_interleavings_of_two_single_step_programs() {
         let mut finals = Vec::new();
         let outcome = explore(run_two_writers, 100, |_script, run| {
-            let last = run.steps().last().unwrap().value.clone();
+            let last = run.steps().last().unwrap().value().render();
             finals.push(last);
         });
         assert!(outcome.exhausted);
@@ -1692,22 +1881,29 @@ mod tests {
     #[test]
     fn dpor_collapses_commuting_writers_to_one_schedule() {
         let explorer = Explorer::default();
-        assert_eq!(explorer.mode, PruneMode::SourceDpor);
-        let outcome = explorer.explore(writers_runner(3, true));
-        assert!(outcome.exhausted);
-        assert_eq!(outcome.runs, 1, "no races ⇒ a single schedule");
-        assert_eq!(outcome.cut_runs, 0, "DPOR does not even replay-and-cut");
-        assert!(outcome.pruned > 0, "unexplored enabled children counted");
+        assert_eq!(explorer.mode, PruneMode::ValueDpor);
+        for mode in [PruneMode::SourceDpor, PruneMode::ValueDpor] {
+            let explorer = Explorer {
+                mode,
+                ..Explorer::default()
+            };
+            let outcome = explorer.explore(writers_runner(3, true));
+            assert!(outcome.exhausted, "{mode:?}");
+            assert_eq!(outcome.runs, 1, "no races ⇒ a single schedule ({mode:?})");
+            assert_eq!(outcome.cut_runs, 0, "DPOR does not even replay-and-cut");
+            assert!(outcome.pruned > 0, "unexplored enabled children counted");
+        }
     }
 
     #[test]
     fn pruning_keeps_all_conflicting_interleavings() {
-        // Same register: nothing commutes, all 6 traces remain, in
-        // every mode.
+        // Same register, distinct written values: nothing commutes
+        // (value-aware or not), all 6 traces remain, in every mode.
         for mode in [
             PruneMode::Unpruned,
             PruneMode::SleepSet,
             PruneMode::SourceDpor,
+            PruneMode::ValueDpor,
         ] {
             let explorer = Explorer {
                 mode,
@@ -1786,12 +1982,17 @@ mod tests {
     #[test]
     fn parallel_dpor_is_bit_identical_to_sequential() {
         use std::collections::BTreeSet;
-        for n in [3, 4] {
+        for (n, mode) in [
+            (3, PruneMode::SourceDpor),
+            (4, PruneMode::SourceDpor),
+            (3, PruneMode::ValueDpor),
+            (4, PruneMode::ValueDpor),
+        ] {
             let explore_at = |workers: usize| {
                 let runner = mixed_runner(n);
                 let scripts = Mutex::new(BTreeSet::new());
                 let explorer = Explorer {
-                    mode: PruneMode::SourceDpor,
+                    mode,
                     workers,
                     ..Explorer::default()
                 };
@@ -1860,7 +2061,7 @@ mod tests {
             let out = explorer.explore(|d| {
                 let o = runner(d);
                 if !d.was_cut() {
-                    let last = o.steps().last().unwrap().value.clone();
+                    let last = o.steps().last().unwrap().value();
                     finals.lock().unwrap().insert(last);
                 }
                 o
@@ -1872,6 +2073,109 @@ mod tests {
         assert_eq!(unpruned.len(), 3, "last write can be any of the three");
         assert_eq!(finals_for(PruneMode::SleepSet), unpruned);
         assert_eq!(finals_for(PruneMode::SourceDpor), unpruned);
+        assert_eq!(finals_for(PruneMode::ValueDpor), unpruned);
+    }
+
+    /// Two readers of one shared register: syntactic DPOR treats the
+    /// reads as conflicting (2 schedules); the value-aware relation
+    /// commutes read/read pairs (1 schedule). A writer of the *same*
+    /// value as the initial write commutes too; distinct values don't.
+    #[test]
+    fn value_dpor_commutes_reads_and_same_value_writes() {
+        let readers = |driver: &mut ScheduleDriver| {
+            let world = SimWorld::new(2);
+            let mem = world.mem();
+            let reg = mem.alloc("X", 0u64);
+            let r0 = reg.clone();
+            let r1 = reg;
+            let programs: Vec<crate::Program> = vec![
+                Box::new(move |_| {
+                    let _ = r0.read();
+                }),
+                Box::new(move |_| {
+                    let _ = r1.read();
+                }),
+            ];
+            world.run(programs, driver, 100)
+        };
+        let same_writers = |driver: &mut ScheduleDriver| {
+            let world = SimWorld::new(2);
+            let mem = world.mem();
+            let reg = mem.alloc("X", 0u64);
+            let r0 = reg.clone();
+            let r1 = reg;
+            let programs: Vec<crate::Program> = vec![
+                Box::new(move |_| r0.write(7)),
+                Box::new(move |_| r1.write(7)),
+            ];
+            world.run(programs, driver, 100)
+        };
+        let count =
+            |mode: PruneMode, runner: &(dyn Fn(&mut ScheduleDriver) -> RunOutcome + Sync)| {
+                let explorer = Explorer {
+                    mode,
+                    ..Explorer::default()
+                };
+                let out = explorer.explore(runner);
+                assert!(out.exhausted, "{mode:?}");
+                out.schedules_replayed()
+            };
+        assert_eq!(count(PruneMode::SourceDpor, &readers), 2);
+        assert_eq!(
+            count(PruneMode::ValueDpor, &readers),
+            1,
+            "read/read commutes"
+        );
+        assert_eq!(count(PruneMode::SourceDpor, &same_writers), 2);
+        assert_eq!(
+            count(PruneMode::ValueDpor, &same_writers),
+            1,
+            "same-value writes commute"
+        );
+        // Distinct values: the write/write race is real in both modes.
+        assert_eq!(count(PruneMode::ValueDpor, &writers_runner(2, false)), 2);
+    }
+
+    /// The event guard: when a high-level event marker rides on a step
+    /// (here: each process's read is the last access before its
+    /// `respond`-style marker), the value-aware relation must *not*
+    /// commute it — swapping would move the event across the other
+    /// process's step in the transcript.
+    #[test]
+    fn value_dpor_never_commutes_steps_carrying_events() {
+        let runner = |driver: &mut ScheduleDriver| {
+            let world = SimWorld::new(2);
+            let mem = world.mem();
+            let reg = mem.alloc("X", 0u64);
+            let r0 = reg.clone();
+            let r1 = reg;
+            let w0 = world.clone();
+            let w1 = world.clone();
+            let programs: Vec<crate::Program> = vec![
+                Box::new(move |_| {
+                    let _ = r0.read();
+                    w0.push_hi_marker(0);
+                }),
+                Box::new(move |_| {
+                    let _ = r1.read();
+                    w1.push_hi_marker(1);
+                }),
+            ];
+            world.run(programs, driver, 100)
+        };
+        for mode in [PruneMode::SourceDpor, PruneMode::ValueDpor] {
+            let explorer = Explorer {
+                mode,
+                ..Explorer::default()
+            };
+            let out = explorer.explore(runner);
+            assert!(out.exhausted, "{mode:?}");
+            assert_eq!(
+                out.schedules_replayed(),
+                2,
+                "{mode:?}: event-carrying reads must stay ordered both ways"
+            );
+        }
     }
 
     #[test]

@@ -18,24 +18,33 @@
 //!   given the scheduler's decisions.
 //! * [`SimMem`] implements the `sl_mem::Mem` trait, so any algorithm
 //!   written against `Mem` runs under the simulator unchanged. Every
-//!   allocation records a dense [`RegId`] and its `alloc` call site, so
-//!   traces point back into the algorithm under test.
+//!   allocation records a dense [`RegId`] and a globally interned
+//!   `sl_check::RegSym` (name + `alloc` call site), so traces point
+//!   back into the algorithm under test.
 //! * [`EventLog`] records the high-level invocation/response events of a
 //!   run, interleaved with the internal register steps, producing the
 //!   transcripts consumed by the `sl-check` checkers (and, via
 //!   [`EventLog::pretty_transcript`], human-readable counterexamples).
+//!   Traced steps are **zero-format**: the VM records each step as one
+//!   packed `sl_check::StepCode` (interned register + interned *value*
+//!   ids — no `format!`, no string interning), which flows unconverted
+//!   into the checkers; labels are decoded lazily on report paths.
 //! * [`Explorer`] enumerates adversary schedules depth-first and
 //!   stateless (a decision prefix is replayed to reconstruct any node —
 //!   cheap, because replays run on the VM), streaming each transcript
 //!   into `sl_check`'s builders as it is produced. Pruning is selected
 //!   by [`PruneMode`]: **sleep sets** over declared pending accesses
 //!   (schedules that differ only in the order of commuting register
-//!   accesses are explored once; work-stealing worker pool), or — the
-//!   default — **source-set DPOR** (wakeup-free
+//!   accesses are explored once; work-stealing worker pool), or
+//!   **source-set DPOR** (wakeup-free
 //!   Abdulla–Aronis–Jonsson–Sagonas), which detects races in each
 //!   executed schedule with vector clocks and backtracks only where a
 //!   reversal is demanded, typically replaying several times fewer
-//!   schedules than sleep sets alone. Source DPOR **parallelises by
+//!   schedules than sleep sets alone — by default with the
+//!   **value-aware** refinement ([`PruneMode::ValueDpor`]): observed
+//!   same-register read/read pairs and same-value write/write pairs
+//!   also commute when no event marker rode on either step. Source
+//!   DPOR **parallelises by
 //!   per-subtree ownership** (`Explorer::workers`, or
 //!   [`env_workers`]): sibling backtrack candidates are delegated as
 //!   frozen subtree tasks onto a work-stealing deque, escaping race

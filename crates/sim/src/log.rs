@@ -100,17 +100,18 @@ impl<S: SeqSpec> EventLog<S> {
     /// [`EventLog::transcript`] into a caller-owned buffer (cleared
     /// first): the explorer's replay loop reuses one buffer across
     /// thousands of schedules instead of allocating per run.
+    ///
+    /// Internal steps are **copied, not converted**: the trace already
+    /// holds the packed [`sl_check::StepCode`] each step was recorded
+    /// under, so this loop renders nothing and interns nothing — the
+    /// zero-format half of the trace pipeline.
     pub fn transcript_into(&self, outcome: &RunOutcome, steps: &mut Vec<TreeStep<S>>) {
         steps.clear();
         steps.reserve(outcome.trace.len());
         let inner = self.inner.lock().unwrap();
         let events: &[Event<S>] = inner.history.events();
-        let mut label = String::new();
         steps.extend(outcome.trace.iter().map(|item| match item {
-            TraceItem::Step(s) => {
-                s.write_label(&mut label);
-                TreeStep::internal(ProcId(s.proc), &label)
-            }
+            TraceItem::Step(s) => TreeStep::Internal(ProcId(s.proc), s.code),
             TraceItem::Hi(i) => TreeStep::Event(events[*i].clone()),
         }));
     }
@@ -127,23 +128,36 @@ impl<S: SeqSpec> EventLog<S> {
     /// p0 <- Ack
     /// ```
     pub fn pretty_transcript(&self, outcome: &RunOutcome) -> Vec<String> {
+        use std::fmt::Write;
         let inner = self.inner.lock().unwrap();
         let events = inner.history.events();
+        // One reused buffer formats every line; each line then takes
+        // exactly one allocation (its own `String`), instead of the
+        // per-event `format!` chains this path used to run.
+        let mut buf = String::new();
         outcome
             .trace
             .iter()
-            .map(|item| match item {
-                TraceItem::Step(s) if s.kind == AccessKind::Local => {
-                    format!("p{} (pause)", s.proc)
-                }
-                TraceItem::Step(s) => s.detailed(),
-                TraceItem::Hi(i) => {
-                    let e = &events[*i];
-                    match &e.kind {
-                        sl_spec::EventKind::Invoke(op) => format!("{} -> {op:?}", e.proc),
-                        sl_spec::EventKind::Respond(r) => format!("{} <- {r:?}", e.proc),
+            .map(|item| {
+                buf.clear();
+                match item {
+                    TraceItem::Step(s) if s.kind == AccessKind::Local => {
+                        let _ = write!(buf, "p{} (pause)", s.proc);
+                    }
+                    TraceItem::Step(s) => s.write_detailed(&mut buf),
+                    TraceItem::Hi(i) => {
+                        let e = &events[*i];
+                        match &e.kind {
+                            sl_spec::EventKind::Invoke(op) => {
+                                let _ = write!(buf, "{} -> {op:?}", e.proc);
+                            }
+                            sl_spec::EventKind::Respond(r) => {
+                                let _ = write!(buf, "{} <- {r:?}", e.proc);
+                            }
+                        }
                     }
                 }
+                buf.as_str().to_owned()
             })
             .collect()
     }

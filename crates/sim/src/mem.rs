@@ -1,5 +1,6 @@
 //! The simulator's `Mem` backend.
 
+use sl_check::{RegSym, ValueId};
 use sl_mem::{Mem, Register, RmwCell, Value};
 use std::panic::Location;
 use std::sync::{Arc, Mutex};
@@ -11,9 +12,9 @@ use crate::world::{AccessKind, RegId, SimWorld};
 /// Registers must be allocated before the run starts (typically while
 /// wiring up the algorithm under test); accesses are only legal from
 /// within simulated process programs. Every allocation is recorded in
-/// the world's registry with a dense [`RegId`] and the allocation call
-/// site, so step records can be traced back to the algorithm line that
-/// created the register.
+/// the world's registry with a dense [`RegId`] and a globally interned
+/// [`RegSym`] (name + allocation call site), so step records can be
+/// traced back to the algorithm line that created the register.
 #[derive(Clone)]
 pub struct SimMem {
     pub(crate) world: SimWorld,
@@ -29,18 +30,22 @@ impl SimMem {
     #[track_caller]
     fn alloc_impl<T: Value>(&self, name: &str, init: T) -> SimRegister<T> {
         let site = Location::caller();
-        let cell = Arc::new(Mutex::new(init.clone()));
+        let cell = Arc::new(Mutex::new(CellState {
+            value: init.clone(),
+            cache: Vec::new(),
+            rmw_cache: Vec::new(),
+        }));
         // The reset closure re-seeds the cell with the alloc-time
         // initial value; the allocation-site table itself survives a
-        // reset (see `SimWorld::reset`).
+        // reset (see `SimWorld::reset`). The value-id cache survives
+        // too: interned ids are global and stable.
         let reset_cell = Arc::clone(&cell);
-        let reset = Box::new(move || *reset_cell.lock().unwrap() = init.clone());
-        let (id, name) = self.world.register(name, site, reset);
+        let reset = Box::new(move || reset_cell.lock().unwrap().value = init.clone());
+        let (id, sym) = self.world.register(name, site, reset);
         SimRegister {
             world: self.world.clone(),
             id,
-            name,
-            site,
+            sym,
             cell,
         }
     }
@@ -70,6 +75,58 @@ impl Mem for SimMem {
     }
 }
 
+/// A read-modify-write transition, interned as one value so an `Rmw`
+/// step's code identifies both sides; renders as `old->new` (the label
+/// format the eager pipeline used).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct RmwPair<T>(T, T);
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RmwPair<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}->{:?}", self.0, self.1)
+    }
+}
+
+/// The guarded state of one simulated register: the stored value plus
+/// a tiny per-register memo of recently interned value ids. Registers
+/// cycle through few distinct values within an exploration, so most
+/// traced steps resolve their [`ValueId`] with a couple of `Eq`
+/// compares under the lock they already hold, instead of probing the
+/// process-wide interner. Sound because interned ids are global: equal
+/// values always map to equal ids.
+struct CellState<T> {
+    value: T,
+    cache: Vec<(T, ValueId)>,
+    /// Separate memo for RMW transitions — the typed cache above holds
+    /// plain values, while an `Rmw` step's identity is the `(old, new)`
+    /// pair (interned under [`RmwPair`]).
+    rmw_cache: Vec<(RmwPair<T>, ValueId)>,
+}
+
+/// Entries kept in a register's value-id memo (MRU at the front; two
+/// entries already cover toggling handshake bits, four covers the
+/// small value orbits typical of bounded workloads).
+const VALUE_CACHE: usize = 4;
+
+fn intern_cached<T>(cache: &mut Vec<(T, ValueId)>, value: &T) -> ValueId
+where
+    T: Clone + Eq + std::hash::Hash + std::fmt::Debug + Send + Sync + 'static,
+{
+    if let Some(pos) = cache.iter().position(|(c, _)| c == value) {
+        let id = cache[pos].1;
+        if pos != 0 {
+            cache.swap(0, pos);
+        }
+        return id;
+    }
+    let id = ValueId::of(value);
+    if cache.len() >= VALUE_CACHE {
+        cache.pop();
+    }
+    cache.insert(0, (value.clone(), id));
+    id
+}
+
 /// A simulated register.
 ///
 /// Each `read`/`write` is one scheduler-controlled shared-memory step:
@@ -79,9 +136,8 @@ impl Mem for SimMem {
 pub struct SimRegister<T> {
     world: SimWorld,
     id: RegId,
-    name: Arc<str>,
-    site: &'static Location<'static>,
-    cell: Arc<Mutex<T>>,
+    sym: RegSym,
+    cell: Arc<Mutex<CellState<T>>>,
 }
 
 impl<T> Clone for SimRegister<T> {
@@ -89,8 +145,7 @@ impl<T> Clone for SimRegister<T> {
         SimRegister {
             world: self.world.clone(),
             id: self.id,
-            name: Arc::clone(&self.name),
-            site: self.site,
+            sym: self.sym,
             cell: Arc::clone(&self.cell),
         }
     }
@@ -98,7 +153,7 @@ impl<T> Clone for SimRegister<T> {
 
 impl<T: Value> std::fmt::Debug for SimRegister<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SimRegister({}#{})", self.name, self.id.0)
+        write!(f, "SimRegister({}#{})", self.sym.name(), self.id.0)
     }
 }
 
@@ -111,7 +166,7 @@ impl<T: Value> SimRegister<T> {
     /// process program: it would hide a shared-memory access from the
     /// step accounting.
     pub fn peek(&self) -> T {
-        self.cell.lock().unwrap().clone()
+        self.cell.lock().unwrap().value.clone()
     }
 
     /// The dense identity this register was allocated under.
@@ -119,71 +174,70 @@ impl<T: Value> SimRegister<T> {
         self.id
     }
 
-    /// The source location of the allocation (`Mem::alloc` call site).
-    pub fn site(&self) -> &'static Location<'static> {
-        self.site
+    /// The globally interned identity (name + allocation site).
+    pub fn reg_sym(&self) -> RegSym {
+        self.sym
+    }
+
+    /// The source location of the allocation (`Mem::alloc` call site)
+    /// as `(file, line)`.
+    pub fn site(&self) -> (&'static str, u32) {
+        self.sym.site()
     }
 }
 
 impl<T: Value> Register<T> for SimRegister<T> {
     fn read(&self) -> T {
         // The access closure borrows `self.cell` — no per-step Arc
-        // traffic on the replay hot path.
-        self.world.step(
-            self.id,
-            &self.name,
-            self.site,
-            AccessKind::Read,
-            |label_wanted| {
-                let v = self.cell.lock().unwrap().clone();
-                let label = if label_wanted {
-                    format!("{v:?}")
+        // traffic on the replay hot path, and no rendering: the value
+        // is interned by identity (usually a couple of `Eq` compares
+        // against the register's memo, see [`CellState`]) when tracing.
+        self.world
+            .step(self.id, self.sym, AccessKind::Read, |record| {
+                let mut guard = self.cell.lock().unwrap();
+                let v = guard.value.clone();
+                let vid = if record {
+                    intern_cached(&mut guard.cache, &v)
                 } else {
-                    String::new()
+                    ValueId::NONE
                 };
-                (v, label)
-            },
-        )
+                (v, vid)
+            })
     }
 
     fn write(&self, value: T) {
-        self.world.step(
-            self.id,
-            &self.name,
-            self.site,
-            AccessKind::Write,
-            |label_wanted| {
-                let label = if label_wanted {
-                    format!("{value:?}")
+        self.world
+            .step(self.id, self.sym, AccessKind::Write, |record| {
+                let mut guard = self.cell.lock().unwrap();
+                let vid = if record {
+                    intern_cached(&mut guard.cache, &value)
                 } else {
-                    String::new()
+                    ValueId::NONE
                 };
-                *self.cell.lock().unwrap() = value;
-                ((), label)
-            },
-        );
+                guard.value = value;
+                ((), vid)
+            });
     }
 }
 
 impl<T: Value> RmwCell<T> for SimRegister<T> {
     fn update(&self, f: impl FnOnce(&T) -> T) -> T {
-        self.world.step(
-            self.id,
-            &self.name,
-            self.site,
-            AccessKind::Rmw,
-            |label_wanted| {
+        self.world
+            .step(self.id, self.sym, AccessKind::Rmw, |record| {
                 let mut guard = self.cell.lock().unwrap();
-                let old = guard.clone();
+                let old = guard.value.clone();
                 let new = f(&old);
-                let label = if label_wanted {
-                    format!("{old:?}->{new:?}")
+                let vid = if record {
+                    // Transitions cycle like values do, so the pair is
+                    // memoised through its own cache (wrapped: the pair
+                    // renders as `old->new`, and must never collide
+                    // with a plain value of the same shape).
+                    intern_cached(&mut guard.rmw_cache, &RmwPair(old.clone(), new.clone()))
                 } else {
-                    String::new()
+                    ValueId::NONE
                 };
-                *guard = new;
-                (old, label)
-            },
-        )
+                guard.value = new;
+                (old, vid)
+            })
     }
 }

@@ -2,7 +2,7 @@
 
 use sl_mem::SmallRng;
 
-use crate::world::SchedView;
+use crate::world::{SchedView, TraceItem};
 
 /// Sentinel a [`Scheduler`] may return from [`Scheduler::pick`] to
 /// abandon the run: the engine aborts exactly as if the step budget
@@ -21,6 +21,15 @@ pub trait Scheduler {
     /// Picks one process from `view.runnable`, or returns [`STOP_RUN`]
     /// to abandon the run.
     fn pick(&mut self, view: &SchedView<'_>) -> usize;
+
+    /// Called once when the run finishes (normally or aborted), with
+    /// the full recorded trace. Steps granted by the final decisions
+    /// are only visible here — the VM stops consulting [`Scheduler::pick`]
+    /// once every process is done. Default: no-op; the exploring
+    /// driver uses it to finalise per-step execution metadata.
+    fn run_end(&mut self, trace: &[TraceItem]) {
+        let _ = trace;
+    }
 }
 
 /// Cycles through processes in index order.

@@ -26,9 +26,9 @@
 //! channel rendezvous in `fiber::resume`/`fiber_yield` provides the
 //! happens-before edges for those accesses.
 
-use std::panic::Location;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+
+use sl_check::{RegSym, StepCode, ValueId};
 
 use crate::fiber::Fiber;
 use crate::sched::Scheduler;
@@ -119,6 +119,9 @@ pub(crate) struct SpareVm {
 
 /// One shared-memory step taken from inside a fiber: declare the
 /// access, park until granted, then perform it and record the step.
+/// The access closure interns the value it read/wrote (a typed
+/// hash-map probe); the recorded step is one `Copy` [`StepRecord`]
+/// carrying a packed [`StepCode`] — no allocation, no rendering.
 ///
 /// # Safety
 ///
@@ -128,10 +131,9 @@ pub(crate) struct SpareVm {
 pub(crate) unsafe fn vm_step<R>(
     vm: *mut VmCore,
     reg_id: RegId,
-    name: &Arc<str>,
-    site: &'static Location<'static>,
+    sym: RegSym,
     kind: AccessKind,
-    access: impl FnOnce(bool) -> (R, String),
+    access: impl FnOnce(bool) -> (R, ValueId),
 ) -> R {
     // Scoped references: never held across a context switch, so the VM
     // loop and this fiber alternate exclusive access.
@@ -152,11 +154,9 @@ pub(crate) unsafe fn vm_step<R>(
         let core = &mut *vm;
         core.trace.push(TraceItem::Step(StepRecord {
             proc: pid,
-            reg: Arc::clone(name),
             kind,
-            value,
             reg_id,
-            site,
+            code: StepCode::pack(pid, kind.into(), sym, value),
         }));
     }
     result
@@ -387,6 +387,13 @@ pub(crate) fn run_vm(
             }
         };
 
+        // Let the scheduler observe the final trace (steps granted after
+        // its last decision, trailing event markers): drivers that track
+        // per-step execution metadata finalise the last step here.
+        {
+            let core = &mut *vm_ptr;
+            scheduler.run_end(&core.trace);
+        }
         let outcome = {
             let core = &mut *vm_ptr;
             RunOutcome {

@@ -12,6 +12,8 @@ use std::panic::{self, Location};
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::{Arc, Mutex};
 
+use sl_check::{RegSym, StepCode, StepKind, ValueId};
+
 use crate::mem::SimMem;
 use crate::sched::Scheduler;
 use crate::vm::VmCore;
@@ -40,6 +42,17 @@ impl std::fmt::Display for AccessKind {
             AccessKind::Write => write!(f, "write"),
             AccessKind::Rmw => write!(f, "rmw"),
             AccessKind::Local => write!(f, "local"),
+        }
+    }
+}
+
+impl From<AccessKind> for StepKind {
+    fn from(kind: AccessKind) -> StepKind {
+        match kind {
+            AccessKind::Read => StepKind::Read,
+            AccessKind::Write => StepKind::Write,
+            AccessKind::Rmw => StepKind::Rmw,
+            AccessKind::Local => StepKind::Local,
         }
     }
 }
@@ -100,57 +113,76 @@ impl PendingAccess {
     }
 }
 
-/// Record of one shared-memory step.
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// Record of one shared-memory step: the per-world dense [`RegId`]
+/// (what explorer commutativity keys on) plus the packed, globally
+/// interned [`StepCode`] — the canonical transcript unit. The record is
+/// `Copy`: recording a traced step allocates nothing and renders
+/// nothing; labels are decoded lazily on report paths only.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct StepRecord {
     /// Process that took the step.
     pub proc: usize,
-    /// Name of the accessed register.
-    pub reg: Arc<str>,
-    /// Read or write.
+    /// Read, write, rmw, or pause.
     pub kind: AccessKind,
-    /// Debug rendering of the value read or written. Together with `reg`
-    /// and `kind` this identifies the step completely, which is what the
-    /// transcript-tree merging in `sl-check` relies on.
-    pub value: String,
-    /// Dense identity of the accessed register ([`RegId::LOCAL`] for
-    /// pauses) — what the explorer keys commutativity on.
+    /// Dense per-world identity of the accessed register
+    /// ([`RegId::LOCAL`] for pauses) — what the explorer keys
+    /// commutativity on.
     pub reg_id: RegId,
-    /// Source location of the register's allocation
-    /// (`SimMem::alloc` call site), so counterexample traces can point
-    /// back into the algorithm under test.
-    pub site: &'static Location<'static>,
+    /// The packed step identity (process, kind, interned register,
+    /// interned value) that flows unconverted into `sl-check`.
+    pub code: StepCode,
 }
 
 impl StepRecord {
-    /// A stable label describing the step (register, kind, value).
-    pub fn label(&self) -> String {
-        let mut buf = String::with_capacity(self.reg.len() + self.value.len() + 8);
-        self.write_label(&mut buf);
-        buf
+    /// The interned value read/written by this step ([`ValueId::NONE`]
+    /// for pauses and untraced runs).
+    pub fn value(&self) -> ValueId {
+        self.code.value().unwrap_or(ValueId::NONE)
     }
 
-    /// Writes [`StepRecord::label`] into `buf` (cleared first) —
-    /// transcript conversion reuses one buffer across a run's steps
-    /// instead of allocating a `String` per step.
+    /// The globally interned register identity.
+    pub fn reg_sym(&self) -> RegSym {
+        self.code.reg().unwrap_or(RegSym::LOCAL)
+    }
+
+    /// The register's allocation name.
+    pub fn reg_name(&self) -> &'static str {
+        self.reg_sym().name()
+    }
+
+    /// The register's allocation site as `(file, line)` — the
+    /// `Mem::alloc` call site recorded by `SimMem`.
+    pub fn site(&self) -> (&'static str, u32) {
+        self.reg_sym().site()
+    }
+
+    /// A stable label describing the step (register, kind, value),
+    /// decoded from the packed code.
+    pub fn label(&self) -> String {
+        self.code.label()
+    }
+
+    /// Appends [`StepRecord::label`] to `buf` — report paths reuse one
+    /// buffer across a run's steps instead of allocating per step.
     pub fn write_label(&self, buf: &mut String) {
-        use std::fmt::Write;
-        buf.clear();
-        let _ = write!(buf, "{}.{}({})", self.reg, self.kind, self.value);
+        self.code.write_label(buf);
     }
 
     /// A human-readable one-line rendering including the register's
     /// allocation site — the format shrunk fuzz counterexamples print.
     pub fn detailed(&self) -> String {
-        format!(
-            "p{} {}.{}({}) @ {}:{}",
-            self.proc,
-            self.reg,
-            self.kind,
-            self.value,
-            self.site.file(),
-            self.site.line()
-        )
+        let mut buf = String::new();
+        self.write_detailed(&mut buf);
+        buf
+    }
+
+    /// Appends [`StepRecord::detailed`] to `buf`.
+    pub fn write_detailed(&self, buf: &mut String) {
+        use std::fmt::Write;
+        let (file, line) = self.site();
+        let _ = write!(buf, "p{} ", self.proc);
+        self.code.write_label(buf);
+        let _ = write!(buf, " @ {file}:{line}");
     }
 }
 
@@ -354,16 +386,11 @@ impl ProcCtx {
     /// a prefix and therefore matters to strong-linearizability analysis
     /// (it is exactly the difference between the paper's `T2` having or
     /// not having `dw_{j+1}` pending during `dr2`).
-    #[track_caller]
     pub fn pause(&self) {
-        let name = Arc::clone(&self.world.inner.local_name);
-        self.world.step(
-            RegId::LOCAL,
-            &name,
-            Location::caller(),
-            AccessKind::Local,
-            |_| ((), String::new()),
-        );
+        self.world
+            .step(RegId::LOCAL, RegSym::LOCAL, AccessKind::Local, |_| {
+                ((), ValueId::NONE)
+            });
     }
 
     /// The identifier as an `sl_spec::ProcId`.
@@ -385,9 +412,8 @@ pub(crate) struct WorldState {
 
 /// Metadata recorded for every allocated register.
 pub(crate) struct RegMeta {
-    pub(crate) name: Arc<str>,
-    #[allow(dead_code)]
-    pub(crate) site: &'static Location<'static>,
+    /// Globally interned identity (name + allocation site).
+    pub(crate) sym: RegSym,
     /// Restores the register's cell to its `alloc`-time initial value.
     pub(crate) reset: Box<dyn Fn() + Send + Sync>,
 }
@@ -401,8 +427,6 @@ pub(crate) struct WorldInner {
     /// "suspend the calling fiber", null means no run is active — a
     /// register access then is a caller bug and panics.
     pub(crate) active_vm: AtomicPtr<VmCore>,
-    /// Shared name of the pseudo-register recorded for pause steps.
-    pub(crate) local_name: Arc<str>,
     /// Recycled VM core and trace buffers: a replay on a reset world
     /// re-executes on warm allocations instead of fresh ones.
     pub(crate) spare: Mutex<crate::vm::SpareVm>,
@@ -461,7 +485,6 @@ impl SimWorld {
                 }),
                 registry: Mutex::new(Vec::new()),
                 active_vm: AtomicPtr::new(std::ptr::null_mut()),
-                local_name: Arc::from("(local)"),
                 spare: Mutex::new(crate::vm::SpareVm::default()),
             }),
             n,
@@ -532,33 +555,32 @@ impl SimWorld {
     }
 
     /// The name a register was allocated under.
-    pub fn register_name(&self, id: RegId) -> Option<Arc<str>> {
+    pub fn register_name(&self, id: RegId) -> Option<&'static str> {
         self.inner
             .registry
             .lock()
             .unwrap()
             .get(id.0 as usize)
-            .map(|m| Arc::clone(&m.name))
+            .map(|m| m.sym.name())
     }
 
     /// Records a register allocation; called by [`SimMem`]. `reset`
     /// restores the register's cell to its initial value on
-    /// [`SimWorld::reset`].
+    /// [`SimWorld::reset`]. The returned [`RegSym`] is the register's
+    /// globally interned identity — identical across the per-worker
+    /// worlds of a parallel exploration, which is what keeps step codes
+    /// comparable between them.
     pub(crate) fn register(
         &self,
         name: &str,
         site: &'static Location<'static>,
         reset: Box<dyn Fn() + Send + Sync>,
-    ) -> (RegId, Arc<str>) {
+    ) -> (RegId, RegSym) {
+        let sym = RegSym::intern(name, site.file(), site.line(), site.column());
         let mut registry = self.inner.registry.lock().unwrap();
         let id = RegId(u32::try_from(registry.len()).expect("too many registers"));
-        let name: Arc<str> = Arc::from(name);
-        registry.push(RegMeta {
-            name: Arc::clone(&name),
-            site,
-            reset,
-        });
-        (id, name)
+        registry.push(RegMeta { sym, reset });
+        (id, sym)
     }
 
     /// Returns a finished run's trace and decision buffers to the
@@ -620,20 +642,22 @@ impl SimWorld {
     /// process: parks the calling fiber with its declared
     /// [`PendingAccess`] until the scheduler grants the step, performs
     /// `access` atomically, and records the resulting [`StepRecord`].
+    /// The access closure receives whether the run records a trace and
+    /// returns the interned [`ValueId`] of the value it read/wrote
+    /// ([`ValueId::NONE`] when not recording) — no rendering happens.
     pub(crate) fn step<R>(
         &self,
         reg_id: RegId,
-        name: &Arc<str>,
-        site: &'static Location<'static>,
+        sym: RegSym,
         kind: AccessKind,
-        access: impl FnOnce(bool) -> (R, String),
+        access: impl FnOnce(bool) -> (R, ValueId),
     ) -> R {
         let vm = self.inner.active_vm.load(Ordering::Relaxed);
         assert!(
             !vm.is_null(),
             "simulated register accessed outside a SimWorld::run program"
         );
-        unsafe { crate::vm::vm_step(vm, reg_id, name, site, kind, access) }
+        unsafe { crate::vm::vm_step(vm, reg_id, sym, kind, access) }
     }
 
     /// Records a high-level event marker in the trace; used by

@@ -428,7 +428,7 @@ fn pretty_trace_format_carries_allocation_sites() {
         .steps()
         .find(|s| s.kind == AccessKind::Write)
         .unwrap();
-    assert_eq!(&*step.reg, "X");
-    assert!(step.site.file().ends_with("sim_integration.rs"));
+    assert_eq!(step.reg_name(), "X");
+    assert!(step.site().0.ends_with("sim_integration.rs"));
     assert_eq!(step.label(), "X.write(5)");
 }

@@ -7,7 +7,7 @@ use crate::SnapshotSubstrate;
 
 /// A component of the helping snapshot: value, sequence number, and the
 /// *embedded view* the writer scanned just before writing.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct HelpComponent<V> {
     value: Option<V>,
     seq: u64,

@@ -29,7 +29,7 @@ use crate::SnapshotSubstrate;
 
 /// A data register of the bounded snapshot: the value, the movement
 /// toggle, and the writer's embedded view.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct BoundedComponent<V> {
     value: Option<V>,
     toggle: bool,

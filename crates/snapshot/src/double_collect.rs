@@ -6,7 +6,7 @@ use sl_spec::ProcId;
 use crate::{SnapshotSubstrate, VersionedSubstrate};
 
 /// One snapshot component: the stored value and its sequence number.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub(crate) struct Component<V> {
     pub(crate) value: Option<V>,
     pub(crate) seq: u64,

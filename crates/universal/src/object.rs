@@ -37,13 +37,40 @@ impl<T: SimpleType> Clone for NodeRef<T> {
     }
 }
 
+/// Equality (and `Hash`) compare node **content** — uid, invocation,
+/// response, and predecessor uids — matching what the `Debug` label
+/// identifies. Within one execution, uids alone already determine
+/// contents, so this coincides with id comparison there; the stronger
+/// identity matters because the simulator interns register values
+/// *process-wide across schedules*, where the same uid can recur with
+/// different predecessors.
 impl<T: SimpleType> PartialEq for NodeRef<T> {
     fn eq(&self, other: &Self) -> bool {
         self.0.uid == other.0.uid
+            && self.0.invocation == other.0.invocation
+            && self.0.response == other.0.response
+            && self.0.preceding.len() == other.0.preceding.len()
+            && self
+                .0
+                .preceding
+                .iter()
+                .zip(&other.0.preceding)
+                .all(|(a, b)| a.as_ref().map(|n| n.0.uid) == b.as_ref().map(|n| n.0.uid))
     }
 }
 
 impl<T: SimpleType> Eq for NodeRef<T> {}
+
+impl<T: SimpleType> std::hash::Hash for NodeRef<T> {
+    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.0.uid.hash(h);
+        self.0.invocation.hash(h);
+        self.0.response.hash(h);
+        for p in &self.0.preceding {
+            p.as_ref().map(|n| n.0.uid).hash(h);
+        }
+    }
+}
 
 impl<T: SimpleType> std::fmt::Debug for NodeRef<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

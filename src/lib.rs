@@ -81,10 +81,12 @@
 //! [`SharedObject`](prelude::SharedObject)) can be model-checked end to
 //! end in a few lines. The `sl-api` harness runs it on the simulator's
 //! coroutine-stepped VM, enumerates adversary schedules with
-//! source-set DPOR (race-directed partial-order reduction over the
-//! declared pending accesses; sleep-set and unpruned modes remain
-//! available via `sim::PruneMode`), and streams every transcript into
-//! the prefix tree that strong linearizability quantifies over:
+//! **value-aware source-set DPOR** (race-directed partial-order
+//! reduction over the declared pending accesses, refined by observed
+//! values — see *Trace encoding & value-aware commutation* below;
+//! syntactic-DPOR, sleep-set, and unpruned modes remain available via
+//! `sim::PruneMode`), and streams every transcript into the prefix
+//! tree that strong linearizability quantifies over:
 //!
 //! ```
 //! use strongly_linearizable::api::sim::{explore_object, SimExplore};
@@ -153,23 +155,63 @@
 //! shared-memory algorithm; per-process state lives in handles, which
 //! are rebuilt per replay.
 //!
+//! ## Trace encoding & value-aware commutation
+//!
+//! Traced steps are **never rendered to text** on the checking path.
+//! The VM records each shared-memory step as one `Copy`
+//! `check::StepCode` — a packed `u64` of interned ids: process, step
+//! kind, register (`check::RegSym`: allocation name + site, global
+//! across worlds and workers), and *value* (`check::ValueId`, interned
+//! by typed identity — usually a couple of `Eq` compares against a
+//! small per-register memo, no `Debug` formatting). The code flows
+//! unconverted from the trace buffer through the explorer into
+//! `check::DagBuilder`/`check::TreeDag` and the memoised strong-lin
+//! checker, which compare steps by integer equality; label text is
+//! decoded lazily (`StepCode::write_label`) only on report and pretty
+//! paths. This lifted `traced` VM throughput from ~6.9M to ~11.6M
+//! steps/s (counted: ~15.5M — the gap fell from ~2.2× to ~1.35×) and
+//! makes a traced explorer replay ≥1.6× faster than the retired
+//! per-step `format!`+intern pipeline (gated in CI via
+//! `exp_sim_throughput --baseline`, `min_format_speedup`).
+//!
+//! On top of the value-interned steps, the default explorer mode
+//! (`sim::PruneMode::ValueDpor`) refines the DPOR independence
+//! relation for **race detection**: two same-register steps of
+//! different processes additionally commute when they are a read/read
+//! pair, or a write/write pair storing the same interned value —
+//! provided no invocation/response marker rode on either step's
+//! activation (observed post-hoc from the trace; unknown metadata is
+//! treated as conflicting, and sleep-set filtering keeps the
+//! conservative syntactic relation). Mixed-role (reader-carrying)
+//! workloads shrink measurably — the pinned 3-process mixed workloads
+//! drop from 2,746 to 2,242 schedules (1 op per process) and from
+//! 204,257 to 179,697 (writers 2+1 ops + reader), ~12–18% — with
+//! verdicts and conflict depths asserted equal to syntactic source
+//! DPOR by randomized differential tests (and bit-identical replay
+//! counts and DAG hashes across worker counts 1/2/4/8, like every
+//! DPOR mode here). Workloads without cross-process read/read or
+//! same-value write/write pairs (e.g. the 2-process `aba_2w2r` pin)
+//! are unchanged. The soundness argument lives in `sim::explore`'s
+//! module docs.
+//!
 //! ## Depth budgets
 //!
-//! What exhausts where, after the parallel-DPOR + world-reuse work
-//! (Algorithm-2 family; schedule counts are exact — the explorer is
-//! deterministic at any worker count; wall-clocks measured at 1 worker
-//! on the reference container, so multi-core runners divide the deep
-//! rows further):
+//! What exhausts where, after the parallel-DPOR + world-reuse +
+//! zero-format-trace work (Algorithm-2 family; schedule counts are
+//! exact — the explorer is deterministic at any worker count;
+//! wall-clocks measured at 1 worker on the reference container, so
+//! multi-core runners divide the deep rows further; *DPOR* = syntactic
+//! source DPOR, *value* = value-aware default):
 //!
-//! | Workload | Schedules (DPOR) | Tier |
-//! |---|---|---|
-//! | 2 procs: 1 DWrite vs 1 DRead | 17 | tier-1 (ms) |
-//! | 3 procs: 2 writers + 1 reader, 1 op each | 2,746 | tier-1 (ms) |
-//! | 2 procs: 2 DWrites vs 2 DReads | 7,228 | tier-1 (<1 s debug, was ~5 s) |
-//! | 3 procs mixed: writers 2+1 ops, reader 1 op | 204,257 | sim-deep (~4 s release, was ~10 s) |
-//! | 2 procs: 3 DWrites vs 2 DReads | 240,239 | sim-deep (~6 s release, was ~15 s) |
-//! | 3 procs: 2 ops per process (writers) | 2,752,674 | sim-deep (~37 s release at 1 worker, was ~1–2 min; under 30 s at ≥2 workers) |
-//! | 3 procs: 2 ops per process, mixed roles | ≫ millions | beyond budget today |
+//! | Workload | Schedules (DPOR) | Schedules (value) | Tier |
+//! |---|---|---|---|
+//! | 2 procs: 1 DWrite vs 1 DRead | 17 | 17 | tier-1 (ms) |
+//! | 3 procs: 2 writers + 1 reader, 1 op each | 2,746 | 2,242 | tier-1 (ms) |
+//! | 2 procs: 2 DWrites vs 2 DReads | 7,228 | 7,228 | tier-1 (<1 s debug, was ~5 s) |
+//! | 3 procs mixed: writers 2+1 ops, reader 1 op | 204,257 | 179,697 | sim-deep (~4 s release, was ~10 s) |
+//! | 2 procs: 3 DWrites vs 2 DReads | 240,239 | 240,239 | sim-deep (~6 s release, was ~15 s) |
+//! | 3 procs: 2 ops per process (writers) | 2,752,674 | 2,752,674 | sim-deep (~37 s release at 1 worker, was ~1–2 min; under 30 s at ≥2 workers) |
+//! | 3 procs: 2 ops per process, mixed roles | ≫ millions | ~0.85× of DPOR | beyond budget today |
 //!
 //! Deep explorations stream transcripts into `check::DagBuilder` (a
 //! hash-consed DAG: the 3-procs-×-2-ops prefix tree would hold ~17M
