@@ -1,0 +1,141 @@
+//! The footprint probe driver: one-shot abstract dry runs of each
+//! operation on the [`SymMem`] recording backend.
+//!
+//! A probe builds the object under analysis on a fresh `SymMem`, takes
+//! one handle per process, and then drives each process's planned
+//! operations **sequentially** — no scheduler, no interleaving — with
+//! a probe window around every single operation. The accesses recorded
+//! in a window are that operation's footprint for that probe; unions
+//! across probes (multiple passes, round-robin across processes so
+//! later probes run against evolved state) form the *may* footprint
+//! the certificate reasons about.
+//!
+//! Sequential probing cannot witness contention-only code paths
+//! (helping, handshakes). That is why the certificate classifies every
+//! *written* site as potentially racy and why the explorer validates
+//! every dynamically observed race against the matrix, fail-closed —
+//! see the `certificate` module docs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sl_api::sim::DriveOps;
+use sl_api::SharedObject;
+use sl_mem::{SymAccessKind, SymMem};
+use sl_spec::{ProcId, SeqSpec};
+
+use crate::certificate::{Certificate, OpFootprint};
+
+/// Derives a stable operation label from the op's `Debug` rendering:
+/// the enum variant name without its arguments (`DWrite(3)` →
+/// `DWrite`). Footprints of the same variant probed with different
+/// arguments fold into one labelled may-set.
+pub fn op_label(op: &impl std::fmt::Debug) -> String {
+    let full = format!("{op:?}");
+    full.split(['(', ' ', '{'])
+        .next()
+        .unwrap_or(full.as_str())
+        .to_string()
+}
+
+#[derive(Default)]
+struct OpAccum {
+    /// site -> access classes seen there.
+    kinds: BTreeMap<usize, BTreeSet<SymAccessKind>>,
+    /// site -> distinct written images seen there.
+    images: BTreeMap<usize, BTreeSet<String>>,
+}
+
+/// Probes an object whose handle drives spec ops via [`DriveOps`].
+///
+/// `plan` holds per-process op lists; `passes` repeats the whole plan
+/// so later probes observe the state earlier ones left behind.
+pub fn probe_object<S, O, F>(
+    family: &str,
+    substrate: &str,
+    factory: F,
+    plan: &[Vec<S::Op>],
+    passes: usize,
+) -> Certificate
+where
+    S: SeqSpec,
+    O: SharedObject<SymMem>,
+    O::Handle: DriveOps<S>,
+    F: Fn(&SymMem) -> O,
+{
+    probe_object_with::<S, O, F, _>(family, substrate, factory, plan, passes, |h, op| {
+        h.drive(op)
+    })
+}
+
+/// [`probe_object`] with an explicit apply closure, for objects whose
+/// operations don't map onto a spec via [`DriveOps`] (e.g. the §5
+/// universal construction).
+pub fn probe_object_with<S, O, F, A>(
+    family: &str,
+    substrate: &str,
+    factory: F,
+    plan: &[Vec<S::Op>],
+    passes: usize,
+    mut apply: A,
+) -> Certificate
+where
+    S: SeqSpec,
+    O: SharedObject<SymMem>,
+    F: Fn(&SymMem) -> O,
+    A: FnMut(&mut O::Handle, &S::Op) -> S::Resp,
+{
+    let mem = SymMem::new();
+    let obj = factory(&mem);
+    let mut handles: Vec<O::Handle> = (0..plan.len()).map(|p| obj.handle(ProcId(p))).collect();
+    let mut accum: BTreeMap<(String, usize), OpAccum> = BTreeMap::new();
+    let rounds = plan.iter().map(Vec::len).max().unwrap_or(0);
+    for _pass in 0..passes.max(1) {
+        // Round-robin across processes so every process's later probes
+        // run against states other processes' operations produced — a
+        // wider may-set than probing each process in isolation.
+        for round in 0..rounds {
+            for (p, ops) in plan.iter().enumerate() {
+                let Some(op) = ops.get(round) else { continue };
+                mem.begin_probe();
+                let _ = apply(&mut handles[p], op);
+                let log = mem.finish_probe();
+                let acc = accum.entry((op_label(op), p)).or_default();
+                for access in log {
+                    acc.kinds
+                        .entry(access.site)
+                        .or_default()
+                        .insert(access.kind);
+                    if let Some(img) = access.wrote {
+                        acc.images.entry(access.site).or_default().insert(img);
+                    }
+                }
+            }
+        }
+    }
+    let footprints = accum
+        .into_iter()
+        .map(|((op, proc), acc)| {
+            let with_kind = |k: SymAccessKind| -> BTreeSet<usize> {
+                acc.kinds
+                    .iter()
+                    .filter(|(_, ks)| ks.contains(&k))
+                    .map(|(&s, _)| s)
+                    .collect()
+            };
+            OpFootprint {
+                op,
+                proc,
+                reads: with_kind(SymAccessKind::Read),
+                writes: with_kind(SymAccessKind::Write),
+                rmws: with_kind(SymAccessKind::Rmw),
+                value_dependent: acc
+                    .images
+                    .iter()
+                    .filter(|(_, imgs)| imgs.len() > 1)
+                    .map(|(&s, _)| s)
+                    .collect(),
+            }
+        })
+        .collect();
+    Certificate::build(family, substrate, plan.len(), mem.sites(), footprints)
+}

@@ -51,6 +51,8 @@
 //! // ^ Algorithm 1: compile error — `Lin` is not `Strong`.
 //! ```
 
+#![deny(unsafe_code)]
+
 mod builder;
 pub mod fuzz;
 mod guarantee;

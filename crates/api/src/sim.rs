@@ -35,7 +35,7 @@ use sl_check::{
 use sl_mem::Value;
 use sl_sim::{
     EventLog, ExploreOutcome, Explorer, ProcCtx, Program, PruneMode, ReplayCtx, ReplayPool,
-    RunOutcome, Scheduler, Sharded, SimMem, SimWorld,
+    RunOutcome, Scheduler, Sharded, SimMem, SimWorld, StaticConflicts,
 };
 use sl_spec::types::{AbaSpec, CounterSpec, MaxRegisterSpec, SnapshotSpec};
 use sl_spec::{
@@ -134,6 +134,10 @@ pub struct SimExplore {
     pub step_budget: u64,
     /// Initial decision prefix: explore only schedules extending it.
     pub stem: Vec<usize>,
+    /// Static conflict certificate for [`PruneMode::StaticDpor`]
+    /// (ignored by other modes): licenses the invocation-placement
+    /// relaxation and fail-closed-validates every observed race.
+    pub statics: Option<Arc<StaticConflicts>>,
 }
 
 impl Default for SimExplore {
@@ -144,6 +148,7 @@ impl Default for SimExplore {
             workers: sl_sim::env_workers(),
             step_budget: 10_000,
             stem: Vec::new(),
+            statics: None,
         }
     }
 }
@@ -354,6 +359,7 @@ where
         mode: cfg.mode,
         workers: cfg.workers,
         stem: cfg.stem.clone(),
+        statics: cfg.statics.clone(),
     };
     let outcome = explorer.explore_with(
         || PooledWorld::new(&factory, n),
@@ -410,7 +416,10 @@ where
     F: Fn(&SimMem) -> O + Sync,
     A: Fn(&mut O::Handle, &S::Op) -> S::Resp + Send + Sync + 'static,
 {
-    if cfg.mode != PruneMode::SourceDpor {
+    if !matches!(
+        cfg.mode,
+        PruneMode::SourceDpor | PruneMode::ValueDpor | PruneMode::StaticDpor
+    ) {
         let explored = explore_object_with(factory, workload, apply, cfg);
         return ExploredDag {
             dag: TreeDag::from_tree(&explored.tree),
@@ -426,6 +435,7 @@ where
         mode: cfg.mode,
         workers: cfg.workers,
         stem: cfg.stem.clone(),
+        statics: cfg.statics.clone(),
     };
     // Each subtree the explorer hands a worker streams its DFS-ordered
     // transcripts into its own shard; [`TreeDag::merge`] unions the

@@ -5,8 +5,10 @@
 //! model-checking depth:
 //!
 //! * **schedules replayed** per explorer mode (unpruned, sleep sets,
-//!   source-set DPOR) on pinned Algorithm-2 workloads — the win of
-//!   partial-order reduction;
+//!   source-set DPOR, value-aware DPOR, and static-certificate DPOR)
+//!   on pinned Algorithm-2 workloads — the win of partial-order
+//!   reduction, and of the `sl-analyze` placement-commutation
+//!   certificate on top of it;
 //! * **replay throughput**: fresh-world-per-schedule vs the pooled
 //!   `SimWorld::reset` path (world reuse), and the parallel scaling
 //!   curve of partitioned source-DPOR at 1/2/4/8 workers (see
@@ -28,8 +30,11 @@
 //! compares against a recorded baseline and exits non-zero if
 //!
 //! * the pruned explorer replays *more* schedules than recorded for a
-//!   pinned workload, under syntactic source DPOR or value-aware DPOR
-//!   (partial-order reduction regressed),
+//!   pinned workload, under syntactic source DPOR, value-aware DPOR,
+//!   or static-certificate DPOR (partial-order reduction regressed),
+//! * static-certificate DPOR no longer replays *strictly fewer*
+//!   schedules than value-aware DPOR on the mixed-role workloads
+//!   (invocation-placement pruning regressed to a no-op),
 //! * the single-worker world-reuse speedup on `aba_2w2r` falls below
 //!   the recorded `min_reuse_speedup`,
 //! * the binary-vs-string-format traced-replay speedup on `aba_2w2r`
@@ -41,12 +46,17 @@
 //!
 //! `--refresh-baseline` rewrites the baseline file from this run's
 //! measurements (gate thresholds preserved) instead of hand-editing
-//! the JSON; `--summary-md PATH` writes a markdown before/after delta
+//! the JSON, and regenerates the `certificates.json` checked in next
+//! to it; `--summary-md PATH` writes a markdown before/after delta
 //! table (what the sim-deep CI job posts as its step summary).
+//! `--certificates PATH` writes the `sl-analyze` certificate catalog
+//! (the JSON artifact sim-deep CI uploads next to the summary).
 //! `--threads N` caps the scaling curve (default 8; powers of two).
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+use sl_sim::StaticConflicts;
 
 use sl_bench::{baseline, print_table, Baseline, Gate};
 use sl_check::{
@@ -135,27 +145,33 @@ fn aba_programs(
     ]
 }
 
-/// The pinned **mixed-role** 3-process workload (two writers + one
-/// reader, one op each): the family whose trace growth is ROADMAP
-/// constraint (b), and where value-aware commutation bites. Measured
-/// counts-only: the schedule totals of syntactic source DPOR vs
-/// value-aware DPOR, both gated against the baseline.
+/// A pinned **mixed-role** 3-process workload (two writers + one
+/// reader; `writer_ops[p]` DWrites for writer `p`, one DRead): the
+/// family whose trace growth is ROADMAP constraint (b), where
+/// value-aware commutation and invocation-placement pruning both bite.
+/// Measured counts-only: the schedule totals of syntactic source DPOR
+/// vs value-aware DPOR vs static-certificate DPOR, all gated against
+/// the baseline.
 fn mixed3_programs(
     reg: &SlAbaRegister<u64, sl_sim::SimMem>,
     log: &EventLog<ASpec>,
+    writer_ops: &'static [u64],
 ) -> Vec<Program> {
     let mut programs: Vec<Program> = Vec::new();
-    for p in 0..2u64 {
-        let mut w = reg.handle(ProcId(p as usize));
+    for (p, &ops) in writer_ops.iter().enumerate() {
+        let mut w = reg.handle(ProcId(p));
         let l = log.clone();
         programs.push(Box::new(move |ctx| {
-            ctx.pause();
-            let id = l.invoke(ctx.proc_id(), AbaOp::DWrite(9 + p));
-            w.dwrite(9 + p);
-            l.respond(id, AbaResp::Ack);
+            for i in 0..ops {
+                ctx.pause();
+                let v = 9 + 10 * p as u64 + i;
+                let id = l.invoke(ctx.proc_id(), AbaOp::DWrite(v));
+                w.dwrite(v);
+                l.respond(id, AbaResp::Ack);
+            }
         }));
     }
-    let mut r = reg.handle(ProcId(2));
+    let mut r = reg.handle(ProcId(writer_ops.len()));
     let l = log.clone();
     programs.push(Box::new(move |ctx| {
         ctx.pause();
@@ -166,24 +182,43 @@ fn mixed3_programs(
     programs
 }
 
-/// Schedule counts of the mixed-role pinned workload per DPOR mode.
+/// Schedule counts of one mixed-role pinned workload per DPOR mode.
 struct MixedSummary {
+    name: &'static str,
     dpor_replayed: usize,
     dpor_runs: usize,
     value_dpor_replayed: usize,
     value_dpor_runs: usize,
+    static_dpor_replayed: usize,
+    static_dpor_runs: usize,
+    static_relaxed: u64,
+    static_validated: u64,
 }
 
-fn run_mixed_workload() -> MixedSummary {
+fn run_mixed_workload(
+    name: &'static str,
+    label: &str,
+    writer_ops: &'static [u64],
+    cert: &sl_analyze::Certificate,
+) -> MixedSummary {
     println!();
-    println!("## Pinned workload `aba_mixed3` (Algorithm 2: writers p0,p1 + reader p2, 1 op each)");
+    println!("## Pinned workload `{name}` (Algorithm 2: {label})");
+    // A fresh runtime form per workload: telemetry counters accumulate
+    // per `StaticConflicts` instance, and the summary reports them
+    // per workload.
+    let statics = &Arc::new(cert.static_conflicts());
     let mut counts = Vec::new();
-    for mode in [PruneMode::SourceDpor, PruneMode::ValueDpor] {
+    for mode in [
+        PruneMode::SourceDpor,
+        PruneMode::ValueDpor,
+        PruneMode::StaticDpor,
+    ] {
         let explorer = Explorer {
             max_runs: 4_000_000,
             mode,
             workers: 1,
             stem: vec![],
+            statics: (mode == PruneMode::StaticDpor).then(|| Arc::clone(statics)),
         };
         let out = explorer.explore_with(
             || {
@@ -197,34 +232,49 @@ fn run_mixed_workload() -> MixedSummary {
             |ctx: &mut PooledAba, driver| {
                 let reg = &ctx.reg;
                 ctx.pool
-                    .replay(|log| mixed3_programs(reg, log), driver, 2_000);
+                    .replay(|log| mixed3_programs(reg, log, writer_ops), driver, 2_000);
             },
         );
         assert!(out.exhausted, "mixed-role pinned workload must exhaust");
         counts.push(out);
     }
-    let rows: Vec<Vec<String>> = [("source DPOR", &counts[0]), ("value DPOR", &counts[1])]
-        .iter()
-        .map(|(mode, out)| {
-            vec![
-                mode.to_string(),
-                out.schedules_replayed().to_string(),
-                out.runs.to_string(),
-                out.cut_runs.to_string(),
-            ]
-        })
-        .collect();
+    let rows: Vec<Vec<String>> = [
+        ("source DPOR", &counts[0]),
+        ("value DPOR", &counts[1]),
+        ("static DPOR", &counts[2]),
+    ]
+    .iter()
+    .map(|(mode, out)| {
+        vec![
+            mode.to_string(),
+            out.schedules_replayed().to_string(),
+            out.runs.to_string(),
+            out.cut_runs.to_string(),
+        ]
+    })
+    .collect();
     print_table(&["mode", "replayed", "runs", "cut"], &rows);
+    let t = statics.telemetry();
     println!(
-        "(value-aware commutation removes {:.0}% of the mixed-role schedules)",
+        "(value-aware commutation removes {:.0}% of the mixed-role schedules; the placement \
+         certificate a further {:.0}% — {} relaxations, {} validated races, 0 unpredicted)",
         (1.0 - counts[1].schedules_replayed() as f64 / counts[0].schedules_replayed() as f64)
-            * 100.0
+            * 100.0,
+        (1.0 - counts[2].schedules_replayed() as f64 / counts[1].schedules_replayed() as f64)
+            * 100.0,
+        t.relaxed,
+        t.validated,
     );
     MixedSummary {
+        name,
         dpor_replayed: counts[0].schedules_replayed(),
         dpor_runs: counts[0].runs,
         value_dpor_replayed: counts[1].schedules_replayed(),
         value_dpor_runs: counts[1].runs,
+        static_dpor_replayed: counts[2].schedules_replayed(),
+        static_dpor_runs: counts[2].runs,
+        static_relaxed: t.relaxed,
+        static_validated: t.validated,
     }
 }
 
@@ -242,6 +292,7 @@ fn explore_sl_aba_fresh(
     reads: u64,
     mode: PruneMode,
     max_runs: usize,
+    statics: Option<Arc<StaticConflicts>>,
 ) -> (ExploreOutcome, BuiltSets, f64) {
     let ingest = mode == PruneMode::SourceDpor;
     let dag_builder: DagBuilder<ASpec> = DagBuilder::new();
@@ -251,6 +302,7 @@ fn explore_sl_aba_fresh(
         mode,
         workers: 1,
         stem: vec![],
+        statics,
     };
     let start = Instant::now();
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
@@ -297,6 +349,7 @@ fn explore_sl_aba_fresh_dag(
         mode: PruneMode::SourceDpor,
         workers: 1,
         stem: vec![],
+        statics: None,
     };
     let start = Instant::now();
     let explored = explorer.explore_with(
@@ -403,6 +456,7 @@ fn explore_sl_aba_pooled_ingest(
         mode: PruneMode::SourceDpor,
         workers,
         stem: vec![],
+        statics: None,
     };
     let start = Instant::now();
     let explored = explorer.explore_with(
@@ -462,6 +516,8 @@ struct WorkloadSummary {
     dpor_runs: usize,
     value_dpor_replayed: usize,
     value_dpor_runs: usize,
+    static_dpor_replayed: usize,
+    static_dpor_runs: usize,
     reduction_vs_unpruned: f64,
     fresh_s: f64,
     pooled_s: f64,
@@ -483,29 +539,43 @@ fn run_pinned_workload(
     writes: u64,
     reads: u64,
     max_threads: usize,
+    cert: &sl_analyze::Certificate,
 ) -> WorkloadSummary {
     println!();
     println!("## Pinned workload `{name}` (Algorithm 2: {writes} DWrites vs {reads} DReads)");
     let budget = 4_000_000;
     let mut rows = Vec::new();
-    let (un, _, un_t) = explore_sl_aba_fresh(writes, reads, PruneMode::Unpruned, budget);
-    let (ss, _, ss_t) = explore_sl_aba_fresh(writes, reads, PruneMode::SleepSet, budget);
-    let (dp, built, dp_t) = explore_sl_aba_fresh(writes, reads, PruneMode::SourceDpor, budget);
-    let (vd, _, vd_t) = explore_sl_aba_fresh(writes, reads, PruneMode::ValueDpor, budget);
+    let (un, _, un_t) = explore_sl_aba_fresh(writes, reads, PruneMode::Unpruned, budget, None);
+    let (ss, _, ss_t) = explore_sl_aba_fresh(writes, reads, PruneMode::SleepSet, budget, None);
+    let (dp, built, dp_t) =
+        explore_sl_aba_fresh(writes, reads, PruneMode::SourceDpor, budget, None);
+    let (vd, _, vd_t) = explore_sl_aba_fresh(writes, reads, PruneMode::ValueDpor, budget, None);
+    let (sd, _, sd_t) = explore_sl_aba_fresh(
+        writes,
+        reads,
+        PruneMode::StaticDpor,
+        budget,
+        Some(Arc::new(cert.static_conflicts())),
+    );
     let (dag, tree) = built.expect("DPOR run builds the transcript sets");
     assert!(
-        ss.exhausted && dp.exhausted && vd.exhausted,
+        ss.exhausted && dp.exhausted && vd.exhausted && sd.exhausted,
         "pruned explorations of the pinned workloads must exhaust"
     );
     assert!(
         vd.schedules_replayed() <= dp.schedules_replayed(),
         "value-aware DPOR must never replay more than syntactic DPOR"
     );
+    assert!(
+        sd.schedules_replayed() <= vd.schedules_replayed(),
+        "static-certificate DPOR must never replay more than value-aware DPOR"
+    );
     for (mode, out, secs) in [
         ("unpruned", &un, un_t),
         ("sleep sets", &ss, ss_t),
         ("source DPOR", &dp, dp_t),
         ("value DPOR", &vd, vd_t),
+        ("static DPOR", &sd, sd_t),
     ] {
         rows.push(vec![
             mode.to_string(),
@@ -724,6 +794,8 @@ fn run_pinned_workload(
         dpor_runs: dp.runs,
         value_dpor_replayed: vd.schedules_replayed(),
         value_dpor_runs: vd.runs,
+        static_dpor_replayed: sd.schedules_replayed(),
+        static_dpor_runs: sd.runs,
         reduction_vs_unpruned: reduction,
         fresh_s: fresh_t,
         pooled_s: pooled_t,
@@ -744,7 +816,7 @@ fn run_pinned_workload(
 fn to_json(
     throughput: &[(String, f64)],
     workloads: &[WorkloadSummary],
-    mixed: &MixedSummary,
+    mixed: &[MixedSummary],
 ) -> String {
     let mut out = String::from("{\n  \"vm_steps_per_sec\": {");
     for (i, (name, rate)) in throughput.iter().enumerate() {
@@ -774,6 +846,7 @@ fn to_json(
              \"unpruned_exhausted\": {},\n      \"sleepset_replayed\": {},\n      \
              \"dpor_replayed\": {},\n      \"dpor_runs\": {},\n      \
              \"value_dpor_replayed\": {},\n      \"value_dpor_runs\": {},\n      \
+             \"static_dpor_replayed\": {},\n      \"static_dpor_runs\": {},\n      \
              \"reduction_vs_unpruned\": {:.2},\n      \"fresh_s\": {:.3},\n      \
              \"pooled_s\": {:.3},\n      \"reuse_speedup\": {:.2},\n      \
              \"string_format_s\": {:.3},\n      \"binary_format_s\": {:.3},\n      \
@@ -789,6 +862,8 @@ fn to_json(
             w.dpor_runs,
             w.value_dpor_replayed,
             w.value_dpor_runs,
+            w.static_dpor_replayed,
+            w.static_dpor_runs,
             w.reduction_vs_unpruned,
             w.fresh_s,
             w.pooled_s,
@@ -805,12 +880,24 @@ fn to_json(
             w.states_unmemo
         ));
     }
-    out.push_str(&format!(
-        ",\n    {{\n      \"name\": \"aba_mixed3\",\n      \"dpor_replayed\": {},\n      \
-         \"dpor_runs\": {},\n      \"value_dpor_replayed\": {},\n      \
-         \"value_dpor_runs\": {}\n    }}",
-        mixed.dpor_replayed, mixed.dpor_runs, mixed.value_dpor_replayed, mixed.value_dpor_runs
-    ));
+    for m in mixed {
+        out.push_str(&format!(
+            ",\n    {{\n      \"name\": \"{}\",\n      \"dpor_replayed\": {},\n      \
+             \"dpor_runs\": {},\n      \"value_dpor_replayed\": {},\n      \
+             \"value_dpor_runs\": {},\n      \"static_dpor_replayed\": {},\n      \
+             \"static_dpor_runs\": {},\n      \"static_relaxed\": {},\n      \
+             \"static_validated\": {}\n    }}",
+            m.name,
+            m.dpor_replayed,
+            m.dpor_runs,
+            m.value_dpor_replayed,
+            m.value_dpor_runs,
+            m.static_dpor_replayed,
+            m.static_dpor_runs,
+            m.static_relaxed,
+            m.static_validated
+        ));
+    }
     out.push_str("\n  ]\n}\n");
     out
 }
@@ -821,7 +908,7 @@ fn summary_markdown(
     baseline: Option<&Baseline>,
     throughput: &[(String, f64)],
     workloads: &[WorkloadSummary],
-    mixed: &MixedSummary,
+    mixed: &[MixedSummary],
 ) -> String {
     use std::fmt::Write;
     let mut md = String::from("## Explorer throughput & schedule-count deltas\n\n");
@@ -844,6 +931,7 @@ fn summary_markdown(
         for (key, measured) in [
             ("dpor_replayed", w.dpor_replayed),
             ("value_dpor_replayed", w.value_dpor_replayed),
+            ("static_dpor_replayed", w.static_dpor_replayed),
         ] {
             let before = baseline.and_then(|b| b.workload_count(w.name, key));
             let _ = writeln!(
@@ -879,16 +967,26 @@ fn summary_markdown(
             gate("min_reuse_speedup")
         );
     }
-    for (key, measured) in [
-        ("dpor_replayed", mixed.dpor_replayed),
-        ("value_dpor_replayed", mixed.value_dpor_replayed),
-    ] {
-        let before = baseline.and_then(|b| b.workload_count("aba_mixed3", key));
+    for m in mixed {
+        for (key, measured) in [
+            ("dpor_replayed", m.dpor_replayed),
+            ("value_dpor_replayed", m.value_dpor_replayed),
+            ("static_dpor_replayed", m.static_dpor_replayed),
+        ] {
+            let before = baseline.and_then(|b| b.workload_count(m.name, key));
+            let _ = writeln!(
+                md,
+                "| {} {key} | {} | {measured} | {} |",
+                m.name,
+                before.map_or("—".into(), |b| b.to_string()),
+                fmt_delta(before.map(|b| b as f64), measured as f64)
+            );
+        }
         let _ = writeln!(
             md,
-            "| aba_mixed3 {key} | {} | {measured} | {} |",
-            before.map_or("—".into(), |b| b.to_string()),
-            fmt_delta(before.map(|b| b as f64), measured as f64)
+            "| {} placement relaxations / validated races | — | {} / {} | fail-closed: 0 \
+             unpredicted |",
+            m.name, m.static_relaxed, m.static_validated
         );
     }
     md
@@ -899,6 +997,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut summary_md_path: Option<String> = None;
+    let mut certificates_path: Option<String> = None;
     let mut refresh_baseline = false;
     let mut max_threads: usize = 8;
     while let Some(arg) = args.next() {
@@ -906,6 +1005,7 @@ fn main() {
             "--json" => json_path = args.next(),
             "--baseline" => baseline_path = args.next(),
             "--summary-md" => summary_md_path = args.next(),
+            "--certificates" => certificates_path = args.next(),
             "--refresh-baseline" => refresh_baseline = true,
             "--threads" => {
                 max_threads = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -942,11 +1042,35 @@ fn main() {
     }
     print_table(&["recording", "step VM"], &rows);
 
+    // The sl-analyze placement-commutation certificates the StaticDpor
+    // rows consume: probed once per process count, reused across
+    // workloads (each run builds its own runtime form for per-workload
+    // telemetry).
+    let aba_cert2 = sl_analyze::aba_certificate(2);
+    let aba_cert3 = sl_analyze::aba_certificate(3);
+
     let workloads = vec![
-        run_pinned_workload("aba_1w1r", 1, 1, max_threads),
-        run_pinned_workload("aba_2w2r", 2, 2, max_threads),
+        run_pinned_workload("aba_1w1r", 1, 1, max_threads, &aba_cert2),
+        run_pinned_workload("aba_2w2r", 2, 2, max_threads, &aba_cert2),
     ];
-    let mixed = run_mixed_workload();
+    let mixed = vec![
+        run_mixed_workload(
+            "aba_mixed3",
+            "writers p0,p1 + reader p2, 1 op each",
+            &[1, 1],
+            &aba_cert3,
+        ),
+        run_mixed_workload(
+            "aba_mixed3_deep",
+            "writers p0 (2 ops), p1 (1 op) + reader p2 — the sim-deep model-check workload",
+            &[2, 1],
+            &aba_cert3,
+        ),
+    ];
+
+    if let Some(path) = &certificates_path {
+        write_certificates(path);
+    }
 
     let json = to_json(&throughput, &workloads, &mixed);
     if let Some(path) = &json_path {
@@ -983,6 +1107,11 @@ fn main() {
             &gates,
             &json,
         );
+        // The certificate catalog checked in next to the baseline is
+        // regenerated with it, so the two artifacts never drift.
+        let sibling = std::path::Path::new(baseline_path.as_deref().unwrap())
+            .with_file_name("certificates.json");
+        write_certificates(&sibling.to_string_lossy());
         return;
     }
 
@@ -1002,28 +1131,50 @@ fn main() {
                 w.value_dpor_replayed,
                 b.workload_count(w.name, "value_dpor_replayed"),
             );
-        }
-        gate.count_not_above(
-            "aba_mixed3 source-DPOR schedules",
-            mixed.dpor_replayed,
-            b.workload_count("aba_mixed3", "dpor_replayed"),
-        );
-        gate.count_not_above(
-            "aba_mixed3 value-DPOR schedules",
-            mixed.value_dpor_replayed,
-            b.workload_count("aba_mixed3", "value_dpor_replayed"),
-        );
-        if mixed.value_dpor_replayed >= mixed.dpor_replayed {
-            gate.fail(&format!(
-                "value-aware independence no longer reduces the mixed-role workload \
-                 ({} vs {})",
-                mixed.value_dpor_replayed, mixed.dpor_replayed
-            ));
-        } else {
-            println!(
-                "baseline ok: value DPOR replays {} < source DPOR {} on aba_mixed3",
-                mixed.value_dpor_replayed, mixed.dpor_replayed
+            gate.count_not_above(
+                &format!("{} static-DPOR schedules", w.name),
+                w.static_dpor_replayed,
+                b.workload_count(w.name, "static_dpor_replayed"),
             );
+        }
+        for m in &mixed {
+            gate.count_not_above(
+                &format!("{} source-DPOR schedules", m.name),
+                m.dpor_replayed,
+                b.workload_count(m.name, "dpor_replayed"),
+            );
+            gate.count_not_above(
+                &format!("{} value-DPOR schedules", m.name),
+                m.value_dpor_replayed,
+                b.workload_count(m.name, "value_dpor_replayed"),
+            );
+            gate.count_not_above(
+                &format!("{} static-DPOR schedules", m.name),
+                m.static_dpor_replayed,
+                b.workload_count(m.name, "static_dpor_replayed"),
+            );
+            if m.value_dpor_replayed >= m.dpor_replayed {
+                gate.fail(&format!(
+                    "value-aware independence no longer reduces the mixed-role workload \
+                     {} ({} vs {})",
+                    m.name, m.value_dpor_replayed, m.dpor_replayed
+                ));
+            } else if m.static_dpor_replayed >= m.value_dpor_replayed {
+                // The tentpole's headline claim: the placement
+                // certificate must cut the mixed-role workloads below
+                // the value-aware DPOR counts, strictly.
+                gate.fail(&format!(
+                    "the placement certificate no longer reduces {} \
+                     (static {} vs value {})",
+                    m.name, m.static_dpor_replayed, m.value_dpor_replayed
+                ));
+            } else {
+                println!(
+                    "baseline ok: static DPOR replays {} < value DPOR {} < source DPOR {} \
+                     on {}",
+                    m.static_dpor_replayed, m.value_dpor_replayed, m.dpor_replayed, m.name
+                );
+            }
         }
         // Wall-clock gates run on the bigger pinned workload
         // (aba_2w2r); the tiny one is all setup noise.
@@ -1066,11 +1217,23 @@ fn main() {
     }
 }
 
+/// Writes the `sl-analyze` certificate catalog: every family ×
+/// substrate the facade exposes at 2 processes, plus the 3-process
+/// Algorithm-2 certificate the mixed-role StaticDpor gates consume.
+fn write_certificates(path: &str) {
+    let mut certs = sl_analyze::catalog(2);
+    certs.push(sl_analyze::aba_certificate(3));
+    let json = sl_analyze::catalog_json(&certs);
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("(certificate catalog written to {path})");
+}
+
 /// Header comment written into refreshed baselines.
 const BASELINE_COMMENT: &str = "Reference numbers for the exp_sim_throughput --baseline gate, \
-written by --refresh-baseline. The gate enforces: dpor_replayed and value_dpor_replayed per \
-workload (schedule counts are deterministic — any increase is a partial-order-reduction \
-regression), min_reuse_speedup (single-worker pooled-vs-fresh wall clock on aba_2w2r, best-of-3, \
+written by --refresh-baseline. The gate enforces: dpor_replayed, value_dpor_replayed, and \
+static_dpor_replayed per workload (schedule counts are deterministic — any increase is a \
+partial-order-reduction regression), static < value strictly on the mixed-role workloads (the \
+sl-analyze placement certificate must keep pruning), min_reuse_speedup (single-worker pooled-vs-fresh wall clock on aba_2w2r, best-of-3, \
 identical ingestion pipelines both sides; a 1.0 floor so the gate only catches pooling becoming \
 an outright pessimization), min_format_speedup (single-worker traced replay with binary StepCode \
 ingestion vs the retired per-step string rendering+interning, best-of-5, identical ingestion \

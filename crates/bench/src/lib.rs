@@ -17,6 +17,8 @@
 //! | `exp_space` | §4.1 vs §4.3: unbounded versioned construction vs bounded Algorithm 3 space |
 //! | `exp_sim_throughput` | Step-VM steps/sec vs the legacy thread-handoff engine, per recording configuration |
 
+#![deny(unsafe_code)]
+
 pub mod baseline;
 pub mod obs4;
 pub mod table;

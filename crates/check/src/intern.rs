@@ -174,19 +174,43 @@ impl ValueId {
             }
         }
         let mut guard = value_interner().write().unwrap();
-        let ValueInterner { maps, entries } = &mut *guard;
-        let next = u32::try_from(entries.len() + 1).expect("too many distinct traced values");
-        let map = maps
-            .entry(type_id)
-            .or_insert_with(|| Box::new(HashMap::<T, u32>::new()))
-            .downcast_mut::<HashMap<T, u32>>()
-            .expect("typed map");
-        if let Some(&id) = map.get(value) {
-            return ValueId(id);
+        {
+            let ValueInterner { maps, entries } = &mut *guard;
+            let next = u32::try_from(entries.len() + 1).expect("too many distinct traced values");
+            let map = maps
+                .entry(type_id)
+                .or_insert_with(|| Box::new(HashMap::<T, u32>::new()))
+                .downcast_mut::<HashMap<T, u32>>()
+                .expect("typed map");
+            if let Some(&id) = map.get(value) {
+                return ValueId(id);
+            }
+            // Intern-consistency check (debug builds): the hash probe
+            // missed, so no Eq-equal key may exist either. A type whose
+            // `Hash` disagrees with `Eq` would otherwise *silently
+            // split* one value across two ids — Eq-equal values
+            // comparing unequal as `ValueId`s, which fabricates
+            // spurious conflicts (and spurious distinct branches) in
+            // every value-keyed consumer downstream. Fail loudly here,
+            // at the first inconsistent interning, instead.
+            if !cfg!(debug_assertions) || !map.keys().any(|k| k == value) {
+                map.insert(value.clone(), next);
+                entries.push(Box::new(value.clone()));
+                return ValueId(next);
+            }
         }
-        map.insert(value.clone(), next);
-        entries.push(Box::new(value.clone()));
-        ValueId(next)
+        // Reached only in debug builds, with the inconsistency proven.
+        // Drop the guard before panicking: the interner is a global,
+        // and a poisoned lock would take every later test in the
+        // process down with an unrelated `PoisonError`.
+        drop(guard);
+        panic!(
+            "ValueId interning detected a Hash/Eq-inconsistent type: \
+             an interned value of type `{}` compares equal to {:?} but \
+             hashes differently — fix the type's Hash/Eq impls",
+            std::any::type_name::<T>(),
+            value,
+        );
     }
 
     /// Appends this value's `Debug` rendering to `buf` (the lazy half
@@ -568,5 +592,54 @@ mod tests {
         assert!(!sym.is_packed());
         assert_ne!(sym, a, "layouts are distinct identities");
         assert_eq!(sym, StepCode::of_label("X.write(5)"));
+    }
+
+    /// A type whose `Hash` disagrees with `Eq` must never silently
+    /// split one value across two ids. In debug builds the interner
+    /// detects the inconsistency and panics (without poisoning the
+    /// global lock); the only other acceptable outcome is that the
+    /// probe happened to find the Eq-equal entry and returned its id.
+    #[test]
+    fn value_interning_never_silently_splits_hash_eq_inconsistent_values() {
+        #[derive(Clone, Debug)]
+        struct BadHash(u32, bool);
+        impl PartialEq for BadHash {
+            fn eq(&self, other: &Self) -> bool {
+                self.0 == other.0 // ignores .1 ...
+            }
+        }
+        impl Eq for BadHash {}
+        impl std::hash::Hash for BadHash {
+            fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+                self.0.hash(state);
+                self.1.hash(state); // ... but hashing does not: broken.
+            }
+        }
+        let id_a = ValueId::of(&BadHash(41, false));
+        let result = std::panic::catch_unwind(|| ValueId::of(&BadHash(41, true)));
+        match result {
+            // Debug builds: the inconsistency is detected loudly.
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .unwrap_or_default();
+                assert!(
+                    !cfg!(debug_assertions) || msg.contains("Hash/Eq-inconsistent"),
+                    "unexpected panic: {msg}"
+                );
+            }
+            // The hash probe may (rarely, or in release builds where
+            // the id simply splits... which this Ok arm would expose)
+            // land on the Eq-equal entry: then the id must be *its* id.
+            Ok(id_b) => {
+                if cfg!(debug_assertions) {
+                    assert_eq!(id_b, id_a, "silent id-splitting");
+                }
+            }
+        }
+        // The global interner lock must not be poisoned by the panic:
+        // consistent types keep interning afterwards.
+        assert_eq!(ValueId::of(&0xBEEFu16), ValueId::of(&0xBEEFu16));
     }
 }

@@ -47,6 +47,8 @@
 //! assert!(check_linearizable(&spec, &h).is_some());
 //! ```
 
+#![deny(unsafe_code)]
+
 mod dag;
 mod intern;
 mod lin;

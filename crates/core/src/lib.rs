@@ -37,6 +37,8 @@
 //! assert_eq!(h0.scan(), vec![Some(10), Some(20)]);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod aba;
 mod atomic_snapshot;
 mod cas_universal;

@@ -149,6 +149,7 @@ fn sl_aba_exhaustive_two_writes_two_reads() {
         mode: PruneMode::SourceDpor,
         workers: 1,
         stem: vec![],
+        statics: None,
     };
     let (explored, dag) = explore_sl_aba_dag(&[2], &[2], &explorer);
     assert!(explored.exhausted, "schedule space must be fully explored");
@@ -179,6 +180,7 @@ fn sl_aba_exhaustive_three_writes_two_reads_deep() {
         mode: PruneMode::SourceDpor,
         workers: sl_sim::env_workers(),
         stem: vec![],
+        statics: None,
     };
     let (explored, dag) = explore_sl_aba_dag(&[3], &[2], &explorer);
     assert!(explored.exhausted, "explored {} schedules", explored.runs);
@@ -203,6 +205,7 @@ fn sl_aba_exhaustive_three_processes_two_ops_each_deep() {
         mode: PruneMode::SourceDpor,
         workers: sl_sim::env_workers(),
         stem: vec![],
+        statics: None,
     };
     let (explored, dag) = explore_sl_aba_dag(&[2, 2, 2], &[], &explorer);
     assert!(
@@ -234,6 +237,7 @@ fn sl_aba_three_process_mixed_deep() {
         mode: PruneMode::SourceDpor,
         workers: sl_sim::env_workers(),
         stem: vec![],
+        statics: None,
     };
     let (explored, dag) = explore_sl_aba_dag(&[2, 1], &[1], &explorer);
     assert!(explored.exhausted, "explored {} schedules", explored.runs);
@@ -310,6 +314,7 @@ fn value_dpor_reduces_mixed_role_schedules() {
                 mode,
                 workers,
                 stem: vec![],
+                statics: None,
             };
             let (out, dag) = explore_sl_aba_dag(&writers, &readers, &explorer);
             assert!(out.exhausted, "{mode:?} at {workers} workers");
@@ -390,6 +395,7 @@ fn randomized_differential_modes_and_workers() {
                     mode,
                     workers,
                     stem: vec![],
+                    statics: None,
                 };
                 // The DAG path shards per subtree in DPOR mode and
                 // falls back to the materialised tree for frame modes;
@@ -483,6 +489,7 @@ fn sl_snapshot_atomic_r_exhaustive_one_update_one_scan() {
         mode: PruneMode::SourceDpor,
         workers: 1,
         stem: vec![],
+        statics: None,
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
         let world = SimWorld::new(2);
@@ -579,7 +586,7 @@ fn algorithm2_linearization(
     let mut op_x_access: std::collections::HashMap<usize, usize> = Default::default();
     for (idx, item) in outcome.trace.iter().enumerate() {
         match item {
-            TraceItem::Hi(i) => {
+            TraceItem::Hi(i) | TraceItem::HiInvoke(i) => {
                 let e = &events[*i];
                 match &e.kind {
                     EventKind::Invoke(_) => current[e.proc.index()] = Some(*i),
@@ -770,6 +777,7 @@ fn fully_bounded_sl_snapshot_strong_bounded_check() {
         mode: PruneMode::SourceDpor,
         workers: 1,
         stem: vec![],
+        statics: None,
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
         let world = SimWorld::new(2);
@@ -824,6 +832,7 @@ fn cas_universal_queue_strongly_linearizable_exhaustive() {
         mode: PruneMode::SourceDpor,
         workers: 1,
         stem: vec![],
+        statics: None,
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
         let world = SimWorld::new(2);

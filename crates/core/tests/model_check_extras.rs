@@ -105,6 +105,7 @@ fn snapshot_derived_max_register_strong_bounded_check() {
         mode: PruneMode::SourceDpor,
         workers: 1,
         stem: vec![],
+        statics: None,
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
         let world = SimWorld::new(3);
@@ -218,6 +219,7 @@ fn versioned_construction_strongly_linearizable_bounded() {
         mode: PruneMode::SourceDpor,
         workers: 1,
         stem: vec![],
+        statics: None,
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
         let world = SimWorld::new(2);

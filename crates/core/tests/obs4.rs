@@ -183,6 +183,7 @@ fn explorer_discovers_the_observation4_family() {
         mode: PruneMode::SourceDpor,
         workers: 1,
         stem: s_prefix,
+        statics: None,
     };
     let explored = explorer.explore(|driver| {
         let world = SimWorld::new(2);

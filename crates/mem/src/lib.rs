@@ -12,6 +12,11 @@
 //! * `SimMem` (in the `sl-sim` crate) — a deterministic cooperative
 //!   simulator in which an adversary schedules every register access.
 //!   Used by the model-checking and complexity experiments.
+//! * [`SymMem`] — a footprint-recording backend for static access
+//!   analysis (`sl-analyze`): behaves like [`NativeMem`], but logs
+//!   each register access with the register's allocation site during
+//!   probe windows, producing per-operation may-read/may-write
+//!   footprints without any scheduling.
 //!
 //! # Example
 //!
@@ -24,12 +29,16 @@
 //! assert_eq!(reg.read(), 7);
 //! ```
 
+#![deny(unsafe_code)]
+
 mod guard;
 mod native;
 pub mod rng;
+mod sym;
 mod traits;
 
 pub use guard::{HandleGuard, HandleLease};
 pub use native::{NativeMem, NativeRegister};
 pub use rng::SmallRng;
+pub use sym::{SymAccess, SymAccessKind, SymMem, SymRegister, SymSite};
 pub use traits::{Mem, Register, RmwCell, Value};

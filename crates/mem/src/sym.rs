@@ -1,0 +1,292 @@
+//! A footprint-recording `Mem` backend for static access analysis.
+//!
+//! [`SymMem`] behaves like [`crate::NativeMem`] — every register is a
+//! real mutex-guarded cell, so any algorithm written against [`Mem`]
+//! runs on it unchanged and computes real values — but it additionally
+//! records a **symbolic access log**: for every register operation
+//! performed inside a probe window ([`SymMem::begin_probe`] /
+//! [`SymMem::finish_probe`]), it appends the allocation site of the
+//! register, the access class (read / write / RMW), and a rendered
+//! image of any written value.
+//!
+//! `sl-analyze` drives one operation at a time through these probe
+//! windows — a one-shot *abstract dry run* per operation, with no
+//! scheduler and no interleaving — and folds the resulting logs into
+//! per-operation may-read/may-write footprints. Because `Mem::alloc`
+//! is `#[track_caller]` end to end, the `(name, file, line, column)`
+//! recorded here for each register is byte-identical to the identity
+//! the simulator interns as a `RegSym` when the same algorithm runs
+//! under `sl_sim::SimMem`: both backends observe the same allocation
+//! call sites inside the algorithm under test. That identity match is
+//! what lets a statically computed footprint license decisions about
+//! dynamically traced steps.
+//!
+//! The recorded footprint is a *may* set for the probed executions
+//! only: code paths an operation takes solely under contention are
+//! invisible to a sequential probe. Consumers must treat the analysis
+//! as fail-closed — the simulator's dynamic race detector validates
+//! every observed race against it (`sl_sim::StaticConflicts`).
+
+use std::panic::Location;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::traits::{Mem, Register, RmwCell, Value};
+
+/// The access class of one recorded register operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SymAccessKind {
+    /// `Register::read`.
+    Read,
+    /// `Register::write`.
+    Write,
+    /// `RmwCell::update`.
+    Rmw,
+}
+
+impl SymAccessKind {
+    /// Stable lowercase name (used in certificate JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SymAccessKind::Read => "read",
+            SymAccessKind::Write => "write",
+            SymAccessKind::Rmw => "rmw",
+        }
+    }
+
+    /// Whether the access may change the register's value.
+    pub fn writes(self) -> bool {
+        !matches!(self, SymAccessKind::Read)
+    }
+}
+
+/// One recorded access inside a probe window.
+#[derive(Clone, Debug)]
+pub struct SymAccess {
+    /// Index into [`SymMem::sites`] identifying the register.
+    pub site: usize,
+    /// Access class.
+    pub kind: SymAccessKind,
+    /// Debug rendering of the stored value for writes (`"new"`) and
+    /// RMWs (`"old->new"`); `None` for reads. Used to infer value-flow
+    /// facts (e.g. whether an operation's writes vary with its
+    /// argument) by comparing probes, never for identity.
+    pub wrote: Option<String>,
+}
+
+/// The allocation-time identity of one register: exactly the
+/// components `sl_check::RegSym` interns for the same allocation under
+/// the simulator.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SymSite {
+    /// The `name` passed to `alloc`.
+    pub name: String,
+    /// Allocation call-site file.
+    pub file: &'static str,
+    /// Allocation call-site line.
+    pub line: u32,
+    /// Allocation call-site column.
+    pub column: u32,
+}
+
+struct SymState {
+    sites: Mutex<Vec<SymSite>>,
+    log: Mutex<Vec<SymAccess>>,
+    recording: AtomicBool,
+}
+
+/// The footprint-recording memory backend. See the module docs.
+#[derive(Clone)]
+pub struct SymMem {
+    state: Arc<SymState>,
+}
+
+impl Default for SymMem {
+    fn default() -> Self {
+        SymMem::new()
+    }
+}
+
+impl std::fmt::Debug for SymMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SymMem({} sites)",
+            self.state.sites.lock().unwrap().len()
+        )
+    }
+}
+
+impl SymMem {
+    /// A fresh backend with no registers and no recorded accesses.
+    pub fn new() -> SymMem {
+        SymMem {
+            state: Arc::new(SymState {
+                sites: Mutex::new(Vec::new()),
+                log: Mutex::new(Vec::new()),
+                recording: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Starts a probe window: subsequent register accesses are
+    /// recorded until [`finish_probe`](SymMem::finish_probe). Accesses
+    /// outside a window (e.g. during object construction) are not
+    /// logged — construction-time initialisation is not part of any
+    /// operation's footprint.
+    pub fn begin_probe(&self) {
+        self.state.log.lock().unwrap().clear();
+        self.state.recording.store(true, Ordering::SeqCst);
+    }
+
+    /// Ends the current probe window and returns the accesses recorded
+    /// since [`begin_probe`](SymMem::begin_probe), in program order.
+    pub fn finish_probe(&self) -> Vec<SymAccess> {
+        self.state.recording.store(false, Ordering::SeqCst);
+        std::mem::take(&mut self.state.log.lock().unwrap())
+    }
+
+    /// Every allocation so far, indexed by [`SymAccess::site`].
+    pub fn sites(&self) -> Vec<SymSite> {
+        self.state.sites.lock().unwrap().clone()
+    }
+
+    #[track_caller]
+    fn alloc_impl<T: Value>(&self, name: &str, init: T) -> SymRegister<T> {
+        let loc = Location::caller();
+        let mut sites = self.state.sites.lock().unwrap();
+        let site = sites.len();
+        sites.push(SymSite {
+            name: name.to_string(),
+            file: loc.file(),
+            line: loc.line(),
+            column: loc.column(),
+        });
+        SymRegister {
+            state: Arc::clone(&self.state),
+            site,
+            cell: Arc::new(Mutex::new(init)),
+        }
+    }
+}
+
+impl Mem for SymMem {
+    type Reg<T: Value> = SymRegister<T>;
+    type Cell<T: Value> = SymRegister<T>;
+
+    #[track_caller]
+    fn alloc<T: Value>(&self, name: &str, init: T) -> Self::Reg<T> {
+        self.alloc_impl(name, init)
+    }
+
+    #[track_caller]
+    fn alloc_cell<T: Value>(&self, name: &str, init: T) -> Self::Cell<T> {
+        self.alloc_impl(name, init)
+    }
+}
+
+/// A register allocated by [`SymMem`]: a mutex-guarded cell whose
+/// accesses are appended to the backend's probe log when recording.
+pub struct SymRegister<T> {
+    state: Arc<SymState>,
+    site: usize,
+    cell: Arc<Mutex<T>>,
+}
+
+impl<T> Clone for SymRegister<T> {
+    fn clone(&self) -> Self {
+        SymRegister {
+            state: Arc::clone(&self.state),
+            site: self.site,
+            cell: Arc::clone(&self.cell),
+        }
+    }
+}
+
+impl<T: Value> std::fmt::Debug for SymRegister<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SymRegister(#{})", self.site)
+    }
+}
+
+impl<T> SymRegister<T> {
+    fn record(&self, kind: SymAccessKind, wrote: Option<String>) {
+        if self.state.recording.load(Ordering::SeqCst) {
+            self.state.log.lock().unwrap().push(SymAccess {
+                site: self.site,
+                kind,
+                wrote,
+            });
+        }
+    }
+}
+
+impl<T: Value> Register<T> for SymRegister<T> {
+    fn read(&self) -> T {
+        let v = self.cell.lock().unwrap().clone();
+        self.record(SymAccessKind::Read, None);
+        v
+    }
+
+    fn write(&self, value: T) {
+        self.record(SymAccessKind::Write, Some(format!("{value:?}")));
+        *self.cell.lock().unwrap() = value;
+    }
+}
+
+impl<T: Value> RmwCell<T> for SymRegister<T> {
+    fn update(&self, f: impl FnOnce(&T) -> T) -> T {
+        let mut guard = self.cell.lock().unwrap();
+        let old = guard.clone();
+        let new = f(&old);
+        self.record(SymAccessKind::Rmw, Some(format!("{old:?}->{new:?}")));
+        *guard = new;
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_windows_record_accesses_with_sites() {
+        let mem = SymMem::new();
+        let a = mem.alloc("A", 0u64);
+        let b = mem.alloc_cell("B", 0u64);
+        // Outside a probe window: nothing recorded.
+        a.write(1);
+        mem.begin_probe();
+        let _ = a.read();
+        b.write(7);
+        let old = b.update(|v| v + 1);
+        let log = mem.finish_probe();
+        assert_eq!(old, 7);
+        assert_eq!(log.len(), 3);
+        assert_eq!((log[0].site, log[0].kind), (0, SymAccessKind::Read));
+        assert_eq!(log[0].wrote, None);
+        assert_eq!((log[1].site, log[1].kind), (1, SymAccessKind::Write));
+        assert_eq!(log[1].wrote.as_deref(), Some("7"));
+        assert_eq!((log[2].site, log[2].kind), (1, SymAccessKind::Rmw));
+        assert_eq!(log[2].wrote.as_deref(), Some("7->8"));
+        // After the window closes, accesses are again unrecorded.
+        let _ = a.read();
+        assert!(mem.finish_probe().is_empty());
+        let sites = mem.sites();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].name, "A");
+        assert_eq!(sites[1].name, "B");
+        assert!(sites[0].file.ends_with("sym.rs"));
+    }
+
+    #[test]
+    fn values_behave_like_a_real_backend() {
+        let mem = SymMem::new();
+        let r = mem.alloc("R", String::new());
+        r.write("x".to_string());
+        assert_eq!(r.read(), "x");
+        let c = mem.alloc_cell("C", 5u32);
+        assert_eq!(c.update(|v| v * 2), 5);
+        assert_eq!(c.read(), 10);
+    }
+}

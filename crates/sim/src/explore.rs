@@ -36,6 +36,16 @@
 //!     event flag) is observed post-hoc from the recorded trace, so
 //!     only *race detection* is refined; sleep-set filtering keeps the
 //!     conservative syntactic relation (see the soundness section).
+//!   - [`PruneMode::StaticDpor`] is value-aware DPOR plus a **static
+//!     placement relaxation** licensed by an `sl-analyze` footprint
+//!     certificate ([`crate::StaticConflicts`]): a `Local` (pause)
+//!     step carrying at most an *invocation* marker commutes with a
+//!     marker-free data step on a certificate-licensed register,
+//!     cutting the invocation-placement branching that dominates
+//!     mixed-role workloads. Every dynamically detected data race is
+//!     validated against the certificate's may-conflict matrix, and
+//!     an unpredicted race aborts the exploration — the static
+//!     analysis is load-bearing but fail-closed.
 //!
 //! # Parallel source-set DPOR
 //!
@@ -142,6 +152,44 @@
 //! DPOR-vs-value-DPOR verdict-equivalence suites cross-check all of
 //! this on small configurations.
 //!
+//! # Why the static placement relaxation is sound
+//!
+//! [`PruneMode::StaticDpor`] relaxes the rule "`Local` steps conflict
+//! with everything" in exactly one shape: a pause step `l` of process
+//! `p` and a data step `d` of process `q ≠ p` commute when (a) no
+//! *response* marker rode on `l` (an invocation marker may), (b) no
+//! event marker at all rode on `d`, and (c) `d`'s register is licensed
+//! by the static certificate. Swapping two such adjacent steps:
+//!
+//! * changes no memory state and no step record — a pause touches no
+//!   register, so `d` reads/writes identically in both orders, and
+//!   `p`'s continuation after its pause cannot depend on `d` before
+//!   `p`'s *next* declared access (which is a later step, ordered
+//!   after both);
+//! * changes the *transcript* only by moving `l` (and any invocation
+//!   riding on it) across `d`. The event *sequence restricted to
+//!   responses* is untouched — `l` carries no response by (a), `d`
+//!   carries nothing by (b) — so every linearization commitment forced
+//!   at a response event is identical along both orders. A strong
+//!   linearization function for the explored tree extends to the
+//!   pruned branch by assigning the intermediate node the
+//!   linearization of its parent: the only history difference is a
+//!   *pending* invocation, which no prefix-preserving linearization is
+//!   obliged to linearize before its response.
+//!
+//! Guard (b) also blocks the converse hazard — moving an invocation
+//! across a *response-carrying* data step would change which
+//! operations precede it in real-time order. Pause/pause pairs are
+//! never relaxed (both may carry markers). The certificate's license
+//! (c) is not needed for the commutation argument itself; it is what
+//! makes the static analysis *load-bearing and checkable*: relaxation
+//! happens only where the footprint probe actually observed the
+//! register, and the dynamic race detector validates every observed
+//! data race against the same certificate, aborting on any race the
+//! static matrix failed to predict ([`validate_race`]). Unknown
+//! execution metadata (untraced runs) satisfies neither (a) nor (b),
+//! so the relaxation degrades to [`PruneMode::ValueDpor`] behaviour.
+//!
 //! All of this is **conservative**, and the pruned-vs-unpruned (and
 //! DPOR-vs-sleep-set, and parallel-vs-sequential) verdict-equivalence
 //! tests in the model-check and fuzz suites cross-check it on small
@@ -151,9 +199,10 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use sl_check::ValueId;
+use sl_check::{RegSym, ValueId};
 
 use crate::sched::{Scheduler, STOP_RUN};
+use crate::statics::StaticConflicts;
 use crate::world::{AccessKind, PendingAccess, RunOutcome, SchedView, TraceItem};
 
 /// Statistics of an exploration.
@@ -272,6 +321,17 @@ pub enum PruneMode {
     /// mixed-role (reader-heavy) workloads.
     #[default]
     ValueDpor,
+    /// [`PruneMode::ValueDpor`] plus the **static placement
+    /// relaxation**: a `Local` (pause) step carrying at most an
+    /// *invocation* marker additionally commutes with a marker-free
+    /// data step whose register is licensed by the
+    /// [`StaticConflicts`] certificate installed in
+    /// [`Explorer::statics`] (produced by the `sl-analyze` footprint
+    /// probe). Every dynamically detected data race is validated
+    /// against the certificate's may-conflict matrix; an unpredicted
+    /// race aborts the exploration (fail closed). Requires
+    /// `Explorer::statics`; panics without it.
+    StaticDpor,
 }
 
 /// Per-worker replay state owned by the caller of
@@ -317,19 +377,32 @@ struct Observed {
 }
 
 /// What the execution of one granted step revealed, observed post-hoc
-/// from the recorded trace: the interned value the step read/wrote and
-/// whether a high-level event marker rode on the step's activation.
-/// `(NONE, true)` is the conservative unknown (untraced runs).
+/// from the recorded trace: the interned value the step read/wrote,
+/// the step's interned register identity, and what event markers rode
+/// on the step's activation. [`ExecMeta::UNKNOWN`] is the conservative
+/// unknown (untraced runs): marker flags set, no register.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) struct ExecMeta {
     pub(crate) value: ValueId,
+    /// Globally interned register identity of the step
+    /// ([`RegSym::LOCAL`] for pauses and untraced runs) — what the
+    /// static placement relaxation keys its license on.
+    pub(crate) reg: RegSym,
+    /// Any high-level event marker (invocation *or* response) rode on
+    /// this step's activation.
     pub(crate) hi: bool,
+    /// A *response* marker rode on this step (implies `hi`).
+    /// Responses pin real-time order, so a step carrying one is never
+    /// commuted by any relaxation.
+    pub(crate) resp: bool,
 }
 
 impl ExecMeta {
     const UNKNOWN: ExecMeta = ExecMeta {
         value: ValueId::NONE,
+        reg: RegSym::LOCAL,
         hi: true,
+        resp: true,
     };
 }
 
@@ -461,10 +534,16 @@ impl ScheduleDriver {
                 TraceItem::Step(s) => {
                     seen_step = true;
                     meta.value = s.value();
+                    meta.reg = s.reg_sym();
                     meta.hi = false;
+                    meta.resp = false;
                 }
-                TraceItem::Hi(_) if seen_step => meta.hi = true,
-                TraceItem::Hi(_) => {}
+                TraceItem::HiInvoke(_) if seen_step => meta.hi = true,
+                TraceItem::Hi(_) if seen_step => {
+                    meta.hi = true;
+                    meta.resp = true;
+                }
+                TraceItem::Hi(_) | TraceItem::HiInvoke(_) => {}
             }
         }
         exec.push(meta);
@@ -622,6 +701,11 @@ pub struct Explorer {
     /// Initial decision prefix: exploration covers exactly the
     /// schedules extending this stem (empty = the full space).
     pub stem: Vec<usize>,
+    /// Static conflict certificate consulted by
+    /// [`PruneMode::StaticDpor`] (required for that mode; ignored by
+    /// every other mode). Shared by `Arc` so one certificate serves
+    /// all workers and repeated explorations.
+    pub statics: Option<Arc<StaticConflicts>>,
 }
 
 impl Default for Explorer {
@@ -631,6 +715,7 @@ impl Default for Explorer {
             mode: PruneMode::default(),
             workers: 1,
             stem: Vec::new(),
+            statics: None,
         }
     }
 }
@@ -677,7 +762,9 @@ impl Explorer {
         F: Fn(&mut C, &mut ScheduleDriver) + Sync,
     {
         match self.mode {
-            PruneMode::SourceDpor | PruneMode::ValueDpor => self.explore_dpor(&new_ctx, &runner),
+            PruneMode::SourceDpor | PruneMode::ValueDpor | PruneMode::StaticDpor => {
+                self.explore_dpor(&new_ctx, &runner)
+            }
             PruneMode::Unpruned | PruneMode::SleepSet => {
                 let root = Frame {
                     script: self.stem.clone(),
@@ -937,11 +1024,39 @@ impl StepMeta {
 /// the mode's independence relation. The syntactic half delegates to
 /// [`PendingAccess::independent`]; `value_aware` adds same-register
 /// read/read and same-value write/write commutation when no high-level
-/// event marker rode on either step (see the module-level soundness
-/// argument).
-fn step_independent(a: &StepMeta, b: &StepMeta, value_aware: bool) -> bool {
+/// event marker rode on either step; `statics` (set only in
+/// [`PruneMode::StaticDpor`]) adds the **placement relaxation**: a
+/// `Local` step carrying at most an invocation marker commutes with a
+/// marker-free data step whose register the certificate licenses (see
+/// the module-level soundness arguments).
+fn step_independent(
+    a: &StepMeta,
+    b: &StepMeta,
+    value_aware: bool,
+    statics: Option<&StaticConflicts>,
+) -> bool {
     if a.access.independent(&b.access) {
         return true;
+    }
+    if let Some(st) = statics {
+        // Exactly one of the pair is a pause: the placement relaxation
+        // candidate. Pause/pause pairs stay dependent — both may carry
+        // event markers, and swapping would reorder the history.
+        let local_data = match (a.access.is_local(), b.access.is_local()) {
+            (true, false) => Some((a, b)),
+            (false, true) => Some((b, a)),
+            _ => None,
+        };
+        if let Some((local, data)) = local_data {
+            if !local.exec.resp
+                && !data.exec.hi
+                && data.exec.reg != RegSym::LOCAL
+                && st.licensed(data.exec.reg)
+            {
+                st.note_relaxed();
+                return true;
+            }
+        }
     }
     if !value_aware || a.access.is_local() || b.access.is_local() || a.exec.hi || b.exec.hi {
         return false;
@@ -1061,8 +1176,13 @@ struct DporShared<'a, NF, F> {
     runner: &'a F,
     max_runs: usize,
     /// Race detection uses the value-aware independence relation
-    /// ([`PruneMode::ValueDpor`]).
+    /// ([`PruneMode::ValueDpor`] and [`PruneMode::StaticDpor`]).
     value_aware: bool,
+    /// The static certificate, when the mode is
+    /// [`PruneMode::StaticDpor`]: enables the placement relaxation in
+    /// [`step_independent`] and fail-closed race validation in
+    /// [`add_race_reversals`].
+    statics: Option<&'a StaticConflicts>,
     /// Length of the user-supplied stem: demands below it are dropped
     /// (the stem is never backtracked into).
     hard_stem: usize,
@@ -1132,11 +1252,19 @@ impl Explorer {
         F: Fn(&mut C, &mut ScheduleDriver) + Sync,
     {
         let workers = self.workers.max(1);
+        let statics = match self.mode {
+            PruneMode::StaticDpor => Some(self.statics.as_deref().expect(
+                "PruneMode::StaticDpor requires Explorer::statics \
+                 (a StaticConflicts certificate from sl-analyze)",
+            )),
+            _ => None,
+        };
         let shared = DporShared {
             new_ctx,
             runner,
             max_runs: self.max_runs,
-            value_aware: self.mode == PruneMode::ValueDpor,
+            value_aware: matches!(self.mode, PruneMode::ValueDpor | PruneMode::StaticDpor),
+            statics,
             hard_stem: self.stem.len(),
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             queued: AtomicUsize::new(0),
@@ -1406,6 +1534,7 @@ where
             floor,
             shared.hard_stem,
             shared.value_aware,
+            shared.statics,
             &mut out.escapes,
         );
         // Backtrack: retire finished children bottom-up until a
@@ -1616,10 +1745,17 @@ fn apply_escape(node: &mut SpineNode, esc: Escape) {
 /// `escapes` in detection order, except below `hard_stem` (the
 /// user-supplied stem, which is never backtracked into at all).
 ///
-/// `value_aware` selects the independence relation for both the vector
-/// clocks and the race test (they must agree): syntactic
-/// ([`PendingAccess::independent`]) or value-aware
+/// `value_aware` and `statics` select the independence relation for
+/// both the vector clocks and the race test (they must agree):
+/// syntactic ([`PendingAccess::independent`]), value-aware, or
+/// value-aware plus the static placement relaxation
 /// ([`step_independent`]).
+///
+/// When `statics` is present, every dependent concurrent data/data
+/// pair is additionally **validated** against the certificate's
+/// may-conflict matrix: a dynamically observed race on a register the
+/// matrix does not predict racy aborts the exploration with a
+/// diagnostic (fail closed — see [`StaticConflicts`]).
 #[allow(clippy::too_many_arguments)]
 fn add_race_reversals(
     spine: &mut [SpineNode],
@@ -1628,6 +1764,7 @@ fn add_race_reversals(
     apply_floor: usize,
     hard_stem: usize,
     value_aware: bool,
+    statics: Option<&StaticConflicts>,
     escapes: &mut Vec<Escape>,
 ) {
     let len = spine.len();
@@ -1678,14 +1815,19 @@ fn add_race_reversals(
         let mut races: Vec<usize> = Vec::new();
         for j in (0..k).rev() {
             let (q, b) = (spine[j].chosen, spine[j].meta);
-            if step_independent(&a, &b, value_aware) {
+            if step_independent(&a, &b, value_aware, statics) {
                 continue;
             }
             if !clock_leq(&clocks[j], &base) {
                 // Not yet happens-before `k` through closer steps: this
                 // is an immediate race (when by another process).
-                if q != p && k >= first_new && j >= hard_stem {
-                    races.push(j);
+                if q != p {
+                    if let Some(st) = statics {
+                        validate_race(st, &a, &b);
+                    }
+                    if k >= first_new && j >= hard_stem {
+                        races.push(j);
+                    }
                 }
                 for (x, y) in base.iter_mut().zip(&clocks[j]) {
                     *x = (*x).max(*y);
@@ -1737,6 +1879,38 @@ fn add_race_reversals(
             });
         }
     }
+}
+
+/// Fail-closed check of one dynamically detected race against the
+/// static may-conflict matrix. Placement conflicts (a `Local` step on
+/// either side) are inherent to scheduling and not part of the data
+/// matrix; races whose registers are unknown (untraced runs) cannot be
+/// attributed and are counted, not validated. Everything else must be
+/// predicted racy — an unpredicted race means the static analysis
+/// missed a real conflict, and silently continuing would let it
+/// license unsound pruning elsewhere, so the exploration aborts.
+fn validate_race(st: &StaticConflicts, a: &StepMeta, b: &StepMeta) {
+    if a.access.is_local() || b.access.is_local() {
+        return;
+    }
+    let (ra, rb) = (a.exec.reg, b.exec.reg);
+    if ra == RegSym::LOCAL || rb == RegSym::LOCAL {
+        st.note_unattributed();
+        return;
+    }
+    if st.racy(ra) || st.racy(rb) {
+        st.note_validated();
+        return;
+    }
+    panic!(
+        "static conflict matrix failed closed: dynamic {:?}/{:?} race on {} \
+         is not predicted by the certificate — the sl-analyze footprint \
+         probe missed a conflicting access path; regenerate the certificate \
+         or fall back to PruneMode::ValueDpor",
+        a.access.kind,
+        b.access.kind,
+        st.describe(ra),
+    );
 }
 
 #[cfg(test)]
@@ -2154,11 +2328,11 @@ mod tests {
             let programs: Vec<crate::Program> = vec![
                 Box::new(move |_| {
                     let _ = r0.read();
-                    w0.push_hi_marker(0);
+                    w0.push_hi_marker(0, false);
                 }),
                 Box::new(move |_| {
                     let _ = r1.read();
-                    w1.push_hi_marker(1);
+                    w1.push_hi_marker(1, false);
                 }),
             ];
             world.run(programs, driver, 100)
@@ -2175,6 +2349,198 @@ mod tests {
                 2,
                 "{mode:?}: event-carrying reads must stay ordered both ways"
             );
+        }
+    }
+
+    /// Data-register symbols touched by one run of `runner` —
+    /// interning is global and keyed by `(name, alloc site)`, so the
+    /// symbols collected from one replay identify the same registers
+    /// in every replay of the same runner.
+    fn collect_data_syms<R>(runner: &R) -> Vec<RegSym>
+    where
+        R: Fn(&mut ScheduleDriver) -> RunOutcome + Sync,
+    {
+        let syms = Mutex::new(Vec::new());
+        let explorer = Explorer {
+            mode: PruneMode::Unpruned,
+            max_runs: 1,
+            ..Explorer::default()
+        };
+        explorer.explore(|d| {
+            let o = runner(d);
+            let mut s = syms.lock().unwrap();
+            for step in o.steps() {
+                let r = step.reg_sym();
+                if r != RegSym::LOCAL && !s.contains(&r) {
+                    s.push(r);
+                }
+            }
+            o
+        });
+        syms.into_inner().unwrap()
+    }
+
+    /// One pausing invoker vs one writer: the pause carries an
+    /// invocation marker, so `ValueDpor` treats it as conflicting with
+    /// the write (2 placements), while `StaticDpor` with the writer's
+    /// register licensed commutes the pair (1 schedule).
+    fn invoke_placement_runner(respond: bool) -> impl Fn(&mut ScheduleDriver) -> RunOutcome + Sync {
+        move |driver: &mut ScheduleDriver| {
+            let world = SimWorld::new(2);
+            let mem = world.mem();
+            let reg = mem.alloc("X", 0u64);
+            let w0 = world.clone();
+            let programs: Vec<crate::Program> = vec![
+                Box::new(move |ctx| {
+                    ctx.pause();
+                    w0.push_hi_marker(0, !respond);
+                }),
+                Box::new(move |_| reg.write(1)),
+            ];
+            world.run(programs, driver, 100)
+        }
+    }
+
+    #[test]
+    fn static_dpor_relaxes_licensed_invocation_placement() {
+        let runner = invoke_placement_runner(false);
+        let syms = collect_data_syms(&runner);
+        assert_eq!(syms.len(), 1, "one data register");
+        let value = Explorer {
+            mode: PruneMode::ValueDpor,
+            ..Explorer::default()
+        }
+        .explore(&runner);
+        assert!(value.exhausted);
+        assert_eq!(value.schedules_replayed(), 2, "placement branches");
+        let st = Arc::new(StaticConflicts::new(syms.clone(), syms));
+        let out = Explorer {
+            mode: PruneMode::StaticDpor,
+            statics: Some(Arc::clone(&st)),
+            ..Explorer::default()
+        }
+        .explore(&runner);
+        assert!(out.exhausted);
+        assert_eq!(
+            out.schedules_replayed(),
+            1,
+            "licensed invoke-pause commutes with the marker-free write"
+        );
+        assert!(st.telemetry().relaxed > 0, "relaxation actually fired");
+    }
+
+    #[test]
+    fn static_dpor_never_relaxes_response_markers() {
+        let runner = invoke_placement_runner(true);
+        let syms = collect_data_syms(&runner);
+        let st = Arc::new(StaticConflicts::new(syms.clone(), syms));
+        let out = Explorer {
+            mode: PruneMode::StaticDpor,
+            statics: Some(st),
+            ..Explorer::default()
+        }
+        .explore(&runner);
+        assert!(out.exhausted);
+        assert_eq!(
+            out.schedules_replayed(),
+            2,
+            "a response-carrying pause pins real-time order"
+        );
+    }
+
+    #[test]
+    fn static_dpor_keeps_all_conflicting_interleavings() {
+        // Same register, distinct values: fully racy. With the
+        // register licensed *and* predicted racy, StaticDpor must keep
+        // every trace ValueDpor keeps.
+        let runner = writers_runner(3, false);
+        let syms = collect_data_syms(&runner);
+        let st = Arc::new(StaticConflicts::new(syms.clone(), syms));
+        let out = Explorer {
+            mode: PruneMode::StaticDpor,
+            statics: Some(Arc::clone(&st)),
+            ..Explorer::default()
+        }
+        .explore(&runner);
+        assert!(out.exhausted);
+        assert_eq!(out.runs, 6, "all 6 conflicting traces kept");
+        assert!(st.telemetry().validated > 0, "races were validated");
+    }
+
+    #[test]
+    fn static_dpor_fails_closed_on_unpredicted_race() {
+        let runner = writers_runner(2, false);
+        let syms = collect_data_syms(&runner);
+        // Licensed but *not* predicted racy: the dynamic write/write
+        // race must abort the exploration.
+        let st = Arc::new(StaticConflicts::new(syms, []));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Explorer {
+                mode: PruneMode::StaticDpor,
+                statics: Some(st),
+                ..Explorer::default()
+            }
+            .explore(&runner)
+        }));
+        let payload = result.expect_err("unpredicted race must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("not predicted") && msg.contains("register `X`"),
+            "diagnostic names the register: {msg}"
+        );
+    }
+
+    #[test]
+    fn static_dpor_requires_a_certificate() {
+        let runner = writers_runner(2, true);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Explorer {
+                mode: PruneMode::StaticDpor,
+                ..Explorer::default()
+            }
+            .explore(&runner)
+        }));
+        assert!(result.is_err(), "StaticDpor without statics must panic");
+    }
+
+    /// The bit-identity guarantee extends to StaticDpor: same outcome
+    /// and schedule set at any worker count, and — on a workload with
+    /// no pauses — identical to ValueDpor.
+    #[test]
+    fn parallel_static_dpor_is_bit_identical_to_sequential() {
+        use std::collections::BTreeSet;
+        let syms = collect_data_syms(&mixed_runner(3));
+        let st = Arc::new(StaticConflicts::new(syms.clone(), syms));
+        let explore_at = |workers: usize, mode: PruneMode| {
+            let runner = mixed_runner(3);
+            let scripts = Mutex::new(BTreeSet::new());
+            let explorer = Explorer {
+                mode,
+                workers,
+                statics: (mode == PruneMode::StaticDpor).then(|| Arc::clone(&st)),
+                ..Explorer::default()
+            };
+            let out = explorer.explore(|d| {
+                let o = runner(d);
+                if !d.was_cut() {
+                    scripts.lock().unwrap().insert(o.script());
+                }
+                o
+            });
+            assert!(out.exhausted, "{mode:?} at {workers} workers");
+            (out, scripts.into_inner().unwrap())
+        };
+        let (seq, seq_scripts) = explore_at(1, PruneMode::StaticDpor);
+        let (value, value_scripts) = explore_at(1, PruneMode::ValueDpor);
+        assert_eq!(seq, value, "no pauses: StaticDpor == ValueDpor");
+        assert_eq!(seq_scripts, value_scripts);
+        for workers in [2, 4, 8] {
+            let (par, par_scripts) = explore_at(workers, PruneMode::StaticDpor);
+            assert_eq!(seq, par, "outcome diverged at {workers} workers");
+            assert_eq!(seq_scripts, par_scripts, "schedules diverged at {workers}");
         }
     }
 

@@ -115,9 +115,19 @@ mod imp {
     extern "C" fn fiber_main(boot: *mut Boot) -> ! {
         // Runs on the fiber's own stack. Catch everything: unwinding
         // must never cross the assembly switch.
+        //
+        // SAFETY: `boot` is the pointer `Fiber::spawn` leaked via
+        // `Box::into_raw` and parked in the fake frame's r12 slot; the
+        // boot trampoline passes it here exactly once, so reclaiming
+        // the box is sound and unaliased.
         let boot = unsafe { Box::from_raw(boot) };
         let inner = boot.inner;
         let result = panic::catch_unwind(AssertUnwindSafe(boot.f));
+        // SAFETY: `inner` points into the `FiberInner` owned by the
+        // `Fiber` that spawned us, which outlives the fiber's stack
+        // (the VM never drops a started fiber before it is done), and
+        // the VM side is suspended while this fiber runs, so the
+        // access is exclusive.
         unsafe {
             if let Err(payload) = result {
                 (*inner).panic.set(Some(payload));
@@ -158,6 +168,11 @@ mod imp {
             // Build the initial fake frame at the top of the stack so
             // that the first switch "returns" into `sl_sim_fiber_boot`
             // with r13 = fiber_main and r12 = the boot data.
+            //
+            // SAFETY: the frame is written strictly inside the owned
+            // stack allocation (`top - 7*8 >= base` because STACK_SIZE
+            // far exceeds one frame), 8-byte aligned by construction,
+            // and matches the layout `sl_sim_fiber_switch` pops.
             unsafe {
                 let base = stack.0.as_mut_ptr() as usize;
                 let top = (base + STACK_SIZE) & !15;
@@ -188,6 +203,10 @@ mod imp {
             assert!(!self.inner.done.get(), "resumed a finished fiber");
             self.started_or_done = true;
             let prev = CURRENT.with(|c| c.replace(&mut *self.inner));
+            // SAFETY: `fiber_ctx` holds a context previously saved by
+            // the switch (or the spawn-built fake frame) on this
+            // fiber's live stack; saving into `vm_ctx` targets a field
+            // of the boxed `FiberInner` we exclusively borrow.
             unsafe {
                 sl_sim_fiber_switch(self.inner.vm_ctx.as_ptr(), self.inner.fiber_ctx.get());
             }
@@ -209,6 +228,12 @@ mod imp {
             if self.inner.done.get() || !self.started_or_done {
                 if !self.started_or_done {
                     // Never ran: the boot data was never consumed.
+                    //
+                    // SAFETY: an unstarted fiber's `fiber_ctx` still
+                    // points at the fake frame `spawn` built, whose
+                    // r12 slot (index 3) holds the leaked `Boot`
+                    // pointer — unconsumed because only `fiber_main`
+                    // consumes it, and it never ran.
                     unsafe {
                         let frame = self.inner.fiber_ctx.get() as *mut usize;
                         drop(Box::from_raw(frame.add(3).read() as *mut Boot));
@@ -239,6 +264,10 @@ mod imp {
             !inner.is_null(),
             "fiber_yield called outside a simulated process"
         );
+        // SAFETY: `CURRENT` is non-null only for the duration of a
+        // `resume` on this thread, so `inner` points at the live
+        // `FiberInner` of the running fiber and `vm_ctx` holds the
+        // context `resume` saved just before switching here.
         unsafe {
             sl_sim_fiber_switch((*inner).fiber_ctx.as_ptr(), (*inner).vm_ctx.get());
         }

@@ -60,11 +60,15 @@ impl<S: SeqSpec> EventLog<S> {
     }
 
     /// Records an invocation event and returns its operation identifier.
+    /// The trace marker is [`TraceItem::HiInvoke`]: the explorer's
+    /// static placement relaxation may commute the step this marker
+    /// rides on, which is licensed for invocations but never for
+    /// responses (responses pin real-time order).
     pub fn invoke(&self, proc: ProcId, op: S::Op) -> OpId {
         let mut inner = self.inner.lock().unwrap();
         let id = inner.history.invoke(proc, op);
         let index = inner.history.len() - 1;
-        self.world.push_hi_marker(index);
+        self.world.push_hi_marker(index, true);
         id
     }
 
@@ -73,7 +77,7 @@ impl<S: SeqSpec> EventLog<S> {
         let mut inner = self.inner.lock().unwrap();
         inner.history.respond(id, resp);
         let index = inner.history.len() - 1;
-        self.world.push_hi_marker(index);
+        self.world.push_hi_marker(index, false);
     }
 
     /// The recorded history (high-level events only).
@@ -112,7 +116,7 @@ impl<S: SeqSpec> EventLog<S> {
         let events: &[Event<S>] = inner.history.events();
         steps.extend(outcome.trace.iter().map(|item| match item {
             TraceItem::Step(s) => TreeStep::Internal(ProcId(s.proc), s.code),
-            TraceItem::Hi(i) => TreeStep::Event(events[*i].clone()),
+            TraceItem::Hi(i) | TraceItem::HiInvoke(i) => TreeStep::Event(events[*i].clone()),
         }));
     }
 
@@ -145,7 +149,7 @@ impl<S: SeqSpec> EventLog<S> {
                         let _ = write!(buf, "p{} (pause)", s.proc);
                     }
                     TraceItem::Step(s) => s.write_detailed(&mut buf),
-                    TraceItem::Hi(i) => {
+                    TraceItem::Hi(i) | TraceItem::HiInvoke(i) => {
                         let e = &events[*i];
                         match &e.kind {
                             sl_spec::EventKind::Invoke(op) => {

@@ -1,0 +1,218 @@
+//! Static conflict summaries consumed by [`PruneMode::StaticDpor`].
+//!
+//! A [`StaticConflicts`] value is the runtime form of the
+//! **placement-commutation certificate** produced by the `sl-analyze`
+//! crate: for every register the static access-footprint probe
+//! observed, it records whether invocation-placement relaxation is
+//! *licensed* on that register and whether the static may-conflict
+//! matrix predicts a data race on it (two distinct processes' ops
+//! touch it, at least one writing).
+//!
+//! The explorer uses the two halves asymmetrically, and both
+//! directions **fail closed**:
+//!
+//! * `licensed` drives *pruning*: a `Local` (pause) step carrying at
+//!   most an invocation marker may commute with a marker-free data
+//!   step only when the data step's register is licensed. Registers
+//!   the probe never saw are unlicensed, so nothing is pruned on the
+//!   strength of an incomplete analysis.
+//! * `racy` drives *validation*: every data race the dynamic detector
+//!   observes must be predicted by the matrix. An unpredicted race
+//!   aborts the exploration with a diagnostic naming the register and
+//!   the analysis footprint — the analysis is never silently wrong.
+//!
+//! Register identities are matched two ways: exact interned
+//! [`RegSym`]s first, then the register's `(file, line)` allocation
+//! site. The site fallback covers registers allocated in loops or
+//! sized by the process count — the probe configuration may allocate
+//! fewer `slot{i}` registers than a wider simulated run, but every one
+//! of them comes from the same `Mem::alloc` call site, which is
+//! exactly what the footprint analysis reasons about.
+//!
+//! [`PruneMode::StaticDpor`]: crate::PruneMode::StaticDpor
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use sl_check::RegSym;
+
+/// Counters accumulated while an exploration consults a certificate.
+///
+/// Deliberately *not* part of [`crate::ExploreOutcome`]: the parallel
+/// explorer examines a different multiset of step pairs than the
+/// sequential one (races found in a delegated subtree are not
+/// re-examined by the owner), so these totals are not bit-identical
+/// across worker counts — the exploration results are.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StaticTelemetry {
+    /// Step pairs commuted by the placement relaxation.
+    pub relaxed: u64,
+    /// Dynamic races checked against the matrix and found predicted.
+    pub validated: u64,
+    /// Dynamic races that could not be attributed to a register
+    /// (untraced runs record no step metadata); skipped, not validated.
+    pub unattributed: u64,
+}
+
+/// A static may-conflict summary: which registers license placement
+/// relaxation and which are predicted racy. See the module docs.
+pub struct StaticConflicts {
+    /// Registers observed by the static probe (relaxation license).
+    licensed: HashSet<RegSym>,
+    /// Allocation sites of licensed registers (loop-allocation fallback).
+    licensed_sites: HashSet<(&'static str, u32)>,
+    /// Registers the matrix predicts a data race on.
+    racy: HashSet<RegSym>,
+    /// Allocation sites of racy registers.
+    racy_sites: HashSet<(&'static str, u32)>,
+    /// Human-readable footprint notes per allocation site, surfaced in
+    /// fail-closed diagnostics ("ops touching this register: ...").
+    notes: HashMap<(&'static str, u32), String>,
+    /// Memoised per-symbol classification `(licensed, racy)` — the
+    /// site fallback takes two interner reads, and the explorer asks
+    /// about the same handful of symbols millions of times.
+    memo: RwLock<HashMap<RegSym, (bool, bool)>>,
+    relaxed: AtomicU64,
+    validated: AtomicU64,
+    unattributed: AtomicU64,
+}
+
+impl std::fmt::Debug for StaticConflicts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticConflicts")
+            .field("licensed", &self.licensed.len())
+            .field("racy", &self.racy.len())
+            .field("telemetry", &self.telemetry())
+            .finish()
+    }
+}
+
+impl StaticConflicts {
+    /// Builds a certificate from the licensed and racy register sets.
+    /// Each symbol also licenses (or marks racy) its whole allocation
+    /// site, so same-site registers of a differently sized
+    /// configuration classify identically.
+    pub fn new(
+        licensed: impl IntoIterator<Item = RegSym>,
+        racy: impl IntoIterator<Item = RegSym>,
+    ) -> StaticConflicts {
+        let licensed: HashSet<RegSym> = licensed.into_iter().collect();
+        let racy: HashSet<RegSym> = racy.into_iter().collect();
+        let licensed_sites = licensed.iter().map(|s| s.site()).collect();
+        let racy_sites = racy.iter().map(|s| s.site()).collect();
+        StaticConflicts {
+            licensed,
+            licensed_sites,
+            racy,
+            racy_sites,
+            notes: HashMap::new(),
+            memo: RwLock::new(HashMap::new()),
+            relaxed: AtomicU64::new(0),
+            validated: AtomicU64::new(0),
+            unattributed: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty certificate: nothing licensed, nothing predicted racy.
+    /// Useful as a fail-closed default — every observed race aborts.
+    pub fn empty() -> StaticConflicts {
+        StaticConflicts::new([], [])
+    }
+
+    /// Attaches a footprint note to `sym`'s allocation site, shown in
+    /// fail-closed diagnostics.
+    pub fn set_note(&mut self, sym: RegSym, note: impl Into<String>) {
+        self.notes.insert(sym.site(), note.into());
+    }
+
+    /// `(licensed, racy)` for `sym`, by symbol or by allocation site.
+    fn classify(&self, sym: RegSym) -> (bool, bool) {
+        if sym == RegSym::LOCAL {
+            return (false, false);
+        }
+        if let Some(&hit) = self.memo.read().unwrap().get(&sym) {
+            return hit;
+        }
+        let site = sym.site();
+        let licensed = self.licensed.contains(&sym) || self.licensed_sites.contains(&site);
+        let racy = self.racy.contains(&sym) || self.racy_sites.contains(&site);
+        self.memo.write().unwrap().insert(sym, (licensed, racy));
+        (licensed, racy)
+    }
+
+    /// Whether the placement relaxation is licensed on `sym` (the
+    /// static probe observed this register, by symbol or site).
+    pub fn licensed(&self, sym: RegSym) -> bool {
+        self.classify(sym).0
+    }
+
+    /// Whether the static matrix predicts a data race on `sym`.
+    pub fn racy(&self, sym: RegSym) -> bool {
+        self.classify(sym).1
+    }
+
+    /// A diagnostic rendering of `sym` with its footprint note.
+    pub fn describe(&self, sym: RegSym) -> String {
+        let (file, line) = sym.site();
+        let note = self
+            .notes
+            .get(&(file, line))
+            .map(|n| format!("; static footprint: {n}"))
+            .unwrap_or_default();
+        format!("register `{}` (alloc at {file}:{line}){note}", sym.name())
+    }
+
+    pub(crate) fn note_relaxed(&self) {
+        self.relaxed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_validated(&self) {
+        self.validated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_unattributed(&self) {
+        self.unattributed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counters accumulated so far (explorations only add; a
+    /// certificate can be shared across explorations).
+    pub fn telemetry(&self) -> StaticTelemetry {
+        StaticTelemetry {
+            relaxed: self.relaxed.load(Ordering::Relaxed),
+            validated: self.validated.load(Ordering::Relaxed),
+            unattributed: self.unattributed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_by_symbol_and_by_site() {
+        let a = RegSym::intern("stx-A", file!(), line!(), 1);
+        // Same site, different name — as loop allocations produce.
+        let (f, l) = a.site();
+        let a2 = RegSym::intern("stx-A2", f, l, 2);
+        let b = RegSym::intern("stx-B", file!(), line!(), 1);
+        let st = StaticConflicts::new([a], [a]);
+        assert!(st.licensed(a) && st.racy(a));
+        assert!(st.licensed(a2), "site fallback licenses same-site regs");
+        assert!(st.racy(a2));
+        assert!(!st.licensed(b) && !st.racy(b));
+        assert!(!st.licensed(RegSym::LOCAL));
+        // Memoised second lookup agrees.
+        assert!(st.licensed(a2) && !st.licensed(b));
+    }
+
+    #[test]
+    fn notes_surface_in_descriptions() {
+        let a = RegSym::intern("stx-noted", file!(), line!(), 1);
+        let mut st = StaticConflicts::empty();
+        st.set_note(a, "write by push@p0, read by pop@p1");
+        let d = st.describe(a);
+        assert!(d.contains("stx-noted") && d.contains("push@p0"), "{d}");
+    }
+}

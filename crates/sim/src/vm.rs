@@ -163,22 +163,59 @@ pub(crate) unsafe fn vm_step<R>(
 }
 
 /// Appends a high-level event marker; called (via `SimWorld`) from
-/// inside a running fiber.
+/// inside a running fiber. `invoke` selects [`TraceItem::HiInvoke`]
+/// over the conservative [`TraceItem::Hi`].
 ///
 /// # Safety
 ///
 /// Same contract as [`vm_step`].
-pub(crate) unsafe fn vm_push_hi(vm: *mut VmCore, index: usize) {
+pub(crate) unsafe fn vm_push_hi(vm: *mut VmCore, index: usize, invoke: bool) {
     let core = &mut *vm;
     if core.config.record_trace {
-        core.trace.push(TraceItem::Hi(index));
+        core.trace.push(if invoke {
+            TraceItem::HiInvoke(index)
+        } else {
+            TraceItem::Hi(index)
+        });
     }
+}
+
+/// Safe front end for [`vm_step`], so `world.rs` stays free of
+/// `unsafe` (the crate confines its unsafe code to this module and
+/// `fiber`).
+pub(crate) fn step_on<R>(
+    vm: *mut VmCore,
+    reg_id: RegId,
+    sym: RegSym,
+    kind: AccessKind,
+    access: impl FnOnce(bool) -> (R, ValueId),
+) -> R {
+    // SAFETY: callers reach this through `SimWorld::step`, which only
+    // dispatches here while `active_vm` publishes a live `VmCore` —
+    // i.e. from inside a fiber resumed by the VM that owns `vm`, where
+    // the fiber holds exclusive access to the core (module docs).
+    unsafe { vm_step(vm, reg_id, sym, kind, access) }
+}
+
+/// Safe front end for [`vm_push_hi`]; same confinement rationale as
+/// [`step_on`].
+pub(crate) fn push_hi_on(vm: *mut VmCore, index: usize, invoke: bool) {
+    // SAFETY: as for `step_on` — only called via
+    // `SimWorld::push_hi_marker` from inside a running fiber of the VM
+    // that owns `vm`, which has exclusive access to the core.
+    unsafe { vm_push_hi(vm, index, invoke) }
 }
 
 /// Unwinds every still-suspended fiber (the budget-abort / sibling
 /// panic protocol): sets the abort flag and resumes each waiting fiber
 /// so its parked `vm_step` re-raises as a `SimAbort` unwind, caught at
 /// the fiber entry.
+///
+/// # Safety
+///
+/// `vm` must point at the live `VmCore` owning `fibers`, called from
+/// the VM loop (not from inside a fiber), so the core is exclusively
+/// accessible between resumes.
 unsafe fn abort_all(vm: *mut VmCore, fibers: &mut [Fiber]) {
     (*vm).aborted = true;
     IN_SIM_ABORT.store(true, Ordering::SeqCst);
@@ -288,6 +325,11 @@ pub(crate) fn run_vm(
         })
         .collect();
 
+    // SAFETY: `vm_ptr` points at the boxed `VmCore` owned by this
+    // frame, which outlives the whole block; fibers only touch the
+    // core while suspended in `vm_step` (never concurrently with the
+    // loop — exactly one side runs at a time), so every dereference
+    // here has exclusive access.
     unsafe {
         // First activation: run every process to its first declared
         // access (or to completion), in pid order.

@@ -192,8 +192,19 @@ impl StepRecord {
 pub enum TraceItem {
     /// An internal register step.
     Step(StepRecord),
-    /// The `i`-th high-level event of the event log.
+    /// The `i`-th high-level event of the event log. Without further
+    /// qualification the marker is treated as a *response or unknown*
+    /// event by every consumer that distinguishes marker kinds — the
+    /// conservative reading (responses pin real-time order, so steps
+    /// carrying them never commute with anything).
     Hi(usize),
+    /// The `i`-th high-level event of the event log, known to be an
+    /// **invocation**. [`crate::EventLog::invoke`] emits this; the
+    /// explorer's static placement relaxation (`PruneMode::StaticDpor`)
+    /// is licensed only for steps whose riding markers are all
+    /// invocations. Checkers and transcripts treat it exactly like
+    /// [`TraceItem::Hi`].
+    HiInvoke(usize),
 }
 
 /// One scheduling decision: the set of processes that were ready to take
@@ -232,7 +243,7 @@ impl<'a> SchedView<'a> {
     pub fn last_step(&self) -> Option<&StepRecord> {
         self.trace.iter().rev().find_map(|t| match t {
             TraceItem::Step(s) => Some(s),
-            TraceItem::Hi(_) => None,
+            TraceItem::Hi(_) | TraceItem::HiInvoke(_) => None,
         })
     }
 
@@ -327,7 +338,7 @@ impl RunOutcome {
     pub fn steps(&self) -> impl Iterator<Item = &StepRecord> {
         self.trace.iter().filter_map(|t| match t {
             TraceItem::Step(s) => Some(s),
-            TraceItem::Hi(_) => None,
+            TraceItem::Hi(_) | TraceItem::HiInvoke(_) => None,
         })
     }
 
@@ -657,19 +668,18 @@ impl SimWorld {
             !vm.is_null(),
             "simulated register accessed outside a SimWorld::run program"
         );
-        unsafe { crate::vm::vm_step(vm, reg_id, sym, kind, access) }
+        crate::vm::step_on(vm, reg_id, sym, kind, access)
     }
 
     /// Records a high-level event marker in the trace; used by
-    /// [`crate::EventLog`].
-    pub(crate) fn push_hi_marker(&self, index: usize) {
+    /// [`crate::EventLog`]. `invoke` selects [`TraceItem::HiInvoke`]
+    /// over the conservative [`TraceItem::Hi`].
+    pub(crate) fn push_hi_marker(&self, index: usize, invoke: bool) {
         let vm = self.inner.active_vm.load(Ordering::Relaxed);
         assert!(
             !vm.is_null(),
             "high-level event recorded outside a SimWorld::run program"
         );
-        // Called from inside a fiber of the running VM; the fiber has
-        // exclusive access to the VM state while it runs.
-        unsafe { crate::vm::vm_push_hi(vm, index) };
+        crate::vm::push_hi_on(vm, index, invoke);
     }
 }

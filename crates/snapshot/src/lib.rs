@@ -35,6 +35,8 @@
 //! assert_eq!(snap.scan(ProcId(0)), vec![None, Some(42), None]);
 //! ```
 
+#![deny(unsafe_code)]
+
 mod afek;
 mod bounded;
 mod double_collect;

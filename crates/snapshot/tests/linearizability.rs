@@ -249,6 +249,7 @@ fn explorer_covers_state_restoring_adversary_neighbourhood() {
         mode: PruneMode::SourceDpor,
         workers: 1,
         stem,
+        statics: None,
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
         let world = SimWorld::new(2);
@@ -375,6 +376,7 @@ fn explorer_covers_state_restoring_adversary_neighbourhood_deep() {
         mode: PruneMode::SourceDpor,
         workers: 1,
         stem,
+        statics: None,
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
         let world = SimWorld::new(2);

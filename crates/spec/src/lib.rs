@@ -25,6 +25,8 @@
 //! assert_eq!(resp, sl_spec::CounterResp::Value(1));
 //! ```
 
+#![deny(unsafe_code)]
+
 mod history;
 mod ids;
 mod spec;

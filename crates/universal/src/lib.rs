@@ -34,6 +34,8 @@
 //! assert_eq!(h1.execute(CounterOp::Read), CounterResp::Value(1));
 //! ```
 
+#![deny(unsafe_code)]
+
 mod graph;
 mod object;
 mod simple;

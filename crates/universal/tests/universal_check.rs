@@ -124,6 +124,7 @@ fn universal_counter_atomic_root_strongly_linearizable_exhaustive() {
         mode: PruneMode::SourceDpor,
         workers: 1,
         stem: vec![],
+        statics: None,
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
         let world = SimWorld::new(2);
@@ -215,6 +216,7 @@ fn universal_counter_atomic_root_three_ops_deep() {
         mode: PruneMode::SourceDpor,
         workers: 1,
         stem: vec![],
+        statics: None,
     };
     let explored = explorer.explore(|driver: &mut ScheduleDriver| {
         let world = SimWorld::new(2);

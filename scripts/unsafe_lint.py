@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Workspace unsafe-code lint.
+
+Enforces the workspace's unsafe policy mechanically, as a CI gate:
+
+1. `unsafe` may appear ONLY in the two sl-sim modules that must speak
+   to raw coroutine state: `crates/sim/src/fiber.rs` (stack switching)
+   and `crates/sim/src/vm.rs` (the active-core pointer the fibers
+   re-enter through). Every other crate carries
+   `#![deny(unsafe_code)]`; this script is the belt to that suspender
+   (an `#[allow]` sneaking in would silence the compiler lint, but not
+   this one).
+
+2. Inside the two permitted files, every line introducing an `unsafe`
+   block or function must have an adjacent justification: a
+   `// SAFETY:` comment within the preceding few lines (attributes and
+   blank lines are skipped), or a `# Safety` doc section for `unsafe fn`
+   declarations.
+
+Exit status 0 = clean; 1 = violations (printed one per line).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+PERMITTED = {
+    Path("crates/sim/src/fiber.rs"),
+    Path("crates/sim/src/vm.rs"),
+}
+
+UNSAFE_RE = re.compile(r"\bunsafe\b")
+SAFETY_RE = re.compile(r"//\s*SAFETY:", re.IGNORECASE)
+DOC_SAFETY_RE = re.compile(r"^\s*///?.*#\s*Safety", re.IGNORECASE)
+UNSAFE_FN_RE = re.compile(r"\bunsafe\s+(?:extern\s+\"[^\"]*\"\s+)?fn\b")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes line comments and string literals so `unsafe` inside
+    prose or a message does not count as code."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    return line.split("//")[0]
+
+
+def has_adjacent_safety(lines: list[str], idx: int, is_fn: bool) -> bool:
+    """Scans the contiguous comment/attribute/blank block directly
+    above line `idx` (the same adjacency clippy's
+    `undocumented_unsafe_blocks` uses) for a SAFETY justification."""
+    i = idx - 1
+    while i >= 0:
+        stripped = lines[i].strip()
+        if SAFETY_RE.search(stripped):
+            return True
+        if is_fn and DOC_SAFETY_RE.match(lines[i]):
+            return True
+        if stripped == "" or stripped.startswith(("#[", "#![", "//")):
+            i -= 1
+            continue
+        # Real code: the justification must sit between it and the
+        # unsafe line, not beyond it.
+        return False
+    return False
+
+
+def main() -> int:
+    violations: list[str] = []
+    for path in sorted(ROOT.glob("crates/**/*.rs")) + sorted(ROOT.glob("src/**/*.rs")):
+        rel = path.relative_to(ROOT)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        permitted = rel in PERMITTED
+        for idx, raw in enumerate(lines):
+            code = strip_comments_and_strings(raw)
+            if not UNSAFE_RE.search(code):
+                continue
+            # `#![deny(unsafe_code)]` / `#[allow(unsafe_code)]` are
+            # lint configuration, not unsafe code.
+            if "unsafe_code" in code:
+                continue
+            # `as unsafe extern "C" fn()` is a function-pointer *type*
+            # in a cast, not an unsafe operation — covered by the
+            # enclosing block's annotation.
+            if not UNSAFE_RE.search(re.sub(r"\bas\s+unsafe\b", " ", code)):
+                continue
+            if not permitted:
+                violations.append(
+                    f"{rel}:{idx + 1}: `unsafe` outside the permitted sl-sim "
+                    f"fiber/vm modules: {raw.strip()}"
+                )
+                continue
+            is_fn = bool(UNSAFE_FN_RE.search(code))
+            # An `unsafe` call inside an already-annotated block is
+            # covered by the block's comment; only block/fn openers
+            # need their own. Heuristic: require the annotation on
+            # every line that *introduces* unsafe (contains `unsafe`
+            # followed by `{` or is a fn/impl signature).
+            if not has_adjacent_safety(lines, idx, is_fn):
+                violations.append(
+                    f"{rel}:{idx + 1}: `unsafe` without an adjacent "
+                    f"`// SAFETY:` comment"
+                    + (" or `# Safety` doc section" if is_fn else "")
+                    + f": {raw.strip()}"
+                )
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"\n{len(violations)} unsafe-policy violation(s).", file=sys.stderr)
+        return 1
+    print("unsafe policy clean: unsafe confined to sl-sim fiber/vm, all annotated.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -194,6 +194,46 @@
 //! are unchanged. The soundness argument lives in `sim::explore`'s
 //! module docs.
 //!
+//! ## Static conflict analysis & sanitizer lanes
+//!
+//! The `sl-analyze` crate computes, ahead of exploration, a per-object
+//! **placement-commutation certificate**: it dry-runs every operation
+//! of every builder family × substrate on the footprint-recording
+//! `mem::SymMem` backend (a probe window around each call, round-robin
+//! multi-pass so probes see evolved state) and folds the symbolic
+//! access logs into per-op may-footprints, an op × op may-conflict
+//! matrix, and two register classifications — *licensed* (probed;
+//! placement relaxation may fire) and *racy* (conservatively, every
+//! written or unprobed site). Because `mem::Mem::alloc` is
+//! `#[track_caller]` under every backend, the certificate's register
+//! identities are byte-identical to the `check::RegSym`s the simulator
+//! interns, which is what lets static facts license dynamic decisions.
+//!
+//! `sim::PruneMode::StaticDpor` layers on `ValueDpor`: a pause step
+//! carrying at most an invocation marker additionally commutes with a
+//! marker-free data step on a certificate-licensed register — exactly
+//! the invocation-placement branching the paper's proofs quantify
+//! over. The contract is **fail-closed**: every dynamically observed
+//! race must be predicted by the static matrix (`sim::StaticConflicts`
+//! validates each one; an unpredicted race aborts the exploration with
+//! a diagnostic naming the registers and footprints), so an unsound
+//! certificate can never silently change a verdict. Differential
+//! suites assert verdict and conflict-depth equality with `ValueDpor`
+//! and bit-identical outcomes across 1/2/4/8 workers; the pinned
+//! mixed-role workloads drop a further ~45–56% below their value-DPOR
+//! counts (gated in CI, `crates/bench/baselines/explorer_baseline.json`,
+//! with the certificate catalog serialized alongside as
+//! `certificates.json`).
+//!
+//! Complementing the static lane, CI runs two sanitizer lanes: **Miri**
+//! over the fiber-free crates (`sl-spec`, `sl-check`, `sl-mem`,
+//! `sl-core` unit tests) and **ThreadSanitizer** over the simulator
+//! with the `portable-fibers` engine (every fiber a real OS thread, so
+//! TSan observes the full VM/fiber rendezvous protocol). Every crate
+//! except `sl-sim` is `#![deny(unsafe_code)]`; `scripts/unsafe_lint.py`
+//! additionally confines `unsafe` to sl-sim's `fiber`/`vm` modules and
+//! requires an adjacent `// SAFETY:` justification on every block.
+//!
 //! ## Depth budgets
 //!
 //! What exhausts where, after the parallel-DPOR + world-reuse +
@@ -201,17 +241,19 @@
 //! exact — the explorer is deterministic at any worker count;
 //! wall-clocks measured at 1 worker on the reference container, so
 //! multi-core runners divide the deep rows further; *DPOR* = syntactic
-//! source DPOR, *value* = value-aware default):
+//! source DPOR, *value* = value-aware default, *static* = value +
+//! placement certificate — gated counts where pinned, "—" where not
+//! measured):
 //!
-//! | Workload | Schedules (DPOR) | Schedules (value) | Tier |
-//! |---|---|---|---|
-//! | 2 procs: 1 DWrite vs 1 DRead | 17 | 17 | tier-1 (ms) |
-//! | 3 procs: 2 writers + 1 reader, 1 op each | 2,746 | 2,242 | tier-1 (ms) |
-//! | 2 procs: 2 DWrites vs 2 DReads | 7,228 | 7,228 | tier-1 (<1 s debug, was ~5 s) |
-//! | 3 procs mixed: writers 2+1 ops, reader 1 op | 204,257 | 179,697 | sim-deep (~4 s release, was ~10 s) |
-//! | 2 procs: 3 DWrites vs 2 DReads | 240,239 | 240,239 | sim-deep (~6 s release, was ~15 s) |
-//! | 3 procs: 2 ops per process (writers) | 2,752,674 | 2,752,674 | sim-deep (~37 s release at 1 worker, was ~1–2 min; under 30 s at ≥2 workers) |
-//! | 3 procs: 2 ops per process, mixed roles | ≫ millions | ~0.85× of DPOR | beyond budget today |
+//! | Workload | Schedules (DPOR) | Schedules (value) | Schedules (static) | Tier |
+//! |---|---|---|---|---|
+//! | 2 procs: 1 DWrite vs 1 DRead | 17 | 17 | 14 | tier-1 (ms) |
+//! | 3 procs: 2 writers + 1 reader, 1 op each | 2,746 | 2,242 | 1,232 | tier-1 (ms) |
+//! | 2 procs: 2 DWrites vs 2 DReads | 7,228 | 7,228 | 4,978 | tier-1 (<1 s debug, was ~5 s) |
+//! | 3 procs mixed: writers 2+1 ops, reader 1 op | 204,257 | 179,697 | 79,502 | sim-deep (~4 s release, was ~10 s) |
+//! | 2 procs: 3 DWrites vs 2 DReads | 240,239 | 240,239 | — | sim-deep (~6 s release, was ~15 s) |
+//! | 3 procs: 2 ops per process (writers) | 2,752,674 | 2,752,674 | — | sim-deep (~37 s release at 1 worker, was ~1–2 min; under 30 s at ≥2 workers) |
+//! | 3 procs: 2 ops per process, mixed roles | ≫ millions | ~0.85× of DPOR | ~0.4–0.5× of value (extrapolated) | beyond budget today |
 //!
 //! Deep explorations stream transcripts into `check::DagBuilder` (a
 //! hash-consed DAG: the 3-procs-×-2-ops prefix tree would hold ~17M
@@ -224,6 +266,8 @@
 //! See `examples/` for runnable scenarios (ABA detection, adversary
 //! bias, universal construction, model checking) and the `sl-bench`
 //! crate for the experiment binaries that regenerate `EXPERIMENTS.md`.
+
+#![deny(unsafe_code)]
 
 pub use sl_api as api;
 pub use sl_check as check;
