@@ -8,7 +8,8 @@
 //!
 //! * [`Certificate::static_conflicts`] produces the runtime form
 //!   ([`sl_sim::StaticConflicts`]) consumed by
-//!   `PruneMode::StaticDpor`: the *licensed* register set (placement
+//!   `PruneMode::StaticDpor` and consulted by `PruneMode::OptimalDpor`
+//!   when installed: the *licensed* register set (placement
 //!   relaxation may fire) and the *racy* register set (the dynamic
 //!   race detector validates every observed race against it,
 //!   fail-closed).

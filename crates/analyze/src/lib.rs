@@ -10,7 +10,9 @@
 //!
 //! The simulator consumes the runtime form
 //! ([`Certificate::static_conflicts`]) under
-//! `sl_sim::PruneMode::StaticDpor`: the explorer's `Local`
+//! `sl_sim::PruneMode::StaticDpor` (and opportunistically under
+//! `sl_sim::PruneMode::OptimalDpor`, which consults an installed
+//! certificate without requiring one): the explorer's `Local`
 //! (invocation-pause) steps stop conflicting with everything and
 //! instead commute with marker-free data steps on licensed registers —
 //! pruning the invocation-placement branching that value-aware DPOR

@@ -206,8 +206,7 @@ macro_rules! substrate_overapprox_test {
 }
 
 /// §5 universal construction (explicit apply closure): a bounded
-/// StaticDpor sample with the validator armed. The versioned substrate
-/// is excluded — see `universal_over_versioned_currently_panics`.
+/// StaticDpor sample with the validator armed.
 macro_rules! universal_overapprox_test {
     ($test:ident, $sel:ident, $name:expr) => {
         #[test]
@@ -250,45 +249,14 @@ universal_overapprox_test!(
     atomic_r,
     "double-collect+atomic-R"
 );
-
-/// Exploring the §5 universal construction over the **versioned**
-/// substrate currently dies inside `sl_universal`'s linearization
-/// graph ("must be acyclic") on some interleavings — a latent
-/// incompatibility this static-analysis suite surfaced (no previous
-/// test explored that pairing; the exhaustive universal checks run
-/// over atomic and double-collect roots). This test pins the current
-/// behaviour so the suite stays green and sounds the alarm the moment
-/// someone fixes it — then the versioned pairing belongs in
-/// `universal_overapprox_test!` above.
-#[test]
-fn universal_over_versioned_currently_panics() {
-    let certs = sl_analyze::catalog(2);
-    let uni_cert = cert(&certs, "universal-counter", "versioned");
-    let st = Arc::new(uni_cert.static_conflicts());
-    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        explore_object_with::<CounterSpec, _, _, _>(
-            |mem: &SimMem| {
-                ObjectBuilder::on(mem)
-                    .processes(2)
-                    .versioned()
-                    .universal(CounterType)
-            },
-            &counter_workload(),
-            |h, op| UniversalOps::execute(h, *op),
-            &cfg(PruneMode::StaticDpor, Some(st), SAMPLED),
-        )
-    }));
-    let err = match result {
-        Ok(_) => panic!("universal x versioned exploration unexpectedly succeeded — promote it into universal_overapprox_test!"),
-        Err(e) => e,
-    };
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
-        .unwrap_or_default();
-    assert!(msg.contains("acyclic"), "unexpected panic: {msg}");
-}
+// The versioned pairing below used to die inside `sl_universal`'s
+// linearization graph ("must be acyclic"): `UnaryMaxRegister` cached
+// register handles it allocated *during* a run across replay-world
+// resets, so a replayed schedule read views a previous schedule wrote
+// and cross-execution `preceding` edges cycled the precedence graph.
+// Fixed by `Mem::epoch`-based cache invalidation; the pairing now runs
+// as a first-class member of the matrix.
+universal_overapprox_test!(versioned_universal_overapproximates, versioned, "versioned");
 
 substrate_overapprox_test!(
     double_collect_overapproximates,

@@ -134,9 +134,11 @@ pub struct SimExplore {
     pub step_budget: u64,
     /// Initial decision prefix: explore only schedules extending it.
     pub stem: Vec<usize>,
-    /// Static conflict certificate for [`PruneMode::StaticDpor`]
-    /// (ignored by other modes): licenses the invocation-placement
-    /// relaxation and fail-closed-validates every observed race.
+    /// Static conflict certificate: required by
+    /// [`PruneMode::StaticDpor`], optionally consulted by
+    /// [`PruneMode::OptimalDpor`], ignored by other modes. Licenses the
+    /// invocation-placement relaxation and fail-closed-validates every
+    /// observed race.
     pub statics: Option<Arc<StaticConflicts>>,
 }
 
@@ -418,7 +420,10 @@ where
 {
     if !matches!(
         cfg.mode,
-        PruneMode::SourceDpor | PruneMode::ValueDpor | PruneMode::StaticDpor
+        PruneMode::SourceDpor
+            | PruneMode::ValueDpor
+            | PruneMode::StaticDpor
+            | PruneMode::OptimalDpor
     ) {
         let explored = explore_object_with(factory, workload, apply, cfg);
         return ExploredDag {

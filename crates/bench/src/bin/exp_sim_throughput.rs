@@ -5,10 +5,11 @@
 //! model-checking depth:
 //!
 //! * **schedules replayed** per explorer mode (unpruned, sleep sets,
-//!   source-set DPOR, value-aware DPOR, and static-certificate DPOR)
-//!   on pinned Algorithm-2 workloads — the win of partial-order
-//!   reduction, and of the `sl-analyze` placement-commutation
-//!   certificate on top of it;
+//!   source-set DPOR, value-aware DPOR, static-certificate DPOR, and
+//!   wakeup-sequence optimal DPOR) on pinned Algorithm-2 workloads —
+//!   the win of partial-order reduction, of the `sl-analyze`
+//!   placement-commutation certificate on top of it, and of wakeup
+//!   sequences eliminating sleep-set-blocked replays on top of both;
 //! * **replay throughput**: fresh-world-per-schedule vs the pooled
 //!   `SimWorld::reset` path (world reuse), and the parallel scaling
 //!   curve of partitioned source-DPOR at 1/2/4/8 workers (see
@@ -31,10 +32,15 @@
 //!
 //! * the pruned explorer replays *more* schedules than recorded for a
 //!   pinned workload, under syntactic source DPOR, value-aware DPOR,
-//!   or static-certificate DPOR (partial-order reduction regressed),
+//!   static-certificate DPOR, or optimal DPOR (partial-order reduction
+//!   regressed),
 //! * static-certificate DPOR no longer replays *strictly fewer*
 //!   schedules than value-aware DPOR on the mixed-role workloads
 //!   (invocation-placement pruning regressed to a no-op),
+//! * optimal DPOR cuts any replay on a mixed-role workload (the
+//!   wakeup-sequence guarantee is *zero* sleep-set-blocked runs), or
+//!   no longer replays *strictly fewer* total schedules than
+//!   static-certificate DPOR there (cut elimination regressed),
 //! * the single-worker world-reuse speedup on `aba_2w2r` falls below
 //!   the recorded `min_reuse_speedup`,
 //! * the binary-vs-string-format traced-replay speedup on `aba_2w2r`
@@ -191,6 +197,9 @@ struct MixedSummary {
     value_dpor_runs: usize,
     static_dpor_replayed: usize,
     static_dpor_runs: usize,
+    optimal_dpor_replayed: usize,
+    optimal_dpor_runs: usize,
+    optimal_cut: usize,
     static_relaxed: u64,
     static_validated: u64,
 }
@@ -207,18 +216,27 @@ fn run_mixed_workload(
     // per `StaticConflicts` instance, and the summary reports them
     // per workload.
     let statics = &Arc::new(cert.static_conflicts());
+    // Optimal mode consults the certificate through its own runtime
+    // form, so the static-DPOR telemetry printed below stays
+    // per-workload *and* per-mode.
+    let optimal_statics = &Arc::new(cert.static_conflicts());
     let mut counts = Vec::new();
     for mode in [
         PruneMode::SourceDpor,
         PruneMode::ValueDpor,
         PruneMode::StaticDpor,
+        PruneMode::OptimalDpor,
     ] {
         let explorer = Explorer {
             max_runs: 4_000_000,
             mode,
             workers: 1,
             stem: vec![],
-            statics: (mode == PruneMode::StaticDpor).then(|| Arc::clone(statics)),
+            statics: match mode {
+                PruneMode::StaticDpor => Some(Arc::clone(statics)),
+                PruneMode::OptimalDpor => Some(Arc::clone(optimal_statics)),
+                _ => None,
+            },
         };
         let out = explorer.explore_with(
             || {
@@ -242,6 +260,7 @@ fn run_mixed_workload(
         ("source DPOR", &counts[0]),
         ("value DPOR", &counts[1]),
         ("static DPOR", &counts[2]),
+        ("optimal DPOR", &counts[3]),
     ]
     .iter()
     .map(|(mode, out)| {
@@ -254,16 +273,22 @@ fn run_mixed_workload(
     })
     .collect();
     print_table(&["mode", "replayed", "runs", "cut"], &rows);
+    assert_eq!(
+        counts[3].cut_runs, 0,
+        "optimal DPOR initiated a sleep-set-blocked replay on {name}"
+    );
     let t = statics.telemetry();
     println!(
         "(value-aware commutation removes {:.0}% of the mixed-role schedules; the placement \
-         certificate a further {:.0}% — {} relaxations, {} validated races, 0 unpredicted)",
+         certificate a further {:.0}% — {} relaxations, {} validated races, 0 unpredicted; \
+         wakeup sequences keep the optimal exploration cut-free at {} replays)",
         (1.0 - counts[1].schedules_replayed() as f64 / counts[0].schedules_replayed() as f64)
             * 100.0,
         (1.0 - counts[2].schedules_replayed() as f64 / counts[1].schedules_replayed() as f64)
             * 100.0,
         t.relaxed,
         t.validated,
+        counts[3].schedules_replayed(),
     );
     MixedSummary {
         name,
@@ -273,6 +298,9 @@ fn run_mixed_workload(
         value_dpor_runs: counts[1].runs,
         static_dpor_replayed: counts[2].schedules_replayed(),
         static_dpor_runs: counts[2].runs,
+        optimal_dpor_replayed: counts[3].schedules_replayed(),
+        optimal_dpor_runs: counts[3].runs,
+        optimal_cut: counts[3].cut_runs,
         static_relaxed: t.relaxed,
         static_validated: t.validated,
     }
@@ -518,6 +546,9 @@ struct WorkloadSummary {
     value_dpor_runs: usize,
     static_dpor_replayed: usize,
     static_dpor_runs: usize,
+    optimal_dpor_replayed: usize,
+    optimal_dpor_runs: usize,
+    optimal_cut: usize,
     reduction_vs_unpruned: f64,
     fresh_s: f64,
     pooled_s: f64,
@@ -557,9 +588,16 @@ fn run_pinned_workload(
         budget,
         Some(Arc::new(cert.static_conflicts())),
     );
+    let (od, _, od_t) = explore_sl_aba_fresh(
+        writes,
+        reads,
+        PruneMode::OptimalDpor,
+        budget,
+        Some(Arc::new(cert.static_conflicts())),
+    );
     let (dag, tree) = built.expect("DPOR run builds the transcript sets");
     assert!(
-        ss.exhausted && dp.exhausted && vd.exhausted && sd.exhausted,
+        ss.exhausted && dp.exhausted && vd.exhausted && sd.exhausted && od.exhausted,
         "pruned explorations of the pinned workloads must exhaust"
     );
     assert!(
@@ -570,12 +608,18 @@ fn run_pinned_workload(
         sd.schedules_replayed() <= vd.schedules_replayed(),
         "static-certificate DPOR must never replay more than value-aware DPOR"
     );
+    assert!(
+        od.schedules_replayed() <= vd.schedules_replayed(),
+        "optimal DPOR must never replay more in total than value-aware DPOR"
+    );
+    assert_eq!(od.cut_runs, 0, "optimal DPOR must never cut a replay");
     for (mode, out, secs) in [
         ("unpruned", &un, un_t),
         ("sleep sets", &ss, ss_t),
         ("source DPOR", &dp, dp_t),
         ("value DPOR", &vd, vd_t),
         ("static DPOR", &sd, sd_t),
+        ("optimal DPOR", &od, od_t),
     ] {
         rows.push(vec![
             mode.to_string(),
@@ -796,6 +840,9 @@ fn run_pinned_workload(
         value_dpor_runs: vd.runs,
         static_dpor_replayed: sd.schedules_replayed(),
         static_dpor_runs: sd.runs,
+        optimal_dpor_replayed: od.schedules_replayed(),
+        optimal_dpor_runs: od.runs,
+        optimal_cut: od.cut_runs,
         reduction_vs_unpruned: reduction,
         fresh_s: fresh_t,
         pooled_s: pooled_t,
@@ -847,6 +894,8 @@ fn to_json(
              \"dpor_replayed\": {},\n      \"dpor_runs\": {},\n      \
              \"value_dpor_replayed\": {},\n      \"value_dpor_runs\": {},\n      \
              \"static_dpor_replayed\": {},\n      \"static_dpor_runs\": {},\n      \
+             \"optimal_dpor_replayed\": {},\n      \"optimal_dpor_runs\": {},\n      \
+             \"optimal_cut\": {},\n      \
              \"reduction_vs_unpruned\": {:.2},\n      \"fresh_s\": {:.3},\n      \
              \"pooled_s\": {:.3},\n      \"reuse_speedup\": {:.2},\n      \
              \"string_format_s\": {:.3},\n      \"binary_format_s\": {:.3},\n      \
@@ -864,6 +913,9 @@ fn to_json(
             w.value_dpor_runs,
             w.static_dpor_replayed,
             w.static_dpor_runs,
+            w.optimal_dpor_replayed,
+            w.optimal_dpor_runs,
+            w.optimal_cut,
             w.reduction_vs_unpruned,
             w.fresh_s,
             w.pooled_s,
@@ -885,7 +937,9 @@ fn to_json(
             ",\n    {{\n      \"name\": \"{}\",\n      \"dpor_replayed\": {},\n      \
              \"dpor_runs\": {},\n      \"value_dpor_replayed\": {},\n      \
              \"value_dpor_runs\": {},\n      \"static_dpor_replayed\": {},\n      \
-             \"static_dpor_runs\": {},\n      \"static_relaxed\": {},\n      \
+             \"static_dpor_runs\": {},\n      \"optimal_dpor_replayed\": {},\n      \
+             \"optimal_dpor_runs\": {},\n      \"optimal_cut\": {},\n      \
+             \"static_relaxed\": {},\n      \
              \"static_validated\": {}\n    }}",
             m.name,
             m.dpor_replayed,
@@ -894,6 +948,9 @@ fn to_json(
             m.value_dpor_runs,
             m.static_dpor_replayed,
             m.static_dpor_runs,
+            m.optimal_dpor_replayed,
+            m.optimal_dpor_runs,
+            m.optimal_cut,
             m.static_relaxed,
             m.static_validated
         ));
@@ -932,6 +989,7 @@ fn summary_markdown(
             ("dpor_replayed", w.dpor_replayed),
             ("value_dpor_replayed", w.value_dpor_replayed),
             ("static_dpor_replayed", w.static_dpor_replayed),
+            ("optimal_dpor_replayed", w.optimal_dpor_replayed),
         ] {
             let before = baseline.and_then(|b| b.workload_count(w.name, key));
             let _ = writeln!(
@@ -972,6 +1030,7 @@ fn summary_markdown(
             ("dpor_replayed", m.dpor_replayed),
             ("value_dpor_replayed", m.value_dpor_replayed),
             ("static_dpor_replayed", m.static_dpor_replayed),
+            ("optimal_dpor_replayed", m.optimal_dpor_replayed),
         ] {
             let before = baseline.and_then(|b| b.workload_count(m.name, key));
             let _ = writeln!(
@@ -987,6 +1046,11 @@ fn summary_markdown(
             "| {} placement relaxations / validated races | — | {} / {} | fail-closed: 0 \
              unpredicted |",
             m.name, m.static_relaxed, m.static_validated
+        );
+        let _ = writeln!(
+            md,
+            "| {} optimal-DPOR cut replays | — | {} | gate == 0 |",
+            m.name, m.optimal_cut
         );
     }
     md
@@ -1136,6 +1200,18 @@ fn main() {
                 w.static_dpor_replayed,
                 b.workload_count(w.name, "static_dpor_replayed"),
             );
+            gate.count_not_above(
+                &format!("{} optimal-DPOR schedules", w.name),
+                w.optimal_dpor_replayed,
+                b.workload_count(w.name, "optimal_dpor_replayed"),
+            );
+            if w.optimal_cut != 0 {
+                gate.fail(&format!(
+                    "optimal DPOR cut {} replays on {} (wakeup sequences must keep \
+                     exploration cut-free)",
+                    w.optimal_cut, w.name
+                ));
+            }
         }
         for m in &mixed {
             gate.count_not_above(
@@ -1153,6 +1229,30 @@ fn main() {
                 m.static_dpor_replayed,
                 b.workload_count(m.name, "static_dpor_replayed"),
             );
+            gate.count_not_above(
+                &format!("{} optimal-DPOR schedules", m.name),
+                m.optimal_dpor_replayed,
+                b.workload_count(m.name, "optimal_dpor_replayed"),
+            );
+            if m.optimal_cut != 0 {
+                gate.fail(&format!(
+                    "optimal DPOR cut {} replays on {} (wakeup sequences must keep \
+                     exploration cut-free)",
+                    m.optimal_cut, m.name
+                ));
+            }
+            if m.optimal_dpor_replayed >= m.static_dpor_replayed {
+                // The tentpole's headline claim: wakeup sequences must
+                // cut the mixed-role workloads' total replay count
+                // below even the certificate-pruned mode, strictly —
+                // the schedules static DPOR initiates and abandons
+                // mid-run are never started at all.
+                gate.fail(&format!(
+                    "wakeup sequences no longer reduce {} \
+                     (optimal {} vs static {})",
+                    m.name, m.optimal_dpor_replayed, m.static_dpor_replayed
+                ));
+            }
             if m.value_dpor_replayed >= m.dpor_replayed {
                 gate.fail(&format!(
                     "value-aware independence no longer reduces the mixed-role workload \
@@ -1170,9 +1270,13 @@ fn main() {
                 ));
             } else {
                 println!(
-                    "baseline ok: static DPOR replays {} < value DPOR {} < source DPOR {} \
-                     on {}",
-                    m.static_dpor_replayed, m.value_dpor_replayed, m.dpor_replayed, m.name
+                    "baseline ok: optimal DPOR replays {} < static DPOR {} < value DPOR {} \
+                     < source DPOR {} on {}",
+                    m.optimal_dpor_replayed,
+                    m.static_dpor_replayed,
+                    m.value_dpor_replayed,
+                    m.dpor_replayed,
+                    m.name
                 );
             }
         }
@@ -1230,10 +1334,12 @@ fn write_certificates(path: &str) {
 
 /// Header comment written into refreshed baselines.
 const BASELINE_COMMENT: &str = "Reference numbers for the exp_sim_throughput --baseline gate, \
-written by --refresh-baseline. The gate enforces: dpor_replayed, value_dpor_replayed, and \
-static_dpor_replayed per workload (schedule counts are deterministic — any increase is a \
-partial-order-reduction regression), static < value strictly on the mixed-role workloads (the \
-sl-analyze placement certificate must keep pruning), min_reuse_speedup (single-worker pooled-vs-fresh wall clock on aba_2w2r, best-of-3, \
+written by --refresh-baseline. The gate enforces: dpor_replayed, value_dpor_replayed, \
+static_dpor_replayed, and optimal_dpor_replayed per workload (schedule counts are deterministic \
+— any increase is a partial-order-reduction regression), static < value strictly on the \
+mixed-role workloads (the sl-analyze placement certificate must keep pruning), optimal < static \
+strictly there with zero cut replays (wakeup sequences must keep eliminating sleep-set-blocked \
+runs), min_reuse_speedup (single-worker pooled-vs-fresh wall clock on aba_2w2r, best-of-3, \
 identical ingestion pipelines both sides; a 1.0 floor so the gate only catches pooling becoming \
 an outright pessimization), min_format_speedup (single-worker traced replay with binary StepCode \
 ingestion vs the retired per-step string rendering+interning, best-of-5, identical ingestion \

@@ -24,8 +24,18 @@ use sl_spec::ProcId;
 use std::sync::{Arc, RwLock};
 
 /// The growable array of payload registers backing a
-/// [`UnaryMaxRegister`].
-type CellArray<P, M> = Arc<RwLock<Vec<<M as Mem>::Reg<Option<P>>>>>;
+/// [`UnaryMaxRegister`], tagged with the [`Mem::epoch`] it was grown
+/// under. A replay-capable backend bumps its epoch when it invalidates
+/// in-run allocations (the simulator's world reset); the cached handles
+/// then point at registers the reset no longer restores, so the cache
+/// must be dropped and regrown — otherwise a replayed schedule reads
+/// values a *previous* schedule wrote (observed as cross-execution
+/// `preceding` edges cycling the universal construction's precedence
+/// graph).
+struct CellArray<P: Value, M: Mem> {
+    epoch: u64,
+    regs: Vec<M::Reg<Option<P>>>,
+}
 
 /// The Aspnes–Attiya–Censor bounded max-register.
 ///
@@ -316,7 +326,7 @@ impl<M: Mem> BoundedMaxRegisterHandle<M> {
 pub struct UnaryMaxRegister<P: Value, M: Mem> {
     mem: M,
     name: Arc<String>,
-    cells: CellArray<P, M>,
+    cells: Arc<RwLock<CellArray<P, M>>>,
 }
 
 impl<P: Value, M: Mem> Clone for UnaryMaxRegister<P, M> {
@@ -334,7 +344,7 @@ impl<P: Value, M: Mem> std::fmt::Debug for UnaryMaxRegister<P, M> {
         write!(
             f,
             "UnaryMaxRegister({} cells)",
-            self.cells.read().unwrap().len()
+            self.cells.read().unwrap().regs.len()
         )
     }
 }
@@ -345,15 +355,33 @@ impl<P: Value, M: Mem> UnaryMaxRegister<P, M> {
         UnaryMaxRegister {
             mem: mem.clone(),
             name: Arc::new(name.to_string()),
-            cells: Arc::new(RwLock::new(Vec::new())),
+            cells: Arc::new(RwLock::new(CellArray {
+                epoch: mem.epoch(),
+                regs: Vec::new(),
+            })),
+        }
+    }
+
+    /// Drops the cached register handles when the backend has
+    /// invalidated in-run allocations since the cache was grown (see
+    /// [`CellArray`]); must be called with the write lock held before
+    /// any use of `cells.regs`.
+    fn sync_epoch(&self, cells: &mut CellArray<P, M>) {
+        let now = self.mem.epoch();
+        if cells.epoch != now {
+            cells.epoch = now;
+            cells.regs.clear();
         }
     }
 
     fn ensure(&self, len: usize) {
         let mut cells = self.cells.write().unwrap();
-        while cells.len() < len {
-            let i = cells.len();
-            cells.push(self.mem.alloc(&format!("{}[{i}]", self.name), None));
+        self.sync_epoch(&mut cells);
+        while cells.regs.len() < len {
+            let i = cells.regs.len();
+            cells
+                .regs
+                .push(self.mem.alloc(&format!("{}[{i}]", self.name), None));
         }
     }
 
@@ -361,7 +389,7 @@ impl<P: Value, M: Mem> UnaryMaxRegister<P, M> {
     /// was reached. One shared-memory step.
     pub fn max_write(&self, v: u64, payload: P) {
         self.ensure(v as usize + 1);
-        let reg = self.cells.read().unwrap()[v as usize].clone();
+        let reg = self.cells.read().unwrap().regs[v as usize].clone();
         reg.write(Some(payload));
     }
 
@@ -384,7 +412,11 @@ impl<P: Value, M: Mem> UnaryMaxRegister<P, M> {
     pub fn max_read(&self) -> (u64, Option<P>) {
         let mut previous: Option<Vec<Option<P>>> = None;
         loop {
-            let regs: Vec<M::Reg<Option<P>>> = self.cells.read().unwrap().clone();
+            let regs: Vec<M::Reg<Option<P>>> = {
+                let mut cells = self.cells.write().unwrap();
+                self.sync_epoch(&mut cells);
+                cells.regs.clone()
+            };
             let collected: Vec<Option<P>> = regs.iter().map(|r| r.read()).collect();
             if let Some(prev) = &previous {
                 if *prev == collected {
@@ -412,7 +444,7 @@ impl<P: Value, M: Mem> UnaryMaxRegister<P, M> {
     /// Number of base registers allocated so far — the space-growth
     /// metric of experiment `exp_space`.
     pub fn allocated_cells(&self) -> usize {
-        self.cells.read().unwrap().len()
+        self.cells.read().unwrap().regs.len()
     }
 }
 

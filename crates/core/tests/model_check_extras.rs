@@ -94,15 +94,15 @@ fn double_collect_max_register_read_is_not_strongly_linearizable() {
 /// The paper's §4.5 strongly linearizable max-register (derived from
 /// the strongly linearizable snapshot): budget-bounded exhaustive
 /// check of the exact workload on which the naive reads fail — under
-/// source-set DPOR, so every replay in the budget is a distinct
-/// Mazurkiewicz trace.
+/// optimal DPOR (wakeup sequences), so every replay in the budget is a
+/// distinct Mazurkiewicz trace and none is cut mid-run.
 #[test]
 fn snapshot_derived_max_register_strong_bounded_check() {
     use sl_core::{SlSnapshot, SnapshotMaxRegister};
     let builder: TreeBuilder<MaxRegisterSpec> = TreeBuilder::new();
     let explorer = Explorer {
         max_runs: 12_000,
-        mode: PruneMode::SourceDpor,
+        mode: PruneMode::OptimalDpor,
         workers: 1,
         stem: vec![],
         statics: None,
@@ -216,7 +216,7 @@ fn versioned_construction_strongly_linearizable_bounded() {
     let builder: TreeBuilder<SnapshotSpec<u64>> = TreeBuilder::new();
     let explorer = Explorer {
         max_runs: 20_000,
-        mode: PruneMode::SourceDpor,
+        mode: PruneMode::OptimalDpor,
         workers: 1,
         stem: vec![],
         statics: None,

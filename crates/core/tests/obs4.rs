@@ -180,7 +180,7 @@ fn explorer_discovers_the_observation4_family() {
     let builder: TreeBuilder<Spec> = TreeBuilder::new();
     let explorer = Explorer {
         max_runs: 60_000,
-        mode: PruneMode::SourceDpor,
+        mode: PruneMode::OptimalDpor,
         workers: 1,
         stem: s_prefix,
         statics: None,

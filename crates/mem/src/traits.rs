@@ -68,6 +68,20 @@ pub trait Mem: Clone + Send + Sync + 'static {
     /// model explicitly *atomic* compound objects.
     #[track_caller]
     fn alloc_cell<T: Value>(&self, name: &str, init: T) -> Self::Cell<T>;
+
+    /// A counter that changes whenever registers allocated *during a
+    /// run* have been invalidated by the backend (the simulator's
+    /// replay-world reset truncates them so a replayed program
+    /// re-allocates under the same ids). Objects that cache handles to
+    /// registers they allocate mid-operation — rather than at
+    /// construction time — must compare this against the epoch they
+    /// cached under and drop the cache on mismatch; reading a register
+    /// allocated in an earlier epoch returns stale values from a
+    /// previous replay. Backends without replay (native, symbolic)
+    /// never invalidate and keep the default constant epoch.
+    fn epoch(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -46,6 +46,17 @@
 //!     validated against the certificate's may-conflict matrix, and
 //!     an unpredicted race aborts the exploration — the static
 //!     analysis is load-bearing but fail-closed.
+//!   - [`PruneMode::OptimalDpor`] upgrades the wakeup-free source sets
+//!     to **wakeup sequences**: a detected race inserts the entire
+//!     reversing continuation (not just its first process) into the
+//!     racing node's wakeup queue, and backtracking replays that
+//!     sequence wholesale before extending freely — so exploration
+//!     never *initiates* a run that sleep sets would abandon. Race
+//!     detection additionally uses the **observer** refinement: two
+//!     same-register writes commute whenever neither written value is
+//!     observed before being overwritten. A static certificate is
+//!     consulted when installed (enabling the placement relaxation)
+//!     but, unlike [`PruneMode::StaticDpor`], is not required.
 //!
 //! # Parallel source-set DPOR
 //!
@@ -190,6 +201,79 @@
 //! execution metadata (untraced runs) satisfies neither (a) nor (b),
 //! so the relaxation degrades to [`PruneMode::ValueDpor`] behaviour.
 //!
+//! # Why the observer refinement is sound
+//!
+//! [`PruneMode::OptimalDpor`] further refines race detection with an
+//! **observer** rule (after Aronis–Jonsson–Lång–Sagonas): two
+//! same-register writes of different processes, neither carrying an
+//! event marker, additionally commute when each write is *unobserved
+//! and overwritten* in the executed word — the next same-register
+//! access after it exists and is a plain write (not a read, not an
+//! RMW, which returns the old value). Swapping two adjacent such
+//! writes `w_j`, `w_k` changes the register's value only *between* the
+//! two writes and between `w_k` and its overwriter — intervals in
+//! which, by construction, no step reads the register (any
+//! same-register read between them would order the pair through
+//! happens-before and no race would be reported). Every step record is
+//! unchanged (a write's record carries its own value, which does not
+//! depend on the register's prior state), every continuation is
+//! unchanged (writes return nothing), the final register state is
+//! unchanged (the overwriter executes in both orders), and no event
+//! marker moves. So guarantee (1) holds and guarantee (2) transfers
+//! exactly as for the value-aware rule, which this one strictly
+//! subsumes together with it (a same-value pair commutes by the value
+//! rule even when the value *is* later read).
+//!
+//! Observer status is a property of the whole executed word, so it is
+//! recomputed after every replay; when a prefix step's status changes
+//! (the suffix changed), race detection re-runs from the first changed
+//! index — the cached vector clocks are truncated there — so clocks
+//! and race tests always agree with the current word's relation, which
+//! is what conditional-independence SDPOR requires.
+//!
+//! # Why wakeup sequences preserve completeness
+//!
+//! The wakeup-free engine backtracks by inserting a single process
+//! into a node's source set; the resulting run may wander into a
+//! subtree that sleep sets then abandon (a *cut* replay — sound, but
+//! wasted work). [`PruneMode::OptimalDpor`] instead inserts the whole
+//! reversing continuation `v` (the race's not-happens-after fragment,
+//! a genuine suffix of an already-executed word) as a **wakeup
+//! sequence** at the racing node, skipping the insertion when a weak
+//! initial of `v` is already in the node's backtrack set (that child
+//! covers the reversal — the ordinary source-set argument) or in its
+//! sleep set (the reversal's trace was explored in the subtree that
+//! put the process to sleep — the ordinary sleep-set argument).
+//! Backtracking pops the first pending sequence and replays it in
+//! full: every forced step is a step some explored word actually
+//! performed, with an up-to-date sleep set threaded through the forced
+//! prefix (the driver filters the sleep set across replayed decisions
+//! exactly as it does across fresh ones).
+//!
+//! One side condition makes the cut-freedom claim structural rather
+//! than probabilistic: a sequence is only *initiated* if it conflicts
+//! with every process sleeping at its node ([`seq_wakes_all`] — the
+//! defining property of a wakeup sequence for ⟨node, Sleep⟩). A
+//! sleeping process independent of every step of the sequence would
+//! sleep through the entire forced part, and the free extension could
+//! then block on it; dropping such a sequence loses nothing, because
+//! orderings that never wake the sleeper are covered by the subtree
+//! that put it to sleep, and orderings where some later step *does*
+//! conflict with it are demanded by the race with that step — whose
+//! reversing continuation contains the waking step and passes the
+//! check. Conversely, an initiated sequence wakes every sleeper by its
+//! end (the driver filters with the same access-level relation), the
+//! sleep set is empty when the free extension begins, and a sleep set
+//! that only ever shrinks cannot block it: **no initiated replay is
+//! ever cut**. Completeness is therefore the SDPOR argument verbatim —
+//! every reversal demand is either enqueued or provably covered —
+//! while the enqueued runs start deep inside the reversed trace
+//! instead of gambling on its first step.
+//! Delegated [`SubtreeTask`]s carry their sequence in the frozen
+//! decision prefix (beyond the ghost-spine accesses) the same way they
+//! carry sleep sets; escapes merge at the owner's join point, so the
+//! schedule set stays bit-identical at any worker count.
+//!
 //! All of this is **conservative**, and the pruned-vs-unpruned (and
 //! DPOR-vs-sleep-set, and parallel-vs-sequential) verdict-equivalence
 //! tests in the model-check and fuzz suites cross-check it on small
@@ -332,6 +416,17 @@ pub enum PruneMode {
     /// race aborts the exploration (fail closed). Requires
     /// `Explorer::statics`; panics without it.
     StaticDpor,
+    /// Source-set DPOR with **wakeup sequences** and **observer-aware**
+    /// race detection: race reversals enqueue the entire reversing
+    /// continuation at the racing node (replayed in full before free
+    /// extension, so no sleep-set-blocked run is ever initiated), and
+    /// two same-register writes additionally commute when neither
+    /// written value is observed before being overwritten (strictly
+    /// subsuming the same-value rule together with it). A
+    /// [`StaticConflicts`] certificate in [`Explorer::statics`] is
+    /// consulted when present (placement relaxation + fail-closed race
+    /// validation) but is not required.
+    OptimalDpor,
 }
 
 /// Per-worker replay state owned by the caller of
@@ -395,6 +490,13 @@ pub(crate) struct ExecMeta {
     /// Responses pin real-time order, so a step carrying one is never
     /// commuted by any relaxation.
     pub(crate) resp: bool,
+    /// This write's value is **unobserved and overwritten** in the
+    /// current executed word: the next same-register access after it
+    /// exists and is a plain write. Meaningful only for write steps,
+    /// and only in [`PruneMode::OptimalDpor`]; recomputed over the
+    /// whole word after every replay (see [`refresh_observer_flags`]),
+    /// never set by the driver. `false` is the conservative unknown.
+    pub(crate) unobs_w: bool,
 }
 
 impl ExecMeta {
@@ -403,6 +505,7 @@ impl ExecMeta {
         reg: RegSym::LOCAL,
         hi: true,
         resp: true,
+        unobs_w: false,
     };
 }
 
@@ -436,11 +539,12 @@ enum DriverMode {
 /// the scheduler of a (fresh or reset) world.
 pub struct ScheduleDriver {
     prefix: Vec<usize>,
-    /// Sleep set holding at the first decision past the prefix.
-    sleep_after_prefix: u64,
     /// Decisions taken so far in this run.
     chosen: Vec<usize>,
-    /// Current sleep set (evolves after the prefix).
+    /// Current sleep set: seeded with the sleep set holding at decision
+    /// `record_from` (DPOR mode) or at the first decision past the
+    /// prefix (frame modes — identical, since frame replays never touch
+    /// it earlier), then evolves across recorded decisions.
     z: u64,
     mode: DriverMode,
     pruned: u64,
@@ -477,7 +581,6 @@ fn filter_independent(
 impl ScheduleDriver {
     fn frames(frame: Frame, prune: bool) -> ScheduleDriver {
         ScheduleDriver {
-            sleep_after_prefix: frame.sleep,
             z: frame.sleep,
             chosen: Vec::with_capacity(frame.script.len() + 16),
             prefix: frame.script,
@@ -493,11 +596,13 @@ impl ScheduleDriver {
     /// `record_from`: first decision index whose configuration the
     /// explorer still needs (everything below already has a spine
     /// node) — replayed decisions before it are not recorded, which
-    /// keeps the replay hot path allocation-free.
-    fn dpor(prefix: Vec<usize>, sleep_after_prefix: u64, record_from: usize) -> ScheduleDriver {
+    /// keeps the replay hot path allocation-free. `sleep_at_record` is
+    /// the sleep set holding at decision `record_from`; prefix
+    /// decisions from there on (the forced steps of a wakeup sequence)
+    /// are recorded and evolve it.
+    fn dpor(prefix: Vec<usize>, sleep_at_record: u64, record_from: usize) -> ScheduleDriver {
         ScheduleDriver {
-            sleep_after_prefix,
-            z: sleep_after_prefix,
+            z: sleep_at_record,
             chosen: Vec::with_capacity(prefix.len() + 16),
             prefix,
             mode: DriverMode::Dpor {
@@ -595,12 +700,22 @@ impl Scheduler for ScheduleDriver {
                         pending: view.pending.to_vec(),
                         sleep: self.z,
                     });
+                    // Recorded replay decisions are the forced steps of
+                    // a wakeup sequence (or a stem): the sleep set must
+                    // evolve across them exactly as across fresh
+                    // decisions, so the first free decision — and every
+                    // recorded node on the way — sees the sleep set the
+                    // sequential explorer would have. (`z` starts as
+                    // `sleep_after_prefix`, the sleep set holding at
+                    // decision `record_from`.)
+                    if let Some(of) = view.pending_of(want) {
+                        self.z = filter_independent(self.z, of, view.runnable, view.pending);
+                    } else {
+                        self.z = 0;
+                    }
                 }
             }
             self.chosen.push(want);
-            if i + 1 == self.prefix.len() {
-                self.z = self.sleep_after_prefix;
-            }
             return want;
         }
         // Hard limit, not a debug assertion: `1 << p` would silently
@@ -702,9 +817,10 @@ pub struct Explorer {
     /// schedules extending this stem (empty = the full space).
     pub stem: Vec<usize>,
     /// Static conflict certificate consulted by
-    /// [`PruneMode::StaticDpor`] (required for that mode; ignored by
-    /// every other mode). Shared by `Arc` so one certificate serves
-    /// all workers and repeated explorations.
+    /// [`PruneMode::StaticDpor`] (required for that mode) and
+    /// [`PruneMode::OptimalDpor`] (optional there; ignored by every
+    /// other mode). Shared by `Arc` so one certificate serves all
+    /// workers and repeated explorations.
     pub statics: Option<Arc<StaticConflicts>>,
 }
 
@@ -762,9 +878,10 @@ impl Explorer {
         F: Fn(&mut C, &mut ScheduleDriver) + Sync,
     {
         match self.mode {
-            PruneMode::SourceDpor | PruneMode::ValueDpor | PruneMode::StaticDpor => {
-                self.explore_dpor(&new_ctx, &runner)
-            }
+            PruneMode::SourceDpor
+            | PruneMode::ValueDpor
+            | PruneMode::StaticDpor
+            | PruneMode::OptimalDpor => self.explore_dpor(&new_ctx, &runner),
             PruneMode::Unpruned | PruneMode::SleepSet => {
                 let root = Frame {
                     script: self.stem.clone(),
@@ -975,6 +1092,55 @@ struct SpineNode {
     /// joined (results and escapes merged) when the owner next retires
     /// a child of this node.
     delegated: Vec<(usize, Arc<TaskSlot>)>,
+    /// Pending **wakeup sequences** ([`PruneMode::OptimalDpor`] only):
+    /// full reversing continuations enqueued by race detection, FIFO.
+    /// Each sequence's first process is also in `backtrack` (the
+    /// redundancy check keys on it); backtracking pops the first
+    /// sequence whose initial is neither done nor sleeping *and* which
+    /// conflicts with every sleeping process ([`seq_wakes_all`]), and
+    /// replays it wholesale.
+    wakeups: VecDeque<WakeupSeq>,
+}
+
+/// One wakeup sequence: the steps of a reversing continuation, in
+/// execution order (`seq[0]` is the weak initial the sequence starts
+/// with), each as `(process, declared access)`. The accesses are the
+/// race-time declarations of the continuation's steps — replay is
+/// deterministic, so they are exactly what the forced steps re-declare
+/// — and exist to decide [`seq_wakes_all`] without replaying anything.
+type WakeupSeq = Vec<(usize, PendingAccess)>;
+
+/// Whether `seq` conflicts with every process sleeping at `node`
+/// (`sleep` is the caller's view of the sleep set — the live
+/// `sleep_now`, or the accumulator a parallel publish threads through).
+///
+/// This is the defining side condition of a *wakeup sequence* for
+/// ⟨node, Sleep⟩: a sleeping process whose pending access is
+/// independent of **every** step of the sequence would sleep through
+/// the entire forced part, and the replay could then block on it — the
+/// one way a sleep-set-blocked run could still be initiated. Such a
+/// sequence is redundant: orderings that never wake the sleeper are
+/// covered by the subtree that put it to sleep, and orderings where a
+/// later step does conflict with it are demanded by the race with that
+/// step, whose reversing continuation contains the waking step and so
+/// passes this check. Conversely, when the check holds, the driver —
+/// which filters its sleep set with the same access-level relation at
+/// every forced decision — has woken every sleeper by the end of the
+/// sequence, so the free extension beyond it can never block.
+fn seq_wakes_all(node: &SpineNode, sleep: u64, seq: &[(usize, PendingAccess)]) -> bool {
+    if sleep == 0 {
+        return true;
+    }
+    for (i, &p) in node.runnable.iter().enumerate() {
+        if sleep & (1 << p) == 0 {
+            continue;
+        }
+        let pending = node.pending.get(i).copied().unwrap_or(PendingAccess::LOCAL);
+        if seq.iter().all(|(_, a)| a.independent(&pending)) {
+            return false;
+        }
+    }
+    true
 }
 
 impl SpineNode {
@@ -988,6 +1154,7 @@ impl SpineNode {
             chosen,
             meta,
             delegated: Vec::new(),
+            wakeups: VecDeque::new(),
         }
     }
 
@@ -1024,8 +1191,11 @@ impl StepMeta {
 /// the mode's independence relation. The syntactic half delegates to
 /// [`PendingAccess::independent`]; `value_aware` adds same-register
 /// read/read and same-value write/write commutation when no high-level
-/// event marker rode on either step; `statics` (set only in
-/// [`PruneMode::StaticDpor`]) adds the **placement relaxation**: a
+/// event marker rode on either step; `observers` (set only in
+/// [`PruneMode::OptimalDpor`]) additionally commutes two writes whose
+/// values are both unobserved-and-overwritten in the current word;
+/// `statics` (set in [`PruneMode::StaticDpor`], optionally in
+/// [`PruneMode::OptimalDpor`]) adds the **placement relaxation**: a
 /// `Local` step carrying at most an invocation marker commutes with a
 /// marker-free data step whose register the certificate licenses (see
 /// the module-level soundness arguments).
@@ -1033,6 +1203,7 @@ fn step_independent(
     a: &StepMeta,
     b: &StepMeta,
     value_aware: bool,
+    observers: bool,
     statics: Option<&StaticConflicts>,
 ) -> bool {
     if a.access.independent(&b.access) {
@@ -1064,10 +1235,50 @@ fn step_independent(
     match (a.access.kind, b.access.kind) {
         (AccessKind::Read, AccessKind::Read) => true,
         (AccessKind::Write, AccessKind::Write) => {
-            !a.exec.value.is_none() && a.exec.value == b.exec.value
+            (!a.exec.value.is_none() && a.exec.value == b.exec.value)
+                // Observer rule: both values die unread — swapping the
+                // writes changes no read, no record, and (because the
+                // overwriter executes either way) no final state.
+                || (observers && a.exec.unobs_w && b.exec.unobs_w)
         }
         _ => false,
     }
+}
+
+/// Recomputes every spine step's unobserved-and-overwritten flag
+/// ([`ExecMeta::unobs_w`]) for the current executed word: a write is
+/// flagged when the next same-register access after it exists and is a
+/// plain write. Keys on the *declared* accesses (register identity and
+/// kind are known even when execution metadata is not).
+///
+/// Returns the smallest index whose flag changed (`spine.len()` when
+/// none did): observer status is suffix-dependent, so a changed prefix
+/// flag invalidates the cached vector clocks and race conclusions from
+/// that index on — the caller lowers its race-detection window
+/// accordingly.
+fn refresh_observer_flags(spine: &mut [SpineNode]) -> usize {
+    let mut changed = spine.len();
+    // Kind of the next (in word order) access per register, maintained
+    // by a backward scan. Registers are few; linear probing is fine.
+    let mut next_kind: Vec<(crate::world::RegId, AccessKind)> = Vec::new();
+    for i in (0..spine.len()).rev() {
+        let access = spine[i].meta.access;
+        if access.is_local() {
+            continue; // pauses touch no register and keep no flag
+        }
+        let slot = next_kind.iter().position(|(r, _)| *r == access.reg);
+        let flag = access.kind == AccessKind::Write
+            && matches!(slot.map(|s| next_kind[s].1), Some(AccessKind::Write));
+        match slot {
+            Some(s) => next_kind[s].1 = access.kind,
+            None => next_kind.push((access.reg, access.kind)),
+        }
+        if spine[i].meta.exec.unobs_w != flag {
+            spine[i].meta.exec.unobs_w = flag;
+            changed = i;
+        }
+    }
+    changed
 }
 
 /// `a ≤ b` pointwise: the step with clock `a` happens-before the step
@@ -1108,6 +1319,9 @@ struct Escape {
     first_proc: usize,
     /// Weak initials of the reversing continuation.
     initials: Vec<usize>,
+    /// The full reversing continuation ([`PruneMode::OptimalDpor`]
+    /// only): enqueued as a wakeup sequence when the demand is applied.
+    seq: Option<WakeupSeq>,
 }
 
 /// Exploration totals and escapes of one finished subtree.
@@ -1176,12 +1390,16 @@ struct DporShared<'a, NF, F> {
     runner: &'a F,
     max_runs: usize,
     /// Race detection uses the value-aware independence relation
-    /// ([`PruneMode::ValueDpor`] and [`PruneMode::StaticDpor`]).
+    /// ([`PruneMode::ValueDpor`] and up).
     value_aware: bool,
+    /// [`PruneMode::OptimalDpor`]: wakeup sequences and observer-aware
+    /// race detection.
+    optimal: bool,
     /// The static certificate, when the mode is
-    /// [`PruneMode::StaticDpor`]: enables the placement relaxation in
-    /// [`step_independent`] and fail-closed race validation in
-    /// [`add_race_reversals`].
+    /// [`PruneMode::StaticDpor`] (required) or
+    /// [`PruneMode::OptimalDpor`] (optional): enables the placement
+    /// relaxation in [`step_independent`] and fail-closed race
+    /// validation in [`add_race_reversals`].
     statics: Option<&'a StaticConflicts>,
     /// Length of the user-supplied stem: demands below it are dropped
     /// (the stem is never backtracked into).
@@ -1257,13 +1475,19 @@ impl Explorer {
                 "PruneMode::StaticDpor requires Explorer::statics \
                  (a StaticConflicts certificate from sl-analyze)",
             )),
+            // Optional for optimal DPOR: consulted when installed.
+            PruneMode::OptimalDpor => self.statics.as_deref(),
             _ => None,
         };
         let shared = DporShared {
             new_ctx,
             runner,
             max_runs: self.max_runs,
-            value_aware: matches!(self.mode, PruneMode::ValueDpor | PruneMode::StaticDpor),
+            value_aware: matches!(
+                self.mode,
+                PruneMode::ValueDpor | PruneMode::StaticDpor | PruneMode::OptimalDpor
+            ),
+            optimal: self.mode == PruneMode::OptimalDpor,
             statics,
             hard_stem: self.stem.len(),
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -1452,13 +1676,16 @@ where
         .map(|(&chosen, &meta)| SpineNode::ghost(chosen, meta))
         .collect();
     let mut clocks = task.clocks;
-    let mut next: Option<(Vec<usize>, u64)> = Some((task.prefix, task.sleep));
-    // First race-detection window: for a delegated subtree the last
-    // prefix step (the reversal itself) is new and must be analysed;
-    // for the root task this is 0, as in the sequential explorer.
-    let mut first_run = true;
+    // Each queued replay carries the decision index from which this
+    // run's steps are *new* (its race-detection window): for a
+    // delegated subtree the last ghost — the reversal itself — is new
+    // (and a wakeup sequence's forced steps all lie beyond it); for the
+    // root task it is 0, as in the sequential explorer. The zip above
+    // truncates at `accesses` — a wakeup-sequence task's prefix is
+    // longer, and the forced tail is observed on the first replay.
     let first_window = spine.len().saturating_sub(1);
-    while let Some((prefix, sleep_after_prefix)) = next.take() {
+    let mut next: Option<(Vec<usize>, u64, usize)> = Some((task.prefix, task.sleep, first_window));
+    while let Some((prefix, sleep_at_record, new_from)) = next.take() {
         // Abort promptly when any worker's runner panicked: tasks are
         // deliberately coarse, so waiting for the subtree to finish
         // could mean millions of further replays before the panic
@@ -1473,8 +1700,7 @@ where
             drain_delegated(shared, me, help_depth, ctx, &mut spine, floor, &mut out);
             return out;
         }
-        let replay_prefix_len = prefix.len();
-        let mut driver = ScheduleDriver::dpor(prefix, sleep_after_prefix, spine.len());
+        let mut driver = ScheduleDriver::dpor(prefix, sleep_at_record, spine.len());
         (shared.runner)(ctx, &mut driver);
         if driver.cut {
             out.cut_runs += 1;
@@ -1508,25 +1734,32 @@ where
                 chosen,
                 meta: StepMeta::unknown(access),
                 delegated: Vec::new(),
+                wakeups: VecDeque::new(),
             });
         }
         // Refresh execution metadata from this run's record before
         // detecting races: replays are deterministic, so replayed
         // prefix steps re-derive identical metadata; the backtracked
         // child and the fresh extension get their first real values
-        // here (until now they carried the conservative unknown).
+        // here (until now they carried the conservative unknown). The
+        // observer flag is word-level, not per-step — preserve it
+        // across the refresh, then recompute it below.
         for (node, em) in spine.iter_mut().zip(&exec) {
+            let unobs_w = node.meta.exec.unobs_w;
             node.meta.exec = *em;
+            node.meta.exec.unobs_w = unobs_w;
         }
         // Race detection: only pairs whose later step is new this run
         // (pairs entirely inside the replayed prefix were handled when
-        // that prefix first ran).
-        let first_new = if first_run {
-            first_window
-        } else {
-            replay_prefix_len.saturating_sub(1)
-        };
-        first_run = false;
+        // that prefix first ran). Observer status is suffix-dependent:
+        // when the new suffix flips a prefix step's flag, the cached
+        // clocks and race conclusions from that index on are stale, so
+        // the window is lowered to the first change (re-detected
+        // demands are deduplicated by `apply_escape`).
+        let mut first_new = new_from;
+        if shared.optimal {
+            first_new = first_new.min(refresh_observer_flags(&mut spine));
+        }
         add_race_reversals(
             &mut spine,
             &mut clocks,
@@ -1534,6 +1767,7 @@ where
             floor,
             shared.hard_stem,
             shared.value_aware,
+            shared.optimal,
             shared.statics,
             &mut out.escapes,
         );
@@ -1554,14 +1788,50 @@ where
             // candidates: their escapes merge exactly where the
             // sequential explorer would have applied them.
             join_delegated(shared, me, help_depth, ctx, &mut spine, d, floor, &mut out);
-            let candidate = {
+            // Optimal mode explores pending wakeup sequences first
+            // (FIFO — insertion order is what the bit-identity argument
+            // keys on); a sequence whose initial has been explored or
+            // put to sleep since insertion is covered and dropped. The
+            // wakeup-free scan below remains the fallback (and the only
+            // source of candidates outside optimal mode).
+            let mut descend: Option<(usize, WakeupSeq)> = None;
+            if shared.optimal {
+                while let Some(seq) = spine[d].wakeups.pop_front() {
+                    let q = seq[0].0;
+                    if spine[d].done & (1 << q) != 0
+                        || spine[d].sleep_now & (1 << q) != 0
+                        || !seq_wakes_all(&spine[d], spine[d].sleep_now, &seq)
+                    {
+                        continue;
+                    }
+                    descend = Some((q, seq));
+                    break;
+                }
+            }
+            if descend.is_none() {
                 let node = &spine[d];
-                node.backtrack
+                descend = node
+                    .backtrack
                     .iter()
                     .copied()
-                    .find(|&q| node.done & (1 << q) == 0 && node.sleep_now & (1 << q) == 0)
-            };
-            if let Some(q) = candidate {
+                    .find(|&q| {
+                        node.done & (1 << q) == 0
+                            && node.sleep_now & (1 << q) == 0
+                            // Optimal mode: a backtrack entry whose wakeup
+                            // sequence was dropped is only reachable here;
+                            // its single step wakes no more sleepers than
+                            // the dropped sequence did, so the same side
+                            // condition applies.
+                            && (!shared.optimal
+                                || seq_wakes_all(
+                                    node,
+                                    node.sleep_now,
+                                    &[(q, node.pending_of(q))],
+                                ))
+                    })
+                    .map(|q| (q, vec![(q, node.pending_of(q))]));
+            }
+            if let Some((q, seq)) = descend {
                 let (access, sleep_child) = {
                     let node = &spine[d];
                     let access = node.pending_of(q);
@@ -1574,8 +1844,13 @@ where
                 let node = &mut spine[d];
                 node.chosen = q;
                 node.meta = StepMeta::unknown(access);
-                let prefix: Vec<usize> = spine.iter().map(|n| n.chosen).collect();
-                next = Some((prefix, sleep_child));
+                let mut prefix: Vec<usize> = spine.iter().map(|n| n.chosen).collect();
+                // The sequence's remaining steps ride as forced replay
+                // decisions past the spine tip; the driver records them
+                // (and threads the sleep set through them) because
+                // `record_from` stays at the tip.
+                prefix.extend(seq[1..].iter().map(|&(p, _)| p));
+                next = Some((prefix, sleep_child, d));
                 break;
             }
             let node = &spine[d];
@@ -1591,7 +1866,11 @@ where
 /// (beyond the owner's own continuation `q`) as a frozen subtree task,
 /// accumulating the sleep set in the same order the sequential
 /// candidate scan would have — delegated or not, each candidate is
-/// explored with identical inputs.
+/// explored with identical inputs. In optimal mode the candidates are
+/// the node's pending wakeup sequences (in queue order — the same order
+/// the sequential selection pops them); each frozen task carries its
+/// sequence in the decision prefix beyond the ghost accesses, the same
+/// way it carries its sleep set.
 fn publish_extras<NF, F>(
     shared: &DporShared<'_, NF, F>,
     me: usize,
@@ -1612,28 +1891,26 @@ fn publish_extras<NF, F>(
     let mut sleep_acc = spine[d].sleep_now | (1 << q);
     let mut done_acc = spine[d].done | (1 << q);
     let mut published: Vec<(usize, Arc<TaskSlot>)> = Vec::new();
-    for i in 0..spine[d].backtrack.len() {
-        if shared.queued.load(Ordering::Relaxed) >= backlog_cap {
-            break;
-        }
-        let e = spine[d].backtrack[i];
-        if done_acc & (1 << e) != 0 || sleep_acc & (1 << e) != 0 {
-            // Explored, delegated, or permanently sleep-blocked (sleep
-            // sets only grow, so a blocked candidate stays blocked).
-            continue;
-        }
+    let publish_one = |spine: &mut [SpineNode],
+                       published: &mut Vec<(usize, Arc<TaskSlot>)>,
+                       sleep_acc: &mut u64,
+                       done_acc: &mut u64,
+                       seq: WakeupSeq| {
+        let e = seq[0].0;
         let access_e = spine[d].pending_of(e);
         let sleep_e =
-            filter_independent(sleep_acc, access_e, &spine[d].runnable, &spine[d].pending);
+            filter_independent(*sleep_acc, access_e, &spine[d].runnable, &spine[d].pending);
         let mut prefix: Vec<usize> = spine[..d].iter().map(|n| n.chosen).collect();
-        prefix.push(e);
+        prefix.extend(seq.iter().map(|&(p, _)| p));
         let mut accesses: Vec<StepMeta> = spine[..d].iter().map(|n| n.meta).collect();
         // The candidate's own step has not executed in this ordering
         // yet; the task's first replay fills its execution metadata in.
+        // A sequence's further forced steps stay prefix-only (beyond
+        // the ghost spine) and are observed on the first replay.
         accesses.push(StepMeta::unknown(access_e));
         debug_assert!(clocks.len() >= d, "prefix clocks cached up to the tip");
         let task = SubtreeTask {
-            floor: prefix.len(),
+            floor: accesses.len(),
             prefix,
             accesses,
             clocks: clocks[..d].to_vec(),
@@ -1647,8 +1924,46 @@ fn publish_extras<NF, F>(
         shared.queued.fetch_add(1, Ordering::Relaxed);
         published.push((e, slot));
         spine[d].done |= 1 << e;
-        done_acc |= 1 << e;
-        sleep_acc |= 1 << e;
+        *done_acc |= 1 << e;
+        *sleep_acc |= 1 << e;
+    };
+    if shared.optimal {
+        while shared.queued.load(Ordering::Relaxed) < backlog_cap {
+            let Some(seq) = spine[d].wakeups.pop_front() else {
+                break;
+            };
+            let e = seq[0].0;
+            if done_acc & (1 << e) != 0
+                || sleep_acc & (1 << e) != 0
+                || !seq_wakes_all(&spine[d], sleep_acc, &seq)
+            {
+                // Covered — dropped exactly as the sequential selection
+                // would drop it (the accumulators mirror the sleep set
+                // the sequential pop would see at its turn).
+                continue;
+            }
+            publish_one(spine, &mut published, &mut sleep_acc, &mut done_acc, seq);
+        }
+    } else {
+        for i in 0..spine[d].backtrack.len() {
+            if shared.queued.load(Ordering::Relaxed) >= backlog_cap {
+                break;
+            }
+            let e = spine[d].backtrack[i];
+            if done_acc & (1 << e) != 0 || sleep_acc & (1 << e) != 0 {
+                // Explored, delegated, or permanently sleep-blocked (sleep
+                // sets only grow, so a blocked candidate stays blocked).
+                continue;
+            }
+            let access = spine[d].pending_of(e);
+            publish_one(
+                spine,
+                &mut published,
+                &mut sleep_acc,
+                &mut done_acc,
+                vec![(e, access)],
+            );
+        }
     }
     spine[d].delegated.extend(published);
 }
@@ -1718,12 +2033,28 @@ fn drain_delegated<C, NF, F>(
     }
 }
 
-/// Applies one escaped backtrack demand to its decision node: the
-/// wakeup-free source-set rule, identical to the in-task application in
-/// [`add_race_reversals`].
+/// Applies one escaped backtrack demand to its decision node, identical
+/// to the in-task application in [`add_race_reversals`]. Wakeup-free
+/// modes use the source-set rule (add the first process unless a weak
+/// initial is already planned). [`PruneMode::OptimalDpor`] demands
+/// carry the full reversing continuation and additionally skip the
+/// insertion when a weak initial is *sleeping* at the node — the
+/// reversal's trace was explored in the subtree that put that process
+/// to sleep — so no enqueued sequence ever initiates a sleep-set-blocked
+/// run.
 fn apply_escape(node: &mut SpineNode, esc: Escape) {
-    if !esc.initials.iter().any(|p| node.backtrack.contains(p)) {
-        debug_assert!(esc.initials.contains(&esc.first_proc));
+    if esc.initials.iter().any(|p| node.backtrack.contains(p)) {
+        return;
+    }
+    debug_assert!(esc.initials.contains(&esc.first_proc));
+    if let Some(seq) = esc.seq {
+        if esc.initials.iter().any(|&p| node.sleep_now & (1 << p) != 0) {
+            return;
+        }
+        debug_assert_eq!(seq[0].0, esc.first_proc);
+        node.backtrack.push(esc.first_proc);
+        node.wakeups.push_back(seq);
+    } else {
         node.backtrack.push(esc.first_proc);
     }
 }
@@ -1764,6 +2095,7 @@ fn add_race_reversals(
     apply_floor: usize,
     hard_stem: usize,
     value_aware: bool,
+    optimal: bool,
     statics: Option<&StaticConflicts>,
     escapes: &mut Vec<Escape>,
 ) {
@@ -1807,15 +2139,16 @@ fn add_race_reversals(
         }
     }
     // (decision index j, process to add if no initial is present yet,
-    //  weak initials of the reversing continuation)
-    let mut additions: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+    //  weak initials of the reversing continuation, the continuation
+    //  itself as a wakeup sequence in optimal mode)
+    let mut additions: Vec<(usize, usize, Vec<usize>, Option<WakeupSeq>)> = Vec::new();
     for k in start..len {
         let (p, a) = (spine[k].chosen, spine[k].meta);
         let mut base = proc_clock[p].clone();
         let mut races: Vec<usize> = Vec::new();
         for j in (0..k).rev() {
             let (q, b) = (spine[j].chosen, spine[j].meta);
-            if step_independent(&a, &b, value_aware, statics) {
+            if step_independent(&a, &b, value_aware, optimal, statics) {
                 continue;
             }
             if !clock_leq(&clocks[j], &base) {
@@ -1858,10 +2191,19 @@ fn add_race_reversals(
                     initials.push(pm);
                 }
             }
-            additions.push((j, spine[v[0]].chosen, initials));
+            // In optimal mode the whole continuation is the demand: its
+            // steps' processes, in word order, form the wakeup
+            // sequence (every step of `v` is a step some explored word
+            // actually executed from this node on).
+            let seq = optimal.then(|| {
+                v.iter()
+                    .map(|&m| (spine[m].chosen, spine[m].meta.access))
+                    .collect::<WakeupSeq>()
+            });
+            additions.push((j, spine[v[0]].chosen, initials, seq));
         }
     }
-    for (j, first_proc, initials) in additions {
+    for (j, first_proc, initials, seq) in additions {
         if j >= apply_floor {
             apply_escape(
                 &mut spine[j],
@@ -1869,6 +2211,7 @@ fn add_race_reversals(
                     depth: j,
                     first_proc,
                     initials,
+                    seq,
                 },
             );
         } else {
@@ -1876,6 +2219,7 @@ fn add_race_reversals(
                 depth: j,
                 first_proc,
                 initials,
+                seq,
             });
         }
     }
@@ -2056,7 +2400,11 @@ mod tests {
     fn dpor_collapses_commuting_writers_to_one_schedule() {
         let explorer = Explorer::default();
         assert_eq!(explorer.mode, PruneMode::ValueDpor);
-        for mode in [PruneMode::SourceDpor, PruneMode::ValueDpor] {
+        for mode in [
+            PruneMode::SourceDpor,
+            PruneMode::ValueDpor,
+            PruneMode::OptimalDpor,
+        ] {
             let explorer = Explorer {
                 mode,
                 ..Explorer::default()
@@ -2161,6 +2509,8 @@ mod tests {
             (4, PruneMode::SourceDpor),
             (3, PruneMode::ValueDpor),
             (4, PruneMode::ValueDpor),
+            (3, PruneMode::OptimalDpor),
+            (4, PruneMode::OptimalDpor),
         ] {
             let explore_at = |workers: usize| {
                 let runner = mixed_runner(n);
@@ -2248,6 +2598,10 @@ mod tests {
         assert_eq!(finals_for(PruneMode::SleepSet), unpruned);
         assert_eq!(finals_for(PruneMode::SourceDpor), unpruned);
         assert_eq!(finals_for(PruneMode::ValueDpor), unpruned);
+        // The observer rule only ever commutes a write that is later
+        // overwritten, so the last write of every trace — and with it
+        // the final state — survives the collapse.
+        assert_eq!(finals_for(PruneMode::OptimalDpor), unpruned);
     }
 
     /// Two readers of one shared register: syntactic DPOR treats the
@@ -2542,6 +2896,196 @@ mod tests {
             assert_eq!(seq, par, "outcome diverged at {workers} workers");
             assert_eq!(seq_scripts, par_scripts, "schedules diverged at {workers}");
         }
+    }
+
+    /// One process writes `X` twice (distinct values), the other once:
+    /// in the schedule where the lone write lands between the pair,
+    /// both racing writes are overwritten before any read, so the
+    /// observer relation commutes them. `ValueDpor` keeps all three
+    /// placements; `OptimalDpor` collapses to two.
+    fn overwritten_writers_runner(
+        marker: bool,
+    ) -> impl Fn(&mut ScheduleDriver) -> RunOutcome + Sync {
+        move |driver: &mut ScheduleDriver| {
+            let world = SimWorld::new(2);
+            let mem = world.mem();
+            let reg = mem.alloc("X", 0u64);
+            let r0 = reg.clone();
+            let r1 = reg;
+            let w1 = world.clone();
+            let programs: Vec<crate::Program> = vec![
+                Box::new(move |_| {
+                    r0.write(1);
+                    r0.write(3);
+                }),
+                Box::new(move |_| {
+                    r1.write(2);
+                    if marker {
+                        w1.push_hi_marker(1, false);
+                    }
+                }),
+            ];
+            world.run(programs, driver, 100)
+        }
+    }
+
+    #[test]
+    fn optimal_dpor_commutes_unobserved_overwritten_writes() {
+        let count =
+            |mode: PruneMode, runner: &(dyn Fn(&mut ScheduleDriver) -> RunOutcome + Sync)| {
+                let explorer = Explorer {
+                    mode,
+                    ..Explorer::default()
+                };
+                let out = explorer.explore(runner);
+                assert!(out.exhausted, "{mode:?}");
+                if mode == PruneMode::OptimalDpor {
+                    assert_eq!(out.cut_runs, 0, "optimal mode never initiates a cut run");
+                }
+                out.schedules_replayed()
+            };
+        let plain = overwritten_writers_runner(false);
+        assert_eq!(count(PruneMode::ValueDpor, &plain), 3);
+        assert_eq!(
+            count(PruneMode::OptimalDpor, &plain),
+            2,
+            "both overwritten writes commute before the final write"
+        );
+        // A marker riding on the lone write pins it against both of the
+        // other process's writes: the event guard fires before the
+        // observer arm is ever consulted.
+        let marked = overwritten_writers_runner(true);
+        assert_eq!(count(PruneMode::ValueDpor, &marked), 3);
+        assert_eq!(
+            count(PruneMode::OptimalDpor, &marked),
+            3,
+            "event-carrying writes must stay ordered both ways"
+        );
+    }
+
+    /// A read between the two program-ordered writes observes the
+    /// first one in every schedule, so no write/write pair is ever
+    /// unobserved-on-both-sides and `OptimalDpor` keeps every
+    /// placement `ValueDpor` keeps.
+    #[test]
+    fn optimal_dpor_keeps_writes_observed_by_a_read() {
+        let runner = |driver: &mut ScheduleDriver| {
+            let world = SimWorld::new(2);
+            let mem = world.mem();
+            let reg = mem.alloc("X", 0u64);
+            let r0 = reg.clone();
+            let r1 = reg;
+            let programs: Vec<crate::Program> = vec![
+                Box::new(move |_| {
+                    r0.write(1);
+                    let _ = r0.read();
+                    r0.write(3);
+                }),
+                Box::new(move |_| r1.write(2)),
+            ];
+            world.run(programs, driver, 100)
+        };
+        for mode in [PruneMode::ValueDpor, PruneMode::OptimalDpor] {
+            let explorer = Explorer {
+                mode,
+                ..Explorer::default()
+            };
+            let out = explorer.explore(runner);
+            assert!(out.exhausted, "{mode:?}");
+            assert_eq!(
+                out.schedules_replayed(),
+                4,
+                "{mode:?}: the observing read blocks every collapse"
+            );
+        }
+    }
+
+    /// Three same-register writers with distinct values under
+    /// `OptimalDpor`: within any one word the two overwritten writes
+    /// commute, but every reversal demand is anchored at the pinned
+    /// *last* write, so both members of each conditional-independence
+    /// class are still reached (collapsing them needs full wakeup-tree
+    /// subsumption, which the FIFO queue deliberately does not do).
+    /// What the mode guarantees here is completeness without a single
+    /// sleep-set-blocked initiation.
+    #[test]
+    fn optimal_dpor_keeps_conflicting_interleavings_cut_free() {
+        let runner = writers_runner(3, false);
+        let explorer = Explorer {
+            mode: PruneMode::OptimalDpor,
+            ..Explorer::default()
+        };
+        let out = explorer.explore(&runner);
+        assert!(out.exhausted);
+        assert_eq!(out.runs, 6, "all conflicting traces kept");
+        assert_eq!(out.cut_runs, 0, "no sleep-set-blocked run is initiated");
+    }
+
+    /// `OptimalDpor` consults an installed access-footprint
+    /// certificate exactly like `StaticDpor` does — but unlike
+    /// `StaticDpor` it never requires one.
+    #[test]
+    fn optimal_dpor_consults_an_optional_certificate() {
+        let runner = invoke_placement_runner(false);
+        let syms = collect_data_syms(&runner);
+        let bare = Explorer {
+            mode: PruneMode::OptimalDpor,
+            ..Explorer::default()
+        }
+        .explore(&runner);
+        assert!(bare.exhausted, "no certificate required");
+        assert_eq!(bare.schedules_replayed(), 2, "placement branches");
+        let st = Arc::new(StaticConflicts::new(syms.clone(), syms));
+        let out = Explorer {
+            mode: PruneMode::OptimalDpor,
+            statics: Some(Arc::clone(&st)),
+            ..Explorer::default()
+        }
+        .explore(&runner);
+        assert!(out.exhausted);
+        assert_eq!(
+            out.schedules_replayed(),
+            1,
+            "licensed invoke-pause commutes with the marker-free write"
+        );
+        assert!(st.telemetry().relaxed > 0, "relaxation actually fired");
+    }
+
+    /// The headline optimality property on the bushier mixed workload:
+    /// `OptimalDpor` explores no more schedules than `ValueDpor`,
+    /// initiates zero sleep-set-blocked runs, and still covers the
+    /// same final shared-register states.
+    #[test]
+    fn optimal_dpor_is_cut_free_on_the_mixed_workload() {
+        use std::collections::BTreeSet;
+        let explore_at = |mode: PruneMode| {
+            let runner = mixed_runner(3);
+            let finals = Mutex::new(BTreeSet::new());
+            let explorer = Explorer {
+                mode,
+                ..Explorer::default()
+            };
+            let out = explorer.explore(|d| {
+                let o = runner(d);
+                if !d.was_cut() {
+                    let last = o.steps().last().unwrap().value();
+                    finals.lock().unwrap().insert(last);
+                }
+                o
+            });
+            assert!(out.exhausted, "{mode:?}");
+            (out, finals.into_inner().unwrap())
+        };
+        let (value, value_finals) = explore_at(PruneMode::ValueDpor);
+        let (optimal, optimal_finals) = explore_at(PruneMode::OptimalDpor);
+        assert_eq!(optimal.cut_runs, 0, "no sleep-set-blocked run initiated");
+        assert!(
+            optimal.runs <= value.schedules_replayed(),
+            "optimal ({}) must not exceed value-DPOR ({})",
+            optimal.runs,
+            value.schedules_replayed()
+        );
+        assert_eq!(optimal_finals, value_finals, "verdict-relevant coverage");
     }
 
     #[test]

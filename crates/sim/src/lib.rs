@@ -43,7 +43,13 @@
 //!   schedules than sleep sets alone — by default with the
 //!   **value-aware** refinement ([`PruneMode::ValueDpor`]): observed
 //!   same-register read/read pairs and same-value write/write pairs
-//!   also commute when no event marker rode on either step. Source
+//!   also commute when no event marker rode on either step. On top of
+//!   those, [`PruneMode::OptimalDpor`] turns backtrack candidates
+//!   into **wakeup sequences** (whole reversing continuations,
+//!   initiated only when they conflict with every sleeping process,
+//!   so no sleep-set-blocked replay is ever started) and adds the
+//!   **observer rule** (same-register writes commute when neither
+//!   value is read before being overwritten). Source
 //!   DPOR **parallelises by
 //!   per-subtree ownership** (`Explorer::workers`, or
 //!   [`env_workers`]): sibling backtrack candidates are delegated as

@@ -73,6 +73,13 @@ impl Mem for SimMem {
     fn alloc_cell<T: Value>(&self, name: &str, init: T) -> Self::Cell<T> {
         self.alloc_impl(name, init)
     }
+
+    fn epoch(&self) -> u64 {
+        self.world
+            .inner
+            .epoch
+            .load(std::sync::atomic::Ordering::SeqCst)
+    }
 }
 
 /// A read-modify-write transition, interned as one value so an `Rmw`

@@ -1,4 +1,6 @@
-//! Static conflict summaries consumed by [`PruneMode::StaticDpor`].
+//! Static conflict summaries consumed by [`PruneMode::StaticDpor`]
+//! (required) and [`PruneMode::OptimalDpor`] (consulted when
+//! installed).
 //!
 //! A [`StaticConflicts`] value is the runtime form of the
 //! **placement-commutation certificate** produced by the `sl-analyze`
@@ -30,6 +32,7 @@
 //! exactly what the footprint analysis reasons about.
 //!
 //! [`PruneMode::StaticDpor`]: crate::PruneMode::StaticDpor
+//! [`PruneMode::OptimalDpor`]: crate::PruneMode::OptimalDpor
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -9,7 +9,7 @@
 //! gate for the fiber implementations.
 
 use std::panic::{self, Location};
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use sl_check::{RegSym, StepCode, StepKind, ValueId};
@@ -441,6 +441,11 @@ pub(crate) struct WorldInner {
     /// Recycled VM core and trace buffers: a replay on a reset world
     /// re-executes on warm allocations instead of fresh ones.
     pub(crate) spare: Mutex<crate::vm::SpareVm>,
+    /// Bumped whenever a reset truncates in-run register allocations —
+    /// surfaced as [`sl_mem::Mem::epoch`] so objects that cache mid-run
+    /// register handles (e.g. `UnaryMaxRegister`'s growable cell array)
+    /// drop them instead of reading stale previous-replay values.
+    pub(crate) epoch: AtomicU64,
 }
 
 /// Panic payload used to unwind simulated processes when a run is
@@ -497,6 +502,7 @@ impl SimWorld {
                 registry: Mutex::new(Vec::new()),
                 active_vm: AtomicPtr::new(std::ptr::null_mut()),
                 spare: Mutex::new(crate::vm::SpareVm::default()),
+                epoch: AtomicU64::new(0),
             }),
             n,
         }
@@ -541,6 +547,13 @@ impl SimWorld {
     pub(crate) fn reset_registers(&self, floor: Option<usize>) {
         let mut registry = self.inner.registry.lock().unwrap();
         if let Some(floor) = floor {
+            if registry.len() > floor {
+                // In-run allocations are about to be dropped from the
+                // registry; any handle an object cached for them now
+                // reads values the reset below will never restore. Bump
+                // the epoch so `Mem::epoch`-aware caches invalidate.
+                self.inner.epoch.fetch_add(1, Ordering::SeqCst);
+            }
             registry.truncate(floor);
         }
         for meta in registry.iter() {

@@ -244,6 +244,9 @@ fn explorer_covers_state_restoring_adversary_neighbourhood() {
         .map(|i| usize::from(i.is_multiple_of(33)))
         .collect();
     let checked = AtomicUsize::new(0);
+    // Syntactic source DPOR on purpose: the test counts *schedules*
+    // in the adversary's neighbourhood, and the value-aware/observer
+    // relations would collapse the same-value updates it enumerates.
     let explorer = Explorer {
         max_runs: 4_000,
         mode: PruneMode::SourceDpor,

@@ -194,12 +194,65 @@ fn topo<T: SimpleType>(
             }
         }
     }
-    assert_eq!(
-        out.len(),
-        nodes.len(),
-        "linearization graph must be acyclic"
-    );
+    if out.len() != nodes.len() {
+        let residual: BTreeSet<Uid> = indegree
+            .iter()
+            .filter(|(_, &d)| d > 0)
+            .map(|(&u, _)| u)
+            .collect();
+        let cycle = find_cycle(&residual, edges);
+        let mut msg = String::from("linearization graph must be acyclic; offending cycle:");
+        for uid in &cycle {
+            let node = &nodes[uid];
+            msg.push_str(&format!(
+                "\n  proc {} op #{}: {:?} -> {:?}",
+                uid.0,
+                uid.1,
+                node.invocation(),
+                node.response(),
+            ));
+        }
+        msg.push_str(&format!(
+            "\n  ({} of {} nodes stuck; a `preceding` edge set that mixes views from different executions can produce this)",
+            residual.len(),
+            nodes.len()
+        ));
+        panic!("{msg}");
+    }
     out
+}
+
+/// Finds a directed cycle within `residual` (the nodes left with
+/// indegree > 0 after Kahn's algorithm stalls). Every residual node has
+/// at least one incoming edge from another residual node, so walking
+/// backwards along predecessors never gets stuck and must revisit a
+/// node; the revisited segment, reversed, is a directed cycle.
+fn find_cycle(residual: &BTreeSet<Uid>, edges: &BTreeMap<Uid, BTreeSet<Uid>>) -> Vec<Uid> {
+    let Some(&start) = residual.iter().next() else {
+        return Vec::new();
+    };
+    let mut path: Vec<Uid> = Vec::new();
+    let mut on_path: BTreeSet<Uid> = BTreeSet::new();
+    let mut cur = start;
+    loop {
+        if !on_path.insert(cur) {
+            let pos = path.iter().position(|&u| u == cur).unwrap_or(0);
+            let mut cycle = path[pos..].to_vec();
+            cycle.reverse();
+            return cycle;
+        }
+        path.push(cur);
+        let pred = edges
+            .iter()
+            .filter(|(from, _)| residual.contains(from))
+            .find(|(_, tos)| tos.contains(&cur))
+            .map(|(&from, _)| from);
+        match pred {
+            Some(p) => cur = p,
+            // Unreachable for a genuine Kahn residue; bail with what we have.
+            None => return path,
+        }
+    }
 }
 
 #[cfg(test)]

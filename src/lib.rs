@@ -225,6 +225,18 @@
 //! with the certificate catalog serialized alongside as
 //! `certificates.json`).
 //!
+//! `sim::PruneMode::OptimalDpor` goes further with **wakeup
+//! sequences**: race reversals enqueue the entire reversing
+//! continuation (not just its first step), replayed in full before
+//! free extension and only when it conflicts with every sleeping
+//! process — so no sleep-set-blocked run is ever initiated
+//! (`cut_runs == 0`, gated). Its race detection adds the **observer
+//! rule**: two same-register writes commute when neither written
+//! value is read before being overwritten. A certificate is consulted
+//! when present but not required. On the pinned mixed-role workloads
+//! this roughly halves (or better) even the static-certificate
+//! counts: 660 vs 1,232 and 26,638 vs 79,502 total replays.
+//!
 //! Complementing the static lane, CI runs two sanitizer lanes: **Miri**
 //! over the fiber-free crates (`sl-spec`, `sl-check`, `sl-mem`,
 //! `sl-core` unit tests) and **ThreadSanitizer** over the simulator
@@ -242,18 +254,18 @@
 //! wall-clocks measured at 1 worker on the reference container, so
 //! multi-core runners divide the deep rows further; *DPOR* = syntactic
 //! source DPOR, *value* = value-aware default, *static* = value +
-//! placement certificate — gated counts where pinned, "—" where not
-//! measured):
+//! placement certificate, *optimal* = wakeup sequences + observer rule
+//! — gated counts where pinned, "—" where not measured):
 //!
-//! | Workload | Schedules (DPOR) | Schedules (value) | Schedules (static) | Tier |
-//! |---|---|---|---|---|
-//! | 2 procs: 1 DWrite vs 1 DRead | 17 | 17 | 14 | tier-1 (ms) |
-//! | 3 procs: 2 writers + 1 reader, 1 op each | 2,746 | 2,242 | 1,232 | tier-1 (ms) |
-//! | 2 procs: 2 DWrites vs 2 DReads | 7,228 | 7,228 | 4,978 | tier-1 (<1 s debug, was ~5 s) |
-//! | 3 procs mixed: writers 2+1 ops, reader 1 op | 204,257 | 179,697 | 79,502 | sim-deep (~4 s release, was ~10 s) |
-//! | 2 procs: 3 DWrites vs 2 DReads | 240,239 | 240,239 | — | sim-deep (~6 s release, was ~15 s) |
-//! | 3 procs: 2 ops per process (writers) | 2,752,674 | 2,752,674 | — | sim-deep (~37 s release at 1 worker, was ~1–2 min; under 30 s at ≥2 workers) |
-//! | 3 procs: 2 ops per process, mixed roles | ≫ millions | ~0.85× of DPOR | ~0.4–0.5× of value (extrapolated) | beyond budget today |
+//! | Workload | Schedules (DPOR) | Schedules (value) | Schedules (static) | Schedules (optimal) | Tier |
+//! |---|---|---|---|---|---|
+//! | 2 procs: 1 DWrite vs 1 DRead | 17 | 17 | 14 | 10 | tier-1 (ms) |
+//! | 3 procs: 2 writers + 1 reader, 1 op each | 2,746 | 2,242 | 1,232 | 660 | tier-1 (ms) |
+//! | 2 procs: 2 DWrites vs 2 DReads | 7,228 | 7,228 | 4,978 | 3,108 | tier-1 (<1 s debug, was ~5 s) |
+//! | 3 procs mixed: writers 2+1 ops, reader 1 op | 204,257 | 179,697 | 79,502 | 26,638 | sim-deep (~4 s release, was ~10 s) |
+//! | 2 procs: 3 DWrites vs 2 DReads | 240,239 | 240,239 | — | — | sim-deep (~6 s release, was ~15 s) |
+//! | 3 procs: 2 ops per process (writers) | 2,752,674 | 2,752,674 | — | — | sim-deep (~37 s release at 1 worker, was ~1–2 min; under 30 s at ≥2 workers) |
+//! | 3 procs: 2 ops per process, mixed roles | ≫ millions | ~0.85× of DPOR | ~0.4–0.5× of value (extrapolated) | ~0.3× of static (extrapolated) | beyond budget today |
 //!
 //! Deep explorations stream transcripts into `check::DagBuilder` (a
 //! hash-consed DAG: the 3-procs-×-2-ops prefix tree would hold ~17M
