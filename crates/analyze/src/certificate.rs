@@ -47,6 +47,46 @@ use sl_check::RegSym;
 use sl_mem::SymSite;
 use sl_sim::StaticConflicts;
 
+/// The certificate format version this crate produces and consumes.
+/// Version 2 added the op list, the op-pair matrix (`pairs`), and the
+/// `race_free_sites` placement set; loading any other version fails
+/// closed with a named diagnostic ([`Certificate::from_json`]).
+pub const CERT_VERSION: u64 = 2;
+
+/// Raw concurrent-probe evidence for one unordered op pair, in master
+/// site indices: every site either op touched in some pair schedule,
+/// and the subset where the two windows collided with at least one
+/// writer. Produced by the probe driver, folded by
+/// [`Certificate::build`].
+#[derive(Clone, Debug, Default)]
+pub struct PairObs {
+    /// Sites either op's window touched across the pair's schedules.
+    pub observed: BTreeSet<usize>,
+    /// Sites both windows touched with at least one writer.
+    pub conflict: BTreeSet<usize>,
+}
+
+/// One cell of the certificate's op-pair may-conflict matrix.
+/// `a` / `b` index [`Certificate::ops`] with `a <= b`; the matrix is
+/// symmetric and stored once per unordered pair.
+#[derive(Clone, Debug)]
+pub struct PairEntry {
+    /// Index of the first op label (`ops[a] <= ops[b]`).
+    pub a: usize,
+    /// Index of the second op label.
+    pub b: usize,
+    /// Sites the pair was observed touching: the union of both ops'
+    /// sequential footprints and everything the concurrent pair
+    /// schedules recorded. Licenses the per-op-pair placement
+    /// relaxations on these registers.
+    pub observed: BTreeSet<usize>,
+    /// The subset the analysis predicts the pair may race on: observed
+    /// sites that are racy in the per-register partition, plus every
+    /// site with direct concurrent collision evidence. Always a subset
+    /// of `observed`.
+    pub conflict: BTreeSet<usize>,
+}
+
 /// The may-access footprint of one operation as probed from one
 /// process. Sets hold indices into [`Certificate::sites`].
 #[derive(Clone, Debug)]
@@ -118,6 +158,8 @@ pub struct Certificate {
     /// Substrate name (`"double-collect"`, ..., or `"-"` for
     /// substrate-independent families).
     pub substrate: String,
+    /// Format version ([`CERT_VERSION`] for freshly built ones).
+    pub version: u64,
     /// Process count the probe ran with.
     pub procs: usize,
     /// Every register the object allocated, in allocation order.
@@ -126,6 +168,11 @@ pub struct Certificate {
     pub footprints: Vec<OpFootprint>,
     /// The op × op cross-process may-conflict matrix.
     pub conflicts: Vec<ConflictEntry>,
+    /// Distinct op labels, sorted — the index space of `pairs`.
+    pub ops: Vec<String>,
+    /// The op-pair matrix, sorted by `(a, b)`, one entry per unordered
+    /// pair the concurrent probe drove.
+    pub pairs: Vec<PairEntry>,
     /// Sites licensed for invocation-placement relaxation (= probed).
     pub licensed_sites: BTreeSet<usize>,
     /// Sites the matrix predicts a data race on.
@@ -136,13 +183,18 @@ pub struct Certificate {
 
 impl Certificate {
     /// Folds per-op footprints into the conflict matrix and the
-    /// licensed / racy / unprobed classifications.
+    /// licensed / racy / unprobed classifications, and the concurrent
+    /// pair evidence (keyed by normalised `(labelA, labelB)`) into the
+    /// op-pair matrix. Concurrent evidence is deliberately *not*
+    /// folded into the per-register sets — a pair cell records the
+    /// pair it was observed on, nothing more.
     pub(crate) fn build(
         family: &str,
         substrate: &str,
         procs: usize,
         sites: Vec<SymSite>,
         footprints: Vec<OpFootprint>,
+        pair_evidence: BTreeMap<(String, String), PairObs>,
     ) -> Certificate {
         let licensed_sites: BTreeSet<usize> = footprints
             .iter()
@@ -198,17 +250,80 @@ impl Certificate {
         // Rule 3: unknown classifies as top.
         racy_sites.extend(unprobed_sites.iter().copied());
 
-        let conflicts = cells
+        let conflicts: Vec<ConflictEntry> = cells
             .into_iter()
             .map(|((a, b), (sites, kinds))| ConflictEntry { a, b, sites, kinds })
             .collect();
+
+        // The op index space: every label with a footprint or pair
+        // evidence, sorted (so normalised label pairs map to ordered
+        // index pairs).
+        let ops: Vec<String> = footprints
+            .iter()
+            .map(|f| f.op.clone())
+            .chain(
+                pair_evidence
+                    .keys()
+                    .flat_map(|(a, b)| [a.clone(), b.clone()]),
+            )
+            .collect::<BTreeSet<String>>()
+            .into_iter()
+            .collect();
+        let op_idx =
+            |label: &str| -> usize { ops.binary_search_by(|o| o.as_str().cmp(label)).unwrap() };
+
+        // Fold the pair matrix: a cell exists for every concurrently
+        // probed pair. `observed` widens with both ops' sequential
+        // footprints (any proc); `conflict` is the racy projection of
+        // `observed` plus direct collision evidence — over-approximate
+        // in the same spirit as the per-register rules, but scoped to
+        // the pair.
+        let mut pair_map: BTreeMap<(usize, usize), PairObs> = BTreeMap::new();
+        for ((la, lb), obs) in pair_evidence {
+            let (ia, ib) = (op_idx(&la), op_idx(&lb));
+            let key = (ia.min(ib), ia.max(ib));
+            let cell = pair_map.entry(key).or_default();
+            cell.observed.extend(obs.observed.iter().copied());
+            cell.conflict.extend(obs.conflict.iter().copied());
+        }
+        for ((ia, ib), cell) in pair_map.iter_mut() {
+            for f in &footprints {
+                let fi = op_idx(&f.op);
+                if fi != *ia && fi != *ib {
+                    continue;
+                }
+                cell.observed.extend(f.reads.iter().copied());
+                cell.observed.extend(f.writes.iter().copied());
+                cell.observed.extend(f.rmws.iter().copied());
+            }
+            cell.conflict.extend(
+                cell.observed
+                    .iter()
+                    .filter(|s| racy_sites.contains(s))
+                    .copied()
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let pairs: Vec<PairEntry> = pair_map
+            .into_iter()
+            .map(|((a, b), cell)| PairEntry {
+                a,
+                b,
+                observed: cell.observed,
+                conflict: cell.conflict,
+            })
+            .collect();
+
         Certificate {
             family: family.to_string(),
             substrate: substrate.to_string(),
+            version: CERT_VERSION,
             procs,
             sites,
             footprints,
             conflicts,
+            ops,
+            pairs,
             licensed_sites,
             racy_sites,
             unprobed_sites,
@@ -255,13 +370,32 @@ impl Certificate {
     }
 
     /// The runtime form of this certificate, ready for
-    /// `sl_sim::Explorer::statics` / `SimExplore::statics`.
+    /// `sl_sim::Explorer::statics` / `SimExplore::statics`: the
+    /// per-register partition plus one matrix cell per op pair.
     pub fn static_conflicts(&self) -> StaticConflicts {
         let mut st = StaticConflicts::new(self.licensed_syms(), self.racy_syms());
         for s in 0..self.sites.len() {
             st.set_note(self.site_sym(s), self.site_note(s));
         }
+        for p in &self.pairs {
+            st.add_pair(
+                &self.ops[p.a],
+                &self.ops[p.b],
+                p.observed.iter().map(|&s| self.site_sym(s)),
+                p.conflict.iter().map(|&s| self.site_sym(s)),
+            );
+        }
         st
+    }
+
+    /// The conflict sites of the pair `(a, b)` (order-insensitive),
+    /// interned; `None` when the matrix has no cell for the pair.
+    pub fn pair_conflict_syms(&self, a: &str, b: &str) -> Option<Vec<RegSym>> {
+        let ia = self.ops.iter().position(|o| o == a)?;
+        let ib = self.ops.iter().position(|o| o == b)?;
+        let key = (ia.min(ib), ia.max(ib));
+        let cell = self.pairs.iter().find(|p| (p.a, p.b) == key)?;
+        Some(cell.conflict.iter().map(|&s| self.site_sym(s)).collect())
     }
 
     /// Serialises the certificate as a self-describing JSON object.
@@ -272,6 +406,7 @@ impl Certificate {
         out.push_str("{\n");
         out.push_str(&format!("  \"family\": \"{}\",\n", esc(&self.family)));
         out.push_str(&format!("  \"substrate\": \"{}\",\n", esc(&self.substrate)));
+        out.push_str(&format!("  \"version\": {},\n", self.version));
         out.push_str(&format!("  \"procs\": {},\n", self.procs));
         out.push_str("  \"sites\": [\n");
         for (s, site) in self.sites.iter().enumerate() {
@@ -317,15 +452,39 @@ impl Certificate {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str("  \"ops\": [");
+        let ops: Vec<String> = self.ops.iter().map(|o| format!("\"{}\"", esc(o))).collect();
+        out.push_str(&ops.join(", "));
+        out.push_str("],\n");
+        out.push_str("  \"pairs\": [\n");
+        for (i, p) in self.pairs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"a\": {}, \"b\": {}, \"observed\": {}, \"conflict\": {}}}{}\n",
+                p.a,
+                p.b,
+                ids(&p.observed),
+                ids(&p.conflict),
+                comma(i, self.pairs.len()),
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"placement\": {\n");
         out.push_str(&format!(
             "    \"licensed_sites\": {},\n",
             ids(&self.licensed_sites)
         ));
+        let race_free: BTreeSet<usize> = self
+            .licensed_sites
+            .difference(&self.racy_sites)
+            .copied()
+            .collect();
+        out.push_str(&format!("    \"race_free_sites\": {},\n", ids(&race_free)));
         out.push_str(
             "    \"guard\": \"a pause carrying at most an invocation marker commutes with a \
-             marker-free data step on a licensed register; every dynamically observed race is \
-             validated against the racy set, fail-closed\"\n",
+             marker-free data step on a licensed register; an op pair with a matrix cell \
+             additionally commutes pause/pause and one-marked value-equal data steps on its \
+             observed registers; every dynamically observed race is validated against the pair \
+             cell or the racy set, fail-closed\"\n",
         );
         out.push_str("  }\n");
         out.push('}');
@@ -361,6 +520,569 @@ fn esc(s: &str) -> String {
         }
     }
     out
+}
+
+// --- Strict fail-closed parsing -------------------------------------
+
+/// A parsed JSON value. Only what the certificate format emits:
+/// strings, unsigned integers, booleans, arrays, objects. Anything
+/// else (null, floats, negatives) is rejected at parse time — the
+/// format never produces them, so their presence means the artifact
+/// was not written by this crate.
+enum Json {
+    Str(String),
+    Num(u64),
+    Bool(bool),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        let line = 1 + self.bytes[..self.pos.min(self.bytes.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count();
+        format!("certificate JSON invalid at line {line}: {msg}")
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!(
+                "expected '{}', found {:?}",
+                b as char,
+                self.bytes.get(self.pos).map(|&c| c as char)
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b't') => self.literal("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.literal("false").map(|_| Json::Bool(false)),
+            Some(b'0'..=b'9') => self.number().map(Json::Num),
+            other => Err(self.err(&format!(
+                "expected a value, found {:?} (null/float/negative are rejected)",
+                other.map(|&c| c as char)
+            ))),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected literal '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err("fractional numbers are not part of the format"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("unparseable integer"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(hex);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 passes through byte-wise; the
+                    // input is a &str so it is valid by construction.
+                    let ch_len = match b {
+                        0..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + ch_len])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate key \"{key}\"")));
+            }
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after the top-level value"));
+    }
+    Ok(v)
+}
+
+/// Leaks `file` strings once per distinct path so parsed sites carry
+/// the `&'static str` [`SymSite`] requires. A process-wide dedup map
+/// bounds the leak by the number of distinct source files.
+fn static_file(file: &str) -> &'static str {
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    static FILES: Mutex<Option<HashMap<String, &'static str>>> = Mutex::new(None);
+    let mut map = FILES.lock().unwrap();
+    let map = map.get_or_insert_with(HashMap::new);
+    if let Some(&s) = map.get(file) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(file.to_string().into_boxed_str());
+    map.insert(file.to_string(), leaked);
+    leaked
+}
+
+/// Strict-object helper: destructures `obj` against an exact key set.
+struct Fields {
+    ctx: String,
+    fields: Vec<(String, Json)>,
+}
+
+impl Fields {
+    fn new(v: Json, ctx: &str, keys: &[&str]) -> Result<Fields, String> {
+        let Json::Obj(fields) = v else {
+            return Err(format!("{ctx}: expected an object"));
+        };
+        for (k, _) in &fields {
+            if !keys.contains(&k.as_str()) {
+                return Err(format!(
+                    "{ctx}: unknown field \"{k}\" (fail-closed: refusing to guess)"
+                ));
+            }
+        }
+        for k in keys {
+            if !fields.iter().any(|(f, _)| f == k) {
+                return Err(format!("{ctx}: missing required field \"{k}\""));
+            }
+        }
+        Ok(Fields {
+            ctx: ctx.to_string(),
+            fields,
+        })
+    }
+
+    fn take(&mut self, key: &str) -> Json {
+        let i = self.fields.iter().position(|(k, _)| k == key).unwrap();
+        self.fields.remove(i).1
+    }
+
+    fn str(&mut self, key: &str) -> Result<String, String> {
+        match self.take(key) {
+            Json::Str(s) => Ok(s),
+            _ => Err(format!("{}: \"{key}\" must be a string", self.ctx)),
+        }
+    }
+
+    fn num(&mut self, key: &str) -> Result<u64, String> {
+        match self.take(key) {
+            Json::Num(n) => Ok(n),
+            _ => Err(format!(
+                "{}: \"{key}\" must be an unsigned integer",
+                self.ctx
+            )),
+        }
+    }
+
+    fn bool(&mut self, key: &str) -> Result<bool, String> {
+        match self.take(key) {
+            Json::Bool(b) => Ok(b),
+            _ => Err(format!("{}: \"{key}\" must be a boolean", self.ctx)),
+        }
+    }
+
+    fn arr(&mut self, key: &str) -> Result<Vec<Json>, String> {
+        match self.take(key) {
+            Json::Arr(items) => Ok(items),
+            _ => Err(format!("{}: \"{key}\" must be an array", self.ctx)),
+        }
+    }
+
+    fn id_set(&mut self, key: &str, site_count: usize) -> Result<BTreeSet<usize>, String> {
+        let items = self.arr(key)?;
+        let mut out = BTreeSet::new();
+        for item in items {
+            let Json::Num(n) = item else {
+                return Err(format!("{}: \"{key}\" must hold site ids", self.ctx));
+            };
+            let id = n as usize;
+            if id >= site_count {
+                return Err(format!(
+                    "{}: \"{key}\" references site {id} but only {site_count} sites exist",
+                    self.ctx
+                ));
+            }
+            if !out.insert(id) {
+                return Err(format!("{}: duplicate site id {id} in \"{key}\"", self.ctx));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Certificate {
+    /// Parses one certificate from its [`Certificate::to_json`] form.
+    ///
+    /// The parser fails closed: unknown fields, missing fields,
+    /// unsupported versions, out-of-range or duplicate site ids,
+    /// duplicate site identities, and classification inconsistencies
+    /// (e.g. `race_free_sites` disagreeing with `licensed - racy`) are
+    /// all rejected with a named diagnostic rather than repaired. A
+    /// certificate that parses re-serialises byte-identically.
+    pub fn from_json(text: &str) -> Result<Certificate, String> {
+        Self::from_value(parse_json(text)?, "certificate")
+    }
+
+    fn from_value(v: Json, ctx: &str) -> Result<Certificate, String> {
+        let mut top = Fields::new(
+            v,
+            ctx,
+            &[
+                "family",
+                "substrate",
+                "version",
+                "procs",
+                "sites",
+                "footprints",
+                "may_conflict",
+                "ops",
+                "pairs",
+                "placement",
+            ],
+        )?;
+        let family = top.str("family")?;
+        let substrate = top.str("substrate")?;
+        let version = top.num("version")?;
+        if version != CERT_VERSION {
+            return Err(format!(
+                "{ctx} ({family}/{substrate}): version {version} is not the supported \
+                 version {CERT_VERSION} — the checked-in certificate is stale; regenerate it \
+                 with `exp_sim_throughput --refresh-baseline`"
+            ));
+        }
+        let procs = top.num("procs")? as usize;
+
+        let site_items = top.arr("sites")?;
+        let mut sites = Vec::new();
+        let mut licensed_flags = BTreeSet::new();
+        let mut racy_flags = BTreeSet::new();
+        let mut probed_flags = BTreeSet::new();
+        let mut identities = BTreeSet::new();
+        for (i, item) in site_items.into_iter().enumerate() {
+            let sctx = format!("{ctx}: sites[{i}]");
+            let mut f = Fields::new(
+                item,
+                &sctx,
+                &[
+                    "id", "name", "file", "line", "column", "licensed", "racy", "probed",
+                ],
+            )?;
+            let id = f.num("id")? as usize;
+            if id != i {
+                return Err(format!("{sctx}: id {id} is not dense (expected {i})"));
+            }
+            let name = f.str("name")?;
+            let file = f.str("file")?;
+            let line = f.num("line")? as u32;
+            let column = f.num("column")? as u32;
+            if !identities.insert((name.clone(), file.clone(), line, column)) {
+                return Err(format!(
+                    "{sctx}: duplicate site identity {name}@{file}:{line}:{column} — two sites \
+                     would intern to the same register symbol"
+                ));
+            }
+            if f.bool("licensed")? {
+                licensed_flags.insert(i);
+            }
+            if f.bool("racy")? {
+                racy_flags.insert(i);
+            }
+            if f.bool("probed")? {
+                probed_flags.insert(i);
+            }
+            sites.push(SymSite {
+                name,
+                file: static_file(&file),
+                line,
+                column,
+            });
+        }
+        if licensed_flags != probed_flags {
+            return Err(format!(
+                "{ctx} ({family}/{substrate}): licensed flags disagree with probed flags — \
+                 licensing is defined as probing evidence"
+            ));
+        }
+        let unprobed_sites: BTreeSet<usize> = (0..sites.len())
+            .filter(|s| !probed_flags.contains(s))
+            .collect();
+        for &s in &unprobed_sites {
+            if !racy_flags.contains(&s) {
+                return Err(format!(
+                    "{ctx} ({family}/{substrate}): site {s} is unprobed but not marked racy — \
+                     unknown must classify as top"
+                ));
+            }
+        }
+
+        let fp_items = top.arr("footprints")?;
+        let mut footprints = Vec::new();
+        for (i, item) in fp_items.into_iter().enumerate() {
+            let fctx = format!("{ctx}: footprints[{i}]");
+            let mut f = Fields::new(
+                item,
+                &fctx,
+                &["op", "proc", "reads", "writes", "rmws", "value_dependent"],
+            )?;
+            footprints.push(OpFootprint {
+                op: f.str("op")?,
+                proc: f.num("proc")? as usize,
+                reads: f.id_set("reads", sites.len())?,
+                writes: f.id_set("writes", sites.len())?,
+                rmws: f.id_set("rmws", sites.len())?,
+                value_dependent: f.id_set("value_dependent", sites.len())?,
+            });
+        }
+
+        let conflict_items = top.arr("may_conflict")?;
+        let mut conflicts = Vec::new();
+        for (i, item) in conflict_items.into_iter().enumerate() {
+            let cctx = format!("{ctx}: may_conflict[{i}]");
+            let mut f = Fields::new(item, &cctx, &["a", "b", "sites", "kinds"])?;
+            let a = f.str("a")?;
+            let b = f.str("b")?;
+            if a > b {
+                return Err(format!("{cctx}: cell ({a}, {b}) is not label-normalised"));
+            }
+            let cell_sites = f.id_set("sites", sites.len())?;
+            let mut kinds = BTreeSet::new();
+            for k in f.arr("kinds")? {
+                let Json::Str(k) = k else {
+                    return Err(format!("{cctx}: \"kinds\" must hold strings"));
+                };
+                if !kinds.insert(k) {
+                    return Err(format!("{cctx}: duplicate kind pair"));
+                }
+            }
+            conflicts.push(ConflictEntry {
+                a,
+                b,
+                sites: cell_sites,
+                kinds,
+            });
+        }
+
+        let mut ops: Vec<String> = Vec::new();
+        for (i, item) in top.arr("ops")?.into_iter().enumerate() {
+            let Json::Str(o) = item else {
+                return Err(format!("{ctx}: ops[{i}] must be a string"));
+            };
+            if let Some(prev) = ops.last() {
+                if *prev >= o {
+                    return Err(format!(
+                        "{ctx}: ops must be strictly sorted (\"{prev}\" before \"{o}\")"
+                    ));
+                }
+            }
+            ops.push(o);
+        }
+
+        let pair_items = top.arr("pairs")?;
+        let mut pairs: Vec<PairEntry> = Vec::new();
+        for (i, item) in pair_items.into_iter().enumerate() {
+            let pctx = format!("{ctx}: pairs[{i}]");
+            let mut f = Fields::new(item, &pctx, &["a", "b", "observed", "conflict"])?;
+            let a = f.num("a")? as usize;
+            let b = f.num("b")? as usize;
+            if a > b || b >= ops.len() {
+                return Err(format!(
+                    "{pctx}: op indices ({a}, {b}) must satisfy a <= b < {} ops",
+                    ops.len()
+                ));
+            }
+            if let Some(prev) = pairs.last() {
+                if (prev.a, prev.b) >= (a, b) {
+                    return Err(format!(
+                        "{pctx}: pair cells must be strictly sorted by (a, b) — duplicate or \
+                         out-of-order cell ({a}, {b})"
+                    ));
+                }
+            }
+            let observed = f.id_set("observed", sites.len())?;
+            let conflict = f.id_set("conflict", sites.len())?;
+            if !conflict.is_subset(&observed) {
+                return Err(format!(
+                    "{pctx}: conflict sites must be a subset of observed sites"
+                ));
+            }
+            pairs.push(PairEntry {
+                a,
+                b,
+                observed,
+                conflict,
+            });
+        }
+
+        let mut placement = Fields::new(
+            top.take("placement"),
+            &format!("{ctx}: placement"),
+            &["licensed_sites", "race_free_sites", "guard"],
+        )?;
+        let licensed_sites = placement.id_set("licensed_sites", sites.len())?;
+        if licensed_sites != licensed_flags {
+            return Err(format!(
+                "{ctx} ({family}/{substrate}): placement.licensed_sites disagrees with the \
+                 per-site licensed flags"
+            ));
+        }
+        let race_free = placement.id_set("race_free_sites", sites.len())?;
+        let expect_race_free: BTreeSet<usize> =
+            licensed_sites.difference(&racy_flags).copied().collect();
+        if race_free != expect_race_free {
+            return Err(format!(
+                "{ctx} ({family}/{substrate}): placement.race_free_sites is not \
+                 licensed_sites minus racy sites — the partition is inconsistent"
+            ));
+        }
+        placement.str("guard")?;
+
+        Ok(Certificate {
+            family,
+            substrate,
+            version,
+            procs,
+            sites,
+            footprints,
+            conflicts,
+            ops,
+            pairs,
+            licensed_sites,
+            racy_sites: racy_flags,
+            unprobed_sites,
+        })
+    }
+}
+
+/// Parses a whole catalog ([`catalog_json`] output). Fails closed on
+/// the first invalid certificate, naming its index.
+pub fn catalog_from_json(text: &str) -> Result<Vec<Certificate>, String> {
+    let Json::Arr(items) = parse_json(text)? else {
+        return Err("certificate catalog: expected a top-level array".to_string());
+    };
+    items
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| Certificate::from_value(v, &format!("certificate[{i}]")))
+        .collect()
 }
 
 /// Serialises a set of certificates as one JSON array (the catalog

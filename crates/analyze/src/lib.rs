@@ -67,7 +67,10 @@
 mod certificate;
 mod probe;
 
-pub use certificate::{catalog_json, Certificate, ConflictEntry, OpFootprint};
+pub use certificate::{
+    catalog_from_json, catalog_json, Certificate, ConflictEntry, OpFootprint, PairEntry, PairObs,
+    CERT_VERSION,
+};
 pub use probe::{op_label, probe_object, probe_object_with};
 
 use sl_api::{ObjectBuilder, UniversalOps};
@@ -417,6 +420,122 @@ mod tests {
         }
         let arr = catalog_json(&[cert.clone(), cert]);
         assert!(arr.starts_with('[') && arr.ends_with(']'));
+    }
+
+    #[test]
+    fn pair_matrix_covers_probed_pairs_and_round_trips() {
+        let cert = aba_certificate(2);
+        assert_eq!(cert.version, CERT_VERSION);
+        assert!(cert.ops.contains(&"DRead".to_string()));
+        assert!(cert.ops.contains(&"DWrite".to_string()));
+        // Every unordered pair of planned cross-process ops got a cell,
+        // and the DRead/DWrite cell predicts a conflict somewhere.
+        assert!(!cert.pairs.is_empty());
+        let dw = cert
+            .pair_conflict_syms("DRead", "DWrite")
+            .expect("DRead/DWrite probed concurrently");
+        assert!(!dw.is_empty());
+        for p in &cert.pairs {
+            assert!(p.conflict.is_subset(&p.observed));
+        }
+        // serialize -> parse -> serialize is byte-identical.
+        let json = cert.to_json();
+        let parsed = Certificate::from_json(&json).expect("fresh certificate parses");
+        assert_eq!(parsed.to_json(), json);
+        let arr = catalog_json(&[cert.clone(), cert]);
+        let certs = catalog_from_json(&arr).expect("fresh catalog parses");
+        assert_eq!(catalog_json(&certs), arr);
+    }
+
+    /// A hand-rolled minimal certificate whose JSON the fail-closed
+    /// tests can doctor with precise string surgery.
+    fn tiny_cert() -> Certificate {
+        use std::collections::BTreeSet;
+        let site = |name: &str| sl_mem::SymSite {
+            name: name.to_string(),
+            file: "crates/analyze/src/lib.rs",
+            line: 1,
+            column: 1,
+        };
+        let set = |ids: &[usize]| -> BTreeSet<usize> { ids.iter().copied().collect() };
+        Certificate {
+            family: "tiny".into(),
+            substrate: "-".into(),
+            version: CERT_VERSION,
+            procs: 2,
+            sites: vec![site("A"), site("B")],
+            footprints: vec![OpFootprint {
+                op: "Get".into(),
+                proc: 0,
+                reads: set(&[0]),
+                writes: set(&[1]),
+                rmws: set(&[]),
+                value_dependent: set(&[]),
+            }],
+            conflicts: vec![],
+            ops: vec!["Get".into(), "Put".into()],
+            pairs: vec![PairEntry {
+                a: 0,
+                b: 1,
+                observed: set(&[0, 1]),
+                conflict: set(&[1]),
+            }],
+            licensed_sites: set(&[0, 1]),
+            racy_sites: set(&[1]),
+            unprobed_sites: set(&[]),
+        }
+    }
+
+    #[test]
+    fn stale_and_doctored_certificates_fail_closed() {
+        let json = tiny_cert().to_json();
+        assert_eq!(Certificate::from_json(&json).unwrap().to_json(), json);
+
+        let reject = |doctored: String, needle: &str| {
+            let err = Certificate::from_json(&doctored)
+                .expect_err(&format!("doctored certificate must be rejected: {needle}"));
+            assert!(err.contains(needle), "diagnostic {err:?} lacks {needle:?}");
+        };
+        // Stale format version.
+        reject(
+            json.replace("\"version\": 2", "\"version\": 1"),
+            "version 1 is not the supported version",
+        );
+        // Unknown top-level field.
+        reject(
+            json.replace("\"procs\":", "\"trusted\": true,\n  \"procs\":"),
+            "unknown field \"trusted\"",
+        );
+        // Missing required field.
+        reject(
+            json.replace("  \"version\": 2,\n", ""),
+            "missing required field \"version\"",
+        );
+        // Two sites collapsing to one register symbol.
+        reject(
+            json.replace("\"name\": \"B\"", "\"name\": \"A\""),
+            "duplicate site identity",
+        );
+        // Pair conflict not a subset of observed.
+        reject(
+            json.replace("\"observed\": [0, 1]", "\"observed\": [0]"),
+            "subset of observed",
+        );
+        // Pair cell with unnormalised op indices.
+        reject(
+            json.replace("{\"a\": 0, \"b\": 1,", "{\"a\": 1, \"b\": 0,"),
+            "a <= b",
+        );
+        // race_free_sites disagreeing with licensed - racy.
+        reject(
+            json.replace("\"race_free_sites\": [0]", "\"race_free_sites\": []"),
+            "licensed_sites minus racy",
+        );
+        // Out-of-range site reference.
+        reject(
+            json.replace("\"licensed_sites\": [0, 1]", "\"licensed_sites\": [0, 7]"),
+            "references site 7",
+        );
     }
 
     #[test]

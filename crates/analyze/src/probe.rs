@@ -10,31 +10,51 @@
 //! later probes run against evolved state) form the *may* footprint
 //! the certificate reasons about.
 //!
-//! Sequential probing cannot witness contention-only code paths
-//! (helping, handshakes). That is why the certificate classifies every
-//! *written* site as potentially racy and why the explorer validates
-//! every dynamically observed race against the matrix, fail-closed —
-//! see the `certificate` module docs.
+//! # Concurrent pair schedules
+//!
+//! On top of the sequential passes, the driver replays every ordered
+//! pair of planned cross-process operations under *contention*: op A
+//! runs in a budgeted window truncated after `k` shared accesses
+//! ([`SymMem::begin_probe_budget`] unwinds with a sentinel), op B then
+//! runs a full window against A's partial effects, and A retries if it
+//! was truncated. Sweeping `k` from 0 until A completes places B at
+//! every pause boundary of A, so helping and handshake paths that only
+//! execute under contention show up in the logs. The per-pair evidence
+//! — sites either window touched, and sites both touched with at
+//! least one writer — feeds the certificate's op-pair matrix; it is
+//! *not* folded into the per-register classification.
+//!
+//! Sequential probing alone cannot witness contention-only code paths.
+//! That is why the certificate still classifies every *written* site
+//! as potentially racy and why the explorer validates every
+//! dynamically observed race against the matrix, fail-closed — see the
+//! `certificate` module docs.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use sl_api::sim::DriveOps;
 use sl_api::SharedObject;
-use sl_mem::{SymAccessKind, SymMem};
+use sl_mem::{SymAccessKind, SymMem, SymProbeAbort, SymSite};
 use sl_spec::{ProcId, SeqSpec};
 
-use crate::certificate::{Certificate, OpFootprint};
+use crate::certificate::{Certificate, OpFootprint, PairObs};
+
+/// Truncation-budget ceiling for pair schedules: if op A still has not
+/// completed after this many admitted shared accesses, the sweep stops
+/// (the remaining boundaries add no new pause points that matter —
+/// every site A touches was already seen).
+const MAX_PAIR_BUDGET: usize = 32;
 
 /// Derives a stable operation label from the op's `Debug` rendering:
 /// the enum variant name without its arguments (`DWrite(3)` →
 /// `DWrite`). Footprints of the same variant probed with different
-/// arguments fold into one labelled may-set.
+/// arguments fold into one labelled may-set. Delegates to
+/// [`sl_check::op_variant`] — the same splitter the event log uses to
+/// intern runtime [`sl_check::OpSym`] tags, so certificate labels and
+/// dynamic labels can never drift apart.
 pub fn op_label(op: &impl std::fmt::Debug) -> String {
-    let full = format!("{op:?}");
-    full.split(['(', ' ', '{'])
-        .next()
-        .unwrap_or(full.as_str())
-        .to_string()
+    sl_check::op_variant(&format!("{op:?}")).to_string()
 }
 
 #[derive(Default)]
@@ -137,5 +157,186 @@ where
             }
         })
         .collect();
-    Certificate::build(family, substrate, plan.len(), mem.sites(), footprints)
+
+    // Master site index space: the sequential probe's allocation
+    // order, extended by anything only a pair schedule allocates.
+    // Identity tuples keyed exactly like `RegSym::intern`, so a pair
+    // run's fresh `SymMem` maps onto the same indices.
+    let mut master = SiteMaster::new(mem.sites());
+    let pair_evidence = probe_pairs::<S, O, F, A>(&factory, plan, &mut apply, &mut master);
+    Certificate::build(
+        family,
+        substrate,
+        plan.len(),
+        master.sites,
+        footprints,
+        pair_evidence,
+    )
+}
+
+/// The master site list plus the identity-tuple index used to fold
+/// per-run site ids (each pair schedule allocates on a fresh
+/// [`SymMem`]) into one shared index space.
+struct SiteMaster {
+    sites: Vec<SymSite>,
+    index: HashMap<(String, &'static str, u32, u32), usize>,
+}
+
+impl SiteMaster {
+    fn new(seed: Vec<SymSite>) -> SiteMaster {
+        let mut m = SiteMaster {
+            sites: Vec::new(),
+            index: HashMap::new(),
+        };
+        for site in seed {
+            // Duplicated identities keep their first index — the same
+            // collapse `RegSym::intern` performs at runtime.
+            let id = m.sites.len();
+            m.index
+                .entry((site.name.clone(), site.file, site.line, site.column))
+                .or_insert(id);
+            m.sites.push(site);
+        }
+        m
+    }
+
+    fn fold(&mut self, site: &SymSite) -> usize {
+        let key = (site.name.clone(), site.file, site.line, site.column);
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = self.sites.len();
+        self.sites.push(site.clone());
+        self.index.insert(key, id);
+        id
+    }
+}
+
+/// One side of a pair schedule: master site id -> whether this side
+/// ever wrote it inside the recorded window(s).
+type SideLog = BTreeMap<usize, bool>;
+
+/// Drives the concurrent pair schedules (module docs) and returns the
+/// raw evidence keyed by the normalised label pair.
+fn probe_pairs<S, O, F, A>(
+    factory: &F,
+    plan: &[Vec<S::Op>],
+    apply: &mut A,
+    master: &mut SiteMaster,
+) -> BTreeMap<(String, String), PairObs>
+where
+    S: SeqSpec,
+    O: SharedObject<SymMem>,
+    F: Fn(&SymMem) -> O,
+    A: FnMut(&mut O::Handle, &S::Op) -> S::Resp,
+{
+    let mut evidence: BTreeMap<(String, String), PairObs> = BTreeMap::new();
+    let planned: Vec<(usize, &S::Op)> = plan
+        .iter()
+        .enumerate()
+        .flat_map(|(p, ops)| ops.iter().map(move |op| (p, op)))
+        .collect();
+    for &(pa, op_a) in &planned {
+        for &(pb, op_b) in &planned {
+            if pa == pb {
+                continue;
+            }
+            let (la, lb) = (op_label(op_a), op_label(op_b));
+            let key = if la <= lb {
+                (la.clone(), lb.clone())
+            } else {
+                (lb.clone(), la.clone())
+            };
+            // Cold (fresh object) and warm (state evolved by one full
+            // unrecorded plan pass) variants of every schedule.
+            for warm in [false, true] {
+                for budget in 0..=MAX_PAIR_BUDGET {
+                    let mem = SymMem::new();
+                    let obj = factory(&mem);
+                    let mut handles: Vec<O::Handle> =
+                        (0..plan.len()).map(|p| obj.handle(ProcId(p))).collect();
+                    if warm {
+                        let rounds = plan.iter().map(Vec::len).max().unwrap_or(0);
+                        for round in 0..rounds {
+                            for (p, ops) in plan.iter().enumerate() {
+                                if let Some(op) = ops.get(round) {
+                                    let _ = apply(&mut handles[p], op);
+                                }
+                            }
+                        }
+                    }
+
+                    // A: budgeted window, truncated after `budget`
+                    // shared accesses by the sentinel unwind.
+                    mem.begin_probe_budget(budget);
+                    let outcome = {
+                        let (ha, op) = (&mut handles[pa], op_a);
+                        catch_unwind(AssertUnwindSafe(|| {
+                            let _ = apply(ha, op);
+                        }))
+                    };
+                    let truncated = match outcome {
+                        Ok(()) => false,
+                        Err(payload) if payload.downcast_ref::<SymProbeAbort>().is_some() => true,
+                        // A genuine panic mid-op: keep the partial log
+                        // as may-evidence, but stop sweeping budgets —
+                        // later boundaries would hit the same panic.
+                        Err(_) => false,
+                    };
+                    let mut side_a = fold_window(&mem.finish_probe(), &mem, master);
+
+                    // B: full window against A's partial effects. A
+                    // panic here (B tripping over A's in-flight state)
+                    // truncates B's log, which stays valid evidence.
+                    mem.begin_probe();
+                    {
+                        let (hb, op) = (&mut handles[pb], op_b);
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            let _ = apply(hb, op);
+                        }));
+                    }
+                    let side_b = fold_window(&mem.finish_probe(), &mem, master);
+
+                    // A retries to completion after B if it was cut
+                    // off — the recovery/helping leg of the schedule.
+                    if truncated {
+                        mem.begin_probe();
+                        let (ha, op) = (&mut handles[pa], op_a);
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            let _ = apply(ha, op);
+                        }));
+                        for (site, wrote) in fold_window(&mem.finish_probe(), &mem, master) {
+                            *side_a.entry(site).or_insert(false) |= wrote;
+                        }
+                    }
+
+                    let cell = evidence.entry(key.clone()).or_default();
+                    cell.observed.extend(side_a.keys().copied());
+                    cell.observed.extend(side_b.keys().copied());
+                    for (&site, &wa) in &side_a {
+                        if let Some(&wb) = side_b.get(&site) {
+                            if wa || wb {
+                                cell.conflict.insert(site);
+                            }
+                        }
+                    }
+                    if !truncated {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    evidence
+}
+
+/// Folds one recorded window into (master site -> wrote?) form.
+fn fold_window(log: &[sl_mem::SymAccess], mem: &SymMem, master: &mut SiteMaster) -> SideLog {
+    let sites = mem.sites();
+    let mut side = SideLog::new();
+    for access in log {
+        let id = master.fold(&sites[access.site]);
+        *side.entry(id).or_insert(false) |= access.kind != SymAccessKind::Read;
+    }
+    side
 }

@@ -66,12 +66,14 @@ fn assert_overapproximates<S, O, F>(
     F: Fn(&SimMem) -> O + Send + Sync + Copy,
 {
     let st = Arc::new(cert.static_conflicts());
+    st.enable_race_recording();
     let pruned = explore_object::<S, O, F>(
         factory,
         workload,
         &cfg(PruneMode::StaticDpor, Some(Arc::clone(&st)), budget),
     );
     assert!(pruned.outcome.runs > 0, "{label}: nothing explored");
+    assert_pair_superset(label, cert, &st);
     if !pruned.outcome.exhausted {
         return;
     }
@@ -84,6 +86,33 @@ fn assert_overapproximates<S, O, F>(
             "{label}: verdict diverged"
         );
     }
+}
+
+/// The op-pair leg of the over-approximation proof: every race the
+/// dynamic detector attributed to a pair of *tagged* ops must sit in
+/// that pair's conflict cell of the certificate matrix. Races with an
+/// untagged side (steps before the first invocation marker) are
+/// covered by the per-register leg alone.
+fn assert_pair_superset(label: &str, cert: &Certificate, st: &StaticConflicts) {
+    let mut checked = 0;
+    for (oa, ob, reg) in st.recorded_races() {
+        if oa.is_none() || ob.is_none() {
+            continue;
+        }
+        let conflict = cert
+            .pair_conflict_syms(oa.name(), ob.name())
+            .unwrap_or_else(|| {
+                panic!(
+                    "{label}: dynamic race between {oa:?}/{ob:?} but the pair has no matrix cell"
+                )
+            });
+        assert!(
+            conflict.contains(&reg),
+            "{label}: dynamic {oa:?}/{ob:?} race on {reg:?} missing from the pair's conflict cell"
+        );
+        checked += 1;
+    }
+    let _ = checked;
 }
 
 const W: u64 = 1;
@@ -214,6 +243,7 @@ macro_rules! universal_overapprox_test {
             let certs = sl_analyze::catalog(2);
             let uni_cert = cert(&certs, "universal-counter", $name);
             let st = Arc::new(uni_cert.static_conflicts());
+            st.enable_race_recording();
             let pruned = explore_object_with::<CounterSpec, _, _, _>(
                 |mem: &SimMem| {
                     ObjectBuilder::on(mem)
@@ -223,9 +253,10 @@ macro_rules! universal_overapprox_test {
                 },
                 &counter_workload(),
                 |h, op| UniversalOps::execute(h, op.clone()),
-                &cfg(PruneMode::StaticDpor, Some(st), SAMPLED),
+                &cfg(PruneMode::StaticDpor, Some(Arc::clone(&st)), SAMPLED),
             );
             assert!(pruned.outcome.runs > 0);
+            assert_pair_superset(concat!($name, " universal-counter"), &uni_cert, &st);
             if pruned.outcome.exhausted {
                 assert!(pruned.check_strong(&CounterSpec).holds);
             }
@@ -345,6 +376,46 @@ fn doctored_certificate_fails_closed() {
         .unwrap_or_default();
     assert!(
         msg.contains("not predicted"),
+        "unexpected panic message: {msg}"
+    );
+}
+
+/// The pair-cell variant of the negative direction: with the pair
+/// matrix installed but every cell's conflict set emptied (and no
+/// per-register fallback), the first attributed race must abort with a
+/// diagnostic naming the licensing op pair — proving races really are
+/// validated against the pair cell first.
+#[test]
+fn doctored_pair_cell_fails_closed() {
+    let cert = sl_analyze::aba_certificate(2);
+    let mut st = StaticConflicts::new(cert.licensed_syms(), []);
+    for p in &cert.pairs {
+        st.add_pair(
+            &cert.ops[p.a],
+            &cert.ops[p.b],
+            p.observed.iter().map(|&s| cert.site_sym(s)),
+            [], // conflict doctored away
+        );
+    }
+    let st = Arc::new(st);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        explore_object::<AbaSpec<u64>, _, _>(
+            |mem: &SimMem| ObjectBuilder::on(mem).processes(2).aba_register::<u64>(),
+            &aba_workload(),
+            &cfg(PruneMode::StaticDpor, Some(st), FULL),
+        )
+    }));
+    let err = match result {
+        Ok(_) => panic!("an unpredicted race must abort"),
+        Err(e) => e,
+    };
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("not predicted") && msg.contains("op pair"),
         "unexpected panic message: {msg}"
     );
 }

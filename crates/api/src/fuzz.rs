@@ -25,11 +25,11 @@ use std::sync::Arc;
 
 use sl_check::{check_linearizable, check_strongly_linearizable, HistoryTree, TreeStep};
 use sl_mem::{NativeMem, SmallRng};
-use sl_sim::{Scripted, SeededRandom, SimMem};
+use sl_sim::{PruneMode, Scripted, SeededRandom, SimMem, StaticConflicts};
 use sl_spec::{History, ProcId, SeqSpec};
 
 use crate::object::SharedObject;
-use crate::sim::{run_object_schedule_with, SimRun};
+use crate::sim::{explore_object, run_object_schedule_with, DriveOps, SimExplore, SimRun};
 
 /// Budgets and seed of one fuzz campaign. Scale with
 /// [`FuzzConfig::from_env`] in CI (`SL_FUZZ_WORKLOADS`,
@@ -102,6 +102,10 @@ pub enum FailureKind {
     Linearizability,
     /// A schedule tree failed `check_strongly_linearizable`.
     StrongLinearizability,
+    /// A certificate-pruned exploration reached a different
+    /// strong-linearizability verdict than the `ValueDpor` baseline on
+    /// the same exhausted workload ([`fuzz_pruned_exploration`]).
+    VerdictDivergence,
 }
 
 /// A minimised counterexample.
@@ -520,6 +524,130 @@ where
         ops_shrink: (before.0, total_ops(&workload)),
         schedule_shrink: (before.1, scripts.iter().map(Vec::len).sum::<usize>()),
         schedules: scripts,
+    }
+}
+
+/// Schedule-count cap per exploration inside
+/// [`fuzz_pruned_exploration`]; workloads whose baseline space does
+/// not exhaust within it are skipped (verdicts of partial explorations
+/// are not comparable).
+const PRUNED_FUZZ_RUNS: usize = 40_000;
+
+/// Fuzzes the certificate-pruned exploration modes: random workloads
+/// explored exhaustively under `ValueDpor` (no certificate) and under
+/// `StaticDpor` / `OptimalDpor` with `statics` installed must agree on
+/// the strong-linearizability verdict. A divergence is shrunk by
+/// removing operations while it persists and reported like any other
+/// fuzz failure; the fail-closed race validator is armed throughout
+/// (an unpredicted race panics rather than diverging silently).
+///
+/// `statics` is the runtime form of the object's probed certificate —
+/// built by `sl-analyze`, which sits above this crate, so the caller
+/// supplies it.
+pub fn fuzz_pruned_exploration<S, O, F, G>(
+    family: &str,
+    factory: F,
+    gen_op: G,
+    spec: &S,
+    statics: Arc<StaticConflicts>,
+    cfg: &FuzzConfig,
+) -> FuzzReport
+where
+    S: SeqSpec + 'static,
+    S::Op: Send + Sync,
+    S::Resp: Send + Sync,
+    S::State: Send + Sync,
+    O: SharedObject<SimMem>,
+    O::Handle: DriveOps<S>,
+    F: Fn(&SimMem) -> O + Sync + Copy,
+    G: Fn(&mut SmallRng, ProcId) -> S::Op,
+{
+    let explore = |w: &[Vec<S::Op>], mode: PruneMode, st: Option<Arc<StaticConflicts>>| {
+        explore_object::<S, O, F>(
+            factory,
+            w,
+            &SimExplore {
+                mode,
+                workers: 1,
+                statics: st,
+                max_runs: PRUNED_FUZZ_RUNS,
+                step_budget: cfg.step_budget,
+                ..SimExplore::default()
+            },
+        )
+    };
+    // None = baseline did not exhaust or no divergence; Some((mode,
+    // base, pruned)) = the first diverging pruned mode and verdicts.
+    let diverged = |w: &[Vec<S::Op>]| -> Option<(PruneMode, bool, bool)> {
+        let base = explore(w, PruneMode::ValueDpor, None);
+        if !base.outcome.exhausted {
+            return None;
+        }
+        let vb = base.check_strong(spec).holds;
+        for mode in [PruneMode::StaticDpor, PruneMode::OptimalDpor] {
+            let pruned = explore(w, mode, Some(Arc::clone(&statics)));
+            if pruned.outcome.exhausted {
+                let vp = pruned.check_strong(spec).holds;
+                if vp != vb {
+                    return Some((mode, vb, vp));
+                }
+            }
+        }
+        None
+    };
+    let mut schedules_run = 0u64;
+    for w in 0..cfg.workloads {
+        let mut rng = SmallRng::new(mix(cfg.seed, w, 0));
+        let mut workload = gen_workload::<S, G>(&gen_op, &mut rng, cfg);
+        schedules_run += 3;
+        let Some(first) = diverged(&workload) else {
+            continue;
+        };
+        let before = total_ops(&workload);
+        let mut witness = first;
+        if cfg.shrink {
+            loop {
+                let mut improved = false;
+                for cand in op_removals(&workload) {
+                    if let Some(d) = diverged(&cand) {
+                        workload = cand;
+                        witness = d;
+                        improved = true;
+                        break;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        let (mode, vb, vp) = witness;
+        let report = FuzzReport {
+            family: family.to_string(),
+            workloads_run: w + 1,
+            schedules_run,
+            failure: Some(FuzzFailure {
+                kind: FailureKind::VerdictDivergence,
+                workload: render_workload::<S>(&workload),
+                schedules: Vec::new(),
+                trace: vec![format!(
+                    "ValueDpor verdict: strong-linearizable = {vb}; {mode:?} with the \
+                     certificate installed: strong-linearizable = {vp}"
+                )],
+                ops_shrink: (before, total_ops(&workload)),
+                schedule_shrink: (0, 0),
+            }),
+        };
+        if let Some(dir) = &cfg.artifact_dir {
+            report.write_artifact(dir);
+        }
+        return report;
+    }
+    FuzzReport {
+        family: family.to_string(),
+        workloads_run: cfg.workloads,
+        schedules_run,
+        failure: None,
     }
 }
 

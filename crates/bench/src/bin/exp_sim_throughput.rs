@@ -41,6 +41,15 @@
 //!   wakeup-sequence guarantee is *zero* sleep-set-blocked runs), or
 //!   no longer replays *strictly fewer* total schedules than
 //!   static-certificate DPOR there (cut elimination regressed),
+//! * optimal DPOR on a mixed-role workload no longer stays strictly
+//!   below the frozen per-register-era floors (660 on `aba_mixed3`,
+//!   26 638 on `aba_mixed3_deep`) — the op-pair commutation matrix
+//!   stopped pruning,
+//! * any dynamic race on a mixed-role workload escapes op-pair
+//!   attribution (`static_unattributed` must be 0),
+//! * the certificate catalog checked in next to the baseline is stale
+//!   (regenerating it from the current probe produces different bytes)
+//!   or fails the fail-closed parser,
 //! * the single-worker world-reuse speedup on `aba_2w2r` falls below
 //!   the recorded `min_reuse_speedup`,
 //! * the binary-vs-string-format traced-replay speedup on `aba_2w2r`
@@ -202,6 +211,7 @@ struct MixedSummary {
     optimal_cut: usize,
     static_relaxed: u64,
     static_validated: u64,
+    static_unattributed: u64,
 }
 
 fn run_mixed_workload(
@@ -280,14 +290,15 @@ fn run_mixed_workload(
     let t = statics.telemetry();
     println!(
         "(value-aware commutation removes {:.0}% of the mixed-role schedules; the placement \
-         certificate a further {:.0}% — {} relaxations, {} validated races, 0 unpredicted; \
-         wakeup sequences keep the optimal exploration cut-free at {} replays)",
+         certificate a further {:.0}% — {} relaxations, {} validated races, {} unattributed, \
+         0 unpredicted; wakeup sequences keep the optimal exploration cut-free at {} replays)",
         (1.0 - counts[1].schedules_replayed() as f64 / counts[0].schedules_replayed() as f64)
             * 100.0,
         (1.0 - counts[2].schedules_replayed() as f64 / counts[1].schedules_replayed() as f64)
             * 100.0,
         t.relaxed,
         t.validated,
+        t.unattributed,
         counts[3].schedules_replayed(),
     );
     MixedSummary {
@@ -303,6 +314,7 @@ fn run_mixed_workload(
         optimal_cut: counts[3].cut_runs,
         static_relaxed: t.relaxed,
         static_validated: t.validated,
+        static_unattributed: t.unattributed,
     }
 }
 
@@ -940,7 +952,8 @@ fn to_json(
              \"static_dpor_runs\": {},\n      \"optimal_dpor_replayed\": {},\n      \
              \"optimal_dpor_runs\": {},\n      \"optimal_cut\": {},\n      \
              \"static_relaxed\": {},\n      \
-             \"static_validated\": {}\n    }}",
+             \"static_validated\": {},\n      \
+             \"static_unattributed\": {}\n    }}",
             m.name,
             m.dpor_replayed,
             m.dpor_runs,
@@ -952,7 +965,8 @@ fn to_json(
             m.optimal_dpor_runs,
             m.optimal_cut,
             m.static_relaxed,
-            m.static_validated
+            m.static_validated,
+            m.static_unattributed
         ));
     }
     out.push_str("\n  ]\n}\n");
@@ -1046,6 +1060,11 @@ fn summary_markdown(
             "| {} placement relaxations / validated races | — | {} / {} | fail-closed: 0 \
              unpredicted |",
             m.name, m.static_relaxed, m.static_validated
+        );
+        let _ = writeln!(
+            md,
+            "| {} unattributed races | — | {} | gate == 0 |",
+            m.name, m.static_unattributed
         );
         let _ = writeln!(
             md,
@@ -1241,6 +1260,27 @@ fn main() {
                     m.optimal_cut, m.name
                 ));
             }
+            if m.static_unattributed != 0 {
+                gate.fail(&format!(
+                    "{} dynamic races escaped op-pair attribution on {} (traced mixed-role \
+                     replays must attribute every race to a register and op pair)",
+                    m.static_unattributed, m.name
+                ));
+            }
+            // The op-pair relaxations must strictly beat the optimal-DPOR
+            // counts recorded before the pair matrix existed (the
+            // per-register-certificate era); these floors are frozen, not
+            // read from the refreshable baseline.
+            for (name, floor) in [("aba_mixed3", 660usize), ("aba_mixed3_deep", 26_638)] {
+                if m.name == name && m.optimal_dpor_replayed >= floor {
+                    gate.fail(&format!(
+                        "op-pair commutation no longer improves {name}: optimal DPOR replayed \
+                         {} schedules, but the per-register certificate alone already reached \
+                         {floor}",
+                        m.optimal_dpor_replayed
+                    ));
+                }
+            }
             if m.optimal_dpor_replayed >= m.static_dpor_replayed {
                 // The tentpole's headline claim: wakeup sequences must
                 // cut the mixed-role workloads' total replay count
@@ -1279,6 +1319,39 @@ fn main() {
                     m.name
                 );
             }
+        }
+        // Certificate freshness: the catalog checked in next to the
+        // baseline must be regenerable bit-for-bit by the current probe
+        // and serializer, and must parse fail-closed. A drift means
+        // someone changed the probe, the format, or an algorithm's
+        // footprint without running --refresh-baseline.
+        let sibling = std::path::Path::new(baseline_path.as_deref().unwrap())
+            .with_file_name("certificates.json");
+        match std::fs::read_to_string(&sibling) {
+            Ok(checked_in) => {
+                if let Err(e) = sl_analyze::catalog_from_json(&checked_in) {
+                    gate.fail(&format!(
+                        "checked-in certificate catalog {} does not parse: {e}",
+                        sibling.display()
+                    ));
+                } else if checked_in != certificates_catalog_json() {
+                    gate.fail(&format!(
+                        "checked-in certificate catalog {} is stale: regenerating from the \
+                         current probe produced a different artifact; run \
+                         exp_sim_throughput --refresh-baseline and commit the result",
+                        sibling.display()
+                    ));
+                } else {
+                    println!(
+                        "baseline ok: certificate catalog {} is fresh and parses fail-closed",
+                        sibling.display()
+                    );
+                }
+            }
+            Err(e) => gate.fail(&format!(
+                "certificate catalog {} is unreadable: {e}",
+                sibling.display()
+            )),
         }
         // Wall-clock gates run on the bigger pinned workload
         // (aba_2w2r); the tiny one is all setup noise.
@@ -1321,14 +1394,19 @@ fn main() {
     }
 }
 
-/// Writes the `sl-analyze` certificate catalog: every family ×
-/// substrate the facade exposes at 2 processes, plus the 3-process
-/// Algorithm-2 certificate the mixed-role StaticDpor gates consume.
-fn write_certificates(path: &str) {
+/// The `sl-analyze` certificate catalog: every family × substrate the
+/// facade exposes at 2 processes, plus the 3-process Algorithm-2
+/// certificate the mixed-role StaticDpor gates consume. One producer
+/// for both the written artifact and the freshness comparison.
+fn certificates_catalog_json() -> String {
     let mut certs = sl_analyze::catalog(2);
     certs.push(sl_analyze::aba_certificate(3));
-    let json = sl_analyze::catalog_json(&certs);
-    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    sl_analyze::catalog_json(&certs)
+}
+
+fn write_certificates(path: &str) {
+    std::fs::write(path, certificates_catalog_json())
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("(certificate catalog written to {path})");
 }
 
@@ -1339,7 +1417,10 @@ static_dpor_replayed, and optimal_dpor_replayed per workload (schedule counts ar
 — any increase is a partial-order-reduction regression), static < value strictly on the \
 mixed-role workloads (the sl-analyze placement certificate must keep pruning), optimal < static \
 strictly there with zero cut replays (wakeup sequences must keep eliminating sleep-set-blocked \
-runs), min_reuse_speedup (single-worker pooled-vs-fresh wall clock on aba_2w2r, best-of-3, \
+runs), optimal strictly below the frozen per-register-era floors (660 / 26638) with zero \
+unattributed races on the mixed-role workloads (the op-pair commutation matrix must keep \
+pruning and attributing), certificates.json next to this file byte-identical to a fresh \
+regeneration (probe/format drift must go through --refresh-baseline), min_reuse_speedup (single-worker pooled-vs-fresh wall clock on aba_2w2r, best-of-3, \
 identical ingestion pipelines both sides; a 1.0 floor so the gate only catches pooling becoming \
 an outright pessimization), min_format_speedup (single-worker traced replay with binary StepCode \
 ingestion vs the retired per-step string rendering+interning, best-of-5, identical ingestion \

@@ -15,7 +15,7 @@ pub fn steps_per_op<S: SeqSpec>(outcome: &RunOutcome, history: &History<S>) -> H
     let mut counts: HashMap<OpId, u64> = HashMap::new();
     for item in &outcome.trace {
         match item {
-            TraceItem::Hi(i) | TraceItem::HiInvoke(i) => {
+            TraceItem::Hi(i) | TraceItem::HiInvoke(i, _) => {
                 let e = &events[*i];
                 match &e.kind {
                     EventKind::Invoke(_) => {

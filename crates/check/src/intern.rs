@@ -308,6 +308,99 @@ impl RegSym {
 }
 
 // ---------------------------------------------------------------------
+// Operation interning
+// ---------------------------------------------------------------------
+
+/// An interned operation identity: the *variant name* of a workload
+/// operation (`DWrite`, `Scan`, ...), with the arguments stripped.
+///
+/// The event log interns one `OpSym` per distinct op variant when an
+/// invocation is recorded, and the explorer attributes every step of
+/// the resulting activation to that symbol. The same derivation
+/// ([`op_variant`]) runs in the static analyser's probe loop, so the
+/// op identity a certificate's pair matrix is keyed on is
+/// byte-identical to the one the simulator observes at run time.
+///
+/// [`OpSym::NONE`] is the unknown operation: steps taken before any
+/// invocation marker was observed for the process, or runs with trace
+/// recording off. Consumers must treat `NONE` fail-closed (no pair cell
+/// ever matches it).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpSym(u32);
+
+fn op_interner() -> &'static RwLock<Interner> {
+    static OPS: OnceLock<RwLock<Interner>> = OnceLock::new();
+    OPS.get_or_init(|| {
+        let mut by_label = HashMap::new();
+        // Entry 0: the unknown operation.
+        by_label.insert("(none)", 0);
+        RwLock::new(Interner {
+            by_label,
+            labels: vec!["(none)"],
+        })
+    })
+}
+
+/// Derives the canonical operation label from a `Debug` rendering: the
+/// variant name with the arguments stripped (`DWrite(3)` → `DWrite`,
+/// `Update { slot: 1 }` → `Update`). This single definition is shared
+/// by the static analyser (probe-time) and the event log (run-time) so
+/// certificate keys and dynamic op attributions can never drift apart.
+pub fn op_variant(debug: &str) -> &str {
+    debug
+        .split(['(', ' ', '{'])
+        .next()
+        .filter(|s| !s.is_empty())
+        .unwrap_or(debug)
+}
+
+impl OpSym {
+    /// The unknown operation (no invocation observed / tracing off).
+    pub const NONE: OpSym = OpSym(0);
+
+    /// Whether this is the unknown operation.
+    pub fn is_none(self) -> bool {
+        self == OpSym::NONE
+    }
+
+    /// Interns an operation label (already stripped). Idempotent.
+    pub fn intern(label: &str) -> OpSym {
+        {
+            let int = op_interner().read().unwrap();
+            if let Some(&id) = int.by_label.get(label) {
+                return OpSym(id);
+            }
+        }
+        let mut int = op_interner().write().unwrap();
+        if let Some(&id) = int.by_label.get(label) {
+            return OpSym(id);
+        }
+        let label: &'static str = Box::leak(label.to_owned().into_boxed_str());
+        let id = u32::try_from(int.labels.len()).expect("too many distinct op labels");
+        int.labels.push(label);
+        int.by_label.insert(label, id);
+        OpSym(id)
+    }
+
+    /// Interns the operation identity of a `Debug`-rendered invocation
+    /// (applies [`op_variant`] first).
+    pub fn of_debug(debug: &str) -> OpSym {
+        OpSym::intern(op_variant(debug))
+    }
+
+    /// The operation label this symbol stands for.
+    pub fn name(self) -> &'static str {
+        op_interner().read().unwrap().labels[self.0 as usize]
+    }
+}
+
+impl std::fmt::Debug for OpSym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+// ---------------------------------------------------------------------
 // The packed step code
 // ---------------------------------------------------------------------
 
@@ -546,6 +639,25 @@ mod tests {
         for (v, id) in ids[0].iter().enumerate() {
             assert_eq!(id.render(), format!("({}, \"race\")", v as u64 % 16));
         }
+    }
+
+    #[test]
+    fn op_syms_intern_by_stripped_variant_name() {
+        assert_eq!(op_variant("DWrite(3)"), "DWrite");
+        assert_eq!(op_variant("Update { slot: 1 }"), "Update");
+        assert_eq!(op_variant("Scan"), "Scan");
+        assert_eq!(op_variant(""), "");
+        let a = OpSym::of_debug("DWrite(3)");
+        let b = OpSym::of_debug("DWrite(99)");
+        let c = OpSym::of_debug("DRead");
+        assert_eq!(a, b, "argument values fold into one op identity");
+        assert_ne!(a, c);
+        assert_eq!(a.name(), "DWrite");
+        assert_eq!(format!("{c:?}"), "DRead");
+        assert!(OpSym::NONE.is_none());
+        assert!(!a.is_none());
+        assert_eq!(OpSym::NONE.name(), "(none)");
+        assert_eq!(OpSym::intern("(none)"), OpSym::NONE);
     }
 
     #[test]

@@ -56,7 +56,7 @@ mod strong;
 mod tree;
 
 pub use dag::{DagBuilder, DagShards, NodeId, TreeDag};
-pub use intern::{RegSym, StepCode, StepKind, Symbol, ValueId};
+pub use intern::{op_variant, OpSym, RegSym, StepCode, StepKind, Symbol, ValueId};
 pub use lin::{check_linearizable, LinStep};
 pub use strong::{
     check_strongly_linearizable, check_strongly_linearizable_dag,

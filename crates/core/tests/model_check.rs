@@ -619,7 +619,7 @@ fn algorithm2_linearization(
     let mut op_x_access: std::collections::HashMap<usize, usize> = Default::default();
     for (idx, item) in outcome.trace.iter().enumerate() {
         match item {
-            TraceItem::Hi(i) | TraceItem::HiInvoke(i) => {
+            TraceItem::Hi(i) | TraceItem::HiInvoke(i, _) => {
                 let e = &events[*i];
                 match &e.kind {
                     EventKind::Invoke(_) => current[e.proc.index()] = Some(*i),

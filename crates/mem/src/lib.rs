@@ -40,5 +40,5 @@ mod traits;
 pub use guard::{HandleGuard, HandleLease};
 pub use native::{NativeMem, NativeRegister};
 pub use rng::SmallRng;
-pub use sym::{SymAccess, SymAccessKind, SymMem, SymRegister, SymSite};
+pub use sym::{SymAccess, SymAccessKind, SymMem, SymProbeAbort, SymRegister, SymSite};
 pub use traits::{Mem, Register, RmwCell, Value};

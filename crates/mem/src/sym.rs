@@ -28,10 +28,37 @@
 //! every observed race against it (`sl_sim::StaticConflicts`).
 
 use std::panic::Location;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicIsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::traits::{Mem, Register, RmwCell, Value};
+
+/// The sentinel payload of a budget-exhausted probe window (see
+/// [`SymMem::begin_probe_budget`]): the `(k+1)`-th admitted access
+/// raises it via `panic_any` *before* touching the register's cell, so
+/// no lock is poisoned and the partially executed operation's effects
+/// stay in place. Callers catch it with `catch_unwind` and must
+/// `resume_unwind` any other payload (a genuine bug in the probed
+/// code).
+#[derive(Debug)]
+pub struct SymProbeAbort;
+
+/// Installs (once per process) a panic hook that stays silent for
+/// [`SymProbeAbort`] unwinds and delegates everything else to the
+/// previous hook: budgeted pair probing raises thousands of sentinel
+/// unwinds by design, and each would otherwise print a full
+/// "thread panicked" report to stderr.
+fn install_quiet_abort_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SymProbeAbort>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
 
 /// The access class of one recorded register operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -93,6 +120,11 @@ struct SymState {
     sites: Mutex<Vec<SymSite>>,
     log: Mutex<Vec<SymAccess>>,
     recording: AtomicBool,
+    /// Remaining accesses the current probe window admits; negative
+    /// means unbudgeted (the plain [`SymMem::begin_probe`] window).
+    /// When a budgeted window hits zero, the next access unwinds with
+    /// [`SymProbeAbort`] instead of executing.
+    budget: AtomicIsize,
 }
 
 /// The footprint-recording memory backend. See the module docs.
@@ -125,6 +157,7 @@ impl SymMem {
                 sites: Mutex::new(Vec::new()),
                 log: Mutex::new(Vec::new()),
                 recording: AtomicBool::new(false),
+                budget: AtomicIsize::new(-1),
             }),
         }
     }
@@ -136,13 +169,38 @@ impl SymMem {
     /// operation's footprint.
     pub fn begin_probe(&self) {
         self.state.log.lock().unwrap().clear();
+        self.state.budget.store(-1, Ordering::SeqCst);
+        self.state.recording.store(true, Ordering::SeqCst);
+    }
+
+    /// Starts a **budgeted** probe window: like
+    /// [`begin_probe`](SymMem::begin_probe), but only the first
+    /// `budget` register accesses are admitted — the next one unwinds
+    /// with [`SymProbeAbort`] *before* executing, leaving every lock
+    /// healthy and every already-performed effect in place.
+    ///
+    /// This is the concurrent-window primitive of the op-pair probe:
+    /// the analyser runs op A under an increasing budget until it
+    /// completes, and at each truncation point runs op B to completion
+    /// against A's partial state — observing helping paths and
+    /// contention that a sequential dry run cannot reach. The caller
+    /// catches the sentinel with `catch_unwind`; any other payload must
+    /// be resumed.
+    pub fn begin_probe_budget(&self, budget: usize) {
+        install_quiet_abort_hook();
+        self.state.log.lock().unwrap().clear();
+        let budget = isize::try_from(budget).expect("probe budget overflow");
+        self.state.budget.store(budget, Ordering::SeqCst);
         self.state.recording.store(true, Ordering::SeqCst);
     }
 
     /// Ends the current probe window and returns the accesses recorded
     /// since [`begin_probe`](SymMem::begin_probe), in program order.
+    /// Usable after a [`SymProbeAbort`] unwind — the log holds the
+    /// accesses admitted before the budget ran out.
     pub fn finish_probe(&self) -> Vec<SymAccess> {
         self.state.recording.store(false, Ordering::SeqCst);
+        self.state.budget.store(-1, Ordering::SeqCst);
         std::mem::take(&mut self.state.log.lock().unwrap())
     }
 
@@ -210,6 +268,24 @@ impl<T: Value> std::fmt::Debug for SymRegister<T> {
 }
 
 impl<T> SymRegister<T> {
+    /// Budget check, called at the *top* of every access, before any
+    /// cell lock is taken: a budget-exhausted window unwinds here with
+    /// [`SymProbeAbort`], so no mutex is ever poisoned by the sentinel
+    /// and the probe state stays usable for the next window.
+    fn admit(&self) {
+        if !self.state.recording.load(Ordering::SeqCst) {
+            return;
+        }
+        let budget = self.state.budget.load(Ordering::SeqCst);
+        if budget < 0 {
+            return; // unbudgeted window
+        }
+        if budget == 0 {
+            std::panic::panic_any(SymProbeAbort);
+        }
+        self.state.budget.store(budget - 1, Ordering::SeqCst);
+    }
+
     fn record(&self, kind: SymAccessKind, wrote: Option<String>) {
         if self.state.recording.load(Ordering::SeqCst) {
             self.state.log.lock().unwrap().push(SymAccess {
@@ -223,12 +299,14 @@ impl<T> SymRegister<T> {
 
 impl<T: Value> Register<T> for SymRegister<T> {
     fn read(&self) -> T {
+        self.admit();
         let v = self.cell.lock().unwrap().clone();
         self.record(SymAccessKind::Read, None);
         v
     }
 
     fn write(&self, value: T) {
+        self.admit();
         self.record(SymAccessKind::Write, Some(format!("{value:?}")));
         *self.cell.lock().unwrap() = value;
     }
@@ -236,6 +314,7 @@ impl<T: Value> Register<T> for SymRegister<T> {
 
 impl<T: Value> RmwCell<T> for SymRegister<T> {
     fn update(&self, f: impl FnOnce(&T) -> T) -> T {
+        self.admit();
         let mut guard = self.cell.lock().unwrap();
         let old = guard.clone();
         let new = f(&old);
@@ -277,6 +356,47 @@ mod tests {
         assert_eq!(sites[0].name, "A");
         assert_eq!(sites[1].name, "B");
         assert!(sites[0].file.ends_with("sym.rs"));
+    }
+
+    #[test]
+    fn budgeted_windows_truncate_without_poisoning() {
+        let mem = SymMem::new();
+        let a = mem.alloc("A", 0u64);
+        let b = mem.alloc_cell("B", 0u64);
+        let run = |a: &super::SymRegister<u64>, b: &super::SymRegister<u64>| {
+            a.write(1);
+            let _ = a.read();
+            b.update(|v| v + 1);
+        };
+        // Budget 2 of 3: the third access unwinds with the sentinel,
+        // leaving the first two effects and their log entries in place.
+        mem.begin_probe_budget(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&a, &b)));
+        let payload = result.expect_err("budget must truncate");
+        assert!(payload.downcast_ref::<SymProbeAbort>().is_some());
+        let log = mem.finish_probe();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].kind, SymAccessKind::Write);
+        assert_eq!(log[1].kind, SymAccessKind::Read);
+        assert_eq!(a.read(), 1, "admitted effects persist");
+        assert_eq!(b.read(), 0, "truncated access never executed");
+        // The cells are unpoisoned: a fresh unbudgeted window records
+        // the whole run, against the state the truncated one left.
+        mem.begin_probe();
+        run(&a, &b);
+        let log = mem.finish_probe();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[2].wrote.as_deref(), Some("0->1"));
+        // A budget at least as large as the run admits everything.
+        mem.begin_probe_budget(3);
+        run(&a, &b);
+        assert_eq!(mem.finish_probe().len(), 3);
+        // Budget 0 truncates before the first access.
+        mem.begin_probe_budget(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.write(9)));
+        assert!(result.is_err());
+        assert!(mem.finish_probe().is_empty());
+        assert_eq!(a.read(), 1);
     }
 
     #[test]

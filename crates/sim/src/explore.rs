@@ -190,8 +190,7 @@
 //!
 //! Guard (b) also blocks the converse hazard — moving an invocation
 //! across a *response-carrying* data step would change which
-//! operations precede it in real-time order. Pause/pause pairs are
-//! never relaxed (both may carry markers). The certificate's license
+//! operations precede it in real-time order. The certificate's license
 //! (c) is not needed for the commutation argument itself; it is what
 //! makes the static analysis *load-bearing and checkable*: relaxation
 //! happens only where the footprint probe actually observed the
@@ -200,6 +199,50 @@
 //! static matrix failed to predict ([`validate_race`]). Unknown
 //! execution metadata (untraced runs) satisfies neither (a) nor (b),
 //! so the relaxation degrades to [`PruneMode::ValueDpor`] behaviour.
+//!
+//! # Why the per-op-pair relaxations are sound
+//!
+//! Version-2 certificates carry an **op-pair may-conflict matrix**
+//! (see [`StaticConflicts::pair_probed`] /
+//! [`StaticConflicts::pair_licensed`]), keyed by the interned op
+//! identity the event log stamps on each invocation marker and the
+//! driver threads through [`ExecMeta`]. It licenses two further
+//! relaxation shapes:
+//!
+//! * **R1 — pause/pause.** Two pause steps of different processes,
+//!   *neither* carrying a response marker, commute when both
+//!   activations are attributed to known ops whose pair the analysis
+//!   probed. A pause touches no register, so memory and step records
+//!   are unchanged in either order; the transcript changes only by
+//!   swapping two adjacent *invocation* events (or nothing at all, for
+//!   marker-free pauses). No response moves, so no
+//!   response-before-invocation precedence pair — the real-time order
+//!   strong linearizability constrains — changes. A strong
+//!   linearization function extends to the pruned intermediate node by
+//!   assigning it the parent's linearization: the two histories differ
+//!   only in the order of two *pending* invocations, which no
+//!   prefix-preserving linearization is obliged to linearize yet.
+//!   The pair-probed license is, as with (c) above, attribution
+//!   discipline rather than part of the commutation argument: unknown
+//!   ops ([`sl_check::OpSym::NONE`] — untraced runs, steps outside any
+//!   invocation) never match a cell, so the relaxation fails closed.
+//!
+//! * **R2 — one-marked value pairs.** The value rules (read/read,
+//!   same-value write/write, observer writes) classically require both
+//!   steps marker-free: moving an event across another *event* would
+//!   reorder the history. If however *at most one* of the pair carries
+//!   markers, every event of the marked step moves across an
+//!   *event-free* step — the recorded event sequence is unchanged, and
+//!   the memory argument is the value rule's own (same values, same
+//!   records, same continuations). Prefix-preservation holds in both
+//!   directions: the intermediate node of the reversed order has
+//!   either the same events as the parent (assign the parent's
+//!   linearization) or the same events as the final node (assign the
+//!   final node's — valid because the event-free step leaves the
+//!   history equal). The relaxation is licensed per op pair on the
+//!   shared register (`pair_licensed`), which keeps it attributable:
+//!   [`validate_race`] maps every dynamic race back to the licensing
+//!   cell and aborts if the matrix failed to predict it.
 //!
 //! # Why the observer refinement is sound
 //!
@@ -283,7 +326,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use sl_check::{RegSym, ValueId};
+use sl_check::{OpSym, RegSym, ValueId};
 
 use crate::sched::{Scheduler, STOP_RUN};
 use crate::statics::StaticConflicts;
@@ -497,6 +540,13 @@ pub(crate) struct ExecMeta {
     /// whole word after every replay (see [`refresh_observer_flags`]),
     /// never set by the driver. `false` is the conservative unknown.
     pub(crate) unobs_w: bool,
+    /// The high-level operation this step belongs to: the op of the
+    /// invocation marker most recently observed for the step's process
+    /// (a step whose activation *carries* an invocation marker belongs
+    /// to the invoked op — that is the placement being commuted), or
+    /// [`OpSym::NONE`] after a response, before the first invocation,
+    /// and in untraced runs. Keys the per-op-pair placement relaxation.
+    pub(crate) op: OpSym,
 }
 
 impl ExecMeta {
@@ -506,6 +556,7 @@ impl ExecMeta {
         hi: true,
         resp: true,
         unobs_w: false,
+        op: OpSym::NONE,
     };
 }
 
@@ -525,6 +576,12 @@ enum DriverMode {
         exec: Vec<ExecMeta>,
         /// Trace items consumed by exec finalisation so far.
         trace_seen: usize,
+        /// The op each process is currently executing (indexed by
+        /// process id, grown on demand): set by the invocation marker
+        /// riding a step's activation, cleared by a response marker.
+        /// Deterministic — metadata is observed from decision 0 in
+        /// every replay, so the attribution replays identically.
+        cur_op: Vec<OpSym>,
     },
 }
 
@@ -610,6 +667,7 @@ impl ScheduleDriver {
                 observed: Vec::new(),
                 exec: Vec::new(),
                 trace_seen: 0,
+                cur_op: Vec::new(),
             },
             pruned: 0,
             cut: false,
@@ -622,7 +680,10 @@ impl ScheduleDriver {
     /// activation. No-op outside DPOR mode.
     fn observe_exec(&mut self, trace: &[TraceItem]) {
         let DriverMode::Dpor {
-            exec, trace_seen, ..
+            exec,
+            trace_seen,
+            cur_op,
+            ..
         } = &mut self.mode
         else {
             return;
@@ -632,7 +693,13 @@ impl ScheduleDriver {
         if exec.len() >= self.chosen.len() {
             return; // nothing pending (first decision, or already done)
         }
+        let p = self.chosen[exec.len()];
+        if cur_op.len() <= p {
+            cur_op.resize(p + 1, OpSym::NONE);
+        }
         let mut meta = ExecMeta::UNKNOWN;
+        // Default attribution: the op the process was already inside.
+        meta.op = cur_op[p];
         let mut seen_step = false;
         for item in window {
             match item {
@@ -643,12 +710,21 @@ impl ScheduleDriver {
                     meta.hi = false;
                     meta.resp = false;
                 }
-                TraceItem::HiInvoke(_) if seen_step => meta.hi = true,
+                TraceItem::HiInvoke(_, tag) if seen_step => {
+                    meta.hi = true;
+                    // The step *carries* the invocation: it belongs to
+                    // the op it places, as do the following steps.
+                    meta.op = *tag;
+                    cur_op[p] = *tag;
+                }
                 TraceItem::Hi(_) if seen_step => {
                     meta.hi = true;
                     meta.resp = true;
+                    // Response (or unknown) marker: the activation
+                    // completes its op; later steps are outside it.
+                    cur_op[p] = OpSym::NONE;
                 }
-                TraceItem::Hi(_) | TraceItem::HiInvoke(_) => {}
+                TraceItem::Hi(_) | TraceItem::HiInvoke(..) => {}
             }
         }
         exec.push(meta);
@@ -1211,8 +1287,7 @@ fn step_independent(
     }
     if let Some(st) = statics {
         // Exactly one of the pair is a pause: the placement relaxation
-        // candidate. Pause/pause pairs stay dependent — both may carry
-        // event markers, and swapping would reorder the history.
+        // candidate.
         let local_data = match (a.access.is_local(), b.access.is_local()) {
             (true, false) => Some((a, b)),
             (false, true) => Some((b, a)),
@@ -1228,11 +1303,42 @@ fn step_independent(
                 return true;
             }
         }
+        // Pause/pause, response-free on both sides, both activations
+        // attributed to probed ops: swapping reorders two adjacent
+        // *invocation* events only, which changes no
+        // response-before-invocation precedence pair (module-level
+        // soundness argument R1). The pair-probed license keeps the
+        // relaxation attributable — and fail-closed for unknown ops.
+        if a.access.is_local()
+            && b.access.is_local()
+            && !a.exec.resp
+            && !b.exec.resp
+            && st.pair_probed(a.exec.op, b.exec.op)
+        {
+            st.note_relaxed();
+            return true;
+        }
     }
-    if !value_aware || a.access.is_local() || b.access.is_local() || a.exec.hi || b.exec.hi {
+    if !value_aware || a.access.is_local() || b.access.is_local() {
         return false;
     }
-    match (a.access.kind, b.access.kind) {
+    // Value rules require marker-free steps: moving a step that carries
+    // an event marker reorders the history. Exception (argument R2): if
+    // *at most one* of the pair carries markers and the certificate's
+    // op-pair matrix licenses the pair on this register, the marked
+    // step's events move across an event-free step — the recorded event
+    // sequence is unchanged.
+    if a.exec.hi || b.exec.hi {
+        let pair_ok = statics.is_some_and(|st| {
+            !(a.exec.hi && b.exec.hi)
+                && a.exec.reg != RegSym::LOCAL
+                && st.pair_licensed(a.exec.op, b.exec.op, a.exec.reg)
+        });
+        if !pair_ok {
+            return false;
+        }
+    }
+    let commutes = match (a.access.kind, b.access.kind) {
         (AccessKind::Read, AccessKind::Read) => true,
         (AccessKind::Write, AccessKind::Write) => {
             (!a.exec.value.is_none() && a.exec.value == b.exec.value)
@@ -1242,7 +1348,14 @@ fn step_independent(
                 || (observers && a.exec.unobs_w && b.exec.unobs_w)
         }
         _ => false,
+    };
+    if commutes && (a.exec.hi || b.exec.hi) {
+        // Reached only through the op-pair license above.
+        if let Some(st) = statics {
+            st.note_relaxed();
+        }
     }
+    commutes
 }
 
 /// Recomputes every spine step's unobserved-and-overwritten flag
@@ -2230,9 +2343,19 @@ fn add_race_reversals(
 /// either side) are inherent to scheduling and not part of the data
 /// matrix; races whose registers are unknown (untraced runs) cannot be
 /// attributed and are counted, not validated. Everything else must be
-/// predicted racy — an unpredicted race means the static analysis
-/// missed a real conflict, and silently continuing would let it
-/// license unsound pruning elsewhere, so the exploration aborts.
+/// predicted — an unpredicted race means the static analysis missed a
+/// real conflict, and silently continuing would let it license unsound
+/// pruning elsewhere, so the exploration aborts.
+///
+/// Attribution is two-tier, mirroring the licensing side: when both
+/// steps carry known op identities, the race is first attributed to the
+/// op-pair cell of the version-2 matrix (the cell whose evidence
+/// licensed any per-op-pair relaxation of this pair); the per-register
+/// racy partition remains the fallback for unprobed pairs and unknown
+/// ops. A race the pair cell predicts counts as validated even if the
+/// per-register partition would too — the diagnostics of an
+/// *unpredicted* race name the op pair, so a missed concurrent-probe
+/// path is reported as such.
 fn validate_race(st: &StaticConflicts, a: &StepMeta, b: &StepMeta) {
     if a.access.is_local() || b.access.is_local() {
         return;
@@ -2242,18 +2365,26 @@ fn validate_race(st: &StaticConflicts, a: &StepMeta, b: &StepMeta) {
         st.note_unattributed();
         return;
     }
+    let (oa, ob) = (a.exec.op, b.exec.op);
+    st.note_race(oa, ob, ra);
+    if st.pair_predicts(oa, ob, ra) == Some(true) || st.pair_predicts(oa, ob, rb) == Some(true) {
+        st.note_validated();
+        return;
+    }
     if st.racy(ra) || st.racy(rb) {
         st.note_validated();
         return;
     }
     panic!(
         "static conflict matrix failed closed: dynamic {:?}/{:?} race on {} \
-         is not predicted by the certificate — the sl-analyze footprint \
-         probe missed a conflicting access path; regenerate the certificate \
-         or fall back to PruneMode::ValueDpor",
+         (op pair {:?}/{:?}) is not predicted by the certificate — the \
+         sl-analyze footprint probe missed a conflicting access path; \
+         regenerate the certificate or fall back to PruneMode::ValueDpor",
         a.access.kind,
         b.access.kind,
         st.describe(ra),
+        oa,
+        ob,
     );
 }
 
@@ -2682,11 +2813,11 @@ mod tests {
             let programs: Vec<crate::Program> = vec![
                 Box::new(move |_| {
                     let _ = r0.read();
-                    w0.push_hi_marker(0, false);
+                    w0.push_hi_marker(0, None);
                 }),
                 Box::new(move |_| {
                     let _ = r1.read();
-                    w1.push_hi_marker(1, false);
+                    w1.push_hi_marker(1, None);
                 }),
             ];
             world.run(programs, driver, 100)
@@ -2747,7 +2878,7 @@ mod tests {
             let programs: Vec<crate::Program> = vec![
                 Box::new(move |ctx| {
                     ctx.pause();
-                    w0.push_hi_marker(0, !respond);
+                    w0.push_hi_marker(0, (!respond).then(|| OpSym::intern("TestInvoke")));
                 }),
                 Box::new(move |_| reg.write(1)),
             ];
@@ -2921,7 +3052,7 @@ mod tests {
                 Box::new(move |_| {
                     r1.write(2);
                     if marker {
-                        w1.push_hi_marker(1, false);
+                        w1.push_hi_marker(1, None);
                     }
                 }),
             ];

@@ -1,13 +1,19 @@
 //! Typed recording of high-level events, interleaved with register steps.
 
-use sl_check::TreeStep;
+use sl_check::{OpSym, TreeStep};
 use sl_spec::{Event, History, OpId, ProcId, SeqSpec};
+use std::collections::HashMap;
+use std::mem::Discriminant;
 use std::sync::{Arc, Mutex};
 
 use crate::world::{AccessKind, RunOutcome, SimWorld, TraceItem};
 
 struct LogInner<S: SeqSpec> {
     history: History<S>,
+    /// Interned op identity per op *variant*, memoized by discriminant
+    /// so the `Debug` rendering + label derivation runs once per
+    /// distinct variant, not once per invocation.
+    tags: HashMap<Discriminant<S::Op>, OpSym>,
 }
 
 /// Records the high-level operations of a simulated run.
@@ -55,20 +61,29 @@ impl<S: SeqSpec> EventLog<S> {
             world: world.clone(),
             inner: Arc::new(Mutex::new(LogInner {
                 history: History::new(),
+                tags: HashMap::new(),
             })),
         }
     }
 
     /// Records an invocation event and returns its operation identifier.
-    /// The trace marker is [`TraceItem::HiInvoke`]: the explorer's
-    /// static placement relaxation may commute the step this marker
-    /// rides on, which is licensed for invocations but never for
-    /// responses (responses pin real-time order).
+    /// The trace marker is [`TraceItem::HiInvoke`], carrying the
+    /// interned identity of the op's *variant* (`DWrite(3)` tags as
+    /// `DWrite` — the same derivation the static analyser's probe loop
+    /// uses, so certificate pair-matrix keys match at run time): the
+    /// explorer's static placement relaxation may commute the step this
+    /// marker rides on, which is licensed for invocations but never for
+    /// responses (responses pin real-time order), and attributes the
+    /// activation's steps to the carried op identity.
     pub fn invoke(&self, proc: ProcId, op: S::Op) -> OpId {
         let mut inner = self.inner.lock().unwrap();
+        let tag = *inner
+            .tags
+            .entry(std::mem::discriminant(&op))
+            .or_insert_with(|| OpSym::of_debug(&format!("{op:?}")));
         let id = inner.history.invoke(proc, op);
         let index = inner.history.len() - 1;
-        self.world.push_hi_marker(index, true);
+        self.world.push_hi_marker(index, Some(tag));
         id
     }
 
@@ -77,7 +92,7 @@ impl<S: SeqSpec> EventLog<S> {
         let mut inner = self.inner.lock().unwrap();
         inner.history.respond(id, resp);
         let index = inner.history.len() - 1;
-        self.world.push_hi_marker(index, false);
+        self.world.push_hi_marker(index, None);
     }
 
     /// The recorded history (high-level events only).
@@ -116,7 +131,7 @@ impl<S: SeqSpec> EventLog<S> {
         let events: &[Event<S>] = inner.history.events();
         steps.extend(outcome.trace.iter().map(|item| match item {
             TraceItem::Step(s) => TreeStep::Internal(ProcId(s.proc), s.code),
-            TraceItem::Hi(i) | TraceItem::HiInvoke(i) => TreeStep::Event(events[*i].clone()),
+            TraceItem::Hi(i) | TraceItem::HiInvoke(i, _) => TreeStep::Event(events[*i].clone()),
         }));
     }
 
@@ -149,7 +164,7 @@ impl<S: SeqSpec> EventLog<S> {
                         let _ = write!(buf, "p{} (pause)", s.proc);
                     }
                     TraceItem::Step(s) => s.write_detailed(&mut buf),
-                    TraceItem::Hi(i) | TraceItem::HiInvoke(i) => {
+                    TraceItem::Hi(i) | TraceItem::HiInvoke(i, _) => {
                         let e = &events[*i];
                         match &e.kind {
                             sl_spec::EventKind::Invoke(op) => {

@@ -23,6 +23,17 @@
 //!   aborts the exploration with a diagnostic naming the register and
 //!   the analysis footprint — the analysis is never silently wrong.
 //!
+//! Version-2 certificates additionally install an **op-pair
+//! may-conflict matrix**: per unordered pair of op variants, the
+//! registers the pair was observed touching when probed concurrently
+//! against each other, and the subset the analysis predicts they may
+//! race on. The matrix refines both halves: it licenses the pause/pause
+//! and one-marked data/data relaxations (see the explorer's module
+//! docs), and it lets validation attribute a dynamic race to the pair
+//! cell that licensed the commutation before falling back to the
+//! per-register partition. Unknown ops ([`sl_check::OpSym::NONE`]) and
+//! pairs without a cell always classify as unprobed — fail closed.
+//!
 //! Register identities are matched two ways: exact interned
 //! [`RegSym`]s first, then the register's `(file, line)` allocation
 //! site. The site fallback covers registers allocated in loops or
@@ -34,11 +45,11 @@
 //! [`PruneMode::StaticDpor`]: crate::PruneMode::StaticDpor
 //! [`PruneMode::OptimalDpor`]: crate::PruneMode::OptimalDpor
 
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
 
-use sl_check::RegSym;
+use sl_check::{OpSym, RegSym};
 
 /// Counters accumulated while an exploration consults a certificate.
 ///
@@ -56,6 +67,17 @@ pub struct StaticTelemetry {
     /// Dynamic races that could not be attributed to a register
     /// (untraced runs record no step metadata); skipped, not validated.
     pub unattributed: u64,
+}
+
+/// One cell of the op-pair may-conflict matrix: the registers the two
+/// ops were *observed* touching (sequential footprints plus concurrent
+/// probe windows) and the subset the analysis predicts they may
+/// *conflict* on. Keys are normalised unordered pairs (`a <= b`).
+struct PairCell {
+    observed: HashSet<RegSym>,
+    observed_sites: HashSet<(&'static str, u32)>,
+    conflict: HashSet<RegSym>,
+    conflict_sites: HashSet<(&'static str, u32)>,
 }
 
 /// A static may-conflict summary: which registers license placement
@@ -76,9 +98,33 @@ pub struct StaticConflicts {
     /// site fallback takes two interner reads, and the explorer asks
     /// about the same handful of symbols millions of times.
     memo: RwLock<HashMap<RegSym, (bool, bool)>>,
+    /// The op-pair may-conflict matrix (certificate version 2), keyed
+    /// by normalised unordered op pairs. Empty for version-1-shaped
+    /// certificates: every pair query then answers "unprobed", which
+    /// disables the per-op-pair relaxations — fail closed.
+    pairs: HashMap<(OpSym, OpSym), PairCell>,
+    /// Memoised `(pair probed, reg observed, reg conflict)` per
+    /// `(a, b, reg)` query, same rationale as `memo`.
+    #[allow(clippy::type_complexity)]
+    pair_memo: RwLock<HashMap<(OpSym, OpSym, RegSym), (bool, bool, bool)>>,
     relaxed: AtomicU64,
     validated: AtomicU64,
     unattributed: AtomicU64,
+    /// When set, every dynamic race examined by `validate_race` is also
+    /// recorded as a normalised `(opA, opB, reg)` triple — the
+    /// overapproximation tests compare these against the certificate's
+    /// pair matrix. Off by default (recording takes a mutex per race).
+    record_races: AtomicBool,
+    races: Mutex<BTreeSet<(OpSym, OpSym, RegSym)>>,
+}
+
+/// Normalised unordered pair key.
+fn pair_key(a: OpSym, b: OpSym) -> (OpSym, OpSym) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 impl std::fmt::Debug for StaticConflicts {
@@ -111,9 +157,47 @@ impl StaticConflicts {
             racy_sites,
             notes: HashMap::new(),
             memo: RwLock::new(HashMap::new()),
+            pairs: HashMap::new(),
+            pair_memo: RwLock::new(HashMap::new()),
             relaxed: AtomicU64::new(0),
             validated: AtomicU64::new(0),
             unattributed: AtomicU64::new(0),
+            record_races: AtomicBool::new(false),
+            races: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    /// Merges one cell of the op-pair may-conflict matrix (certificate
+    /// version 2): the ops named by their canonical labels, `observed`
+    /// the registers either op was seen touching when probed against
+    /// the other, `conflict` the subset the analysis predicts the pair
+    /// may race on. Each register also enrols its allocation site, with
+    /// the same loop-allocation rationale as the per-register sets.
+    pub fn add_pair(
+        &mut self,
+        a: &str,
+        b: &str,
+        observed: impl IntoIterator<Item = RegSym>,
+        conflict: impl IntoIterator<Item = RegSym>,
+    ) {
+        let key = pair_key(OpSym::intern(a), OpSym::intern(b));
+        let cell = self.pairs.entry(key).or_insert_with(|| PairCell {
+            observed: HashSet::new(),
+            observed_sites: HashSet::new(),
+            conflict: HashSet::new(),
+            conflict_sites: HashSet::new(),
+        });
+        for sym in observed {
+            cell.observed_sites.insert(sym.site());
+            cell.observed.insert(sym);
+        }
+        for sym in conflict {
+            // Conflict evidence implies both ops reached the register:
+            // a conflict site is always also an observed site.
+            cell.observed_sites.insert(sym.site());
+            cell.observed.insert(sym);
+            cell.conflict_sites.insert(sym.site());
+            cell.conflict.insert(sym);
         }
     }
 
@@ -153,6 +237,78 @@ impl StaticConflicts {
     /// Whether the static matrix predicts a data race on `sym`.
     pub fn racy(&self, sym: RegSym) -> bool {
         self.classify(sym).1
+    }
+
+    /// `(pair probed, reg observed, reg conflict)` for the unordered op
+    /// pair `(a, b)` and register `sym`, fail-closed: unknown ops
+    /// ([`OpSym::NONE`]) and pairs without a matrix cell answer
+    /// `(false, false, false)`.
+    fn classify_pair(&self, a: OpSym, b: OpSym, sym: RegSym) -> (bool, bool, bool) {
+        if a.is_none() || b.is_none() {
+            return (false, false, false);
+        }
+        let key = pair_key(a, b);
+        let memo_key = (key.0, key.1, sym);
+        if let Some(&hit) = self.pair_memo.read().unwrap().get(&memo_key) {
+            return hit;
+        }
+        let result = match self.pairs.get(&key) {
+            None => (false, false, false),
+            Some(cell) => {
+                let site = sym.site();
+                let observed = sym != RegSym::LOCAL
+                    && (cell.observed.contains(&sym) || cell.observed_sites.contains(&site));
+                let conflict = sym != RegSym::LOCAL
+                    && (cell.conflict.contains(&sym) || cell.conflict_sites.contains(&site));
+                (true, observed, conflict)
+            }
+        };
+        self.pair_memo.write().unwrap().insert(memo_key, result);
+        result
+    }
+
+    /// Whether the op pair `(a, b)` has a cell in the matrix — i.e. the
+    /// concurrent probe drove this pair and its footprints are known.
+    pub fn pair_probed(&self, a: OpSym, b: OpSym) -> bool {
+        self.classify_pair(a, b, RegSym::LOCAL).0
+    }
+
+    /// Whether the per-op-pair placement relaxation is licensed for the
+    /// pair `(a, b)` on register `sym`: the pair was probed and the
+    /// register lies inside the pair's observed footprint.
+    pub fn pair_licensed(&self, a: OpSym, b: OpSym, sym: RegSym) -> bool {
+        self.classify_pair(a, b, sym).1
+    }
+
+    /// Whether the matrix predicts the op pair `(a, b)` may race on
+    /// `sym`: `None` when the pair has no cell (fall back to the
+    /// per-register partition), `Some(conflict)` when it has.
+    pub fn pair_predicts(&self, a: OpSym, b: OpSym, sym: RegSym) -> Option<bool> {
+        let (probed, _, conflict) = self.classify_pair(a, b, sym);
+        probed.then_some(conflict)
+    }
+
+    /// Number of op-pair cells installed (0 for version-1 shapes).
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Turns on dynamic race recording (see `record_races`).
+    pub fn enable_race_recording(&self) {
+        self.record_races.store(true, Ordering::Relaxed);
+    }
+
+    /// The normalised `(opA, opB, reg)` triples of every dynamic race
+    /// examined while recording was enabled.
+    pub fn recorded_races(&self) -> Vec<(OpSym, OpSym, RegSym)> {
+        self.races.lock().unwrap().iter().copied().collect()
+    }
+
+    pub(crate) fn note_race(&self, a: OpSym, b: OpSym, sym: RegSym) {
+        if self.record_races.load(Ordering::Relaxed) {
+            let key = pair_key(a, b);
+            self.races.lock().unwrap().insert((key.0, key.1, sym));
+        }
     }
 
     /// A diagnostic rendering of `sym` with its footprint note.
@@ -208,6 +364,41 @@ mod tests {
         assert!(!st.licensed(RegSym::LOCAL));
         // Memoised second lookup agrees.
         assert!(st.licensed(a2) && !st.licensed(b));
+    }
+
+    #[test]
+    fn pair_matrix_classifies_fail_closed() {
+        let r = RegSym::intern("stx-pair-R", file!(), line!(), 1);
+        let s = RegSym::intern("stx-pair-S", file!(), line!(), 1);
+        let t = RegSym::intern("stx-pair-T", file!(), line!(), 1);
+        let mut st = StaticConflicts::new([r, s, t], [r]);
+        st.add_pair("DWrite", "DRead", [r, s], [r]);
+        let w = OpSym::intern("DWrite");
+        let rd = OpSym::intern("DRead");
+        let scan = OpSym::intern("Scan");
+        // Pair queries are order-insensitive.
+        assert!(st.pair_probed(w, rd) && st.pair_probed(rd, w));
+        assert!(st.pair_licensed(w, rd, r) && st.pair_licensed(rd, w, s));
+        assert!(!st.pair_licensed(w, rd, t), "outside the pair footprint");
+        assert_eq!(st.pair_predicts(w, rd, r), Some(true));
+        assert_eq!(st.pair_predicts(w, rd, s), Some(false));
+        // Unprobed pairs and unknown ops answer fail-closed.
+        assert!(!st.pair_probed(w, scan));
+        assert_eq!(st.pair_predicts(w, scan, r), None);
+        assert!(!st.pair_probed(OpSym::NONE, rd));
+        assert!(!st.pair_licensed(OpSym::NONE, rd, r));
+        // Site fallback: a same-site register classifies like `r`.
+        let (f, l) = r.site();
+        let r2 = RegSym::intern("stx-pair-R2", f, l, 2);
+        assert!(st.pair_licensed(w, rd, r2));
+        assert_eq!(st.pair_predicts(w, rd, r2), Some(true));
+        // Race recording normalises and dedupes.
+        assert!(st.recorded_races().is_empty());
+        st.note_race(rd, w, r); // ignored: recording off
+        st.enable_race_recording();
+        st.note_race(rd, w, r);
+        st.note_race(w, rd, r);
+        assert_eq!(st.recorded_races().len(), 1);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 
 use std::sync::atomic::Ordering;
 
-use sl_check::{RegSym, StepCode, ValueId};
+use sl_check::{OpSym, RegSym, StepCode, ValueId};
 
 use crate::fiber::Fiber;
 use crate::sched::Scheduler;
@@ -163,19 +163,19 @@ pub(crate) unsafe fn vm_step<R>(
 }
 
 /// Appends a high-level event marker; called (via `SimWorld`) from
-/// inside a running fiber. `invoke` selects [`TraceItem::HiInvoke`]
-/// over the conservative [`TraceItem::Hi`].
+/// inside a running fiber. `invoke` carries the invoked operation's
+/// interned identity and selects [`TraceItem::HiInvoke`]; `None`
+/// records the conservative [`TraceItem::Hi`].
 ///
 /// # Safety
 ///
 /// Same contract as [`vm_step`].
-pub(crate) unsafe fn vm_push_hi(vm: *mut VmCore, index: usize, invoke: bool) {
+pub(crate) unsafe fn vm_push_hi(vm: *mut VmCore, index: usize, invoke: Option<OpSym>) {
     let core = &mut *vm;
     if core.config.record_trace {
-        core.trace.push(if invoke {
-            TraceItem::HiInvoke(index)
-        } else {
-            TraceItem::Hi(index)
+        core.trace.push(match invoke {
+            Some(op) => TraceItem::HiInvoke(index, op),
+            None => TraceItem::Hi(index),
         });
     }
 }
@@ -199,7 +199,7 @@ pub(crate) fn step_on<R>(
 
 /// Safe front end for [`vm_push_hi`]; same confinement rationale as
 /// [`step_on`].
-pub(crate) fn push_hi_on(vm: *mut VmCore, index: usize, invoke: bool) {
+pub(crate) fn push_hi_on(vm: *mut VmCore, index: usize, invoke: Option<OpSym>) {
     // SAFETY: as for `step_on` — only called via
     // `SimWorld::push_hi_marker` from inside a running fiber of the VM
     // that owns `vm`, which has exclusive access to the core.

@@ -12,7 +12,7 @@ use std::panic::{self, Location};
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use sl_check::{RegSym, StepCode, StepKind, ValueId};
+use sl_check::{OpSym, RegSym, StepCode, StepKind, ValueId};
 
 use crate::mem::SimMem;
 use crate::sched::Scheduler;
@@ -199,12 +199,15 @@ pub enum TraceItem {
     /// carrying them never commute with anything).
     Hi(usize),
     /// The `i`-th high-level event of the event log, known to be an
-    /// **invocation**. [`crate::EventLog::invoke`] emits this; the
+    /// **invocation**, carrying the interned identity of the invoked
+    /// operation. [`crate::EventLog::invoke`] emits this; the
     /// explorer's static placement relaxation (`PruneMode::StaticDpor`)
     /// is licensed only for steps whose riding markers are all
-    /// invocations. Checkers and transcripts treat it exactly like
-    /// [`TraceItem::Hi`].
-    HiInvoke(usize),
+    /// invocations, and attributes every subsequent step of the
+    /// activation to the carried [`OpSym`] (the key of the
+    /// certificate's op-pair matrix). Checkers and transcripts treat it
+    /// exactly like [`TraceItem::Hi`].
+    HiInvoke(usize, OpSym),
 }
 
 /// One scheduling decision: the set of processes that were ready to take
@@ -243,7 +246,7 @@ impl<'a> SchedView<'a> {
     pub fn last_step(&self) -> Option<&StepRecord> {
         self.trace.iter().rev().find_map(|t| match t {
             TraceItem::Step(s) => Some(s),
-            TraceItem::Hi(_) | TraceItem::HiInvoke(_) => None,
+            TraceItem::Hi(_) | TraceItem::HiInvoke(..) => None,
         })
     }
 
@@ -338,7 +341,7 @@ impl RunOutcome {
     pub fn steps(&self) -> impl Iterator<Item = &StepRecord> {
         self.trace.iter().filter_map(|t| match t {
             TraceItem::Step(s) => Some(s),
-            TraceItem::Hi(_) | TraceItem::HiInvoke(_) => None,
+            TraceItem::Hi(_) | TraceItem::HiInvoke(..) => None,
         })
     }
 
@@ -685,9 +688,10 @@ impl SimWorld {
     }
 
     /// Records a high-level event marker in the trace; used by
-    /// [`crate::EventLog`]. `invoke` selects [`TraceItem::HiInvoke`]
-    /// over the conservative [`TraceItem::Hi`].
-    pub(crate) fn push_hi_marker(&self, index: usize, invoke: bool) {
+    /// [`crate::EventLog`]. `invoke` carries the invoked operation's
+    /// identity and selects [`TraceItem::HiInvoke`]; `None` records the
+    /// conservative [`TraceItem::Hi`] (response or unknown).
+    pub(crate) fn push_hi_marker(&self, index: usize, invoke: Option<OpSym>) {
         let vm = self.inner.active_vm.load(Ordering::Relaxed);
         assert!(
             !vm.is_null(),

@@ -1,0 +1,280 @@
+#!/usr/bin/env python3
+"""Structural lint for the checked-in certificate catalog.
+
+Validates `crates/bench/baselines/certificates.json` (or the paths
+given as arguments) against the version-2 certificate format without
+building anything, as a cheap CI gate in the lint job. The Rust parser
+(`sl_analyze::catalog_from_json`) enforces the same invariants
+fail-closed at load time; this script is the belt to that suspender —
+a doctored or hand-edited artifact fails review before any job that
+consumes it runs.
+
+Checked per certificate:
+
+1.  exact top-level key set (family, substrate, version, procs, sites,
+    footprints, may_conflict, ops, pairs, placement) — nothing
+    missing, nothing unknown;
+2.  `version` present and equal to 2;
+3.  site ids dense (`id == index`), identity tuples
+    (name, file, line, column) unique, `licensed == probed` per site,
+    and every unprobed site marked racy (unknown classifies as top);
+4.  `placement.licensed_sites` equal to the licensed site flags, and
+    `placement.race_free_sites` equal to licensed minus racy — the
+    licensed/racy partition is disjoint by construction exactly when
+    this holds;
+5.  footprint and conflict-matrix labels drawn from `ops` (sorted,
+    duplicate-free), every site reference in range;
+6.  pair cells sorted by `(a, b)` with `0 <= a <= b < len(ops)`, no
+    duplicates, and `conflict` a subset of `observed`.
+
+`--selftest` doctors a minimal valid document in each of those ways
+and asserts the lint rejects every variant (and accepts the original).
+
+Exit status 0 = clean; 1 = violations (printed one per line).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT = ROOT / "crates" / "bench" / "baselines" / "certificates.json"
+VERSION = 2
+
+TOP_KEYS = {
+    "family",
+    "substrate",
+    "version",
+    "procs",
+    "sites",
+    "footprints",
+    "may_conflict",
+    "ops",
+    "pairs",
+    "placement",
+}
+SITE_KEYS = {"id", "name", "file", "line", "column", "licensed", "racy", "probed"}
+FOOTPRINT_KEYS = {"op", "proc", "reads", "writes", "rmws", "value_dependent"}
+CONFLICT_KEYS = {"a", "b", "sites", "kinds"}
+PAIR_KEYS = {"a", "b", "observed", "conflict"}
+PLACEMENT_KEYS = {"licensed_sites", "race_free_sites", "guard"}
+
+
+def lint_site_set(errs, ctx, key, value, site_count):
+    if not isinstance(value, list) or any(not isinstance(s, int) for s in value):
+        errs.append(f"{ctx}: {key} must be a list of site ids")
+        return set()
+    out = set()
+    for s in value:
+        if not 0 <= s < site_count:
+            errs.append(f"{ctx}: {key} references site {s} out of range 0..{site_count}")
+        if s in out:
+            errs.append(f"{ctx}: {key} lists site {s} twice")
+        out.add(s)
+    return out
+
+
+def lint_certificate(cert, ctx):
+    errs = []
+    if not isinstance(cert, dict):
+        return [f"{ctx}: certificate must be an object"]
+    missing = TOP_KEYS - cert.keys()
+    unknown = cert.keys() - TOP_KEYS
+    if missing:
+        errs.append(f"{ctx}: missing fields {sorted(missing)}")
+    if unknown:
+        errs.append(f"{ctx}: unknown fields {sorted(unknown)}")
+    if missing or unknown:
+        return errs
+
+    name = f"{ctx} ({cert.get('family')}/{cert.get('substrate')})"
+    if cert["version"] != VERSION:
+        errs.append(f"{name}: version {cert['version']!r} is not the supported {VERSION}")
+
+    sites = cert["sites"]
+    licensed, racy, probed = set(), set(), set()
+    identities = set()
+    for i, site in enumerate(sites):
+        sctx = f"{name}: sites[{i}]"
+        if site.keys() != SITE_KEYS:
+            errs.append(f"{sctx}: key set {sorted(site.keys())} != {sorted(SITE_KEYS)}")
+            continue
+        if site["id"] != i:
+            errs.append(f"{sctx}: id {site['id']} is not dense (expected {i})")
+        ident = (site["name"], site["file"], site["line"], site["column"])
+        if ident in identities:
+            errs.append(f"{sctx}: duplicate site identity {ident}")
+        identities.add(ident)
+        for key, acc in (("licensed", licensed), ("racy", racy), ("probed", probed)):
+            if not isinstance(site[key], bool):
+                errs.append(f"{sctx}: {key} must be a boolean")
+            elif site[key]:
+                acc.add(i)
+    if licensed != probed:
+        errs.append(f"{name}: licensed flags disagree with probed flags")
+    unprobed_not_racy = set(range(len(sites))) - probed - racy
+    if unprobed_not_racy:
+        errs.append(
+            f"{name}: unprobed sites {sorted(unprobed_not_racy)} not marked racy "
+            "(unknown must classify as top)"
+        )
+
+    ops = cert["ops"]
+    if not isinstance(ops, list) or any(not isinstance(o, str) for o in ops):
+        errs.append(f"{name}: ops must be a list of strings")
+        ops = []
+    elif ops != sorted(set(ops)):
+        errs.append(f"{name}: ops must be strictly sorted and duplicate-free")
+
+    for i, fp in enumerate(cert["footprints"]):
+        fctx = f"{name}: footprints[{i}]"
+        if fp.keys() != FOOTPRINT_KEYS:
+            errs.append(f"{fctx}: key set {sorted(fp.keys())} != {sorted(FOOTPRINT_KEYS)}")
+            continue
+        if ops and fp["op"] not in ops:
+            errs.append(f"{fctx}: op {fp['op']!r} not in the ops list")
+        for key in ("reads", "writes", "rmws", "value_dependent"):
+            lint_site_set(errs, fctx, key, fp[key], len(sites))
+
+    for i, cell in enumerate(cert["may_conflict"]):
+        cctx = f"{name}: may_conflict[{i}]"
+        if cell.keys() != CONFLICT_KEYS:
+            errs.append(f"{cctx}: key set {sorted(cell.keys())} != {sorted(CONFLICT_KEYS)}")
+            continue
+        if cell["a"] > cell["b"]:
+            errs.append(f"{cctx}: cell ({cell['a']!r}, {cell['b']!r}) not label-normalised")
+        for label in (cell["a"], cell["b"]):
+            if ops and label not in ops:
+                errs.append(f"{cctx}: label {label!r} not in the ops list")
+        lint_site_set(errs, cctx, "sites", cell["sites"], len(sites))
+
+    prev = None
+    for i, pair in enumerate(cert["pairs"]):
+        pctx = f"{name}: pairs[{i}]"
+        if pair.keys() != PAIR_KEYS:
+            errs.append(f"{pctx}: key set {sorted(pair.keys())} != {sorted(PAIR_KEYS)}")
+            continue
+        a, b = pair["a"], pair["b"]
+        if not (isinstance(a, int) and isinstance(b, int) and 0 <= a <= b < max(len(ops), 1)):
+            errs.append(f"{pctx}: op indices ({a}, {b}) must satisfy 0 <= a <= b < {len(ops)}")
+        if prev is not None and prev >= (a, b):
+            errs.append(f"{pctx}: pair cells must be strictly sorted by (a, b)")
+        prev = (a, b)
+        observed = lint_site_set(errs, pctx, "observed", pair["observed"], len(sites))
+        conflict = lint_site_set(errs, pctx, "conflict", pair["conflict"], len(sites))
+        if not conflict <= observed:
+            errs.append(f"{pctx}: conflict {sorted(conflict - observed)} not in observed")
+
+    placement = cert["placement"]
+    if placement.keys() != PLACEMENT_KEYS:
+        errs.append(
+            f"{name}: placement key set {sorted(placement.keys())} != {sorted(PLACEMENT_KEYS)}"
+        )
+    else:
+        lic = lint_site_set(errs, name, "placement.licensed_sites",
+                            placement["licensed_sites"], len(sites))
+        free = lint_site_set(errs, name, "placement.race_free_sites",
+                             placement["race_free_sites"], len(sites))
+        if lic != licensed:
+            errs.append(f"{name}: placement.licensed_sites disagrees with the site flags")
+        if free != licensed - racy:
+            errs.append(
+                f"{name}: placement.race_free_sites is not licensed minus racy "
+                "(the partition must be disjoint and complete)"
+            )
+        if free & racy:
+            errs.append(f"{name}: race_free_sites and racy sites overlap: {sorted(free & racy)}")
+        if not isinstance(placement["guard"], str):
+            errs.append(f"{name}: placement.guard must be a string")
+    return errs
+
+
+def lint_path(path):
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+    if not isinstance(doc, list):
+        return [f"{path}: catalog must be a top-level array"]
+    errs = []
+    for i, cert in enumerate(doc):
+        errs.extend(lint_certificate(cert, f"{path}: certificate[{i}]"))
+    return errs
+
+
+def selftest():
+    """Doctors a minimal valid certificate every way the lint checks
+    and asserts each variant is rejected."""
+    base = {
+        "family": "tiny",
+        "substrate": "-",
+        "version": VERSION,
+        "procs": 2,
+        "sites": [
+            {"id": 0, "name": "A", "file": "f.rs", "line": 1, "column": 1,
+             "licensed": True, "racy": False, "probed": True},
+            {"id": 1, "name": "B", "file": "f.rs", "line": 2, "column": 1,
+             "licensed": True, "racy": True, "probed": True},
+        ],
+        "footprints": [
+            {"op": "Get", "proc": 0, "reads": [0], "writes": [1], "rmws": [],
+             "value_dependent": []},
+        ],
+        "may_conflict": [],
+        "ops": ["Get", "Put"],
+        "pairs": [{"a": 0, "b": 1, "observed": [0, 1], "conflict": [1]}],
+        "placement": {"licensed_sites": [0, 1], "race_free_sites": [0], "guard": "g"},
+    }
+    assert lint_certificate(base, "selftest") == [], lint_certificate(base, "selftest")
+
+    def doctor(mutate):
+        cert = json.loads(json.dumps(base))
+        mutate(cert)
+        return lint_certificate(cert, "selftest")
+
+    variants = {
+        "stale version": lambda c: c.update(version=1),
+        "missing version": lambda c: c.pop("version"),
+        "unknown field": lambda c: c.update(trusted=True),
+        "non-dense site id": lambda c: c["sites"][1].update(id=5),
+        "duplicate identity": lambda c: c["sites"][1].update(name="A", line=1),
+        "licensed != probed": lambda c: c["sites"][0].update(probed=False),
+        "unprobed not racy": lambda c: (
+            c["sites"][0].update(probed=False, licensed=False),
+            c["placement"].update(licensed_sites=[1], race_free_sites=[]),
+        ),
+        "unsorted ops": lambda c: c.update(ops=["Put", "Get"]),
+        "footprint label not in ops": lambda c: c["footprints"][0].update(op="Zap"),
+        "site out of range": lambda c: c["footprints"][0].update(reads=[9]),
+        "pair indices out of range": lambda c: c["pairs"][0].update(b=7),
+        "pair unnormalised": lambda c: c["pairs"][0].update(a=1, b=0),
+        "pair conflict not subset": lambda c: c["pairs"][0].update(observed=[0]),
+        "duplicate pair": lambda c: c["pairs"].append(dict(c["pairs"][0])),
+        "licensed_sites drift": lambda c: c["placement"].update(licensed_sites=[0]),
+        "race_free vs racy overlap": lambda c: c["placement"].update(race_free_sites=[0, 1]),
+    }
+    failures = [label for label, mutate in variants.items() if not doctor(mutate)]
+    if failures:
+        print("selftest: doctored variants NOT rejected:", ", ".join(failures))
+        return 1
+    print(f"selftest ok: {len(variants)} doctored variants rejected, pristine accepted")
+    return 0
+
+
+def main(argv):
+    if "--selftest" in argv:
+        return selftest()
+    paths = [Path(a) for a in argv if not a.startswith("-")] or [DEFAULT]
+    errs = []
+    for path in paths:
+        errs.extend(lint_path(path))
+    for e in errs:
+        print(e)
+    if not errs:
+        for path in paths:
+            print(f"{path}: ok")
+    return 1 if errs else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

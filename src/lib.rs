@@ -204,20 +204,39 @@
 //! access logs into per-op may-footprints, an op × op may-conflict
 //! matrix, and two register classifications — *licensed* (probed;
 //! placement relaxation may fire) and *racy* (conservatively, every
-//! written or unprobed site). Because `mem::Mem::alloc` is
-//! `#[track_caller]` under every backend, the certificate's register
-//! identities are byte-identical to the `check::RegSym`s the simulator
-//! interns, which is what lets static facts license dynamic decisions.
+//! written or unprobed site). On top of the sequential passes it runs
+//! **concurrent pair schedules**: every ordered op pair is replayed
+//! with the first op's probe window truncated at each pause boundary
+//! (a budgeted recording window on `SymMem`) before the second op runs
+//! to completion, so the certificate carries contention evidence per
+//! *op pair* — an `observed`/`conflict` site matrix over a stable,
+//! sorted op index — not just per register. Because `mem::Mem::alloc`
+//! is `#[track_caller]` under every backend, the certificate's
+//! register identities are byte-identical to the `check::RegSym`s the
+//! simulator interns, which is what lets static facts license dynamic
+//! decisions. Certificates serialize as versioned JSON (version 2);
+//! the parser is fail-closed — stale versions, unknown or missing
+//! fields, and internally inconsistent matrices are rejected with
+//! named diagnostics, and the sim-deep baseline gate fails if the
+//! checked-in catalog is not byte-identical to a fresh regeneration.
 //!
 //! `sim::PruneMode::StaticDpor` layers on `ValueDpor`: a pause step
 //! carrying at most an invocation marker additionally commutes with a
 //! marker-free data step on a certificate-licensed register — exactly
 //! the invocation-placement branching the paper's proofs quantify
-//! over. The contract is **fail-closed**: every dynamically observed
-//! race must be predicted by the static matrix (`sim::StaticConflicts`
-//! validates each one; an unpredicted race aborts the exploration with
-//! a diagnostic naming the registers and footprints), so an unsound
-//! certificate can never silently change a verdict. Differential
+//! over. With the pair matrix installed, steps also carry their
+//! invoking operation's identity, and two further per-op-pair
+//! relaxations fire only for pairs the concurrent probe actually
+//! exercised: response-free pause/pause steps of a probed pair
+//! commute, and one-marked value-equal data pairs commute on the
+//! pair's observed registers. The contract is **fail-closed**: every
+//! dynamically observed race must be predicted by the static matrix
+//! *and attributed to its licensing op-pair cell or the racy set*
+//! (`sim::StaticConflicts` validates each one and counts
+//! relaxed/validated/unattributed telemetry; an unpredicted race
+//! aborts the exploration with a diagnostic naming the registers,
+//! footprints, and op pair), so an unsound certificate can never
+//! silently change a verdict. Differential
 //! suites assert verdict and conflict-depth equality with `ValueDpor`
 //! and bit-identical outcomes across 1/2/4/8 workers; the pinned
 //! mixed-role workloads drop a further ~45–56% below their value-DPOR
@@ -235,7 +254,10 @@
 //! value is read before being overwritten. A certificate is consulted
 //! when present but not required. On the pinned mixed-role workloads
 //! this roughly halves (or better) even the static-certificate
-//! counts: 660 vs 1,232 and 26,638 vs 79,502 total replays.
+//! counts, and the op-pair relaxations shave another ~10%: 598 vs
+//! 1,232 and 23,888 vs 79,502 total replays (the pre-pair counts,
+//! 660 and 26,638, are frozen floors the CI gate must stay strictly
+//! below).
 //!
 //! Complementing the static lane, CI runs two sanitizer lanes: **Miri**
 //! over the fiber-free crates (`sl-spec`, `sl-check`, `sl-mem`,
@@ -254,18 +276,27 @@
 //! wall-clocks measured at 1 worker on the reference container, so
 //! multi-core runners divide the deep rows further; *DPOR* = syntactic
 //! source DPOR, *value* = value-aware default, *static* = value +
-//! placement certificate, *optimal* = wakeup sequences + observer rule
-//! — gated counts where pinned, "—" where not measured):
+//! placement certificate, *optimal* = wakeup sequences + observer
+//! rule, *+op-pair* = optimal with the version-2 per-op-pair
+//! commutation matrix installed — gated counts where pinned, "—"
+//! where not measured):
 //!
-//! | Workload | Schedules (DPOR) | Schedules (value) | Schedules (static) | Schedules (optimal) | Tier |
-//! |---|---|---|---|---|---|
-//! | 2 procs: 1 DWrite vs 1 DRead | 17 | 17 | 14 | 10 | tier-1 (ms) |
-//! | 3 procs: 2 writers + 1 reader, 1 op each | 2,746 | 2,242 | 1,232 | 660 | tier-1 (ms) |
-//! | 2 procs: 2 DWrites vs 2 DReads | 7,228 | 7,228 | 4,978 | 3,108 | tier-1 (<1 s debug, was ~5 s) |
-//! | 3 procs mixed: writers 2+1 ops, reader 1 op | 204,257 | 179,697 | 79,502 | 26,638 | sim-deep (~4 s release, was ~10 s) |
-//! | 2 procs: 3 DWrites vs 2 DReads | 240,239 | 240,239 | — | — | sim-deep (~6 s release, was ~15 s) |
-//! | 3 procs: 2 ops per process (writers) | 2,752,674 | 2,752,674 | — | — | sim-deep (~37 s release at 1 worker, was ~1–2 min; under 30 s at ≥2 workers) |
-//! | 3 procs: 2 ops per process, mixed roles | ≫ millions | ~0.85× of DPOR | ~0.4–0.5× of value (extrapolated) | ~0.3× of static (extrapolated) | beyond budget today |
+//! | Workload | Schedules (DPOR) | Schedules (value) | Schedules (static) | Schedules (optimal) | Schedules (+op-pair) | Tier |
+//! |---|---|---|---|---|---|---|
+//! | 2 procs: 1 DWrite vs 1 DRead | 17 | 17 | 14 | 10 | 10 | tier-1 (ms) |
+//! | 3 procs: 2 writers + 1 reader, 1 op each | 2,746 | 2,242 | 1,232 | 660 | 598 | tier-1 (ms) |
+//! | 2 procs: 2 DWrites vs 2 DReads | 7,228 | 7,228 | 4,978 | 3,108 | 3,108 | tier-1 (<1 s debug, was ~5 s) |
+//! | 3 procs mixed: writers 2+1 ops, reader 1 op | 204,257 | 179,697 | 79,502 | 26,638 | 23,888 | sim-deep (~4 s release, was ~10 s) |
+//! | 2 procs: 3 DWrites vs 2 DReads | 240,239 | 240,239 | — | — | — | sim-deep (~6 s release, was ~15 s) |
+//! | 3 procs: 2 ops per process (writers) | 2,752,674 | 2,752,674 | — | — | — | sim-deep (~37 s release at 1 worker, was ~1–2 min; under 30 s at ≥2 workers) |
+//! | 3 procs: 2 ops per process, mixed roles | ≫ millions | ~0.85× of DPOR | ~0.4–0.5× of value (extrapolated) | ~0.3× of static (extrapolated) | — | beyond budget today |
+//!
+//! The op-pair column moves only where mixed-role contention gives the
+//! pair relaxations room (two ops of the same unordered pair pausing
+//! against each other, or value-equal writes under a marked step):
+//! the pure writer/reader pins are already at the value-commutation
+//! fixpoint. The two mixed-role deltas are gated as strict
+//! improvements over the frozen pre-pair floors.
 //!
 //! Deep explorations stream transcripts into `check::DagBuilder` (a
 //! hash-consed DAG: the 3-procs-×-2-ops prefix tree would hold ~17M
