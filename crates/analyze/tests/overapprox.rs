@@ -11,7 +11,6 @@
 //! `ValueDpor`, and one test driving the fail-closed abort on purpose
 //! with a doctored certificate.
 
-use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
 use sl_analyze::Certificate;
@@ -352,28 +351,26 @@ fn lin_snapshots_overapproximate() {
 }
 
 /// The negative direction: a certificate whose racy set was emptied
-/// must make the very first observed race abort with the fail-closed
-/// diagnostic — proving the validator is actually armed on this path.
+/// must make the very first observed race abort the subtree with the
+/// fail-closed diagnostic — proving the validator is actually armed on
+/// this path. The explorer's panic quarantine converts the abort into
+/// a *partial* (never silently passing) outcome carrying the message.
 #[test]
 fn doctored_certificate_fails_closed() {
     let cert = sl_analyze::aba_certificate(2);
     let st = Arc::new(StaticConflicts::new(cert.licensed_syms(), []));
-    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        explore_object::<AbaSpec<u64>, _, _>(
-            |mem: &SimMem| ObjectBuilder::on(mem).processes(2).aba_register::<u64>(),
-            &aba_workload(),
-            &cfg(PruneMode::StaticDpor, Some(st), FULL),
-        )
-    }));
-    let err = match result {
-        Ok(_) => panic!("an unpredicted race must abort"),
-        Err(e) => e,
-    };
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
-        .unwrap_or_default();
+    let explored = explore_object::<AbaSpec<u64>, _, _>(
+        |mem: &SimMem| ObjectBuilder::on(mem).processes(2).aba_register::<u64>(),
+        &aba_workload(),
+        &cfg(PruneMode::StaticDpor, Some(st), FULL),
+    );
+    let out = &explored.outcome;
+    assert!(
+        out.partial && !out.exhausted,
+        "an unpredicted race must abort"
+    );
+    assert!(out.quarantined > 0, "the aborting subtree is quarantined");
+    let msg = &out.poisoned[0].message;
     assert!(
         msg.contains("not predicted"),
         "unexpected panic message: {msg}"
@@ -398,22 +395,18 @@ fn doctored_pair_cell_fails_closed() {
         );
     }
     let st = Arc::new(st);
-    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        explore_object::<AbaSpec<u64>, _, _>(
-            |mem: &SimMem| ObjectBuilder::on(mem).processes(2).aba_register::<u64>(),
-            &aba_workload(),
-            &cfg(PruneMode::StaticDpor, Some(st), FULL),
-        )
-    }));
-    let err = match result {
-        Ok(_) => panic!("an unpredicted race must abort"),
-        Err(e) => e,
-    };
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
-        .unwrap_or_default();
+    let explored = explore_object::<AbaSpec<u64>, _, _>(
+        |mem: &SimMem| ObjectBuilder::on(mem).processes(2).aba_register::<u64>(),
+        &aba_workload(),
+        &cfg(PruneMode::StaticDpor, Some(st), FULL),
+    );
+    let out = &explored.outcome;
+    assert!(
+        out.partial && !out.exhausted,
+        "an unpredicted race must abort"
+    );
+    assert!(out.quarantined > 0, "the aborting subtree is quarantined");
+    let msg = &out.poisoned[0].message;
     assert!(
         msg.contains("not predicted") && msg.contains("op pair"),
         "unexpected panic message: {msg}"

@@ -35,7 +35,7 @@ use sl_check::{
 use sl_mem::Value;
 use sl_sim::{
     EventLog, ExploreOutcome, Explorer, ProcCtx, Program, PruneMode, ReplayCtx, ReplayPool,
-    RunOutcome, Scheduler, Sharded, SimMem, SimWorld, StaticConflicts,
+    ResumeSession, RunOutcome, Scheduler, Sharded, SimMem, SimWorld, StaticConflicts,
 };
 use sl_spec::types::{AbaSpec, CounterSpec, MaxRegisterSpec, SnapshotSpec};
 use sl_spec::{
@@ -454,6 +454,106 @@ where
             ctx.inner.replay(workload, &apply, driver, cfg.step_budget);
             ctx.shards.ingest(ctx.inner.pool.transcript());
         },
+    );
+    ExploredDag {
+        dag: TreeDag::merge(sink.into_inner().unwrap()),
+        outcome,
+    }
+}
+
+/// [`explore_object_dag`] with crash-resilient checkpointing: the
+/// explorer periodically snapshots its outstanding-task frontier into
+/// `session.store` and, when a checkpoint already exists there, resumes
+/// from it instead of starting over. The union of an interrupted run's
+/// DAG and the resumed run's DAG is bit-identical (structural hash,
+/// verdict, conflict depth) to the uninterrupted exploration at any
+/// worker count — see `crates/api/tests/resume_dag.rs` for the gate.
+///
+/// The live shard hashes are recorded into every checkpoint as sorted
+/// audit metadata, but resume validation deliberately passes
+/// `expected_shards = None` on top of whatever the caller set: the
+/// drain checkpoint is written inside the root's subtree bracket while
+/// shards flush at `subtree_end`, so the drain-time recorded hashes
+/// lag the post-drain on-disk DAG by design. The end-to-end identity
+/// gate is the merged-union structural hash, not per-shard equality.
+///
+/// Fail-closed: panics (like [`Explorer::explore_resumable`]) when
+/// `cfg.mode` is not a DPOR mode, and on any torn, stale, or doctored
+/// checkpoint.
+pub fn explore_object_dag_resumable<S, O, F>(
+    factory: F,
+    workload: &[Vec<S::Op>],
+    cfg: &SimExplore,
+    session: &ResumeSession<'_>,
+) -> ExploredDag<S>
+where
+    S: SeqSpec + 'static,
+    S::Op: Send + Sync,
+    S::Resp: Send + Sync,
+    S::State: Send + Sync,
+    O: SharedObject<SimMem>,
+    O::Handle: DriveOps<S>,
+    F: Fn(&SimMem) -> O + Sync,
+{
+    explore_object_dag_resumable_with(
+        factory,
+        workload,
+        |h: &mut O::Handle, op: &S::Op| h.drive(op),
+        cfg,
+        session,
+    )
+}
+
+/// [`explore_object_dag_resumable`] with an explicit apply closure.
+pub fn explore_object_dag_resumable_with<S, O, F, A>(
+    factory: F,
+    workload: &[Vec<S::Op>],
+    apply: A,
+    cfg: &SimExplore,
+    session: &ResumeSession<'_>,
+) -> ExploredDag<S>
+where
+    S: SeqSpec + 'static,
+    S::Op: Send + Sync,
+    S::Resp: Send + Sync,
+    S::State: Send + Sync,
+    O: SharedObject<SimMem>,
+    F: Fn(&SimMem) -> O + Sync,
+    A: Fn(&mut O::Handle, &S::Op) -> S::Resp + Send + Sync + 'static,
+{
+    let n = workload.len();
+    assert!(n > 0, "workload must cover at least one process");
+    let apply = Arc::new(apply);
+    let sink: Mutex<Vec<TreeDag<S>>> = Mutex::new(Vec::new());
+    let explorer = Explorer {
+        max_runs: cfg.max_runs,
+        mode: cfg.mode,
+        workers: cfg.workers,
+        stem: cfg.stem.clone(),
+        statics: cfg.statics.clone(),
+    };
+    // Checkpoints record the hashes of the shards flushed so far —
+    // sorted, so the snapshot is stable under worker scheduling.
+    let shard_snapshot = || TreeDag::shard_hashes(&sink.lock().unwrap());
+    let session = ResumeSession {
+        store: session.store,
+        policy: session.policy.clone(),
+        fault: session.fault.clone(),
+        // See the doc comment: drain-time recorded hashes lag the
+        // post-drain flush, so per-shard expectations cannot hold here.
+        expected_shards: None,
+        shard_hashes: Some(&shard_snapshot),
+    };
+    let outcome = explorer.explore_resumable(
+        || Sharded {
+            inner: PooledWorld::new(&factory, n),
+            shards: DagShards::new(&sink),
+        },
+        |ctx: &mut Sharded<'_, S, PooledWorld<S, O>>, driver| {
+            ctx.inner.replay(workload, &apply, driver, cfg.step_budget);
+            ctx.shards.ingest(ctx.inner.pool.transcript());
+        },
+        &session,
     );
     ExploredDag {
         dag: TreeDag::merge(sink.into_inner().unwrap()),

@@ -23,9 +23,14 @@ pub struct Baseline {
 
 impl Baseline {
     /// Reads the baseline at `path`; panics with a clear message on
-    /// I/O errors (the gate cannot run without its reference).
+    /// I/O errors (the gate cannot run without its reference) and
+    /// rejects truncated or structurally invalid JSON fail-closed — a
+    /// torn write must not silently disable the gates it recorded.
     pub fn load(path: &str) -> Baseline {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        if let Err(why) = structurally_valid_json(&text) {
+            panic!("truncated or invalid baseline JSON at {path} (fail-closed): {why}; re-record it with --refresh-baseline");
+        }
         Baseline { text }
     }
 
@@ -144,6 +149,68 @@ impl Gate {
     }
 }
 
+/// Checks that `text` is a structurally complete JSON object: it must
+/// open with `{`, close with `}`, balance its braces and brackets
+/// outside string literals, and terminate every string. This is not a
+/// JSON parser (the workspace has none by design) — it is exactly the
+/// torn-write detector the scanning extractors above need, since they
+/// would otherwise read a truncated file as "gate key absent".
+fn structurally_valid_json(text: &str) -> Result<(), String> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err("file is empty".into());
+    }
+    if !trimmed.starts_with('{') {
+        return Err("does not open with `{`".into());
+    }
+    let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+    for c in trimmed.chars() {
+        if in_str {
+            match (esc, c) {
+                (true, _) => esc = false,
+                (false, '\\') => esc = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err("unbalanced closing brace".into());
+                }
+            }
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err("unterminated string literal".into());
+    }
+    if depth != 0 {
+        return Err(format!("{depth} unclosed brace(s) — truncated write"));
+    }
+    if !trimmed.ends_with('}') {
+        return Err("does not close with `}`".into());
+    }
+    Ok(())
+}
+
+/// Writes `contents` to `path` atomically: a process-unique temp file
+/// in the same directory, then a rename over the target — a crash
+/// mid-write leaves either the old file or the new one on disk, never
+/// a torn mix (the same discipline as the sim checkpoint store).
+pub fn atomic_write(path: &str, contents: &str) {
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, contents).unwrap_or_else(|e| panic!("writing {tmp}: {e}"));
+    std::fs::rename(&tmp, path).unwrap_or_else(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        panic!("renaming {tmp} -> {path}: {e}")
+    });
+}
+
 /// Rewrites the baseline at `path` from a freshly measured summary:
 /// the preserved `comment` and the gate thresholds come first, then
 /// every top-level field of `measured_json` (which must be a JSON
@@ -163,7 +230,7 @@ pub fn refresh(path: &str, comment: &str, gates: &[(&str, f64)], measured_json: 
     }
     out.push_str(body.trim_matches('\n'));
     out.push_str("\n}\n");
-    std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    atomic_write(path, &out);
     println!("(baseline refreshed at {path})");
 }
 
@@ -215,6 +282,67 @@ mod tests {
         // `b` has no value_dpor_replayed: it must not steal a later
         // workload's count (none here) nor misattribute `a`'s.
         assert_eq!(b.workload_count("b", "value_dpor_replayed"), None);
+    }
+
+    #[test]
+    fn load_rejects_truncated_or_invalid_json_fail_closed() {
+        // A torn write of SAMPLE at any cut point must be rejected, not
+        // scanned as "every gate key absent".
+        assert!(structurally_valid_json(SAMPLE).is_ok());
+        for cut in 1..SAMPLE.len() - 1 {
+            if !SAMPLE.is_char_boundary(cut) {
+                continue;
+            }
+            let torn = &SAMPLE[..cut];
+            assert!(
+                structurally_valid_json(torn).is_err(),
+                "cut at {cut} accepted: {torn:?}"
+            );
+        }
+        assert!(structurally_valid_json("").is_err(), "empty file");
+        assert!(structurally_valid_json("null").is_err(), "not an object");
+        assert!(
+            structurally_valid_json("{\"a\": 1}}").is_err(),
+            "extra brace"
+        );
+        let dir = std::env::temp_dir().join(format!("sl-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.json");
+        std::fs::write(&path, &SAMPLE[..SAMPLE.len() / 2]).unwrap();
+        let path_str = path.to_str().unwrap().to_string();
+        let err = std::panic::catch_unwind(|| Baseline::load(&path_str))
+            .err()
+            .expect("torn baseline must fail closed");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("truncated or invalid baseline JSON"),
+            "diagnostic must be named: {msg}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refresh_writes_atomically_and_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("sl-baseline-rw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.json");
+        let path_str = path.to_str().unwrap();
+        refresh(
+            path_str,
+            "test",
+            &[("min_x", 1.5)],
+            "{\n  \"workloads\": []\n}",
+        );
+        let b = Baseline::load(path_str);
+        assert_eq!(b.number("min_x"), Some(1.5));
+        // No temp file may survive the rename.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "base.json")
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -67,6 +67,27 @@
 //! `--certificates PATH` writes the `sl-analyze` certificate catalog
 //! (the JSON artifact sim-deep CI uploads next to the summary).
 //! `--threads N` caps the scaling curve (default 8; powers of two).
+//!
+//! **Crash-resilient mode** (`--checkpoint-dir DIR`): instead of the
+//! measurement suite, run one checkpointed optimal-DPOR exploration of
+//! `--resume-workload` (default `aba_mixed3`; counts-only, workers from
+//! `SL_EXPLORE_THREADS`) and print its outcome as a one-line
+//! `RESUME_SUMMARY {json}`. `--resume` continues from an existing
+//! checkpoint in DIR (without it any stale checkpoint is cleared);
+//! `--ckpt-every N` sets the snapshot cadence in root replays,
+//! `--ckpt-max-schedules N` drains after a schedule budget, and
+//! `--ckpt-stall-us U` slows each replay (so the out-of-process
+//! SIGKILL-and-resume test can land its kill mid-exploration).
+//! `SL_FAULT_POINT`/`SL_FAULT_NTH`/`SL_FAULT_MODE` seed deterministic
+//! fault injection (see `sl_sim::FaultPlan::from_env`). The resumed
+//! run's summary is bit-identical to an uninterrupted one — gated by
+//! `crates/bench/tests/resume_kill.rs` and the sim-resume CI lane.
+//!
+//! The measurement suite additionally measures **checkpoint overhead**:
+//! best-of-5 interleaved pairs of plain vs checkpointed optimal-DPOR
+//! explorations of `aba_mixed3_deep`; `--baseline` gates the ratio
+//! against `min_ckpt_ratio` (0.95 — checkpointing may cost at most
+//! ~5%).
 
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -81,8 +102,8 @@ use sl_check::{
 use sl_core::aba::{AbaHandle, SlAbaRegister};
 use sl_mem::{Mem, Register};
 use sl_sim::{
-    EventLog, ExploreOutcome, Explorer, Program, PruneMode, ReplayPool, RoundRobin, RunConfig,
-    ScheduleDriver, Sharded, SimWorld,
+    CheckpointPolicy, CheckpointStore, EventLog, ExploreOutcome, Explorer, FaultPlan, Program,
+    PruneMode, ReplayPool, ResumeSession, RoundRobin, RunConfig, ScheduleDriver, Sharded, SimWorld,
 };
 use sl_spec::types::AbaSpec;
 use sl_spec::{AbaOp, AbaResp, ProcId};
@@ -876,8 +897,10 @@ fn to_json(
     throughput: &[(String, f64)],
     workloads: &[WorkloadSummary],
     mixed: &[MixedSummary],
+    ckpt_ratio: f64,
 ) -> String {
-    let mut out = String::from("{\n  \"vm_steps_per_sec\": {");
+    let mut out =
+        format!("{{\n  \"ckpt_overhead_ratio\": {ckpt_ratio:.3},\n  \"vm_steps_per_sec\": {{");
     for (i, (name, rate)) in throughput.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -1083,6 +1106,18 @@ fn main() {
     let mut certificates_path: Option<String> = None;
     let mut refresh_baseline = false;
     let mut max_threads: usize = 8;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut resume = false;
+    let mut resume_workload = String::from("aba_mixed3");
+    let mut ckpt_every: u64 = 50;
+    let mut ckpt_max_schedules: Option<u64> = None;
+    let mut ckpt_stall_us: u64 = 0;
+    let numeric = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
+        args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} requires a number");
+            std::process::exit(2);
+        })
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json_path = args.next(),
@@ -1090,12 +1125,20 @@ fn main() {
             "--summary-md" => summary_md_path = args.next(),
             "--certificates" => certificates_path = args.next(),
             "--refresh-baseline" => refresh_baseline = true,
-            "--threads" => {
-                max_threads = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--threads requires a number");
+            "--threads" => max_threads = numeric(&mut args, "--threads") as usize,
+            "--checkpoint-dir" => checkpoint_dir = args.next(),
+            "--resume" => resume = true,
+            "--resume-workload" => {
+                resume_workload = args.next().unwrap_or_else(|| {
+                    eprintln!("--resume-workload requires a name");
                     std::process::exit(2);
                 })
             }
+            "--ckpt-every" => ckpt_every = numeric(&mut args, "--ckpt-every"),
+            "--ckpt-max-schedules" => {
+                ckpt_max_schedules = Some(numeric(&mut args, "--ckpt-max-schedules"))
+            }
+            "--ckpt-stall-us" => ckpt_stall_us = numeric(&mut args, "--ckpt-stall-us"),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -1105,6 +1148,17 @@ fn main() {
     if refresh_baseline && baseline_path.is_none() {
         eprintln!("--refresh-baseline requires --baseline PATH");
         std::process::exit(2);
+    }
+    if let Some(dir) = checkpoint_dir {
+        run_resumable(
+            &dir,
+            resume,
+            &resume_workload,
+            ckpt_every,
+            ckpt_max_schedules,
+            ckpt_stall_us,
+        );
+        return;
     }
 
     println!("# exp_sim_throughput — step VM, explorer modes, world reuse, parallel scaling");
@@ -1151,13 +1205,21 @@ fn main() {
         ),
     ];
 
+    println!();
+    println!("## Checkpoint overhead (aba_mixed3_deep, optimal DPOR, default policy cadence)");
+    let ckpt_ratio = measure_ckpt_overhead(5);
+    println!(
+        "(checkpointed/plain throughput ratio {ckpt_ratio:.3} — best-of-5 interleaved pairs; \
+         1.0 = free, the gate floor is min_ckpt_ratio)"
+    );
+
     if let Some(path) = &certificates_path {
         write_certificates(path);
     }
 
-    let json = to_json(&throughput, &workloads, &mixed);
+    let json = to_json(&throughput, &workloads, &mixed, ckpt_ratio);
     if let Some(path) = &json_path {
-        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        baseline::atomic_write(path, &json);
         println!();
         println!("(summary written to {path})");
     }
@@ -1183,6 +1245,7 @@ fn main() {
             ("min_format_speedup", threshold("min_format_speedup", 1.6)),
             ("min_speedup_4w", threshold("min_speedup_4w", 2.0)),
             ("min_speedup_8w", threshold("min_speedup_8w", 3.0)),
+            ("min_ckpt_ratio", threshold("min_ckpt_ratio", 0.95)),
         ];
         baseline::refresh(
             baseline_path.as_deref().unwrap(),
@@ -1353,6 +1416,15 @@ fn main() {
                 sibling.display()
             )),
         }
+        // Checkpointing must stay within its overhead budget on the
+        // deep mixed-role workload — the tier the checkpoint exists
+        // for. Below min_ckpt_ratio the snapshot cadence is eating the
+        // exploration, not insuring it.
+        gate.speedup_at_least(
+            "checkpointed exploration throughput on aba_mixed3_deep",
+            ckpt_ratio,
+            b.number("min_ckpt_ratio"),
+        );
         // Wall-clock gates run on the bigger pinned workload
         // (aba_2w2r); the tiny one is all setup noise.
         if let Some(w) = workloads.iter().find(|w| w.name == "aba_2w2r") {
@@ -1394,6 +1466,146 @@ fn main() {
     }
 }
 
+/// Writer-op shapes of the named resumable workloads.
+fn resume_writer_ops(name: &str) -> &'static [u64] {
+    match name {
+        "aba_mixed3" => &[1, 1],
+        "aba_mixed3_deep" => &[2, 1],
+        other => {
+            eprintln!("unknown --resume-workload {other} (aba_mixed3 | aba_mixed3_deep)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// One checkpointed (or resumed) counts-only optimal-DPOR exploration
+/// of a mixed-role workload, for the out-of-process crash-resilience
+/// harness. Prints the outcome as a one-line `RESUME_SUMMARY {json}` —
+/// the artifact `resume_kill.rs` compares across kill-and-resume runs.
+fn run_resumable(
+    dir: &str,
+    resume: bool,
+    workload: &str,
+    every: u64,
+    max_schedules: Option<u64>,
+    stall_us: u64,
+) {
+    let writer_ops = resume_writer_ops(workload);
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {dir}: {e}"));
+    let store = CheckpointStore::new(dir, workload);
+    if !resume {
+        // A fresh run must not silently continue someone else's state.
+        store.clear();
+    }
+    let explorer = Explorer {
+        max_runs: 4_000_000,
+        mode: PruneMode::OptimalDpor,
+        workers: sl_sim::env_workers(),
+        stem: vec![],
+        statics: None,
+    };
+    let session = ResumeSession {
+        policy: CheckpointPolicy {
+            every_replays: every,
+            max_schedules,
+            deadline: None,
+        },
+        fault: FaultPlan::from_env().map(Arc::new),
+        ..ResumeSession::new(&store)
+    };
+    let out = explorer.explore_resumable(
+        || {
+            let world = SimWorld::new(3);
+            let reg = SlAbaRegister::<u64, _>::new(&world.mem(), 3);
+            PooledAba {
+                pool: ReplayPool::new(world),
+                reg,
+            }
+        },
+        |ctx: &mut PooledAba, driver| {
+            if stall_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(stall_us));
+            }
+            let reg = &ctx.reg;
+            ctx.pool
+                .replay(|log| mixed3_programs(reg, log, writer_ops), driver, 2_000);
+        },
+        &session,
+    );
+    println!(
+        "RESUME_SUMMARY {{\"workload\": \"{}\", \"workers\": {}, \"runs\": {}, \
+         \"cut_runs\": {}, \"pruned\": {}, \"retried\": {}, \"quarantined\": {}, \
+         \"drained\": {}, \"partial\": {}, \"exhausted\": {}}}",
+        workload,
+        explorer.workers,
+        out.runs,
+        out.cut_runs,
+        out.pruned,
+        out.retried,
+        out.quarantined,
+        out.drained,
+        out.partial,
+        out.exhausted,
+    );
+}
+
+/// Wall-clock ratio of checkpointed vs plain optimal-DPOR exploration
+/// of `aba_mixed3_deep` (counts-only, one worker): best-of-`reps`
+/// interleaved pairs, so allocator and frequency drift hit both sides
+/// alike. Returns `best_plain / best_checkpointed` — 1.0 means free,
+/// 0.95 means checkpointing costs ~5%.
+fn measure_ckpt_overhead(reps: u32) -> f64 {
+    let writer_ops: &'static [u64] = &[2, 1];
+    let new_ctx = || {
+        let world = SimWorld::new(3);
+        let reg = SlAbaRegister::<u64, _>::new(&world.mem(), 3);
+        PooledAba {
+            pool: ReplayPool::new(world),
+            reg,
+        }
+    };
+    let runner = |ctx: &mut PooledAba, driver: &mut ScheduleDriver| {
+        let reg = &ctx.reg;
+        ctx.pool
+            .replay(|log| mixed3_programs(reg, log, writer_ops), driver, 2_000);
+    };
+    let explorer = Explorer {
+        max_runs: 4_000_000,
+        mode: PruneMode::OptimalDpor,
+        workers: 1,
+        stem: vec![],
+        statics: None,
+    };
+    let dir = std::env::temp_dir().join(format!("sl-ckpt-overhead-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = CheckpointStore::new(&dir, "aba_mixed3_deep");
+    let (mut best_plain, mut best_ckpt) = (f64::MAX, f64::MAX);
+    for _ in 0..reps {
+        let start = Instant::now();
+        let plain = explorer.explore_with(new_ctx, runner);
+        best_plain = best_plain.min(start.elapsed().as_secs_f64());
+        assert!(plain.exhausted, "overhead reference must exhaust");
+        store.clear();
+        // The gate measures the default policy — the cadence every
+        // resumable caller gets unless they opt into a denser one.
+        let session = ResumeSession {
+            policy: CheckpointPolicy::default(),
+            ..ResumeSession::new(&store)
+        };
+        let start = Instant::now();
+        let ckpt = explorer.explore_resumable(new_ctx, runner, &session);
+        best_ckpt = best_ckpt.min(start.elapsed().as_secs_f64());
+        assert!(ckpt.exhausted, "checkpointed overhead run must exhaust");
+        assert_eq!(
+            (ckpt.runs, ckpt.cut_runs, ckpt.pruned),
+            (plain.runs, plain.cut_runs, plain.pruned),
+            "checkpointing must not change what gets explored"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    best_plain / best_ckpt
+}
+
 /// The `sl-analyze` certificate catalog: every family × substrate the
 /// facade exposes at 2 processes, plus the 3-process Algorithm-2
 /// certificate the mixed-role StaticDpor gates consume. One producer
@@ -1405,8 +1617,7 @@ fn certificates_catalog_json() -> String {
 }
 
 fn write_certificates(path: &str) {
-    std::fs::write(path, certificates_catalog_json())
-        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    baseline::atomic_write(path, &certificates_catalog_json());
     println!("(certificate catalog written to {path})");
 }
 
@@ -1424,6 +1635,8 @@ regeneration (probe/format drift must go through --refresh-baseline), min_reuse_
 identical ingestion pipelines both sides; a 1.0 floor so the gate only catches pooling becoming \
 an outright pessimization), min_format_speedup (single-worker traced replay with binary StepCode \
 ingestion vs the retired per-step string rendering+interning, best-of-5, identical ingestion \
-sinks both sides), and min_speedup_4w / min_speedup_8w (4-/8-worker wall-clock speedups on \
-aba_2w2r, each checked only on machines with at least that many CPUs). Timing fields other than \
-the gates are informational snapshots of the reference container.";
+sinks both sides), min_speedup_4w / min_speedup_8w (4-/8-worker wall-clock speedups on \
+aba_2w2r, each checked only on machines with at least that many CPUs), and min_ckpt_ratio \
+(best-of-5 interleaved plain-vs-checkpointed optimal-DPOR wall clock on aba_mixed3_deep; a \
+0.95 floor caps checkpointing overhead at ~5%). Timing fields other than the gates are \
+informational snapshots of the reference container.";

@@ -1,0 +1,1923 @@
+//! Crash-resilient exploration: the checkpoint wire format, the atomic
+//! on-disk store, deterministic fault injection, and poisoned-task
+//! reports.
+//!
+//! A deep DPOR exploration is hours of replay work held in one
+//! process's memory. This module makes that work survivable: the
+//! explorer's root walk periodically freezes its outstanding frontier —
+//! the spine bookkeeping of the depth-first walk plus every delegated
+//! [`SubtreeTask`](crate::Explorer) not yet joined — into a versioned,
+//! checksummed checkpoint file, and
+//! [`Explorer::explore_resumable`](crate::Explorer::explore_resumable)
+//! resumes from it with results **bit-identical** to an uninterrupted
+//! run (schedule counts, cut/pruned telemetry, merged `TreeDag`
+//! structural hash, verdict).
+//!
+//! # Checkpoint format (version 1)
+//!
+//! A checkpoint is one JSON object with a fixed field order, emitted by
+//! a canonical compact serializer (no whitespace) so that
+//! serialize → parse → serialize is byte-identical:
+//!
+//! ```text
+//! {"checksum":C,"version":1,"workload":W,"mode":M,"workers":N,
+//!  "seq":S,"stem_len":L,
+//!  "counters":{"runs":..,"cut_runs":..,"pruned":..,"retried":..,"quarantined":..},
+//!  "shard_hashes":[..],
+//!  "next":{"prefix":[..],"sleep":..,"new_from":..},
+//!  "spine":[{"chosen":..,"done":..,"sleep":..,"backtrack":[..],
+//!            "runnable":[..],"pending":[{"reg":..,"kind":".."},..],
+//!            "wakeups":[[{"proc":..,"reg":..,"kind":".."},..],..],
+//!            "tasks":[{"id":..,"proc":..,"prefix":[..],
+//!                      "accesses":[{"reg":..,"kind":".."},..],
+//!                      "sleep":..,"floor":..},..]},..]}
+//! ```
+//!
+//! `checksum` is FNV-1a-64 over the canonical serialization of every
+//! *other* field; the parser re-serializes what it read and verifies
+//! the digest, so torn or doctored files are rejected with a named
+//! diagnostic, never half-loaded. Only plain data crosses the file
+//! boundary: decision prefixes, declared accesses (`RegId` is the
+//! world-local dense allocation index, stable across processes for the
+//! same deterministic workload), sleep masks, and floors. Interned
+//! execution metadata (`ValueId`/`RegSym`/`OpSym`) is deliberately
+//! *not* persisted — the engine re-derives it from the first replay
+//! after resume, exactly as it refreshes it on every replay anyway.
+//!
+//! The loader is fail-closed end to end: unknown fields, duplicate
+//! keys, version or checksum mismatches, duplicate task ids, empty
+//! frontiers, unsorted or stale shard hashes, and metadata that does
+//! not match the resuming explorer (workload, mode, worker count, stem
+//! length) each abort with their own diagnostic.
+//!
+//! # Budget semantics
+//!
+//! [`CheckpointPolicy`] carries a wall-clock `deadline` and a
+//! `max_schedules` budget (counted over the *union* of the resumed base
+//! and the live run, completed + cut replays). The root walk checks
+//! both at every replay boundary; on expiry it writes a final
+//! checkpoint, raises the drain flag (workers abandon their in-flight
+//! subtrees at their next replay boundary; the abandoned partial work
+//! is never counted, so the checkpoint stays exact), and returns a
+//! partial, resumable [`ExploreOutcome`](crate::ExploreOutcome) with
+//! `drained` and `partial` set — degradation is visible, never silent.
+//!
+//! # Quarantine soundness
+//!
+//! A worker panic inside a subtree replay (an object bug, the
+//! fail-closed `validate_race` diagnostic, a fiber sentinel escape) no
+//! longer takes the process down: the task is retried with a fresh
+//! bracket up to the retry limit (deterministic backoff), then
+//! **quarantined** — its slot completes with zeroed totals, a
+//! [`PoisonReport`] carrying the replayable decision prefix, and
+//! `quarantined = 1` — so every join completes and the rest of the
+//! frontier still runs. Soundness: a quarantined subtree's schedules
+//! are *unexplored*, so the outcome marks itself `partial` and clears
+//! `exhausted`; a quarantined run can therefore never produce a false
+//! PASS — any verdict derived from it is explicitly a verdict on a
+//! partial schedule space. Counters stay exact because a failed
+//! attempt's partially explored sub-slots are never joined (their
+//! outputs are dropped with the unwound spine) and its partially
+//! ingested DAG shards are duplicates of the retry's — the hash-consed
+//! transcript *set* is unchanged by re-ingestion.
+//!
+//! # Fault injection
+//!
+//! [`FaultPlan`] injects one deterministic crash at a named point —
+//! task freeze, steal, join-merge, checkpoint write mid-file, resume
+//! parse — either as an in-process panic (a [`FaultCrash`] payload,
+//! which the quarantine guards deliberately re-raise so the whole
+//! exploration aborts like a crash would) or as `process::abort` for
+//! out-of-process kill tests. Plans come from the `SL_FAULT_POINT`,
+//! `SL_FAULT_NTH`, and `SL_FAULT_MODE` environment variables
+//! ([`FaultPlan::from_env`]) or are built programmatically in tests.
+//! The CI `sim-resume` lane drives every injection point and an
+//! external SIGKILL through interrupt + resume and gates bit-identity
+//! against the uninterrupted run.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::world::AccessKind;
+
+// ---------------------------------------------------------------------
+// Wire structs
+// ---------------------------------------------------------------------
+
+/// The supported checkpoint format version.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// One declared access on the wire: the world-local dense register
+/// index plus the access kind. `RegId::LOCAL` (`u32::MAX`) encodes a
+/// pause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CkptAccess {
+    /// Raw [`crate::RegId`] value.
+    pub reg: u32,
+    /// The declared access kind.
+    pub kind: AccessKind,
+}
+
+/// Union counters accumulated by every checkpointed run so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CkptCounters {
+    /// Completed runs.
+    pub runs: u64,
+    /// Sleep-set-cut replays.
+    pub cut_runs: u64,
+    /// Pruned branch candidates.
+    pub pruned: u64,
+    /// Successful panic retries.
+    pub retried: u64,
+    /// Quarantined subtrees.
+    pub quarantined: u64,
+}
+
+/// The pending descent the interrupted walk was about to replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CkptNext {
+    /// Full decision prefix (spine chosen path plus any wakeup tail).
+    pub prefix: Vec<usize>,
+    /// Sleep set holding at the first recorded decision.
+    pub sleep: u64,
+    /// Race-detection window start (the descent depth).
+    pub new_from: usize,
+}
+
+/// One frozen, not-yet-joined delegated subtree task.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CkptTask {
+    /// Checkpoint-unique task id.
+    pub id: u64,
+    /// The reversal process the owner joins this task under.
+    pub proc: usize,
+    /// Full decision prefix from the schedule-tree root.
+    pub prefix: Vec<usize>,
+    /// Declared accesses of the ghost spine (`accesses.len() == floor`).
+    pub accesses: Vec<CkptAccess>,
+    /// Sleep set at the subtree root.
+    pub sleep: u64,
+    /// Backtrack floor.
+    pub floor: usize,
+}
+
+/// One root-spine decision node's checkpointed bookkeeping.
+///
+/// `runnable`/`pending` — the decision's configuration — are persisted
+/// so restore rebuilds the spine **without replaying anything**: an
+/// uncounted reconstruction replay would stream one extra transcript
+/// into the DAG shards and break merged-hash bit-identity.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CkptNode {
+    /// Child currently being explored.
+    pub chosen: usize,
+    /// Retired/delegated children mask.
+    pub done: u64,
+    /// Sleep set (entry sleep plus retired children).
+    pub sleep: u64,
+    /// Backtrack (source) set in insertion order.
+    pub backtrack: Vec<usize>,
+    /// Enabled processes at this decision.
+    pub runnable: Vec<usize>,
+    /// Their declared pending accesses, aligned with `runnable`.
+    pub pending: Vec<CkptAccess>,
+    /// Pending wakeup sequences, FIFO.
+    pub wakeups: Vec<Vec<(usize, CkptAccess)>>,
+    /// Delegated tasks attached at this node, in publish order.
+    pub tasks: Vec<CkptTask>,
+}
+
+/// A parsed (or to-be-written) checkpoint: the resumable frontier of
+/// one interrupted exploration. See the module docs for the format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Workload identity the checkpoint is bound to.
+    pub workload: String,
+    /// `PruneMode` name the exploration ran under.
+    pub mode: String,
+    /// Worker count of the interrupted run (resume must match).
+    pub workers: usize,
+    /// Monotonic checkpoint sequence number within the run.
+    pub seq: u64,
+    /// Length of the user-supplied stem.
+    pub stem_len: usize,
+    /// Union counters at snapshot time.
+    pub counters: CkptCounters,
+    /// Sorted structural hashes of the DAG shards sunk so far
+    /// (integrity metadata; see [`CheckpointStore::load`]).
+    pub shard_hashes: Vec<u64>,
+    /// The pending descent.
+    pub next: CkptNext,
+    /// Root-spine bookkeeping, depth 0 upward.
+    pub spine: Vec<CkptNode>,
+}
+
+fn kind_name(kind: AccessKind) -> &'static str {
+    match kind {
+        AccessKind::Read => "read",
+        AccessKind::Write => "write",
+        AccessKind::Rmw => "rmw",
+        AccessKind::Local => "local",
+    }
+}
+
+fn kind_of(name: &str) -> Option<AccessKind> {
+    match name {
+        "read" => Some(AccessKind::Read),
+        "write" => Some(AccessKind::Write),
+        "rmw" => Some(AccessKind::Rmw),
+        "local" => Some(AccessKind::Local),
+        _ => None,
+    }
+}
+
+/// Identifier charset for workload/mode strings: keeps the canonical
+/// serialization escape-free (and the Python linter byte-compatible).
+fn ident_ok(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// FNV-1a 64-bit over `bytes` — the checkpoint content digest.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Canonical serializer
+// ---------------------------------------------------------------------
+
+fn push_usizes(out: &mut String, xs: &[usize]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&x.to_string());
+    }
+    out.push(']');
+}
+
+fn push_access_body(out: &mut String, a: &CkptAccess) {
+    out.push_str("\"reg\":");
+    out.push_str(&a.reg.to_string());
+    out.push_str(",\"kind\":\"");
+    out.push_str(kind_name(a.kind));
+    out.push('"');
+}
+
+impl Checkpoint {
+    /// The canonical serialization of every field but the checksum —
+    /// the digest input. Fixed field order, no whitespace, unsigned
+    /// decimal numbers: the one encoding `serialize → parse →
+    /// serialize` is byte-identical over.
+    pub fn canonical_body(&self) -> String {
+        let mut s = String::with_capacity(256 + self.spine.len() * 64);
+        s.push_str("{\"version\":");
+        s.push_str(&CHECKPOINT_VERSION.to_string());
+        s.push_str(",\"workload\":\"");
+        s.push_str(&self.workload);
+        s.push_str("\",\"mode\":\"");
+        s.push_str(&self.mode);
+        s.push_str("\",\"workers\":");
+        s.push_str(&self.workers.to_string());
+        s.push_str(",\"seq\":");
+        s.push_str(&self.seq.to_string());
+        s.push_str(",\"stem_len\":");
+        s.push_str(&self.stem_len.to_string());
+        s.push_str(",\"counters\":{\"runs\":");
+        s.push_str(&self.counters.runs.to_string());
+        s.push_str(",\"cut_runs\":");
+        s.push_str(&self.counters.cut_runs.to_string());
+        s.push_str(",\"pruned\":");
+        s.push_str(&self.counters.pruned.to_string());
+        s.push_str(",\"retried\":");
+        s.push_str(&self.counters.retried.to_string());
+        s.push_str(",\"quarantined\":");
+        s.push_str(&self.counters.quarantined.to_string());
+        s.push_str("},\"shard_hashes\":[");
+        for (i, h) in self.shard_hashes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&h.to_string());
+        }
+        s.push_str("],\"next\":{\"prefix\":");
+        push_usizes(&mut s, &self.next.prefix);
+        s.push_str(",\"sleep\":");
+        s.push_str(&self.next.sleep.to_string());
+        s.push_str(",\"new_from\":");
+        s.push_str(&self.next.new_from.to_string());
+        s.push_str("},\"spine\":[");
+        for (i, node) in self.spine.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"chosen\":");
+            s.push_str(&node.chosen.to_string());
+            s.push_str(",\"done\":");
+            s.push_str(&node.done.to_string());
+            s.push_str(",\"sleep\":");
+            s.push_str(&node.sleep.to_string());
+            s.push_str(",\"backtrack\":");
+            push_usizes(&mut s, &node.backtrack);
+            s.push_str(",\"runnable\":");
+            push_usizes(&mut s, &node.runnable);
+            s.push_str(",\"pending\":[");
+            for (j, a) in node.pending.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push('{');
+                push_access_body(&mut s, a);
+                s.push('}');
+            }
+            s.push_str("],\"wakeups\":[");
+            for (j, seq) in node.wakeups.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push('[');
+                for (k, (proc, access)) in seq.iter().enumerate() {
+                    if k > 0 {
+                        s.push(',');
+                    }
+                    s.push_str("{\"proc\":");
+                    s.push_str(&proc.to_string());
+                    s.push(',');
+                    push_access_body(&mut s, access);
+                    s.push('}');
+                }
+                s.push(']');
+            }
+            s.push_str("],\"tasks\":[");
+            for (j, task) in node.tasks.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str("{\"id\":");
+                s.push_str(&task.id.to_string());
+                s.push_str(",\"proc\":");
+                s.push_str(&task.proc.to_string());
+                s.push_str(",\"prefix\":");
+                push_usizes(&mut s, &task.prefix);
+                s.push_str(",\"accesses\":[");
+                for (k, a) in task.accesses.iter().enumerate() {
+                    if k > 0 {
+                        s.push(',');
+                    }
+                    s.push('{');
+                    push_access_body(&mut s, a);
+                    s.push('}');
+                }
+                s.push_str("],\"sleep\":");
+                s.push_str(&task.sleep.to_string());
+                s.push_str(",\"floor\":");
+                s.push_str(&task.floor.to_string());
+                s.push('}');
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// The full file content: the canonical body with the FNV-1a-64
+    /// digest spliced in as the leading `checksum` field.
+    pub fn render(&self) -> String {
+        let body = self.canonical_body();
+        let sum = fnv1a64(body.as_bytes());
+        format!("{{\"checksum\":{sum},{}", &body[1..])
+    }
+
+    /// Parses and fully validates checkpoint text: JSON structure,
+    /// field sets, version, checksum, and the structural invariants of
+    /// the frontier. Every rejection carries a named diagnostic.
+    pub fn parse(text: &str) -> Result<Checkpoint, String> {
+        let value = Parser::new(text).parse_document()?;
+        let mut top = Fields::new(value, "checkpoint")?;
+        top.allow(&[
+            "checksum",
+            "version",
+            "workload",
+            "mode",
+            "workers",
+            "seq",
+            "stem_len",
+            "counters",
+            "shard_hashes",
+            "next",
+            "spine",
+        ])?;
+        let version = top.num("version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version mismatch: expected version {CHECKPOINT_VERSION}, found \
+                 {version} (fail-closed: refusing to guess a migration)"
+            ));
+        }
+        let stored_sum = top.num("checksum")?;
+        let workload = top.string("workload")?;
+        let mode = top.string("mode")?;
+        for (what, s) in [("workload", &workload), ("mode", &mode)] {
+            if !ident_ok(s) {
+                return Err(format!(
+                    "checkpoint {what} \"{s}\" is not a plain identifier \
+                     (fail-closed: refusing a non-canonical encoding)"
+                ));
+            }
+        }
+        let workers = top.num("workers")? as usize;
+        let seq = top.num("seq")?;
+        let stem_len = top.num("stem_len")? as usize;
+
+        let mut counters = Fields::new(top.take("counters")?, "counters")?;
+        counters.allow(&["runs", "cut_runs", "pruned", "retried", "quarantined"])?;
+        let counters = CkptCounters {
+            runs: counters.num("runs")?,
+            cut_runs: counters.num("cut_runs")?,
+            pruned: counters.num("pruned")?,
+            retried: counters.num("retried")?,
+            quarantined: counters.num("quarantined")?,
+        };
+
+        let shard_hashes = top
+            .array("shard_hashes")?
+            .into_iter()
+            .map(|v| v.as_num("shard_hashes entry"))
+            .collect::<Result<Vec<u64>, String>>()?;
+
+        let mut next = Fields::new(top.take("next")?, "next")?;
+        next.allow(&["prefix", "sleep", "new_from"])?;
+        let next = CkptNext {
+            prefix: usize_array(next.array("prefix")?, "next.prefix")?,
+            sleep: next.num("sleep")?,
+            new_from: next.num("new_from")? as usize,
+        };
+
+        let mut spine = Vec::new();
+        for (d, v) in top.array("spine")?.into_iter().enumerate() {
+            let ctx = "spine node";
+            let mut f = Fields::new(v, ctx)?;
+            f.allow(&[
+                "chosen",
+                "done",
+                "sleep",
+                "backtrack",
+                "runnable",
+                "pending",
+                "wakeups",
+                "tasks",
+            ])?;
+            let mut pending = Vec::new();
+            for a in f.array("pending")? {
+                let mut af = Fields::new(a, "pending access")?;
+                af.allow(&["reg", "kind"])?;
+                pending.push(access_of(&mut af)?);
+            }
+            let mut wakeups = Vec::new();
+            for seq in f.array("wakeups")? {
+                let Json::Arr(steps) = seq else {
+                    return Err("wakeup sequence must be an array".into());
+                };
+                let mut out = Vec::new();
+                for step in steps {
+                    let mut sf = Fields::new(step, "wakeup step")?;
+                    sf.allow(&["proc", "reg", "kind"])?;
+                    out.push((sf.num("proc")? as usize, access_of(&mut sf)?));
+                }
+                wakeups.push(out);
+            }
+            let mut tasks = Vec::new();
+            for v in f.array("tasks")? {
+                let mut tf = Fields::new(v, "task")?;
+                tf.allow(&["id", "proc", "prefix", "accesses", "sleep", "floor"])?;
+                let mut accesses = Vec::new();
+                for a in tf.array("accesses")? {
+                    let mut af = Fields::new(a, "task access")?;
+                    af.allow(&["reg", "kind"])?;
+                    accesses.push(access_of(&mut af)?);
+                }
+                tasks.push(CkptTask {
+                    id: tf.num("id")?,
+                    proc: tf.num("proc")? as usize,
+                    prefix: usize_array(tf.array("prefix")?, "task prefix")?,
+                    accesses,
+                    sleep: tf.num("sleep")?,
+                    floor: tf.num("floor")? as usize,
+                });
+            }
+            let node = CkptNode {
+                chosen: f.num("chosen")? as usize,
+                done: f.num("done")?,
+                sleep: f.num("sleep")?,
+                backtrack: usize_array(f.array("backtrack")?, "backtrack")?,
+                runnable: usize_array(f.array("runnable")?, "runnable")?,
+                pending,
+                wakeups,
+                tasks,
+            };
+            let _ = d;
+            spine.push(node);
+        }
+
+        let ckpt = Checkpoint {
+            workload,
+            mode,
+            workers,
+            seq,
+            stem_len,
+            counters,
+            shard_hashes,
+            next,
+            spine,
+        };
+        let computed = fnv1a64(ckpt.canonical_body().as_bytes());
+        if computed != stored_sum {
+            return Err(format!(
+                "checkpoint checksum mismatch: stored {stored_sum}, recomputed {computed} \
+                 (torn or doctored file)"
+            ));
+        }
+        ckpt.validate_structure()?;
+        Ok(ckpt)
+    }
+
+    /// Structural invariants of a loaded frontier (beyond field types):
+    /// non-empty resumable work, consistent spine/descent, well-formed
+    /// tasks, process indices inside the 64-bit sleep-mask universe.
+    fn validate_structure(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("checkpoint declares zero workers".into());
+        }
+        if self.spine.is_empty() {
+            return Err("checkpoint holds an empty frontier: nothing to resume \
+                 (finished runs delete their checkpoint)"
+                .into());
+        }
+        if self.next.new_from + 1 != self.spine.len() {
+            return Err(format!(
+                "checkpoint next.new_from ({}) must equal spine length - 1 ({})",
+                self.next.new_from,
+                self.spine.len() - 1
+            ));
+        }
+        if self.next.prefix.len() < self.spine.len() {
+            return Err(format!(
+                "checkpoint next.prefix ({} decisions) is shorter than the spine ({} nodes)",
+                self.next.prefix.len(),
+                self.spine.len()
+            ));
+        }
+        if self.stem_len >= self.spine.len() && self.stem_len != 0 {
+            return Err(format!(
+                "checkpoint stem_len {} leaves no decision above the stem (spine length {})",
+                self.stem_len,
+                self.spine.len()
+            ));
+        }
+        let proc_ok = |p: usize| p < 64;
+        for (d, node) in self.spine.iter().enumerate() {
+            if self.next.prefix[d] != node.chosen {
+                return Err(format!(
+                    "checkpoint next.prefix diverges from the spine's chosen path at depth {d}"
+                ));
+            }
+            if !proc_ok(node.chosen)
+                || node.backtrack.iter().any(|&p| !proc_ok(p))
+                || node.runnable.iter().any(|&p| !proc_ok(p))
+            {
+                return Err(
+                    "process index out of range (sleep masks support at most 64 processes)".into(),
+                );
+            }
+            if node.pending.len() != node.runnable.len() {
+                return Err(format!(
+                    "checkpoint spine node {d}: {} pending accesses for {} runnable processes",
+                    node.pending.len(),
+                    node.runnable.len()
+                ));
+            }
+            if !node.runnable.contains(&node.chosen) {
+                return Err(format!(
+                    "checkpoint spine node {d}: chosen child {} is not runnable there",
+                    node.chosen
+                ));
+            }
+            if node.backtrack.iter().any(|p| !node.runnable.contains(p)) {
+                return Err(format!(
+                    "checkpoint spine node {d}: backtrack candidate outside the runnable set"
+                ));
+            }
+            if !node.backtrack.contains(&node.chosen) {
+                return Err(format!(
+                    "checkpoint spine node {d}: chosen child {} is missing from its \
+                     backtrack set",
+                    node.chosen
+                ));
+            }
+            for seq in &node.wakeups {
+                if seq.is_empty() {
+                    return Err(format!("checkpoint spine node {d}: empty wakeup sequence"));
+                }
+                if seq.iter().any(|&(p, _)| !proc_ok(p)) {
+                    return Err(
+                        "process index out of range (sleep masks support at most 64 processes)"
+                            .into(),
+                    );
+                }
+            }
+            for task in &node.tasks {
+                if task.floor == 0 || task.floor > task.prefix.len() {
+                    return Err(format!(
+                        "checkpoint task {}: floor {} is outside its prefix (length {})",
+                        task.id,
+                        task.floor,
+                        task.prefix.len()
+                    ));
+                }
+                if task.accesses.len() != task.floor {
+                    return Err(format!(
+                        "checkpoint task {}: {} ghost accesses but floor {}",
+                        task.id,
+                        task.accesses.len(),
+                        task.floor
+                    ));
+                }
+                if task.prefix[task.floor - 1] != task.proc {
+                    return Err(format!(
+                        "checkpoint task {}: reversal process {} differs from its prefix at \
+                         the floor",
+                        task.id, task.proc
+                    ));
+                }
+                if task.prefix.iter().any(|&p| !proc_ok(p)) {
+                    return Err(
+                        "process index out of range (sleep masks support at most 64 processes)"
+                            .into(),
+                    );
+                }
+            }
+        }
+        if self.next.prefix.iter().any(|&p| !proc_ok(p)) {
+            return Err(
+                "process index out of range (sleep masks support at most 64 processes)".into(),
+            );
+        }
+        let mut ids: Vec<u64> = self
+            .spine
+            .iter()
+            .flat_map(|n| n.tasks.iter().map(|t| t.id))
+            .collect();
+        ids.sort_unstable();
+        if let Some(dup) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(format!(
+                "duplicate task id {} in checkpoint frontier",
+                dup[0]
+            ));
+        }
+        if self.shard_hashes.windows(2).any(|w| w[0] > w[1]) {
+            return Err(
+                "checkpoint shard hashes are not sorted (doctored or corrupt snapshot)".into(),
+            );
+        }
+        Ok(())
+    }
+}
+
+fn access_of(f: &mut Fields) -> Result<CkptAccess, String> {
+    let reg = f.num("reg")?;
+    if reg > u64::from(u32::MAX) {
+        return Err(format!("register id {reg} exceeds the u32 register space"));
+    }
+    let kind = f.string("kind")?;
+    let kind = kind_of(&kind).ok_or_else(|| {
+        format!("unknown access kind \"{kind}\" (fail-closed: refusing to guess)")
+    })?;
+    Ok(CkptAccess {
+        reg: reg as u32,
+        kind,
+    })
+}
+
+fn usize_array(values: Vec<Json>, ctx: &str) -> Result<Vec<usize>, String> {
+    values
+        .into_iter()
+        .map(|v| v.as_num(ctx).map(|n| n as usize))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Fail-closed JSON (the certificate.rs v2 house style, local to sl-sim:
+// the layering runs analyze → sim, so the parser is re-implemented here
+// rather than imported)
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are unsigned 64-bit only — the format
+/// has no floats or negatives, and rejecting them outright beats
+/// guessing a rounding.
+#[derive(Clone, Debug)]
+enum Json {
+    Str(String),
+    Num(u64),
+    #[allow(dead_code)]
+    Bool(bool),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_num(&self, ctx: &str) -> Result<u64, String> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            other => Err(format!(
+                "{ctx}: expected an unsigned integer, found {other:?}"
+            )),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("line {}: {msg}", self.line)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| self.err("unexpected end of input (truncated checkpoint?)"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(self.err(&format!(
+                "expected '{}', found '{}'",
+                b as char, got as char
+            )));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    /// Parses the single top-level value and rejects trailing garbage.
+    fn parse_document(mut self) -> Result<Json, String> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing garbage after the checkpoint object"));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.parse_obj(),
+            b'[' => self.parse_arr(),
+            b'"' => Ok(Json::Str(self.parse_string()?)),
+            b'0'..=b'9' => self.parse_num(),
+            b't' | b'f' => self.parse_bool(),
+            b'-' => Err(self.err("negative numbers are not part of the checkpoint format")),
+            c => Err(self.err(&format!("unexpected character '{}'", c as char))),
+        }
+    }
+
+    fn parse_obj(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!(
+                    "duplicate key \"{key}\" (fail-closed: refusing to pick one)"
+                )));
+            }
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                c => return Err(self.err(&format!("expected ',' or '}}', found '{}'", c as char))),
+            }
+        }
+    }
+
+    fn parse_arr(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                c => return Err(self.err(&format!("expected ',' or ']', found '{}'", c as char))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string (truncated checkpoint?)"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    return Err(self.err("escape sequences are not part of the checkpoint format"))
+                }
+                b'\n' => return Err(self.err("raw newline inside a string")),
+                _ => s.push(b as char),
+            }
+        }
+    }
+
+    fn parse_num(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(
+            self.bytes.get(self.pos),
+            Some(b'.') | Some(b'e') | Some(b'E')
+        ) {
+            return Err(self.err("floating-point numbers are not part of the checkpoint format"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("number {text} does not fit in u64")))
+    }
+
+    fn parse_bool(&mut self) -> Result<Json, String> {
+        for (word, value) in [("true", true), ("false", false)] {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                return Ok(Json::Bool(value));
+            }
+        }
+        Err(self.err("expected 'true' or 'false'"))
+    }
+}
+
+/// Typed, fail-closed field extraction from a parsed object: every key
+/// must be known, every known key must be present when asked for.
+struct Fields {
+    fields: Vec<(String, Json)>,
+    ctx: &'static str,
+}
+
+impl Fields {
+    fn new(v: Json, ctx: &'static str) -> Result<Fields, String> {
+        match v {
+            Json::Obj(fields) => Ok(Fields { fields, ctx }),
+            other => Err(format!("{ctx}: expected an object, found {other:?}")),
+        }
+    }
+
+    fn allow(&self, keys: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.fields {
+            if !keys.contains(&k.as_str()) {
+                return Err(format!(
+                    "{}: unknown field \"{k}\" (fail-closed: refusing to guess)",
+                    self.ctx
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, key: &str) -> Result<Json, String> {
+        let i = self
+            .fields
+            .iter()
+            .position(|(k, _)| k == key)
+            .ok_or_else(|| format!("{}: missing field \"{key}\"", self.ctx))?;
+        Ok(self.fields.remove(i).1)
+    }
+
+    fn num(&mut self, key: &str) -> Result<u64, String> {
+        self.take(key)?.as_num(key)
+    }
+
+    fn string(&mut self, key: &str) -> Result<String, String> {
+        match self.take(key)? {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("{key}: expected a string, found {other:?}")),
+        }
+    }
+
+    fn array(&mut self, key: &str) -> Result<Vec<Json>, String> {
+        match self.take(key)? {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("{key}: expected an array, found {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The on-disk store
+// ---------------------------------------------------------------------
+
+/// What the resuming explorer expects the checkpoint to match; any
+/// mismatch is rejected with a named diagnostic rather than silently
+/// resumed into a different exploration.
+pub struct ResumeExpectation<'a> {
+    /// Worker count of the resuming explorer.
+    pub workers: usize,
+    /// `PruneMode` name of the resuming explorer.
+    pub mode: &'a str,
+    /// Stem length of the resuming explorer.
+    pub stem_len: usize,
+    /// When present, the sorted structural hashes of the live DAG
+    /// shards the resuming harness holds; a mismatch means the
+    /// checkpoint is stale against the DAG store.
+    pub expected_shards: Option<&'a [u64]>,
+}
+
+/// Atomic checkpoint persistence for one workload: writes go to a
+/// sibling temp file and `rename` into place, so the visible file is
+/// always a complete, checksummed snapshot — a crash mid-write leaves
+/// the previous checkpoint intact.
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    workload: String,
+}
+
+impl CheckpointStore {
+    /// A store rooted at `dir` for the given workload identity (a plain
+    /// identifier; it names the file and binds the checkpoint).
+    pub fn new(dir: impl Into<PathBuf>, workload: &str) -> CheckpointStore {
+        assert!(
+            ident_ok(workload),
+            "checkpoint workload id must be a plain identifier, got {workload:?}"
+        );
+        CheckpointStore {
+            dir: dir.into(),
+            workload: workload.to_string(),
+        }
+    }
+
+    /// The workload identity this store is bound to.
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// The checkpoint file path.
+    pub fn path(&self) -> PathBuf {
+        self.dir.join(format!("{}.ckpt.json", self.workload))
+    }
+
+    fn tmp_path(&self) -> PathBuf {
+        self.dir.join(format!("{}.ckpt.json.tmp", self.workload))
+    }
+
+    /// Whether a checkpoint file exists.
+    pub fn exists(&self) -> bool {
+        self.path().exists()
+    }
+
+    /// Atomically persists `ckpt`: full render to the temp file, then
+    /// rename over the live path. `fault` may inject the mid-write
+    /// crash (half the bytes land in the temp file, which the rename
+    /// never promotes — the previous checkpoint survives).
+    pub fn save(&self, ckpt: &Checkpoint, fault: Option<&FaultPlan>) -> Result<(), String> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("creating checkpoint dir {}: {e}", self.dir.display()))?;
+        let text = ckpt.render();
+        let tmp = self.tmp_path();
+        if let Some(plan) = fault {
+            if plan.takes(FaultPoint::CkptWrite) {
+                // Simulated torn write: half the payload, then the crash.
+                let _ = std::fs::write(&tmp, &text.as_bytes()[..text.len() / 2]);
+                plan.crash(FaultPoint::CkptWrite);
+            }
+        }
+        self.save_rendered(&text)
+    }
+
+    /// The write half of [`CheckpointStore::save`]: publishes
+    /// already-rendered checkpoint text atomically (temp + rename).
+    /// This is what [`CkptWriter`] runs off the exploration's critical
+    /// path.
+    pub fn save_rendered(&self, text: &str) -> Result<(), String> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("creating checkpoint dir {}: {e}", self.dir.display()))?;
+        let tmp = self.tmp_path();
+        std::fs::write(&tmp, text.as_bytes())
+            .map_err(|e| format!("writing checkpoint temp {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, self.path())
+            .map_err(|e| format!("publishing checkpoint {}: {e}", self.path().display()))?;
+        Ok(())
+    }
+
+    /// Loads and validates the checkpoint. Beyond [`Checkpoint::parse`]
+    /// this rejects metadata that does not match the resuming explorer
+    /// (`expect`) and stale shard hashes.
+    pub fn load(
+        &self,
+        expect: Option<&ResumeExpectation<'_>>,
+        fault: Option<&FaultPlan>,
+    ) -> Result<Checkpoint, String> {
+        let path = self.path();
+        if let Some(plan) = fault {
+            plan.fire(FaultPoint::ResumeParse);
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading checkpoint {}: {e}", path.display()))?;
+        let ckpt = Checkpoint::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if ckpt.workload != self.workload {
+            return Err(format!(
+                "checkpoint workload mismatch: file is for \"{}\", store is bound to \"{}\"",
+                ckpt.workload, self.workload
+            ));
+        }
+        if let Some(expect) = expect {
+            if ckpt.workers != expect.workers {
+                return Err(format!(
+                    "checkpoint worker-count mismatch: checkpoint was taken with {} workers, \
+                     resuming with {} (resume with the original worker count)",
+                    ckpt.workers, expect.workers
+                ));
+            }
+            if ckpt.mode != expect.mode {
+                return Err(format!(
+                    "checkpoint mode mismatch: checkpoint was taken under {}, resuming under {}",
+                    ckpt.mode, expect.mode
+                ));
+            }
+            if ckpt.stem_len != expect.stem_len {
+                return Err(format!(
+                    "checkpoint stem mismatch: checkpoint stem length {}, resuming with {}",
+                    ckpt.stem_len, expect.stem_len
+                ));
+            }
+            if let Some(live) = expect.expected_shards {
+                if live != ckpt.shard_hashes.as_slice() {
+                    return Err(
+                        "checkpoint shard hashes are stale: the live DAG store does not match \
+                         the snapshot (fail-closed: refusing to resume against a diverged store)"
+                            .into(),
+                    );
+                }
+            }
+        }
+        Ok(ckpt)
+    }
+
+    /// Removes the checkpoint (and any temp leftovers) — called when an
+    /// exploration completes so a later run starts fresh.
+    pub fn clear(&self) {
+        let _ = std::fs::remove_file(self.path());
+        let _ = std::fs::remove_file(self.tmp_path());
+    }
+}
+
+/// Asynchronous checkpoint publication: a dedicated writer thread
+/// applies rendered checkpoints FIFO via
+/// [`CheckpointStore::save_rendered`], keeping filesystem commit
+/// latency (~1ms per temp-write + rename on a journaling filesystem)
+/// off the exploration's critical path. Ordering is preserved by the
+/// single consumer; per-file atomicity is unchanged. Durability point:
+/// everything enqueued is on disk once [`CkptWriter::finish`] returns
+/// — callers that need a specific snapshot durable (the drain
+/// checkpoint) enqueue it with [`CkptWriter::publish_durable`] and
+/// finish the writer before acting on it. A crash loses at most the
+/// still-queued tail, which resume semantics already tolerate: any
+/// earlier checkpoint resumes bit-identically, just redoing more work.
+///
+/// Fail-closed: a write error panics the writer thread, and the next
+/// `publish*`/`finish` on the handle propagates (the thread's own
+/// panic message reaches stderr with the write diagnostic).
+pub struct CkptWriter {
+    tx: Option<std::sync::mpsc::SyncSender<String>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CkptWriter {
+    /// Spawns the writer thread for `store`'s checkpoint file.
+    pub fn spawn(store: &CheckpointStore) -> CkptWriter {
+        let store = store.clone();
+        let (tx, rx) = std::sync::mpsc::sync_channel::<String>(8);
+        let handle = std::thread::Builder::new()
+            .name("sl-ckpt-writer".into())
+            .spawn(move || {
+                for text in rx {
+                    if let Err(e) = store.save_rendered(&text) {
+                        panic!("checkpoint write failed (fail-closed): {e}");
+                    }
+                }
+            })
+            .expect("spawning checkpoint writer thread");
+        CkptWriter {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// Best-effort periodic publish: if the writer is behind (queue
+    /// full), this snapshot is skipped — a fresher one follows at the
+    /// next cadence tick, and resume tolerates any published
+    /// checkpoint. Panics if the writer thread died (fail-closed).
+    pub fn publish(&self, text: String) {
+        use std::sync::mpsc::TrySendError;
+        match self
+            .tx
+            .as_ref()
+            .expect("writer not finished")
+            .try_send(text)
+        {
+            Ok(()) | Err(TrySendError::Full(_)) => {}
+            Err(TrySendError::Disconnected(_)) => self.writer_died(),
+        }
+    }
+
+    /// Guaranteed enqueue for snapshots that must not be skipped (the
+    /// drain checkpoint). Blocks briefly if the queue is full; the
+    /// snapshot is durable once [`CkptWriter::finish`] returns.
+    pub fn publish_durable(&self, text: String) {
+        if self
+            .tx
+            .as_ref()
+            .expect("writer not finished")
+            .send(text)
+            .is_err()
+        {
+            self.writer_died();
+        }
+    }
+
+    /// Drains the queue, stops the thread, and propagates any write
+    /// failure. Everything previously enqueued is on disk on return.
+    pub fn finish(mut self) {
+        self.shutdown(true);
+    }
+
+    fn writer_died(&self) -> ! {
+        panic!(
+            "checkpoint writer thread failed (fail-closed); \
+             see its panic message for the write diagnostic"
+        );
+    }
+
+    fn shutdown(&mut self, propagate: bool) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            if handle.join().is_err() && propagate {
+                self.writer_died();
+            }
+        }
+    }
+}
+
+impl Drop for CkptWriter {
+    fn drop(&mut self) {
+        // Still drain the queue on an unwinding path, but don't panic
+        // inside a panic.
+        self.shutdown(!std::thread::panicking());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Budgets & the resume session
+// ---------------------------------------------------------------------
+
+/// Checkpoint cadence and exploration budgets for a resumable run. See
+/// the module docs for the drain semantics.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Write a checkpoint every this many root replays (`0` = only the
+    /// final drain checkpoint).
+    pub every_replays: u64,
+    /// Schedule-count budget over the union of the resumed base and the
+    /// live run (completed + cut replays); expiry drains to a
+    /// checkpoint.
+    pub max_schedules: Option<u64>,
+    /// Wall-clock deadline; expiry drains to a checkpoint.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            every_replays: 2_000,
+            max_schedules: None,
+            deadline: None,
+        }
+    }
+}
+
+/// Everything [`Explorer::explore_resumable`](crate::Explorer::explore_resumable)
+/// needs beyond the explorer itself: the store, the policy, optional
+/// fault injection, and the optional live-shard-hash plumbing for
+/// checkpoint/DAG cross-validation.
+pub struct ResumeSession<'a> {
+    /// The checkpoint store (also carries the workload identity).
+    pub store: &'a CheckpointStore,
+    /// Cadence and budgets.
+    pub policy: CheckpointPolicy,
+    /// Deterministic fault injection, if any.
+    pub fault: Option<std::sync::Arc<FaultPlan>>,
+    /// Expected shard hashes validated on load (see
+    /// [`ResumeExpectation`]).
+    pub expected_shards: Option<Vec<u64>>,
+    /// Snapshot provider for the live DAG shard hashes, recorded into
+    /// each checkpoint (sorted). `None` for counts-only runs.
+    pub shard_hashes: Option<&'a (dyn Fn() -> Vec<u64> + Sync)>,
+}
+
+impl<'a> ResumeSession<'a> {
+    /// A session over `store` with the default policy and no fault
+    /// injection.
+    pub fn new(store: &'a CheckpointStore) -> ResumeSession<'a> {
+        ResumeSession {
+            store,
+            policy: CheckpointPolicy::default(),
+            fault: None,
+            expected_shards: None,
+            shard_hashes: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+/// The named crash sites of the fault-injection harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// Freezing a subtree task for publication.
+    TaskFreeze,
+    /// Claiming a task off a deque.
+    Steal,
+    /// Merging a joined task's output into the owner spine.
+    JoinMerge,
+    /// Mid-file during a checkpoint write (tests the temp+rename
+    /// atomicity).
+    CkptWrite,
+    /// Loading a checkpoint on resume.
+    ResumeParse,
+}
+
+impl FaultPoint {
+    /// Every injection point — the CI matrix iterates this.
+    pub const ALL: [FaultPoint; 5] = [
+        FaultPoint::TaskFreeze,
+        FaultPoint::Steal,
+        FaultPoint::JoinMerge,
+        FaultPoint::CkptWrite,
+        FaultPoint::ResumeParse,
+    ];
+
+    /// The point's wire name (the `SL_FAULT_POINT` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::TaskFreeze => "task-freeze",
+            FaultPoint::Steal => "steal",
+            FaultPoint::JoinMerge => "join-merge",
+            FaultPoint::CkptWrite => "ckpt-write",
+            FaultPoint::ResumeParse => "resume-parse",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<FaultPoint> {
+        FaultPoint::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// The panic payload of an injected in-process crash. The quarantine
+/// guards recognise it and re-raise instead of retrying: an injected
+/// crash must behave like a crash (abort the exploration), not like a
+/// flaky subtree.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultCrash {
+    /// Name of the point that fired.
+    pub point: &'static str,
+}
+
+/// A deterministic single-shot fault: crash at the `nth` arrival at
+/// `point`, either by panicking with a [`FaultCrash`] payload
+/// (in-process crash simulation) or by `process::abort` (out-of-process
+/// kill tests).
+#[derive(Debug)]
+pub struct FaultPlan {
+    point: FaultPoint,
+    nth: u64,
+    abort: bool,
+    hits: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan that panics with [`FaultCrash`] at the `nth` arrival.
+    pub fn panicking(point: FaultPoint, nth: u64) -> FaultPlan {
+        FaultPlan {
+            point,
+            nth: nth.max(1),
+            abort: false,
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// A plan that `process::abort`s at the `nth` arrival.
+    pub fn aborting(point: FaultPoint, nth: u64) -> FaultPlan {
+        FaultPlan {
+            abort: true,
+            ..FaultPlan::panicking(point, nth)
+        }
+    }
+
+    /// Builds a plan from `SL_FAULT_POINT` (a [`FaultPoint::name`]),
+    /// `SL_FAULT_NTH` (default 1), and `SL_FAULT_MODE` (`panic`
+    /// (default) or `abort`). Returns `None` when `SL_FAULT_POINT` is
+    /// unset; panics on an unknown point or mode (fail-closed — a typo
+    /// must not silently disable the harness).
+    pub fn from_env() -> Option<FaultPlan> {
+        let point = std::env::var("SL_FAULT_POINT").ok()?;
+        let point = FaultPoint::from_name(&point)
+            .unwrap_or_else(|| panic!("SL_FAULT_POINT: unknown injection point {point:?}"));
+        let nth = match std::env::var("SL_FAULT_NTH") {
+            Err(_) => 1,
+            Ok(s) => s
+                .trim()
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("SL_FAULT_NTH: not a count: {s:?}")),
+        };
+        let abort = match std::env::var("SL_FAULT_MODE").as_deref() {
+            Err(_) | Ok("panic") => false,
+            Ok("abort") => true,
+            Ok(other) => panic!("SL_FAULT_MODE: unknown mode {other:?} (panic|abort)"),
+        };
+        Some(if abort {
+            FaultPlan::aborting(point, nth)
+        } else {
+            FaultPlan::panicking(point, nth)
+        })
+    }
+
+    /// The plan's injection point.
+    pub fn point(&self) -> FaultPoint {
+        self.point
+    }
+
+    /// Counts an arrival at `point`; `true` exactly on the fatal one.
+    fn takes(&self, point: FaultPoint) -> bool {
+        point == self.point && self.hits.fetch_add(1, Ordering::SeqCst) + 1 == self.nth
+    }
+
+    /// The crash itself.
+    fn crash(&self, point: FaultPoint) -> ! {
+        if self.abort {
+            eprintln!("SL_FAULT: aborting at injection point {}", point.name());
+            std::process::abort();
+        }
+        std::panic::panic_any(FaultCrash {
+            point: point.name(),
+        })
+    }
+
+    /// Crashes iff this arrival at `point` is the plan's fatal one.
+    pub fn fire(&self, point: FaultPoint) {
+        if self.takes(point) {
+            self.crash(point);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Poisoned-task reports
+// ---------------------------------------------------------------------
+
+/// The quarantine record of one subtree that panicked through every
+/// retry: the replayable decision prefix (feed it to `Explorer::stem`
+/// or a `Scripted` scheduler to reproduce), the attempt count, and the
+/// panic message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoisonReport {
+    /// Decision prefix of the quarantined subtree, from the schedule
+    /// tree's root.
+    pub prefix: Vec<usize>,
+    /// Attempts made (1 + retries).
+    pub attempts: u32,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes `report` as JSON into `dir` (named by the prefix digest, so
+/// repeated quarantines of one subtree overwrite rather than pile up)
+/// and returns the path. CI uploads this directory on failure.
+pub fn write_poison_report(dir: &Path, report: &PoisonReport) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("creating poison-report dir {}: {e}", dir.display()))?;
+    let mut body = String::from("{\"prefix\":");
+    push_usizes(&mut body, &report.prefix);
+    body.push_str(",\"attempts\":");
+    body.push_str(&report.attempts.to_string());
+    body.push_str(",\"message\":\"");
+    body.push_str(&escape_json(&report.message));
+    body.push_str("\"}\n");
+    let digest = {
+        let mut key = String::new();
+        push_usizes(&mut key, &report.prefix);
+        fnv1a64(key.as_bytes())
+    };
+    let path = dir.join(format!("poisoned-{digest:016x}.json"));
+    std::fs::write(&path, body).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Renders a caught panic payload for a [`PoisonReport`].
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            workload: "aba_mixed3".into(),
+            mode: "OptimalDpor".into(),
+            workers: 4,
+            seq: 7,
+            stem_len: 0,
+            counters: CkptCounters {
+                runs: 123,
+                cut_runs: 4,
+                pruned: 567,
+                retried: 1,
+                quarantined: 0,
+            },
+            shard_hashes: vec![11, 22, 22, 33],
+            next: CkptNext {
+                prefix: vec![0, 1, 2, 1],
+                sleep: 0b10,
+                new_from: 2,
+            },
+            spine: vec![
+                CkptNode {
+                    chosen: 0,
+                    done: 0b1,
+                    sleep: 0b1,
+                    backtrack: vec![0, 2],
+                    runnable: vec![0, 1, 2],
+                    pending: vec![
+                        CkptAccess {
+                            reg: 0,
+                            kind: AccessKind::Rmw,
+                        },
+                        CkptAccess {
+                            reg: 3,
+                            kind: AccessKind::Read,
+                        },
+                        CkptAccess {
+                            reg: 3,
+                            kind: AccessKind::Write,
+                        },
+                    ],
+                    wakeups: vec![vec![
+                        (
+                            2,
+                            CkptAccess {
+                                reg: 3,
+                                kind: AccessKind::Write,
+                            },
+                        ),
+                        (
+                            1,
+                            CkptAccess {
+                                reg: 3,
+                                kind: AccessKind::Read,
+                            },
+                        ),
+                    ]],
+                    tasks: vec![CkptTask {
+                        id: 1,
+                        proc: 2,
+                        prefix: vec![2],
+                        accesses: vec![CkptAccess {
+                            reg: 0,
+                            kind: AccessKind::Rmw,
+                        }],
+                        sleep: 0b1,
+                        floor: 1,
+                    }],
+                },
+                CkptNode {
+                    chosen: 1,
+                    done: 0,
+                    sleep: 0,
+                    backtrack: vec![1],
+                    runnable: vec![0, 1, 2],
+                    pending: vec![
+                        CkptAccess {
+                            reg: 0,
+                            kind: AccessKind::Read,
+                        },
+                        CkptAccess {
+                            reg: 1,
+                            kind: AccessKind::Write,
+                        },
+                        CkptAccess {
+                            reg: u32::MAX,
+                            kind: AccessKind::Local,
+                        },
+                    ],
+                    wakeups: vec![],
+                    tasks: vec![CkptTask {
+                        id: 2,
+                        proc: 0,
+                        prefix: vec![0, 1, 0],
+                        accesses: vec![
+                            CkptAccess {
+                                reg: 0,
+                                kind: AccessKind::Read,
+                            },
+                            CkptAccess {
+                                reg: u32::MAX,
+                                kind: AccessKind::Local,
+                            },
+                            CkptAccess {
+                                reg: 1,
+                                kind: AccessKind::Write,
+                            },
+                        ],
+                        sleep: 0,
+                        floor: 3,
+                    }],
+                },
+                CkptNode {
+                    chosen: 2,
+                    done: 0,
+                    sleep: 0,
+                    backtrack: vec![2],
+                    runnable: vec![1, 2],
+                    pending: vec![
+                        CkptAccess {
+                            reg: 1,
+                            kind: AccessKind::Read,
+                        },
+                        CkptAccess {
+                            reg: 2,
+                            kind: AccessKind::Write,
+                        },
+                    ],
+                    wakeups: vec![],
+                    tasks: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let c = sample();
+        let text = c.render();
+        let parsed = Checkpoint::parse(&text).expect("sample parses");
+        assert_eq!(parsed, c);
+        assert_eq!(parsed.render(), text, "serialize → parse → serialize");
+    }
+
+    #[test]
+    fn whitespace_tolerant_parse_recanonicalises() {
+        let c = sample();
+        let text = c.render().replace(",\"mode\"", ",\n  \"mode\"");
+        let parsed = Checkpoint::parse(&text).expect("whitespace is cosmetic");
+        assert_eq!(parsed.render(), c.render());
+    }
+
+    fn expect_reject(text: &str, needle: &str) {
+        let err = Checkpoint::parse(text).expect_err("doctored checkpoint must be rejected");
+        assert!(
+            err.contains(needle),
+            "diagnostic {err:?} does not name {needle:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let text = sample().render().replace("\"version\":1", "\"version\":2");
+        expect_reject(&text, "version mismatch");
+    }
+
+    #[test]
+    fn rejects_checksum_mismatch() {
+        let text = sample().render().replace("\"runs\":123", "\"runs\":124");
+        expect_reject(&text, "checksum mismatch");
+    }
+
+    #[test]
+    fn rejects_duplicate_task_id() {
+        let mut c = sample();
+        c.spine[1].tasks[0].id = 1; // collides with spine[0]'s task
+        expect_reject(&c.render(), "duplicate task id 1");
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let text = sample().render();
+        expect_reject(&text[..text.len() / 2], "truncated checkpoint");
+        expect_reject(&text[..text.len() - 1], "truncated checkpoint");
+    }
+
+    #[test]
+    fn rejects_unknown_field() {
+        let text = sample()
+            .render()
+            .replace("\"seq\":7", "\"seq\":7,\"surprise\":1");
+        expect_reject(&text, "unknown field \"surprise\"");
+    }
+
+    #[test]
+    fn rejects_duplicate_key() {
+        let text = sample()
+            .render()
+            .replace("\"seq\":7", "\"seq\":7,\"seq\":8");
+        expect_reject(&text, "duplicate key \"seq\"");
+    }
+
+    #[test]
+    fn rejects_empty_frontier() {
+        let mut c = sample();
+        c.spine.clear();
+        c.next = CkptNext {
+            prefix: vec![],
+            sleep: 0,
+            new_from: 0,
+        };
+        // new_from + 1 != 0 is unsatisfiable for an empty spine; the
+        // empty-frontier diagnostic fires first.
+        expect_reject(&c.render(), "empty frontier");
+    }
+
+    #[test]
+    fn rejects_stale_shard_hashes() {
+        let c = sample();
+        let dir = test_dir("stale-shards");
+        let store = CheckpointStore::new(&dir, "aba_mixed3");
+        store.save(&c, None).unwrap();
+        let err = store
+            .load(
+                Some(&ResumeExpectation {
+                    workers: 4,
+                    mode: "OptimalDpor",
+                    stem_len: 0,
+                    expected_shards: Some(&[99]),
+                }),
+                None,
+            )
+            .expect_err("stale shard hashes must be rejected");
+        assert!(err.contains("stale"), "diagnostic: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_worker_count_mismatch() {
+        let c = sample();
+        let dir = test_dir("worker-mismatch");
+        let store = CheckpointStore::new(&dir, "aba_mixed3");
+        store.save(&c, None).unwrap();
+        let err = store
+            .load(
+                Some(&ResumeExpectation {
+                    workers: 8,
+                    mode: "OptimalDpor",
+                    stem_len: 0,
+                    expected_shards: None,
+                }),
+                None,
+            )
+            .expect_err("worker-count mismatch must be rejected");
+        assert!(err.contains("worker-count mismatch"), "diagnostic: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_unsorted_shard_hashes() {
+        let mut c = sample();
+        c.shard_hashes = vec![22, 11];
+        expect_reject(&c.render(), "not sorted");
+    }
+
+    #[test]
+    fn rejects_prefix_spine_divergence() {
+        let mut c = sample();
+        c.next.prefix[1] = 2;
+        expect_reject(&c.render(), "diverges from the spine");
+    }
+
+    #[test]
+    fn rejects_task_floor_out_of_prefix() {
+        let mut c = sample();
+        c.spine[0].tasks[0].floor = 5;
+        expect_reject(&c.render(), "floor 5 is outside its prefix");
+    }
+
+    #[test]
+    fn rejects_proc_out_of_mask_range() {
+        let mut c = sample();
+        c.spine[2].backtrack.push(64);
+        expect_reject(&c.render(), "process index out of range");
+    }
+
+    #[test]
+    fn rejects_negative_and_float_numbers() {
+        let text = sample().render().replace("\"seq\":7", "\"seq\":-7");
+        expect_reject(&text, "negative numbers");
+        let text = sample().render().replace("\"seq\":7", "\"seq\":7.5");
+        expect_reject(&text, "floating-point");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut text = sample().render();
+        text.push_str("{}");
+        expect_reject(&text, "trailing garbage");
+    }
+
+    fn test_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sl-ckpt-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn save_is_atomic_under_injected_mid_write_crash() {
+        let dir = test_dir("atomic");
+        let store = CheckpointStore::new(&dir, "aba_mixed3");
+        let mut c = sample();
+        store.save(&c, None).unwrap();
+        let before = std::fs::read_to_string(store.path()).unwrap();
+        c.seq += 1;
+        let plan = FaultPlan::panicking(FaultPoint::CkptWrite, 1);
+        let crashed =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| store.save(&c, Some(&plan))));
+        assert!(crashed.is_err(), "the injected mid-write crash fires");
+        let after = std::fs::read_to_string(store.path()).unwrap();
+        assert_eq!(
+            before, after,
+            "a torn temp write never replaces the live file"
+        );
+        // And the surviving file still loads.
+        let loaded = store.load(None, None).unwrap();
+        assert_eq!(loaded.seq, 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn async_writer_applies_in_order_and_is_durable_at_finish() {
+        let dir = test_dir("writer");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir, "aba_mixed3");
+        let writer = CkptWriter::spawn(&store);
+        let mut c = sample();
+        for seq in 1..=20u64 {
+            c.seq = seq;
+            // Best-effort publishes may be skipped under a slow disk,
+            // but the durable one must land last and win.
+            writer.publish(c.render());
+        }
+        c.seq = 21;
+        writer.publish_durable(c.render());
+        writer.finish();
+        let loaded = store.load(None, None).unwrap();
+        assert_eq!(
+            loaded.seq, 21,
+            "FIFO application: the durable final snapshot is the visible file"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn async_writer_propagates_write_failures_fail_closed() {
+        let dir = test_dir("writer-fail");
+        let _ = std::fs::remove_dir_all(&dir);
+        // A plain file where the store expects its directory: every
+        // write on the writer thread fails.
+        std::fs::write(&dir, b"not a directory").unwrap();
+        let store = CheckpointStore::new(&dir, "aba_mixed3");
+        let writer = CkptWriter::spawn(&store);
+        writer.publish_durable(sample().render());
+        let failed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| writer.finish()));
+        let payload = failed.expect_err("finish propagates the writer's failure");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| payload.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(
+            msg.contains("checkpoint writer thread failed"),
+            "named diagnostic, got: {msg}"
+        );
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn fault_plan_fires_exactly_once_at_nth() {
+        let plan = FaultPlan::panicking(FaultPoint::Steal, 3);
+        plan.fire(FaultPoint::Steal);
+        plan.fire(FaultPoint::JoinMerge); // other points never count
+        plan.fire(FaultPoint::Steal);
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            plan.fire(FaultPoint::Steal)
+        }));
+        let payload = crashed.expect_err("third arrival crashes");
+        let crash = payload
+            .downcast_ref::<FaultCrash>()
+            .expect("FaultCrash payload");
+        assert_eq!(crash.point, "steal");
+        // Spent: later arrivals pass through.
+        plan.fire(FaultPoint::Steal);
+    }
+
+    #[test]
+    fn poison_report_roundtrips_to_disk() {
+        let dir = test_dir("poison");
+        let report = PoisonReport {
+            prefix: vec![0, 2, 1],
+            attempts: 3,
+            message: "object bug: \"quoted\"\nsecond line".into(),
+        };
+        let path = write_poison_report(&dir, &report).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"attempts\":3"));
+        assert!(text.contains("\\\"quoted\\\"\\n"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -328,9 +328,14 @@ use std::sync::{Arc, Mutex};
 
 use sl_check::{OpSym, RegSym, ValueId};
 
+use crate::checkpoint::{
+    panic_message, write_poison_report, Checkpoint, CheckpointPolicy, CheckpointStore, CkptAccess,
+    CkptCounters, CkptNext, CkptNode, CkptTask, CkptWriter, FaultCrash, FaultPlan, FaultPoint,
+    PoisonReport, ResumeExpectation, ResumeSession,
+};
 use crate::sched::{Scheduler, STOP_RUN};
 use crate::statics::StaticConflicts;
-use crate::world::{AccessKind, PendingAccess, RunOutcome, SchedView, TraceItem};
+use crate::world::{AccessKind, PendingAccess, RegId, RunOutcome, SchedView, TraceItem};
 
 /// Statistics of an exploration.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -338,7 +343,8 @@ pub struct ExploreOutcome {
     /// Number of complete runs (schedules) executed.
     pub runs: usize,
     /// `true` if the schedule space was exhausted within the run budget;
-    /// `false` if exploration stopped at `max_runs` with schedules left.
+    /// `false` if exploration stopped at `max_runs` with schedules
+    /// left, drained to a checkpoint, or quarantined a subtree.
     pub exhausted: bool,
     /// Number of branch candidates skipped by pruning (0 when pruning
     /// is off or the legacy [`explore`] entry point is used).
@@ -347,6 +353,25 @@ pub struct ExploreOutcome {
     /// process was sleeping — continuations that sleep-set theory
     /// proves are covered by some explored schedule.
     pub cut_runs: usize,
+    /// Retry attempts performed on panicking subtree tasks (whether or
+    /// not the task eventually succeeded).
+    pub retried: u64,
+    /// Subtree tasks that panicked through every retry and were
+    /// quarantined — their schedule subspaces are **unexplored**, so
+    /// any verdict over this outcome is partial (see [`Self::partial`]
+    /// and the `checkpoint` module's soundness argument).
+    pub quarantined: u64,
+    /// The exploration drained to a checkpoint on budget expiry
+    /// ([`crate::CheckpointPolicy`]); resume with
+    /// [`Explorer::explore_resumable`] to continue.
+    pub drained: bool,
+    /// Partial-verdict marker: the schedule space was not fully covered
+    /// because of a drain or a quarantine. A partial outcome must never
+    /// be read as a PASS.
+    pub partial: bool,
+    /// One report per quarantined subtree: the replayable decision
+    /// prefix, the attempt count, and the panic message.
+    pub poisoned: Vec<PoisonReport>,
 }
 
 impl ExploreOutcome {
@@ -354,6 +379,22 @@ impl ExploreOutcome {
     /// quantity that bounds exploration wall-clock.
     pub fn schedules_replayed(&self) -> usize {
         self.runs + self.cut_runs
+    }
+
+    /// An outcome with no robustness events (no retries, quarantines,
+    /// or drains) — the frame explorers and the legacy entry point.
+    fn clean(runs: usize, exhausted: bool, pruned: u64, cut_runs: usize) -> ExploreOutcome {
+        ExploreOutcome {
+            runs,
+            exhausted,
+            pruned,
+            cut_runs,
+            retried: 0,
+            quarantined: 0,
+            drained: false,
+            partial: false,
+            poisoned: Vec::new(),
+        }
     }
 }
 
@@ -393,12 +434,7 @@ where
     let mut runs = 0;
     while let Some(script) = stack.pop() {
         if runs >= max_runs {
-            return ExploreOutcome {
-                runs,
-                exhausted: false,
-                pruned: 0,
-                cut_runs: 0,
-            };
+            return ExploreOutcome::clean(runs, false, 0, 0);
         }
         let outcome = run_with_script(&script);
         runs += 1;
@@ -418,12 +454,7 @@ where
         }
         visit(&script, &outcome);
     }
-    ExploreOutcome {
-        runs,
-        exhausted: true,
-        pruned: 0,
-        cut_runs: 0,
-    }
+    ExploreOutcome::clean(runs, true, 0, 0)
 }
 
 /// How the [`Explorer`] prunes the schedule tree. See the module docs
@@ -470,6 +501,22 @@ pub enum PruneMode {
     /// consulted when present (placement relaxation + fail-closed race
     /// validation) but is not required.
     OptimalDpor,
+}
+
+impl PruneMode {
+    /// Stable name recorded in checkpoint metadata; resume rejects a
+    /// checkpoint taken under a different mode (the frontier encoding
+    /// is mode-specific).
+    pub fn name(self) -> &'static str {
+        match self {
+            PruneMode::Unpruned => "Unpruned",
+            PruneMode::SleepSet => "SleepSet",
+            PruneMode::SourceDpor => "SourceDpor",
+            PruneMode::ValueDpor => "ValueDpor",
+            PruneMode::StaticDpor => "StaticDpor",
+            PruneMode::OptimalDpor => "OptimalDpor",
+        }
+    }
 }
 
 /// Per-worker replay state owned by the caller of
@@ -1010,12 +1057,7 @@ impl Explorer {
             }
         }
         ctx.subtree_end();
-        ExploreOutcome {
-            runs,
-            exhausted,
-            pruned,
-            cut_runs,
-        }
+        ExploreOutcome::clean(runs, exhausted, pruned, cut_runs)
     }
 
     fn explore_parallel<C, NF, F>(
@@ -1123,12 +1165,12 @@ impl Explorer {
             }
         });
         let capped = capped.load(Ordering::SeqCst);
-        ExploreOutcome {
-            runs: runs.load(Ordering::SeqCst),
-            exhausted: !capped,
-            pruned: pruned.load(Ordering::SeqCst),
-            cut_runs: cut_runs.load(Ordering::SeqCst),
-        }
+        ExploreOutcome::clean(
+            runs.load(Ordering::SeqCst),
+            !capped,
+            pruned.load(Ordering::SeqCst),
+            cut_runs.load(Ordering::SeqCst),
+        )
     }
 }
 
@@ -1403,6 +1445,10 @@ fn clock_leq(a: &[u32], b: &[u32]) -> bool {
 /// A frozen unexplored subtree of the source-DPOR schedule tree,
 /// publishable onto the work-stealing deque: everything a worker needs
 /// to explore the subtree without touching the owner's spine.
+///
+/// `Clone` so a [`TaskSlot`] can retain the frozen spec for the
+/// checkpointer and for quarantine retries while a claimed copy runs.
+#[derive(Clone)]
 struct SubtreeTask {
     /// Full decision prefix from the schedule-tree root; the last entry
     /// is the backtrack candidate this task reverses into.
@@ -1445,6 +1491,15 @@ struct TaskOutput {
     pruned: u64,
     capped: bool,
     escapes: Vec<Escape>,
+    /// Panicking-subtree retry attempts folded up from descendants.
+    retried: u64,
+    /// Subtrees quarantined after exhausting retries.
+    quarantined: u64,
+    /// The budget expired: this task abandoned work at a replay
+    /// boundary (the root wrote a checkpoint first).
+    drained: bool,
+    /// One report per quarantined subtree.
+    poisoned: Vec<PoisonReport>,
 }
 
 const TASK_QUEUED: u8 = 0;
@@ -1456,15 +1511,18 @@ const TASK_DONE: u8 = 2;
 /// slots; `claim` arbitrates.
 struct TaskSlot {
     state: AtomicU8,
-    task: Mutex<Option<SubtreeTask>>,
+    /// The frozen spec, immutable after construction: the checkpointer
+    /// reads it lock-free regardless of claim state, and claiming hands
+    /// out a clone.
+    spec: SubtreeTask,
     output: Mutex<Option<TaskOutput>>,
 }
 
 impl TaskSlot {
-    fn new(task: SubtreeTask) -> TaskSlot {
+    fn new(spec: SubtreeTask) -> TaskSlot {
         TaskSlot {
             state: AtomicU8::new(TASK_QUEUED),
-            task: Mutex::new(Some(task)),
+            spec,
             output: Mutex::new(None),
         }
     }
@@ -1481,7 +1539,7 @@ impl TaskSlot {
             )
             .is_ok()
         {
-            Some(self.task.lock().unwrap().take().expect("claimed task"))
+            Some(self.spec.clone())
         } else {
             None
         }
@@ -1529,6 +1587,15 @@ struct DporShared<'a, NF, F> {
     /// First panic payload raised by any worker's runner.
     poison: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     poisoned: AtomicBool,
+    /// Deterministic fault injection (resumable sessions only; `None`
+    /// everywhere else, making every `fire` a no-op).
+    fault: Option<&'a FaultPlan>,
+    /// The budget expired: every task abandons work at its next replay
+    /// boundary. Raised only by the root, after it wrote a checkpoint.
+    draining: AtomicBool,
+    /// Where quarantine writes poisoned-task reports (`SL_POISON_DIR`;
+    /// unset means reports only travel in the outcome).
+    poison_dir: Option<std::path::PathBuf>,
 }
 
 /// Waiting at a join, a worker helps with other queued tasks; the
@@ -1562,6 +1629,9 @@ impl<'a, NF, F> DporShared<'a, NF, F> {
                 let Some(slot) = slot else { break };
                 if let Some(task) = slot.claim() {
                     self.queued.fetch_sub(1, Ordering::Relaxed);
+                    if let Some(plan) = self.fault {
+                        plan.fire(FaultPoint::Steal);
+                    }
                     return Some((slot, task));
                 }
                 // Stale handle (claimed back at a join): drop and keep
@@ -1582,6 +1652,93 @@ impl Explorer {
         NF: Fn() -> C + Sync,
         F: Fn(&mut C, &mut ScheduleDriver) + Sync,
     {
+        self.explore_dpor_session(new_ctx, runner, None)
+    }
+
+    /// Resumable exploration: source-set DPOR with periodic frontier
+    /// checkpoints, budget-drained degradation, and (optionally)
+    /// deterministic fault injection — see the [`crate::checkpoint`]
+    /// module docs for the format, the budget semantics, and the
+    /// quarantine soundness argument.
+    ///
+    /// If `session.store` holds a checkpoint, it is loaded (fail-closed:
+    /// any load error panics with the store's named diagnostic) and the
+    /// exploration continues from the snapshotted frontier; otherwise a
+    /// fresh exploration starts. On budget expiry
+    /// ([`CheckpointPolicy::max_schedules`] /
+    /// [`CheckpointPolicy::deadline`]) the explorer drains to a clean
+    /// checkpoint and returns a partial outcome with
+    /// [`ExploreOutcome::drained`] set; the union of a drained run and
+    /// its resumption is bit-identical to an uninterrupted run at any
+    /// worker count. A finished (non-drained) resumable run deletes its
+    /// checkpoint.
+    ///
+    /// Panics unless [`Explorer::mode`] is one of the DPOR modes — the
+    /// frame explorers have no task frontier to checkpoint.
+    pub fn explore_resumable<C, NF, F>(
+        &self,
+        new_ctx: NF,
+        runner: F,
+        session: &ResumeSession<'_>,
+    ) -> ExploreOutcome
+    where
+        C: ReplayCtx,
+        NF: Fn() -> C + Sync,
+        F: Fn(&mut C, &mut ScheduleDriver) + Sync,
+    {
+        assert!(
+            matches!(
+                self.mode,
+                PruneMode::SourceDpor
+                    | PruneMode::ValueDpor
+                    | PruneMode::StaticDpor
+                    | PruneMode::OptimalDpor
+            ),
+            "explore_resumable requires a DPOR mode (fail-closed: the frame \
+             explorers have no task frontier to checkpoint)"
+        );
+        let workers = self.workers.max(1);
+        let (restore, base) = if session.store.exists() {
+            let expect = ResumeExpectation {
+                workers,
+                mode: self.mode.name(),
+                stem_len: self.stem.len(),
+                expected_shards: session.expected_shards.as_deref(),
+            };
+            let ckpt = session
+                .store
+                .load(Some(&expect), session.fault.as_deref())
+                .unwrap_or_else(|e| panic!("cannot resume (fail-closed): {e}"));
+            let base = ckpt.counters;
+            (Some(ckpt), base)
+        } else {
+            (None, CkptCounters::default())
+        };
+        self.explore_dpor_session(
+            &new_ctx,
+            &runner,
+            Some(SessionState {
+                store: session.store,
+                policy: &session.policy,
+                fault: session.fault.as_deref(),
+                shard_hashes: session.shard_hashes,
+                restore,
+                base,
+            }),
+        )
+    }
+
+    fn explore_dpor_session<C, NF, F>(
+        &self,
+        new_ctx: &NF,
+        runner: &F,
+        session: Option<SessionState<'_>>,
+    ) -> ExploreOutcome
+    where
+        C: ReplayCtx,
+        NF: Fn() -> C + Sync,
+        F: Fn(&mut C, &mut ScheduleDriver) + Sync,
+    {
         let workers = self.workers.max(1);
         let statics = match self.mode {
             PruneMode::StaticDpor => Some(self.statics.as_deref().expect(
@@ -1592,10 +1749,15 @@ impl Explorer {
             PruneMode::OptimalDpor => self.statics.as_deref(),
             _ => None,
         };
+        let base = session.as_ref().map(|s| s.base).unwrap_or_default();
+        let base_schedules = (base.runs + base.cut_runs) as usize;
+        let fault = session.as_ref().and_then(|s| s.fault);
         let shared = DporShared {
             new_ctx,
             runner,
-            max_runs: self.max_runs,
+            // Already-banked schedules count against the run budget, so
+            // an interrupted + resumed run caps at the same total.
+            max_runs: self.max_runs.saturating_sub(base_schedules),
             value_aware: matches!(
                 self.mode,
                 PruneMode::ValueDpor | PruneMode::StaticDpor | PruneMode::OptimalDpor
@@ -1609,7 +1771,33 @@ impl Explorer {
             shutdown: AtomicBool::new(false),
             poison: Mutex::new(None),
             poisoned: AtomicBool::new(false),
+            fault,
+            draining: AtomicBool::new(false),
+            poison_dir: std::env::var_os("SL_POISON_DIR").map(std::path::PathBuf::from),
         };
+        // Checkpoint IO runs on a dedicated writer thread: filesystem
+        // commit latency (temp write + rename, ~1ms on a journaling
+        // filesystem) would otherwise stall every cadence tick of the
+        // root walk. Under fault injection the writer is disabled so
+        // `ckpt-write` crashes stay synchronous and deterministic.
+        let writer = session
+            .as_ref()
+            .filter(|s| s.fault.is_none())
+            .map(|s| CkptWriter::spawn(s.store));
+        let mut rc = session.map(|s| RootCkpt {
+            store: s.store,
+            policy: s.policy,
+            fault: s.fault,
+            writer: writer.as_ref(),
+            shard_hashes: s.shard_hashes,
+            mode: self.mode.name(),
+            workers,
+            stem_len: self.stem.len(),
+            base: s.base,
+            seq: s.restore.as_ref().map(|c| c.seq + 1).unwrap_or(1),
+            replays_since: 0,
+            restore: s.restore,
+        });
         let root = SubtreeTask {
             prefix: self.stem.clone(),
             accesses: Vec::new(),
@@ -1619,10 +1807,7 @@ impl Explorer {
         };
         let root_out = if workers <= 1 {
             let mut ctx = new_ctx();
-            ctx.subtree_begin();
-            let out = run_task(&shared, 0, 0, &mut ctx, root);
-            ctx.subtree_end();
-            out
+            run_task_guarded(&shared, 0, 0, &mut ctx, &root, rc.as_mut())
         } else {
             let mut root_out = None;
             std::thread::scope(|scope| {
@@ -1632,10 +1817,7 @@ impl Explorer {
                 }
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let mut ctx = (shared.new_ctx)();
-                    ctx.subtree_begin();
-                    let out = run_task(&shared, 0, 0, &mut ctx, root);
-                    ctx.subtree_end();
-                    out
+                    run_task_guarded(&shared, 0, 0, &mut ctx, &root, rc.as_mut())
                 }));
                 match result {
                     Ok(out) => root_out = Some(out),
@@ -1648,13 +1830,249 @@ impl Explorer {
             }
             root_out.expect("root exploration completed without a panic")
         };
-        ExploreOutcome {
-            runs: root_out.runs,
-            exhausted: !root_out.capped,
-            pruned: root_out.pruned,
-            cut_runs: root_out.cut_runs,
+        let quarantined = base.quarantined + root_out.quarantined;
+        let outcome = ExploreOutcome {
+            runs: base.runs as usize + root_out.runs,
+            exhausted: !root_out.capped && !root_out.drained && quarantined == 0,
+            pruned: base.pruned + root_out.pruned,
+            cut_runs: base.cut_runs as usize + root_out.cut_runs,
+            retried: base.retried + root_out.retried,
+            quarantined,
+            drained: root_out.drained,
+            partial: root_out.drained || quarantined > 0,
+            poisoned: root_out.poisoned,
+        };
+        let ckpt_store = rc.as_ref().map(|r| r.store.clone());
+        drop(rc);
+        // Flush the async writer before touching the file: the drain
+        // snapshot becomes durable here, and a queued periodic write
+        // must not land after `clear()` resurrects nothing.
+        if let Some(writer) = writer {
+            writer.finish();
+        }
+        if let Some(store) = ckpt_store {
+            // A run that actually finished (did not drain) owns no
+            // resumable state any more: delete the checkpoint so a
+            // later resumable invocation starts fresh. Quarantined
+            // prefixes live in the poisoned-task reports, not here.
+            if !outcome.drained {
+                store.clear();
+            }
+        }
+        outcome
+    }
+}
+
+/// Per-invocation state of a resumable DPOR session, threaded into
+/// [`Explorer::explore_dpor_session`].
+struct SessionState<'a> {
+    store: &'a CheckpointStore,
+    policy: &'a CheckpointPolicy,
+    fault: Option<&'a FaultPlan>,
+    shard_hashes: Option<&'a (dyn Fn() -> Vec<u64> + Sync)>,
+    /// The loaded checkpoint to restore from (`None` = fresh start).
+    restore: Option<Checkpoint>,
+    /// Counters banked by the interrupted run (zero on a fresh start).
+    base: CkptCounters,
+}
+
+/// Root-only checkpointing state: owned by whichever thread runs the
+/// root task (checkpoints snapshot the **root's** spine — delegated
+/// subtrees are represented by their frozen specs, so nothing another
+/// worker mutates is ever read).
+struct RootCkpt<'a> {
+    store: &'a CheckpointStore,
+    policy: &'a CheckpointPolicy,
+    fault: Option<&'a FaultPlan>,
+    /// Asynchronous publication path (absent under fault injection,
+    /// where writes stay synchronous so `ckpt-write` crashes land
+    /// deterministically on the exploring thread).
+    writer: Option<&'a CkptWriter>,
+    shard_hashes: Option<&'a (dyn Fn() -> Vec<u64> + Sync)>,
+    mode: &'static str,
+    workers: usize,
+    stem_len: usize,
+    /// Counters banked by the interrupted run; snapshots write
+    /// `base + out` so each checkpoint carries run-total counters.
+    base: CkptCounters,
+    seq: u64,
+    replays_since: u64,
+    restore: Option<Checkpoint>,
+}
+
+/// Serializes the root spine into a [`Checkpoint`] and writes it
+/// through the store (atomic temp + rename). Skipped while the spine is
+/// still empty — there is nothing to resume before the first replay.
+///
+/// When an async [`CkptWriter`] is installed, periodic snapshots
+/// (`durable = false`) are handed to the writer thread best-effort
+/// (skipped if it is behind) and the drain snapshot (`durable = true`)
+/// is enqueued guaranteed — it is on disk once the writer is finished,
+/// which [`Explorer::explore_resumable`] does before returning.
+fn write_root_checkpoint(
+    rc: &mut RootCkpt<'_>,
+    spine: &[SpineNode],
+    next: (&[usize], u64, usize),
+    out: &TaskOutput,
+    durable: bool,
+) {
+    if spine.is_empty() {
+        return;
+    }
+    let wire_access = |a: &PendingAccess| CkptAccess {
+        reg: a.reg.0,
+        kind: a.kind,
+    };
+    let counters = CkptCounters {
+        runs: rc.base.runs + out.runs as u64,
+        cut_runs: rc.base.cut_runs + out.cut_runs as u64,
+        pruned: rc.base.pruned + out.pruned,
+        retried: rc.base.retried + out.retried,
+        quarantined: rc.base.quarantined + out.quarantined,
+    };
+    let mut shard_hashes = rc.shard_hashes.map(|f| f()).unwrap_or_default();
+    shard_hashes.sort_unstable();
+    let mut task_id = 0u64;
+    let ckpt_spine = spine
+        .iter()
+        .map(|node| CkptNode {
+            chosen: node.chosen,
+            done: node.done,
+            sleep: node.sleep_now,
+            backtrack: node.backtrack.clone(),
+            runnable: node.runnable.clone(),
+            pending: node.pending.iter().map(wire_access).collect(),
+            wakeups: node
+                .wakeups
+                .iter()
+                .map(|seq| seq.iter().map(|(p, a)| (*p, wire_access(a))).collect())
+                .collect(),
+            tasks: node
+                .delegated
+                .iter()
+                .map(|(proc, slot)| {
+                    task_id += 1;
+                    CkptTask {
+                        id: task_id,
+                        proc: *proc,
+                        prefix: slot.spec.prefix.clone(),
+                        accesses: slot
+                            .spec
+                            .accesses
+                            .iter()
+                            .map(|m| wire_access(&m.access))
+                            .collect(),
+                        sleep: slot.spec.sleep,
+                        floor: slot.spec.floor,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    let ckpt = Checkpoint {
+        workload: rc.store.workload().to_string(),
+        mode: rc.mode.to_string(),
+        workers: rc.workers,
+        seq: rc.seq,
+        stem_len: rc.stem_len,
+        counters,
+        shard_hashes,
+        next: CkptNext {
+            prefix: next.0.to_vec(),
+            sleep: next.1,
+            new_from: next.2,
+        },
+        spine: ckpt_spine,
+    };
+    rc.seq += 1;
+    rc.replays_since = 0;
+    match rc.writer {
+        Some(writer) => {
+            let text = ckpt.render();
+            if durable {
+                writer.publish_durable(text);
+            } else {
+                writer.publish(text);
+            }
+        }
+        None => {
+            if let Err(e) = rc.store.save(&ckpt, rc.fault) {
+                panic!("checkpoint write failed (fail-closed): {e}");
+            }
         }
     }
+}
+
+/// Rebuilds the root spine (and republishes its delegated tasks onto
+/// `deques[me]`) from a loaded checkpoint. No replay runs here: the
+/// wire format carries every configuration field race detection needs
+/// structurally (`runnable`/`pending`/sleep/backtrack/wakeups), and the
+/// execution metadata + vector clocks are recomputed by the first
+/// counted replay exactly as the interrupted run would have refreshed
+/// them — so the resumed DAG shards see no extra transcript.
+fn restore_spine<NF, F>(
+    shared: &DporShared<'_, NF, F>,
+    me: usize,
+    ckpt: &Checkpoint,
+) -> Vec<SpineNode> {
+    let live_access = |a: &CkptAccess| PendingAccess {
+        reg: RegId(a.reg),
+        kind: a.kind,
+    };
+    ckpt.spine
+        .iter()
+        .map(|node| {
+            let pending: Vec<PendingAccess> = node.pending.iter().map(live_access).collect();
+            // Ghost prefix nodes have empty `runnable`; their access is
+            // unknowable here, but also never consulted (the first
+            // replay's exec pass refreshes every node's meta).
+            let access = node
+                .runnable
+                .iter()
+                .position(|&p| p == node.chosen)
+                .map(|i| pending[i])
+                .unwrap_or(PendingAccess::LOCAL);
+            let delegated = node
+                .tasks
+                .iter()
+                .map(|t| {
+                    let spec = SubtreeTask {
+                        prefix: t.prefix.clone(),
+                        accesses: t
+                            .accesses
+                            .iter()
+                            .map(|a| StepMeta::unknown(live_access(a)))
+                            .collect(),
+                        clocks: Vec::new(),
+                        sleep: t.sleep,
+                        floor: t.floor,
+                    };
+                    let slot = Arc::new(TaskSlot::new(spec));
+                    shared.deques[me]
+                        .lock()
+                        .unwrap()
+                        .push_back(Arc::clone(&slot));
+                    shared.queued.fetch_add(1, Ordering::Relaxed);
+                    (t.proc, slot)
+                })
+                .collect();
+            SpineNode {
+                runnable: node.runnable.clone(),
+                pending,
+                sleep_now: node.sleep,
+                done: node.done,
+                backtrack: node.backtrack.clone(),
+                chosen: node.chosen,
+                meta: StepMeta::unknown(access),
+                delegated,
+                wakeups: node
+                    .wakeups
+                    .iter()
+                    .map(|seq| seq.iter().map(|(p, a)| (*p, live_access(a))).collect())
+                    .collect(),
+            }
+        })
+        .collect()
 }
 
 /// Body of a spawned DPOR worker: steal and execute subtree tasks until
@@ -1683,8 +2101,8 @@ where
     }
 }
 
-/// Runs one claimed task inside its `subtree_begin`/`subtree_end`
-/// bracket and publishes the result on its slot.
+/// Runs one claimed task under the quarantine guard and publishes the
+/// result on its slot.
 fn execute_task<C, NF, F>(
     shared: &DporShared<'_, NF, F>,
     me: usize,
@@ -1697,10 +2115,101 @@ fn execute_task<C, NF, F>(
     NF: Fn() -> C + Sync,
     F: Fn(&mut C, &mut ScheduleDriver) + Sync,
 {
-    ctx.subtree_begin();
-    let out = run_task(shared, me, help_depth, ctx, task);
-    ctx.subtree_end();
+    let out = run_task_guarded(shared, me, help_depth, ctx, &task, None);
     slot.complete(out);
+}
+
+/// Retries on a panicking subtree before giving up on it.
+const QUARANTINE_RETRIES: u32 = 2;
+/// Deterministic backoff before retry attempt 2 and 3 (milliseconds).
+const QUARANTINE_BACKOFF_MS: [u64; QUARANTINE_RETRIES as usize] = [1, 5];
+
+/// Runs a subtree task inside its `subtree_begin`/`subtree_end` bracket
+/// with **panic quarantine**: a panic out of the runner (an object bug,
+/// a fail-closed `validate_race`, a scheduler assertion) is caught, the
+/// task retried up to [`QUARANTINE_RETRIES`] times with deterministic
+/// backoff, and on exhaustion quarantined into a [`PoisonReport`]
+/// (written to `SL_POISON_DIR` when set) while the rest of the frontier
+/// completes. The quarantined subtree's schedules stay unexplored, so
+/// the outcome is marked partial — never a false PASS (see the
+/// [`crate::checkpoint`] module docs).
+///
+/// Two panic classes are **re-raised**, not quarantined: injected
+/// [`FaultCrash`]es (a fault-injection run must crash so the harness
+/// can exercise recovery-by-resume) and panics observed after the pool
+/// is poisoned (the abort is already propagating).
+///
+/// Every attempt gets its own subtree bracket, so a failed attempt's
+/// partially-flushed DAG shard holds a strict subset of the retry's
+/// transcripts — hash-consing dedupes them in the merged DAG.
+fn run_task_guarded<C, NF, F>(
+    shared: &DporShared<'_, NF, F>,
+    me: usize,
+    help_depth: usize,
+    ctx: &mut C,
+    spec: &SubtreeTask,
+    mut root: Option<&mut RootCkpt<'_>>,
+) -> TaskOutput
+where
+    C: ReplayCtx,
+    NF: Fn() -> C + Sync,
+    F: Fn(&mut C, &mut ScheduleDriver) + Sync,
+{
+    // A root retry must restart from the same restore plan; `run_task`
+    // consumes it, so keep a copy to reinstate between attempts.
+    let restore_backup = root.as_ref().and_then(|rc| rc.restore.clone());
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        ctx.subtree_begin();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_task(
+                shared,
+                me,
+                help_depth,
+                ctx,
+                spec.clone(),
+                root.as_deref_mut(),
+            )
+        }));
+        ctx.subtree_end();
+        match result {
+            Ok(mut out) => {
+                out.retried += u64::from(attempts - 1);
+                return out;
+            }
+            Err(payload) => {
+                if payload.is::<FaultCrash>() || shared.poisoned.load(Ordering::SeqCst) {
+                    std::panic::resume_unwind(payload);
+                }
+                if attempts > QUARANTINE_RETRIES {
+                    let report = PoisonReport {
+                        prefix: spec.prefix.clone(),
+                        attempts,
+                        message: panic_message(&*payload),
+                    };
+                    if let Some(dir) = &shared.poison_dir {
+                        // Best-effort: the report also travels in the
+                        // outcome, so a failed write loses nothing vital.
+                        let _ = write_poison_report(dir, &report);
+                    }
+                    let mut out = TaskOutput {
+                        retried: u64::from(attempts - 1),
+                        quarantined: 1,
+                        ..Default::default()
+                    };
+                    out.poisoned.push(report);
+                    return out;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(
+                    QUARANTINE_BACKOFF_MS[(attempts - 1) as usize],
+                ));
+                if let Some(rc) = root.as_deref_mut() {
+                    rc.restore = restore_backup.clone();
+                }
+            }
+        }
+    }
 }
 
 /// Blocks until `slot` is done, claiming it back (and running it on
@@ -1722,9 +2231,7 @@ where
         shared.queued.fetch_sub(1, Ordering::Relaxed);
         // Never stolen: run it right here, exactly where the sequential
         // explorer would have.
-        ctx.subtree_begin();
-        let out = run_task(shared, me, help_depth, ctx, task);
-        ctx.subtree_end();
+        let out = run_task_guarded(shared, me, help_depth, ctx, &task, None);
         slot.state.store(TASK_DONE, Ordering::SeqCst);
         return out;
     }
@@ -1774,6 +2281,7 @@ fn run_task<C, NF, F>(
     help_depth: usize,
     ctx: &mut C,
     task: SubtreeTask,
+    mut root: Option<&mut RootCkpt<'_>>,
 ) -> TaskOutput
 where
     C: ReplayCtx,
@@ -1798,6 +2306,17 @@ where
     // longer, and the forced tail is observed on the first replay.
     let first_window = spine.len().saturating_sub(1);
     let mut next: Option<(Vec<usize>, u64, usize)> = Some((task.prefix, task.sleep, first_window));
+    // Resuming: swap in the checkpointed frontier. Clocks restart empty
+    // — they are a pure cache over the spine and the first counted
+    // replay recomputes them (and every node's exec metadata)
+    // deterministically, exactly as the interrupted run refreshed them.
+    if let Some(rc) = root.as_deref_mut() {
+        if let Some(ckpt) = rc.restore.take() {
+            spine = restore_spine(shared, me, &ckpt);
+            clocks = Vec::new();
+            next = Some((ckpt.next.prefix, ckpt.next.sleep, ckpt.next.new_from));
+        }
+    }
     while let Some((prefix, sleep_at_record, new_from)) = next.take() {
         // Abort promptly when any worker's runner panicked: tasks are
         // deliberately coarse, so waiting for the subtree to finish
@@ -1805,6 +2324,55 @@ where
         // surfaces. The output is discarded on poison anyway.
         if shared.poisoned.load(Ordering::SeqCst) {
             panic!("source-DPOR exploration aborted: a worker's runner panicked");
+        }
+        // Resumable-session hooks, all at the replay boundary (the only
+        // point where the frontier is fully materialised in the spine +
+        // `next` + frozen delegated specs):
+        //  * root: on budget expiry write a final checkpoint, raise the
+        //    drain flag, and abandon this subtree *without joining the
+        //    delegated tasks* — their outputs must not be folded in, or
+        //    the checkpointed counters (which exclude them, since their
+        //    specs re-run on resume) would diverge from the totals;
+        //  * root: otherwise write a periodic checkpoint every
+        //    `every_replays` replays;
+        //  * non-root tasks: see the drain flag and abandon likewise.
+        match root.as_deref_mut() {
+            None => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    out.drained = true;
+                    return out;
+                }
+            }
+            Some(rc) => {
+                let spent = rc.base.runs + rc.base.cut_runs + (out.runs + out.cut_runs) as u64;
+                let expired = rc.policy.max_schedules.is_some_and(|m| spent >= m)
+                    || rc
+                        .policy
+                        .deadline
+                        .is_some_and(|d| std::time::Instant::now() >= d);
+                if expired {
+                    write_root_checkpoint(
+                        rc,
+                        &spine,
+                        (&prefix, sleep_at_record, new_from),
+                        &out,
+                        true,
+                    );
+                    shared.draining.store(true, Ordering::SeqCst);
+                    out.drained = true;
+                    return out;
+                }
+                if rc.policy.every_replays > 0 && rc.replays_since >= rc.policy.every_replays {
+                    write_root_checkpoint(
+                        rc,
+                        &spine,
+                        (&prefix, sleep_at_record, new_from),
+                        &out,
+                        false,
+                    );
+                }
+                rc.replays_since += 1;
+            }
         }
         // Reserve a replay against the global budget.
         if shared.replays.fetch_add(1, Ordering::SeqCst) >= shared.max_runs {
@@ -2009,6 +2577,9 @@ fn publish_extras<NF, F>(
                        sleep_acc: &mut u64,
                        done_acc: &mut u64,
                        seq: WakeupSeq| {
+        if let Some(plan) = shared.fault {
+            plan.fire(FaultPoint::TaskFreeze);
+        }
         let e = seq[0].0;
         let access_e = spine[d].pending_of(e);
         let sleep_e =
@@ -2104,11 +2675,18 @@ fn join_delegated<C, NF, F>(
     }
     let delegated = std::mem::take(&mut spine[d].delegated);
     for (proc, slot) in delegated {
+        if let Some(plan) = shared.fault {
+            plan.fire(FaultPoint::JoinMerge);
+        }
         let res = join_slot(shared, me, help_depth, ctx, &slot);
         out.runs += res.runs;
         out.cut_runs += res.cut_runs;
         out.pruned += res.pruned;
         out.capped |= res.capped;
+        out.retried += res.retried;
+        out.quarantined += res.quarantined;
+        out.drained |= res.drained;
+        out.poisoned.extend(res.poisoned);
         for esc in res.escapes {
             if esc.depth >= floor {
                 apply_escape(&mut spine[esc.depth], esc);
@@ -2957,21 +3535,24 @@ mod tests {
         let runner = writers_runner(2, false);
         let syms = collect_data_syms(&runner);
         // Licensed but *not* predicted racy: the dynamic write/write
-        // race must abort the exploration.
+        // race must abort the subtree. Quarantine converts the abort
+        // into a partial verdict (never a silent PASS) whose poisoned
+        // report carries the named diagnostic.
         let st = Arc::new(StaticConflicts::new(syms, []));
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            Explorer {
-                mode: PruneMode::StaticDpor,
-                statics: Some(st),
-                ..Explorer::default()
-            }
-            .explore(&runner)
-        }));
-        let payload = result.expect_err("unpredicted race must panic");
-        let msg = payload
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
+        let out = Explorer {
+            mode: PruneMode::StaticDpor,
+            statics: Some(st),
+            ..Explorer::default()
+        }
+        .explore(&runner);
+        assert!(
+            !out.exhausted,
+            "an unpredicted race never reads as a full pass"
+        );
+        assert!(out.partial, "quarantine marks the outcome partial");
+        assert_eq!(out.quarantined, 1);
+        assert_eq!(out.retried, QUARANTINE_RETRIES as u64);
+        let msg = &out.poisoned[0].message;
         assert!(
             msg.contains("not predicted") && msg.contains("register `X`"),
             "diagnostic names the register: {msg}"
@@ -3308,5 +3889,394 @@ mod tests {
             assert_eq!(b, ended.load(Ordering::SeqCst), "{workers} workers");
             assert!(b >= 1);
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Crash resilience: quarantine, budgets + drain, checkpointed
+    // resume, and deterministic fault injection.
+    // -----------------------------------------------------------------
+
+    fn resume_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sl-explore-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn quarantine_retries_then_quarantines_the_root_subtree() {
+        let attempts = AtomicUsize::new(0);
+        let runner = writers_runner(3, false);
+        let out = Explorer::default().explore(|d| -> RunOutcome {
+            let _ = runner(d);
+            attempts.fetch_add(1, Ordering::SeqCst);
+            panic!("injected object bug (test)");
+        });
+        assert_eq!(out.quarantined, 1);
+        assert_eq!(out.retried, QUARANTINE_RETRIES as u64);
+        assert!(out.partial && !out.exhausted, "never a silent pass");
+        assert_eq!(out.runs, 0, "a quarantined subtree banks no counters");
+        assert_eq!(
+            attempts.load(Ordering::SeqCst),
+            1 + QUARANTINE_RETRIES as usize,
+            "one try plus the deterministic retries"
+        );
+        let report = &out.poisoned[0];
+        assert_eq!(report.attempts, 1 + QUARANTINE_RETRIES);
+        assert!(report.message.contains("injected object bug"));
+        assert!(
+            report.prefix.is_empty(),
+            "the root's replay prefix is the stem"
+        );
+    }
+
+    #[test]
+    fn quarantine_keeps_the_process_alive_across_workers() {
+        for workers in [1, 2] {
+            let runner = mixed_runner(3);
+            let explorer = Explorer {
+                workers,
+                ..Explorer::default()
+            };
+            // Deterministic per-schedule bug: every schedule led by
+            // process 1 panics after its replay, wherever in the task
+            // tree it is explored.
+            let out = explorer.explore(|d| -> RunOutcome {
+                let o = runner(d);
+                if o.script().first() == Some(&1) {
+                    panic!("injected bug on schedules led by process 1 (test)");
+                }
+                o
+            });
+            assert!(out.quarantined >= 1, "{workers} workers");
+            assert_eq!(out.retried, QUARANTINE_RETRIES as u64 * out.quarantined);
+            assert!(out.partial && !out.exhausted);
+            assert_eq!(out.poisoned.len(), out.quarantined as usize);
+            assert!(out.poisoned[0]
+                .message
+                .contains("injected bug on schedules led by process 1"));
+        }
+    }
+
+    /// Scheduler adapter panicking inside [`Scheduler::pick`]: the VM's
+    /// guarded pick site must abort the fibers and rethrow, landing in
+    /// the explorer's quarantine instead of killing the process.
+    struct PanickyPick<'a>(&'a mut ScheduleDriver);
+    impl Scheduler for PanickyPick<'_> {
+        fn pick(&mut self, _view: &SchedView<'_>) -> usize {
+            panic!("injected pick panic (test)");
+        }
+        fn run_end(&mut self, trace: &[TraceItem]) {
+            self.0.run_end(trace);
+        }
+    }
+
+    /// Scheduler adapter panicking inside [`Scheduler::run_end`]: the
+    /// VM must finish its core teardown before rethrowing, so the
+    /// quarantined retries still find a usable world.
+    struct PanickyEnd<'a>(&'a mut ScheduleDriver);
+    impl Scheduler for PanickyEnd<'_> {
+        fn pick(&mut self, view: &SchedView<'_>) -> usize {
+            self.0.pick(view)
+        }
+        fn run_end(&mut self, _trace: &[TraceItem]) {
+            panic!("injected run_end panic (test)");
+        }
+    }
+
+    fn two_writer_programs(world: &SimWorld) -> Vec<crate::Program> {
+        let mem = world.mem();
+        let r = mem.alloc("X", 0u64);
+        let r2 = r.clone();
+        vec![
+            Box::new(move |_| r.write(1)) as crate::Program,
+            Box::new(move |_| r2.write(2)) as crate::Program,
+        ]
+    }
+
+    #[test]
+    fn a_panic_inside_scheduler_pick_funnels_into_quarantine() {
+        let out = Explorer::default().explore(|d| {
+            let world = SimWorld::new(2);
+            let programs = two_writer_programs(&world);
+            world.run(programs, &mut PanickyPick(d), 100)
+        });
+        assert_eq!(out.quarantined, 1);
+        assert!(out.partial && !out.exhausted);
+        assert!(out.poisoned[0].message.contains("injected pick panic"));
+    }
+
+    #[test]
+    fn a_panic_inside_scheduler_run_end_funnels_into_quarantine() {
+        let out = Explorer::default().explore(|d| {
+            let world = SimWorld::new(2);
+            let programs = two_writer_programs(&world);
+            world.run(programs, &mut PanickyEnd(d), 100)
+        });
+        assert_eq!(out.quarantined, 1);
+        assert!(out.partial && !out.exhausted);
+        assert!(out.poisoned[0].message.contains("injected run_end panic"));
+    }
+
+    #[test]
+    fn drained_exploration_resumes_to_the_uninterrupted_outcome() {
+        use std::collections::BTreeSet;
+        for (mode, workers) in [
+            (PruneMode::ValueDpor, 1),
+            (PruneMode::ValueDpor, 2),
+            (PruneMode::OptimalDpor, 1),
+            (PruneMode::OptimalDpor, 4),
+        ] {
+            let runner = mixed_runner(3);
+            let explorer = Explorer {
+                mode,
+                workers,
+                ..Explorer::default()
+            };
+            let ref_scripts = Mutex::new(BTreeSet::new());
+            let reference = explorer.explore(|d| {
+                let o = runner(d);
+                if !d.was_cut() {
+                    ref_scripts.lock().unwrap().insert(o.script());
+                }
+                o
+            });
+            assert!(reference.exhausted);
+
+            let dir = resume_dir(&format!("drain-{}-{workers}", mode.name()));
+            let store = CheckpointStore::new(&dir, "mixed3");
+            let res_scripts = Mutex::new(BTreeSet::new());
+            let mut rounds = 0u64;
+            let final_out = loop {
+                rounds += 1;
+                assert!(rounds < 500, "resume loop did not converge");
+                let mut session = ResumeSession::new(&store);
+                session.policy = CheckpointPolicy {
+                    every_replays: 3,
+                    max_schedules: Some(rounds * 10),
+                    deadline: None,
+                };
+                let out = explorer.explore_resumable(
+                    || (),
+                    |_, d| {
+                        let o = runner(d);
+                        if !d.was_cut() {
+                            res_scripts.lock().unwrap().insert(o.script());
+                        }
+                    },
+                    &session,
+                );
+                if !out.drained {
+                    break out;
+                }
+                assert!(out.partial && !out.exhausted, "a drain is never a pass");
+                assert!(store.exists() || out.schedules_replayed() == 0);
+            };
+            let tag = format!("{} at {workers} workers after {rounds} rounds", mode.name());
+            assert!(final_out.exhausted, "{tag}");
+            assert_eq!(final_out.runs, reference.runs, "{tag}");
+            assert_eq!(final_out.cut_runs, reference.cut_runs, "{tag}");
+            assert_eq!(final_out.pruned, reference.pruned, "{tag}");
+            assert_eq!(final_out.quarantined, 0, "{tag}");
+            assert!(
+                rounds > 1,
+                "the budget actually interrupted the run ({tag})"
+            );
+            assert!(!store.exists(), "a finished run deletes its checkpoint");
+            assert_eq!(
+                ref_scripts.into_inner().unwrap(),
+                res_scripts.into_inner().unwrap(),
+                "interrupt + resume explores exactly the uninterrupted schedule set ({tag})"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn an_expired_deadline_drains_at_the_first_replay_boundary() {
+        let runner = mixed_runner(3);
+        let dir = resume_dir("deadline");
+        let store = CheckpointStore::new(&dir, "mixed3");
+        let explorer = Explorer::default();
+        let mut session = ResumeSession::new(&store);
+        session.policy.deadline = Some(std::time::Instant::now());
+        let out = explorer.explore_resumable(|| (), |_, d| drop(runner(d)), &session);
+        assert!(out.drained && out.partial && !out.exhausted);
+        assert_eq!(out.runs, 0, "no replay ran past the deadline");
+        assert!(
+            !store.exists(),
+            "nothing explored yet, nothing to checkpoint"
+        );
+        // With the deadline lifted the same store runs to completion.
+        let out =
+            explorer.explore_resumable(|| (), |_, d| drop(runner(d)), &ResumeSession::new(&store));
+        let reference = explorer.explore(&runner);
+        assert!(out.exhausted);
+        assert_eq!(out.runs, reference.runs);
+        assert_eq!(out.pruned, reference.pruned);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Every in-process fault-injection point, at one and at four
+    /// workers: the injected crash either never fires (the site is
+    /// unreachable at that worker count — e.g. nothing is ever stolen
+    /// sequentially) and the run completes clean, or it crashes the
+    /// exploration and a resume from the surviving checkpoint ends at
+    /// the bit-identical uninterrupted outcome.
+    #[test]
+    fn fault_injection_matrix_recovers_bit_identically() {
+        for point in [
+            FaultPoint::TaskFreeze,
+            FaultPoint::Steal,
+            FaultPoint::JoinMerge,
+            FaultPoint::CkptWrite,
+        ] {
+            for workers in [1, 4] {
+                let runner = mixed_runner(3);
+                let explorer = Explorer {
+                    workers,
+                    ..Explorer::default()
+                };
+                let reference = explorer.explore(&runner);
+                let dir = resume_dir(&format!("fault-{}-{workers}", point.name()));
+                let store = CheckpointStore::new(&dir, "mixed3");
+                let plan = Arc::new(FaultPlan::panicking(point, 1));
+                let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut session = ResumeSession::new(&store);
+                    session.policy.every_replays = 3;
+                    session.fault = Some(Arc::clone(&plan));
+                    explorer.explore_resumable(|| (), |_, d| drop(runner(d)), &session)
+                }));
+                let tag = format!("{} at {workers} workers", point.name());
+                if let Ok(out) = crashed {
+                    assert!(out.exhausted, "no crash ⇒ a clean pass ({tag})");
+                    assert_eq!(out.runs, reference.runs, "{tag}");
+                    let _ = std::fs::remove_dir_all(&dir);
+                    continue;
+                }
+                let out = explorer.explore_resumable(
+                    || (),
+                    |_, d| drop(runner(d)),
+                    &ResumeSession::new(&store),
+                );
+                assert!(out.exhausted, "{tag}");
+                assert_eq!(out.runs, reference.runs, "{tag}");
+                assert_eq!(out.cut_runs, reference.cut_runs, "{tag}");
+                assert_eq!(out.pruned, reference.pruned, "{tag}");
+                assert!(!store.exists(), "{tag}");
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+
+    #[test]
+    fn a_crash_during_resume_parse_recovers_on_retry() {
+        let runner = mixed_runner(3);
+        let explorer = Explorer::default();
+        let reference = explorer.explore(&runner);
+        let dir = resume_dir("resume-parse");
+        let store = CheckpointStore::new(&dir, "mixed3");
+        let mut session = ResumeSession::new(&store);
+        session.policy.every_replays = 2;
+        session.policy.max_schedules = Some(5);
+        let out = explorer.explore_resumable(|| (), |_, d| drop(runner(d)), &session);
+        assert!(
+            out.drained && store.exists(),
+            "a real checkpoint to resume from"
+        );
+        let plan = Arc::new(FaultPlan::panicking(FaultPoint::ResumeParse, 1));
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut session = ResumeSession::new(&store);
+            session.fault = Some(plan);
+            explorer.explore_resumable(|| (), |_, d| drop(runner(d)), &session)
+        }));
+        assert!(crashed.is_err(), "the parse-time fault crashes the resume");
+        assert!(store.exists(), "the checkpoint survives a parse-time crash");
+        let out =
+            explorer.explore_resumable(|| (), |_, d| drop(runner(d)), &ResumeSession::new(&store));
+        assert!(out.exhausted);
+        assert_eq!(out.runs, reference.runs);
+        assert_eq!(out.pruned, reference.pruned);
+        assert!(!store.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_drained_checkpoint_roundtrips_byte_identically() {
+        let runner = mixed_runner(4);
+        let dir = resume_dir("roundtrip");
+        let store = CheckpointStore::new(&dir, "mixed4");
+        let explorer = Explorer {
+            mode: PruneMode::OptimalDpor,
+            workers: 4,
+            ..Explorer::default()
+        };
+        let mut session = ResumeSession::new(&store);
+        session.policy.every_replays = 5;
+        session.policy.max_schedules = Some(40);
+        let out = explorer.explore_resumable(|| (), |_, d| drop(runner(d)), &session);
+        assert!(out.drained && store.exists());
+        let text = std::fs::read_to_string(store.path()).unwrap();
+        let ckpt = Checkpoint::parse(&text).expect("a written checkpoint parses");
+        assert_eq!(
+            ckpt.render(),
+            text,
+            "serialize → parse → serialize is byte-identical"
+        );
+        assert!(!ckpt.spine.is_empty());
+        assert_eq!(ckpt.workers, 4);
+        assert_eq!(ckpt.mode, "OptimalDpor");
+        // And the frontier it carries resumes to the uninterrupted totals.
+        let reference = explorer.explore(&runner);
+        let fin =
+            explorer.explore_resumable(|| (), |_, d| drop(runner(d)), &ResumeSession::new(&store));
+        assert!(fin.exhausted);
+        assert_eq!(fin.runs, reference.runs);
+        assert_eq!(fin.cut_runs, reference.cut_runs);
+        assert_eq!(fin.pruned, reference.pruned);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_mode_and_worker_mismatches() {
+        let runner = mixed_runner(3);
+        let dir = resume_dir("mismatch");
+        let store = CheckpointStore::new(&dir, "mixed3");
+        let mut session = ResumeSession::new(&store);
+        session.policy.every_replays = 2;
+        session.policy.max_schedules = Some(5);
+        let drained = Explorer {
+            workers: 2,
+            ..Explorer::default()
+        }
+        .explore_resumable(|| (), |_, d| drop(runner(d)), &session);
+        assert!(drained.drained && store.exists());
+        let panic_msg = |explorer: Explorer| -> String {
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                explorer.explore_resumable(
+                    || (),
+                    |_, d| drop(runner(d)),
+                    &ResumeSession::new(&store),
+                )
+            }))
+            .expect_err("mismatched resume must fail closed");
+            err.downcast_ref::<String>().cloned().unwrap_or_default()
+        };
+        let msg = panic_msg(Explorer {
+            mode: PruneMode::OptimalDpor,
+            workers: 2,
+            ..Explorer::default()
+        });
+        assert!(msg.contains("mode"), "names the mode mismatch: {msg}");
+        let msg = panic_msg(Explorer {
+            workers: 4,
+            ..Explorer::default()
+        });
+        assert!(
+            msg.contains("worker-count"),
+            "names the worker mismatch: {msg}"
+        );
+        assert!(store.exists(), "rejection leaves the checkpoint untouched");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

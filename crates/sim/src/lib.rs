@@ -68,6 +68,29 @@
 //! the schedule fuzzer and the object model-checking harness on top of
 //! this crate.
 //!
+//! # Crash resilience and quarantine soundness
+//!
+//! [`Explorer::explore_resumable`] makes deep DPOR explorations
+//! survivable: the root walk periodically freezes its outstanding
+//! frontier into a versioned, FNV-1a-64-checksummed checkpoint
+//! ([`CheckpointStore`], atomic temp-file + rename, fail-closed parse
+//! with named diagnostics — see [`Checkpoint`] for the wire format),
+//! and the union of an interrupted
+//! run with its resumption is bit-identical to an uninterrupted run at
+//! any worker count. [`CheckpointPolicy`] adds a wall-clock deadline
+//! and a schedule budget; on expiry the explorer *drains* — writes one
+//! clean checkpoint and returns a resumable partial
+//! [`ExploreOutcome`]. Worker panics are retried with deterministic
+//! backoff and then **quarantined**: the poisoned subtree is dumped as
+//! a replayable [`PoisonReport`] and exploration continues around it.
+//! Quarantine is sound by construction — a quarantined subtree banks
+//! *zero* schedules and forces `partial = true` on the outcome, so
+//! unexplored schedules can never surface as a false PASS; callers
+//! must treat a partial outcome's verdict as "no violation found in
+//! the explored portion", never as exhaustive. Deterministic crash
+//! injection for testing all of the above lives in [`FaultPlan`]
+//! (`SL_FAULT_POINT`/`SL_FAULT_NTH`/`SL_FAULT_MODE`).
+//!
 //! # Example
 //!
 //! ```
@@ -95,6 +118,7 @@
 
 #![deny(unsafe_code)]
 
+mod checkpoint;
 mod explore;
 // Unsafe is confined to the two modules that must speak to raw
 // coroutine state: `fiber` (stack switching) and `vm` (the active-core
@@ -112,6 +136,11 @@ mod statics;
 mod vm;
 mod world;
 
+pub use checkpoint::{
+    fnv1a64, write_poison_report, Checkpoint, CheckpointPolicy, CheckpointStore, CkptAccess,
+    CkptCounters, CkptNext, CkptNode, CkptTask, CkptWriter, FaultCrash, FaultPlan, FaultPoint,
+    PoisonReport, ResumeExpectation, ResumeSession,
+};
 pub use explore::{
     env_workers, explore, ExploreOutcome, Explorer, PruneMode, ReplayCtx, ScheduleDriver,
 };

@@ -431,11 +431,18 @@ pub(crate) fn run_vm(
 
         // Let the scheduler observe the final trace (steps granted after
         // its last decision, trailing event markers): drivers that track
-        // per-step execution metadata finalise the last step here.
-        {
+        // per-step execution metadata finalise the last step here. A
+        // panic out of `run_end` must not leak the VM core mid-teardown:
+        // finish unpublishing and stashing it first (the world stays
+        // replayable, so the explorer's quarantine can retry on it),
+        // then rethrow.
+        let run_end_panic = {
             let core = &mut *vm_ptr;
-            scheduler.run_end(&core.trace);
-        }
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                scheduler.run_end(&core.trace)
+            }))
+            .err()
+        };
         let outcome = {
             let core = &mut *vm_ptr;
             RunOutcome {
@@ -450,6 +457,9 @@ pub(crate) fn run_vm(
         // a no-op).
         drop(_clear);
         world.inner.spare.lock().unwrap().core = Some(vm);
+        if let Some(payload) = run_end_panic {
+            std::panic::resume_unwind(payload);
+        }
         outcome
     }
 }

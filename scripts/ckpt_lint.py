@@ -1,0 +1,363 @@
+#!/usr/bin/env python3
+"""Structural lint for explorer checkpoint files.
+
+Validates the version-1 checkpoint format (`*.ckpt.json`, written by
+`sl_sim::CheckpointStore`) without building anything, as a cheap CI
+gate. The Rust parser (`sl_sim::Checkpoint::parse`) enforces the same
+invariants fail-closed at resume time; this script is the belt to that
+suspender — a torn, doctored, or non-canonically re-encoded checkpoint
+fails review before any resume consumes it.
+
+Checked per file:
+
+1.  exact top-level key set (checksum, version, workload, mode,
+    workers, seq, stem_len, counters, shard_hashes, next, spine) and
+    exact nested key sets — nothing missing, nothing unknown;
+2.  `version` equal to 1, `workload`/`mode` plain identifiers,
+    `workers` nonzero;
+3.  **canonical-encoding byte-identity**: re-rendering the parsed
+    document through a Python mirror of the Rust canonical serializer
+    (fixed field order, no whitespace, unsigned decimals) must
+    reproduce the file bytes exactly;
+4.  `checksum` equal to FNV-1a-64 over the canonical body;
+5.  frontier invariants: non-empty spine, `next.new_from` = spine
+    length - 1, `next.prefix` covering the spine and matching each
+    node's chosen child, chosen ∈ runnable ∩ backtrack,
+    backtrack ⊆ runnable, one pending access per runnable process,
+    access kinds drawn from {read, write, rmw, local}, non-empty
+    wakeup sequences, task floors inside their prefixes with exactly
+    `floor` ghost accesses and the reversal process at the floor,
+    globally unique task ids, sorted shard hashes, and every process
+    index below the 64-bit sleep-mask universe.
+
+`--selftest` doctors a minimal valid checkpoint in each of those ways
+and asserts the lint rejects every variant (and accepts the original).
+
+Exit status 0 = clean; 1 = violations (printed one per line).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+VERSION = 1
+KINDS = ("read", "write", "rmw", "local")
+
+TOP_KEYS = {
+    "checksum", "version", "workload", "mode", "workers", "seq",
+    "stem_len", "counters", "shard_hashes", "next", "spine",
+}
+COUNTER_KEYS = {"runs", "cut_runs", "pruned", "retried", "quarantined"}
+NEXT_KEYS = {"prefix", "sleep", "new_from"}
+NODE_KEYS = {"chosen", "done", "sleep", "backtrack", "runnable",
+             "pending", "wakeups", "tasks"}
+ACCESS_KEYS = {"reg", "kind"}
+WAKEUP_KEYS = {"proc", "reg", "kind"}
+TASK_KEYS = {"id", "proc", "prefix", "accesses", "sleep", "floor"}
+
+
+def fnv1a64(data):
+    h = 0xCBF29CE484222325
+    for b in data:
+        h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def ident_ok(s):
+    return isinstance(s, str) and s != "" and all(
+        c.isascii() and (c.isalnum() or c in "_-") for c in s)
+
+
+def render_access(a):
+    return f'{{"reg":{a["reg"]},"kind":"{a["kind"]}"}}'
+
+
+def render_body(d):
+    """Python mirror of `Checkpoint::canonical_body` — every field but
+    the checksum, fixed order, no whitespace, unsigned decimals."""
+    c, n = d["counters"], d["next"]
+    s = (
+        f'{{"version":{d["version"]},"workload":"{d["workload"]}",'
+        f'"mode":"{d["mode"]}","workers":{d["workers"]},"seq":{d["seq"]},'
+        f'"stem_len":{d["stem_len"]},'
+        f'"counters":{{"runs":{c["runs"]},"cut_runs":{c["cut_runs"]},'
+        f'"pruned":{c["pruned"]},"retried":{c["retried"]},'
+        f'"quarantined":{c["quarantined"]}}},'
+        f'"shard_hashes":[{",".join(str(h) for h in d["shard_hashes"])}],'
+        f'"next":{{"prefix":[{",".join(str(p) for p in n["prefix"])}],'
+        f'"sleep":{n["sleep"]},"new_from":{n["new_from"]}}},"spine":['
+    )
+    nodes = []
+    for node in d["spine"]:
+        wakeups = ",".join(
+            "[" + ",".join(
+                f'{{"proc":{w["proc"]},"reg":{w["reg"]},"kind":"{w["kind"]}"}}'
+                for w in seq) + "]"
+            for seq in node["wakeups"])
+        tasks = ",".join(
+            f'{{"id":{t["id"]},"proc":{t["proc"]},'
+            f'"prefix":[{",".join(str(p) for p in t["prefix"])}],'
+            f'"accesses":[{",".join(render_access(a) for a in t["accesses"])}],'
+            f'"sleep":{t["sleep"]},"floor":{t["floor"]}}}'
+            for t in node["tasks"])
+        nodes.append(
+            f'{{"chosen":{node["chosen"]},"done":{node["done"]},'
+            f'"sleep":{node["sleep"]},'
+            f'"backtrack":[{",".join(str(p) for p in node["backtrack"])}],'
+            f'"runnable":[{",".join(str(p) for p in node["runnable"])}],'
+            f'"pending":[{",".join(render_access(a) for a in node["pending"])}],'
+            f'"wakeups":[{wakeups}],"tasks":[{tasks}]}}')
+    return s + ",".join(nodes) + "]}"
+
+
+def render(d):
+    body = render_body(d)
+    return f'{{"checksum":{fnv1a64(body.encode())},{body[1:]}'
+
+
+def keyset(errs, ctx, obj, keys):
+    if not isinstance(obj, dict) or obj.keys() != keys:
+        got = sorted(obj.keys()) if isinstance(obj, dict) else type(obj).__name__
+        errs.append(f"{ctx}: key set {got} != {sorted(keys)}")
+        return False
+    return True
+
+
+def lint_text(text, ctx):
+    errs = []
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        return [f"{ctx}: invalid JSON: {e}"]
+    if not keyset(errs, ctx, doc, TOP_KEYS):
+        return errs
+    if doc["version"] != VERSION:
+        errs.append(f"{ctx}: version {doc['version']!r} is not the supported {VERSION}")
+        return errs
+    for key in ("workload", "mode"):
+        if not ident_ok(doc[key]):
+            errs.append(f"{ctx}: {key} {doc[key]!r} is not a plain identifier")
+            return errs
+    if not keyset(errs, f"{ctx}: counters", doc["counters"], COUNTER_KEYS):
+        return errs
+    if not keyset(errs, f"{ctx}: next", doc["next"], NEXT_KEYS):
+        return errs
+    for d, node in enumerate(doc["spine"]):
+        if not keyset(errs, f"{ctx}: spine[{d}]", node, NODE_KEYS):
+            return errs
+        for what, items, keys in (
+            ("pending", node["pending"], ACCESS_KEYS),
+            ("wakeup steps", [w for seq in node["wakeups"] for w in seq], WAKEUP_KEYS),
+            ("tasks", node["tasks"], TASK_KEYS),
+        ):
+            for i, item in enumerate(items):
+                if not keyset(errs, f"{ctx}: spine[{d}] {what}[{i}]", item, keys):
+                    return errs
+        for t in node["tasks"]:
+            for i, a in enumerate(t["accesses"]):
+                if not keyset(errs, f"{ctx}: spine[{d}] task accesses[{i}]", a, ACCESS_KEYS):
+                    return errs
+
+    # Canonical byte-identity subsumes field order, whitespace, and
+    # number formatting; the checksum check subsumes torn tails.
+    canonical = render(doc)
+    if text.strip() != canonical:
+        errs.append(
+            f"{ctx}: file is not the canonical encoding of its own content "
+            "(re-rendering through the canonical serializer changed the bytes)")
+    body = render_body(doc)
+    if doc["checksum"] != fnv1a64(body.encode()):
+        errs.append(
+            f"{ctx}: checksum {doc['checksum']} does not match the recomputed "
+            f"FNV-1a-64 digest {fnv1a64(body.encode())} (torn or doctored file)")
+
+    proc_ok = lambda p: isinstance(p, int) and 0 <= p < 64
+    if doc["workers"] == 0:
+        errs.append(f"{ctx}: declares zero workers")
+    spine, nxt = doc["spine"], doc["next"]
+    if not spine:
+        errs.append(f"{ctx}: empty frontier — nothing to resume "
+                    "(finished runs delete their checkpoint)")
+        return errs
+    if nxt["new_from"] + 1 != len(spine):
+        errs.append(f"{ctx}: next.new_from ({nxt['new_from']}) must equal "
+                    f"spine length - 1 ({len(spine) - 1})")
+    if len(nxt["prefix"]) < len(spine):
+        errs.append(f"{ctx}: next.prefix ({len(nxt['prefix'])} decisions) is "
+                    f"shorter than the spine ({len(spine)} nodes)")
+    if doc["stem_len"] != 0 and doc["stem_len"] >= len(spine):
+        errs.append(f"{ctx}: stem_len {doc['stem_len']} leaves no decision "
+                    f"above the stem (spine length {len(spine)})")
+    ids = []
+    for d, node in enumerate(spine):
+        nctx = f"{ctx}: spine[{d}]"
+        if d < len(nxt["prefix"]) and nxt["prefix"][d] != node["chosen"]:
+            errs.append(f"{nctx}: next.prefix diverges from the chosen path")
+        if node["chosen"] not in node["runnable"]:
+            errs.append(f"{nctx}: chosen child {node['chosen']} is not runnable there")
+        if node["chosen"] not in node["backtrack"]:
+            errs.append(f"{nctx}: chosen child {node['chosen']} is missing "
+                        "from its backtrack set")
+        if any(p not in node["runnable"] for p in node["backtrack"]):
+            errs.append(f"{nctx}: backtrack candidate outside the runnable set")
+        if len(node["pending"]) != len(node["runnable"]):
+            errs.append(f"{nctx}: {len(node['pending'])} pending accesses for "
+                        f"{len(node['runnable'])} runnable processes")
+        procs = [node["chosen"], *node["backtrack"], *node["runnable"]]
+        kinds = [a["kind"] for a in node["pending"]]
+        for seq in node["wakeups"]:
+            if not seq:
+                errs.append(f"{nctx}: empty wakeup sequence")
+            procs.extend(w["proc"] for w in seq)
+            kinds.extend(w["kind"] for w in seq)
+        for t in node["tasks"]:
+            ids.append(t["id"])
+            procs.extend([t["proc"], *t["prefix"]])
+            kinds.extend(a["kind"] for a in t["accesses"])
+            if t["floor"] == 0 or t["floor"] > len(t["prefix"]):
+                errs.append(f"{nctx}: task {t['id']} floor {t['floor']} is "
+                            f"outside its prefix (length {len(t['prefix'])})")
+            elif t["prefix"][t["floor"] - 1] != t["proc"]:
+                errs.append(f"{nctx}: task {t['id']} reversal process "
+                            f"{t['proc']} differs from its prefix at the floor")
+            if len(t["accesses"]) != t["floor"]:
+                errs.append(f"{nctx}: task {t['id']} has {len(t['accesses'])} "
+                            f"ghost accesses but floor {t['floor']}")
+        if any(not proc_ok(p) for p in procs):
+            errs.append(f"{nctx}: process index out of range "
+                        "(sleep masks support at most 64 processes)")
+        for k in kinds:
+            if k not in KINDS:
+                errs.append(f"{nctx}: unknown access kind {k!r}")
+    if any(not proc_ok(p) for p in nxt["prefix"]):
+        errs.append(f"{ctx}: next.prefix process index out of range")
+    dups = sorted({i for i in ids if ids.count(i) > 1})
+    if dups:
+        errs.append(f"{ctx}: duplicate task ids {dups} in the frontier")
+    if any(a > b for a, b in zip(doc["shard_hashes"], doc["shard_hashes"][1:])):
+        errs.append(f"{ctx}: shard hashes are not sorted "
+                    "(doctored or corrupt snapshot)")
+    return errs
+
+
+def lint_path(path):
+    try:
+        text = Path(path).read_text()
+    except OSError as e:
+        return [f"{path}: unreadable: {e}"]
+    return lint_text(text, str(path))
+
+
+def selftest():
+    """Doctors a minimal valid checkpoint every way the lint checks and
+    asserts each variant is rejected."""
+    base = {
+        "checksum": 0,
+        "version": VERSION,
+        "workload": "aba_mixed3",
+        "mode": "OptimalDpor",
+        "workers": 2,
+        "seq": 3,
+        "stem_len": 0,
+        "counters": {"runs": 40, "cut_runs": 0, "pruned": 17,
+                     "retried": 1, "quarantined": 0},
+        "shard_hashes": [7, 9],
+        "next": {"prefix": [0, 1], "sleep": 0, "new_from": 1},
+        "spine": [
+            {"chosen": 0, "done": 1, "sleep": 0, "backtrack": [0, 1],
+             "runnable": [0, 1],
+             "pending": [{"reg": 0, "kind": "write"}, {"reg": 0, "kind": "read"}],
+             "wakeups": [[{"proc": 1, "reg": 0, "kind": "read"}]],
+             "tasks": [{"id": 1, "proc": 1, "prefix": [1],
+                        "accesses": [{"reg": 0, "kind": "read"}],
+                        "sleep": 0, "floor": 1}]},
+            {"chosen": 1, "done": 0, "sleep": 1, "backtrack": [1],
+             "runnable": [1, 2],
+             "pending": [{"reg": 1, "kind": "rmw"}, {"reg": 0, "kind": "local"}],
+             "wakeups": [],
+             "tasks": []},
+        ],
+    }
+    pristine = render(base)
+    assert lint_text(pristine, "selftest") == [], lint_text(pristine, "selftest")
+
+    def doctor(mutate):
+        # A mutator returning a string supplies raw doctored text; any
+        # other return means "re-render the mutated document" (with a
+        # fresh, correct checksum, so only the mutation itself — not a
+        # stale digest — is what the lint must catch).
+        doc = json.loads(json.dumps(base))
+        text = mutate(doc)
+        if not isinstance(text, str):
+            text = render(doc)
+        return lint_text(text, "selftest")
+
+    variants = {
+        "torn tail": lambda d: pristine[: len(pristine) // 2],
+        "whitespace reflow": lambda d: pristine.replace(",", ", "),
+        "stale checksum": lambda d: pristine.replace(
+            f'"checksum":{json.loads(pristine)["checksum"]}',
+            f'"checksum":{(json.loads(pristine)["checksum"] + 1) % 2**64}'),
+        "stale version": lambda d: d.update(version=2),
+        # Key-set mutations are raw text surgery: a document missing a
+        # canonical field cannot be re-rendered at all.
+        "unknown field": lambda d: pristine.replace(
+            '"version"', '"trusted":true,"version"'),
+        "missing field": lambda d: pristine.replace('"seq":3,', ""),
+        "non-identifier workload": lambda d: d.update(workload="aba mixed/3"),
+        "zero workers": lambda d: d.update(workers=0),
+        "empty frontier": lambda d: (d.update(spine=[]),
+                                     d["next"].update(new_from=-1))[0],
+        "new_from drift": lambda d: d["next"].update(new_from=0),
+        "short prefix": lambda d: d["next"].update(prefix=[0]),
+        "prefix diverges from spine": lambda d: d["next"].update(prefix=[1, 1]),
+        "chosen not runnable": lambda d: d["spine"][0].update(chosen=2),
+        "chosen missing from backtrack": lambda d: d["spine"][1].update(
+            backtrack=[2], runnable=[1, 2]),
+        "backtrack outside runnable": lambda d: d["spine"][0].update(
+            backtrack=[0, 1, 2], runnable=[0, 1, 2]),
+        "pending/runnable mismatch": lambda d: d["spine"][1]["pending"].pop(),
+        "unknown access kind": lambda d: d["spine"][0]["pending"][0].update(
+            kind="fetch_add"),
+        "empty wakeup sequence": lambda d: d["spine"][0]["wakeups"].append([]),
+        "task floor outside prefix": lambda d: d["spine"][0]["tasks"][0].update(
+            floor=2),
+        "ghost accesses vs floor": lambda d: d["spine"][0]["tasks"][0].update(
+            accesses=[]),
+        "reversal process off-floor": lambda d: d["spine"][0]["tasks"][0].update(
+            prefix=[0]),
+        "duplicate task id": lambda d: d["spine"][1]["tasks"].append(
+            dict(d["spine"][0]["tasks"][0])),
+        "unsorted shard hashes": lambda d: d.update(shard_hashes=[9, 7]),
+        "process index beyond mask": lambda d: d["next"].update(
+            prefix=[0, 77]) or d["spine"][1].update(
+            chosen=77, backtrack=[77], runnable=[77, 2]),
+    }
+    failures = [label for label, mutate in variants.items() if not doctor(mutate)]
+    if failures:
+        print("selftest: doctored variants NOT rejected:", ", ".join(failures))
+        return 1
+    print(f"selftest ok: {len(variants)} doctored variants rejected, pristine accepted")
+    return 0
+
+
+def main(argv):
+    if "--selftest" in argv:
+        return selftest()
+    paths = [Path(a) for a in argv if not a.startswith("-")]
+    if not paths:
+        print("usage: ckpt_lint.py [--selftest] CHECKPOINT.ckpt.json ...")
+        return 2
+    errs = []
+    for path in paths:
+        errs.extend(lint_path(path))
+    for e in errs:
+        print(e)
+    if not errs:
+        for path in paths:
+            print(f"{path}: ok")
+    return 1 if errs else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -268,6 +268,48 @@
 //! additionally confines `unsafe` to sl-sim's `fiber`/`vm` modules and
 //! requires an adjacent `// SAFETY:` justification on every block.
 //!
+//! ## Crash-resilient & resumable exploration
+//!
+//! Deep explorations are hours of replay work held in one process's
+//! memory; the `sl-sim` checkpoint subsystem makes that work
+//! survivable without giving up determinism. The explorer's root walk
+//! periodically freezes its outstanding frontier — the depth-first
+//! spine bookkeeping plus every delegated, not-yet-joined subtree
+//! task — into a versioned, checksummed checkpoint file
+//! (`sim::CheckpointStore`: canonical compact JSON, FNV-1a-64 digest,
+//! atomic temp-file + rename writes), and
+//! `sim::Explorer::explore_resumable` (or
+//! `api::sim::explore_object_dag_resumable` at the object level)
+//! resumes from it. The resumed run's union with the interrupted one
+//! is **bit-identical** to an uninterrupted exploration at any worker
+//! count: schedule counts, cut/pruned telemetry, merged `TreeDag`
+//! structural hash, verdict, and conflict depth all agree. The loader
+//! is fail-closed end to end — torn, stale, version-skewed, or
+//! doctored checkpoints abort with named diagnostics
+//! (`scripts/ckpt_lint.py` lints the same format out-of-process).
+//!
+//! Three degradation paths keep a run useful when something breaks:
+//!
+//! * **Panic quarantine** — a worker panic inside a subtree replay (an
+//!   object bug, a fail-closed `validate_race` diagnostic, a fiber
+//!   sentinel escape) retries with deterministic backoff, then
+//!   quarantines the subtree into a replayable poisoned-task report
+//!   while the rest of the frontier completes; the outcome is marked
+//!   `partial` with `quarantined`/`retried` telemetry, so a
+//!   quarantined run can never read as a false PASS.
+//! * **Budgets + drain** — `sim::CheckpointPolicy` carries a
+//!   wall-clock deadline and a schedule-count budget; on expiry the
+//!   run drains to a clean checkpoint and returns a resumable partial
+//!   outcome instead of being killed mid-flight.
+//! * **Fault injection** — `sim::FaultPlan` (or the
+//!   `SL_FAULT_POINT`/`SL_FAULT_NTH`/`SL_FAULT_MODE` environment)
+//!   deterministically crashes one named point (task freeze, steal,
+//!   join-merge, checkpoint write mid-file, resume parse); the CI
+//!   `sim-resume` lane drives every point plus an out-of-process
+//!   SIGKILL through interrupt + resume and gates bit-identity at
+//!   1/2/4/8 workers, with checkpoint overhead gated at ≤ ~5% on the
+//!   deep mixed-role workload.
+//!
 //! ## Depth budgets
 //!
 //! What exhausts where, after the parallel-DPOR + world-reuse +
@@ -290,6 +332,13 @@
 //! | 2 procs: 3 DWrites vs 2 DReads | 240,239 | 240,239 | — | — | — | sim-deep (~6 s release, was ~15 s) |
 //! | 3 procs: 2 ops per process (writers) | 2,752,674 | 2,752,674 | — | — | — | sim-deep (~37 s release at 1 worker, was ~1–2 min; under 30 s at ≥2 workers) |
 //! | 3 procs: 2 ops per process, mixed roles | ≫ millions | ~0.85× of DPOR | ~0.4–0.5× of value (extrapolated) | ~0.3× of static (extrapolated) | — | beyond budget today |
+//!
+//! The sim-deep and beyond-budget tiers are now checkpointed: each
+//! can run under `explore_resumable`, drain at a schedule budget or
+//! deadline, and be resumed later — in another process, or after a
+//! crash — with the final union bit-identical to one uninterrupted
+//! run (the measured checkpoint overhead on the deep mixed-role row
+//! is gated at ≤ ~5%).
 //!
 //! The op-pair column moves only where mixed-role contention gives the
 //! pair relaxations room (two ops of the same unordered pair pausing
