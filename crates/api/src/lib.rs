@@ -50,6 +50,56 @@
 //! // coin_flip_consensus(&builder.lin_aba_register::<u64>());
 //! // ^ Algorithm 1: compile error — `Lin` is not `Strong`.
 //! ```
+//!
+//! # Distributed exploration
+//!
+//! [`sim::explore_object_dag_distributed`] runs the same schedule
+//! exploration across a fleet of **worker processes**: delegated
+//! subtree tasks are frozen, shipped over a length-prefixed,
+//! checksummed frame protocol (`sl-dist`), explored remotely, and the
+//! returned DAG shards merged — with runs/cut/pruned telemetry,
+//! verdict, conflict depth, and the merged [`sl_check::TreeDag`]
+//! structural hash **bit-identical to a sequential run at any worker
+//! count**, including under SIGKILL of random workers mid-lease. The
+//! worker side of the pipe is [`sim::serve_object_worker`]; both sides
+//! must resolve the pinned workload name through one shared registry
+//! (`sl-bench`'s `workloads` module is the exemplar), or schedules
+//! would silently diverge.
+//!
+//! Failure handling is lease-based:
+//!
+//! ```text
+//!           checkout/spawn        task frame
+//!   [idle worker] ───────▶ [leased] ──────▶ waiting
+//!        ▲                                   │ heartbeat: renew lease
+//!        │ result frame (shard + telemetry)  │ result: settle lease
+//!        └───────────────────────────────────┤
+//!                                            │ missed deadline / EOF /
+//!                                            │ torn or checksum-failed
+//!                                            │ frame / nonzero exit
+//!                                            ▼
+//!                             revoke: SIGKILL + respawn
+//!                                            │
+//!                              capped exponential backoff
+//!                                            │
+//!                    retries left? ──yes──▶ re-lease to a fresh worker
+//!                          │no
+//!                          ▼
+//!            quarantine: PoisonReport, partial outcome
+//!                       (never a false PASS)
+//! ```
+//!
+//! A revoked lease requeues the *same frozen task* under capped
+//! exponential backoff; a task that exhausts its retry budget is
+//! quarantined through the engine's `PoisonReport` path, so the
+//! outcome is reported **partial** — a fleet failure can cost
+//! coverage, never a verdict. When no worker can be spawned at all
+//! (missing binary, exec failure), every dispatch is declined and the
+//! run degrades gracefully to plain in-process exploration, still
+//! bit-identical. Fleet shape, lease deadline, heartbeat cadence,
+//! backoff, and retry budget are [`sl_dist::FleetConfig`] knobs;
+//! dispatch/completion/revocation/quarantine counts come back as
+//! [`sim::DistTelemetry`].
 
 #![deny(unsafe_code)]
 

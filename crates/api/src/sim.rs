@@ -26,12 +26,14 @@
 //! assert!(explored.check_strong(&AbaSpec::<u64>::new(2)).holds);
 //! ```
 
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 
 use sl_check::{
     check_linearizable, check_strongly_linearizable, check_strongly_linearizable_dag, DagShards,
     HistoryTree, StrongLinReport, TreeBuilder, TreeDag, TreeStep,
 };
+use sl_dist::{DistCoordinator, FleetConfig, WireSpec};
 use sl_mem::Value;
 use sl_sim::{
     EventLog, ExploreOutcome, Explorer, ProcCtx, Program, PruneMode, ReplayCtx, ReplayPool,
@@ -559,6 +561,187 @@ where
         dag: TreeDag::merge(sink.into_inner().unwrap()),
         outcome,
     }
+}
+
+/// Fleet telemetry of one distributed exploration — the coordinator's
+/// counters, snapshotted after the run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DistTelemetry {
+    /// Task frames written to workers (including re-leases).
+    pub dispatched: u64,
+    /// Results accepted from workers.
+    pub completed: u64,
+    /// Leases revoked (missed deadline, torn frame, checksum failure,
+    /// dead pipe, nonzero exit).
+    pub revoked: u64,
+    /// Subtrees quarantined after the retry budget — the outcome is
+    /// `partial` whenever this is nonzero.
+    pub quarantined: u64,
+    /// Dispatches declined (fleet busy or degraded): ran in-process.
+    pub declined: u64,
+    /// Workers killed by the fault-matrix hook.
+    pub chaos_kills: u64,
+    /// Whether the run fell back to pure in-process exploration
+    /// because no worker could be spawned.
+    pub degraded: bool,
+}
+
+/// The result of a distributed exploration: the merged DAG (local +
+/// remote shards, one symbolized label space), the exploration
+/// statistics, and the fleet telemetry.
+pub struct ExploredDistDag<S: SeqSpec> {
+    /// Hash-consed DAG over all explored transcripts, **symbolized**
+    /// (compare its structural hash against a sequential run's
+    /// `dag.symbolize()`).
+    pub dag: TreeDag<S>,
+    /// Runs, exhaustion, pruning statistics — bit-identical to the
+    /// sequential outcome at any worker-process count.
+    pub outcome: ExploreOutcome,
+    /// Coordinator counters.
+    pub fleet: DistTelemetry,
+}
+
+impl<S: SeqSpec> ExploredDistDag<S> {
+    /// Decides strong linearizability of the explored transcript set
+    /// with the memoised DAG checker.
+    pub fn check_strong(&self, spec: &S) -> StrongLinReport {
+        check_strongly_linearizable_dag(spec, &self.dag)
+    }
+}
+
+/// [`explore_object_dag_with`], with subtree tasks farmed to a fleet of
+/// worker *processes* (see [`sl_dist`]): the explorer's worker threads
+/// offer every frozen subtree to the lease-based coordinator, which
+/// either returns the subtree's result from a worker process or
+/// declines (fleet busy, or degraded after a spawn failure), in which
+/// case the subtree runs in-process. Either way the merged run is
+/// bit-identical to the sequential one — same verdict, conflict depth,
+/// counters, and merged-DAG structural hash — or honestly `partial`
+/// through the quarantine path. Never a false PASS.
+///
+/// `workload_name` pins the fleet's identity: the worker binary (see
+/// [`serve_object_worker`]) must `hello` with the same name and prune
+/// mode or the coordinator refuses it fail-closed. The explorer always
+/// runs with at least two threads — subtree tasks are only published
+/// when there is someone to share them with.
+pub fn explore_object_dag_distributed<S, O, F, A>(
+    factory: F,
+    workload: &[Vec<S::Op>],
+    apply: A,
+    cfg: &SimExplore,
+    fleet: FleetConfig,
+    workload_name: &str,
+) -> ExploredDistDag<S>
+where
+    S: WireSpec + 'static,
+    S::Op: Send + Sync,
+    S::Resp: Send + Sync,
+    S::State: Send + Sync,
+    O: SharedObject<SimMem>,
+    F: Fn(&SimMem) -> O + Sync,
+    A: Fn(&mut O::Handle, &S::Op) -> S::Resp + Send + Sync + 'static,
+{
+    let n = workload.len();
+    assert!(n > 0, "workload must cover at least one process");
+    let apply = Arc::new(apply);
+    let local_sink: Mutex<Vec<TreeDag<S>>> = Mutex::new(Vec::new());
+    let remote_sink: Mutex<Vec<TreeDag<S>>> = Mutex::new(Vec::new());
+    let coordinator = DistCoordinator::new(fleet, workload_name, cfg.mode.name(), &remote_sink);
+    let explorer = Explorer {
+        max_runs: cfg.max_runs,
+        mode: cfg.mode,
+        // Tasks are only frozen for sharing when a sibling thread could
+        // steal them; a single-threaded explorer would never dispatch.
+        workers: cfg.workers.max(2),
+        stem: cfg.stem.clone(),
+        statics: cfg.statics.clone(),
+    };
+    let outcome = explorer.explore_dispatched(
+        || Sharded {
+            inner: PooledWorld::new(&factory, n),
+            shards: DagShards::new(&local_sink),
+        },
+        |ctx: &mut Sharded<'_, S, PooledWorld<S, O>>, driver| {
+            ctx.inner.replay(workload, &apply, driver, cfg.step_budget);
+            ctx.shards.ingest(ctx.inner.pool.transcript());
+        },
+        &coordinator,
+    );
+    coordinator.finish();
+    let fleet = DistTelemetry {
+        dispatched: coordinator.stats.dispatched.load(Ordering::SeqCst),
+        completed: coordinator.stats.completed.load(Ordering::SeqCst),
+        revoked: coordinator.stats.revoked.load(Ordering::SeqCst),
+        quarantined: coordinator.stats.quarantined.load(Ordering::SeqCst),
+        declined: coordinator.stats.declined.load(Ordering::SeqCst),
+        chaos_kills: coordinator.stats.chaos_kills.load(Ordering::SeqCst),
+        degraded: coordinator.is_degraded(),
+    };
+    drop(coordinator); // releases the borrow of `remote_sink`
+                       // Local shards are packed (process-local step codes); remote shards
+                       // arrived symbolized. Symbolize the local ones so the merge dedupes
+                       // across the process boundary — one label space for the whole DAG.
+    let shards: Vec<TreeDag<S>> = local_sink
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|d| d.symbolize())
+        .chain(remote_sink.into_inner().unwrap())
+        .collect();
+    ExploredDistDag {
+        dag: TreeDag::merge(shards),
+        outcome,
+        fleet,
+    }
+}
+
+/// The worker-process half of [`explore_object_dag_distributed`]: a
+/// serve loop a worker `main` calls with the *same* factory, workload,
+/// apply closure, and exploration config the coordinator uses. Each
+/// leased task is thawed and explored in-process; the reply carries the
+/// subtree's counters plus its symbolized DAG shard.
+pub fn serve_object_worker<S, O, F, A>(
+    workload_name: &str,
+    factory: F,
+    workload: &[Vec<S::Op>],
+    apply: A,
+    cfg: &SimExplore,
+) -> Result<(), String>
+where
+    S: WireSpec + 'static,
+    S::Op: Send + Sync,
+    S::Resp: Send + Sync,
+    S::State: Send + Sync,
+    O: SharedObject<SimMem>,
+    F: Fn(&SimMem) -> O + Sync,
+    A: Fn(&mut O::Handle, &S::Op) -> S::Resp + Send + Sync + 'static,
+{
+    let n = workload.len();
+    assert!(n > 0, "workload must cover at least one process");
+    let apply = Arc::new(apply);
+    let explorer = Explorer {
+        max_runs: cfg.max_runs,
+        mode: cfg.mode,
+        workers: cfg.workers,
+        stem: cfg.stem.clone(),
+        statics: cfg.statics.clone(),
+    };
+    sl_dist::serve::<S, _>(workload_name, cfg.mode.name(), |task| {
+        let sink: Mutex<Vec<TreeDag<S>>> = Mutex::new(Vec::new());
+        let result = explorer.explore_frozen_task(
+            || Sharded {
+                inner: PooledWorld::new(&factory, n),
+                shards: DagShards::new(&sink),
+            },
+            |ctx: &mut Sharded<'_, S, PooledWorld<S, O>>, driver| {
+                ctx.inner.replay(workload, &apply, driver, cfg.step_budget);
+                ctx.shards.ingest(ctx.inner.pool.transcript());
+            },
+            task,
+        );
+        let dag = TreeDag::merge(sink.into_inner().unwrap()).symbolize();
+        (result, dag)
+    })
 }
 
 /// Explores every adversary schedule of `workload` (within the budgets)

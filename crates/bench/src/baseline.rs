@@ -201,14 +201,12 @@ fn structurally_valid_json(text: &str) -> Result<(), String> {
 /// Writes `contents` to `path` atomically: a process-unique temp file
 /// in the same directory, then a rename over the target — a crash
 /// mid-write leaves either the old file or the new one on disk, never
-/// a torn mix (the same discipline as the sim checkpoint store).
+/// a torn mix. This is [`sl_sim::wire::atomic_write`] (the same helper
+/// the checkpoint store and the distributed frame protocol publish
+/// through), with the gate-appropriate panic-on-error semantics.
 pub fn atomic_write(path: &str, contents: &str) {
-    let tmp = format!("{path}.tmp.{}", std::process::id());
-    std::fs::write(&tmp, contents).unwrap_or_else(|e| panic!("writing {tmp}: {e}"));
-    std::fs::rename(&tmp, path).unwrap_or_else(|e| {
-        let _ = std::fs::remove_file(&tmp);
-        panic!("renaming {tmp} -> {path}: {e}")
-    });
+    sl_sim::wire::atomic_write(std::path::Path::new(path), contents)
+        .unwrap_or_else(|e| panic!("baseline write failed (fail-closed): {e}"));
 }
 
 /// Rewrites the baseline at `path` from a freshly measured summary:
@@ -235,18 +233,7 @@ pub fn refresh(path: &str, comment: &str, gates: &[(&str, f64)], measured_json: 
 }
 
 fn quote(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    format!("\"{}\"", sl_sim::wire::escape_json(s))
 }
 
 #[cfg(test)]

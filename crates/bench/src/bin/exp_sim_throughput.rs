@@ -88,25 +88,41 @@
 //! explorations of `aba_mixed3_deep`; `--baseline` gates the ratio
 //! against `min_ckpt_ratio` (0.95 — checkpointing may cost at most
 //! ~5%).
+//!
+//! **Distributed mode** (`--worker-procs N`): additionally runs one
+//! sequential and one distributed optimal-DPOR exploration of
+//! `aba_mixed3_deep`, the latter through `sl-dist`'s lease-based
+//! coordinator over N real worker *processes* (`--worker-bin PATH`
+//! overrides the worker binary, default the sibling `dist_worker`).
+//! Bit-identity of counters, verdict, and the merged-DAG structural
+//! hash is asserted inside the measurement; `--baseline` gates the
+//! sequential/distributed wall-clock ratio against `min_dist_ratio`
+//! (0.2 — frame/lease/symbolization overhead may cost at most 5x;
+//! real speedup needs more cores/hosts than CI offers). The sim-dist
+//! CI lane runs this plus the fault-matrix identity suite
+//! (`crates/bench/tests/dist_identity.rs`).
 
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use sl_sim::StaticConflicts;
 
+use sl_api::sim::{explore_object_dag_distributed, explore_object_dag_with, DriveOps as _};
+use sl_api::ObjectBuilder;
+use sl_bench::workloads::{aba_programs, dist_config, dist_ops, mixed3_programs, PooledAba};
 use sl_bench::{baseline, print_table, Baseline, Gate};
 use sl_check::{
     check_strongly_linearizable_dag, check_strongly_linearizable_unmemoised, DagBuilder, DagShards,
     HistoryTree, TreeBuilder, TreeDag, TreeStep,
 };
-use sl_core::aba::{AbaHandle, SlAbaRegister};
+use sl_core::aba::SlAbaRegister;
+use sl_dist::FleetConfig;
 use sl_mem::{Mem, Register};
 use sl_sim::{
     CheckpointPolicy, CheckpointStore, EventLog, ExploreOutcome, Explorer, FaultPlan, Program,
     PruneMode, ReplayPool, ResumeSession, RoundRobin, RunConfig, ScheduleDriver, Sharded, SimWorld,
 };
 use sl_spec::types::AbaSpec;
-use sl_spec::{AbaOp, AbaResp, ProcId};
 
 type ASpec = AbaSpec<u64>;
 
@@ -147,75 +163,6 @@ fn human(rate: f64) -> String {
     } else {
         format!("{:.0}k", rate / 1e3)
     }
-}
-
-/// Builds the 2-process Algorithm-2 programs (`writes` DWrites vs
-/// `reads` DReads) over a possibly reused register and log.
-fn aba_programs(
-    reg: &SlAbaRegister<u64, sl_sim::SimMem>,
-    log: &EventLog<ASpec>,
-    writes: u64,
-    reads: u64,
-) -> Vec<Program> {
-    let mut w = reg.handle(ProcId(0));
-    let wl = log.clone();
-    let mut r = reg.handle(ProcId(1));
-    let rl = log.clone();
-    vec![
-        Box::new(move |ctx| {
-            for i in 0..writes {
-                ctx.pause();
-                let id = wl.invoke(ctx.proc_id(), AbaOp::DWrite(9 + i));
-                w.dwrite(9 + i);
-                wl.respond(id, AbaResp::Ack);
-            }
-        }),
-        Box::new(move |ctx| {
-            for _ in 0..reads {
-                ctx.pause();
-                let id = rl.invoke(ctx.proc_id(), AbaOp::DRead);
-                let (v, a) = r.dread();
-                rl.respond(id, AbaResp::Value(v, a));
-            }
-        }),
-    ]
-}
-
-/// A pinned **mixed-role** 3-process workload (two writers + one
-/// reader; `writer_ops[p]` DWrites for writer `p`, one DRead): the
-/// family whose trace growth is ROADMAP constraint (b), where
-/// value-aware commutation and invocation-placement pruning both bite.
-/// Measured counts-only: the schedule totals of syntactic source DPOR
-/// vs value-aware DPOR vs static-certificate DPOR, all gated against
-/// the baseline.
-fn mixed3_programs(
-    reg: &SlAbaRegister<u64, sl_sim::SimMem>,
-    log: &EventLog<ASpec>,
-    writer_ops: &'static [u64],
-) -> Vec<Program> {
-    let mut programs: Vec<Program> = Vec::new();
-    for (p, &ops) in writer_ops.iter().enumerate() {
-        let mut w = reg.handle(ProcId(p));
-        let l = log.clone();
-        programs.push(Box::new(move |ctx| {
-            for i in 0..ops {
-                ctx.pause();
-                let v = 9 + 10 * p as u64 + i;
-                let id = l.invoke(ctx.proc_id(), AbaOp::DWrite(v));
-                w.dwrite(v);
-                l.respond(id, AbaResp::Ack);
-            }
-        }));
-    }
-    let mut r = reg.handle(ProcId(writer_ops.len()));
-    let l = log.clone();
-    programs.push(Box::new(move |ctx| {
-        ctx.pause();
-        let id = l.invoke(ctx.proc_id(), AbaOp::DRead);
-        let (v, a) = r.dread();
-        l.respond(id, AbaResp::Value(v, a));
-    }));
-    programs
 }
 
 /// Schedule counts of one mixed-role pinned workload per DPOR mode.
@@ -384,16 +331,6 @@ fn explore_sl_aba_fresh(
     let built = ingest.then(|| (dag_builder.finish(), tree_builder.finish()));
     (explored, built, elapsed)
 }
-
-/// One worker's warm replay state for the pooled explorations: world,
-/// register, and log built once, `SimWorld::reset` between schedules,
-/// transcripts streamed into per-subtree DAG shards.
-struct PooledAba {
-    pool: ReplayPool<ASpec>,
-    reg: SlAbaRegister<u64, sl_sim::SimMem>,
-}
-
-impl sl_sim::ReplayCtx for PooledAba {}
 
 /// Fresh-world-per-replay exploration with the *same* ingestion
 /// pipeline as the pooled path (reused transcript buffer, DAG shards,
@@ -898,9 +835,15 @@ fn to_json(
     workloads: &[WorkloadSummary],
     mixed: &[MixedSummary],
     ckpt_ratio: f64,
+    dist_row: Option<(usize, f64)>,
 ) -> String {
-    let mut out =
-        format!("{{\n  \"ckpt_overhead_ratio\": {ckpt_ratio:.3},\n  \"vm_steps_per_sec\": {{");
+    let mut out = format!("{{\n  \"ckpt_overhead_ratio\": {ckpt_ratio:.3},");
+    if let Some((procs, ratio)) = dist_row {
+        out.push_str(&format!(
+            "\n  \"dist_worker_procs\": {procs},\n  \"dist_ratio\": {ratio:.3},"
+        ));
+    }
+    out.push_str("\n  \"vm_steps_per_sec\": {");
     for (i, (name, rate)) in throughput.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -1112,6 +1055,8 @@ fn main() {
     let mut ckpt_every: u64 = 50;
     let mut ckpt_max_schedules: Option<u64> = None;
     let mut ckpt_stall_us: u64 = 0;
+    let mut worker_procs: usize = 0;
+    let mut worker_bin: Option<String> = None;
     let numeric = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
         args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
             eprintln!("{flag} requires a number");
@@ -1139,6 +1084,8 @@ fn main() {
                 ckpt_max_schedules = Some(numeric(&mut args, "--ckpt-max-schedules"))
             }
             "--ckpt-stall-us" => ckpt_stall_us = numeric(&mut args, "--ckpt-stall-us"),
+            "--worker-procs" => worker_procs = numeric(&mut args, "--worker-procs") as usize,
+            "--worker-bin" => worker_bin = args.next(),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -1213,11 +1160,34 @@ fn main() {
          1.0 = free, the gate floor is min_ckpt_ratio)"
     );
 
+    // Distributed-overhead row: the same deep workload farmed to a
+    // fleet of worker processes, gated against min_dist_ratio.
+    let mut dist_row: Option<(usize, f64)> = None;
+    if worker_procs > 0 {
+        let bin = worker_bin.unwrap_or_else(|| {
+            let mut p = std::env::current_exe().expect("current_exe");
+            p.set_file_name("dist_worker");
+            p.to_string_lossy().into_owned()
+        });
+        println!();
+        println!(
+            "## Distributed exploration (aba_mixed3_deep, optimal DPOR, {worker_procs} worker \
+             processes)"
+        );
+        let (seq_s, dist_s, ratio) = measure_distributed(worker_procs, &bin);
+        println!(
+            "(sequential {seq_s:.2}s -> distributed {dist_s:.2}s; wall-clock ratio {ratio:.2} — \
+             bit-identical counters, verdict, and merged-DAG hash asserted; gate floor \
+             min_dist_ratio)"
+        );
+        dist_row = Some((worker_procs, ratio));
+    }
+
     if let Some(path) = &certificates_path {
         write_certificates(path);
     }
 
-    let json = to_json(&throughput, &workloads, &mixed, ckpt_ratio);
+    let json = to_json(&throughput, &workloads, &mixed, ckpt_ratio, dist_row);
     if let Some(path) = &json_path {
         baseline::atomic_write(path, &json);
         println!();
@@ -1246,6 +1216,7 @@ fn main() {
             ("min_speedup_4w", threshold("min_speedup_4w", 2.0)),
             ("min_speedup_8w", threshold("min_speedup_8w", 3.0)),
             ("min_ckpt_ratio", threshold("min_ckpt_ratio", 0.95)),
+            ("min_dist_ratio", threshold("min_dist_ratio", 0.2)),
         ];
         baseline::refresh(
             baseline_path.as_deref().unwrap(),
@@ -1425,6 +1396,23 @@ fn main() {
             ckpt_ratio,
             b.number("min_ckpt_ratio"),
         );
+        // Multi-process distribution must stay within its overhead
+        // budget on the same deep workload (frame serialization, DAG
+        // shard symbolization, and lease round trips are the cost;
+        // min_dist_ratio is the floor the wall-clock ratio may not
+        // sink below).
+        match dist_row {
+            Some((procs, ratio)) => gate.speedup_at_least(
+                &format!(
+                    "distributed exploration throughput on aba_mixed3_deep ({procs} worker procs)"
+                ),
+                ratio,
+                b.number("min_dist_ratio"),
+            ),
+            None => {
+                gate.skip("distributed overhead gate skipped: run with --worker-procs N to measure")
+            }
+        }
         // Wall-clock gates run on the bigger pinned workload
         // (aba_2w2r); the tiny one is all setup noise.
         if let Some(w) = workloads.iter().find(|w| w.name == "aba_2w2r") {
@@ -1616,6 +1604,74 @@ fn certificates_catalog_json() -> String {
     sl_analyze::catalog_json(&certs)
 }
 
+/// Sequential vs distributed wall clock on the deep mixed-role
+/// workload under optimal DPOR: the same exploration once in-process
+/// single-threaded and once with subtree tasks leased to `procs`
+/// worker processes (the `dist_worker` binary at `bin`). Bit-identity
+/// — counters and merged-DAG structural hash — is asserted, so the
+/// ratio measures pure distribution overhead, never divergence.
+/// Returns `(seq_s, dist_s, seq_s / dist_s)`.
+fn measure_distributed(procs: usize, bin: &str) -> (f64, f64, f64) {
+    let workload = "aba_mixed3_deep";
+    let mode = PruneMode::OptimalDpor;
+    let ops = dist_ops(workload).expect("registered distributed workload");
+    let n = ops.len();
+    let cfg = dist_config(mode, 1);
+    let start = Instant::now();
+    let seq = explore_object_dag_with::<ASpec, _, _, _>(
+        |mem| ObjectBuilder::on(mem).processes(n).aba_register::<u64>(),
+        &ops,
+        |h, op| h.drive(op),
+        &cfg,
+    );
+    let seq_s = start.elapsed().as_secs_f64();
+    let fleet = FleetConfig {
+        worker_cmd: vec![
+            bin.to_string(),
+            "--workload".to_string(),
+            workload.to_string(),
+            "--mode".to_string(),
+            mode.name().to_string(),
+        ],
+        workers: procs,
+        ..FleetConfig::default()
+    };
+    let dcfg = dist_config(mode, procs.max(2));
+    let start = Instant::now();
+    let dist = explore_object_dag_distributed::<ASpec, _, _, _>(
+        |mem| ObjectBuilder::on(mem).processes(n).aba_register::<u64>(),
+        &ops,
+        |h, op| h.drive(op),
+        &dcfg,
+        fleet,
+        workload,
+    );
+    let dist_s = start.elapsed().as_secs_f64();
+    assert!(
+        !dist.fleet.degraded,
+        "fleet degraded: worker binary {bin} unusable"
+    );
+    assert!(
+        dist.fleet.completed > 0,
+        "the distributed path never engaged"
+    );
+    assert_eq!(
+        (seq.outcome.runs, seq.outcome.cut_runs, seq.outcome.pruned),
+        (
+            dist.outcome.runs,
+            dist.outcome.cut_runs,
+            dist.outcome.pruned
+        ),
+        "distributed counters diverged from sequential"
+    );
+    assert_eq!(
+        seq.dag.symbolize().structural_hash(),
+        dist.dag.structural_hash(),
+        "distributed merged DAG diverged from sequential"
+    );
+    (seq_s, dist_s, seq_s / dist_s)
+}
+
 fn write_certificates(path: &str) {
     baseline::atomic_write(path, &certificates_catalog_json());
     println!("(certificate catalog written to {path})");
@@ -1636,7 +1692,10 @@ identical ingestion pipelines both sides; a 1.0 floor so the gate only catches p
 an outright pessimization), min_format_speedup (single-worker traced replay with binary StepCode \
 ingestion vs the retired per-step string rendering+interning, best-of-5, identical ingestion \
 sinks both sides), min_speedup_4w / min_speedup_8w (4-/8-worker wall-clock speedups on \
-aba_2w2r, each checked only on machines with at least that many CPUs), and min_ckpt_ratio \
+aba_2w2r, each checked only on machines with at least that many CPUs), min_ckpt_ratio \
 (best-of-5 interleaved plain-vs-checkpointed optimal-DPOR wall clock on aba_mixed3_deep; a \
-0.95 floor caps checkpointing overhead at ~5%). Timing fields other than the gates are \
+0.95 floor caps checkpointing overhead at ~5%), and min_dist_ratio (sequential-vs-distributed \
+wall clock on aba_mixed3_deep with --worker-procs N worker processes behind the sl-dist lease \
+coordinator, bit-identity asserted; a 0.2 floor caps the frame/lease/symbolization overhead at \
+5x — measured only when --worker-procs is given). Timing fields other than the gates are \
 informational snapshots of the reference container.";

@@ -24,6 +24,7 @@ pub mod obs4;
 pub mod table;
 pub mod timing;
 pub mod trace;
+pub mod workloads;
 
 pub use baseline::{Baseline, Gate};
 pub use obs4::{obs4_scripts, run_obs4_family, FamilyRun};

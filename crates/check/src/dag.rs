@@ -83,6 +83,136 @@ impl<S: SeqSpec> TreeDag<S> {
         &self.nodes[id as usize].children
     }
 
+    /// The root node's id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The child edges of `id`, in canonical order — the read half of
+    /// the serialization surface ([`TreeDag::assemble`] is the write
+    /// half). Interning is bottom-up, so every child id is strictly
+    /// smaller than its parent's id: a forward scan over
+    /// `0..unique_nodes()` visits children before parents.
+    pub fn edges(&self, id: NodeId) -> &[(TreeStep<S>, NodeId)] {
+        self.children(id)
+    }
+
+    /// Rebuilds a DAG from an explicit node list (each entry the child
+    /// edges of one node, children referring to *earlier* entries) and
+    /// a root index — the deserialization step of cross-process shard
+    /// transport. Every node is re-interned, so the result's structural
+    /// hashes are derived from content exactly as a locally built DAG's
+    /// are; a forward reference or out-of-range root is rejected with a
+    /// named diagnostic (fail-closed), never mis-linked.
+    ///
+    /// `transcripts` is the ingest count the originating builder
+    /// reported (carried, not derivable from shapes).
+    pub fn assemble(
+        node_edges: Vec<Vec<(TreeStep<S>, NodeId)>>,
+        root: NodeId,
+        transcripts: usize,
+    ) -> Result<TreeDag<S>, String> {
+        let mut inner = DagInner::new();
+        let mut map: Vec<NodeId> = Vec::with_capacity(node_edges.len());
+        for (i, children) in node_edges.into_iter().enumerate() {
+            let mut mapped = Vec::with_capacity(children.len());
+            for (step, child) in children {
+                let Some(&local) = map.get(child as usize) else {
+                    return Err(format!(
+                        "DAG shard node {i} references child {child}, which is not an \
+                         earlier node (children must precede parents)"
+                    ));
+                };
+                mapped.push((step, local));
+            }
+            map.push(inner.intern(mapped));
+        }
+        let Some(&root) = map.get(root as usize) else {
+            return Err(format!(
+                "DAG shard root {root} is out of range ({} nodes)",
+                map.len()
+            ));
+        };
+        Ok(TreeDag {
+            nodes: inner.nodes,
+            hashes: inner.hashes,
+            root,
+            transcripts_ingested: transcripts,
+        })
+    }
+
+    /// Re-encodes every packed internal step as the symbolic code of
+    /// its site-qualified [`StepCode::wire_label`], re-interning the
+    /// whole DAG — the **label space**, the one step identity that is
+    /// stable across processes.
+    ///
+    /// Packed codes embed process-local interner ids, so two processes
+    /// exploring the same workload produce raw-`u64`-incompatible DAGs;
+    /// after `symbolize` their structural hashes are comparable. The
+    /// checkers treat internal steps opaquely (identity only), so the
+    /// verdict and conflict depth of a symbolized DAG are unchanged —
+    /// pinned by the label-space parity assertions in
+    /// `exp_sim_throughput` and the distributed-identity suite.
+    ///
+    /// Fail-closed: two *distinct* packed identities mapping to one
+    /// wire label (a same-line multi-allocation, or value types whose
+    /// `Debug` renderings collide) would silently conflate transcript
+    /// steps, so the collision panics with a named diagnostic instead.
+    pub fn symbolize(&self) -> TreeDag<S> {
+        use crate::intern::StepCode;
+        let mut relabeled: HashMap<StepCode, StepCode> = HashMap::new();
+        let mut sources: HashMap<StepCode, StepCode> = HashMap::new();
+        // The label deliberately excludes the process id (it rides on
+        // the `TreeStep` itself), so codes differing only in proc share
+        // a label legitimately; only a (kind, register, value) clash is
+        // a conflation.
+        let identity = |code: StepCode| (code.kind(), code.reg(), code.value());
+        let mut symbolic_of = |code: StepCode| -> StepCode {
+            if let Some(&sym) = relabeled.get(&code) {
+                return sym;
+            }
+            let sym = StepCode::of_label(&code.wire_label());
+            if let Some(&prior) = sources.get(&sym) {
+                if identity(prior) != identity(code) {
+                    panic!(
+                        "wire-label collision (fail-closed): packed steps {prior:?} and \
+                         {code:?} both encode as \"{}\" — distinct register or value \
+                         identities would be conflated on the wire",
+                        code.wire_label()
+                    );
+                }
+            } else {
+                sources.insert(sym, code);
+            }
+            relabeled.insert(code, sym);
+            sym
+        };
+        let mut inner = DagInner::new();
+        let mut map: Vec<NodeId> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let children = node
+                .children
+                .iter()
+                .map(|(step, child)| {
+                    let step = match step {
+                        TreeStep::Internal(p, code) if code.is_packed() => {
+                            TreeStep::Internal(*p, symbolic_of(*code))
+                        }
+                        other => other.clone(),
+                    };
+                    (step, map[*child as usize])
+                })
+                .collect();
+            map.push(inner.intern(children));
+        }
+        TreeDag {
+            nodes: inner.nodes,
+            hashes: inner.hashes,
+            root: map[self.root as usize],
+            transcripts_ingested: self.transcripts_ingested,
+        }
+    }
+
     /// Number of nodes of the represented prefix *tree* (counting
     /// shared shapes once per occurrence, root included). Computed by
     /// one bottom-up pass; saturates at `u64::MAX`.
@@ -612,6 +742,105 @@ mod tests {
         let ba = TreeDag::merge(vec![s2, s1]);
         assert_eq!(ab.structural_hash(), ba.structural_hash());
         assert_eq!(ab.structural_hash(), sequential.structural_hash());
+    }
+
+    #[test]
+    fn assemble_roundtrips_edges_and_rejects_forward_references() {
+        let builder: DagBuilder<CounterSpec> = DagBuilder::new();
+        builder.ingest(&mk(&["a", "b", "x"]));
+        builder.ingest(&mk(&["a", "c", "x"]));
+        builder.ingest(&mk(&["d"]));
+        let dag = builder.finish();
+        // Export every node's edges (children precede parents), then
+        // reassemble: same shapes, same content hash.
+        let edges: Vec<Vec<(TreeStep<CounterSpec>, NodeId)>> = (0..dag.unique_nodes())
+            .map(|i| dag.edges(i as NodeId).to_vec())
+            .collect();
+        let rebuilt = TreeDag::assemble(edges, dag.root(), dag.transcripts_ingested())
+            .unwrap_or_else(|e| panic!("roundtrip: {e}"));
+        assert_eq!(rebuilt.unique_nodes(), dag.unique_nodes());
+        assert_eq!(rebuilt.structural_hash(), dag.structural_hash());
+        assert_eq!(rebuilt.transcripts_ingested(), dag.transcripts_ingested());
+        // A forward reference is rejected, not mis-linked.
+        let bogus = vec![vec![(TreeStep::internal(ProcId(0), "a"), 1 as NodeId)]];
+        let err = TreeDag::<CounterSpec>::assemble(bogus, 0, 0)
+            .err()
+            .expect("forward ref");
+        assert!(err.contains("children must precede parents"), "{err}");
+        // And so is an out-of-range root.
+        let err = TreeDag::<CounterSpec>::assemble(vec![vec![]], 7, 0)
+            .err()
+            .expect("bad root");
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn symbolize_matches_a_directly_label_built_dag() {
+        use crate::intern::{RegSym, StepCode, StepKind, ValueId};
+        let reg = RegSym::intern("SYMDAG_X", "symdag.rs", 10, 1);
+        let code = |v: u64| StepCode::pack(0, StepKind::Write, reg, ValueId::of(&v));
+        let packed = |codes: &[StepCode]| -> Vec<TreeStep<CounterSpec>> {
+            codes
+                .iter()
+                .map(|c| TreeStep::Internal(ProcId(0), *c))
+                .collect()
+        };
+        let b: DagBuilder<CounterSpec> = DagBuilder::new();
+        b.ingest(&packed(&[code(1), code(2)]));
+        b.ingest(&packed(&[code(1), code(3)]));
+        let sym = b.finish().symbolize();
+        // The same set built straight from the wire labels.
+        let direct: DagBuilder<CounterSpec> = DagBuilder::new();
+        let lbl = |c: StepCode| -> Vec<TreeStep<CounterSpec>> {
+            vec![]
+                .into_iter()
+                .chain(std::iter::once(TreeStep::internal(
+                    ProcId(0),
+                    &c.wire_label(),
+                )))
+                .collect()
+        };
+        let seq = |codes: &[StepCode]| -> Vec<TreeStep<CounterSpec>> {
+            codes.iter().flat_map(|c| lbl(*c)).collect()
+        };
+        direct.ingest(&seq(&[code(1), code(2)]));
+        direct.ingest(&seq(&[code(1), code(3)]));
+        let direct = direct.finish();
+        assert_eq!(sym.structural_hash(), direct.structural_hash());
+        assert_eq!(sym.unique_nodes(), direct.unique_nodes());
+    }
+
+    #[test]
+    fn symbolize_panics_on_wire_label_collisions_fail_closed() {
+        use crate::intern::{RegSym, StepCode, StepKind, ValueId};
+        // Two registers allocated under one name on one line (distinct
+        // columns): distinct identities, identical site-qualified
+        // labels.
+        let r1 = RegSym::intern("SYMDAG_COLLIDE", "symdag.rs", 20, 1);
+        let r2 = RegSym::intern("SYMDAG_COLLIDE", "symdag.rs", 20, 9);
+        assert_ne!(r1, r2);
+        let v = ValueId::of(&5u64);
+        let b: DagBuilder<CounterSpec> = DagBuilder::new();
+        b.ingest(&[
+            TreeStep::<CounterSpec>::Internal(ProcId(0), StepCode::pack(0, StepKind::Write, r1, v)),
+            TreeStep::<CounterSpec>::Internal(ProcId(1), StepCode::pack(1, StepKind::Write, r2, v)),
+        ]);
+        let dag = b.finish();
+        let caught =
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dag.symbolize())) {
+                Ok(_) => panic!("the conflation must be rejected"),
+                Err(payload) => payload,
+            };
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("wire-label collision"), "diagnostic: {msg}");
+        // Same identity under two procs is NOT a collision: the proc
+        // rides on the step, not the label.
+        let b: DagBuilder<CounterSpec> = DagBuilder::new();
+        b.ingest(&[
+            TreeStep::<CounterSpec>::Internal(ProcId(0), StepCode::pack(0, StepKind::Write, r1, v)),
+            TreeStep::<CounterSpec>::Internal(ProcId(1), StepCode::pack(1, StepKind::Write, r1, v)),
+        ]);
+        let _ = b.finish().symbolize();
     }
 
     #[test]

@@ -548,6 +548,37 @@ impl StepCode {
         self.write_label(&mut buf);
         buf
     }
+
+    /// The step's **site-qualified** canonical label, the cross-process
+    /// transport encoding: `name@file:line.kind(value)` for packed
+    /// codes, the interned label for symbolic ones.
+    ///
+    /// Packed codes embed process-local interner ids, so a raw
+    /// [`StepCode`] from another process is meaningless here; shipping
+    /// this label instead (and re-interning it on arrival, see
+    /// `TreeDag::symbolize`) restores a process-independent identity.
+    /// The allocation site rides along because two registers may share
+    /// an allocation *name* while being distinct identities — the plain
+    /// [`StepCode::label`] would conflate them.
+    pub fn wire_label(self) -> String {
+        if let (Some(kind), Some(reg), Some(value)) = (self.kind(), self.reg(), self.value()) {
+            let (file, line) = reg.site();
+            let mut buf = String::new();
+            buf.push_str(reg.name());
+            buf.push('@');
+            buf.push_str(file);
+            buf.push(':');
+            let _ = write!(buf, "{line}");
+            buf.push('.');
+            buf.push_str(kind.as_str());
+            buf.push('(');
+            value.render_into(&mut buf);
+            buf.push(')');
+            buf
+        } else {
+            self.label()
+        }
+    }
 }
 
 impl std::fmt::Debug for StepCode {
@@ -567,6 +598,24 @@ impl std::fmt::Display for StepCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_labels_are_site_qualified_and_stable() {
+        let reg = RegSym::intern("WIRELBL_R", "wirelbl.rs", 42, 5);
+        let code = StepCode::pack(3, StepKind::Write, reg, ValueId::of(&9u64));
+        assert_eq!(code.wire_label(), "WIRELBL_R@wirelbl.rs:42.write(9)");
+        // Same name, different site: the wire labels must not conflate.
+        let other = RegSym::intern("WIRELBL_R", "wirelbl.rs", 43, 5);
+        let twin = StepCode::pack(3, StepKind::Write, other, ValueId::of(&9u64));
+        assert_ne!(code.wire_label(), twin.wire_label());
+        // Re-interning a wire label yields a symbolic (unpacked) code
+        // whose label round-trips byte-identically.
+        let sym = StepCode::of_label(&code.wire_label());
+        assert!(!sym.is_packed());
+        assert_eq!(sym.label(), code.wire_label());
+        // Symbolic codes pass through wire_label unchanged.
+        assert_eq!(sym.wire_label(), sym.label());
+    }
 
     #[test]
     fn interning_is_idempotent_and_equality_is_by_label() {

@@ -1,0 +1,859 @@
+//! The coordinator ↔ worker wire protocol.
+//!
+//! # Framing
+//!
+//! Each frame on a pipe is a *length-prefixed record*:
+//!
+//! ```text
+//! <decimal byte length>\n
+//! <canonical-compact JSON document>\n
+//! ```
+//!
+//! The length covers the JSON document only (not the trailing
+//! newline). A reader therefore never has to scan for a terminator
+//! inside the document, and a process killed mid-write leaves an
+//! unmistakably torn record: the length promises more bytes than the
+//! pipe delivers.
+//!
+//! # Documents
+//!
+//! Every frame document extends the checkpoint wire dialect of
+//! [`sl_sim::wire`] (canonical-compact rendering, duplicate-field and
+//! escape-sequence rejection, unsigned integers only, fail-closed
+//! parsing) with a leading FNV-1a-64 `checksum` over the rest of the
+//! document and a `version`/`frame` pair:
+//!
+//! ```text
+//! {"checksum":N,"version":1,"frame":"hello","workload":...,"mode":...,"pid":N}
+//! {"checksum":N,"version":1,"frame":"task","task":N,"prefix":[...],
+//!  "accesses":[[reg,"kind"],...],"sleep":N,"floor":N}
+//! {"checksum":N,"version":1,"frame":"heartbeat","task":N}
+//! {"checksum":N,"version":1,"frame":"result","task":N,"runs":N,"cut_runs":N,
+//!  "pruned":N,"capped":B,"retried":N,"quarantined":N,
+//!  "poisoned":[{"prefix":[...],"attempts":N,"message":"..."},...],
+//!  "escapes":[{"depth":N,"first_proc":N,"initials":[...],
+//!              "seq":[[p,reg,"kind"],...]},...],
+//!  "shard":{...}}
+//! {"checksum":N,"version":1,"frame":"shutdown"}
+//! ```
+//!
+//! [`Frame::render`] → [`Frame::parse`] → [`Frame::render`] is
+//! byte-identical, and parsing verifies the checksum against the
+//! received bytes' canonical form before anything is interpreted —
+//! a torn, doctored, or version-skewed frame is a named rejection,
+//! never a silently different task.
+
+use std::io::{BufRead, Write};
+
+use sl_sim::wire::{escape_json, fnv1a64, ident_ok, push_usizes, Fields, Json, Parser};
+use sl_sim::{AccessKind, CkptAccess, PoisonReport, WireEscape, WireTask, WireTaskResult};
+
+/// The supported frame format version.
+pub const FRAME_VERSION: u64 = 1;
+
+/// Upper bound on one frame's document length: a length prefix beyond
+/// this is rejected before any allocation (a corrupted prefix must not
+/// look like a 10-exabyte read).
+pub const MAX_FRAME_BYTES: usize = 1 << 28;
+
+/// One protocol message. See the module docs for the wire shapes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Worker → coordinator handshake; the coordinator refuses a fleet
+    /// member built for a different workload or prune mode.
+    Hello {
+        /// Pinned workload name.
+        workload: String,
+        /// `PruneMode::name()` of the worker's explorer.
+        mode: String,
+        /// Worker process id (telemetry only).
+        pid: u64,
+    },
+    /// Coordinator → worker: explore this frozen subtree.
+    Task {
+        /// Lease id (coordinator-unique, nonzero).
+        task: u64,
+        /// The frozen subtree.
+        spec: WireTask,
+    },
+    /// Worker → coordinator: still alive on this lease.
+    Heartbeat {
+        /// The lease being renewed.
+        task: u64,
+    },
+    /// Worker → coordinator: the lease's completed exploration.
+    Result {
+        /// The lease this result settles.
+        task: u64,
+        /// Counters and escapes of the explored subtree.
+        result: WireTaskResult,
+        /// The subtree's symbolized DAG shard, as a canonical JSON
+        /// document (see [`crate::codec::encode_dag`]).
+        shard: String,
+    },
+    /// Coordinator → worker: drain and exit cleanly.
+    Shutdown,
+}
+
+// ---------------------------------------------------------------------
+// String hygiene
+// ---------------------------------------------------------------------
+
+/// Whether `s` survives the wire dialect verbatim: the parser rejects
+/// escape sequences, so only strings that need none may be rendered.
+fn wire_str_ok(s: &str) -> bool {
+    s.chars().all(|c| c != '"' && c != '\\' && !c.is_control())
+}
+
+/// Renders a string field, fail-closed: a label or op encoding that
+/// the dialect cannot carry is a bug at the encoder, not a silent
+/// mutation in transit.
+fn push_str_checked(out: &mut String, s: &str) {
+    assert!(
+        wire_str_ok(s),
+        "string {s:?} cannot cross the frame wire verbatim \
+         (fail-closed: the dialect carries no escape sequences)"
+    );
+    out.push('"');
+    out.push_str(s);
+    out.push('"');
+}
+
+/// Lossy cleanup for diagnostic-only strings (panic messages): every
+/// character the dialect cannot carry becomes `?`. Identities never go
+/// through here — only human-facing text.
+pub fn clean_diagnostic(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c == '"' || c == '\\' || c.is_control() {
+                '?'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Canonical JSON re-rendering (checksum verification)
+// ---------------------------------------------------------------------
+
+/// Renders a parsed [`Json`] value back to canonical-compact text.
+/// Field order is preserved, so a document that was canonical on the
+/// wire re-renders byte-identically — the checksum recomputation
+/// below relies on exactly this.
+pub fn render_json(v: &Json, out: &mut String) {
+    match v {
+        Json::Str(s) => push_str_checked(out, s),
+        Json::Num(n) => {
+            out.push_str(&n.to_string());
+        }
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_json(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_str_checked(out, k);
+                out.push(':');
+                render_json(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Access / escape helpers (the checkpoint dialect's names)
+// ---------------------------------------------------------------------
+
+fn kind_name(kind: AccessKind) -> &'static str {
+    match kind {
+        AccessKind::Read => "read",
+        AccessKind::Write => "write",
+        AccessKind::Rmw => "rmw",
+        AccessKind::Local => "local",
+    }
+}
+
+fn kind_of(name: &str) -> Option<AccessKind> {
+    match name {
+        "read" => Some(AccessKind::Read),
+        "write" => Some(AccessKind::Write),
+        "rmw" => Some(AccessKind::Rmw),
+        "local" => Some(AccessKind::Local),
+        _ => None,
+    }
+}
+
+fn push_access(out: &mut String, a: &CkptAccess) {
+    out.push('[');
+    out.push_str(&a.reg.to_string());
+    out.push_str(",\"");
+    out.push_str(kind_name(a.kind));
+    out.push_str("\"]");
+}
+
+fn access_of(v: &Json, ctx: &str) -> Result<CkptAccess, String> {
+    let Json::Arr(pair) = v else {
+        return Err(format!("{ctx}: expected a [reg,\"kind\"] pair"));
+    };
+    if pair.len() != 2 {
+        return Err(format!("{ctx}: expected a [reg,\"kind\"] pair"));
+    }
+    let reg = pair[0].as_num(ctx)?;
+    let reg = u32::try_from(reg).map_err(|_| format!("{ctx}: register id {reg} out of range"))?;
+    let Json::Str(name) = &pair[1] else {
+        return Err(format!("{ctx}: access kind must be a string"));
+    };
+    let kind = kind_of(name).ok_or_else(|| format!("{ctx}: unknown access kind {name:?}"))?;
+    Ok(CkptAccess { reg, kind })
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+impl Frame {
+    /// The frame's canonical document, checksum sealed.
+    pub fn render(&self) -> String {
+        let mut b = String::with_capacity(128);
+        b.push('{');
+        b.push_str("\"version\":");
+        b.push_str(&FRAME_VERSION.to_string());
+        b.push_str(",\"frame\":\"");
+        b.push_str(self.kind_name());
+        b.push('"');
+        match self {
+            Frame::Hello {
+                workload,
+                mode,
+                pid,
+            } => {
+                assert!(
+                    ident_ok(workload) && ident_ok(mode),
+                    "hello identities must be identifiers (fail-closed)"
+                );
+                b.push_str(",\"workload\":\"");
+                b.push_str(workload);
+                b.push_str("\",\"mode\":\"");
+                b.push_str(mode);
+                b.push_str("\",\"pid\":");
+                b.push_str(&pid.to_string());
+            }
+            Frame::Task { task, spec } => {
+                b.push_str(",\"task\":");
+                b.push_str(&task.to_string());
+                b.push_str(",\"prefix\":");
+                push_usizes(&mut b, &spec.prefix);
+                b.push_str(",\"accesses\":[");
+                for (i, a) in spec.accesses.iter().enumerate() {
+                    if i > 0 {
+                        b.push(',');
+                    }
+                    push_access(&mut b, a);
+                }
+                b.push_str("],\"sleep\":");
+                b.push_str(&spec.sleep.to_string());
+                b.push_str(",\"floor\":");
+                b.push_str(&spec.floor.to_string());
+            }
+            Frame::Heartbeat { task } => {
+                b.push_str(",\"task\":");
+                b.push_str(&task.to_string());
+            }
+            Frame::Result {
+                task,
+                result,
+                shard,
+            } => {
+                b.push_str(",\"task\":");
+                b.push_str(&task.to_string());
+                b.push_str(",\"runs\":");
+                b.push_str(&result.runs.to_string());
+                b.push_str(",\"cut_runs\":");
+                b.push_str(&result.cut_runs.to_string());
+                b.push_str(",\"pruned\":");
+                b.push_str(&result.pruned.to_string());
+                b.push_str(",\"capped\":");
+                b.push_str(if result.capped { "true" } else { "false" });
+                b.push_str(",\"retried\":");
+                b.push_str(&result.retried.to_string());
+                b.push_str(",\"quarantined\":");
+                b.push_str(&result.quarantined.to_string());
+                b.push_str(",\"poisoned\":[");
+                for (i, p) in result.poisoned.iter().enumerate() {
+                    if i > 0 {
+                        b.push(',');
+                    }
+                    b.push_str("{\"prefix\":");
+                    push_usizes(&mut b, &p.prefix);
+                    b.push_str(",\"attempts\":");
+                    b.push_str(&p.attempts.to_string());
+                    b.push_str(",\"message\":\"");
+                    // Panic text is diagnostic-only: carried lossily.
+                    b.push_str(&escape_json(&clean_diagnostic(&p.message)));
+                    b.push_str("\"}");
+                }
+                b.push_str("],\"escapes\":[");
+                for (i, e) in result.escapes.iter().enumerate() {
+                    if i > 0 {
+                        b.push(',');
+                    }
+                    b.push_str("{\"depth\":");
+                    b.push_str(&e.depth.to_string());
+                    b.push_str(",\"first_proc\":");
+                    b.push_str(&e.first_proc.to_string());
+                    b.push_str(",\"initials\":");
+                    push_usizes(&mut b, &e.initials);
+                    // Wakeup sequences are nonempty by construction, so
+                    // an empty array is an unambiguous "no continuation".
+                    b.push_str(",\"seq\":[");
+                    if let Some(seq) = &e.seq {
+                        for (j, (p, a)) in seq.iter().enumerate() {
+                            if j > 0 {
+                                b.push(',');
+                            }
+                            b.push('[');
+                            b.push_str(&p.to_string());
+                            b.push(',');
+                            b.push_str(&a.reg.to_string());
+                            b.push_str(",\"");
+                            b.push_str(kind_name(a.kind));
+                            b.push_str("\"]");
+                        }
+                    }
+                    b.push_str("]}");
+                }
+                b.push_str("],\"shard\":");
+                // Already a canonical document (codec-produced).
+                b.push_str(shard);
+            }
+            Frame::Shutdown => {}
+        }
+        b.push('}');
+        sl_sim::wire::seal_checksum(&b)
+    }
+
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::Task { .. } => "task",
+            Frame::Heartbeat { .. } => "heartbeat",
+            Frame::Result { .. } => "result",
+            Frame::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses and verifies one frame document. Fail-closed: a torn
+    /// document, a checksum mismatch, a version skew, a duplicate or
+    /// unknown field, or a malformed payload is a named rejection.
+    pub fn parse(text: &str) -> Result<Frame, String> {
+        let doc = Parser::new(text, "frame").parse_document()?;
+        let Json::Obj(fields) = doc else {
+            return Err("frame: expected an object".to_string());
+        };
+        // The checksum must lead (canonical position) and covers the
+        // canonical rendering of everything after it.
+        match fields.first() {
+            Some((k, _)) if k == "checksum" => {}
+            _ => return Err("frame: missing leading \"checksum\" field".to_string()),
+        }
+        let claimed = fields[0].1.as_num("checksum")?;
+        let mut body = String::with_capacity(text.len());
+        render_json(&Json::Obj(fields[1..].to_vec()), &mut body);
+        let actual = fnv1a64(body.as_bytes());
+        if claimed != actual {
+            return Err(format!(
+                "frame checksum mismatch: header says {claimed}, body hashes to {actual} \
+                 (torn or doctored frame?)"
+            ));
+        }
+        let mut f = Fields::new(Json::Obj(fields[1..].to_vec()), "frame")?;
+        let version = f.num("version")?;
+        if version != FRAME_VERSION {
+            return Err(format!(
+                "unsupported frame version {version} (this build speaks {FRAME_VERSION})"
+            ));
+        }
+        let kind = f.string("frame")?;
+        match kind.as_str() {
+            "hello" => {
+                f.allow(&["workload", "mode", "pid"])?;
+                let workload = f.string("workload")?;
+                let mode = f.string("mode")?;
+                if !ident_ok(&workload) || !ident_ok(&mode) {
+                    return Err("hello: identities must be identifiers".to_string());
+                }
+                Ok(Frame::Hello {
+                    workload,
+                    mode,
+                    pid: f.num("pid")?,
+                })
+            }
+            "task" => {
+                f.allow(&["task", "prefix", "accesses", "sleep", "floor"])?;
+                let task = f.num("task")?;
+                let prefix = usize_array(&mut f, "prefix")?;
+                let accesses = f
+                    .array("accesses")?
+                    .iter()
+                    .map(|v| access_of(v, "accesses"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let sleep = f.num("sleep")?;
+                let floor = f.num("floor")? as usize;
+                Ok(Frame::Task {
+                    task,
+                    spec: WireTask {
+                        prefix,
+                        accesses,
+                        sleep,
+                        floor,
+                    },
+                })
+            }
+            "heartbeat" => {
+                f.allow(&["task"])?;
+                Ok(Frame::Heartbeat {
+                    task: f.num("task")?,
+                })
+            }
+            "result" => {
+                f.allow(&[
+                    "task",
+                    "runs",
+                    "cut_runs",
+                    "pruned",
+                    "capped",
+                    "retried",
+                    "quarantined",
+                    "poisoned",
+                    "escapes",
+                    "shard",
+                ])?;
+                let task = f.num("task")?;
+                let runs = f.num("runs")? as usize;
+                let cut_runs = f.num("cut_runs")? as usize;
+                let pruned = f.num("pruned")?;
+                let capped = f.boolean("capped")?;
+                let retried = f.num("retried")?;
+                let quarantined = f.num("quarantined")?;
+                let poisoned = f
+                    .array("poisoned")?
+                    .into_iter()
+                    .map(poison_of)
+                    .collect::<Result<Vec<_>, _>>()?;
+                let escapes = f
+                    .array("escapes")?
+                    .into_iter()
+                    .map(escape_of)
+                    .collect::<Result<Vec<_>, _>>()?;
+                let mut shard = String::new();
+                render_json(&f.take("shard")?, &mut shard);
+                Ok(Frame::Result {
+                    task,
+                    result: WireTaskResult {
+                        runs,
+                        cut_runs,
+                        pruned,
+                        capped,
+                        retried,
+                        quarantined,
+                        poisoned,
+                        escapes,
+                    },
+                    shard,
+                })
+            }
+            "shutdown" => {
+                f.allow(&[])?;
+                Ok(Frame::Shutdown)
+            }
+            other => Err(format!("frame: unknown frame kind {other:?}")),
+        }
+    }
+}
+
+fn usize_array(f: &mut Fields, key: &'static str) -> Result<Vec<usize>, String> {
+    f.array(key)?
+        .iter()
+        .map(|v| v.as_num(key).map(|n| n as usize))
+        .collect()
+}
+
+fn poison_of(v: Json) -> Result<PoisonReport, String> {
+    let mut f = Fields::new(v, "poisoned")?;
+    f.allow(&["prefix", "attempts", "message"])?;
+    let prefix = f
+        .array("prefix")?
+        .iter()
+        .map(|v| v.as_num("prefix").map(|n| n as usize))
+        .collect::<Result<Vec<_>, _>>()?;
+    let attempts = u32::try_from(f.num("attempts")?)
+        .map_err(|_| "poisoned: attempts out of range".to_string())?;
+    Ok(PoisonReport {
+        prefix,
+        attempts,
+        message: f.string("message")?,
+    })
+}
+
+fn escape_of(v: Json) -> Result<WireEscape, String> {
+    let mut f = Fields::new(v, "escapes")?;
+    f.allow(&["depth", "first_proc", "initials", "seq"])?;
+    let depth = f.num("depth")? as usize;
+    let first_proc = f.num("first_proc")? as usize;
+    let initials = f
+        .array("initials")?
+        .iter()
+        .map(|v| v.as_num("initials").map(|n| n as usize))
+        .collect::<Result<Vec<_>, _>>()?;
+    let raw = f.array("seq")?;
+    let seq = if raw.is_empty() {
+        None
+    } else {
+        Some(
+            raw.iter()
+                .map(|v| {
+                    let Json::Arr(triple) = v else {
+                        return Err("seq: expected a [proc,reg,\"kind\"] triple".to_string());
+                    };
+                    if triple.len() != 3 {
+                        return Err("seq: expected a [proc,reg,\"kind\"] triple".to_string());
+                    }
+                    let p = triple[0].as_num("seq")? as usize;
+                    let reg = u32::try_from(triple[1].as_num("seq")?)
+                        .map_err(|_| "seq: register id out of range".to_string())?;
+                    let Json::Str(name) = &triple[2] else {
+                        return Err("seq: access kind must be a string".to_string());
+                    };
+                    let kind = kind_of(name)
+                        .ok_or_else(|| format!("seq: unknown access kind {name:?}"))?;
+                    Ok((p, CkptAccess { reg, kind }))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        )
+    };
+    Ok(WireEscape {
+        depth,
+        first_proc,
+        initials,
+        seq,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Pipe framing
+// ---------------------------------------------------------------------
+
+/// Writes one rendered frame document as a length-prefixed record and
+/// flushes (a buffered, unflushed frame is indistinguishable from a
+/// hung worker on the far side).
+pub fn write_frame(w: &mut impl Write, text: &str) -> std::io::Result<()> {
+    w.write_all(text.len().to_string().as_bytes())?;
+    w.write_all(b"\n")?;
+    w.write_all(text.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame document. `Ok(None)` on clean EOF
+/// (the peer closed the pipe *between* records); anything short or
+/// malformed mid-record is an error — a process killed mid-write must
+/// surface as a torn frame, never as a quiet end-of-stream.
+pub fn read_frame(r: &mut impl BufRead) -> Result<Option<String>, String> {
+    let mut header = String::new();
+    match r.read_line(&mut header) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(format!("frame header read failed: {e}")),
+    }
+    let header = header.trim_end_matches('\n');
+    let len: usize = header
+        .trim()
+        .parse()
+        .map_err(|_| format!("frame header is not a length: {header:?} (torn frame?)"))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap (corrupt header?)"
+        ));
+    }
+    let mut body = vec![0u8; len];
+    let mut read = 0;
+    while read < len {
+        match std::io::Read::read(r, &mut body[read..]) {
+            Ok(0) => {
+                return Err(format!(
+                    "torn frame: header promised {len} bytes, the pipe delivered {read}"
+                ))
+            }
+            Ok(n) => read += n,
+            Err(e) => return Err(format!("frame body read failed: {e}")),
+        }
+    }
+    let mut nl = [0u8; 1];
+    match std::io::Read::read(r, &mut nl) {
+        Ok(1) if nl[0] == b'\n' => {}
+        Ok(_) => return Err("torn frame: missing record terminator".to_string()),
+        Err(e) => return Err(format!("frame terminator read failed: {e}")),
+    }
+    String::from_utf8(body)
+        .map(Some)
+        .map_err(|_| "frame body is not UTF-8 (torn or doctored frame?)".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::Cursor;
+
+    use super::*;
+
+    fn sample_task() -> Frame {
+        Frame::Task {
+            task: 7,
+            spec: WireTask {
+                prefix: vec![0, 2, 1, 1],
+                accesses: vec![
+                    CkptAccess {
+                        reg: 3,
+                        kind: AccessKind::Write,
+                    },
+                    CkptAccess {
+                        reg: 0,
+                        kind: AccessKind::Rmw,
+                    },
+                ],
+                sleep: 0b101,
+                floor: 2,
+            },
+        }
+    }
+
+    fn sample_result() -> Frame {
+        Frame::Result {
+            task: 7,
+            result: WireTaskResult {
+                runs: 41,
+                cut_runs: 3,
+                pruned: 17,
+                capped: false,
+                retried: 1,
+                quarantined: 1,
+                poisoned: vec![PoisonReport {
+                    prefix: vec![0, 2],
+                    attempts: 3,
+                    message: "panicked at 'boom'".to_string(),
+                }],
+                escapes: vec![
+                    WireEscape {
+                        depth: 4,
+                        first_proc: 1,
+                        initials: vec![1, 2],
+                        seq: Some(vec![
+                            (
+                                0,
+                                CkptAccess {
+                                    reg: 5,
+                                    kind: AccessKind::Read,
+                                },
+                            ),
+                            (
+                                2,
+                                CkptAccess {
+                                    reg: 5,
+                                    kind: AccessKind::Write,
+                                },
+                            ),
+                        ]),
+                    },
+                    WireEscape {
+                        depth: 9,
+                        first_proc: 0,
+                        initials: vec![0],
+                        seq: None,
+                    },
+                ],
+            },
+            shard: "{\"nodes\":[[]],\"root\":0,\"transcripts\":0}".to_string(),
+        }
+    }
+
+    fn all_kinds() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                workload: "aba_mixed3".to_string(),
+                mode: "SourceDpor".to_string(),
+                pid: 4242,
+            },
+            sample_task(),
+            Frame::Heartbeat { task: 9 },
+            sample_result(),
+            Frame::Shutdown,
+        ]
+    }
+
+    // -- wire-format evolution: render -> parse -> render byte identity
+
+    #[test]
+    fn every_frame_kind_round_trips_byte_identically() {
+        for frame in all_kinds() {
+            let text = frame.render();
+            let parsed =
+                Frame::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", frame.kind_name()));
+            assert_eq!(parsed, frame, "{} value round-trip", frame.kind_name());
+            assert_eq!(
+                parsed.render(),
+                text,
+                "{} byte-identity round-trip",
+                frame.kind_name()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_seq_means_no_escape_continuation() {
+        // `"seq":[]` <-> None must be stable in both directions: wakeup
+        // sequences are nonempty by construction, so the empty array is
+        // reserved as the "no continuation" marker.
+        let Frame::Result { result, .. } = sample_result() else {
+            unreachable!()
+        };
+        assert!(result.escapes[1].seq.is_none());
+        let text = sample_result().render();
+        assert!(text.contains("\"seq\":[]"), "reserved marker on the wire");
+    }
+
+    // -- doctored frames: every corruption is a named rejection
+
+    #[test]
+    fn checksum_flip_is_rejected() {
+        let text = sample_task().render();
+        // Flip one digit inside the body (the task id), leaving the
+        // sealed checksum stale.
+        let doctored = text.replace("\"task\":7", "\"task\":8");
+        assert_ne!(doctored, text);
+        let err = Frame::parse(&doctored).expect_err("stale checksum");
+        assert!(err.contains("checksum mismatch"), "{err}");
+        assert!(err.contains("torn or doctored"), "{err}");
+    }
+
+    #[test]
+    fn version_skew_is_rejected_by_name() {
+        let body = "{\"version\":2,\"frame\":\"shutdown\"}";
+        let sealed = sl_sim::wire::seal_checksum(body);
+        let err = Frame::parse(&sealed).expect_err("version skew");
+        assert!(err.contains("unsupported frame version 2"), "{err}");
+        assert!(err.contains("this build speaks 1"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_fields_are_rejected() {
+        let body = "{\"version\":1,\"frame\":\"heartbeat\",\"task\":1,\"task\":1}";
+        let sealed = sl_sim::wire::seal_checksum(body);
+        let err = Frame::parse(&sealed).expect_err("duplicate field");
+        assert!(err.contains("duplicate key"), "{err}");
+    }
+
+    #[test]
+    fn unknown_fields_and_kinds_are_rejected() {
+        let body = "{\"version\":1,\"frame\":\"heartbeat\",\"task\":1,\"zeal\":3}";
+        let err = Frame::parse(&sl_sim::wire::seal_checksum(body)).expect_err("unknown field");
+        assert!(err.contains("unknown field \"zeal\""), "{err}");
+
+        let body = "{\"version\":1,\"frame\":\"gossip\"}";
+        let err = Frame::parse(&sl_sim::wire::seal_checksum(body)).expect_err("unknown kind");
+        assert!(err.contains("unknown frame kind \"gossip\""), "{err}");
+    }
+
+    #[test]
+    fn missing_or_misplaced_checksum_is_rejected() {
+        let err = Frame::parse("{\"version\":1,\"frame\":\"shutdown\"}").expect_err("no checksum");
+        assert!(err.contains("missing leading \"checksum\""), "{err}");
+    }
+
+    #[test]
+    fn hello_identities_are_fail_closed() {
+        let body =
+            "{\"version\":1,\"frame\":\"hello\",\"workload\":\"a b\",\"mode\":\"m\",\"pid\":1}";
+        let err = Frame::parse(&sl_sim::wire::seal_checksum(body)).expect_err("bad identity");
+        assert!(err.contains("identities must be identifiers"), "{err}");
+    }
+
+    #[test]
+    fn diagnostic_text_is_carried_lossily_not_rejected() {
+        let mut result = match sample_result() {
+            Frame::Result { result, .. } => result,
+            _ => unreachable!(),
+        };
+        result.poisoned[0].message = "tab\there \"and\" back\\slash".to_string();
+        let frame = Frame::Result {
+            task: 1,
+            result,
+            shard: "{\"nodes\":[[]],\"root\":0,\"transcripts\":0}".to_string(),
+        };
+        let parsed = Frame::parse(&frame.render()).expect("lossy diagnostic");
+        let Frame::Result { result, .. } = parsed else {
+            unreachable!()
+        };
+        assert_eq!(result.poisoned[0].message, "tab?here ?and? back?slash");
+    }
+
+    // -- pipe framing: records, EOF, torn reads
+
+    #[test]
+    fn pipe_records_round_trip_and_signal_clean_eof() {
+        let mut buf = Vec::new();
+        for frame in all_kinds() {
+            write_frame(&mut buf, &frame.render()).expect("write");
+        }
+        let mut r = Cursor::new(buf);
+        for frame in all_kinds() {
+            let text = read_frame(&mut r).expect("read").expect("record");
+            assert_eq!(Frame::parse(&text).expect("parse"), frame);
+        }
+        assert_eq!(read_frame(&mut r).expect("eof"), None);
+    }
+
+    #[test]
+    fn torn_records_are_named_never_quiet_eof() {
+        // A worker killed mid-write leaves half a record: the length
+        // prefix promises bytes that never arrive.
+        let text = sample_task().render();
+        let full = format!("{}\n{}\n", text.len(), text);
+        let half = &full.as_bytes()[..full.len() / 2];
+        let mut r = Cursor::new(half.to_vec());
+        let err = read_frame(&mut r).expect_err("torn");
+        assert!(err.contains("torn frame"), "{err}");
+        assert!(
+            err.contains(&format!("header promised {}", text.len())),
+            "{err}"
+        );
+
+        // Garbage where the length prefix should be.
+        let mut r = Cursor::new(b"not-a-length\nxxx\n".to_vec());
+        let err = read_frame(&mut r).expect_err("bad header");
+        assert!(err.contains("not a length"), "{err}");
+
+        // A corrupted prefix must not look like a huge allocation.
+        let mut r = Cursor::new(format!("{}\n", MAX_FRAME_BYTES + 1).into_bytes());
+        let err = read_frame(&mut r).expect_err("cap");
+        assert!(err.contains("exceeds"), "{err}");
+
+        // A record missing its terminator is torn, not short.
+        let mut buf = format!("{}\n{}", text.len(), text).into_bytes();
+        let mut r = Cursor::new(std::mem::take(&mut buf));
+        let err = read_frame(&mut r).expect_err("no terminator");
+        assert!(err.contains("missing record terminator"), "{err}");
+    }
+}

@@ -98,6 +98,10 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::wire::{
+    atomic_publish, escape_json, fnv1a64, ident_ok, push_usizes, seal_checksum, Fields, Json,
+    Parser,
+};
 use crate::world::AccessKind;
 
 // ---------------------------------------------------------------------
@@ -231,39 +235,9 @@ fn kind_of(name: &str) -> Option<AccessKind> {
     }
 }
 
-/// Identifier charset for workload/mode strings: keeps the canonical
-/// serialization escape-free (and the Python linter byte-compatible).
-fn ident_ok(s: &str) -> bool {
-    !s.is_empty()
-        && s.len() <= 64
-        && s.bytes()
-            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
-}
-
-/// FNV-1a 64-bit over `bytes` — the checkpoint content digest.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 // ---------------------------------------------------------------------
-// Canonical serializer
+// Canonical serializer (shared primitives live in `crate::wire`)
 // ---------------------------------------------------------------------
-
-fn push_usizes(out: &mut String, xs: &[usize]) {
-    out.push('[');
-    for (i, x) in xs.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&x.to_string());
-    }
-    out.push(']');
-}
 
 fn push_access_body(out: &mut String, a: &CkptAccess) {
     out.push_str("\"reg\":");
@@ -392,16 +366,14 @@ impl Checkpoint {
     /// The full file content: the canonical body with the FNV-1a-64
     /// digest spliced in as the leading `checksum` field.
     pub fn render(&self) -> String {
-        let body = self.canonical_body();
-        let sum = fnv1a64(body.as_bytes());
-        format!("{{\"checksum\":{sum},{}", &body[1..])
+        seal_checksum(&self.canonical_body())
     }
 
     /// Parses and fully validates checkpoint text: JSON structure,
     /// field sets, version, checksum, and the structural invariants of
     /// the frontier. Every rejection carries a named diagnostic.
     pub fn parse(text: &str) -> Result<Checkpoint, String> {
-        let value = Parser::new(text).parse_document()?;
+        let value = Parser::new(text, "checkpoint").parse_document()?;
         let mut top = Fields::new(value, "checkpoint")?;
         top.allow(&[
             "checksum",
@@ -715,261 +687,6 @@ fn usize_array(values: Vec<Json>, ctx: &str) -> Result<Vec<usize>, String> {
 }
 
 // ---------------------------------------------------------------------
-// Fail-closed JSON (the certificate.rs v2 house style, local to sl-sim:
-// the layering runs analyze → sim, so the parser is re-implemented here
-// rather than imported)
-// ---------------------------------------------------------------------
-
-/// A parsed JSON value. Numbers are unsigned 64-bit only — the format
-/// has no floats or negatives, and rejecting them outright beats
-/// guessing a rounding.
-#[derive(Clone, Debug)]
-enum Json {
-    Str(String),
-    Num(u64),
-    #[allow(dead_code)]
-    Bool(bool),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn as_num(&self, ctx: &str) -> Result<u64, String> {
-        match self {
-            Json::Num(n) => Ok(*n),
-            other => Err(format!(
-                "{ctx}: expected an unsigned integer, found {other:?}"
-            )),
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    line: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Parser<'a> {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-            line: 1,
-        }
-    }
-
-    fn err(&self, msg: &str) -> String {
-        format!("line {}: {msg}", self.line)
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            match b {
-                b'\n' => {
-                    self.line += 1;
-                    self.pos += 1;
-                }
-                b' ' | b'\t' | b'\r' => self.pos += 1,
-                _ => break,
-            }
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| self.err("unexpected end of input (truncated checkpoint?)"))
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        let got = self.peek()?;
-        if got != b {
-            return Err(self.err(&format!(
-                "expected '{}', found '{}'",
-                b as char, got as char
-            )));
-        }
-        self.pos += 1;
-        Ok(())
-    }
-
-    /// Parses the single top-level value and rejects trailing garbage.
-    fn parse_document(mut self) -> Result<Json, String> {
-        let v = self.parse_value()?;
-        self.skip_ws();
-        if self.pos != self.bytes.len() {
-            return Err(self.err("trailing garbage after the checkpoint object"));
-        }
-        Ok(v)
-    }
-
-    fn parse_value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
-            b'{' => self.parse_obj(),
-            b'[' => self.parse_arr(),
-            b'"' => Ok(Json::Str(self.parse_string()?)),
-            b'0'..=b'9' => self.parse_num(),
-            b't' | b'f' => self.parse_bool(),
-            b'-' => Err(self.err("negative numbers are not part of the checkpoint format")),
-            c => Err(self.err(&format!("unexpected character '{}'", c as char))),
-        }
-    }
-
-    fn parse_obj(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields: Vec<(String, Json)> = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.parse_string()?;
-            if fields.iter().any(|(k, _)| *k == key) {
-                return Err(self.err(&format!(
-                    "duplicate key \"{key}\" (fail-closed: refusing to pick one)"
-                )));
-            }
-            self.expect(b':')?;
-            let value = self.parse_value()?;
-            fields.push((key, value));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                c => return Err(self.err(&format!("expected ',' or '}}', found '{}'", c as char))),
-            }
-        }
-    }
-
-    fn parse_arr(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                c => return Err(self.err(&format!("expected ',' or ']', found '{}'", c as char))),
-            }
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        loop {
-            let Some(&b) = self.bytes.get(self.pos) else {
-                return Err(self.err("unterminated string (truncated checkpoint?)"));
-            };
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(s),
-                b'\\' => {
-                    return Err(self.err("escape sequences are not part of the checkpoint format"))
-                }
-                b'\n' => return Err(self.err("raw newline inside a string")),
-                _ => s.push(b as char),
-            }
-        }
-    }
-
-    fn parse_num(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
-        if matches!(
-            self.bytes.get(self.pos),
-            Some(b'.') | Some(b'e') | Some(b'E')
-        ) {
-            return Err(self.err("floating-point numbers are not part of the checkpoint format"));
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<u64>()
-            .map(Json::Num)
-            .map_err(|_| self.err(&format!("number {text} does not fit in u64")))
-    }
-
-    fn parse_bool(&mut self) -> Result<Json, String> {
-        for (word, value) in [("true", true), ("false", false)] {
-            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-                self.pos += word.len();
-                return Ok(Json::Bool(value));
-            }
-        }
-        Err(self.err("expected 'true' or 'false'"))
-    }
-}
-
-/// Typed, fail-closed field extraction from a parsed object: every key
-/// must be known, every known key must be present when asked for.
-struct Fields {
-    fields: Vec<(String, Json)>,
-    ctx: &'static str,
-}
-
-impl Fields {
-    fn new(v: Json, ctx: &'static str) -> Result<Fields, String> {
-        match v {
-            Json::Obj(fields) => Ok(Fields { fields, ctx }),
-            other => Err(format!("{ctx}: expected an object, found {other:?}")),
-        }
-    }
-
-    fn allow(&self, keys: &[&str]) -> Result<(), String> {
-        for (k, _) in &self.fields {
-            if !keys.contains(&k.as_str()) {
-                return Err(format!(
-                    "{}: unknown field \"{k}\" (fail-closed: refusing to guess)",
-                    self.ctx
-                ));
-            }
-        }
-        Ok(())
-    }
-
-    fn take(&mut self, key: &str) -> Result<Json, String> {
-        let i = self
-            .fields
-            .iter()
-            .position(|(k, _)| k == key)
-            .ok_or_else(|| format!("{}: missing field \"{key}\"", self.ctx))?;
-        Ok(self.fields.remove(i).1)
-    }
-
-    fn num(&mut self, key: &str) -> Result<u64, String> {
-        self.take(key)?.as_num(key)
-    }
-
-    fn string(&mut self, key: &str) -> Result<String, String> {
-        match self.take(key)? {
-            Json::Str(s) => Ok(s),
-            other => Err(format!("{key}: expected a string, found {other:?}")),
-        }
-    }
-
-    fn array(&mut self, key: &str) -> Result<Vec<Json>, String> {
-        match self.take(key)? {
-            Json::Arr(items) => Ok(items),
-            other => Err(format!("{key}: expected an array, found {other:?}")),
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
 // The on-disk store
 // ---------------------------------------------------------------------
 
@@ -1058,12 +775,7 @@ impl CheckpointStore {
     pub fn save_rendered(&self, text: &str) -> Result<(), String> {
         std::fs::create_dir_all(&self.dir)
             .map_err(|e| format!("creating checkpoint dir {}: {e}", self.dir.display()))?;
-        let tmp = self.tmp_path();
-        std::fs::write(&tmp, text.as_bytes())
-            .map_err(|e| format!("writing checkpoint temp {}: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, self.path())
-            .map_err(|e| format!("publishing checkpoint {}: {e}", self.path().display()))?;
-        Ok(())
+        atomic_publish(&self.tmp_path(), &self.path(), text)
     }
 
     /// Loads and validates the checkpoint. Beyond [`Checkpoint::parse`]
@@ -1313,16 +1025,32 @@ pub enum FaultPoint {
     CkptWrite,
     /// Loading a checkpoint on resume.
     ResumeParse,
+    /// Handing a frozen task to a remote dispatcher (coordinator
+    /// side: the task frame is about to cross the process boundary).
+    Dispatch,
+    /// A worker's heartbeat tick (the ticker stops permanently once
+    /// this takes, so the coordinator sees a missed lease deadline).
+    Heartbeat,
+    /// Mid-write of a result frame (the worker aborts after flushing
+    /// half the frame — the coordinator must reject the torn frame).
+    ResultFrame,
+    /// A worker process exiting after completing its nth task (the
+    /// out-of-process analogue of [`FaultPoint::Steal`]).
+    WorkerExit,
 }
 
 impl FaultPoint {
     /// Every injection point — the CI matrix iterates this.
-    pub const ALL: [FaultPoint; 5] = [
+    pub const ALL: [FaultPoint; 9] = [
         FaultPoint::TaskFreeze,
         FaultPoint::Steal,
         FaultPoint::JoinMerge,
         FaultPoint::CkptWrite,
         FaultPoint::ResumeParse,
+        FaultPoint::Dispatch,
+        FaultPoint::Heartbeat,
+        FaultPoint::ResultFrame,
+        FaultPoint::WorkerExit,
     ];
 
     /// The point's wire name (the `SL_FAULT_POINT` value).
@@ -1333,6 +1061,10 @@ impl FaultPoint {
             FaultPoint::JoinMerge => "join-merge",
             FaultPoint::CkptWrite => "ckpt-write",
             FaultPoint::ResumeParse => "resume-parse",
+            FaultPoint::Dispatch => "dispatch",
+            FaultPoint::Heartbeat => "heartbeat",
+            FaultPoint::ResultFrame => "result-frame",
+            FaultPoint::WorkerExit => "worker-exit",
         }
     }
 
@@ -1417,12 +1149,15 @@ impl FaultPlan {
     }
 
     /// Counts an arrival at `point`; `true` exactly on the fatal one.
-    fn takes(&self, point: FaultPoint) -> bool {
+    /// Public so out-of-process consumers (the distributed worker) can
+    /// separate "the fault takes here" from the crash itself — a torn
+    /// result frame needs to flush half a frame *between* the two.
+    pub fn takes(&self, point: FaultPoint) -> bool {
         point == self.point && self.hits.fetch_add(1, Ordering::SeqCst) + 1 == self.nth
     }
 
     /// The crash itself.
-    fn crash(&self, point: FaultPoint) -> ! {
+    pub fn crash(&self, point: FaultPoint) -> ! {
         if self.abort {
             eprintln!("SL_FAULT: aborting at injection point {}", point.name());
             std::process::abort();
@@ -1457,22 +1192,6 @@ pub struct PoisonReport {
     pub attempts: u32,
     /// The panic payload, stringified.
     pub message: String,
-}
-
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 /// Writes `report` as JSON into `dir` (named by the prefix digest, so

@@ -398,19 +398,46 @@ impl ExploreOutcome {
     }
 }
 
+/// The largest worker count `SL_EXPLORE_THREADS` accepts literally.
+/// Anything above it is a typo or a unit confusion (milliseconds,
+/// bytes), not a thread pool this explorer could use — sleep masks cap
+/// the *process* universe at 64 and oversubscribing cores only slows
+/// replays down — so it is rejected, not clamped.
+const MAX_ENV_WORKERS: usize = 1024;
+
 /// The worker count requested via the `SL_EXPLORE_THREADS` environment
-/// variable: unset or unparsable means `1` (sequential), `0` means "one
-/// per available CPU", any other number is taken literally.
+/// variable: unset means `1` (sequential), `0` means "one per available
+/// CPU", any other number up to `1024` is taken literally. Malformed or
+/// absurd values panic with a named diagnostic — a typo in a CI matrix
+/// must not silently degrade a parallel lane to sequential.
 pub fn env_workers() -> usize {
-    match std::env::var("SL_EXPLORE_THREADS") {
-        Err(_) => 1,
-        Ok(s) => match s.trim().parse::<usize>() {
-            Ok(0) => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            Ok(n) => n,
-            Err(_) => 1,
-        },
+    let s = match std::env::var("SL_EXPLORE_THREADS") {
+        Err(std::env::VarError::NotPresent) => return 1,
+        Err(std::env::VarError::NotUnicode(raw)) => panic!(
+            "SL_EXPLORE_THREADS: not valid unicode: {raw:?} \
+             (fail-closed: refusing to guess a worker count)"
+        ),
+        Ok(s) => s,
+    };
+    env_workers_of(&s)
+}
+
+/// The parse half of [`env_workers`], split out so the rejection rules
+/// are unit-testable without mutating the process environment.
+fn env_workers_of(s: &str) -> usize {
+    match s.trim().parse::<usize>() {
+        Ok(0) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Ok(n) if n <= MAX_ENV_WORKERS => n,
+        Ok(n) => panic!(
+            "SL_EXPLORE_THREADS: {n} workers is absurd (max {MAX_ENV_WORKERS}; \
+             0 = one per available CPU)"
+        ),
+        Err(_) => panic!(
+            "SL_EXPLORE_THREADS: not a worker count: {s:?} \
+             (expected an unsigned integer; 0 = one per available CPU)"
+        ),
     }
 }
 
@@ -1502,6 +1529,181 @@ struct TaskOutput {
     poisoned: Vec<PoisonReport>,
 }
 
+// ---------------------------------------------------------------------
+// Process-portable task freezing (distributed dispatch)
+// ---------------------------------------------------------------------
+
+/// A frozen subtree task in process-portable form: the same shape the
+/// checkpoint wire format persists ([`CkptTask`]), minus the
+/// checkpoint-local id. Vector clocks and execution metadata are
+/// deliberately absent — [`restore_spine`] proves a task rebuilt from
+/// `(prefix, accesses, sleep, floor)` with [`StepMeta::unknown`] ghosts
+/// and empty clocks explores bit-identically, because the first counted
+/// replay recomputes both exactly as the owner would have.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireTask {
+    /// Full decision prefix from the schedule-tree root.
+    pub prefix: Vec<usize>,
+    /// Declared accesses of the ghost spine, one per prefix step.
+    pub accesses: Vec<CkptAccess>,
+    /// Sleep set at the subtree root.
+    pub sleep: u64,
+    /// Backtrack floor: decision indices below this belong to the
+    /// dispatching owner; demands against them escape.
+    pub floor: usize,
+}
+
+impl WireTask {
+    fn freeze(spec: &SubtreeTask) -> WireTask {
+        WireTask {
+            prefix: spec.prefix.clone(),
+            accesses: spec
+                .accesses
+                .iter()
+                .map(|m| wire_access_of(&m.access))
+                .collect(),
+            sleep: spec.sleep,
+            floor: spec.floor,
+        }
+    }
+
+    fn thaw(&self) -> SubtreeTask {
+        SubtreeTask {
+            prefix: self.prefix.clone(),
+            accesses: self
+                .accesses
+                .iter()
+                .map(|a| StepMeta::unknown(live_access_of(a)))
+                .collect(),
+            clocks: Vec::new(),
+            sleep: self.sleep,
+            floor: self.floor,
+        }
+    }
+}
+
+/// A subtree's escaped backtrack demand in process-portable form (see
+/// [`Escape`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireEscape {
+    /// Global decision index of the demanding race's earlier step.
+    pub depth: usize,
+    /// Process of the first reversing step.
+    pub first_proc: usize,
+    /// Weak initials of the reversing continuation.
+    pub initials: Vec<usize>,
+    /// The full reversing continuation ([`PruneMode::OptimalDpor`]
+    /// only).
+    pub seq: Option<Vec<(usize, CkptAccess)>>,
+}
+
+impl WireEscape {
+    fn freeze(e: &Escape) -> WireEscape {
+        WireEscape {
+            depth: e.depth,
+            first_proc: e.first_proc,
+            initials: e.initials.clone(),
+            seq: e
+                .seq
+                .as_ref()
+                .map(|seq| seq.iter().map(|(p, a)| (*p, wire_access_of(a))).collect()),
+        }
+    }
+
+    fn thaw(&self) -> Escape {
+        Escape {
+            depth: self.depth,
+            first_proc: self.first_proc,
+            initials: self.initials.clone(),
+            seq: self
+                .seq
+                .as_ref()
+                .map(|seq| seq.iter().map(|(p, a)| (*p, live_access_of(a))).collect()),
+        }
+    }
+}
+
+/// The completed exploration of one dispatched subtree, in
+/// process-portable form: [`TaskOutput`] minus `drained` (a remote
+/// worker holds no budget; draining is the coordinator's call).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireTaskResult {
+    /// Completed runs.
+    pub runs: usize,
+    /// Sleep-set-cut replays.
+    pub cut_runs: usize,
+    /// Pruned branch candidates.
+    pub pruned: u64,
+    /// The subtree hit its run budget (never set by
+    /// [`Explorer::explore_frozen_task`], which runs uncapped).
+    pub capped: bool,
+    /// Panicking-subtree retry attempts.
+    pub retried: u64,
+    /// Subtrees quarantined after exhausting retries.
+    pub quarantined: u64,
+    /// One report per quarantined subtree.
+    pub poisoned: Vec<PoisonReport>,
+    /// Backtrack demands against decisions above the task's floor.
+    pub escapes: Vec<WireEscape>,
+}
+
+impl WireTaskResult {
+    fn freeze(out: &TaskOutput) -> WireTaskResult {
+        WireTaskResult {
+            runs: out.runs,
+            cut_runs: out.cut_runs,
+            pruned: out.pruned,
+            capped: out.capped,
+            retried: out.retried,
+            quarantined: out.quarantined,
+            poisoned: out.poisoned.clone(),
+            escapes: out.escapes.iter().map(WireEscape::freeze).collect(),
+        }
+    }
+
+    fn thaw(&self) -> TaskOutput {
+        TaskOutput {
+            runs: self.runs,
+            cut_runs: self.cut_runs,
+            pruned: self.pruned,
+            capped: self.capped,
+            retried: self.retried,
+            quarantined: self.quarantined,
+            drained: false,
+            poisoned: self.poisoned.clone(),
+            escapes: self.escapes.iter().map(WireEscape::thaw).collect(),
+        }
+    }
+}
+
+fn wire_access_of(a: &PendingAccess) -> CkptAccess {
+    CkptAccess {
+        reg: a.reg.0,
+        kind: a.kind,
+    }
+}
+
+fn live_access_of(a: &CkptAccess) -> PendingAccess {
+    PendingAccess {
+        reg: RegId(a.reg),
+        kind: a.kind,
+    }
+}
+
+/// Farms frozen subtree tasks to somewhere else — typically worker
+/// processes, via `sl-dist`'s lease-table coordinator.
+///
+/// `dispatch` either returns the subtree's completed
+/// [`WireTaskResult`] (possibly a quarantine verdict, after the remote
+/// retry budget is spent) or `None`, which makes the calling worker
+/// run the task in-process — the graceful-degradation path when no
+/// worker process can be spawned or every lease was revoked without a
+/// verdict. Called concurrently from every exploration thread.
+pub trait TaskDispatcher: Sync {
+    /// Executes one frozen task remotely, or declines with `None`.
+    fn dispatch(&self, task: &WireTask) -> Option<WireTaskResult>;
+}
+
 const TASK_QUEUED: u8 = 0;
 const TASK_RUNNING: u8 = 1;
 const TASK_DONE: u8 = 2;
@@ -1596,6 +1798,9 @@ struct DporShared<'a, NF, F> {
     /// Where quarantine writes poisoned-task reports (`SL_POISON_DIR`;
     /// unset means reports only travel in the outcome).
     poison_dir: Option<std::path::PathBuf>,
+    /// Remote dispatch hook ([`Explorer::explore_dispatched`] only):
+    /// non-root tasks are offered here before running in-process.
+    dispatcher: Option<&'a dyn TaskDispatcher>,
 }
 
 /// Waiting at a join, a worker helps with other queued tasks; the
@@ -1652,7 +1857,109 @@ impl Explorer {
         NF: Fn() -> C + Sync,
         F: Fn(&mut C, &mut ScheduleDriver) + Sync,
     {
-        self.explore_dpor_session(new_ctx, runner, None)
+        self.explore_dpor_session(new_ctx, runner, None, None)
+    }
+
+    /// Source-set DPOR exploration with a remote dispatch hook: every
+    /// delegated (non-root) subtree task is first offered to
+    /// `dispatcher`, and only runs in-process when the dispatcher
+    /// declines — see [`TaskDispatcher`]. With a dispatcher that always
+    /// declines this is exactly [`Explorer::explore_with`]; with one
+    /// that farms tasks to `sl-dist` worker processes the merged result
+    /// is still bit-identical (the wire task shape round-trips the
+    /// frozen spec, and counters/escapes merge the same way a local
+    /// join does).
+    ///
+    /// Panics unless [`Explorer::mode`] is one of the DPOR modes — the
+    /// frame explorers have no subtree tasks to dispatch.
+    pub fn explore_dispatched<C, NF, F>(
+        &self,
+        new_ctx: NF,
+        runner: F,
+        dispatcher: &dyn TaskDispatcher,
+    ) -> ExploreOutcome
+    where
+        C: ReplayCtx,
+        NF: Fn() -> C + Sync,
+        F: Fn(&mut C, &mut ScheduleDriver) + Sync,
+    {
+        assert!(
+            matches!(
+                self.mode,
+                PruneMode::SourceDpor
+                    | PruneMode::ValueDpor
+                    | PruneMode::StaticDpor
+                    | PruneMode::OptimalDpor
+            ),
+            "explore_dispatched requires a DPOR mode (fail-closed: the frame \
+             explorers have no subtree tasks to dispatch)"
+        );
+        self.explore_dpor_session(&new_ctx, &runner, None, Some(dispatcher))
+    }
+
+    /// Worker-process side of distributed dispatch: explores one frozen
+    /// [`WireTask`] to exhaustion on the calling thread and returns its
+    /// portable result. The explorer must be configured identically to
+    /// the dispatching coordinator's (mode, stem, statics) — `sl-dist`
+    /// pins both to one named workload. Runs uncapped: the coordinator
+    /// owns the global run budget and banks dispatched counters
+    /// against it.
+    pub fn explore_frozen_task<C, NF, F>(
+        &self,
+        new_ctx: NF,
+        runner: F,
+        task: &WireTask,
+    ) -> WireTaskResult
+    where
+        C: ReplayCtx,
+        NF: Fn() -> C + Sync,
+        F: Fn(&mut C, &mut ScheduleDriver) + Sync,
+    {
+        assert!(
+            matches!(
+                self.mode,
+                PruneMode::SourceDpor
+                    | PruneMode::ValueDpor
+                    | PruneMode::StaticDpor
+                    | PruneMode::OptimalDpor
+            ),
+            "explore_frozen_task requires a DPOR mode (fail-closed: the frame \
+             explorers have no subtree tasks to thaw)"
+        );
+        let statics = match self.mode {
+            PruneMode::StaticDpor => Some(self.statics.as_deref().expect(
+                "PruneMode::StaticDpor requires Explorer::statics \
+                 (a StaticConflicts certificate from sl-analyze)",
+            )),
+            PruneMode::OptimalDpor => self.statics.as_deref(),
+            _ => None,
+        };
+        let shared = DporShared {
+            new_ctx: &new_ctx,
+            runner: &runner,
+            max_runs: usize::MAX,
+            value_aware: matches!(
+                self.mode,
+                PruneMode::ValueDpor | PruneMode::StaticDpor | PruneMode::OptimalDpor
+            ),
+            optimal: self.mode == PruneMode::OptimalDpor,
+            statics,
+            hard_stem: self.stem.len(),
+            deques: vec![Mutex::new(VecDeque::new())],
+            queued: AtomicUsize::new(0),
+            replays: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            poison: Mutex::new(None),
+            poisoned: AtomicBool::new(false),
+            fault: None,
+            draining: AtomicBool::new(false),
+            poison_dir: std::env::var_os("SL_POISON_DIR").map(std::path::PathBuf::from),
+            dispatcher: None,
+        };
+        let spec = task.thaw();
+        let mut ctx = (shared.new_ctx)();
+        let out = run_task_guarded(&shared, 0, 0, &mut ctx, &spec, None);
+        WireTaskResult::freeze(&out)
     }
 
     /// Resumable exploration: source-set DPOR with periodic frontier
@@ -1725,6 +2032,7 @@ impl Explorer {
                 restore,
                 base,
             }),
+            None,
         )
     }
 
@@ -1733,6 +2041,7 @@ impl Explorer {
         new_ctx: &NF,
         runner: &F,
         session: Option<SessionState<'_>>,
+        dispatcher: Option<&dyn TaskDispatcher>,
     ) -> ExploreOutcome
     where
         C: ReplayCtx,
@@ -1774,6 +2083,7 @@ impl Explorer {
             fault,
             draining: AtomicBool::new(false),
             poison_dir: std::env::var_os("SL_POISON_DIR").map(std::path::PathBuf::from),
+            dispatcher,
         };
         // Checkpoint IO runs on a dedicated writer thread: filesystem
         // commit latency (temp write + rename, ~1ms on a journaling
@@ -2155,6 +2465,31 @@ where
     NF: Fn() -> C + Sync,
     F: Fn(&mut C, &mut ScheduleDriver) + Sync,
 {
+    // Distributed dispatch: a delegated task may be farmed to a worker
+    // process instead of running here. Delegated means published by
+    // `publish_extras` — such tasks always carry at least their
+    // candidate's ghost access, while the session root's `accesses` is
+    // empty (checking `root` alone would not do: the checkpoint root
+    // context is `None` in plain sessions, and farming the root would
+    // ship the *entire* exploration to one single-threaded worker).
+    // `None` from the dispatcher — no spawnable worker, every lease
+    // revoked without a verdict — degrades gracefully to in-process
+    // execution below. A returned result banks its replays against the
+    // shared budget, exactly as the local replay loop would have
+    // reserved them.
+    if root.is_none() && !spec.accesses.is_empty() {
+        if let Some(dispatcher) = shared.dispatcher {
+            if let Some(plan) = shared.fault {
+                plan.fire(FaultPoint::Dispatch);
+            }
+            if let Some(res) = dispatcher.dispatch(&WireTask::freeze(spec)) {
+                shared
+                    .replays
+                    .fetch_add(res.runs + res.cut_runs, Ordering::SeqCst);
+                return res.thaw();
+            }
+        }
+    }
     // A root retry must restart from the same restore plan; `run_task`
     // consumes it, so keep a copy to reinstate between attempts.
     let restore_backup = root.as_ref().and_then(|rc| rc.restore.clone());
@@ -2992,6 +3327,37 @@ mod tests {
     }
 
     #[test]
+    fn env_workers_accepts_literal_counts_and_zero_for_all_cores() {
+        assert_eq!(env_workers_of("1"), 1);
+        assert_eq!(env_workers_of(" 8 "), 8);
+        assert_eq!(
+            env_workers_of(&MAX_ENV_WORKERS.to_string()),
+            MAX_ENV_WORKERS
+        );
+        assert!(env_workers_of("0") >= 1, "0 = one per available CPU");
+    }
+
+    #[test]
+    fn env_workers_rejects_malformed_and_absurd_values_with_named_diagnostics() {
+        for (value, needle) in [
+            ("banana", "not a worker count"),
+            ("-2", "not a worker count"),
+            ("3.5", "not a worker count"),
+            ("", "not a worker count"),
+            ("1025", "workers is absurd"),
+            ("86400000", "workers is absurd"),
+        ] {
+            let caught = std::panic::catch_unwind(|| env_workers_of(value))
+                .expect_err(&format!("{value:?} must be rejected"));
+            let msg = crate::checkpoint::panic_message(&*caught);
+            assert!(
+                msg.starts_with("SL_EXPLORE_THREADS:") && msg.contains(needle),
+                "diagnostic for {value:?} must name the variable and the reason: {msg}"
+            );
+        }
+    }
+
+    #[test]
     fn explores_all_interleavings_of_two_single_step_programs() {
         let mut finals = Vec::new();
         let outcome = explore(run_two_writers, 100, |_script, run| {
@@ -3103,6 +3469,80 @@ mod tests {
         assert!(outcome.exhausted);
         assert_eq!(outcome.runs, 1, "all interleavings commute");
         assert!(outcome.pruned > 0);
+    }
+
+    #[test]
+    fn dispatched_exploration_matches_local_counters_and_degrades_on_decline() {
+        let base = Explorer::default().explore(mixed_runner(3));
+        assert!(base.exhausted);
+
+        // Round-trips every delegated task through the portable wire
+        // form and explores it with `explore_frozen_task`, exactly as a
+        // worker process behind `sl-dist` would.
+        struct Loopback {
+            hits: AtomicUsize,
+        }
+        impl TaskDispatcher for Loopback {
+            fn dispatch(&self, task: &WireTask) -> Option<WireTaskResult> {
+                self.hits.fetch_add(1, Ordering::SeqCst);
+                let run = mixed_runner(3);
+                Some(Explorer::default().explore_frozen_task(
+                    || (),
+                    move |_: &mut (), d: &mut ScheduleDriver| {
+                        let _ = run(d);
+                    },
+                    task,
+                ))
+            }
+        }
+        let loopback = Loopback {
+            hits: AtomicUsize::new(0),
+        };
+        let explorer = Explorer {
+            workers: 4,
+            ..Explorer::default()
+        };
+        let run = mixed_runner(3);
+        let out = explorer.explore_dispatched(
+            || (),
+            |_: &mut (), d: &mut ScheduleDriver| {
+                let _ = run(d);
+            },
+            &loopback,
+        );
+        assert!(out.exhausted);
+        assert_eq!(
+            (out.runs, out.cut_runs, out.pruned),
+            (base.runs, base.cut_runs, base.pruned),
+            "dispatched exploration must be bit-identical to sequential"
+        );
+        assert!(
+            loopback.hits.load(Ordering::SeqCst) > 0,
+            "the dispatcher saw delegated work"
+        );
+
+        // A dispatcher that always declines: pure in-process
+        // degradation, still bit-identical.
+        struct Decline;
+        impl TaskDispatcher for Decline {
+            fn dispatch(&self, _: &WireTask) -> Option<WireTaskResult> {
+                None
+            }
+        }
+        let run = mixed_runner(3);
+        let out = explorer.explore_dispatched(
+            || (),
+            |_: &mut (), d: &mut ScheduleDriver| {
+                let _ = run(d);
+            },
+            &Decline,
+        );
+        assert!(out.exhausted);
+        assert_eq!(
+            (out.runs, out.cut_runs, out.pruned),
+            (base.runs, base.cut_runs, base.pruned),
+            "a declining dispatcher degrades to plain in-process exploration"
+        );
     }
 
     #[test]

@@ -120,6 +120,7 @@
 
 mod checkpoint;
 mod explore;
+pub mod wire;
 // Unsafe is confined to the two modules that must speak to raw
 // coroutine state: `fiber` (stack switching) and `vm` (the active-core
 // pointer the fibers re-enter through). Every `unsafe` block there
@@ -137,18 +138,20 @@ mod vm;
 mod world;
 
 pub use checkpoint::{
-    fnv1a64, write_poison_report, Checkpoint, CheckpointPolicy, CheckpointStore, CkptAccess,
-    CkptCounters, CkptNext, CkptNode, CkptTask, CkptWriter, FaultCrash, FaultPlan, FaultPoint,
-    PoisonReport, ResumeExpectation, ResumeSession,
+    write_poison_report, Checkpoint, CheckpointPolicy, CheckpointStore, CkptAccess, CkptCounters,
+    CkptNext, CkptNode, CkptTask, CkptWriter, FaultCrash, FaultPlan, FaultPoint, PoisonReport,
+    ResumeExpectation, ResumeSession,
 };
 pub use explore::{
     env_workers, explore, ExploreOutcome, Explorer, PruneMode, ReplayCtx, ScheduleDriver,
+    TaskDispatcher, WireEscape, WireTask, WireTaskResult,
 };
 pub use log::EventLog;
 pub use mem::{SimMem, SimRegister};
 pub use pool::{ReplayPool, Sharded};
 pub use sched::{FnScheduler, RoundRobin, Scheduler, Scripted, SeededRandom, STOP_RUN};
 pub use statics::{StaticConflicts, StaticTelemetry};
+pub use wire::fnv1a64;
 pub use world::{
     AccessKind, Decision, PendingAccess, ProcCtx, Program, RegId, RunConfig, RunOutcome, SchedView,
     SimWorld, StepRecord, TraceItem,

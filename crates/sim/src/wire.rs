@@ -1,0 +1,450 @@
+//! Shared wire-format primitives: the FNV-1a-64 content digest, the
+//! canonical-compact-JSON helpers, the fail-closed JSON parser, and the
+//! atomic temp-and-rename file publisher.
+//!
+//! Three consumers speak the same dialect — the checkpoint format
+//! ([`crate::Checkpoint`], version 1), the baseline files written by
+//! `sl-bench`, and the `sl-dist` coordinator/worker frame protocol —
+//! and before this module each re-implemented the pieces. The dialect
+//! is deliberately narrow so that serialize → parse → serialize is
+//! byte-identical and a tiny Python mirror (`scripts/ckpt_lint.py`) can
+//! re-derive checksums:
+//!
+//! * numbers are unsigned 64-bit decimals — no floats, no negatives;
+//! * strings carry no escape sequences and no raw newlines (writers
+//!   must restrict themselves to [`ident_ok`]-style content, or escape
+//!   via [`escape_json`] into formats that tolerate it);
+//! * objects reject duplicate and unknown keys (fail-closed);
+//! * the canonical encoding is compact (no whitespace) with a fixed
+//!   field order, and the leading `checksum` field is FNV-1a-64 over
+//!   the canonical serialization of everything else ([`seal_checksum`]).
+//!
+//! Nothing here is async or buffered: callers render whole documents
+//! and publish them atomically ([`atomic_publish`] / [`atomic_write`]),
+//! so a crash mid-write leaves the previous file intact, never a torn
+//! mix.
+
+use std::path::Path;
+
+/// FNV-1a 64-bit over `bytes` — the wire-format content digest.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Identifier charset for workload/mode/frame-tag strings: keeps the
+/// canonical serialization escape-free (and the Python linter
+/// byte-compatible).
+pub fn ident_ok(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// Escapes a string for embedding in a JSON literal (used by report
+/// formats that carry free text, e.g. poison reports and quarantine
+/// frames; the canonical wire strings themselves stay escape-free).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends a compact JSON array of unsigned decimals.
+pub fn push_usizes(out: &mut String, xs: &[usize]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&x.to_string());
+    }
+    out.push(']');
+}
+
+/// Splices the FNV-1a-64 digest of `body` (a canonical `{...}` object)
+/// in as the leading `checksum` field: the full on-wire document.
+pub fn seal_checksum(body: &str) -> String {
+    let sum = fnv1a64(body.as_bytes());
+    format!("{{\"checksum\":{sum},{}", &body[1..])
+}
+
+/// Publishes `contents` atomically via an explicit temp path: full
+/// write to `tmp`, then `rename` over `path`. The visible file is
+/// always a complete document — a crash mid-write leaves the previous
+/// one intact.
+pub fn atomic_publish(tmp: &Path, path: &Path, contents: &str) -> Result<(), String> {
+    std::fs::write(tmp, contents.as_bytes())
+        .map_err(|e| format!("writing temp file {}: {e}", tmp.display()))?;
+    std::fs::rename(tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(tmp);
+        format!(
+            "publishing {} (rename from {}): {e}",
+            path.display(),
+            tmp.display()
+        )
+    })?;
+    Ok(())
+}
+
+/// Publishes `contents` atomically via a process-unique sibling temp
+/// file (`{path}.tmp.{pid}`) — the discipline shared by the checkpoint
+/// store and the baseline refresher.
+pub fn atomic_write(path: &Path, contents: &str) -> Result<(), String> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    atomic_publish(Path::new(&tmp), path, contents)
+}
+
+// ---------------------------------------------------------------------
+// Fail-closed JSON (the certificate.rs v2 house style; the layering
+// runs analyze → sim, so the parser lives here rather than there)
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are unsigned 64-bit only — the wire
+/// formats have no floats or negatives, and rejecting them outright
+/// beats guessing a rounding.
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// A string literal (escape-free on the wire).
+    Str(String),
+    /// An unsigned decimal.
+    Num(u64),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source field order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The value as an unsigned integer, or a named diagnostic.
+    pub fn as_num(&self, ctx: &str) -> Result<u64, String> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            other => Err(format!(
+                "{ctx}: expected an unsigned integer, found {other:?}"
+            )),
+        }
+    }
+}
+
+/// The fail-closed document parser. `what` names the document kind in
+/// diagnostics ("checkpoint", "frame", ...), so every consumer's
+/// rejections stay self-describing.
+pub struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    what: &'static str,
+}
+
+impl<'a> Parser<'a> {
+    /// A parser over `text` for a document kind named `what`.
+    pub fn new(text: &'a str, what: &'static str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: 1,
+            what,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("line {}: {msg}", self.line)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| {
+            self.err(&format!(
+                "unexpected end of input (truncated {}?)",
+                self.what
+            ))
+        })
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(self.err(&format!(
+                "expected '{}', found '{}'",
+                b as char, got as char
+            )));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    /// Parses the single top-level value and rejects trailing garbage.
+    pub fn parse_document(mut self) -> Result<Json, String> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err(&format!("trailing garbage after the {} object", self.what)));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.parse_obj(),
+            b'[' => self.parse_arr(),
+            b'"' => Ok(Json::Str(self.parse_string()?)),
+            b'0'..=b'9' => self.parse_num(),
+            b't' | b'f' => self.parse_bool(),
+            b'-' => Err(self.err(&format!(
+                "negative numbers are not part of the {} format",
+                self.what
+            ))),
+            c => Err(self.err(&format!("unexpected character '{}'", c as char))),
+        }
+    }
+
+    fn parse_obj(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!(
+                    "duplicate key \"{key}\" (fail-closed: refusing to pick one)"
+                )));
+            }
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                c => return Err(self.err(&format!("expected ',' or '}}', found '{}'", c as char))),
+            }
+        }
+    }
+
+    fn parse_arr(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                c => return Err(self.err(&format!("expected ',' or ']', found '{}'", c as char))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err(&format!("unterminated string (truncated {}?)", self.what)));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    return Err(self.err(&format!(
+                        "escape sequences are not part of the {} format",
+                        self.what
+                    )))
+                }
+                b'\n' => return Err(self.err("raw newline inside a string")),
+                _ => s.push(b as char),
+            }
+        }
+    }
+
+    fn parse_num(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(
+            self.bytes.get(self.pos),
+            Some(b'.') | Some(b'e') | Some(b'E')
+        ) {
+            return Err(self.err(&format!(
+                "floating-point numbers are not part of the {} format",
+                self.what
+            )));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("number {text} does not fit in u64")))
+    }
+
+    fn parse_bool(&mut self) -> Result<Json, String> {
+        for (word, value) in [("true", true), ("false", false)] {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                return Ok(Json::Bool(value));
+            }
+        }
+        Err(self.err("expected 'true' or 'false'"))
+    }
+}
+
+/// Typed, fail-closed field extraction from a parsed object: every key
+/// must be known, every known key must be present when asked for.
+pub struct Fields {
+    fields: Vec<(String, Json)>,
+    ctx: &'static str,
+}
+
+impl Fields {
+    /// Wraps an [`Json::Obj`]; anything else is a named rejection.
+    pub fn new(v: Json, ctx: &'static str) -> Result<Fields, String> {
+        match v {
+            Json::Obj(fields) => Ok(Fields { fields, ctx }),
+            other => Err(format!("{ctx}: expected an object, found {other:?}")),
+        }
+    }
+
+    /// Rejects any key outside `keys` (fail-closed).
+    pub fn allow(&self, keys: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.fields {
+            if !keys.contains(&k.as_str()) {
+                return Err(format!(
+                    "{}: unknown field \"{k}\" (fail-closed: refusing to guess)",
+                    self.ctx
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes and returns the named field, or a named rejection.
+    pub fn take(&mut self, key: &str) -> Result<Json, String> {
+        let i = self
+            .fields
+            .iter()
+            .position(|(k, _)| k == key)
+            .ok_or_else(|| format!("{}: missing field \"{key}\"", self.ctx))?;
+        Ok(self.fields.remove(i).1)
+    }
+
+    /// The named field as an unsigned integer.
+    pub fn num(&mut self, key: &str) -> Result<u64, String> {
+        self.take(key)?.as_num(key)
+    }
+
+    /// The named field as a boolean.
+    pub fn boolean(&mut self, key: &str) -> Result<bool, String> {
+        match self.take(key)? {
+            Json::Bool(b) => Ok(b),
+            other => Err(format!("{key}: expected a boolean, found {other:?}")),
+        }
+    }
+
+    /// The named field as a string.
+    pub fn string(&mut self, key: &str) -> Result<String, String> {
+        match self.take(key)? {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("{key}: expected a string, found {other:?}")),
+        }
+    }
+
+    /// The named field as an array.
+    pub fn array(&mut self, key: &str) -> Result<Vec<Json>, String> {
+        match self.take(key)? {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("{key}: expected an array, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_checksum_matches_manual_digest() {
+        let body = "{\"version\":1,\"x\":2}";
+        let sealed = seal_checksum(body);
+        let sum = fnv1a64(body.as_bytes());
+        assert_eq!(
+            sealed,
+            format!("{{\"checksum\":{sum},\"version\":1,\"x\":2}}")
+        );
+    }
+
+    #[test]
+    fn parser_names_the_document_kind() {
+        let err = Parser::new("{\"a\":", "frame")
+            .parse_document()
+            .unwrap_err();
+        assert!(err.contains("truncated frame"), "diagnostic: {err}");
+        let err = Parser::new("{\"a\":-1}", "frame")
+            .parse_document()
+            .unwrap_err();
+        assert!(
+            err.contains("not part of the frame format"),
+            "diagnostic: {err}"
+        );
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("sl-wire-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.json");
+        atomic_write(&path, "{\"x\":1}").unwrap();
+        atomic_write(&path, "{\"x\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"x\":2}");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "doc.json")
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

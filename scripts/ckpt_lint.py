@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Structural lint for explorer checkpoint files.
+"""Structural lint for explorer checkpoint files and fleet frame logs.
 
 Validates the version-1 checkpoint format (`*.ckpt.json`, written by
 `sl_sim::CheckpointStore`) without building anything, as a cheap CI
@@ -7,6 +7,18 @@ gate. The Rust parser (`sl_sim::Checkpoint::parse`) enforces the same
 invariants fail-closed at resume time; this script is the belt to that
 suspender — a torn, doctored, or non-canonically re-encoded checkpoint
 fails review before any resume consumes it.
+
+With `--frames`, the operands are instead linted as **sl-dist wire
+transcripts**: concatenated length-prefixed records
+(`<decimal length>\\n<canonical frame document>\\n`, the exact bytes a
+coordinator⇄worker pipe carries, see `sl_dist::frames`). Per record
+the lint checks the length prefix against the delivered bytes, the
+leading FNV-1a-64 `checksum` against the canonical body, `version`
+equal to 1, a known `frame` kind, the exact canonical field order per
+kind, identifier hygiene on `hello`, task floor/ghost-access
+invariants, access-kind vocabulary, and shard well-formedness
+(children preceding parents, root in range). `--selftest` doctors
+both formats and asserts every variant is rejected.
 
 Checked per file:
 
@@ -248,6 +260,246 @@ def lint_path(path):
     return lint_text(text, str(path))
 
 
+# ---------------------------------------------------------------------
+# sl-dist wire-frame transcripts (--frames)
+# ---------------------------------------------------------------------
+
+FRAME_VERSION = 1
+MAX_FRAME_BYTES = 1 << 28  # mirrors sl_dist::frames::MAX_FRAME_BYTES
+
+# Canonical field order per frame kind (`Frame::render` is the single
+# producer, so order is part of the format, not a style choice).
+FRAME_KEYS = {
+    "hello": ("checksum", "version", "frame", "workload", "mode", "pid"),
+    "task": ("checksum", "version", "frame", "task", "prefix", "accesses",
+             "sleep", "floor"),
+    "heartbeat": ("checksum", "version", "frame", "task"),
+    "result": ("checksum", "version", "frame", "task", "runs", "cut_runs",
+               "pruned", "capped", "retried", "quarantined", "poisoned",
+               "escapes", "shard"),
+    "shutdown": ("checksum", "version", "frame"),
+}
+POISON_FRAME_KEYS = ("prefix", "attempts", "message")
+ESCAPE_FRAME_KEYS = ("depth", "first_proc", "initials", "seq")
+SHARD_KEYS = ("nodes", "root", "transcripts")
+
+
+def no_dup_pairs(pairs):
+    d = {}
+    for k, v in pairs:
+        if k in d:
+            raise ValueError(f"duplicate key {k!r}")
+        d[k] = v
+    return d
+
+
+def uint_ok(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def uints_ok(v):
+    return isinstance(v, list) and all(uint_ok(x) for x in v)
+
+
+def access_pair_ok(a):
+    # The frame dialect carries accesses as [reg,"kind"] pairs.
+    return (isinstance(a, list) and len(a) == 2 and uint_ok(a[0])
+            and a[1] in KINDS)
+
+
+def ordered(errs, ctx, obj, keys):
+    if not isinstance(obj, dict) or tuple(obj.keys()) != keys:
+        got = list(obj.keys()) if isinstance(obj, dict) else type(obj).__name__
+        errs.append(f"{ctx}: field order {got} != canonical {list(keys)}")
+        return False
+    return True
+
+
+def lint_shard(errs, ctx, shard):
+    if not ordered(errs, f"{ctx}: shard", shard, SHARD_KEYS):
+        return
+    nodes = shard["nodes"]
+    if not isinstance(nodes, list):
+        errs.append(f"{ctx}: shard nodes must be an array")
+        return
+    for i, node in enumerate(nodes):
+        nctx = f"{ctx}: shard node {i}"
+        if not isinstance(node, list):
+            errs.append(f"{nctx}: each node must be an edge array")
+            return
+        for edge in node:
+            if not (isinstance(edge, list) and len(edge) == 2
+                    and isinstance(edge[0], list)):
+                errs.append(f"{nctx}: each edge must be a [step,child] pair")
+                return
+            step, child = edge
+            if not uint_ok(child) or child >= i:
+                errs.append(f"{nctx}: child {child!r} does not precede its "
+                            "parent (forward reference or non-integer)")
+            tag = step[0] if step else None
+            if tag == "i":
+                if not (len(step) == 3 and uint_ok(step[1])
+                        and isinstance(step[2], str)):
+                    errs.append(f"{nctx}: \"i\" step takes [proc,label]")
+            elif tag in ("inv", "rsp"):
+                if not (len(step) == 4 and uint_ok(step[1]) and uint_ok(step[2])
+                        and isinstance(step[3], str)):
+                    errs.append(f"{nctx}: {tag!r} step takes [op_id,proc,payload]")
+            else:
+                errs.append(f"{nctx}: unknown step tag {tag!r}")
+    if not (uint_ok(shard["root"]) and shard["root"] < len(nodes)):
+        errs.append(f"{ctx}: shard root {shard['root']!r} out of range "
+                    f"({len(nodes)} nodes)")
+    if not uint_ok(shard["transcripts"]):
+        errs.append(f"{ctx}: shard transcripts must be an unsigned integer")
+
+
+def lint_frame_text(text, ctx):
+    errs = []
+    try:
+        doc = json.loads(text, object_pairs_hook=no_dup_pairs)
+    except (json.JSONDecodeError, ValueError) as e:
+        return [f"{ctx}: invalid frame JSON: {e}"]
+    if not isinstance(doc, dict) or next(iter(doc), None) != "checksum":
+        return [f"{ctx}: missing leading \"checksum\" field"]
+    if not uint_ok(doc["checksum"]):
+        return [f"{ctx}: checksum must be an unsigned integer"]
+    # The producer renders canonically, so the bytes after the sealed
+    # header ARE the canonical body; recomputing FNV over them catches
+    # torn tails, doctored digits, and any whitespace reflow at once.
+    header = f'{{"checksum":{doc["checksum"]},'
+    if not text.startswith(header):
+        return [f"{ctx}: frame is not canonical (reflowed checksum header)"]
+    body = "{" + text[len(header):]
+    actual = fnv1a64(body.encode())
+    if doc["checksum"] != actual:
+        errs.append(f"{ctx}: frame checksum mismatch: header says "
+                    f"{doc['checksum']}, body hashes to {actual} "
+                    "(torn or doctored frame?)")
+    if doc.get("version") != FRAME_VERSION:
+        errs.append(f"{ctx}: unsupported frame version {doc.get('version')!r} "
+                    f"(this lint speaks {FRAME_VERSION})")
+        return errs
+    kind = doc.get("frame")
+    keys = FRAME_KEYS.get(kind)
+    if keys is None:
+        errs.append(f"{ctx}: unknown frame kind {kind!r}")
+        return errs
+    if not ordered(errs, f"{ctx}: {kind}", doc, keys):
+        return errs
+    if kind == "hello":
+        for key in ("workload", "mode"):
+            if not ident_ok(doc[key]):
+                errs.append(f"{ctx}: hello {key} {doc[key]!r} is not a "
+                            "plain identifier")
+        if not uint_ok(doc["pid"]):
+            errs.append(f"{ctx}: hello pid must be an unsigned integer")
+    elif kind == "task":
+        if not uint_ok(doc["task"]) or doc["task"] == 0:
+            errs.append(f"{ctx}: lease id {doc['task']!r} must be nonzero")
+        if not uints_ok(doc["prefix"]) or any(p >= 64 for p in doc["prefix"]):
+            errs.append(f"{ctx}: task prefix process index out of range "
+                        "(sleep masks support at most 64 processes)")
+        accesses = doc["accesses"]
+        if not isinstance(accesses, list) or not all(
+                access_pair_ok(a) for a in accesses):
+            errs.append(f"{ctx}: task accesses must be [reg,\"kind\"] pairs "
+                        f"with kinds in {sorted(KINDS)}")
+        if not uint_ok(doc["sleep"]):
+            errs.append(f"{ctx}: task sleep mask must be an unsigned integer")
+        floor = doc["floor"]
+        if not uint_ok(floor) or floor == 0 or floor > len(doc["prefix"]):
+            errs.append(f"{ctx}: task floor {floor!r} is outside its prefix "
+                        f"(length {len(doc['prefix'])})")
+        elif isinstance(accesses, list) and len(accesses) != floor:
+            errs.append(f"{ctx}: task has {len(accesses)} ghost accesses "
+                        f"but floor {floor}")
+    elif kind == "heartbeat":
+        if not uint_ok(doc["task"]) or doc["task"] == 0:
+            errs.append(f"{ctx}: lease id {doc['task']!r} must be nonzero")
+    elif kind == "result":
+        for key in ("task", "runs", "cut_runs", "pruned", "retried",
+                    "quarantined"):
+            if not uint_ok(doc[key]):
+                errs.append(f"{ctx}: result {key} must be an unsigned integer")
+        if not isinstance(doc["capped"], bool):
+            errs.append(f"{ctx}: result capped must be a boolean")
+        for i, p in enumerate(doc["poisoned"]):
+            pctx = f"{ctx}: poisoned[{i}]"
+            if not ordered(errs, pctx, p, POISON_FRAME_KEYS):
+                continue
+            if not uints_ok(p["prefix"]) or not uint_ok(p["attempts"]) \
+                    or not isinstance(p["message"], str):
+                errs.append(f"{pctx}: malformed quarantine report")
+        for i, e in enumerate(doc["escapes"]):
+            ectx = f"{ctx}: escapes[{i}]"
+            if not ordered(errs, ectx, e, ESCAPE_FRAME_KEYS):
+                continue
+            if not uint_ok(e["depth"]) or not uint_ok(e["first_proc"]) \
+                    or not uints_ok(e["initials"]):
+                errs.append(f"{ectx}: malformed escape header")
+            # "seq":[] is the reserved no-continuation marker; nonempty
+            # sequences are [proc,reg,"kind"] triples.
+            if not isinstance(e["seq"], list) or not all(
+                    isinstance(t, list) and len(t) == 3 and uint_ok(t[0])
+                    and uint_ok(t[1]) and t[2] in KINDS for t in e["seq"]):
+                errs.append(f"{ectx}: seq steps must be [proc,reg,\"kind\"] "
+                            "triples")
+        lint_shard(errs, ctx, doc["shard"])
+    return errs
+
+
+def lint_frames_bytes(data, ctx):
+    """Lints one pipe transcript: concatenated length-prefixed records."""
+    errs = []
+    pos, rec = 0, 0
+    while pos < len(data):
+        rctx = f"{ctx}: record {rec}"
+        nl = data.find(b"\n", pos)
+        if nl < 0:
+            errs.append(f"{rctx}: torn stream: length header missing its "
+                        "newline")
+            return errs
+        header = data[pos:nl].decode("ascii", "replace").strip()
+        if not header.isdigit():
+            errs.append(f"{rctx}: frame header is not a length: {header!r} "
+                        "(torn frame?)")
+            return errs
+        length = int(header)
+        if length > MAX_FRAME_BYTES:
+            errs.append(f"{rctx}: frame length {length} exceeds the "
+                        f"{MAX_FRAME_BYTES}-byte cap (corrupt header?)")
+            return errs
+        body = data[nl + 1:nl + 1 + length]
+        if len(body) < length:
+            errs.append(f"{rctx}: torn frame: header promised {length} "
+                        f"bytes, the stream delivered {len(body)}")
+            return errs
+        if data[nl + 1 + length:nl + 2 + length] != b"\n":
+            errs.append(f"{rctx}: torn frame: missing record terminator")
+            return errs
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError:
+            errs.append(f"{rctx}: frame body is not UTF-8 "
+                        "(torn or doctored frame?)")
+            return errs
+        errs.extend(lint_frame_text(text, rctx))
+        pos = nl + 2 + length
+        rec += 1
+    if rec == 0:
+        errs.append(f"{ctx}: empty frame transcript")
+    return errs
+
+
+def lint_frames_path(path):
+    try:
+        data = Path(path).read_bytes()
+    except OSError as e:
+        return [f"{path}: unreadable: {e}"]
+    return lint_frames_bytes(data, str(path))
+
+
 def selftest():
     """Doctors a minimal valid checkpoint every way the lint checks and
     asserts each variant is rejected."""
@@ -341,16 +593,103 @@ def selftest():
     return 0
 
 
+def selftest_frames():
+    """Doctors a minimal valid frame transcript every way the frame lint
+    checks and asserts each variant is rejected."""
+
+    def seal(body):
+        # Python mirror of sl_sim::wire::seal_checksum.
+        return f'{{"checksum":{fnv1a64(body.encode())},{body[1:]}'
+
+    def record(text):
+        return f"{len(text.encode())}\n{text}\n"
+
+    hello = ('{"version":1,"frame":"hello","workload":"aba_mixed3",'
+             '"mode":"OptimalDpor","pid":4242}')
+    task = ('{"version":1,"frame":"task","task":7,"prefix":[0,2,1,1],'
+            '"accesses":[[3,"write"],[0,"rmw"]],"sleep":5,"floor":2}')
+    heartbeat = '{"version":1,"frame":"heartbeat","task":7}'
+    result = (
+        '{"version":1,"frame":"result","task":7,"runs":41,"cut_runs":0,'
+        '"pruned":17,"capped":false,"retried":1,"quarantined":1,'
+        '"poisoned":[{"prefix":[0,2],"attempts":3,'
+        '"message":"panicked at ?boom?"}],'
+        '"escapes":[{"depth":4,"first_proc":1,"initials":[1,2],'
+        '"seq":[[0,5,"read"],[2,5,"write"]]},'
+        '{"depth":9,"first_proc":0,"initials":[0],"seq":[]}],'
+        '"shard":{"nodes":[[],[[["i",0,"w0"],0]],'
+        '[[["inv",1,0,"DWrite:5"],1],[["rsp",1,0,"Ack"],0]]],'
+        '"root":2,"transcripts":1}}')
+    shutdown = '{"version":1,"frame":"shutdown"}'
+    bodies = [hello, task, heartbeat, result, shutdown]
+    pristine = "".join(record(seal(b)) for b in bodies).encode()
+    clean = lint_frames_bytes(pristine, "selftest")
+    assert clean == [], clean
+
+    def doctored_doc(body):
+        # Re-seal with a fresh checksum so only the mutation itself —
+        # not a stale digest — is what the lint must catch.
+        return record(seal(body)).encode()
+
+    def doctored_text(sealed):
+        # Raw text surgery after sealing: the stale digest IS the bug.
+        return record(sealed).encode()
+
+    variants = {
+        "torn tail": pristine[:-2],
+        "garbage length header": b"not-a-length\nxxx\n",
+        "oversize length header": f"{MAX_FRAME_BYTES + 1}\n".encode(),
+        "missing record terminator":
+            (lambda s: f"{len(s)}\n{s}".encode())(seal(shutdown)),
+        "stale checksum":
+            doctored_text(seal(task).replace('"task":7', '"task":8')),
+        "whitespace reflow":
+            doctored_text(seal(heartbeat).replace(",", ", ")),
+        "version skew": doctored_doc('{"version":2,"frame":"shutdown"}'),
+        "unknown frame kind": doctored_doc('{"version":1,"frame":"gossip"}'),
+        "duplicate field": doctored_doc(
+            '{"version":1,"frame":"heartbeat","task":1,"task":1}'),
+        "unknown field": doctored_doc(
+            '{"version":1,"frame":"heartbeat","task":1,"zeal":3}'),
+        "reordered fields": doctored_doc('{"frame":"shutdown","version":1}'),
+        "zero lease id": doctored_doc(
+            '{"version":1,"frame":"heartbeat","task":0}'),
+        "non-identifier workload": doctored_doc(
+            hello.replace("aba_mixed3", "aba mixed/3")),
+        "unknown access kind": doctored_doc(
+            task.replace('[0,"rmw"]', '[0,"fetch_add"]')),
+        "floor without its ghost accesses": doctored_doc(
+            task.replace('[[3,"write"],[0,"rmw"]]', '[[3,"write"]]')),
+        "escape step shape": doctored_doc(
+            result.replace('[0,5,"read"]', '[0,5]')),
+        "shard forward child": doctored_doc(
+            result.replace('[["i",0,"w0"],0]', '[["i",0,"w0"],1]')),
+        "shard root out of range": doctored_doc(
+            result.replace('"root":2', '"root":9')),
+    }
+    failures = [label for label, data in variants.items()
+                if not lint_frames_bytes(data, "selftest")]
+    if failures:
+        print("frame selftest: doctored variants NOT rejected:",
+              ", ".join(failures))
+        return 1
+    print(f"frame selftest ok: {len(variants)} doctored variants rejected, "
+          "pristine transcript accepted")
+    return 0
+
+
 def main(argv):
     if "--selftest" in argv:
-        return selftest()
+        return selftest() or selftest_frames()
+    frames = "--frames" in argv
     paths = [Path(a) for a in argv if not a.startswith("-")]
     if not paths:
-        print("usage: ckpt_lint.py [--selftest] CHECKPOINT.ckpt.json ...")
+        print("usage: ckpt_lint.py [--selftest] CHECKPOINT.ckpt.json ...\n"
+              "       ckpt_lint.py --frames TRANSCRIPT.frames ...")
         return 2
     errs = []
     for path in paths:
-        errs.extend(lint_path(path))
+        errs.extend(lint_frames_path(path) if frames else lint_path(path))
     for e in errs:
         print(e)
     if not errs:
